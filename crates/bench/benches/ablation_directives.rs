@@ -1,0 +1,53 @@
+//! Ablation bench: the directive design space of Section V-E. For
+//! every combination of {DATAFLOW, PIPELINE-conv, PIPELINE-linear,
+//! PIPELINE-pool} this prints the modelled interval and resources for
+//! the Test-1 network and benchmarks the cost of exploring the whole
+//! 16-point space (the "agile design space exploration" the paper
+//! motivates HLS with).
+
+use cnn_framework::weights::build_random;
+use cnn_framework::NetworkSpec;
+use cnn_hls::{DirectiveSet, FpgaPart, HlsProject};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let net = build_random(&NetworkSpec::paper_usps_small(true), 2016).unwrap();
+
+    println!("[ablation] directive space for the Test-1 network:");
+    for ds in DirectiveSet::all_combinations() {
+        let p = HlsProject::new_unchecked(&net, ds, FpgaPart::zynq7020());
+        println!(
+            "[ablation] {:<34} interval {:>8} cycles, DSP {:>3}, BRAM {:>3}, fits {}",
+            ds.label(),
+            p.schedule().interval_cycles,
+            p.resources().dsp,
+            p.resources().bram36,
+            p.resources().fits()
+        );
+    }
+    println!("[ablation] unroll sweep on top of the optimized preset:");
+    for point in cnn_hls::dse::explore_unroll(&net, FpgaPart::zynq7020(), &[1, 2, 4, 8]) {
+        println!(
+            "[ablation] {:<34} interval {:>8} cycles, DSP {:>3}, fits {}",
+            point.label(),
+            point.interval_cycles,
+            point.dsp,
+            point.fits
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    group.bench_function("explore_16_directive_points", |b| {
+        b.iter(|| {
+            for ds in DirectiveSet::all_combinations() {
+                black_box(HlsProject::new_unchecked(black_box(&net), ds, FpgaPart::zynq7020()));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation bench: datapath precision. The paper fixed 32-bit floats
+//! and noted the resource cost ("this reasonably implies a higher
+//! usage of resources"); this bench quantifies the trade for the
+//! Test-1 network: f32 vs Q8.8 vs Q4.4 on latency, DSP and BRAM, plus
+//! the prediction-error cost of quantizing a trained network's
+//! weights.
+
+use cnn_datasets::UspsLike;
+use cnn_framework::weights::build_random;
+use cnn_framework::NetworkSpec;
+use cnn_hls::{DirectiveSet, FpgaPart, HlsProject, Precision};
+use cnn_nn::quant::quantize_network;
+use cnn_nn::{train, TrainConfig};
+use cnn_tensor::init::seeded_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_precision(c: &mut Criterion) {
+    let spec = NetworkSpec::paper_usps_small(true);
+    let mut net = build_random(&spec, 2016).unwrap();
+
+    // Light training so the accuracy column is meaningful.
+    let tr = UspsLike::default().generate(1500, 1);
+    let te = UspsLike::default().generate(500, 2);
+    let cfg = TrainConfig { learning_rate: 0.5, batch_size: 16, epochs: 12, weight_decay: 1e-4, lr_decay: 0.97, momentum: 0.0 };
+    let mut rng = seeded_rng(7);
+    train(&mut net, &tr.images, &tr.labels, &cfg, &mut rng);
+
+    let precisions = [
+        (Precision::float32(), net.clone()),
+        (Precision::q8_8(), quantize_network(&net, 16, 8)),
+        (Precision::q4_4(), quantize_network(&net, 8, 4)),
+    ];
+
+    println!("[precision] Test-1 network, dataflow+pipe-conv:");
+    for (prec, qnet) in &precisions {
+        let p = HlsProject::with_precision(qnet, DirectiveSet::optimized(), FpgaPart::zynq7020(), *prec)
+            .expect("fits");
+        let err = qnet.prediction_error(&te.images, &te.labels);
+        println!(
+            "[precision] {:<5} interval {:>7} cycles | DSP {:>3} | BRAM {:>3} | test error {:>5.1}%",
+            prec.label(),
+            p.schedule().interval_cycles,
+            p.resources().dsp,
+            p.resources().bram36,
+            err * 100.0
+        );
+    }
+
+    let mut group = c.benchmark_group("precision");
+    group.sample_size(20);
+    for (prec, qnet) in &precisions {
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", prec.label()),
+            qnet,
+            |b, qnet| {
+                b.iter(|| {
+                    black_box(
+                        HlsProject::with_precision(
+                            black_box(qnet),
+                            DirectiveSet::optimized(),
+                            FpgaPart::zynq7020(),
+                            *prec,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precision);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches behind the paper's **figures** — the work each
+//! figure regenerator performs:
+//!
+//! * Fig. 1 — network structure summarization,
+//! * Fig. 2 — first-layer kernel rendering,
+//! * Fig. 3 — the full generation workflow,
+//! * Fig. 4 — descriptor validation (the GUI's shape echo),
+//! * Fig. 5 — block-design construction + validation + DOT export,
+//! * Fig. 6 — synthetic dataset image generation.
+
+use cnn_datasets::render::ascii_channel;
+use cnn_datasets::{CifarLike, UspsLike};
+use cnn_fpga::BlockDesign;
+use cnn_framework::{weights::build_random, NetworkSpec, WeightSource, Workflow};
+use cnn_nn::summary;
+use cnn_tensor::{Shape, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+
+    // Fig. 1: structure rendering.
+    let net = build_random(&NetworkSpec::paper_cifar(), 1).unwrap();
+    group.bench_function("fig1_structure_render", |b| {
+        b.iter(|| black_box(summary::render(black_box(&net))))
+    });
+
+    // Fig. 2: kernel heat-map rendering.
+    let small = build_random(&NetworkSpec::paper_usps_small(true), 1).unwrap();
+    let cnn_nn::Layer::Conv2d(conv) = &small.layers()[0] else { unreachable!() };
+    let kernels: Vec<Tensor> = (0..conv.kernels.kernels())
+        .map(|k| Tensor::from_vec(Shape::new(1, 5, 5), conv.kernels.window(k, 0).to_vec()))
+        .collect();
+    group.bench_function("fig2_filter_render", |b| {
+        b.iter(|| {
+            for k in &kernels {
+                black_box(ascii_channel(black_box(k), 0));
+            }
+        })
+    });
+
+    // Fig. 3: the full workflow.
+    group.bench_function("fig3_full_workflow", |b| {
+        b.iter(|| {
+            black_box(
+                Workflow::new(
+                    NetworkSpec::paper_usps_small(true),
+                    WeightSource::Random { seed: 1 },
+                )
+                .run()
+                .unwrap(),
+            )
+        })
+    });
+
+    // Fig. 4: descriptor validation.
+    let spec = NetworkSpec::paper_cifar();
+    group.bench_function("fig4_spec_validation", |b| {
+        b.iter(|| black_box(black_box(&spec).validate().unwrap()))
+    });
+
+    // Fig. 5: block design build + validate + DOT.
+    group.bench_function("fig5_block_design", |b| {
+        b.iter(|| {
+            let d = BlockDesign::fig5();
+            d.validate().unwrap();
+            black_box(d.to_dot())
+        })
+    });
+
+    // Fig. 6: dataset generation (one image per class, both sets).
+    group.bench_function("fig6_dataset_generation", |b| {
+        b.iter(|| {
+            black_box(UspsLike::default().generate(10, 1));
+            black_box(CifarLike::default().generate(10, 1));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

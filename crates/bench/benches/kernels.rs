@@ -1,0 +1,92 @@
+//! Microbenchmarks of the compute substrate: the kernels every
+//! higher-level number in the reproduction rests on — direct vs.
+//! im2col convolution, pooling, the linear layer, LogSoftMax and the
+//! rayon batch path.
+
+use cnn_tensor::init::{init_kernels, init_tensor, init_vec, seeded_rng, Init};
+use cnn_tensor::ops::conv::{conv2d_im2col, conv2d_valid};
+use cnn_tensor::ops::linear::linear_vec;
+use cnn_tensor::ops::pool::{max_pool, mean_pool};
+use cnn_tensor::ops::softmax::log_softmax;
+use cnn_tensor::parallel::par_map;
+use cnn_tensor::{Shape, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    let mut rng = seeded_rng(1);
+
+    // The paper's two convolution sizes: Test 1 conv1 and Test 4 conv2.
+    let cases = [
+        ("test1_conv1_1x16x16_k6x5x5", Shape::new(1, 16, 16), 6usize),
+        ("test4_conv2_12x14x14_k36x5x5", Shape::new(12, 14, 14), 36usize),
+    ];
+    for (name, ishape, k) in cases {
+        let input = init_tensor(&mut rng, ishape, Init::Uniform(1.0));
+        let kernels = init_kernels(&mut rng, k, ishape.c, 5, 5, Init::Uniform(0.3));
+        let bias = init_vec(&mut rng, k, Init::Uniform(0.1));
+        let macs = cnn_tensor::ops::conv::conv2d_macs(ishape, k, 5, 5).unwrap();
+        group.throughput(Throughput::Elements(macs));
+        group.bench_with_input(BenchmarkId::new("direct", name), &(), |b, _| {
+            b.iter(|| black_box(conv2d_valid(black_box(&input), &kernels, &bias)))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col", name), &(), |b, _| {
+            b.iter(|| black_box(conv2d_im2col(black_box(&input), &kernels, &bias)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_linear_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layers");
+    let mut rng = seeded_rng(2);
+
+    let feat = init_tensor(&mut rng, Shape::new(12, 28, 28), Init::Uniform(1.0));
+    group.bench_function("max_pool_12x28x28_2x2", |b| {
+        b.iter(|| black_box(max_pool(black_box(&feat), 2, 2, 2)))
+    });
+    group.bench_function("mean_pool_12x28x28_2x2", |b| {
+        b.iter(|| black_box(mean_pool(black_box(&feat), 2, 2, 2)))
+    });
+
+    let x = init_vec(&mut rng, 900, Init::Uniform(1.0));
+    let w = init_vec(&mut rng, 900 * 36, Init::Uniform(0.1));
+    let bias = init_vec(&mut rng, 36, Init::Uniform(0.1));
+    group.bench_function("linear_900x36", |b| {
+        b.iter(|| black_box(linear_vec(black_box(&x), &w, &bias)))
+    });
+
+    let z = init_vec(&mut rng, 10, Init::Uniform(5.0));
+    group.bench_function("log_softmax_10", |b| {
+        b.iter(|| black_box(log_softmax(black_box(&z))))
+    });
+    group.finish();
+}
+
+fn bench_batch_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    let mut rng = seeded_rng(3);
+    let images: Vec<Tensor> = (0..256)
+        .map(|_| init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0)))
+        .collect();
+    let kernels = init_kernels(&mut rng, 6, 1, 5, 5, Init::Uniform(0.3));
+    let bias = init_vec(&mut rng, 6, Init::Uniform(0.1));
+
+    group.throughput(Throughput::Elements(images.len() as u64));
+    group.bench_function("sequential_256_convs", |b| {
+        b.iter(|| {
+            for img in &images {
+                black_box(conv2d_valid(img, &kernels, &bias));
+            }
+        })
+    });
+    group.bench_function("rayon_256_convs", |b| {
+        b.iter(|| black_box(par_map(&images, |img| conv2d_valid(img, &kernels, &bias))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv, bench_pool_linear_softmax, bench_batch_parallel);
+criterion_main!(benches);

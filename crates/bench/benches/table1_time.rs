@@ -1,0 +1,57 @@
+//! Criterion bench behind **Table I**: the software and hardware
+//! classification paths for each of the four paper networks. The
+//! measured quantity is the wall time of this reproduction's
+//! simulators; the modelled board times are printed alongside so the
+//! table's series (who wins, by what factor) regenerate on every run.
+
+use cnn_framework::weights::build_random;
+use cnn_framework::PaperTest;
+use cnn_platform::ZynqSoc;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn batch_for(test: PaperTest, n: usize) -> Vec<cnn_tensor::Tensor> {
+    match test {
+        PaperTest::Test4 => cnn_datasets::CifarLike::default().generate(n, 5).images,
+        _ => cnn_datasets::UspsLike::default().generate(n, 5).images,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let net = build_random(&spec, 2016).expect("valid paper spec");
+        let soc = ZynqSoc::bring_up(&net, spec.directives(), spec.board)
+            .expect("paper networks fit the Zedboard");
+        let batch = batch_for(test, 50);
+
+        // Print the modelled board-level numbers the table reports.
+        let sw = soc.run_software(&batch);
+        let hw = soc.run_hardware(&batch);
+        println!(
+            "[table1] {}: modelled SW {:.4}s, HW {:.4}s, speedup {:.2}x (50 images)",
+            test.name(),
+            sw.seconds,
+            hw.seconds,
+            sw.seconds / hw.seconds
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("software_path", test.name()),
+            &batch,
+            |b, batch| b.iter(|| black_box(soc.run_software(black_box(batch)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hardware_path", test.name()),
+            &batch,
+            |b, batch| b.iter(|| black_box(soc.run_hardware(black_box(batch)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench behind **Table II**: full HLS synthesis (lower →
+//! schedule → bind) for each paper network, printing the resulting
+//! resource utilization rows.
+
+use cnn_framework::weights::build_random;
+use cnn_framework::PaperTest;
+use cnn_hls::{FpgaPart, HlsProject};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(20);
+
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let net = build_random(&spec, 2016).expect("valid paper spec");
+        let directives = spec.directives();
+
+        let project = HlsProject::new(&net, directives, FpgaPart::zynq7020()).unwrap();
+        println!("[table2] {}: {}", test.name(), project.resources());
+
+        group.bench_with_input(BenchmarkId::new("synthesize", test.name()), &net, |b, net| {
+            b.iter(|| {
+                black_box(
+                    HlsProject::new(black_box(net), directives, FpgaPart::zynq7020()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

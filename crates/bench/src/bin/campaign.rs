@@ -1,0 +1,85 @@
+//! Full experiment campaign: runs all four paper tests end to end and
+//! writes a consolidated report — Table I/II rows plus the deeper
+//! diagnostics the paper doesn't show (confusion matrices, sampled
+//! power traces, roofline positions) — to stdout.
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin campaign [-- --quick]
+//! ```
+
+use cnn_bench::build_experiment;
+use cnn_framework::report::{run_table1_row, run_table2_row};
+use cnn_framework::PaperTest;
+use cnn_hls::ir::lower;
+use cnn_hls::roofline::analyze;
+use cnn_hls::schedule::schedule;
+use cnn_hls::FpgaPart;
+use cnn_nn::metrics::ConfusionMatrix;
+use cnn_power::{PowerPhase, PowerTrace};
+
+fn main() {
+    println!("# cnn2fpga experiment campaign\n");
+    for test in PaperTest::ALL {
+        let e = build_experiment(test);
+        println!("## {} ({} dataset)\n", test.name(), test.dataset());
+
+        // Table I row.
+        let r1 = run_table1_row(&e);
+        println!(
+            "error {:.1}% (SW = HW) | SW {:.2}s / HW {:.2}s | speedup {:.2}x | {:.2} W | SW {:.2} J / HW {:.2} J",
+            r1.sw_error * 100.0,
+            r1.sw_time_s,
+            r1.hw_time_s,
+            r1.speedup,
+            r1.total_power_w,
+            r1.sw_energy_j,
+            r1.hw_energy_j
+        );
+
+        // Table II row.
+        let r2 = run_table2_row(&e);
+        println!("resources: {}\n", r2.usage);
+
+        // Confusion matrix (meaningful for the trained tests).
+        if e.train_error.is_some() {
+            let cm = ConfusionMatrix::evaluate(&e.network, &e.test_images, &e.test_labels);
+            println!("confusion matrix:\n{}", cm.render());
+            if let Some((a, p, n)) = cm.worst_confusion() {
+                println!("most-confused pair: {a} predicted as {p} ({n} times)\n");
+            }
+        } else {
+            println!("(random weights: confusion matrix omitted)\n");
+        }
+
+        // Power trace of the hardware run (1-second logger cadence,
+        // or 10 ms for the sub-second runs).
+        let period = if r1.hw_time_s > 10.0 { 1.0 } else { 0.01 };
+        let trace = PowerTrace::record(
+            &[
+                PowerPhase { watts: 1.45, seconds: (r1.hw_time_s * 0.05).max(period) },
+                PowerPhase { watts: r1.total_power_w, seconds: r1.hw_time_s },
+            ],
+            period,
+        );
+        println!(
+            "power trace: {} samples @ {period}s, peak {:.2} W, integrates to {:.2} J (meter: {:.2} J)",
+            trace.samples.len(),
+            trace.peak_watts(),
+            trace.joules(),
+            r1.hw_energy_j
+        );
+
+        // Roofline position.
+        let ir = lower(&e.network);
+        let s = schedule(&ir, &e.spec.directives());
+        let p = analyze(&ir, &s, FpgaPart::zynq7020());
+        println!(
+            "roofline: {:.1} FLOP/byte, achieves {:.2} of {:.1} GFLOP/s attainable ({:.1}%)\n",
+            p.intensity,
+            p.achieved_gflops,
+            p.attainable_gflops,
+            p.efficiency() * 100.0
+        );
+    }
+    println!("campaign complete.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates **Fig. 1**: the CNN structure diagram — a LeNet-style
+//! network of convolutional layers alternated with sub-sampling layers
+//! followed by a linear part, rendered per layer with shapes and
+//! parameter counts for each of the paper's four networks.
+
+use cnn_framework::weights::build_random;
+use cnn_framework::PaperTest;
+use cnn_nn::summary::render;
+
+fn main() {
+    println!("FIG. 1: Convolutional Neural Network structure\n");
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let net = build_random(&spec, 1).expect("paper specs are valid");
+        println!("--- {} ({} dataset) ---", test.name(), test.dataset());
+        print!("{}", render(&net));
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Fig. 2**: convolutional filters. The paper shows
+//! that early-layer kernels learn simple edge/stroke detectors. We
+//! train the Test-1 network and render its six 5x5 first-layer
+//! kernels as ASCII heatmaps, next to the random (untrained) kernels
+//! for contrast.
+
+use cnn_bench::build_experiment;
+use cnn_datasets::render::ascii_channel;
+use cnn_framework::weights::build_random;
+use cnn_framework::PaperTest;
+use cnn_nn::Layer;
+use cnn_tensor::{Shape, Tensor};
+
+fn kernel_art(net: &cnn_nn::Network) -> Vec<String> {
+    let Layer::Conv2d(conv) = &net.layers()[0] else {
+        panic!("first layer must be convolutional");
+    };
+    let k = &conv.kernels;
+    (0..k.kernels())
+        .map(|ki| {
+            let img = Tensor::from_vec(
+                Shape::new(1, k.kh(), k.kw()),
+                k.window(ki, 0).to_vec(),
+            );
+            ascii_channel(&img, 0)
+        })
+        .collect()
+}
+
+fn print_side_by_side(arts: &[String]) {
+    let grids: Vec<Vec<&str>> = arts.iter().map(|a| a.lines().collect()).collect();
+    let rows = grids[0].len();
+    for r in 0..rows {
+        let line: Vec<String> = grids.iter().map(|g| g[r].to_string()).collect();
+        println!("  {}", line.join("   "));
+    }
+}
+
+fn main() {
+    println!("FIG. 2: Convolutional filters (first layer, 6 kernels of 5x5)\n");
+
+    let untrained = build_random(&PaperTest::Test1.spec(), 2016).expect("valid spec");
+    println!("(a) random kernels before training:");
+    print_side_by_side(&kernel_art(&untrained));
+
+    let e = build_experiment(PaperTest::Test1);
+    println!(
+        "\n(b) kernels after training (test error {:.1}%):",
+        e.prediction_error() * 100.0
+    );
+    print_side_by_side(&kernel_art(&e.network));
+    println!("\n(dark = negative weight, bright = positive; trained kernels develop");
+    println!(" oriented stroke detectors, the paper's 'simple filters')");
+}

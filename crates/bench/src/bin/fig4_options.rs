@@ -1,0 +1,40 @@
+//! Regenerates **Fig. 4**: the convolutional-layer options panel.
+//! The GUI collects, per convolutional layer, the number and size of
+//! kernels ("Feature maps out") and an optional integrated
+//! max-pooling stage; per linear layer, a neuron count and the tanh
+//! checkbox. This binary prints the descriptor schema and the echo a
+//! user would see while configuring the paper's Test-1 network.
+
+use cnn_framework::NetworkSpec;
+
+fn main() {
+    println!("FIG. 4: Convolutional layer options (descriptor schema + echo)\n");
+
+    println!("per-convolutional-layer options:");
+    println!("  feature_maps_out : number of kernels (GUI 'Feature maps out')");
+    println!("  kernel           : square kernel side");
+    println!("  pooling          : optional integrated sub-sampling");
+    println!("    kind           : max (default) | mean (extension)");
+    println!("    kernel         : square window side");
+    println!("    step           : stride, default = window (p_step of Eqs. 4-5)");
+    println!();
+    println!("per-linear-layer options:");
+    println!("  neurons          : layer width (last layer = class count)");
+    println!("  tanh             : append the hyperbolic tangent");
+    println!();
+    println!("global options:");
+    println!("  input_channels/height/width, board (zedboard | zybo), optimized");
+
+    let spec = NetworkSpec::paper_usps_small(true);
+    println!("\nconfigured Test-1/2 descriptor:\n{}", spec.to_json());
+
+    println!("\nper-stage shape echo (Eqs. 2-5 applied):");
+    for (i, s) in spec.validate().expect("valid").iter().enumerate() {
+        println!("  stage {i}: {s}");
+    }
+
+    println!(
+        "\nmachine-readable descriptor schema (what the GUI form is generated from):\n{}",
+        serde_json::to_string_pretty(&NetworkSpec::descriptor_schema()).expect("schema serializes")
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates **Fig. 5**: the Vivado block design. Builds the
+//! component graph (ZYNQ7 PS, AXI DMA, two AXI interconnects,
+//! processor system reset, CNN IP core), validates it the way
+//! `validate_bd_design` would, and emits Graphviz DOT.
+
+use cnn_fpga::BlockDesign;
+
+fn main() {
+    println!("FIG. 5: Block design\n");
+    let design = BlockDesign::fig5();
+
+    println!("components:");
+    for c in &design.components {
+        println!("  {:<22} {:?}", c.name, c.kind);
+    }
+    println!("\nconnections:");
+    for conn in &design.connections {
+        println!("  {} -> {}", conn.from, conn.to);
+    }
+
+    match design.validate() {
+        Ok(()) => println!("\nvalidate_bd_design: OK"),
+        Err(errs) => {
+            println!("\nvalidate_bd_design: FAILED");
+            for e in errs {
+                println!("  {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    println!("\nGraphviz DOT:\n{}", design.to_dot());
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Fig. 6**: example images from the two datasets —
+//! one synthetic USPS-like digit per class (16x16 grayscale) and one
+//! synthetic CIFAR-10-like image per class (32x32 RGB, shown by
+//! luminance).
+
+use cnn_datasets::render::{ascii_channel, ascii_luminance};
+use cnn_datasets::{cifar, CifarLike, UspsLike};
+use cnn_tensor::init::seeded_rng;
+
+fn print_pairs(arts: &[(String, String)]) {
+    for pair in arts.chunks(2) {
+        let left: Vec<&str> = pair[0].1.lines().collect();
+        let right: Vec<&str> = pair.get(1).map(|p| p.1.lines().collect()).unwrap_or_default();
+        println!("  {:<20}{}", pair[0].0, pair.get(1).map(|p| p.0.as_str()).unwrap_or(""));
+        for (i, l) in left.iter().enumerate() {
+            println!("  {:<20}{}", l, right.get(i).copied().unwrap_or(""));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    println!("FIG. 6(a): USPS-like dataset samples (digits 0-9, 16x16 grayscale)\n");
+    let usps = UspsLike::default();
+    let mut rng = seeded_rng(6);
+    let digits: Vec<(String, String)> = (0..10)
+        .map(|d| {
+            let img = usps.render_digit(d, &mut rng);
+            (format!("digit {d}:"), ascii_channel(&img, 0))
+        })
+        .collect();
+    print_pairs(&digits);
+
+    println!("FIG. 6(b): CIFAR-10-like dataset samples (32x32 RGB, luminance view)\n");
+    let cif = CifarLike::default();
+    let mut rng = seeded_rng(7);
+    let scenes: Vec<(String, String)> = (0..10)
+        .map(|c| {
+            let img = cif.render(c, &mut rng);
+            (format!("{}:", cifar::CLASS_NAMES[c]), ascii_luminance(&img))
+        })
+        .collect();
+    print_pairs(&scenes);
+}

@@ -1,0 +1,67 @@
+//! Fair-baseline analysis (extension): the paper's speedups are
+//! measured against *unoptimized scalar* ARM code. This binary adds
+//! the column a critical reviewer asks for — a NEON-vectorized
+//! software baseline — and reports how much of each hardware win
+//! survives it.
+
+use cnn_framework::weights::build_random;
+use cnn_framework::PaperTest;
+use cnn_hls::ir::lower;
+use cnn_hls::schedule::schedule;
+use cnn_hls::timing;
+use cnn_hls::Precision;
+use cnn_platform::{ArmModel, NeonModel};
+use cnn_fpga::Board;
+
+fn main() {
+    println!("SOFTWARE BASELINES vs HARDWARE (per-image times, Zedboard)\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "Test", "scalar SW", "NEON SW", "HW @100MHz", "HW/scalar", "HW/NEON"
+    );
+    println!("{}", "-".repeat(78));
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let net = build_random(&spec, 2016).expect("valid spec");
+        let scalar = ArmModel::new(Board::Zedboard, &net).seconds_per_image();
+        let neon = NeonModel::new(Board::Zedboard, &net).seconds_per_image();
+        let ir = lower(&net);
+        let hw = schedule(&ir, &spec.directives());
+        let hw_s = hw.interval_cycles as f64 / cnn_hls::calibration::FABRIC_CLOCK_HZ as f64;
+        println!(
+            "{:<8} {:>10.3}ms {:>10.3}ms {:>10.3}ms | {:>11.2}x {:>11.2}x",
+            test.name(),
+            scalar * 1e3,
+            neon * 1e3,
+            hw_s * 1e3,
+            scalar / hw_s,
+            neon / hw_s
+        );
+    }
+
+    println!("\nTIMING HEADROOM (the paper fixed 100 MHz):");
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let net = build_random(&spec, 2016).expect("valid spec");
+        let ir = lower(&net);
+        let r = timing::analyze(&ir, &spec.directives(), Precision::Float32);
+        println!(
+            "  {:<8} fmax {:>6.1} MHz -> best FCLK {:>6.2} MHz ({:.2}x free throughput)",
+            test.name(),
+            r.fmax_mhz,
+            r.best_fclk_mhz,
+            r.speedup_vs_100mhz
+        );
+    }
+
+    println!(
+        "\nreading: the headline speedups hold against the paper's own baseline\n\
+         (unoptimized scalar C). Against an aggressive NEON-vectorized baseline\n\
+         (0.83 cycles/MAC, bandwidth-floored) the 100 MHz II=2 fabric loses in\n\
+         every test: the paper's margins rest on the unoptimized software, and\n\
+         closing the gap needs the levers this repo's ablations quantify —\n\
+         unrolled MAC lanes, fixed-point datapaths, and the ~1.7x of clock\n\
+         headroom the paper left at 100 MHz (precisely the direction the\n\
+         field's later accelerators, e.g. Zhang et al. [9], took)."
+    );
+}

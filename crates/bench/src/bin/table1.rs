@@ -1,0 +1,36 @@
+//! Regenerates **Table I**: hardware implementation vs. software one —
+//! predicted error, execution time, speedup, power and energy for the
+//! four case studies.
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin table1            # paper sizes
+//! cargo run --release -p cnn-bench --bin table1 -- --quick # smoke run
+//! ```
+
+use cnn_bench::build_experiment;
+use cnn_framework::report::{render_table1, run_table1_row};
+use cnn_framework::PaperTest;
+
+fn main() {
+    let mut rows = Vec::new();
+    for test in PaperTest::ALL {
+        let e = build_experiment(test);
+        let row = run_table1_row(&e);
+        eprintln!(
+            "[cnn-bench] {}: SW err {:.1}%, HW err {:.1}%, speedup {:.2}X",
+            test.name(),
+            row.sw_error * 100.0,
+            row.hw_error * 100.0,
+            row.speedup
+        );
+        rows.push((test, row));
+    }
+    if std::env::args().any(|a| a == "--json") {
+        let measured: Vec<_> = rows.iter().map(|(_, r)| r).collect();
+        println!("{}", serde_json::to_string_pretty(&measured).expect("rows serialize"));
+        return;
+    }
+    println!("\nTABLE I: Hardware implementation vs. software one");
+    println!("(measured rows are this reproduction; '(paper)' rows are the published values)\n");
+    print!("{}", render_table1(&rows));
+}

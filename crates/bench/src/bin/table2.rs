@@ -1,0 +1,38 @@
+//! Regenerates **Table II**: FPGA resource usage (FF, LUT, memory
+//! LUT, BRAM, DSP utilization on the Zedboard's XC7Z020) for the four
+//! case studies.
+//!
+//! Resource binding is weight-value independent, so the experiments
+//! are built with random weights (exactly the paper's Test-4
+//! rationale: "in terms of hardware implementation and employed
+//! resources, there is no difference with a network built using
+//! trained weights").
+
+use cnn_framework::report::{render_table2, run_table2_row};
+use cnn_framework::weights::build_random;
+use cnn_framework::{Experiment, PaperTest};
+
+fn main() {
+    let mut rows = Vec::new();
+    for test in PaperTest::ALL {
+        let spec = test.spec();
+        let network = build_random(&spec, 2016).expect("paper specs are valid");
+        let e = Experiment {
+            test,
+            spec,
+            network,
+            test_images: vec![],
+            test_labels: vec![],
+            train_error: None,
+        };
+        rows.push((test, run_table2_row(&e)));
+    }
+    if std::env::args().any(|a| a == "--json") {
+        let measured: Vec<_> = rows.iter().map(|(_, r)| r).collect();
+        println!("{}", serde_json::to_string_pretty(&measured).expect("rows serialize"));
+        return;
+    }
+    println!("TABLE II: FPGA resources usage (Zedboard XC7Z020)");
+    println!("(measured rows are this reproduction; '(paper)' rows are the published values)\n");
+    print!("{}", render_table2(&rows));
+}

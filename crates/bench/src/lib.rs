@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # cnn-bench
+//!
+//! Regenerators for every table and figure of the paper plus the
+//! criterion benchmark suite.
+//!
+//! Binaries (run with `cargo run --release -p cnn-bench --bin <name>`):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — SW vs HW error/time/speedup/power/energy |
+//! | `table2` | Table II — FPGA resource usage |
+//! | `fig1_structure` | Fig. 1 — CNN structure diagram |
+//! | `fig2_filters` | Fig. 2 — learned convolutional filters |
+//! | `fig3_workflow` | Fig. 3 — framework workflow trace |
+//! | `fig4_options` | Fig. 4 — layer configuration options |
+//! | `fig5_block_design` | Fig. 5 — block design (DOT + validation) |
+//! | `fig6_datasets` | Fig. 6 — dataset sample images |
+//!
+//! Pass `--quick` to any binary for a smoke-sized run.
+
+use cnn_framework::{Experiment, ExperimentConfig, PaperTest};
+
+/// Returns the experiment configuration selected by CLI args:
+/// `--quick` for smoke-sized runs, full paper sizes otherwise.
+pub fn config_from_args(test: PaperTest) -> ExperimentConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        ExperimentConfig {
+            test_samples: 200,
+            ..ExperimentConfig::quick()
+        }
+    } else {
+        ExperimentConfig::paper(test)
+    }
+}
+
+/// Builds an experiment with a progress note on stderr.
+pub fn build_experiment(test: PaperTest) -> Experiment {
+    let cfg = config_from_args(test);
+    eprintln!(
+        "[cnn-bench] building {} (train {} x {} epochs, test {})...",
+        test.name(),
+        cfg.train_samples,
+        cfg.epochs,
+        cfg.test_samples
+    );
+    Experiment::build(test, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_to_paper_sizes() {
+        // (cargo test passes no --quick flag)
+        let cfg = config_from_args(PaperTest::Test4);
+        assert_eq!(cfg.test_samples, 10_000);
+    }
+}

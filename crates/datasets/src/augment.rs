@@ -1,0 +1,215 @@
+//! Data augmentation — label-preserving transforms applied at
+//! training time to stretch a small set further (the standard practice
+//! behind the USPS/MNIST error rates the paper's era reports).
+
+use crate::dataset::Dataset;
+use cnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A label-preserving image transform.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Augment {
+    /// Translate by `(dy, dx)` pixels, zero-filling the vacated edge.
+    Translate(i32, i32),
+    /// Mirror horizontally.
+    FlipHorizontal,
+    /// Scale intensities by a factor (clamped to [0, 1]).
+    Brightness(f32),
+    /// Add uniform noise in `[-a, a]` (clamped to [0, 1]).
+    Noise(f32),
+}
+
+impl Augment {
+    /// Applies the transform to one image.
+    pub fn apply(self, img: &Tensor) -> Tensor {
+        let s = img.shape();
+        match self {
+            Augment::Translate(dy, dx) => Tensor::from_fn(s, |c, y, x| {
+                let sy = y as i32 - dy;
+                let sx = x as i32 - dx;
+                if (0..s.h as i32).contains(&sy) && (0..s.w as i32).contains(&sx) {
+                    img.get(c, sy as usize, sx as usize)
+                } else {
+                    0.0
+                }
+            }),
+            Augment::FlipHorizontal => {
+                Tensor::from_fn(s, |c, y, x| img.get(c, y, s.w - 1 - x))
+            }
+            Augment::Brightness(f) => img.map(|v| (v * f).clamp(0.0, 1.0)),
+            Augment::Noise(_) => {
+                panic!("Noise requires an RNG; use apply_with_rng")
+            }
+        }
+    }
+
+    /// Applies the transform using `rng` for its stochastic variants.
+    pub fn apply_with_rng(self, img: &Tensor, rng: &mut StdRng) -> Tensor {
+        match self {
+            Augment::Noise(a) => {
+                assert!(a >= 0.0, "negative noise bound");
+                let mut out = img.clone();
+                for v in out.as_mut_slice() {
+                    *v = (*v + rng.gen_range(-a..=a)).clamp(0.0, 1.0);
+                }
+                out
+            }
+            other => other.apply(img),
+        }
+    }
+}
+
+/// Expands a dataset by `factor`: the original images plus
+/// `factor − 1` randomly-augmented variants of each (random small
+/// translation + brightness + noise). Digit-safe: no flips.
+pub fn expand_dataset(ds: &Dataset, factor: usize, rng: &mut StdRng) -> Dataset {
+    assert!(factor >= 1, "factor must be at least 1");
+    let mut images = Vec::with_capacity(ds.len() * factor);
+    let mut labels = Vec::with_capacity(ds.len() * factor);
+    for (img, &label) in ds.images.iter().zip(&ds.labels) {
+        images.push(img.clone());
+        labels.push(label);
+        for _ in 1..factor {
+            let dy = rng.gen_range(-2..=2);
+            let dx = rng.gen_range(-2..=2);
+            let bright = rng.gen_range(0.85..=1.15);
+            let mut v = Augment::Translate(dy, dx).apply(img);
+            v = Augment::Brightness(bright).apply(&v);
+            v = Augment::Noise(0.05).apply_with_rng(&v, rng);
+            images.push(v);
+            labels.push(label);
+        }
+    }
+    Dataset::new(&format!("{}-x{}", ds.name, factor), images, labels, ds.classes)
+}
+
+/// Convenience: checks two tensors share a shape (used by tests and
+/// augmentation pipelines).
+pub fn same_shape(a: &Tensor, b: &Tensor) -> bool {
+    a.shape() == b.shape()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usps::UspsLike;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::Shape;
+
+    fn img() -> Tensor {
+        Tensor::from_fn(Shape::new(1, 4, 4), |_, y, x| (y * 4 + x) as f32 / 15.0)
+    }
+
+    #[test]
+    fn translate_moves_and_zero_fills() {
+        let t = Augment::Translate(1, 0).apply(&img());
+        // Row 0 vacated, row 1 holds old row 0.
+        assert!(t.channel(0)[..4].iter().all(|&v| v == 0.0));
+        assert_eq!(t.get(0, 1, 0), img().get(0, 0, 0));
+        assert_eq!(t.get(0, 3, 3), img().get(0, 2, 3));
+    }
+
+    #[test]
+    fn translate_zero_is_identity() {
+        assert_eq!(Augment::Translate(0, 0).apply(&img()), img());
+    }
+
+    #[test]
+    fn flip_is_an_involution() {
+        let f = Augment::FlipHorizontal;
+        assert_eq!(f.apply(&f.apply(&img())), img());
+        assert_ne!(f.apply(&img()), img());
+    }
+
+    #[test]
+    fn brightness_scales_and_clamps() {
+        let b = Augment::Brightness(2.0).apply(&img());
+        assert_eq!(b.get(0, 0, 1), (2.0f32 / 15.0).min(1.0));
+        assert_eq!(b.get(0, 3, 3), 1.0); // clamped
+    }
+
+    #[test]
+    fn noise_stays_in_unit_range_and_is_seeded() {
+        let mut r1 = seeded_rng(5);
+        let mut r2 = seeded_rng(5);
+        let a = Augment::Noise(0.3).apply_with_rng(&img(), &mut r1);
+        let b = Augment::Noise(0.3).apply_with_rng(&img(), &mut r2);
+        assert_eq!(a, b);
+        assert!(a.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an RNG")]
+    fn noise_without_rng_panics() {
+        Augment::Noise(0.1).apply(&img());
+    }
+
+    #[test]
+    fn expansion_multiplies_and_preserves_labels() {
+        let ds = UspsLike::default().generate(20, 3);
+        let mut rng = seeded_rng(9);
+        let big = expand_dataset(&ds, 3, &mut rng);
+        assert_eq!(big.len(), 60);
+        assert_eq!(big.classes, 10);
+        // Label pattern: each original label repeated 3x in sequence.
+        for (i, &l) in big.labels.iter().enumerate() {
+            assert_eq!(l, ds.labels[i / 3]);
+        }
+        // Originals preserved verbatim at stride 3.
+        assert_eq!(big.images[0], ds.images[0]);
+        assert_eq!(big.images[3], ds.images[1]);
+        // Variants differ from their originals.
+        assert_ne!(big.images[1], ds.images[0]);
+    }
+
+    #[test]
+    fn expansion_factor_one_is_identity() {
+        let ds = UspsLike::default().generate(10, 4);
+        let mut rng = seeded_rng(1);
+        let same = expand_dataset(&ds, 1, &mut rng);
+        assert_eq!(same.images, ds.images);
+        assert_eq!(same.labels, ds.labels);
+    }
+
+    #[test]
+    fn augmented_training_helps_generalization() {
+        // Train on a tiny base set vs the augmented expansion;
+        // augmented training should not be worse on held-out data.
+        use cnn_nn::{train, TrainConfig};
+        let gen = UspsLike::default();
+        let base = gen.generate(60, 11);
+        let test = gen.generate(200, 12);
+        let mut rng = seeded_rng(2);
+        let expanded = expand_dataset(&base, 4, &mut rng);
+
+        let run = |ds: &Dataset| {
+            let mut net = {
+                let mut wrng = seeded_rng(7);
+                cnn_nn::Network::builder(Shape::new(1, 16, 16))
+                    .conv(6, 5, 5, &mut wrng)
+                    .pool(cnn_tensor::ops::pool::PoolKind::Max, 2, 2)
+                    .flatten()
+                    .linear(10, Some(cnn_tensor::ops::activation::Activation::Tanh), &mut wrng)
+                    .log_softmax()
+                    .build()
+                    .unwrap()
+            };
+            let cfg = TrainConfig {
+                learning_rate: 0.3,
+                epochs: 10,
+                ..Default::default()
+            };
+            let mut trng = seeded_rng(3);
+            train(&mut net, &ds.images, &ds.labels, &cfg, &mut trng);
+            net.prediction_error(&test.images, &test.labels)
+        };
+
+        let plain = run(&base);
+        let augmented = run(&expanded);
+        assert!(
+            augmented <= plain + 0.05,
+            "augmentation should not hurt: {plain:.3} -> {augmented:.3}"
+        );
+    }
+}

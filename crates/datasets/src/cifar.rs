@@ -1,0 +1,187 @@
+//! CIFAR-10-like synthetic images: 32×32 RGB class-conditional
+//! procedural scenes. Each class pairs a characteristic shape with a
+//! palette, so the dataset is learnable in principle — though the
+//! paper's Test 4 deliberately uses *random weights*, for which only
+//! the input shape and the ~90% chance-level error matter.
+
+use crate::dataset::Dataset;
+use cnn_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Image side length (matches CIFAR-10).
+pub const SIDE: usize = 32;
+/// Number of classes (matches CIFAR-10).
+pub const CLASSES: usize = 10;
+
+/// Class names mirroring CIFAR-10's categories.
+pub const CLASS_NAMES: [&str; 10] = [
+    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+];
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct CifarLike {
+    /// Additive uniform noise bound.
+    pub noise: f32,
+}
+
+impl Default for CifarLike {
+    fn default() -> Self {
+        CifarLike { noise: 0.1 }
+    }
+}
+
+/// Per-class base palette `(sky/background RGB, object RGB)`.
+const PALETTES: [([f32; 3], [f32; 3]); 10] = [
+    ([0.55, 0.75, 0.95], [0.85, 0.85, 0.90]), // airplane: sky + fuselage
+    ([0.45, 0.45, 0.50], [0.80, 0.15, 0.10]), // automobile: asphalt + red body
+    ([0.60, 0.80, 0.95], [0.45, 0.30, 0.15]), // bird
+    ([0.70, 0.65, 0.55], [0.55, 0.40, 0.25]), // cat
+    ([0.35, 0.55, 0.25], [0.50, 0.35, 0.20]), // deer
+    ([0.65, 0.60, 0.50], [0.30, 0.25, 0.20]), // dog
+    ([0.25, 0.45, 0.20], [0.30, 0.65, 0.25]), // frog
+    ([0.50, 0.70, 0.35], [0.45, 0.25, 0.15]), // horse
+    ([0.30, 0.50, 0.75], [0.60, 0.60, 0.65]), // ship: sea + hull
+    ([0.50, 0.50, 0.55], [0.85, 0.70, 0.20]), // truck
+];
+
+impl CifarLike {
+    /// Renders one class-conditional image.
+    pub fn render(&self, class: usize, rng: &mut StdRng) -> Tensor {
+        assert!(class < CLASSES, "class {class} out of range");
+        let (bg, fg) = PALETTES[class];
+        let cx = rng.gen_range(10..22) as f32;
+        let cy = rng.gen_range(10..22) as f32;
+        let size = rng.gen_range(5.0..9.0f32);
+        let tone = rng.gen_range(0.85..1.15f32);
+
+        let mut img = Tensor::from_fn(Shape::new(3, SIDE, SIDE), |c, y, x| {
+            // Background with a vertical gradient (horizon effect).
+            let grad = 0.85 + 0.3 * (y as f32 / SIDE as f32 - 0.5);
+            let mut v = bg[c] * grad * tone;
+
+            // Class-dependent object footprint.
+            let fy = y as f32 - cy;
+            let fx = x as f32 - cx;
+            let inside = match class {
+                0 => fx.abs() < size * 1.6 && fy.abs() < size * 0.35, // wide fuselage
+                1 | 9 => fx.abs() < size * 1.2 && fy.abs() < size * 0.7, // boxy vehicle
+                8 => fx.abs() < size * 1.4 && fy < 0.0 && fy > -size * 0.8, // hull above waterline
+                2 => fx * fx / (size * size * 1.8) + fy * fy / (size * size * 0.5) < 1.0, // bird ellipse
+                6 => fx * fx + fy * fy < size * size * 0.7, // frog blob
+                _ => fx * fx / (size * size) + fy * fy / (size * size * 0.8) < 1.0, // animal ellipse
+            };
+            if inside {
+                v = fg[c] * tone;
+            }
+            v
+        });
+
+        // Class-specific texture: stripes for vehicles, speckle for animals.
+        if matches!(class, 1 | 9) {
+            for y in 0..SIDE {
+                if y % 4 == 0 {
+                    for x in 0..SIDE {
+                        for c in 0..3 {
+                            let v = img.get(c, y, x);
+                            img.set(c, y, x, v * 0.9);
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.noise > 0.0 {
+            for v in img.as_mut_slice() {
+                *v = (*v + rng.gen_range(-self.noise..self.noise)).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+
+    /// Generates a balanced dataset of `n` samples.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "empty dataset requested");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % CLASSES;
+            images.push(self.render(class, &mut rng));
+            labels.push(class);
+        }
+        Dataset::new("cifar10-like", images, labels, CLASSES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_produces_rgb_32x32() {
+        let gen = CifarLike::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in 0..CLASSES {
+            let img = gen.render(class, &mut rng);
+            assert_eq!(img.shape(), Shape::new(3, SIDE, SIDE));
+            assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn generate_balanced_and_deterministic() {
+        let gen = CifarLike::default();
+        let a = gen.generate(100, 5);
+        let b = gen.generate(100, 5);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.class_histogram(), vec![10; 10]);
+        assert_eq!(a.image_shape(), Shape::new(3, SIDE, SIDE));
+    }
+
+    #[test]
+    fn classes_have_distinct_mean_colors() {
+        let gen = CifarLike { noise: 0.0 };
+        let mut means = Vec::new();
+        for class in 0..CLASSES {
+            let mut rng = StdRng::seed_from_u64(17);
+            let img = gen.render(class, &mut rng);
+            let n = (SIDE * SIDE) as f32;
+            let mean: Vec<f32> = (0..3)
+                .map(|c| img.channel(c).iter().sum::<f32>() / n)
+                .collect();
+            means.push(mean);
+        }
+        // At least most class pairs should differ in mean color.
+        let mut distinct = 0;
+        let mut total = 0;
+        for i in 0..CLASSES {
+            for j in (i + 1)..CLASSES {
+                total += 1;
+                let d: f32 = means[i]
+                    .iter()
+                    .zip(&means[j])
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                if d > 0.02 {
+                    distinct += 1;
+                }
+            }
+        }
+        assert!(distinct * 10 >= total * 8, "only {distinct}/{total} pairs distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn render_rejects_bad_class() {
+        let mut rng = StdRng::seed_from_u64(0);
+        CifarLike::default().render(10, &mut rng);
+    }
+
+    #[test]
+    fn class_names_count() {
+        assert_eq!(CLASS_NAMES.len(), CLASSES);
+    }
+}

@@ -1,0 +1,152 @@
+//! Labelled image collections and train/test splitting.
+
+use cnn_tensor::{Shape, Tensor};
+
+/// A labelled set of images, all sharing one shape.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name ("usps-like", "cifar10-like").
+    pub name: String,
+    /// Images in CHW layout.
+    pub images: Vec<Tensor>,
+    /// Class label per image.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating invariants: equal lengths, uniform
+    /// shapes, labels within range.
+    pub fn new(name: &str, images: Vec<Tensor>, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty dataset");
+        assert!(classes > 0, "no classes");
+        let shape = images[0].shape();
+        assert!(
+            images.iter().all(|t| t.shape() == shape),
+            "non-uniform image shapes"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "label out of range"
+        );
+        Dataset {
+            name: name.to_string(),
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Whether the set is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Common image shape.
+    pub fn image_shape(&self) -> Shape {
+        self.images[0].shape()
+    }
+
+    /// Splits into `(first n, rest)`; panics if `n` is not a proper split.
+    pub fn split_at(self, n: usize) -> (Dataset, Dataset) {
+        assert!(n > 0 && n < self.len(), "split {n} out of range 1..{}", self.len());
+        let classes = self.classes;
+        let (img_a, img_b) = {
+            let mut images = self.images;
+            let tail = images.split_off(n);
+            (images, tail)
+        };
+        let (lab_a, lab_b) = {
+            let mut labels = self.labels;
+            let tail = labels.split_off(n);
+            (labels, tail)
+        };
+        (
+            Dataset::new(&format!("{}-train", self.name), img_a, lab_a, classes),
+            Dataset::new(&format!("{}-test", self.name), img_b, lab_b, classes),
+        )
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(n: usize) -> Dataset {
+        let images = (0..n)
+            .map(|i| Tensor::full(Shape::new(1, 2, 2), i as f32))
+            .collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new("tiny", images, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = tiny(9);
+        assert_eq!(d.len(), 9);
+        assert!(!d.is_empty());
+        assert_eq!(d.image_shape(), Shape::new(1, 2, 2));
+        assert_eq!(d.class_histogram(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn split_preserves_order_and_counts() {
+        let d = tiny(10);
+        let (a, b) = d.split_at(7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.images[0].as_slice()[0], 0.0);
+        assert_eq!(b.images[0].as_slice()[0], 7.0);
+        assert_eq!(b.labels[0], 7 % 3);
+        assert!(a.name.ends_with("-train"));
+        assert!(b.name.ends_with("-test"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_rejects_degenerate() {
+        tiny(4).split_at(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn new_checks_lengths() {
+        Dataset::new("x", vec![Tensor::zeros(Shape::new(1, 1, 1))], vec![], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn new_checks_labels() {
+        Dataset::new("x", vec![Tensor::zeros(Shape::new(1, 1, 1))], vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-uniform")]
+    fn new_checks_shapes() {
+        Dataset::new(
+            "x",
+            vec![
+                Tensor::zeros(Shape::new(1, 1, 1)),
+                Tensor::zeros(Shape::new(1, 2, 2)),
+            ],
+            vec![0, 0],
+            1,
+        );
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # cnn-datasets
+//!
+//! Procedural substitutes for the paper's two datasets:
+//!
+//! * **USPS** (handwritten digits scanned from envelopes, 16×16
+//!   grayscale) → [`usps::UspsLike`]: digit glyphs rendered from a
+//!   stroke font with per-sample translation, shear, thickness, contrast
+//!   and noise perturbations. A small CNN trains to a few percent test
+//!   error, matching the regime Table I's Tests 1–3 operate in.
+//! * **CIFAR-10** (32×32 RGB natural images) → [`cifar::CifarLike`]:
+//!   class-conditional procedural textures and shapes. Test 4 of the
+//!   paper uses *random weights* on this dataset, so only the tensor
+//!   shape (3×32×32, 10 classes) and the ~90% chance-level error matter —
+//!   both are preserved.
+//!
+//! A third generator, [`mnist::MnistLike`] (28×28 grayscale digits),
+//! extends the family beyond the paper's two datasets.
+//!
+//! All generators are fully deterministic for a given seed.
+
+pub mod augment;
+pub mod cifar;
+pub mod dataset;
+pub mod mnist;
+pub mod render;
+pub mod usps;
+
+pub use cifar::CifarLike;
+pub use dataset::Dataset;
+pub use mnist::MnistLike;
+pub use usps::UspsLike;

@@ -1,0 +1,156 @@
+//! MNIST-like synthetic digits: 28×28 grayscale — the shape of the
+//! most common digit benchmark, added to exercise the framework on a
+//! third input geometry (an extension beyond the paper's two
+//! datasets). Glyphs are the shared stroke font, upscaled 2× with
+//! per-sample jitter, shear, thickness and noise.
+
+use crate::dataset::Dataset;
+use crate::usps::{box_blur_3x3, GLYPHS, GLYPH_H, GLYPH_W};
+use cnn_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Image side length (matches MNIST).
+pub const SIDE: usize = 28;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct MnistLike {
+    /// Maximum absolute translation in pixels.
+    pub max_shift: i32,
+    /// Maximum shear factor.
+    pub max_shear: f32,
+    /// Additive uniform noise bound.
+    pub noise: f32,
+    /// Apply a 3×3 blur (anti-aliasing of the upscaled strokes).
+    pub blur: bool,
+}
+
+impl Default for MnistLike {
+    fn default() -> Self {
+        MnistLike { max_shift: 3, max_shear: 0.3, noise: 0.12, blur: true }
+    }
+}
+
+impl MnistLike {
+    /// Renders one digit at 2× glyph scale with perturbations.
+    pub fn render_digit(&self, digit: usize, rng: &mut StdRng) -> Tensor {
+        assert!(digit < CLASSES, "digit {digit} out of range");
+        let glyph: Vec<&str> = GLYPHS[digit].lines().collect();
+
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        let shear = rng.gen_range(-self.max_shear..=self.max_shear);
+        let ink = rng.gen_range(0.8..1.0f32);
+        let bg = rng.gen_range(0.0..0.05f32);
+
+        let (gw, gh) = (GLYPH_W * 2, GLYPH_H * 2);
+        let ox = ((SIDE - gw) / 2) as i32 + dx;
+        let oy = ((SIDE - gh) / 2) as i32 + dy;
+
+        let mut img = Tensor::from_fn(Shape::new(1, SIDE, SIDE), |_, _, _| bg);
+        for (gy, row) in glyph.iter().enumerate() {
+            for (gx, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    // 2x2 upscaled stroke pixel.
+                    for sy in 0..2i32 {
+                        for sx in 0..2i32 {
+                            let yy = oy + (gy as i32) * 2 + sy;
+                            let sh = (shear * (yy as f32 - SIDE as f32 / 2.0) / 2.0).round() as i32;
+                            let xx = ox + (gx as i32) * 2 + sx + sh;
+                            if (0..SIDE as i32).contains(&yy) && (0..SIDE as i32).contains(&xx) {
+                                img.set(0, yy as usize, xx as usize, ink);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.blur {
+            img = box_blur_3x3(&img);
+        }
+        if self.noise > 0.0 {
+            for v in img.as_mut_slice() {
+                *v = (*v + rng.gen_range(-self.noise..self.noise)).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+
+    /// Generates a balanced dataset of `n` samples.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "empty dataset requested");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let digit = i % CLASSES;
+            images.push(self.render_digit(digit, &mut rng));
+            labels.push(digit);
+        }
+        Dataset::new("mnist-like", images, labels, CLASSES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_28x28() {
+        let gen = MnistLike::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in 0..CLASSES {
+            let img = gen.render_digit(d, &mut rng);
+            assert_eq!(img.shape(), Shape::new(1, 28, 28));
+            assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_balanced() {
+        let a = MnistLike::default().generate(60, 5);
+        let b = MnistLike::default().generate(60, 5);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.class_histogram(), vec![6; 10]);
+        assert_eq!(a.name, "mnist-like");
+    }
+
+    #[test]
+    fn digits_have_more_ink_than_usps() {
+        // 2x upscaling: strokes cover ~4x the pixels of the 16x16 set.
+        let mnist = MnistLike { noise: 0.0, blur: false, ..Default::default() };
+        let usps = crate::usps::UspsLike { noise: 0.0, blur: false, ..Default::default() };
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let m: f32 = mnist.render_digit(8, &mut r1).sum();
+        let u: f32 = usps.render_digit(8, &mut r2).sum();
+        assert!(m > 2.0 * u, "mnist ink {m} vs usps {u}");
+    }
+
+    #[test]
+    fn distinct_digits_distinct_images() {
+        let gen = MnistLike { max_shift: 0, max_shear: 0.0, noise: 0.0, blur: false };
+        let mut imgs = Vec::new();
+        for d in 0..CLASSES {
+            let mut rng = StdRng::seed_from_u64(3);
+            imgs.push(gen.render_digit(d, &mut rng));
+        }
+        for i in 0..CLASSES {
+            for j in (i + 1)..CLASSES {
+                assert_ne!(imgs[i], imgs[j], "digits {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_digit_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        MnistLike::default().render_digit(10, &mut rng);
+    }
+}

@@ -1,0 +1,123 @@
+//! Rendering helpers: ASCII previews (for Figs. 2 and 6 regenerators)
+//! and plain PPM export for visual inspection.
+
+use cnn_tensor::Tensor;
+
+/// Intensity ramp used for ASCII art, dark to bright.
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a single channel as ASCII art, mapping `[min, max]` of the
+/// channel onto the intensity ramp.
+pub fn ascii_channel(img: &Tensor, channel: usize) -> String {
+    let s = img.shape();
+    assert!(channel < s.c, "channel {channel} out of range {}", s.c);
+    let data = img.channel(channel);
+    let lo = data.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::with_capacity(s.h * (s.w + 1));
+    for y in 0..s.h {
+        for x in 0..s.w {
+            let v = (data[y * s.w + x] - lo) / span;
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an RGB image (3 channels) by luminance as ASCII art.
+pub fn ascii_luminance(img: &Tensor) -> String {
+    let s = img.shape();
+    assert_eq!(s.c, 3, "ascii_luminance expects 3 channels, got {}", s.c);
+    let lum = Tensor::from_fn(cnn_tensor::Shape::new(1, s.h, s.w), |_, y, x| {
+        0.299 * img.get(0, y, x) + 0.587 * img.get(1, y, x) + 0.114 * img.get(2, y, x)
+    });
+    ascii_channel(&lum, 0)
+}
+
+/// Serializes an image to binary PPM (P6). Grayscale tensors are
+/// replicated across RGB.
+pub fn to_ppm(img: &Tensor) -> Vec<u8> {
+    let s = img.shape();
+    assert!(s.c == 1 || s.c == 3, "PPM needs 1 or 3 channels, got {}", s.c);
+    let mut out = format!("P6\n{} {}\n255\n", s.w, s.h).into_bytes();
+    for y in 0..s.h {
+        for x in 0..s.w {
+            for c in 0..3 {
+                let ch = if s.c == 1 { 0 } else { c };
+                let v = (img.get(ch, y, x).clamp(0.0, 1.0) * 255.0).round() as u8;
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::Shape;
+
+    #[test]
+    fn ascii_channel_dimensions() {
+        let img = Tensor::from_fn(Shape::new(1, 4, 6), |_, y, x| (y + x) as f32);
+        let art = ascii_channel(&img, 0);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 6));
+    }
+
+    #[test]
+    fn ascii_maps_extremes_to_ramp_ends() {
+        let img = Tensor::from_vec(Shape::new(1, 1, 2), vec![0.0, 1.0]);
+        let art = ascii_channel(&img, 0);
+        assert_eq!(art.trim_end(), " @");
+    }
+
+    #[test]
+    fn ascii_constant_image_does_not_divide_by_zero() {
+        let img = Tensor::full(Shape::new(1, 2, 2), 0.5);
+        let art = ascii_channel(&img, 0);
+        assert_eq!(art.len(), 2 * 3); // 2 rows of "xx\n"
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ascii_channel_bounds_checked() {
+        let img = Tensor::zeros(Shape::new(1, 2, 2));
+        ascii_channel(&img, 1);
+    }
+
+    #[test]
+    fn luminance_requires_rgb() {
+        let img = Tensor::full(Shape::new(3, 2, 2), 0.5);
+        let art = ascii_luminance(&img);
+        assert_eq!(art.lines().count(), 2);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Tensor::full(Shape::new(1, 2, 3), 1.0);
+        let ppm = to_ppm(&img);
+        let header = b"P6\n3 2\n255\n";
+        assert_eq!(&ppm[..header.len()], header);
+        assert_eq!(ppm.len(), header.len() + 2 * 3 * 3);
+        assert!(ppm[header.len()..].iter().all(|&b| b == 255));
+    }
+
+    #[test]
+    fn ppm_rgb_channels_interleaved() {
+        let img = Tensor::from_fn(Shape::new(3, 1, 1), |c, _, _| if c == 1 { 1.0 } else { 0.0 });
+        let ppm = to_ppm(&img);
+        let px = &ppm[ppm.len() - 3..];
+        assert_eq!(px, &[0, 255, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 or 3 channels")]
+    fn ppm_rejects_bad_channel_count() {
+        to_ppm(&Tensor::zeros(Shape::new(2, 2, 2)));
+    }
+}

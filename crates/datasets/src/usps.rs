@@ -1,0 +1,247 @@
+//! USPS-like synthetic digits: 16×16 grayscale images of the digits
+//! 0–9 rendered from a stroke font and perturbed per sample (shift,
+//! shear, stroke intensity, background noise, blur), replacing the
+//! U.S. Postal Service envelope scans the paper trains on.
+
+use crate::dataset::Dataset;
+use cnn_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Image side length (matches USPS).
+pub const SIDE: usize = 16;
+/// Number of digit classes.
+pub const CLASSES: usize = 10;
+
+/// 8×12 glyphs for digits 0–9 ('#' = stroke). Shared with the
+/// MNIST-like generator, which upscales them.
+pub(crate) const GLYPHS: [&str; 10] = [
+    // 0
+    " ###### \n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n ###### ",
+    // 1
+    "   ##   \n  ###   \n ####   \n   ##   \n   ##   \n   ##   \n   ##   \n   ##   \n   ##   \n   ##   \n   ##   \n ###### ",
+    // 2
+    " ###### \n##    ##\n      ##\n      ##\n     ## \n    ##  \n   ##   \n  ##    \n ##     \n##      \n##      \n########",
+    // 3
+    " ###### \n##    ##\n      ##\n      ##\n      ##\n  ##### \n      ##\n      ##\n      ##\n      ##\n##    ##\n ###### ",
+    // 4
+    "##   ## \n##   ## \n##   ## \n##   ## \n##   ## \n########\n     ## \n     ## \n     ## \n     ## \n     ## \n     ## ",
+    // 5
+    "########\n##      \n##      \n##      \n####### \n      ##\n      ##\n      ##\n      ##\n      ##\n##    ##\n ###### ",
+    // 6
+    " ###### \n##    ##\n##      \n##      \n##      \n####### \n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n ###### ",
+    // 7
+    "########\n      ##\n      ##\n     ## \n     ## \n    ##  \n    ##  \n   ##   \n   ##   \n  ##    \n  ##    \n  ##    ",
+    // 8
+    " ###### \n##    ##\n##    ##\n##    ##\n##    ##\n ###### \n##    ##\n##    ##\n##    ##\n##    ##\n##    ##\n ###### ",
+    // 9
+    " ###### \n##    ##\n##    ##\n##    ##\n##    ##\n #######\n      ##\n      ##\n      ##\n      ##\n##    ##\n ###### ",
+];
+
+pub(crate) const GLYPH_W: usize = 8;
+pub(crate) const GLYPH_H: usize = 12;
+
+/// Generator parameters for the synthetic USPS.
+#[derive(Clone, Debug)]
+pub struct UspsLike {
+    /// Maximum absolute horizontal/vertical translation (pixels).
+    pub max_shift: i32,
+    /// Maximum shear factor (pixels of x displacement per y).
+    pub max_shear: f32,
+    /// Standard bound of additive uniform noise.
+    pub noise: f32,
+    /// Whether to apply a light 3×3 box blur (scanner smearing).
+    pub blur: bool,
+}
+
+impl Default for UspsLike {
+    fn default() -> Self {
+        UspsLike { max_shift: 2, max_shear: 0.25, noise: 0.15, blur: true }
+    }
+}
+
+impl UspsLike {
+    /// Renders one digit image with sample-specific perturbations.
+    pub fn render_digit(&self, digit: usize, rng: &mut StdRng) -> Tensor {
+        assert!(digit < CLASSES, "digit {digit} out of range");
+        let glyph: Vec<&str> = GLYPHS[digit].lines().collect();
+        debug_assert_eq!(glyph.len(), GLYPH_H);
+
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        let shear = rng.gen_range(-self.max_shear..=self.max_shear);
+        let ink = rng.gen_range(0.75..1.0f32);
+        let bg = rng.gen_range(0.0..0.08f32);
+
+        // Center the 8x12 glyph in the 16x16 canvas, then jitter.
+        let ox = ((SIDE - GLYPH_W) / 2) as i32 + dx;
+        let oy = ((SIDE - GLYPH_H) / 2) as i32 + dy;
+
+        let mut img = Tensor::from_fn(Shape::new(1, SIDE, SIDE), |_, _, _| bg);
+        for (gy, row) in glyph.iter().enumerate() {
+            let sh = (shear * (gy as f32 - GLYPH_H as f32 / 2.0)).round() as i32;
+            for (gx, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    let y = oy + gy as i32;
+                    let x = ox + gx as i32 + sh;
+                    if (0..SIDE as i32).contains(&y) && (0..SIDE as i32).contains(&x) {
+                        img.set(0, y as usize, x as usize, ink);
+                    }
+                }
+            }
+        }
+
+        if self.blur {
+            img = box_blur_3x3(&img);
+        }
+        if self.noise > 0.0 {
+            for v in img.as_mut_slice() {
+                *v = (*v + rng.gen_range(-self.noise..self.noise)).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+
+    /// Generates a balanced dataset of `n` samples (labels cycle 0–9).
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        assert!(n > 0, "empty dataset requested");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let digit = i % CLASSES;
+            images.push(self.render_digit(digit, &mut rng));
+            labels.push(digit);
+        }
+        Dataset::new("usps-like", images, labels, CLASSES)
+    }
+}
+
+/// 3×3 box blur with edge clamping.
+pub(crate) fn box_blur_3x3(img: &Tensor) -> Tensor {
+    let s = img.shape();
+    Tensor::from_fn(s, |c, y, x| {
+        let mut acc = 0.0f32;
+        let mut cnt = 0.0f32;
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let yy = y as i32 + dy;
+                let xx = x as i32 + dx;
+                if (0..s.h as i32).contains(&yy) && (0..s.w as i32).contains(&xx) {
+                    acc += img.get(c, yy as usize, xx as usize);
+                    cnt += 1.0;
+                }
+            }
+        }
+        acc / cnt
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_well_formed() {
+        for (d, g) in GLYPHS.iter().enumerate() {
+            let lines: Vec<&str> = g.lines().collect();
+            assert_eq!(lines.len(), GLYPH_H, "digit {d} height");
+            for (i, line) in lines.iter().enumerate() {
+                assert_eq!(line.len(), GLYPH_W, "digit {d} line {i} width");
+            }
+            assert!(g.contains('#'), "digit {d} has no ink");
+        }
+    }
+
+    #[test]
+    fn render_produces_16x16_grayscale() {
+        let gen = UspsLike::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = gen.render_digit(3, &mut rng);
+        assert_eq!(img.shape(), Shape::new(1, SIDE, SIDE));
+        assert!(img.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn render_is_deterministic_per_seed() {
+        let gen = UspsLike::default();
+        let a = gen.render_digit(5, &mut StdRng::seed_from_u64(7));
+        let b = gen.render_digit(5, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = gen.render_digit(5, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let gen = UspsLike { noise: 0.0, blur: false, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in 0..CLASSES {
+            let img = gen.render_digit(d, &mut rng);
+            let ink: f32 = img.as_slice().iter().sum();
+            assert!(ink > 5.0, "digit {d} too faint: {ink}");
+        }
+    }
+
+    #[test]
+    fn different_digits_differ_visibly() {
+        // Without perturbations, distinct digits should produce
+        // distinct images.
+        let gen = UspsLike { max_shift: 0, max_shear: 0.0, noise: 0.0, blur: false };
+        let mut imgs = Vec::new();
+        for d in 0..CLASSES {
+            let mut rng = StdRng::seed_from_u64(3);
+            imgs.push(gen.render_digit(d, &mut rng));
+        }
+        for i in 0..CLASSES {
+            for j in (i + 1)..CLASSES {
+                let diff: f32 = imgs[i]
+                    .as_slice()
+                    .iter()
+                    .zip(imgs[j].as_slice())
+                    .map(|(a, b)| (a - b).abs())
+                    .sum();
+                assert!(diff > 1.0, "digits {i} and {j} nearly identical");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_is_balanced_and_shaped() {
+        let ds = UspsLike::default().generate(200, 42);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.classes, CLASSES);
+        assert_eq!(ds.image_shape(), Shape::new(1, SIDE, SIDE));
+        assert_eq!(ds.class_histogram(), vec![20; 10]);
+    }
+
+    #[test]
+    fn generate_deterministic() {
+        let a = UspsLike::default().generate(30, 9);
+        let b = UspsLike::default().generate(30, 9);
+        assert_eq!(a.images, b.images);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn render_rejects_bad_digit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        UspsLike::default().render_digit(10, &mut rng);
+    }
+
+    #[test]
+    fn blur_preserves_mass_roughly() {
+        let img = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, x| {
+            if y == 4 && x == 4 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let blurred = box_blur_3x3(&img);
+        // Interior impulse spreads over 9 pixels of 1/9 each.
+        assert!((blurred.get(0, 4, 4) - 1.0 / 9.0).abs() < 1e-6);
+        assert!((blurred.sum() - 1.0).abs() < 1e-5);
+    }
+}

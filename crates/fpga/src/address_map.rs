@@ -1,0 +1,216 @@
+//! Zynq address map — the Address Editor step of the Vivado flow: the
+//! PS's general-purpose master port exposes a 1 GiB window
+//! (0x4000_0000–0x7FFF_FFFF for GP0) into which every AXI-Lite slave
+//! (the DMA register file, the CNN core's control port) must be
+//! assigned a non-overlapping, size-aligned segment before the design
+//! can be implemented.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Base of the PS GP0 master window.
+pub const GP0_BASE: u32 = 0x4000_0000;
+/// Exclusive end of the GP0 window (1 GiB).
+pub const GP0_END: u32 = 0x8000_0000;
+
+/// One assigned address segment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct Segment {
+    /// Slave instance name (`axi_dma_0`, `cnn_0`, ...).
+    pub name: String,
+    /// Base address.
+    pub base: u32,
+    /// Segment size in bytes (power of two, ≥ 4 KiB).
+    pub size: u32,
+}
+
+impl Segment {
+    /// Exclusive end address.
+    pub fn end(&self) -> u32 {
+        self.base + self.size
+    }
+
+    /// Whether `addr` falls inside the segment.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Address-assignment failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// Size is zero, not a power of two, or below the 4 KiB minimum.
+    BadSize(u32),
+    /// No room left in the GP0 window.
+    WindowFull,
+    /// Duplicate slave name.
+    Duplicate(String),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::BadSize(s) => write!(f, "segment size {s:#x} invalid (power of two ≥ 4 KiB)"),
+            MapError::WindowFull => write!(f, "GP0 window exhausted"),
+            MapError::Duplicate(n) => write!(f, "slave {n} already mapped"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The address map under construction.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AddressMap {
+    segments: Vec<Segment>,
+}
+
+impl AddressMap {
+    /// Empty map.
+    pub fn new() -> AddressMap {
+        AddressMap::default()
+    }
+
+    /// Builds the map the paper's block design needs: the DMA's
+    /// register file and the CNN core's AXI-Lite control port.
+    pub fn fig5() -> AddressMap {
+        let mut m = AddressMap::new();
+        m.assign("axi_dma_0", 0x1_0000).expect("fits");
+        m.assign("cnn_0", 0x1_0000).expect("fits");
+        m
+    }
+
+    /// Assigns the next free size-aligned segment to `name`.
+    pub fn assign(&mut self, name: &str, size: u32) -> Result<Segment, MapError> {
+        if size < 0x1000 || !size.is_power_of_two() {
+            return Err(MapError::BadSize(size));
+        }
+        if self.segments.iter().any(|s| s.name == name) {
+            return Err(MapError::Duplicate(name.to_string()));
+        }
+        // First-fit after the highest allocated end, aligned to size.
+        let start = self
+            .segments
+            .iter()
+            .map(Segment::end)
+            .max()
+            .unwrap_or(GP0_BASE);
+        let base = start.div_ceil(size) * size;
+        let base = base.max(GP0_BASE);
+        if base.checked_add(size).is_none() || base + size > GP0_END {
+            return Err(MapError::WindowFull);
+        }
+        let seg = Segment { name: name.to_string(), base, size };
+        self.segments.push(seg.clone());
+        Ok(seg)
+    }
+
+    /// All assigned segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Looks a slave's segment up by name.
+    pub fn lookup(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// Resolves an absolute address to the owning slave and offset —
+    /// what the PS-side driver's `ioremap` arithmetic does.
+    pub fn decode(&self, addr: u32) -> Option<(&Segment, u32)> {
+        self.segments
+            .iter()
+            .find(|s| s.contains(addr))
+            .map(|s| (s, addr - s.base))
+    }
+
+    /// Validates the invariants Vivado enforces: window bounds,
+    /// alignment, and pairwise disjointness.
+    pub fn validate(&self) -> Result<(), String> {
+        for s in &self.segments {
+            if s.base < GP0_BASE || s.end() > GP0_END {
+                return Err(format!("{} outside the GP0 window", s.name));
+            }
+            if s.base % s.size != 0 {
+                return Err(format!("{} not size-aligned", s.name));
+            }
+        }
+        for (i, a) in self.segments.iter().enumerate() {
+            for b in &self.segments[i + 1..] {
+                if a.base < b.end() && b.base < a.end() {
+                    return Err(format!("{} overlaps {}", a.name, b.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_map_validates() {
+        let m = AddressMap::fig5();
+        m.validate().expect("Fig. 5 map is clean");
+        assert_eq!(m.segments().len(), 2);
+        assert_eq!(m.lookup("axi_dma_0").unwrap().base, GP0_BASE);
+        assert_eq!(m.lookup("cnn_0").unwrap().base, GP0_BASE + 0x1_0000);
+    }
+
+    #[test]
+    fn decode_resolves_register_addresses() {
+        let m = AddressMap::fig5();
+        // MM2S_DMACR of the DMA lives at base + 0x00.
+        let (seg, off) = m.decode(0x4000_0000).unwrap();
+        assert_eq!(seg.name, "axi_dma_0");
+        assert_eq!(off, 0);
+        // S2MM_DMACR at base + 0x30.
+        let (seg, off) = m.decode(0x4000_0030).unwrap();
+        assert_eq!(seg.name, "axi_dma_0");
+        assert_eq!(off, 0x30);
+        assert!(m.decode(0x3FFF_FFFF).is_none());
+    }
+
+    #[test]
+    fn sizes_are_validated() {
+        let mut m = AddressMap::new();
+        assert_eq!(m.assign("x", 0x800).unwrap_err(), MapError::BadSize(0x800));
+        assert_eq!(m.assign("x", 0x3000).unwrap_err(), MapError::BadSize(0x3000));
+        assert!(m.assign("x", 0x1000).is_ok());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut m = AddressMap::new();
+        m.assign("dma", 0x1000).unwrap();
+        assert_eq!(m.assign("dma", 0x1000).unwrap_err(), MapError::Duplicate("dma".into()));
+    }
+
+    #[test]
+    fn segments_are_aligned_and_disjoint() {
+        let mut m = AddressMap::new();
+        m.assign("a", 0x1000).unwrap();
+        m.assign("b", 0x1_0000).unwrap(); // must skip to a 64 KiB boundary
+        m.assign("c", 0x1000).unwrap();
+        m.validate().unwrap();
+        let b = m.lookup("b").unwrap();
+        assert_eq!(b.base % b.size, 0);
+    }
+
+    #[test]
+    fn window_exhaustion_detected() {
+        let mut m = AddressMap::new();
+        // 1 GiB window: two 512 MiB segments fill it.
+        m.assign("big1", 0x2000_0000).unwrap();
+        m.assign("big2", 0x2000_0000).unwrap();
+        assert_eq!(m.assign("late", 0x1000).unwrap_err(), MapError::WindowFull);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(MapError::BadSize(7).to_string().contains("power of two"));
+        assert!(MapError::WindowFull.to_string().contains("exhausted"));
+    }
+}

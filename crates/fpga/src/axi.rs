@@ -1,0 +1,181 @@
+//! AXI4-Stream and AXI-DMA transaction-level models.
+//!
+//! The paper's design moves every image from DDR through the AXI DMA
+//! into the IP core over a 32-bit AXI4-Stream and returns the class
+//! index the same way (Section IV-B). This module provides the cycle
+//! accounting for those transfers and a channel-based stream pair for
+//! threaded co-simulation.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+/// Cycle accounting for one DMA engine (both directions).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DmaStats {
+    /// Completed MM2S (memory → stream) transfers.
+    pub mm2s_transfers: u64,
+    /// Words moved MM2S.
+    pub mm2s_words: u64,
+    /// Completed S2MM (stream → memory) transfers.
+    pub s2mm_transfers: u64,
+    /// Words moved S2MM.
+    pub s2mm_words: u64,
+}
+
+/// Transaction-level AXI DMA: computes the fabric cycles a transfer
+/// occupies and tallies statistics.
+#[derive(Clone, Debug, Default)]
+pub struct AxiDma {
+    stats: DmaStats,
+}
+
+impl AxiDma {
+    /// New idle engine.
+    pub fn new() -> AxiDma {
+        AxiDma::default()
+    }
+
+    /// Cycles to move `words` 32-bit words memory→stream: descriptor
+    /// setup plus one beat per word.
+    pub fn mm2s(&mut self, words: u64) -> u64 {
+        self.stats.mm2s_transfers += 1;
+        self.stats.mm2s_words += words;
+        cnn_hls::calibration::DMA_SETUP_CYCLES
+            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE
+    }
+
+    /// Cycles to move `words` words stream→memory.
+    pub fn s2mm(&mut self, words: u64) -> u64 {
+        self.stats.s2mm_transfers += 1;
+        self.stats.s2mm_words += words;
+        cnn_hls::calibration::DMA_SETUP_CYCLES
+            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DmaStats {
+        self.stats
+    }
+}
+
+/// One 32-bit AXI4-Stream beat: data plus TLAST.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamBeat {
+    /// Payload word.
+    pub data: f32,
+    /// End-of-packet marker.
+    pub last: bool,
+}
+
+/// A bounded AXI4-Stream channel pair (master → slave), used by the
+/// threaded co-simulation in [`crate::device`].
+pub struct AxiStream {
+    tx: Sender<StreamBeat>,
+    rx: Receiver<StreamBeat>,
+}
+
+impl AxiStream {
+    /// Creates a stream with the given FIFO depth (backpressure bound).
+    pub fn with_depth(depth: usize) -> AxiStream {
+        assert!(depth > 0, "stream FIFO depth must be positive");
+        let (tx, rx) = bounded(depth);
+        AxiStream { tx, rx }
+    }
+
+    /// Splits into (master, slave) ends.
+    pub fn split(self) -> (Sender<StreamBeat>, Receiver<StreamBeat>) {
+        (self.tx, self.rx)
+    }
+
+    /// Sends a full packet (all words, TLAST on the final beat).
+    /// Blocks when the FIFO is full — AXI backpressure.
+    pub fn send_packet(tx: &Sender<StreamBeat>, words: &[f32]) {
+        let n = words.len();
+        for (i, &w) in words.iter().enumerate() {
+            tx.send(StreamBeat { data: w, last: i + 1 == n })
+                .expect("stream receiver dropped");
+        }
+    }
+
+    /// Receives one packet (until TLAST). Returns the payload.
+    pub fn recv_packet(rx: &Receiver<StreamBeat>) -> Vec<f32> {
+        let mut out = Vec::new();
+        loop {
+            let beat = rx.recv().expect("stream sender dropped");
+            out.push(beat.data);
+            if beat.last {
+                return out;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_cycle_formula() {
+        let mut dma = AxiDma::new();
+        let c = dma.mm2s(256);
+        assert_eq!(c, cnn_hls::calibration::DMA_SETUP_CYCLES + 256);
+        let c2 = dma.s2mm(1);
+        assert_eq!(c2, cnn_hls::calibration::DMA_SETUP_CYCLES + 1);
+        let stats = dma.stats();
+        assert_eq!(stats.mm2s_transfers, 1);
+        assert_eq!(stats.mm2s_words, 256);
+        assert_eq!(stats.s2mm_transfers, 1);
+        assert_eq!(stats.s2mm_words, 1);
+    }
+
+    #[test]
+    fn dma_accumulates_stats() {
+        let mut dma = AxiDma::new();
+        for _ in 0..10 {
+            dma.mm2s(100);
+        }
+        assert_eq!(dma.stats().mm2s_words, 1000);
+        assert_eq!(dma.stats().mm2s_transfers, 10);
+    }
+
+    #[test]
+    fn stream_packet_roundtrip() {
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        let words = vec![1.0, 2.0, 3.0];
+        let t = std::thread::spawn(move || AxiStream::send_packet(&tx, &words));
+        let got = AxiStream::recv_packet(&rx);
+        t.join().unwrap();
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stream_applies_backpressure() {
+        // Depth 2 with a 5-word packet: sender must block until the
+        // receiver drains.
+        let s = AxiStream::with_depth(2);
+        let (tx, rx) = s.split();
+        let words = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = std::thread::spawn(move || AxiStream::send_packet(&tx, &words));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let got = AxiStream::recv_packet(&rx);
+        t.join().unwrap();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[4], 5.0);
+    }
+
+    #[test]
+    fn multiple_packets_keep_boundaries() {
+        let s = AxiStream::with_depth(64);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet(&tx, &[1.0, 2.0]);
+        AxiStream::send_packet(&tx, &[3.0]);
+        assert_eq!(AxiStream::recv_packet(&rx), vec![1.0, 2.0]);
+        assert_eq!(AxiStream::recv_packet(&rx), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_depth_rejected() {
+        AxiStream::with_depth(0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Bitstream artifacts — the terminal output of the paper's flow
+//! ("the produced bitstream can be directly downloaded on the target
+//! device"). Here a bitstream carries the design metadata needed to
+//! program the simulated device and to verify part compatibility.
+
+use crate::block_design::BlockDesign;
+use crate::board::Board;
+use crate::ip_core::CnnIpCore;
+use cnn_hls::{HlsProject, ResourceUsage};
+
+/// A generated "bitstream": the programmed configuration of one build.
+#[derive(Clone, Debug)]
+pub struct Bitstream {
+    /// Board the bitstream was implemented for.
+    pub board: Board,
+    /// The block design it implements.
+    pub design: BlockDesign,
+    /// Resource utilization of the implementation.
+    pub resources: ResourceUsage,
+    /// The CNN core configuration (network + timing).
+    pub core: CnnIpCore,
+    /// Directive label the build used.
+    pub directives: String,
+}
+
+/// Errors when producing a bitstream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BitstreamError {
+    /// The block design failed validation.
+    InvalidDesign(String),
+    /// The project was bound for a different part than the board's.
+    PartMismatch {
+        /// Part the project targeted.
+        project: &'static str,
+        /// Part on the board.
+        board: &'static str,
+    },
+    /// The design does not fit the board's part.
+    DoesNotFit(Vec<&'static str>),
+}
+
+impl std::fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitstreamError::InvalidDesign(m) => write!(f, "invalid block design: {m}"),
+            BitstreamError::PartMismatch { project, board } => {
+                write!(f, "project part {project} != board part {board}")
+            }
+            BitstreamError::DoesNotFit(rs) => write!(f, "design does not fit: {rs:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+impl Bitstream {
+    /// Implements `project` on `board` with the Fig. 5 block design —
+    /// the `launch_runs impl_1 -to_step write_bitstream` equivalent.
+    pub fn implement(project: &HlsProject, board: Board) -> Result<Bitstream, BitstreamError> {
+        if project.part() != board.part() {
+            return Err(BitstreamError::PartMismatch {
+                project: project.part().name,
+                board: board.part().name,
+            });
+        }
+        let resources = project.resources();
+        if !resources.fits() {
+            return Err(BitstreamError::DoesNotFit(resources.overflows()));
+        }
+        let design = BlockDesign::fig5();
+        design
+            .validate()
+            .map_err(|errs| BitstreamError::InvalidDesign(format!("{errs:?}")))?;
+        Ok(Bitstream {
+            board,
+            design,
+            resources,
+            core: CnnIpCore::from_project(project),
+            directives: project.directives().label(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_hls::{DirectiveSet, FpgaPart, HlsProject};
+    use cnn_nn::Network;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn test4_net() -> Network {
+        let mut rng = seeded_rng(2);
+        Network::builder(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn implement_succeeds_on_matching_board() {
+        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
+            .unwrap();
+        let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        assert_eq!(bs.board, Board::Zedboard);
+        assert_eq!(bs.directives, "dataflow+pipe-conv");
+        assert!(bs.resources.fits());
+    }
+
+    #[test]
+    fn part_mismatch_rejected() {
+        let p = HlsProject::new(&test1_net(), DirectiveSet::naive(), FpgaPart::zynq7020())
+            .unwrap();
+        let err = Bitstream::implement(&p, Board::Zybo).unwrap_err();
+        assert!(matches!(err, BitstreamError::PartMismatch { .. }));
+    }
+
+    #[test]
+    fn overflowing_design_rejected() {
+        // Test-4 network bound (unchecked) for the Zybo: BRAM overflow.
+        let p = HlsProject::new_unchecked(
+            &test4_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7010(),
+        );
+        let err = Bitstream::implement(&p, Board::Zybo).unwrap_err();
+        match err {
+            BitstreamError::DoesNotFit(rs) => assert!(rs.contains(&"BRAM")),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BitstreamError::PartMismatch { project: "a", board: "b" };
+        assert!(e.to_string().contains("a"));
+        assert!(BitstreamError::DoesNotFit(vec!["DSP"]).to_string().contains("DSP"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The Fig. 5 block design as a validated component graph.
+//!
+//! The paper's `cnn_vivado.tcl` instantiates six blocks — ZYNQ7
+//! Processing System, AXI DMA, two AXI Interconnects, a Processor
+//! System Reset, and the CNN IP core — and wires them so the PS
+//! streams images to the IP through the DMA and receives the class
+//! index back. This module builds the same graph programmatically,
+//! validates it the way `validate_bd_design` would, and exports
+//! Graphviz DOT for documentation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The component types of Fig. 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ComponentKind {
+    /// ZYNQ7 Processing System (the hardwired ARM dual-core).
+    ProcessingSystem,
+    /// AXI Direct Memory Access engine.
+    AxiDma,
+    /// AXI Interconnect switch.
+    AxiInterconnect,
+    /// Processor System Reset.
+    ProcSysReset,
+    /// The generated CNN IP core.
+    CnnIp,
+}
+
+/// One instantiated component.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Instance name (e.g. `axi_dma_0`).
+    pub name: String,
+    /// Component type.
+    pub kind: ComponentKind,
+    /// Interface pins the component exposes.
+    pub pins: Vec<String>,
+}
+
+/// A point-to-point interface connection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    /// `instance/pin` source.
+    pub from: String,
+    /// `instance/pin` destination.
+    pub to: String,
+}
+
+/// Validation failures (`validate_bd_design` equivalents).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DesignError {
+    /// A connection references an unknown instance or pin.
+    UnknownEndpoint(String),
+    /// A destination pin is driven twice.
+    DoubleDriven(String),
+    /// A required component kind is missing.
+    MissingComponent(ComponentKind),
+    /// The stream path PS→DMA→CNN→DMA→PS is not closed.
+    BrokenStreamPath(String),
+    /// Duplicate instance name.
+    DuplicateInstance(String),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::UnknownEndpoint(e) => write!(f, "unknown endpoint {e}"),
+            DesignError::DoubleDriven(p) => write!(f, "pin {p} driven twice"),
+            DesignError::MissingComponent(k) => write!(f, "missing component {k:?}"),
+            DesignError::BrokenStreamPath(m) => write!(f, "broken stream path: {m}"),
+            DesignError::DuplicateInstance(n) => write!(f, "duplicate instance {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// The block design graph.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockDesign {
+    /// Design name.
+    pub name: String,
+    /// Instantiated components.
+    pub components: Vec<Component>,
+    /// Interface connections.
+    pub connections: Vec<Connection>,
+}
+
+impl BlockDesign {
+    /// Builds the paper's exact Fig. 5 design.
+    pub fn fig5() -> BlockDesign {
+        let mut d = BlockDesign {
+            name: "design_1".into(),
+            components: Vec::new(),
+            connections: Vec::new(),
+        };
+        d.add(Component {
+            name: "processing_system7_0".into(),
+            kind: ComponentKind::ProcessingSystem,
+            pins: vec!["M_AXI_GP0".into(), "S_AXI_HP0".into(), "FCLK_CLK0".into()],
+        });
+        d.add(Component {
+            name: "axi_dma_0".into(),
+            kind: ComponentKind::AxiDma,
+            pins: vec![
+                "S_AXI_LITE".into(),
+                "M_AXIS_MM2S".into(),
+                "S_AXIS_S2MM".into(),
+                "M_AXI_MM2S".into(),
+                "M_AXI_S2MM".into(),
+            ],
+        });
+        d.add(Component {
+            name: "axi_interconnect_0".into(),
+            kind: ComponentKind::AxiInterconnect,
+            pins: vec!["S00_AXI".into(), "M00_AXI".into()],
+        });
+        d.add(Component {
+            name: "axi_interconnect_1".into(),
+            kind: ComponentKind::AxiInterconnect,
+            pins: vec!["S00_AXI".into(), "S01_AXI".into(), "M00_AXI".into()],
+        });
+        d.add(Component {
+            name: "proc_sys_reset_0".into(),
+            kind: ComponentKind::ProcSysReset,
+            pins: vec!["slowest_sync_clk".into(), "peripheral_aresetn".into()],
+        });
+        d.add(Component {
+            name: "cnn_0".into(),
+            kind: ComponentKind::CnnIp,
+            pins: vec!["in_stream".into(), "out_stream".into(), "s_axi_ctrl".into()],
+        });
+
+        for (from, to) in [
+            // control: PS GP master -> interconnect 0 -> DMA register file
+            ("processing_system7_0/M_AXI_GP0", "axi_interconnect_0/S00_AXI"),
+            ("axi_interconnect_0/M00_AXI", "axi_dma_0/S_AXI_LITE"),
+            // stream: DMA -> CNN -> DMA
+            ("axi_dma_0/M_AXIS_MM2S", "cnn_0/in_stream"),
+            ("cnn_0/out_stream", "axi_dma_0/S_AXIS_S2MM"),
+            // memory: DMA masters -> interconnect 1 -> PS HP slave
+            ("axi_dma_0/M_AXI_MM2S", "axi_interconnect_1/S00_AXI"),
+            ("axi_dma_0/M_AXI_S2MM", "axi_interconnect_1/S01_AXI"),
+            ("axi_interconnect_1/M00_AXI", "processing_system7_0/S_AXI_HP0"),
+            // clock/reset distribution
+            ("processing_system7_0/FCLK_CLK0", "proc_sys_reset_0/slowest_sync_clk"),
+            ("proc_sys_reset_0/peripheral_aresetn", "cnn_0/s_axi_ctrl"),
+        ] {
+            d.connect(from, to);
+        }
+        d
+    }
+
+    /// Adds a component.
+    pub fn add(&mut self, c: Component) {
+        self.components.push(c);
+    }
+
+    /// Adds a connection by endpoint strings (`instance/pin`).
+    pub fn connect(&mut self, from: &str, to: &str) {
+        self.connections.push(Connection { from: from.into(), to: to.into() });
+    }
+
+    fn endpoint_exists(&self, ep: &str) -> bool {
+        let Some((inst, pin)) = ep.split_once('/') else {
+            return false;
+        };
+        self.components
+            .iter()
+            .any(|c| c.name == inst && c.pins.iter().any(|p| p == pin))
+    }
+
+    /// Validates the design: endpoints resolve, no pin is driven
+    /// twice, all Fig. 5 component kinds are present, the stream loop
+    /// closes, and instance names are unique.
+    pub fn validate(&self) -> Result<(), Vec<DesignError>> {
+        let mut errs = Vec::new();
+
+        let mut seen = HashSet::new();
+        for c in &self.components {
+            if !seen.insert(&c.name) {
+                errs.push(DesignError::DuplicateInstance(c.name.clone()));
+            }
+        }
+
+        let mut driven: HashMap<&str, u32> = HashMap::new();
+        for conn in &self.connections {
+            for ep in [&conn.from, &conn.to] {
+                if !self.endpoint_exists(ep) {
+                    errs.push(DesignError::UnknownEndpoint(ep.clone()));
+                }
+            }
+            *driven.entry(conn.to.as_str()).or_default() += 1;
+        }
+        for (pin, n) in driven {
+            if n > 1 {
+                errs.push(DesignError::DoubleDriven(pin.to_string()));
+            }
+        }
+
+        for kind in [
+            ComponentKind::ProcessingSystem,
+            ComponentKind::AxiDma,
+            ComponentKind::AxiInterconnect,
+            ComponentKind::ProcSysReset,
+            ComponentKind::CnnIp,
+        ] {
+            if !self.components.iter().any(|c| c.kind == kind) {
+                errs.push(DesignError::MissingComponent(kind));
+            }
+        }
+
+        // Stream path: some DMA MM2S out feeds a CNN input, and the CNN
+        // output feeds the DMA S2MM in.
+        let has = |from_pin: &str, to_pin: &str| {
+            self.connections.iter().any(|c| {
+                c.from.ends_with(from_pin) && c.to.ends_with(to_pin)
+            })
+        };
+        if !has("M_AXIS_MM2S", "in_stream") {
+            errs.push(DesignError::BrokenStreamPath("DMA→CNN missing".into()));
+        }
+        if !has("out_stream", "S_AXIS_S2MM") {
+            errs.push(DesignError::BrokenStreamPath("CNN→DMA missing".into()));
+        }
+
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Exports Graphviz DOT (the Fig. 5 regenerator uses this).
+    pub fn to_dot(&self) -> String {
+        let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n", self.name);
+        for c in &self.components {
+            out.push_str(&format!("  \"{}\" [label=\"{}\\n{:?}\"];\n", c.name, c.name, c.kind));
+        }
+        for conn in &self.connections {
+            let fi = conn.from.split('/').next().unwrap_or("?");
+            let ti = conn.to.split('/').next().unwrap_or("?");
+            let fp = conn.from.split('/').nth(1).unwrap_or("?");
+            let tp = conn.to.split('/').nth(1).unwrap_or("?");
+            out.push_str(&format!(
+                "  \"{fi}\" -> \"{ti}\" [label=\"{fp} -> {tp}\", fontsize=8];\n"
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_has_six_components() {
+        let d = BlockDesign::fig5();
+        assert_eq!(d.components.len(), 6);
+        let inter = d
+            .components
+            .iter()
+            .filter(|c| c.kind == ComponentKind::AxiInterconnect)
+            .count();
+        assert_eq!(inter, 2, "Fig. 5 has exactly two AXI interconnects");
+    }
+
+    #[test]
+    fn fig5_validates() {
+        BlockDesign::fig5().validate().expect("Fig. 5 must validate");
+    }
+
+    #[test]
+    fn unknown_endpoint_detected() {
+        let mut d = BlockDesign::fig5();
+        d.connect("ghost_0/M_AXI", "cnn_0/in_stream");
+        let errs = d.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::UnknownEndpoint(ep) if ep.contains("ghost"))));
+    }
+
+    #[test]
+    fn double_driven_pin_detected() {
+        let mut d = BlockDesign::fig5();
+        d.connect("processing_system7_0/FCLK_CLK0", "cnn_0/in_stream");
+        d.connect("axi_interconnect_0/M00_AXI", "cnn_0/in_stream");
+        let errs = d.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, DesignError::DoubleDriven(_))));
+    }
+
+    #[test]
+    fn missing_component_detected() {
+        let mut d = BlockDesign::fig5();
+        d.components.retain(|c| c.kind != ComponentKind::AxiDma);
+        d.connections.retain(|c| !c.from.contains("dma") && !c.to.contains("dma"));
+        let errs = d.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::MissingComponent(ComponentKind::AxiDma))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::BrokenStreamPath(_))));
+    }
+
+    #[test]
+    fn duplicate_instance_detected() {
+        let mut d = BlockDesign::fig5();
+        d.add(Component {
+            name: "cnn_0".into(),
+            kind: ComponentKind::CnnIp,
+            pins: vec![],
+        });
+        let errs = d.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, DesignError::DuplicateInstance(_))));
+    }
+
+    #[test]
+    fn broken_stream_path_detected() {
+        let mut d = BlockDesign::fig5();
+        d.connections.retain(|c| c.to != "cnn_0/in_stream");
+        let errs = d.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::BrokenStreamPath(m) if m.contains("DMA→CNN"))));
+    }
+
+    #[test]
+    fn dot_export_mentions_all_components() {
+        let dot = BlockDesign::fig5().to_dot();
+        for name in [
+            "processing_system7_0",
+            "axi_dma_0",
+            "axi_interconnect_0",
+            "axi_interconnect_1",
+            "proc_sys_reset_0",
+            "cnn_0",
+        ] {
+            assert!(dot.contains(name), "missing {name}");
+        }
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(DesignError::UnknownEndpoint("a/b".into()).to_string().contains("a/b"));
+        assert!(DesignError::MissingComponent(ComponentKind::CnnIp)
+            .to_string()
+            .contains("CnnIp"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = BlockDesign::fig5();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: BlockDesign = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

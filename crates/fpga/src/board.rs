@@ -1,0 +1,84 @@
+//! Supported evaluation boards — the GUI's board selector
+//! (Section IV-A): Zedboard and Zybo.
+
+use cnn_hls::FpgaPart;
+use serde::{Deserialize, Serialize};
+
+/// A supported development board.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Board {
+    /// Avnet Zedboard (Zynq-7020) — the paper's evaluation platform.
+    Zedboard,
+    /// Digilent Zybo (Zynq-7010).
+    Zybo,
+}
+
+impl Board {
+    /// The board's programmable-logic part.
+    pub fn part(self) -> FpgaPart {
+        match self {
+            Board::Zedboard => FpgaPart::zynq7020(),
+            Board::Zybo => FpgaPart::zynq7010(),
+        }
+    }
+
+    /// ARM Cortex-A9 CPU clock (both boards run the PS at 667 MHz or
+    /// below; the paper's software baseline runs here).
+    pub fn cpu_clock_hz(self) -> u64 {
+        match self {
+            Board::Zedboard => 667_000_000,
+            Board::Zybo => 650_000_000,
+        }
+    }
+
+    /// Display name matching the GUI option.
+    pub fn name(self) -> &'static str {
+        match self {
+            Board::Zedboard => "Zedboard",
+            Board::Zybo => "Zybo",
+        }
+    }
+
+    /// Parses the GUI's board string.
+    pub fn from_name(name: &str) -> Option<Board> {
+        match name.to_ascii_lowercase().as_str() {
+            "zedboard" => Some(Board::Zedboard),
+            "zybo" => Some(Board::Zybo),
+            _ => None,
+        }
+    }
+
+    /// All supported boards.
+    pub const ALL: [Board; 2] = [Board::Zedboard, Board::Zybo];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_match_boards() {
+        assert_eq!(Board::Zedboard.part().name, "xc7z020clg484-1");
+        assert_eq!(Board::Zybo.part().name, "xc7z010clg400-1");
+    }
+
+    #[test]
+    fn cpu_clocks() {
+        assert_eq!(Board::Zedboard.cpu_clock_hz(), 667_000_000);
+        assert!(Board::Zybo.cpu_clock_hz() <= Board::Zedboard.cpu_clock_hz());
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for b in Board::ALL {
+            assert_eq!(Board::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Board::from_name("virtex"), None);
+    }
+
+    #[test]
+    fn serde_snake_case() {
+        assert_eq!(serde_json::to_string(&Board::Zedboard).unwrap(), "\"zedboard\"");
+    }
+}

@@ -1,0 +1,292 @@
+//! The programmed Zynq device: the PS-side driver loop that pushes a
+//! test set through the AXI DMA into the CNN IP core and collects the
+//! classifications, with exact fabric-cycle accounting.
+//!
+//! Two execution modes exercise the same timing model:
+//!
+//! * [`ZynqDevice::classify_batch`] — the fast in-process loop used by
+//!   benchmarks and tables,
+//! * [`ZynqDevice::classify_batch_threaded`] — a real two-thread
+//!   co-simulation where the PS driver and the fabric run concurrently,
+//!   connected by bounded crossbeam channels modelling the AXI4-Stream
+//!   FIFOs (backpressure included). Classifications and cycle counts
+//!   are identical to the in-process loop by construction.
+
+use crate::axi::{AxiDma, AxiStream, StreamBeat};
+use crate::bitstream::Bitstream;
+use crate::dma_regs::DmaDriver;
+use crate::board::Board;
+use cnn_tensor::parallel::par_map;
+use cnn_tensor::Tensor;
+use crossbeam::channel::{Receiver, Sender};
+
+/// Result of classifying a batch on the device.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchResult {
+    /// Predicted class per image, in input order.
+    pub predictions: Vec<usize>,
+    /// Total fabric cycles (compute; DMA overlaps under DATAFLOW).
+    pub fabric_cycles: u64,
+    /// Total DMA transfer cycles issued (for bus-utilization stats).
+    pub dma_cycles: u64,
+    /// Wall-clock seconds at the fabric clock.
+    pub seconds: f64,
+}
+
+/// A Zynq board programmed with a CNN bitstream.
+#[derive(Clone, Debug)]
+pub struct ZynqDevice {
+    board: Board,
+    bitstream: Bitstream,
+}
+
+/// Errors when programming the device.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceError {
+    /// Bitstream built for a different board.
+    WrongBoard {
+        /// Board the bitstream targets.
+        bitstream: Board,
+        /// Actual device board.
+        device: Board,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::WrongBoard { bitstream, device } => write!(
+                f,
+                "bitstream for {} cannot program a {}",
+                bitstream.name(),
+                device.name()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl ZynqDevice {
+    /// Programs `board` with `bitstream` (the "download on the target
+    /// device" step).
+    pub fn program(board: Board, bitstream: Bitstream) -> Result<ZynqDevice, DeviceError> {
+        if bitstream.board != board {
+            return Err(DeviceError::WrongBoard { bitstream: bitstream.board, device: board });
+        }
+        Ok(ZynqDevice { board, bitstream })
+    }
+
+    /// The board this device is.
+    pub fn board(&self) -> Board {
+        self.board
+    }
+
+    /// The loaded bitstream.
+    pub fn bitstream(&self) -> &Bitstream {
+        &self.bitstream
+    }
+
+    fn total_cycles(&self, n: u64, dma_cycles: u64) -> (u64, f64) {
+        let core = &self.bitstream.core;
+        let fabric = core.batch_cycles(n);
+        // Under DATAFLOW the DMA streams overlap compute; otherwise the
+        // transfers serialize with it. Note the HLS schedule already
+        // charges the input-read loop, so only the non-overlapped
+        // return-word transfers add here.
+        let total = if core.dataflow() {
+            fabric
+        } else {
+            fabric + dma_cycles / 8 // light bus contention charge
+        };
+        let secs = total as f64 / cnn_hls::calibration::FABRIC_CLOCK_HZ as f64;
+        (total, secs)
+    }
+
+    /// Classifies `images` through the simulated PS→DMA→IP loop,
+    /// computing predictions in parallel (rayon) and cycles
+    /// analytically.
+    pub fn classify_batch(&self, images: &[Tensor]) -> BatchResult {
+        let core = &self.bitstream.core;
+        let mut dma = AxiDma::new();
+        let mut driver = DmaDriver::new();
+        let words = core.input_words();
+        let mut dma_cycles = 0u64;
+        for (i, _) in images.iter().enumerate() {
+            // Program the register file exactly as the PS driver does
+            // (S2MM return word first, then the MM2S image transfer).
+            driver
+                .transfer(
+                    0x1000_0000u32.wrapping_add((i as u32) * words as u32 * 4),
+                    words as u32 * 4,
+                    0x2000_0000,
+                    4,
+                )
+                .expect("simple-transfer protocol");
+            dma_cycles += dma.mm2s(words);
+            dma_cycles += dma.s2mm(1);
+        }
+        debug_assert_eq!(driver.regs().transfers(), (images.len() as u64, images.len() as u64));
+        let predictions = par_map(images, |img| core.process(img));
+        let (fabric_cycles, seconds) = self.total_cycles(images.len() as u64, dma_cycles);
+        BatchResult { predictions, fabric_cycles, dma_cycles, seconds }
+    }
+
+    /// Same classification through a two-thread co-simulation: the
+    /// calling thread plays the PS/DMA (streaming packets), a fabric
+    /// thread plays the IP core (consuming packets, returning one
+    /// class word per image).
+    pub fn classify_batch_threaded(&self, images: &[Tensor]) -> BatchResult {
+        let core = self.bitstream.core.clone();
+        let words = core.input_words() as usize;
+
+        let in_stream = AxiStream::with_depth(words.max(16));
+        let out_stream = AxiStream::with_depth(16);
+        let (in_tx, in_rx): (Sender<StreamBeat>, Receiver<StreamBeat>) = in_stream.split();
+        let (out_tx, out_rx) = out_stream.split();
+
+        let n = images.len();
+        let fabric = std::thread::spawn(move || {
+            for _ in 0..n {
+                let packet = AxiStream::recv_packet(&in_rx);
+                let class = core.process_packet(&packet);
+                AxiStream::send_packet(&out_tx, &[class as f32]);
+            }
+        });
+
+        let mut dma = AxiDma::new();
+        let mut dma_cycles = 0u64;
+        let mut predictions = Vec::with_capacity(n);
+        for img in images {
+            dma_cycles += dma.mm2s(img.len() as u64);
+            AxiStream::send_packet(&in_tx, img.as_slice());
+            let back = AxiStream::recv_packet(&out_rx);
+            dma_cycles += dma.s2mm(back.len() as u64);
+            predictions.push(back[0] as usize);
+        }
+        fabric.join().expect("fabric thread panicked");
+
+        let (fabric_cycles, seconds) = self.total_cycles(n as u64, dma_cycles);
+        BatchResult { predictions, fabric_cycles, dma_cycles, seconds }
+    }
+
+    /// Prediction error over a labelled set (the Table I metric).
+    pub fn prediction_error(&self, images: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(images.len(), labels.len(), "images/labels length mismatch");
+        assert!(!images.is_empty(), "empty test set");
+        let res = self.classify_batch(images);
+        let wrong = res
+            .predictions
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        wrong as f64 / images.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_hls::{DirectiveSet, FpgaPart, HlsProject};
+    use cnn_nn::Network;
+    use cnn_tensor::init::{seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn device(directives: DirectiveSet) -> (ZynqDevice, Network) {
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        let p = HlsProject::new(&net, directives, FpgaPart::zynq7020()).unwrap();
+        let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        (ZynqDevice::program(Board::Zedboard, bs).unwrap(), net)
+    }
+
+    fn images(n: usize, seed: u64) -> Vec<Tensor> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wrong_board_rejected() {
+        let (_, net) = device(DirectiveSet::naive());
+        let p = HlsProject::new(&net, DirectiveSet::naive(), FpgaPart::zynq7020()).unwrap();
+        let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        let err = ZynqDevice::program(Board::Zybo, bs).unwrap_err();
+        assert!(matches!(err, DeviceError::WrongBoard { .. }));
+    }
+
+    #[test]
+    fn device_predictions_match_software() {
+        let (dev, net) = device(DirectiveSet::optimized());
+        let imgs = images(32, 9);
+        let res = dev.classify_batch(&imgs);
+        let sw: Vec<usize> = imgs.iter().map(|i| net.predict(i)).collect();
+        assert_eq!(res.predictions, sw, "HW and SW classifications must be identical");
+    }
+
+    #[test]
+    fn threaded_cosim_matches_fast_path() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(16, 11);
+        let fast = dev.classify_batch(&imgs);
+        let threaded = dev.classify_batch_threaded(&imgs);
+        assert_eq!(fast.predictions, threaded.predictions);
+        assert_eq!(fast.fabric_cycles, threaded.fabric_cycles);
+        assert_eq!(fast.dma_cycles, threaded.dma_cycles);
+    }
+
+    #[test]
+    fn optimized_device_is_faster() {
+        let (naive, _) = device(DirectiveSet::naive());
+        let (opt, _) = device(DirectiveSet::optimized());
+        let imgs = images(64, 5);
+        let rn = naive.classify_batch(&imgs);
+        let ro = opt.classify_batch(&imgs);
+        assert!(
+            ro.seconds < rn.seconds / 3.0,
+            "expected ≳3x speedup: naive {:.4}s vs opt {:.4}s",
+            rn.seconds,
+            ro.seconds
+        );
+    }
+
+    #[test]
+    fn prediction_error_counts_correctly() {
+        let (dev, net) = device(DirectiveSet::naive());
+        let imgs = images(10, 21);
+        let labels: Vec<usize> = imgs.iter().map(|i| net.predict(i)).collect();
+        assert_eq!(dev.prediction_error(&imgs, &labels), 0.0);
+        let wrong: Vec<usize> = labels.iter().map(|l| (l + 1) % 10).collect();
+        assert_eq!(dev.prediction_error(&imgs, &wrong), 1.0);
+    }
+
+    #[test]
+    fn dma_stats_scale_with_batch() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let r1 = dev.classify_batch(&images(1, 2));
+        let r4 = dev.classify_batch(&images(4, 2));
+        assert!(r4.dma_cycles > r1.dma_cycles);
+        assert_eq!(r4.dma_cycles, 4 * r1.dma_cycles);
+    }
+
+    #[test]
+    fn empty_batch_is_zero_cycles() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let res = dev.classify_batch(&[]);
+        assert!(res.predictions.is_empty());
+        assert_eq!(res.fabric_cycles, 0);
+    }
+}

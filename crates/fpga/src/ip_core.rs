@@ -1,0 +1,171 @@
+//! The CNN IP core executor.
+//!
+//! Functionally, the core evaluates the same single-precision network
+//! as the software reference — the generated C++ is a literal
+//! transcription of the layer math — so its classifications are
+//! **bit-identical** to the software path (the paper's Section V-A
+//! observation that hardware and software report the same prediction
+//! error). Temporally, each image costs the cycles of the HLS
+//! schedule: `latency` for an isolated image, `interval` per image in
+//! a DATAFLOW-pipelined stream.
+
+use cnn_hls::HlsProject;
+use cnn_nn::Network;
+use cnn_tensor::{Shape, Tensor};
+
+/// A synthesized CNN IP core ready to be dropped into the block design.
+#[derive(Clone, Debug)]
+pub struct CnnIpCore {
+    network: Network,
+    latency_cycles: u64,
+    interval_cycles: u64,
+    dataflow: bool,
+    input_shape: Shape,
+}
+
+impl CnnIpCore {
+    /// Builds the core from a synthesized project.
+    pub fn from_project(project: &HlsProject) -> CnnIpCore {
+        let s = project.schedule();
+        CnnIpCore {
+            network: project.network().clone(),
+            latency_cycles: s.latency_cycles,
+            interval_cycles: s.interval_cycles,
+            dataflow: s.dataflow,
+            input_shape: project.network().input_shape(),
+        }
+    }
+
+    /// Expected input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// Words per input packet.
+    pub fn input_words(&self) -> u64 {
+        self.input_shape.len() as u64
+    }
+
+    /// Per-image latency (cycles).
+    pub fn latency_cycles(&self) -> u64 {
+        self.latency_cycles
+    }
+
+    /// Steady-state initiation interval (cycles).
+    pub fn interval_cycles(&self) -> u64 {
+        self.interval_cycles
+    }
+
+    /// Whether the core is task-pipelined (DATAFLOW).
+    pub fn dataflow(&self) -> bool {
+        self.dataflow
+    }
+
+    /// Processes one raw input packet (flat CHW floats); returns the
+    /// predicted class — the `int` the generated function returns.
+    pub fn process_packet(&self, words: &[f32]) -> usize {
+        assert_eq!(
+            words.len() as u64,
+            self.input_words(),
+            "packet length {} != expected {}",
+            words.len(),
+            self.input_words()
+        );
+        let t = Tensor::from_vec(self.input_shape, words.to_vec());
+        self.network.predict(&t)
+    }
+
+    /// Processes one image tensor.
+    pub fn process(&self, image: &Tensor) -> usize {
+        self.network.predict(image)
+    }
+
+    /// Cycles consumed by a back-to-back batch of `n` images.
+    pub fn batch_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else if self.dataflow {
+            self.latency_cycles + (n - 1) * self.interval_cycles
+        } else {
+            n * self.latency_cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_hls::{DirectiveSet, FpgaPart};
+    use cnn_tensor::init::{seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+
+    fn test1_project(directives: DirectiveSet) -> HlsProject {
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        HlsProject::new(&net, directives, FpgaPart::zynq7020()).unwrap()
+    }
+
+    #[test]
+    fn predictions_bit_identical_to_software() {
+        let project = test1_project(DirectiveSet::optimized());
+        let core = CnnIpCore::from_project(&project);
+        let mut rng = seeded_rng(77);
+        for _ in 0..50 {
+            let img =
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+            assert_eq!(core.process(&img), project.network().predict(&img));
+        }
+    }
+
+    #[test]
+    fn packet_and_tensor_paths_agree() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        let mut rng = seeded_rng(3);
+        let img = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+        assert_eq!(core.process(&img), core.process_packet(img.as_slice()));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet length")]
+    fn bad_packet_length_panics() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        core.process_packet(&[0.0; 100]);
+    }
+
+    #[test]
+    fn batch_cycles_semantics() {
+        let naive = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        assert!(!naive.dataflow());
+        assert_eq!(naive.batch_cycles(3), 3 * naive.latency_cycles());
+
+        let opt = CnnIpCore::from_project(&test1_project(DirectiveSet::optimized()));
+        assert!(opt.dataflow());
+        assert_eq!(
+            opt.batch_cycles(3),
+            opt.latency_cycles() + 2 * opt.interval_cycles()
+        );
+        assert_eq!(opt.batch_cycles(0), 0);
+    }
+
+    #[test]
+    fn optimized_core_is_faster_per_batch() {
+        let naive = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        let opt = CnnIpCore::from_project(&test1_project(DirectiveSet::optimized()));
+        assert!(opt.batch_cycles(1000) < naive.batch_cycles(1000));
+    }
+
+    #[test]
+    fn input_words_match_shape() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        assert_eq!(core.input_words(), 256);
+        assert_eq!(core.input_shape(), Shape::new(1, 16, 16));
+    }
+}

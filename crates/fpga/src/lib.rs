@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # cnn-fpga
+//!
+//! The hardware substrate of the reproduction: everything the paper
+//! runs on a physical Zedboard is simulated here at transaction level.
+//!
+//! * [`board`] — the two supported boards (Zedboard, Zybo) and their
+//!   Zynq-7000 parts,
+//! * [`block_design`] — the Fig. 5 block design (ZYNQ7 PS, AXI DMA,
+//!   two AXI interconnects, processor system reset, CNN IP core) as a
+//!   validated component graph with Graphviz export,
+//! * [`axi`] — AXI4-Stream and AXI-DMA transaction/cycle accounting,
+//! * [`address_map`] — the Address Editor step: non-overlapping,
+//!   size-aligned AXI-Lite segments in the PS GP0 window,
+//! * [`dma_regs`] — the AXI DMA's memory-mapped register file and the
+//!   PS-side simple-transfer driver sequence (the referenced ZedBoard
+//!   Linux DMA driver's protocol),
+//! * [`hdl`] — the `make_wrapper` step: the top-level Verilog wrapper
+//!   around the validated block design,
+//! * [`ip_core`] — the CNN IP core executor: evaluates the *same*
+//!   floating-point network as the software path (so predictions are
+//!   bit-identical, the paper's key accuracy observation) while
+//!   charging the cycles of the HLS schedule,
+//! * [`cosim`] — a cycle-level simulator of the DATAFLOW task
+//!   pipeline that validates the analytic schedule (latency, interval)
+//!   from below,
+//! * [`bitstream`] — bitstream artifacts and programming checks,
+//! * [`device`] — the programmed device: the PS-side driver loop that
+//!   streams test sets through the DMA into the fabric (optionally on
+//!   a real thread pair connected by crossbeam channels) and reports
+//!   classifications plus exact cycle counts.
+
+pub mod address_map;
+pub mod axi;
+pub mod bitstream;
+pub mod cosim;
+pub mod block_design;
+pub mod board;
+pub mod device;
+pub mod dma_regs;
+pub mod hdl;
+pub mod ip_core;
+
+pub use bitstream::Bitstream;
+pub use block_design::BlockDesign;
+pub use board::Board;
+pub use device::{BatchResult, ZynqDevice};
+pub use ip_core::CnnIpCore;

@@ -1,0 +1,120 @@
+//! Property tests of the cycle-level co-simulator over *synthetic*
+//! schedules — arbitrary stage counts and latencies, not just the
+//! paper's networks.
+
+use cnn_fpga::cosim::simulate;
+use cnn_hls::schedule::{BlockSchedule, DesignSchedule};
+use proptest::prelude::*;
+
+fn make_schedule(stage_cycles: Vec<u64>, io: u64, dataflow: bool) -> DesignSchedule {
+    let blocks: Vec<BlockSchedule> = stage_cycles
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| BlockSchedule {
+            name: format!("stage{i}"),
+            pipelined: false,
+            ii: 1,
+            cycles: c,
+        })
+        .collect();
+    let compute: u64 = stage_cycles.iter().sum();
+    let latency = io + compute;
+    let interval = if dataflow {
+        stage_cycles.iter().copied().max().unwrap_or(0).max(io)
+    } else {
+        latency
+    };
+    DesignSchedule {
+        blocks,
+        dataflow,
+        io_cycles: io,
+        latency_cycles: latency,
+        interval_cycles: interval,
+    }
+}
+
+fn arb_stages() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..100_000, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_image_always_matches_latency(
+        stages in arb_stages(), io in 1u64..5_000, dataflow in any::<bool>(),
+    ) {
+        let s = make_schedule(stages, io, dataflow);
+        let r = simulate(&s, 1);
+        prop_assert_eq!(r.total_cycles, s.latency_cycles);
+    }
+
+    #[test]
+    fn sequential_mode_is_exactly_n_latencies(
+        stages in arb_stages(), io in 1u64..5_000, n in 1usize..20,
+    ) {
+        let s = make_schedule(stages, io, false);
+        let r = simulate(&s, n);
+        prop_assert_eq!(r.total_cycles, s.latency_cycles * n as u64);
+    }
+
+    #[test]
+    fn dataflow_steady_interval_is_the_bottleneck(
+        stages in arb_stages(), io in 1u64..5_000,
+    ) {
+        let s = make_schedule(stages, io, true);
+        // Enough images to be safely past the fill transient.
+        let n = (s.blocks.len() + 4) * 3;
+        let r = simulate(&s, n);
+        prop_assert_eq!(
+            r.steady_interval,
+            s.interval_cycles,
+            "bottleneck {} stages {:?} io {}",
+            s.interval_cycles,
+            s.blocks.iter().map(|b| b.cycles).collect::<Vec<_>>(),
+            io
+        );
+    }
+
+    #[test]
+    fn dataflow_never_slower_than_sequential(
+        stages in arb_stages(), io in 1u64..5_000, n in 1usize..20,
+    ) {
+        let seq = make_schedule(stages.clone(), io, false);
+        let df = make_schedule(stages, io, true);
+        prop_assert!(simulate(&df, n).total_cycles <= simulate(&seq, n).total_cycles);
+    }
+
+    #[test]
+    fn completions_strictly_ordered(
+        stages in arb_stages(), io in 1u64..5_000, dataflow in any::<bool>(), n in 2usize..12,
+    ) {
+        let s = make_schedule(stages, io, dataflow);
+        let r = simulate(&s, n);
+        for w in r.traces.windows(2) {
+            prop_assert!(w[0].finished() < w[1].finished());
+        }
+        // Per-image stage order holds too.
+        for t in &r.traces {
+            for w in t.stage_done.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_total_bounded_by_analytic_plus_fill(
+        stages in arb_stages(), io in 1u64..5_000, n in 1usize..40,
+    ) {
+        let s = make_schedule(stages, io, true);
+        let r = simulate(&s, n);
+        let analytic = s.cycles_for_images(n as u64);
+        prop_assert!(r.total_cycles >= analytic);
+        prop_assert!(
+            r.total_cycles <= analytic + s.latency_cycles,
+            "total {} analytic {analytic} latency {}",
+            r.total_cycles,
+            s.latency_cycles
+        );
+    }
+}

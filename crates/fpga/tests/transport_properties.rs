@@ -1,0 +1,54 @@
+//! Property tests over the AXI transport models: packetization is
+//! lossless under arbitrary payloads and FIFO depths, and DMA cycle
+//! accounting is additive.
+
+use cnn_fpga::axi::{AxiDma, AxiStream};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packets_roundtrip_any_payload(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(-1e6f32..1e6, 1..64),
+            1..8,
+        ),
+        depth in 1usize..32,
+    ) {
+        let stream = AxiStream::with_depth(depth);
+        let (tx, rx) = stream.split();
+        let expect = payloads.clone();
+        let sender = std::thread::spawn(move || {
+            for p in &payloads {
+                AxiStream::send_packet(&tx, p);
+            }
+        });
+        for want in &expect {
+            let got = AxiStream::recv_packet(&rx);
+            prop_assert_eq!(&got, want);
+        }
+        sender.join().unwrap();
+    }
+
+    #[test]
+    fn dma_cycles_are_additive(words in proptest::collection::vec(1u64..10_000, 1..20)) {
+        let mut dma = AxiDma::new();
+        let mut total = 0u64;
+        for &w in &words {
+            total += dma.mm2s(w);
+        }
+        let setup = cnn_hls::calibration::DMA_SETUP_CYCLES;
+        let expect: u64 = words.iter().map(|&w| setup + w).sum();
+        prop_assert_eq!(total, expect);
+        prop_assert_eq!(dma.stats().mm2s_words, words.iter().sum::<u64>());
+        prop_assert_eq!(dma.stats().mm2s_transfers, words.len() as u64);
+    }
+
+    #[test]
+    fn bigger_transfers_cost_more(a in 1u64..100_000, b in 1u64..100_000) {
+        prop_assume!(a < b);
+        let mut dma = AxiDma::new();
+        prop_assert!(dma.mm2s(a) < dma.mm2s(b));
+    }
+}

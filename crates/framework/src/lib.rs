@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # cnn-framework
+//!
+//! The paper's contribution: the automation framework that turns a
+//! high-level description of an already-trained CNN into a complete
+//! hardware build.
+//!
+//! The paper's web GUI produces a JSON descriptor; two Python wrappers
+//! turn it into synthesizable C++ and tcl scripts; Vivado turns those
+//! into a bitstream for a Zedboard or Zybo. Here:
+//!
+//! * [`spec`] — the JSON descriptor ([`spec::NetworkSpec`]) with the
+//!   same content the GUI collects (Fig. 4: per-conv-layer kernel
+//!   counts/sizes with integrated max-pooling, per-linear-layer neuron
+//!   counts with the tanh checkbox, input dimensions, target board),
+//!   plus full validation against Eqs. (2)–(5),
+//! * [`weights`] — the weight sources: a trained `cnn-nn` network
+//!   (the "file containing the trained weights") or seeded random
+//!   weights (the paper's Test-4 shortcut),
+//! * [`workflow`] — the Fig. 3 pipeline as an executable object:
+//!   descriptor → C++ + tcl → HLS → block design → bitstream →
+//!   programmed device, with a per-stage trace,
+//! * [`experiments`] — the four evaluation case studies, faithful to
+//!   Section V's network configurations and test-set sizes,
+//! * [`report`] — Table I / Table II assembly with the paper's
+//!   reference values alongside the measured ones.
+
+pub mod experiments;
+pub mod report;
+pub mod spec;
+pub mod weights;
+pub mod workflow;
+
+pub use experiments::{Experiment, ExperimentConfig, PaperTest};
+pub use report::{Table1Row, Table2Row};
+pub use spec::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, SpecError};
+pub use weights::WeightSource;
+pub use workflow::{Workflow, WorkflowArtifacts, WorkflowStage};

@@ -1,0 +1,264 @@
+//! Table I / Table II assembly: runs an [`Experiment`] through both
+//! execution paths and the measurement harness, and renders the
+//! paper's tables with reference values alongside the measured ones.
+
+use crate::experiments::{Experiment, PaperTest};
+use cnn_hls::{HlsProject, ResourceUsage};
+use cnn_platform::ZynqSoc;
+use cnn_power::EnergyMeter;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// One measured row of Table I.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1Row {
+    /// Test name.
+    pub test: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Software prediction error (fraction).
+    pub sw_error: f64,
+    /// Hardware prediction error (fraction).
+    pub hw_error: f64,
+    /// Software execution time over the test set, seconds.
+    pub sw_time_s: f64,
+    /// Hardware execution time over the test set, seconds.
+    pub hw_time_s: f64,
+    /// Speedup (software / hardware).
+    pub speedup: f64,
+    /// CPU power, watts.
+    pub cpu_power_w: f64,
+    /// CPU + FPGA power, watts.
+    pub total_power_w: f64,
+    /// Software energy, joules.
+    pub sw_energy_j: f64,
+    /// Hardware energy, joules.
+    pub hw_energy_j: f64,
+}
+
+/// One measured row of Table II.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    /// Test name.
+    pub test: String,
+    /// Resource binding against the Zedboard part.
+    pub usage: ResourceUsage,
+}
+
+/// Paper-reported Table I values for side-by-side comparison:
+/// `(error %, sw s, hw s, speedup, cpu W, total W, sw J, hw J)`.
+pub fn paper_table1_reference(test: PaperTest) -> (f64, f64, f64, f64, f64, f64, f64, f64) {
+    match test {
+        PaperTest::Test1 => (3.9, 3.3, 2.8, 1.18, 2.2, 4.19, 7.26, 11.73),
+        PaperTest::Test2 => (3.9, 3.3, 0.53, 6.23, 2.2, 4.21, 7.26, 2.23),
+        PaperTest::Test3 => (7.1, 4.3, 0.48, 9.0, 2.2, 4.24, 9.46, 2.04),
+        PaperTest::Test4 => (89.4, 2565.0, 223.0, 11.5, 2.2, 4.37, 5643.0, 975.0),
+    }
+}
+
+/// Paper-reported Table II utilization percentages:
+/// `(FF, LUT, LUTRAM, BRAM, DSP)`.
+pub fn paper_table2_reference(test: PaperTest) -> (f64, f64, f64, f64, f64) {
+    match test {
+        PaperTest::Test1 => (15.86, 2.56, 2.56, 6.43, 41.82),
+        PaperTest::Test2 => (8.86, 17.18, 3.38, 7.14, 44.09),
+        PaperTest::Test3 => (9.32, 18.10, 3.06, 9.29, 46.36),
+        PaperTest::Test4 => (10.39, 20.25, 3.13, 76.07, 48.64),
+    }
+}
+
+/// Runs one experiment through both paths and the meter, producing
+/// its Table I row.
+pub fn run_table1_row(e: &Experiment) -> Table1Row {
+    let soc = ZynqSoc::bring_up(&e.network, e.spec.directives(), e.spec.board)
+        .expect("paper experiments fit the Zedboard");
+    let sw = soc.run_software(&e.test_images);
+    let hw = soc.run_hardware(&e.test_images);
+
+    let wrong =
+        |preds: &[usize]| preds.iter().zip(&e.test_labels).filter(|(p, l)| p != l).count();
+    let n = e.test_images.len() as f64;
+
+    let meter = EnergyMeter::for_board(e.spec.board);
+    let sw_reading = meter.measure_software(sw.seconds);
+    let usage = soc.device().bitstream().resources;
+    let hw_reading = meter.measure_hardware(hw.seconds, &usage);
+
+    Table1Row {
+        test: e.test.name().to_string(),
+        dataset: e.test.dataset().to_string(),
+        sw_error: wrong(&sw.predictions) as f64 / n,
+        hw_error: wrong(&hw.predictions) as f64 / n,
+        sw_time_s: sw.seconds,
+        hw_time_s: hw.seconds,
+        speedup: sw.seconds / hw.seconds,
+        cpu_power_w: sw_reading.cpu_watts,
+        total_power_w: hw_reading.total_watts,
+        sw_energy_j: sw_reading.joules,
+        hw_energy_j: hw_reading.joules,
+    }
+}
+
+/// Produces one Table II row (resource usage on the Zedboard part).
+pub fn run_table2_row(e: &Experiment) -> Table2Row {
+    let project = HlsProject::new(&e.network, e.spec.directives(), e.spec.board.part())
+        .expect("paper experiments fit the Zedboard");
+    Table2Row {
+        test: e.test.name().to_string(),
+        usage: project.resources(),
+    }
+}
+
+/// Renders Table I with paper references (ASCII).
+pub fn render_table1(rows: &[(PaperTest, Table1Row)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:<9} | {:>7} {:>7} | {:>9} {:>9} | {:>8} | {:>6} {:>8} | {:>9} {:>9}",
+        "Test", "Dataset", "SW err", "HW err", "SW time", "HW time", "Speedup", "CPU W",
+        "CPU+FPGA", "SW J", "HW J"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(118));
+    for (test, r) in rows {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<9} | {:>6.1}% {:>6.1}% | {:>8.2}s {:>8.2}s | {:>7.2}X | {:>6.2} {:>8.2} | {:>8.2}J {:>8.2}J",
+            r.test,
+            r.dataset,
+            r.sw_error * 100.0,
+            r.hw_error * 100.0,
+            r.sw_time_s,
+            r.hw_time_s,
+            r.speedup,
+            r.cpu_power_w,
+            r.total_power_w,
+            r.sw_energy_j,
+            r.hw_energy_j
+        );
+        let p = paper_table1_reference(*test);
+        let _ = writeln!(
+            out,
+            "{:<7} {:<9} | {:>6.1}% {:>6.1}% | {:>8.2}s {:>8.2}s | {:>7.2}X | {:>6.2} {:>8.2} | {:>8.2}J {:>8.2}J",
+            "(paper)", "", p.0, p.0, p.1, p.2, p.3, p.4, p.5, p.6, p.7
+        );
+    }
+    out
+}
+
+/// Renders Table II with paper references (ASCII).
+pub fn render_table2(rows: &[(PaperTest, Table2Row)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} | {:>8} {:>8} {:>11} {:>8} {:>8}",
+        "Test", "FF", "LUT", "Memory LUT", "BRAM", "DSP"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    for (test, r) in rows {
+        let u = &r.usage;
+        let _ = writeln!(
+            out,
+            "{:<7} | {:>7.2}% {:>7.2}% {:>10.2}% {:>7.2}% {:>7.2}%",
+            r.test,
+            u.ff_pct(),
+            u.lut_pct(),
+            u.lutram_pct(),
+            u.bram_pct(),
+            u.dsp_pct()
+        );
+        let p = paper_table2_reference(*test);
+        let _ = writeln!(
+            out,
+            "{:<7} | {:>7.2}% {:>7.2}% {:>10.2}% {:>7.2}% {:>7.2}%",
+            "(paper)", p.0, p.1, p.2, p.3, p.4
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ExperimentConfig;
+
+    #[test]
+    fn table1_row_for_quick_test1() {
+        let e = Experiment::build(PaperTest::Test1, ExperimentConfig::quick());
+        let row = run_table1_row(&e);
+        assert_eq!(row.test, "Test 1");
+        assert_eq!(
+            row.sw_error, row.hw_error,
+            "paper's key observation: identical SW/HW error"
+        );
+        assert!(row.speedup > 1.0, "hardware should win: {:.2}", row.speedup);
+        assert!(row.total_power_w > row.cpu_power_w);
+        assert!(row.sw_time_s > 0.0 && row.hw_time_s > 0.0);
+    }
+
+    #[test]
+    fn table1_speedup_ordering_matches_paper() {
+        // Test 2 (optimized) must beat Test 1 (naive) on speedup.
+        let cfg = ExperimentConfig::quick();
+        let r1 = run_table1_row(&Experiment::build(PaperTest::Test1, cfg));
+        let r2 = run_table1_row(&Experiment::build(PaperTest::Test2, cfg));
+        assert!(
+            r2.speedup > 2.0 * r1.speedup,
+            "optimized speedup {:.2} vs naive {:.2}",
+            r2.speedup,
+            r1.speedup
+        );
+    }
+
+    #[test]
+    fn test1_energy_loses_test2_energy_wins() {
+        // The paper's energy crossover.
+        let cfg = ExperimentConfig::quick();
+        let r1 = run_table1_row(&Experiment::build(PaperTest::Test1, cfg));
+        assert!(
+            r1.hw_energy_j > r1.sw_energy_j,
+            "naive hardware should lose on energy: {} vs {}",
+            r1.hw_energy_j,
+            r1.sw_energy_j
+        );
+        let r2 = run_table1_row(&Experiment::build(PaperTest::Test2, cfg));
+        assert!(
+            r2.hw_energy_j < r2.sw_energy_j,
+            "optimized hardware should win on energy: {} vs {}",
+            r2.hw_energy_j,
+            r2.sw_energy_j
+        );
+    }
+
+    #[test]
+    fn table2_rows_and_rendering() {
+        let cfg = ExperimentConfig::quick();
+        let rows: Vec<(PaperTest, Table2Row)> = [PaperTest::Test1, PaperTest::Test2]
+            .into_iter()
+            .map(|t| (t, run_table2_row(&Experiment::build(t, cfg))))
+            .collect();
+        let text = render_table2(&rows);
+        assert!(text.contains("Test 1"));
+        assert!(text.contains("(paper)"));
+        assert!(text.contains("DSP"));
+    }
+
+    #[test]
+    fn table1_rendering_contains_both_rows() {
+        let e = Experiment::build(PaperTest::Test1, ExperimentConfig::quick());
+        let row = run_table1_row(&e);
+        let text = render_table1(&[(PaperTest::Test1, row)]);
+        assert!(text.contains("Test 1"));
+        assert!(text.contains("(paper)"));
+        assert!(text.contains("Speedup"));
+    }
+
+    #[test]
+    fn paper_references_are_the_published_numbers() {
+        let t1 = paper_table1_reference(PaperTest::Test1);
+        assert_eq!(t1.3, 1.18);
+        let t4 = paper_table1_reference(PaperTest::Test4);
+        assert_eq!(t4.1, 2565.0);
+        let r2 = paper_table2_reference(PaperTest::Test2);
+        assert_eq!(r2.4, 44.09);
+    }
+}

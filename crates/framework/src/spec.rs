@@ -1,0 +1,456 @@
+//! The JSON network descriptor — the file the paper's GUI emits and
+//! its back end consumes ("the application creates a JSON file
+//! containing all the parameters specified by the user").
+
+use cnn_fpga::Board;
+use cnn_hls::DirectiveSet;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Pooling stage integrated into a convolutional layer (Fig. 4's
+/// "Max pooling" panel).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Pooling operator (the GUI offers max; mean is the announced
+    /// extension).
+    #[serde(default = "default_pool_kind")]
+    pub kind: PoolKind,
+    /// Square window side.
+    pub kernel: usize,
+    /// Stride; defaults to the window (non-overlapping).
+    #[serde(default)]
+    pub step: Option<usize>,
+}
+
+fn default_pool_kind() -> PoolKind {
+    PoolKind::Max
+}
+
+/// One convolutional layer as the GUI configures it (Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ConvLayerSpec {
+    /// "Feature maps out" — number of kernels.
+    pub feature_maps_out: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Optional integrated sub-sampling stage.
+    #[serde(default)]
+    pub pooling: Option<PoolSpec>,
+}
+
+/// One linear layer as the GUI configures it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearLayerSpec {
+    /// Number of neurons.
+    pub neurons: usize,
+    /// "Include the hyperbolic tangent at the end" checkbox.
+    #[serde(default)]
+    pub tanh: bool,
+}
+
+/// The full descriptor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Input channels (1 grayscale, 3 RGB).
+    pub input_channels: usize,
+    /// Input height.
+    pub input_height: usize,
+    /// Input width.
+    pub input_width: usize,
+    /// Convolutional part, in order.
+    pub conv_layers: Vec<ConvLayerSpec>,
+    /// Linear part, in order; the last layer's neuron count is the
+    /// class count.
+    pub linear_layers: Vec<LinearLayerSpec>,
+    /// Target board.
+    pub board: Board,
+    /// Whether to apply the optimization directives (Tests 2–4) or
+    /// build naively (Test 1).
+    #[serde(default)]
+    pub optimized: bool,
+}
+
+/// Validation failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// No layers at all.
+    Empty,
+    /// Zero-valued dimension somewhere (field name).
+    ZeroDimension(&'static str),
+    /// A kernel or pooling window does not fit (layer description).
+    DoesNotFit(String),
+    /// JSON parse failure.
+    Json(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "descriptor has no layers"),
+            SpecError::ZeroDimension(what) => write!(f, "{what} must be positive"),
+            SpecError::DoesNotFit(what) => write!(f, "{what}"),
+            SpecError::Json(e) => write!(f, "bad descriptor JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl NetworkSpec {
+    /// Parses and validates a descriptor from JSON.
+    pub fn from_json(json: &str) -> Result<NetworkSpec, SpecError> {
+        let spec: NetworkSpec =
+            serde_json::from_str(json).map_err(|e| SpecError::Json(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the descriptor.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("descriptor serializes")
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> Shape {
+        Shape::new(self.input_channels, self.input_height, self.input_width)
+    }
+
+    /// The directive set this spec requests.
+    pub fn directives(&self) -> DirectiveSet {
+        if self.optimized {
+            DirectiveSet::optimized()
+        } else {
+            DirectiveSet::naive()
+        }
+    }
+
+    /// Number of output classes (last linear layer's neurons).
+    pub fn classes(&self) -> Option<usize> {
+        self.linear_layers.last().map(|l| l.neurons)
+    }
+
+    /// Validates dimensions against Eqs. (2)–(5), returning the
+    /// per-stage shapes on success (useful for the GUI echo).
+    pub fn validate(&self) -> Result<Vec<Shape>, SpecError> {
+        if self.conv_layers.is_empty() && self.linear_layers.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        if self.input_channels == 0 {
+            return Err(SpecError::ZeroDimension("input_channels"));
+        }
+        if self.input_height == 0 {
+            return Err(SpecError::ZeroDimension("input_height"));
+        }
+        if self.input_width == 0 {
+            return Err(SpecError::ZeroDimension("input_width"));
+        }
+
+        let mut shapes = Vec::new();
+        let mut cur = self.input_shape();
+        for (i, conv) in self.conv_layers.iter().enumerate() {
+            if conv.feature_maps_out == 0 {
+                return Err(SpecError::ZeroDimension("feature_maps_out"));
+            }
+            if conv.kernel == 0 {
+                return Err(SpecError::ZeroDimension("kernel"));
+            }
+            cur = cur
+                .conv_output(conv.feature_maps_out, conv.kernel, conv.kernel)
+                .ok_or_else(|| {
+                    SpecError::DoesNotFit(format!(
+                        "conv layer {i}: {0}x{0} kernel does not fit {cur}",
+                        conv.kernel
+                    ))
+                })?;
+            shapes.push(cur);
+            if let Some(pool) = conv.pooling {
+                if pool.kernel == 0 {
+                    return Err(SpecError::ZeroDimension("pooling.kernel"));
+                }
+                let step = pool.step.unwrap_or(pool.kernel);
+                if step == 0 {
+                    return Err(SpecError::ZeroDimension("pooling.step"));
+                }
+                cur = cur.pool_output(pool.kernel, pool.kernel, step).ok_or_else(|| {
+                    SpecError::DoesNotFit(format!(
+                        "conv layer {i}: pooling {0}x{0}/{step} does not fit {cur}",
+                        pool.kernel
+                    ))
+                })?;
+                shapes.push(cur);
+            }
+        }
+        for (i, lin) in self.linear_layers.iter().enumerate() {
+            if lin.neurons == 0 {
+                return Err(SpecError::ZeroDimension("neurons"));
+            }
+            cur = Shape::new(1, 1, lin.neurons);
+            shapes.push(cur);
+            let _ = i;
+        }
+        Ok(shapes)
+    }
+
+    /// Machine-readable schema of the descriptor — what the web GUI's
+    /// form is generated from (the Fig. 4 options panel as data).
+    pub fn descriptor_schema() -> serde_json::Value {
+        serde_json::json!({
+            "title": "cnn2fpga network descriptor",
+            "type": "object",
+            "required": ["input_channels", "input_height", "input_width",
+                          "conv_layers", "linear_layers", "board"],
+            "properties": {
+                "input_channels": {"type": "integer", "minimum": 1},
+                "input_height": {"type": "integer", "minimum": 1},
+                "input_width": {"type": "integer", "minimum": 1},
+                "conv_layers": {"type": "array", "items": {
+                    "type": "object",
+                    "required": ["feature_maps_out", "kernel"],
+                    "properties": {
+                        "feature_maps_out": {"type": "integer", "minimum": 1,
+                            "description": "number of kernels (GUI 'Feature maps out')"},
+                        "kernel": {"type": "integer", "minimum": 1,
+                            "description": "square kernel side"},
+                        "pooling": {"type": ["object", "null"], "properties": {
+                            "kind": {"enum": ["max", "mean"], "default": "max"},
+                            "kernel": {"type": "integer", "minimum": 1},
+                            "step": {"type": ["integer", "null"],
+                                "description": "stride; defaults to the window (p_step)"}
+                        }}
+                    }
+                }},
+                "linear_layers": {"type": "array", "items": {
+                    "type": "object",
+                    "required": ["neurons"],
+                    "properties": {
+                        "neurons": {"type": "integer", "minimum": 1},
+                        "tanh": {"type": "boolean", "default": false}
+                    }
+                }},
+                "board": {"enum": ["zedboard", "zybo"]},
+                "optimized": {"type": "boolean", "default": false}
+            }
+        })
+    }
+
+    /// The paper's Test-1/Test-2 network descriptor.
+    pub fn paper_usps_small(optimized: bool) -> NetworkSpec {
+        NetworkSpec {
+            input_channels: 1,
+            input_height: 16,
+            input_width: 16,
+            conv_layers: vec![ConvLayerSpec {
+                feature_maps_out: 6,
+                kernel: 5,
+                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+            }],
+            linear_layers: vec![LinearLayerSpec { neurons: 10, tanh: true }],
+            board: Board::Zedboard,
+            optimized,
+        }
+    }
+
+    /// The paper's Test-3 network descriptor (second conv layer, no
+    /// pooling after it: 6x6x6 → 16x2x2).
+    pub fn paper_usps_large() -> NetworkSpec {
+        NetworkSpec {
+            input_channels: 1,
+            input_height: 16,
+            input_width: 16,
+            conv_layers: vec![
+                ConvLayerSpec {
+                    feature_maps_out: 6,
+                    kernel: 5,
+                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                },
+                ConvLayerSpec { feature_maps_out: 16, kernel: 5, pooling: None },
+            ],
+            linear_layers: vec![LinearLayerSpec { neurons: 10, tanh: true }],
+            board: Board::Zedboard,
+            optimized: true,
+        }
+    }
+
+    /// The paper's Test-4 network descriptor (CIFAR-10).
+    pub fn paper_cifar() -> NetworkSpec {
+        NetworkSpec {
+            input_channels: 3,
+            input_height: 32,
+            input_width: 32,
+            conv_layers: vec![
+                ConvLayerSpec {
+                    feature_maps_out: 12,
+                    kernel: 5,
+                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                },
+                ConvLayerSpec {
+                    feature_maps_out: 36,
+                    kernel: 5,
+                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                },
+            ],
+            linear_layers: vec![
+                LinearLayerSpec { neurons: 36, tanh: true },
+                LinearLayerSpec { neurons: 10, tanh: false },
+            ],
+            board: Board::Zedboard,
+            optimized: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_validate() {
+        assert!(NetworkSpec::paper_usps_small(false).validate().is_ok());
+        assert!(NetworkSpec::paper_usps_small(true).validate().is_ok());
+        assert!(NetworkSpec::paper_usps_large().validate().is_ok());
+        assert!(NetworkSpec::paper_cifar().validate().is_ok());
+    }
+
+    #[test]
+    fn test1_shapes_follow_eq2_to_eq5() {
+        let shapes = NetworkSpec::paper_usps_small(false).validate().unwrap();
+        assert_eq!(shapes[0], Shape::new(6, 12, 12)); // Eq. 2-3
+        assert_eq!(shapes[1], Shape::new(6, 6, 6)); // Eq. 4-5
+        assert_eq!(shapes[2], Shape::new(1, 1, 10));
+    }
+
+    #[test]
+    fn test3_second_conv_yields_2x2() {
+        let shapes = NetworkSpec::paper_usps_large().validate().unwrap();
+        assert_eq!(shapes[2], Shape::new(16, 2, 2));
+    }
+
+    #[test]
+    fn test4_shapes_match_paper() {
+        let shapes = NetworkSpec::paper_cifar().validate().unwrap();
+        assert_eq!(shapes[0], Shape::new(12, 28, 28));
+        assert_eq!(shapes[1], Shape::new(12, 14, 14));
+        assert_eq!(shapes[2], Shape::new(36, 10, 10));
+        assert_eq!(shapes[3], Shape::new(36, 5, 5));
+        assert_eq!(shapes[4], Shape::new(1, 1, 36));
+        assert_eq!(shapes[5], Shape::new(1, 1, 10));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = NetworkSpec::paper_cifar();
+        let json = spec.to_json();
+        let back = NetworkSpec::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn gui_style_json_parses() {
+        // The literal structure the web GUI would post.
+        let json = r#"{
+            "input_channels": 1,
+            "input_height": 16,
+            "input_width": 16,
+            "conv_layers": [
+                {"feature_maps_out": 6, "kernel": 5,
+                 "pooling": {"kernel": 2}}
+            ],
+            "linear_layers": [{"neurons": 10, "tanh": true}],
+            "board": "zedboard"
+        }"#;
+        let spec = NetworkSpec::from_json(json).unwrap();
+        assert_eq!(spec, NetworkSpec::paper_usps_small(false));
+        assert_eq!(spec.classes(), Some(10));
+        // defaults: max pooling, stride = window, naive build
+        let pool = spec.conv_layers[0].pooling.unwrap();
+        assert_eq!(pool.kind, PoolKind::Max);
+        assert_eq!(pool.step, None);
+        assert!(!spec.optimized);
+    }
+
+    #[test]
+    fn oversized_kernel_rejected_with_location() {
+        let mut spec = NetworkSpec::paper_usps_small(false);
+        spec.conv_layers[0].kernel = 20;
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 0")), "{err}");
+    }
+
+    #[test]
+    fn deep_net_kernel_overflow_detected_at_right_layer() {
+        let mut spec = NetworkSpec::paper_usps_large();
+        spec.conv_layers[1].kernel = 7; // 6x6 input can't take 7x7
+        let err = spec.validate().unwrap_err();
+        assert!(matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 1")), "{err}");
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let mut spec = NetworkSpec::paper_usps_small(false);
+        spec.input_channels = 0;
+        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("input_channels"));
+
+        let mut spec = NetworkSpec::paper_usps_small(false);
+        spec.linear_layers[0].neurons = 0;
+        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("neurons"));
+
+        let mut spec = NetworkSpec::paper_usps_small(false);
+        spec.conv_layers[0].feature_maps_out = 0;
+        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("feature_maps_out"));
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let spec = NetworkSpec {
+            input_channels: 1,
+            input_height: 8,
+            input_width: 8,
+            conv_layers: vec![],
+            linear_layers: vec![],
+            board: Board::Zedboard,
+            optimized: false,
+        };
+        assert_eq!(spec.validate().unwrap_err(), SpecError::Empty);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(matches!(
+            NetworkSpec::from_json("{oops").unwrap_err(),
+            SpecError::Json(_)
+        ));
+    }
+
+    #[test]
+    fn directives_follow_optimized_flag() {
+        assert_eq!(
+            NetworkSpec::paper_usps_small(false).directives(),
+            DirectiveSet::naive()
+        );
+        assert_eq!(
+            NetworkSpec::paper_usps_small(true).directives(),
+            DirectiveSet::optimized()
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SpecError::Empty.to_string().contains("no layers"));
+        assert!(SpecError::ZeroDimension("kernel").to_string().contains("kernel"));
+    }
+
+    #[test]
+    fn schema_lists_every_descriptor_field() {
+        let schema = NetworkSpec::descriptor_schema();
+        let props = schema["properties"].as_object().unwrap();
+        // Every serialized field of the struct must appear.
+        let json: serde_json::Value =
+            serde_json::from_str(&NetworkSpec::paper_cifar().to_json()).unwrap();
+        for key in json.as_object().unwrap().keys() {
+            assert!(props.contains_key(key), "schema missing field '{key}'");
+        }
+        assert_eq!(schema["properties"]["board"]["enum"][0], "zedboard");
+    }
+}

@@ -1,0 +1,288 @@
+//! The Fig. 3 workflow, executable end to end:
+//!
+//! ```text
+//! descriptor (JSON) ──► validate ──► realize weights ──► generate C++
+//!   ──► generate tcl ──► HLS (schedule + bind) ──► block design
+//!   ──► bitstream ──► programmed device
+//! ```
+//!
+//! The paper stops at "the user runs the scripts in Vivado manually
+//! due to license management issues"; our simulated toolchain carries
+//! the flow all the way to a programmed device.
+
+use crate::spec::NetworkSpec;
+use crate::weights::{realize, WeightSource};
+use cnn_fpga::{Bitstream, ZynqDevice};
+use cnn_hls::codegen::tcl::TclScripts;
+use cnn_hls::{HlsProject, HlsReport};
+use cnn_nn::Network;
+
+/// The stages of the workflow, in order (the Fig. 3 boxes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkflowStage {
+    /// Descriptor validation (the GUI's dimension checks).
+    Validate,
+    /// Weight realization (trained file or random).
+    RealizeWeights,
+    /// C++ generation (wrapper 1).
+    GenerateCpp,
+    /// Tcl generation (wrapper 2).
+    GenerateTcl,
+    /// HLS synthesis (schedule + bind).
+    Synthesize,
+    /// Block-design assembly + validation.
+    BlockDesign,
+    /// Bitstream implementation.
+    Implement,
+    /// Device programming.
+    Program,
+}
+
+impl WorkflowStage {
+    /// All stages in execution order.
+    pub const ALL: [WorkflowStage; 8] = [
+        WorkflowStage::Validate,
+        WorkflowStage::RealizeWeights,
+        WorkflowStage::GenerateCpp,
+        WorkflowStage::GenerateTcl,
+        WorkflowStage::Synthesize,
+        WorkflowStage::BlockDesign,
+        WorkflowStage::Implement,
+        WorkflowStage::Program,
+    ];
+
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkflowStage::Validate => "validate descriptor",
+            WorkflowStage::RealizeWeights => "realize weights",
+            WorkflowStage::GenerateCpp => "generate C++ source",
+            WorkflowStage::GenerateTcl => "generate tcl scripts",
+            WorkflowStage::Synthesize => "high-level synthesis",
+            WorkflowStage::BlockDesign => "assemble block design",
+            WorkflowStage::Implement => "implement bitstream",
+            WorkflowStage::Program => "program device",
+        }
+    }
+}
+
+/// Everything the workflow produces.
+#[derive(Debug)]
+pub struct WorkflowArtifacts {
+    /// The realized network (spec structure + weights).
+    pub network: Network,
+    /// The generated single-file C++ source.
+    pub cpp_source: String,
+    /// The three tcl scripts.
+    pub tcl: TclScripts,
+    /// The HLS report.
+    pub report: HlsReport,
+    /// The top-level HDL wrapper (`make_wrapper` output).
+    pub hdl_wrapper: String,
+    /// The implemented bitstream.
+    pub bitstream: Bitstream,
+    /// The programmed device, ready to classify.
+    pub device: ZynqDevice,
+    /// Stage-by-stage trace ("what Fig. 3 did").
+    pub trace: Vec<String>,
+}
+
+/// A workflow failure, tagged with the stage that failed.
+#[derive(Debug)]
+pub struct WorkflowError {
+    /// The failing stage.
+    pub stage: WorkflowStage,
+    /// The underlying message.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "workflow failed at '{}': {}", self.stage.name(), self.message)
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// The workflow runner.
+pub struct Workflow {
+    spec: NetworkSpec,
+    weights: WeightSource,
+}
+
+impl Workflow {
+    /// Prepares a workflow for a descriptor and weight source.
+    pub fn new(spec: NetworkSpec, weights: WeightSource) -> Workflow {
+        Workflow { spec, weights }
+    }
+
+    /// The descriptor.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Runs all stages, producing every artifact or the first failure.
+    pub fn run(&self) -> Result<WorkflowArtifacts, WorkflowError> {
+        let mut trace = Vec::with_capacity(WorkflowStage::ALL.len());
+        let fail = |stage: WorkflowStage, message: String| WorkflowError { stage, message };
+
+        // 1. validate
+        let shapes = self
+            .spec
+            .validate()
+            .map_err(|e| fail(WorkflowStage::Validate, e.to_string()))?;
+        trace.push(format!(
+            "validate descriptor: ok ({} stages, shapes {})",
+            shapes.len(),
+            shapes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        ));
+
+        // 2. weights
+        let network = realize(&self.spec, &self.weights)
+            .map_err(|e| fail(WorkflowStage::RealizeWeights, e))?;
+        trace.push(format!(
+            "realize weights: ok ({} parameters)",
+            network.param_count()
+        ));
+
+        // 3–5. HLS project (codegen + synthesis)
+        let project = HlsProject::new(&network, self.spec.directives(), self.spec.board.part())
+            .map_err(|e| fail(WorkflowStage::Synthesize, e.to_string()))?;
+        let cpp_source = project.cpp_source();
+        trace.push(format!(
+            "generate C++ source: ok ({} lines)",
+            cpp_source.lines().count()
+        ));
+        let tcl = project.tcl_scripts();
+        trace.push("generate tcl scripts: ok (cnn_vivado_hls.tcl, directives.tcl, cnn_vivado.tcl)".into());
+        let report = project.report();
+        trace.push(format!(
+            "high-level synthesis: ok (latency {} cycles, interval {} cycles, {})",
+            report.latency_cycles, report.interval_cycles, report.resources
+        ));
+
+        // 6–7. block design + bitstream
+        let bitstream = Bitstream::implement(&project, self.spec.board)
+            .map_err(|e| fail(WorkflowStage::Implement, e.to_string()))?;
+        trace.push(format!(
+            "assemble block design: ok ({} components, {} connections)",
+            bitstream.design.components.len(),
+            bitstream.design.connections.len()
+        ));
+        let hdl_wrapper = cnn_fpga::hdl::generate_wrapper(&bitstream.design);
+        trace.push(format!(
+            "implement bitstream: ok for {} ({})",
+            self.spec.board.name(),
+            self.spec.board.part().name
+        ));
+
+        // 8. program
+        let device = ZynqDevice::program(self.spec.board, bitstream.clone())
+            .map_err(|e| fail(WorkflowStage::Program, e.to_string()))?;
+        trace.push("program device: ok".into());
+
+        Ok(WorkflowArtifacts {
+            network,
+            cpp_source,
+            tcl,
+            report,
+            hdl_wrapper,
+            bitstream,
+            device,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_workflow_for_test1() {
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 42 },
+        );
+        let artifacts = wf.run().expect("workflow should succeed");
+        assert_eq!(artifacts.trace.len(), 8);
+        assert!(artifacts.cpp_source.contains("int cnn("));
+        assert!(artifacts.tcl.vivado.contains("create_bd_design"));
+        assert!(artifacts.hdl_wrapper.contains("module design_1_wrapper"));
+        assert!(artifacts.report.resources.fits());
+        assert!(artifacts.network.param_count() > 0);
+    }
+
+    #[test]
+    fn workflow_trace_covers_all_stages() {
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(false),
+            WeightSource::Random { seed: 1 },
+        );
+        let artifacts = wf.run().unwrap();
+        for (line, stage) in artifacts.trace.iter().zip(WorkflowStage::ALL) {
+            assert!(
+                line.starts_with(stage.name()),
+                "trace line '{line}' should start with '{}'",
+                stage.name()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_descriptor_fails_at_validate() {
+        let mut spec = NetworkSpec::paper_usps_small(false);
+        spec.conv_layers[0].kernel = 99;
+        let err = Workflow::new(spec, WeightSource::Random { seed: 1 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err.stage, WorkflowStage::Validate);
+    }
+
+    #[test]
+    fn oversized_network_fails_at_synthesize_on_zybo() {
+        let mut spec = NetworkSpec::paper_cifar();
+        spec.board = cnn_fpga::Board::Zybo;
+        let err = Workflow::new(spec, WeightSource::Random { seed: 1 })
+            .run()
+            .unwrap_err();
+        assert_eq!(err.stage, WorkflowStage::Synthesize);
+        assert!(err.to_string().contains("BRAM"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_trained_weights_fail_at_realize() {
+        let small = crate::weights::build_random(&NetworkSpec::paper_usps_small(true), 3).unwrap();
+        let err = Workflow::new(
+            NetworkSpec::paper_cifar(),
+            WeightSource::Trained(Box::new(small)),
+        )
+        .run()
+        .unwrap_err();
+        assert_eq!(err.stage, WorkflowStage::RealizeWeights);
+    }
+
+    #[test]
+    fn programmed_device_classifies() {
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 9 },
+        );
+        let a = wf.run().unwrap();
+        let img = cnn_tensor::Tensor::zeros(a.network.input_shape());
+        let res = a.device.classify_batch(std::slice::from_ref(&img));
+        assert_eq!(res.predictions.len(), 1);
+        assert_eq!(res.predictions[0], a.network.predict(&img));
+    }
+
+    #[test]
+    fn stage_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            WorkflowStage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), WorkflowStage::ALL.len());
+    }
+}

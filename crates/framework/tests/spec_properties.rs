@@ -1,0 +1,97 @@
+//! Property tests on the descriptor layer: JSON round-trips, shape
+//! validation agrees with the network builder, and invalid inputs
+//! never produce a network.
+
+use cnn_fpga::Board;
+use cnn_framework::spec::PoolSpec;
+use cnn_framework::weights::build_random;
+use cnn_framework::{ConvLayerSpec, LinearLayerSpec, NetworkSpec};
+use cnn_tensor::ops::pool::PoolKind;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        1usize..=3,
+        4usize..=28,
+        4usize..=28,
+        proptest::collection::vec(
+            (1usize..=10, 1usize..=7, proptest::option::of((1usize..=3, 1usize..=3))),
+            0..=3,
+        ),
+        proptest::collection::vec((1usize..=20, any::<bool>()), 0..=3),
+        any::<bool>(),
+    )
+        .prop_map(|(c, h, w, convs, linears, optimized)| NetworkSpec {
+            input_channels: c,
+            input_height: h,
+            input_width: w,
+            conv_layers: convs
+                .into_iter()
+                .map(|(maps, kernel, pool)| ConvLayerSpec {
+                    feature_maps_out: maps,
+                    kernel,
+                    pooling: pool.map(|(k, step)| PoolSpec {
+                        kind: PoolKind::Max,
+                        kernel: k,
+                        step: Some(step),
+                    }),
+                })
+                .collect(),
+            linear_layers: linears
+                .into_iter()
+                .map(|(neurons, tanh)| LinearLayerSpec { neurons, tanh })
+                .collect(),
+            board: Board::Zedboard,
+            optimized,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn descriptor_json_roundtrips(spec in arb_spec()) {
+        let json = spec.to_json();
+        let back: NetworkSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn validation_agrees_with_builder(spec in arb_spec()) {
+        // Whenever the descriptor validates, the builder must accept
+        // it; whenever it doesn't, the builder must reject it too
+        // (except for the empty case, which validate() rejects first).
+        match spec.validate() {
+            Ok(shapes) => {
+                let net = build_random(&spec, 1).expect("builder must accept validated spec");
+                prop_assert_eq!(
+                    net.output_shape().len(),
+                    shapes.last().unwrap().len()
+                );
+            }
+            Err(_) => {
+                prop_assert!(build_random(&spec, 1).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn validated_shapes_are_monotone_nonincreasing_spatially(spec in arb_spec()) {
+        if let Ok(shapes) = spec.validate() {
+            // Spatial extent never grows through the conv part.
+            let mut prev_hw = spec.input_height * spec.input_width;
+            for s in shapes.iter().take_while(|s| s.c != 1 || s.h != 1) {
+                prop_assert!(s.h * s.w <= prev_hw);
+                prev_hw = s.h * s.w;
+            }
+        }
+    }
+
+    #[test]
+    fn classes_is_last_linear(spec in arb_spec()) {
+        match spec.linear_layers.last() {
+            Some(l) => prop_assert_eq!(spec.classes(), Some(l.neurons)),
+            None => prop_assert_eq!(spec.classes(), None),
+        }
+    }
+}

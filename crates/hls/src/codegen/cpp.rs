@@ -1,0 +1,528 @@
+//! C++ code generation — the paper's first wrapper: "a single file
+//! containing all the parameters of the network, included the
+//! hard-coded weights, and the function that will be implemented in
+//! hardware", in the Vivado-HLS-synthesizable C++ subset, following
+//! the dataflow pattern of Section IV-B (intermediate buffers between
+//! layers, AXI4-Stream I/O on the boundary, LogSoftMax appended, and
+//! an `int` return carrying the predicted class).
+
+use crate::directives::DirectiveSet;
+use crate::ir::{BlockKind, DesignIr, LayerBlock};
+use cnn_nn::{Layer, Network};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use std::fmt::Write;
+
+/// Formats an f32 as a C literal that round-trips exactly.
+fn f32_lit(v: f32) -> String {
+    if v == v.trunc() && v.abs() < 1e7 {
+        format!("{v:.1}f")
+    } else {
+        // Shortest round-trip representation, suffixed.
+        format!("{v}f")
+    }
+}
+
+/// Emits a flat float array initializer, wrapped at 8 values per line.
+fn emit_array(out: &mut String, name: &str, data: &[f32]) {
+    let _ = writeln!(out, "static const float {name}[{}] = {{", data.len());
+    for chunk in data.chunks(8) {
+        let vals: Vec<String> = chunk.iter().map(|&v| f32_lit(v)).collect();
+        let _ = writeln!(out, "    {},", vals.join(", "));
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn activation_expr(act: Activation, x: &str) -> String {
+    match act {
+        Activation::Tanh => format!("cnn_tanh({x})"),
+        Activation::Relu => format!("({x} > 0.0f ? {x} : 0.0f)"),
+        Activation::Sigmoid => format!("(1.0f / (1.0f + cnn_exp(-({x}))))"),
+    }
+}
+
+/// Emits the helper math kernels (the HLS math library surface).
+fn emit_helpers(out: &mut String) {
+    out.push_str(
+        "\n// --- math helpers (synthesizable subset; no libm calls) ---\n\
+         static float cnn_exp(float x) {\n\
+         #pragma HLS INLINE\n\
+             // range-reduced degree-6 polynomial exponential\n\
+             if (x > 88.0f) return 1e38f;\n\
+             if (x < -87.0f) return 0.0f;\n\
+             const float LN2 = 0.69314718056f;\n\
+             float k = (float)(int)(x / LN2 + (x >= 0.0f ? 0.5f : -0.5f));\n\
+             float r = x - k * LN2;\n\
+             float p = 1.0f + r * (1.0f + r * (0.5f + r * (0.166666667f\n\
+                     + r * (0.0416666667f + r * (0.00833333333f + r * 0.00138888889f)))));\n\
+             int ik = (int)k;\n\
+             float s = 1.0f;\n\
+             for (int i = 0; i < (ik > 0 ? ik : -ik); i++) {\n\
+                 s *= (ik > 0) ? 2.0f : 0.5f;\n\
+             }\n\
+             return p * s;\n\
+         }\n\
+         \n\
+         static float cnn_log(float x) {\n\
+         #pragma HLS INLINE\n\
+             // atanh-series logarithm: ln(x) = 2*atanh((x-1)/(x+1))\n\
+             float y = (x - 1.0f) / (x + 1.0f);\n\
+             float y2 = y * y;\n\
+             return 2.0f * y * (1.0f + y2 * (0.333333333f + y2 * (0.2f + y2 * 0.142857143f)));\n\
+         }\n\
+         \n\
+         static float cnn_tanh(float x) {\n\
+         #pragma HLS INLINE\n\
+             float e2 = cnn_exp(2.0f * x);\n\
+             return (e2 - 1.0f) / (e2 + 1.0f);\n\
+         }\n\n",
+    );
+}
+
+fn emit_conv_block(
+    out: &mut String,
+    block: &LayerBlock,
+    layer_idx: usize,
+    net: &Network,
+    inname: &str,
+    outname: &str,
+    directives: &DirectiveSet,
+) {
+    let Layer::Conv2d(c) = &net.layers()[layer_idx] else {
+        unreachable!("conv block must map to a conv layer")
+    };
+    let in_shape = if layer_idx == 0 {
+        net.input_shape()
+    } else {
+        net.shape_after(layer_idx - 1)
+    };
+    let out_shape = net.shape_after(layer_idx);
+    let (k, ch, kh, kw) = (
+        c.kernels.kernels(),
+        c.kernels.channels(),
+        c.kernels.kh(),
+        c.kernels.kw(),
+    );
+    let name = &block.name;
+    let _ = writeln!(out, "    // {name}: {k} kernels {kh}x{kw} over {in_shape} -> {out_shape}");
+    let _ = writeln!(out, "    {name}_k: for (int k = 0; k < {k}; k++) {{");
+    let _ = writeln!(out, "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{", out_shape.h);
+    let _ = writeln!(out, "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{", out_shape.w);
+    let _ = writeln!(out, "        float acc = {name}_b[k];");
+    let _ = writeln!(out, "    {name}_reduce: for (int c = 0; c < {ch}; c++)");
+    let _ = writeln!(out, "        for (int m = 0; m < {kh}; m++)");
+    let _ = writeln!(out, "        for (int n = 0; n < {kw}; n++) {{");
+    if directives.pipelines(BlockKind::Conv) {
+        let _ = writeln!(
+            out,
+            "#pragma HLS PIPELINE II={}",
+            crate::calibration::II_REDUCTION
+        );
+        if directives.unroll_factor > 1 {
+            let _ = writeln!(out, "#pragma HLS UNROLL factor={}", directives.unroll_factor);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "            acc += {name}_w[((k * {ch} + c) * {kh} + m) * {kw} + n]\n\
+         \x20                * {inname}[(c * {ih} + oy + m) * {iw} + ox + n];",
+        ih = in_shape.h,
+        iw = in_shape.w,
+    );
+    let _ = writeln!(out, "        }}");
+    let expr = match c.activation {
+        Some(act) => activation_expr(act, "acc"),
+        None => "acc".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "        {outname}[(k * {oh} + oy) * {ow} + ox] = {expr};",
+        oh = out_shape.h,
+        ow = out_shape.w,
+    );
+    let _ = writeln!(out, "    }} }} }}\n");
+}
+
+fn emit_pool_block(
+    out: &mut String,
+    block: &LayerBlock,
+    layer_idx: usize,
+    net: &Network,
+    inname: &str,
+    outname: &str,
+    directives: &DirectiveSet,
+) {
+    let Layer::Pool(p) = &net.layers()[layer_idx] else {
+        unreachable!("pool block must map to a pool layer")
+    };
+    let in_shape = net.shape_after(layer_idx - 1);
+    let out_shape = net.shape_after(layer_idx);
+    let name = &block.name;
+    let op = match p.kind {
+        PoolKind::Max => "max",
+        PoolKind::Mean => "mean",
+    };
+    let _ = writeln!(out, "    // {name}: {op}-pool {}x{} stride {}", p.kh, p.kw, p.step);
+    let _ = writeln!(out, "    {name}_c: for (int c = 0; c < {}; c++) {{", out_shape.c);
+    let _ = writeln!(out, "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{", out_shape.h);
+    let _ = writeln!(out, "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{", out_shape.w);
+    match p.kind {
+        PoolKind::Max => {
+            let _ = writeln!(out, "        float best = -3.0e38f;");
+        }
+        PoolKind::Mean => {
+            let _ = writeln!(out, "        float acc = 0.0f;");
+        }
+    }
+    let _ = writeln!(out, "    {name}_reduce: for (int m = 0; m < {}; m++)", p.kh);
+    let _ = writeln!(out, "        for (int n = 0; n < {}; n++) {{", p.kw);
+    if directives.pipelines(BlockKind::Pool) {
+        let _ = writeln!(out, "#pragma HLS PIPELINE II=1");
+    }
+    let idx = format!(
+        "(c * {ih} + oy * {st} + m) * {iw} + ox * {st} + n",
+        ih = in_shape.h,
+        iw = in_shape.w,
+        st = p.step
+    );
+    match p.kind {
+        PoolKind::Max => {
+            let _ = writeln!(
+                out,
+                "            float v = {inname}[{idx}];\n\
+                 \x20           if (v > best) best = v;"
+            );
+        }
+        PoolKind::Mean => {
+            let _ = writeln!(out, "            acc += {inname}[{idx}];");
+        }
+    }
+    let _ = writeln!(out, "        }}");
+    let store = match p.kind {
+        PoolKind::Max => "best".to_string(),
+        PoolKind::Mean => format!("acc * {}", f32_lit(1.0 / (p.kh * p.kw) as f32)),
+    };
+    let _ = writeln!(
+        out,
+        "        {outname}[(c * {oh} + oy) * {ow} + ox] = {store};",
+        oh = out_shape.h,
+        ow = out_shape.w,
+    );
+    let _ = writeln!(out, "    }} }} }}\n");
+}
+
+fn emit_linear_block(
+    out: &mut String,
+    block: &LayerBlock,
+    layer_idx: usize,
+    net: &Network,
+    inname: &str,
+    outname: &str,
+    directives: &DirectiveSet,
+) {
+    let Layer::Linear(l) = &net.layers()[layer_idx] else {
+        unreachable!("linear block must map to a linear layer")
+    };
+    let name = &block.name;
+    let _ = writeln!(out, "    // {name}: {} -> {} neurons", l.inputs, l.outputs);
+    let _ = writeln!(out, "    {name}_j: for (int j = 0; j < {}; j++) {{", l.outputs);
+    let _ = writeln!(out, "        float acc = {name}_b[j];");
+    let _ = writeln!(out, "    {name}_reduce: for (int i = 0; i < {}; i++) {{", l.inputs);
+    if directives.pipelines(BlockKind::Linear) {
+        let _ = writeln!(
+            out,
+            "#pragma HLS PIPELINE II={}",
+            crate::calibration::II_REDUCTION
+        );
+    }
+    let _ = writeln!(
+        out,
+        "            acc += {name}_w[j * {} + i] * {inname}[i];",
+        l.inputs
+    );
+    let _ = writeln!(out, "        }}");
+    let expr = match l.activation {
+        Some(act) => activation_expr(act, "acc"),
+        None => "acc".to_string(),
+    };
+    let _ = writeln!(out, "        {outname}[j] = {expr};");
+    let _ = writeln!(out, "    }}\n");
+}
+
+fn emit_log_softmax_block(out: &mut String, classes: u64, inname: &str) {
+    let _ = writeln!(
+        out,
+        "    // log_softmax + argmax (appended by the generator)\n\
+         \x20   float lsm_max = {inname}[0];\n\
+         \x20   lsm_m: for (int k = 1; k < {classes}; k++)\n\
+         \x20       if ({inname}[k] > lsm_max) lsm_max = {inname}[k];\n\
+         \x20   float lsm_sum = 0.0f;\n\
+         \x20   lsm_e: for (int k = 0; k < {classes}; k++)\n\
+         \x20       lsm_sum += cnn_exp({inname}[k] - lsm_max);\n\
+         \x20   float lsm_lse = cnn_log(lsm_sum);\n\
+         \x20   int best = 0;\n\
+         \x20   float best_v = -3.0e38f;\n\
+         \x20   lsm_o: for (int k = 0; k < {classes}; k++) {{\n\
+         \x20       float lp = {inname}[k] - lsm_max - lsm_lse;\n\
+         \x20       if (lp > best_v) {{ best_v = lp; best = k; }}\n\
+         \x20   }}\n\
+         \x20   return best;"
+    );
+}
+
+/// Collects the weight arrays of the network in block order.
+fn emit_weights(out: &mut String, net: &Network, ir: &DesignIr) {
+    let mut block_iter = ir.blocks.iter();
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv2d(c) => {
+                let b = block_iter.next().expect("block for conv");
+                emit_array(out, &format!("{}_w", b.name), c.kernels.as_slice());
+                emit_array(out, &format!("{}_b", b.name), &c.bias);
+            }
+            Layer::Pool(_) => {
+                block_iter.next();
+            }
+            Layer::Linear(l) => {
+                let b = block_iter.next().expect("block for linear");
+                emit_array(out, &format!("{}_w", b.name), &l.weights);
+                emit_array(out, &format!("{}_b", b.name), &l.bias);
+            }
+            Layer::LogSoftMax => {
+                block_iter.next();
+            }
+            Layer::Flatten => {}
+        }
+    }
+}
+
+/// Generates the complete single-file C++ source.
+pub fn generate(net: &Network, ir: &DesignIr, directives: &DirectiveSet) -> String {
+    let mut out = String::with_capacity(1 << 16);
+    out.push_str(
+        "// ===================================================================\n\
+         // CNN hardware function - generated by cnn2fpga\n\
+         // Synthesizable C++ subset for Vivado HLS (paper Section IV-A):\n\
+         // dataflow pattern with intermediate buffers, AXI4-Stream I/O,\n\
+         // hard-coded trained weights, LogSoftMax tail, int class output.\n\
+         // ===================================================================\n\n",
+    );
+
+    emit_weights(&mut out, net, ir);
+    emit_helpers(&mut out);
+
+    // Top function with stream interface.
+    let in_elems = ir.input_elems;
+    let _ = writeln!(
+        out,
+        "int cnn(volatile float *in_stream) {{\n\
+         #pragma HLS INTERFACE axis port=in_stream\n\
+         #pragma HLS INTERFACE s_axilite port=return"
+    );
+    if directives.dataflow {
+        let _ = writeln!(out, "#pragma HLS DATAFLOW");
+    }
+    let _ = writeln!(out, "\n    float buf_in[{in_elems}];");
+    for (i, b) in ir.blocks.iter().enumerate() {
+        if i + 1 < ir.blocks.len() {
+            let _ = writeln!(out, "    float {}_out[{}];", b.name, b.output_elems);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n    read_in: for (int i = 0; i < {in_elems}; i++) {{\n\
+         #pragma HLS PIPELINE II=1\n\
+         \x20       buf_in[i] = in_stream[i];\n\
+         \x20   }}\n"
+    );
+
+    // Walk layers and blocks in step.
+    let mut block_idx = 0usize;
+    let mut inname = "buf_in".to_string();
+    for (layer_idx, layer) in net.layers().iter().enumerate() {
+        if matches!(layer, Layer::Flatten) {
+            continue; // flattening is free: buffers are already flat
+        }
+        let block = &ir.blocks[block_idx];
+        let is_last = block_idx + 1 == ir.blocks.len();
+        let outname = format!("{}_out", block.name);
+        match layer {
+            Layer::Conv2d(_) => {
+                emit_conv_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
+            }
+            Layer::Pool(_) => {
+                emit_pool_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
+            }
+            Layer::Linear(_) => {
+                emit_linear_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
+            }
+            Layer::LogSoftMax => emit_log_softmax_block(&mut out, ir.classes, &inname),
+            Layer::Flatten => unreachable!(),
+        }
+        if !is_last {
+            inname = outname;
+        }
+        block_idx += 1;
+    }
+
+    // Networks without a LogSoftMax tail still need a return.
+    if !matches!(net.layers().last(), Some(Layer::LogSoftMax)) {
+        let last = ir.blocks.last().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "    int best = 0;\n\
+             \x20   float best_v = -3.0e38f;\n\
+             \x20   out_argmax: for (int k = 0; k < {n}; k++) {{\n\
+             \x20       if ({name}_out[k] > best_v) {{ best_v = {name}_out[k]; best = k; }}\n\
+             \x20   }}\n\
+             \x20   return best;",
+            n = last.output_elems,
+            name = last.name,
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn gen(directives: DirectiveSet) -> String {
+        let net = test1_net();
+        let ir = lower(&net);
+        generate(&net, &ir, &directives)
+    }
+
+    #[test]
+    fn source_has_top_function_and_interface_pragmas() {
+        let src = gen(DirectiveSet::naive());
+        assert!(src.contains("int cnn(volatile float *in_stream)"));
+        assert!(src.contains("#pragma HLS INTERFACE axis port=in_stream"));
+        assert!(src.contains("#pragma HLS INTERFACE s_axilite port=return"));
+    }
+
+    #[test]
+    fn weights_are_hard_coded() {
+        let src = gen(DirectiveSet::naive());
+        assert!(src.contains("static const float conv1_w[150]"));
+        assert!(src.contains("static const float conv1_b[6]"));
+        assert!(src.contains("static const float linear1_w[2160]"));
+        assert!(src.contains("static const float linear1_b[10]"));
+    }
+
+    #[test]
+    fn naive_has_no_optimization_pragmas() {
+        let src = gen(DirectiveSet::naive());
+        assert!(!src.contains("#pragma HLS DATAFLOW"));
+        // the input reader is always pipelined; layer loops are not
+        let after_reader = src.split("read_in").nth(1).unwrap();
+        assert!(!after_reader.contains("#pragma HLS PIPELINE II=2"));
+    }
+
+    #[test]
+    fn optimized_has_dataflow_and_conv_pipeline() {
+        let src = gen(DirectiveSet::optimized());
+        assert!(src.contains("#pragma HLS DATAFLOW"));
+        assert!(src.contains("#pragma HLS PIPELINE II=2"));
+    }
+
+    #[test]
+    fn unrolled_build_emits_unroll_pragma() {
+        let src = gen(DirectiveSet::optimized_unrolled(5));
+        assert!(src.contains("#pragma HLS UNROLL factor=5"));
+    }
+
+    #[test]
+    fn loop_labels_match_ir_block_names() {
+        let src = gen(DirectiveSet::naive());
+        for label in ["conv1_reduce", "pool1_reduce", "linear1_reduce", "lsm_o"] {
+            assert!(src.contains(label), "missing loop label {label}");
+        }
+    }
+
+    #[test]
+    fn logsoftmax_and_return() {
+        let src = gen(DirectiveSet::naive());
+        assert!(src.contains("cnn_exp("));
+        assert!(src.contains("cnn_log("));
+        assert!(src.contains("return best;"));
+    }
+
+    #[test]
+    fn buffers_declared_between_layers() {
+        let src = gen(DirectiveSet::naive());
+        assert!(src.contains("float buf_in[256];"));
+        assert!(src.contains("float conv1_out[864];"));
+        assert!(src.contains("float pool1_out[216];"));
+        assert!(src.contains("float linear1_out[10];"));
+    }
+
+    #[test]
+    fn network_without_lsm_gets_argmax_epilogue() {
+        let mut rng = seeded_rng(5);
+        let net = Network::builder(Shape::new(1, 8, 8))
+            .conv(2, 3, 3, &mut rng)
+            .flatten()
+            .linear(4, None, &mut rng)
+            .build()
+            .unwrap();
+        let ir = lower(&net);
+        let src = generate(&net, &ir, &DirectiveSet::naive());
+        assert!(src.contains("out_argmax"));
+        assert!(src.contains("return best;"));
+    }
+
+    #[test]
+    fn float_literals_roundtrip() {
+        assert_eq!(f32_lit(1.0), "1.0f");
+        assert_eq!(f32_lit(-2.0), "-2.0f");
+        #[allow(clippy::excessive_precision)]
+        let v = 0.123456789f32;
+        let lit = f32_lit(v);
+        let parsed: f32 = lit.trim_end_matches('f').parse().unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn weight_values_appear_in_source() {
+        let net = test1_net();
+        let ir = lower(&net);
+        let src = generate(&net, &ir, &DirectiveSet::naive());
+        // Spot-check: the first conv weight literal is present.
+        if let cnn_nn::Layer::Conv2d(c) = &net.layers()[0] {
+            let first = c.kernels.as_slice()[0];
+            assert!(src.contains(&f32_lit(first)), "missing weight literal {first}");
+        } else {
+            panic!("layer 0 should be conv");
+        }
+    }
+
+    #[test]
+    fn mean_pool_generates_scale() {
+        let mut rng = seeded_rng(6);
+        let net = Network::builder(Shape::new(1, 8, 8))
+            .conv(2, 3, 3, &mut rng)
+            .pool(PoolKind::Mean, 2, 2)
+            .build()
+            .unwrap();
+        let ir = lower(&net);
+        let src = generate(&net, &ir, &DirectiveSet::naive());
+        assert!(src.contains("acc * 0.25f"), "mean pool should scale by 1/4");
+    }
+}

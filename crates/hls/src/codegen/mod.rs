@@ -1,0 +1,9 @@
+//! Artifact generation — the two "Python wrappers" of the paper's
+//! back end, reimplemented: [`cpp`] emits the single synthesizable C++
+//! source with hard-coded weights; [`tcl`] emits the three tcl scripts
+//! for Vivado HLS and Vivado Design Suite; [`tb`] emits the C
+//! simulation testbench a `csim_design` run drives.
+
+pub mod cpp;
+pub mod tb;
+pub mod tcl;

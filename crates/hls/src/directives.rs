@@ -1,0 +1,283 @@
+//! Optimization directives — the two Vivado HLS pragmas the paper's
+//! optimized builds apply (Section V-B): `HLS DATAFLOW` for task-level
+//! pipelining across layer blocks, and `HLS PIPELINE` on the inner
+//! (reduction) loop of the convolutional layers.
+
+use crate::ir::BlockKind;
+use serde::{Deserialize, Serialize};
+
+/// A single directive as it appears in `directives.tcl`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Directive {
+    /// `set_directive_dataflow` on the top function.
+    Dataflow,
+    /// `set_directive_pipeline` on a named loop, with an optional II.
+    Pipeline {
+        /// `function/loop` locator.
+        location: String,
+        /// Requested initiation interval (None lets the tool choose).
+        ii: Option<u32>,
+    },
+    /// `set_directive_unroll` on a named loop.
+    Unroll {
+        /// `function/loop` locator.
+        location: String,
+        /// Unroll factor.
+        factor: u32,
+    },
+}
+
+impl Directive {
+    /// Renders the directive as a Vivado HLS tcl command.
+    pub fn to_tcl(&self, top: &str) -> String {
+        match self {
+            Directive::Dataflow => format!("set_directive_dataflow \"{top}\""),
+            Directive::Pipeline { location, ii } => match ii {
+                Some(ii) => {
+                    format!("set_directive_pipeline -II {ii} \"{top}/{location}\"")
+                }
+                None => format!("set_directive_pipeline \"{top}/{location}\""),
+            },
+            Directive::Unroll { location, factor } => {
+                format!("set_directive_unroll -factor {factor} \"{top}/{location}\"")
+            }
+        }
+    }
+}
+
+/// Which optimizations are enabled for a build. The two presets
+/// correspond to the paper's Test 1 (naive) and Tests 2–4 (optimized).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectiveSet {
+    /// Task-level pipelining across layer blocks (`HLS DATAFLOW`).
+    pub dataflow: bool,
+    /// Pipeline the reduction loop of convolutional blocks.
+    pub pipeline_conv: bool,
+    /// Pipeline the reduction loop of linear blocks (extension: the
+    /// paper only pipelines convolutions).
+    pub pipeline_linear: bool,
+    /// Pipeline the window loop of pooling blocks (extension).
+    pub pipeline_pool: bool,
+    /// `HLS UNROLL` factor on the innermost (kernel-width) loop of
+    /// pipelined convolutions: 1 = off (the paper's configuration);
+    /// higher factors initiate that many reduction elements per II at
+    /// a proportional DSP cost (extension).
+    #[serde(default = "default_unroll")]
+    pub unroll_factor: u32,
+}
+
+fn default_unroll() -> u32 {
+    1
+}
+
+impl DirectiveSet {
+    /// Test 1's configuration: "none of the possible optimization".
+    pub const fn naive() -> DirectiveSet {
+        DirectiveSet {
+            dataflow: false,
+            pipeline_conv: false,
+            pipeline_linear: false,
+            pipeline_pool: false,
+            unroll_factor: 1,
+        }
+    }
+
+    /// Tests 2–4's configuration: `HLS DATAFLOW` + `HLS PIPELINE` on
+    /// the inner loop of the convolutional layers.
+    pub const fn optimized() -> DirectiveSet {
+        DirectiveSet {
+            dataflow: true,
+            pipeline_conv: true,
+            pipeline_linear: false,
+            pipeline_pool: false,
+            unroll_factor: 1,
+        }
+    }
+
+    /// Everything on — the design-space-exploration upper corner.
+    pub const fn aggressive() -> DirectiveSet {
+        DirectiveSet {
+            dataflow: true,
+            pipeline_conv: true,
+            pipeline_linear: true,
+            pipeline_pool: true,
+            unroll_factor: 1,
+        }
+    }
+
+    /// The optimized preset with an additional unroll factor on the
+    /// convolution reductions (extension ablation).
+    pub const fn optimized_unrolled(factor: u32) -> DirectiveSet {
+        DirectiveSet {
+            dataflow: true,
+            pipeline_conv: true,
+            pipeline_linear: false,
+            pipeline_pool: false,
+            unroll_factor: factor,
+        }
+    }
+
+    /// Whether blocks of `kind` have their reduction loop pipelined.
+    pub fn pipelines(&self, kind: BlockKind) -> bool {
+        match kind {
+            BlockKind::Conv => self.pipeline_conv,
+            BlockKind::Linear => self.pipeline_linear,
+            BlockKind::Pool => self.pipeline_pool,
+            BlockKind::LogSoftMax => false,
+        }
+    }
+
+    /// Expands the set into concrete [`Directive`]s for the given
+    /// block names (used by the tcl generator).
+    pub fn directives(&self, blocks: &[(String, BlockKind)]) -> Vec<Directive> {
+        let mut out = Vec::new();
+        if self.dataflow {
+            out.push(Directive::Dataflow);
+        }
+        for (name, kind) in blocks {
+            if self.pipelines(*kind) {
+                out.push(Directive::Pipeline {
+                    location: format!("{name}_reduce"),
+                    ii: Some(crate::calibration::II_REDUCTION as u32),
+                });
+                if self.unroll_factor > 1 && *kind == BlockKind::Conv {
+                    out.push(Directive::Unroll {
+                        location: format!("{name}_reduce"),
+                        factor: self.unroll_factor,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// All 16 combinations, for design-space exploration.
+    pub fn all_combinations() -> Vec<DirectiveSet> {
+        let mut out = Vec::with_capacity(16);
+        for bits in 0u8..16 {
+            out.push(DirectiveSet {
+                dataflow: bits & 1 != 0,
+                pipeline_conv: bits & 2 != 0,
+                pipeline_linear: bits & 4 != 0,
+                pipeline_pool: bits & 8 != 0,
+                unroll_factor: 1,
+            });
+        }
+        out
+    }
+
+    /// Short label for reports ("naive", "dataflow+conv", ...).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.dataflow {
+            parts.push("dataflow");
+        }
+        if self.pipeline_conv {
+            parts.push("pipe-conv");
+        }
+        if self.pipeline_linear {
+            parts.push("pipe-linear");
+        }
+        if self.pipeline_pool {
+            parts.push("pipe-pool");
+        }
+        let mut label = if parts.is_empty() {
+            "naive".to_string()
+        } else {
+            parts.join("+")
+        };
+        if self.unroll_factor > 1 {
+            label.push_str(&format!("+unroll{}", self.unroll_factor));
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(!DirectiveSet::naive().dataflow);
+        assert!(DirectiveSet::optimized().dataflow);
+        assert!(DirectiveSet::optimized().pipeline_conv);
+        assert!(!DirectiveSet::optimized().pipeline_linear);
+        assert!(DirectiveSet::aggressive().pipeline_pool);
+    }
+
+    #[test]
+    fn pipelines_by_kind() {
+        let opt = DirectiveSet::optimized();
+        assert!(opt.pipelines(BlockKind::Conv));
+        assert!(!opt.pipelines(BlockKind::Linear));
+        assert!(!opt.pipelines(BlockKind::LogSoftMax));
+    }
+
+    #[test]
+    fn tcl_rendering() {
+        assert_eq!(Directive::Dataflow.to_tcl("cnn"), "set_directive_dataflow \"cnn\"");
+        let p = Directive::Pipeline { location: "conv1_reduce".into(), ii: Some(2) };
+        assert_eq!(
+            p.to_tcl("cnn"),
+            "set_directive_pipeline -II 2 \"cnn/conv1_reduce\""
+        );
+        let p2 = Directive::Pipeline { location: "l".into(), ii: None };
+        assert_eq!(p2.to_tcl("cnn"), "set_directive_pipeline \"cnn/l\"");
+    }
+
+    #[test]
+    fn directive_expansion_for_optimized() {
+        let blocks = vec![
+            ("conv1".to_string(), BlockKind::Conv),
+            ("pool1".to_string(), BlockKind::Pool),
+            ("linear1".to_string(), BlockKind::Linear),
+        ];
+        let ds = DirectiveSet::optimized().directives(&blocks);
+        assert_eq!(ds.len(), 2); // dataflow + conv pipeline
+        assert_eq!(ds[0], Directive::Dataflow);
+        assert!(matches!(&ds[1], Directive::Pipeline { location, .. } if location == "conv1_reduce"));
+    }
+
+    #[test]
+    fn naive_expands_to_nothing() {
+        let blocks = vec![("conv1".to_string(), BlockKind::Conv)];
+        assert!(DirectiveSet::naive().directives(&blocks).is_empty());
+    }
+
+    #[test]
+    fn all_combinations_are_distinct_and_complete() {
+        let all = DirectiveSet::all_combinations();
+        assert_eq!(all.len(), 16);
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+        assert!(all.contains(&DirectiveSet::naive()));
+        assert!(all.contains(&DirectiveSet::optimized()));
+        assert!(all.contains(&DirectiveSet::aggressive()));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DirectiveSet::naive().label(), "naive");
+        assert_eq!(DirectiveSet::optimized().label(), "dataflow+pipe-conv");
+        assert_eq!(
+            DirectiveSet::optimized_unrolled(4).label(),
+            "dataflow+pipe-conv+unroll4"
+        );
+    }
+
+    #[test]
+    fn unroll_expands_to_a_tcl_directive() {
+        let blocks = vec![("conv1".to_string(), BlockKind::Conv)];
+        let ds = DirectiveSet::optimized_unrolled(4).directives(&blocks);
+        assert!(ds.iter().any(|d| matches!(
+            d,
+            Directive::Unroll { location, factor: 4 } if location == "conv1_reduce"
+        )));
+        let tcl = Directive::Unroll { location: "conv1_reduce".into(), factor: 4 }.to_tcl("cnn");
+        assert_eq!(tcl, "set_directive_unroll -factor 4 \"cnn/conv1_reduce\"");
+    }
+}

@@ -1,0 +1,236 @@
+//! Design-space exploration — Section V-E's methodology as an API:
+//! "Vivado HLS, along with a high level specification, allows to
+//! explore faster the design space and analyze different solutions
+//! […] and finally converge to the most suitable implementation".
+//!
+//! [`explore`] sweeps every directive combination (optionally across
+//! precisions), returning one [`DesignPoint`] per configuration with
+//! its schedule and binding; [`pareto_front`] extracts the
+//! throughput/DSP-efficient subset; [`recommend`] picks the fastest
+//! fitting configuration — the loop the paper's authors ran by hand
+//! to settle on DATAFLOW + PIPELINE.
+
+use crate::directives::DirectiveSet;
+use crate::part::FpgaPart;
+use crate::precision::Precision;
+use crate::project::HlsProject;
+use cnn_nn::Network;
+
+/// One evaluated configuration.
+#[derive(Clone, Debug)]
+pub struct DesignPoint {
+    /// Directive configuration.
+    pub directives: DirectiveSet,
+    /// Datapath precision.
+    pub precision: Precision,
+    /// Steady-state interval (cycles between classifications).
+    pub interval_cycles: u64,
+    /// Per-image latency.
+    pub latency_cycles: u64,
+    /// DSP slices used.
+    pub dsp: u32,
+    /// BRAM36 blocks used.
+    pub bram36: u32,
+    /// Whether the configuration fits the part.
+    pub fits: bool,
+}
+
+impl DesignPoint {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        format!("{} @{}", self.directives.label(), self.precision.label())
+    }
+}
+
+/// Evaluates every directive combination for `network` on `part` at
+/// the given precisions (pass `&[Precision::Float32]` for the paper's
+/// sweep).
+pub fn explore(network: &Network, part: FpgaPart, precisions: &[Precision]) -> Vec<DesignPoint> {
+    assert!(!precisions.is_empty(), "need at least one precision");
+    let mut points = Vec::with_capacity(16 * precisions.len());
+    for &precision in precisions {
+        for directives in DirectiveSet::all_combinations() {
+            // Evaluate even non-fitting points (the explorer must see
+            // why a corner fails).
+            let project = match HlsProject::with_precision(network, directives, part, precision) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Rebuild unchecked to read the overflow numbers.
+                    let p = HlsProject::new_unchecked(network, directives, part);
+                    points.push(DesignPoint {
+                        directives,
+                        precision,
+                        interval_cycles: p.schedule().interval_cycles,
+                        latency_cycles: p.schedule().latency_cycles,
+                        dsp: p.resources().dsp,
+                        bram36: p.resources().bram36,
+                        fits: false,
+                    });
+                    continue;
+                }
+            };
+            points.push(DesignPoint {
+                directives,
+                precision,
+                interval_cycles: project.schedule().interval_cycles,
+                latency_cycles: project.schedule().latency_cycles,
+                dsp: project.resources().dsp,
+                bram36: project.resources().bram36,
+                fits: project.resources().fits(),
+            });
+        }
+    }
+    points.sort_by_key(|p| (p.interval_cycles, p.dsp));
+    points
+}
+
+/// Sweeps unroll factors on top of the optimized preset — the second
+/// DSE axis once the directive space is settled.
+pub fn explore_unroll(
+    network: &Network,
+    part: FpgaPart,
+    factors: &[u32],
+) -> Vec<DesignPoint> {
+    assert!(!factors.is_empty(), "need at least one factor");
+    let mut points = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        let directives = DirectiveSet::optimized_unrolled(factor.max(1));
+        let p = HlsProject::new_unchecked(network, directives, part);
+        points.push(DesignPoint {
+            directives,
+            precision: Precision::Float32,
+            interval_cycles: p.schedule().interval_cycles,
+            latency_cycles: p.schedule().latency_cycles,
+            dsp: p.resources().dsp,
+            bram36: p.resources().bram36,
+            fits: p.resources().fits(),
+        });
+    }
+    points
+}
+
+/// Indices of the Pareto-efficient points in `(interval, dsp)` space
+/// (lower is better on both axes). Input order is preserved.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            let p = &points[i];
+            !points.iter().any(|q| {
+                (q.interval_cycles < p.interval_cycles && q.dsp <= p.dsp)
+                    || (q.interval_cycles <= p.interval_cycles && q.dsp < p.dsp)
+            })
+        })
+        .collect()
+}
+
+/// The fastest configuration that fits the part, if any.
+pub fn recommend(points: &[DesignPoint]) -> Option<&DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.fits)
+        .min_by_key(|p| (p.interval_cycles, p.dsp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        let points = explore(&test1_net(), FpgaPart::zynq7020(), &[Precision::Float32]);
+        assert_eq!(points.len(), 16);
+        // All fit the Zedboard for this small network.
+        assert!(points.iter().all(|p| p.fits));
+        // Sorted by interval.
+        for w in points.windows(2) {
+            assert!(w[0].interval_cycles <= w[1].interval_cycles);
+        }
+    }
+
+    #[test]
+    fn papers_choice_is_on_the_pareto_front() {
+        let points = explore(&test1_net(), FpgaPart::zynq7020(), &[Precision::Float32]);
+        let front = pareto_front(&points);
+        assert!(
+            front
+                .iter()
+                .any(|&i| points[i].directives == DirectiveSet::optimized()),
+            "dataflow+pipe-conv must be Pareto-efficient"
+        );
+        assert!(!front.is_empty());
+    }
+
+    #[test]
+    fn recommend_picks_fastest_fitting() {
+        let points = explore(&test1_net(), FpgaPart::zynq7020(), &[Precision::Float32]);
+        let best = recommend(&points).expect("something fits");
+        assert_eq!(best.interval_cycles, points[0].interval_cycles);
+        assert!(best.fits);
+    }
+
+    #[test]
+    fn multi_precision_sweep_doubles_points_and_fixed_wins() {
+        let points = explore(
+            &test1_net(),
+            FpgaPart::zynq7020(),
+            &[Precision::Float32, Precision::q8_8()],
+        );
+        assert_eq!(points.len(), 32);
+        let best = recommend(&points).unwrap();
+        assert_eq!(best.precision, Precision::q8_8(), "fixed point should win the sweep");
+    }
+
+    #[test]
+    fn pareto_front_dominance_holds() {
+        let points = explore(&test1_net(), FpgaPart::zynq7020(), &[Precision::Float32]);
+        let front = pareto_front(&points);
+        for &i in &front {
+            for (j, q) in points.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                let p = &points[i];
+                let dominated = q.interval_cycles <= p.interval_cycles
+                    && q.dsp <= p.dsp
+                    && (q.interval_cycles < p.interval_cycles || q.dsp < p.dsp);
+                assert!(!dominated, "front point {i} dominated by {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn unroll_sweep_trades_dsp_for_interval() {
+        let points = explore_unroll(&test1_net(), FpgaPart::zynq7020(), &[1, 2, 4]);
+        assert_eq!(points.len(), 3);
+        // More unroll -> fewer interval cycles, more DSPs.
+        assert!(points[1].interval_cycles < points[0].interval_cycles);
+        assert!(points[2].interval_cycles < points[1].interval_cycles);
+        assert!(points[1].dsp > points[0].dsp);
+        assert!(points[2].dsp > points[1].dsp);
+    }
+
+    #[test]
+    fn tiny_part_yields_unfitting_points() {
+        // Shrink to a part too small for the exp/log cores.
+        let tiny = FpgaPart { name: "tiny", ff: 4000, lut: 2000, lutram: 500, bram36: 4, dsp: 20 };
+        let points = explore(&test1_net(), tiny, &[Precision::Float32]);
+        assert!(points.iter().all(|p| !p.fits));
+        assert!(recommend(&points).is_none());
+    }
+}

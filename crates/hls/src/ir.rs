@@ -1,0 +1,526 @@
+//! Loop-nest IR: the form in which a CNN is scheduled and bound.
+//!
+//! Each network layer lowers to one [`LayerBlock`] — a perfect loop
+//! nest (trip counts straight from Eqs. (2)–(5)) whose innermost body
+//! is a floating-point operator mix, plus a per-output epilogue
+//! (bias add, activation). The generated C++ is the literal textual
+//! rendering of this IR; the scheduler costs it; the binder maps its
+//! arrays and operators to device resources.
+
+use crate::operators::OpMix;
+use cnn_nn::{Layer, Network};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use serde::{Deserialize, Serialize};
+
+/// A single counted loop.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopDim {
+    /// Induction-variable name as it appears in the generated C++.
+    pub name: String,
+    /// Trip count.
+    pub trip: u64,
+}
+
+/// What kind of layer a block implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BlockKind {
+    /// Convolution (Eq. 1).
+    Conv,
+    /// Max/mean pooling (Eqs. 4–5).
+    Pool,
+    /// Linear perceptron (Eq. 6).
+    Linear,
+    /// LogSoftMax + argmax tail (Eq. 7).
+    LogSoftMax,
+}
+
+/// What an on-chip array stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ArrayKind {
+    /// Hard-coded trained weights (ROM-like).
+    Weights,
+    /// Inter-layer activation buffer (the dataflow channels of
+    /// Section IV-B: "data pass through intermediate buffers").
+    Buffer,
+}
+
+/// An on-chip array the block reads or writes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayRef {
+    /// C identifier in the generated source.
+    pub name: String,
+    /// Number of `float` elements.
+    pub elems: u64,
+    /// Storage class.
+    pub kind: ArrayKind,
+    /// Leading-dimension extent (kernels for conv weights, output
+    /// neurons for linear weights); cyclic array partitioning splits
+    /// along this dimension when the consuming loop is pipelined.
+    pub leading: u64,
+}
+
+/// One layer lowered to a loop nest.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayerBlock {
+    /// Block label (`conv1`, `pool1`, `linear1`, ...).
+    pub name: String,
+    /// Layer family.
+    pub kind: BlockKind,
+    /// Loop nest, outermost first.
+    pub loops: Vec<LoopDim>,
+    /// How many innermost loops form the reduction (the part `HLS
+    /// PIPELINE` flattens when applied to "the inner loop of the
+    /// convolutional layer").
+    pub reduction_depth: usize,
+    /// Operator mix of one innermost iteration.
+    pub body: OpMix,
+    /// On-chip memory reads per innermost iteration (port pressure).
+    pub body_reads: u32,
+    /// Per-output epilogue mix (bias add, activation, normalization).
+    pub post: OpMix,
+    /// How many outputs the epilogue runs over.
+    pub post_iters: u64,
+    /// Weight arrays this block owns.
+    pub weights: Vec<ArrayRef>,
+    /// Elements written to the block's output buffer.
+    pub output_elems: u64,
+    /// Leading dimension of the output buffer (channel count), used by
+    /// the binder's partitioning model.
+    pub output_leading: u64,
+}
+
+impl LayerBlock {
+    /// Product of all trip counts (total innermost iterations).
+    pub fn total_iters(&self) -> u64 {
+        self.loops.iter().map(|l| l.trip).product()
+    }
+
+    /// Iterations of the loops *above* the reduction (outer) and the
+    /// flattened reduction itself (inner).
+    pub fn split_iters(&self) -> (u64, u64) {
+        let split = self.loops.len() - self.reduction_depth.min(self.loops.len());
+        let outer: u64 = self.loops[..split].iter().map(|l| l.trip).product();
+        let inner: u64 = self.loops[split..].iter().map(|l| l.trip).product();
+        (outer, inner)
+    }
+
+    /// Total operator work of the block (body × iterations + epilogue).
+    pub fn total_ops(&self) -> OpMix {
+        self.body
+            .times(self.total_iters())
+            .plus(&self.post.times(self.post_iters))
+    }
+
+    /// Total weight elements.
+    pub fn weight_elems(&self) -> u64 {
+        self.weights.iter().map(|a| a.elems).sum()
+    }
+}
+
+/// Activation operator mix per element.
+fn activation_mix(act: Activation) -> OpMix {
+    match act {
+        // tanh(x) = (e^x − e^−x) / (e^x + e^−x): 2 exp, 2 add, 1 div.
+        Activation::Tanh => OpMix { mul: 0, add: 2, cmp: 0, exp: 2, log: 0, div: 1 },
+        // max(0, x): one comparison.
+        Activation::Relu => OpMix { mul: 0, add: 0, cmp: 1, exp: 0, log: 0, div: 0 },
+        // 1 / (1 + e^−x): 1 exp, 1 add, 1 div.
+        Activation::Sigmoid => OpMix { mul: 0, add: 1, cmp: 0, exp: 1, log: 0, div: 1 },
+    }
+}
+
+/// The whole design in IR form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignIr {
+    /// Blocks in dataflow order.
+    pub blocks: Vec<LayerBlock>,
+    /// Words streamed in per image (AXI4-Stream input).
+    pub input_elems: u64,
+    /// Number of classes (the returned `int` encodes one of these).
+    pub classes: u64,
+}
+
+impl DesignIr {
+    /// Total weight elements across blocks.
+    pub fn total_weight_elems(&self) -> u64 {
+        self.blocks.iter().map(LayerBlock::weight_elems).sum()
+    }
+
+    /// Buffer elements between consecutive blocks (inputs of each
+    /// block after the first, plus the final output scores).
+    pub fn buffer_elems(&self) -> Vec<u64> {
+        self.blocks.iter().map(|b| b.output_elems).collect()
+    }
+}
+
+impl DesignIr {
+    /// Exports the dataflow graph as Graphviz DOT: one node per block
+    /// (annotated with its loop nest and weight footprint), edges along
+    /// the inter-layer buffers.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cnn_ir {
+  rankdir=LR;
+  node [shape=record];
+");
+        let _ = writeln!(
+            out,
+            "  in_stream [shape=oval, label=\"AXI4-Stream in\\n{} words\"];",
+            self.input_elems
+        );
+        for b in &self.blocks {
+            let loops: Vec<String> = b.loops.iter().map(|l| format!("{}:{}", l.name, l.trip)).collect();
+            let _ = writeln!(
+                out,
+                "  {name} [label=\"{{{name} ({kind:?})|loops {loops}|{w} weights}}\"];",
+                name = b.name,
+                kind = b.kind,
+                loops = loops.join(" "),
+                w = b.weight_elems(),
+            );
+        }
+        let mut prev = "in_stream".to_string();
+        for b in &self.blocks {
+            let _ = writeln!(out, "  {prev} -> {};", b.name);
+            prev = b.name.clone();
+        }
+        let _ = writeln!(out, "  out [shape=oval, label=\"class index\"];");
+        let _ = writeln!(out, "  {prev} -> out;");
+        out.push_str("}
+");
+        out
+    }
+}
+
+/// Lowers a validated network to IR. `Flatten` layers vanish (they are
+/// a reinterpretation, not hardware).
+pub fn lower(net: &Network) -> DesignIr {
+    let mut blocks = Vec::new();
+    let mut counters = [0usize; 4]; // conv, pool, linear, lsm
+
+    let mut cur_shape = net.input_shape();
+    for (i, layer) in net.layers().iter().enumerate() {
+        let out_shape = net.shape_after(i);
+        match layer {
+            Layer::Conv2d(c) => {
+                counters[0] += 1;
+                let name = format!("conv{}", counters[0]);
+                let k = c.kernels.kernels() as u64;
+                let (kh, kw) = (c.kernels.kh() as u64, c.kernels.kw() as u64);
+                let chans = c.kernels.channels() as u64;
+                let mut post = OpMix { add: 1, ..OpMix::none() }; // bias
+                if let Some(act) = c.activation {
+                    post = post.plus(&activation_mix(act));
+                }
+                blocks.push(LayerBlock {
+                    loops: vec![
+                        LoopDim { name: "k".into(), trip: k },
+                        LoopDim { name: "oy".into(), trip: out_shape.h as u64 },
+                        LoopDim { name: "ox".into(), trip: out_shape.w as u64 },
+                        LoopDim { name: "c".into(), trip: chans },
+                        LoopDim { name: "m".into(), trip: kh },
+                        LoopDim { name: "n".into(), trip: kw },
+                    ],
+                    reduction_depth: 3,
+                    body: OpMix::mac(),
+                    body_reads: 2,
+                    post,
+                    post_iters: out_shape.len() as u64,
+                    weights: vec![
+                        ArrayRef {
+                            name: format!("{name}_w"),
+                            elems: (k * chans * kh * kw),
+                            kind: ArrayKind::Weights,
+                            leading: k,
+                        },
+                        ArrayRef {
+                            name: format!("{name}_b"),
+                            elems: k,
+                            kind: ArrayKind::Weights,
+                            leading: k,
+                        },
+                    ],
+                    output_elems: out_shape.len() as u64,
+                    output_leading: k,
+                    name,
+                    kind: BlockKind::Conv,
+                });
+            }
+            Layer::Pool(p) => {
+                counters[1] += 1;
+                let name = format!("pool{}", counters[1]);
+                let body = match p.kind {
+                    PoolKind::Max => OpMix { cmp: 1, ..OpMix::none() },
+                    PoolKind::Mean => OpMix { add: 1, ..OpMix::none() },
+                };
+                let post = match p.kind {
+                    PoolKind::Max => OpMix::none(),
+                    // mean scales by 1/area once per output
+                    PoolKind::Mean => OpMix { mul: 1, ..OpMix::none() },
+                };
+                blocks.push(LayerBlock {
+                    loops: vec![
+                        LoopDim { name: "c".into(), trip: out_shape.c as u64 },
+                        LoopDim { name: "oy".into(), trip: out_shape.h as u64 },
+                        LoopDim { name: "ox".into(), trip: out_shape.w as u64 },
+                        LoopDim { name: "m".into(), trip: p.kh as u64 },
+                        LoopDim { name: "n".into(), trip: p.kw as u64 },
+                    ],
+                    reduction_depth: 2,
+                    body,
+                    body_reads: 1,
+                    post,
+                    post_iters: out_shape.len() as u64,
+                    weights: vec![],
+                    output_elems: out_shape.len() as u64,
+                    output_leading: out_shape.c as u64,
+                    name,
+                    kind: BlockKind::Pool,
+                });
+            }
+            Layer::Flatten => { /* free */ }
+            Layer::Linear(l) => {
+                counters[2] += 1;
+                let name = format!("linear{}", counters[2]);
+                let mut post = OpMix { add: 1, ..OpMix::none() };
+                if let Some(act) = l.activation {
+                    post = post.plus(&activation_mix(act));
+                }
+                blocks.push(LayerBlock {
+                    loops: vec![
+                        LoopDim { name: "j".into(), trip: l.outputs as u64 },
+                        LoopDim { name: "i".into(), trip: l.inputs as u64 },
+                    ],
+                    reduction_depth: 1,
+                    body: OpMix::mac(),
+                    body_reads: 2,
+                    post,
+                    post_iters: l.outputs as u64,
+                    weights: vec![
+                        ArrayRef {
+                            name: format!("{name}_w"),
+                            elems: (l.inputs * l.outputs) as u64,
+                            kind: ArrayKind::Weights,
+                            leading: l.outputs as u64,
+                        },
+                        ArrayRef {
+                            name: format!("{name}_b"),
+                            elems: l.outputs as u64,
+                            kind: ArrayKind::Weights,
+                            leading: l.outputs as u64,
+                        },
+                    ],
+                    output_elems: l.outputs as u64,
+                    output_leading: l.outputs as u64,
+                    name,
+                    kind: BlockKind::Linear,
+                });
+            }
+            Layer::LogSoftMax => {
+                counters[3] += 1;
+                let k = out_shape.len() as u64;
+                blocks.push(LayerBlock {
+                    name: "log_softmax".into(),
+                    kind: BlockKind::LogSoftMax,
+                    loops: vec![LoopDim { name: "k".into(), trip: k }],
+                    reduction_depth: 1,
+                    // accumulate sum of exp
+                    body: OpMix { exp: 1, add: 1, ..OpMix::none() },
+                    body_reads: 1,
+                    // per class: subtract log-sum (add) + argmax compare; plus
+                    // the single log amortized into the epilogue mix.
+                    post: OpMix { add: 1, cmp: 1, log: 1, ..OpMix::none() },
+                    post_iters: k,
+                    weights: vec![],
+                    output_elems: k,
+                    output_leading: 1,
+                });
+            }
+        }
+        cur_shape = out_shape;
+    }
+    let _ = cur_shape;
+
+    DesignIr {
+        input_elems: net.input_shape().len() as u64,
+        classes: net.classes() as u64,
+        blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn test4_net() -> Network {
+        let mut rng = seeded_rng(2);
+        Network::builder(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn test1_lowers_to_four_blocks() {
+        let ir = lower(&test1_net());
+        let kinds: Vec<BlockKind> = ir.blocks.iter().map(|b| b.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![BlockKind::Conv, BlockKind::Pool, BlockKind::Linear, BlockKind::LogSoftMax]
+        );
+        assert_eq!(ir.input_elems, 256);
+        assert_eq!(ir.classes, 10);
+    }
+
+    #[test]
+    fn conv_block_iteration_count_is_mac_count() {
+        let ir = lower(&test1_net());
+        let conv = &ir.blocks[0];
+        // 6 * 12 * 12 * 1 * 5 * 5 = 21600 MACs (matches conv2d_macs)
+        assert_eq!(conv.total_iters(), 21_600);
+        assert_eq!(conv.body, OpMix::mac());
+        assert_eq!(conv.output_elems, 6 * 12 * 12);
+        assert_eq!(conv.weight_elems(), 150 + 6);
+    }
+
+    #[test]
+    fn conv_split_separates_reduction() {
+        let ir = lower(&test1_net());
+        let (outer, inner) = ir.blocks[0].split_iters();
+        assert_eq!(outer, 6 * 12 * 12);
+        assert_eq!(inner, 25); // 1 ch x 5 x 5
+    }
+
+    #[test]
+    fn linear_block_shapes() {
+        let ir = lower(&test1_net());
+        let lin = &ir.blocks[2];
+        assert_eq!(lin.total_iters(), 216 * 10);
+        assert_eq!(lin.weight_elems(), 2160 + 10);
+        let (outer, inner) = lin.split_iters();
+        assert_eq!(outer, 10);
+        assert_eq!(inner, 216);
+        // tanh epilogue present: 2 exp per output
+        assert_eq!(lin.post.exp, 2);
+    }
+
+    #[test]
+    fn pool_block_uses_comparisons() {
+        let ir = lower(&test1_net());
+        let pool = &ir.blocks[1];
+        assert_eq!(pool.body.cmp, 1);
+        assert_eq!(pool.body.mul, 0);
+        assert_eq!(pool.total_iters(), 6 * 6 * 6 * 4);
+    }
+
+    #[test]
+    fn flatten_emits_no_block() {
+        let ir = lower(&test1_net());
+        assert!(ir.blocks.iter().all(|b| b.name != "flatten"));
+        assert_eq!(ir.blocks.len(), 4);
+    }
+
+    #[test]
+    fn test4_block_names_are_numbered() {
+        let ir = lower(&test4_net());
+        let names: Vec<&str> = ir.blocks.iter().map(|b| b.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["conv1", "pool1", "conv2", "pool2", "linear1", "linear2", "log_softmax"]
+        );
+    }
+
+    #[test]
+    fn test4_total_weights_match_network_params() {
+        let net = test4_net();
+        let ir = lower(&net);
+        assert_eq!(ir.total_weight_elems(), net.param_count() as u64);
+    }
+
+    #[test]
+    fn test4_conv2_macs() {
+        let ir = lower(&test4_net());
+        let conv2 = ir.blocks.iter().find(|b| b.name == "conv2").unwrap();
+        // 36 * 10 * 10 * 12 * 5 * 5 = 1,080,000
+        assert_eq!(conv2.total_iters(), 1_080_000);
+    }
+
+    #[test]
+    fn total_ops_includes_epilogue() {
+        let ir = lower(&test1_net());
+        let lin = &ir.blocks[2];
+        let ops = lin.total_ops();
+        assert_eq!(ops.mul, 2160);
+        // 2160 reduction adds + 10 bias adds + 10*2 tanh adds
+        assert_eq!(ops.add, 2160 + 10 + 20);
+        assert_eq!(ops.exp, 20);
+        assert_eq!(ops.div, 10);
+    }
+
+    #[test]
+    fn mean_pool_lowers_with_adds() {
+        let mut rng = seeded_rng(3);
+        let net = Network::builder(Shape::new(1, 8, 8))
+            .conv(2, 3, 3, &mut rng)
+            .pool(PoolKind::Mean, 2, 2)
+            .build()
+            .unwrap();
+        let ir = lower(&net);
+        let pool = &ir.blocks[1];
+        assert_eq!(pool.body.add, 1);
+        assert_eq!(pool.body.cmp, 0);
+        assert_eq!(pool.post.mul, 1);
+    }
+
+    #[test]
+    fn buffer_elems_follow_blocks() {
+        let ir = lower(&test1_net());
+        assert_eq!(ir.buffer_elems(), vec![864, 216, 10, 10]);
+    }
+
+    #[test]
+    fn dot_export_contains_all_blocks_in_order() {
+        let ir = lower(&test1_net());
+        let dot = ir.to_dot();
+        assert!(dot.starts_with("digraph"));
+        for b in &ir.blocks {
+            assert!(dot.contains(&b.name), "missing {}", b.name);
+        }
+        assert!(dot.contains("in_stream -> conv1;"));
+        assert!(dot.contains("conv1 -> pool1;"));
+        assert!(dot.contains("log_softmax -> out;"));
+        assert!(dot.contains("156 weights"));
+    }
+
+    #[test]
+    fn ir_serde_roundtrip() {
+        let ir = lower(&test1_net());
+        let json = serde_json::to_string(&ir).unwrap();
+        let back: DesignIr = serde_json::from_str(&json).unwrap();
+        assert_eq!(ir, back);
+    }
+}

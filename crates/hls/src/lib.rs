@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! # cnn-hls
+//!
+//! The high-level-synthesis substrate of the reproduction: everything
+//! the paper delegates to **Vivado HLS** is implemented here.
+//!
+//! Given a trained [`cnn_nn::Network`], this crate:
+//!
+//! 1. lowers each layer to a **loop-nest IR** ([`ir`]) — trip counts
+//!    straight from Eqs. (2)–(5), bodies expressed as floating-point
+//!    operator mixes,
+//! 2. applies **directives** ([`directives`]) — `HLS DATAFLOW` and
+//!    `HLS PIPELINE`, exactly the two the paper's optimized builds use,
+//! 3. **schedules** the design ([`schedule`]) — computing per-layer and
+//!    per-image latency in fabric clock cycles at the target frequency,
+//! 4. **binds** operators and arrays to FPGA resources ([`bind`]) —
+//!    DSP slices, BRAM18K blocks, LUT/LUTRAM/FF estimates against a
+//!    concrete Zynq-7000 part ([`part::FpgaPart`]),
+//! 5. emits the **artifacts** the paper's framework returns to the user
+//!    ([`codegen`]): a single synthesizable C++ file with hard-coded
+//!    weights, and the three tcl scripts (`cnn_vivado_hls.tcl`,
+//!    `directives.tcl`, `cnn_vivado.tcl`).
+//!
+//! The scheduler and binder are *models*, not gate-level truth: their
+//! constants (documented in [`calibration`]) are calibrated against the
+//! 7-series floating-point operator characterization and the paper's
+//! Tables I–II, and the claim they support is the paper's qualitative
+//! one — who wins, by what rough factor, and where the resource
+//! bottlenecks appear.
+//!
+//! ```
+//! use cnn_hls::prelude::*;
+//! use cnn_nn::Network;
+//! use cnn_tensor::Shape;
+//! use cnn_tensor::ops::pool::PoolKind;
+//! use cnn_tensor::ops::activation::Activation;
+//!
+//! let mut rng = cnn_tensor::init::seeded_rng(1);
+//! let net = Network::builder(Shape::new(1, 16, 16))
+//!     .conv(6, 5, 5, &mut rng)
+//!     .pool(PoolKind::Max, 2, 2)
+//!     .flatten()
+//!     .linear(10, Some(Activation::Tanh), &mut rng)
+//!     .log_softmax()
+//!     .build()
+//!     .unwrap();
+//!
+//! let naive = HlsProject::new(&net, DirectiveSet::naive(), FpgaPart::zynq7020()).unwrap();
+//! let opt = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
+//! let (rn, ro) = (naive.report(), opt.report());
+//! assert!(ro.interval_cycles < rn.interval_cycles, "pipelining must help");
+//! ```
+
+pub mod bind;
+pub mod calibration;
+pub mod codegen;
+pub mod directives;
+pub mod dse;
+pub mod ir;
+pub mod operators;
+pub mod part;
+pub mod precision;
+pub mod project;
+pub mod report;
+pub mod roofline;
+pub mod timing;
+pub mod schedule;
+
+/// Convenient single-import surface.
+pub mod prelude {
+    pub use crate::directives::{Directive, DirectiveSet};
+    pub use crate::part::FpgaPart;
+    pub use crate::precision::Precision;
+    pub use crate::project::{HlsError, HlsProject};
+    pub use crate::report::{HlsReport, ResourceUsage};
+}
+
+pub use prelude::*;

@@ -1,0 +1,194 @@
+//! Floating-point operator library: the latency and resource cost of
+//! each single-precision operator the generated datapath instantiates.
+//!
+//! Costs follow the 7-series floating-point operator characterization
+//! (DSP48E1-based cores at a 10 ns clock): multiplication maps to 3 DSP
+//! slices, addition to 2 in the "full-usage" configuration, comparison
+//! is LUT-only, and the transcendental cores (`exp`, `log`) are larger
+//! multi-DSP pipelines. Division is the LUT-heavy non-DSP core.
+
+use serde::{Deserialize, Serialize};
+
+/// One floating-point operator kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FpOp {
+    /// Single-precision multiply.
+    Mul,
+    /// Single-precision add/subtract.
+    Add,
+    /// Comparison (max-pooling, argmax).
+    Cmp,
+    /// Exponential core (tanh, sigmoid, softmax).
+    Exp,
+    /// Natural-logarithm core (LogSoftMax).
+    Log,
+    /// Division core (tanh, sigmoid normalization).
+    Div,
+}
+
+/// Cost record for one operator instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCost {
+    /// Pipeline latency in fabric cycles at 100 MHz.
+    pub latency: u32,
+    /// DSP48E1 slices.
+    pub dsp: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+impl FpOp {
+    /// Cost of one hardware instance of this operator.
+    pub const fn cost(self) -> OpCost {
+        match self {
+            // DSP48E1 "full usage" fmul: 3 DSP, ~4-cycle latency.
+            FpOp::Mul => OpCost { latency: 3, dsp: 3, lut: 135, ff: 166 },
+            // fadd full-DSP configuration: 2 DSP, ~7 cycles.
+            FpOp::Add => OpCost { latency: 7, dsp: 2, lut: 214, ff: 324 },
+            // Comparator: LUT only, combinational + register.
+            FpOp::Cmp => OpCost { latency: 1, dsp: 0, lut: 66, ff: 34 },
+            // expf core: multi-DSP polynomial pipeline in the
+            // full-usage configuration (calibrated to Table II's DSP
+            // column together with `Log`).
+            FpOp::Exp => OpCost { latency: 17, dsp: 17, lut: 210, ff: 572 },
+            // logf core, full-usage configuration.
+            FpOp::Log => OpCost { latency: 19, dsp: 15, lut: 360, ff: 970 },
+            // fdiv: iterative LUT-based core, no DSP.
+            FpOp::Div => OpCost { latency: 28, dsp: 0, lut: 420, ff: 1446 },
+        }
+    }
+
+    /// All operator kinds (iteration helper).
+    pub const ALL: [FpOp; 6] = [FpOp::Mul, FpOp::Add, FpOp::Cmp, FpOp::Exp, FpOp::Log, FpOp::Div];
+}
+
+/// A multiset of operators (the body of a loop nest, or the set of
+/// instances a block binds).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Multiplications per iteration.
+    pub mul: u64,
+    /// Additions per iteration.
+    pub add: u64,
+    /// Comparisons per iteration.
+    pub cmp: u64,
+    /// Exponentials per iteration.
+    pub exp: u64,
+    /// Logarithms per iteration.
+    pub log: u64,
+    /// Divisions per iteration.
+    pub div: u64,
+}
+
+impl OpMix {
+    /// An empty mix.
+    pub const fn none() -> OpMix {
+        OpMix { mul: 0, add: 0, cmp: 0, exp: 0, log: 0, div: 0 }
+    }
+
+    /// One multiply–accumulate.
+    pub const fn mac() -> OpMix {
+        OpMix { mul: 1, add: 1, cmp: 0, exp: 0, log: 0, div: 0 }
+    }
+
+    /// Count for a given op kind.
+    pub fn count(&self, op: FpOp) -> u64 {
+        match op {
+            FpOp::Mul => self.mul,
+            FpOp::Add => self.add,
+            FpOp::Cmp => self.cmp,
+            FpOp::Exp => self.exp,
+            FpOp::Log => self.log,
+            FpOp::Div => self.div,
+        }
+    }
+
+    /// Total operator count.
+    pub fn total(&self) -> u64 {
+        FpOp::ALL.iter().map(|&op| self.count(op)).sum()
+    }
+
+    /// Critical-path latency of the body assuming the operators chain
+    /// sequentially (the unpipelined datapath the naive schedule uses).
+    pub fn chained_latency(&self) -> u64 {
+        FpOp::ALL
+            .iter()
+            .map(|&op| self.count(op) * op.cost().latency as u64)
+            .sum()
+    }
+
+    /// Element-wise sum of two mixes.
+    pub fn plus(&self, other: &OpMix) -> OpMix {
+        OpMix {
+            mul: self.mul + other.mul,
+            add: self.add + other.add,
+            cmp: self.cmp + other.cmp,
+            exp: self.exp + other.exp,
+            log: self.log + other.log,
+            div: self.div + other.div,
+        }
+    }
+
+    /// Scales every count by `n` (e.g. per-iteration mix × trip count).
+    pub fn times(&self, n: u64) -> OpMix {
+        OpMix {
+            mul: self.mul * n,
+            add: self.add * n,
+            cmp: self.cmp * n,
+            exp: self.exp * n,
+            log: self.log * n,
+            div: self.div * n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_add_costs_are_dsp_based() {
+        assert_eq!(FpOp::Mul.cost().dsp, 3);
+        assert_eq!(FpOp::Add.cost().dsp, 2);
+        assert_eq!(FpOp::Cmp.cost().dsp, 0);
+        assert_eq!(FpOp::Div.cost().dsp, 0);
+    }
+
+    #[test]
+    fn transcendentals_are_slow_and_large() {
+        assert!(FpOp::Exp.cost().latency > FpOp::Add.cost().latency);
+        assert!(FpOp::Log.cost().lut > FpOp::Add.cost().lut);
+        assert!(FpOp::Div.cost().latency > FpOp::Mul.cost().latency);
+    }
+
+    #[test]
+    fn mac_mix_latency() {
+        // fmul(3) + fadd(7) = 10 chained cycles per MAC.
+        assert_eq!(OpMix::mac().chained_latency(), 10);
+        assert_eq!(OpMix::mac().total(), 2);
+    }
+
+    #[test]
+    fn mix_arithmetic() {
+        let a = OpMix { mul: 1, add: 2, cmp: 3, exp: 0, log: 0, div: 0 };
+        let b = OpMix { mul: 4, add: 0, cmp: 1, exp: 2, log: 0, div: 1 };
+        let s = a.plus(&b);
+        assert_eq!(s.mul, 5);
+        assert_eq!(s.cmp, 4);
+        assert_eq!(s.exp, 2);
+        let t = a.times(3);
+        assert_eq!(t.add, 6);
+        assert_eq!(t.total(), 18);
+    }
+
+    #[test]
+    fn count_matches_fields() {
+        let m = OpMix { mul: 1, add: 2, cmp: 3, exp: 4, log: 5, div: 6 };
+        assert_eq!(m.count(FpOp::Mul), 1);
+        assert_eq!(m.count(FpOp::Log), 5);
+        assert_eq!(m.total(), 21);
+    }
+}

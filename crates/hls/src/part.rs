@@ -1,0 +1,116 @@
+//! Target FPGA parts: the two Zynq-7000 devices the paper's framework
+//! supports (Zedboard's XC7Z020 and Zybo's XC7Z010).
+
+use serde::Serialize;
+
+/// Resource capacities of a Zynq-7000 programmable-logic part.
+///
+/// Capacities match Table II's headers for the Zedboard
+/// (FF 106400, LUT 53200, memory-LUT 17400, BRAM 140, DSP 220).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct FpgaPart {
+    /// Marketing/part name, e.g. `xc7z020clg484-1`.
+    pub name: &'static str,
+    /// Flip-flops.
+    pub ff: u32,
+    /// Look-up tables.
+    pub lut: u32,
+    /// LUTs usable as distributed memory (LUTRAM).
+    pub lutram: u32,
+    /// 36 Kbit block RAMs.
+    pub bram36: u32,
+    /// DSP48E1 slices.
+    pub dsp: u32,
+}
+
+impl FpgaPart {
+    /// Zedboard's part (Zynq-7020), the paper's evaluation platform.
+    pub const fn zynq7020() -> FpgaPart {
+        FpgaPart {
+            name: "xc7z020clg484-1",
+            ff: 106_400,
+            lut: 53_200,
+            lutram: 17_400,
+            bram36: 140,
+            dsp: 220,
+        }
+    }
+
+    /// Zybo's part (Zynq-7010), the framework's other supported board.
+    pub const fn zynq7010() -> FpgaPart {
+        FpgaPart {
+            name: "xc7z010clg400-1",
+            ff: 35_200,
+            lut: 17_600,
+            lutram: 6_000,
+            bram36: 60,
+            dsp: 80,
+        }
+    }
+
+    /// Virtex-7 (XC7VX485T, the VC707 evaluation part) — the paper's
+    /// named future-work target ("we plan to extend it also to other
+    /// boards like Xilinx Virtex-7"). No hardwired ARM: designs for it
+    /// are synthesized standalone.
+    pub const fn virtex7() -> FpgaPart {
+        FpgaPart {
+            name: "xc7vx485tffg1761-2",
+            ff: 607_200,
+            lut: 303_600,
+            lutram: 130_800,
+            bram36: 1_030,
+            dsp: 2_800,
+        }
+    }
+
+    /// Looks a part up by board name as the GUI's board selector does.
+    pub fn for_board(board: &str) -> Option<FpgaPart> {
+        match board.to_ascii_lowercase().as_str() {
+            "zedboard" => Some(Self::zynq7020()),
+            "zybo" => Some(Self::zynq7010()),
+            "vc707" | "virtex7" => Some(Self::virtex7()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zedboard_capacities_match_table2_headers() {
+        let p = FpgaPart::zynq7020();
+        assert_eq!(p.ff, 106_400);
+        assert_eq!(p.lut, 53_200);
+        assert_eq!(p.lutram, 17_400);
+        assert_eq!(p.bram36, 140);
+        assert_eq!(p.dsp, 220);
+    }
+
+    #[test]
+    fn zybo_is_strictly_smaller() {
+        let zed = FpgaPart::zynq7020();
+        let zybo = FpgaPart::zynq7010();
+        assert!(zybo.ff < zed.ff);
+        assert!(zybo.lut < zed.lut);
+        assert!(zybo.bram36 < zed.bram36);
+        assert!(zybo.dsp < zed.dsp);
+    }
+
+    #[test]
+    fn board_lookup() {
+        assert_eq!(FpgaPart::for_board("Zedboard"), Some(FpgaPart::zynq7020()));
+        assert_eq!(FpgaPart::for_board("zybo"), Some(FpgaPart::zynq7010()));
+        assert_eq!(FpgaPart::for_board("vc707"), Some(FpgaPart::virtex7()));
+        assert_eq!(FpgaPart::for_board("kintex"), None);
+    }
+
+    #[test]
+    fn virtex7_dwarfs_the_zynq_parts() {
+        let v7 = FpgaPart::virtex7();
+        let zed = FpgaPart::zynq7020();
+        assert!(v7.dsp > 10 * zed.dsp);
+        assert!(v7.bram36 > 7 * zed.bram36);
+    }
+}

@@ -1,0 +1,147 @@
+//! Arithmetic precision of the generated datapath — the ablation the
+//! paper motivates in Section V: "software and hardware
+//! implementations employ 32-bit floating point weights. From the FPGA
+//! prospective, this reasonably implies a higher usage of resources".
+//! This module quantifies the alternative the paper declined:
+//! fixed-point arithmetic à la Sankaradas et al. [8] ("low data
+//! precision is used").
+
+use crate::operators::{FpOp, OpCost};
+use serde::{Deserialize, Serialize};
+
+/// Datapath precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Precision {
+    /// IEEE-754 single precision — the paper's choice.
+    Float32,
+    /// Signed fixed point `Qm.n` with `total_bits = m + n` (plus sign).
+    Fixed {
+        /// Total word width in bits (16 → Q8.8, 8 → Q4.4, ...).
+        total_bits: u32,
+        /// Fractional bits.
+        frac_bits: u32,
+    },
+}
+
+impl Precision {
+    /// The paper's configuration.
+    pub const fn float32() -> Precision {
+        Precision::Float32
+    }
+
+    /// Q8.8: 16-bit fixed point.
+    pub const fn q8_8() -> Precision {
+        Precision::Fixed { total_bits: 16, frac_bits: 8 }
+    }
+
+    /// Q4.4: 8-bit fixed point.
+    pub const fn q4_4() -> Precision {
+        Precision::Fixed { total_bits: 8, frac_bits: 4 }
+    }
+
+    /// Storage bits per weight/activation element.
+    pub fn bits_per_element(self) -> u32 {
+        match self {
+            Precision::Float32 => 32,
+            Precision::Fixed { total_bits, .. } => total_bits,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Precision::Float32 => "f32".to_string(),
+            Precision::Fixed { total_bits, frac_bits } => {
+                format!("q{}.{}", total_bits - frac_bits, frac_bits)
+            }
+        }
+    }
+
+    /// Operator cost under this precision. Floating point uses the
+    /// 7-series FP cores; fixed point maps multiplies onto a single
+    /// DSP (two for widths beyond 18×25), additions onto carry-chain
+    /// LUT logic, and the transcendentals onto small lookup tables.
+    pub fn op_cost(self, op: FpOp) -> OpCost {
+        match self {
+            Precision::Float32 => op.cost(),
+            Precision::Fixed { total_bits, .. } => {
+                let wide = total_bits > 18;
+                match op {
+                    FpOp::Mul => OpCost {
+                        latency: 2,
+                        dsp: if wide { 2 } else { 1 },
+                        lut: 24,
+                        ff: 2 * total_bits,
+                    },
+                    FpOp::Add => OpCost { latency: 1, dsp: 0, lut: total_bits, ff: total_bits },
+                    FpOp::Cmp => OpCost { latency: 1, dsp: 0, lut: total_bits / 2, ff: 8 },
+                    // table-driven exp/log: one lookup + interpolation MAC
+                    FpOp::Exp => OpCost { latency: 3, dsp: 1, lut: 96, ff: 64 },
+                    FpOp::Log => OpCost { latency: 3, dsp: 1, lut: 96, ff: 64 },
+                    FpOp::Div => OpCost { latency: 6, dsp: 1, lut: 128, ff: 96 },
+                }
+            }
+        }
+    }
+
+    /// Initiation-interval floor of an accumulation recurrence:
+    /// floating-point addition is multi-cycle (II = 2 after the
+    /// partial-sum rewriting); integer accumulation closes in one
+    /// cycle (II = 1).
+    pub fn reduction_ii(self) -> u64 {
+        match self {
+            Precision::Float32 => crate::calibration::II_REDUCTION,
+            Precision::Fixed { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_per_element() {
+        assert_eq!(Precision::float32().bits_per_element(), 32);
+        assert_eq!(Precision::q8_8().bits_per_element(), 16);
+        assert_eq!(Precision::q4_4().bits_per_element(), 8);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Precision::float32().label(), "f32");
+        assert_eq!(Precision::q8_8().label(), "q8.8");
+        assert_eq!(Precision::q4_4().label(), "q4.4");
+    }
+
+    #[test]
+    fn float_costs_match_operator_library() {
+        for op in FpOp::ALL {
+            assert_eq!(Precision::float32().op_cost(op), op.cost());
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_cheaper_everywhere() {
+        for op in FpOp::ALL {
+            let f = Precision::float32().op_cost(op);
+            let q = Precision::q8_8().op_cost(op);
+            assert!(q.latency <= f.latency, "{op:?} latency");
+            assert!(q.dsp <= f.dsp.max(1), "{op:?} dsp");
+        }
+    }
+
+    #[test]
+    fn wide_fixed_multiplies_need_two_dsps() {
+        let q24 = Precision::Fixed { total_bits: 24, frac_bits: 12 };
+        assert_eq!(q24.op_cost(FpOp::Mul).dsp, 2);
+        assert_eq!(Precision::q8_8().op_cost(FpOp::Mul).dsp, 1);
+    }
+
+    #[test]
+    fn reduction_ii_tightens_for_fixed_point() {
+        assert_eq!(Precision::float32().reduction_ii(), 2);
+        assert_eq!(Precision::q8_8().reduction_ii(), 1);
+    }
+}

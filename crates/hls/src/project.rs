@@ -1,0 +1,297 @@
+//! An HLS project: one network + directive set + target part,
+//! synthesized into a schedule, a binding and generated artifacts.
+
+use crate::bind::bind_with;
+use crate::codegen;
+use crate::directives::DirectiveSet;
+use crate::ir::{lower, DesignIr};
+use crate::part::FpgaPart;
+use crate::precision::Precision;
+use crate::report::{HlsReport, ResourceUsage};
+use crate::schedule::{schedule_with, DesignSchedule};
+use cnn_nn::Network;
+use std::fmt;
+
+/// Errors from project construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsError {
+    /// The bound design exceeds the part's capacity (names of the
+    /// overflowing resources).
+    DoesNotFit(Vec<&'static str>),
+    /// The network has no layers to synthesize.
+    EmptyDesign,
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::DoesNotFit(rs) => write!(f, "design exceeds device capacity: {rs:?}"),
+            HlsError::EmptyDesign => write!(f, "network lowered to zero blocks"),
+        }
+    }
+}
+
+impl std::error::Error for HlsError {}
+
+/// A fully-synthesized HLS project (the output of "Vivado HLS").
+#[derive(Clone, Debug)]
+pub struct HlsProject {
+    network: Network,
+    ir: DesignIr,
+    directives: DirectiveSet,
+    part: FpgaPart,
+    precision: Precision,
+    schedule: DesignSchedule,
+    resources: ResourceUsage,
+}
+
+impl HlsProject {
+    /// Lowers, schedules and binds `network` for `part` under
+    /// `directives`. Fails if the result does not fit the device —
+    /// the same failure Vivado's implementation step would report.
+    pub fn new(
+        network: &Network,
+        directives: DirectiveSet,
+        part: FpgaPart,
+    ) -> Result<HlsProject, HlsError> {
+        Self::with_precision(network, directives, part, Precision::Float32)
+    }
+
+    /// Synthesizes with an explicit datapath precision (the
+    /// fixed-point ablation the paper's Section V discussion points
+    /// at).
+    pub fn with_precision(
+        network: &Network,
+        directives: DirectiveSet,
+        part: FpgaPart,
+        precision: Precision,
+    ) -> Result<HlsProject, HlsError> {
+        let ir = lower(network);
+        if ir.blocks.is_empty() {
+            return Err(HlsError::EmptyDesign);
+        }
+        let schedule = schedule_with(&ir, &directives, precision);
+        let resources = bind_with(&ir, &directives, part, precision);
+        if !resources.fits() {
+            return Err(HlsError::DoesNotFit(resources.overflows()));
+        }
+        Ok(HlsProject {
+            network: network.clone(),
+            ir,
+            directives,
+            part,
+            precision,
+            schedule,
+            resources,
+        })
+    }
+
+    /// Like [`new`](Self::new) but keeps over-capacity designs
+    /// (useful for exploration reports that show *why* a target fails).
+    pub fn new_unchecked(network: &Network, directives: DirectiveSet, part: FpgaPart) -> HlsProject {
+        let precision = Precision::Float32;
+        let ir = lower(network);
+        let schedule = schedule_with(&ir, &directives, precision);
+        let resources = bind_with(&ir, &directives, part, precision);
+        HlsProject {
+            network: network.clone(),
+            ir,
+            directives,
+            part,
+            precision,
+            schedule,
+            resources,
+        }
+    }
+
+    /// The source network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The lowered IR.
+    pub fn ir(&self) -> &DesignIr {
+        &self.ir
+    }
+
+    /// The directive configuration.
+    pub fn directives(&self) -> DirectiveSet {
+        self.directives
+    }
+
+    /// The target part.
+    pub fn part(&self) -> FpgaPart {
+        self.part
+    }
+
+    /// The datapath precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The computed schedule.
+    pub fn schedule(&self) -> &DesignSchedule {
+        &self.schedule
+    }
+
+    /// The resource binding.
+    pub fn resources(&self) -> ResourceUsage {
+        self.resources
+    }
+
+    /// The `csynth`-style report.
+    pub fn report(&self) -> HlsReport {
+        HlsReport {
+            top: "cnn".into(),
+            directives: format!("{} @{}", self.directives.label(), self.precision.label()),
+            latency_cycles: self.schedule.latency_cycles,
+            interval_cycles: self.schedule.interval_cycles,
+            clock_hz: crate::calibration::FABRIC_CLOCK_HZ,
+            resources: self.resources,
+        }
+    }
+
+    /// Generates the single-file synthesizable C++ (wrapper 1 of the
+    /// paper's back end).
+    pub fn cpp_source(&self) -> String {
+        codegen::cpp::generate(&self.network, &self.ir, &self.directives)
+    }
+
+    /// Generates the three tcl scripts (wrapper 2): returns
+    /// `(cnn_vivado_hls.tcl, directives.tcl, cnn_vivado.tcl)`.
+    pub fn tcl_scripts(&self) -> codegen::tcl::TclScripts {
+        codegen::tcl::generate(&self.ir, &self.directives, self.part)
+    }
+
+    /// Generates the C-simulation testbench (`cnn_tb.cpp`) for a set
+    /// of stimulus images; the expected classes are the network's own
+    /// (bit-exact software) predictions.
+    pub fn testbench(&self, images: &[cnn_tensor::Tensor]) -> String {
+        let expected: Vec<usize> = images.iter().map(|i| self.network.predict(i)).collect();
+        codegen::tb::generate(images, &expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn test4_net() -> Network {
+        let mut rng = seeded_rng(2);
+        Network::builder(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn project_builds_for_all_paper_tests() {
+        for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+            assert!(HlsProject::new(&test1_net(), ds, FpgaPart::zynq7020()).is_ok());
+        }
+        assert!(
+            HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::zynq7020()).is_ok()
+        );
+    }
+
+    #[test]
+    fn cifar_design_rejected_on_zybo() {
+        let err =
+            HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::zynq7010())
+                .unwrap_err();
+        match err {
+            HlsError::DoesNotFit(resources) => {
+                assert!(resources.contains(&"BRAM"), "expected BRAM overflow: {resources:?}")
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn unchecked_keeps_overflowing_design() {
+        let p = HlsProject::new_unchecked(
+            &test4_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7010(),
+        );
+        assert!(!p.resources().fits());
+        assert!(!p.report().render().is_empty());
+    }
+
+    #[test]
+    fn report_reflects_directives() {
+        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
+            .unwrap();
+        let r = p.report();
+        assert_eq!(r.directives, "dataflow+pipe-conv @f32");
+        assert!(r.interval_cycles <= r.latency_cycles);
+    }
+
+    #[test]
+    fn artifacts_are_generated() {
+        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
+            .unwrap();
+        let cpp = p.cpp_source();
+        assert!(cpp.contains("int cnn("));
+        let tcl = p.tcl_scripts();
+        assert!(tcl.vivado_hls.contains("csynth_design"));
+        assert!(tcl.vivado.contains("create_bd_design"));
+    }
+
+    #[test]
+    fn cifar_design_trivially_fits_virtex7() {
+        // The paper's future-work target has 12x the DSPs and 7x the
+        // BRAM of the Zynq-7020; the CIFAR network barely dents it.
+        let p = HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::virtex7())
+            .unwrap();
+        assert!(p.resources().bram_pct() < 15.0);
+        assert!(p.resources().dsp_pct() < 10.0);
+    }
+
+    #[test]
+    fn fixed_point_project_is_smaller_and_faster() {
+        use crate::precision::Precision;
+        let f32p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
+            .unwrap();
+        let q16p = HlsProject::with_precision(
+            &test1_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+            Precision::q8_8(),
+        )
+        .unwrap();
+        assert!(q16p.schedule().interval_cycles < f32p.schedule().interval_cycles);
+        assert!(q16p.resources().dsp < f32p.resources().dsp);
+        assert!(q16p.resources().bram36 <= f32p.resources().bram36);
+        assert!(q16p.report().directives.contains("@q8.8"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(HlsError::DoesNotFit(vec!["BRAM"]).to_string().contains("BRAM"));
+        assert!(HlsError::EmptyDesign.to_string().contains("zero blocks"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Synthesis reports — the equivalent of Vivado HLS's
+//! `csynth.rpt`: latency, initiation interval and resource usage,
+//! with Table II-style utilization percentages.
+
+use crate::part::FpgaPart;
+use serde::Serialize;
+use std::fmt;
+
+/// Absolute resource usage against a specific part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct ResourceUsage {
+    /// The device the design was bound for.
+    pub part: FpgaPart,
+    /// Flip-flops used.
+    pub ff: u32,
+    /// LUTs used.
+    pub lut: u32,
+    /// Memory LUTs used.
+    pub lutram: u32,
+    /// BRAM36 blocks used.
+    pub bram36: u32,
+    /// DSP48 slices used.
+    pub dsp: u32,
+}
+
+impl ResourceUsage {
+    /// FF utilization percent.
+    pub fn ff_pct(&self) -> f64 {
+        100.0 * self.ff as f64 / self.part.ff as f64
+    }
+    /// LUT utilization percent.
+    pub fn lut_pct(&self) -> f64 {
+        100.0 * self.lut as f64 / self.part.lut as f64
+    }
+    /// Memory-LUT utilization percent.
+    pub fn lutram_pct(&self) -> f64 {
+        100.0 * self.lutram as f64 / self.part.lutram as f64
+    }
+    /// BRAM utilization percent.
+    pub fn bram_pct(&self) -> f64 {
+        100.0 * self.bram36 as f64 / self.part.bram36 as f64
+    }
+    /// DSP utilization percent.
+    pub fn dsp_pct(&self) -> f64 {
+        100.0 * self.dsp as f64 / self.part.dsp as f64
+    }
+
+    /// Whether the design fits the part (every resource ≤ capacity) —
+    /// the check Vivado's implementation step enforces.
+    pub fn fits(&self) -> bool {
+        self.ff <= self.part.ff
+            && self.lut <= self.part.lut
+            && self.lutram <= self.part.lutram
+            && self.bram36 <= self.part.bram36
+            && self.dsp <= self.part.dsp
+    }
+
+    /// Names of over-capacity resources (empty when [`fits`](Self::fits)).
+    pub fn overflows(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        if self.ff > self.part.ff {
+            v.push("FF");
+        }
+        if self.lut > self.part.lut {
+            v.push("LUT");
+        }
+        if self.lutram > self.part.lutram {
+            v.push("LUTRAM");
+        }
+        if self.bram36 > self.part.bram36 {
+            v.push("BRAM");
+        }
+        if self.dsp > self.part.dsp {
+            v.push("DSP");
+        }
+        v
+    }
+}
+
+impl fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FF {:.2}% | LUT {:.2}% | LUTRAM {:.2}% | BRAM {:.2}% | DSP {:.2}%",
+            self.ff_pct(),
+            self.lut_pct(),
+            self.lutram_pct(),
+            self.bram_pct(),
+            self.dsp_pct()
+        )
+    }
+}
+
+/// The synthesis report of one build.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct HlsReport {
+    /// Top-level function name.
+    pub top: String,
+    /// Directive configuration label.
+    pub directives: String,
+    /// Per-image latency (cycles).
+    pub latency_cycles: u64,
+    /// Steady-state initiation interval between images (cycles).
+    pub interval_cycles: u64,
+    /// Fabric clock in Hz.
+    pub clock_hz: u64,
+    /// Resource binding result.
+    pub resources: ResourceUsage,
+}
+
+impl HlsReport {
+    /// Per-image latency in seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.latency_cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Classifications per second in the steady state.
+    pub fn throughput_fps(&self) -> f64 {
+        self.clock_hz as f64 / self.interval_cycles as f64
+    }
+
+    /// Renders the report in `csynth.rpt` style.
+    pub fn render(&self) -> String {
+        format!(
+            "== HLS report: {top} [{dir}] ==\n\
+             clock        : {mhz:.0} MHz\n\
+             latency      : {lat} cycles ({lat_s:.3} ms/image)\n\
+             interval     : {int} cycles ({fps:.1} images/s)\n\
+             resources    : {res}\n\
+             fits device  : {fits} ({part})\n",
+            top = self.top,
+            dir = self.directives,
+            mhz = self.clock_hz as f64 / 1e6,
+            lat = self.latency_cycles,
+            lat_s = self.latency_seconds() * 1e3,
+            int = self.interval_cycles,
+            fps = self.throughput_fps(),
+            res = self.resources,
+            fits = self.resources.fits(),
+            part = self.resources.part.name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(dsp: u32) -> ResourceUsage {
+        ResourceUsage {
+            part: FpgaPart::zynq7020(),
+            ff: 10_000,
+            lut: 9_000,
+            lutram: 500,
+            bram36: 10,
+            dsp,
+        }
+    }
+
+    #[test]
+    fn percentages() {
+        let u = usage(110);
+        assert!((u.dsp_pct() - 50.0).abs() < 1e-9);
+        assert!((u.bram_pct() - 100.0 * 10.0 / 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fits_and_overflows() {
+        let ok = usage(110);
+        assert!(ok.fits());
+        assert!(ok.overflows().is_empty());
+        let bad = usage(500);
+        assert!(!bad.fits());
+        assert_eq!(bad.overflows(), vec!["DSP"]);
+    }
+
+    #[test]
+    fn report_math() {
+        let r = HlsReport {
+            top: "cnn".into(),
+            directives: "naive".into(),
+            latency_cycles: 200_000,
+            interval_cycles: 50_000,
+            clock_hz: 100_000_000,
+            resources: usage(90),
+        };
+        assert!((r.latency_seconds() - 2e-3).abs() < 1e-12);
+        assert!((r.throughput_fps() - 2000.0).abs() < 1e-9);
+        let text = r.render();
+        assert!(text.contains("100 MHz"));
+        assert!(text.contains("cnn"));
+        assert!(text.contains("fits device  : true"));
+    }
+
+    #[test]
+    fn display_formats_all_five_resources() {
+        let s = usage(1).to_string();
+        for key in ["FF", "LUT", "LUTRAM", "BRAM", "DSP"] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

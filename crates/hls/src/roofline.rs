@@ -1,0 +1,171 @@
+//! Roofline analysis — the model the paper's related work (Zhang et
+//! al. [9], via Williams et al. [20]) uses to bound FPGA CNN
+//! accelerators: attainable performance is the minimum of the
+//! *computational roof* (how many FLOPS the DSP fabric can sustain)
+//! and the *bandwidth roof* (arithmetic intensity × stream bandwidth).
+//!
+//! For the paper's designs the weights live on-chip, so the streamed
+//! bytes per image are just the input pixels plus the returned class —
+//! giving very high arithmetic intensity: these designs are compute-
+//! bound, and the analysis quantifies how far the naive and optimized
+//! schedules sit below the roof.
+
+use crate::calibration as cal;
+use crate::ir::DesignIr;
+use crate::operators::FpOp;
+use crate::part::FpgaPart;
+use crate::schedule::DesignSchedule;
+use serde::Serialize;
+
+/// Roofline coordinates for one design point.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RooflinePoint {
+    /// Floating-point operations per classified image.
+    pub flops_per_image: u64,
+    /// Bytes streamed per image (input pixels + class word).
+    pub bytes_per_image: u64,
+    /// Arithmetic intensity (FLOP / byte).
+    pub intensity: f64,
+    /// Computational roof of the part at the fabric clock, GFLOP/s.
+    pub compute_roof_gflops: f64,
+    /// Bandwidth roof at this intensity, GFLOP/s.
+    pub bandwidth_roof_gflops: f64,
+    /// Attainable performance (min of the roofs), GFLOP/s.
+    pub attainable_gflops: f64,
+    /// Performance the schedule actually achieves, GFLOP/s.
+    pub achieved_gflops: f64,
+}
+
+impl RooflinePoint {
+    /// Whether the bandwidth roof is the binding constraint.
+    pub fn memory_bound(&self) -> bool {
+        self.bandwidth_roof_gflops < self.compute_roof_gflops
+    }
+
+    /// Fraction of the attainable roof the schedule reaches.
+    pub fn efficiency(&self) -> f64 {
+        self.achieved_gflops / self.attainable_gflops
+    }
+}
+
+/// Total floating-point operations per image of a lowered design.
+pub fn flops_per_image(ir: &DesignIr) -> u64 {
+    ir.blocks
+        .iter()
+        .map(|b| {
+            let ops = b.total_ops();
+            FpOp::ALL.iter().map(|&op| ops.count(op)).sum::<u64>()
+        })
+        .sum()
+}
+
+/// Computes the roofline point of a scheduled design on `part`.
+pub fn analyze(ir: &DesignIr, schedule: &DesignSchedule, part: FpgaPart) -> RooflinePoint {
+    let flops = flops_per_image(ir);
+    // Streamed traffic: input words in, one class word out.
+    let bytes = (ir.input_elems + 1) * 4;
+    let intensity = flops as f64 / bytes as f64;
+
+    // Computational roof: every MAC needs fmul (3 DSP) + fadd (2 DSP);
+    // one MAC = 2 FLOPs per cycle when fully pipelined.
+    let macs_possible = part.dsp as f64 / (FpOp::Mul.cost().dsp + FpOp::Add.cost().dsp) as f64;
+    let clock = cal::FABRIC_CLOCK_HZ as f64;
+    let compute_roof = macs_possible * 2.0 * clock / 1e9;
+
+    // Bandwidth roof: the AXI stream moves one 4-byte word per cycle.
+    let stream_bw = 4.0 * cal::STREAM_WORDS_PER_CYCLE as f64 * clock; // bytes/s
+    let bandwidth_roof = intensity * stream_bw / 1e9;
+
+    let attainable = compute_roof.min(bandwidth_roof);
+    let achieved = flops as f64 / (schedule.interval_cycles as f64 / clock) / 1e9;
+
+    RooflinePoint {
+        flops_per_image: flops,
+        bytes_per_image: bytes,
+        intensity,
+        compute_roof_gflops: compute_roof,
+        bandwidth_roof_gflops: bandwidth_roof,
+        attainable_gflops: attainable,
+        achieved_gflops: achieved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directives::DirectiveSet;
+    use crate::ir::lower;
+    use crate::schedule::schedule;
+    use cnn_nn::Network;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn flop_count_matches_hand_arithmetic() {
+        let ir = lower(&test1_net());
+        let flops = flops_per_image(&ir);
+        // conv 21600 MACs (x2) + pool 864 cmps + linear 2160 MACs (x2)
+        // + epilogues; must be comfortably above 2*23760.
+        assert!(flops > 2 * 23_760, "{flops}");
+        assert!(flops < 3 * 23_760, "{flops}");
+    }
+
+    #[test]
+    fn paper_designs_are_compute_bound() {
+        // On-chip weights give huge arithmetic intensity: the paper's
+        // designs sit under the computational roof, not the memory one.
+        let ir = lower(&test1_net());
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let p = analyze(&ir, &s, FpgaPart::zynq7020());
+        assert!(!p.memory_bound(), "{p:?}");
+        assert!(p.intensity > 10.0);
+    }
+
+    #[test]
+    fn achieved_below_attainable() {
+        let ir = lower(&test1_net());
+        for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+            let s = schedule(&ir, &ds);
+            let p = analyze(&ir, &s, FpgaPart::zynq7020());
+            assert!(
+                p.achieved_gflops <= p.attainable_gflops,
+                "schedule exceeds the roof under {ds:?}: {p:?}"
+            );
+            assert!(p.efficiency() > 0.0 && p.efficiency() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn optimization_raises_achieved_performance() {
+        let ir = lower(&test1_net());
+        let naive = analyze(&ir, &schedule(&ir, &DirectiveSet::naive()), FpgaPart::zynq7020());
+        let opt = analyze(&ir, &schedule(&ir, &DirectiveSet::optimized()), FpgaPart::zynq7020());
+        assert!(opt.achieved_gflops > 3.0 * naive.achieved_gflops);
+        // Roofs are design-size properties, unchanged by directives.
+        assert_eq!(naive.compute_roof_gflops, opt.compute_roof_gflops);
+        assert_eq!(naive.intensity, opt.intensity);
+    }
+
+    #[test]
+    fn compute_roof_scales_with_part() {
+        let ir = lower(&test1_net());
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let zed = analyze(&ir, &s, FpgaPart::zynq7020());
+        let v7 = analyze(&ir, &s, FpgaPart::virtex7());
+        assert!(v7.compute_roof_gflops > 10.0 * zed.compute_roof_gflops);
+    }
+}

@@ -1,0 +1,383 @@
+//! The scheduler: per-block and per-design latency in fabric cycles.
+//!
+//! ## Model
+//!
+//! * **Unpipelined** loop nest: every innermost iteration pays the
+//!   body's chained operator latency plus one cycle of loop control;
+//!   the per-output epilogue likewise; a block pays a fixed
+//!   entry/exit overhead.
+//! * **`HLS PIPELINE`** on the reduction: the loops at and below the
+//!   reduction boundary flatten into a pipeline that initiates a new
+//!   iteration every II cycles, where II is the larger of the
+//!   accumulation-recurrence floor ([`calibration::II_REDUCTION`]) and
+//!   the memory-port constraint (`ceil(reads / ports)`). Each visit of
+//!   the pipelined region pays the fill depth once. The epilogue of a
+//!   pipelined block is itself pipelined at II = 1.
+//! * **`HLS DATAFLOW`**: blocks become stages of a task pipeline; the
+//!   per-image *latency* is still the sum of stages, but the
+//!   steady-state *interval* (one classification completes every
+//!   `interval` cycles) is the maximum stage, which is what governs
+//!   the paper's 1000/10000-image batch runtimes.
+//! * **I/O**: each image pays a DMA setup plus one cycle per streamed
+//!   word ([`calibration::DMA_SETUP_CYCLES`], one word/cycle).
+
+use crate::calibration as cal;
+use crate::directives::DirectiveSet;
+use crate::ir::{DesignIr, LayerBlock};
+use crate::operators::{FpOp, OpMix};
+use crate::precision::Precision;
+use serde::{Deserialize, Serialize};
+
+/// Chained latency of an operator mix under a given precision.
+fn mix_latency(mix: &OpMix, precision: Precision) -> u64 {
+    FpOp::ALL
+        .iter()
+        .map(|&op| mix.count(op) * precision.op_cost(op).latency as u64)
+        .sum()
+}
+
+/// Schedule of one block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockSchedule {
+    /// Block name (matches the IR).
+    pub name: String,
+    /// Whether the reduction was pipelined.
+    pub pipelined: bool,
+    /// Achieved initiation interval (1 when not pipelined — unused).
+    pub ii: u64,
+    /// Block latency in cycles per image.
+    pub cycles: u64,
+}
+
+/// Schedule of the whole design.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DesignSchedule {
+    /// Per-block schedules, in dataflow order.
+    pub blocks: Vec<BlockSchedule>,
+    /// Whether task-level pipelining (DATAFLOW) is active.
+    pub dataflow: bool,
+    /// Cycles to stream one image in and the class index out.
+    pub io_cycles: u64,
+    /// Per-image latency (input arrival → class index).
+    pub latency_cycles: u64,
+    /// Steady-state cycles between completed classifications.
+    pub interval_cycles: u64,
+}
+
+impl DesignSchedule {
+    /// Total cycles to classify `n` images back-to-back.
+    pub fn cycles_for_images(&self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        if self.dataflow {
+            self.latency_cycles + (n - 1) * self.interval_cycles
+        } else {
+            n * self.latency_cycles
+        }
+    }
+
+    /// Wall-clock seconds for `n` images at the fabric clock.
+    pub fn seconds_for_images(&self, n: u64) -> f64 {
+        self.cycles_for_images(n) as f64 / cal::FABRIC_CLOCK_HZ as f64
+    }
+}
+
+/// Achieved initiation interval for a pipelined block at f32.
+pub fn achieved_ii(block: &LayerBlock) -> u64 {
+    achieved_ii_with(block, Precision::Float32)
+}
+
+/// Achieved initiation interval under a given precision.
+pub fn achieved_ii_with(block: &LayerBlock, precision: Precision) -> u64 {
+    let dependence_ii = if block.body.add > 0 { precision.reduction_ii() } else { 1 };
+    let port_ii = block.body_reads.div_ceil(cal::BRAM_PORTS) as u64;
+    dependence_ii.max(port_ii).max(1)
+}
+
+/// Schedules one block under the given directive set (f32 datapath).
+pub fn schedule_block(block: &LayerBlock, directives: &DirectiveSet) -> BlockSchedule {
+    schedule_block_with(block, directives, Precision::Float32)
+}
+
+/// Schedules one block under a directive set and datapath precision.
+pub fn schedule_block_with(
+    block: &LayerBlock,
+    directives: &DirectiveSet,
+    precision: Precision,
+) -> BlockSchedule {
+    let pipelined = directives.pipelines(block.kind);
+    let body_latency = mix_latency(&block.body, precision);
+    let post_latency = mix_latency(&block.post, precision);
+    let cycles = if pipelined {
+        let (outer, inner) = block.split_iters();
+        let ii = achieved_ii_with(block, precision);
+        let depth = body_latency + cal::PIPELINE_EXTRA_DEPTH;
+        // HLS UNROLL on the reduction: `factor` elements issue per
+        // initiation, shortening the flattened trip count (conv only).
+        let factor = if block.kind == crate::ir::BlockKind::Conv {
+            directives.unroll_factor.max(1) as u64
+        } else {
+            1
+        };
+        let inner = inner.div_ceil(factor);
+        let main = outer * (depth + ii * inner.saturating_sub(1));
+        // Epilogue pipelines at II = 1 alongside.
+        let post = if block.post_iters > 0 && block.post.total() > 0 {
+            post_latency + cal::PIPELINE_EXTRA_DEPTH + block.post_iters.saturating_sub(1)
+        } else {
+            0
+        };
+        main + post + cal::BLOCK_OVERHEAD
+    } else {
+        let body = block.total_iters() * (body_latency + cal::LOOP_ITER_OVERHEAD);
+        let post = if block.post.total() > 0 {
+            block.post_iters * (post_latency + cal::LOOP_ITER_OVERHEAD)
+        } else {
+            0
+        };
+        body + post + cal::BLOCK_OVERHEAD
+    };
+    BlockSchedule {
+        name: block.name.clone(),
+        pipelined,
+        ii: if pipelined { achieved_ii_with(block, precision) } else { 1 },
+        cycles,
+    }
+}
+
+/// Schedules the whole design (f32 datapath).
+pub fn schedule(ir: &DesignIr, directives: &DirectiveSet) -> DesignSchedule {
+    schedule_with(ir, directives, Precision::Float32)
+}
+
+/// Schedules the whole design under a datapath precision.
+pub fn schedule_with(
+    ir: &DesignIr,
+    directives: &DirectiveSet,
+    precision: Precision,
+) -> DesignSchedule {
+    let blocks: Vec<BlockSchedule> = ir
+        .blocks
+        .iter()
+        .map(|b| schedule_block_with(b, directives, precision))
+        .collect();
+    let io_cycles = cal::DMA_SETUP_CYCLES + ir.input_elems / cal::STREAM_WORDS_PER_CYCLE + 1;
+    let compute: u64 = blocks.iter().map(|b| b.cycles).sum();
+    let latency_cycles = io_cycles + compute;
+    let interval_cycles = if directives.dataflow {
+        blocks
+            .iter()
+            .map(|b| b.cycles)
+            .max()
+            .unwrap_or(0)
+            .max(io_cycles)
+    } else {
+        latency_cycles
+    };
+    DesignSchedule {
+        blocks,
+        dataflow: directives.dataflow,
+        io_cycles,
+        latency_cycles,
+        interval_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use cnn_nn::Network;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_ir() -> DesignIr {
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        lower(&net)
+    }
+
+    fn test4_ir() -> DesignIr {
+        let mut rng = seeded_rng(2);
+        let net = Network::builder(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        lower(&net)
+    }
+
+    #[test]
+    fn naive_schedule_is_sum_of_blocks() {
+        let ir = test1_ir();
+        let s = schedule(&ir, &DirectiveSet::naive());
+        assert!(!s.dataflow);
+        assert_eq!(s.interval_cycles, s.latency_cycles);
+        let sum: u64 = s.blocks.iter().map(|b| b.cycles).sum();
+        assert_eq!(s.latency_cycles, s.io_cycles + sum);
+    }
+
+    #[test]
+    fn naive_test1_latency_in_paper_band() {
+        // Paper Test 1: 2.8 s for 1000 images → 2.8 ms/image at 100 MHz
+        // = 280k cycles. Our model should land within ±25%.
+        let ir = test1_ir();
+        let s = schedule(&ir, &DirectiveSet::naive());
+        let secs = s.seconds_for_images(1000);
+        assert!(
+            (2.1..=3.5).contains(&secs),
+            "naive Test-1 runtime {secs:.2}s outside the paper band (2.8s ±25%)"
+        );
+    }
+
+    #[test]
+    fn optimized_test1_latency_in_paper_band() {
+        // Paper Test 2: 0.53 s for 1000 images.
+        let ir = test1_ir();
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let secs = s.seconds_for_images(1000);
+        assert!(
+            (0.40..=0.70).contains(&secs),
+            "optimized Test-2 runtime {secs:.2}s outside the paper band (0.53s ±25%)"
+        );
+    }
+
+    #[test]
+    fn optimized_test4_latency_in_paper_band() {
+        // Paper Test 4: 223 s for 10000 images.
+        let ir = test4_ir();
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let secs = s.seconds_for_images(10_000);
+        assert!(
+            (170.0..=280.0).contains(&secs),
+            "optimized Test-4 runtime {secs:.1}s outside the paper band (223s ±25%)"
+        );
+    }
+
+    #[test]
+    fn pipelining_reduces_conv_latency_substantially() {
+        let ir = test1_ir();
+        let naive = schedule(&ir, &DirectiveSet::naive());
+        let opt = schedule(&ir, &DirectiveSet::optimized());
+        let conv_naive = naive.blocks.iter().find(|b| b.name == "conv1").unwrap();
+        let conv_opt = opt.blocks.iter().find(|b| b.name == "conv1").unwrap();
+        assert!(conv_opt.pipelined && !conv_naive.pipelined);
+        assert!(
+            conv_naive.cycles > 3 * conv_opt.cycles,
+            "pipelining gain too small: {} vs {}",
+            conv_naive.cycles,
+            conv_opt.cycles
+        );
+    }
+
+    #[test]
+    fn dataflow_interval_is_max_stage() {
+        let ir = test1_ir();
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let max_stage = s.blocks.iter().map(|b| b.cycles).max().unwrap();
+        assert_eq!(s.interval_cycles, max_stage.max(s.io_cycles));
+        assert!(s.interval_cycles < s.latency_cycles);
+    }
+
+    #[test]
+    fn cycles_for_images_formulas() {
+        let ir = test1_ir();
+        let naive = schedule(&ir, &DirectiveSet::naive());
+        assert_eq!(naive.cycles_for_images(0), 0);
+        assert_eq!(naive.cycles_for_images(5), 5 * naive.latency_cycles);
+        let opt = schedule(&ir, &DirectiveSet::optimized());
+        assert_eq!(
+            opt.cycles_for_images(5),
+            opt.latency_cycles + 4 * opt.interval_cycles
+        );
+    }
+
+    #[test]
+    fn achieved_ii_respects_ports_and_recurrence() {
+        let ir = test1_ir();
+        let conv = &ir.blocks[0];
+        // conv: 2 reads / 2 ports = 1; recurrence floor 2 → II = 2.
+        assert_eq!(achieved_ii(conv), 2);
+        let pool = &ir.blocks[1];
+        // pool: pure comparisons, one read → II = 1.
+        assert_eq!(achieved_ii(pool), 1);
+    }
+
+    #[test]
+    fn io_cycles_scale_with_input() {
+        let i1 = test1_ir(); // 256 words
+        let i4 = test4_ir(); // 3072 words
+        let s1 = schedule(&i1, &DirectiveSet::naive());
+        let s4 = schedule(&i4, &DirectiveSet::naive());
+        assert!(s4.io_cycles > s1.io_cycles);
+        assert_eq!(s4.io_cycles - s1.io_cycles, (3072 - 256));
+    }
+
+    #[test]
+    fn speedup_naive_to_optimized_matches_paper_shape() {
+        // Paper: Test 2 vs Test 1 hardware = 2.8 / 0.53 ≈ 5.3×.
+        let ir = test1_ir();
+        let naive = schedule(&ir, &DirectiveSet::naive());
+        let opt = schedule(&ir, &DirectiveSet::optimized());
+        let speedup =
+            naive.cycles_for_images(1000) as f64 / opt.cycles_for_images(1000) as f64;
+        assert!(
+            (3.5..=8.0).contains(&speedup),
+            "naive→optimized speedup {speedup:.2} outside 5.3× ± band"
+        );
+    }
+
+    #[test]
+    fn aggressive_is_at_least_as_fast_as_optimized() {
+        let ir = test4_ir();
+        let opt = schedule(&ir, &DirectiveSet::optimized());
+        let agg = schedule(&ir, &DirectiveSet::aggressive());
+        assert!(agg.cycles_for_images(100) <= opt.cycles_for_images(100));
+    }
+
+    #[test]
+    fn unroll_shortens_conv_interval_proportionally() {
+        let ir = test1_ir();
+        let base = schedule(&ir, &DirectiveSet::optimized());
+        let u4 = schedule(&ir, &DirectiveSet::optimized_unrolled(4));
+        let conv_base = base.blocks.iter().find(|b| b.name == "conv1").unwrap();
+        let conv_u4 = u4.blocks.iter().find(|b| b.name == "conv1").unwrap();
+        // Pipeline fill depth caps the gain below the ideal 4x on a
+        // 25-element reduction; >2x is the model's expectation.
+        assert!(
+            conv_u4.cycles * 2 < conv_base.cycles,
+            "unroll 4 should cut the conv latency >2x: {} vs {}",
+            conv_u4.cycles,
+            conv_base.cycles
+        );
+        // Non-conv stages are untouched.
+        let lin_base = base.blocks.iter().find(|b| b.name == "linear1").unwrap();
+        let lin_u4 = u4.blocks.iter().find(|b| b.name == "linear1").unwrap();
+        assert_eq!(lin_base.cycles, lin_u4.cycles);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let ir = test4_ir();
+        assert_eq!(
+            schedule(&ir, &DirectiveSet::optimized()),
+            schedule(&ir, &DirectiveSet::optimized())
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Timing closure — the dimension the paper fixes by fiat (a 10 ns
+//! clock) and Vivado checks for real: what clock can each design
+//! actually close at, and what throughput would the Zynq's discrete
+//! FCLK options buy?
+//!
+//! ## Model
+//!
+//! Every instantiated operator is a pipelined 7-series core with a
+//! documented maximum frequency; registers between operators mean the
+//! *pipelined* datapath closes at the slowest core's Fmax. The naive
+//! (unpipelined) datapath chains operators combinationally inside a
+//! schedule state, dividing the achievable clock by the chain depth's
+//! longest unregistered segment — modelled here as the body's worst
+//! single-operator delay times a routing factor.
+
+use crate::directives::DirectiveSet;
+use crate::ir::DesignIr;
+use crate::operators::FpOp;
+use crate::precision::Precision;
+use serde::Serialize;
+
+/// Maximum frequency (MHz) of one pipelined operator core on a
+/// Zynq-7000 speed-grade-1 part.
+pub fn core_fmax_mhz(op: FpOp, precision: Precision) -> f64 {
+    match precision {
+        Precision::Float32 => match op {
+            FpOp::Mul => 317.0,
+            FpOp::Add => 344.0,
+            FpOp::Cmp => 410.0,
+            FpOp::Exp => 255.0,
+            FpOp::Log => 245.0,
+            FpOp::Div => 230.0,
+        },
+        // Fixed-point datapaths close much higher (DSP48 native).
+        Precision::Fixed { total_bits, .. } => {
+            let wide_penalty = if total_bits > 18 { 0.85 } else { 1.0 };
+            (match op {
+                FpOp::Mul => 460.0,
+                FpOp::Add => 520.0,
+                FpOp::Cmp => 520.0,
+                FpOp::Exp => 380.0,
+                FpOp::Log => 380.0,
+                FpOp::Div => 320.0,
+            }) * wide_penalty
+        }
+    }
+}
+
+/// Routing/fanout derate applied on top of core Fmax for a full design.
+const ROUTING_DERATE: f64 = 0.85;
+
+/// The discrete FCLK frequencies the Zynq PS can generate for the
+/// fabric from its IO PLL (MHz).
+pub const ZYNQ_FCLK_OPTIONS_MHZ: [f64; 5] = [50.0, 100.0, 142.86, 166.67, 200.0];
+
+/// Timing analysis of one build.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct TimingReport {
+    /// Estimated maximum closable frequency, MHz.
+    pub fmax_mhz: f64,
+    /// The fastest supported FCLK at or below Fmax, MHz.
+    pub best_fclk_mhz: f64,
+    /// Throughput gain over the paper's 100 MHz baseline when clocked
+    /// at `best_fclk_mhz` (cycles are frequency-independent).
+    pub speedup_vs_100mhz: f64,
+    /// Whether the design closes at the paper's 100 MHz.
+    pub closes_at_100mhz: bool,
+}
+
+/// Which operators a design instantiates (any count > 0 anywhere).
+fn used_ops(ir: &DesignIr) -> Vec<FpOp> {
+    FpOp::ALL
+        .iter()
+        .copied()
+        .filter(|&op| {
+            ir.blocks
+                .iter()
+                .any(|b| b.body.count(op) + b.post.count(op) > 0)
+        })
+        .collect()
+}
+
+/// Estimates the design's Fmax under a directive set and precision.
+pub fn fmax_mhz(ir: &DesignIr, directives: &DirectiveSet, precision: Precision) -> f64 {
+    let ops = used_ops(ir);
+    assert!(!ops.is_empty(), "design uses no operators");
+    let slowest_core = ops
+        .iter()
+        .map(|&op| core_fmax_mhz(op, precision))
+        .fold(f64::INFINITY, f64::min);
+
+    let any_pipelined = ir.blocks.iter().any(|b| directives.pipelines(b.kind));
+    let derated = slowest_core * ROUTING_DERATE;
+    if any_pipelined {
+        // Registered datapath: slowest core limits.
+        derated
+    } else {
+        // Naive schedule: Vivado still registers between FSM states,
+        // but the wider multiplexed datapath costs extra slack.
+        derated * 0.9
+    }
+}
+
+/// Fastest supported FCLK at or below `fmax`.
+pub fn best_fclk_mhz(fmax: f64) -> f64 {
+    ZYNQ_FCLK_OPTIONS_MHZ
+        .iter()
+        .copied()
+        .filter(|&f| f <= fmax)
+        .fold(ZYNQ_FCLK_OPTIONS_MHZ[0], f64::max)
+}
+
+/// Full timing report for a design.
+pub fn analyze(ir: &DesignIr, directives: &DirectiveSet, precision: Precision) -> TimingReport {
+    let fmax = fmax_mhz(ir, directives, precision);
+    let best = best_fclk_mhz(fmax);
+    TimingReport {
+        fmax_mhz: fmax,
+        best_fclk_mhz: best,
+        speedup_vs_100mhz: best / 100.0,
+        closes_at_100mhz: fmax >= 100.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::lower;
+    use cnn_nn::Network;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_ir() -> DesignIr {
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        lower(&net)
+    }
+
+    #[test]
+    fn paper_designs_close_at_100mhz() {
+        // The paper's 10 ns clock must be feasible in the model, or
+        // the whole reproduction story would be inconsistent.
+        let ir = test1_ir();
+        for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+            let r = analyze(&ir, &ds, Precision::Float32);
+            assert!(r.closes_at_100mhz, "{r:?}");
+            assert!(r.fmax_mhz > 100.0);
+        }
+    }
+
+    #[test]
+    fn transcendentals_limit_float_fmax() {
+        let ir = test1_ir();
+        let fmax = fmax_mhz(&ir, &DirectiveSet::optimized(), Precision::Float32);
+        // The slowest used core is fdiv (230 MHz) from the tanh.
+        let expect = 230.0 * ROUTING_DERATE;
+        assert!((fmax - expect).abs() < 1e-9, "{fmax} vs {expect}");
+    }
+
+    #[test]
+    fn fixed_point_closes_faster() {
+        let ir = test1_ir();
+        let f = fmax_mhz(&ir, &DirectiveSet::optimized(), Precision::Float32);
+        let q = fmax_mhz(&ir, &DirectiveSet::optimized(), Precision::q8_8());
+        assert!(q > 1.3 * f, "fixed {q} vs float {f}");
+    }
+
+    #[test]
+    fn best_fclk_snaps_down_to_supported_options() {
+        assert_eq!(best_fclk_mhz(199.0), 166.67);
+        assert_eq!(best_fclk_mhz(200.0), 200.0);
+        assert_eq!(best_fclk_mhz(143.0), 142.86);
+        assert_eq!(best_fclk_mhz(60.0), 50.0);
+        // Below every option: clamps to the lowest.
+        assert_eq!(best_fclk_mhz(10.0), 50.0);
+    }
+
+    #[test]
+    fn headroom_above_the_papers_clock() {
+        // The paper left frequency on the table: the optimized float
+        // design closes comfortably above 100 MHz, and the report
+        // quantifies the free speedup.
+        let ir = test1_ir();
+        let r = analyze(&ir, &DirectiveSet::optimized(), Precision::Float32);
+        assert!(r.best_fclk_mhz >= 142.86, "{r:?}");
+        assert!(r.speedup_vs_100mhz > 1.4);
+    }
+
+    #[test]
+    fn naive_closes_no_faster_than_pipelined() {
+        let ir = test1_ir();
+        let n = fmax_mhz(&ir, &DirectiveSet::naive(), Precision::Float32);
+        let p = fmax_mhz(&ir, &DirectiveSet::optimized(), Precision::Float32);
+        assert!(n <= p);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests over the scheduler and binder: monotonicity and
+//! consistency invariants that must hold for *any* network the
+//! framework accepts, not just the paper's four.
+
+use cnn_hls::directives::DirectiveSet;
+use cnn_hls::ir::lower;
+use cnn_hls::part::FpgaPart;
+use cnn_hls::precision::Precision;
+use cnn_hls::project::HlsProject;
+use cnn_hls::schedule::{schedule, schedule_with};
+use cnn_nn::Network;
+use cnn_tensor::init::seeded_rng;
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::Shape;
+use proptest::prelude::*;
+
+/// Builds a random small-but-valid network from structural knobs.
+fn make_net(
+    chans: usize,
+    side: usize,
+    k1: usize,
+    kernel: usize,
+    pool: bool,
+    neurons: usize,
+    tanh: bool,
+) -> Option<Network> {
+    let mut rng = seeded_rng(1);
+    let mut b = Network::builder(Shape::new(chans, side, side)).conv(k1, kernel, kernel, &mut rng);
+    if pool {
+        b = b.pool(PoolKind::Max, 2, 2);
+    }
+    let act = if tanh { Some(Activation::Tanh) } else { None };
+    b.flatten()
+        .linear(neurons, act, &mut rng)
+        .log_softmax()
+        .build()
+        .ok()
+}
+
+fn arb_net() -> impl Strategy<Value = Network> {
+    (1usize..=3, 8usize..=20, 1usize..=8, 2usize..=5, any::<bool>(), 2usize..=12, any::<bool>())
+        .prop_filter_map("valid net", |(c, s, k, kk, p, n, t)| make_net(c, s, k, kk, p, n, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interval_never_exceeds_latency(net in arb_net()) {
+        let ir = lower(&net);
+        for ds in DirectiveSet::all_combinations() {
+            let s = schedule(&ir, &ds);
+            prop_assert!(s.interval_cycles <= s.latency_cycles);
+            prop_assert!(s.latency_cycles >= s.io_cycles);
+        }
+    }
+
+    #[test]
+    fn dataflow_only_helps_throughput(net in arb_net()) {
+        let ir = lower(&net);
+        let mut with = DirectiveSet::naive();
+        with.dataflow = true;
+        let s_no = schedule(&ir, &DirectiveSet::naive());
+        let s_df = schedule(&ir, &with);
+        // Same block schedules; dataflow can only lower the interval.
+        prop_assert_eq!(s_no.latency_cycles, s_df.latency_cycles);
+        prop_assert!(s_df.interval_cycles <= s_no.interval_cycles);
+    }
+
+    #[test]
+    fn batch_cycles_scale_monotonically(net in arb_net()) {
+        let ir = lower(&net);
+        let s = schedule(&ir, &DirectiveSet::optimized());
+        let mut prev = 0;
+        for n in [1u64, 2, 10, 100] {
+            let c = s.cycles_for_images(n);
+            prop_assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn fixed_point_never_slower_or_larger_in_bram(net in arb_net()) {
+        let ir = lower(&net);
+        for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+            let f32s = schedule_with(&ir, &ds, Precision::Float32);
+            let q16 = schedule_with(&ir, &ds, Precision::q8_8());
+            prop_assert!(q16.latency_cycles <= f32s.latency_cycles,
+                "q8.8 latency {} > f32 {}", q16.latency_cycles, f32s.latency_cycles);
+            let bf = cnn_hls::bind::bind_with(&ir, &ds, FpgaPart::zynq7020(), Precision::Float32);
+            let bq = cnn_hls::bind::bind_with(&ir, &ds, FpgaPart::zynq7020(), Precision::q8_8());
+            prop_assert!(bq.bram36 <= bf.bram36);
+            prop_assert!(bq.dsp <= bf.dsp);
+        }
+    }
+
+    #[test]
+    fn report_is_internally_consistent(net in arb_net()) {
+        let p = HlsProject::new_unchecked(&net, DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let r = p.report();
+        prop_assert!(r.latency_seconds() > 0.0);
+        prop_assert!(r.throughput_fps() > 0.0);
+        let recomputed = r.clock_hz as f64 / r.interval_cycles as f64;
+        prop_assert!((r.throughput_fps() - recomputed).abs() < 1e-9);
+        // Rendering never panics and mentions the part.
+        prop_assert!(r.render().contains(p.part().name));
+    }
+
+    #[test]
+    fn codegen_scales_with_parameters(net in arb_net()) {
+        let p = HlsProject::new_unchecked(&net, DirectiveSet::naive(), FpgaPart::zynq7020());
+        let src = p.cpp_source();
+        // Each parameter appears as (at least part of) one literal; the
+        // source must grow at least linearly with parameter count.
+        prop_assert!(src.len() > net.param_count());
+        prop_assert!(src.contains("int cnn("));
+    }
+}

@@ -1,0 +1,247 @@
+//! Fluent network construction mirroring the paper's GUI options:
+//! per-convolutional-layer kernel count/size with an integrated
+//! max-pooling stage (Fig. 4), per-linear-layer neuron count with an
+//! optional hyperbolic tangent, and the LogSoftMax appended at the end.
+
+use crate::layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+use crate::network::{Network, NetworkError};
+use cnn_tensor::init::{init_kernels, init_vec, Init};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::Shape;
+use rand::rngs::StdRng;
+
+/// Builder accumulating layers while tracking the current shape, so
+/// each `conv`/`linear` call can size its weights automatically
+/// (Xavier-uniform initialization).
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    current: Result<Shape, String>,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts building a network for inputs of `input_shape`.
+    pub fn new(input_shape: Shape) -> Self {
+        NetworkBuilder {
+            input_shape,
+            current: Ok(input_shape),
+            layers: Vec::new(),
+        }
+    }
+
+    fn push(mut self, layer: Layer) -> Self {
+        if let Ok(shape) = self.current {
+            self.current = layer.output_shape(shape).map_err(|e| {
+                format!("layer {} ({}): {e}", self.layers.len(), layer.kind_name())
+            });
+            self.layers.push(layer);
+        }
+        self
+    }
+
+    /// Adds a convolutional layer with `k` kernels of `kh`×`kw`,
+    /// Xavier-initialized from `rng`, no activation (the paper's conv
+    /// blocks feed pooling directly).
+    pub fn conv(self, k: usize, kh: usize, kw: usize, rng: &mut StdRng) -> Self {
+        let Ok(shape) = self.current else { return self };
+        let fan_in = shape.c * kh * kw;
+        let fan_out = k * kh * kw;
+        let layer = Layer::Conv2d(Conv2dLayer {
+            kernels: init_kernels(rng, k, shape.c, kh, kw, Init::Xavier { fan_in, fan_out }),
+            bias: init_vec(rng, k, Init::Zeros),
+            activation: None,
+        });
+        self.push(layer)
+    }
+
+    /// Adds a convolutional layer with an explicit activation.
+    pub fn conv_activated(
+        self,
+        k: usize,
+        kh: usize,
+        kw: usize,
+        act: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        let Ok(shape) = self.current else { return self };
+        let fan_in = shape.c * kh * kw;
+        let fan_out = k * kh * kw;
+        let layer = Layer::Conv2d(Conv2dLayer {
+            kernels: init_kernels(rng, k, shape.c, kh, kw, Init::Xavier { fan_in, fan_out }),
+            bias: init_vec(rng, k, Init::Zeros),
+            activation: Some(act),
+        });
+        self.push(layer)
+    }
+
+    /// Adds a pooling stage with window `kh`×`kw` and stride equal to
+    /// the window (the GUI's integrated max-pooling default).
+    pub fn pool(self, kind: PoolKind, kh: usize, kw: usize) -> Self {
+        self.push(Layer::Pool(PoolLayer { kind, kh, kw, step: kh }))
+    }
+
+    /// Adds a pooling stage with an explicit stride.
+    pub fn pool_strided(self, kind: PoolKind, kh: usize, kw: usize, step: usize) -> Self {
+        self.push(Layer::Pool(PoolLayer { kind, kh, kw, step }))
+    }
+
+    /// Flattens to a vector (conv→linear boundary).
+    pub fn flatten(self) -> Self {
+        self.push(Layer::Flatten)
+    }
+
+    /// Adds a linear layer with `neurons` outputs and an optional
+    /// activation (the GUI's tanh checkbox), Xavier-initialized.
+    pub fn linear(self, neurons: usize, act: Option<Activation>, rng: &mut StdRng) -> Self {
+        let Ok(shape) = self.current else { return self };
+        let inputs = shape.len();
+        let layer = Layer::Linear(LinearLayer {
+            weights: init_vec(rng, inputs * neurons, Init::Xavier { fan_in: inputs, fan_out: neurons }),
+            bias: init_vec(rng, neurons, Init::Zeros),
+            inputs,
+            outputs: neurons,
+            activation: act,
+        });
+        self.push(layer)
+    }
+
+    /// Appends the LogSoftMax tail (the code generator adds this by
+    /// default).
+    pub fn log_softmax(self) -> Self {
+        self.push(Layer::LogSoftMax)
+    }
+
+    /// Finalizes into a validated [`Network`].
+    pub fn build(self) -> Result<Network, NetworkError> {
+        match self.current {
+            Ok(_) => Network::new(self.input_shape, self.layers),
+            Err(msg) => Err(NetworkError::ShapeMismatch(self.layers.len() - 1, msg)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::Tensor;
+
+    #[test]
+    fn builds_paper_test1_network() {
+        let mut rng = seeded_rng(1);
+        let net = NetworkBuilder::new(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        assert_eq!(net.output_shape(), Shape::new(1, 1, 10));
+        assert_eq!(net.layers().len(), 5);
+    }
+
+    #[test]
+    fn builds_paper_test3_network() {
+        let mut rng = seeded_rng(2);
+        let net = NetworkBuilder::new(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(16, 5, 5, &mut rng)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        // second conv: 6x6x6 -> 16x2x2 per the paper
+        assert_eq!(net.shape_after(2), Shape::new(16, 2, 2));
+        assert_eq!(net.output_shape(), Shape::new(1, 1, 10));
+    }
+
+    #[test]
+    fn builds_paper_test4_network() {
+        let mut rng = seeded_rng(3);
+        let net = NetworkBuilder::new(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        assert_eq!(net.shape_after(0), Shape::new(12, 28, 28));
+        assert_eq!(net.shape_after(1), Shape::new(12, 14, 14));
+        assert_eq!(net.shape_after(2), Shape::new(36, 10, 10));
+        assert_eq!(net.shape_after(3), Shape::new(36, 5, 5));
+        assert_eq!(net.output_shape(), Shape::new(1, 1, 10));
+    }
+
+    #[test]
+    fn invalid_sequence_surfaces_error() {
+        let mut rng = seeded_rng(4);
+        let err = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv(2, 3, 3, &mut rng) // -> 2x2x2
+            .conv(2, 3, 3, &mut rng) // kernel too big
+            .build()
+            .unwrap_err();
+        match err {
+            NetworkError::ShapeMismatch(_, msg) => assert!(msg.contains("does not fit"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_is_sticky_and_later_layers_skipped() {
+        let mut rng = seeded_rng(5);
+        let err = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv(1, 8, 8, &mut rng)
+            .flatten()
+            .linear(10, None, &mut rng)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::ShapeMismatch(_, _)));
+    }
+
+    #[test]
+    fn conv_activated_applies_activation() {
+        let mut rng = seeded_rng(6);
+        let net = NetworkBuilder::new(Shape::new(1, 6, 6))
+            .conv_activated(2, 3, 3, Activation::Relu, &mut rng)
+            .build()
+            .unwrap();
+        let out = net.forward(&Tensor::full(Shape::new(1, 6, 6), 1.0));
+        assert!(out.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn pool_strided_overlapping_windows() {
+        let mut rng = seeded_rng(7);
+        let net = NetworkBuilder::new(Shape::new(1, 8, 8))
+            .conv(1, 3, 3, &mut rng) // -> 1x6x6
+            .pool_strided(PoolKind::Mean, 3, 3, 1) // -> 1x4x4
+            .build()
+            .unwrap();
+        assert_eq!(net.output_shape(), Shape::new(1, 4, 4));
+    }
+
+    #[test]
+    fn same_seed_builds_identical_networks() {
+        let make = |seed| {
+            let mut rng = seeded_rng(seed);
+            NetworkBuilder::new(Shape::new(1, 16, 16))
+                .conv(6, 5, 5, &mut rng)
+                .pool(PoolKind::Max, 2, 2)
+                .flatten()
+                .linear(10, Some(Activation::Tanh), &mut rng)
+                .log_softmax()
+                .build()
+                .unwrap()
+        };
+        assert_eq!(make(42), make(42));
+        assert_ne!(make(42), make(43));
+    }
+}

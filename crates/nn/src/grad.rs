@@ -1,0 +1,494 @@
+//! Backpropagation: per-layer backward passes and gradient containers.
+//!
+//! The paper trains with Torch; this module is the from-scratch
+//! replacement. Gradients are validated against central finite
+//! differences in the test suite.
+
+use crate::layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::{Shape, Tensor, Tensor4};
+
+/// Gradient storage for one layer's parameters (empty for layers
+/// without parameters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerGrads {
+    /// Conv kernel and bias gradients.
+    Conv2d {
+        /// dL/dW, same shape as the kernel bank.
+        kernels: Tensor4,
+        /// dL/db.
+        bias: Vec<f32>,
+    },
+    /// Linear weight and bias gradients.
+    Linear {
+        /// dL/dW, row-major `(outputs x inputs)`.
+        weights: Vec<f32>,
+        /// dL/db.
+        bias: Vec<f32>,
+    },
+    /// No parameters.
+    None,
+}
+
+impl LayerGrads {
+    /// Zero-gradient container matching `layer`'s parameters.
+    pub fn zeros_like(layer: &Layer) -> LayerGrads {
+        match layer {
+            Layer::Conv2d(c) => LayerGrads::Conv2d {
+                kernels: Tensor4::zeros(
+                    c.kernels.kernels(),
+                    c.kernels.channels(),
+                    c.kernels.kh(),
+                    c.kernels.kw(),
+                ),
+                bias: vec![0.0; c.bias.len()],
+            },
+            Layer::Linear(l) => LayerGrads::Linear {
+                weights: vec![0.0; l.weights.len()],
+                bias: vec![0.0; l.bias.len()],
+            },
+            _ => LayerGrads::None,
+        }
+    }
+
+    /// Accumulates `other` into `self` (mini-batch summation).
+    pub fn accumulate(&mut self, other: &LayerGrads) {
+        match (self, other) {
+            (
+                LayerGrads::Conv2d { kernels: k1, bias: b1 },
+                LayerGrads::Conv2d { kernels: k2, bias: b2 },
+            ) => {
+                for (a, b) in k1.as_mut_slice().iter_mut().zip(k2.as_slice()) {
+                    *a += b;
+                }
+                for (a, b) in b1.iter_mut().zip(b2) {
+                    *a += b;
+                }
+            }
+            (
+                LayerGrads::Linear { weights: w1, bias: b1 },
+                LayerGrads::Linear { weights: w2, bias: b2 },
+            ) => {
+                for (a, b) in w1.iter_mut().zip(w2) {
+                    *a += b;
+                }
+                for (a, b) in b1.iter_mut().zip(b2) {
+                    *a += b;
+                }
+            }
+            (LayerGrads::None, LayerGrads::None) => {}
+            _ => panic!("gradient kind mismatch in accumulate"),
+        }
+    }
+
+    /// Scales all gradients by `s` (mini-batch averaging).
+    pub fn scale(&mut self, s: f32) {
+        match self {
+            LayerGrads::Conv2d { kernels, bias } => {
+                kernels.as_mut_slice().iter_mut().for_each(|v| *v *= s);
+                bias.iter_mut().for_each(|v| *v *= s);
+            }
+            LayerGrads::Linear { weights, bias } => {
+                weights.iter_mut().for_each(|v| *v *= s);
+                bias.iter_mut().for_each(|v| *v *= s);
+            }
+            LayerGrads::None => {}
+        }
+    }
+}
+
+/// Backward pass through one layer.
+///
+/// * `input` — the activation fed to the layer in the forward pass,
+/// * `output` — the activation the layer produced,
+/// * `grad_out` — dL/d(output).
+///
+/// Returns `(dL/d(input), parameter gradients)`.
+pub fn backward(layer: &Layer, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> (Tensor, LayerGrads) {
+    match layer {
+        Layer::Conv2d(c) => conv_backward(c, input, output, grad_out),
+        Layer::Pool(p) => (pool_backward(p, input, grad_out), LayerGrads::None),
+        Layer::Flatten => (
+            Tensor::from_vec(input.shape(), grad_out.as_slice().to_vec()),
+            LayerGrads::None,
+        ),
+        Layer::Linear(l) => linear_backward(l, input, output, grad_out),
+        Layer::LogSoftMax => (log_softmax_backward(output, grad_out), LayerGrads::None),
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // mirrors the forward nest
+fn conv_backward(
+    c: &Conv2dLayer,
+    input: &Tensor,
+    output: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, LayerGrads) {
+    let ishape = input.shape();
+    let oshape = output.shape();
+    let (kh, kw) = (c.kernels.kh(), c.kernels.kw());
+
+    // Undo the activation first: dL/d(preact) = dL/d(out) * f'(out).
+    let grad_pre: Tensor = match c.activation {
+        Some(act) => {
+            let mut g = grad_out.clone();
+            for (gv, &ov) in g.as_mut_slice().iter_mut().zip(output.as_slice()) {
+                *gv *= act.derivative_from_output(ov);
+            }
+            g
+        }
+        None => grad_out.clone(),
+    };
+
+    let mut gk = Tensor4::zeros(c.kernels.kernels(), c.kernels.channels(), kh, kw);
+    let mut gb = vec![0.0f32; c.bias.len()];
+    let mut gx = Tensor::zeros(ishape);
+
+    for k in 0..oshape.c {
+        let gchan = grad_pre.channel(k);
+        gb[k] += gchan.iter().sum::<f32>();
+        for ci in 0..ishape.c {
+            let xchan = input.channel(ci);
+            for oy in 0..oshape.h {
+                for ox in 0..oshape.w {
+                    let g = gchan[oy * oshape.w + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for m in 0..kh {
+                        for n in 0..kw {
+                            let xi = (oy + m) * ishape.w + (ox + n);
+                            let cur = gk.get(k, ci, m, n);
+                            gk.set(k, ci, m, n, cur + g * xchan[xi]);
+                            let w = c.kernels.get(k, ci, m, n);
+                            gx.channel_mut(ci)[xi] += g * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (gx, LayerGrads::Conv2d { kernels: gk, bias: gb })
+}
+
+fn pool_backward(p: &PoolLayer, input: &Tensor, grad_out: &Tensor) -> Tensor {
+    let ishape = input.shape();
+    let oshape = grad_out.shape();
+    let mut gx = Tensor::zeros(ishape);
+    let inv_area = 1.0 / (p.kh * p.kw) as f32;
+
+    for c in 0..oshape.c {
+        let ichan = input.channel(c);
+        for oy in 0..oshape.h {
+            for ox in 0..oshape.w {
+                let g = grad_out.get(c, oy, ox);
+                if g == 0.0 {
+                    continue;
+                }
+                let (y0, x0) = (oy * p.step, ox * p.step);
+                match p.kind {
+                    PoolKind::Max => {
+                        // Route gradient to the first maximum (matching
+                        // the forward's tie-breaking).
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = y0 * ishape.w + x0;
+                        for m in 0..p.kh {
+                            for n in 0..p.kw {
+                                let idx = (y0 + m) * ishape.w + (x0 + n);
+                                if ichan[idx] > best {
+                                    best = ichan[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        gx.channel_mut(c)[best_idx] += g;
+                    }
+                    PoolKind::Mean => {
+                        let share = g * inv_area;
+                        for m in 0..p.kh {
+                            for n in 0..p.kw {
+                                gx.channel_mut(c)[(y0 + m) * ishape.w + (x0 + n)] += share;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gx
+}
+
+fn linear_backward(
+    l: &LinearLayer,
+    input: &Tensor,
+    output: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, LayerGrads) {
+    let x = input.as_slice();
+    // Undo activation.
+    let grad_pre: Vec<f32> = match l.activation {
+        Some(act) => grad_out
+            .as_slice()
+            .iter()
+            .zip(output.as_slice())
+            .map(|(&g, &o)| g * act.derivative_from_output(o))
+            .collect(),
+        None => grad_out.as_slice().to_vec(),
+    };
+
+    let mut gw = vec![0.0f32; l.weights.len()];
+    let mut gx = vec![0.0f32; l.inputs];
+    for (j, &g) in grad_pre.iter().enumerate() {
+        if g == 0.0 {
+            continue;
+        }
+        let wrow = &l.weights[j * l.inputs..(j + 1) * l.inputs];
+        let gwrow = &mut gw[j * l.inputs..(j + 1) * l.inputs];
+        for i in 0..l.inputs {
+            gwrow[i] += g * x[i];
+            gx[i] += g * wrow[i];
+        }
+    }
+    (
+        Tensor::from_vec(Shape::new(1, 1, l.inputs), gx),
+        LayerGrads::Linear { weights: gw, bias: grad_pre },
+    )
+}
+
+fn log_softmax_backward(output: &Tensor, grad_out: &Tensor) -> Tensor {
+    // y_j = z_j - lse(z);  dL/dz_i = g_i - softmax_i * sum_j g_j
+    let g = grad_out.as_slice();
+    let gsum: f32 = g.iter().sum();
+    let data: Vec<f32> = output
+        .as_slice()
+        .iter()
+        .zip(g.iter())
+        .map(|(&lp, &gi)| gi - lp.exp() * gsum)
+        .collect();
+    Tensor::from_vec(output.shape(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::{init_kernels, init_vec, seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+
+    /// Numerically checks dL/d(input) and parameter grads for a single
+    /// layer under the scalar loss L = sum(w_out .* forward(x)).
+    #[allow(clippy::needless_range_loop)]
+    fn check_layer_gradients(layer: &Layer, input: &Tensor, eps: f32, tol: f32) {
+        let out = layer.forward(input);
+        // Fixed random "loss weights" make L a scalar function.
+        let mut rng = seeded_rng(1234);
+        let lw = init_vec(&mut rng, out.len(), Init::Uniform(1.0));
+        let loss = |o: &Tensor| -> f32 {
+            o.as_slice().iter().zip(lw.iter()).map(|(a, b)| a * b).sum()
+        };
+
+        let grad_out = Tensor::from_vec(out.shape(), lw.clone());
+        let (gx, gparams) = backward(layer, input, &out, &grad_out);
+
+        // --- input gradient ---
+        for idx in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&layer.forward(&plus)) - loss(&layer.forward(&minus))) / (2.0 * eps);
+            let an = gx.as_slice()[idx];
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                "input grad {idx}: fd {fd} vs analytic {an}"
+            );
+        }
+
+        // --- parameter gradients ---
+        match (layer, &gparams) {
+            (Layer::Conv2d(c), LayerGrads::Conv2d { kernels, bias }) => {
+                for idx in 0..c.kernels.len() {
+                    let mut lp = c.clone();
+                    lp.kernels.as_mut_slice()[idx] += eps;
+                    let mut lm = c.clone();
+                    lm.kernels.as_mut_slice()[idx] -= eps;
+                    let fd = (loss(&Layer::Conv2d(lp).forward(input))
+                        - loss(&Layer::Conv2d(lm).forward(input)))
+                        / (2.0 * eps);
+                    let an = kernels.as_slice()[idx];
+                    assert!(
+                        (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                        "kernel grad {idx}: fd {fd} vs {an}"
+                    );
+                }
+                for idx in 0..c.bias.len() {
+                    let mut lp = c.clone();
+                    lp.bias[idx] += eps;
+                    let mut lm = c.clone();
+                    lm.bias[idx] -= eps;
+                    let fd = (loss(&Layer::Conv2d(lp).forward(input))
+                        - loss(&Layer::Conv2d(lm).forward(input)))
+                        / (2.0 * eps);
+                    assert!((fd - bias[idx]).abs() <= tol * (1.0 + fd.abs()));
+                }
+            }
+            (Layer::Linear(l), LayerGrads::Linear { weights, bias }) => {
+                for idx in 0..l.weights.len() {
+                    let mut lp = l.clone();
+                    lp.weights[idx] += eps;
+                    let mut lm = l.clone();
+                    lm.weights[idx] -= eps;
+                    let fd = (loss(&Layer::Linear(lp).forward(input))
+                        - loss(&Layer::Linear(lm).forward(input)))
+                        / (2.0 * eps);
+                    let an = weights[idx];
+                    assert!(
+                        (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                        "weight grad {idx}: fd {fd} vs {an}"
+                    );
+                }
+                for idx in 0..l.bias.len() {
+                    let mut lp = l.clone();
+                    lp.bias[idx] += eps;
+                    let mut lm = l.clone();
+                    lm.bias[idx] -= eps;
+                    let fd = (loss(&Layer::Linear(lp).forward(input))
+                        - loss(&Layer::Linear(lm).forward(input)))
+                        / (2.0 * eps);
+                    assert!((fd - bias[idx]).abs() <= tol * (1.0 + fd.abs()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = seeded_rng(10);
+        let layer = Layer::Conv2d(Conv2dLayer {
+            kernels: init_kernels(&mut rng, 2, 2, 3, 3, Init::Uniform(0.5)),
+            bias: init_vec(&mut rng, 2, Init::Uniform(0.2)),
+            activation: None,
+        });
+        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(2, 5, 5), Init::Uniform(1.0));
+        check_layer_gradients(&layer, &input, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn conv_gradients_with_tanh_activation() {
+        let mut rng = seeded_rng(11);
+        let layer = Layer::Conv2d(Conv2dLayer {
+            kernels: init_kernels(&mut rng, 2, 1, 3, 3, Init::Uniform(0.5)),
+            bias: init_vec(&mut rng, 2, Init::Uniform(0.2)),
+            activation: Some(Activation::Tanh),
+        });
+        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 5, 5), Init::Uniform(1.0));
+        check_layer_gradients(&layer, &input, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = seeded_rng(12);
+        let layer = Layer::Linear(LinearLayer {
+            weights: init_vec(&mut rng, 6 * 4, Init::Uniform(0.5)),
+            bias: init_vec(&mut rng, 4, Init::Uniform(0.2)),
+            inputs: 6,
+            outputs: 4,
+            activation: None,
+        });
+        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 6), Init::Uniform(1.0));
+        check_layer_gradients(&layer, &input, 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn linear_gradients_with_sigmoid() {
+        let mut rng = seeded_rng(13);
+        let layer = Layer::Linear(LinearLayer {
+            weights: init_vec(&mut rng, 5 * 3, Init::Uniform(0.5)),
+            bias: init_vec(&mut rng, 3, Init::Uniform(0.2)),
+            inputs: 5,
+            outputs: 3,
+            activation: Some(Activation::Sigmoid),
+        });
+        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 5), Init::Uniform(1.0));
+        check_layer_gradients(&layer, &input, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn max_pool_gradient_routes_to_maximum() {
+        let p = Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 });
+        let input = Tensor::from_vec(
+            Shape::new(1, 2, 2),
+            vec![1.0, 4.0, 2.0, 3.0],
+        );
+        let out = p.forward(&input);
+        let grad_out = Tensor::from_vec(Shape::new(1, 1, 1), vec![1.0]);
+        let (gx, _) = backward(&p, &input, &out, &grad_out);
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_pool_gradient_distributes_evenly() {
+        let p = Layer::Pool(PoolLayer { kind: PoolKind::Mean, kh: 2, kw: 2, step: 2 });
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]);
+        let out = p.forward(&input);
+        let grad_out = Tensor::from_vec(Shape::new(1, 1, 1), vec![2.0]);
+        let (gx, _) = backward(&p, &input, &out, &grad_out);
+        assert_eq!(gx.as_slice(), &[0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn flatten_gradient_reshapes_back() {
+        let f = Layer::Flatten;
+        let input = Tensor::ones(Shape::new(2, 2, 2));
+        let out = f.forward(&input);
+        let grad_out = Tensor::from_vec(Shape::new(1, 1, 8), (0..8).map(|i| i as f32).collect());
+        let (gx, _) = backward(&f, &input, &out, &grad_out);
+        assert_eq!(gx.shape(), Shape::new(2, 2, 2));
+        assert_eq!(gx.as_slice(), grad_out.as_slice());
+    }
+
+    #[test]
+    fn log_softmax_nll_gradient_is_p_minus_onehot() {
+        // With L = -logp[target], grad_out = -onehot; backward should
+        // yield softmax(z) - onehot.
+        let z = Tensor::from_vec(Shape::new(1, 1, 3), vec![0.5, -0.3, 1.2]);
+        let lsm = Layer::LogSoftMax;
+        let out = lsm.forward(&z);
+        let mut go = vec![0.0; 3];
+        go[2] = -1.0;
+        let grad_out = Tensor::from_vec(Shape::new(1, 1, 3), go);
+        let (gx, _) = backward(&lsm, &z, &out, &grad_out);
+        let p = cnn_tensor::ops::softmax::softmax(z.as_slice());
+        let expect = [p[0], p[1], p[2] - 1.0];
+        for (a, b) in gx.as_slice().iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let mut rng = seeded_rng(14);
+        let layer = Layer::Conv2d(Conv2dLayer {
+            kernels: init_kernels(&mut rng, 1, 1, 2, 2, Init::Uniform(0.5)),
+            bias: init_vec(&mut rng, 1, Init::Zeros),
+            activation: None,
+        });
+        let input = Tensor::ones(Shape::new(1, 3, 3));
+        let out = layer.forward(&input);
+        let go = Tensor::ones(out.shape());
+        let (_, g1) = backward(&layer, &input, &out, &go);
+        let mut acc = LayerGrads::zeros_like(&layer);
+        acc.accumulate(&g1);
+        acc.accumulate(&g1);
+        acc.scale(0.5);
+        assert_eq!(acc, g1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn accumulate_rejects_mismatched_kinds() {
+        let mut a = LayerGrads::None;
+        let b = LayerGrads::Linear { weights: vec![0.0], bias: vec![0.0] };
+        a.accumulate(&b);
+    }
+}

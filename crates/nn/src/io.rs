@@ -1,0 +1,305 @@
+//! Plain-text weight interchange — the role of the paper's exported
+//! Torch weight file: a simple line-oriented format a training script
+//! in any language can emit, complementing the JSON serialization.
+//!
+//! ```text
+//! cnn2fpga-weights v1
+//! input 1 16 16
+//! conv 6 1 5 5 none
+//! <150 whitespace-separated floats>
+//! bias <6 floats>
+//! pool max 2 2 2
+//! flatten
+//! linear 216 10 tanh
+//! <2160 floats>
+//! bias <10 floats>
+//! logsoftmax
+//! ```
+
+use crate::layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+use crate::network::Network;
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::{Shape, Tensor4};
+use std::fmt::Write as _;
+
+/// Magic first line of the format.
+pub const MAGIC: &str = "cnn2fpga-weights v1";
+
+fn act_name(a: Option<Activation>) -> &'static str {
+    match a {
+        None => "none",
+        Some(Activation::Tanh) => "tanh",
+        Some(Activation::Relu) => "relu",
+        Some(Activation::Sigmoid) => "sigmoid",
+    }
+}
+
+fn parse_act(s: &str) -> Result<Option<Activation>, String> {
+    match s {
+        "none" => Ok(None),
+        "tanh" => Ok(Some(Activation::Tanh)),
+        "relu" => Ok(Some(Activation::Relu)),
+        "sigmoid" => Ok(Some(Activation::Sigmoid)),
+        other => Err(format!("unknown activation '{other}'")),
+    }
+}
+
+/// Serializes a network to the text format.
+pub fn write_text(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let s = net.input_shape();
+    let _ = writeln!(out, "input {} {} {}", s.c, s.h, s.w);
+    for layer in net.layers() {
+        match layer {
+            Layer::Conv2d(c) => {
+                let _ = writeln!(
+                    out,
+                    "conv {} {} {} {} {}",
+                    c.kernels.kernels(),
+                    c.kernels.channels(),
+                    c.kernels.kh(),
+                    c.kernels.kw(),
+                    act_name(c.activation)
+                );
+                let vals: Vec<String> =
+                    c.kernels.as_slice().iter().map(|v| format!("{v}")).collect();
+                let _ = writeln!(out, "{}", vals.join(" "));
+                let bias: Vec<String> = c.bias.iter().map(|v| format!("{v}")).collect();
+                let _ = writeln!(out, "bias {}", bias.join(" "));
+            }
+            Layer::Pool(p) => {
+                let kind = match p.kind {
+                    PoolKind::Max => "max",
+                    PoolKind::Mean => "mean",
+                };
+                let _ = writeln!(out, "pool {kind} {} {} {}", p.kh, p.kw, p.step);
+            }
+            Layer::Flatten => {
+                let _ = writeln!(out, "flatten");
+            }
+            Layer::Linear(l) => {
+                let _ = writeln!(
+                    out,
+                    "linear {} {} {}",
+                    l.inputs,
+                    l.outputs,
+                    act_name(l.activation)
+                );
+                let vals: Vec<String> = l.weights.iter().map(|v| format!("{v}")).collect();
+                let _ = writeln!(out, "{}", vals.join(" "));
+                let bias: Vec<String> = l.bias.iter().map(|v| format!("{v}")).collect();
+                let _ = writeln!(out, "bias {}", bias.join(" "));
+            }
+            Layer::LogSoftMax => {
+                let _ = writeln!(out, "logsoftmax");
+            }
+        }
+    }
+    out
+}
+
+fn parse_floats(line: &str, expect: usize, what: &str) -> Result<Vec<f32>, String> {
+    let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| format!("{what}: bad float ({e})"))?;
+    if vals.len() != expect {
+        return Err(format!("{what}: expected {expect} values, got {}", vals.len()));
+    }
+    Ok(vals)
+}
+
+/// Parses the text format back into a validated network.
+pub fn read_text(text: &str) -> Result<Network, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(format!("missing magic line '{MAGIC}'"));
+    }
+
+    let input = lines.next().ok_or("missing input line")?;
+    let parts: Vec<&str> = input.split_whitespace().collect();
+    let [tag, c, h, w] = parts.as_slice() else {
+        return Err(format!("bad input line '{input}'"));
+    };
+    if *tag != "input" {
+        return Err(format!("expected 'input', got '{tag}'"));
+    }
+    let parse_dim = |s: &str| -> Result<usize, String> {
+        let d: usize = s.parse().map_err(|e| format!("bad dimension '{s}': {e}"))?;
+        if d == 0 {
+            return Err(format!("zero dimension '{s}'"));
+        }
+        Ok(d)
+    };
+    let input_shape = Shape::new(parse_dim(c)?, parse_dim(h)?, parse_dim(w)?);
+
+    let mut layers = Vec::new();
+    while let Some(line) = lines.next() {
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            ["conv", k, ch, kh, kw, act] => {
+                let (k, ch, kh, kw) =
+                    (parse_dim(k)?, parse_dim(ch)?, parse_dim(kh)?, parse_dim(kw)?);
+                let weights_line = lines.next().ok_or("conv weights missing")?;
+                let weights = parse_floats(weights_line, k * ch * kh * kw, "conv weights")?;
+                let bias_line = lines.next().ok_or("conv bias missing")?;
+                let bias_line = bias_line
+                    .strip_prefix("bias")
+                    .ok_or("expected 'bias' line after conv weights")?;
+                let bias = parse_floats(bias_line, k, "conv bias")?;
+                layers.push(Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(k, ch, kh, kw, weights),
+                    bias,
+                    activation: parse_act(act)?,
+                }));
+            }
+            ["pool", kind, kh, kw, step] => {
+                let kind = match *kind {
+                    "max" => PoolKind::Max,
+                    "mean" => PoolKind::Mean,
+                    other => return Err(format!("unknown pool kind '{other}'")),
+                };
+                layers.push(Layer::Pool(PoolLayer {
+                    kind,
+                    kh: parse_dim(kh)?,
+                    kw: parse_dim(kw)?,
+                    step: parse_dim(step)?,
+                }));
+            }
+            ["flatten"] => layers.push(Layer::Flatten),
+            ["linear", ni, no, act] => {
+                let (ni, no) = (parse_dim(ni)?, parse_dim(no)?);
+                let weights_line = lines.next().ok_or("linear weights missing")?;
+                let weights = parse_floats(weights_line, ni * no, "linear weights")?;
+                let bias_line = lines.next().ok_or("linear bias missing")?;
+                let bias_line = bias_line
+                    .strip_prefix("bias")
+                    .ok_or("expected 'bias' line after linear weights")?;
+                let bias = parse_floats(bias_line, no, "linear bias")?;
+                layers.push(Layer::Linear(LinearLayer {
+                    weights,
+                    bias,
+                    inputs: ni,
+                    outputs: no,
+                    activation: parse_act(act)?,
+                }));
+            }
+            ["logsoftmax"] => layers.push(Layer::LogSoftMax),
+            other => return Err(format!("unrecognized line '{}'", other.join(" "))),
+        }
+    }
+
+    Network::new(input_shape, layers).map_err(|e| format!("invalid network: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::Tensor;
+
+    fn net() -> Network {
+        let mut rng = seeded_rng(8);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_network_exactly() {
+        let n = net();
+        let text = write_text(&n);
+        let back = read_text(&text).expect("parses");
+        assert_eq!(n, back);
+        // And behaviour, of course.
+        let img = Tensor::full(Shape::new(1, 16, 16), 0.3);
+        assert_eq!(n.forward(&img), back.forward(&img));
+    }
+
+    #[test]
+    fn format_is_line_oriented_and_tagged() {
+        let text = write_text(&net());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(MAGIC));
+        assert_eq!(lines.next(), Some("input 1 16 16"));
+        assert!(text.contains("conv 6 1 5 5 none"));
+        assert!(text.contains("pool max 2 2 2"));
+        assert!(text.contains("flatten"));
+        assert!(text.contains("linear 216 10 tanh"));
+        assert!(text.contains("logsoftmax"));
+    }
+
+    #[test]
+    fn missing_magic_rejected() {
+        let err = read_text("input 1 2 2\n").unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn wrong_weight_count_rejected() {
+        let text = format!("{MAGIC}\ninput 1 4 4\nconv 1 1 2 2 none\n1 2 3\nbias 0\n");
+        let err = read_text(&text).unwrap_err();
+        assert!(err.contains("expected 4 values"), "{err}");
+    }
+
+    #[test]
+    fn bad_activation_rejected() {
+        let text = format!("{MAGIC}\ninput 1 4 4\nconv 1 1 2 2 swish\n1 2 3 4\nbias 0\n");
+        let err = read_text(&text).unwrap_err();
+        assert!(err.contains("unknown activation"), "{err}");
+    }
+
+    #[test]
+    fn garbage_line_rejected() {
+        let text = format!("{MAGIC}\ninput 1 4 4\nwat 1 2\n");
+        let err = read_text(&text).unwrap_err();
+        assert!(err.contains("unrecognized"), "{err}");
+    }
+
+    #[test]
+    fn structural_invalidity_rejected() {
+        // conv kernel larger than the input: the Network validator fires.
+        let text = format!(
+            "{MAGIC}\ninput 1 2 2\nconv 1 1 3 3 none\n{}\nbias 0\n",
+            ["0.5"; 9].join(" ")
+        );
+        let err = read_text(&text).unwrap_err();
+        assert!(err.contains("invalid network"), "{err}");
+    }
+
+    #[test]
+    fn mean_pool_and_all_activations_roundtrip() {
+        let mut rng = seeded_rng(3);
+        let n = Network::builder(Shape::new(2, 10, 10))
+            .conv_activated(3, 3, 3, Activation::Relu, &mut rng)
+            .pool(PoolKind::Mean, 2, 2)
+            .flatten()
+            .linear(5, Some(Activation::Sigmoid), &mut rng)
+            .linear(2, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        let back = read_text(&write_text(&n)).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        // The `{}` f32 formatting is shortest-round-trip; parsing it
+        // back must give the identical bits.
+        let n = net();
+        let back = read_text(&write_text(&n)).unwrap();
+        if let (Layer::Conv2d(a), Layer::Conv2d(b)) = (&n.layers()[0], &back.layers()[0]) {
+            for (x, y) in a.kernels.as_slice().iter().zip(b.kernels.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        } else {
+            panic!("layer 0 should be conv");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Layer definitions: forward evaluation, shape propagation and
+//! parameter access. Backward passes live in [`crate::grad`].
+
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::{pool, PoolKind};
+use cnn_tensor::ops::softmax::log_softmax;
+use cnn_tensor::ops::{conv::conv2d_valid, linear::linear};
+use cnn_tensor::{Shape, Tensor, Tensor4};
+use serde::{Deserialize, Serialize};
+
+/// A convolutional layer: `K` kernels of `C`×`M`×`N` weights plus one
+/// bias per kernel, computing Eq. (1), optionally followed by an
+/// element-wise activation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Conv2dLayer {
+    /// Kernel bank `(K, C, M, N)`.
+    pub kernels: Tensor4,
+    /// One bias per kernel.
+    pub bias: Vec<f32>,
+    /// Optional nonlinearity applied to the feature maps.
+    pub activation: Option<Activation>,
+}
+
+/// A sub-sampling layer (Eqs. 4–5). The paper's GUI integrates it with
+/// the preceding convolutional layer; here it is an explicit layer with
+/// identical semantics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PoolLayer {
+    /// Max or mean.
+    pub kind: PoolKind,
+    /// Window height.
+    pub kh: usize,
+    /// Window width.
+    pub kw: usize,
+    /// Stride (the paper's `p_step`); the GUI default equals the window.
+    pub step: usize,
+}
+
+/// A linear (perceptron) layer computing Eq. (6) over a flattened
+/// input, optionally followed by tanh (the paper's per-layer checkbox).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearLayer {
+    /// Row-major `(outputs x inputs)` weight matrix.
+    pub weights: Vec<f32>,
+    /// One bias per output neuron.
+    pub bias: Vec<f32>,
+    /// Number of input features.
+    pub inputs: usize,
+    /// Number of output neurons.
+    pub outputs: usize,
+    /// Optional nonlinearity.
+    pub activation: Option<Activation>,
+}
+
+/// One network layer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Layer {
+    /// Convolution (Eq. 1).
+    Conv2d(Conv2dLayer),
+    /// Sub-sampling (Eqs. 4–5).
+    Pool(PoolLayer),
+    /// Reinterpret `C×H×W` as a flat vector at the conv→linear boundary.
+    Flatten,
+    /// Perceptron (Eq. 6).
+    Linear(LinearLayer),
+    /// Output normalization (Eq. 7); appended by default by the
+    /// framework's code generator.
+    LogSoftMax,
+}
+
+impl Layer {
+    /// Output shape for a given input shape, or a message describing the
+    /// incompatibility.
+    pub fn output_shape(&self, input: Shape) -> Result<Shape, String> {
+        match self {
+            Layer::Conv2d(c) => {
+                if c.kernels.channels() != input.c {
+                    return Err(format!(
+                        "conv expects {} input channels, got {}",
+                        c.kernels.channels(),
+                        input.c
+                    ));
+                }
+                input
+                    .conv_output(c.kernels.kernels(), c.kernels.kh(), c.kernels.kw())
+                    .ok_or_else(|| {
+                        format!(
+                            "conv kernel {}x{} does not fit input {input}",
+                            c.kernels.kh(),
+                            c.kernels.kw()
+                        )
+                    })
+            }
+            Layer::Pool(p) => input
+                .pool_output(p.kh, p.kw, p.step)
+                .ok_or_else(|| format!("pool {}x{}/{} does not fit {input}", p.kh, p.kw, p.step)),
+            Layer::Flatten => Ok(Shape::new(1, 1, input.len())),
+            Layer::Linear(l) => {
+                if input.c != 1 || input.h != 1 {
+                    return Err(format!("linear expects a flat input, got {input}"));
+                }
+                if input.w != l.inputs {
+                    return Err(format!(
+                        "linear expects {} inputs, got {}",
+                        l.inputs, input.w
+                    ));
+                }
+                Ok(Shape::new(1, 1, l.outputs))
+            }
+            Layer::LogSoftMax => {
+                if input.c != 1 || input.h != 1 {
+                    return Err(format!("log_softmax expects a flat input, got {input}"));
+                }
+                Ok(input)
+            }
+        }
+    }
+
+    /// Evaluates the layer.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d(c) => {
+                let mut out = conv2d_valid(input, &c.kernels, &c.bias);
+                if let Some(act) = c.activation {
+                    act.apply_slice(out.as_mut_slice());
+                }
+                out
+            }
+            Layer::Pool(p) => pool(input, p.kh, p.kw, p.step, p.kind),
+            Layer::Flatten => input.clone().flatten(),
+            Layer::Linear(l) => {
+                let mut out = vec![0.0; l.outputs];
+                linear(input.as_slice(), &l.weights, &l.bias, &mut out);
+                if let Some(act) = l.activation {
+                    act.apply_slice(&mut out);
+                }
+                Tensor::from_vec(Shape::new(1, 1, l.outputs), out)
+            }
+            Layer::LogSoftMax => {
+                let out = log_softmax(input.as_slice());
+                Tensor::from_vec(input.shape(), out)
+            }
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Conv2d(c) => c.kernels.len() + c.bias.len(),
+            Layer::Linear(l) => l.weights.len() + l.bias.len(),
+            _ => 0,
+        }
+    }
+
+    /// Short human-readable kind tag used in summaries and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Layer::Conv2d(_) => "conv2d",
+            Layer::Pool(PoolLayer { kind: PoolKind::Max, .. }) => "max_pool",
+            Layer::Pool(PoolLayer { kind: PoolKind::Mean, .. }) => "mean_pool",
+            Layer::Flatten => "flatten",
+            Layer::Linear(_) => "linear",
+            Layer::LogSoftMax => "log_softmax",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_layer(k: usize, c: usize, m: usize, n: usize) -> Layer {
+        Layer::Conv2d(Conv2dLayer {
+            kernels: Tensor4::ones(k, c, m, n),
+            bias: vec![0.0; k],
+            activation: None,
+        })
+    }
+
+    fn linear_layer(ni: usize, no: usize) -> Layer {
+        Layer::Linear(LinearLayer {
+            weights: vec![0.0; ni * no],
+            bias: vec![0.0; no],
+            inputs: ni,
+            outputs: no,
+            activation: None,
+        })
+    }
+
+    #[test]
+    fn conv_shape_propagation() {
+        let l = conv_layer(6, 1, 5, 5);
+        assert_eq!(l.output_shape(Shape::new(1, 16, 16)).unwrap(), Shape::new(6, 12, 12));
+    }
+
+    #[test]
+    fn conv_shape_rejects_channel_mismatch() {
+        let l = conv_layer(6, 3, 5, 5);
+        let err = l.output_shape(Shape::new(1, 16, 16)).unwrap_err();
+        assert!(err.contains("input channels"), "{err}");
+    }
+
+    #[test]
+    fn conv_shape_rejects_oversized_kernel() {
+        let l = conv_layer(2, 1, 9, 9);
+        assert!(l.output_shape(Shape::new(1, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn pool_shape_propagation() {
+        let l = Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 });
+        assert_eq!(l.output_shape(Shape::new(6, 12, 12)).unwrap(), Shape::new(6, 6, 6));
+    }
+
+    #[test]
+    fn flatten_shape() {
+        assert_eq!(
+            Layer::Flatten.output_shape(Shape::new(6, 6, 6)).unwrap(),
+            Shape::new(1, 1, 216)
+        );
+    }
+
+    #[test]
+    fn linear_shape_checks_flat_input() {
+        let l = linear_layer(216, 10);
+        assert!(l.output_shape(Shape::new(6, 6, 6)).is_err());
+        assert_eq!(l.output_shape(Shape::new(1, 1, 216)).unwrap(), Shape::new(1, 1, 10));
+        assert!(l.output_shape(Shape::new(1, 1, 215)).is_err());
+    }
+
+    #[test]
+    fn log_softmax_shape_identity() {
+        assert_eq!(
+            Layer::LogSoftMax.output_shape(Shape::new(1, 1, 10)).unwrap(),
+            Shape::new(1, 1, 10)
+        );
+        assert!(Layer::LogSoftMax.output_shape(Shape::new(2, 2, 2)).is_err());
+    }
+
+    #[test]
+    fn conv_forward_with_relu_clamps() {
+        let l = Layer::Conv2d(Conv2dLayer {
+            kernels: Tensor4::from_vec(1, 1, 1, 1, vec![1.0]),
+            bias: vec![-5.0],
+            activation: Some(Activation::Relu),
+        });
+        let input = Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 6.0, 4.0]);
+        let out = l.forward(&input);
+        assert_eq!(out.as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_forward_with_tanh() {
+        let l = Layer::Linear(LinearLayer {
+            weights: vec![100.0],
+            bias: vec![0.0],
+            inputs: 1,
+            outputs: 1,
+            activation: Some(Activation::Tanh),
+        });
+        let out = l.forward(&Tensor::from_vec(Shape::new(1, 1, 1), vec![1.0]));
+        assert!((out.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_forward_normalizes() {
+        let out = Layer::LogSoftMax.forward(&Tensor::from_vec(
+            Shape::new(1, 1, 3),
+            vec![1.0, 2.0, 3.0],
+        ));
+        let sum_p: f32 = out.as_slice().iter().map(|v| v.exp()).sum();
+        assert!((sum_p - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_counts_match_paper_test1() {
+        // conv: 6*1*5*5 + 6 = 156; linear: 216*10 + 10 = 2170
+        assert_eq!(conv_layer(6, 1, 5, 5).param_count(), 156);
+        assert_eq!(linear_layer(216, 10).param_count(), 2170);
+        assert_eq!(Layer::Flatten.param_count(), 0);
+        assert_eq!(Layer::LogSoftMax.param_count(), 0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(conv_layer(1, 1, 1, 1).kind_name(), "conv2d");
+        assert_eq!(
+            Layer::Pool(PoolLayer { kind: PoolKind::Mean, kh: 2, kw: 2, step: 2 }).kind_name(),
+            "mean_pool"
+        );
+        assert_eq!(Layer::LogSoftMax.kind_name(), "log_softmax");
+    }
+
+    #[test]
+    fn layer_serde_roundtrip_tagged() {
+        let l = conv_layer(2, 1, 3, 3);
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(json.contains("\"type\":\"conv2d\""));
+        let back: Layer = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

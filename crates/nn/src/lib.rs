@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # cnn-nn
+//!
+//! Convolutional neural networks as the paper defines them
+//! (Section III): convolutional layers (Eq. 1) optionally followed by
+//! max/mean sub-sampling (Eqs. 4–5), linear perceptron layers (Eq. 6)
+//! with an optional hyperbolic-tangent, and a LogSoftMax tail (Eq. 7)
+//! whose argmax is the predicted class.
+//!
+//! This crate provides three things:
+//!
+//! 1. the **software reference path** — [`Network::forward`] /
+//!    [`Network::predict`] — against which the simulated hardware is
+//!    compared for both accuracy (identical predictions) and speed,
+//! 2. an **SGD/backprop trainer** ([`train`]) replacing the paper's use
+//!    of Torch, so the prediction-error columns of Table I come from
+//!    really-trained weights,
+//! 3. **weight serialization** ([`Network::to_json`]/[`Network::from_json`]) —
+//!    the "file containing the trained weights" the framework ingests.
+//!
+//! ```
+//! use cnn_nn::{Network, Layer};
+//! use cnn_tensor::{Shape, Tensor};
+//! use cnn_tensor::ops::pool::PoolKind;
+//! use cnn_tensor::ops::activation::Activation;
+//!
+//! // The paper's Test-1 network: conv(6x5x5) + maxpool(2x2) + linear(10)
+//! let mut rng = cnn_tensor::init::seeded_rng(1);
+//! let net = Network::builder(Shape::new(1, 16, 16))
+//!     .conv(6, 5, 5, &mut rng)
+//!     .pool(PoolKind::Max, 2, 2)
+//!     .flatten()
+//!     .linear(10, Some(Activation::Tanh), &mut rng)
+//!     .log_softmax()
+//!     .build()
+//!     .unwrap();
+//! let image = Tensor::zeros(Shape::new(1, 16, 16));
+//! let class = net.predict(&image);
+//! assert!(class < 10);
+//! ```
+
+pub mod builder;
+pub mod grad;
+pub mod io;
+pub mod layer;
+pub mod metrics;
+pub mod network;
+pub mod quant;
+pub mod summary;
+pub mod train;
+
+pub use builder::NetworkBuilder;
+pub use layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+pub use network::{Network, NetworkError};
+pub use train::{train, EpochStats, TrainConfig};

@@ -1,0 +1,191 @@
+//! Classification metrics beyond the paper's single "predicted error"
+//! number: confusion matrices and per-class accuracy, used by the
+//! examples and experiment reports to show *where* a network errs.
+
+use crate::network::Network;
+use cnn_tensor::Tensor;
+use std::fmt::Write as _;
+
+/// A `classes × classes` confusion matrix: `counts[actual][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "length mismatch");
+        assert!(classes > 0, "no classes");
+        let mut counts = vec![vec![0u64; classes]; classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(l < classes, "label {l} out of range");
+            assert!(p < classes, "prediction {p} out of range");
+            counts[l][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Runs `net` over a labelled set and builds the matrix.
+    pub fn evaluate(net: &Network, images: &[Tensor], labels: &[usize]) -> Self {
+        let preds = net.predict_batch(images);
+        Self::from_predictions(&preds, labels, net.classes())
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `actual` predicted as
+    /// `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        let correct: u64 = (0..self.classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / self.total().max(1) as f64
+    }
+
+    /// Overall error (the paper's metric).
+    pub fn error(&self) -> f64 {
+        1.0 - self.accuracy()
+    }
+
+    /// Recall of one class (diagonal / row sum), `None` for empty rows.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row as f64)
+        }
+    }
+
+    /// The off-diagonal cell with the most mass:
+    /// `(actual, predicted, count)` — the network's favourite mistake.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for a in 0..self.classes() {
+            for p in 0..self.classes() {
+                if a != p && self.counts[a][p] > 0 {
+                    let better = match best {
+                        Some((_, _, c)) => self.counts[a][p] > c,
+                        None => true,
+                    };
+                    if better {
+                        best = Some((a, p, self.counts[a][p]));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Renders an ASCII table (rows = actual, columns = predicted).
+    pub fn render(&self) -> String {
+        let n = self.classes();
+        let mut out = String::new();
+        let _ = write!(out, "actual\\pred ");
+        for p in 0..n {
+            let _ = write!(out, "{p:>6}");
+        }
+        out.push('\n');
+        for a in 0..n {
+            let _ = write!(out, "{a:>11} ");
+            for p in 0..n {
+                let _ = write!(out, "{:>6}", self.counts[a][p]);
+            }
+            if let Some(r) = self.recall(a) {
+                let _ = write!(out, "   ({:.0}% recall)", r * 100.0);
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "accuracy: {:.2}%", self.accuracy() * 100.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2, 1], &[0, 1, 2, 1], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.error(), 0.0);
+        assert_eq!(m.worst_confusion(), None);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn counts_and_recall() {
+        // class 0: 2 right, 1 predicted as 1; class 1: 1 right.
+        let m = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 0, 0, 1], 2);
+        assert_eq!(m.count(0, 0), 2);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert_eq!(m.recall(0), Some(2.0 / 3.0));
+        assert_eq!(m.recall(1), Some(1.0));
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(m.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn empty_class_recall_is_none() {
+        let m = ConfusionMatrix::from_predictions(&[0], &[0], 3);
+        assert_eq!(m.recall(1), None);
+        assert_eq!(m.recall(0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        ConfusionMatrix::from_predictions(&[0], &[0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_range_checked() {
+        ConfusionMatrix::from_predictions(&[0], &[5], 2);
+    }
+
+    #[test]
+    fn render_contains_diagonal_and_accuracy() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 1], &[0, 1, 0], 2);
+        let text = m.render();
+        assert!(text.contains("accuracy: 66.67%"));
+        assert!(text.contains("recall"));
+    }
+
+    #[test]
+    fn evaluate_matches_prediction_error() {
+        use cnn_tensor::init::seeded_rng;
+        use cnn_tensor::ops::pool::PoolKind;
+        use cnn_tensor::Shape;
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 8, 8))
+            .conv(2, 3, 3, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(3, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        let imgs: Vec<Tensor> = (0..9)
+            .map(|i| Tensor::full(Shape::new(1, 8, 8), i as f32 * 0.1))
+            .collect();
+        let labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+        let m = ConfusionMatrix::evaluate(&net, &imgs, &labels);
+        assert!((m.error() - net.prediction_error(&imgs, &labels)).abs() < 1e-12);
+        assert_eq!(m.total(), 9);
+    }
+}

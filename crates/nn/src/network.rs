@@ -1,0 +1,331 @@
+//! A validated sequence of layers with forward evaluation, batch
+//! classification and JSON (de)serialization.
+
+use crate::layer::Layer;
+use cnn_tensor::parallel::par_map;
+use cnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when assembling or loading a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// A layer cannot accept its input shape (layer index, message).
+    ShapeMismatch(usize, String),
+    /// The network has no layers.
+    Empty,
+    /// JSON (de)serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::ShapeMismatch(i, msg) => write!(f, "layer {i}: {msg}"),
+            NetworkError::Empty => write!(f, "network has no layers"),
+            NetworkError::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// An offline-trained CNN: input shape plus a validated layer stack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    input_shape: Shape,
+    layers: Vec<Layer>,
+    /// Shape after each layer, cached at construction.
+    shapes: Vec<Shape>,
+}
+
+impl Network {
+    /// Starts a [`crate::NetworkBuilder`] for the given input shape.
+    pub fn builder(input_shape: Shape) -> crate::NetworkBuilder {
+        crate::NetworkBuilder::new(input_shape)
+    }
+
+    /// Assembles a network, validating every layer's shape transition.
+    pub fn new(input_shape: Shape, layers: Vec<Layer>) -> Result<Self, NetworkError> {
+        if layers.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let mut shapes = Vec::with_capacity(layers.len());
+        let mut cur = input_shape;
+        for (i, layer) in layers.iter().enumerate() {
+            cur = layer
+                .output_shape(cur)
+                .map_err(|msg| NetworkError::ShapeMismatch(i, msg))?;
+            shapes.push(cur);
+        }
+        Ok(Network { input_shape, layers, shapes })
+    }
+
+    /// The expected input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The output shape (class-score vector for a classifier).
+    pub fn output_shape(&self) -> Shape {
+        *self.shapes.last().expect("non-empty by construction")
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Shape after layer `i`.
+    pub fn shape_after(&self, i: usize) -> Shape {
+        self.shapes[i]
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.output_shape().len()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Full forward pass.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape(),
+            self.input_shape,
+            "input shape {} != network input {}",
+            input.shape(),
+            self.input_shape
+        );
+        let mut cur = self.layers[0].forward(input);
+        for layer in &self.layers[1..] {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Forward pass retaining every intermediate activation (input
+    /// included, as element 0) — the cache backpropagation needs.
+    pub fn forward_trace(&self, input: &Tensor) -> Vec<Tensor> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.clone());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"));
+            acts.push(next);
+        }
+        acts
+    }
+
+    /// Predicted class index — the integer the generated hardware
+    /// function returns.
+    pub fn predict(&self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// Classifies a batch in parallel (rayon), preserving order.
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Vec<usize> {
+        par_map(inputs, |t| self.predict(t))
+    }
+
+    /// Fraction of misclassified samples — the paper's "predicted
+    /// error" metric over a labelled test set.
+    pub fn prediction_error(&self, inputs: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+        assert!(!inputs.is_empty(), "empty test set");
+        let preds = self.predict_batch(inputs);
+        let wrong = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p != l)
+            .count();
+        wrong as f64 / inputs.len() as f64
+    }
+
+    /// Serializes structure and weights to JSON — the "trained weights
+    /// file" the automation framework ingests.
+    pub fn to_json(&self) -> Result<String, NetworkError> {
+        serde_json::to_string(self).map_err(|e| NetworkError::Serde(e.to_string()))
+    }
+
+    /// Loads a network from JSON, re-validating all shape transitions.
+    pub fn from_json(json: &str) -> Result<Self, NetworkError> {
+        let raw: Network =
+            serde_json::from_str(json).map_err(|e| NetworkError::Serde(e.to_string()))?;
+        // Re-validate rather than trusting the cached shapes.
+        Network::new(raw.input_shape, raw.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2dLayer, LinearLayer, PoolLayer};
+    use cnn_tensor::init::{init_kernels, init_vec, seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Tensor4;
+
+    /// The paper's Test-1 network with seeded random weights.
+    pub fn test1_net(seed: u64) -> Network {
+        let mut rng = seeded_rng(seed);
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: init_kernels(&mut rng, 6, 1, 5, 5, Init::Uniform(0.2)),
+                    bias: init_vec(&mut rng, 6, Init::Uniform(0.1)),
+                    activation: None,
+                }),
+                Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: init_vec(&mut rng, 216 * 10, Init::Uniform(0.1)),
+                    bias: init_vec(&mut rng, 10, Init::Uniform(0.05)),
+                    inputs: 216,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn test1_network_shapes() {
+        let net = test1_net(1);
+        assert_eq!(net.input_shape(), Shape::new(1, 16, 16));
+        assert_eq!(net.shape_after(0), Shape::new(6, 12, 12));
+        assert_eq!(net.shape_after(1), Shape::new(6, 6, 6));
+        assert_eq!(net.shape_after(2), Shape::new(1, 1, 216));
+        assert_eq!(net.shape_after(3), Shape::new(1, 1, 10));
+        assert_eq!(net.output_shape(), Shape::new(1, 1, 10));
+        assert_eq!(net.classes(), 10);
+        assert_eq!(net.param_count(), 156 + 2170);
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(
+            Network::new(Shape::new(1, 4, 4), vec![]).unwrap_err(),
+            NetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn bad_transition_reports_layer_index() {
+        let err = Network::new(
+            Shape::new(1, 4, 4),
+            vec![
+                Layer::Flatten,
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::ones(1, 1, 2, 2),
+                    bias: vec![0.0],
+                    activation: None,
+                }),
+            ],
+        )
+        .unwrap_err();
+        match err {
+            NetworkError::ShapeMismatch(1, msg) => assert!(msg.contains("does not fit"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_output_is_log_probability() {
+        let net = test1_net(2);
+        let x = Tensor::full(Shape::new(1, 16, 16), 0.3);
+        let out = net.forward(&x);
+        let sum_p: f32 = out.as_slice().iter().map(|v| v.exp()).sum();
+        assert!((sum_p - 1.0).abs() < 1e-4, "probabilities sum to {sum_p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape")]
+    fn forward_checks_input_shape() {
+        let net = test1_net(3);
+        net.forward(&Tensor::zeros(Shape::new(1, 8, 8)));
+    }
+
+    #[test]
+    fn forward_trace_matches_forward() {
+        let net = test1_net(4);
+        let x = Tensor::full(Shape::new(1, 16, 16), -0.2);
+        let trace = net.forward_trace(&x);
+        assert_eq!(trace.len(), net.layers().len() + 1);
+        assert_eq!(trace.last().unwrap(), &net.forward(&x));
+        assert_eq!(trace[0], x);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential() {
+        let net = test1_net(5);
+        let mut rng = seeded_rng(99);
+        let inputs: Vec<Tensor> = (0..32)
+            .map(|_| {
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0))
+            })
+            .collect();
+        let batch = net.predict_batch(&inputs);
+        let seq: Vec<usize> = inputs.iter().map(|t| net.predict(t)).collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn prediction_error_counts_mismatches() {
+        let net = test1_net(6);
+        let x = Tensor::zeros(Shape::new(1, 16, 16));
+        let pred = net.predict(&x);
+        let inputs = vec![x.clone(), x.clone(), x];
+        // One correct label, two wrong ones.
+        let wrong = (pred + 1) % 10;
+        let err = net.prediction_error(&inputs, &[pred, wrong, wrong]);
+        assert!((err - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn prediction_error_checks_lengths() {
+        let net = test1_net(7);
+        net.prediction_error(&[Tensor::zeros(Shape::new(1, 16, 16))], &[0, 1]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let net = test1_net(8);
+        let json = net.to_json().unwrap();
+        let back = Network::from_json(&json).unwrap();
+        assert_eq!(net, back);
+        let x = Tensor::full(Shape::new(1, 16, 16), 0.1);
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            Network::from_json("{not json"),
+            Err(NetworkError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn from_json_revalidates_shapes() {
+        // Corrupt a serialized network: shrink the linear layer's input count.
+        let net = test1_net(9);
+        let json = net.to_json().unwrap().replace("\"inputs\":216", "\"inputs\":215");
+        let err = Network::from_json(&json).unwrap_err();
+        assert!(matches!(err, NetworkError::ShapeMismatch(3, _)), "{err:?}");
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(NetworkError::Empty.to_string(), "network has no layers");
+        assert!(NetworkError::ShapeMismatch(2, "boom".into())
+            .to_string()
+            .contains("layer 2"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Weight quantization — the accuracy side of the fixed-point
+//! ablation. The paper chose 32-bit floats because lower precision
+//! "reduces the prediction error [gap]"; this module quantizes a
+//! trained network's parameters onto a signed `Qm.n` grid so the
+//! error cost of that choice can be measured instead of assumed.
+
+use crate::layer::Layer;
+use crate::network::Network;
+
+/// Quantizes a value onto the signed fixed-point grid with
+/// `frac_bits` fractional bits and `total_bits` total width
+/// (round-to-nearest, saturating).
+pub fn quantize_value(v: f32, total_bits: u32, frac_bits: u32) -> f32 {
+    assert!(total_bits > frac_bits, "no integer bits left");
+    assert!(total_bits <= 32, "width beyond 32 bits");
+    let scale = (1u64 << frac_bits) as f32;
+    let max_code = (1i64 << (total_bits - 1)) - 1;
+    let min_code = -(1i64 << (total_bits - 1));
+    let code = (v * scale).round() as i64;
+    let code = code.clamp(min_code, max_code);
+    code as f32 / scale
+}
+
+/// Returns a copy of the network with every trainable parameter
+/// quantized to `Qm.n` (activations stay f32 — weight-only
+/// quantization, the cheapest hardware win).
+pub fn quantize_network(net: &Network, total_bits: u32, frac_bits: u32) -> Network {
+    let layers: Vec<Layer> = net
+        .layers()
+        .iter()
+        .map(|layer| match layer {
+            Layer::Conv2d(c) => {
+                let mut c = c.clone();
+                for w in c.kernels.as_mut_slice() {
+                    *w = quantize_value(*w, total_bits, frac_bits);
+                }
+                for b in &mut c.bias {
+                    *b = quantize_value(*b, total_bits, frac_bits);
+                }
+                Layer::Conv2d(c)
+            }
+            Layer::Linear(l) => {
+                let mut l = l.clone();
+                for w in &mut l.weights {
+                    *w = quantize_value(*w, total_bits, frac_bits);
+                }
+                for b in &mut l.bias {
+                    *b = quantize_value(*b, total_bits, frac_bits);
+                }
+                Layer::Linear(l)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    Network::new(net.input_shape(), layers).expect("quantization preserves shapes")
+}
+
+/// Largest absolute quantization error over all parameters.
+pub fn max_quantization_error(original: &Network, quantized: &Network) -> f32 {
+    let mut worst = 0.0f32;
+    for (a, b) in original.layers().iter().zip(quantized.layers()) {
+        match (a, b) {
+            (Layer::Conv2d(x), Layer::Conv2d(y)) => {
+                for (p, q) in x.kernels.as_slice().iter().zip(y.kernels.as_slice()) {
+                    worst = worst.max((p - q).abs());
+                }
+                for (p, q) in x.bias.iter().zip(&y.bias) {
+                    worst = worst.max((p - q).abs());
+                }
+            }
+            (Layer::Linear(x), Layer::Linear(y)) => {
+                for (p, q) in x.weights.iter().zip(&y.weights) {
+                    worst = worst.max((p - q).abs());
+                }
+                for (p, q) in x.bias.iter().zip(&y.bias) {
+                    worst = worst.max((p - q).abs());
+                }
+            }
+            _ => {}
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::{Shape, Tensor};
+
+    fn net() -> Network {
+        let mut rng = seeded_rng(4);
+        Network::builder(Shape::new(1, 8, 8))
+            .conv(3, 3, 3, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(5, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn quantize_value_grid() {
+        // Q8.8: grid step 1/256.
+        assert_eq!(quantize_value(0.0, 16, 8), 0.0);
+        assert_eq!(quantize_value(1.0, 16, 8), 1.0);
+        let q = quantize_value(0.1234, 16, 8);
+        assert!((q * 256.0).fract().abs() < 1e-5, "{q} not on the grid");
+        assert!((q - 0.1234).abs() <= 0.5 / 256.0 + 1e-6);
+    }
+
+    #[test]
+    fn quantize_value_saturates() {
+        // Q4.4 (8-bit): codes in [-128, 127], scale 16 → max 7.9375.
+        assert_eq!(quantize_value(100.0, 8, 4), 127.0 / 16.0);
+        assert_eq!(quantize_value(-100.0, 8, 4), -8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no integer bits")]
+    fn zero_integer_bits_rejected() {
+        quantize_value(1.0, 8, 8);
+    }
+
+    #[test]
+    fn network_quantization_bounds_error() {
+        let n = net();
+        let q16 = quantize_network(&n, 16, 8);
+        assert!(max_quantization_error(&n, &q16) <= 0.5 / 256.0 + 1e-6);
+        let q8 = quantize_network(&n, 8, 4);
+        assert!(max_quantization_error(&n, &q8) <= 0.5 / 16.0 + 1e-6);
+        // Coarser grid, larger error.
+        assert!(max_quantization_error(&n, &q8) >= max_quantization_error(&n, &q16));
+    }
+
+    #[test]
+    fn quantized_network_still_runs() {
+        let n = net();
+        let q = quantize_network(&n, 16, 8);
+        let img = Tensor::full(Shape::new(1, 8, 8), 0.5);
+        let a = n.forward(&img);
+        let b = q.forward(&img);
+        assert_eq!(a.len(), b.len());
+        // Q8.8 weight noise should barely move the outputs here.
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 0.2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let n = net();
+        let q1 = quantize_network(&n, 16, 8);
+        let q2 = quantize_network(&q1, 16, 8);
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Human-readable network summaries — the textual equivalent of the
+//! paper's Fig. 1 structure diagram.
+
+use crate::layer::Layer;
+use crate::network::Network;
+use std::fmt::Write as _;
+
+/// One row of the structure table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerSummary {
+    /// Layer index.
+    pub index: usize,
+    /// Layer kind tag ("conv2d", "max_pool", ...).
+    pub kind: &'static str,
+    /// Configuration string (kernel counts/sizes, neuron counts).
+    pub config: String,
+    /// Output shape rendered as `CxHxW`.
+    pub output_shape: String,
+    /// Trainable parameter count.
+    pub params: usize,
+}
+
+/// Builds per-layer summaries for a network.
+pub fn summarize(net: &Network) -> Vec<LayerSummary> {
+    net.layers()
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let config = match layer {
+                Layer::Conv2d(c) => {
+                    let act = c
+                        .activation
+                        .map(|a| format!(" + {}", a.name()))
+                        .unwrap_or_default();
+                    format!(
+                        "{} kernels {}x{}{act}",
+                        c.kernels.kernels(),
+                        c.kernels.kh(),
+                        c.kernels.kw()
+                    )
+                }
+                Layer::Pool(p) => format!("{}x{} stride {}", p.kh, p.kw, p.step),
+                Layer::Flatten => String::new(),
+                Layer::Linear(l) => {
+                    let act = l
+                        .activation
+                        .map(|a| format!(" + {}", a.name()))
+                        .unwrap_or_default();
+                    format!("{} -> {} neurons{act}", l.inputs, l.outputs)
+                }
+                Layer::LogSoftMax => String::new(),
+            };
+            LayerSummary {
+                index: i,
+                kind: layer.kind_name(),
+                config,
+                output_shape: net.shape_after(i).to_string(),
+                params: layer.param_count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 1-style structure diagram as text.
+pub fn render(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "input {:>24}  params",
+        net.input_shape().to_string()
+    );
+    for row in summarize(net) {
+        let _ = writeln!(
+            out,
+            "  [{}] {:<12} {:<24} -> {:<10} {:>7}",
+            row.index, row.kind, row.config, row.output_shape, row.params
+        );
+    }
+    let _ = writeln!(out, "total parameters: {}", net.param_count());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::seeded_rng;
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn summary_rows_cover_all_layers() {
+        let net = test1_net();
+        let rows = summarize(&net);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].kind, "conv2d");
+        assert_eq!(rows[0].config, "6 kernels 5x5");
+        assert_eq!(rows[0].output_shape, "6x12x12");
+        assert_eq!(rows[0].params, 156);
+        assert_eq!(rows[1].kind, "max_pool");
+        assert_eq!(rows[3].kind, "linear");
+        assert_eq!(rows[3].config, "216 -> 10 neurons + tanh");
+        assert_eq!(rows[4].kind, "log_softmax");
+    }
+
+    #[test]
+    fn render_includes_totals_and_shapes() {
+        let net = test1_net();
+        let text = render(&net);
+        assert!(text.contains("1x16x16"));
+        assert!(text.contains("6x12x12"));
+        assert!(text.contains("total parameters: 2326"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Mini-batch SGD training with negative-log-likelihood loss — the
+//! Torch-replacement used to produce the trained weights the automation
+//! framework ingests (paper Section IV: "the input network [must] be
+//! already designed and trained").
+
+use crate::grad::{backward, LayerGrads};
+use crate::network::Network;
+use cnn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// Classical momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            learning_rate: 0.05,
+            batch_size: 16,
+            epochs: 10,
+            weight_decay: 1e-4,
+            lr_decay: 0.95,
+            momentum: 0.0,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Clone, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean NLL loss over the epoch.
+    pub mean_loss: f64,
+    /// Training-set classification error for the epoch (running).
+    pub train_error: f64,
+}
+
+/// Negative log-likelihood of `target` under log-probabilities `logp`.
+pub fn nll_loss(logp: &[f32], target: usize) -> f32 {
+    assert!(target < logp.len(), "target {target} out of range {}", logp.len());
+    -logp[target]
+}
+
+/// Computes per-sample gradients for one (input, target) pair.
+/// Returns (per-layer grads, loss, correct?).
+fn sample_gradients(net: &Network, input: &Tensor, target: usize) -> (Vec<LayerGrads>, f32, bool) {
+    let acts = net.forward_trace(input);
+    let logp = acts.last().expect("non-empty trace");
+    let loss = nll_loss(logp.as_slice(), target);
+    let correct = logp.argmax() == target;
+
+    // dL/d(logp) = -onehot(target)
+    let mut go = vec![0.0f32; logp.len()];
+    go[target] = -1.0;
+    let mut grad = Tensor::from_vec(logp.shape(), go);
+
+    let mut grads: Vec<LayerGrads> = Vec::with_capacity(net.layers().len());
+    for (i, layer) in net.layers().iter().enumerate().rev() {
+        let (gx, gp) = backward(layer, &acts[i], &acts[i + 1], &grad);
+        grads.push(gp);
+        grad = gx;
+    }
+    grads.reverse();
+    (grads, loss, correct)
+}
+
+/// Folds the batch gradient into the velocity buffers:
+/// `v <- momentum * v + g`.
+fn update_velocity(velocity: &mut [LayerGrads], grads: &[LayerGrads], momentum: f32) {
+    for (v, g) in velocity.iter_mut().zip(grads) {
+        v.scale(momentum);
+        v.accumulate(g);
+    }
+}
+
+/// Applies averaged gradients to the network with learning rate `lr`
+/// and L2 decay `wd`.
+fn apply_gradients(net: &mut Network, grads: &[LayerGrads], lr: f32, wd: f32) {
+    // Safety: we rebuild the network from its own parts, so shapes are
+    // unchanged and re-validation cannot fail.
+    let input_shape = net.input_shape();
+    let mut layers = net.layers().to_vec();
+    for (layer, grad) in layers.iter_mut().zip(grads) {
+        match (layer, grad) {
+            (crate::Layer::Conv2d(c), LayerGrads::Conv2d { kernels, bias }) => {
+                for (w, g) in c.kernels.as_mut_slice().iter_mut().zip(kernels.as_slice()) {
+                    *w -= lr * (g + wd * *w);
+                }
+                for (b, g) in c.bias.iter_mut().zip(bias) {
+                    *b -= lr * g;
+                }
+            }
+            (crate::Layer::Linear(l), LayerGrads::Linear { weights, bias }) => {
+                for (w, g) in l.weights.iter_mut().zip(weights) {
+                    *w -= lr * (g + wd * *w);
+                }
+                for (b, g) in l.bias.iter_mut().zip(bias) {
+                    *b -= lr * g;
+                }
+            }
+            (_, LayerGrads::None) => {}
+            _ => unreachable!("gradient kind mismatch"),
+        }
+    }
+    *net = Network::new(input_shape, layers).expect("shapes unchanged");
+}
+
+/// Trains `net` in place on `(inputs, labels)` and returns per-epoch
+/// statistics. Sample order is shuffled each epoch from `rng`, so runs
+/// are reproducible for a fixed seed.
+pub fn train(
+    net: &mut Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> Vec<EpochStats> {
+    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+    assert!(!inputs.is_empty(), "empty training set");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
+    assert!(
+        (0.0..1.0).contains(&cfg.momentum),
+        "momentum must be in [0, 1)"
+    );
+    let n = inputs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut stats = Vec::with_capacity(cfg.epochs);
+    let mut lr = cfg.learning_rate;
+    let mut velocity: Vec<LayerGrads> =
+        net.layers().iter().map(LayerGrads::zeros_like).collect();
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(rng);
+        let mut total_loss = 0.0f64;
+        let mut wrong = 0usize;
+
+        for chunk in order.chunks(cfg.batch_size) {
+            // Per-sample gradients in parallel; network is read-only here.
+            let results: Vec<(Vec<LayerGrads>, f32, bool)> = chunk
+                .par_iter()
+                .map(|&i| sample_gradients(net, &inputs[i], labels[i]))
+                .collect();
+
+            let mut batch: Vec<LayerGrads> =
+                net.layers().iter().map(LayerGrads::zeros_like).collect();
+            for (grads, loss, correct) in &results {
+                for (acc, g) in batch.iter_mut().zip(grads) {
+                    acc.accumulate(g);
+                }
+                total_loss += *loss as f64;
+                if !correct {
+                    wrong += 1;
+                }
+            }
+            let inv = 1.0 / chunk.len() as f32;
+            batch.iter_mut().for_each(|g| g.scale(inv));
+            if cfg.momentum > 0.0 {
+                update_velocity(&mut velocity, &batch, cfg.momentum);
+                apply_gradients(net, &velocity, lr, cfg.weight_decay);
+            } else {
+                apply_gradients(net, &batch, lr, cfg.weight_decay);
+            }
+        }
+
+        stats.push(EpochStats {
+            epoch,
+            mean_loss: total_loss / n as f64,
+            train_error: wrong as f64 / n as f64,
+        });
+        lr *= cfg.lr_decay;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::{seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn toy_problem(seed: u64, n: usize) -> (Vec<Tensor>, Vec<usize>) {
+        // Class 0: bright top half; class 1: bright bottom half.
+        let mut rng = seeded_rng(seed);
+        let mut inputs = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let noise = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 8, 8), Init::Uniform(0.2));
+            let mut img = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, _| {
+                if (class == 0) == (y < 4) { 1.0 } else { 0.0 }
+            });
+            img.add_assign(&noise);
+            inputs.push(img);
+            labels.push(class);
+        }
+        (inputs, labels)
+    }
+
+    fn toy_net(seed: u64) -> Network {
+        let mut rng = seeded_rng(seed);
+        Network::builder(Shape::new(1, 8, 8))
+            .conv(4, 3, 3, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(2, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn nll_loss_basic() {
+        let logp = [-0.1f32, -3.0];
+        assert!((nll_loss(&logp, 0) - 0.1).abs() < 1e-6);
+        assert!((nll_loss(&logp, 1) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nll_loss_checks_target() {
+        nll_loss(&[-0.5], 1);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_error() {
+        let (inputs, labels) = toy_problem(100, 64);
+        let mut net = toy_net(7);
+        let cfg = TrainConfig { epochs: 8, learning_rate: 0.1, ..Default::default() };
+        let mut rng = seeded_rng(55);
+        let stats = train(&mut net, &inputs, &labels, &cfg, &mut rng);
+        assert_eq!(stats.len(), 8);
+        assert!(
+            stats.last().unwrap().mean_loss < stats[0].mean_loss,
+            "loss did not decrease: {} -> {}",
+            stats[0].mean_loss,
+            stats.last().unwrap().mean_loss
+        );
+        let final_err = net.prediction_error(&inputs, &labels);
+        assert!(final_err < 0.2, "final training error too high: {final_err}");
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let (inputs, labels) = toy_problem(100, 32);
+        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let run = || {
+            let mut net = toy_net(7);
+            let mut rng = seeded_rng(55);
+            train(&mut net, &inputs, &labels, &cfg, &mut rng);
+            net
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn generalizes_to_held_out_samples() {
+        let (tr_in, tr_lb) = toy_problem(100, 96);
+        let (te_in, te_lb) = toy_problem(200, 32);
+        let mut net = toy_net(3);
+        let cfg = TrainConfig { epochs: 10, learning_rate: 0.1, ..Default::default() };
+        let mut rng = seeded_rng(9);
+        train(&mut net, &tr_in, &tr_lb, &cfg, &mut rng);
+        let err = net.prediction_error(&te_in, &te_lb);
+        assert!(err < 0.25, "held-out error too high: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn train_checks_lengths() {
+        let (inputs, _) = toy_problem(1, 4);
+        let mut net = toy_net(1);
+        let mut rng = seeded_rng(1);
+        train(&mut net, &inputs, &[0], &TrainConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn train_rejects_zero_batch() {
+        let (inputs, labels) = toy_problem(1, 4);
+        let mut net = toy_net(1);
+        let mut rng = seeded_rng(1);
+        let cfg = TrainConfig { batch_size: 0, ..Default::default() };
+        train(&mut net, &inputs, &labels, &cfg, &mut rng);
+    }
+
+    #[test]
+    fn momentum_accelerates_early_convergence() {
+        let (inputs, labels) = toy_problem(300, 64);
+        let run = |momentum: f32| {
+            let mut net = toy_net(7);
+            let cfg = TrainConfig {
+                epochs: 3,
+                learning_rate: 0.05,
+                momentum,
+                ..Default::default()
+            };
+            let mut rng = seeded_rng(55);
+            let stats = train(&mut net, &inputs, &labels, &cfg, &mut rng);
+            stats.last().unwrap().mean_loss
+        };
+        let plain = run(0.0);
+        let with_momentum = run(0.9);
+        assert!(
+            with_momentum < plain,
+            "momentum should speed up early training: {with_momentum} vs {plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn momentum_out_of_range_rejected() {
+        let (inputs, labels) = toy_problem(1, 4);
+        let mut net = toy_net(1);
+        let mut rng = seeded_rng(1);
+        let cfg = TrainConfig { momentum: 1.5, ..Default::default() };
+        train(&mut net, &inputs, &labels, &cfg, &mut rng);
+    }
+
+    #[test]
+    fn zero_momentum_matches_plain_sgd() {
+        // momentum = 0 must be bit-identical to the plain path.
+        let (inputs, labels) = toy_problem(123, 32);
+        let run = |cfg: TrainConfig| {
+            let mut net = toy_net(9);
+            let mut rng = seeded_rng(4);
+            train(&mut net, &inputs, &labels, &cfg, &mut rng);
+            net
+        };
+        let a = run(TrainConfig { momentum: 0.0, epochs: 2, ..Default::default() });
+        let b = run(TrainConfig { momentum: 0.0, epochs: 2, ..Default::default() });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With zero-information inputs, decay should pull weights toward 0.
+        let inputs = vec![Tensor::zeros(Shape::new(1, 8, 8)); 16];
+        let labels: Vec<usize> = (0..16).map(|i| i % 2).collect();
+        let mut net = toy_net(2);
+        let norm_before: f32 = net
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                crate::Layer::Conv2d(c) => Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>()),
+                _ => None,
+            })
+            .sum();
+        let cfg = TrainConfig {
+            epochs: 20,
+            learning_rate: 0.1,
+            weight_decay: 0.5,
+            ..Default::default()
+        };
+        let mut rng = seeded_rng(4);
+        train(&mut net, &inputs, &labels, &cfg, &mut rng);
+        let norm_after: f32 = net
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                crate::Layer::Conv2d(c) => Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>()),
+                _ => None,
+            })
+            .sum();
+        // Conv weights get no signal from zero inputs, so decay dominates.
+        assert!(norm_after < norm_before, "{norm_after} !< {norm_before}");
+    }
+}

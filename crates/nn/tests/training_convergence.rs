@@ -1,0 +1,155 @@
+//! Training-behaviour integration tests: the SGD trainer must make
+//! progress on learnable data across layer configurations — including
+//! the mean-pooling and ReLU/sigmoid variants the paper lists as
+//! extensions.
+
+use cnn_nn::{train, Network, TrainConfig};
+use cnn_tensor::init::{seeded_rng, Init};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+
+/// Two-class problem: vertical vs horizontal bright bar.
+fn bars(n: usize, rng: &mut StdRng) -> (Vec<Tensor>, Vec<usize>) {
+    let mut images = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let noise = cnn_tensor::init::init_tensor(rng, Shape::new(1, 10, 10), Init::Uniform(0.15));
+        let mut img = Tensor::from_fn(Shape::new(1, 10, 10), |_, y, x| {
+            let on = if class == 0 { (4..6).contains(&x) } else { (4..6).contains(&y) };
+            if on {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        img.add_assign(&noise);
+        images.push(img);
+        labels.push(class);
+    }
+    (images, labels)
+}
+
+fn check_learns(net: &mut Network, epochs: usize, lr: f32) {
+    let mut rng = seeded_rng(42);
+    let (images, labels) = bars(96, &mut rng);
+    let cfg = TrainConfig {
+        learning_rate: lr,
+        batch_size: 16,
+        epochs,
+        weight_decay: 1e-4,
+        lr_decay: 0.97,
+        momentum: 0.0,
+    };
+    let mut trng = seeded_rng(7);
+    let stats = train(net, &images, &labels, &cfg, &mut trng);
+    assert!(
+        stats.last().unwrap().mean_loss < stats[0].mean_loss,
+        "loss did not decrease: {:?} -> {:?}",
+        stats[0].mean_loss,
+        stats.last().unwrap().mean_loss
+    );
+    let err = net.prediction_error(&images, &labels);
+    assert!(err < 0.2, "final error {err:.2} too high for a separable problem");
+}
+
+#[test]
+fn max_pool_tanh_network_learns() {
+    let mut rng = seeded_rng(1);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv(4, 3, 3, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(2, Some(Activation::Tanh), &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 12, 0.3);
+}
+
+#[test]
+fn mean_pool_network_learns() {
+    // The paper's announced Mean-pooling extension must be trainable
+    // end to end (its backward pass distributes gradient evenly).
+    let mut rng = seeded_rng(2);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv(4, 3, 3, &mut rng)
+        .pool(PoolKind::Mean, 2, 2)
+        .flatten()
+        .linear(2, Some(Activation::Tanh), &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 12, 0.3);
+}
+
+#[test]
+fn relu_conv_network_learns() {
+    let mut rng = seeded_rng(3);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv_activated(4, 3, 3, Activation::Relu, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(2, None, &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 14, 0.2);
+}
+
+#[test]
+fn sigmoid_head_network_learns() {
+    let mut rng = seeded_rng(4);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv(4, 3, 3, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(2, Some(Activation::Sigmoid), &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 16, 0.4);
+}
+
+#[test]
+fn two_conv_layer_network_learns() {
+    let mut rng = seeded_rng(5);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv(4, 3, 3, &mut rng)
+        .conv(6, 3, 3, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(2, Some(Activation::Tanh), &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 14, 0.15);
+}
+
+#[test]
+fn quantized_trained_network_keeps_accuracy() {
+    // Weight-only Q8.8 quantization after training should cost at
+    // most a little accuracy on an easy problem.
+    let mut rng = seeded_rng(6);
+    let mut net = Network::builder(Shape::new(1, 10, 10))
+        .conv(4, 3, 3, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(2, Some(Activation::Tanh), &mut rng)
+        .log_softmax()
+        .build()
+        .unwrap();
+    check_learns(&mut net, 12, 0.3);
+
+    let mut drng = seeded_rng(42);
+    let (images, labels) = bars(96, &mut drng);
+    let err_f32 = net.prediction_error(&images, &labels);
+    let q = cnn_nn::quant::quantize_network(&net, 16, 8);
+    let err_q16 = q.prediction_error(&images, &labels);
+    assert!(
+        err_q16 <= err_f32 + 0.1,
+        "Q8.8 quantization destroyed accuracy: {err_f32:.3} -> {err_q16:.3}"
+    );
+}

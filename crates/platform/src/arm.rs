@@ -1,0 +1,238 @@
+//! ARM Cortex-A9 software timing model.
+//!
+//! The paper's software baseline is an unoptimized single-threaded
+//! C implementation of the generated network running on the 667 MHz
+//! Cortex-A9. Its runtime scales almost perfectly with the network's
+//! multiply–accumulate count across all four tests:
+//!
+//! | Test | MACs/image | paper time/image | ns/MAC |
+//! |------|-----------:|-----------------:|-------:|
+//! | 1    |     23 760 | 3.30 ms          | 138.9  |
+//! | 3    |     31 840 | 4.30 ms          | 135.1  |
+//! | 4    |  1 818 360 | 256.5 ms         | 141.1  |
+//!
+//! ~139 ns/MAC at 667 MHz is ~92 CPU cycles per multiply–accumulate —
+//! the signature of scalar VFP code with poor locality (load, mul,
+//! add, store per element plus loop control and cache misses). The
+//! per-operator costs below encode exactly that and are the model's
+//! only free parameters.
+
+use cnn_fpga::Board;
+use cnn_hls::ir::{lower, DesignIr};
+use cnn_hls::operators::{FpOp, OpMix};
+use cnn_nn::Network;
+use cnn_tensor::Tensor;
+
+/// CPU cycles per floating-point operation in the unoptimized scalar
+/// baseline (includes the surrounding loads/stores and loop control).
+pub fn cpu_cycles_per_op(op: FpOp) -> u64 {
+    match op {
+        // half a MAC each: the 92-cycle MAC splits across mul and add
+        FpOp::Mul => 46,
+        FpOp::Add => 46,
+        // compare + branch + possible store
+        FpOp::Cmp => 30,
+        // libm expf on the A9 (software polynomial + range reduction)
+        FpOp::Exp => 600,
+        // libm logf
+        FpOp::Log => 650,
+        // VFP division
+        FpOp::Div => 120,
+    }
+}
+
+/// Cycles for a whole operator mix.
+fn mix_cycles(mix: &OpMix) -> u64 {
+    FpOp::ALL
+        .iter()
+        .map(|&op| mix.count(op) * cpu_cycles_per_op(op))
+        .sum()
+}
+
+/// Result of a software batch run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoftwareRun {
+    /// Predicted class per image, in order.
+    pub predictions: Vec<usize>,
+    /// Modelled CPU cycles.
+    pub cpu_cycles: u64,
+    /// Modelled wall-clock seconds on the board's CPU.
+    pub seconds: f64,
+}
+
+/// The ARM software execution model for one board + network.
+#[derive(Clone, Debug)]
+pub struct ArmModel {
+    board: Board,
+    network: Network,
+    ir: DesignIr,
+}
+
+impl ArmModel {
+    /// Builds the model for `network` on `board`.
+    pub fn new(board: Board, network: &Network) -> ArmModel {
+        ArmModel {
+            board,
+            network: network.clone(),
+            ir: lower(network),
+        }
+    }
+
+    /// The board whose CPU is modelled.
+    pub fn board(&self) -> Board {
+        self.board
+    }
+
+    /// Modelled CPU cycles to classify one image.
+    pub fn cycles_per_image(&self) -> u64 {
+        self.ir
+            .blocks
+            .iter()
+            .map(|b| mix_cycles(&b.total_ops()))
+            .sum::<u64>()
+            // per-image framing overhead: input copy + call glue
+            + self.ir.input_elems * 4
+    }
+
+    /// Modelled seconds to classify one image.
+    pub fn seconds_per_image(&self) -> f64 {
+        self.cycles_per_image() as f64 / self.board.cpu_clock_hz() as f64
+    }
+
+    /// Runs the software path over a batch: predictions are the real
+    /// `cnn-nn` forward pass (bit-identical to the hardware executor);
+    /// time comes from the calibrated model.
+    pub fn classify_batch(&self, images: &[Tensor]) -> SoftwareRun {
+        let predictions = self.network.predict_batch(images);
+        let cpu_cycles = self.cycles_per_image() * images.len() as u64;
+        SoftwareRun {
+            predictions,
+            cpu_cycles,
+            seconds: cpu_cycles as f64 / self.board.cpu_clock_hz() as f64,
+        }
+    }
+
+    /// Prediction error over a labelled set.
+    pub fn prediction_error(&self, images: &[Tensor], labels: &[usize]) -> f64 {
+        self.network.prediction_error(images, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::{seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn test3_net() -> Network {
+        let mut rng = seeded_rng(2);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(16, 5, 5, &mut rng)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn test4_net() -> Network {
+        let mut rng = seeded_rng(3);
+        Network::builder(Shape::new(3, 32, 32))
+            .conv(12, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .conv(36, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(36, Some(Activation::Tanh), &mut rng)
+            .linear(10, None, &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn test1_software_time_in_paper_band() {
+        // Paper: 3.3 s for 1000 images.
+        let m = ArmModel::new(Board::Zedboard, &test1_net());
+        let t = m.seconds_per_image() * 1000.0;
+        assert!((2.6..=4.1).contains(&t), "Test-1 SW time {t:.2}s vs paper 3.3s");
+    }
+
+    #[test]
+    fn test3_software_time_in_paper_band() {
+        // Paper: 4.3 s for 1000 images.
+        let m = ArmModel::new(Board::Zedboard, &test3_net());
+        let t = m.seconds_per_image() * 1000.0;
+        assert!((3.4..=5.4).contains(&t), "Test-3 SW time {t:.2}s vs paper 4.3s");
+    }
+
+    #[test]
+    fn test4_software_time_in_paper_band() {
+        // Paper: 2565 s for 10000 images.
+        let m = ArmModel::new(Board::Zedboard, &test4_net());
+        let t = m.seconds_per_image() * 10_000.0;
+        assert!((2000.0..=3200.0).contains(&t), "Test-4 SW time {t:.0}s vs paper 2565s");
+    }
+
+    #[test]
+    fn software_time_scales_with_network() {
+        let m1 = ArmModel::new(Board::Zedboard, &test1_net());
+        let m4 = ArmModel::new(Board::Zedboard, &test4_net());
+        let ratio = m4.seconds_per_image() / m1.seconds_per_image();
+        // Paper ratio: 256.5ms / 3.3ms ≈ 77.7
+        assert!((55.0..=100.0).contains(&ratio), "T4/T1 SW ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn batch_run_returns_real_predictions() {
+        let net = test1_net();
+        let m = ArmModel::new(Board::Zedboard, &net);
+        let mut rng = seeded_rng(5);
+        let imgs: Vec<Tensor> = (0..16)
+            .map(|_| cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0)))
+            .collect();
+        let run = m.classify_batch(&imgs);
+        let direct: Vec<usize> = imgs.iter().map(|i| net.predict(i)).collect();
+        assert_eq!(run.predictions, direct);
+        assert_eq!(run.cpu_cycles, m.cycles_per_image() * 16);
+        assert!(run.seconds > 0.0);
+    }
+
+    #[test]
+    fn zybo_is_slower_than_zedboard() {
+        let net = test1_net();
+        let zed = ArmModel::new(Board::Zedboard, &net);
+        let zybo = ArmModel::new(Board::Zybo, &net);
+        assert!(zybo.seconds_per_image() > zed.seconds_per_image());
+        assert_eq!(zed.cycles_per_image(), zybo.cycles_per_image());
+    }
+
+    #[test]
+    fn mac_cost_is_92_cycles() {
+        assert_eq!(
+            cpu_cycles_per_op(FpOp::Mul) + cpu_cycles_per_op(FpOp::Add),
+            92
+        );
+    }
+
+    #[test]
+    fn transcendentals_dominate_per_op() {
+        assert!(cpu_cycles_per_op(FpOp::Exp) >= 5 * cpu_cycles_per_op(FpOp::Div));
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # cnn-platform
+//!
+//! The processing-system substrate: what the paper runs on the
+//! Zedboard's hardwired ARM Cortex-A9 is modelled here.
+//!
+//! * [`arm`] — a calibrated analytic timing model of the unoptimized
+//!   single-threaded software implementation (the paper's baseline),
+//!   plus the actual software classification (which is the
+//!   bit-identical `cnn-nn` forward pass),
+//! * [`neon`] — an *optimized* (NEON-vectorized) software baseline —
+//!   the fair-comparison ablation the paper does not run,
+//! * [`soc`] — the Zynq SoC composition: one object exposing both the
+//!   software path (ARM) and the hardware path (programmed fabric) so
+//!   experiments compare them exactly as Table I does.
+
+pub mod arm;
+pub mod neon;
+pub mod soc;
+
+pub use arm::{ArmModel, SoftwareRun};
+pub use neon::NeonModel;
+pub use soc::{HardwareRun, ZynqSoc};

@@ -1,0 +1,186 @@
+//! The Zynq APSoC composition: one object exposing both execution
+//! paths of Table I — the software implementation on the hardwired
+//! ARM and the hardware implementation on the programmable logic.
+
+use crate::arm::{ArmModel, SoftwareRun};
+use cnn_fpga::{BatchResult, Bitstream, Board, ZynqDevice};
+use cnn_hls::{DirectiveSet, HlsError, HlsProject};
+use cnn_nn::Network;
+use cnn_tensor::Tensor;
+
+/// Result of the hardware path.
+pub type HardwareRun = BatchResult;
+
+/// Errors when assembling the SoC.
+#[derive(Debug)]
+pub enum SocError {
+    /// HLS synthesis/fit failure.
+    Hls(HlsError),
+    /// Bitstream implementation failure.
+    Bitstream(cnn_fpga::bitstream::BitstreamError),
+    /// Device programming failure.
+    Device(cnn_fpga::device::DeviceError),
+}
+
+impl std::fmt::Display for SocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SocError::Hls(e) => write!(f, "HLS: {e}"),
+            SocError::Bitstream(e) => write!(f, "bitstream: {e}"),
+            SocError::Device(e) => write!(f, "device: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SocError {}
+
+/// A Zynq SoC with a CNN loaded both as software (ARM) and hardware
+/// (fabric).
+#[derive(Debug)]
+pub struct ZynqSoc {
+    board: Board,
+    arm: ArmModel,
+    device: ZynqDevice,
+}
+
+impl ZynqSoc {
+    /// Builds the full stack for `network` on `board` under
+    /// `directives`: HLS → bitstream → programmed device, plus the
+    /// ARM software model.
+    pub fn bring_up(
+        network: &Network,
+        directives: DirectiveSet,
+        board: Board,
+    ) -> Result<ZynqSoc, SocError> {
+        let project =
+            HlsProject::new(network, directives, board.part()).map_err(SocError::Hls)?;
+        let bitstream = Bitstream::implement(&project, board).map_err(SocError::Bitstream)?;
+        let device = ZynqDevice::program(board, bitstream).map_err(SocError::Device)?;
+        Ok(ZynqSoc {
+            board,
+            arm: ArmModel::new(board, network),
+            device,
+        })
+    }
+
+    /// The board.
+    pub fn board(&self) -> Board {
+        self.board
+    }
+
+    /// The software path model.
+    pub fn arm(&self) -> &ArmModel {
+        &self.arm
+    }
+
+    /// The programmed device.
+    pub fn device(&self) -> &ZynqDevice {
+        &self.device
+    }
+
+    /// Runs the software implementation over a batch.
+    pub fn run_software(&self, images: &[Tensor]) -> SoftwareRun {
+        self.arm.classify_batch(images)
+    }
+
+    /// Runs the hardware implementation over a batch.
+    pub fn run_hardware(&self, images: &[Tensor]) -> HardwareRun {
+        self.device.classify_batch(images)
+    }
+
+    /// Hardware speedup over software for a batch of `n` images —
+    /// Table I's "Speedup" column.
+    pub fn speedup(&self, images: &[Tensor]) -> f64 {
+        let sw = self.run_software(images);
+        let hw = self.run_hardware(images);
+        sw.seconds / hw.seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_tensor::init::{seeded_rng, Init};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    fn test1_net() -> Network {
+        let mut rng = seeded_rng(1);
+        Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap()
+    }
+
+    fn images(n: usize) -> Vec<Tensor> {
+        let mut rng = seeded_rng(50);
+        (0..n)
+            .map(|_| cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn bring_up_succeeds_for_paper_configs() {
+        for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+            assert!(ZynqSoc::bring_up(&test1_net(), ds, Board::Zedboard).is_ok());
+        }
+    }
+
+    #[test]
+    fn both_paths_agree_on_predictions() {
+        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
+            .unwrap();
+        let imgs = images(32);
+        let sw = soc.run_software(&imgs);
+        let hw = soc.run_hardware(&imgs);
+        assert_eq!(sw.predictions, hw.predictions);
+    }
+
+    #[test]
+    fn naive_speedup_matches_paper_shape() {
+        // Paper Test 1: 1.18× — hardware barely wins.
+        let soc =
+            ZynqSoc::bring_up(&test1_net(), DirectiveSet::naive(), Board::Zedboard).unwrap();
+        let s = soc.speedup(&images(100));
+        assert!((0.9..=2.0).contains(&s), "naive speedup {s:.2} vs paper 1.18x");
+        assert!(s > 1.0, "hardware should still win: {s:.2}");
+    }
+
+    #[test]
+    fn optimized_speedup_matches_paper_shape() {
+        // Paper Test 2: 6.23×.
+        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
+            .unwrap();
+        let s = soc.speedup(&images(100));
+        assert!((4.0..=9.0).contains(&s), "optimized speedup {s:.2} vs paper 6.23x");
+    }
+
+    #[test]
+    fn soc_error_display() {
+        let err = ZynqSoc::bring_up(
+            &{
+                let mut rng = seeded_rng(9);
+                Network::builder(Shape::new(3, 32, 32))
+                    .conv(12, 5, 5, &mut rng)
+                    .pool(PoolKind::Max, 2, 2)
+                    .conv(36, 5, 5, &mut rng)
+                    .pool(PoolKind::Max, 2, 2)
+                    .flatten()
+                    .linear(36, Some(Activation::Tanh), &mut rng)
+                    .linear(10, None, &mut rng)
+                    .log_softmax()
+                    .build()
+                    .unwrap()
+            },
+            DirectiveSet::optimized(),
+            Board::Zybo,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("HLS"), "{err}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Processing-system (ARM) power model.
+//!
+//! The paper measures 2.2 W for the CPU-only software implementation
+//! on every test — the dual Cortex-A9 cluster at full load is
+//! essentially workload-independent at this granularity.
+
+use cnn_fpga::Board;
+use serde::Serialize;
+
+/// CPU power model for a board.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct CpuPowerModel {
+    /// Active (busy classification loop) watts.
+    pub active_watts: f64,
+    /// Idle watts (the PS waiting on the DMA interrupt).
+    pub idle_watts: f64,
+}
+
+impl CpuPowerModel {
+    /// Model for a given board. The Zedboard numbers are the paper's
+    /// measurement; the Zybo scales by its lower clock.
+    pub fn for_board(board: Board) -> CpuPowerModel {
+        match board {
+            Board::Zedboard => CpuPowerModel { active_watts: 2.2, idle_watts: 1.45 },
+            Board::Zybo => CpuPowerModel { active_watts: 2.05, idle_watts: 1.35 },
+        }
+    }
+
+    /// Average CPU watts for a run that is busy a fraction
+    /// `busy` ∈ [0, 1] of the time (hardware runs leave the CPU mostly
+    /// idle waiting on the DMA).
+    pub fn average_watts(&self, busy: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} out of range");
+        self.idle_watts + (self.active_watts - self.idle_watts) * busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zedboard_active_matches_paper() {
+        let m = CpuPowerModel::for_board(Board::Zedboard);
+        assert_eq!(m.active_watts, 2.2);
+        assert!(m.idle_watts < m.active_watts);
+    }
+
+    #[test]
+    fn average_interpolates() {
+        let m = CpuPowerModel::for_board(Board::Zedboard);
+        assert_eq!(m.average_watts(1.0), m.active_watts);
+        assert_eq!(m.average_watts(0.0), m.idle_watts);
+        let half = m.average_watts(0.5);
+        assert!(half > m.idle_watts && half < m.active_watts);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn busy_fraction_validated() {
+        CpuPowerModel::for_board(Board::Zedboard).average_watts(1.5);
+    }
+
+    #[test]
+    fn zybo_draws_less() {
+        let zed = CpuPowerModel::for_board(Board::Zedboard);
+        let zybo = CpuPowerModel::for_board(Board::Zybo);
+        assert!(zybo.active_watts < zed.active_watts);
+    }
+}

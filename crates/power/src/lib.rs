@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # cnn-power
+//!
+//! Power and energy models replacing the paper's measurement chain
+//! (Section V): an external Voltcraft *Energy Logger 4000* sensing the
+//! whole board, Vivado's power analysis estimating the programmable
+//! logic's share, and the CPU share computed as the difference.
+//!
+//! * [`cpu`] — the processing-system power model (the paper reports a
+//!   flat 2.2 W for the CPU-only software runs),
+//! * [`fpga`] — a Vivado-style resource-proportional power estimate
+//!   for the programmable logic,
+//! * [`meter`] — the energy-logger harness: integrates average power
+//!   over a run's duration into Joules, Table I's Energy columns,
+//! * [`trace`] — sampled power timelines (what the external logger
+//!   records), numerically integrated and cross-checked against the
+//!   closed-form energies.
+
+pub mod cpu;
+pub mod fpga;
+pub mod meter;
+pub mod trace;
+
+pub use cpu::CpuPowerModel;
+pub use fpga::FpgaPowerModel;
+pub use meter::{EnergyMeter, EnergyReading};
+pub use trace::{PowerPhase, PowerTrace};

@@ -1,0 +1,172 @@
+//! Sampled power traces — the view the paper's external meter
+//! actually records: the Voltcraft Energy Logger samples board power
+//! at fixed intervals and integrates. This module produces the same
+//! kind of timeline for a run composed of phases (idle, software
+//! classification, hardware classification) and integrates it
+//! numerically, cross-checking the closed-form energies in
+//! [`crate::meter`].
+
+use serde::Serialize;
+
+/// One phase of a measured run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PowerPhase {
+    /// Constant board power during the phase, watts.
+    pub watts: f64,
+    /// Phase duration, seconds.
+    pub seconds: f64,
+}
+
+/// A sampled power timeline.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct PowerTrace {
+    /// Sampling period, seconds.
+    pub sample_period: f64,
+    /// Power at each sample instant, watts.
+    pub samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Samples a phase sequence at `sample_period` (the logger's
+    /// cadence), sampling at the midpoint of each period.
+    pub fn record(phases: &[PowerPhase], sample_period: f64) -> PowerTrace {
+        assert!(sample_period > 0.0, "sample period must be positive");
+        assert!(!phases.is_empty(), "no phases to record");
+        assert!(
+            phases.iter().all(|p| p.seconds >= 0.0 && p.watts >= 0.0),
+            "negative phase"
+        );
+        let total: f64 = phases.iter().map(|p| p.seconds).sum();
+        let n = (total / sample_period).ceil() as usize;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = (i as f64 + 0.5) * sample_period;
+            samples.push(power_at(phases, t.min(total - 1e-12)));
+        }
+        PowerTrace { sample_period, samples }
+    }
+
+    /// Numerically integrated energy (rectangle rule over samples).
+    pub fn joules(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.sample_period
+    }
+
+    /// Trace duration covered by the samples.
+    pub fn seconds(&self) -> f64 {
+        self.samples.len() as f64 * self.sample_period
+    }
+
+    /// Peak sampled power.
+    pub fn peak_watts(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean sampled power.
+    pub fn mean_watts(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Renders a one-line-per-sample ASCII bar chart.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let peak = self.peak_watts().max(1e-9);
+        let mut out = String::new();
+        for (i, &w) in self.samples.iter().enumerate() {
+            let bars = ((w / peak) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{:>7.2}s {:>6.2}W |{}",
+                i as f64 * self.sample_period,
+                w,
+                "#".repeat(bars)
+            );
+        }
+        out
+    }
+}
+
+fn power_at(phases: &[PowerPhase], t: f64) -> f64 {
+    let mut acc = 0.0;
+    for p in phases {
+        if t < acc + p.seconds {
+            return p.watts;
+        }
+        acc += p.seconds;
+    }
+    phases.last().map(|p| p.watts).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_integrates_exactly() {
+        // Paper Test 1 software: 2.2 W x 3.3 s = 7.26 J.
+        let trace = PowerTrace::record(
+            &[PowerPhase { watts: 2.2, seconds: 3.3 }],
+            0.001,
+        );
+        assert!((trace.joules() - 7.26).abs() < 0.01, "{}", trace.joules());
+        assert!((trace.mean_watts() - 2.2).abs() < 1e-9);
+        assert_eq!(trace.peak_watts(), 2.2);
+    }
+
+    #[test]
+    fn two_phase_run_shows_the_step() {
+        // idle then hardware classification: the meter sees the step.
+        let phases = [
+            PowerPhase { watts: 1.45, seconds: 1.0 },
+            PowerPhase { watts: 4.21, seconds: 0.53 },
+        ];
+        let trace = PowerTrace::record(&phases, 0.01);
+        assert_eq!(trace.peak_watts(), 4.21);
+        let expect = 1.45 * 1.0 + 4.21 * 0.53;
+        assert!((trace.joules() - expect).abs() < 0.06, "{}", trace.joules());
+    }
+
+    #[test]
+    fn coarse_sampling_still_close() {
+        // The real logger samples every minute; relative error stays
+        // bounded by one sample of the final phase.
+        let phases = [PowerPhase { watts: 2.2, seconds: 2565.0 }];
+        let trace = PowerTrace::record(&phases, 60.0);
+        let exact = 2.2 * 2565.0;
+        assert!((trace.joules() - exact).abs() <= 2.2 * 60.0);
+    }
+
+    #[test]
+    fn trace_duration_covers_phases() {
+        let phases = [
+            PowerPhase { watts: 1.0, seconds: 0.25 },
+            PowerPhase { watts: 2.0, seconds: 0.25 },
+        ];
+        let trace = PowerTrace::record(&phases, 0.1);
+        assert!(trace.seconds() >= 0.5);
+        assert_eq!(trace.samples.len(), 5);
+    }
+
+    #[test]
+    fn render_has_one_row_per_sample() {
+        let trace = PowerTrace::record(&[PowerPhase { watts: 3.0, seconds: 0.5 }], 0.1);
+        let chart = trace.render(20);
+        assert_eq!(chart.lines().count(), trace.samples.len());
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        PowerTrace::record(&[PowerPhase { watts: 1.0, seconds: 1.0 }], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_phases_rejected() {
+        PowerTrace::record(&[], 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic weight initialization. The paper uses Torch-trained
+//! weights or, for Test 4, random weights; both flows start here.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::tensor4::Tensor4;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Initialization schemes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// Uniform over `[-a, a]`.
+    Uniform(f32),
+    /// Xavier/Glorot uniform: `a = sqrt(6 / (fan_in + fan_out))`.
+    Xavier {
+        /// Incoming connections per neuron.
+        fan_in: usize,
+        /// Outgoing connections per neuron.
+        fan_out: usize,
+    },
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    fn bound(self) -> f32 {
+        match self {
+            Init::Uniform(a) => a,
+            Init::Xavier { fan_in, fan_out } => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+            Init::Zeros => 0.0,
+        }
+    }
+
+    /// Fills a slice according to the scheme, drawing from `rng`.
+    pub fn fill(self, rng: &mut StdRng, out: &mut [f32]) {
+        let a = self.bound();
+        if a == 0.0 {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        let dist = Uniform::new_inclusive(-a, a);
+        for v in out {
+            *v = dist.sample(rng);
+        }
+    }
+}
+
+/// Deterministic RNG for a given seed; all workspace randomness flows
+/// through this constructor so tables regenerate identically.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Random kernel bank with the given scheme.
+pub fn init_kernels(rng: &mut StdRng, k: usize, c: usize, m: usize, n: usize, init: Init) -> Tensor4 {
+    let mut t = Tensor4::zeros(k, c, m, n);
+    init.fill(rng, t.as_mut_slice());
+    t
+}
+
+/// Random activation-shaped tensor.
+pub fn init_tensor(rng: &mut StdRng, shape: Shape, init: Init) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    init.fill(rng, t.as_mut_slice());
+    t
+}
+
+/// Random flat buffer (linear-layer weights, biases).
+pub fn init_vec(rng: &mut StdRng, len: usize, init: Init) -> Vec<f32> {
+    let mut v = vec![0.0; len];
+    init.fill(rng, &mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_weights() {
+        let mut r1 = seeded_rng(42);
+        let mut r2 = seeded_rng(42);
+        let a = init_vec(&mut r1, 64, Init::Uniform(0.5));
+        let b = init_vec(&mut r2, 64, Init::Uniform(0.5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_weights() {
+        let mut r1 = seeded_rng(1);
+        let mut r2 = seeded_rng(2);
+        let a = init_vec(&mut r1, 64, Init::Uniform(0.5));
+        let b = init_vec(&mut r2, 64, Init::Uniform(0.5));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = seeded_rng(7);
+        let v = init_vec(&mut rng, 1000, Init::Uniform(0.1));
+        assert!(v.iter().all(|&x| x.abs() <= 0.1));
+        // and actually uses the range
+        assert!(v.iter().any(|&x| x.abs() > 0.05));
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let init = Init::Xavier { fan_in: 25, fan_out: 25 };
+        assert!((init.bound() - (6.0f32 / 50.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = seeded_rng(3);
+        let v = init_vec(&mut rng, 16, Init::Zeros);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn kernel_and_tensor_shapes() {
+        let mut rng = seeded_rng(5);
+        let k = init_kernels(&mut rng, 6, 1, 5, 5, Init::Uniform(0.2));
+        assert_eq!(k.len(), 150);
+        let t = init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+        assert_eq!(t.len(), 256);
+    }
+
+    #[test]
+    fn uniform_roughly_centered() {
+        let mut rng = seeded_rng(11);
+        let v = init_vec(&mut rng, 10_000, Init::Uniform(1.0));
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+    }
+}

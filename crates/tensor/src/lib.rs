@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+
+//! # cnn-tensor
+//!
+//! Dense `f32` tensors in channel-major (CHW) layout plus the compute
+//! kernels a convolutional neural network needs: *valid* 2-D convolution
+//! (Eq. 1 of the paper), max/mean pooling (Eqs. 4–5), fully-connected
+//! products (Eq. 6), element-wise activations and (log-)softmax (Eq. 7).
+//!
+//! The crate is the lowest substrate of the `cnn2fpga` workspace: the
+//! software reference path (`cnn-nn`), the dataset generators
+//! (`cnn-datasets`) and the HLS cost models (`cnn-hls`) all build on the
+//! shapes and kernels defined here.
+//!
+//! ## Layout
+//!
+//! A [`Tensor`] owns a `Vec<f32>` interpreted as `[channels][height][width]`
+//! in row-major order — the same layout the generated C++ uses, so that the
+//! simulated IP core and the Rust reference produce bit-identical results.
+//!
+//! ## Example
+//!
+//! ```
+//! use cnn_tensor::{Tensor, Shape};
+//! use cnn_tensor::ops::conv::conv2d_valid;
+//! use cnn_tensor::Tensor4;
+//!
+//! let input = Tensor::ones(Shape::new(1, 16, 16));
+//! // six 5x5 kernels over one input channel
+//! let kernels = Tensor4::ones(6, 1, 5, 5);
+//! let bias = vec![0.0; 6];
+//! let out = conv2d_valid(&input, &kernels, &bias);
+//! assert_eq!(out.shape(), Shape::new(6, 12, 12)); // 16 - 5 + 1 = 12
+//! assert_eq!(out[(0, 0, 0)], 25.0);
+//! ```
+
+pub mod init;
+pub mod ops;
+pub mod parallel;
+pub mod shape;
+pub mod tensor;
+pub mod tensor4;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+pub use tensor4::Tensor4;
+
+/// Crate-wide absolute tolerance used by tests comparing float kernels.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts two float slices are element-wise close; used across the
+/// workspace's test suites.
+pub fn assert_slices_close(a: &[f32], b: &[f32], eps: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= eps,
+            "element {i} differs: {x} vs {y} (eps {eps})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_slices_close_passes_for_equal() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "element 1 differs")]
+    fn assert_slices_close_panics_on_mismatch() {
+        assert_slices_close(&[1.0, 2.0], &[1.0, 3.0], 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn assert_slices_close_panics_on_length() {
+        assert_slices_close(&[1.0], &[1.0, 2.0], 1e-6);
+    }
+}

@@ -1,0 +1,162 @@
+//! Element-wise nonlinearities. The paper's GUI offers the hyperbolic
+//! tangent after linear layers and mentions ReLU/sigmoid as alternatives
+//! (Section III-A); all three are implemented.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's default for linear layers).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* `y = f(x)` — the
+    /// form backpropagation uses.
+    #[inline]
+    pub fn derivative_from_output(self, y: f32) -> f32 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+        }
+    }
+
+    /// Applies the activation to a slice in place.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for v in xs {
+            *v = self.apply(*v);
+        }
+    }
+
+    /// Name as it appears in generated C++ and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Sigmoid => "sigmoid",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tanh_fixed_points() {
+        assert_eq!(Activation::Tanh.apply(0.0), 0.0);
+        assert!((Activation::Tanh.apply(1.0) - 0.761_594).abs() < 1e-5);
+        assert!(Activation::Tanh.apply(20.0) > 0.9999);
+        assert!(Activation::Tanh.apply(-20.0) < -0.9999);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(0.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_fixed_points() {
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+        assert!(Activation::Sigmoid.apply(10.0) > 0.9999);
+        assert!(Activation::Sigmoid.apply(-10.0) < 0.0001);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut xs = [-2.0, -0.5, 0.0, 0.5, 2.0];
+        let expect: Vec<f32> = xs.iter().map(|&v| Activation::Tanh.apply(v)).collect();
+        Activation::Tanh.apply_slice(&mut xs);
+        assert_eq!(xs.to_vec(), expect);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Activation::Tanh.name(), "tanh");
+        assert_eq!(Activation::Relu.name(), "relu");
+        assert_eq!(Activation::Sigmoid.name(), "sigmoid");
+    }
+
+    #[test]
+    fn serde_snake_case() {
+        assert_eq!(serde_json::to_string(&Activation::Tanh).unwrap(), "\"tanh\"");
+        assert_eq!(
+            serde_json::from_str::<Activation>("\"relu\"").unwrap(),
+            Activation::Relu
+        );
+    }
+
+    #[test]
+    fn derivative_hand_values() {
+        // tanh'(0) = 1, sigmoid'(0) = 0.25 (as functions of output)
+        assert_eq!(Activation::Tanh.derivative_from_output(0.0), 1.0);
+        assert_eq!(Activation::Sigmoid.derivative_from_output(0.5), 0.25);
+        assert_eq!(Activation::Relu.derivative_from_output(3.0), 1.0);
+        assert_eq!(Activation::Relu.derivative_from_output(0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn tanh_is_odd_and_bounded(x in -50.0f32..50.0) {
+            let f = Activation::Tanh;
+            prop_assert!((f.apply(x) + f.apply(-x)).abs() < 1e-5);
+            prop_assert!(f.apply(x).abs() <= 1.0);
+        }
+
+        #[test]
+        fn sigmoid_in_unit_interval(x in -50.0f32..50.0) {
+            let y = Activation::Sigmoid.apply(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn all_activations_monotone(x in -20.0f32..20.0, dx in 0.001f32..5.0) {
+            for f in [Activation::Tanh, Activation::Relu, Activation::Sigmoid] {
+                prop_assert!(f.apply(x + dx) + 1e-6 >= f.apply(x), "{f:?} not monotone");
+            }
+        }
+
+        #[test]
+        fn derivative_from_output_consistent_with_finite_diff(x in -3.0f32..3.0) {
+            let h = 1e-3f32;
+            for f in [Activation::Tanh, Activation::Sigmoid] {
+                let y = f.apply(x);
+                let fd = (f.apply(x + h) - f.apply(x - h)) / (2.0 * h);
+                let an = f.derivative_from_output(y);
+                prop_assert!((fd - an).abs() < 1e-2, "{f:?}: fd {fd} vs an {an}");
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Multi-channel *valid* 2-D convolution — Eq. (1) of the paper:
+//!
+//! ```text
+//! o[k, i, j] = sum_c sum_m sum_n ( w[k, c, m, n] * x[c, i+m, j+n] ) + b[k]
+//! ```
+//!
+//! Two implementations are provided:
+//!
+//! * [`conv2d_valid`] — the direct loop nest, a literal transcription of
+//!   the C++ the framework generates (and of the loop-nest IR the HLS
+//!   scheduler costs). This is the *reference*.
+//! * [`conv2d_im2col`] — an im2col + matrix-product fast path used by the
+//!   software baseline for larger layers. Tests assert both agree.
+
+use crate::ops::im2col::im2col_valid;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::tensor4::Tensor4;
+
+/// Validates that `kernels`/`bias` are compatible with `input` and
+/// returns the output shape. Panics with a descriptive message otherwise.
+fn conv_shapes(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Shape {
+    let ishape = input.shape();
+    assert_eq!(
+        kernels.channels(),
+        ishape.c,
+        "kernel channels {} != input channels {}",
+        kernels.channels(),
+        ishape.c
+    );
+    assert_eq!(
+        bias.len(),
+        kernels.kernels(),
+        "bias length {} != kernel count {}",
+        bias.len(),
+        kernels.kernels()
+    );
+    ishape
+        .conv_output(kernels.kernels(), kernels.kh(), kernels.kw())
+        .unwrap_or_else(|| {
+            panic!(
+                "kernel {}x{} does not fit input {ishape}",
+                kernels.kh(),
+                kernels.kw()
+            )
+        })
+}
+
+/// Direct valid convolution (Eq. 1). Accumulation order is
+/// channel-major then row-major over the kernel window — identical to
+/// the generated C++ — so results are bit-exact across the software and
+/// simulated-hardware paths.
+#[allow(clippy::needless_range_loop)] // the nest mirrors the generated C++
+pub fn conv2d_valid(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
+    let oshape = conv_shapes(input, kernels, bias);
+    let ishape = input.shape();
+    let (kh, kw) = (kernels.kh(), kernels.kw());
+    let mut out = Tensor::zeros(oshape);
+
+    for k in 0..oshape.c {
+        let b = bias[k];
+        for oy in 0..oshape.h {
+            for ox in 0..oshape.w {
+                let mut acc = b;
+                for c in 0..ishape.c {
+                    let win = kernels.window(k, c);
+                    let chan = input.channel(c);
+                    for m in 0..kh {
+                        let row = &chan[(oy + m) * ishape.w + ox..(oy + m) * ishape.w + ox + kw];
+                        let wrow = &win[m * kw..m * kw + kw];
+                        for n in 0..kw {
+                            acc += wrow[n] * row[n];
+                        }
+                    }
+                }
+                out.set(k, oy, ox, acc);
+            }
+        }
+    }
+    out
+}
+
+/// im2col + GEMM convolution. Mathematically identical to
+/// [`conv2d_valid`] up to float reassociation; used by the software
+/// baseline where the column matrix amortizes well.
+#[allow(clippy::needless_range_loop)]
+pub fn conv2d_im2col(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
+    let oshape = conv_shapes(input, kernels, bias);
+    let cols = im2col_valid(input, kernels.kh(), kernels.kw());
+    // cols: (C*kh*kw) rows x (oh*ow) columns, row-major.
+    let kdim = kernels.channels() * kernels.kh() * kernels.kw();
+    let spatial = oshape.h * oshape.w;
+    let mut out = Tensor::zeros(oshape);
+
+    for k in 0..oshape.c {
+        let wrow = &kernels.as_slice()[k * kdim..(k + 1) * kdim];
+        let orow = out.channel_mut(k);
+        orow.iter_mut().for_each(|v| *v = bias[k]);
+        for (ki, &wv) in wrow.iter().enumerate() {
+            if wv == 0.0 {
+                continue;
+            }
+            let crow = &cols[ki * spatial..(ki + 1) * spatial];
+            for (o, &cv) in orow.iter_mut().zip(crow.iter()) {
+                *o += wv * cv;
+            }
+        }
+    }
+    out
+}
+
+/// Number of multiply–accumulate operations a valid convolution
+/// performs; the analytic cost models in `cnn-hls` and `cnn-platform`
+/// are built on this count.
+pub fn conv2d_macs(input: Shape, k: usize, kh: usize, kw: usize) -> Option<u64> {
+    let o = input.conv_output(k, kh, kw)?;
+    Some((o.c as u64) * (o.h as u64) * (o.w as u64) * (input.c as u64) * (kh as u64) * (kw as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_slices_close;
+    use proptest::prelude::*;
+    use rand::Rng as _;
+    use rand::SeedableRng as _;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel with weight 1 and zero bias reproduces the input.
+        let input = Tensor::from_fn(Shape::new(1, 3, 3), |_, y, x| (y * 3 + x) as f32);
+        let k = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        let out = conv2d_valid(&input, &k, &[0.0]);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn bias_only_with_zero_weights() {
+        let input = Tensor::ones(Shape::new(2, 4, 4));
+        let k = Tensor4::zeros(3, 2, 2, 2);
+        let out = conv2d_valid(&input, &k, &[1.0, 2.0, 3.0]);
+        assert_eq!(out.shape(), Shape::new(3, 3, 3));
+        assert!(out.channel(0).iter().all(|&v| v == 1.0));
+        assert!(out.channel(1).iter().all(|&v| v == 2.0));
+        assert!(out.channel(2).iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn hand_computed_2x2_example() {
+        // input 1x3x3 = [[1,2,3],[4,5,6],[7,8,9]], kernel [[1,0],[0,1]], bias 0.5
+        let input = Tensor::from_vec(
+            Shape::new(1, 3, 3),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let k = Tensor4::from_vec(1, 1, 2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let out = conv2d_valid(&input, &k, &[0.5]);
+        // o[0,0] = 1+5+0.5, o[0,1] = 2+6+0.5, o[1,0] = 4+8+0.5, o[1,1] = 5+9+0.5
+        assert_eq!(out.as_slice(), &[6.5, 8.5, 12.5, 14.5]);
+    }
+
+    #[test]
+    fn multi_channel_sums_over_channels() {
+        let input = Tensor::from_fn(Shape::new(2, 2, 2), |c, _, _| (c + 1) as f32);
+        let k = Tensor4::ones(1, 2, 2, 2);
+        let out = conv2d_valid(&input, &k, &[0.0]);
+        // channel 0 contributes 4*1, channel 1 contributes 4*2 => 12
+        assert_eq!(out.as_slice(), &[12.0]);
+    }
+
+    #[test]
+    fn sum_kernel_equals_windowed_sums() {
+        let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, y, x| (y * 4 + x) as f32);
+        let k = Tensor4::ones(1, 1, 3, 3);
+        let out = conv2d_valid(&input, &k, &[0.0]);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        // sum of 3x3 window at (0,0): 0+1+2+4+5+6+8+9+10 = 45
+        assert_eq!(out[(0, 0, 0)], 45.0);
+        assert_eq!(out[(0, 0, 1)], 54.0);
+        assert_eq!(out[(0, 1, 0)], 81.0);
+        assert_eq!(out[(0, 1, 1)], 90.0);
+    }
+
+    #[test]
+    fn paper_test1_shape() {
+        let input = Tensor::zeros(Shape::new(1, 16, 16));
+        let k = Tensor4::zeros(6, 1, 5, 5);
+        let out = conv2d_valid(&input, &k, &[0.0; 6]);
+        assert_eq!(out.shape(), Shape::new(6, 12, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel channels")]
+    fn channel_mismatch_panics() {
+        let input = Tensor::zeros(Shape::new(2, 4, 4));
+        let k = Tensor4::zeros(1, 3, 2, 2);
+        conv2d_valid(&input, &k, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn bias_mismatch_panics() {
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        let k = Tensor4::zeros(2, 1, 2, 2);
+        conv2d_valid(&input, &k, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_panics() {
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        let k = Tensor4::zeros(1, 1, 5, 5);
+        conv2d_valid(&input, &k, &[0.0]);
+    }
+
+    #[test]
+    fn macs_test1_conv() {
+        // 6 kernels 5x5 on 1x16x16 -> 6*12*12*1*5*5 = 21600
+        assert_eq!(conv2d_macs(Shape::new(1, 16, 16), 6, 5, 5), Some(21_600));
+    }
+
+    #[test]
+    fn macs_none_when_kernel_too_big() {
+        assert_eq!(conv2d_macs(Shape::new(1, 4, 4), 1, 5, 5), None);
+    }
+
+    fn random_case(
+        seed: u64,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        kh: usize,
+        kw: usize,
+    ) -> (Tensor, Tensor4, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let input = Tensor::from_fn(Shape::new(c, h, w), |_, _, _| rng.gen_range(-1.0..1.0));
+        let kern = Tensor4::from_fn(k, c, kh, kw, |_, _, _, _| rng.gen_range(-1.0..1.0));
+        let bias: Vec<f32> = (0..k).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        (input, kern, bias)
+    }
+
+    #[test]
+    fn im2col_path_matches_direct() {
+        let (input, kern, bias) = random_case(7, 3, 10, 11, 4, 3, 5);
+        let a = conv2d_valid(&input, &kern, &bias);
+        let b = conv2d_im2col(&input, &kern, &bias);
+        assert_eq!(a.shape(), b.shape());
+        assert_slices_close(a.as_slice(), b.as_slice(), 1e-4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn direct_and_im2col_agree(
+            seed in 0u64..1000,
+            c in 1usize..4, k in 1usize..5,
+            h in 4usize..10, w in 4usize..10,
+            kh in 1usize..4, kw in 1usize..4,
+        ) {
+            let (input, kern, bias) = random_case(seed, c, h, w, k, kh, kw);
+            let a = conv2d_valid(&input, &kern, &bias);
+            let b = conv2d_im2col(&input, &kern, &bias);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn conv_is_linear_in_input(seed in 0u64..1000) {
+            // conv(2*x) == 2*conv(x) when bias is zero
+            let (input, kern, _) = random_case(seed, 2, 6, 6, 3, 3, 3);
+            let zero_bias = vec![0.0; 3];
+            let doubled = input.map(|v| v * 2.0);
+            let a = conv2d_valid(&doubled, &kern, &zero_bias);
+            let mut b = conv2d_valid(&input, &kern, &zero_bias);
+            b.scale(2.0);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn conv_output_bounded_by_l1(seed in 0u64..200) {
+            // |o| <= |b| + sum |w| * max|x|
+            let (input, kern, bias) = random_case(seed, 2, 6, 6, 2, 3, 3);
+            let out = conv2d_valid(&input, &kern, &bias);
+            let max_in = input.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            for k in 0..2 {
+                let wl1: f32 = kern.as_slice()
+                    [k * kern.channels() * 9..(k + 1) * kern.channels() * 9]
+                    .iter().map(|v| v.abs()).sum();
+                let bound = bias[k].abs() + wl1 * max_in + 1e-3;
+                for &v in out.channel(k) {
+                    prop_assert!(v.abs() <= bound, "{v} > {bound}");
+                }
+            }
+        }
+    }
+}

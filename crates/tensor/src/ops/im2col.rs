@@ -1,0 +1,98 @@
+//! im2col lowering: unrolls every valid convolution window into a
+//! column so convolution becomes a dense matrix product.
+
+use crate::tensor::Tensor;
+
+/// Builds the column matrix for a *valid* convolution with a `kh`×`kw`
+/// window, returned row-major as `(C*kh*kw) x (oh*ow)`:
+/// row `((c*kh)+m)*kw+n`, column `oy*ow+ox` holds `x[c, oy+m, ox+n]`.
+pub fn im2col_valid(input: &Tensor, kh: usize, kw: usize) -> Vec<f32> {
+    let s = input.shape();
+    assert!(kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w, "window {kh}x{kw} does not fit {s}");
+    let oh = s.h - kh + 1;
+    let ow = s.w - kw + 1;
+    let spatial = oh * ow;
+    let mut cols = vec![0.0f32; s.c * kh * kw * spatial];
+
+    for c in 0..s.c {
+        let chan = input.channel(c);
+        for m in 0..kh {
+            for n in 0..kw {
+                let row_idx = (c * kh + m) * kw + n;
+                let dst = &mut cols[row_idx * spatial..(row_idx + 1) * spatial];
+                for oy in 0..oh {
+                    let src = &chan[(oy + m) * s.w + n..(oy + m) * s.w + n + ow];
+                    dst[oy * ow..(oy + 1) * ow].copy_from_slice(src);
+                }
+            }
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_by_one_window_is_identity() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 3), |c, y, x| (c * 10 + y * 3 + x) as f32);
+        let cols = im2col_valid(&t, 1, 1);
+        assert_eq!(cols.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn window_extraction_2x2() {
+        // 1x3x3 input, 2x2 windows: 4 rows x 4 cols
+        let t = Tensor::from_vec(
+            Shape::new(1, 3, 3),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        );
+        let cols = im2col_valid(&t, 2, 2);
+        assert_eq!(cols.len(), 16);
+        // row 0 = x[0, oy+0, ox+0] = top-left of each window: 1,2,4,5
+        assert_eq!(&cols[0..4], &[1.0, 2.0, 4.0, 5.0]);
+        // row 3 = x[0, oy+1, ox+1] = bottom-right of each window: 5,6,8,9
+        assert_eq!(&cols[12..16], &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_window_panics() {
+        let t = Tensor::zeros(Shape::new(1, 2, 2));
+        im2col_valid(&t, 3, 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn every_entry_matches_definition(
+            c in 1usize..3, h in 2usize..7, w in 2usize..7,
+            kh in 1usize..3, kw in 1usize..3,
+        ) {
+            prop_assume!(kh <= h && kw <= w);
+            let t = Tensor::from_fn(Shape::new(c, h, w), |ci, y, x| (ci * h * w + y * w + x) as f32);
+            let cols = im2col_valid(&t, kh, kw);
+            let oh = h - kh + 1;
+            let ow = w - kw + 1;
+            for ci in 0..c {
+                for m in 0..kh {
+                    for n in 0..kw {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let row = (ci * kh + m) * kw + n;
+                                let col = oy * ow + ox;
+                                prop_assert_eq!(
+                                    cols[row * oh * ow + col],
+                                    t.get(ci, oy + m, ox + n)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Linear (perceptron) layers — Eq. (6) of the paper:
+//!
+//! ```text
+//! o[j] = sum_i ( w[j][i] * x[i] ) + b[j]
+//! ```
+
+/// Dense matrix–vector product with bias: `out[j] = W[j]·x + b[j]`.
+///
+/// `weights` is row-major `(outputs x inputs)`; the accumulation order
+/// matches the generated C++ inner loop (ascending `i`).
+pub fn linear(input: &[f32], weights: &[f32], bias: &[f32], out: &mut [f32]) {
+    let (ni, no) = (input.len(), out.len());
+    assert_eq!(
+        weights.len(),
+        ni * no,
+        "weight matrix {} != outputs {no} x inputs {ni}",
+        weights.len()
+    );
+    assert_eq!(bias.len(), no, "bias length {} != outputs {no}", bias.len());
+
+    for (j, o) in out.iter_mut().enumerate() {
+        let row = &weights[j * ni..(j + 1) * ni];
+        let mut acc = bias[j];
+        for (w, x) in row.iter().zip(input.iter()) {
+            acc += w * x;
+        }
+        *o = acc;
+    }
+}
+
+/// Allocating convenience wrapper around [`linear`].
+pub fn linear_vec(input: &[f32], weights: &[f32], bias: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; bias.len()];
+    linear(input, weights, bias, &mut out);
+    out
+}
+
+/// MAC count for a linear layer (used by the cost models).
+pub fn linear_macs(inputs: usize, outputs: usize) -> u64 {
+    inputs as u64 * outputs as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_matrix_passes_through() {
+        let x = [1.0, 2.0, 3.0];
+        let w = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let b = [0.0; 3];
+        assert_eq!(linear_vec(&x, &w, &b), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn hand_example() {
+        // o0 = 1*1 + 2*2 + 10 = 15, o1 = 3*1 + 4*2 + 20 = 31
+        let x = [1.0, 2.0];
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0];
+        assert_eq!(linear_vec(&x, &w, &b), vec![15.0, 31.0]);
+    }
+
+    #[test]
+    fn zero_weights_return_bias() {
+        let x = [5.0; 7];
+        let w = [0.0; 21];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(linear_vec(&x, &w, &b), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight matrix")]
+    fn weight_size_checked() {
+        let mut out = [0.0; 2];
+        linear(&[1.0, 2.0], &[1.0; 3], &[0.0; 2], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias length")]
+    fn bias_size_checked() {
+        let mut out = [0.0; 2];
+        linear(&[1.0, 2.0], &[1.0; 4], &[0.0; 3], &mut out);
+    }
+
+    #[test]
+    fn macs_paper_test1_linear() {
+        // Test 1 linear layer: 6*6*6 = 216 inputs, 10 neurons -> 2160 MACs
+        assert_eq!(linear_macs(216, 10), 2160);
+    }
+
+    proptest! {
+        #[test]
+        fn linearity_in_input(
+            x in proptest::collection::vec(-10.0f32..10.0, 1..16),
+            scale in -4.0f32..4.0,
+        ) {
+            let ni = x.len();
+            let no = 3usize;
+            let w: Vec<f32> = (0..ni * no).map(|i| ((i % 7) as f32 - 3.0) * 0.25).collect();
+            let b = vec![0.0; no];
+            let scaled: Vec<f32> = x.iter().map(|v| v * scale).collect();
+            let a = linear_vec(&scaled, &w, &b);
+            let mut c = linear_vec(&x, &w, &b);
+            c.iter_mut().for_each(|v| *v *= scale);
+            for (p, q) in a.iter().zip(c.iter()) {
+                prop_assert!((p - q).abs() < 1e-2, "{p} vs {q}");
+            }
+        }
+
+        #[test]
+        fn bias_shifts_output(
+            x in proptest::collection::vec(-10.0f32..10.0, 1..16),
+            shift in -5.0f32..5.0,
+        ) {
+            let ni = x.len();
+            let w: Vec<f32> = (0..ni * 2).map(|i| (i as f32 * 0.1).sin()).collect();
+            let b0 = vec![0.0; 2];
+            let b1 = vec![shift; 2];
+            let a = linear_vec(&x, &w, &b0);
+            let c = linear_vec(&x, &w, &b1);
+            for (p, q) in a.iter().zip(c.iter()) {
+                prop_assert!((q - p - shift).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! CNN compute kernels: the straight-line implementations of the
+//! paper's Eqs. (1)–(7).
+//!
+//! Each submodule implements one layer family:
+//!
+//! * [`conv`] — multi-channel *valid* 2-D convolution (Eq. 1) plus an
+//!   im2col + GEMM fast path used for larger layers,
+//! * [`pool`] — max- and mean-pooling with an explicit stride (Eqs. 4–5),
+//! * [`linear`] — fully-connected weighted sums (Eq. 6),
+//! * [`activation`] — tanh / ReLU / sigmoid element-wise nonlinearities,
+//! * [`softmax`] — softmax and LogSoftMax normalization (Eq. 7), with an
+//!   HLS-style polynomial `exp` used to validate argmax invariance.
+
+pub mod activation;
+pub mod conv;
+pub mod im2col;
+pub mod linear;
+pub mod pool;
+pub mod softmax;

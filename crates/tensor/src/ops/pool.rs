@@ -1,0 +1,223 @@
+//! Sub-sampling layers — Eqs. (4)–(5): max-pooling (the paper's default)
+//! and mean-pooling (listed in the paper's future work; implemented here).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Pooling operator selection. The paper's GUI exposes Max-pooling;
+/// Mean-pooling is the announced extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PoolKind {
+    /// Maximum over each window.
+    Max,
+    /// Arithmetic mean over each window.
+    Mean,
+}
+
+fn pool_shape(input: &Tensor, kh: usize, kw: usize, step: usize) -> Shape {
+    input
+        .shape()
+        .pool_output(kh, kw, step)
+        .unwrap_or_else(|| {
+            panic!(
+                "pooling window {kh}x{kw} stride {step} invalid for input {}",
+                input.shape()
+            )
+        })
+}
+
+/// Max-pooling with window `kh`×`kw` and stride `step`.
+pub fn max_pool(input: &Tensor, kh: usize, kw: usize, step: usize) -> Tensor {
+    pool(input, kh, kw, step, PoolKind::Max)
+}
+
+/// Mean-pooling with window `kh`×`kw` and stride `step`.
+pub fn mean_pool(input: &Tensor, kh: usize, kw: usize, step: usize) -> Tensor {
+    pool(input, kh, kw, step, PoolKind::Mean)
+}
+
+/// Generic pooling entry point.
+pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -> Tensor {
+    let oshape = pool_shape(input, kh, kw, step);
+    let ishape = input.shape();
+    let mut out = Tensor::zeros(oshape);
+    let inv_area = 1.0 / (kh * kw) as f32;
+
+    for c in 0..oshape.c {
+        let chan = input.channel(c);
+        for oy in 0..oshape.h {
+            for ox in 0..oshape.w {
+                let (y0, x0) = (oy * step, ox * step);
+                let v = match kind {
+                    PoolKind::Max => {
+                        let mut best = f32::NEG_INFINITY;
+                        for m in 0..kh {
+                            let row = &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            for &rv in row {
+                                if rv > best {
+                                    best = rv;
+                                }
+                            }
+                        }
+                        best
+                    }
+                    PoolKind::Mean => {
+                        let mut acc = 0.0f32;
+                        for m in 0..kh {
+                            let row = &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            for &rv in row {
+                                acc += rv;
+                            }
+                        }
+                        acc * inv_area
+                    }
+                };
+                out.set(c, oy, ox, v);
+            }
+        }
+    }
+    out
+}
+
+/// Pooling also has an op-count used by the cost models: comparisons for
+/// max, additions for mean — one per window element per output point.
+pub fn pool_ops(input: Shape, kh: usize, kw: usize, step: usize) -> Option<u64> {
+    let o = input.pool_output(kh, kw, step)?;
+    Some((o.c as u64) * (o.h as u64) * (o.w as u64) * (kh as u64) * (kw as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::Rng as _;
+    use rand::SeedableRng as _;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn max_pool_2x2_stride2_hand_example() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 4, 4),
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let out = max_pool(&t, 2, 2, 2);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn mean_pool_2x2_stride2_hand_example() {
+        let t = Tensor::from_vec(
+            Shape::new(1, 2, 4),
+            vec![1.0, 3.0, 5.0, 7.0, 2.0, 4.0, 6.0, 8.0],
+        );
+        let out = mean_pool(&t, 2, 2, 2);
+        assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        assert_eq!(out.as_slice(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn overlapping_windows_stride1() {
+        let t = Tensor::from_vec(Shape::new(1, 1, 4), vec![1.0, 5.0, 2.0, 4.0]);
+        let out = max_pool(&t, 1, 2, 1);
+        assert_eq!(out.shape(), Shape::new(1, 1, 3));
+        assert_eq!(out.as_slice(), &[5.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn pooling_is_per_channel() {
+        let t = Tensor::from_fn(Shape::new(2, 2, 2), |c, y, x| (c * 100 + y * 2 + x) as f32);
+        let out = max_pool(&t, 2, 2, 2);
+        assert_eq!(out.shape(), Shape::new(2, 1, 1));
+        assert_eq!(out.as_slice(), &[3.0, 103.0]);
+    }
+
+    #[test]
+    fn max_pool_handles_negatives() {
+        let t = Tensor::from_vec(Shape::new(1, 2, 2), vec![-4.0, -1.0, -3.0, -2.0]);
+        let out = max_pool(&t, 2, 2, 2);
+        assert_eq!(out.as_slice(), &[-1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for input")]
+    fn zero_stride_panics() {
+        let t = Tensor::zeros(Shape::new(1, 4, 4));
+        max_pool(&t, 2, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for input")]
+    fn oversized_window_panics() {
+        let t = Tensor::zeros(Shape::new(1, 2, 2));
+        mean_pool(&t, 3, 3, 1);
+    }
+
+    #[test]
+    fn pool_ops_test1() {
+        // 6x12x12 input, 2x2 stride-2 -> 6*6*6 outputs * 4 window elems = 864
+        assert_eq!(pool_ops(Shape::new(6, 12, 12), 2, 2, 2), Some(864 * 6 / 6));
+        assert_eq!(pool_ops(Shape::new(6, 12, 12), 2, 2, 2), Some(6 * 6 * 6 * 4));
+    }
+
+    #[test]
+    fn pool_kind_serde_snake_case() {
+        assert_eq!(serde_json::to_string(&PoolKind::Max).unwrap(), "\"max\"");
+        assert_eq!(
+            serde_json::from_str::<PoolKind>("\"mean\"").unwrap(),
+            PoolKind::Mean
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn max_pool_dominates_mean_pool(
+            seed in 0u64..500, c in 1usize..3, h in 2usize..8, w in 2usize..8,
+            k in 1usize..3, step in 1usize..3,
+        ) {
+            prop_assume!(k <= h && k <= w);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::from_fn(Shape::new(c, h, w), |_, _, _| rng.gen_range(-10.0..10.0));
+            let mx = max_pool(&t, k, k, step);
+            let mn = mean_pool(&t, k, k, step);
+            for (a, b) in mx.as_slice().iter().zip(mn.as_slice()) {
+                prop_assert!(a + 1e-4 >= *b, "max {a} < mean {b}");
+            }
+        }
+
+        #[test]
+        fn max_pool_outputs_are_input_elements(
+            seed in 0u64..500, h in 2usize..8, w in 2usize..8, k in 1usize..3,
+        ) {
+            prop_assume!(k <= h && k <= w);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::from_fn(Shape::new(1, h, w), |_, _, _| rng.gen_range(-10.0..10.0));
+            let out = max_pool(&t, k, k, k);
+            for &v in out.as_slice() {
+                prop_assert!(t.as_slice().contains(&v));
+            }
+        }
+
+        #[test]
+        fn pooling_bounded_by_input_range(
+            seed in 0u64..500, h in 2usize..8, w in 2usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::from_fn(Shape::new(1, h, w), |_, _, _| rng.gen_range(-10.0..10.0));
+            let (lo, hi) = (t.min(), t.max());
+            for kind in [PoolKind::Max, PoolKind::Mean] {
+                let out = pool(&t, 2.min(h), 2.min(w), 1, kind);
+                for &v in out.as_slice() {
+                    prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Softmax / LogSoftMax — Eq. (7) of the paper:
+//!
+//! ```text
+//! sigma(z)_j = exp(z_j) / sum_k exp(z_k)
+//! ```
+//!
+//! The paper's generated C++ appends a LogSoftMax block and then takes
+//! the argmax as the predicted class. Section V-A notes that hardware
+//! and software implementations of `exp`/`log` *could* differ and change
+//! the output; [`exp_hls`] models the polynomial approximation an HLS
+//! math library would synthesize, and tests assert the classification
+//! (argmax) is invariant under it.
+
+/// Numerically-stable softmax: subtracts the max before exponentiating.
+pub fn softmax(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "softmax of empty vector");
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Numerically-stable LogSoftMax: `z_j - m - ln(sum_k exp(z_k - m))`.
+pub fn log_softmax(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "log_softmax of empty vector");
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse: f32 = z.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+    z.iter().map(|&v| v - m - lse).collect()
+}
+
+/// Degree-6 Taylor/Horner `exp` approximation with range reduction by
+/// powers of two — the structure a Vivado HLS `expf` core uses. Accurate
+/// to ~1e-5 relative error on |x| ≤ 30.
+pub fn exp_hls(x: f32) -> f32 {
+    // Range-reduce: x = k*ln2 + r with |r| <= ln2/2, exp(x) = 2^k * exp(r).
+    const LN2: f32 = std::f32::consts::LN_2;
+    if x > 88.0 {
+        return f32::INFINITY;
+    }
+    if x < -87.0 {
+        return 0.0;
+    }
+    let k = (x / LN2).round();
+    let r = x - k * LN2;
+    // Horner-form degree-6 polynomial for exp(r).
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0 + r * (1.0 / 720.0))))));
+    p * (2.0f32).powi(k as i32)
+}
+
+/// LogSoftMax evaluated with the HLS-style [`exp_hls`] approximation —
+/// the "hardware math" variant used in argmax-invariance tests.
+pub fn log_softmax_hls(z: &[f32]) -> Vec<f32> {
+    assert!(!z.is_empty(), "log_softmax of empty vector");
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse: f32 = z.iter().map(|&v| exp_hls(v - m)).sum::<f32>().ln();
+    z.iter().map(|&v| v - m - lse).collect()
+}
+
+/// Index of the maximum element; ties resolve to the first maximum —
+/// the predicted class of the generated network.
+pub fn argmax(z: &[f32]) -> usize {
+    assert!(!z.is_empty(), "argmax of empty vector");
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in z.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let s: f32 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_inputs() {
+        let p = softmax(&[4.0; 5]);
+        for &v in &p {
+            assert!((v - 0.2).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let z = [0.3, -1.2, 2.5, 0.0];
+        let ls = log_softmax(&z);
+        let p = softmax(&z);
+        for (a, b) in ls.iter().zip(p.iter()) {
+            assert!((a - b.ln()).abs() < 1e-5, "{a} vs {}", b.ln());
+        }
+    }
+
+    #[test]
+    fn log_softmax_all_nonpositive() {
+        let ls = log_softmax(&[5.0, -3.0, 0.7]);
+        assert!(ls.iter().all(|&v| v <= 1e-6));
+    }
+
+    #[test]
+    fn exp_hls_matches_libm() {
+        for x in [-30.0f32, -5.0, -1.0, -0.1, 0.0, 0.1, 1.0, 5.0, 30.0] {
+            let a = exp_hls(x);
+            let b = x.exp();
+            assert!(
+                (a - b).abs() <= 1e-4 * b.max(1e-10),
+                "exp_hls({x}) = {a}, libm = {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_hls_saturates() {
+        assert_eq!(exp_hls(-100.0), 0.0);
+        assert!(exp_hls(100.0).is_infinite());
+    }
+
+    #[test]
+    fn argmax_basic_and_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[3.0, 3.0, 2.0]), 0);
+        assert_eq!(argmax(&[-1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn softmax_empty_panics() {
+        softmax(&[]);
+    }
+
+    #[test]
+    fn hls_log_softmax_close_to_reference() {
+        let z = [0.3, -1.2, 2.5, 0.0, 7.7];
+        let a = log_softmax(&z);
+        let b = log_softmax_hls(&z);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_probabilities_valid(z in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+            let p = softmax(&z);
+            let s: f32 = p.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+
+        #[test]
+        fn softmax_invariant_to_shift(z in proptest::collection::vec(-10.0f32..10.0, 2..8), shift in -20.0f32..20.0) {
+            let shifted: Vec<f32> = z.iter().map(|v| v + shift).collect();
+            let a = softmax(&z);
+            let b = softmax(&shifted);
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn log_softmax_preserves_argmax(z in proptest::collection::vec(-20.0f32..20.0, 1..12)) {
+            prop_assert_eq!(argmax(&z), argmax(&log_softmax(&z)));
+        }
+
+        /// The paper's Section V-A observation, verified as a property:
+        /// replacing exp with the HLS polynomial does not change the
+        /// predicted class when the top-2 margin is not degenerate.
+        #[test]
+        fn argmax_invariant_under_hls_exp(z in proptest::collection::vec(-20.0f32..20.0, 2..12)) {
+            let mut sorted = z.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            prop_assume!(sorted[0] - sorted[1] > 1e-3);
+            prop_assert_eq!(argmax(&log_softmax(&z)), argmax(&log_softmax_hls(&z)));
+        }
+
+        #[test]
+        fn exp_hls_relative_error_small(x in -30.0f32..30.0) {
+            let a = exp_hls(x);
+            let b = x.exp();
+            prop_assert!((a - b).abs() <= 2e-4 * b.max(1e-10), "exp_hls({x})={a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Rayon helpers for batch work: classifying the paper's 1000/10000
+//! image test sets in parallel while keeping per-image results ordered.
+
+use rayon::prelude::*;
+
+/// Maps `f` over `items` in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync + Send,
+{
+    items.par_iter().map(f).collect()
+}
+
+/// Counts the items for which `pred` holds, in parallel.
+pub fn par_count<T, F>(items: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync + Send,
+{
+    items.par_iter().filter(|it| pred(it)).count()
+}
+
+/// Parallel sum of a per-item metric (e.g. per-image cycle counts).
+pub fn par_sum_u64<T, F>(items: &[T], f: F) -> u64
+where
+    T: Sync,
+    F: Fn(&T) -> u64 + Sync + Send,
+{
+    items.par_iter().map(f).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let ys = par_map(&xs, |&x| x * 2);
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_count_matches_sequential() {
+        let xs: Vec<i32> = (-500..500).collect();
+        assert_eq!(par_count(&xs, |&x| x >= 0), 500);
+    }
+
+    #[test]
+    fn par_sum_matches_sequential() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(par_sum_u64(&xs, |&x| x), 5050);
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let xs: Vec<u32> = vec![];
+        let ys: Vec<u32> = par_map(&xs, |&x| x);
+        assert!(ys.is_empty());
+    }
+}

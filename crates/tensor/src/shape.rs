@@ -1,0 +1,225 @@
+//! Tensor shapes and the dimension arithmetic of the paper's Eqs. (2)–(5).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Shape of a 3-D activation tensor in `(channels, height, width)` order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    /// Number of channels (feature maps).
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape. All dimensions must be non-zero.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "zero-sized shape {c}x{h}x{w}");
+        Shape { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Shapes are never empty (enforced in [`Shape::new`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of `(c, y, x)` in CHW row-major layout.
+    #[inline(always)]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+
+    /// Output shape of a *valid* convolution with `k` kernels of
+    /// `kh`×`kw`, per Eqs. (2)–(3):
+    /// `width_new = width_old − width_kernel + 1` (and likewise height).
+    ///
+    /// Returns `None` when the kernel does not fit the input.
+    pub fn conv_output(&self, k: usize, kh: usize, kw: usize) -> Option<Shape> {
+        if kh == 0 || kw == 0 || k == 0 || kh > self.h || kw > self.w {
+            return None;
+        }
+        Some(Shape::new(k, self.h - kh + 1, self.w - kw + 1))
+    }
+
+    /// Output shape of pooling with a `kh`×`kw` window and stride
+    /// `step`, per Eqs. (4)–(5):
+    /// `width_new = floor((width_old − width_kernel) / p_step) + 1`.
+    ///
+    /// Returns `None` when the window does not fit or `step == 0`.
+    pub fn pool_output(&self, kh: usize, kw: usize, step: usize) -> Option<Shape> {
+        if step == 0 || kh == 0 || kw == 0 || kh > self.h || kw > self.w {
+            return None;
+        }
+        Some(Shape::new(
+            self.c,
+            (self.h - kh) / step + 1,
+            (self.w - kw) / step + 1,
+        ))
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_is_row_major_chw() {
+        let s = Shape::new(2, 3, 4);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn conv_output_matches_paper_test1() {
+        // Test 1: 16x16 grayscale, six 5x5 filters -> 6 x 12 x 12
+        let s = Shape::new(1, 16, 16);
+        assert_eq!(s.conv_output(6, 5, 5), Some(Shape::new(6, 12, 12)));
+    }
+
+    #[test]
+    fn pool_output_matches_paper_test1() {
+        // Max-pooling 2x2 (stride 2) over 6 x 12 x 12 -> 6 x 6 x 6
+        let s = Shape::new(6, 12, 12);
+        assert_eq!(s.pool_output(2, 2, 2), Some(Shape::new(6, 6, 6)));
+    }
+
+    #[test]
+    fn conv_output_matches_paper_test3() {
+        // Test 3: second conv takes 6x6x6, sixteen 5x5 kernels -> 16 x 2 x 2
+        let s = Shape::new(6, 6, 6);
+        assert_eq!(s.conv_output(16, 5, 5), Some(Shape::new(16, 2, 2)));
+    }
+
+    #[test]
+    fn conv_output_matches_paper_test4() {
+        // Test 4: 32x32 RGB, twelve 5x5 filters -> 12 x 28 x 28,
+        // 2x2 max-pool -> 12 x 14 x 14, thirty-six 5x5 -> 36 x 10 x 10,
+        // 2x2 max-pool -> 36 x 5 x 5.
+        let s = Shape::new(3, 32, 32);
+        let c1 = s.conv_output(12, 5, 5).unwrap();
+        assert_eq!(c1, Shape::new(12, 28, 28));
+        let p1 = c1.pool_output(2, 2, 2).unwrap();
+        assert_eq!(p1, Shape::new(12, 14, 14));
+        let c2 = p1.conv_output(36, 5, 5).unwrap();
+        assert_eq!(c2, Shape::new(36, 10, 10));
+        let p2 = c2.pool_output(2, 2, 2).unwrap();
+        assert_eq!(p2, Shape::new(36, 5, 5));
+    }
+
+    #[test]
+    fn conv_output_rejects_oversized_kernel() {
+        let s = Shape::new(1, 4, 4);
+        assert_eq!(s.conv_output(3, 5, 5), None);
+        assert_eq!(s.conv_output(3, 0, 2), None);
+        assert_eq!(s.conv_output(0, 2, 2), None);
+    }
+
+    #[test]
+    fn pool_output_rejects_bad_params() {
+        let s = Shape::new(1, 4, 4);
+        assert_eq!(s.pool_output(2, 2, 0), None);
+        assert_eq!(s.pool_output(5, 2, 1), None);
+        assert_eq!(s.pool_output(0, 2, 1), None);
+    }
+
+    #[test]
+    fn pool_output_non_divisible_uses_floor() {
+        // (5 - 2) / 2 + 1 = 2 (floor division per Eq. 4)
+        let s = Shape::new(3, 5, 5);
+        assert_eq!(s.pool_output(2, 2, 2), Some(Shape::new(3, 2, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn new_rejects_zero() {
+        Shape::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_and_debug_format() {
+        let s = Shape::new(6, 12, 12);
+        assert_eq!(format!("{s}"), "6x12x12");
+        assert_eq!(format!("{s:?}"), "6x12x12");
+    }
+
+    #[test]
+    fn shape_serde_roundtrip() {
+        let s = Shape::new(3, 32, 32);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Shape = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_bijective(c in 1usize..5, h in 1usize..9, w in 1usize..9) {
+            let s = Shape::new(c, h, w);
+            let mut seen = vec![false; s.len()];
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        let idx = s.index(ci, y, x);
+                        prop_assert!(idx < s.len());
+                        prop_assert!(!seen[idx], "index collision at {idx}");
+                        seen[idx] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+
+        #[test]
+        fn conv_then_shape_len_consistent(
+            h in 5usize..20, w in 5usize..20, k in 1usize..8, kh in 1usize..5, kw in 1usize..5,
+        ) {
+            let s = Shape::new(1, h, w);
+            if let Some(o) = s.conv_output(k, kh, kw) {
+                prop_assert_eq!(o.c, k);
+                prop_assert_eq!(o.h, h - kh + 1);
+                prop_assert_eq!(o.w, w - kw + 1);
+                prop_assert_eq!(o.len(), k * o.h * o.w);
+            }
+        }
+
+        #[test]
+        fn pool_output_never_exceeds_input(
+            c in 1usize..4, h in 2usize..20, w in 2usize..20,
+            k in 1usize..4, step in 1usize..4,
+        ) {
+            let s = Shape::new(c, h, w);
+            if let Some(o) = s.pool_output(k, k, step) {
+                prop_assert!(o.h <= h && o.w <= w);
+                prop_assert_eq!(o.c, c);
+                // Every pooled window must fit inside the input.
+                prop_assert!((o.h - 1) * step + k <= h);
+                prop_assert!((o.w - 1) * step + k <= w);
+            }
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Owned 3-D activation tensor in CHW layout.
+
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, owned `f32` tensor of shape `(channels, height, width)`.
+///
+/// Data is stored row-major with the channel as the slowest-varying
+/// dimension — exactly the layout of the `float` arrays in the generated
+/// C++, so that software and simulated-hardware paths walk memory the
+/// same way.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Tensor {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Creates an all-zeros tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates an all-ones tensor.
+    pub fn ones(shape: Shape) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Wraps an existing buffer. Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Builds a tensor by evaluating `f(c, y, x)` at every coordinate.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for c in 0..shape.c {
+            for y in 0..shape.h {
+                for x in 0..shape.w {
+                    data.push(f(c, y, x));
+                }
+            }
+        }
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Tensors are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Immutable view of the backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The `c`-th channel as a contiguous `h*w` slice.
+    #[inline]
+    pub fn channel(&self, c: usize) -> &[f32] {
+        let hw = self.shape.h * self.shape.w;
+        &self.data[c * hw..(c + 1) * hw]
+    }
+
+    /// Mutable access to the `c`-th channel.
+    #[inline]
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
+        let hw = self.shape.h * self.shape.w;
+        &mut self.data[c * hw..(c + 1) * hw]
+    }
+
+    /// Element access without bounds re-derivation; prefer indexing
+    /// syntax `t[(c, y, x)]` in non-hot code.
+    #[inline(always)]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.shape.index(c, y, x)]
+    }
+
+    /// Sets a single element.
+    #[inline(always)]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let idx = self.shape.index(c, y, x);
+        self.data[idx] = v;
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise `self += other`. Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum element (NaN-free inputs assumed; ties keep the first).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the maximum element in the flattened buffer
+    /// (the classification decision of the generated network).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Reinterprets the tensor as a flat `1 x 1 x len` vector, e.g. at
+    /// the convolutional→linear boundary. No data is moved.
+    pub fn flatten(self) -> Tensor {
+        let len = self.data.len();
+        Tensor {
+            shape: Shape::new(1, 1, len),
+            data: self.data,
+        }
+    }
+
+    /// Squared L2 norm (used by training diagnostics).
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+}
+
+impl Index<(usize, usize, usize)> for Tensor {
+    type Output = f32;
+    #[inline(always)]
+    fn index(&self, (c, y, x): (usize, usize, usize)) -> &f32 {
+        &self.data[self.shape.index(c, y, x)]
+    }
+}
+
+impl IndexMut<(usize, usize, usize)> for Tensor {
+    #[inline(always)]
+    fn index_mut(&mut self, (c, y, x): (usize, usize, usize)) -> &mut f32 {
+        let idx = self.shape.index(c, y, x);
+        &mut self.data[idx]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}, ", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, "{:?})", self.data)
+        } else {
+            write!(f, "[{}, {}, ...; {} elems])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(c: usize, h: usize, w: usize) -> Shape {
+        Shape::new(c, h, w)
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        let z = Tensor::zeros(s(2, 2, 2));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones(s(2, 2, 2));
+        assert_eq!(o.sum(), 8.0);
+        let f = Tensor::full(s(1, 1, 3), 2.5);
+        assert_eq!(f.as_slice(), &[2.5, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn from_fn_coordinates() {
+        let t = Tensor::from_fn(s(2, 2, 2), |c, y, x| (c * 100 + y * 10 + x) as f32);
+        assert_eq!(t[(0, 0, 0)], 0.0);
+        assert_eq!(t[(0, 1, 1)], 11.0);
+        assert_eq!(t[(1, 0, 1)], 101.0);
+        assert_eq!(t[(1, 1, 0)], 110.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_length_checked() {
+        Tensor::from_vec(s(1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn channel_slices_are_disjoint_views() {
+        let t = Tensor::from_fn(s(3, 2, 2), |c, _, _| c as f32);
+        assert_eq!(t.channel(0), &[0.0; 4]);
+        assert_eq!(t.channel(2), &[2.0; 4]);
+    }
+
+    #[test]
+    fn channel_mut_writes_through() {
+        let mut t = Tensor::zeros(s(2, 1, 2));
+        t.channel_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(t[(1, 0, 0)], 5.0);
+        assert_eq!(t[(1, 0, 1)], 6.0);
+        assert_eq!(t[(0, 0, 0)], 0.0);
+    }
+
+    #[test]
+    fn argmax_first_max_wins() {
+        let t = Tensor::from_vec(s(1, 1, 4), vec![1.0, 3.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn argmax_handles_all_negative() {
+        let t = Tensor::from_vec(s(1, 1, 3), vec![-5.0, -1.0, -3.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn map_and_map_inplace_agree() {
+        let t = Tensor::from_fn(s(1, 2, 2), |_, y, x| (y + x) as f32);
+        let mapped = t.map(|v| v * 2.0);
+        let mut t2 = t.clone();
+        t2.map_inplace(|v| v * 2.0);
+        assert_eq!(mapped, t2);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut a = Tensor::ones(s(1, 1, 3));
+        let b = Tensor::from_vec(s(1, 1, 3), vec![1.0, 2.0, 3.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0]);
+        a.scale(0.5);
+        assert_eq!(a.as_slice(), &[1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_assign_shape_checked() {
+        let mut a = Tensor::ones(s(1, 1, 3));
+        let b = Tensor::ones(s(1, 3, 1));
+        a.add_assign(&b);
+    }
+
+    #[test]
+    fn flatten_preserves_data_order() {
+        let t = Tensor::from_fn(s(2, 2, 2), |c, y, x| (c * 4 + y * 2 + x) as f32);
+        let flat = t.clone().flatten();
+        assert_eq!(flat.shape(), s(1, 1, 8));
+        assert_eq!(flat.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn min_max_sum_norm() {
+        let t = Tensor::from_vec(s(1, 1, 4), vec![-2.0, 0.0, 1.0, 3.0]);
+        assert_eq!(t.min(), -2.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.norm_sq(), 4.0 + 0.0 + 1.0 + 9.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor::from_fn(s(2, 3, 4), |c, y, x| (c + y + x) as f32);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn debug_formats_small_and_large() {
+        let small = Tensor::zeros(s(1, 1, 2));
+        assert!(format!("{small:?}").contains("1x1x2"));
+        let large = Tensor::zeros(s(4, 4, 4));
+        assert!(format!("{large:?}").contains("64 elems"));
+    }
+
+    proptest! {
+        #[test]
+        fn set_get_roundtrip(
+            c in 1usize..4, h in 1usize..6, w in 1usize..6,
+            v in -1e6f32..1e6,
+        ) {
+            let shape = s(c, h, w);
+            let mut t = Tensor::zeros(shape);
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        t.set(ci, y, x, v + (ci * h * w + y * w + x) as f32);
+                    }
+                }
+            }
+            for ci in 0..c {
+                for y in 0..h {
+                    for x in 0..w {
+                        prop_assert_eq!(t.get(ci, y, x), v + (ci * h * w + y * w + x) as f32);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn argmax_points_at_maximum(data in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+            let n = data.len();
+            let t = Tensor::from_vec(s(1, 1, n), data.clone());
+            let am = t.argmax();
+            let max = data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(data[am], max);
+        }
+
+        #[test]
+        fn flatten_is_length_preserving(c in 1usize..4, h in 1usize..6, w in 1usize..6) {
+            let t = Tensor::ones(s(c, h, w));
+            let n = t.len();
+            let f = t.flatten();
+            prop_assert_eq!(f.len(), n);
+            prop_assert_eq!(f.shape().c, 1);
+        }
+    }
+}

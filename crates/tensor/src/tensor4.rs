@@ -1,0 +1,231 @@
+//! 4-D weight banks for convolutional layers: `(K, C, M, N)` =
+//! (kernels, input channels, kernel height, kernel width).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense bank of `K` convolution kernels, each spanning `C` input
+/// channels with spatial extent `M`×`N`, stored row-major in
+/// `[k][c][m][n]` order (matching the `w[k][c][m][n]` arrays of the
+/// generated C++).
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor4 {
+    k: usize,
+    c: usize,
+    m: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// All-zero kernel bank.
+    pub fn zeros(k: usize, c: usize, m: usize, n: usize) -> Self {
+        assert!(k > 0 && c > 0 && m > 0 && n > 0, "zero-sized kernel bank");
+        Tensor4 {
+            k,
+            c,
+            m,
+            n,
+            data: vec![0.0; k * c * m * n],
+        }
+    }
+
+    /// All-ones kernel bank (handy in tests).
+    pub fn ones(k: usize, c: usize, m: usize, n: usize) -> Self {
+        let mut t = Self::zeros(k, c, m, n);
+        t.data.iter_mut().for_each(|v| *v = 1.0);
+        t
+    }
+
+    /// Wraps an existing buffer; panics on length mismatch.
+    pub fn from_vec(k: usize, c: usize, m: usize, n: usize, data: Vec<f32>) -> Self {
+        assert!(k > 0 && c > 0 && m > 0 && n > 0, "zero-sized kernel bank");
+        assert_eq!(
+            data.len(),
+            k * c * m * n,
+            "buffer length {} does not match {k}x{c}x{m}x{n}",
+            data.len()
+        );
+        Tensor4 { k, c, m, n, data }
+    }
+
+    /// Builds a bank by evaluating `f(k, c, m, n)` everywhere.
+    pub fn from_fn(
+        k: usize,
+        c: usize,
+        m: usize,
+        n: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f32,
+    ) -> Self {
+        let mut data = Vec::with_capacity(k * c * m * n);
+        for ki in 0..k {
+            for ci in 0..c {
+                for mi in 0..m {
+                    for ni in 0..n {
+                        data.push(f(ki, ci, mi, ni));
+                    }
+                }
+            }
+        }
+        Tensor4 { k, c, m, n, data }
+    }
+
+    /// Number of kernels `K`.
+    pub fn kernels(&self) -> usize {
+        self.k
+    }
+    /// Input channels `C`.
+    pub fn channels(&self) -> usize {
+        self.c
+    }
+    /// Kernel height `M`.
+    pub fn kh(&self) -> usize {
+        self.m
+    }
+    /// Kernel width `N`.
+    pub fn kw(&self) -> usize {
+        self.n
+    }
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn index(&self, k: usize, c: usize, m: usize, n: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && m < self.m && n < self.n);
+        ((k * self.c + c) * self.m + m) * self.n + n
+    }
+
+    /// Element read.
+    #[inline(always)]
+    pub fn get(&self, k: usize, c: usize, m: usize, n: usize) -> f32 {
+        self.data[self.index(k, c, m, n)]
+    }
+
+    /// Element write.
+    #[inline(always)]
+    pub fn set(&mut self, k: usize, c: usize, m: usize, n: usize, v: f32) {
+        let i = self.index(k, c, m, n);
+        self.data[i] = v;
+    }
+
+    /// Contiguous `M*N` window of kernel `k`, channel `c` — the inner
+    /// tile the convolution loop reads.
+    #[inline]
+    pub fn window(&self, k: usize, c: usize) -> &[f32] {
+        let mn = self.m * self.n;
+        let base = (k * self.c + c) * mn;
+        &self.data[base..base + mn]
+    }
+
+    /// Whole backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes into the raw buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+}
+
+impl fmt::Debug for Tensor4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor4({}x{}x{}x{}; {} elems)",
+            self.k,
+            self.c,
+            self.m,
+            self.n,
+            self.data.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_fn_layout_is_kcmn() {
+        let t = Tensor4::from_fn(2, 3, 2, 2, |k, c, m, n| (k * 1000 + c * 100 + m * 10 + n) as f32);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+        assert_eq!(t.get(0, 0, 0, 1), 1.0);
+        assert_eq!(t.get(0, 0, 1, 0), 10.0);
+        assert_eq!(t.get(0, 1, 0, 0), 100.0);
+        assert_eq!(t.get(1, 2, 1, 1), 1211.0);
+    }
+
+    #[test]
+    fn window_is_contiguous_mn_tile() {
+        let t = Tensor4::from_fn(2, 2, 2, 2, |k, c, m, n| (k * 8 + c * 4 + m * 2 + n) as f32);
+        assert_eq!(t.window(1, 0), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(t.window(0, 1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_checks_len() {
+        Tensor4::from_vec(1, 1, 2, 2, vec![0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zeros_rejects_zero_dim() {
+        Tensor4::zeros(1, 0, 2, 2);
+    }
+
+    #[test]
+    fn dims_accessors() {
+        let t = Tensor4::zeros(6, 1, 5, 5);
+        assert_eq!(t.kernels(), 6);
+        assert_eq!(t.channels(), 1);
+        assert_eq!(t.kh(), 5);
+        assert_eq!(t.kw(), 5);
+        assert_eq!(t.len(), 150);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor4::zeros(2, 2, 3, 3);
+        t.set(1, 1, 2, 2, 42.0);
+        assert_eq!(t.get(1, 1, 2, 2), 42.0);
+        assert_eq!(t.get(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Tensor4::from_fn(2, 1, 2, 2, |k, _, m, n| (k + m + n) as f32);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor4 = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    proptest! {
+        #[test]
+        fn windows_tile_the_buffer(k in 1usize..4, c in 1usize..4, m in 1usize..4, n in 1usize..4) {
+            let t = Tensor4::from_fn(k, c, m, n, |ki, ci, mi, ni| {
+                (((ki * c + ci) * m + mi) * n + ni) as f32
+            });
+            let mut reassembled = Vec::new();
+            for ki in 0..k {
+                for ci in 0..c {
+                    reassembled.extend_from_slice(t.window(ki, ci));
+                }
+            }
+            prop_assert_eq!(reassembled.as_slice(), t.as_slice());
+        }
+    }
+}

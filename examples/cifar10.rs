@@ -1,0 +1,56 @@
+//! CIFAR-10-class network on hardware — the paper's Test-4 story:
+//! a larger RGB network built with *random weights* ("we were more
+//! interested in the performance of our framework rather than in the
+//! prediction error"), showing that throughput and resource results
+//! are weight-independent and that the bigger network still fits the
+//! Zedboard but not the Zybo.
+//!
+//! ```text
+//! cargo run --release --example cifar10
+//! ```
+
+use cnn2fpga::datasets::CifarLike;
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::platform::ZynqSoc;
+
+fn main() {
+    let spec = NetworkSpec::paper_cifar();
+    println!("descriptor:\n{}\n", spec.to_json());
+
+    // The Zybo cannot hold this network (BRAM): show the failure path.
+    let mut zybo_spec = spec.clone();
+    zybo_spec.board = Board::Zybo;
+    match Workflow::new(zybo_spec, WeightSource::Random { seed: 7 }).run() {
+        Err(e) => println!("Zybo build fails as expected: {e}\n"),
+        Ok(_) => panic!("the CIFAR network should not fit the Zybo"),
+    }
+
+    // Zedboard build succeeds.
+    let artifacts = Workflow::new(spec.clone(), WeightSource::Random { seed: 7 })
+        .run()
+        .expect("fits the Zedboard");
+    println!("Zedboard build:\n{}", artifacts.report.render());
+
+    // Classify a (scaled-down) test set on both paths.
+    let test = CifarLike::default().generate(1000, 3);
+    let soc = ZynqSoc::bring_up(&artifacts.network, spec.directives(), Board::Zedboard).unwrap();
+    let sw = soc.run_software(&test.images);
+    let hw = soc.run_hardware(&test.images);
+    assert_eq!(sw.predictions, hw.predictions);
+    let err = hw
+        .predictions
+        .iter()
+        .zip(&test.labels)
+        .filter(|(p, l)| p != l)
+        .count() as f64
+        / test.len() as f64;
+    println!(
+        "1000 images with random weights: error {:.1}% (chance = 90%),\n\
+         software {:.1} s vs hardware {:.1} s -> speedup {:.1}x",
+        err * 100.0,
+        sw.seconds,
+        hw.seconds,
+        sw.seconds / hw.seconds
+    );
+}

@@ -1,0 +1,45 @@
+//! Exports the framework's deliverables to disk — what the paper's
+//! web application returns to the user: the synthesizable C++ source
+//! with hard-coded weights and the three tcl scripts, plus (our
+//! extension) the trained-weights JSON and the block-design DOT.
+//!
+//! ```text
+//! cargo run --release --example export_artifacts [-- <output-dir>]
+//! ```
+
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> std::io::Result<()> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/cnn2fpga-artifacts"));
+    fs::create_dir_all(&out_dir)?;
+
+    let spec = NetworkSpec::paper_usps_small(true);
+    let artifacts = Workflow::new(spec.clone(), WeightSource::Random { seed: 2016 })
+        .run()
+        .expect("paper network builds");
+
+    fs::write(out_dir.join("descriptor.json"), spec.to_json())?;
+    fs::write(out_dir.join("cnn.cpp"), &artifacts.cpp_source)?;
+    fs::write(out_dir.join("cnn_vivado_hls.tcl"), &artifacts.tcl.vivado_hls)?;
+    fs::write(out_dir.join("directives.tcl"), &artifacts.tcl.directives)?;
+    fs::write(out_dir.join("cnn_vivado.tcl"), &artifacts.tcl.vivado)?;
+    fs::write(
+        out_dir.join("network_weights.json"),
+        artifacts.network.to_json().expect("network serializes"),
+    )?;
+    fs::write(out_dir.join("block_design.dot"), artifacts.bitstream.design.to_dot())?;
+    fs::write(out_dir.join("design_1_wrapper.v"), &artifacts.hdl_wrapper)?;
+    fs::write(out_dir.join("hls_report.txt"), artifacts.report.render())?;
+
+    println!("exported to {}:", out_dir.display());
+    for entry in fs::read_dir(&out_dir)? {
+        let entry = entry?;
+        println!("  {:<22} {:>8} bytes", entry.file_name().to_string_lossy(), entry.metadata()?.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Online training inside the workflow — the paper's final
+//! future-work item ("the possibility to train the designed CNN
+//! online with Torch framework, provided the dataset for training and
+//! testing"): hand the framework a descriptor *and a dataset*, and it
+//! trains the network itself before generating the hardware.
+//!
+//! ```text
+//! cargo run --release --example online_training
+//! ```
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::nn::TrainConfig;
+
+fn main() {
+    let spec = NetworkSpec::paper_usps_small(true);
+    let train_set = UspsLike::default().generate(3000, 11);
+    let test_set = UspsLike::default().generate(500, 12);
+
+    let workflow = Workflow::new(
+        spec,
+        WeightSource::TrainOnline {
+            dataset: train_set,
+            config: TrainConfig {
+                learning_rate: 0.5,
+                batch_size: 16,
+                epochs: 20,
+                weight_decay: 1e-4,
+                lr_decay: 0.97,
+                momentum: 0.0,
+            },
+            seed: 2016,
+        },
+    );
+
+    let artifacts = workflow.run().expect("train + build succeeds");
+    for line in &artifacts.trace {
+        println!("[workflow] {line}");
+    }
+
+    let err = artifacts
+        .device
+        .prediction_error(&test_set.images, &test_set.labels);
+    println!(
+        "\ntrained online and deployed to the simulated {}: test error {:.1}%",
+        artifacts.bitstream.board.name(),
+        err * 100.0
+    );
+    println!("{}", artifacts.report.render());
+}

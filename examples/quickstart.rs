@@ -1,0 +1,44 @@
+//! Quickstart: build a small CNN, classify an image in software,
+//! synthesize it, and inspect the HLS report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cnn2fpga::hls::{DirectiveSet, FpgaPart, HlsProject};
+use cnn2fpga::nn::Network;
+use cnn2fpga::tensor::init::seeded_rng;
+use cnn2fpga::tensor::ops::activation::Activation;
+use cnn2fpga::tensor::ops::pool::PoolKind;
+use cnn2fpga::tensor::{Shape, Tensor};
+
+fn main() {
+    // 1. Build the paper's Test-1 network (random weights for the demo).
+    let mut rng = seeded_rng(42);
+    let net = Network::builder(Shape::new(1, 16, 16))
+        .conv(6, 5, 5, &mut rng)
+        .pool(PoolKind::Max, 2, 2)
+        .flatten()
+        .linear(10, Some(Activation::Tanh), &mut rng)
+        .log_softmax()
+        .build()
+        .expect("valid network");
+    println!("network:\n{}", cnn2fpga::nn::summary::render(&net));
+
+    // 2. Classify an image in software.
+    let image = Tensor::from_fn(Shape::new(1, 16, 16), |_, y, x| {
+        if (4..12).contains(&y) && (6..10).contains(&x) {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    println!("software prediction: class {}", net.predict(&image));
+
+    // 3. Synthesize it for the Zedboard, naive and optimized.
+    for directives in [DirectiveSet::naive(), DirectiveSet::optimized()] {
+        let project = HlsProject::new(&net, directives, FpgaPart::zynq7020())
+            .expect("fits the Zedboard");
+        println!("{}", project.report().render());
+    }
+}

@@ -1,0 +1,83 @@
+//! USPS digit classification end to end — the paper's Tests 1–2
+//! story: train a small CNN on (synthetic) USPS digits, generate its
+//! hardware, and compare the software and hardware implementations on
+//! prediction error, runtime and energy, naive vs. optimized.
+//!
+//! ```text
+//! cargo run --release --example usps_digits
+//! ```
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{weights::build_random, NetworkSpec};
+use cnn2fpga::hls::DirectiveSet;
+use cnn2fpga::nn::{train, TrainConfig};
+use cnn2fpga::platform::ZynqSoc;
+use cnn2fpga::power::EnergyMeter;
+use cnn2fpga::tensor::init::seeded_rng;
+
+fn main() {
+    // --- data ---
+    let gen = UspsLike::default();
+    let train_set = gen.generate(4000, 1);
+    let test_set = gen.generate(1000, 2);
+    println!(
+        "dataset: {} training / {} test images of {}",
+        train_set.len(),
+        test_set.len(),
+        train_set.image_shape()
+    );
+
+    // --- train (the Torch-replacement path) ---
+    let mut net = build_random(&NetworkSpec::paper_usps_small(true), 2016).unwrap();
+    let cfg = TrainConfig {
+        learning_rate: 0.5,
+        batch_size: 16,
+        epochs: 25,
+        weight_decay: 1e-4,
+        lr_decay: 0.97,
+        momentum: 0.0,
+    };
+    let mut rng = seeded_rng(99);
+    let stats = train(&mut net, &train_set.images, &train_set.labels, &cfg, &mut rng);
+    for s in stats.iter().step_by(5) {
+        println!(
+            "epoch {:>2}: loss {:.3}, train error {:.1}%",
+            s.epoch,
+            s.mean_loss,
+            s.train_error * 100.0
+        );
+    }
+
+    // --- compare SW vs HW, naive and optimized ---
+    let meter = EnergyMeter::for_board(Board::Zedboard);
+    for (label, directives) in [
+        ("naive (Test 1)", DirectiveSet::naive()),
+        ("optimized (Test 2)", DirectiveSet::optimized()),
+    ] {
+        let soc = ZynqSoc::bring_up(&net, directives, Board::Zedboard).unwrap();
+        let sw = soc.run_software(&test_set.images);
+        let hw = soc.run_hardware(&test_set.images);
+        assert_eq!(sw.predictions, hw.predictions, "SW/HW must agree");
+        let err = hw
+            .predictions
+            .iter()
+            .zip(&test_set.labels)
+            .filter(|(p, l)| p != l)
+            .count() as f64
+            / test_set.len() as f64;
+        let sw_energy = meter.measure_software(sw.seconds);
+        let hw_energy =
+            meter.measure_hardware(hw.seconds, &soc.device().bitstream().resources);
+        println!(
+            "\n{label}: error {:.1}% (identical on both paths)\n  software: {:.2} s, {:.2} J\n  hardware: {:.2} s, {:.2} J  (speedup {:.2}x, energy ratio {:.2}x)",
+            err * 100.0,
+            sw.seconds,
+            sw_energy.joules,
+            hw.seconds,
+            hw_energy.joules,
+            sw.seconds / hw.seconds,
+            sw_energy.joules / hw_energy.joules,
+        );
+    }
+}

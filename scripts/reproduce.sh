@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: scripts/reproduce.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+QUICK="${1:-}"
+
+mkdir -p results
+echo "== Table I (this is the long one) =="
+cargo run --release -p cnn-bench --bin table1 -- $QUICK | tee results/table1.txt
+echo "== Table II =="
+cargo run --release -p cnn-bench --bin table2 | tee results/table2.txt
+for fig in fig1_structure fig2_filters fig3_workflow fig4_options fig5_block_design fig6_datasets; do
+  echo "== $fig =="
+  cargo run --release -p cnn-bench --bin "$fig" -- $QUICK > "results/$fig.txt"
+  echo "written to results/$fig.txt"
+done
+echo "done; see results/ and EXPERIMENTS.md"

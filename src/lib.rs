@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # cnn2fpga
+//!
+//! A full-stack Rust reproduction of *"On the Automation of High Level
+//! Synthesis of Convolutional Neural Networks"* (Del Sozzo, Solazzo,
+//! Miele, Santambrogio — IPDPS Workshops 2016): a framework that turns
+//! a high-level JSON description of an offline-trained CNN into a
+//! complete FPGA build — synthesizable C++, Vivado tcl scripts, an HLS
+//! schedule and resource binding, the Fig.-5 block design, a bitstream
+//! and a programmed (simulated) Zynq device — and reproduces the
+//! paper's entire evaluation (Tables I–II, Figs. 1–6).
+//!
+//! This facade crate re-exports the workspace's layers:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`tensor`] | `cnn-tensor` | dense tensors + CNN kernels (Eqs. 1–7) |
+//! | [`nn`] | `cnn-nn` | layers, networks, SGD training, serialization |
+//! | [`datasets`] | `cnn-datasets` | synthetic USPS / CIFAR-10 substitutes |
+//! | [`hls`] | `cnn-hls` | loop-nest IR, scheduler, binder, C++/tcl codegen |
+//! | [`fpga`] | `cnn-fpga` | boards, block design, AXI/DMA sim, IP core, bitstream |
+//! | [`platform`] | `cnn-platform` | ARM Cortex-A9 timing model, SoC composition |
+//! | [`power`] | `cnn-power` | power models + energy meter |
+//! | [`framework`] | `cnn-framework` | JSON descriptors, Fig.-3 workflow, experiments |
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+//!
+//! // The descriptor the paper's web GUI would produce:
+//! let spec = NetworkSpec::paper_usps_small(true);
+//! let artifacts = Workflow::new(spec, WeightSource::Random { seed: 1 })
+//!     .run()
+//!     .expect("the paper's network fits the Zedboard");
+//! assert!(artifacts.cpp_source.contains("int cnn("));
+//! assert!(artifacts.report.resources.fits());
+//! ```
+
+pub use cnn_datasets as datasets;
+pub use cnn_fpga as fpga;
+pub use cnn_framework as framework;
+pub use cnn_hls as hls;
+pub use cnn_nn as nn;
+pub use cnn_platform as platform;
+pub use cnn_power as power;
+pub use cnn_tensor as tensor;

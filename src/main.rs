@@ -1,0 +1,200 @@
+//! `cnn2fpga` — command-line front end of the automation framework
+//! (the stand-in for the paper's web application).
+//!
+//! ```text
+//! cnn2fpga boards                               list supported boards
+//! cnn2fpga validate <descriptor.json>           check a descriptor (GUI echo)
+//! cnn2fpga report   <descriptor.json>           synthesize + print the HLS report
+//! cnn2fpga generate <descriptor.json> [opts]    run the full workflow, export artifacts
+//!     --weights <network.json>    use trained weights (default: random)
+//!     --seed <n>                  random-weight seed (default 2016)
+//!     --out <dir>                 output directory (default ./cnn2fpga-out)
+//! ```
+
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::nn::Network;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cnn2fpga boards\n  cnn2fpga validate <descriptor.json>\n  \
+         cnn2fpga report <descriptor.json>\n  \
+         cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn load_spec(path: &str) -> Result<NetworkSpec, String> {
+    let json = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    NetworkSpec::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_boards() -> ExitCode {
+    for b in Board::ALL {
+        let p = b.part();
+        println!(
+            "{:<9} {}  (FF {}, LUT {}, LUTRAM {}, BRAM {}, DSP {})",
+            b.name(),
+            p.name,
+            p.ff,
+            p.lut,
+            p.lutram,
+            p.bram36,
+            p.dsp
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(path: &str) -> ExitCode {
+    match load_spec(path) {
+        Ok(spec) => {
+            let shapes = spec.validate().expect("from_json validated");
+            println!("descriptor OK: board {}, {} stages", spec.board.name(), shapes.len());
+            for (i, s) in shapes.iter().enumerate() {
+                println!("  stage {i}: {s}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("invalid descriptor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_report(path: &str) -> ExitCode {
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid descriptor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match Workflow::new(spec, WeightSource::Random { seed: 2016 }).run() {
+        Ok(artifacts) => {
+            print!("{}", artifacts.report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
+    let mut weights_path: Option<String> = None;
+    let mut seed = 2016u64;
+    let mut out_dir = PathBuf::from("cnn2fpga-out");
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--weights" => match it.next() {
+                Some(p) => weights_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid descriptor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let source = match &weights_path {
+        Some(p) => {
+            let json = match fs::read_to_string(p) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("cannot read weights {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let parsed = if p.ends_with(".json") {
+                Network::from_json(&json).map_err(|e| e.to_string())
+            } else {
+                // The line-oriented Torch-style export.
+                cnn2fpga::nn::io::read_text(&json)
+            };
+            match parsed {
+                Ok(net) => WeightSource::Trained(Box::new(net)),
+                Err(e) => {
+                    eprintln!("bad weights file: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => WeightSource::Random { seed },
+    };
+
+    let artifacts = match Workflow::new(spec.clone(), source).run() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let files = [
+        ("cnn.cpp", artifacts.cpp_source.clone()),
+        ("cnn_vivado_hls.tcl", artifacts.tcl.vivado_hls.clone()),
+        ("directives.tcl", artifacts.tcl.directives.clone()),
+        ("cnn_vivado.tcl", artifacts.tcl.vivado.clone()),
+        ("hls_report.txt", artifacts.report.render()),
+        ("block_design.dot", artifacts.bitstream.design.to_dot()),
+        ("design_1_wrapper.v", artifacts.hdl_wrapper.clone()),
+        ("descriptor.json", spec.to_json()),
+    ];
+    for (name, content) in files {
+        if let Err(e) = fs::write(out_dir.join(name), content) {
+            eprintln!("cannot write {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for line in &artifacts.trace {
+        println!("[workflow] {line}");
+    }
+    println!("artifacts written to {}", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("boards") => cmd_boards(),
+        Some("validate") => match args.get(1) {
+            Some(p) => cmd_validate(p),
+            None => usage(),
+        },
+        Some("report") => match args.get(1) {
+            Some(p) => cmd_report(p),
+            None => usage(),
+        },
+        Some("generate") => match args.get(1) {
+            Some(p) => cmd_generate(p, &args[2..]),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}

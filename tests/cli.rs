@@ -1,0 +1,171 @@
+//! Integration tests of the `cnn2fpga` CLI binary — the web-app
+//! stand-in users actually drive.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cnn2fpga"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cnn2fpga_cli_{}_{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const DESCRIPTOR: &str = r#"{
+  "input_channels": 1, "input_height": 16, "input_width": 16,
+  "conv_layers": [{"feature_maps_out": 6, "kernel": 5, "pooling": {"kernel": 2}}],
+  "linear_layers": [{"neurons": 10, "tanh": true}],
+  "board": "zedboard", "optimized": true
+}"#;
+
+#[test]
+fn boards_lists_both_platforms() {
+    let out = bin().arg("boards").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Zedboard"));
+    assert!(text.contains("Zybo"));
+    assert!(text.contains("xc7z020clg484-1"));
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn validate_accepts_good_descriptor() {
+    let dir = tmp("validate");
+    let path = dir.join("net.json");
+    fs::write(&path, DESCRIPTOR).unwrap();
+    let out = bin().arg("validate").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("descriptor OK"));
+    assert!(text.contains("6x12x12"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn validate_rejects_bad_descriptor() {
+    let dir = tmp("invalid");
+    let path = dir.join("net.json");
+    fs::write(&path, DESCRIPTOR.replace("\"kernel\": 5", "\"kernel\": 50")).unwrap();
+    let out = bin().arg("validate").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not fit"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_writes_the_full_artifact_set() {
+    let dir = tmp("generate");
+    let spec = dir.join("net.json");
+    fs::write(&spec, DESCRIPTOR).unwrap();
+    let out_dir = dir.join("out");
+    let out = bin()
+        .args(["generate"])
+        .arg(&spec)
+        .args(["--seed", "7", "--out"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for file in [
+        "cnn.cpp",
+        "cnn_vivado_hls.tcl",
+        "directives.tcl",
+        "cnn_vivado.tcl",
+        "hls_report.txt",
+        "block_design.dot",
+        "design_1_wrapper.v",
+        "descriptor.json",
+    ] {
+        assert!(out_dir.join(file).exists(), "missing artifact {file}");
+    }
+    let cpp = fs::read_to_string(out_dir.join("cnn.cpp")).unwrap();
+    assert!(cpp.contains("int cnn("));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_accepts_text_weights() {
+    // Export a network in the Torch-style text format, feed it back.
+    let dir = tmp("textweights");
+    let spec_path = dir.join("net.json");
+    fs::write(&spec_path, DESCRIPTOR).unwrap();
+
+    let spec = cnn2fpga::framework::NetworkSpec::from_json(DESCRIPTOR).unwrap();
+    let net = cnn2fpga::framework::weights::build_random(&spec, 42).unwrap();
+    let weights_path = dir.join("trained.weights");
+    fs::write(&weights_path, cnn2fpga::nn::io::write_text(&net)).unwrap();
+
+    let out_dir = dir.join("out");
+    let out = bin()
+        .arg("generate")
+        .arg(&spec_path)
+        .arg("--weights")
+        .arg(&weights_path)
+        .arg("--out")
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // The hard-coded weights must match the provided network.
+    let cpp = fs::read_to_string(out_dir.join("cnn.cpp")).unwrap();
+    if let cnn2fpga::nn::Layer::Conv2d(c) = &net.layers()[0] {
+        let first = c.kernels.as_slice()[0];
+        assert!(cpp.contains(&format!("{first}")), "weights not embedded");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generate_rejects_mismatched_weights() {
+    let dir = tmp("mismatch");
+    let spec_path = dir.join("net.json");
+    fs::write(&spec_path, DESCRIPTOR).unwrap();
+    // Weights for a different structure (the CIFAR network).
+    let other = cnn2fpga::framework::weights::build_random(
+        &cnn2fpga::framework::NetworkSpec::paper_cifar(),
+        1,
+    )
+    .unwrap();
+    let weights_path = dir.join("wrong.weights");
+    fs::write(&weights_path, cnn2fpga::nn::io::write_text(&other)).unwrap();
+
+    let out = bin()
+        .arg("generate")
+        .arg(&spec_path)
+        .arg("--weights")
+        .arg(&weights_path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("realize weights"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_prints_hls_summary() {
+    let dir = tmp("report");
+    let path = dir.join("net.json");
+    fs::write(&path, DESCRIPTOR).unwrap();
+    let out = bin().arg("report").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HLS report"));
+    assert!(text.contains("fits device  : true"));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,95 @@
+//! End-to-end integration: descriptor → workflow → programmed device
+//! → classification, across crates.
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::nn::Network;
+use cnn2fpga::platform::ZynqSoc;
+
+#[test]
+fn descriptor_to_device_to_classification() {
+    let spec = NetworkSpec::paper_usps_small(true);
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 11 })
+        .run()
+        .expect("workflow completes");
+
+    let images = UspsLike::default().generate(50, 5).images;
+    let result = artifacts.device.classify_batch(&images);
+    let software: Vec<usize> = images.iter().map(|i| artifacts.network.predict(i)).collect();
+    assert_eq!(result.predictions, software);
+    assert!(result.seconds > 0.0);
+}
+
+#[test]
+fn trained_weights_survive_the_full_loop() {
+    // Train a network, export its weights JSON (the paper's weight
+    // file), import it back through the framework, and verify the
+    // programmed device behaves identically.
+    let ds = UspsLike::default().generate(400, 7);
+    let spec = NetworkSpec::paper_usps_small(true);
+    let mut net = cnn2fpga::framework::weights::build_random(&spec, 1).unwrap();
+    let cfg = cnn2fpga::nn::TrainConfig { epochs: 4, ..Default::default() };
+    let mut rng = cnn2fpga::tensor::init::seeded_rng(3);
+    cnn2fpga::nn::train(&mut net, &ds.images, &ds.labels, &cfg, &mut rng);
+
+    let json = net.to_json().unwrap();
+    let imported = Network::from_json(&json).unwrap();
+    let artifacts = Workflow::new(spec, WeightSource::Trained(Box::new(imported)))
+        .run()
+        .expect("trained weights accepted");
+
+    let test = UspsLike::default().generate(60, 8);
+    let hw = artifacts.device.classify_batch(&test.images);
+    let sw: Vec<usize> = test.images.iter().map(|i| net.predict(i)).collect();
+    assert_eq!(hw.predictions, sw);
+}
+
+#[test]
+fn generated_cpp_embeds_the_actual_weights() {
+    let spec = NetworkSpec::paper_usps_small(false);
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 21 })
+        .run()
+        .unwrap();
+    // The first conv kernel value must appear in the C++ source.
+    let cnn2fpga::nn::Layer::Conv2d(conv) = &artifacts.network.layers()[0] else {
+        panic!("layer 0 is conv");
+    };
+    let first_weight = conv.kernels.as_slice()[0];
+    assert!(
+        artifacts.cpp_source.contains(&format!("{first_weight}")),
+        "weight {first_weight} not found in generated C++"
+    );
+}
+
+#[test]
+fn soc_and_workflow_paths_agree() {
+    // Building through ZynqSoc directly and through the Workflow must
+    // produce devices with identical timing.
+    let spec = NetworkSpec::paper_usps_small(true);
+    let net = cnn2fpga::framework::weights::build_random(&spec, 33).unwrap();
+
+    let artifacts = Workflow::new(spec.clone(), WeightSource::Trained(Box::new(net.clone())))
+        .run()
+        .unwrap();
+    let soc = ZynqSoc::bring_up(&net, spec.directives(), Board::Zedboard).unwrap();
+
+    let imgs = UspsLike::default().generate(20, 9).images;
+    let a = artifacts.device.classify_batch(&imgs);
+    let b = soc.run_hardware(&imgs);
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.fabric_cycles, b.fabric_cycles);
+}
+
+#[test]
+fn threaded_cosimulation_agrees_end_to_end() {
+    let spec = NetworkSpec::paper_usps_small(true);
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 13 })
+        .run()
+        .unwrap();
+    let imgs = UspsLike::default().generate(12, 17).images;
+    let fast = artifacts.device.classify_batch(&imgs);
+    let threaded = artifacts.device.classify_batch_threaded(&imgs);
+    assert_eq!(fast.predictions, threaded.predictions);
+    assert_eq!(fast.fabric_cycles, threaded.fabric_cycles);
+}

@@ -1,0 +1,133 @@
+//! The strongest check on the code generator: the emitted C++ is not
+//! just synthesizable-looking text — compiled with a host C++ compiler
+//! and fed real images, the generated `cnn()` function must return the
+//! same class index as the Rust reference network.
+//!
+//! (Vivado HLS's first step is exactly this: C simulation of the
+//! generated source. `#pragma HLS` lines are ignored by g++ just as
+//! unknown pragmas are.)
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use std::fs;
+use std::io::Write as _;
+use std::process::Command;
+
+fn have_gpp() -> bool {
+    Command::new("g++")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Runs the generated source + generated testbench (`csim_design`
+/// style) for `spec` over `images`; returns (pass line, exit ok).
+fn csim(spec: NetworkSpec, seed: u64, images: &[cnn2fpga::tensor::Tensor], tag: &str) -> (String, bool) {
+    let artifacts = Workflow::new(spec.clone(), WeightSource::Random { seed })
+        .run()
+        .expect("workflow builds");
+    // The testbench embeds the software-path expectations itself.
+    let project = cnn2fpga::hls::HlsProject::new(
+        &artifacts.network,
+        spec.directives(),
+        spec.board.part(),
+    )
+    .expect("re-synthesis succeeds");
+    let tb = project.testbench(images);
+
+    let dir = std::env::temp_dir().join(format!("cnn2fpga_csim_{}_{tag}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("cnn.cpp"), &artifacts.cpp_source).unwrap();
+    fs::write(dir.join("cnn_tb.cpp"), &tb).unwrap();
+
+    let bin = dir.join("csim");
+    let compile = Command::new("g++")
+        .args(["-O2", "-w", "-o"])
+        .arg(&bin)
+        .arg(dir.join("cnn.cpp"))
+        .arg(dir.join("cnn_tb.cpp"))
+        .output()
+        .expect("g++ runs");
+    assert!(
+        compile.status.success(),
+        "generated C++/testbench failed to compile:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+
+    let run = Command::new(&bin).output().expect("csim runs");
+    let stdout = String::from_utf8_lossy(&run.stdout).to_string();
+    let summary = stdout
+        .lines()
+        .last()
+        .unwrap_or("")
+        .to_string();
+    let _ = fs::remove_dir_all(&dir);
+    (summary, run.status.success())
+}
+
+#[test]
+fn generated_cpp_matches_rust_predictions() {
+    if !have_gpp() {
+        eprintln!("skipping: no g++ on this machine");
+        return;
+    }
+    let images = UspsLike::default().generate(8, 99).images;
+    let (summary, ok) = csim(NetworkSpec::paper_usps_small(true), 314, &images, "t2");
+    assert!(ok, "Test-2 C simulation failed: {summary}");
+    assert_eq!(summary, "8/8 passed");
+}
+
+#[test]
+fn generated_cpp_matches_rust_for_deep_and_rgb_networks() {
+    if !have_gpp() {
+        eprintln!("skipping: no g++ on this machine");
+        return;
+    }
+    // Test 3: two conv layers, no pooling after the second.
+    let usps = UspsLike::default().generate(5, 41).images;
+    let (summary, ok) = csim(NetworkSpec::paper_usps_large(), 271, &usps, "t3");
+    assert!(ok, "Test-3 C simulation failed: {summary}");
+    assert_eq!(summary, "5/5 passed");
+
+    // Test 4: 3-channel input, two linear layers.
+    let cifar = cnn2fpga::datasets::CifarLike::default().generate(5, 42).images;
+    let (summary, ok) = csim(NetworkSpec::paper_cifar(), 163, &cifar, "t4");
+    assert!(ok, "Test-4 C simulation failed: {summary}");
+    assert_eq!(summary, "5/5 passed");
+}
+
+#[test]
+fn generated_cpp_compiles_for_every_paper_network() {
+    if !have_gpp() {
+        eprintln!("skipping: no g++ on this machine");
+        return;
+    }
+    let specs = [
+        NetworkSpec::paper_usps_small(false),
+        NetworkSpec::paper_usps_large(),
+        NetworkSpec::paper_cifar(),
+    ];
+    let dir = std::env::temp_dir().join(format!("cnn2fpga_syntax_{}", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    for (i, spec) in specs.into_iter().enumerate() {
+        let artifacts = Workflow::new(spec, WeightSource::Random { seed: i as u64 })
+            .run()
+            .expect("workflow builds");
+        let src = dir.join(format!("cnn{i}.cpp"));
+        let mut f = fs::File::create(&src).unwrap();
+        f.write_all(artifacts.cpp_source.as_bytes()).unwrap();
+        drop(f);
+        let out = Command::new("g++")
+            .args(["-O1", "-w", "-fsyntax-only"])
+            .arg(&src)
+            .output()
+            .expect("g++ runs");
+        assert!(
+            out.status.success(),
+            "network {i}: generated C++ rejected:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

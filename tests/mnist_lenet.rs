@@ -1,0 +1,114 @@
+//! Generality check: a LeNet-style network on the 28×28 MNIST-like
+//! dataset — a third input geometry the paper never built — flows
+//! through the entire stack: descriptor → training → HLS → bitstream
+//! → device, with the same invariants as the paper networks.
+
+use cnn2fpga::datasets::MnistLike;
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::spec::PoolSpec;
+use cnn2fpga::framework::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::nn::metrics::ConfusionMatrix;
+use cnn2fpga::nn::TrainConfig;
+use cnn2fpga::tensor::ops::pool::PoolKind;
+use cnn2fpga::tensor::Shape;
+
+fn lenet_spec() -> NetworkSpec {
+    // conv(6x5x5)+pool2 -> conv(16x5x5)+pool2 -> linear(32,tanh) -> linear(10)
+    NetworkSpec {
+        input_channels: 1,
+        input_height: 28,
+        input_width: 28,
+        conv_layers: vec![
+            ConvLayerSpec {
+                feature_maps_out: 6,
+                kernel: 5,
+                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+            },
+            ConvLayerSpec {
+                feature_maps_out: 16,
+                kernel: 5,
+                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+            },
+        ],
+        linear_layers: vec![
+            LinearLayerSpec { neurons: 32, tanh: true },
+            LinearLayerSpec { neurons: 10, tanh: false },
+        ],
+        board: Board::Zedboard,
+        optimized: true,
+    }
+}
+
+#[test]
+fn lenet_shapes_follow_the_classic_pipeline() {
+    let shapes = lenet_spec().validate().expect("valid");
+    // 28 -> 24 -> 12 -> 8 -> 4 spatially.
+    assert_eq!(shapes[0], Shape::new(6, 24, 24));
+    assert_eq!(shapes[1], Shape::new(6, 12, 12));
+    assert_eq!(shapes[2], Shape::new(16, 8, 8));
+    assert_eq!(shapes[3], Shape::new(16, 4, 4));
+    assert_eq!(shapes[4], Shape::new(1, 1, 32));
+    assert_eq!(shapes[5], Shape::new(1, 1, 10));
+}
+
+#[test]
+fn lenet_trains_builds_and_classifies_on_hardware() {
+    let train = MnistLike::default().generate(600, 21);
+    let test = MnistLike::default().generate(150, 22);
+
+    let artifacts = Workflow::new(
+        lenet_spec(),
+        WeightSource::TrainOnline {
+            dataset: train,
+            config: TrainConfig {
+                learning_rate: 0.15,
+                batch_size: 16,
+                epochs: 10,
+                weight_decay: 1e-4,
+                lr_decay: 0.97,
+                momentum: 0.0,
+            },
+            seed: 77,
+        },
+    )
+    .run()
+    .expect("LeNet fits the Zedboard");
+
+    assert!(artifacts.report.resources.fits());
+
+    // Hardware and software agree, and the net actually learned.
+    let hw = artifacts.device.classify_batch(&test.images);
+    let sw: Vec<usize> = test.images.iter().map(|i| artifacts.network.predict(i)).collect();
+    assert_eq!(hw.predictions, sw);
+
+    let cm = ConfusionMatrix::from_predictions(&hw.predictions, &test.labels, 10);
+    assert!(
+        cm.error() < 0.5,
+        "LeNet-on-MNIST-like should beat chance comfortably: {:.1}%\n{}",
+        cm.error() * 100.0,
+        cm.render()
+    );
+    assert_eq!(cm.total(), 150);
+}
+
+#[test]
+fn zybo_fit_depends_on_the_tanh_core() {
+    // The Zybo has only 80 DSPs; the tanh activation's exp cores are
+    // the largest single consumer. With tanh on the hidden linear
+    // layer LeNet overflows DSP; dropping it fits.
+    let mut with_tanh = lenet_spec();
+    with_tanh.board = Board::Zybo;
+    let err = Workflow::new(with_tanh, WeightSource::Random { seed: 3 })
+        .run()
+        .unwrap_err();
+    assert!(err.to_string().contains("DSP"), "{err}");
+
+    let mut plain = lenet_spec();
+    plain.board = Board::Zybo;
+    plain.linear_layers[0].tanh = false;
+    let artifacts = Workflow::new(plain, WeightSource::Random { seed: 3 })
+        .run()
+        .expect("tanh-free LeNet fits the Zybo");
+    assert!(artifacts.report.resources.fits());
+    assert_eq!(artifacts.bitstream.board, Board::Zybo);
+}

@@ -1,0 +1,152 @@
+//! Integration tests pinning the paper's qualitative claims — the
+//! "shape" of Tables I and II — at reduced experiment sizes.
+
+use cnn2fpga::framework::report::{run_table1_row, run_table2_row};
+use cnn2fpga::framework::{Experiment, ExperimentConfig, PaperTest};
+
+fn quick(test: PaperTest) -> Experiment {
+    Experiment::build(test, ExperimentConfig::quick())
+}
+
+#[test]
+fn hardware_always_wins_on_time() {
+    for test in PaperTest::ALL {
+        let row = run_table1_row(&quick(test));
+        assert!(
+            row.speedup > 1.0,
+            "{}: hardware should be faster (speedup {:.2})",
+            test.name(),
+            row.speedup
+        );
+    }
+}
+
+#[test]
+fn speedups_are_ordered_like_the_paper() {
+    // Paper: 1.18x < 6.23x < 9.0x < 11.5x.
+    let speedups: Vec<f64> = PaperTest::ALL
+        .iter()
+        .map(|&t| run_table1_row(&quick(t)).speedup)
+        .collect();
+    assert!(
+        speedups[0] < speedups[1],
+        "Test 2 should beat Test 1: {speedups:?}"
+    );
+    assert!(
+        speedups[1] < speedups[3] * 1.25,
+        "Test 4 should be in the top speedup band: {speedups:?}"
+    );
+    assert!(speedups[0] < 3.0, "naive speedup stays modest: {speedups:?}");
+    assert!(speedups[3] > 8.0, "Test 4 speedup should be large: {speedups:?}");
+}
+
+#[test]
+fn sw_and_hw_errors_identical_in_every_test() {
+    // The paper: "both implementations produce the same prediction
+    // error" — in our stack, bit-identical.
+    for test in PaperTest::ALL {
+        let row = run_table1_row(&quick(test));
+        assert_eq!(
+            row.sw_error,
+            row.hw_error,
+            "{}: SW/HW error mismatch",
+            test.name()
+        );
+    }
+}
+
+#[test]
+fn naive_loses_energy_optimized_wins() {
+    let r1 = run_table1_row(&quick(PaperTest::Test1));
+    assert!(
+        r1.hw_energy_j > r1.sw_energy_j,
+        "Test 1: naive HW should lose on energy ({:.2} vs {:.2} J)",
+        r1.hw_energy_j,
+        r1.sw_energy_j
+    );
+    for test in [PaperTest::Test2, PaperTest::Test3, PaperTest::Test4] {
+        let r = run_table1_row(&quick(test));
+        assert!(
+            r.hw_energy_j < r.sw_energy_j,
+            "{}: optimized HW should win on energy ({:.2} vs {:.2} J)",
+            test.name(),
+            r.hw_energy_j,
+            r.sw_energy_j
+        );
+    }
+}
+
+#[test]
+fn dsp_dominates_and_grows_across_tests() {
+    let rows: Vec<_> = PaperTest::ALL
+        .iter()
+        .map(|&t| run_table2_row(&quick(t)))
+        .collect();
+    // Paper Table II: DSP is the top resource in Tests 1-3 and grows
+    // monotonically 41.82 → 44.09 → 46.36 → 48.64.
+    for w in rows.windows(2) {
+        assert!(
+            w[1].usage.dsp >= w[0].usage.dsp,
+            "DSP usage should not decrease: {} -> {}",
+            w[0].usage.dsp,
+            w[1].usage.dsp
+        );
+    }
+    for row in &rows[..3] {
+        let u = &row.usage;
+        let others = u.ff_pct().max(u.lut_pct()).max(u.lutram_pct()).max(u.bram_pct());
+        assert!(
+            u.dsp_pct() > others,
+            "{}: DSP {:.1}% should dominate (max other {:.1}%)",
+            row.test,
+            u.dsp_pct(),
+            others
+        );
+    }
+}
+
+#[test]
+fn test4_bram_utilization_explodes() {
+    let t2 = run_table2_row(&quick(PaperTest::Test2));
+    let t4 = run_table2_row(&quick(PaperTest::Test4));
+    // Paper: 7.14% → 76.07%.
+    assert!(
+        t4.usage.bram_pct() > 5.0 * t2.usage.bram_pct(),
+        "Test 4 BRAM {:.1}% should dwarf Test 2's {:.1}%",
+        t4.usage.bram_pct(),
+        t2.usage.bram_pct()
+    );
+    assert!(t4.usage.bram_pct() > 50.0);
+    assert!(t4.usage.fits(), "Test 4 must still fit the Zedboard");
+}
+
+#[test]
+fn ff_drops_and_lut_jumps_under_optimization() {
+    // Table II's signature inversion between Test 1 and Test 2.
+    let t1 = run_table2_row(&quick(PaperTest::Test1));
+    let t2 = run_table2_row(&quick(PaperTest::Test2));
+    assert!(
+        t2.usage.ff < t1.usage.ff,
+        "FF should drop: {} -> {}",
+        t1.usage.ff,
+        t2.usage.ff
+    );
+    assert!(
+        t2.usage.lut > t1.usage.lut,
+        "LUT should jump: {} -> {}",
+        t1.usage.lut,
+        t2.usage.lut
+    );
+}
+
+#[test]
+fn random_weight_cifar_error_is_near_chance() {
+    let e = quick(PaperTest::Test4);
+    let row = run_table1_row(&e);
+    // Paper: 89.4% (chance is 90% for 10 balanced classes).
+    assert!(
+        row.sw_error > 0.6,
+        "random-weight CIFAR error {:.2} suspiciously low",
+        row.sw_error
+    );
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property tests: randomly generated descriptors either
+//! build end to end or fail with a structured, stage-attributed error;
+//! structural invariants hold for every accepted design.
+
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{
+    ConvLayerSpec, LinearLayerSpec, NetworkSpec, WeightSource, Workflow,
+};
+use cnn2fpga::framework::spec::PoolSpec;
+use cnn2fpga::hls::ir::lower;
+use cnn2fpga::tensor::ops::pool::PoolKind;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
+    (
+        1usize..=3,                 // channels
+        8usize..=24,                // side
+        proptest::collection::vec(
+            (1usize..=8, 2usize..=6, proptest::option::of(2usize..=3)),
+            1..=2,
+        ),                          // conv layers (maps, kernel, pool window)
+        proptest::collection::vec((1usize..=16, any::<bool>()), 1..=2), // linear layers
+    )
+        .prop_map(|(c, side, convs, linears)| NetworkSpec {
+            input_channels: c,
+            input_height: side,
+            input_width: side,
+            conv_layers: convs
+                .into_iter()
+                .map(|(maps, kernel, pool)| ConvLayerSpec {
+                    feature_maps_out: maps,
+                    kernel,
+                    pooling: pool.map(|k| PoolSpec {
+                        kind: PoolKind::Max,
+                        kernel: k,
+                        step: None,
+                    }),
+                })
+                .collect(),
+            linear_layers: linears
+                .into_iter()
+                .map(|(neurons, tanh)| LinearLayerSpec { neurons, tanh })
+                .collect(),
+            board: Board::Zedboard,
+            optimized: true,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_specs_build_or_fail_cleanly(spec in arb_spec()) {
+        match Workflow::new(spec.clone(), WeightSource::Random { seed: 1 }).run() {
+            Ok(artifacts) => {
+                // Accepted designs satisfy the full invariant set.
+                prop_assert!(artifacts.report.resources.fits());
+                prop_assert!(artifacts.cpp_source.contains("int cnn("));
+                prop_assert_eq!(artifacts.trace.len(), 8);
+                let img = cnn2fpga::tensor::Tensor::zeros(artifacts.network.input_shape());
+                let pred = artifacts.device.classify_batch(std::slice::from_ref(&img));
+                prop_assert_eq!(pred.predictions[0], artifacts.network.predict(&img));
+            }
+            Err(err) => {
+                // Failures carry a stage and a non-empty message.
+                prop_assert!(!err.message.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn valid_specs_lower_with_consistent_weights(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        if let Ok(net) = cnn2fpga::framework::weights::build_random(&spec, 3) {
+            let ir = lower(&net);
+            // Every weight element in the network appears in the IR.
+            prop_assert_eq!(ir.total_weight_elems(), net.param_count() as u64);
+            // Dataflow buffers match layer outputs.
+            let last = ir.blocks.last().unwrap();
+            prop_assert_eq!(last.output_elems, net.output_shape().len() as u64);
+        }
+    }
+
+    #[test]
+    fn schedules_monotone_under_pipelining(spec in arb_spec()) {
+        prop_assume!(spec.validate().is_ok());
+        if let Ok(net) = cnn2fpga::framework::weights::build_random(&spec, 3) {
+            use cnn2fpga::hls::{DirectiveSet, FpgaPart, HlsProject};
+            let naive = HlsProject::new_unchecked(&net, DirectiveSet::naive(), FpgaPart::zynq7020());
+            let opt = HlsProject::new_unchecked(&net, DirectiveSet::optimized(), FpgaPart::zynq7020());
+            let agg = HlsProject::new_unchecked(&net, DirectiveSet::aggressive(), FpgaPart::zynq7020());
+            // Optimization never makes the steady-state interval worse.
+            prop_assert!(opt.schedule().interval_cycles <= naive.schedule().interval_cycles);
+            prop_assert!(agg.schedule().interval_cycles <= opt.schedule().interval_cycles);
+            // And never uses fewer DSPs.
+            prop_assert!(opt.resources().dsp >= naive.resources().dsp);
+        }
+    }
+}
