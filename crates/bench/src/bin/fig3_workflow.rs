@@ -8,7 +8,10 @@ use cnn_framework::{NetworkSpec, WeightSource, Workflow};
 fn main() {
     println!("FIG. 3: Workflow of the framework\n");
     let spec = NetworkSpec::paper_usps_small(true);
-    println!("input descriptor (the GUI's JSON):\n{}\n", spec.to_json());
+    println!(
+        "input descriptor (the GUI's JSON):\n{}\n",
+        spec.to_json().expect("descriptor serializes")
+    );
 
     let wf = Workflow::new(spec, WeightSource::Random { seed: 2016 });
     let artifacts = wf.run().expect("workflow succeeds for the paper network");

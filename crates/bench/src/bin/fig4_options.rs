@@ -26,7 +26,10 @@ fn main() {
     println!("  input_channels/height/width, board (zedboard | zybo), optimized");
 
     let spec = NetworkSpec::paper_usps_small(true);
-    println!("\nconfigured Test-1/2 descriptor:\n{}", spec.to_json());
+    println!(
+        "\nconfigured Test-1/2 descriptor:\n{}",
+        spec.to_json().expect("descriptor serializes")
+    );
 
     println!("\nper-stage shape echo (Eqs. 2-5 applied):");
     for (i, s) in spec.validate().expect("valid").iter().enumerate() {

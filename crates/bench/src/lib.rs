@@ -17,6 +17,7 @@
 //! | `fig4_options` | Fig. 4 — layer configuration options |
 //! | `fig5_block_design` | Fig. 5 — block design (DOT + validation) |
 //! | `fig6_datasets` | Fig. 6 — dataset sample images |
+//! | `fault_sweep` | (extension) transport fault-rate sweep: injection, recovery, fallback, wasted energy |
 //!
 //! Pass `--quick` to any binary for a smoke-sized run.
 

@@ -36,7 +36,7 @@ impl Segment {
     }
 }
 
-/// Address-assignment failures.
+/// Address-assignment and validation failures.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MapError {
     /// Size is zero, not a power of two, or below the 4 KiB minimum.
@@ -45,6 +45,12 @@ pub enum MapError {
     WindowFull,
     /// Duplicate slave name.
     Duplicate(String),
+    /// A segment falls outside the GP0 window.
+    OutsideWindow(String),
+    /// A segment's base is not aligned to its size.
+    Misaligned(String),
+    /// Two segments overlap.
+    Overlap(String, String),
 }
 
 impl fmt::Display for MapError {
@@ -53,6 +59,9 @@ impl fmt::Display for MapError {
             MapError::BadSize(s) => write!(f, "segment size {s:#x} invalid (power of two ≥ 4 KiB)"),
             MapError::WindowFull => write!(f, "GP0 window exhausted"),
             MapError::Duplicate(n) => write!(f, "slave {n} already mapped"),
+            MapError::OutsideWindow(n) => write!(f, "{n} outside the GP0 window"),
+            MapError::Misaligned(n) => write!(f, "{n} not size-aligned"),
+            MapError::Overlap(a, b) => write!(f, "{a} overlaps {b}"),
         }
     }
 }
@@ -73,11 +82,11 @@ impl AddressMap {
 
     /// Builds the map the paper's block design needs: the DMA's
     /// register file and the CNN core's AXI-Lite control port.
-    pub fn fig5() -> AddressMap {
+    pub fn fig5() -> Result<AddressMap, MapError> {
         let mut m = AddressMap::new();
-        m.assign("axi_dma_0", 0x1_0000).expect("fits");
-        m.assign("cnn_0", 0x1_0000).expect("fits");
-        m
+        m.assign("axi_dma_0", 0x1_0000)?;
+        m.assign("cnn_0", 0x1_0000)?;
+        Ok(m)
     }
 
     /// Assigns the next free size-aligned segment to `name`.
@@ -126,19 +135,19 @@ impl AddressMap {
 
     /// Validates the invariants Vivado enforces: window bounds,
     /// alignment, and pairwise disjointness.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), MapError> {
         for s in &self.segments {
             if s.base < GP0_BASE || s.end() > GP0_END {
-                return Err(format!("{} outside the GP0 window", s.name));
+                return Err(MapError::OutsideWindow(s.name.clone()));
             }
             if s.base % s.size != 0 {
-                return Err(format!("{} not size-aligned", s.name));
+                return Err(MapError::Misaligned(s.name.clone()));
             }
         }
         for (i, a) in self.segments.iter().enumerate() {
             for b in &self.segments[i + 1..] {
                 if a.base < b.end() && b.base < a.end() {
-                    return Err(format!("{} overlaps {}", a.name, b.name));
+                    return Err(MapError::Overlap(a.name.clone(), b.name.clone()));
                 }
             }
         }
@@ -152,7 +161,7 @@ mod tests {
 
     #[test]
     fn fig5_map_validates() {
-        let m = AddressMap::fig5();
+        let m = AddressMap::fig5().expect("Fig. 5 map assigns cleanly");
         m.validate().expect("Fig. 5 map is clean");
         assert_eq!(m.segments().len(), 2);
         assert_eq!(m.lookup("axi_dma_0").unwrap().base, GP0_BASE);
@@ -161,7 +170,7 @@ mod tests {
 
     #[test]
     fn decode_resolves_register_addresses() {
-        let m = AddressMap::fig5();
+        let m = AddressMap::fig5().unwrap();
         // MM2S_DMACR of the DMA lives at base + 0x00.
         let (seg, off) = m.decode(0x4000_0000).unwrap();
         assert_eq!(seg.name, "axi_dma_0");
@@ -212,5 +221,29 @@ mod tests {
     fn error_display() {
         assert!(MapError::BadSize(7).to_string().contains("power of two"));
         assert!(MapError::WindowFull.to_string().contains("exhausted"));
+        assert!(MapError::Overlap("a".into(), "b".into()).to_string().contains("overlaps"));
+        assert!(MapError::Misaligned("x".into()).to_string().contains("aligned"));
+        assert!(MapError::OutsideWindow("y".into()).to_string().contains("window"));
+    }
+
+    #[test]
+    fn validate_reports_typed_overlap() {
+        // Hand-build an overlapping map (assign() itself never
+        // produces one).
+        let mut m = AddressMap::new();
+        m.segments.push(Segment { name: "a".into(), base: GP0_BASE, size: 0x2000 });
+        m.segments.push(Segment { name: "b".into(), base: GP0_BASE + 0x1000, size: 0x1000 });
+        assert_eq!(m.validate().unwrap_err(), MapError::Overlap("a".into(), "b".into()));
+    }
+
+    #[test]
+    fn validate_reports_out_of_window_and_misaligned() {
+        let mut m = AddressMap::new();
+        m.segments.push(Segment { name: "low".into(), base: 0x1000, size: 0x1000 });
+        assert_eq!(m.validate().unwrap_err(), MapError::OutsideWindow("low".into()));
+
+        let mut m = AddressMap::new();
+        m.segments.push(Segment { name: "skew".into(), base: GP0_BASE + 0x800, size: 0x1000 });
+        assert_eq!(m.validate().unwrap_err(), MapError::Misaligned("skew".into()));
     }
 }

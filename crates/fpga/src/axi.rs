@@ -3,10 +3,12 @@
 //! The paper's design moves every image from DDR through the AXI DMA
 //! into the IP core over a 32-bit AXI4-Stream and returns the class
 //! index the same way (Section IV-B). This module provides the cycle
-//! accounting for those transfers and a channel-based stream pair for
-//! threaded co-simulation.
+//! accounting for those transfers, a channel-based stream pair for
+//! threaded co-simulation, and the beat-level fault hooks the
+//! [`crate::fault`] injector drives (dropped and corrupted beats).
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::fmt;
 
 /// Cycle accounting for one DMA engine (both directions).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -66,6 +68,45 @@ pub struct StreamBeat {
     pub last: bool,
 }
 
+/// Stream transport failure: the other end of the channel went away
+/// mid-packet (a torn-down co-simulation thread, the model's analogue
+/// of a wedged stream interface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// `send` found the receiver dropped.
+    ReceiverDropped,
+    /// `recv` found the sender dropped before TLAST.
+    SenderDropped,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::ReceiverDropped => {
+                write!(f, "AXI-Stream receiver dropped mid-packet")
+            }
+            StreamError::SenderDropped => {
+                write!(f, "AXI-Stream sender dropped before TLAST")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A beat-level fault to apply while sending one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BeatFault {
+    /// Drop the beat at this index entirely (it never reaches the
+    /// FIFO). TLAST is re-asserted on the final *kept* beat so the
+    /// receiver still sees a framed — but short — packet.
+    Drop(usize),
+    /// Replace the beat's payload at this index with a non-finite
+    /// pattern (bus glitch; NaN is the float analogue of a parity
+    /// error and is detected at the IP core).
+    Corrupt(usize),
+}
+
 /// A bounded AXI4-Stream channel pair (master → slave), used by the
 /// threaded co-simulation in [`crate::device`].
 pub struct AxiStream {
@@ -87,23 +128,60 @@ impl AxiStream {
     }
 
     /// Sends a full packet (all words, TLAST on the final beat).
-    /// Blocks when the FIFO is full — AXI backpressure.
-    pub fn send_packet(tx: &Sender<StreamBeat>, words: &[f32]) {
-        let n = words.len();
-        for (i, &w) in words.iter().enumerate() {
-            tx.send(StreamBeat { data: w, last: i + 1 == n })
-                .expect("stream receiver dropped");
-        }
+    /// Blocks when the FIFO is full — AXI backpressure. Errors if the
+    /// receiver end has been dropped.
+    pub fn send_packet(tx: &Sender<StreamBeat>, words: &[f32]) -> Result<(), StreamError> {
+        Self::send_packet_faulted(tx, words, None)
     }
 
-    /// Receives one packet (until TLAST). Returns the payload.
-    pub fn recv_packet(rx: &Receiver<StreamBeat>) -> Vec<f32> {
+    /// [`Self::send_packet`] with an optional injected beat fault.
+    ///
+    /// A `Drop` on a single-beat packet would erase the packet (and
+    /// its TLAST) entirely, deadlocking the receiver — so it degrades
+    /// to a corruption, which stays detectable.
+    pub fn send_packet_faulted(
+        tx: &Sender<StreamBeat>,
+        words: &[f32],
+        fault: Option<BeatFault>,
+    ) -> Result<(), StreamError> {
+        let n = words.len();
+        let fault = match fault {
+            Some(BeatFault::Drop(i)) if n <= 1 => Some(BeatFault::Corrupt(i)),
+            other => other,
+        };
+        let dropped = match fault {
+            Some(BeatFault::Drop(i)) => Some(i.min(n.saturating_sub(1))),
+            _ => None,
+        };
+        let corrupted = match fault {
+            Some(BeatFault::Corrupt(i)) => Some(i.min(n.saturating_sub(1))),
+            _ => None,
+        };
+        // Index of the final beat actually sent, for TLAST placement.
+        let last_sent = match dropped {
+            Some(i) if i + 1 == n => n.saturating_sub(2),
+            _ => n.saturating_sub(1),
+        };
+        for (i, &w) in words.iter().enumerate() {
+            if dropped == Some(i) {
+                continue;
+            }
+            let data = if corrupted == Some(i) { f32::NAN } else { w };
+            tx.send(StreamBeat { data, last: i == last_sent })
+                .map_err(|_| StreamError::ReceiverDropped)?;
+        }
+        Ok(())
+    }
+
+    /// Receives one packet (until TLAST). Returns the payload, or an
+    /// error if the sender disappears before the packet is framed.
+    pub fn recv_packet(rx: &Receiver<StreamBeat>) -> Result<Vec<f32>, StreamError> {
         let mut out = Vec::new();
         loop {
-            let beat = rx.recv().expect("stream sender dropped");
+            let beat = rx.recv().map_err(|_| StreamError::SenderDropped)?;
             out.push(beat.data);
             if beat.last {
-                return out;
+                return Ok(out);
             }
         }
     }
@@ -143,8 +221,8 @@ mod tests {
         let (tx, rx) = s.split();
         let words = vec![1.0, 2.0, 3.0];
         let t = std::thread::spawn(move || AxiStream::send_packet(&tx, &words));
-        let got = AxiStream::recv_packet(&rx);
-        t.join().unwrap();
+        let got = AxiStream::recv_packet(&rx).unwrap();
+        t.join().unwrap().unwrap();
         assert_eq!(got, vec![1.0, 2.0, 3.0]);
     }
 
@@ -157,8 +235,8 @@ mod tests {
         let words = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let t = std::thread::spawn(move || AxiStream::send_packet(&tx, &words));
         std::thread::sleep(std::time::Duration::from_millis(10));
-        let got = AxiStream::recv_packet(&rx);
-        t.join().unwrap();
+        let got = AxiStream::recv_packet(&rx).unwrap();
+        t.join().unwrap().unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(got[4], 5.0);
     }
@@ -167,10 +245,80 @@ mod tests {
     fn multiple_packets_keep_boundaries() {
         let s = AxiStream::with_depth(64);
         let (tx, rx) = s.split();
-        AxiStream::send_packet(&tx, &[1.0, 2.0]);
-        AxiStream::send_packet(&tx, &[3.0]);
-        assert_eq!(AxiStream::recv_packet(&rx), vec![1.0, 2.0]);
-        assert_eq!(AxiStream::recv_packet(&rx), vec![3.0]);
+        AxiStream::send_packet(&tx, &[1.0, 2.0]).unwrap();
+        AxiStream::send_packet(&tx, &[3.0]).unwrap();
+        assert_eq!(AxiStream::recv_packet(&rx).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(AxiStream::recv_packet(&rx).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn disconnected_receiver_is_error_not_panic() {
+        let s = AxiStream::with_depth(4);
+        let (tx, rx) = s.split();
+        drop(rx);
+        assert_eq!(
+            AxiStream::send_packet(&tx, &[1.0, 2.0]),
+            Err(StreamError::ReceiverDropped)
+        );
+    }
+
+    #[test]
+    fn disconnected_sender_is_error_not_panic() {
+        let s = AxiStream::with_depth(4);
+        let (tx, rx) = s.split();
+        // One unterminated beat, then the sender vanishes.
+        tx.send(StreamBeat { data: 1.0, last: false }).unwrap();
+        drop(tx);
+        assert_eq!(AxiStream::recv_packet(&rx), Err(StreamError::SenderDropped));
+    }
+
+    #[test]
+    fn dropped_beat_shortens_packet_but_keeps_framing() {
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0, 3.0], Some(BeatFault::Drop(1))).unwrap();
+        assert_eq!(AxiStream::recv_packet(&rx).unwrap(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_last_beat_moves_tlast_back() {
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0, 3.0], Some(BeatFault::Drop(2))).unwrap();
+        assert_eq!(AxiStream::recv_packet(&rx).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn corrupted_beat_keeps_length_and_is_nan() {
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0, 3.0], Some(BeatFault::Corrupt(1)))
+            .unwrap();
+        let got = AxiStream::recv_packet(&rx).unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(got[1].is_nan());
+        assert_eq!(got[2], 3.0);
+    }
+
+    #[test]
+    fn drop_on_single_beat_packet_degrades_to_corruption() {
+        // Dropping the only beat would erase TLAST and wedge the
+        // receiver; the fault degrades to a corrupt beat instead.
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet_faulted(&tx, &[7.0], Some(BeatFault::Drop(0))).unwrap();
+        let got = AxiStream::recv_packet(&rx).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].is_nan());
+    }
+
+    #[test]
+    fn fault_index_clamped_to_packet() {
+        let s = AxiStream::with_depth(8);
+        let (tx, rx) = s.split();
+        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0], Some(BeatFault::Corrupt(99))).unwrap();
+        let got = AxiStream::recv_packet(&rx).unwrap();
+        assert!(got[1].is_nan());
     }
 
     #[test]

@@ -11,26 +11,93 @@
 //!   connected by bounded crossbeam channels modelling the AXI4-Stream
 //!   FIFOs (backpressure included). Classifications and cycle counts
 //!   are identical to the in-process loop by construction.
+//!
+//! Both modes accept a [`FaultPlan`]: the driver loop detects injected
+//! transport faults (via DMASR error bits, poll timeouts, or packet
+//! integrity checks at the core), runs the bounded reset-and-retry
+//! policy, and reports a per-image [`ImageOutcome`]. Images that
+//! exhaust the retry budget are *abandoned* — their prediction slot
+//! holds [`ABANDONED`] and the caller (see
+//! `cnn-framework::workflow::classify_with_recovery`) falls back to
+//! the bit-identical software path.
 
 use crate::axi::{AxiDma, AxiStream, StreamBeat};
 use crate::bitstream::Bitstream;
-use crate::dma_regs::DmaDriver;
 use crate::board::Board;
+use crate::dma_regs::{DmaDriver, HwFault};
+use crate::fault::{FaultPlan, FaultStats, InjectedFault, RetryPolicy};
+use cnn_hls::calibration::{DMA_RESET_CYCLES, DMA_SETUP_CYCLES, DMA_TIMEOUT_CYCLES};
 use cnn_tensor::parallel::par_map;
 use cnn_tensor::Tensor;
 use crossbeam::channel::{Receiver, Sender};
+use serde::Serialize;
+
+/// Sentinel prediction for an image the hardware abandoned after
+/// exhausting its retry budget (no real class index can be this).
+pub const ABANDONED: usize = usize::MAX;
+
+/// What happened to one image on the hardware path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ImageOutcome {
+    /// Classified on the first attempt.
+    Clean,
+    /// Classified after `retries` failed attempts (reset-and-retry).
+    Recovered {
+        /// Failed attempts before the one that succeeded.
+        retries: u32,
+    },
+    /// Every attempt failed; the prediction slot holds [`ABANDONED`]
+    /// and the image needs the software fallback.
+    Abandoned {
+        /// Attempts spent (the policy's full budget).
+        attempts: u32,
+    },
+}
+
+impl ImageOutcome {
+    /// True unless the image was abandoned.
+    pub fn classified(&self) -> bool {
+        !matches!(self, ImageOutcome::Abandoned { .. })
+    }
+}
 
 /// Result of classifying a batch on the device.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchResult {
-    /// Predicted class per image, in input order.
+    /// Predicted class per image, in input order ([`ABANDONED`] for
+    /// images the hardware gave up on).
     pub predictions: Vec<usize>,
-    /// Total fabric cycles (compute; DMA overlaps under DATAFLOW).
+    /// Total fabric cycles (compute; DMA overlaps under DATAFLOW;
+    /// includes the fault/retry/reset penalty cycles).
     pub fabric_cycles: u64,
-    /// Total DMA transfer cycles issued (for bus-utilization stats).
+    /// Useful DMA transfer cycles issued (successful attempts only,
+    /// for bus-utilization stats).
     pub dma_cycles: u64,
     /// Wall-clock seconds at the fabric clock.
     pub seconds: f64,
+    /// Per-image hardware outcome, in input order.
+    pub outcomes: Vec<ImageOutcome>,
+    /// Aggregate fault/recovery accounting.
+    pub faults: FaultStats,
+}
+
+impl BatchResult {
+    /// Seconds burned on failed attempts, timeouts and resets (part
+    /// of [`Self::seconds`]) — the energy model charges these as
+    /// waste.
+    pub fn fault_seconds(&self) -> f64 {
+        self.faults.fault_cycles as f64 / cnn_hls::calibration::FABRIC_CLOCK_HZ as f64
+    }
+
+    /// Indices of abandoned images (the software-fallback set).
+    pub fn abandoned_indices(&self) -> Vec<usize> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !o.classified())
+            .map(|(i, _)| i)
+            .collect()
+    }
 }
 
 /// A Zynq board programmed with a CNN bitstream.
@@ -67,6 +134,68 @@ impl std::fmt::Display for DeviceError {
 
 impl std::error::Error for DeviceError {}
 
+/// Extra cycles one failed attempt burns, by fault kind: beat faults
+/// waste the full transfer (detected only at the core's packet
+/// check), a stall wastes the driver's whole poll budget, a halt is
+/// flagged on the first status read after setup.
+fn fault_attempt_cycles(fault: InjectedFault, words: u64) -> u64 {
+    match fault {
+        InjectedFault::DropBeat(_) | InjectedFault::CorruptBeat(_) => {
+            (DMA_SETUP_CYCLES + words) + (DMA_SETUP_CYCLES + 1)
+        }
+        InjectedFault::Stall(_) => DMA_SETUP_CYCLES + DMA_TIMEOUT_CYCLES,
+        InjectedFault::Halt(_, _) => DMA_SETUP_CYCLES,
+    }
+}
+
+/// Whether the engine must be soft-reset after this fault.
+fn fault_needs_reset(fault: InjectedFault) -> bool {
+    matches!(fault, InjectedFault::Stall(_) | InjectedFault::Halt(_, _))
+}
+
+/// The shared per-image retry loop: samples the fault for each
+/// attempt, delegates the actual transfer to `attempt_fn` (`Some`
+/// prediction on success), and keeps the cycle/outcome accounting —
+/// identical for the fast and threaded paths by construction.
+fn run_image<F>(
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    image: usize,
+    words: u64,
+    stats: &mut FaultStats,
+    mut attempt_fn: F,
+) -> ImageOutcome
+where
+    F: FnMut(Option<InjectedFault>) -> Option<usize>,
+{
+    for attempt in 0..policy.max_attempts() {
+        let fault = plan.sample(image, attempt as u32, words as usize);
+        if fault.is_some() {
+            stats.injected += 1;
+        }
+        if attempt_fn(fault).is_some() {
+            if attempt == 0 {
+                stats.clean += 1;
+                return ImageOutcome::Clean;
+            }
+            stats.recovered += 1;
+            return ImageOutcome::Recovered { retries: attempt };
+        }
+        if let Some(f) = fault {
+            stats.fault_cycles += fault_attempt_cycles(f, words);
+            if fault_needs_reset(f) {
+                stats.resets += 1;
+                stats.fault_cycles += DMA_RESET_CYCLES;
+            }
+        }
+        if attempt + 1 < policy.max_attempts() {
+            stats.retries += 1;
+        }
+    }
+    stats.abandoned += 1;
+    ImageOutcome::Abandoned { attempts: policy.max_attempts() }
+}
+
 impl ZynqDevice {
     /// Programs `board` with `bitstream` (the "download on the target
     /// device" step).
@@ -87,87 +216,203 @@ impl ZynqDevice {
         &self.bitstream
     }
 
-    fn total_cycles(&self, n: u64, dma_cycles: u64) -> (u64, f64) {
+    /// `n_ok` is the number of images the core actually computed
+    /// (clean + recovered); fault penalty cycles never overlap the
+    /// DATAFLOW pipeline — the engine is being reset, not streaming.
+    fn total_cycles(&self, n_ok: u64, dma_cycles: u64, fault_cycles: u64) -> (u64, f64) {
         let core = &self.bitstream.core;
-        let fabric = core.batch_cycles(n);
+        let fabric = core.batch_cycles(n_ok);
         // Under DATAFLOW the DMA streams overlap compute; otherwise the
         // transfers serialize with it. Note the HLS schedule already
         // charges the input-read loop, so only the non-overlapped
         // return-word transfers add here.
-        let total = if core.dataflow() {
+        let base = if core.dataflow() {
             fabric
         } else {
             fabric + dma_cycles / 8 // light bus contention charge
         };
+        let total = base + fault_cycles;
         let secs = total as f64 / cnn_hls::calibration::FABRIC_CLOCK_HZ as f64;
         (total, secs)
     }
 
     /// Classifies `images` through the simulated PS→DMA→IP loop,
     /// computing predictions in parallel (rayon) and cycles
-    /// analytically.
+    /// analytically. Fault-free: every outcome is `Clean`.
     pub fn classify_batch(&self, images: &[Tensor]) -> BatchResult {
+        self.classify_batch_faulty(images, &FaultPlan::none(), &RetryPolicy::default())
+    }
+
+    /// [`Self::classify_batch`] under an injected [`FaultPlan`], with
+    /// the bounded reset-and-retry recovery `policy`.
+    pub fn classify_batch_faulty(
+        &self,
+        images: &[Tensor],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> BatchResult {
         let core = &self.bitstream.core;
         let mut dma = AxiDma::new();
         let mut driver = DmaDriver::new();
         let words = core.input_words();
         let mut dma_cycles = 0u64;
-        for (i, _) in images.iter().enumerate() {
-            // Program the register file exactly as the PS driver does
-            // (S2MM return word first, then the MM2S image transfer).
-            driver
-                .transfer(
-                    0x1000_0000u32.wrapping_add((i as u32) * words as u32 * 4),
-                    words as u32 * 4,
-                    0x2000_0000,
-                    4,
-                )
-                .expect("simple-transfer protocol");
-            dma_cycles += dma.mm2s(words);
-            dma_cycles += dma.s2mm(1);
+        let mut stats = FaultStats::default();
+        let mut outcomes = Vec::with_capacity(images.len());
+        for (i, img) in images.iter().enumerate() {
+            let src = 0x1000_0000u32.wrapping_add((i as u32).wrapping_mul(words as u32 * 4));
+            let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
+                match fault {
+                    None => {
+                        // Program the register file exactly as the PS
+                        // driver does (S2MM return word first, then
+                        // the MM2S image transfer).
+                        driver.transfer(src, words as u32 * 4, 0x2000_0000, 4).ok()?;
+                        dma_cycles += dma.mm2s(words);
+                        dma_cycles += dma.s2mm(1);
+                        Some(0) // prediction computed below, in parallel
+                    }
+                    Some(f @ (InjectedFault::DropBeat(_) | InjectedFault::CorruptBeat(_))) => {
+                        // The DMA itself completes; the damage shows
+                        // up as a packet-integrity failure at the
+                        // core's stream interface.
+                        let _ = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
+                        let mut packet = img.as_slice().to_vec();
+                        match f {
+                            InjectedFault::DropBeat(b) => {
+                                packet.remove(b.min(packet.len().saturating_sub(1)));
+                            }
+                            InjectedFault::CorruptBeat(b) => {
+                                let b = b.min(packet.len().saturating_sub(1));
+                                packet[b] = f32::NAN;
+                            }
+                            _ => unreachable!(),
+                        }
+                        core.try_process_packet(&packet).ok().map(|_| 0)
+                    }
+                    Some(InjectedFault::Stall(ch)) => {
+                        driver.inject(ch, HwFault::Stall);
+                        let r = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
+                        driver.recover();
+                        r.ok().map(|_| 0)
+                    }
+                    Some(InjectedFault::Halt(ch, hw)) => {
+                        driver.inject(ch, hw);
+                        let r = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
+                        driver.recover();
+                        r.ok().map(|_| 0)
+                    }
+                }
+            });
+            outcomes.push(outcome);
         }
-        debug_assert_eq!(driver.regs().transfers(), (images.len() as u64, images.len() as u64));
-        let predictions = par_map(images, |img| core.process(img));
-        let (fabric_cycles, seconds) = self.total_cycles(images.len() as u64, dma_cycles);
-        BatchResult { predictions, fabric_cycles, dma_cycles, seconds }
+        // Predictions in parallel, only for images the core received.
+        let tagged: Vec<(bool, &Tensor)> = outcomes
+            .iter()
+            .zip(images)
+            .map(|(o, img)| (o.classified(), img))
+            .collect();
+        let predictions =
+            par_map(&tagged, |&(ok, img)| if ok { core.process(img) } else { ABANDONED });
+        let ok_count = stats.clean + stats.recovered;
+        let (fabric_cycles, seconds) =
+            self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
+        BatchResult { predictions, fabric_cycles, dma_cycles, seconds, outcomes, faults: stats }
     }
 
     /// Same classification through a two-thread co-simulation: the
     /// calling thread plays the PS/DMA (streaming packets), a fabric
-    /// thread plays the IP core (consuming packets, returning one
-    /// class word per image).
+    /// thread plays the IP core (consuming packets until the stream
+    /// disconnects, returning one class word per image — NaN for a
+    /// packet that fails the integrity check).
     pub fn classify_batch_threaded(&self, images: &[Tensor]) -> BatchResult {
-        let core = self.bitstream.core.clone();
-        let words = core.input_words() as usize;
+        self.classify_batch_threaded_faulty(images, &FaultPlan::none(), &RetryPolicy::default())
+    }
 
-        let in_stream = AxiStream::with_depth(words.max(16));
+    /// [`Self::classify_batch_threaded`] under an injected
+    /// [`FaultPlan`]. Produces the identical [`BatchResult`] to
+    /// [`Self::classify_batch_faulty`] for the same inputs.
+    pub fn classify_batch_threaded_faulty(
+        &self,
+        images: &[Tensor],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> BatchResult {
+        let core = self.bitstream.core.clone();
+        let words = core.input_words();
+
+        let in_stream = AxiStream::with_depth((words as usize).max(16));
         let out_stream = AxiStream::with_depth(16);
         let (in_tx, in_rx): (Sender<StreamBeat>, Receiver<StreamBeat>) = in_stream.split();
         let (out_tx, out_rx) = out_stream.split();
 
-        let n = images.len();
+        let fabric_core = core.clone();
         let fabric = std::thread::spawn(move || {
-            for _ in 0..n {
-                let packet = AxiStream::recv_packet(&in_rx);
-                let class = core.process_packet(&packet);
-                AxiStream::send_packet(&out_tx, &[class as f32]);
+            // Serve packets until the PS side hangs up — under faults
+            // the packet count is not knowable up front.
+            while let Ok(packet) = AxiStream::recv_packet(&in_rx) {
+                let reply = match fabric_core.try_process_packet(&packet) {
+                    Ok(class) => class as f32,
+                    Err(_) => f32::NAN, // integrity failure → error word
+                };
+                if AxiStream::send_packet(&out_tx, &[reply]).is_err() {
+                    break;
+                }
             }
         });
 
         let mut dma = AxiDma::new();
         let mut dma_cycles = 0u64;
-        let mut predictions = Vec::with_capacity(n);
-        for img in images {
-            dma_cycles += dma.mm2s(img.len() as u64);
-            AxiStream::send_packet(&in_tx, img.as_slice());
-            let back = AxiStream::recv_packet(&out_rx);
-            dma_cycles += dma.s2mm(back.len() as u64);
-            predictions.push(back[0] as usize);
+        let mut stats = FaultStats::default();
+        let mut predictions = Vec::with_capacity(images.len());
+        let mut outcomes = Vec::with_capacity(images.len());
+        for (i, img) in images.iter().enumerate() {
+            let mut prediction = ABANDONED;
+            let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
+                match fault {
+                    None => {
+                        dma_cycles += dma.mm2s(words);
+                        AxiStream::send_packet(&in_tx, img.as_slice()).ok()?;
+                        let back = AxiStream::recv_packet(&out_rx).ok()?;
+                        dma_cycles += dma.s2mm(back.len() as u64);
+                        let word = *back.first()?;
+                        if word.is_finite() {
+                            prediction = word as usize;
+                            Some(prediction)
+                        } else {
+                            None
+                        }
+                    }
+                    Some(f) => match f.beat_fault() {
+                        Some(bf) => {
+                            // Damaged packet goes onto the real
+                            // stream; the fabric thread replies NaN.
+                            AxiStream::send_packet_faulted(&in_tx, img.as_slice(), Some(bf))
+                                .ok()?;
+                            let back = AxiStream::recv_packet(&out_rx).ok()?;
+                            let word = *back.first()?;
+                            if word.is_finite() {
+                                prediction = word as usize;
+                                Some(prediction)
+                            } else {
+                                None
+                            }
+                        }
+                        // Stall/halt: the transfer dies before any
+                        // beat reaches the stream.
+                        None => None,
+                    },
+                }
+            });
+            predictions.push(prediction);
+            outcomes.push(outcome);
         }
+        drop(in_tx); // hang up: the fabric thread drains and exits
         fabric.join().expect("fabric thread panicked");
 
-        let (fabric_cycles, seconds) = self.total_cycles(n as u64, dma_cycles);
-        BatchResult { predictions, fabric_cycles, dma_cycles, seconds }
+        let ok_count = stats.clean + stats.recovered;
+        let (fabric_cycles, seconds) =
+            self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
+        BatchResult { predictions, fabric_cycles, dma_cycles, seconds, outcomes, faults: stats }
     }
 
     /// Prediction error over a labelled set (the Table I metric).
@@ -246,6 +491,103 @@ mod tests {
         assert_eq!(fast.predictions, threaded.predictions);
         assert_eq!(fast.fabric_cycles, threaded.fabric_cycles);
         assert_eq!(fast.dma_cycles, threaded.dma_cycles);
+        assert_eq!(fast.outcomes, threaded.outcomes);
+        assert_eq!(fast.faults, threaded.faults);
+    }
+
+    #[test]
+    fn threaded_cosim_matches_fast_path_under_faults() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(24, 13);
+        let plan = FaultPlan::uniform(2016, 0.4);
+        let policy = RetryPolicy::default();
+        let fast = dev.classify_batch_faulty(&imgs, &plan, &policy);
+        let threaded = dev.classify_batch_threaded_faulty(&imgs, &plan, &policy);
+        assert_eq!(fast, threaded, "fast and threaded paths must agree beat-for-beat");
+    }
+
+    #[test]
+    fn fault_free_plan_is_byte_identical_to_plain_batch() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(16, 17);
+        let plain = dev.classify_batch(&imgs);
+        let planned =
+            dev.classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
+        assert_eq!(plain, planned);
+        assert!(plain.outcomes.iter().all(|o| *o == ImageOutcome::Clean));
+        assert_eq!(plain.faults, FaultStats { clean: 16, ..Default::default() });
+    }
+
+    #[test]
+    fn faulty_batch_accounting_balances() {
+        let (dev, net) = device(DirectiveSet::optimized());
+        let imgs = images(40, 3);
+        for rate in [0.1, 0.5, 1.0] {
+            let res =
+                dev.classify_batch_faulty(&imgs, &FaultPlan::uniform(7, rate), &RetryPolicy::default());
+            assert!(res.faults.balances(imgs.len()), "rate {rate}: {:?}", res.faults);
+            assert_eq!(res.outcomes.len(), imgs.len());
+            // Every classified image is still bit-identical to SW;
+            // every abandoned slot holds the sentinel.
+            for (i, (p, o)) in res.predictions.iter().zip(&res.outcomes).enumerate() {
+                if o.classified() {
+                    assert_eq!(*p, net.predict(&imgs[i]));
+                } else {
+                    assert_eq!(*p, ABANDONED);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rate_one_abandons_everything() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(8, 19);
+        let res = dev.classify_batch_faulty(
+            &imgs,
+            &FaultPlan::uniform(2016, 1.0),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(res.faults.abandoned, 8);
+        assert!(res.predictions.iter().all(|&p| p == ABANDONED));
+        assert_eq!(res.abandoned_indices(), (0..8).collect::<Vec<_>>());
+        assert!(res.faults.fault_cycles > 0);
+        assert!(res.fault_seconds() > 0.0);
+    }
+
+    #[test]
+    fn faulty_run_is_reproducible_from_seed() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(20, 23);
+        let plan = FaultPlan::uniform(99, 0.3);
+        let a = dev.classify_batch_faulty(&imgs, &plan, &RetryPolicy::default());
+        let b = dev.classify_batch_faulty(&imgs, &plan, &RetryPolicy::default());
+        assert_eq!(a, b);
+        // A different seed takes a different fault trajectory
+        // (overwhelmingly likely at this rate and batch size).
+        let c = dev.classify_batch_faulty(
+            &imgs,
+            &FaultPlan::uniform(100, 0.3),
+            &RetryPolicy::default(),
+        );
+        assert_ne!(a.faults, c.faults);
+    }
+
+    #[test]
+    fn faults_slow_the_batch_down() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(32, 29);
+        let clean = dev.classify_batch(&imgs);
+        let faulty = dev.classify_batch_faulty(
+            &imgs,
+            &FaultPlan::uniform(5, 0.5),
+            &RetryPolicy::default(),
+        );
+        assert!(faulty.faults.fault_cycles > 0);
+        assert!(
+            faulty.seconds > clean.seconds - 1e-12,
+            "retries cannot make the batch faster"
+        );
     }
 
     #[test]
@@ -288,5 +630,6 @@ mod tests {
         let res = dev.classify_batch(&[]);
         assert!(res.predictions.is_empty());
         assert_eq!(res.fabric_cycles, 0);
+        assert!(res.faults.balances(0));
     }
 }

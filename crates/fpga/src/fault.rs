@@ -1,0 +1,395 @@
+//! Deterministic, seed-driven fault injection for the transport and
+//! driver stack.
+//!
+//! Real Zynq deployments hit DMA decode/slave errors, stream stalls
+//! and halted engines — the DMASR register exists to report them.
+//! This module generates those events reproducibly: a [`FaultPlan`]
+//! holds per-transfer probabilities and a seed, and derives an
+//! independent RNG per `(image, attempt)` pair via splitmix64, so the
+//! fast and threaded classification paths (and any rerun with the
+//! same seed) inject *exactly* the same faults.
+
+use crate::axi::BeatFault;
+use crate::dma_regs::{DmaChannel, HwFault};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::Serialize;
+use std::fmt;
+
+/// A fault chosen for one transfer attempt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InjectedFault {
+    /// Drop the stream beat at this index (short packet at the core).
+    DropBeat(usize),
+    /// Corrupt the stream beat at this index (NaN payload).
+    CorruptBeat(usize),
+    /// The channel accepts the transfer but never completes it.
+    Stall(DmaChannel),
+    /// The engine halts with a DMASR error cause.
+    Halt(DmaChannel, HwFault),
+}
+
+/// Invalid fault-plan configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultError {
+    /// A probability field is outside `[0, 1]` (or not finite).
+    BadProbability {
+        /// Which field.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::BadProbability { field, value } => {
+                write!(f, "fault probability `{field}` = {value} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// Per-attempt fault probabilities plus the master seed.
+///
+/// At most one fault is injected per transfer attempt; the fields are
+/// the marginal probabilities of each kind and may sum to at most 1
+/// (a sum of exactly 1 means every attempt faults). Out-of-range
+/// values are clamped at sampling time so no seed/plan combination
+/// can panic; use [`FaultPlan::validate`] to reject them up front.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Master seed; everything derives from it deterministically.
+    pub seed: u64,
+    /// P(drop one stream beat of the MM2S packet).
+    pub drop_beat: f64,
+    /// P(corrupt one stream beat of the MM2S packet).
+    pub corrupt_beat: f64,
+    /// P(the MM2S channel stalls — accepted, never completed).
+    pub mm2s_stall: f64,
+    /// P(the S2MM channel stalls).
+    pub s2mm_stall: f64,
+    /// P(a DMA engine halts with a DMASR error cause).
+    pub dma_halt: f64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: classification behaves byte-identically
+    /// to the stack without the injector.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            drop_beat: 0.0,
+            corrupt_beat: 0.0,
+            mm2s_stall: 0.0,
+            s2mm_stall: 0.0,
+            dma_halt: 0.0,
+        }
+    }
+
+    /// A plan where each attempt faults with probability `rate`,
+    /// split evenly across the five fault kinds. `rate = 1.0` makes
+    /// every attempt fault (nothing ever classifies on hardware).
+    pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        let p = (rate / 5.0).clamp(0.0, 0.2);
+        let p = if p.is_finite() { p } else { 0.0 };
+        FaultPlan {
+            seed,
+            drop_beat: p,
+            corrupt_beat: p,
+            mm2s_stall: p,
+            s2mm_stall: p,
+            dma_halt: p,
+        }
+    }
+
+    /// Rejects probabilities outside `[0, 1]` or summing past 1.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        for (field, value) in [
+            ("drop_beat", self.drop_beat),
+            ("corrupt_beat", self.corrupt_beat),
+            ("mm2s_stall", self.mm2s_stall),
+            ("s2mm_stall", self.s2mm_stall),
+            ("dma_halt", self.dma_halt),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(FaultError::BadProbability { field, value });
+            }
+        }
+        let sum =
+            self.drop_beat + self.corrupt_beat + self.mm2s_stall + self.s2mm_stall + self.dma_halt;
+        // Tolerate float noise at exactly-1 (e.g. five 0.2 shares).
+        if sum > 1.0 + 1e-9 {
+            return Err(FaultError::BadProbability { field: "sum", value: sum });
+        }
+        Ok(())
+    }
+
+    /// True when no fault can ever be injected (after clamping).
+    pub fn is_fault_free(&self) -> bool {
+        [self.drop_beat, self.corrupt_beat, self.mm2s_stall, self.s2mm_stall, self.dma_halt]
+            .iter()
+            .all(|&p| !(p.is_finite() && p > 0.0))
+    }
+
+    /// Decides the fault (if any) for attempt `attempt` of image
+    /// `image`, whose MM2S packet carries `packet_words` words.
+    ///
+    /// Deterministic in `(seed, image, attempt)` alone — independent
+    /// of batch order, threading, and of every other image — so the
+    /// fast path, the threaded co-simulation, and a rerun all agree.
+    pub fn sample(&self, image: usize, attempt: u32, packet_words: usize) -> Option<InjectedFault> {
+        if self.is_fault_free() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(self.attempt_seed(image, attempt));
+        let clamp = |p: f64| if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        acc += clamp(self.drop_beat);
+        if u < acc {
+            return Some(InjectedFault::DropBeat(rng.gen_range(0..packet_words.max(1))));
+        }
+        acc += clamp(self.corrupt_beat);
+        if u < acc {
+            return Some(InjectedFault::CorruptBeat(rng.gen_range(0..packet_words.max(1))));
+        }
+        acc += clamp(self.mm2s_stall);
+        if u < acc {
+            return Some(InjectedFault::Stall(DmaChannel::Mm2s));
+        }
+        acc += clamp(self.s2mm_stall);
+        if u < acc {
+            return Some(InjectedFault::Stall(DmaChannel::S2mm));
+        }
+        acc += clamp(self.dma_halt);
+        if u < acc {
+            let ch = if rng.gen_range(0..2u32) == 0 { DmaChannel::Mm2s } else { DmaChannel::S2mm };
+            let hw = match rng.gen_range(0..3u32) {
+                0 => HwFault::IntErr,
+                1 => HwFault::SlvErr,
+                _ => HwFault::DecErr,
+            };
+            return Some(InjectedFault::Halt(ch, hw));
+        }
+        None
+    }
+
+    /// The RNG seed for one `(image, attempt)` pair.
+    fn attempt_seed(&self, image: usize, attempt: u32) -> u64 {
+        let mut s = splitmix64(self.seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        s = splitmix64(s ^ image as u64);
+        splitmix64(s ^ attempt as u64)
+    }
+}
+
+impl InjectedFault {
+    /// The stream-level part of this fault, if any (what
+    /// [`crate::axi::AxiStream::send_packet_faulted`] applies).
+    pub fn beat_fault(&self) -> Option<BeatFault> {
+        match *self {
+            InjectedFault::DropBeat(i) => Some(BeatFault::Drop(i)),
+            InjectedFault::CorruptBeat(i) => Some(BeatFault::Corrupt(i)),
+            _ => None,
+        }
+    }
+}
+
+/// splitmix64 mixing step (Steele et al.) — a cheap, well-distributed
+/// u64 → u64 hash used to derive independent per-attempt seeds.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bounded retry-with-reset policy for the PS-side driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (so an image gets
+    /// `max_retries + 1` attempts before it is abandoned to the
+    /// software fallback).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3 }
+    }
+}
+
+impl RetryPolicy {
+    /// Attempts an image receives in total.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+}
+
+/// Aggregate fault/recovery accounting for one batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Faults injected (one per failed attempt).
+    pub injected: u64,
+    /// Retry attempts issued (failed attempts that were retried).
+    pub retries: u64,
+    /// Images classified on the first attempt.
+    pub clean: u64,
+    /// Images that failed at least once but eventually classified.
+    pub recovered: u64,
+    /// Images that exhausted the retry budget (software fallback).
+    pub abandoned: u64,
+    /// DMA soft-reset sequences run.
+    pub resets: u64,
+    /// Extra fabric cycles burned on failed attempts, timeouts and
+    /// resets (on top of the useful transfer cycles).
+    pub fault_cycles: u64,
+}
+
+impl FaultStats {
+    /// The accounting invariant: every image is exactly one of
+    /// clean / recovered / abandoned.
+    pub fn balances(&self, total: usize) -> bool {
+        self.clean + self.recovered + self.abandoned == total as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_fault_free_and_never_samples() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_fault_free());
+        plan.validate().unwrap();
+        for img in 0..100 {
+            assert_eq!(plan.sample(img, 0, 256), None);
+        }
+    }
+
+    #[test]
+    fn uniform_rate_one_always_faults() {
+        let plan = FaultPlan::uniform(2016, 1.0);
+        plan.validate().unwrap();
+        for img in 0..200 {
+            for attempt in 0..4 {
+                assert!(plan.sample(img, attempt, 256).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rate_zero_is_fault_free() {
+        assert!(FaultPlan::uniform(7, 0.0).is_fault_free());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed_image_attempt() {
+        let plan = FaultPlan::uniform(42, 0.5);
+        for img in 0..50 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    plan.sample(img, attempt, 256),
+                    plan.sample(img, attempt, 256)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_attempts_decorrelate() {
+        // With a 50% plan, 64 (image, attempt) pairs must not all
+        // agree — the per-attempt seeds would otherwise be broken.
+        let plan = FaultPlan::uniform(9, 0.5);
+        let outcomes: Vec<bool> =
+            (0..64).map(|i| plan.sample(i, (i % 4) as u32, 256).is_some()).collect();
+        assert!(outcomes.iter().any(|&b| b));
+        assert!(outcomes.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut plan = FaultPlan::none();
+        plan.drop_beat = 1.5;
+        assert_eq!(
+            plan.validate(),
+            Err(FaultError::BadProbability { field: "drop_beat", value: 1.5 })
+        );
+        plan.drop_beat = f64::NAN;
+        assert!(plan.validate().is_err());
+        plan.drop_beat = -0.1;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_oversubscribed_sum() {
+        let mut plan = FaultPlan::none();
+        plan.drop_beat = 0.6;
+        plan.dma_halt = 0.6;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultError::BadProbability { field: "sum", .. })
+        ));
+    }
+
+    #[test]
+    fn pathological_probabilities_never_panic() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -3.0, 7.0] {
+            let plan = FaultPlan {
+                seed: 1,
+                drop_beat: bad,
+                corrupt_beat: bad,
+                mm2s_stall: bad,
+                s2mm_stall: bad,
+                dma_halt: bad,
+            };
+            // validate() rejects these, but sample() must still be total.
+            let _ = plan.sample(0, 0, 16);
+            let _ = plan.sample(3, 2, 0); // zero-word packet, too
+        }
+    }
+
+    #[test]
+    fn beat_fault_projection() {
+        assert_eq!(InjectedFault::DropBeat(4).beat_fault(), Some(BeatFault::Drop(4)));
+        assert_eq!(InjectedFault::CorruptBeat(9).beat_fault(), Some(BeatFault::Corrupt(9)));
+        assert_eq!(InjectedFault::Stall(DmaChannel::Mm2s).beat_fault(), None);
+        assert_eq!(
+            InjectedFault::Halt(DmaChannel::S2mm, HwFault::DecErr).beat_fault(),
+            None
+        );
+    }
+
+    #[test]
+    fn uniform_covers_every_fault_kind_eventually() {
+        let plan = FaultPlan::uniform(2016, 1.0);
+        let mut saw = [false; 4];
+        for img in 0..500 {
+            match plan.sample(img, 0, 256) {
+                Some(InjectedFault::DropBeat(_)) => saw[0] = true,
+                Some(InjectedFault::CorruptBeat(_)) => saw[1] = true,
+                Some(InjectedFault::Stall(_)) => saw[2] = true,
+                Some(InjectedFault::Halt(_, _)) => saw[3] = true,
+                None => unreachable!("rate-1.0 plan must always fault"),
+            }
+        }
+        assert_eq!(saw, [true; 4]);
+    }
+
+    #[test]
+    fn retry_policy_default_is_three() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.max_attempts(), 4);
+    }
+
+    #[test]
+    fn stats_balance_check() {
+        let stats = FaultStats { clean: 7, recovered: 2, abandoned: 1, ..Default::default() };
+        assert!(stats.balances(10));
+        assert!(!stats.balances(11));
+    }
+}

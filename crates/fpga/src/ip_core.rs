@@ -12,6 +12,41 @@
 use cnn_hls::HlsProject;
 use cnn_nn::Network;
 use cnn_tensor::{Shape, Tensor};
+use std::fmt;
+
+/// A malformed input packet, as the core's stream interface would
+/// flag it: wrong word count (a dropped beat shortened the packet) or
+/// a non-finite payload word (the float analogue of a parity error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketError {
+    /// The packet carried `got` words, the core expects `want`.
+    BadLength {
+        /// Words received.
+        got: usize,
+        /// Words the input shape requires.
+        want: usize,
+    },
+    /// The word at `index` is NaN/infinite.
+    NonFinite {
+        /// Index of the corrupt word.
+        index: usize,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::BadLength { got, want } => {
+                write!(f, "packet length {got} != expected {want}")
+            }
+            PacketError::NonFinite { index } => {
+                write!(f, "non-finite payload word at beat {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
 
 /// A synthesized CNN IP core ready to be dropped into the block design.
 #[derive(Clone, Debug)]
@@ -73,6 +108,21 @@ impl CnnIpCore {
         );
         let t = Tensor::from_vec(self.input_shape, words.to_vec());
         self.network.predict(&t)
+    }
+
+    /// [`Self::process_packet`] with integrity checking instead of a
+    /// panic: rejects short/long packets and non-finite words, the
+    /// two signatures the fault injector's beat faults leave behind.
+    pub fn try_process_packet(&self, words: &[f32]) -> Result<usize, PacketError> {
+        let want = self.input_words() as usize;
+        if words.len() != want {
+            return Err(PacketError::BadLength { got: words.len(), want });
+        }
+        if let Some(index) = words.iter().position(|w| !w.is_finite()) {
+            return Err(PacketError::NonFinite { index });
+        }
+        let t = Tensor::from_vec(self.input_shape, words.to_vec());
+        Ok(self.network.predict(&t))
     }
 
     /// Processes one image tensor.
@@ -138,6 +188,39 @@ mod tests {
     fn bad_packet_length_panics() {
         let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
         core.process_packet(&[0.0; 100]);
+    }
+
+    #[test]
+    fn try_process_packet_rejects_short_packet() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        assert_eq!(
+            core.try_process_packet(&[0.0; 100]),
+            Err(PacketError::BadLength { got: 100, want: 256 })
+        );
+    }
+
+    #[test]
+    fn try_process_packet_rejects_nan_word() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        let mut words = vec![0.5f32; 256];
+        words[17] = f32::NAN;
+        assert_eq!(
+            core.try_process_packet(&words),
+            Err(PacketError::NonFinite { index: 17 })
+        );
+        words[17] = f32::INFINITY;
+        assert_eq!(
+            core.try_process_packet(&words),
+            Err(PacketError::NonFinite { index: 17 })
+        );
+    }
+
+    #[test]
+    fn try_process_packet_matches_process_on_clean_input() {
+        let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
+        let mut rng = seeded_rng(5);
+        let img = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+        assert_eq!(core.try_process_packet(img.as_slice()), Ok(core.process(&img)));
     }
 
     #[test]

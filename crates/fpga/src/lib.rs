@@ -29,7 +29,12 @@
 //! * [`device`] — the programmed device: the PS-side driver loop that
 //!   streams test sets through the DMA into the fabric (optionally on
 //!   a real thread pair connected by crossbeam channels) and reports
-//!   classifications plus exact cycle counts.
+//!   classifications plus exact cycle counts, per-image outcomes and
+//!   fault/recovery statistics,
+//! * [`fault`] — deterministic seed-driven fault injection for the
+//!   transport/driver stack (dropped/corrupted stream beats, MM2S/S2MM
+//!   stalls, DMA halts) plus the bounded retry policy the driver runs
+//!   against it.
 
 pub mod address_map;
 pub mod axi;
@@ -39,11 +44,16 @@ pub mod block_design;
 pub mod board;
 pub mod device;
 pub mod dma_regs;
+pub mod fault;
 pub mod hdl;
 pub mod ip_core;
 
+pub use address_map::MapError;
+pub use axi::StreamError;
 pub use bitstream::Bitstream;
 pub use block_design::BlockDesign;
 pub use board::Board;
-pub use device::{BatchResult, ZynqDevice};
-pub use ip_core::CnnIpCore;
+pub use device::{BatchResult, DeviceError, ImageOutcome, ZynqDevice, ABANDONED};
+pub use dma_regs::{DmaChannel, DmaError, HwFault};
+pub use fault::{FaultError, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
+pub use ip_core::{CnnIpCore, PacketError};

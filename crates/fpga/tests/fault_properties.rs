@@ -1,0 +1,110 @@
+//! Property tests over the fault-injection + recovery subsystem:
+//! for *any* seed and fault rate, classification must not panic, the
+//! per-image accounting must balance, and the fast and threaded
+//! driver loops must agree; with the fault-free plan the result must
+//! be byte-identical to the plain batch path.
+
+use cnn_fpga::{Bitstream, Board, FaultPlan, ImageOutcome, RetryPolicy, ZynqDevice, ABANDONED};
+use cnn_hls::{DirectiveSet, FpgaPart, HlsProject};
+use cnn_nn::Network;
+use cnn_tensor::init::{seeded_rng, Init};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Synthesis + implementation are the expensive part; share one
+/// device (and its reference network) across all proptest cases.
+fn fixture() -> &'static (ZynqDevice, Network, Vec<Tensor>) {
+    static FIXTURE: OnceLock<(ZynqDevice, Network, Vec<Tensor>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = seeded_rng(1);
+        let net = Network::builder(Shape::new(1, 16, 16))
+            .conv(6, 5, 5, &mut rng)
+            .pool(PoolKind::Max, 2, 2)
+            .flatten()
+            .linear(10, Some(Activation::Tanh), &mut rng)
+            .log_softmax()
+            .build()
+            .unwrap();
+        let p = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
+        let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        let dev = ZynqDevice::program(Board::Zedboard, bs).unwrap();
+        let mut img_rng = seeded_rng(7);
+        let images = (0..12)
+            .map(|_| {
+                cnn_tensor::init::init_tensor(
+                    &mut img_rng,
+                    Shape::new(1, 16, 16),
+                    Init::Uniform(1.0),
+                )
+            })
+            .collect();
+        (dev, net, images)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_plan_never_panics_and_accounting_balances(
+        seed in any::<u64>(),
+        rate in 0.0f64..=1.0,
+        max_retries in 0u32..4,
+    ) {
+        let (dev, net, images) = fixture();
+        let plan = FaultPlan::uniform(seed, rate);
+        let policy = RetryPolicy { max_retries };
+        let res = dev.classify_batch_faulty(images, &plan, &policy);
+
+        prop_assert!(res.faults.balances(images.len()), "{:?}", res.faults);
+        prop_assert_eq!(res.outcomes.len(), images.len());
+        prop_assert_eq!(res.predictions.len(), images.len());
+        // Classified images are bit-identical to software; abandoned
+        // slots hold the sentinel.
+        for (i, (p, o)) in res.predictions.iter().zip(&res.outcomes).enumerate() {
+            if o.classified() {
+                prop_assert_eq!(*p, net.predict(&images[i]));
+            } else {
+                prop_assert_eq!(*p, ABANDONED);
+            }
+        }
+        // Retry/reset counters are bounded by the policy.
+        let budget = policy.max_attempts() as u64 * images.len() as u64;
+        prop_assert!(res.faults.injected <= budget);
+        prop_assert!(res.faults.retries <= res.faults.injected);
+        prop_assert!(res.faults.resets <= res.faults.injected);
+    }
+
+    #[test]
+    fn threaded_path_agrees_with_fast_path(seed in any::<u64>(), rate in 0.0f64..=1.0) {
+        let (dev, _, images) = fixture();
+        let plan = FaultPlan::uniform(seed, rate);
+        let policy = RetryPolicy::default();
+        let fast = dev.classify_batch_faulty(images, &plan, &policy);
+        let threaded = dev.classify_batch_threaded_faulty(images, &plan, &policy);
+        prop_assert_eq!(fast, threaded);
+    }
+
+    #[test]
+    fn fault_free_plan_matches_plain_batch(seed in any::<u64>()) {
+        let (dev, _, images) = fixture();
+        let plan = FaultPlan { seed, ..FaultPlan::none() };
+        let planned = dev.classify_batch_faulty(images, &plan, &RetryPolicy::default());
+        let plain = dev.classify_batch(images);
+        prop_assert_eq!(&planned, &plain);
+        prop_assert!(planned.outcomes.iter().all(|o| *o == ImageOutcome::Clean));
+        prop_assert_eq!(planned.faults.injected, 0);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly(seed in any::<u64>(), rate in 0.0f64..=1.0) {
+        let (dev, _, images) = fixture();
+        let plan = FaultPlan::uniform(seed, rate);
+        let a = dev.classify_batch_faulty(images, &plan, &RetryPolicy::default());
+        let b = dev.classify_batch_faulty(images, &plan, &RetryPolicy::default());
+        prop_assert_eq!(a, b);
+    }
+}

@@ -21,11 +21,11 @@ proptest! {
         let expect = payloads.clone();
         let sender = std::thread::spawn(move || {
             for p in &payloads {
-                AxiStream::send_packet(&tx, p);
+                AxiStream::send_packet(&tx, p).expect("receiver alive");
             }
         });
         for want in &expect {
-            let got = AxiStream::recv_packet(&rx);
+            let got = AxiStream::recv_packet(&rx).expect("sender alive");
             prop_assert_eq!(&got, want);
         }
         sender.join().unwrap();

@@ -35,5 +35,7 @@ pub mod workflow;
 pub use experiments::{Experiment, ExperimentConfig, PaperTest};
 pub use report::{Table1Row, Table2Row};
 pub use spec::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, SpecError};
-pub use weights::WeightSource;
-pub use workflow::{Workflow, WorkflowArtifacts, WorkflowStage};
+pub use weights::{WeightError, WeightSource};
+pub use workflow::{
+    ClassificationReport, Workflow, WorkflowArtifacts, WorkflowError, WorkflowStage,
+};

@@ -108,8 +108,8 @@ impl NetworkSpec {
     }
 
     /// Serializes the descriptor.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("descriptor serializes")
+    pub fn to_json(&self) -> Result<String, SpecError> {
+        serde_json::to_string_pretty(self).map_err(|e| SpecError::Json(e.to_string()))
     }
 
     /// Input shape.
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let spec = NetworkSpec::paper_cifar();
-        let json = spec.to_json();
+        let json = spec.to_json().unwrap();
         let back = NetworkSpec::from_json(&json).unwrap();
         assert_eq!(spec, back);
     }
@@ -447,7 +447,7 @@ mod tests {
         let props = schema["properties"].as_object().unwrap();
         // Every serialized field of the struct must appear.
         let json: serde_json::Value =
-            serde_json::from_str(&NetworkSpec::paper_cifar().to_json()).unwrap();
+            serde_json::from_str(&NetworkSpec::paper_cifar().to_json().unwrap()).unwrap();
         for key in json.as_object().unwrap().keys() {
             assert!(props.contains_key(key), "schema missing field '{key}'");
         }

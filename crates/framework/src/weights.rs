@@ -49,6 +49,69 @@ impl std::fmt::Display for StructureMismatch {
 
 impl std::error::Error for StructureMismatch {}
 
+/// Typed failure of weight realization (replaces the old `String`
+/// returns).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightError {
+    /// The descriptor itself is invalid.
+    Spec(SpecError),
+    /// Trained weights whose structure disagrees with the descriptor.
+    Mismatch(StructureMismatch),
+    /// Training images shaped differently than the descriptor input.
+    DatasetShape {
+        /// Shape of the dataset's images.
+        dataset: cnn_tensor::Shape,
+        /// Shape the descriptor expects.
+        descriptor: cnn_tensor::Shape,
+    },
+    /// The dataset labels exceed the network's output classes.
+    TooManyClasses {
+        /// Classes in the dataset.
+        dataset: usize,
+        /// Classes the network outputs.
+        network: usize,
+    },
+}
+
+impl std::fmt::Display for WeightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightError::Spec(e) => write!(f, "{e}"),
+            WeightError::Mismatch(e) => write!(f, "{e}"),
+            WeightError::DatasetShape { dataset, descriptor } => write!(
+                f,
+                "training images are {dataset} but the descriptor expects {descriptor}"
+            ),
+            WeightError::TooManyClasses { dataset, network } => write!(
+                f,
+                "dataset has {dataset} classes but the network only outputs {network}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WeightError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WeightError::Spec(e) => Some(e),
+            WeightError::Mismatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for WeightError {
+    fn from(e: SpecError) -> Self {
+        WeightError::Spec(e)
+    }
+}
+
+impl From<StructureMismatch> for WeightError {
+    fn from(e: StructureMismatch) -> Self {
+        WeightError::Mismatch(e)
+    }
+}
+
 /// Builds the structural network of a spec with seeded random weights.
 pub fn build_random(spec: &NetworkSpec, seed: u64) -> Result<Network, SpecError> {
     spec.validate()?;
@@ -109,28 +172,27 @@ pub fn check_structure(spec: &NetworkSpec, net: &Network) -> Result<(), Structur
 }
 
 /// Realizes a weight source into a network for the spec.
-pub fn realize(spec: &NetworkSpec, source: &WeightSource) -> Result<Network, String> {
+pub fn realize(spec: &NetworkSpec, source: &WeightSource) -> Result<Network, WeightError> {
     match source {
-        WeightSource::Random { seed } => build_random(spec, *seed).map_err(|e| e.to_string()),
+        WeightSource::Random { seed } => Ok(build_random(spec, *seed)?),
         WeightSource::Trained(net) => {
-            check_structure(spec, net).map_err(|e| e.to_string())?;
+            check_structure(spec, net)?;
             Ok((**net).clone())
         }
         WeightSource::TrainOnline { dataset, config, seed } => {
-            let mut net = build_random(spec, *seed).map_err(|e| e.to_string())?;
+            let mut net = build_random(spec, *seed)?;
             if dataset.image_shape() != spec.input_shape() {
-                return Err(format!(
-                    "training images are {} but the descriptor expects {}",
-                    dataset.image_shape(),
-                    spec.input_shape()
-                ));
+                return Err(WeightError::DatasetShape {
+                    dataset: dataset.image_shape(),
+                    descriptor: spec.input_shape(),
+                });
             }
             if let Some(classes) = spec.classes() {
                 if dataset.classes > classes {
-                    return Err(format!(
-                        "dataset has {} classes but the network only outputs {classes}",
-                        dataset.classes
-                    ));
+                    return Err(WeightError::TooManyClasses {
+                        dataset: dataset.classes,
+                        network: classes,
+                    });
                 }
             }
             let mut rng = seeded_rng(seed ^ 0x7EA1);
@@ -213,7 +275,8 @@ mod tests {
             seed: 1,
         };
         let err = realize(&spec, &source).unwrap_err();
-        assert!(err.contains("descriptor expects"), "{err}");
+        assert!(matches!(err, WeightError::DatasetShape { .. }), "{err}");
+        assert!(err.to_string().contains("descriptor expects"), "{err}");
     }
 
     #[test]

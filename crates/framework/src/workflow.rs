@@ -12,10 +12,12 @@
 
 use crate::spec::NetworkSpec;
 use crate::weights::{realize, WeightSource};
-use cnn_fpga::{Bitstream, ZynqDevice};
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_fpga::{BatchResult, Bitstream, ZynqDevice};
 use cnn_hls::codegen::tcl::TclScripts;
 use cnn_hls::{HlsProject, HlsReport};
 use cnn_nn::Network;
+use cnn_tensor::Tensor;
 
 /// The stages of the workflow, in order (the Fig. 3 boxes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -36,11 +38,16 @@ pub enum WorkflowStage {
     Implement,
     /// Device programming.
     Program,
+    /// Classification under the fault/recovery policy (runs after
+    /// `run()`, via [`WorkflowArtifacts::classify_with_recovery`]).
+    Classify,
 }
 
 impl WorkflowStage {
-    /// All stages in execution order.
-    pub const ALL: [WorkflowStage; 8] = [
+    /// All stages in execution order. The first eight are what
+    /// [`Workflow::run`] executes (the Fig. 3 boxes); `Classify` is
+    /// the deployment stage driven on the resulting artifacts.
+    pub const ALL: [WorkflowStage; 9] = [
         WorkflowStage::Validate,
         WorkflowStage::RealizeWeights,
         WorkflowStage::GenerateCpp,
@@ -49,6 +56,7 @@ impl WorkflowStage {
         WorkflowStage::BlockDesign,
         WorkflowStage::Implement,
         WorkflowStage::Program,
+        WorkflowStage::Classify,
     ];
 
     /// Human-readable stage name.
@@ -62,6 +70,7 @@ impl WorkflowStage {
             WorkflowStage::BlockDesign => "assemble block design",
             WorkflowStage::Implement => "implement bitstream",
             WorkflowStage::Program => "program device",
+            WorkflowStage::Classify => "classify with recovery",
         }
     }
 }
@@ -85,6 +94,60 @@ pub struct WorkflowArtifacts {
     pub device: ZynqDevice,
     /// Stage-by-stage trace ("what Fig. 3 did").
     pub trace: Vec<String>,
+}
+
+/// Result of the deployment stage: hardware classification under a
+/// fault plan, with the software fallback applied to every abandoned
+/// image. Because hardware and software predictions are bit-identical
+/// by construction, the fallback is bit-exact — the final
+/// `predictions` are indistinguishable from a fault-free run.
+#[derive(Clone, Debug)]
+pub struct ClassificationReport {
+    /// Final prediction per image (hardware where it succeeded,
+    /// software for every fallback; never a sentinel).
+    pub predictions: Vec<usize>,
+    /// The raw hardware result, including per-image outcomes and
+    /// fault/recovery statistics.
+    pub hardware: BatchResult,
+    /// Indices of images classified by the software fallback.
+    pub fallbacks: Vec<usize>,
+    /// Human-readable account of the recovery actions taken.
+    pub trace: Vec<String>,
+}
+
+impl WorkflowArtifacts {
+    /// Classifies `images` on the device under `plan`, recovering
+    /// faulted transfers with the bounded `policy` and gracefully
+    /// degrading to the (bit-identical) software path for any image
+    /// the hardware abandons.
+    pub fn classify_with_recovery(
+        &self,
+        images: &[Tensor],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> ClassificationReport {
+        let hardware = self.device.classify_batch_faulty(images, plan, policy);
+        let fallbacks = hardware.abandoned_indices();
+        let mut predictions = hardware.predictions.clone();
+        let mut trace = vec![format!(
+            "{}: {} images — {} clean, {} recovered ({} retries, {} resets), {} abandoned",
+            WorkflowStage::Classify.name(),
+            images.len(),
+            hardware.faults.clean,
+            hardware.faults.recovered,
+            hardware.faults.retries,
+            hardware.faults.resets,
+            hardware.faults.abandoned,
+        )];
+        for &i in &fallbacks {
+            predictions[i] = self.network.predict(&images[i]);
+            trace.push(format!(
+                "image {i}: hardware abandoned after {} attempts — software fallback (bit-exact)",
+                policy.max_attempts()
+            ));
+        }
+        ClassificationReport { predictions, hardware, fallbacks, trace }
+    }
 }
 
 /// A workflow failure, tagged with the stage that failed.
@@ -143,7 +206,7 @@ impl Workflow {
 
         // 2. weights
         let network = realize(&self.spec, &self.weights)
-            .map_err(|e| fail(WorkflowStage::RealizeWeights, e))?;
+            .map_err(|e| fail(WorkflowStage::RealizeWeights, e.to_string()))?;
         trace.push(format!(
             "realize weights: ok ({} parameters)",
             network.param_count()
@@ -284,5 +347,83 @@ mod tests {
         let names: std::collections::HashSet<_> =
             WorkflowStage::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), WorkflowStage::ALL.len());
+    }
+
+    fn test_images(n: usize) -> Vec<cnn_tensor::Tensor> {
+        let mut rng = cnn_tensor::init::seeded_rng(31);
+        (0..n)
+            .map(|_| {
+                cnn_tensor::init::init_tensor(
+                    &mut rng,
+                    cnn_tensor::Shape::new(1, 16, 16),
+                    cnn_tensor::init::Init::Uniform(1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_classification_is_fault_transparent() {
+        // Whatever the fault rate, the *final* predictions equal the
+        // software reference: recovered images are bit-identical by
+        // the HW/SW invariant, abandoned images by the fallback.
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 4 },
+        );
+        let a = wf.run().unwrap();
+        let images = test_images(20);
+        let sw: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        for rate in [0.0, 0.3, 1.0] {
+            let report = a.classify_with_recovery(
+                &images,
+                &FaultPlan::uniform(2016, rate),
+                &RetryPolicy::default(),
+            );
+            assert_eq!(report.predictions, sw, "rate {rate}");
+            assert!(report.hardware.faults.balances(images.len()));
+            assert!(!report.trace.is_empty());
+            assert!(report.trace[0].starts_with(WorkflowStage::Classify.name()));
+        }
+    }
+
+    #[test]
+    fn rate_one_falls_back_for_every_image() {
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 4 },
+        );
+        let a = wf.run().unwrap();
+        let images = test_images(6);
+        let report = a.classify_with_recovery(
+            &images,
+            &FaultPlan::uniform(7, 1.0),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(report.fallbacks, (0..6).collect::<Vec<_>>());
+        assert_eq!(report.hardware.faults.abandoned, 6);
+        // One summary line + one per fallback.
+        assert_eq!(report.trace.len(), 7);
+        let sw: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        assert_eq!(report.predictions, sw);
+    }
+
+    #[test]
+    fn fault_free_recovery_has_no_fallbacks() {
+        let wf = Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 4 },
+        );
+        let a = wf.run().unwrap();
+        let images = test_images(5);
+        let report =
+            a.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
+        assert!(report.fallbacks.is_empty());
+        assert_eq!(report.hardware.faults.clean, 5);
+        assert_eq!(report.trace.len(), 1);
+        assert_eq!(
+            report.predictions,
+            a.device.classify_batch(&images).predictions
+        );
     }
 }

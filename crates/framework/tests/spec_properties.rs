@@ -51,7 +51,7 @@ proptest! {
 
     #[test]
     fn descriptor_json_roundtrips(spec in arb_spec()) {
-        let json = spec.to_json();
+        let json = spec.to_json().expect("descriptor serializes");
         let back: NetworkSpec = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(spec, back);
     }

@@ -106,6 +106,20 @@ pub const BRAM18_BITS: u64 = 18 * 1024;
 /// (double-buffered), doubling their BRAM footprint.
 pub const DATAFLOW_BUFFER_FACTOR: u64 = 2;
 
+// ---------------------------------------------------------------------------
+// Transport fault-recovery constants (cnn-fpga::dma_regs / ::fault)
+// ---------------------------------------------------------------------------
+
+/// Fabric cycles the PS-side driver polls a DMASR before declaring a
+/// stalled channel dead (the bounded completion wait; at 100 MHz this
+/// is a 100 µs timeout, generous next to the ~2.5 µs Test-1 packet).
+pub const DMA_TIMEOUT_CYCLES: u64 = 10_000;
+
+/// Cycles to soft-reset both DMA channels and re-arm run/IRQ-enable
+/// after a fault (the Xilinx recovery sequence: DMACR.Reset, wait for
+/// self-clear, reprogram control registers).
+pub const DMA_RESET_CYCLES: u64 = 500;
+
 #[cfg(test)]
 mod tests {
     use super::*;

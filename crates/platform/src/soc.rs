@@ -3,6 +3,7 @@
 //! ARM and the hardware implementation on the programmable logic.
 
 use crate::arm::{ArmModel, SoftwareRun};
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
 use cnn_fpga::{BatchResult, Bitstream, Board, ZynqDevice};
 use cnn_hls::{DirectiveSet, HlsError, HlsProject};
 use cnn_nn::Network;
@@ -88,11 +89,38 @@ impl ZynqSoc {
         self.device.classify_batch(images)
     }
 
+    /// Runs the hardware implementation under an injected fault plan
+    /// with the bounded reset-and-retry recovery `policy` — the timing
+    /// cost of every retry, timeout and reset lands in the result's
+    /// `seconds`.
+    pub fn run_hardware_faulty(
+        &self,
+        images: &[Tensor],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> HardwareRun {
+        self.device.classify_batch_faulty(images, plan, policy)
+    }
+
     /// Hardware speedup over software for a batch of `n` images —
     /// Table I's "Speedup" column.
     pub fn speedup(&self, images: &[Tensor]) -> f64 {
         let sw = self.run_software(images);
         let hw = self.run_hardware(images);
+        sw.seconds / hw.seconds
+    }
+
+    /// Hardware-over-software speedup when the transport is degraded
+    /// by `plan` — how much of Table I's margin survives the fault
+    /// environment. Never exceeds the clean [`Self::speedup`].
+    pub fn degraded_speedup(
+        &self,
+        images: &[Tensor],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> f64 {
+        let sw = self.run_software(images);
+        let hw = self.run_hardware_faulty(images, plan, policy);
         sw.seconds / hw.seconds
     }
 }
@@ -158,6 +186,42 @@ mod tests {
             .unwrap();
         let s = soc.speedup(&images(100));
         assert!((4.0..=9.0).contains(&s), "optimized speedup {s:.2} vs paper 6.23x");
+    }
+
+    #[test]
+    fn degraded_speedup_never_beats_clean() {
+        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
+            .unwrap();
+        let imgs = images(50);
+        let clean = soc.speedup(&imgs);
+        for rate in [0.0, 0.2, 0.6] {
+            let degraded = soc.degraded_speedup(
+                &imgs,
+                &FaultPlan::uniform(2016, rate),
+                &RetryPolicy::default(),
+            );
+            assert!(
+                degraded <= clean + 1e-9,
+                "rate {rate}: degraded {degraded:.2} beats clean {clean:.2}"
+            );
+            assert!(degraded > 0.0);
+        }
+    }
+
+    #[test]
+    fn faulty_hardware_run_accounts_for_penalties() {
+        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
+            .unwrap();
+        let imgs = images(30);
+        let clean = soc.run_hardware(&imgs);
+        let faulty = soc.run_hardware_faulty(
+            &imgs,
+            &FaultPlan::uniform(5, 0.5),
+            &RetryPolicy::default(),
+        );
+        assert!(faulty.faults.injected > 0, "a 50% plan over 30 images must fault");
+        assert!(faulty.seconds >= clean.seconds - 1e-12);
+        assert!(faulty.faults.balances(imgs.len()));
     }
 
     #[test]

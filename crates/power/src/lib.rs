@@ -24,5 +24,5 @@ pub mod trace;
 
 pub use cpu::CpuPowerModel;
 pub use fpga::FpgaPowerModel;
-pub use meter::{EnergyMeter, EnergyReading};
+pub use meter::{DegradedEnergy, EnergyMeter, EnergyReading};
 pub use trace::{PowerPhase, PowerTrace};

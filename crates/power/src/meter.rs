@@ -24,6 +24,19 @@ pub struct EnergyReading {
     pub joules: f64,
 }
 
+/// A hardware run measured under a degraded transport: the meter
+/// still integrates the whole wall-clock duration (useful + fault
+/// time — the external meter cannot tell a retry from real work),
+/// but splits out how many Joules the faults wasted.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DegradedEnergy {
+    /// The full-duration reading (useful + fault seconds).
+    pub reading: EnergyReading,
+    /// Joules burned on timeouts, resets and retries — energy spent
+    /// at the hardware power level without producing a prediction.
+    pub wasted_joules: f64,
+}
+
 /// The measurement harness for one board.
 #[derive(Clone, Copy, Debug)]
 pub struct EnergyMeter {
@@ -77,6 +90,25 @@ impl EnergyMeter {
             total_watts: total,
             seconds,
             joules: total * seconds,
+        }
+    }
+
+    /// Measures a hardware run whose transport was degraded by
+    /// faults: `useful_seconds` of real classification work plus
+    /// `fault_seconds` of timeouts, resets and retries. The reading
+    /// integrates the sum (what the external meter sees); the wasted
+    /// share is the same power level over the fault time alone.
+    pub fn measure_hardware_degraded(
+        &self,
+        useful_seconds: f64,
+        fault_seconds: f64,
+        usage: &ResourceUsage,
+    ) -> DegradedEnergy {
+        assert!(fault_seconds >= 0.0, "negative duration");
+        let reading = self.measure_hardware(useful_seconds + fault_seconds, usage);
+        DegradedEnergy {
+            reading,
+            wasted_joules: reading.total_watts * fault_seconds,
         }
     }
 }
@@ -168,5 +200,35 @@ mod tests {
     fn zero_duration_is_zero_energy() {
         let m = EnergyMeter::for_board(Board::Zedboard);
         assert_eq!(m.measure_software(0.0).joules, 0.0);
+    }
+
+    #[test]
+    fn degraded_reading_integrates_full_duration() {
+        let m = EnergyMeter::for_board(Board::Zedboard);
+        let usage = test1_usage(DirectiveSet::optimized());
+        let clean = m.measure_hardware(0.53, &usage);
+        let degraded = m.measure_hardware_degraded(0.53, 0.2, &usage);
+        assert!((degraded.reading.joules - degraded.reading.total_watts * 0.73).abs() < 1e-9);
+        assert!(degraded.reading.joules > clean.joules);
+        assert!(
+            (degraded.reading.joules - clean.joules - degraded.wasted_joules).abs() < 1e-9,
+            "extra energy over the clean run is exactly the wasted share"
+        );
+    }
+
+    #[test]
+    fn fault_free_degraded_run_wastes_nothing() {
+        let m = EnergyMeter::for_board(Board::Zedboard);
+        let usage = test1_usage(DirectiveSet::optimized());
+        let degraded = m.measure_hardware_degraded(0.53, 0.0, &usage);
+        assert_eq!(degraded.wasted_joules, 0.0);
+        assert_eq!(degraded.reading, m.measure_hardware(0.53, &usage));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_fault_duration_rejected() {
+        let m = EnergyMeter::for_board(Board::Zedboard);
+        m.measure_hardware_degraded(1.0, -0.1, &test1_usage(DirectiveSet::naive()));
     }
 }

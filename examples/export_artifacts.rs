@@ -23,7 +23,10 @@ fn main() -> std::io::Result<()> {
         .run()
         .expect("paper network builds");
 
-    fs::write(out_dir.join("descriptor.json"), spec.to_json())?;
+    fs::write(
+        out_dir.join("descriptor.json"),
+        spec.to_json().expect("descriptor serializes"),
+    )?;
     fs::write(out_dir.join("cnn.cpp"), &artifacts.cpp_source)?;
     fs::write(out_dir.join("cnn_vivado_hls.tcl"), &artifacts.tcl.vivado_hls)?;
     fs::write(out_dir.join("directives.tcl"), &artifacts.tcl.directives)?;

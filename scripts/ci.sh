@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The canonical pre-merge check: everything a change must pass before
+# it lands. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "ci: all green"

@@ -1,0 +1,142 @@
+//! The unified error taxonomy of the facade crate: one [`Error`] enum
+//! that every layer's typed failure converts into, so binaries and
+//! library users can bubble a single type with `?` from the descriptor
+//! parser all the way down to the DMA register file.
+
+/// Any failure the cnn2fpga stack can produce, tagged by layer.
+#[derive(Debug)]
+pub enum Error {
+    /// Descriptor parsing/validation failure (`cnn-framework::spec`).
+    Spec(cnn_framework::SpecError),
+    /// Weight realization failure (`cnn-framework::weights`).
+    Weights(cnn_framework::WeightError),
+    /// A workflow stage failed (`cnn-framework::workflow`).
+    Workflow(cnn_framework::WorkflowError),
+    /// Address-map construction failure (`cnn-fpga::address_map`).
+    Map(cnn_fpga::MapError),
+    /// AXI-Stream transport failure (`cnn-fpga::axi`).
+    Stream(cnn_fpga::StreamError),
+    /// Device programming/driver failure (`cnn-fpga::device`).
+    Device(cnn_fpga::device::DeviceError),
+    /// DMA register/transfer failure (`cnn-fpga::dma_regs`).
+    Dma(cnn_fpga::DmaError),
+    /// Invalid fault-plan configuration (`cnn-fpga::fault`).
+    Fault(cnn_fpga::FaultError),
+    /// Bitstream implementation failure (`cnn-fpga::bitstream`).
+    Bitstream(cnn_fpga::bitstream::BitstreamError),
+    /// HLS synthesis/fit failure (`cnn-hls`).
+    Hls(cnn_hls::HlsError),
+    /// Filesystem failure while reading descriptors or writing
+    /// artifacts.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Spec(e) => write!(f, "descriptor: {e}"),
+            Error::Weights(e) => write!(f, "weights: {e}"),
+            Error::Workflow(e) => write!(f, "{e}"),
+            Error::Map(e) => write!(f, "address map: {e}"),
+            Error::Stream(e) => write!(f, "axi stream: {e}"),
+            Error::Device(e) => write!(f, "device: {e}"),
+            Error::Dma(e) => write!(f, "dma: {e}"),
+            Error::Fault(e) => write!(f, "fault plan: {e}"),
+            Error::Bitstream(e) => write!(f, "bitstream: {e}"),
+            Error::Hls(e) => write!(f, "hls: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Spec(e) => Some(e),
+            Error::Weights(e) => Some(e),
+            Error::Workflow(e) => Some(e),
+            Error::Map(e) => Some(e),
+            Error::Stream(e) => Some(e),
+            Error::Device(e) => Some(e),
+            Error::Dma(e) => Some(e),
+            Error::Fault(e) => Some(e),
+            Error::Bitstream(e) => Some(e),
+            Error::Hls(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for Error {
+            fn from(e: $ty) -> Error {
+                Error::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(Spec, cnn_framework::SpecError);
+from_impl!(Weights, cnn_framework::WeightError);
+from_impl!(Workflow, cnn_framework::WorkflowError);
+from_impl!(Map, cnn_fpga::MapError);
+from_impl!(Stream, cnn_fpga::StreamError);
+from_impl!(Device, cnn_fpga::device::DeviceError);
+from_impl!(Dma, cnn_fpga::DmaError);
+from_impl!(Fault, cnn_fpga::FaultError);
+from_impl!(Bitstream, cnn_fpga::bitstream::BitstreamError);
+from_impl!(Hls, cnn_hls::HlsError);
+from_impl!(Io, std::io::Error);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn every_layer_converts_and_displays() {
+        let spec = {
+            let mut s = cnn_framework::NetworkSpec::paper_usps_small(true);
+            s.conv_layers[0].kernel = 99;
+            s
+        };
+        let e: Error = spec.validate().unwrap_err().into();
+        assert!(e.to_string().starts_with("descriptor:"), "{e}");
+        assert!(e.source().is_some());
+
+        let e: Error = cnn_fpga::DmaError::Timeout(cnn_fpga::DmaChannel::Mm2s).into();
+        assert!(e.to_string().contains("MM2S"), "{e}");
+
+        let e: Error = cnn_fpga::FaultError::BadProbability {
+            field: "p_drop_beat",
+            value: 2.0,
+        }
+        .into();
+        assert!(e.to_string().starts_with("fault plan:"), "{e}");
+
+        let e: Error = cnn_fpga::StreamError::ReceiverDropped.into();
+        assert!(e.source().is_some(), "{e}");
+
+        let e: Error =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing descriptor").into();
+        assert!(e.to_string().contains("missing descriptor"), "{e}");
+    }
+
+    #[test]
+    fn workflow_failure_bubbles_through_the_umbrella() {
+        fn run() -> Result<cnn_framework::WorkflowArtifacts, Error> {
+            let mut spec = cnn_framework::NetworkSpec::paper_cifar();
+            spec.board = cnn_fpga::Board::Zybo;
+            let artifacts = cnn_framework::Workflow::new(
+                spec,
+                cnn_framework::WeightSource::Random { seed: 1 },
+            )
+            .run()?;
+            Ok(artifacts)
+        }
+        let err = run().unwrap_err();
+        assert!(matches!(err, Error::Workflow(_)));
+        assert!(err.to_string().contains("workflow failed"), "{err}");
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`platform`] | `cnn-platform` | ARM Cortex-A9 timing model, SoC composition |
 //! | [`power`] | `cnn-power` | power models + energy meter |
 //! | [`framework`] | `cnn-framework` | JSON descriptors, Fig.-3 workflow, experiments |
+//! | [`error`] | (this crate) | the unified [`Error`] taxonomy over every layer |
 //!
 //! ## Quick taste
 //!
@@ -38,7 +39,10 @@
 //! assert!(artifacts.report.resources.fits());
 //! ```
 
+pub mod error;
+
 pub use cnn_datasets as datasets;
+pub use error::Error;
 pub use cnn_fpga as fpga;
 pub use cnn_framework as framework;
 pub use cnn_hls as hls;

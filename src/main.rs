@@ -50,9 +50,15 @@ fn cmd_boards() -> ExitCode {
 }
 
 fn cmd_validate(path: &str) -> ExitCode {
-    match load_spec(path) {
-        Ok(spec) => {
-            let shapes = spec.validate().expect("from_json validated");
+    let spec = match load_spec(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid descriptor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match spec.validate() {
+        Ok(shapes) => {
             println!("descriptor OK: board {}, {} stages", spec.board.name(), shapes.len());
             for (i, s) in shapes.iter().enumerate() {
                 println!("  stage {i}: {s}");
@@ -155,6 +161,13 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
         eprintln!("cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
     }
+    let descriptor_json = match spec.to_json() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot serialize descriptor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let files = [
         ("cnn.cpp", artifacts.cpp_source.clone()),
         ("cnn_vivado_hls.tcl", artifacts.tcl.vivado_hls.clone()),
@@ -163,7 +176,7 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
         ("hls_report.txt", artifacts.report.render()),
         ("block_design.dot", artifacts.bitstream.design.to_dot()),
         ("design_1_wrapper.v", artifacts.hdl_wrapper.clone()),
-        ("descriptor.json", spec.to_json()),
+        ("descriptor.json", descriptor_json),
     ];
     for (name, content) in files {
         if let Err(e) = fs::write(out_dir.join(name), content) {

@@ -3,6 +3,7 @@
 //! images, classifications — regenerates identically.
 
 use cnn2fpga::datasets::{CifarLike, UspsLike};
+use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
 use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
 
 fn build(seed: u64) -> cnn2fpga::framework::WorkflowArtifacts {
@@ -57,4 +58,29 @@ fn classification_is_deterministic_across_runs_and_threads() {
     assert_eq!(r1.predictions, r2.predictions);
     assert_eq!(r1.predictions, r3.predictions);
     assert_eq!(r1.fabric_cycles, r2.fabric_cycles);
+}
+
+#[test]
+fn fault_free_plan_is_the_identity_transform() {
+    // classify_batch_faulty with an all-zero plan must be
+    // byte-identical to the plain path — injection is pay-for-use.
+    let artifacts = build(5);
+    let imgs = UspsLike::default().generate(40, 3).images;
+    let plain = artifacts.device.classify_batch(&imgs);
+    let faulty = artifacts
+        .device
+        .classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
+    assert_eq!(plain, faulty);
+}
+
+#[test]
+fn seeded_fault_runs_regenerate_identically() {
+    let artifacts = build(5);
+    let imgs = UspsLike::default().generate(40, 3).images;
+    let plan = FaultPlan::uniform(12345, 0.35);
+    let policy = RetryPolicy::default();
+    let a = artifacts.device.classify_batch_faulty(&imgs, &plan, &policy);
+    let b = artifacts.device.classify_batch_faulty(&imgs, &plan, &policy);
+    assert_eq!(a, b, "a seeded fault run must be exactly reproducible");
+    assert!(a.faults.balances(imgs.len()));
 }
