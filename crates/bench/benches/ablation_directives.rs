@@ -42,7 +42,11 @@ fn bench_ablation(c: &mut Criterion) {
     group.bench_function("explore_16_directive_points", |b| {
         b.iter(|| {
             for ds in DirectiveSet::all_combinations() {
-                black_box(HlsProject::new_unchecked(black_box(&net), ds, FpgaPart::zynq7020()));
+                black_box(HlsProject::new_unchecked(
+                    black_box(&net),
+                    ds,
+                    FpgaPart::zynq7020(),
+                ));
             }
         })
     });

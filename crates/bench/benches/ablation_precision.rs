@@ -22,7 +22,14 @@ fn bench_precision(c: &mut Criterion) {
     // Light training so the accuracy column is meaningful.
     let tr = UspsLike::default().generate(1500, 1);
     let te = UspsLike::default().generate(500, 2);
-    let cfg = TrainConfig { learning_rate: 0.5, batch_size: 16, epochs: 12, weight_decay: 1e-4, lr_decay: 0.97, momentum: 0.0 };
+    let cfg = TrainConfig {
+        learning_rate: 0.5,
+        batch_size: 16,
+        epochs: 12,
+        weight_decay: 1e-4,
+        lr_decay: 0.97,
+        momentum: 0.0,
+    };
     let mut rng = seeded_rng(7);
     train(&mut net, &tr.images, &tr.labels, &cfg, &mut rng);
 
@@ -34,8 +41,13 @@ fn bench_precision(c: &mut Criterion) {
 
     println!("[precision] Test-1 network, dataflow+pipe-conv:");
     for (prec, qnet) in &precisions {
-        let p = HlsProject::with_precision(qnet, DirectiveSet::optimized(), FpgaPart::zynq7020(), *prec)
-            .expect("fits");
+        let p = HlsProject::with_precision(
+            qnet,
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+            *prec,
+        )
+        .expect("fits");
         let err = qnet.prediction_error(&te.images, &te.labels);
         println!(
             "[precision] {:<5} interval {:>7} cycles | DSP {:>3} | BRAM {:>3} | test error {:>5.1}%",

@@ -29,7 +29,9 @@ fn bench_figures(c: &mut Criterion) {
 
     // Fig. 2: kernel heat-map rendering.
     let small = build_random(&NetworkSpec::paper_usps_small(true), 1).unwrap();
-    let cnn_nn::Layer::Conv2d(conv) = &small.layers()[0] else { unreachable!() };
+    let cnn_nn::Layer::Conv2d(conv) = &small.layers()[0] else {
+        unreachable!()
+    };
     let kernels: Vec<Tensor> = (0..conv.kernels.kernels())
         .map(|k| Tensor::from_vec(Shape::new(1, 5, 5), conv.kernels.window(k, 0).to_vec()))
         .collect();

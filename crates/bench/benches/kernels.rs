@@ -20,7 +20,11 @@ fn bench_conv(c: &mut Criterion) {
     // The paper's two convolution sizes: Test 1 conv1 and Test 4 conv2.
     let cases = [
         ("test1_conv1_1x16x16_k6x5x5", Shape::new(1, 16, 16), 6usize),
-        ("test4_conv2_12x14x14_k36x5x5", Shape::new(12, 14, 14), 36usize),
+        (
+            "test4_conv2_12x14x14_k36x5x5",
+            Shape::new(12, 14, 14),
+            36usize,
+        ),
     ];
     for (name, ishape, k) in cases {
         let input = init_tensor(&mut rng, ishape, Init::Uniform(1.0));
@@ -88,5 +92,10 @@ fn bench_batch_parallel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_conv, bench_pool_linear_softmax, bench_batch_parallel);
+criterion_group!(
+    benches,
+    bench_conv,
+    bench_pool_linear_softmax,
+    bench_batch_parallel
+);
 criterion_main!(benches);

@@ -20,13 +20,17 @@ fn bench_table2(c: &mut Criterion) {
         let project = HlsProject::new(&net, directives, FpgaPart::zynq7020()).unwrap();
         println!("[table2] {}: {}", test.name(), project.resources());
 
-        group.bench_with_input(BenchmarkId::new("synthesize", test.name()), &net, |b, net| {
-            b.iter(|| {
-                black_box(
-                    HlsProject::new(black_box(net), directives, FpgaPart::zynq7020()).unwrap(),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", test.name()),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    black_box(
+                        HlsProject::new(black_box(net), directives, FpgaPart::zynq7020()).unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -56,8 +56,14 @@ fn main() {
         let period = if r1.hw_time_s > 10.0 { 1.0 } else { 0.01 };
         let trace = PowerTrace::record(
             &[
-                PowerPhase { watts: 1.45, seconds: (r1.hw_time_s * 0.05).max(period) },
-                PowerPhase { watts: r1.total_power_w, seconds: r1.hw_time_s },
+                PowerPhase {
+                    watts: 1.45,
+                    seconds: (r1.hw_time_s * 0.05).max(period),
+                },
+                PowerPhase {
+                    watts: r1.total_power_w,
+                    seconds: r1.hw_time_s,
+                },
             ],
             period,
         );

@@ -20,6 +20,9 @@ use cnn_power::EnergyMeter;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n = if quick { 40 } else { 200 };
+    // Record the sweep's outcome accounting in the metrics registry so
+    // the run ends with a Prometheus exposition, not print-only stats.
+    cnn_trace::enable();
 
     eprintln!("[cnn-bench] building the Test-2 stack (optimized Zedboard build)...");
     let spec = NetworkSpec::paper_usps_small(true);
@@ -27,23 +30,40 @@ fn main() {
         .run()
         .expect("the paper network fits the Zedboard");
     let images = cnn_datasets::UspsLike::default().generate(n, 8).images;
-    let reference: Vec<usize> = images.iter().map(|i| artifacts.network.predict(i)).collect();
+    let reference: Vec<usize> = images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
     let meter = EnergyMeter::for_board(Board::Zedboard);
     let usage = &artifacts.report.resources;
     let policy = RetryPolicy::default();
 
-    println!("FAULT SWEEP: {n} images, seeded plan (seed 2016), retry budget {}\n", policy.max_retries);
+    println!(
+        "FAULT SWEEP: {n} images, seeded plan (seed 2016), retry budget {}\n",
+        policy.max_retries
+    );
     println!(
         "{:>5}  {:>8}  {:>7}  {:>6}  {:>9}  {:>9}  {:>9}  {:>6}  {:>9}  {:>9}",
-        "rate", "injected", "retries", "resets", "clean", "recovered", "abandoned", "swfall",
-        "img/s", "wasted J"
+        "rate",
+        "injected",
+        "retries",
+        "resets",
+        "clean",
+        "recovered",
+        "abandoned",
+        "swfall",
+        "img/s",
+        "wasted J"
     );
 
     for rate in [0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let plan = FaultPlan::uniform(2016, rate);
         let report = artifacts.classify_with_recovery(&images, &plan, &policy);
         let hw = &report.hardware;
-        assert!(hw.faults.balances(n), "rate {rate}: accounting must balance");
+        assert!(
+            hw.faults.balances(n),
+            "rate {rate}: accounting must balance"
+        );
         assert_eq!(
             report.predictions, reference,
             "rate {rate}: recovery must be bit-exact vs the software reference"
@@ -77,4 +97,9 @@ fn main() {
     assert_eq!(a.hardware.faults, b.hardware.faults);
     assert_eq!(a.hardware.outcomes, b.hardware.outcomes);
     println!("seed reproducibility: two runs of the rate-0.40 plan matched exactly.");
+
+    println!(
+        "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
+        cnn_trace::export::prometheus::to_prometheus_text(&cnn_trace::snapshot())
+    );
 }

@@ -18,10 +18,7 @@ fn kernel_art(net: &cnn_nn::Network) -> Vec<String> {
     let k = &conv.kernels;
     (0..k.kernels())
         .map(|ki| {
-            let img = Tensor::from_vec(
-                Shape::new(1, k.kh(), k.kw()),
-                k.window(ki, 0).to_vec(),
-            );
+            let img = Tensor::from_vec(Shape::new(1, k.kh(), k.kw()), k.window(ki, 0).to_vec());
             ascii_channel(&img, 0)
         })
         .collect()

@@ -10,8 +10,15 @@ use cnn_tensor::init::seeded_rng;
 fn print_pairs(arts: &[(String, String)]) {
     for pair in arts.chunks(2) {
         let left: Vec<&str> = pair[0].1.lines().collect();
-        let right: Vec<&str> = pair.get(1).map(|p| p.1.lines().collect()).unwrap_or_default();
-        println!("  {:<20}{}", pair[0].0, pair.get(1).map(|p| p.0.as_str()).unwrap_or(""));
+        let right: Vec<&str> = pair
+            .get(1)
+            .map(|p| p.1.lines().collect())
+            .unwrap_or_default();
+        println!(
+            "  {:<20}{}",
+            pair[0].0,
+            pair.get(1).map(|p| p.0.as_str()).unwrap_or("")
+        );
         for (i, l) in left.iter().enumerate() {
             println!("  {:<20}{}", l, right.get(i).copied().unwrap_or(""));
         }

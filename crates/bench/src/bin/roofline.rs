@@ -14,7 +14,14 @@ fn main() {
     println!("ROOFLINE ANALYSIS (Zynq-7020 @ 100 MHz, AXI stream 400 MB/s)\n");
     println!(
         "{:<8} {:>12} {:>10} {:>10} {:>12} {:>12} {:>11} {:>8}",
-        "Test", "FLOP/image", "bytes/img", "intensity", "compute roof", "bw roof", "achieved", "eff"
+        "Test",
+        "FLOP/image",
+        "bytes/img",
+        "intensity",
+        "compute roof",
+        "bw roof",
+        "achieved",
+        "eff"
     );
     println!("{}", "-".repeat(92));
     for test in PaperTest::ALL {

@@ -4,6 +4,7 @@
 //! software baseline — and reports how much of each hardware win
 //! survives it.
 
+use cnn_fpga::Board;
 use cnn_framework::weights::build_random;
 use cnn_framework::PaperTest;
 use cnn_hls::ir::lower;
@@ -11,7 +12,6 @@ use cnn_hls::schedule::schedule;
 use cnn_hls::timing;
 use cnn_hls::Precision;
 use cnn_platform::{ArmModel, NeonModel};
-use cnn_fpga::Board;
 
 fn main() {
     println!("SOFTWARE BASELINES vs HARDWARE (per-image times, Zedboard)\n");

@@ -27,7 +27,10 @@ fn main() {
     }
     if std::env::args().any(|a| a == "--json") {
         let measured: Vec<_> = rows.iter().map(|(_, r)| r).collect();
-        println!("{}", serde_json::to_string_pretty(&measured).expect("rows serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&measured).expect("rows serialize")
+        );
         return;
     }
     println!("\nTABLE I: Hardware implementation vs. software one");

@@ -3,9 +3,9 @@
 //! showing how DATAFLOW amortizes the pipeline fill. Validated at
 //! cycle level with the `cnn-fpga::cosim` simulator.
 
+use cnn_fpga::cosim::simulate;
 use cnn_framework::weights::build_random;
 use cnn_framework::NetworkSpec;
-use cnn_fpga::cosim::simulate;
 use cnn_hls::ir::lower;
 use cnn_hls::schedule::schedule;
 use cnn_hls::{calibration, DirectiveSet};

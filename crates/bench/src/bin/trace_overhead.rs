@@ -1,0 +1,76 @@
+//! Measures the enabled tracer's overhead on the Fig.-3 workflow:
+//! runs the full pipeline (workflow → device batch classification)
+//! with the recorder off, then again with it on, and reports the
+//! wall-clock delta. The acceptance target is <3% — printed, not
+//! asserted, because CI machines have noisy clocks; the binary *does*
+//! assert the traced run is prediction-bit-identical to the untraced
+//! one.
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin trace_overhead [-- --quick]
+//! ```
+
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_framework::{NetworkSpec, WeightSource, Workflow};
+use std::time::Instant;
+
+/// One full build + classify, returning predictions and seconds.
+fn run_once(n: usize) -> (Vec<usize>, f64) {
+    let start = Instant::now();
+    let spec = NetworkSpec::paper_usps_small(true);
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 2016 })
+        .run()
+        .expect("the paper network fits the Zedboard");
+    let images = cnn_datasets::UspsLike::default().generate(n, 8).images;
+    let report =
+        artifacts.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
+    (report.predictions, start.elapsed().as_secs_f64())
+}
+
+/// Median of `reps` timed runs (predictions checked identical across
+/// every run).
+fn measure(n: usize, reps: usize) -> (Vec<usize>, f64) {
+    let mut times = Vec::with_capacity(reps);
+    let (reference, t0) = run_once(n);
+    times.push(t0);
+    for _ in 1..reps {
+        let (p, t) = run_once(n);
+        assert_eq!(p, reference, "repeat runs must agree");
+        times.push(t);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (reference, times[times.len() / 2])
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, reps) = if quick { (20, 3) } else { (60, 5) };
+
+    eprintln!("[cnn-bench] warming up ({n} images, {reps} reps per mode)...");
+    let _ = run_once(n); // warm caches/allocator before either timed mode
+
+    cnn_trace::disable();
+    cnn_trace::reset();
+    let (untraced_preds, untraced_s) = measure(n, reps);
+
+    cnn_trace::enable();
+    let (traced_preds, traced_s) = measure(n, reps);
+    let snapshot = cnn_trace::snapshot();
+    cnn_trace::disable();
+
+    assert_eq!(
+        traced_preds, untraced_preds,
+        "tracing must not perturb predictions"
+    );
+
+    let overhead = (traced_s - untraced_s) / untraced_s * 100.0;
+    println!("TRACE OVERHEAD on the Fig.-3 workflow ({n} images, median of {reps}):\n");
+    println!("  untraced: {untraced_s:>8.4} s");
+    println!(
+        "  traced:   {traced_s:>8.4} s  ({} events, {} counter series)",
+        snapshot.events.len() + snapshot.dropped as usize,
+        snapshot.counters.len()
+    );
+    println!("  overhead: {overhead:>+8.2} %   (target < 3%)");
+    println!("\npredictions bit-identical across traced and untraced runs.");
+}

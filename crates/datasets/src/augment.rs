@@ -34,9 +34,7 @@ impl Augment {
                     0.0
                 }
             }),
-            Augment::FlipHorizontal => {
-                Tensor::from_fn(s, |c, y, x| img.get(c, y, s.w - 1 - x))
-            }
+            Augment::FlipHorizontal => Tensor::from_fn(s, |c, y, x| img.get(c, y, s.w - 1 - x)),
             Augment::Brightness(f) => img.map(|v| (v * f).clamp(0.0, 1.0)),
             Augment::Noise(_) => {
                 panic!("Noise requires an RNG; use apply_with_rng")
@@ -81,7 +79,12 @@ pub fn expand_dataset(ds: &Dataset, factor: usize, rng: &mut StdRng) -> Dataset 
             labels.push(label);
         }
     }
-    Dataset::new(&format!("{}-x{}", ds.name, factor), images, labels, ds.classes)
+    Dataset::new(
+        &format!("{}-x{}", ds.name, factor),
+        images,
+        labels,
+        ds.classes,
+    )
 }
 
 /// Convenience: checks two tensors share a shape (used by tests and
@@ -190,7 +193,11 @@ mod tests {
                     .conv(6, 5, 5, &mut wrng)
                     .pool(cnn_tensor::ops::pool::PoolKind::Max, 2, 2)
                     .flatten()
-                    .linear(10, Some(cnn_tensor::ops::activation::Activation::Tanh), &mut wrng)
+                    .linear(
+                        10,
+                        Some(cnn_tensor::ops::activation::Activation::Tanh),
+                        &mut wrng,
+                    )
                     .log_softmax()
                     .build()
                     .unwrap()

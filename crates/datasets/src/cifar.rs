@@ -17,7 +17,16 @@ pub const CLASSES: usize = 10;
 
 /// Class names mirroring CIFAR-10's categories.
 pub const CLASS_NAMES: [&str; 10] = [
-    "airplane", "automobile", "bird", "cat", "deer", "dog", "frog", "horse", "ship", "truck",
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
 ];
 
 /// Generator parameters.
@@ -170,7 +179,10 @@ mod tests {
                 }
             }
         }
-        assert!(distinct * 10 >= total * 8, "only {distinct}/{total} pairs distinct");
+        assert!(
+            distinct * 10 >= total * 8,
+            "only {distinct}/{total} pairs distinct"
+        );
     }
 
     #[test]

@@ -27,10 +27,7 @@ impl Dataset {
             images.iter().all(|t| t.shape() == shape),
             "non-uniform image shapes"
         );
-        assert!(
-            labels.iter().all(|&l| l < classes),
-            "label out of range"
-        );
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
         Dataset {
             name: name.to_string(),
             images,
@@ -56,7 +53,11 @@ impl Dataset {
 
     /// Splits into `(first n, rest)`; panics if `n` is not a proper split.
     pub fn split_at(self, n: usize) -> (Dataset, Dataset) {
-        assert!(n > 0 && n < self.len(), "split {n} out of range 1..{}", self.len());
+        assert!(
+            n > 0 && n < self.len(),
+            "split {n} out of range 1..{}",
+            self.len()
+        );
         let classes = self.classes;
         let (img_a, img_b) = {
             let mut images = self.images;

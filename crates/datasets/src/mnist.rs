@@ -31,7 +31,12 @@ pub struct MnistLike {
 
 impl Default for MnistLike {
     fn default() -> Self {
-        MnistLike { max_shift: 3, max_shear: 0.3, noise: 0.12, blur: true }
+        MnistLike {
+            max_shift: 3,
+            max_shear: 0.3,
+            noise: 0.12,
+            blur: true,
+        }
     }
 }
 
@@ -123,8 +128,16 @@ mod tests {
     #[test]
     fn digits_have_more_ink_than_usps() {
         // 2x upscaling: strokes cover ~4x the pixels of the 16x16 set.
-        let mnist = MnistLike { noise: 0.0, blur: false, ..Default::default() };
-        let usps = crate::usps::UspsLike { noise: 0.0, blur: false, ..Default::default() };
+        let mnist = MnistLike {
+            noise: 0.0,
+            blur: false,
+            ..Default::default()
+        };
+        let usps = crate::usps::UspsLike {
+            noise: 0.0,
+            blur: false,
+            ..Default::default()
+        };
         let mut r1 = StdRng::seed_from_u64(2);
         let mut r2 = StdRng::seed_from_u64(2);
         let m: f32 = mnist.render_digit(8, &mut r1).sum();
@@ -134,7 +147,12 @@ mod tests {
 
     #[test]
     fn distinct_digits_distinct_images() {
-        let gen = MnistLike { max_shift: 0, max_shear: 0.0, noise: 0.0, blur: false };
+        let gen = MnistLike {
+            max_shift: 0,
+            max_shear: 0.0,
+            noise: 0.0,
+            blur: false,
+        };
         let mut imgs = Vec::new();
         for d in 0..CLASSES {
             let mut rng = StdRng::seed_from_u64(3);

@@ -41,7 +41,11 @@ pub fn ascii_luminance(img: &Tensor) -> String {
 /// replicated across RGB.
 pub fn to_ppm(img: &Tensor) -> Vec<u8> {
     let s = img.shape();
-    assert!(s.c == 1 || s.c == 3, "PPM needs 1 or 3 channels, got {}", s.c);
+    assert!(
+        s.c == 1 || s.c == 3,
+        "PPM needs 1 or 3 channels, got {}",
+        s.c
+    );
     let mut out = format!("P6\n{} {}\n255\n", s.w, s.h).into_bytes();
     for y in 0..s.h {
         for x in 0..s.w {
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn ppm_rgb_channels_interleaved() {
-        let img = Tensor::from_fn(Shape::new(3, 1, 1), |c, _, _| if c == 1 { 1.0 } else { 0.0 });
+        let img = Tensor::from_fn(
+            Shape::new(3, 1, 1),
+            |c, _, _| if c == 1 { 1.0 } else { 0.0 },
+        );
         let ppm = to_ppm(&img);
         let px = &ppm[ppm.len() - 3..];
         assert_eq!(px, &[0, 255, 0]);

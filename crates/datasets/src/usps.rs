@@ -57,7 +57,12 @@ pub struct UspsLike {
 
 impl Default for UspsLike {
     fn default() -> Self {
-        UspsLike { max_shift: 2, max_shear: 0.25, noise: 0.15, blur: true }
+        UspsLike {
+            max_shift: 2,
+            max_shear: 0.25,
+            noise: 0.15,
+            blur: true,
+        }
     }
 }
 
@@ -175,7 +180,11 @@ mod tests {
 
     #[test]
     fn digits_have_ink() {
-        let gen = UspsLike { noise: 0.0, blur: false, ..Default::default() };
+        let gen = UspsLike {
+            noise: 0.0,
+            blur: false,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         for d in 0..CLASSES {
             let img = gen.render_digit(d, &mut rng);
@@ -188,7 +197,12 @@ mod tests {
     fn different_digits_differ_visibly() {
         // Without perturbations, distinct digits should produce
         // distinct images.
-        let gen = UspsLike { max_shift: 0, max_shear: 0.0, noise: 0.0, blur: false };
+        let gen = UspsLike {
+            max_shift: 0,
+            max_shear: 0.0,
+            noise: 0.0,
+            blur: false,
+        };
         let mut imgs = Vec::new();
         for d in 0..CLASSES {
             let mut rng = StdRng::seed_from_u64(3);

@@ -109,7 +109,11 @@ impl AddressMap {
         if base.checked_add(size).is_none() || base + size > GP0_END {
             return Err(MapError::WindowFull);
         }
-        let seg = Segment { name: name.to_string(), base, size };
+        let seg = Segment {
+            name: name.to_string(),
+            base,
+            size,
+        };
         self.segments.push(seg.clone());
         Ok(seg)
     }
@@ -186,7 +190,10 @@ mod tests {
     fn sizes_are_validated() {
         let mut m = AddressMap::new();
         assert_eq!(m.assign("x", 0x800).unwrap_err(), MapError::BadSize(0x800));
-        assert_eq!(m.assign("x", 0x3000).unwrap_err(), MapError::BadSize(0x3000));
+        assert_eq!(
+            m.assign("x", 0x3000).unwrap_err(),
+            MapError::BadSize(0x3000)
+        );
         assert!(m.assign("x", 0x1000).is_ok());
     }
 
@@ -194,7 +201,10 @@ mod tests {
     fn duplicates_rejected() {
         let mut m = AddressMap::new();
         m.assign("dma", 0x1000).unwrap();
-        assert_eq!(m.assign("dma", 0x1000).unwrap_err(), MapError::Duplicate("dma".into()));
+        assert_eq!(
+            m.assign("dma", 0x1000).unwrap_err(),
+            MapError::Duplicate("dma".into())
+        );
     }
 
     #[test]
@@ -221,9 +231,15 @@ mod tests {
     fn error_display() {
         assert!(MapError::BadSize(7).to_string().contains("power of two"));
         assert!(MapError::WindowFull.to_string().contains("exhausted"));
-        assert!(MapError::Overlap("a".into(), "b".into()).to_string().contains("overlaps"));
-        assert!(MapError::Misaligned("x".into()).to_string().contains("aligned"));
-        assert!(MapError::OutsideWindow("y".into()).to_string().contains("window"));
+        assert!(MapError::Overlap("a".into(), "b".into())
+            .to_string()
+            .contains("overlaps"));
+        assert!(MapError::Misaligned("x".into())
+            .to_string()
+            .contains("aligned"));
+        assert!(MapError::OutsideWindow("y".into())
+            .to_string()
+            .contains("window"));
     }
 
     #[test]
@@ -231,19 +247,44 @@ mod tests {
         // Hand-build an overlapping map (assign() itself never
         // produces one).
         let mut m = AddressMap::new();
-        m.segments.push(Segment { name: "a".into(), base: GP0_BASE, size: 0x2000 });
-        m.segments.push(Segment { name: "b".into(), base: GP0_BASE + 0x1000, size: 0x1000 });
-        assert_eq!(m.validate().unwrap_err(), MapError::Overlap("a".into(), "b".into()));
+        m.segments.push(Segment {
+            name: "a".into(),
+            base: GP0_BASE,
+            size: 0x2000,
+        });
+        m.segments.push(Segment {
+            name: "b".into(),
+            base: GP0_BASE + 0x1000,
+            size: 0x1000,
+        });
+        assert_eq!(
+            m.validate().unwrap_err(),
+            MapError::Overlap("a".into(), "b".into())
+        );
     }
 
     #[test]
     fn validate_reports_out_of_window_and_misaligned() {
         let mut m = AddressMap::new();
-        m.segments.push(Segment { name: "low".into(), base: 0x1000, size: 0x1000 });
-        assert_eq!(m.validate().unwrap_err(), MapError::OutsideWindow("low".into()));
+        m.segments.push(Segment {
+            name: "low".into(),
+            base: 0x1000,
+            size: 0x1000,
+        });
+        assert_eq!(
+            m.validate().unwrap_err(),
+            MapError::OutsideWindow("low".into())
+        );
 
         let mut m = AddressMap::new();
-        m.segments.push(Segment { name: "skew".into(), base: GP0_BASE + 0x800, size: 0x1000 });
-        assert_eq!(m.validate().unwrap_err(), MapError::Misaligned("skew".into()));
+        m.segments.push(Segment {
+            name: "skew".into(),
+            base: GP0_BASE + 0x800,
+            size: 0x1000,
+        });
+        assert_eq!(
+            m.validate().unwrap_err(),
+            MapError::Misaligned("skew".into())
+        );
     }
 }

@@ -41,16 +41,22 @@ impl AxiDma {
     pub fn mm2s(&mut self, words: u64) -> u64 {
         self.stats.mm2s_transfers += 1;
         self.stats.mm2s_words += words;
-        cnn_hls::calibration::DMA_SETUP_CYCLES
-            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE
+        let cycles = cnn_hls::calibration::DMA_SETUP_CYCLES
+            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE;
+        cnn_trace::counter_add("cnn_dma_beats_total", &[("channel", "mm2s")], words);
+        cnn_trace::advance_cycles(cycles);
+        cycles
     }
 
     /// Cycles to move `words` words stream→memory.
     pub fn s2mm(&mut self, words: u64) -> u64 {
         self.stats.s2mm_transfers += 1;
         self.stats.s2mm_words += words;
-        cnn_hls::calibration::DMA_SETUP_CYCLES
-            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE
+        let cycles = cnn_hls::calibration::DMA_SETUP_CYCLES
+            + words / cnn_hls::calibration::STREAM_WORDS_PER_CYCLE;
+        cnn_trace::counter_add("cnn_dma_beats_total", &[("channel", "s2mm")], words);
+        cnn_trace::advance_cycles(cycles);
+        cycles
     }
 
     /// Statistics so far.
@@ -167,8 +173,11 @@ impl AxiStream {
                 continue;
             }
             let data = if corrupted == Some(i) { f32::NAN } else { w };
-            tx.send(StreamBeat { data, last: i == last_sent })
-                .map_err(|_| StreamError::ReceiverDropped)?;
+            tx.send(StreamBeat {
+                data,
+                last: i == last_sent,
+            })
+            .map_err(|_| StreamError::ReceiverDropped)?;
         }
         Ok(())
     }
@@ -267,7 +276,11 @@ mod tests {
         let s = AxiStream::with_depth(4);
         let (tx, rx) = s.split();
         // One unterminated beat, then the sender vanishes.
-        tx.send(StreamBeat { data: 1.0, last: false }).unwrap();
+        tx.send(StreamBeat {
+            data: 1.0,
+            last: false,
+        })
+        .unwrap();
         drop(tx);
         assert_eq!(AxiStream::recv_packet(&rx), Err(StreamError::SenderDropped));
     }
@@ -292,8 +305,7 @@ mod tests {
     fn corrupted_beat_keeps_length_and_is_nan() {
         let s = AxiStream::with_depth(8);
         let (tx, rx) = s.split();
-        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0, 3.0], Some(BeatFault::Corrupt(1)))
-            .unwrap();
+        AxiStream::send_packet_faulted(&tx, &[1.0, 2.0, 3.0], Some(BeatFault::Corrupt(1))).unwrap();
         let got = AxiStream::recv_packet(&rx).unwrap();
         assert_eq!(got.len(), 3);
         assert!(got[1].is_nan());

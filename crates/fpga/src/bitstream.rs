@@ -120,8 +120,12 @@ mod tests {
 
     #[test]
     fn implement_succeeds_on_matching_board() {
-        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
-            .unwrap();
+        let p = HlsProject::new(
+            &test1_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        )
+        .unwrap();
         let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
         assert_eq!(bs.board, Board::Zedboard);
         assert_eq!(bs.directives, "dataflow+pipe-conv");
@@ -130,8 +134,7 @@ mod tests {
 
     #[test]
     fn part_mismatch_rejected() {
-        let p = HlsProject::new(&test1_net(), DirectiveSet::naive(), FpgaPart::zynq7020())
-            .unwrap();
+        let p = HlsProject::new(&test1_net(), DirectiveSet::naive(), FpgaPart::zynq7020()).unwrap();
         let err = Bitstream::implement(&p, Board::Zybo).unwrap_err();
         assert!(matches!(err, BitstreamError::PartMismatch { .. }));
     }
@@ -153,8 +156,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = BitstreamError::PartMismatch { project: "a", board: "b" };
+        let e = BitstreamError::PartMismatch {
+            project: "a",
+            board: "b",
+        };
         assert!(e.to_string().contains("a"));
-        assert!(BitstreamError::DoesNotFit(vec!["DSP"]).to_string().contains("DSP"));
+        assert!(BitstreamError::DoesNotFit(vec!["DSP"])
+            .to_string()
+            .contains("DSP"));
     }
 }

@@ -135,7 +135,10 @@ impl BlockDesign {
 
         for (from, to) in [
             // control: PS GP master -> interconnect 0 -> DMA register file
-            ("processing_system7_0/M_AXI_GP0", "axi_interconnect_0/S00_AXI"),
+            (
+                "processing_system7_0/M_AXI_GP0",
+                "axi_interconnect_0/S00_AXI",
+            ),
             ("axi_interconnect_0/M00_AXI", "axi_dma_0/S_AXI_LITE"),
             // stream: DMA -> CNN -> DMA
             ("axi_dma_0/M_AXIS_MM2S", "cnn_0/in_stream"),
@@ -143,9 +146,15 @@ impl BlockDesign {
             // memory: DMA masters -> interconnect 1 -> PS HP slave
             ("axi_dma_0/M_AXI_MM2S", "axi_interconnect_1/S00_AXI"),
             ("axi_dma_0/M_AXI_S2MM", "axi_interconnect_1/S01_AXI"),
-            ("axi_interconnect_1/M00_AXI", "processing_system7_0/S_AXI_HP0"),
+            (
+                "axi_interconnect_1/M00_AXI",
+                "processing_system7_0/S_AXI_HP0",
+            ),
             // clock/reset distribution
-            ("processing_system7_0/FCLK_CLK0", "proc_sys_reset_0/slowest_sync_clk"),
+            (
+                "processing_system7_0/FCLK_CLK0",
+                "proc_sys_reset_0/slowest_sync_clk",
+            ),
             ("proc_sys_reset_0/peripheral_aresetn", "cnn_0/s_axi_ctrl"),
         ] {
             d.connect(from, to);
@@ -160,7 +169,10 @@ impl BlockDesign {
 
     /// Adds a connection by endpoint strings (`instance/pin`).
     pub fn connect(&mut self, from: &str, to: &str) {
-        self.connections.push(Connection { from: from.into(), to: to.into() });
+        self.connections.push(Connection {
+            from: from.into(),
+            to: to.into(),
+        });
     }
 
     fn endpoint_exists(&self, ep: &str) -> bool {
@@ -215,9 +227,9 @@ impl BlockDesign {
         // Stream path: some DMA MM2S out feeds a CNN input, and the CNN
         // output feeds the DMA S2MM in.
         let has = |from_pin: &str, to_pin: &str| {
-            self.connections.iter().any(|c| {
-                c.from.ends_with(from_pin) && c.to.ends_with(to_pin)
-            })
+            self.connections
+                .iter()
+                .any(|c| c.from.ends_with(from_pin) && c.to.ends_with(to_pin))
         };
         if !has("M_AXIS_MM2S", "in_stream") {
             errs.push(DesignError::BrokenStreamPath("DMA→CNN missing".into()));
@@ -235,9 +247,15 @@ impl BlockDesign {
 
     /// Exports Graphviz DOT (the Fig. 5 regenerator uses this).
     pub fn to_dot(&self) -> String {
-        let mut out = format!("digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n", self.name);
+        let mut out = format!(
+            "digraph \"{}\" {{\n  rankdir=LR;\n  node [shape=box];\n",
+            self.name
+        );
         for c in &self.components {
-            out.push_str(&format!("  \"{}\" [label=\"{}\\n{:?}\"];\n", c.name, c.name, c.kind));
+            out.push_str(&format!(
+                "  \"{}\" [label=\"{}\\n{:?}\"];\n",
+                c.name, c.name, c.kind
+            ));
         }
         for conn in &self.connections {
             let fi = conn.from.split('/').next().unwrap_or("?");
@@ -271,7 +289,9 @@ mod tests {
 
     #[test]
     fn fig5_validates() {
-        BlockDesign::fig5().validate().expect("Fig. 5 must validate");
+        BlockDesign::fig5()
+            .validate()
+            .expect("Fig. 5 must validate");
     }
 
     #[test]
@@ -290,14 +310,17 @@ mod tests {
         d.connect("processing_system7_0/FCLK_CLK0", "cnn_0/in_stream");
         d.connect("axi_interconnect_0/M00_AXI", "cnn_0/in_stream");
         let errs = d.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, DesignError::DoubleDriven(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::DoubleDriven(_))));
     }
 
     #[test]
     fn missing_component_detected() {
         let mut d = BlockDesign::fig5();
         d.components.retain(|c| c.kind != ComponentKind::AxiDma);
-        d.connections.retain(|c| !c.from.contains("dma") && !c.to.contains("dma"));
+        d.connections
+            .retain(|c| !c.from.contains("dma") && !c.to.contains("dma"));
         let errs = d.validate().unwrap_err();
         assert!(errs
             .iter()
@@ -316,7 +339,9 @@ mod tests {
             pins: vec![],
         });
         let errs = d.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, DesignError::DuplicateInstance(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, DesignError::DuplicateInstance(_))));
     }
 
     #[test]
@@ -347,7 +372,9 @@ mod tests {
 
     #[test]
     fn error_display_strings() {
-        assert!(DesignError::UnknownEndpoint("a/b".into()).to_string().contains("a/b"));
+        assert!(DesignError::UnknownEndpoint("a/b".into())
+            .to_string()
+            .contains("a/b"));
         assert!(DesignError::MissingComponent(ComponentKind::CnnIp)
             .to_string()
             .contains("CnnIp"));

@@ -79,6 +79,9 @@ mod tests {
 
     #[test]
     fn serde_snake_case() {
-        assert_eq!(serde_json::to_string(&Board::Zedboard).unwrap(), "\"zedboard\"");
+        assert_eq!(
+            serde_json::to_string(&Board::Zedboard).unwrap(),
+            "\"zedboard\""
+        );
     }
 }

@@ -74,7 +74,11 @@ pub fn simulate(schedule: &DesignSchedule, n_images: usize) -> CosimResult {
             input_ready[i] = prev_done + io;
         }
         for s in 0..stages {
-            let data_ready = if s == 0 { input_ready[i] } else { done[s - 1][i] };
+            let data_ready = if s == 0 {
+                input_ready[i]
+            } else {
+                done[s - 1][i]
+            };
             let mut start = data_ready;
             if schedule.dataflow {
                 // Stage busy with the previous image.
@@ -104,7 +108,11 @@ pub fn simulate(schedule: &DesignSchedule, n_images: usize) -> CosimResult {
     } else {
         total_cycles
     };
-    CosimResult { traces, total_cycles, steady_interval }
+    CosimResult {
+        traces,
+        total_cycles,
+        steady_interval,
+    }
 }
 
 /// Renders a textual occupancy chart (one row per stage, one column

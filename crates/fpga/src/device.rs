@@ -153,6 +153,17 @@ fn fault_needs_reset(fault: InjectedFault) -> bool {
     matches!(fault, InjectedFault::Stall(_) | InjectedFault::Halt(_, _))
 }
 
+/// Pre-registers every outcome/fault counter series at zero so a
+/// fault-free batch still exports them (a Prometheus scrape must see
+/// `cnn_images_total{outcome="abandoned"} 0`, not a missing series).
+fn preregister_batch_metrics() {
+    for outcome in ["clean", "recovered", "abandoned"] {
+        cnn_trace::counter_add("cnn_images_total", &[("outcome", outcome)], 0);
+    }
+    cnn_trace::counter_add("cnn_dma_retries_total", &[], 0);
+    cnn_trace::counter_add("cnn_dma_resets_total", &[], 0);
+}
+
 /// The shared per-image retry loop: samples the fault for each
 /// attempt, delegates the actual transfer to `attempt_fn` (`Some`
 /// prediction on success), and keeps the cycle/outcome accounting —
@@ -170,30 +181,45 @@ where
 {
     for attempt in 0..policy.max_attempts() {
         let fault = plan.sample(image, attempt as u32, words as usize);
-        if fault.is_some() {
+        if let Some(f) = fault {
             stats.injected += 1;
+            if cnn_trace::is_enabled() {
+                cnn_trace::counter_add("cnn_faults_injected_total", &[("kind", f.kind_name())], 1);
+                cnn_trace::instant("fpga", format!("fault {}", f.kind_name()));
+            }
         }
         if attempt_fn(fault).is_some() {
             if attempt == 0 {
                 stats.clean += 1;
+                cnn_trace::counter_add("cnn_images_total", &[("outcome", "clean")], 1);
                 return ImageOutcome::Clean;
             }
             stats.recovered += 1;
+            cnn_trace::counter_add("cnn_images_total", &[("outcome", "recovered")], 1);
             return ImageOutcome::Recovered { retries: attempt };
         }
         if let Some(f) = fault {
-            stats.fault_cycles += fault_attempt_cycles(f, words);
+            let penalty = fault_attempt_cycles(f, words);
+            stats.fault_cycles += penalty;
+            cnn_trace::advance_cycles(penalty);
             if fault_needs_reset(f) {
                 stats.resets += 1;
                 stats.fault_cycles += DMA_RESET_CYCLES;
+                cnn_trace::advance_cycles(DMA_RESET_CYCLES);
+                cnn_trace::counter_add("cnn_dma_resets_total", &[], 1);
+                cnn_trace::instant("fpga", "dma_soft_reset");
             }
         }
         if attempt + 1 < policy.max_attempts() {
             stats.retries += 1;
+            cnn_trace::counter_add("cnn_dma_retries_total", &[], 1);
         }
     }
     stats.abandoned += 1;
-    ImageOutcome::Abandoned { attempts: policy.max_attempts() }
+    cnn_trace::counter_add("cnn_images_total", &[("outcome", "abandoned")], 1);
+    ImageOutcome::Abandoned {
+        attempts: policy.max_attempts(),
+    }
 }
 
 impl ZynqDevice {
@@ -201,7 +227,10 @@ impl ZynqDevice {
     /// device" step).
     pub fn program(board: Board, bitstream: Bitstream) -> Result<ZynqDevice, DeviceError> {
         if bitstream.board != board {
-            return Err(DeviceError::WrongBoard { bitstream: bitstream.board, device: board });
+            return Err(DeviceError::WrongBoard {
+                bitstream: bitstream.board,
+                device: board,
+            });
         }
         Ok(ZynqDevice { board, bitstream })
     }
@@ -251,6 +280,8 @@ impl ZynqDevice {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> BatchResult {
+        let _span = cnn_trace::span("fpga", "classify_batch");
+        preregister_batch_metrics();
         let core = &self.bitstream.core;
         let mut dma = AxiDma::new();
         let mut driver = DmaDriver::new();
@@ -260,13 +291,16 @@ impl ZynqDevice {
         let mut outcomes = Vec::with_capacity(images.len());
         for (i, img) in images.iter().enumerate() {
             let src = 0x1000_0000u32.wrapping_add((i as u32).wrapping_mul(words as u32 * 4));
+            let dma_before = dma_cycles;
             let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
                 match fault {
                     None => {
                         // Program the register file exactly as the PS
                         // driver does (S2MM return word first, then
                         // the MM2S image transfer).
-                        driver.transfer(src, words as u32 * 4, 0x2000_0000, 4).ok()?;
+                        driver
+                            .transfer(src, words as u32 * 4, 0x2000_0000, 4)
+                            .ok()?;
                         dma_cycles += dma.mm2s(words);
                         dma_cycles += dma.s2mm(1);
                         Some(0) // prediction computed below, in parallel
@@ -303,6 +337,7 @@ impl ZynqDevice {
                     }
                 }
             });
+            cnn_trace::observe("cnn_image_dma_cycles", dma_cycles - dma_before);
             outcomes.push(outcome);
         }
         // Predictions in parallel, only for images the core received.
@@ -311,12 +346,23 @@ impl ZynqDevice {
             .zip(images)
             .map(|(o, img)| (o.classified(), img))
             .collect();
-        let predictions =
-            par_map(&tagged, |&(ok, img)| if ok { core.process(img) } else { ABANDONED });
+        let predictions = par_map(
+            &tagged,
+            |&(ok, img)| if ok { core.process(img) } else { ABANDONED },
+        );
         let ok_count = stats.clean + stats.recovered;
-        let (fabric_cycles, seconds) =
-            self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
-        BatchResult { predictions, fabric_cycles, dma_cycles, seconds, outcomes, faults: stats }
+        // The core's compute time lands on the cycle clock here: the
+        // DATAFLOW pipeline runs as one batch, not per image.
+        cnn_trace::advance_cycles(core.batch_cycles(ok_count));
+        let (fabric_cycles, seconds) = self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
+        BatchResult {
+            predictions,
+            fabric_cycles,
+            dma_cycles,
+            seconds,
+            outcomes,
+            faults: stats,
+        }
     }
 
     /// Same classification through a two-thread co-simulation: the
@@ -337,6 +383,8 @@ impl ZynqDevice {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> BatchResult {
+        let _span = cnn_trace::span("fpga", "classify_batch_threaded");
+        preregister_batch_metrics();
         let core = self.bitstream.core.clone();
         let words = core.input_words();
 
@@ -367,6 +415,7 @@ impl ZynqDevice {
         let mut outcomes = Vec::with_capacity(images.len());
         for (i, img) in images.iter().enumerate() {
             let mut prediction = ABANDONED;
+            let dma_before = dma_cycles;
             let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
                 match fault {
                     None => {
@@ -403,6 +452,7 @@ impl ZynqDevice {
                     },
                 }
             });
+            cnn_trace::observe("cnn_image_dma_cycles", dma_cycles - dma_before);
             predictions.push(prediction);
             outcomes.push(outcome);
         }
@@ -410,9 +460,16 @@ impl ZynqDevice {
         fabric.join().expect("fabric thread panicked");
 
         let ok_count = stats.clean + stats.recovered;
-        let (fabric_cycles, seconds) =
-            self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
-        BatchResult { predictions, fabric_cycles, dma_cycles, seconds, outcomes, faults: stats }
+        cnn_trace::advance_cycles(core.batch_cycles(ok_count));
+        let (fabric_cycles, seconds) = self.total_cycles(ok_count, dma_cycles, stats.fault_cycles);
+        BatchResult {
+            predictions,
+            fabric_cycles,
+            dma_cycles,
+            seconds,
+            outcomes,
+            faults: stats,
+        }
     }
 
     /// Prediction error over a labelled set (the Table I metric).
@@ -479,7 +536,10 @@ mod tests {
         let imgs = images(32, 9);
         let res = dev.classify_batch(&imgs);
         let sw: Vec<usize> = imgs.iter().map(|i| net.predict(i)).collect();
-        assert_eq!(res.predictions, sw, "HW and SW classifications must be identical");
+        assert_eq!(
+            res.predictions, sw,
+            "HW and SW classifications must be identical"
+        );
     }
 
     #[test]
@@ -503,7 +563,10 @@ mod tests {
         let policy = RetryPolicy::default();
         let fast = dev.classify_batch_faulty(&imgs, &plan, &policy);
         let threaded = dev.classify_batch_threaded_faulty(&imgs, &plan, &policy);
-        assert_eq!(fast, threaded, "fast and threaded paths must agree beat-for-beat");
+        assert_eq!(
+            fast, threaded,
+            "fast and threaded paths must agree beat-for-beat"
+        );
     }
 
     #[test]
@@ -511,11 +574,16 @@ mod tests {
         let (dev, _) = device(DirectiveSet::optimized());
         let imgs = images(16, 17);
         let plain = dev.classify_batch(&imgs);
-        let planned =
-            dev.classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
+        let planned = dev.classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
         assert_eq!(plain, planned);
         assert!(plain.outcomes.iter().all(|o| *o == ImageOutcome::Clean));
-        assert_eq!(plain.faults, FaultStats { clean: 16, ..Default::default() });
+        assert_eq!(
+            plain.faults,
+            FaultStats {
+                clean: 16,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]
@@ -523,9 +591,16 @@ mod tests {
         let (dev, net) = device(DirectiveSet::optimized());
         let imgs = images(40, 3);
         for rate in [0.1, 0.5, 1.0] {
-            let res =
-                dev.classify_batch_faulty(&imgs, &FaultPlan::uniform(7, rate), &RetryPolicy::default());
-            assert!(res.faults.balances(imgs.len()), "rate {rate}: {:?}", res.faults);
+            let res = dev.classify_batch_faulty(
+                &imgs,
+                &FaultPlan::uniform(7, rate),
+                &RetryPolicy::default(),
+            );
+            assert!(
+                res.faults.balances(imgs.len()),
+                "rate {rate}: {:?}",
+                res.faults
+            );
             assert_eq!(res.outcomes.len(), imgs.len());
             // Every classified image is still bit-identical to SW;
             // every abandoned slot holds the sentinel.
@@ -578,11 +653,8 @@ mod tests {
         let (dev, _) = device(DirectiveSet::optimized());
         let imgs = images(32, 29);
         let clean = dev.classify_batch(&imgs);
-        let faulty = dev.classify_batch_faulty(
-            &imgs,
-            &FaultPlan::uniform(5, 0.5),
-            &RetryPolicy::default(),
-        );
+        let faulty =
+            dev.classify_batch_faulty(&imgs, &FaultPlan::uniform(5, 0.5), &RetryPolicy::default());
         assert!(faulty.faults.fault_cycles > 0);
         assert!(
             faulty.seconds > clean.seconds - 1e-12,

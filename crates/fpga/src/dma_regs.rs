@@ -126,7 +126,9 @@ impl fmt::Display for DmaError {
             DmaError::InternalError(ch) => write!(f, "{ch}: DMAIntErr — engine halted"),
             DmaError::SlaveError(ch) => write!(f, "{ch}: DMASlvErr — engine halted"),
             DmaError::DecodeError(ch) => write!(f, "{ch}: DMADecErr — engine halted"),
-            DmaError::Timeout(ch) => write!(f, "{ch}: no completion within the poll budget (stalled)"),
+            DmaError::Timeout(ch) => {
+                write!(f, "{ch}: no completion within the poll budget (stalled)")
+            }
         }
     }
 }
@@ -165,7 +167,11 @@ struct Channel {
 
 impl Channel {
     fn reset(&mut self) {
-        *self = Channel { srr: sr::HALTED, resets: self.resets, ..Channel::default() };
+        *self = Channel {
+            srr: sr::HALTED,
+            resets: self.resets,
+            ..Channel::default()
+        };
     }
 
     fn write_cr(&mut self, v: u32) {
@@ -270,6 +276,7 @@ impl AxiDmaRegs {
 
     /// Register write (the PS's `iowrite32`).
     pub fn write(&mut self, reg: DmaReg, value: u32) -> Result<(), DmaError> {
+        cnn_trace::counter_add("cnn_dma_reg_writes_total", &[], 1);
         match reg {
             DmaReg::Mm2sDmacr => {
                 self.mm2s.write_cr(value);
@@ -567,7 +574,8 @@ mod tests {
     fn driver_batch_accumulates() {
         let mut drv = DmaDriver::new();
         for i in 0..1000u32 {
-            drv.transfer(0x1000_0000 + i * 1024, 1024, 0x2000_0000, 4).unwrap();
+            drv.transfer(0x1000_0000 + i * 1024, 1024, 0x2000_0000, 4)
+                .unwrap();
         }
         assert_eq!(drv.regs().bytes_moved(), (1_024_000, 4_000));
         assert_eq!(drv.regs().transfers(), (1000, 1000));
@@ -582,7 +590,10 @@ mod tests {
         assert!(err.needs_reset());
         let resets_before = drv.regs().resets();
         drv.recover();
-        assert_eq!(drv.regs().resets(), (resets_before.0 + 1, resets_before.1 + 1));
+        assert_eq!(
+            drv.regs().resets(),
+            (resets_before.0 + 1, resets_before.1 + 1)
+        );
         // Engine is usable again.
         drv.transfer(0x1000_0000, 1024, 0x2000_0000, 4).unwrap();
     }
@@ -625,8 +636,15 @@ mod tests {
 
     #[test]
     fn error_display_names_channel() {
-        assert!(DmaError::Timeout(DmaChannel::S2mm).to_string().contains("S2MM"));
-        assert!(DmaError::DecodeError(DmaChannel::Mm2s).to_string().contains("DMADecErr"));
-        assert_eq!(DmaError::Timeout(DmaChannel::S2mm).channel(), DmaChannel::S2mm);
+        assert!(DmaError::Timeout(DmaChannel::S2mm)
+            .to_string()
+            .contains("S2MM"));
+        assert!(DmaError::DecodeError(DmaChannel::Mm2s)
+            .to_string()
+            .contains("DMADecErr"));
+        assert_eq!(
+            DmaError::Timeout(DmaChannel::S2mm).channel(),
+            DmaChannel::S2mm
+        );
     }
 }

@@ -122,16 +122,25 @@ impl FaultPlan {
             self.drop_beat + self.corrupt_beat + self.mm2s_stall + self.s2mm_stall + self.dma_halt;
         // Tolerate float noise at exactly-1 (e.g. five 0.2 shares).
         if sum > 1.0 + 1e-9 {
-            return Err(FaultError::BadProbability { field: "sum", value: sum });
+            return Err(FaultError::BadProbability {
+                field: "sum",
+                value: sum,
+            });
         }
         Ok(())
     }
 
     /// True when no fault can ever be injected (after clamping).
     pub fn is_fault_free(&self) -> bool {
-        [self.drop_beat, self.corrupt_beat, self.mm2s_stall, self.s2mm_stall, self.dma_halt]
-            .iter()
-            .all(|&p| !(p.is_finite() && p > 0.0))
+        [
+            self.drop_beat,
+            self.corrupt_beat,
+            self.mm2s_stall,
+            self.s2mm_stall,
+            self.dma_halt,
+        ]
+        .iter()
+        .all(|&p| !(p.is_finite() && p > 0.0))
     }
 
     /// Decides the fault (if any) for attempt `attempt` of image
@@ -145,16 +154,26 @@ impl FaultPlan {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(self.attempt_seed(image, attempt));
-        let clamp = |p: f64| if p.is_finite() { p.clamp(0.0, 1.0) } else { 0.0 };
+        let clamp = |p: f64| {
+            if p.is_finite() {
+                p.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
         let u: f64 = rng.gen();
         let mut acc = 0.0;
         acc += clamp(self.drop_beat);
         if u < acc {
-            return Some(InjectedFault::DropBeat(rng.gen_range(0..packet_words.max(1))));
+            return Some(InjectedFault::DropBeat(
+                rng.gen_range(0..packet_words.max(1)),
+            ));
         }
         acc += clamp(self.corrupt_beat);
         if u < acc {
-            return Some(InjectedFault::CorruptBeat(rng.gen_range(0..packet_words.max(1))));
+            return Some(InjectedFault::CorruptBeat(
+                rng.gen_range(0..packet_words.max(1)),
+            ));
         }
         acc += clamp(self.mm2s_stall);
         if u < acc {
@@ -166,7 +185,11 @@ impl FaultPlan {
         }
         acc += clamp(self.dma_halt);
         if u < acc {
-            let ch = if rng.gen_range(0..2u32) == 0 { DmaChannel::Mm2s } else { DmaChannel::S2mm };
+            let ch = if rng.gen_range(0..2u32) == 0 {
+                DmaChannel::Mm2s
+            } else {
+                DmaChannel::S2mm
+            };
             let hw = match rng.gen_range(0..3u32) {
                 0 => HwFault::IntErr,
                 1 => HwFault::SlvErr,
@@ -186,6 +209,17 @@ impl FaultPlan {
 }
 
 impl InjectedFault {
+    /// Short label of the fault kind, used as the `kind` label on the
+    /// `cnn_faults_injected_total` metric and in trace instant events.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            InjectedFault::DropBeat(_) => "drop_beat",
+            InjectedFault::CorruptBeat(_) => "corrupt_beat",
+            InjectedFault::Stall(_) => "stall",
+            InjectedFault::Halt(_, _) => "halt",
+        }
+    }
+
     /// The stream-level part of this fault, if any (what
     /// [`crate::axi::AxiStream::send_packet_faulted`] applies).
     pub fn beat_fault(&self) -> Option<BeatFault> {
@@ -304,8 +338,9 @@ mod tests {
         // With a 50% plan, 64 (image, attempt) pairs must not all
         // agree — the per-attempt seeds would otherwise be broken.
         let plan = FaultPlan::uniform(9, 0.5);
-        let outcomes: Vec<bool> =
-            (0..64).map(|i| plan.sample(i, (i % 4) as u32, 256).is_some()).collect();
+        let outcomes: Vec<bool> = (0..64)
+            .map(|i| plan.sample(i, (i % 4) as u32, 256).is_some())
+            .collect();
         assert!(outcomes.iter().any(|&b| b));
         assert!(outcomes.iter().any(|&b| !b));
     }
@@ -316,7 +351,10 @@ mod tests {
         plan.drop_beat = 1.5;
         assert_eq!(
             plan.validate(),
-            Err(FaultError::BadProbability { field: "drop_beat", value: 1.5 })
+            Err(FaultError::BadProbability {
+                field: "drop_beat",
+                value: 1.5
+            })
         );
         plan.drop_beat = f64::NAN;
         assert!(plan.validate().is_err());
@@ -354,8 +392,14 @@ mod tests {
 
     #[test]
     fn beat_fault_projection() {
-        assert_eq!(InjectedFault::DropBeat(4).beat_fault(), Some(BeatFault::Drop(4)));
-        assert_eq!(InjectedFault::CorruptBeat(9).beat_fault(), Some(BeatFault::Corrupt(9)));
+        assert_eq!(
+            InjectedFault::DropBeat(4).beat_fault(),
+            Some(BeatFault::Drop(4))
+        );
+        assert_eq!(
+            InjectedFault::CorruptBeat(9).beat_fault(),
+            Some(BeatFault::Corrupt(9))
+        );
         assert_eq!(InjectedFault::Stall(DmaChannel::Mm2s).beat_fault(), None);
         assert_eq!(
             InjectedFault::Halt(DmaChannel::S2mm, HwFault::DecErr).beat_fault(),
@@ -388,7 +432,12 @@ mod tests {
 
     #[test]
     fn stats_balance_check() {
-        let stats = FaultStats { clean: 7, recovered: 2, abandoned: 1, ..Default::default() };
+        let stats = FaultStats {
+            clean: 7,
+            recovered: 2,
+            abandoned: 1,
+            ..Default::default()
+        };
         assert!(stats.balances(10));
         assert!(!stats.balances(11));
     }

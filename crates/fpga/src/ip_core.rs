@@ -116,7 +116,10 @@ impl CnnIpCore {
     pub fn try_process_packet(&self, words: &[f32]) -> Result<usize, PacketError> {
         let want = self.input_words() as usize;
         if words.len() != want {
-            return Err(PacketError::BadLength { got: words.len(), want });
+            return Err(PacketError::BadLength {
+                got: words.len(),
+                want,
+            });
         }
         if let Some(index) = words.iter().position(|w| !w.is_finite()) {
             return Err(PacketError::NonFinite { index });
@@ -179,7 +182,8 @@ mod tests {
     fn packet_and_tensor_paths_agree() {
         let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
         let mut rng = seeded_rng(3);
-        let img = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+        let img =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
         assert_eq!(core.process(&img), core.process_packet(img.as_slice()));
     }
 
@@ -195,7 +199,10 @@ mod tests {
         let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
         assert_eq!(
             core.try_process_packet(&[0.0; 100]),
-            Err(PacketError::BadLength { got: 100, want: 256 })
+            Err(PacketError::BadLength {
+                got: 100,
+                want: 256
+            })
         );
     }
 
@@ -219,8 +226,12 @@ mod tests {
     fn try_process_packet_matches_process_on_clean_input() {
         let core = CnnIpCore::from_project(&test1_project(DirectiveSet::naive()));
         let mut rng = seeded_rng(5);
-        let img = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
-        assert_eq!(core.try_process_packet(img.as_slice()), Ok(core.process(&img)));
+        let img =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0));
+        assert_eq!(
+            core.try_process_packet(img.as_slice()),
+            Ok(core.process(&img))
+        );
     }
 
     #[test]

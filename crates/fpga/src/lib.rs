@@ -39,9 +39,9 @@
 pub mod address_map;
 pub mod axi;
 pub mod bitstream;
-pub mod cosim;
 pub mod block_design;
 pub mod board;
+pub mod cosim;
 pub mod device;
 pub mod dma_regs;
 pub mod fault;

@@ -184,7 +184,13 @@ impl Experiment {
                     },
                 };
                 let mut rng = seeded_rng(cfg.seed ^ 0x5EED);
-                let stats = train(&mut network, &train_ds.images, &train_ds.labels, &tc, &mut rng);
+                let stats = train(
+                    &mut network,
+                    &train_ds.images,
+                    &train_ds.labels,
+                    &tc,
+                    &mut rng,
+                );
                 Experiment {
                     test,
                     spec,
@@ -233,7 +239,10 @@ mod tests {
         let e = Experiment::build(PaperTest::Test4, ExperimentConfig::quick());
         let err = e.prediction_error();
         // Paper: 89.4% with random weights (chance = 90%).
-        assert!(err > 0.6, "random-weight CIFAR error {err:.2} suspiciously low");
+        assert!(
+            err > 0.6,
+            "random-weight CIFAR error {err:.2} suspiciously low"
+        );
         assert!(e.train_error.is_none());
     }
 
@@ -242,7 +251,10 @@ mod tests {
         let cfg = ExperimentConfig::quick();
         let e1 = Experiment::build(PaperTest::Test1, cfg);
         let e2 = Experiment::build(PaperTest::Test2, cfg);
-        assert_eq!(e1.network, e2.network, "Tests 1 and 2 use the same trained network");
+        assert_eq!(
+            e1.network, e2.network,
+            "Tests 1 and 2 use the same trained network"
+        );
         // …but different directive configurations.
         assert!(!e1.spec.optimized);
         assert!(e2.spec.optimized);

@@ -75,8 +75,13 @@ pub fn run_table1_row(e: &Experiment) -> Table1Row {
     let sw = soc.run_software(&e.test_images);
     let hw = soc.run_hardware(&e.test_images);
 
-    let wrong =
-        |preds: &[usize]| preds.iter().zip(&e.test_labels).filter(|(p, l)| p != l).count();
+    let wrong = |preds: &[usize]| {
+        preds
+            .iter()
+            .zip(&e.test_labels)
+            .filter(|(p, l)| p != l)
+            .count()
+    };
     let n = e.test_images.len() as f64;
 
     let meter = EnergyMeter::for_board(e.spec.board);
@@ -115,8 +120,17 @@ pub fn render_table1(rows: &[(PaperTest, Table1Row)]) -> String {
     let _ = writeln!(
         out,
         "{:<7} {:<9} | {:>7} {:>7} | {:>9} {:>9} | {:>8} | {:>6} {:>8} | {:>9} {:>9}",
-        "Test", "Dataset", "SW err", "HW err", "SW time", "HW time", "Speedup", "CPU W",
-        "CPU+FPGA", "SW J", "HW J"
+        "Test",
+        "Dataset",
+        "SW err",
+        "HW err",
+        "SW time",
+        "HW time",
+        "Speedup",
+        "CPU W",
+        "CPU+FPGA",
+        "SW J",
+        "HW J"
     );
     let _ = writeln!(out, "{}", "-".repeat(118));
     for (test, r) in rows {

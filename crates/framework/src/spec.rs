@@ -173,12 +173,14 @@ impl NetworkSpec {
                 if step == 0 {
                     return Err(SpecError::ZeroDimension("pooling.step"));
                 }
-                cur = cur.pool_output(pool.kernel, pool.kernel, step).ok_or_else(|| {
-                    SpecError::DoesNotFit(format!(
-                        "conv layer {i}: pooling {0}x{0}/{step} does not fit {cur}",
-                        pool.kernel
-                    ))
-                })?;
+                cur = cur
+                    .pool_output(pool.kernel, pool.kernel, step)
+                    .ok_or_else(|| {
+                        SpecError::DoesNotFit(format!(
+                            "conv layer {i}: pooling {0}x{0}/{step} does not fit {cur}",
+                            pool.kernel
+                        ))
+                    })?;
                 shapes.push(cur);
             }
         }
@@ -244,9 +246,16 @@ impl NetworkSpec {
             conv_layers: vec![ConvLayerSpec {
                 feature_maps_out: 6,
                 kernel: 5,
-                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                pooling: Some(PoolSpec {
+                    kind: PoolKind::Max,
+                    kernel: 2,
+                    step: None,
+                }),
             }],
-            linear_layers: vec![LinearLayerSpec { neurons: 10, tanh: true }],
+            linear_layers: vec![LinearLayerSpec {
+                neurons: 10,
+                tanh: true,
+            }],
             board: Board::Zedboard,
             optimized,
         }
@@ -263,11 +272,22 @@ impl NetworkSpec {
                 ConvLayerSpec {
                     feature_maps_out: 6,
                     kernel: 5,
-                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                    pooling: Some(PoolSpec {
+                        kind: PoolKind::Max,
+                        kernel: 2,
+                        step: None,
+                    }),
                 },
-                ConvLayerSpec { feature_maps_out: 16, kernel: 5, pooling: None },
+                ConvLayerSpec {
+                    feature_maps_out: 16,
+                    kernel: 5,
+                    pooling: None,
+                },
             ],
-            linear_layers: vec![LinearLayerSpec { neurons: 10, tanh: true }],
+            linear_layers: vec![LinearLayerSpec {
+                neurons: 10,
+                tanh: true,
+            }],
             board: Board::Zedboard,
             optimized: true,
         }
@@ -283,17 +303,31 @@ impl NetworkSpec {
                 ConvLayerSpec {
                     feature_maps_out: 12,
                     kernel: 5,
-                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                    pooling: Some(PoolSpec {
+                        kind: PoolKind::Max,
+                        kernel: 2,
+                        step: None,
+                    }),
                 },
                 ConvLayerSpec {
                     feature_maps_out: 36,
                     kernel: 5,
-                    pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                    pooling: Some(PoolSpec {
+                        kind: PoolKind::Max,
+                        kernel: 2,
+                        step: None,
+                    }),
                 },
             ],
             linear_layers: vec![
-                LinearLayerSpec { neurons: 36, tanh: true },
-                LinearLayerSpec { neurons: 10, tanh: false },
+                LinearLayerSpec {
+                    neurons: 36,
+                    tanh: true,
+                },
+                LinearLayerSpec {
+                    neurons: 10,
+                    tanh: false,
+                },
             ],
             board: Board::Zedboard,
             optimized: true,
@@ -375,7 +409,10 @@ mod tests {
         let mut spec = NetworkSpec::paper_usps_small(false);
         spec.conv_layers[0].kernel = 20;
         let err = spec.validate().unwrap_err();
-        assert!(matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 0")), "{err}");
+        assert!(
+            matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 0")),
+            "{err}"
+        );
     }
 
     #[test]
@@ -383,22 +420,34 @@ mod tests {
         let mut spec = NetworkSpec::paper_usps_large();
         spec.conv_layers[1].kernel = 7; // 6x6 input can't take 7x7
         let err = spec.validate().unwrap_err();
-        assert!(matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 1")), "{err}");
+        assert!(
+            matches!(err, SpecError::DoesNotFit(ref m) if m.contains("conv layer 1")),
+            "{err}"
+        );
     }
 
     #[test]
     fn zero_dimensions_rejected() {
         let mut spec = NetworkSpec::paper_usps_small(false);
         spec.input_channels = 0;
-        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("input_channels"));
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            SpecError::ZeroDimension("input_channels")
+        );
 
         let mut spec = NetworkSpec::paper_usps_small(false);
         spec.linear_layers[0].neurons = 0;
-        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("neurons"));
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            SpecError::ZeroDimension("neurons")
+        );
 
         let mut spec = NetworkSpec::paper_usps_small(false);
         spec.conv_layers[0].feature_maps_out = 0;
-        assert_eq!(spec.validate().unwrap_err(), SpecError::ZeroDimension("feature_maps_out"));
+        assert_eq!(
+            spec.validate().unwrap_err(),
+            SpecError::ZeroDimension("feature_maps_out")
+        );
     }
 
     #[test]
@@ -438,7 +487,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SpecError::Empty.to_string().contains("no layers"));
-        assert!(SpecError::ZeroDimension("kernel").to_string().contains("kernel"));
+        assert!(SpecError::ZeroDimension("kernel")
+            .to_string()
+            .contains("kernel"));
     }
 
     #[test]

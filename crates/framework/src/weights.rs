@@ -78,7 +78,10 @@ impl std::fmt::Display for WeightError {
         match self {
             WeightError::Spec(e) => write!(f, "{e}"),
             WeightError::Mismatch(e) => write!(f, "{e}"),
-            WeightError::DatasetShape { dataset, descriptor } => write!(
+            WeightError::DatasetShape {
+                dataset,
+                descriptor,
+            } => write!(
                 f,
                 "training images are {dataset} but the descriptor expects {descriptor}"
             ),
@@ -126,7 +129,11 @@ pub fn build_random(spec: &NetworkSpec, seed: u64) -> Result<Network, SpecError>
     }
     b = b.flatten();
     for lin in &spec.linear_layers {
-        let act = if lin.tanh { Some(Activation::Tanh) } else { None };
+        let act = if lin.tanh {
+            Some(Activation::Tanh)
+        } else {
+            None
+        };
         b = b.linear(lin.neurons, act, &mut rng);
     }
     b = b.log_softmax();
@@ -136,8 +143,8 @@ pub fn build_random(spec: &NetworkSpec, seed: u64) -> Result<Network, SpecError>
 /// Checks a trained network against a spec's structure: same shapes
 /// through every stage and the LogSoftMax tail.
 pub fn check_structure(spec: &NetworkSpec, net: &Network) -> Result<(), StructureMismatch> {
-    let reference = build_random(spec, 0)
-        .map_err(|e| StructureMismatch(format!("invalid descriptor: {e}")))?;
+    let reference =
+        build_random(spec, 0).map_err(|e| StructureMismatch(format!("invalid descriptor: {e}")))?;
     if reference.input_shape() != net.input_shape() {
         return Err(StructureMismatch(format!(
             "input shape {} vs descriptor {}",
@@ -179,7 +186,11 @@ pub fn realize(spec: &NetworkSpec, source: &WeightSource) -> Result<Network, Wei
             check_structure(spec, net)?;
             Ok((**net).clone())
         }
-        WeightSource::TrainOnline { dataset, config, seed } => {
+        WeightSource::TrainOnline {
+            dataset,
+            config,
+            seed,
+        } => {
             let mut net = build_random(spec, *seed)?;
             if dataset.image_shape() != spec.input_shape() {
                 return Err(WeightError::DatasetShape {
@@ -219,8 +230,14 @@ mod tests {
     #[test]
     fn random_build_is_seed_deterministic() {
         let spec = NetworkSpec::paper_usps_small(false);
-        assert_eq!(build_random(&spec, 7).unwrap(), build_random(&spec, 7).unwrap());
-        assert_ne!(build_random(&spec, 7).unwrap(), build_random(&spec, 8).unwrap());
+        assert_eq!(
+            build_random(&spec, 7).unwrap(),
+            build_random(&spec, 7).unwrap()
+        );
+        assert_ne!(
+            build_random(&spec, 7).unwrap(),
+            build_random(&spec, 8).unwrap()
+        );
     }
 
     #[test]
@@ -254,7 +271,11 @@ mod tests {
         let dataset = cnn_datasets::UspsLike::default().generate(400, 5);
         let source = WeightSource::TrainOnline {
             dataset,
-            config: TrainConfig { epochs: 4, learning_rate: 0.4, ..Default::default() },
+            config: TrainConfig {
+                epochs: 4,
+                learning_rate: 0.4,
+                ..Default::default()
+            },
             seed: 9,
         };
         let net = realize(&spec, &source).unwrap();

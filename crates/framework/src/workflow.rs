@@ -126,8 +126,10 @@ impl WorkflowArtifacts {
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> ClassificationReport {
+        let _span = cnn_trace::span("framework", WorkflowStage::Classify.name());
         let hardware = self.device.classify_batch_faulty(images, plan, policy);
         let fallbacks = hardware.abandoned_indices();
+        cnn_trace::counter_add("cnn_sw_fallback_images_total", &[], fallbacks.len() as u64);
         let mut predictions = hardware.predictions.clone();
         let mut trace = vec![format!(
             "{}: {} images — {} clean, {} recovered ({} retries, {} resets), {} abandoned",
@@ -146,7 +148,12 @@ impl WorkflowArtifacts {
                 policy.max_attempts()
             ));
         }
-        ClassificationReport { predictions, hardware, fallbacks, trace }
+        ClassificationReport {
+            predictions,
+            hardware,
+            fallbacks,
+            trace,
+        }
     }
 }
 
@@ -161,11 +168,23 @@ pub struct WorkflowError {
 
 impl std::fmt::Display for WorkflowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "workflow failed at '{}': {}", self.stage.name(), self.message)
+        write!(
+            f,
+            "workflow failed at '{}': {}",
+            self.stage.name(),
+            self.message
+        )
     }
 }
 
 impl std::error::Error for WorkflowError {}
+
+/// Closes the span of the stage that just finished and opens the next
+/// one, so `Workflow::run` emits one contiguous span per stage.
+fn stage(prev: cnn_trace::SpanGuard, next: WorkflowStage) -> cnn_trace::SpanGuard {
+    drop(prev);
+    cnn_trace::span("framework", next.name())
+}
 
 /// The workflow runner.
 pub struct Workflow {
@@ -190,6 +209,7 @@ impl Workflow {
         let fail = |stage: WorkflowStage, message: String| WorkflowError { stage, message };
 
         // 1. validate
+        let span = cnn_trace::span("framework", WorkflowStage::Validate.name());
         let shapes = self
             .spec
             .validate()
@@ -205,6 +225,7 @@ impl Workflow {
         ));
 
         // 2. weights
+        let span = stage(span, WorkflowStage::RealizeWeights);
         let network = realize(&self.spec, &self.weights)
             .map_err(|e| fail(WorkflowStage::RealizeWeights, e.to_string()))?;
         trace.push(format!(
@@ -213,15 +234,20 @@ impl Workflow {
         ));
 
         // 3–5. HLS project (codegen + synthesis)
+        let span = stage(span, WorkflowStage::Synthesize);
         let project = HlsProject::new(&network, self.spec.directives(), self.spec.board.part())
             .map_err(|e| fail(WorkflowStage::Synthesize, e.to_string()))?;
+        let span = stage(span, WorkflowStage::GenerateCpp);
         let cpp_source = project.cpp_source();
         trace.push(format!(
             "generate C++ source: ok ({} lines)",
             cpp_source.lines().count()
         ));
+        let span = stage(span, WorkflowStage::GenerateTcl);
         let tcl = project.tcl_scripts();
-        trace.push("generate tcl scripts: ok (cnn_vivado_hls.tcl, directives.tcl, cnn_vivado.tcl)".into());
+        trace.push(
+            "generate tcl scripts: ok (cnn_vivado_hls.tcl, directives.tcl, cnn_vivado.tcl)".into(),
+        );
         let report = project.report();
         trace.push(format!(
             "high-level synthesis: ok (latency {} cycles, interval {} cycles, {})",
@@ -229,6 +255,7 @@ impl Workflow {
         ));
 
         // 6–7. block design + bitstream
+        let span = stage(span, WorkflowStage::Implement);
         let bitstream = Bitstream::implement(&project, self.spec.board)
             .map_err(|e| fail(WorkflowStage::Implement, e.to_string()))?;
         trace.push(format!(
@@ -236,6 +263,7 @@ impl Workflow {
             bitstream.design.components.len(),
             bitstream.design.connections.len()
         ));
+        let span = stage(span, WorkflowStage::BlockDesign);
         let hdl_wrapper = cnn_fpga::hdl::generate_wrapper(&bitstream.design);
         trace.push(format!(
             "implement bitstream: ok for {} ({})",
@@ -244,9 +272,11 @@ impl Workflow {
         ));
 
         // 8. program
+        let span = stage(span, WorkflowStage::Program);
         let device = ZynqDevice::program(self.spec.board, bitstream.clone())
             .map_err(|e| fail(WorkflowStage::Program, e.to_string()))?;
         trace.push("program device: ok".into());
+        drop(span);
 
         Ok(WorkflowArtifacts {
             network,
@@ -416,8 +446,7 @@ mod tests {
         );
         let a = wf.run().unwrap();
         let images = test_images(5);
-        let report =
-            a.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
+        let report = a.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
         assert!(report.fallbacks.is_empty());
         assert_eq!(report.hardware.faults.clean, 5);
         assert_eq!(report.trace.len(), 1);

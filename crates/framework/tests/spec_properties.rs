@@ -15,7 +15,11 @@ fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
         4usize..=28,
         4usize..=28,
         proptest::collection::vec(
-            (1usize..=10, 1usize..=7, proptest::option::of((1usize..=3, 1usize..=3))),
+            (
+                1usize..=10,
+                1usize..=7,
+                proptest::option::of((1usize..=3, 1usize..=3)),
+            ),
             0..=3,
         ),
         proptest::collection::vec((1usize..=20, any::<bool>()), 0..=3),

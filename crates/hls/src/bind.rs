@@ -58,7 +58,11 @@ fn block_operator_usage(
     precision: Precision,
     unroll: u64,
 ) -> (u64, u64, u64) {
-    let lanes = if pipelined { cal::PIPELINE_MAC_LANES * unroll } else { 1 };
+    let lanes = if pipelined {
+        cal::PIPELINE_MAC_LANES * unroll
+    } else {
+        1
+    };
     let mut dsp = 0u64;
     let mut lut = 0u64;
     let mut ff = 0u64;
@@ -114,10 +118,7 @@ pub fn bind_with(
     let mut lutram_bits = 0u64;
     let mut bram18 = cal::BASE_BRAM18 as u64;
 
-    let any_pipelined = ir
-        .blocks
-        .iter()
-        .any(|b| directives.pipelines(b.kind));
+    let any_pipelined = ir.blocks.iter().any(|b| directives.pipelines(b.kind));
     if any_pipelined {
         lut += cal::PIPELINE_GLOBAL_LUT as u64;
     }
@@ -143,7 +144,11 @@ pub fn bind_with(
     } else {
         1
     };
-    let dataflow_factor = if directives.dataflow { cal::DATAFLOW_BUFFER_FACTOR } else { 1 };
+    let dataflow_factor = if directives.dataflow {
+        cal::DATAFLOW_BUFFER_FACTOR
+    } else {
+        1
+    };
     if is_lutram(ir.input_elems, bits) {
         lutram_bits += ir.input_elems * bits * dataflow_factor;
     } else {
@@ -171,9 +176,9 @@ pub fn bind_with(
         if pipelined {
             lut += cal::PIPELINE_BLOCK_LUT as u64;
             let (_, inner) = block.split_iters();
-            lutram_bits +=
-                cal::LUTRAM_PER_PIPELINED_LANE as u64 * cal::LUTRAM_BITS_PER_LUT as u64
-                    * inner.min(16);
+            lutram_bits += cal::LUTRAM_PER_PIPELINED_LANE as u64
+                * cal::LUTRAM_BITS_PER_LUT as u64
+                * inner.min(16);
         }
 
         // Weight arrays.
@@ -287,23 +292,44 @@ mod tests {
     fn dsp_increases_with_pipelining() {
         // Table II: 41.82% → 44.09% (one extra MAC lane per conv).
         let n = bind(&test1_ir(), &DirectiveSet::naive(), FpgaPart::zynq7020());
-        let o = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
-        assert_eq!(o.dsp - n.dsp, 5, "pipelined conv should add fmul(3)+fadd(2)");
+        let o = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
+        assert_eq!(
+            o.dsp - n.dsp,
+            5,
+            "pipelined conv should add fmul(3)+fadd(2)"
+        );
     }
 
     #[test]
     fn ff_drops_with_optimization() {
         // Table II's inversion: FF 15.86% naive → 8.86% optimized.
         let n = bind(&test1_ir(), &DirectiveSet::naive(), FpgaPart::zynq7020());
-        let o = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
-        assert!(o.ff < n.ff, "optimized FF {} should be below naive {}", o.ff, n.ff);
+        let o = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
+        assert!(
+            o.ff < n.ff,
+            "optimized FF {} should be below naive {}",
+            o.ff,
+            n.ff
+        );
     }
 
     #[test]
     fn lut_jumps_with_optimization() {
         // Table II: LUT 2.56% naive → 17.18% optimized.
         let n = bind(&test1_ir(), &DirectiveSet::naive(), FpgaPart::zynq7020());
-        let o = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let o = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert!(
             o.lut as f64 > 1.8 * n.lut as f64,
             "optimized LUT {} should far exceed naive {}",
@@ -316,27 +342,47 @@ mod tests {
     fn test4_bram_dominates() {
         // Table II Test 4: BRAM 76.07% — by far the largest relative
         // jump, driven by the weight ROMs of the CIFAR network.
-        let u = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let u = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         let pct = u.bram_pct();
         assert!(
             (55.0..=95.0).contains(&pct),
             "Test-4 BRAM {pct:.1}% outside the Table II band (76.07%)"
         );
-        let t1 = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let t1 = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert!(u.bram36 > 5 * t1.bram36, "Test 4 must dwarf Test 2's BRAM");
     }
 
     #[test]
     fn test4_fits_zedboard_but_not_zybo() {
-        let zed = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let zed = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert!(zed.fits(), "Test 4 must fit the Zedboard: {zed:?}");
-        let zybo = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7010());
+        let zybo = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7010(),
+        );
         assert!(!zybo.fits(), "Test 4 must overflow the Zybo: {zybo:?}");
     }
 
     #[test]
     fn test1_fits_both_boards() {
-        let zed = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let zed = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert!(zed.fits());
         let zybo = bind(&test1_ir(), &DirectiveSet::naive(), FpgaPart::zynq7010());
         // The small USPS network is the Zybo's intended use case.
@@ -364,8 +410,16 @@ mod tests {
 
     #[test]
     fn resource_usage_monotone_in_network_size() {
-        let t1 = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
-        let t4 = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let t1 = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
+        let t4 = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert!(t4.dsp >= t1.dsp);
         assert!(t4.bram36 > t1.bram36);
         assert!(t4.lut > t1.lut);
@@ -373,7 +427,11 @@ mod tests {
 
     #[test]
     fn unroll_multiplies_conv_dsp_lanes() {
-        let base = bind(&test1_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let base = bind(
+            &test1_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         let u4 = bind(
             &test1_ir(),
             &DirectiveSet::optimized_unrolled(4),
@@ -386,8 +444,16 @@ mod tests {
 
     #[test]
     fn binding_is_deterministic() {
-        let a = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
-        let b = bind(&test4_ir(), &DirectiveSet::optimized(), FpgaPart::zynq7020());
+        let a = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
+        let b = bind(
+            &test4_ir(),
+            &DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        );
         assert_eq!(a, b);
     }
 }

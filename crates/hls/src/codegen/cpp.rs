@@ -104,10 +104,21 @@ fn emit_conv_block(
         c.kernels.kw(),
     );
     let name = &block.name;
-    let _ = writeln!(out, "    // {name}: {k} kernels {kh}x{kw} over {in_shape} -> {out_shape}");
+    let _ = writeln!(
+        out,
+        "    // {name}: {k} kernels {kh}x{kw} over {in_shape} -> {out_shape}"
+    );
     let _ = writeln!(out, "    {name}_k: for (int k = 0; k < {k}; k++) {{");
-    let _ = writeln!(out, "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{", out_shape.h);
-    let _ = writeln!(out, "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{", out_shape.w);
+    let _ = writeln!(
+        out,
+        "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{",
+        out_shape.h
+    );
+    let _ = writeln!(
+        out,
+        "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{",
+        out_shape.w
+    );
     let _ = writeln!(out, "        float acc = {name}_b[k];");
     let _ = writeln!(out, "    {name}_reduce: for (int c = 0; c < {ch}; c++)");
     let _ = writeln!(out, "        for (int m = 0; m < {kh}; m++)");
@@ -119,7 +130,11 @@ fn emit_conv_block(
             crate::calibration::II_REDUCTION
         );
         if directives.unroll_factor > 1 {
-            let _ = writeln!(out, "#pragma HLS UNROLL factor={}", directives.unroll_factor);
+            let _ = writeln!(
+                out,
+                "#pragma HLS UNROLL factor={}",
+                directives.unroll_factor
+            );
         }
     }
     let _ = writeln!(
@@ -162,10 +177,26 @@ fn emit_pool_block(
         PoolKind::Max => "max",
         PoolKind::Mean => "mean",
     };
-    let _ = writeln!(out, "    // {name}: {op}-pool {}x{} stride {}", p.kh, p.kw, p.step);
-    let _ = writeln!(out, "    {name}_c: for (int c = 0; c < {}; c++) {{", out_shape.c);
-    let _ = writeln!(out, "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{", out_shape.h);
-    let _ = writeln!(out, "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{", out_shape.w);
+    let _ = writeln!(
+        out,
+        "    // {name}: {op}-pool {}x{} stride {}",
+        p.kh, p.kw, p.step
+    );
+    let _ = writeln!(
+        out,
+        "    {name}_c: for (int c = 0; c < {}; c++) {{",
+        out_shape.c
+    );
+    let _ = writeln!(
+        out,
+        "    {name}_oy: for (int oy = 0; oy < {}; oy++) {{",
+        out_shape.h
+    );
+    let _ = writeln!(
+        out,
+        "    {name}_ox: for (int ox = 0; ox < {}; ox++) {{",
+        out_shape.w
+    );
     match p.kind {
         PoolKind::Max => {
             let _ = writeln!(out, "        float best = -3.0e38f;");
@@ -225,9 +256,17 @@ fn emit_linear_block(
     };
     let name = &block.name;
     let _ = writeln!(out, "    // {name}: {} -> {} neurons", l.inputs, l.outputs);
-    let _ = writeln!(out, "    {name}_j: for (int j = 0; j < {}; j++) {{", l.outputs);
+    let _ = writeln!(
+        out,
+        "    {name}_j: for (int j = 0; j < {}; j++) {{",
+        l.outputs
+    );
     let _ = writeln!(out, "        float acc = {name}_b[j];");
-    let _ = writeln!(out, "    {name}_reduce: for (int i = 0; i < {}; i++) {{", l.inputs);
+    let _ = writeln!(
+        out,
+        "    {name}_reduce: for (int i = 0; i < {}; i++) {{",
+        l.inputs
+    );
     if directives.pipelines(BlockKind::Linear) {
         let _ = writeln!(
             out,
@@ -347,15 +386,15 @@ pub fn generate(net: &Network, ir: &DesignIr, directives: &DirectiveSet) -> Stri
         let is_last = block_idx + 1 == ir.blocks.len();
         let outname = format!("{}_out", block.name);
         match layer {
-            Layer::Conv2d(_) => {
-                emit_conv_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
-            }
-            Layer::Pool(_) => {
-                emit_pool_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
-            }
-            Layer::Linear(_) => {
-                emit_linear_block(&mut out, block, layer_idx, net, &inname, &outname, directives)
-            }
+            Layer::Conv2d(_) => emit_conv_block(
+                &mut out, block, layer_idx, net, &inname, &outname, directives,
+            ),
+            Layer::Pool(_) => emit_pool_block(
+                &mut out, block, layer_idx, net, &inname, &outname, directives,
+            ),
+            Layer::Linear(_) => emit_linear_block(
+                &mut out, block, layer_idx, net, &inname, &outname, directives,
+            ),
             Layer::LogSoftMax => emit_log_softmax_block(&mut out, ir.classes, &inname),
             Layer::Flatten => unreachable!(),
         }
@@ -507,7 +546,10 @@ mod tests {
         // Spot-check: the first conv weight literal is present.
         if let cnn_nn::Layer::Conv2d(c) = &net.layers()[0] {
             let first = c.kernels.as_slice()[0];
-            assert!(src.contains(&f32_lit(first)), "missing weight literal {first}");
+            assert!(
+                src.contains(&f32_lit(first)),
+                "missing weight literal {first}"
+            );
         } else {
             panic!("layer 0 should be conv");
         }

@@ -216,13 +216,22 @@ mod tests {
 
     #[test]
     fn tcl_rendering() {
-        assert_eq!(Directive::Dataflow.to_tcl("cnn"), "set_directive_dataflow \"cnn\"");
-        let p = Directive::Pipeline { location: "conv1_reduce".into(), ii: Some(2) };
+        assert_eq!(
+            Directive::Dataflow.to_tcl("cnn"),
+            "set_directive_dataflow \"cnn\""
+        );
+        let p = Directive::Pipeline {
+            location: "conv1_reduce".into(),
+            ii: Some(2),
+        };
         assert_eq!(
             p.to_tcl("cnn"),
             "set_directive_pipeline -II 2 \"cnn/conv1_reduce\""
         );
-        let p2 = Directive::Pipeline { location: "l".into(), ii: None };
+        let p2 = Directive::Pipeline {
+            location: "l".into(),
+            ii: None,
+        };
         assert_eq!(p2.to_tcl("cnn"), "set_directive_pipeline \"cnn/l\"");
     }
 
@@ -236,7 +245,9 @@ mod tests {
         let ds = DirectiveSet::optimized().directives(&blocks);
         assert_eq!(ds.len(), 2); // dataflow + conv pipeline
         assert_eq!(ds[0], Directive::Dataflow);
-        assert!(matches!(&ds[1], Directive::Pipeline { location, .. } if location == "conv1_reduce"));
+        assert!(
+            matches!(&ds[1], Directive::Pipeline { location, .. } if location == "conv1_reduce")
+        );
     }
 
     #[test]
@@ -277,7 +288,11 @@ mod tests {
             d,
             Directive::Unroll { location, factor: 4 } if location == "conv1_reduce"
         )));
-        let tcl = Directive::Unroll { location: "conv1_reduce".into(), factor: 4 }.to_tcl("cnn");
+        let tcl = Directive::Unroll {
+            location: "conv1_reduce".into(),
+            factor: 4,
+        }
+        .to_tcl("cnn");
         assert_eq!(tcl, "set_directive_unroll -factor 4 \"cnn/conv1_reduce\"");
     }
 }

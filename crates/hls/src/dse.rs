@@ -86,11 +86,7 @@ pub fn explore(network: &Network, part: FpgaPart, precisions: &[Precision]) -> V
 
 /// Sweeps unroll factors on top of the optimized preset — the second
 /// DSE axis once the directive space is settled.
-pub fn explore_unroll(
-    network: &Network,
-    part: FpgaPart,
-    factors: &[u32],
-) -> Vec<DesignPoint> {
+pub fn explore_unroll(network: &Network, part: FpgaPart, factors: &[u32]) -> Vec<DesignPoint> {
     assert!(!factors.is_empty(), "need at least one factor");
     let mut points = Vec::with_capacity(factors.len());
     for &factor in factors {
@@ -193,7 +189,11 @@ mod tests {
         );
         assert_eq!(points.len(), 32);
         let best = recommend(&points).unwrap();
-        assert_eq!(best.precision, Precision::q8_8(), "fixed point should win the sweep");
+        assert_eq!(
+            best.precision,
+            Precision::q8_8(),
+            "fixed point should win the sweep"
+        );
     }
 
     #[test]
@@ -228,7 +228,14 @@ mod tests {
     #[test]
     fn tiny_part_yields_unfitting_points() {
         // Shrink to a part too small for the exp/log cores.
-        let tiny = FpgaPart { name: "tiny", ff: 4000, lut: 2000, lutram: 500, bram36: 4, dsp: 20 };
+        let tiny = FpgaPart {
+            name: "tiny",
+            ff: 4000,
+            lut: 2000,
+            lutram: 500,
+            bram36: 4,
+            dsp: 20,
+        };
         let points = explore(&test1_net(), tiny, &[Precision::Float32]);
         assert!(points.iter().all(|p| !p.fits));
         assert!(recommend(&points).is_none());

@@ -124,11 +124,32 @@ impl LayerBlock {
 fn activation_mix(act: Activation) -> OpMix {
     match act {
         // tanh(x) = (e^x − e^−x) / (e^x + e^−x): 2 exp, 2 add, 1 div.
-        Activation::Tanh => OpMix { mul: 0, add: 2, cmp: 0, exp: 2, log: 0, div: 1 },
+        Activation::Tanh => OpMix {
+            mul: 0,
+            add: 2,
+            cmp: 0,
+            exp: 2,
+            log: 0,
+            div: 1,
+        },
         // max(0, x): one comparison.
-        Activation::Relu => OpMix { mul: 0, add: 0, cmp: 1, exp: 0, log: 0, div: 0 },
+        Activation::Relu => OpMix {
+            mul: 0,
+            add: 0,
+            cmp: 1,
+            exp: 0,
+            log: 0,
+            div: 0,
+        },
         // 1 / (1 + e^−x): 1 exp, 1 add, 1 div.
-        Activation::Sigmoid => OpMix { mul: 0, add: 1, cmp: 0, exp: 1, log: 0, div: 1 },
+        Activation::Sigmoid => OpMix {
+            mul: 0,
+            add: 1,
+            cmp: 0,
+            exp: 1,
+            log: 0,
+            div: 1,
+        },
     }
 }
 
@@ -162,17 +183,23 @@ impl DesignIr {
     /// the inter-layer buffers.
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph cnn_ir {
+        let mut out = String::from(
+            "digraph cnn_ir {
   rankdir=LR;
   node [shape=record];
-");
+",
+        );
         let _ = writeln!(
             out,
             "  in_stream [shape=oval, label=\"AXI4-Stream in\\n{} words\"];",
             self.input_elems
         );
         for b in &self.blocks {
-            let loops: Vec<String> = b.loops.iter().map(|l| format!("{}:{}", l.name, l.trip)).collect();
+            let loops: Vec<String> = b
+                .loops
+                .iter()
+                .map(|l| format!("{}:{}", l.name, l.trip))
+                .collect();
             let _ = writeln!(
                 out,
                 "  {name} [label=\"{{{name} ({kind:?})|loops {loops}|{w} weights}}\"];",
@@ -189,8 +216,10 @@ impl DesignIr {
         }
         let _ = writeln!(out, "  out [shape=oval, label=\"class index\"];");
         let _ = writeln!(out, "  {prev} -> out;");
-        out.push_str("}
-");
+        out.push_str(
+            "}
+",
+        );
         out
     }
 }
@@ -211,18 +240,39 @@ pub fn lower(net: &Network) -> DesignIr {
                 let k = c.kernels.kernels() as u64;
                 let (kh, kw) = (c.kernels.kh() as u64, c.kernels.kw() as u64);
                 let chans = c.kernels.channels() as u64;
-                let mut post = OpMix { add: 1, ..OpMix::none() }; // bias
+                let mut post = OpMix {
+                    add: 1,
+                    ..OpMix::none()
+                }; // bias
                 if let Some(act) = c.activation {
                     post = post.plus(&activation_mix(act));
                 }
                 blocks.push(LayerBlock {
                     loops: vec![
-                        LoopDim { name: "k".into(), trip: k },
-                        LoopDim { name: "oy".into(), trip: out_shape.h as u64 },
-                        LoopDim { name: "ox".into(), trip: out_shape.w as u64 },
-                        LoopDim { name: "c".into(), trip: chans },
-                        LoopDim { name: "m".into(), trip: kh },
-                        LoopDim { name: "n".into(), trip: kw },
+                        LoopDim {
+                            name: "k".into(),
+                            trip: k,
+                        },
+                        LoopDim {
+                            name: "oy".into(),
+                            trip: out_shape.h as u64,
+                        },
+                        LoopDim {
+                            name: "ox".into(),
+                            trip: out_shape.w as u64,
+                        },
+                        LoopDim {
+                            name: "c".into(),
+                            trip: chans,
+                        },
+                        LoopDim {
+                            name: "m".into(),
+                            trip: kh,
+                        },
+                        LoopDim {
+                            name: "n".into(),
+                            trip: kw,
+                        },
                     ],
                     reduction_depth: 3,
                     body: OpMix::mac(),
@@ -253,21 +303,45 @@ pub fn lower(net: &Network) -> DesignIr {
                 counters[1] += 1;
                 let name = format!("pool{}", counters[1]);
                 let body = match p.kind {
-                    PoolKind::Max => OpMix { cmp: 1, ..OpMix::none() },
-                    PoolKind::Mean => OpMix { add: 1, ..OpMix::none() },
+                    PoolKind::Max => OpMix {
+                        cmp: 1,
+                        ..OpMix::none()
+                    },
+                    PoolKind::Mean => OpMix {
+                        add: 1,
+                        ..OpMix::none()
+                    },
                 };
                 let post = match p.kind {
                     PoolKind::Max => OpMix::none(),
                     // mean scales by 1/area once per output
-                    PoolKind::Mean => OpMix { mul: 1, ..OpMix::none() },
+                    PoolKind::Mean => OpMix {
+                        mul: 1,
+                        ..OpMix::none()
+                    },
                 };
                 blocks.push(LayerBlock {
                     loops: vec![
-                        LoopDim { name: "c".into(), trip: out_shape.c as u64 },
-                        LoopDim { name: "oy".into(), trip: out_shape.h as u64 },
-                        LoopDim { name: "ox".into(), trip: out_shape.w as u64 },
-                        LoopDim { name: "m".into(), trip: p.kh as u64 },
-                        LoopDim { name: "n".into(), trip: p.kw as u64 },
+                        LoopDim {
+                            name: "c".into(),
+                            trip: out_shape.c as u64,
+                        },
+                        LoopDim {
+                            name: "oy".into(),
+                            trip: out_shape.h as u64,
+                        },
+                        LoopDim {
+                            name: "ox".into(),
+                            trip: out_shape.w as u64,
+                        },
+                        LoopDim {
+                            name: "m".into(),
+                            trip: p.kh as u64,
+                        },
+                        LoopDim {
+                            name: "n".into(),
+                            trip: p.kw as u64,
+                        },
                     ],
                     reduction_depth: 2,
                     body,
@@ -285,14 +359,23 @@ pub fn lower(net: &Network) -> DesignIr {
             Layer::Linear(l) => {
                 counters[2] += 1;
                 let name = format!("linear{}", counters[2]);
-                let mut post = OpMix { add: 1, ..OpMix::none() };
+                let mut post = OpMix {
+                    add: 1,
+                    ..OpMix::none()
+                };
                 if let Some(act) = l.activation {
                     post = post.plus(&activation_mix(act));
                 }
                 blocks.push(LayerBlock {
                     loops: vec![
-                        LoopDim { name: "j".into(), trip: l.outputs as u64 },
-                        LoopDim { name: "i".into(), trip: l.inputs as u64 },
+                        LoopDim {
+                            name: "j".into(),
+                            trip: l.outputs as u64,
+                        },
+                        LoopDim {
+                            name: "i".into(),
+                            trip: l.inputs as u64,
+                        },
                     ],
                     reduction_depth: 1,
                     body: OpMix::mac(),
@@ -325,14 +408,26 @@ pub fn lower(net: &Network) -> DesignIr {
                 blocks.push(LayerBlock {
                     name: "log_softmax".into(),
                     kind: BlockKind::LogSoftMax,
-                    loops: vec![LoopDim { name: "k".into(), trip: k }],
+                    loops: vec![LoopDim {
+                        name: "k".into(),
+                        trip: k,
+                    }],
                     reduction_depth: 1,
                     // accumulate sum of exp
-                    body: OpMix { exp: 1, add: 1, ..OpMix::none() },
+                    body: OpMix {
+                        exp: 1,
+                        add: 1,
+                        ..OpMix::none()
+                    },
                     body_reads: 1,
                     // per class: subtract log-sum (add) + argmax compare; plus
                     // the single log amortized into the epilogue mix.
-                    post: OpMix { add: 1, cmp: 1, log: 1, ..OpMix::none() },
+                    post: OpMix {
+                        add: 1,
+                        cmp: 1,
+                        log: 1,
+                        ..OpMix::none()
+                    },
                     post_iters: k,
                     weights: vec![],
                     output_elems: k,
@@ -390,7 +485,12 @@ mod tests {
         let kinds: Vec<BlockKind> = ir.blocks.iter().map(|b| b.kind).collect();
         assert_eq!(
             kinds,
-            vec![BlockKind::Conv, BlockKind::Pool, BlockKind::Linear, BlockKind::LogSoftMax]
+            vec![
+                BlockKind::Conv,
+                BlockKind::Pool,
+                BlockKind::Linear,
+                BlockKind::LogSoftMax
+            ]
         );
         assert_eq!(ir.input_elems, 256);
         assert_eq!(ir.classes, 10);
@@ -450,7 +550,15 @@ mod tests {
         let names: Vec<&str> = ir.blocks.iter().map(|b| b.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["conv1", "pool1", "conv2", "pool2", "linear1", "linear2", "log_softmax"]
+            vec![
+                "conv1",
+                "pool1",
+                "conv2",
+                "pool2",
+                "linear1",
+                "linear2",
+                "log_softmax"
+            ]
         );
     }
 

@@ -64,8 +64,8 @@ pub mod precision;
 pub mod project;
 pub mod report;
 pub mod roofline;
-pub mod timing;
 pub mod schedule;
+pub mod timing;
 
 /// Convenient single-import surface.
 pub mod prelude {

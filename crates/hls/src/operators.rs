@@ -45,24 +45,61 @@ impl FpOp {
     pub const fn cost(self) -> OpCost {
         match self {
             // DSP48E1 "full usage" fmul: 3 DSP, ~4-cycle latency.
-            FpOp::Mul => OpCost { latency: 3, dsp: 3, lut: 135, ff: 166 },
+            FpOp::Mul => OpCost {
+                latency: 3,
+                dsp: 3,
+                lut: 135,
+                ff: 166,
+            },
             // fadd full-DSP configuration: 2 DSP, ~7 cycles.
-            FpOp::Add => OpCost { latency: 7, dsp: 2, lut: 214, ff: 324 },
+            FpOp::Add => OpCost {
+                latency: 7,
+                dsp: 2,
+                lut: 214,
+                ff: 324,
+            },
             // Comparator: LUT only, combinational + register.
-            FpOp::Cmp => OpCost { latency: 1, dsp: 0, lut: 66, ff: 34 },
+            FpOp::Cmp => OpCost {
+                latency: 1,
+                dsp: 0,
+                lut: 66,
+                ff: 34,
+            },
             // expf core: multi-DSP polynomial pipeline in the
             // full-usage configuration (calibrated to Table II's DSP
             // column together with `Log`).
-            FpOp::Exp => OpCost { latency: 17, dsp: 17, lut: 210, ff: 572 },
+            FpOp::Exp => OpCost {
+                latency: 17,
+                dsp: 17,
+                lut: 210,
+                ff: 572,
+            },
             // logf core, full-usage configuration.
-            FpOp::Log => OpCost { latency: 19, dsp: 15, lut: 360, ff: 970 },
+            FpOp::Log => OpCost {
+                latency: 19,
+                dsp: 15,
+                lut: 360,
+                ff: 970,
+            },
             // fdiv: iterative LUT-based core, no DSP.
-            FpOp::Div => OpCost { latency: 28, dsp: 0, lut: 420, ff: 1446 },
+            FpOp::Div => OpCost {
+                latency: 28,
+                dsp: 0,
+                lut: 420,
+                ff: 1446,
+            },
         }
     }
 
     /// All operator kinds (iteration helper).
-    pub const ALL: [FpOp; 6] = [FpOp::Mul, FpOp::Add, FpOp::Cmp, FpOp::Exp, FpOp::Log, FpOp::Div];
+    pub const ALL: [FpOp; 6] = [
+        FpOp::Mul,
+        FpOp::Add,
+        FpOp::Cmp,
+        FpOp::Exp,
+        FpOp::Log,
+        FpOp::Div,
+    ];
 }
 
 /// A multiset of operators (the body of a loop nest, or the set of
@@ -86,12 +123,26 @@ pub struct OpMix {
 impl OpMix {
     /// An empty mix.
     pub const fn none() -> OpMix {
-        OpMix { mul: 0, add: 0, cmp: 0, exp: 0, log: 0, div: 0 }
+        OpMix {
+            mul: 0,
+            add: 0,
+            cmp: 0,
+            exp: 0,
+            log: 0,
+            div: 0,
+        }
     }
 
     /// One multiply–accumulate.
     pub const fn mac() -> OpMix {
-        OpMix { mul: 1, add: 1, cmp: 0, exp: 0, log: 0, div: 0 }
+        OpMix {
+            mul: 1,
+            add: 1,
+            cmp: 0,
+            exp: 0,
+            log: 0,
+            div: 0,
+        }
     }
 
     /// Count for a given op kind.
@@ -173,8 +224,22 @@ mod tests {
 
     #[test]
     fn mix_arithmetic() {
-        let a = OpMix { mul: 1, add: 2, cmp: 3, exp: 0, log: 0, div: 0 };
-        let b = OpMix { mul: 4, add: 0, cmp: 1, exp: 2, log: 0, div: 1 };
+        let a = OpMix {
+            mul: 1,
+            add: 2,
+            cmp: 3,
+            exp: 0,
+            log: 0,
+            div: 0,
+        };
+        let b = OpMix {
+            mul: 4,
+            add: 0,
+            cmp: 1,
+            exp: 2,
+            log: 0,
+            div: 1,
+        };
         let s = a.plus(&b);
         assert_eq!(s.mul, 5);
         assert_eq!(s.cmp, 4);
@@ -186,7 +251,14 @@ mod tests {
 
     #[test]
     fn count_matches_fields() {
-        let m = OpMix { mul: 1, add: 2, cmp: 3, exp: 4, log: 5, div: 6 };
+        let m = OpMix {
+            mul: 1,
+            add: 2,
+            cmp: 3,
+            exp: 4,
+            log: 5,
+            div: 6,
+        };
         assert_eq!(m.count(FpOp::Mul), 1);
         assert_eq!(m.count(FpOp::Log), 5);
         assert_eq!(m.total(), 21);

@@ -32,12 +32,18 @@ impl Precision {
 
     /// Q8.8: 16-bit fixed point.
     pub const fn q8_8() -> Precision {
-        Precision::Fixed { total_bits: 16, frac_bits: 8 }
+        Precision::Fixed {
+            total_bits: 16,
+            frac_bits: 8,
+        }
     }
 
     /// Q4.4: 8-bit fixed point.
     pub const fn q4_4() -> Precision {
-        Precision::Fixed { total_bits: 8, frac_bits: 4 }
+        Precision::Fixed {
+            total_bits: 8,
+            frac_bits: 4,
+        }
     }
 
     /// Storage bits per weight/activation element.
@@ -52,7 +58,10 @@ impl Precision {
     pub fn label(self) -> String {
         match self {
             Precision::Float32 => "f32".to_string(),
-            Precision::Fixed { total_bits, frac_bits } => {
+            Precision::Fixed {
+                total_bits,
+                frac_bits,
+            } => {
                 format!("q{}.{}", total_bits - frac_bits, frac_bits)
             }
         }
@@ -74,12 +83,37 @@ impl Precision {
                         lut: 24,
                         ff: 2 * total_bits,
                     },
-                    FpOp::Add => OpCost { latency: 1, dsp: 0, lut: total_bits, ff: total_bits },
-                    FpOp::Cmp => OpCost { latency: 1, dsp: 0, lut: total_bits / 2, ff: 8 },
+                    FpOp::Add => OpCost {
+                        latency: 1,
+                        dsp: 0,
+                        lut: total_bits,
+                        ff: total_bits,
+                    },
+                    FpOp::Cmp => OpCost {
+                        latency: 1,
+                        dsp: 0,
+                        lut: total_bits / 2,
+                        ff: 8,
+                    },
                     // table-driven exp/log: one lookup + interpolation MAC
-                    FpOp::Exp => OpCost { latency: 3, dsp: 1, lut: 96, ff: 64 },
-                    FpOp::Log => OpCost { latency: 3, dsp: 1, lut: 96, ff: 64 },
-                    FpOp::Div => OpCost { latency: 6, dsp: 1, lut: 128, ff: 96 },
+                    FpOp::Exp => OpCost {
+                        latency: 3,
+                        dsp: 1,
+                        lut: 96,
+                        ff: 64,
+                    },
+                    FpOp::Log => OpCost {
+                        latency: 3,
+                        dsp: 1,
+                        lut: 96,
+                        ff: 64,
+                    },
+                    FpOp::Div => OpCost {
+                        latency: 6,
+                        dsp: 1,
+                        lut: 128,
+                        ff: 96,
+                    },
                 }
             }
         }
@@ -134,7 +168,10 @@ mod tests {
 
     #[test]
     fn wide_fixed_multiplies_need_two_dsps() {
-        let q24 = Precision::Fixed { total_bits: 24, frac_bits: 12 };
+        let q24 = Precision::Fixed {
+            total_bits: 24,
+            frac_bits: 12,
+        };
         assert_eq!(q24.op_cost(FpOp::Mul).dsp, 2);
         assert_eq!(Precision::q8_8().op_cost(FpOp::Mul).dsp, 1);
     }

@@ -88,7 +88,11 @@ impl HlsProject {
 
     /// Like [`new`](Self::new) but keeps over-capacity designs
     /// (useful for exploration reports that show *why* a target fails).
-    pub fn new_unchecked(network: &Network, directives: DirectiveSet, part: FpgaPart) -> HlsProject {
+    pub fn new_unchecked(
+        network: &Network,
+        directives: DirectiveSet,
+        part: FpgaPart,
+    ) -> HlsProject {
         let precision = Precision::Float32;
         let ir = lower(network);
         let schedule = schedule_with(&ir, &directives, precision);
@@ -212,19 +216,28 @@ mod tests {
         for ds in [DirectiveSet::naive(), DirectiveSet::optimized()] {
             assert!(HlsProject::new(&test1_net(), ds, FpgaPart::zynq7020()).is_ok());
         }
-        assert!(
-            HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::zynq7020()).is_ok()
-        );
+        assert!(HlsProject::new(
+            &test4_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020()
+        )
+        .is_ok());
     }
 
     #[test]
     fn cifar_design_rejected_on_zybo() {
-        let err =
-            HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::zynq7010())
-                .unwrap_err();
+        let err = HlsProject::new(
+            &test4_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7010(),
+        )
+        .unwrap_err();
         match err {
             HlsError::DoesNotFit(resources) => {
-                assert!(resources.contains(&"BRAM"), "expected BRAM overflow: {resources:?}")
+                assert!(
+                    resources.contains(&"BRAM"),
+                    "expected BRAM overflow: {resources:?}"
+                )
             }
             other => panic!("unexpected error {other}"),
         }
@@ -243,8 +256,12 @@ mod tests {
 
     #[test]
     fn report_reflects_directives() {
-        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
-            .unwrap();
+        let p = HlsProject::new(
+            &test1_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        )
+        .unwrap();
         let r = p.report();
         assert_eq!(r.directives, "dataflow+pipe-conv @f32");
         assert!(r.interval_cycles <= r.latency_cycles);
@@ -252,8 +269,12 @@ mod tests {
 
     #[test]
     fn artifacts_are_generated() {
-        let p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
-            .unwrap();
+        let p = HlsProject::new(
+            &test1_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        )
+        .unwrap();
         let cpp = p.cpp_source();
         assert!(cpp.contains("int cnn("));
         let tcl = p.tcl_scripts();
@@ -265,8 +286,8 @@ mod tests {
     fn cifar_design_trivially_fits_virtex7() {
         // The paper's future-work target has 12x the DSPs and 7x the
         // BRAM of the Zynq-7020; the CIFAR network barely dents it.
-        let p = HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::virtex7())
-            .unwrap();
+        let p =
+            HlsProject::new(&test4_net(), DirectiveSet::optimized(), FpgaPart::virtex7()).unwrap();
         assert!(p.resources().bram_pct() < 15.0);
         assert!(p.resources().dsp_pct() < 10.0);
     }
@@ -274,8 +295,12 @@ mod tests {
     #[test]
     fn fixed_point_project_is_smaller_and_faster() {
         use crate::precision::Precision;
-        let f32p = HlsProject::new(&test1_net(), DirectiveSet::optimized(), FpgaPart::zynq7020())
-            .unwrap();
+        let f32p = HlsProject::new(
+            &test1_net(),
+            DirectiveSet::optimized(),
+            FpgaPart::zynq7020(),
+        )
+        .unwrap();
         let q16p = HlsProject::with_precision(
             &test1_net(),
             DirectiveSet::optimized(),
@@ -291,7 +316,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(HlsError::DoesNotFit(vec!["BRAM"]).to_string().contains("BRAM"));
+        assert!(HlsError::DoesNotFit(vec!["BRAM"])
+            .to_string()
+            .contains("BRAM"));
         assert!(HlsError::EmptyDesign.to_string().contains("zero blocks"));
     }
 }

@@ -152,8 +152,16 @@ mod tests {
     #[test]
     fn optimization_raises_achieved_performance() {
         let ir = lower(&test1_net());
-        let naive = analyze(&ir, &schedule(&ir, &DirectiveSet::naive()), FpgaPart::zynq7020());
-        let opt = analyze(&ir, &schedule(&ir, &DirectiveSet::optimized()), FpgaPart::zynq7020());
+        let naive = analyze(
+            &ir,
+            &schedule(&ir, &DirectiveSet::naive()),
+            FpgaPart::zynq7020(),
+        );
+        let opt = analyze(
+            &ir,
+            &schedule(&ir, &DirectiveSet::optimized()),
+            FpgaPart::zynq7020(),
+        );
         assert!(opt.achieved_gflops > 3.0 * naive.achieved_gflops);
         // Roofs are design-size properties, unchanged by directives.
         assert_eq!(naive.compute_roof_gflops, opt.compute_roof_gflops);

@@ -90,7 +90,11 @@ pub fn achieved_ii(block: &LayerBlock) -> u64 {
 
 /// Achieved initiation interval under a given precision.
 pub fn achieved_ii_with(block: &LayerBlock, precision: Precision) -> u64 {
-    let dependence_ii = if block.body.add > 0 { precision.reduction_ii() } else { 1 };
+    let dependence_ii = if block.body.add > 0 {
+        precision.reduction_ii()
+    } else {
+        1
+    };
     let port_ii = block.body_reads.div_ceil(cal::BRAM_PORTS) as u64;
     dependence_ii.max(port_ii).max(1)
 }
@@ -141,7 +145,11 @@ pub fn schedule_block_with(
     BlockSchedule {
         name: block.name.clone(),
         pipelined,
-        ii: if pipelined { achieved_ii_with(block, precision) } else { 1 },
+        ii: if pipelined {
+            achieved_ii_with(block, precision)
+        } else {
+            1
+        },
         cycles,
     }
 }
@@ -335,8 +343,7 @@ mod tests {
         let ir = test1_ir();
         let naive = schedule(&ir, &DirectiveSet::naive());
         let opt = schedule(&ir, &DirectiveSet::optimized());
-        let speedup =
-            naive.cycles_for_images(1000) as f64 / opt.cycles_for_images(1000) as f64;
+        let speedup = naive.cycles_for_images(1000) as f64 / opt.cycles_for_images(1000) as f64;
         assert!(
             (3.5..=8.0).contains(&speedup),
             "naive→optimized speedup {speedup:.2} outside 5.3× ± band"

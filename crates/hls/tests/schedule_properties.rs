@@ -39,8 +39,18 @@ fn make_net(
 }
 
 fn arb_net() -> impl Strategy<Value = Network> {
-    (1usize..=3, 8usize..=20, 1usize..=8, 2usize..=5, any::<bool>(), 2usize..=12, any::<bool>())
-        .prop_filter_map("valid net", |(c, s, k, kk, p, n, t)| make_net(c, s, k, kk, p, n, t))
+    (
+        1usize..=3,
+        8usize..=20,
+        1usize..=8,
+        2usize..=5,
+        any::<bool>(),
+        2usize..=12,
+        any::<bool>(),
+    )
+        .prop_filter_map("valid net", |(c, s, k, kk, p, n, t)| {
+            make_net(c, s, k, kk, p, n, t)
+        })
 }
 
 proptest! {

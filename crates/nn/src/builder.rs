@@ -32,9 +32,9 @@ impl NetworkBuilder {
 
     fn push(mut self, layer: Layer) -> Self {
         if let Ok(shape) = self.current {
-            self.current = layer.output_shape(shape).map_err(|e| {
-                format!("layer {} ({}): {e}", self.layers.len(), layer.kind_name())
-            });
+            self.current = layer
+                .output_shape(shape)
+                .map_err(|e| format!("layer {} ({}): {e}", self.layers.len(), layer.kind_name()));
             self.layers.push(layer);
         }
         self
@@ -78,7 +78,12 @@ impl NetworkBuilder {
     /// Adds a pooling stage with window `kh`×`kw` and stride equal to
     /// the window (the GUI's integrated max-pooling default).
     pub fn pool(self, kind: PoolKind, kh: usize, kw: usize) -> Self {
-        self.push(Layer::Pool(PoolLayer { kind, kh, kw, step: kh }))
+        self.push(Layer::Pool(PoolLayer {
+            kind,
+            kh,
+            kw,
+            step: kh,
+        }))
     }
 
     /// Adds a pooling stage with an explicit stride.
@@ -97,7 +102,14 @@ impl NetworkBuilder {
         let Ok(shape) = self.current else { return self };
         let inputs = shape.len();
         let layer = Layer::Linear(LinearLayer {
-            weights: init_vec(rng, inputs * neurons, Init::Xavier { fan_in: inputs, fan_out: neurons }),
+            weights: init_vec(
+                rng,
+                inputs * neurons,
+                Init::Xavier {
+                    fan_in: inputs,
+                    fan_out: neurons,
+                },
+            ),
             bias: init_vec(rng, neurons, Init::Zeros),
             inputs,
             outputs: neurons,

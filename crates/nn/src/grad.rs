@@ -55,8 +55,14 @@ impl LayerGrads {
     pub fn accumulate(&mut self, other: &LayerGrads) {
         match (self, other) {
             (
-                LayerGrads::Conv2d { kernels: k1, bias: b1 },
-                LayerGrads::Conv2d { kernels: k2, bias: b2 },
+                LayerGrads::Conv2d {
+                    kernels: k1,
+                    bias: b1,
+                },
+                LayerGrads::Conv2d {
+                    kernels: k2,
+                    bias: b2,
+                },
             ) => {
                 for (a, b) in k1.as_mut_slice().iter_mut().zip(k2.as_slice()) {
                     *a += b;
@@ -66,8 +72,14 @@ impl LayerGrads {
                 }
             }
             (
-                LayerGrads::Linear { weights: w1, bias: b1 },
-                LayerGrads::Linear { weights: w2, bias: b2 },
+                LayerGrads::Linear {
+                    weights: w1,
+                    bias: b1,
+                },
+                LayerGrads::Linear {
+                    weights: w2,
+                    bias: b2,
+                },
             ) => {
                 for (a, b) in w1.iter_mut().zip(w2) {
                     *a += b;
@@ -104,7 +116,13 @@ impl LayerGrads {
 /// * `grad_out` — dL/d(output).
 ///
 /// Returns `(dL/d(input), parameter gradients)`.
-pub fn backward(layer: &Layer, input: &Tensor, output: &Tensor, grad_out: &Tensor) -> (Tensor, LayerGrads) {
+pub fn backward(
+    layer: &Layer,
+    input: &Tensor,
+    output: &Tensor,
+    grad_out: &Tensor,
+) -> (Tensor, LayerGrads) {
+    let _span = cnn_trace::span_lazy("nn", || format!("backward {}", layer.kind_name()).into());
     match layer {
         Layer::Conv2d(c) => conv_backward(c, input, output, grad_out),
         Layer::Pool(p) => (pool_backward(p, input, grad_out), LayerGrads::None),
@@ -168,7 +186,13 @@ fn conv_backward(
             }
         }
     }
-    (gx, LayerGrads::Conv2d { kernels: gk, bias: gb })
+    (
+        gx,
+        LayerGrads::Conv2d {
+            kernels: gk,
+            bias: gb,
+        },
+    )
 }
 
 fn pool_backward(p: &PoolLayer, input: &Tensor, grad_out: &Tensor) -> Tensor {
@@ -251,7 +275,10 @@ fn linear_backward(
     }
     (
         Tensor::from_vec(Shape::new(1, 1, l.inputs), gx),
-        LayerGrads::Linear { weights: gw, bias: grad_pre },
+        LayerGrads::Linear {
+            weights: gw,
+            bias: grad_pre,
+        },
     )
 }
 
@@ -282,9 +309,8 @@ mod tests {
         // Fixed random "loss weights" make L a scalar function.
         let mut rng = seeded_rng(1234);
         let lw = init_vec(&mut rng, out.len(), Init::Uniform(1.0));
-        let loss = |o: &Tensor| -> f32 {
-            o.as_slice().iter().zip(lw.iter()).map(|(a, b)| a * b).sum()
-        };
+        let loss =
+            |o: &Tensor| -> f32 { o.as_slice().iter().zip(lw.iter()).map(|(a, b)| a * b).sum() };
 
         let grad_out = Tensor::from_vec(out.shape(), lw.clone());
         let (gx, gparams) = backward(layer, input, &out, &grad_out);
@@ -369,7 +395,8 @@ mod tests {
             bias: init_vec(&mut rng, 2, Init::Uniform(0.2)),
             activation: None,
         });
-        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(2, 5, 5), Init::Uniform(1.0));
+        let input =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(2, 5, 5), Init::Uniform(1.0));
         check_layer_gradients(&layer, &input, 1e-2, 2e-2);
     }
 
@@ -381,7 +408,8 @@ mod tests {
             bias: init_vec(&mut rng, 2, Init::Uniform(0.2)),
             activation: Some(Activation::Tanh),
         });
-        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 5, 5), Init::Uniform(1.0));
+        let input =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 5, 5), Init::Uniform(1.0));
         check_layer_gradients(&layer, &input, 1e-2, 3e-2);
     }
 
@@ -395,7 +423,8 @@ mod tests {
             outputs: 4,
             activation: None,
         });
-        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 6), Init::Uniform(1.0));
+        let input =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 6), Init::Uniform(1.0));
         check_layer_gradients(&layer, &input, 1e-2, 1e-2);
     }
 
@@ -409,17 +438,20 @@ mod tests {
             outputs: 3,
             activation: Some(Activation::Sigmoid),
         });
-        let input = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 5), Init::Uniform(1.0));
+        let input =
+            cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 1, 5), Init::Uniform(1.0));
         check_layer_gradients(&layer, &input, 1e-2, 3e-2);
     }
 
     #[test]
     fn max_pool_gradient_routes_to_maximum() {
-        let p = Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 });
-        let input = Tensor::from_vec(
-            Shape::new(1, 2, 2),
-            vec![1.0, 4.0, 2.0, 3.0],
-        );
+        let p = Layer::Pool(PoolLayer {
+            kind: PoolKind::Max,
+            kh: 2,
+            kw: 2,
+            step: 2,
+        });
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]);
         let out = p.forward(&input);
         let grad_out = Tensor::from_vec(Shape::new(1, 1, 1), vec![1.0]);
         let (gx, _) = backward(&p, &input, &out, &grad_out);
@@ -428,7 +460,12 @@ mod tests {
 
     #[test]
     fn mean_pool_gradient_distributes_evenly() {
-        let p = Layer::Pool(PoolLayer { kind: PoolKind::Mean, kh: 2, kw: 2, step: 2 });
+        let p = Layer::Pool(PoolLayer {
+            kind: PoolKind::Mean,
+            kh: 2,
+            kw: 2,
+            step: 2,
+        });
         let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, 4.0, 2.0, 3.0]);
         let out = p.forward(&input);
         let grad_out = Tensor::from_vec(Shape::new(1, 1, 1), vec![2.0]);
@@ -488,7 +525,10 @@ mod tests {
     #[should_panic(expected = "kind mismatch")]
     fn accumulate_rejects_mismatched_kinds() {
         let mut a = LayerGrads::None;
-        let b = LayerGrads::Linear { weights: vec![0.0], bias: vec![0.0] };
+        let b = LayerGrads::Linear {
+            weights: vec![0.0],
+            bias: vec![0.0],
+        };
         a.accumulate(&b);
     }
 }

@@ -63,8 +63,12 @@ pub fn write_text(net: &Network) -> String {
                     c.kernels.kw(),
                     act_name(c.activation)
                 );
-                let vals: Vec<String> =
-                    c.kernels.as_slice().iter().map(|v| format!("{v}")).collect();
+                let vals: Vec<String> = c
+                    .kernels
+                    .as_slice()
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect();
                 let _ = writeln!(out, "{}", vals.join(" "));
                 let bias: Vec<String> = c.bias.iter().map(|v| format!("{v}")).collect();
                 let _ = writeln!(out, "bias {}", bias.join(" "));
@@ -104,7 +108,10 @@ fn parse_floats(line: &str, expect: usize, what: &str) -> Result<Vec<f32>, Strin
     let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
     let vals = vals.map_err(|e| format!("{what}: bad float ({e})"))?;
     if vals.len() != expect {
-        return Err(format!("{what}: expected {expect} values, got {}", vals.len()));
+        return Err(format!(
+            "{what}: expected {expect} values, got {}",
+            vals.len()
+        ));
     }
     Ok(vals)
 }
@@ -138,8 +145,12 @@ pub fn read_text(text: &str) -> Result<Network, String> {
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
             ["conv", k, ch, kh, kw, act] => {
-                let (k, ch, kh, kw) =
-                    (parse_dim(k)?, parse_dim(ch)?, parse_dim(kh)?, parse_dim(kw)?);
+                let (k, ch, kh, kw) = (
+                    parse_dim(k)?,
+                    parse_dim(ch)?,
+                    parse_dim(kh)?,
+                    parse_dim(kw)?,
+                );
                 let weights_line = lines.next().ok_or("conv weights missing")?;
                 let weights = parse_floats(weights_line, k * ch * kh * kw, "conv weights")?;
                 let bias_line = lines.next().ok_or("conv bias missing")?;

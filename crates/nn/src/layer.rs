@@ -157,8 +157,14 @@ impl Layer {
     pub fn kind_name(&self) -> &'static str {
         match self {
             Layer::Conv2d(_) => "conv2d",
-            Layer::Pool(PoolLayer { kind: PoolKind::Max, .. }) => "max_pool",
-            Layer::Pool(PoolLayer { kind: PoolKind::Mean, .. }) => "mean_pool",
+            Layer::Pool(PoolLayer {
+                kind: PoolKind::Max,
+                ..
+            }) => "max_pool",
+            Layer::Pool(PoolLayer {
+                kind: PoolKind::Mean,
+                ..
+            }) => "mean_pool",
             Layer::Flatten => "flatten",
             Layer::Linear(_) => "linear",
             Layer::LogSoftMax => "log_softmax",
@@ -191,7 +197,10 @@ mod tests {
     #[test]
     fn conv_shape_propagation() {
         let l = conv_layer(6, 1, 5, 5);
-        assert_eq!(l.output_shape(Shape::new(1, 16, 16)).unwrap(), Shape::new(6, 12, 12));
+        assert_eq!(
+            l.output_shape(Shape::new(1, 16, 16)).unwrap(),
+            Shape::new(6, 12, 12)
+        );
     }
 
     #[test]
@@ -209,8 +218,16 @@ mod tests {
 
     #[test]
     fn pool_shape_propagation() {
-        let l = Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 });
-        assert_eq!(l.output_shape(Shape::new(6, 12, 12)).unwrap(), Shape::new(6, 6, 6));
+        let l = Layer::Pool(PoolLayer {
+            kind: PoolKind::Max,
+            kh: 2,
+            kw: 2,
+            step: 2,
+        });
+        assert_eq!(
+            l.output_shape(Shape::new(6, 12, 12)).unwrap(),
+            Shape::new(6, 6, 6)
+        );
     }
 
     #[test]
@@ -225,14 +242,19 @@ mod tests {
     fn linear_shape_checks_flat_input() {
         let l = linear_layer(216, 10);
         assert!(l.output_shape(Shape::new(6, 6, 6)).is_err());
-        assert_eq!(l.output_shape(Shape::new(1, 1, 216)).unwrap(), Shape::new(1, 1, 10));
+        assert_eq!(
+            l.output_shape(Shape::new(1, 1, 216)).unwrap(),
+            Shape::new(1, 1, 10)
+        );
         assert!(l.output_shape(Shape::new(1, 1, 215)).is_err());
     }
 
     #[test]
     fn log_softmax_shape_identity() {
         assert_eq!(
-            Layer::LogSoftMax.output_shape(Shape::new(1, 1, 10)).unwrap(),
+            Layer::LogSoftMax
+                .output_shape(Shape::new(1, 1, 10))
+                .unwrap(),
             Shape::new(1, 1, 10)
         );
         assert!(Layer::LogSoftMax.output_shape(Shape::new(2, 2, 2)).is_err());
@@ -265,10 +287,8 @@ mod tests {
 
     #[test]
     fn log_softmax_forward_normalizes() {
-        let out = Layer::LogSoftMax.forward(&Tensor::from_vec(
-            Shape::new(1, 1, 3),
-            vec![1.0, 2.0, 3.0],
-        ));
+        let out =
+            Layer::LogSoftMax.forward(&Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 2.0, 3.0]));
         let sum_p: f32 = out.as_slice().iter().map(|v| v.exp()).sum();
         assert!((sum_p - 1.0).abs() < 1e-5);
     }
@@ -286,7 +306,13 @@ mod tests {
     fn kind_names() {
         assert_eq!(conv_layer(1, 1, 1, 1).kind_name(), "conv2d");
         assert_eq!(
-            Layer::Pool(PoolLayer { kind: PoolKind::Mean, kh: 2, kw: 2, step: 2 }).kind_name(),
+            Layer::Pool(PoolLayer {
+                kind: PoolKind::Mean,
+                kh: 2,
+                kw: 2,
+                step: 2
+            })
+            .kind_name(),
             "mean_pool"
         );
         assert_eq!(Layer::LogSoftMax.kind_name(), "log_softmax");

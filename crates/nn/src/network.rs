@@ -58,7 +58,11 @@ impl Network {
                 .map_err(|msg| NetworkError::ShapeMismatch(i, msg))?;
             shapes.push(cur);
         }
-        Ok(Network { input_shape, layers, shapes })
+        Ok(Network {
+            input_shape,
+            layers,
+            shapes,
+        })
     }
 
     /// The expected input shape.
@@ -100,8 +104,13 @@ impl Network {
             input.shape(),
             self.input_shape
         );
-        let mut cur = self.layers[0].forward(input);
-        for layer in &self.layers[1..] {
+        let mut cur = {
+            let _span =
+                cnn_trace::span_lazy("nn", || format!("L0 {}", self.layers[0].kind_name()).into());
+            self.layers[0].forward(input)
+        };
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let _span = cnn_trace::span_lazy("nn", || format!("L{i} {}", layer.kind_name()).into());
             cur = layer.forward(&cur);
         }
         cur
@@ -112,7 +121,8 @@ impl Network {
     pub fn forward_trace(&self, input: &Tensor) -> Vec<Tensor> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(input.clone());
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
+            let _span = cnn_trace::span_lazy("nn", || format!("L{i} {}", layer.kind_name()).into());
             let next = layer.forward(acts.last().expect("non-empty"));
             acts.push(next);
         }
@@ -179,7 +189,12 @@ mod tests {
                     bias: init_vec(&mut rng, 6, Init::Uniform(0.1)),
                     activation: None,
                 }),
-                Layer::Pool(PoolLayer { kind: PoolKind::Max, kh: 2, kw: 2, step: 2 }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
                 Layer::Flatten,
                 Layer::Linear(LinearLayer {
                     weights: init_vec(&mut rng, 216 * 10, Init::Uniform(0.1)),
@@ -316,7 +331,10 @@ mod tests {
     fn from_json_revalidates_shapes() {
         // Corrupt a serialized network: shrink the linear layer's input count.
         let net = test1_net(9);
-        let json = net.to_json().unwrap().replace("\"inputs\":216", "\"inputs\":215");
+        let json = net
+            .to_json()
+            .unwrap()
+            .replace("\"inputs\":216", "\"inputs\":215");
         let err = Network::from_json(&json).unwrap_err();
         assert!(matches!(err, NetworkError::ShapeMismatch(3, _)), "{err:?}");
     }

@@ -64,11 +64,7 @@ pub fn summarize(net: &Network) -> Vec<LayerSummary> {
 /// Renders the Fig. 1-style structure diagram as text.
 pub fn render(net: &Network) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "input {:>24}  params",
-        net.input_shape().to_string()
-    );
+    let _ = writeln!(out, "input {:>24}  params", net.input_shape().to_string());
     for row in summarize(net) {
         let _ = writeln!(
             out,

@@ -53,7 +53,11 @@ pub struct EpochStats {
 
 /// Negative log-likelihood of `target` under log-probabilities `logp`.
 pub fn nll_loss(logp: &[f32], target: usize) -> f32 {
-    assert!(target < logp.len(), "target {target} out of range {}", logp.len());
+    assert!(
+        target < logp.len(),
+        "target {target} out of range {}",
+        logp.len()
+    );
     -logp[target]
 }
 
@@ -142,8 +146,7 @@ pub fn train(
     let mut order: Vec<usize> = (0..n).collect();
     let mut stats = Vec::with_capacity(cfg.epochs);
     let mut lr = cfg.learning_rate;
-    let mut velocity: Vec<LayerGrads> =
-        net.layers().iter().map(LayerGrads::zeros_like).collect();
+    let mut velocity: Vec<LayerGrads> = net.layers().iter().map(LayerGrads::zeros_like).collect();
 
     for epoch in 0..cfg.epochs {
         order.shuffle(rng);
@@ -203,9 +206,14 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for i in 0..n {
             let class = i % 2;
-            let noise = cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 8, 8), Init::Uniform(0.2));
+            let noise =
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 8, 8), Init::Uniform(0.2));
             let mut img = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, _| {
-                if (class == 0) == (y < 4) { 1.0 } else { 0.0 }
+                if (class == 0) == (y < 4) {
+                    1.0
+                } else {
+                    0.0
+                }
             });
             img.add_assign(&noise);
             inputs.push(img);
@@ -243,7 +251,11 @@ mod tests {
     fn training_reduces_loss_and_error() {
         let (inputs, labels) = toy_problem(100, 64);
         let mut net = toy_net(7);
-        let cfg = TrainConfig { epochs: 8, learning_rate: 0.1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 8,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
         let mut rng = seeded_rng(55);
         let stats = train(&mut net, &inputs, &labels, &cfg, &mut rng);
         assert_eq!(stats.len(), 8);
@@ -254,13 +266,19 @@ mod tests {
             stats.last().unwrap().mean_loss
         );
         let final_err = net.prediction_error(&inputs, &labels);
-        assert!(final_err < 0.2, "final training error too high: {final_err}");
+        assert!(
+            final_err < 0.2,
+            "final training error too high: {final_err}"
+        );
     }
 
     #[test]
     fn training_is_deterministic_for_fixed_seed() {
         let (inputs, labels) = toy_problem(100, 32);
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let run = || {
             let mut net = toy_net(7);
             let mut rng = seeded_rng(55);
@@ -275,7 +293,11 @@ mod tests {
         let (tr_in, tr_lb) = toy_problem(100, 96);
         let (te_in, te_lb) = toy_problem(200, 32);
         let mut net = toy_net(3);
-        let cfg = TrainConfig { epochs: 10, learning_rate: 0.1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.1,
+            ..Default::default()
+        };
         let mut rng = seeded_rng(9);
         train(&mut net, &tr_in, &tr_lb, &cfg, &mut rng);
         let err = net.prediction_error(&te_in, &te_lb);
@@ -297,7 +319,10 @@ mod tests {
         let (inputs, labels) = toy_problem(1, 4);
         let mut net = toy_net(1);
         let mut rng = seeded_rng(1);
-        let cfg = TrainConfig { batch_size: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
         train(&mut net, &inputs, &labels, &cfg, &mut rng);
     }
 
@@ -330,7 +355,10 @@ mod tests {
         let (inputs, labels) = toy_problem(1, 4);
         let mut net = toy_net(1);
         let mut rng = seeded_rng(1);
-        let cfg = TrainConfig { momentum: 1.5, ..Default::default() };
+        let cfg = TrainConfig {
+            momentum: 1.5,
+            ..Default::default()
+        };
         train(&mut net, &inputs, &labels, &cfg, &mut rng);
     }
 
@@ -344,8 +372,16 @@ mod tests {
             train(&mut net, &inputs, &labels, &cfg, &mut rng);
             net
         };
-        let a = run(TrainConfig { momentum: 0.0, epochs: 2, ..Default::default() });
-        let b = run(TrainConfig { momentum: 0.0, epochs: 2, ..Default::default() });
+        let a = run(TrainConfig {
+            momentum: 0.0,
+            epochs: 2,
+            ..Default::default()
+        });
+        let b = run(TrainConfig {
+            momentum: 0.0,
+            epochs: 2,
+            ..Default::default()
+        });
         assert_eq!(a, b);
     }
 
@@ -359,7 +395,9 @@ mod tests {
             .layers()
             .iter()
             .filter_map(|l| match l {
-                crate::Layer::Conv2d(c) => Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>()),
+                crate::Layer::Conv2d(c) => {
+                    Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>())
+                }
                 _ => None,
             })
             .sum();
@@ -375,7 +413,9 @@ mod tests {
             .layers()
             .iter()
             .filter_map(|l| match l {
-                crate::Layer::Conv2d(c) => Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>()),
+                crate::Layer::Conv2d(c) => {
+                    Some(c.kernels.as_slice().iter().map(|v| v * v).sum::<f32>())
+                }
                 _ => None,
             })
             .sum();

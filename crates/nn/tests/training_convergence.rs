@@ -18,7 +18,11 @@ fn bars(n: usize, rng: &mut StdRng) -> (Vec<Tensor>, Vec<usize>) {
         let class = i % 2;
         let noise = cnn_tensor::init::init_tensor(rng, Shape::new(1, 10, 10), Init::Uniform(0.15));
         let mut img = Tensor::from_fn(Shape::new(1, 10, 10), |_, y, x| {
-            let on = if class == 0 { (4..6).contains(&x) } else { (4..6).contains(&y) };
+            let on = if class == 0 {
+                (4..6).contains(&x)
+            } else {
+                (4..6).contains(&y)
+            };
             if on {
                 1.0
             } else {
@@ -52,7 +56,10 @@ fn check_learns(net: &mut Network, epochs: usize, lr: f32) {
         stats.last().unwrap().mean_loss
     );
     let err = net.prediction_error(&images, &labels);
-    assert!(err < 0.2, "final error {err:.2} too high for a separable problem");
+    assert!(
+        err < 0.2,
+        "final error {err:.2} too high for a separable problem"
+    );
 }
 
 #[test]

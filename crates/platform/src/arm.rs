@@ -171,7 +171,10 @@ mod tests {
         // Paper: 3.3 s for 1000 images.
         let m = ArmModel::new(Board::Zedboard, &test1_net());
         let t = m.seconds_per_image() * 1000.0;
-        assert!((2.6..=4.1).contains(&t), "Test-1 SW time {t:.2}s vs paper 3.3s");
+        assert!(
+            (2.6..=4.1).contains(&t),
+            "Test-1 SW time {t:.2}s vs paper 3.3s"
+        );
     }
 
     #[test]
@@ -179,7 +182,10 @@ mod tests {
         // Paper: 4.3 s for 1000 images.
         let m = ArmModel::new(Board::Zedboard, &test3_net());
         let t = m.seconds_per_image() * 1000.0;
-        assert!((3.4..=5.4).contains(&t), "Test-3 SW time {t:.2}s vs paper 4.3s");
+        assert!(
+            (3.4..=5.4).contains(&t),
+            "Test-3 SW time {t:.2}s vs paper 4.3s"
+        );
     }
 
     #[test]
@@ -187,7 +193,10 @@ mod tests {
         // Paper: 2565 s for 10000 images.
         let m = ArmModel::new(Board::Zedboard, &test4_net());
         let t = m.seconds_per_image() * 10_000.0;
-        assert!((2000.0..=3200.0).contains(&t), "Test-4 SW time {t:.0}s vs paper 2565s");
+        assert!(
+            (2000.0..=3200.0).contains(&t),
+            "Test-4 SW time {t:.0}s vs paper 2565s"
+        );
     }
 
     #[test]
@@ -205,7 +214,9 @@ mod tests {
         let m = ArmModel::new(Board::Zedboard, &net);
         let mut rng = seeded_rng(5);
         let imgs: Vec<Tensor> = (0..16)
-            .map(|_| cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0)))
+            .map(|_| {
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0))
+            })
             .collect();
         let run = m.classify_batch(&imgs);
         let direct: Vec<usize> = imgs.iter().map(|i| net.predict(i)).collect();

@@ -59,7 +59,11 @@ pub struct NeonModel {
 impl NeonModel {
     /// Builds the model.
     pub fn new(board: Board, network: &Network) -> NeonModel {
-        NeonModel { board, network: network.clone(), ir: lower(network) }
+        NeonModel {
+            board,
+            network: network.clone(),
+            ir: lower(network),
+        }
     }
 
     /// Modelled CPU seconds per image: the larger of the compute time
@@ -89,7 +93,11 @@ impl NeonModel {
         let predictions = self.network.predict_batch(images);
         let seconds = self.seconds_per_image() * images.len() as f64;
         let cpu_cycles = (seconds * self.board.cpu_clock_hz() as f64) as u64;
-        SoftwareRun { predictions, cpu_cycles, seconds }
+        SoftwareRun {
+            predictions,
+            cpu_cycles,
+            seconds,
+        }
     }
 }
 
@@ -166,8 +174,7 @@ mod tests {
         use cnn_hls::{DirectiveSet, FpgaPart, HlsProject};
         let net = test1_net();
         let neon = NeonModel::new(Board::Zedboard, &net);
-        let hw = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020())
-            .unwrap();
+        let hw = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
         let hw_s = hw.schedule().seconds_for_images(1000);
         let sw_s = neon.seconds_per_image() * 1000.0;
         let speedup = sw_s / hw_s;

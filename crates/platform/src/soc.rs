@@ -53,8 +53,7 @@ impl ZynqSoc {
         directives: DirectiveSet,
         board: Board,
     ) -> Result<ZynqSoc, SocError> {
-        let project =
-            HlsProject::new(network, directives, board.part()).map_err(SocError::Hls)?;
+        let project = HlsProject::new(network, directives, board.part()).map_err(SocError::Hls)?;
         let bitstream = Bitstream::implement(&project, board).map_err(SocError::Bitstream)?;
         let device = ZynqDevice::program(board, bitstream).map_err(SocError::Device)?;
         Ok(ZynqSoc {
@@ -148,7 +147,9 @@ mod tests {
     fn images(n: usize) -> Vec<Tensor> {
         let mut rng = seeded_rng(50);
         (0..n)
-            .map(|_| cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0)))
+            .map(|_| {
+                cnn_tensor::init::init_tensor(&mut rng, Shape::new(1, 16, 16), Init::Uniform(1.0))
+            })
             .collect()
     }
 
@@ -161,8 +162,8 @@ mod tests {
 
     #[test]
     fn both_paths_agree_on_predictions() {
-        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
-            .unwrap();
+        let soc =
+            ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard).unwrap();
         let imgs = images(32);
         let sw = soc.run_software(&imgs);
         let hw = soc.run_hardware(&imgs);
@@ -172,26 +173,31 @@ mod tests {
     #[test]
     fn naive_speedup_matches_paper_shape() {
         // Paper Test 1: 1.18× — hardware barely wins.
-        let soc =
-            ZynqSoc::bring_up(&test1_net(), DirectiveSet::naive(), Board::Zedboard).unwrap();
+        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::naive(), Board::Zedboard).unwrap();
         let s = soc.speedup(&images(100));
-        assert!((0.9..=2.0).contains(&s), "naive speedup {s:.2} vs paper 1.18x");
+        assert!(
+            (0.9..=2.0).contains(&s),
+            "naive speedup {s:.2} vs paper 1.18x"
+        );
         assert!(s > 1.0, "hardware should still win: {s:.2}");
     }
 
     #[test]
     fn optimized_speedup_matches_paper_shape() {
         // Paper Test 2: 6.23×.
-        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
-            .unwrap();
+        let soc =
+            ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard).unwrap();
         let s = soc.speedup(&images(100));
-        assert!((4.0..=9.0).contains(&s), "optimized speedup {s:.2} vs paper 6.23x");
+        assert!(
+            (4.0..=9.0).contains(&s),
+            "optimized speedup {s:.2} vs paper 6.23x"
+        );
     }
 
     #[test]
     fn degraded_speedup_never_beats_clean() {
-        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
-            .unwrap();
+        let soc =
+            ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard).unwrap();
         let imgs = images(50);
         let clean = soc.speedup(&imgs);
         for rate in [0.0, 0.2, 0.6] {
@@ -210,16 +216,16 @@ mod tests {
 
     #[test]
     fn faulty_hardware_run_accounts_for_penalties() {
-        let soc = ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard)
-            .unwrap();
+        let soc =
+            ZynqSoc::bring_up(&test1_net(), DirectiveSet::optimized(), Board::Zedboard).unwrap();
         let imgs = images(30);
         let clean = soc.run_hardware(&imgs);
-        let faulty = soc.run_hardware_faulty(
-            &imgs,
-            &FaultPlan::uniform(5, 0.5),
-            &RetryPolicy::default(),
+        let faulty =
+            soc.run_hardware_faulty(&imgs, &FaultPlan::uniform(5, 0.5), &RetryPolicy::default());
+        assert!(
+            faulty.faults.injected > 0,
+            "a 50% plan over 30 images must fault"
         );
-        assert!(faulty.faults.injected > 0, "a 50% plan over 30 images must fault");
         assert!(faulty.seconds >= clean.seconds - 1e-12);
         assert!(faulty.faults.balances(imgs.len()));
     }

@@ -1,0 +1,143 @@
+//! Per-span energy attribution: folds a [`cnn_trace::TraceSnapshot`]
+//! against an average board power to answer "where did the Joules
+//! go?" at span granularity.
+//!
+//! The external meter only sees whole-board watts over wall time; the
+//! trace layer knows how many *simulated fabric cycles* each span
+//! consumed. Attribution converts each span's cycle total to seconds
+//! at the calibrated fabric clock and charges it the average power —
+//! the same integration [`crate::meter::EnergyMeter`] performs for a
+//! whole run, applied per span.
+
+use cnn_hls::calibration::FABRIC_CLOCK_HZ;
+use cnn_trace::TraceSnapshot;
+use serde::Serialize;
+
+/// One span identity's share of the run's energy.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct SpanEnergy {
+    /// Subsystem category (`"nn"`, `"fpga"`, ...).
+    pub cat: &'static str,
+    /// Span name (e.g. `"L0 conv2d"`).
+    pub name: String,
+    /// Completed span instances aggregated into this row.
+    pub count: u64,
+    /// Total simulated fabric cycles across all instances.
+    pub cycles: u64,
+    /// Cycles converted to seconds at the calibrated fabric clock.
+    pub seconds: f64,
+    /// Energy charged to this span at the run's average power.
+    pub joules: f64,
+}
+
+/// Attributes `watts` of average board power to each span in the
+/// snapshot, proportionally to its simulated-cycle total. Rows are
+/// sorted by energy, biggest consumer first; spans that advanced no
+/// cycles (pure host-side work) are kept with zero Joules so the
+/// table still shows they ran.
+pub fn attribute_energy(snapshot: &TraceSnapshot, watts: f64) -> Vec<SpanEnergy> {
+    assert!(watts >= 0.0, "negative power");
+    let hz = FABRIC_CLOCK_HZ as f64;
+    let mut rows: Vec<SpanEnergy> = snapshot
+        .span_summaries()
+        .into_iter()
+        .map(|s| {
+            let seconds = s.cycles as f64 / hz;
+            SpanEnergy {
+                cat: s.cat,
+                name: s.name,
+                count: s.count,
+                cycles: s.cycles,
+                seconds,
+                joules: watts * seconds,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.joules
+            .partial_cmp(&a.joules)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cat.cmp(b.cat))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders attribution rows as a fixed-width text table.
+pub fn energy_table(rows: &[SpanEnergy]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<28} {:>7} {:>14} {:>12} {:>12}\n",
+        "cat", "span", "count", "cycles", "seconds", "joules"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<28} {:>7} {:>14} {:>12.6} {:>12.6}\n",
+            r.cat, r.name, r.count, r.cycles, r.seconds, r.joules
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_trace::{Event, EventKind};
+    use std::borrow::Cow;
+
+    fn ev(kind: EventKind, cat: &'static str, name: &str, cycles: u64) -> Event {
+        Event {
+            kind,
+            cat,
+            name: Cow::Owned(name.to_string()),
+            thread: 1,
+            wall_ns: cycles, // wall clock irrelevant to attribution
+            cycles,
+        }
+    }
+
+    fn snapshot_with_two_spans() -> TraceSnapshot {
+        TraceSnapshot {
+            events: vec![
+                ev(EventKind::Enter, "fpga", "dma", 0),
+                ev(EventKind::Exit, "fpga", "dma", FABRIC_CLOCK_HZ), // 1 s of cycles
+                ev(EventKind::Enter, "nn", "host", 0),
+                ev(EventKind::Exit, "nn", "host", 0), // no cycles: host-side work
+            ],
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        }
+    }
+
+    #[test]
+    fn joules_follow_cycles_at_fabric_clock() {
+        let rows = attribute_energy(&snapshot_with_two_spans(), 4.0);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "dma");
+        assert!((rows[0].seconds - 1.0).abs() < 1e-12);
+        assert!((rows[0].joules - 4.0).abs() < 1e-12);
+        // Zero-cycle spans stay visible at zero Joules.
+        assert_eq!(rows[1].name, "host");
+        assert_eq!(rows[1].joules, 0.0);
+    }
+
+    #[test]
+    fn table_lists_biggest_consumer_first() {
+        let rows = attribute_energy(&snapshot_with_two_spans(), 2.2);
+        let table = energy_table(&rows);
+        let dma_at = table.find("dma").unwrap();
+        let host_at = table.find("host").unwrap();
+        assert!(
+            dma_at < host_at,
+            "rows should be sorted by energy:\n{table}"
+        );
+        assert!(table.contains("joules"));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative power")]
+    fn negative_power_rejected() {
+        attribute_energy(&snapshot_with_two_spans(), -1.0);
+    }
+}

@@ -21,8 +21,14 @@ impl CpuPowerModel {
     /// measurement; the Zybo scales by its lower clock.
     pub fn for_board(board: Board) -> CpuPowerModel {
         match board {
-            Board::Zedboard => CpuPowerModel { active_watts: 2.2, idle_watts: 1.45 },
-            Board::Zybo => CpuPowerModel { active_watts: 2.05, idle_watts: 1.35 },
+            Board::Zedboard => CpuPowerModel {
+                active_watts: 2.2,
+                idle_watts: 1.45,
+            },
+            Board::Zybo => CpuPowerModel {
+                active_watts: 2.05,
+                idle_watts: 1.35,
+            },
         }
     }
 
@@ -30,7 +36,10 @@ impl CpuPowerModel {
     /// `busy` ∈ [0, 1] of the time (hardware runs leave the CPU mostly
     /// idle waiting on the DMA).
     pub fn average_watts(&self, busy: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} out of range");
+        assert!(
+            (0.0..=1.0).contains(&busy),
+            "busy fraction {busy} out of range"
+        );
         self.idle_watts + (self.active_watts - self.idle_watts) * busy
     }
 }

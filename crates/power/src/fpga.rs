@@ -96,7 +96,10 @@ mod tests {
     fn naive_test1_power_in_paper_band() {
         // Paper: 4.19 W total − 2.2 W CPU = 1.99 W PL.
         let w = FpgaPowerModel::default().watts(&test1_usage(DirectiveSet::naive()));
-        assert!((1.8..=2.2).contains(&w), "PL power {w:.2} W vs paper 1.99 W");
+        assert!(
+            (1.8..=2.2).contains(&w),
+            "PL power {w:.2} W vs paper 1.99 W"
+        );
     }
 
     #[test]
@@ -114,13 +117,19 @@ mod tests {
         let t1 = FpgaPowerModel::default().watts(&test1_usage(DirectiveSet::optimized()));
         let t4 = FpgaPowerModel::default().watts(&test4_usage());
         assert!(t4 > t1, "Test 4 power {t4:.2} should exceed Test 2 {t1:.2}");
-        assert!((1.9..=2.5).contains(&t4), "Test-4 PL power {t4:.2} W vs paper 2.17 W");
+        assert!(
+            (1.9..=2.5).contains(&t4),
+            "Test-4 PL power {t4:.2} W vs paper 2.17 W"
+        );
     }
 
     #[test]
     fn static_term_dominates() {
         let m = FpgaPowerModel::default();
         let w = m.watts(&test1_usage(DirectiveSet::naive()));
-        assert!(m.static_watts / w > 0.7, "paper shows a mostly-flat PL power");
+        assert!(
+            m.static_watts / w > 0.7,
+            "paper shows a mostly-flat PL power"
+        );
     }
 }

@@ -15,13 +15,18 @@
 //!   over a run's duration into Joules, Table I's Energy columns,
 //! * [`trace`] — sampled power timelines (what the external logger
 //!   records), numerically integrated and cross-checked against the
-//!   closed-form energies.
+//!   closed-form energies,
+//! * [`attribution`] — folds a recorded [`cnn_trace::TraceSnapshot`]
+//!   against the average board power to charge Joules to individual
+//!   spans (per-layer, per-DMA-transfer energy).
 
+pub mod attribution;
 pub mod cpu;
 pub mod fpga;
 pub mod meter;
 pub mod trace;
 
+pub use attribution::{attribute_energy, energy_table, SpanEnergy};
 pub use cpu::CpuPowerModel;
 pub use fpga::FpgaPowerModel;
 pub use meter::{DegradedEnergy, EnergyMeter, EnergyReading};

@@ -62,6 +62,7 @@ impl EnergyMeter {
     /// unprogrammed (only the CPU term is attributed, matching the
     /// paper's "software implementation (i.e. the CPU only)").
     pub fn measure_software(&self, seconds: f64) -> EnergyReading {
+        let _span = cnn_trace::span("power", "measure_software");
         assert!(seconds >= 0.0, "negative duration");
         let cpu_watts = self.cpu.average_watts(1.0);
         let total = cpu_watts;
@@ -77,6 +78,7 @@ impl EnergyMeter {
     /// Measures a hardware run: the fabric computes while the CPU
     /// mostly idles on DMA completions ("CPU and FPGA" in Table I).
     pub fn measure_hardware(&self, seconds: f64, usage: &ResourceUsage) -> EnergyReading {
+        let _span = cnn_trace::span("power", "measure_hardware");
         assert!(seconds >= 0.0, "negative duration");
         let fpga_watts = self.fpga.watts(usage);
         // Table I keeps the CPU at its active figure in the "CPU +
@@ -104,6 +106,7 @@ impl EnergyMeter {
         fault_seconds: f64,
         usage: &ResourceUsage,
     ) -> DegradedEnergy {
+        let _span = cnn_trace::span("power", "measure_hardware_degraded");
         assert!(fault_seconds >= 0.0, "negative duration");
         let reading = self.measure_hardware(useful_seconds + fault_seconds, usage);
         DegradedEnergy {
@@ -143,7 +146,11 @@ mod tests {
         // Paper: 2.2 W × 3.3 s = 7.26 J.
         let m = EnergyMeter::for_board(Board::Zedboard);
         let r = m.measure_software(3.3);
-        assert!((r.joules - 7.26).abs() < 1e-9, "SW energy {} J vs 7.26 J", r.joules);
+        assert!(
+            (r.joules - 7.26).abs() < 1e-9,
+            "SW energy {} J vs 7.26 J",
+            r.joules
+        );
         assert_eq!(r.fpga_watts, 0.0);
     }
 

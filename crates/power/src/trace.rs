@@ -43,7 +43,10 @@ impl PowerTrace {
             let t = (i as f64 + 0.5) * sample_period;
             samples.push(power_at(phases, t.min(total - 1e-12)));
         }
-        PowerTrace { sample_period, samples }
+        PowerTrace {
+            sample_period,
+            samples,
+        }
     }
 
     /// Numerically integrated energy (rectangle rule over samples).
@@ -108,7 +111,10 @@ mod tests {
     fn constant_power_integrates_exactly() {
         // Paper Test 1 software: 2.2 W x 3.3 s = 7.26 J.
         let trace = PowerTrace::record(
-            &[PowerPhase { watts: 2.2, seconds: 3.3 }],
+            &[PowerPhase {
+                watts: 2.2,
+                seconds: 3.3,
+            }],
             0.001,
         );
         assert!((trace.joules() - 7.26).abs() < 0.01, "{}", trace.joules());
@@ -120,8 +126,14 @@ mod tests {
     fn two_phase_run_shows_the_step() {
         // idle then hardware classification: the meter sees the step.
         let phases = [
-            PowerPhase { watts: 1.45, seconds: 1.0 },
-            PowerPhase { watts: 4.21, seconds: 0.53 },
+            PowerPhase {
+                watts: 1.45,
+                seconds: 1.0,
+            },
+            PowerPhase {
+                watts: 4.21,
+                seconds: 0.53,
+            },
         ];
         let trace = PowerTrace::record(&phases, 0.01);
         assert_eq!(trace.peak_watts(), 4.21);
@@ -133,7 +145,10 @@ mod tests {
     fn coarse_sampling_still_close() {
         // The real logger samples every minute; relative error stays
         // bounded by one sample of the final phase.
-        let phases = [PowerPhase { watts: 2.2, seconds: 2565.0 }];
+        let phases = [PowerPhase {
+            watts: 2.2,
+            seconds: 2565.0,
+        }];
         let trace = PowerTrace::record(&phases, 60.0);
         let exact = 2.2 * 2565.0;
         assert!((trace.joules() - exact).abs() <= 2.2 * 60.0);
@@ -142,8 +157,14 @@ mod tests {
     #[test]
     fn trace_duration_covers_phases() {
         let phases = [
-            PowerPhase { watts: 1.0, seconds: 0.25 },
-            PowerPhase { watts: 2.0, seconds: 0.25 },
+            PowerPhase {
+                watts: 1.0,
+                seconds: 0.25,
+            },
+            PowerPhase {
+                watts: 2.0,
+                seconds: 0.25,
+            },
         ];
         let trace = PowerTrace::record(&phases, 0.1);
         assert!(trace.seconds() >= 0.5);
@@ -152,7 +173,13 @@ mod tests {
 
     #[test]
     fn render_has_one_row_per_sample() {
-        let trace = PowerTrace::record(&[PowerPhase { watts: 3.0, seconds: 0.5 }], 0.1);
+        let trace = PowerTrace::record(
+            &[PowerPhase {
+                watts: 3.0,
+                seconds: 0.5,
+            }],
+            0.1,
+        );
         let chart = trace.render(20);
         assert_eq!(chart.lines().count(), trace.samples.len());
         assert!(chart.contains('#'));
@@ -161,7 +188,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_period_rejected() {
-        PowerTrace::record(&[PowerPhase { watts: 1.0, seconds: 1.0 }], 0.0);
+        PowerTrace::record(
+            &[PowerPhase {
+                watts: 1.0,
+                seconds: 1.0,
+            }],
+            0.0,
+        );
     }
 
     #[test]

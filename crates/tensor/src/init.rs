@@ -54,7 +54,14 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 }
 
 /// Random kernel bank with the given scheme.
-pub fn init_kernels(rng: &mut StdRng, k: usize, c: usize, m: usize, n: usize, init: Init) -> Tensor4 {
+pub fn init_kernels(
+    rng: &mut StdRng,
+    k: usize,
+    c: usize,
+    m: usize,
+    n: usize,
+    init: Init,
+) -> Tensor4 {
     let mut t = Tensor4::zeros(k, c, m, n);
     init.fill(rng, t.as_mut_slice());
     t
@@ -107,7 +114,10 @@ mod tests {
 
     #[test]
     fn xavier_bound_formula() {
-        let init = Init::Xavier { fan_in: 25, fan_out: 25 };
+        let init = Init::Xavier {
+            fan_in: 25,
+            fan_out: 25,
+        };
         assert!((init.bound() - (6.0f32 / 50.0).sqrt()).abs() < 1e-6);
     }
 

@@ -51,7 +51,13 @@ pub const TEST_EPS: f32 = 1e-4;
 /// Asserts two float slices are element-wise close; used across the
 /// workspace's test suites.
 pub fn assert_slices_close(a: &[f32], b: &[f32], eps: f32) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             (x - y).abs() <= eps,

@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn serde_snake_case() {
-        assert_eq!(serde_json::to_string(&Activation::Tanh).unwrap(), "\"tanh\"");
+        assert_eq!(
+            serde_json::to_string(&Activation::Tanh).unwrap(),
+            "\"tanh\""
+        );
         assert_eq!(
             serde_json::from_str::<Activation>("\"relu\"").unwrap(),
             Activation::Relu

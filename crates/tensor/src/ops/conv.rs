@@ -52,6 +52,7 @@ fn conv_shapes(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Shape {
 /// simulated-hardware paths.
 #[allow(clippy::needless_range_loop)] // the nest mirrors the generated C++
 pub fn conv2d_valid(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
+    let _span = cnn_trace::span("tensor", "conv2d_valid");
     let oshape = conv_shapes(input, kernels, bias);
     let ishape = input.shape();
     let (kh, kw) = (kernels.kh(), kernels.kw());
@@ -85,6 +86,7 @@ pub fn conv2d_valid(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
 /// baseline where the column matrix amortizes well.
 #[allow(clippy::needless_range_loop)]
 pub fn conv2d_im2col(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
+    let _span = cnn_trace::span("tensor", "conv2d_im2col");
     let oshape = conv_shapes(input, kernels, bias);
     let cols = im2col_valid(input, kernels.kh(), kernels.kw());
     // cols: (C*kh*kw) rows x (oh*ow) columns, row-major.
@@ -122,9 +124,9 @@ mod tests {
     use super::*;
     use crate::assert_slices_close;
     use proptest::prelude::*;
+    use rand::rngs::StdRng;
     use rand::Rng as _;
     use rand::SeedableRng as _;
-    use rand::rngs::StdRng;
 
     #[test]
     fn identity_kernel_passes_through() {

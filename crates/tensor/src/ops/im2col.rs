@@ -8,7 +8,10 @@ use crate::tensor::Tensor;
 /// row `((c*kh)+m)*kw+n`, column `oy*ow+ox` holds `x[c, oy+m, ox+n]`.
 pub fn im2col_valid(input: &Tensor, kh: usize, kw: usize) -> Vec<f32> {
     let s = input.shape();
-    assert!(kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w, "window {kh}x{kw} does not fit {s}");
+    assert!(
+        kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w,
+        "window {kh}x{kw} does not fit {s}"
+    );
     let oh = s.h - kh + 1;
     let ow = s.w - kw + 1;
     let spatial = oh * ow;

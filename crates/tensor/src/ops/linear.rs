@@ -9,6 +9,7 @@
 /// `weights` is row-major `(outputs x inputs)`; the accumulation order
 /// matches the generated C++ inner loop (ascending `i`).
 pub fn linear(input: &[f32], weights: &[f32], bias: &[f32], out: &mut [f32]) {
+    let _span = cnn_trace::span("tensor", "linear");
     let (ni, no) = (input.len(), out.len());
     assert_eq!(
         weights.len(),

@@ -16,15 +16,12 @@ pub enum PoolKind {
 }
 
 fn pool_shape(input: &Tensor, kh: usize, kw: usize, step: usize) -> Shape {
-    input
-        .shape()
-        .pool_output(kh, kw, step)
-        .unwrap_or_else(|| {
-            panic!(
-                "pooling window {kh}x{kw} stride {step} invalid for input {}",
-                input.shape()
-            )
-        })
+    input.shape().pool_output(kh, kw, step).unwrap_or_else(|| {
+        panic!(
+            "pooling window {kh}x{kw} stride {step} invalid for input {}",
+            input.shape()
+        )
+    })
 }
 
 /// Max-pooling with window `kh`×`kw` and stride `step`.
@@ -39,6 +36,7 @@ pub fn mean_pool(input: &Tensor, kh: usize, kw: usize, step: usize) -> Tensor {
 
 /// Generic pooling entry point.
 pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -> Tensor {
+    let _span = cnn_trace::span("tensor", "pool");
     let oshape = pool_shape(input, kh, kw, step);
     let ishape = input.shape();
     let mut out = Tensor::zeros(oshape);
@@ -53,7 +51,8 @@ pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -
                     PoolKind::Max => {
                         let mut best = f32::NEG_INFINITY;
                         for m in 0..kh {
-                            let row = &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            let row =
+                                &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
                             for &rv in row {
                                 if rv > best {
                                     best = rv;
@@ -65,7 +64,8 @@ pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -
                     PoolKind::Mean => {
                         let mut acc = 0.0f32;
                         for m in 0..kh {
-                            let row = &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            let row =
+                                &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
                             for &rv in row {
                                 acc += rv;
                             }
@@ -91,9 +91,9 @@ pub fn pool_ops(input: Shape, kh: usize, kw: usize, step: usize) -> Option<u64> 
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use rand::rngs::StdRng;
     use rand::Rng as _;
     use rand::SeedableRng as _;
-    use rand::rngs::StdRng;
 
     #[test]
     fn max_pool_2x2_stride2_hand_example() {
@@ -163,7 +163,10 @@ mod tests {
     fn pool_ops_test1() {
         // 6x12x12 input, 2x2 stride-2 -> 6*6*6 outputs * 4 window elems = 864
         assert_eq!(pool_ops(Shape::new(6, 12, 12), 2, 2, 2), Some(864 * 6 / 6));
-        assert_eq!(pool_ops(Shape::new(6, 12, 12), 2, 2, 2), Some(6 * 6 * 6 * 4));
+        assert_eq!(
+            pool_ops(Shape::new(6, 12, 12), 2, 2, 2),
+            Some(6 * 6 * 6 * 4)
+        );
     }
 
     #[test]

@@ -219,7 +219,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "{:?})", self.data)
         } else {
-            write!(f, "[{}, {}, ...; {} elems])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "[{}, {}, ...; {} elems])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }

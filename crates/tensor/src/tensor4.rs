@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn from_fn_layout_is_kcmn() {
-        let t = Tensor4::from_fn(2, 3, 2, 2, |k, c, m, n| (k * 1000 + c * 100 + m * 10 + n) as f32);
+        let t = Tensor4::from_fn(2, 3, 2, 2, |k, c, m, n| {
+            (k * 1000 + c * 100 + m * 10 + n) as f32
+        });
         assert_eq!(t.get(0, 0, 0, 0), 0.0);
         assert_eq!(t.get(0, 0, 0, 1), 1.0);
         assert_eq!(t.get(0, 0, 1, 0), 10.0);

@@ -1,0 +1,106 @@
+//! The two clocks every event is stamped with.
+//!
+//! * **Wall clock** — nanoseconds since the recorder's epoch (the
+//!   first [`crate::enable`] call), from a monotonic [`Instant`].
+//! * **Cycle clock** — a per-thread counter of *simulated Zynq fabric
+//!   cycles*, advanced explicitly by the timing models (DMA transfer
+//!   costs, fault penalties, core compute). It only ever moves
+//!   forward, so cycle timestamps are monotone per thread — the
+//!   invariant the span proptests pin down.
+//!
+//! Thread ids are small dense integers assigned on first use (stable
+//! for the thread's lifetime), not OS thread ids — they become the
+//! `tid` of the Chrome trace.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+    static CYCLES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The recorder's epoch, pinned on first call.
+pub fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the epoch (saturating at `u64::MAX`).
+pub fn wall_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// This thread's dense id (assigned on first use, never 0 afterwards).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| {
+        let id = t.get();
+        if id != 0 {
+            return id;
+        }
+        let id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        t.set(id);
+        id
+    })
+}
+
+/// This thread's simulated-cycle clock.
+pub fn cycles() -> u64 {
+    CYCLES.with(Cell::get)
+}
+
+/// Advances this thread's simulated-cycle clock (saturating).
+pub fn advance_cycles(n: u64) {
+    CYCLES.with(|c| c.set(c.get().saturating_add(n)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let a = wall_ns();
+        let b = wall_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn cycle_clock_is_per_thread_and_monotone() {
+        let before = cycles();
+        advance_cycles(7);
+        assert_eq!(cycles(), before + 7);
+        // A fresh thread starts at its own zero.
+        let other = std::thread::spawn(|| {
+            let start = cycles();
+            advance_cycles(3);
+            (start, cycles())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other.1, other.0 + 3);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let mine = thread_id();
+        assert_eq!(mine, thread_id());
+        let theirs = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn cycle_clock_saturates() {
+        std::thread::spawn(|| {
+            advance_cycles(u64::MAX);
+            advance_cycles(10);
+            assert_eq!(cycles(), u64::MAX);
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Journal events and the bounded ring buffer holding them.
+
+use crate::clock;
+use std::borrow::Cow;
+use std::collections::VecDeque;
+
+/// What an [`Event`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (Chrome phase `B`).
+    Enter,
+    /// A span closed (Chrome phase `E`).
+    Exit,
+    /// A point-in-time occurrence (Chrome phase `i`).
+    Instant,
+}
+
+/// One journal entry: a span edge or an instant, stamped on both
+/// clocks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Edge or instant.
+    pub kind: EventKind,
+    /// Subsystem category (`"nn"`, `"fpga"`, ...).
+    pub cat: &'static str,
+    /// Span/event name.
+    pub name: Cow<'static, str>,
+    /// Dense id of the recording thread.
+    pub thread: u64,
+    /// Nanoseconds since the recorder epoch.
+    pub wall_ns: u64,
+    /// The recording thread's simulated-cycle clock.
+    pub cycles: u64,
+}
+
+impl Event {
+    /// An event stamped with the calling thread's clocks, now.
+    pub fn now(kind: EventKind, cat: &'static str, name: Cow<'static, str>) -> Event {
+        Event {
+            kind,
+            cat,
+            name,
+            thread: clock::thread_id(),
+            wall_ns: clock::wall_ns(),
+            cycles: clock::cycles(),
+        }
+    }
+}
+
+/// A bounded FIFO of events: pushing past capacity evicts the oldest
+/// entry and counts it, so a long run degrades to "most recent window"
+/// instead of unbounded memory.
+#[derive(Debug)]
+pub struct Journal {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    /// An empty journal bounded at `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Journal {
+        assert!(capacity > 0, "journal capacity must be positive");
+        Journal {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends, evicting the oldest event when full.
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Empties the journal and resets the eviction count.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}

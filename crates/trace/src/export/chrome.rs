@@ -1,0 +1,191 @@
+//! Chrome trace-event JSON export (the `chrome://tracing` / Perfetto
+//! "JSON Object Format"): span enters become phase-`B` events, exits
+//! phase-`E`, instants phase-`i`, and every counter series emits one
+//! final phase-`C` sample. Timestamps are wall-clock microseconds
+//! since the recorder epoch; the simulated cycle clock rides along in
+//! `args.cycles`.
+//!
+//! The document is emitted by hand (the substrate is dependency-free),
+//! which is easy because the schema is flat: only `name` strings need
+//! escaping.
+
+use crate::event::EventKind;
+use crate::snapshot::TraceSnapshot;
+use std::fmt::Write;
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a microsecond timestamp; half-microsecond resolution is
+/// preserved (`1500 ns -> 1.5`), and whole values print without a
+/// trailing `.0` — both are valid JSON numbers.
+fn ts_us(wall_ns: u64) -> String {
+    format!("{}", wall_ns as f64 / 1_000.0)
+}
+
+/// Renders the snapshot as a complete Chrome trace JSON document
+/// (an object with `traceEvents`, as Perfetto prefers).
+pub fn to_chrome_json(snapshot: &TraceSnapshot) -> String {
+    let mut body = String::new();
+    let mut last_ts = String::from("0");
+    let mut last_wall = 0u64;
+    let mut first = true;
+    for ev in &snapshot.events {
+        let ph = match ev.kind {
+            EventKind::Enter => "B",
+            EventKind::Exit => "E",
+            EventKind::Instant => "i",
+        };
+        let ts = ts_us(ev.wall_ns);
+        if ev.wall_ns >= last_wall {
+            last_wall = ev.wall_ns;
+            last_ts = ts.clone();
+        }
+        let scope = if ev.kind == EventKind::Instant {
+            ",\"s\":\"t\""
+        } else {
+            ""
+        };
+        let _ = write!(
+            body,
+            "{}    {{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":{ts}{scope},\"args\":{{\"cycles\":{}}}}}",
+            if first { "" } else { ",\n" },
+            escape(&ev.name),
+            escape(ev.cat),
+            ev.thread,
+            ev.cycles,
+        );
+        first = false;
+    }
+    // Counters as one closing sample each, so the totals are visible
+    // on the timeline without replaying every increment.
+    for c in &snapshot.counters {
+        let series = if c.labels.is_empty() {
+            c.name.to_string()
+        } else {
+            let labels: Vec<String> = c.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{}[{}]", c.name, labels.join(","))
+        };
+        let _ = write!(
+            body,
+            "{}    {{\"name\":\"{}\",\"cat\":\"metrics\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{last_ts},\"args\":{{\"value\":{}}}}}",
+            if first { "" } else { ",\n" },
+            escape(&series),
+            c.value,
+        );
+        first = false;
+    }
+    format!(
+        "{{\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{\"droppedEvents\": {}}},\n  \"traceEvents\": [\n{body}\n  ]\n}}\n",
+        snapshot.dropped
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::registry::CounterSnapshot;
+    use std::borrow::Cow;
+
+    #[test]
+    fn export_has_balanced_phases_and_counter_samples() {
+        let snap = TraceSnapshot {
+            events: vec![
+                Event {
+                    kind: EventKind::Enter,
+                    cat: "nn",
+                    name: Cow::Borrowed("forward"),
+                    thread: 3,
+                    wall_ns: 1_500,
+                    cycles: 10,
+                },
+                Event {
+                    kind: EventKind::Instant,
+                    cat: "fpga",
+                    name: Cow::Borrowed("fault"),
+                    thread: 3,
+                    wall_ns: 2_000,
+                    cycles: 10,
+                },
+                Event {
+                    kind: EventKind::Exit,
+                    cat: "nn",
+                    name: Cow::Borrowed("forward"),
+                    thread: 3,
+                    wall_ns: 2_500,
+                    cycles: 60,
+                },
+            ],
+            dropped: 0,
+            counters: vec![CounterSnapshot {
+                name: "beats_total",
+                labels: vec![("channel".into(), "mm2s".into())],
+                value: 256,
+            }],
+            histograms: vec![],
+        };
+        let text = to_chrome_json(&snap);
+        assert!(text.contains("\"traceEvents\": ["));
+        assert!(text.contains(
+            "{\"name\":\"forward\",\"cat\":\"nn\",\"ph\":\"B\",\"pid\":1,\"tid\":3,\"ts\":1.5,\"args\":{\"cycles\":10}}"
+        ));
+        assert!(text.contains("\"ph\":\"i\",\"pid\":1,\"tid\":3,\"ts\":2,\"s\":\"t\""));
+        assert!(text.contains("\"ph\":\"E\",\"pid\":1,\"tid\":3,\"ts\":2.5"));
+        // Counter sample lands at the last event timestamp.
+        assert!(text.contains(
+            "{\"name\":\"beats_total[channel=mm2s]\",\"cat\":\"metrics\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":2.5,\"args\":{\"value\":256}}"
+        ));
+        assert!(text.contains("\"droppedEvents\": 0"));
+        // Exactly four events -> three separating commas in the array.
+        assert_eq!(text.matches("}},\n").count(), 3);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let snap = TraceSnapshot {
+            events: vec![Event {
+                kind: EventKind::Instant,
+                cat: "t",
+                name: Cow::Borrowed("a\"b\\c\nd"),
+                thread: 1,
+                wall_ns: 0,
+                cycles: 0,
+            }],
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        };
+        assert!(to_chrome_json(&snap).contains(r#""name":"a\"b\\c\nd""#));
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_complete_document() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        };
+        let text = to_chrome_json(&snap);
+        assert!(text.starts_with('{'));
+        assert!(text.trim_end().ends_with('}'));
+        assert!(text.contains("\"traceEvents\": ["));
+    }
+}

@@ -1,0 +1,6 @@
+//! Snapshot exporters: Chrome trace-event JSON, Prometheus text
+//! exposition, and the human-readable per-span latency table.
+
+pub mod chrome;
+pub mod prometheus;
+pub mod table;

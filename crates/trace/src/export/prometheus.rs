@@ -1,0 +1,109 @@
+//! Prometheus text exposition (format version 0.0.4): counters with
+//! label sets, histograms with cumulative `le` buckets, `_sum` and
+//! `_count`, and the recorder's own journal health gauge.
+
+use crate::snapshot::TraceSnapshot;
+use std::fmt::Write;
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Renders the snapshot's metrics as a Prometheus exposition.
+pub fn to_prometheus_text(snapshot: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for c in &snapshot.counters {
+        if c.name != last_name {
+            let _ = writeln!(out, "# TYPE {} counter", c.name);
+            last_name = c.name;
+        }
+        let _ = writeln!(out, "{}{} {}", c.name, render_labels(&c.labels), c.value);
+    }
+    for h in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {} histogram", h.name);
+        for (i, bound) in h.bounds.iter().enumerate() {
+            let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {}", h.name, h.buckets[i]);
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{{le=\"+Inf\"}} {}",
+            h.name,
+            h.buckets.last().copied().unwrap_or(0)
+        );
+        let _ = writeln!(out, "{}_sum {}", h.name, h.sum);
+        let _ = writeln!(out, "{}_count {}", h.name, h.count);
+    }
+    let _ = writeln!(out, "# TYPE cnn_trace_journal_dropped_events gauge");
+    let _ = writeln!(out, "cnn_trace_journal_dropped_events {}", snapshot.dropped);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{CounterSnapshot, HistogramSnapshot};
+
+    #[test]
+    fn exposition_layout() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 2,
+            counters: vec![
+                CounterSnapshot {
+                    name: "cnn_dma_beats_total",
+                    labels: vec![("channel".into(), "mm2s".into())],
+                    value: 512,
+                },
+                CounterSnapshot {
+                    name: "cnn_dma_beats_total",
+                    labels: vec![("channel".into(), "s2mm".into())],
+                    value: 2,
+                },
+            ],
+            histograms: vec![HistogramSnapshot {
+                name: "cnn_image_cycles",
+                bounds: vec![256, 1024],
+                buckets: vec![1, 3, 4],
+                sum: 2000,
+                count: 4,
+            }],
+        };
+        let text = to_prometheus_text(&snap);
+        // One TYPE line per metric family, not per series.
+        assert_eq!(
+            text.matches("# TYPE cnn_dma_beats_total counter").count(),
+            1
+        );
+        assert!(text.contains("cnn_dma_beats_total{channel=\"mm2s\"} 512"));
+        assert!(text.contains("cnn_dma_beats_total{channel=\"s2mm\"} 2"));
+        assert!(text.contains("# TYPE cnn_image_cycles histogram"));
+        assert!(text.contains("cnn_image_cycles_bucket{le=\"256\"} 1"));
+        assert!(text.contains("cnn_image_cycles_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("cnn_image_cycles_sum 2000"));
+        assert!(text.contains("cnn_image_cycles_count 4"));
+        assert!(text.contains("cnn_trace_journal_dropped_events 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 0,
+            counters: vec![CounterSnapshot {
+                name: "odd_total",
+                labels: vec![("msg".into(), "a\"b\\c".into())],
+                value: 1,
+            }],
+            histograms: vec![],
+        };
+        assert!(to_prometheus_text(&snap).contains(r#"odd_total{msg="a\"b\\c"} 1"#));
+    }
+}

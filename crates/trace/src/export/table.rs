@@ -1,0 +1,106 @@
+//! The human-readable per-span latency table — the "where do the
+//! cycles go" view toolflow surveys lean on for tuning.
+
+use crate::snapshot::{SpanSummary, TraceSnapshot};
+use std::fmt::Write;
+
+/// Renders every completed span, grouped by category and sorted by
+/// total simulated cycles (hottest first), with per-call averages.
+/// Spans that never advanced the cycle clock (pure host work like the
+/// workflow's codegen stages) fall back to wall time for ordering
+/// within their category.
+pub fn to_latency_table(snapshot: &TraceSnapshot) -> String {
+    let mut rows: Vec<SpanSummary> = snapshot.span_summaries();
+    rows.sort_by(|a, b| {
+        a.cat
+            .cmp(b.cat)
+            .then(b.cycles.cmp(&a.cycles))
+            .then(b.wall_ns.cmp(&a.wall_ns))
+    });
+    let name_w = rows
+        .iter()
+        .map(|r| r.cat.len() + r.name.len() + 1)
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>8}  {:>14}  {:>12}  {:>10}  {:>10}",
+        "span", "calls", "cycles", "cyc/call", "wall ms", "ms/call"
+    );
+    for r in &rows {
+        let calls = r.count.max(1);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>8}  {:>14}  {:>12}  {:>10.3}  {:>10.4}",
+            format!("{}/{}", r.cat, r.name),
+            r.count,
+            r.cycles,
+            r.cycles / calls,
+            r.wall_ns as f64 / 1e6,
+            r.wall_ns as f64 / 1e6 / calls as f64,
+        );
+    }
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no completed spans)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind};
+    use std::borrow::Cow;
+
+    fn pair(name: &'static str, cat: &'static str, cyc: u64, wall: u64) -> [Event; 2] {
+        [
+            Event {
+                kind: EventKind::Enter,
+                cat,
+                name: Cow::Borrowed(name),
+                thread: 1,
+                wall_ns: 0,
+                cycles: 0,
+            },
+            Event {
+                kind: EventKind::Exit,
+                cat,
+                name: Cow::Borrowed(name),
+                thread: 1,
+                wall_ns: wall,
+                cycles: cyc,
+            },
+        ]
+    }
+
+    #[test]
+    fn hottest_span_leads_its_category() {
+        let mut events = vec![];
+        events.extend(pair("cold", "nn", 10, 50));
+        events.extend(pair("hot", "nn", 500, 10));
+        let snap = TraceSnapshot {
+            events,
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        };
+        let table = to_latency_table(&snap);
+        let hot = table.find("nn/hot").unwrap();
+        let cold = table.find("nn/cold").unwrap();
+        assert!(hot < cold, "{table}");
+        assert!(table.lines().next().unwrap().contains("cyc/call"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        };
+        assert!(to_latency_table(&snap).contains("no completed spans"));
+    }
+}

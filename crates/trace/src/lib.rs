@@ -1,0 +1,305 @@
+#![warn(missing_docs)]
+
+//! # cnn-trace
+//!
+//! The observability substrate of the cnn2fpga stack: structured
+//! tracing and metrics for everything between a JSON descriptor and a
+//! classified batch on the (simulated) Zynq fabric.
+//!
+//! The paper's whole evaluation — execution time, speedup, power,
+//! energy, resources — is an observability exercise; this crate makes
+//! that signal machine-readable *inside* a run instead of only at its
+//! end:
+//!
+//! * [`span`] — hierarchical RAII spans, timestamped on **two
+//!   clocks**: wall-clock nanoseconds (what the host actually spent)
+//!   and the per-thread **simulated fabric cycle counter** (what the
+//!   modelled Zynq spent; advanced by the DMA/fault/compute models via
+//!   [`advance_cycles`]),
+//! * [`registry`] — monotonic counters and fixed-bucket histograms
+//!   behind a read-mostly registry (atomics under an `RwLock` map),
+//! * [`event`] — a bounded ring-buffer journal of span enters/exits
+//!   and instant events (old events are evicted, never reallocated),
+//! * [`export`] — Chrome trace-event JSON (loadable in Perfetto /
+//!   `chrome://tracing`), Prometheus text exposition, and a
+//!   human-readable per-span latency table.
+//!
+//! ## On/off
+//!
+//! Recording is **disabled by default**: every instrumentation call
+//! starts with one relaxed atomic load and returns immediately, so
+//! instrumented hot paths pay a branch, not a lock. [`enable`] turns
+//! the recorder on; the `noop` cargo feature compiles every call out
+//! entirely for builds that must not even carry the branch.
+//!
+//! Tracing is purely observational: an instrumented run computes
+//! bit-identical results to an uninstrumented one.
+//!
+//! ```
+//! cnn_trace::enable();
+//! {
+//!     let _outer = cnn_trace::span("demo", "outer");
+//!     cnn_trace::advance_cycles(100);
+//!     cnn_trace::counter_add("demo_total", &[("kind", "example")], 1);
+//! }
+//! let snap = cnn_trace::snapshot();
+//! assert_eq!(snap.events.len(), 2); // enter + exit
+//! assert!(cnn_trace::export::chrome::to_chrome_json(&snap).contains("outer"));
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod export;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use event::{Event, EventKind};
+pub use registry::{CounterSnapshot, HistogramSnapshot, Registry};
+pub use snapshot::{SpanSummary, TraceSnapshot};
+pub use span::SpanGuard;
+
+use event::Journal;
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Events the journal retains before evicting the oldest (bounded by
+/// construction: a runaway loop cannot grow the journal unboundedly).
+pub const JOURNAL_CAPACITY: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Global {
+    journal: Mutex<Journal>,
+    registry: Registry,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        journal: Mutex::new(Journal::with_capacity(JOURNAL_CAPACITY)),
+        registry: Registry::new(),
+    })
+}
+
+/// Poison-tolerant journal lock: a panic inside an instrumented span
+/// must not take the whole recorder down with it.
+fn journal(g: &Global) -> MutexGuard<'_, Journal> {
+    g.journal.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether the recorder is currently on. With the `noop` feature this
+/// is a compile-time `false` and every instrumentation call inlines
+/// away.
+#[inline(always)]
+pub fn is_enabled() -> bool {
+    if cfg!(feature = "noop") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder on (idempotent). Also pins the wall-clock epoch
+/// on first use so every timestamp is relative to the same instant.
+pub fn enable() {
+    clock::epoch(); // pin t=0 before the first event
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns the recorder off. In-flight span guards still drop cheaply
+/// (their exit is recorded so trees stay balanced).
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clears the journal and the metrics registry (the per-thread cycle
+/// clocks keep running — they are monotonic by contract).
+pub fn reset() {
+    let g = global();
+    journal(g).clear();
+    g.registry.clear();
+}
+
+/// Opens a span. The guard records the matching exit when dropped;
+/// both edges carry wall-clock and cycle timestamps. `cat` groups
+/// spans by subsystem (`"nn"`, `"fpga"`, ...) and becomes the Chrome
+/// trace category.
+#[inline]
+pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::inactive();
+    }
+    SpanGuard::enter(cat, name.into())
+}
+
+/// [`span`] with a lazily built name: the closure (and its allocation)
+/// runs only when the recorder is on — use for `format!`ed names on
+/// hot paths.
+#[inline]
+pub fn span_lazy<F>(cat: &'static str, name: F) -> SpanGuard
+where
+    F: FnOnce() -> Cow<'static, str>,
+{
+    if !is_enabled() {
+        return SpanGuard::inactive();
+    }
+    SpanGuard::enter(cat, name())
+}
+
+/// Records a zero-duration instant event (a fault injection, a DMA
+/// soft reset, ...).
+#[inline]
+pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
+    if !is_enabled() {
+        return;
+    }
+    record(Event::now(EventKind::Instant, cat, name.into()));
+}
+
+/// Adds `delta` to a monotonic counter, creating it at zero first if
+/// this is its first sighting (so `delta = 0` pre-registers a counter
+/// and guarantees it appears in the Prometheus exposition).
+#[inline]
+pub fn counter_add(name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    global().registry.counter_add(name, labels, delta);
+}
+
+/// Records `value` into the fixed-bucket histogram `name` (created on
+/// first observation with [`registry::DEFAULT_BUCKETS`]).
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    global().registry.observe(name, value);
+}
+
+/// Advances this thread's simulated-cycle clock by `n` fabric cycles.
+/// The models call this wherever they account simulated time (DMA
+/// transfers, fault penalties, core compute), so span cycle deltas
+/// measure simulated-Zynq time. Monotonic per thread by construction.
+#[inline]
+pub fn advance_cycles(n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    clock::advance_cycles(n);
+}
+
+/// This thread's simulated-cycle clock.
+#[inline]
+pub fn cycles() -> u64 {
+    clock::cycles()
+}
+
+/// Appends an event to the journal (internal; used by [`span`]).
+pub(crate) fn record(ev: Event) {
+    journal(global()).push(ev);
+}
+
+/// A consistent copy of everything recorded so far: journal events
+/// (oldest first), eviction count, counters and histograms.
+pub fn snapshot() -> TraceSnapshot {
+    let g = global();
+    let (events, dropped) = {
+        let j = journal(g);
+        (j.events(), j.dropped())
+    };
+    TraceSnapshot {
+        events,
+        dropped,
+        counters: g.registry.counters(),
+        histograms: g.registry.histograms(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is process-wide, so the unit tests here run
+    // as one sequential scenario to avoid cross-test interference.
+    #[test]
+    fn recorder_end_to_end() {
+        // Disabled: nothing records, guards are inert.
+        disable();
+        reset();
+        {
+            let _s = span("test", "ignored");
+            counter_add("ignored_total", &[], 5);
+            observe("ignored_hist", 1);
+            advance_cycles(10);
+        }
+        let snap = snapshot();
+        assert!(snap.events.is_empty());
+        assert!(snap.counters.is_empty());
+
+        // Enabled: spans nest, counters count, cycles advance.
+        enable();
+        reset();
+        let c0 = cycles();
+        {
+            let _outer = span("test", "outer");
+            advance_cycles(100);
+            {
+                let _inner = span_lazy("test", || format!("inner {}", 1).into());
+                advance_cycles(50);
+            }
+            instant("test", "tick");
+            counter_add("events_total", &[("kind", "tick")], 3);
+            counter_add("events_total", &[("kind", "tick")], 2);
+            observe("latency_cycles", 150);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 5); // 2 enters + 2 exits + 1 instant
+        assert_eq!(cycles(), c0 + 150);
+        assert_eq!(snap.dropped, 0);
+        let c = &snap.counters[0];
+        assert_eq!(c.name, "events_total");
+        assert_eq!(c.labels, vec![("kind".to_string(), "tick".to_string())]);
+        assert_eq!(c.value, 5);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.histograms[0].sum, 150);
+
+        // Summaries: outer contains inner, cycle deltas attribute 150
+        // to outer and 50 to inner.
+        let sums = snap.span_summaries();
+        let outer = sums.iter().find(|s| s.name == "outer").unwrap();
+        let inner = sums.iter().find(|s| s.name == "inner 1").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.cycles, 150);
+        assert_eq!(inner.cycles, 50);
+        assert!(outer.wall_ns >= inner.wall_ns);
+
+        // Zero-delta counter_add pre-registers for the exposition.
+        reset();
+        counter_add("preregistered_total", &[("outcome", "clean")], 0);
+        let snap = snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 0);
+        disable();
+    }
+
+    #[test]
+    fn journal_is_bounded() {
+        let mut j = Journal::with_capacity(4);
+        for i in 0..10u64 {
+            j.push(Event {
+                kind: EventKind::Instant,
+                cat: "t",
+                name: format!("e{i}").into(),
+                thread: 0,
+                wall_ns: i,
+                cycles: i,
+            });
+        }
+        assert_eq!(j.events().len(), 4);
+        assert_eq!(j.dropped(), 6);
+        assert_eq!(j.events()[0].name, "e6");
+    }
+}

@@ -1,0 +1,268 @@
+//! The metrics registry: monotonic counters and fixed-bucket
+//! histograms.
+//!
+//! The hot path is "add to an existing counter", which takes one read
+//! lock plus one relaxed atomic add; the write lock is only ever taken
+//! to create a series. That is lock-free enough for the stack's
+//! instrumentation density (a handful of series, updated from rayon
+//! workers and the co-simulation threads). Locks are poison-tolerant:
+//! a panicking instrumented thread must not disable metrics for the
+//! rest of the process.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bucket upper bounds (inclusive, in simulated cycles) used for every
+/// histogram: powers of four spanning one stream beat to a whole
+/// CIFAR-scale batch. Fixed at creation — observations never
+/// reallocate.
+pub const DEFAULT_BUCKETS: [u64; 10] = [
+    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864,
+];
+
+/// One counter series, fully resolved (name + sorted labels).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name (Prometheus-style `*_total`).
+    pub name: &'static str,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One histogram's state at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: &'static str,
+    /// Bucket upper bounds (a final `+Inf` bucket is implicit).
+    pub bounds: Vec<u64>,
+    /// Cumulative counts per bound, plus the `+Inf` count last
+    /// (Prometheus `le` semantics: `buckets[i]` counts observations
+    /// `<= bounds[i]`).
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (the +Inf bucket)
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A series key: metric name plus rendered labels — the `BTreeMap`
+/// order gives the exposition a deterministic layout.
+type SeriesKey = (&'static str, Vec<(String, String)>);
+
+/// The counter + histogram store.
+pub struct Registry {
+    counters: RwLock<BTreeMap<SeriesKey, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Adds `delta` to the counter series, creating it at zero first.
+    pub fn counter_add(&self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        let key: SeriesKey = (
+            name,
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        );
+        if let Some(c) = read(&self.counters).get(&key) {
+            c.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        let mut w = write(&self.counters);
+        w.entry(key)
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Observes `value` in histogram `name` (created on first use with
+    /// [`DEFAULT_BUCKETS`]).
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(h) = read(&self.histograms).get(name) {
+            h.observe(value);
+            return;
+        }
+        let h = {
+            let mut w = write(&self.histograms);
+            w.entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(&DEFAULT_BUCKETS)))
+                .clone()
+        };
+        h.observe(value);
+    }
+
+    /// All counter series, deterministically ordered.
+    pub fn counters(&self) -> Vec<CounterSnapshot> {
+        read(&self.counters)
+            .iter()
+            .map(|((name, labels), v)| CounterSnapshot {
+                name,
+                labels: labels.clone(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// All histograms, deterministically ordered. Bucket counts are
+    /// cumulative (Prometheus `le` convention).
+    pub fn histograms(&self) -> Vec<HistogramSnapshot> {
+        read(&self.histograms)
+            .iter()
+            .map(|(name, h)| {
+                let raw: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                let mut cumulative = Vec::with_capacity(raw.len());
+                let mut acc = 0;
+                for c in raw {
+                    acc += c;
+                    cumulative.push(acc);
+                }
+                HistogramSnapshot {
+                    name,
+                    bounds: h.bounds.clone(),
+                    buckets: cumulative,
+                    sum: h.sum.load(Ordering::Relaxed),
+                    count: h.count.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Drops every series.
+    pub fn clear(&self) {
+        write(&self.counters).clear();
+        write(&self.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = Registry::new();
+        r.counter_add("beats_total", &[("channel", "mm2s")], 10);
+        r.counter_add("beats_total", &[("channel", "mm2s")], 5);
+        r.counter_add("beats_total", &[("channel", "s2mm")], 1);
+        let c = r.counters();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].labels[0].1, "mm2s");
+        assert_eq!(c[0].value, 15);
+        assert_eq!(c[1].value, 1);
+    }
+
+    #[test]
+    fn zero_add_registers_the_series() {
+        let r = Registry::new();
+        r.counter_add("faults_total", &[], 0);
+        assert_eq!(
+            r.counters(),
+            vec![CounterSnapshot {
+                name: "faults_total",
+                labels: vec![],
+                value: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let r = Registry::new();
+        r.observe("lat", 100); // <= 256
+        r.observe("lat", 300); // <= 1024
+        r.observe("lat", u64::MAX); // +Inf
+        let h = &r.histograms()[0];
+        assert_eq!(h.bounds, DEFAULT_BUCKETS.to_vec());
+        assert_eq!(h.buckets.len(), DEFAULT_BUCKETS.len() + 1);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(*h.buckets.last().unwrap(), 3);
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let r = std::sync::Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("spins_total", &[], 1);
+                        r.observe("spin_lat", 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counters()[0].value, 8000);
+        assert_eq!(r.histograms()[0].count, 8000);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let r = Registry::new();
+        r.counter_add("x_total", &[], 1);
+        r.observe("y", 1);
+        r.clear();
+        assert!(r.counters().is_empty());
+        assert!(r.histograms().is_empty());
+    }
+}

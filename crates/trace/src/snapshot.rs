@@ -1,0 +1,149 @@
+//! A consistent copy of the recorder's state, plus span aggregation.
+
+use crate::event::{Event, EventKind};
+use crate::registry::{CounterSnapshot, HistogramSnapshot};
+use std::collections::{BTreeMap, HashMap};
+
+/// Everything recorded up to [`crate::snapshot`] time.
+#[derive(Clone, Debug)]
+pub struct TraceSnapshot {
+    /// Journal events, oldest first.
+    pub events: Vec<Event>,
+    /// Events the bounded journal evicted before this snapshot.
+    pub dropped: u64,
+    /// Counter series.
+    pub counters: Vec<CounterSnapshot>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Aggregate of every completed span with one `(cat, name)` identity:
+/// the per-layer latency table's row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Subsystem category.
+    pub cat: &'static str,
+    /// Span name.
+    pub name: String,
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Total wall nanoseconds across all completions.
+    pub wall_ns: u64,
+    /// Total simulated cycles across all completions.
+    pub cycles: u64,
+}
+
+impl TraceSnapshot {
+    /// Matches enter/exit pairs per thread (stack discipline) and
+    /// aggregates them by `(cat, name)`. Unbalanced edges — a span
+    /// still open at snapshot time, or an enter evicted from the
+    /// bounded journal — are skipped rather than guessed at.
+    pub fn span_summaries(&self) -> Vec<SpanSummary> {
+        let mut stacks: HashMap<u64, Vec<&Event>> = HashMap::new();
+        let mut agg: BTreeMap<(&'static str, &str), SpanSummary> = BTreeMap::new();
+        for ev in &self.events {
+            match ev.kind {
+                EventKind::Enter => stacks.entry(ev.thread).or_default().push(ev),
+                EventKind::Exit => {
+                    let stack = stacks.entry(ev.thread).or_default();
+                    // Pop until the matching enter: an exit whose
+                    // enter was evicted unwinds nothing real.
+                    let matched = stack
+                        .iter()
+                        .rposition(|e| e.cat == ev.cat && e.name == ev.name)
+                        .map(|i| stack.split_off(i).swap_remove(0));
+                    if let Some(enter) = matched {
+                        let s = agg
+                            .entry((ev.cat, &*enter.name))
+                            .or_insert_with(|| SpanSummary {
+                                cat: ev.cat,
+                                name: enter.name.to_string(),
+                                count: 0,
+                                wall_ns: 0,
+                                cycles: 0,
+                            });
+                        s.count += 1;
+                        s.wall_ns += ev.wall_ns.saturating_sub(enter.wall_ns);
+                        s.cycles += ev.cycles.saturating_sub(enter.cycles);
+                    }
+                }
+                EventKind::Instant => {}
+            }
+        }
+        agg.into_values().collect()
+    }
+
+    /// The distinct categories that completed at least one span —
+    /// a quick "which subsystems are present in this trace" probe.
+    pub fn categories(&self) -> Vec<&'static str> {
+        let mut cats: Vec<&'static str> = self.span_summaries().iter().map(|s| s.cat).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        cats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn ev(kind: EventKind, name: &str, thread: u64, wall: u64, cyc: u64) -> Event {
+        Event {
+            kind,
+            cat: "t",
+            name: Cow::Owned(name.to_string()),
+            thread,
+            wall_ns: wall,
+            cycles: cyc,
+        }
+    }
+
+    #[test]
+    fn nested_spans_aggregate_independently() {
+        let snap = TraceSnapshot {
+            events: vec![
+                ev(EventKind::Enter, "outer", 1, 0, 0),
+                ev(EventKind::Enter, "inner", 1, 10, 5),
+                ev(EventKind::Exit, "inner", 1, 20, 15),
+                ev(EventKind::Exit, "outer", 1, 30, 15),
+                // Same names on another thread, interleaved in time.
+                ev(EventKind::Enter, "outer", 2, 5, 0),
+                ev(EventKind::Exit, "outer", 2, 6, 2),
+            ],
+            dropped: 0,
+            counters: vec![],
+            histograms: vec![],
+        };
+        let sums = snap.span_summaries();
+        let outer = sums.iter().find(|s| s.name == "outer").unwrap();
+        let inner = sums.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.count, 2);
+        assert_eq!(outer.wall_ns, 30 + 1);
+        assert_eq!(outer.cycles, 15 + 2);
+        assert_eq!(inner.count, 1);
+        assert_eq!(inner.cycles, 10);
+        assert_eq!(snap.categories(), vec!["t"]);
+    }
+
+    #[test]
+    fn unmatched_edges_are_skipped() {
+        let snap = TraceSnapshot {
+            events: vec![
+                // Exit with no enter (evicted), then a clean pair, then
+                // an enter never closed.
+                ev(EventKind::Exit, "orphan", 1, 1, 1),
+                ev(EventKind::Enter, "ok", 1, 2, 2),
+                ev(EventKind::Exit, "ok", 1, 3, 4),
+                ev(EventKind::Enter, "open", 1, 4, 4),
+            ],
+            dropped: 1,
+            counters: vec![],
+            histograms: vec![],
+        };
+        let sums = snap.span_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].name, "ok");
+        assert_eq!(sums[0].cycles, 2);
+    }
+}

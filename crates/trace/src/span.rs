@@ -1,0 +1,44 @@
+//! The RAII span guard.
+
+use crate::event::{Event, EventKind};
+use std::borrow::Cow;
+
+/// An open span: records its exit (with fresh wall/cycle timestamps)
+/// when dropped. Obtained from [`crate::span`] / [`crate::span_lazy`];
+/// inert when the recorder is off, so guards cost one branch on the
+/// disabled path.
+#[must_use = "a span guard records its exit on drop; binding it to _ closes it immediately"]
+pub struct SpanGuard {
+    // (cat, name) while active; None for the disabled no-op guard.
+    open: Option<(&'static str, Cow<'static, str>)>,
+}
+
+impl SpanGuard {
+    /// The no-op guard handed out while recording is disabled.
+    pub(crate) fn inactive() -> SpanGuard {
+        SpanGuard { open: None }
+    }
+
+    /// Records the enter edge and arms the exit.
+    pub(crate) fn enter(cat: &'static str, name: Cow<'static, str>) -> SpanGuard {
+        crate::record(Event::now(EventKind::Enter, cat, name.clone()));
+        SpanGuard {
+            open: Some((cat, name)),
+        }
+    }
+
+    /// Whether this guard is actually recording.
+    pub fn is_active(&self) -> bool {
+        self.open.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((cat, name)) = self.open.take() {
+            // Record the exit even if the recorder was disabled
+            // mid-span, so enter/exit pairs stay balanced.
+            crate::record(Event::now(EventKind::Exit, cat, name));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests of the span machinery: for any program of nested
+//! spans, cycle advances and instants — across any number of threads —
+//! the recorded journal is *well-formed*: every exit matches an enter
+//! under stack discipline, and both clocks are monotone per thread.
+//!
+//! The tests share the process-global recorder, so each case runs the
+//! whole scenario under a fresh `reset()` inside one `#[test]` (proptest
+//! drives the cases sequentially within it).
+
+use cnn_trace::{Event, EventKind};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+// The recorder is process-global and both proptests reset it; cargo
+// runs #[test] fns concurrently, so serialize them.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// One step of a random instrumentation program.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Open a span and run a nested program inside it.
+    Span(u8, Vec<Op>),
+    /// Advance the simulated cycle clock.
+    Advance(u16),
+    /// Record an instant event.
+    Instant(u8),
+}
+
+fn op_strategy(depth: u32) -> impl Strategy<Value = Op> {
+    let leaf = prop_oneof![
+        (0u16..500).prop_map(Op::Advance),
+        (0u8..5).prop_map(Op::Instant),
+        (0u8..5).prop_map(|n| Op::Span(n, vec![])),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0u8..5, prop::collection::vec(inner, 0..4)).prop_map(|(n, body)| Op::Span(n, body))
+    })
+}
+
+fn run_program(ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Span(n, body) => {
+                let _guard = cnn_trace::span_lazy("prop", || format!("span{n}").into());
+                run_program(body);
+            }
+            Op::Advance(n) => cnn_trace::advance_cycles(*n as u64),
+            Op::Instant(n) => cnn_trace::instant("prop", format!("instant{n}")),
+        }
+    }
+}
+
+/// Checks journal well-formedness for one thread's event stream:
+/// stack discipline (each exit names the innermost open span), clock
+/// monotonicity, and full balance (every enter closed).
+fn check_thread_stream(thread: u64, events: &[&Event]) {
+    let mut stack: Vec<&Event> = Vec::new();
+    let mut last_wall = 0u64;
+    let mut last_cycles = 0u64;
+    for ev in events {
+        assert!(
+            ev.wall_ns >= last_wall,
+            "thread {thread}: wall clock went backwards ({} < {last_wall})",
+            ev.wall_ns
+        );
+        assert!(
+            ev.cycles >= last_cycles,
+            "thread {thread}: cycle clock went backwards ({} < {last_cycles})",
+            ev.cycles
+        );
+        last_wall = ev.wall_ns;
+        last_cycles = ev.cycles;
+        match ev.kind {
+            EventKind::Enter => stack.push(ev),
+            EventKind::Exit => {
+                let enter = stack.pop().unwrap_or_else(|| {
+                    panic!("thread {thread}: exit '{}' with empty stack", ev.name)
+                });
+                assert_eq!(
+                    (enter.cat, &enter.name),
+                    (ev.cat, &ev.name),
+                    "thread {thread}: exit does not match innermost enter"
+                );
+                assert!(ev.wall_ns >= enter.wall_ns);
+                assert!(ev.cycles >= enter.cycles);
+            }
+            EventKind::Instant => {}
+        }
+    }
+    assert!(
+        stack.is_empty(),
+        "thread {thread}: {} spans left open after the program finished",
+        stack.len()
+    );
+}
+
+fn check_snapshot(snapshot: &cnn_trace::TraceSnapshot) {
+    let mut threads: Vec<u64> = snapshot.events.iter().map(|e| e.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        let stream: Vec<&Event> = snapshot.events.iter().filter(|e| e.thread == t).collect();
+        check_thread_stream(t, &stream);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn span_trees_are_well_formed(program in prop::collection::vec(op_strategy(3), 0..8)) {
+        let _serial = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        cnn_trace::enable();
+        cnn_trace::reset();
+        run_program(&program);
+        check_snapshot(&cnn_trace::snapshot());
+    }
+
+    #[test]
+    fn span_trees_are_well_formed_across_threads(
+        programs in prop::collection::vec(prop::collection::vec(op_strategy(2), 0..6), 1..4)
+    ) {
+        let _serial = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        cnn_trace::enable();
+        cnn_trace::reset();
+        let handles: Vec<_> = programs
+            .into_iter()
+            .map(|p| std::thread::spawn(move || run_program(&p)))
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = cnn_trace::snapshot();
+        check_snapshot(&snap);
+        // Aggregation never loses pairs: total enters == total exits
+        // == sum of per-summary counts (the journal is large enough
+        // that nothing was evicted in these programs).
+        prop_assert_eq!(snap.dropped, 0);
+        let enters = snap.events.iter().filter(|e| e.kind == EventKind::Enter).count() as u64;
+        let exits = snap.events.iter().filter(|e| e.kind == EventKind::Exit).count() as u64;
+        prop_assert_eq!(enters, exits);
+        let summed: u64 = snap.span_summaries().iter().map(|s| s.count).sum();
+        prop_assert_eq!(summed, enters);
+    }
+}

@@ -16,7 +16,10 @@ use cnn2fpga::platform::ZynqSoc;
 
 fn main() {
     let spec = NetworkSpec::paper_cifar();
-    println!("descriptor:\n{}\n", spec.to_json().expect("descriptor serializes"));
+    println!(
+        "descriptor:\n{}\n",
+        spec.to_json().expect("descriptor serializes")
+    );
 
     // The Zybo cannot hold this network (BRAM): show the failure path.
     let mut zybo_spec = spec.clone();

@@ -28,21 +28,31 @@ fn main() -> std::io::Result<()> {
         spec.to_json().expect("descriptor serializes"),
     )?;
     fs::write(out_dir.join("cnn.cpp"), &artifacts.cpp_source)?;
-    fs::write(out_dir.join("cnn_vivado_hls.tcl"), &artifacts.tcl.vivado_hls)?;
+    fs::write(
+        out_dir.join("cnn_vivado_hls.tcl"),
+        &artifacts.tcl.vivado_hls,
+    )?;
     fs::write(out_dir.join("directives.tcl"), &artifacts.tcl.directives)?;
     fs::write(out_dir.join("cnn_vivado.tcl"), &artifacts.tcl.vivado)?;
     fs::write(
         out_dir.join("network_weights.json"),
         artifacts.network.to_json().expect("network serializes"),
     )?;
-    fs::write(out_dir.join("block_design.dot"), artifacts.bitstream.design.to_dot())?;
+    fs::write(
+        out_dir.join("block_design.dot"),
+        artifacts.bitstream.design.to_dot(),
+    )?;
     fs::write(out_dir.join("design_1_wrapper.v"), &artifacts.hdl_wrapper)?;
     fs::write(out_dir.join("hls_report.txt"), artifacts.report.render())?;
 
     println!("exported to {}:", out_dir.display());
     for entry in fs::read_dir(&out_dir)? {
         let entry = entry?;
-        println!("  {:<22} {:>8} bytes", entry.file_name().to_string_lossy(), entry.metadata()?.len());
+        println!(
+            "  {:<22} {:>8} bytes",
+            entry.file_name().to_string_lossy(),
+            entry.metadata()?.len()
+        );
     }
     Ok(())
 }

@@ -37,8 +37,8 @@ fn main() {
 
     // 3. Synthesize it for the Zedboard, naive and optimized.
     for directives in [DirectiveSet::naive(), DirectiveSet::optimized()] {
-        let project = HlsProject::new(&net, directives, FpgaPart::zynq7020())
-            .expect("fits the Zedboard");
+        let project =
+            HlsProject::new(&net, directives, FpgaPart::zynq7020()).expect("fits the Zedboard");
         println!("{}", project.report().render());
     }
 }

@@ -39,7 +39,13 @@ fn main() {
         momentum: 0.0,
     };
     let mut rng = seeded_rng(99);
-    let stats = train(&mut net, &train_set.images, &train_set.labels, &cfg, &mut rng);
+    let stats = train(
+        &mut net,
+        &train_set.images,
+        &train_set.labels,
+        &cfg,
+        &mut rng,
+    );
     for s in stats.iter().step_by(5) {
         println!(
             "epoch {:>2}: loss {:.3}, train error {:.1}%",
@@ -67,8 +73,7 @@ fn main() {
             .count() as f64
             / test_set.len() as f64;
         let sw_energy = meter.measure_software(sw.seconds);
-        let hw_energy =
-            meter.measure_hardware(hw.seconds, &soc.device().bitstream().resources);
+        let hw_energy = meter.measure_hardware(hw.seconds, &soc.device().bitstream().resources);
         println!(
             "\n{label}: error {:.1}% (identical on both paths)\n  software: {:.2} s, {:.2} J\n  hardware: {:.2} s, {:.2} J  (speedup {:.2}x, energy ratio {:.2}x)",
             err * 100.0,

@@ -128,11 +128,9 @@ mod tests {
         fn run() -> Result<cnn_framework::WorkflowArtifacts, Error> {
             let mut spec = cnn_framework::NetworkSpec::paper_cifar();
             spec.board = cnn_fpga::Board::Zybo;
-            let artifacts = cnn_framework::Workflow::new(
-                spec,
-                cnn_framework::WeightSource::Random { seed: 1 },
-            )
-            .run()?;
+            let artifacts =
+                cnn_framework::Workflow::new(spec, cnn_framework::WeightSource::Random { seed: 1 })
+                    .run()?;
             Ok(artifacts)
         }
         let err = run().unwrap_err();

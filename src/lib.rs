@@ -23,6 +23,7 @@
 //! | [`platform`] | `cnn-platform` | ARM Cortex-A9 timing model, SoC composition |
 //! | [`power`] | `cnn-power` | power models + energy meter |
 //! | [`framework`] | `cnn-framework` | JSON descriptors, Fig.-3 workflow, experiments |
+//! | [`trace`] | `cnn-trace` | spans, counters, histograms + Chrome/Prometheus exporters |
 //! | [`error`] | (this crate) | the unified [`Error`] taxonomy over every layer |
 //!
 //! ## Quick taste
@@ -42,7 +43,6 @@
 pub mod error;
 
 pub use cnn_datasets as datasets;
-pub use error::Error;
 pub use cnn_fpga as fpga;
 pub use cnn_framework as framework;
 pub use cnn_hls as hls;
@@ -50,3 +50,5 @@ pub use cnn_nn as nn;
 pub use cnn_platform as platform;
 pub use cnn_power as power;
 pub use cnn_tensor as tensor;
+pub use cnn_trace as trace;
+pub use error::Error;

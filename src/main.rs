@@ -9,10 +9,18 @@
 //!     --weights <network.json>    use trained weights (default: random)
 //!     --seed <n>                  random-weight seed (default 2016)
 //!     --out <dir>                 output directory (default ./cnn2fpga-out)
+//! cnn2fpga classify [descriptor.json] [opts]    classify on the device, print outcomes
+//!     --images <n>                batch size (default 16)
+//!     --seed <n>                  weight/fault seed (default 2016)
+//!     --fault-rate <r>            transport fault probability (default 0)
+//! cnn2fpga trace [descriptor.json] [opts]       traced run: Chrome JSON + Prometheus
+//!     --images/--seed/--fault-rate   as for classify
+//!     --out <dir>                 trace output directory (default ./cnn2fpga-trace-out)
 //! ```
 
+use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
 use cnn2fpga::fpga::Board;
-use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow, WorkflowArtifacts};
 use cnn2fpga::nn::Network;
 use std::fs;
 use std::path::PathBuf;
@@ -22,7 +30,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cnn2fpga boards\n  cnn2fpga validate <descriptor.json>\n  \
          cnn2fpga report <descriptor.json>\n  \
-         cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR]"
+         cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR]\n  \
+         cnn2fpga classify [descriptor.json] [--images N] [--seed N] [--fault-rate R]\n  \
+         cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]"
     );
     ExitCode::from(2)
 }
@@ -59,7 +69,11 @@ fn cmd_validate(path: &str) -> ExitCode {
     };
     match spec.validate() {
         Ok(shapes) => {
-            println!("descriptor OK: board {}, {} stages", spec.board.name(), shapes.len());
+            println!(
+                "descriptor OK: board {}, {} stages",
+                spec.board.name(),
+                shapes.len()
+            );
             for (i, s) in shapes.iter().enumerate() {
                 println!("  stage {i}: {s}");
             }
@@ -192,6 +206,168 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Options shared by the `classify` and `trace` subcommands.
+struct RunOpts {
+    descriptor: Option<String>,
+    images: usize,
+    seed: u64,
+    fault_rate: f64,
+    out_dir: PathBuf,
+}
+
+fn parse_run_opts(rest: &[String], default_out: &str) -> Option<RunOpts> {
+    let mut opts = RunOpts {
+        descriptor: None,
+        images: 16,
+        seed: 2016,
+        fault_rate: 0.0,
+        out_dir: PathBuf::from(default_out),
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--images" => opts.images = it.next().and_then(|s| s.parse().ok())?,
+            "--seed" => opts.seed = it.next().and_then(|s| s.parse().ok())?,
+            "--fault-rate" => {
+                opts.fault_rate = it.next().and_then(|s| s.parse().ok())?;
+                if !(0.0..=1.0).contains(&opts.fault_rate) {
+                    return None;
+                }
+            }
+            "--out" => opts.out_dir = PathBuf::from(it.next()?),
+            p if !p.starts_with("--") && opts.descriptor.is_none() => {
+                opts.descriptor = Some(p.to_string());
+            }
+            _ => return None,
+        }
+    }
+    Some(opts)
+}
+
+/// Builds the stack (descriptor or the paper's Test-2 default) and
+/// classifies a seeded batch under the requested fault rate.
+fn build_and_classify(
+    opts: &RunOpts,
+) -> Result<
+    (
+        WorkflowArtifacts,
+        cnn2fpga::framework::ClassificationReport,
+        usize,
+    ),
+    String,
+> {
+    let spec = match &opts.descriptor {
+        Some(p) => load_spec(p)?,
+        None => NetworkSpec::paper_usps_small(true),
+    };
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: opts.seed })
+        .run()
+        .map_err(|e| e.to_string())?;
+    let images = cnn2fpga::datasets::UspsLike::default()
+        .generate(opts.images, 8)
+        .images;
+    let plan = FaultPlan::uniform(opts.seed, opts.fault_rate);
+    let report = artifacts.classify_with_recovery(&images, &plan, &RetryPolicy::default());
+    Ok((artifacts, report, opts.images))
+}
+
+/// The one-line outcome summary (the fix for print-only `FaultStats`).
+fn outcome_summary(report: &cnn2fpga::framework::ClassificationReport, n: usize) -> String {
+    let f = &report.hardware.faults;
+    format!(
+        "{n} images: {} clean, {} recovered ({} retries, {} resets), {} abandoned \
+         ({} software fallbacks, bit-exact)",
+        f.clean,
+        f.recovered,
+        f.retries,
+        f.resets,
+        f.abandoned,
+        report.fallbacks.len()
+    )
+}
+
+fn cmd_classify(rest: &[String]) -> ExitCode {
+    let opts = match parse_run_opts(rest, "cnn2fpga-trace-out") {
+        Some(o) => o,
+        None => return usage(),
+    };
+    match build_and_classify(&opts) {
+        Ok((_, report, n)) => {
+            println!("{}", outcome_summary(&report, n));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_trace(rest: &[String]) -> ExitCode {
+    let opts = match parse_run_opts(rest, "cnn2fpga-trace-out") {
+        Some(o) => o,
+        None => return usage(),
+    };
+
+    cnn2fpga::trace::enable();
+    let (artifacts, report, n) = match build_and_classify(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Energy: integrate the degraded-run power, then charge it back to
+    // individual spans in proportion to their simulated cycles.
+    let hw = &report.hardware;
+    let fault_s = hw.fault_seconds();
+    let meter = cnn2fpga::power::EnergyMeter::for_board(Board::Zedboard);
+    let energy =
+        meter.measure_hardware_degraded(hw.seconds - fault_s, fault_s, &artifacts.report.resources);
+
+    let snapshot = cnn2fpga::trace::snapshot();
+    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
+        eprintln!("cannot create {}: {e}", opts.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let exports = [
+        (
+            "trace.json",
+            cnn2fpga::trace::export::chrome::to_chrome_json(&snapshot),
+        ),
+        (
+            "metrics.prom",
+            cnn2fpga::trace::export::prometheus::to_prometheus_text(&snapshot),
+        ),
+    ];
+    for (name, content) in exports {
+        if let Err(e) = fs::write(opts.out_dir.join(name), content) {
+            eprintln!("cannot write {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!("per-span latency (cycles = simulated Zynq fabric clock):\n");
+    print!(
+        "{}",
+        cnn2fpga::trace::export::table::to_latency_table(&snapshot)
+    );
+    println!(
+        "\nper-span energy attribution at {:.2} W average board power:\n",
+        energy.reading.total_watts
+    );
+    let rows = cnn2fpga::power::attribute_energy(&snapshot, energy.reading.total_watts);
+    print!("{}", cnn2fpga::power::energy_table(&rows));
+    println!("\n{}", outcome_summary(&report, n));
+    println!(
+        "trace artifacts written to {} (trace.json: load in Perfetto or chrome://tracing; \
+         metrics.prom: Prometheus text exposition)",
+        opts.out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -208,6 +384,8 @@ fn main() -> ExitCode {
             Some(p) => cmd_generate(p, &args[2..]),
             None => usage(),
         },
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => usage(),
     }
 }

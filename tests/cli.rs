@@ -77,7 +77,11 @@ fn generate_writes_the_full_artifact_set() {
         .arg(&out_dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for file in [
         "cnn.cpp",
         "cnn_vivado_hls.tcl",
@@ -117,7 +121,11 @@ fn generate_accepts_text_weights() {
         .arg(&out_dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // The hard-coded weights must match the provided network.
     let cpp = fs::read_to_string(out_dir.join("cnn.cpp")).unwrap();
     if let cnn2fpga::nn::Layer::Conv2d(c) = &net.layers()[0] {
@@ -154,6 +162,58 @@ fn generate_rejects_mismatched_weights() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn classify_prints_outcome_summary() {
+    let out = bin().args(["classify", "--images", "6"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("6 images: 6 clean, 0 recovered (0 retries, 0 resets), 0 abandoned"),
+        "missing outcome summary: {text}"
+    );
+}
+
+#[test]
+fn trace_writes_chrome_json_and_prometheus() {
+    let dir = tmp("trace");
+    let out_dir = dir.join("out");
+    let out = bin()
+        .args(["trace", "--images", "4", "--out"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("per-span latency"),
+        "missing latency table: {text}"
+    );
+    assert!(
+        text.contains("energy attribution"),
+        "missing energy table: {text}"
+    );
+    assert!(
+        text.contains("4 images: 4 clean"),
+        "missing outcome summary: {text}"
+    );
+
+    let chrome = fs::read_to_string(out_dir.join("trace.json")).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    assert!(!doc["traceEvents"].as_array().unwrap().is_empty());
+    let prom = fs::read_to_string(out_dir.join("metrics.prom")).unwrap();
+    assert!(prom.contains("cnn_dma_beats_total{channel=\"mm2s\"}"));
+    assert!(prom.contains("cnn_images_total{outcome=\"clean\"} 4"));
     let _ = fs::remove_dir_all(&dir);
 }
 

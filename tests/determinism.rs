@@ -7,9 +7,12 @@ use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
 use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
 
 fn build(seed: u64) -> cnn2fpga::framework::WorkflowArtifacts {
-    Workflow::new(NetworkSpec::paper_usps_small(true), WeightSource::Random { seed })
-        .run()
-        .unwrap()
+    Workflow::new(
+        NetworkSpec::paper_usps_small(true),
+        WeightSource::Random { seed },
+    )
+    .run()
+    .unwrap()
 }
 
 #[test]
@@ -67,9 +70,10 @@ fn fault_free_plan_is_the_identity_transform() {
     let artifacts = build(5);
     let imgs = UspsLike::default().generate(40, 3).images;
     let plain = artifacts.device.classify_batch(&imgs);
-    let faulty = artifacts
-        .device
-        .classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
+    let faulty =
+        artifacts
+            .device
+            .classify_batch_faulty(&imgs, &FaultPlan::none(), &RetryPolicy::default());
     assert_eq!(plain, faulty);
 }
 
@@ -79,8 +83,12 @@ fn seeded_fault_runs_regenerate_identically() {
     let imgs = UspsLike::default().generate(40, 3).images;
     let plan = FaultPlan::uniform(12345, 0.35);
     let policy = RetryPolicy::default();
-    let a = artifacts.device.classify_batch_faulty(&imgs, &plan, &policy);
-    let b = artifacts.device.classify_batch_faulty(&imgs, &plan, &policy);
+    let a = artifacts
+        .device
+        .classify_batch_faulty(&imgs, &plan, &policy);
+    let b = artifacts
+        .device
+        .classify_batch_faulty(&imgs, &plan, &policy);
     assert_eq!(a, b, "a seeded fault run must be exactly reproducible");
     assert!(a.faults.balances(imgs.len()));
 }

@@ -16,7 +16,10 @@ fn descriptor_to_device_to_classification() {
 
     let images = UspsLike::default().generate(50, 5).images;
     let result = artifacts.device.classify_batch(&images);
-    let software: Vec<usize> = images.iter().map(|i| artifacts.network.predict(i)).collect();
+    let software: Vec<usize> = images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
     assert_eq!(result.predictions, software);
     assert!(result.seconds > 0.0);
 }
@@ -29,7 +32,10 @@ fn trained_weights_survive_the_full_loop() {
     let ds = UspsLike::default().generate(400, 7);
     let spec = NetworkSpec::paper_usps_small(true);
     let mut net = cnn2fpga::framework::weights::build_random(&spec, 1).unwrap();
-    let cfg = cnn2fpga::nn::TrainConfig { epochs: 4, ..Default::default() };
+    let cfg = cnn2fpga::nn::TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
     let mut rng = cnn2fpga::tensor::init::seeded_rng(3);
     cnn2fpga::nn::train(&mut net, &ds.images, &ds.labels, &cfg, &mut rng);
 

@@ -23,17 +23,19 @@ fn have_gpp() -> bool {
 
 /// Runs the generated source + generated testbench (`csim_design`
 /// style) for `spec` over `images`; returns (pass line, exit ok).
-fn csim(spec: NetworkSpec, seed: u64, images: &[cnn2fpga::tensor::Tensor], tag: &str) -> (String, bool) {
+fn csim(
+    spec: NetworkSpec,
+    seed: u64,
+    images: &[cnn2fpga::tensor::Tensor],
+    tag: &str,
+) -> (String, bool) {
     let artifacts = Workflow::new(spec.clone(), WeightSource::Random { seed })
         .run()
         .expect("workflow builds");
     // The testbench embeds the software-path expectations itself.
-    let project = cnn2fpga::hls::HlsProject::new(
-        &artifacts.network,
-        spec.directives(),
-        spec.board.part(),
-    )
-    .expect("re-synthesis succeeds");
+    let project =
+        cnn2fpga::hls::HlsProject::new(&artifacts.network, spec.directives(), spec.board.part())
+            .expect("re-synthesis succeeds");
     let tb = project.testbench(images);
 
     let dir = std::env::temp_dir().join(format!("cnn2fpga_csim_{}_{tag}", std::process::id()));
@@ -57,11 +59,7 @@ fn csim(spec: NetworkSpec, seed: u64, images: &[cnn2fpga::tensor::Tensor], tag: 
 
     let run = Command::new(&bin).output().expect("csim runs");
     let stdout = String::from_utf8_lossy(&run.stdout).to_string();
-    let summary = stdout
-        .lines()
-        .last()
-        .unwrap_or("")
-        .to_string();
+    let summary = stdout.lines().last().unwrap_or("").to_string();
     let _ = fs::remove_dir_all(&dir);
     (summary, run.status.success())
 }
@@ -91,7 +89,9 @@ fn generated_cpp_matches_rust_for_deep_and_rgb_networks() {
     assert_eq!(summary, "5/5 passed");
 
     // Test 4: 3-channel input, two linear layers.
-    let cifar = cnn2fpga::datasets::CifarLike::default().generate(5, 42).images;
+    let cifar = cnn2fpga::datasets::CifarLike::default()
+        .generate(5, 42)
+        .images;
     let (summary, ok) = csim(NetworkSpec::paper_cifar(), 163, &cifar, "t4");
     assert!(ok, "Test-4 C simulation failed: {summary}");
     assert_eq!(summary, "5/5 passed");

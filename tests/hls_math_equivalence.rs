@@ -28,7 +28,10 @@ fn hls_exponential_never_changes_the_prediction() {
     let ds = UspsLike::default().generate(400, 31);
     let spec = NetworkSpec::paper_usps_small(true);
     let mut net = build_random(&spec, 8).unwrap();
-    let cfg = TrainConfig { epochs: 4, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        ..Default::default()
+    };
     let mut rng = seeded_rng(17);
     train(&mut net, &ds.images, &ds.labels, &cfg, &mut rng);
 

@@ -22,17 +22,31 @@ fn lenet_spec() -> NetworkSpec {
             ConvLayerSpec {
                 feature_maps_out: 6,
                 kernel: 5,
-                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                pooling: Some(PoolSpec {
+                    kind: PoolKind::Max,
+                    kernel: 2,
+                    step: None,
+                }),
             },
             ConvLayerSpec {
                 feature_maps_out: 16,
                 kernel: 5,
-                pooling: Some(PoolSpec { kind: PoolKind::Max, kernel: 2, step: None }),
+                pooling: Some(PoolSpec {
+                    kind: PoolKind::Max,
+                    kernel: 2,
+                    step: None,
+                }),
             },
         ],
         linear_layers: vec![
-            LinearLayerSpec { neurons: 32, tanh: true },
-            LinearLayerSpec { neurons: 10, tanh: false },
+            LinearLayerSpec {
+                neurons: 32,
+                tanh: true,
+            },
+            LinearLayerSpec {
+                neurons: 10,
+                tanh: false,
+            },
         ],
         board: Board::Zedboard,
         optimized: true,
@@ -78,7 +92,11 @@ fn lenet_trains_builds_and_classifies_on_hardware() {
 
     // Hardware and software agree, and the net actually learned.
     let hw = artifacts.device.classify_batch(&test.images);
-    let sw: Vec<usize> = test.images.iter().map(|i| artifacts.network.predict(i)).collect();
+    let sw: Vec<usize> = test
+        .images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
     assert_eq!(hw.predictions, sw);
 
     let cm = ConfusionMatrix::from_predictions(&hw.predictions, &test.labels, 10);

@@ -36,8 +36,14 @@ fn speedups_are_ordered_like_the_paper() {
         speedups[1] < speedups[3] * 1.25,
         "Test 4 should be in the top speedup band: {speedups:?}"
     );
-    assert!(speedups[0] < 3.0, "naive speedup stays modest: {speedups:?}");
-    assert!(speedups[3] > 8.0, "Test 4 speedup should be large: {speedups:?}");
+    assert!(
+        speedups[0] < 3.0,
+        "naive speedup stays modest: {speedups:?}"
+    );
+    assert!(
+        speedups[3] > 8.0,
+        "Test 4 speedup should be large: {speedups:?}"
+    );
 }
 
 #[test]
@@ -94,7 +100,11 @@ fn dsp_dominates_and_grows_across_tests() {
     }
     for row in &rows[..3] {
         let u = &row.usage;
-        let others = u.ff_pct().max(u.lut_pct()).max(u.lutram_pct()).max(u.bram_pct());
+        let others = u
+            .ff_pct()
+            .max(u.lut_pct())
+            .max(u.lutram_pct())
+            .max(u.bram_pct());
         assert!(
             u.dsp_pct() > others,
             "{}: DSP {:.1}% should dominate (max other {:.1}%)",

@@ -3,22 +3,20 @@
 //! structural invariants hold for every accepted design.
 
 use cnn2fpga::fpga::Board;
-use cnn2fpga::framework::{
-    ConvLayerSpec, LinearLayerSpec, NetworkSpec, WeightSource, Workflow,
-};
 use cnn2fpga::framework::spec::PoolSpec;
+use cnn2fpga::framework::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, WeightSource, Workflow};
 use cnn2fpga::hls::ir::lower;
 use cnn2fpga::tensor::ops::pool::PoolKind;
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = NetworkSpec> {
     (
-        1usize..=3,                 // channels
-        8usize..=24,                // side
+        1usize..=3,  // channels
+        8usize..=24, // side
         proptest::collection::vec(
             (1usize..=8, 2usize..=6, proptest::option::of(2usize..=3)),
             1..=2,
-        ),                          // conv layers (maps, kernel, pool window)
+        ), // conv layers (maps, kernel, pool window)
         proptest::collection::vec((1usize..=16, any::<bool>()), 1..=2), // linear layers
     )
         .prop_map(|(c, side, convs, linears)| NetworkSpec {

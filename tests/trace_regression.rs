@@ -1,0 +1,114 @@
+//! The observability layer's end-to-end guarantees, checked against
+//! the real Fig.-3 stack:
+//!
+//! 1. a traced fault-free run is prediction-bit-identical to an
+//!    untraced one (the recorder never perturbs results),
+//! 2. the Chrome export is valid JSON carrying spans from at least
+//!    the four instrumented subsystems (nn, fpga, framework, power),
+//! 3. the Prometheus exposition carries the DMA beat and
+//!    fault/retry/reset counters that PR 1 only printed.
+//!
+//! The recorder is process-global, so the three checks run as ONE
+//! sequential test — Rust's parallel test harness would otherwise
+//! interleave enable/reset calls.
+
+use cnn2fpga::datasets::UspsLike;
+use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
+use cnn2fpga::fpga::Board;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::power::EnergyMeter;
+use cnn2fpga::trace;
+
+fn classify(n: usize) -> Vec<usize> {
+    let spec = NetworkSpec::paper_usps_small(true);
+    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 2016 })
+        .run()
+        .expect("workflow succeeds");
+    let images = UspsLike::default().generate(n, 8).images;
+    let report =
+        artifacts.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
+    // Touch the power layer so its spans land in the journal too.
+    let meter = EnergyMeter::for_board(Board::Zedboard);
+    let _ = meter.measure_hardware(report.hardware.seconds, &artifacts.report.resources);
+    report.predictions
+}
+
+#[test]
+fn traced_run_is_bit_identical_and_exports_are_well_formed() {
+    // --- 1. untraced reference --------------------------------------
+    trace::disable();
+    trace::reset();
+    let untraced = classify(12);
+
+    // --- 2. traced run ----------------------------------------------
+    trace::enable();
+    let traced = classify(12);
+    let snapshot = trace::snapshot();
+    trace::disable();
+    trace::reset();
+
+    assert_eq!(traced, untraced, "tracing must not perturb predictions");
+
+    // --- 3. Chrome trace-event JSON ---------------------------------
+    let chrome = trace::export::chrome::to_chrome_json(&snapshot);
+    let doc: serde_json::Value =
+        serde_json::from_str(&chrome).expect("chrome export must be valid JSON");
+    let events = doc["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty(), "traced run must record events");
+    for required in ["nn", "fpga", "framework", "power", "tensor"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["cat"] == required && e["ph"] == "B"),
+            "chrome export must contain {required} spans"
+        );
+    }
+    // Every B has a matching E with a non-decreasing timestamp.
+    let (b, e) = events
+        .iter()
+        .fold((0u64, 0u64), |(b, e), ev| match ev["ph"].as_str() {
+            Some("B") => (b + 1, e),
+            Some("E") => (b, e + 1),
+            _ => (b, e),
+        });
+    assert_eq!(
+        b, e,
+        "span enters and exits must balance in a quiescent snapshot"
+    );
+
+    // --- 4. Prometheus exposition -----------------------------------
+    let prom = trace::export::prometheus::to_prometheus_text(&snapshot);
+    for series in [
+        "cnn_dma_beats_total{channel=\"mm2s\"}",
+        "cnn_dma_beats_total{channel=\"s2mm\"}",
+        "cnn_dma_reg_writes_total",
+        "cnn_dma_retries_total",
+        "cnn_dma_resets_total",
+        "cnn_images_total{outcome=\"clean\"}",
+        "cnn_images_total{outcome=\"recovered\"}",
+        "cnn_images_total{outcome=\"abandoned\"}",
+        "cnn_sw_fallback_images_total",
+        "cnn_image_dma_cycles_bucket",
+    ] {
+        assert!(
+            prom.contains(series),
+            "prometheus export missing {series}:\n{prom}"
+        );
+    }
+    // Fault-free run: every image clean, nothing recovered/abandoned.
+    assert!(prom.contains("cnn_images_total{outcome=\"clean\"} 12"));
+    assert!(prom.contains("cnn_images_total{outcome=\"recovered\"} 0"));
+    assert!(prom.contains("cnn_images_total{outcome=\"abandoned\"} 0"));
+
+    // --- 5. per-span tables stay renderable -------------------------
+    let table = trace::export::table::to_latency_table(&snapshot);
+    assert!(
+        table.contains("classify_batch"),
+        "latency table lists the batch span:\n{table}"
+    );
+    let rows = cnn2fpga::power::attribute_energy(&snapshot, 4.0);
+    assert!(
+        rows.iter().any(|r| r.cat == "fpga" && r.joules > 0.0),
+        "fpga spans advance cycles, so they must attract energy"
+    );
+}

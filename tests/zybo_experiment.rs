@@ -48,7 +48,10 @@ fn test2_network_runs_on_the_zybo() {
     let hw = soc.run_hardware(&imgs);
 
     // The paper's qualitative claims must transfer:
-    assert_eq!(sw.predictions, hw.predictions, "identical SW/HW predictions");
+    assert_eq!(
+        sw.predictions, hw.predictions,
+        "identical SW/HW predictions"
+    );
     let speedup = sw.seconds / hw.seconds;
     assert!(
         (4.0..=9.0).contains(&speedup),
@@ -61,7 +64,10 @@ fn test2_network_runs_on_the_zybo() {
     let hw_j = meter
         .measure_hardware(hw.seconds, &soc.device().bitstream().resources)
         .joules;
-    assert!(hw_j < sw_j, "hardware should win energy: {hw_j:.2} vs {sw_j:.2} J");
+    assert!(
+        hw_j < sw_j,
+        "hardware should win energy: {hw_j:.2} vs {sw_j:.2} J"
+    );
 }
 
 #[test]
