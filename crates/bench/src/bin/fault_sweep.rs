@@ -68,6 +68,14 @@ fn main() {
             report.predictions, reference,
             "rate {rate}: recovery must be bit-exact vs the software reference"
         );
+        // Per-rate abandonment in the exposition, so the sweep's
+        // Prometheus export shows where graceful degradation kicked
+        // in, not just the cumulative totals.
+        cnn_trace::counter_add(
+            "cnn_sweep_images_abandoned",
+            &[("rate", &format!("{rate:.2}"))],
+            hw.faults.abandoned,
+        );
         let fault_s = hw.fault_seconds();
         let energy = meter.measure_hardware_degraded(hw.seconds - fault_s, fault_s, usage);
         println!(

@@ -13,19 +13,29 @@
 //!   are identical to the in-process loop by construction.
 //!
 //! Both modes accept a [`FaultPlan`]: the driver loop detects injected
-//! transport faults (via DMASR error bits, poll timeouts, or packet
-//! integrity checks at the core), runs the bounded reset-and-retry
+//! transport faults (via DMASR error bits, poll timeouts, or the
+//! CRC32 trailer on every AXI4-Stream packet — see
+//! [`crate::axi::frame_packet`]), runs the bounded reset-and-retry
 //! policy, and reports a per-image [`ImageOutcome`]. Images that
 //! exhaust the retry budget are *abandoned* — their prediction slot
 //! holds [`ABANDONED`] and the caller (see
 //! `cnn-framework::workflow::classify_with_recovery`) falls back to
 //! the bit-identical software path.
+//!
+//! The CRC layer is what makes *silent* corruption (finite bit flips
+//! that pass the core's NaN screen) a detected-and-retried event
+//! instead of a wrong classification. Every packet — image payload
+//! out, class word back — carries one extra trailer word; the
+//! receive side checks it before trusting the payload.
 
-use crate::axi::{AxiDma, AxiStream, StreamBeat};
+use crate::axi::{
+    apply_beat_fault, check_packet, frame_packet, AxiDma, AxiStream, StreamBeat, CRC_WORDS,
+};
 use crate::bitstream::Bitstream;
 use crate::board::Board;
 use crate::dma_regs::{DmaDriver, HwFault};
 use crate::fault::{FaultPlan, FaultStats, InjectedFault, RetryPolicy};
+use crate::ip_core::CnnIpCore;
 use cnn_hls::calibration::{DMA_RESET_CYCLES, DMA_SETUP_CYCLES, DMA_TIMEOUT_CYCLES};
 use cnn_tensor::parallel::par_map;
 use cnn_tensor::Tensor;
@@ -100,6 +110,23 @@ impl BatchResult {
     }
 }
 
+/// Result of serving one image through [`ZynqDevice::dispatch_image`]
+/// — the unit of work a multi-device serving pool schedules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageDispatch {
+    /// Predicted class, or [`ABANDONED`] when every attempt failed.
+    pub prediction: usize,
+    /// What happened on the hardware path.
+    pub outcome: ImageOutcome,
+    /// Total simulated cycles this dispatch charged the device (DMA
+    /// transfers, fault/reset penalties, and core compute).
+    pub cycles: u64,
+    /// Useful DMA transfer cycles (successful attempts only).
+    pub dma_cycles: u64,
+    /// Fault/recovery accounting for this dispatch alone.
+    pub faults: FaultStats,
+}
+
 /// A Zynq board programmed with a CNN bitstream.
 #[derive(Clone, Debug)]
 pub struct ZynqDevice {
@@ -135,13 +162,14 @@ impl std::fmt::Display for DeviceError {
 impl std::error::Error for DeviceError {}
 
 /// Extra cycles one failed attempt burns, by fault kind: beat faults
-/// waste the full transfer (detected only at the core's packet
-/// check), a stall wastes the driver's whole poll budget, a halt is
-/// flagged on the first status read after setup.
+/// waste the full CRC-framed transfer both ways (detected only at
+/// the receive-side trailer check), a stall wastes the driver's
+/// whole poll budget, a halt is flagged on the first status read
+/// after setup.
 fn fault_attempt_cycles(fault: InjectedFault, words: u64) -> u64 {
     match fault {
         InjectedFault::DropBeat(_) | InjectedFault::CorruptBeat(_) => {
-            (DMA_SETUP_CYCLES + words) + (DMA_SETUP_CYCLES + 1)
+            (DMA_SETUP_CYCLES + words + CRC_WORDS) + (DMA_SETUP_CYCLES + 1 + CRC_WORDS)
         }
         InjectedFault::Stall(_) => DMA_SETUP_CYCLES + DMA_TIMEOUT_CYCLES,
         InjectedFault::Halt(_, _) => DMA_SETUP_CYCLES,
@@ -168,10 +196,16 @@ fn preregister_batch_metrics() {
 /// attempt, delegates the actual transfer to `attempt_fn` (`Some`
 /// prediction on success), and keeps the cycle/outcome accounting —
 /// identical for the fast and threaded paths by construction.
+///
+/// `attempt_base` offsets the attempt index fed to the fault
+/// sampler: a serving pool re-dispatching an image (to the same or
+/// another device) passes a fresh base so the retry does not replay
+/// the exact fault that just killed the attempt. Batch paths pass 0.
 fn run_image<F>(
     plan: &FaultPlan,
     policy: &RetryPolicy,
     image: usize,
+    attempt_base: u32,
     words: u64,
     stats: &mut FaultStats,
     mut attempt_fn: F,
@@ -179,8 +213,11 @@ fn run_image<F>(
 where
     F: FnMut(Option<InjectedFault>) -> Option<usize>,
 {
+    // The sampler sees the wire length: payload plus CRC trailer, so
+    // a beat fault can land on the trailer word too.
+    let wire_words = (words + CRC_WORDS) as usize;
     for attempt in 0..policy.max_attempts() {
-        let fault = plan.sample(image, attempt as u32, words as usize);
+        let fault = plan.sample(image, attempt_base.saturating_add(attempt), wire_words);
         if let Some(f) = fault {
             stats.injected += 1;
             if cnn_trace::is_enabled() {
@@ -199,6 +236,13 @@ where
             return ImageOutcome::Recovered { retries: attempt };
         }
         if let Some(f) = fault {
+            if f.beat_fault().is_some() {
+                // A failed beat-fault attempt is by construction a
+                // CRC trailer mismatch at the receive side — the
+                // transfer completed, the payload was damaged.
+                stats.crc_detected += 1;
+                cnn_trace::counter_add("cnn_crc_detected_total", &[], 1);
+            }
             let penalty = fault_attempt_cycles(f, words);
             stats.fault_cycles += penalty;
             cnn_trace::advance_cycles(penalty);
@@ -219,6 +263,65 @@ where
     cnn_trace::counter_add("cnn_images_total", &[("outcome", "abandoned")], 1);
     ImageOutcome::Abandoned {
         attempts: policy.max_attempts(),
+    }
+}
+
+/// One fast-path transfer attempt: programs the register file, moves
+/// the CRC-framed packet, and validates the trailer at the receive
+/// side. Shared by [`ZynqDevice::classify_batch_faulty`] and
+/// [`ZynqDevice::dispatch_image`] so the batch and serving paths
+/// cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn fast_attempt(
+    core: &CnnIpCore,
+    driver: &mut DmaDriver,
+    dma: &mut AxiDma,
+    dma_cycles: &mut u64,
+    img: &Tensor,
+    words: u64,
+    src: u32,
+    fault: Option<InjectedFault>,
+) -> Option<usize> {
+    let in_bytes = (words + CRC_WORDS) as u32 * 4;
+    let out_bytes = (1 + CRC_WORDS) as u32 * 4;
+    match fault {
+        None => {
+            // Program the register file exactly as the PS driver does
+            // (S2MM return word first, then the MM2S image transfer).
+            driver
+                .transfer(src, in_bytes, 0x2000_0000, out_bytes)
+                .ok()?;
+            *dma_cycles += dma.mm2s(words + CRC_WORDS);
+            *dma_cycles += dma.s2mm(1 + CRC_WORDS);
+            Some(0) // prediction computed by the caller
+        }
+        Some(f @ (InjectedFault::DropBeat(_) | InjectedFault::CorruptBeat(_))) => {
+            // The DMA itself completes; the damage shows up as a CRC
+            // trailer mismatch when the framed packet is checked at
+            // the core's stream interface.
+            let _ = driver.transfer(src, in_bytes, 0x2000_0000, out_bytes);
+            let mut framed = frame_packet(img.as_slice());
+            apply_beat_fault(&mut framed, f.beat_fault().expect("beat fault"));
+            match check_packet(&framed) {
+                Ok(payload) => core.try_process_packet(payload).ok().map(|_| 0),
+                Err(_) => {
+                    driver.note_crc_error();
+                    None
+                }
+            }
+        }
+        Some(InjectedFault::Stall(ch)) => {
+            driver.inject(ch, HwFault::Stall);
+            let r = driver.transfer(src, in_bytes, 0x2000_0000, out_bytes);
+            driver.recover();
+            r.ok().map(|_| 0)
+        }
+        Some(InjectedFault::Halt(ch, hw)) => {
+            driver.inject(ch, hw);
+            let r = driver.transfer(src, in_bytes, 0x2000_0000, out_bytes);
+            driver.recover();
+            r.ok().map(|_| 0)
+        }
     }
 }
 
@@ -292,50 +395,17 @@ impl ZynqDevice {
         for (i, img) in images.iter().enumerate() {
             let src = 0x1000_0000u32.wrapping_add((i as u32).wrapping_mul(words as u32 * 4));
             let dma_before = dma_cycles;
-            let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
-                match fault {
-                    None => {
-                        // Program the register file exactly as the PS
-                        // driver does (S2MM return word first, then
-                        // the MM2S image transfer).
-                        driver
-                            .transfer(src, words as u32 * 4, 0x2000_0000, 4)
-                            .ok()?;
-                        dma_cycles += dma.mm2s(words);
-                        dma_cycles += dma.s2mm(1);
-                        Some(0) // prediction computed below, in parallel
-                    }
-                    Some(f @ (InjectedFault::DropBeat(_) | InjectedFault::CorruptBeat(_))) => {
-                        // The DMA itself completes; the damage shows
-                        // up as a packet-integrity failure at the
-                        // core's stream interface.
-                        let _ = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
-                        let mut packet = img.as_slice().to_vec();
-                        match f {
-                            InjectedFault::DropBeat(b) => {
-                                packet.remove(b.min(packet.len().saturating_sub(1)));
-                            }
-                            InjectedFault::CorruptBeat(b) => {
-                                let b = b.min(packet.len().saturating_sub(1));
-                                packet[b] = f32::NAN;
-                            }
-                            _ => unreachable!(),
-                        }
-                        core.try_process_packet(&packet).ok().map(|_| 0)
-                    }
-                    Some(InjectedFault::Stall(ch)) => {
-                        driver.inject(ch, HwFault::Stall);
-                        let r = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
-                        driver.recover();
-                        r.ok().map(|_| 0)
-                    }
-                    Some(InjectedFault::Halt(ch, hw)) => {
-                        driver.inject(ch, hw);
-                        let r = driver.transfer(src, words as u32 * 4, 0x2000_0000, 4);
-                        driver.recover();
-                        r.ok().map(|_| 0)
-                    }
-                }
+            let outcome = run_image(plan, policy, i, 0, words, &mut stats, |fault| {
+                fast_attempt(
+                    core,
+                    &mut driver,
+                    &mut dma,
+                    &mut dma_cycles,
+                    img,
+                    words,
+                    src,
+                    fault,
+                )
             });
             cnn_trace::observe("cnn_image_dma_cycles", dma_cycles - dma_before);
             outcomes.push(outcome);
@@ -365,6 +435,61 @@ impl ZynqDevice {
         }
     }
 
+    /// Serves one image through the fast PS→DMA→IP loop — the
+    /// serving-pool entry point. `attempt_base` offsets the fault
+    /// sampler's attempt index so a pool-level re-dispatch of the
+    /// same `image_id` (after this device abandoned it, or as a
+    /// hedge on another device) draws fresh faults instead of
+    /// replaying the ones that just failed.
+    pub fn dispatch_image(
+        &self,
+        image: &Tensor,
+        image_id: usize,
+        attempt_base: u32,
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+    ) -> ImageDispatch {
+        let core = &self.bitstream.core;
+        let words = core.input_words();
+        let mut dma = AxiDma::new();
+        let mut driver = DmaDriver::new();
+        let mut dma_cycles = 0u64;
+        let mut stats = FaultStats::default();
+        let outcome = run_image(
+            plan,
+            policy,
+            image_id,
+            attempt_base,
+            words,
+            &mut stats,
+            |fault| {
+                fast_attempt(
+                    core,
+                    &mut driver,
+                    &mut dma,
+                    &mut dma_cycles,
+                    image,
+                    words,
+                    0x1000_0000,
+                    fault,
+                )
+            },
+        );
+        cnn_trace::observe("cnn_image_dma_cycles", dma_cycles);
+        let (prediction, compute) = if outcome.classified() {
+            (core.process(image), core.batch_cycles(1))
+        } else {
+            (ABANDONED, 0)
+        };
+        ImageDispatch {
+            prediction,
+            outcome,
+            cycles: dma_cycles + stats.fault_cycles + compute,
+            dma_cycles,
+            faults: stats,
+        }
+    }
+
     /// Same classification through a two-thread co-simulation: the
     /// calling thread plays the PS/DMA (streaming packets), a fabric
     /// thread plays the IP core (consuming packets until the stream
@@ -388,7 +513,7 @@ impl ZynqDevice {
         let core = self.bitstream.core.clone();
         let words = core.input_words();
 
-        let in_stream = AxiStream::with_depth((words as usize).max(16));
+        let in_stream = AxiStream::with_depth((words as usize + CRC_WORDS as usize).max(16));
         let out_stream = AxiStream::with_depth(16);
         let (in_tx, in_rx): (Sender<StreamBeat>, Receiver<StreamBeat>) = in_stream.split();
         let (out_tx, out_rx) = out_stream.split();
@@ -396,13 +521,19 @@ impl ZynqDevice {
         let fabric_core = core.clone();
         let fabric = std::thread::spawn(move || {
             // Serve packets until the PS side hangs up — under faults
-            // the packet count is not knowable up front.
-            while let Ok(packet) = AxiStream::recv_packet(&in_rx) {
-                let reply = match fabric_core.try_process_packet(&packet) {
-                    Ok(class) => class as f32,
-                    Err(_) => f32::NAN, // integrity failure → error word
+            // the packet count is not knowable up front. Every frame
+            // is CRC-checked before the payload is trusted; the reply
+            // carries its own trailer so the PS side can verify the
+            // return path too.
+            while let Ok(frame) = AxiStream::recv_packet(&in_rx) {
+                let reply = match check_packet(&frame) {
+                    Ok(payload) => match fabric_core.try_process_packet(payload) {
+                        Ok(class) => class as f32,
+                        Err(_) => f32::NAN, // malformed payload → error word
+                    },
+                    Err(_) => f32::NAN, // CRC mismatch → error word
                 };
-                if AxiStream::send_packet(&out_tx, &[reply]).is_err() {
+                if AxiStream::send_packet(&out_tx, &frame_packet(&[reply])).is_err() {
                     break;
                 }
             }
@@ -416,14 +547,14 @@ impl ZynqDevice {
         for (i, img) in images.iter().enumerate() {
             let mut prediction = ABANDONED;
             let dma_before = dma_cycles;
-            let outcome = run_image(plan, policy, i, words, &mut stats, |fault| {
+            let outcome = run_image(plan, policy, i, 0, words, &mut stats, |fault| {
                 match fault {
                     None => {
-                        dma_cycles += dma.mm2s(words);
-                        AxiStream::send_packet(&in_tx, img.as_slice()).ok()?;
+                        dma_cycles += dma.mm2s(words + CRC_WORDS);
+                        AxiStream::send_packet(&in_tx, &frame_packet(img.as_slice())).ok()?;
                         let back = AxiStream::recv_packet(&out_rx).ok()?;
                         dma_cycles += dma.s2mm(back.len() as u64);
-                        let word = *back.first()?;
+                        let word = *check_packet(&back).ok()?.first()?;
                         if word.is_finite() {
                             prediction = word as usize;
                             Some(prediction)
@@ -433,12 +564,17 @@ impl ZynqDevice {
                     }
                     Some(f) => match f.beat_fault() {
                         Some(bf) => {
-                            // Damaged packet goes onto the real
-                            // stream; the fabric thread replies NaN.
-                            AxiStream::send_packet_faulted(&in_tx, img.as_slice(), Some(bf))
-                                .ok()?;
+                            // Damaged framed packet goes onto the real
+                            // stream; the fabric's CRC check fails and
+                            // it replies an error word.
+                            AxiStream::send_packet_faulted(
+                                &in_tx,
+                                &frame_packet(img.as_slice()),
+                                Some(bf),
+                            )
+                            .ok()?;
                             let back = AxiStream::recv_packet(&out_rx).ok()?;
-                            let word = *back.first()?;
+                            let word = *check_packet(&back).ok()?.first()?;
                             if word.is_finite() {
                                 prediction = word as usize;
                                 Some(prediction)
@@ -694,6 +830,107 @@ mod tests {
         let r4 = dev.classify_batch(&images(4, 2));
         assert!(r4.dma_cycles > r1.dma_cycles);
         assert_eq!(r4.dma_cycles, 4 * r1.dma_cycles);
+    }
+
+    #[test]
+    fn zero_retry_policy_abandons_with_one_attempt() {
+        // Regression: an image abandoned on its *first* attempt must
+        // report exactly one attempt and one injected fault — the
+        // accounting used to be exercised only with retries > 0.
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(1, 31);
+        let plan = FaultPlan::uniform(2016, 1.0);
+        let policy = RetryPolicy { max_retries: 0 };
+        let res = dev.classify_batch_faulty(&imgs, &plan, &policy);
+        assert_eq!(res.outcomes, vec![ImageOutcome::Abandoned { attempts: 1 }]);
+        assert_eq!(res.predictions, vec![ABANDONED]);
+        assert_eq!(res.abandoned_indices(), vec![0]);
+        assert_eq!(res.faults.injected, 1, "one attempt, one fault");
+        assert_eq!(res.faults.retries, 0, "no retry was ever issued");
+        assert_eq!(res.faults.abandoned, 1);
+        assert!(res.faults.balances(1));
+    }
+
+    #[test]
+    fn crc_catches_every_beat_fault() {
+        // A plan of only beat faults: every injection must surface as
+        // a CRC detection (that is the tentpole guarantee — silent
+        // corruption becomes detected-and-retried).
+        let (dev, net) = device(DirectiveSet::optimized());
+        let imgs = images(32, 37);
+        let plan = FaultPlan {
+            seed: 41,
+            drop_beat: 0.25,
+            corrupt_beat: 0.25,
+            ..FaultPlan::none()
+        };
+        let res = dev.classify_batch_faulty(&imgs, &plan, &RetryPolicy::default());
+        assert!(res.faults.injected > 0, "plan should fire at this rate");
+        assert_eq!(
+            res.faults.crc_detected, res.faults.injected,
+            "every beat fault must be caught by the trailer check"
+        );
+        // And no wrong classification slipped through.
+        for (i, (p, o)) in res.predictions.iter().zip(&res.outcomes).enumerate() {
+            if o.classified() {
+                assert_eq!(*p, net.predict(&imgs[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn crc_framing_overhead_is_under_two_percent() {
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(16, 43);
+        let res = dev.classify_batch(&imgs);
+        let words = dev.bitstream().core.input_words();
+        // Per image the trailer adds CRC_WORDS to MM2S and CRC_WORDS
+        // to S2MM against a payload of `words + 1`.
+        let payload_cycles =
+            imgs.len() as u64 * (2 * cnn_hls::calibration::DMA_SETUP_CYCLES + words + 1);
+        let overhead = res.dma_cycles as f64 / payload_cycles as f64 - 1.0;
+        assert!(
+            overhead < 0.02,
+            "CRC trailer costs {:.3}% of DMA cycles",
+            overhead * 100.0
+        );
+    }
+
+    #[test]
+    fn dispatch_image_matches_batch_of_one() {
+        let (dev, net) = device(DirectiveSet::optimized());
+        let imgs = images(1, 47);
+        let plan = FaultPlan::uniform(5, 0.4);
+        let policy = RetryPolicy::default();
+        let batch = dev.classify_batch_faulty(&imgs, &plan, &policy);
+        let single = dev.dispatch_image(&imgs[0], 0, 0, &plan, &policy);
+        assert_eq!(single.prediction, batch.predictions[0]);
+        assert_eq!(single.outcome, batch.outcomes[0]);
+        assert_eq!(single.dma_cycles, batch.dma_cycles);
+        assert_eq!(single.faults, batch.faults);
+        if single.outcome.classified() {
+            assert_eq!(single.prediction, net.predict(&imgs[0]));
+        }
+    }
+
+    #[test]
+    fn dispatch_attempt_base_draws_fresh_faults() {
+        // With rate 1.0 and a small base the image keeps failing, but
+        // distinct attempt bases must explore distinct fault draws —
+        // this is what lets a pool-level retry make progress.
+        let (dev, _) = device(DirectiveSet::optimized());
+        let imgs = images(1, 53);
+        let plan = FaultPlan::uniform(2016, 1.0);
+        let policy = RetryPolicy { max_retries: 0 };
+        let a = dev.dispatch_image(&imgs[0], 0, 0, &plan, &policy);
+        let b = dev.dispatch_image(&imgs[0], 0, 100, &plan, &policy);
+        assert!(!a.outcome.classified() && !b.outcome.classified());
+        // Same id + same base replays identically (determinism)...
+        let a2 = dev.dispatch_image(&imgs[0], 0, 0, &plan, &policy);
+        assert_eq!(a, a2);
+        // ...and the device can still serve other work afterwards.
+        let clean = dev.dispatch_image(&imgs[0], 0, 0, &FaultPlan::none(), &policy);
+        assert_eq!(clean.outcome, ImageOutcome::Clean);
     }
 
     #[test]

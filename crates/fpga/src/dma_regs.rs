@@ -372,6 +372,11 @@ impl AxiDmaRegs {
 /// bounded budget, distinguishing completion, engine error, and stall.
 pub struct DmaDriver {
     regs: AxiDmaRegs,
+    /// Packets the PS side rejected on a CRC32 trailer mismatch
+    /// (end-to-end stream integrity, not a DMASR condition — the
+    /// engine completed the transfer, the payload was damaged in
+    /// flight). Survives [`Self::recover`] like the reset counters.
+    crc_errors: u64,
 }
 
 impl Default for DmaDriver {
@@ -390,12 +395,25 @@ impl DmaDriver {
         regs.s2mm.write_cr(cr::RESET);
         regs.mm2s.write_cr(cr::RS | cr::IOC_IRQ_EN);
         regs.s2mm.write_cr(cr::RS | cr::IOC_IRQ_EN);
-        DmaDriver { regs }
+        DmaDriver {
+            regs,
+            crc_errors: 0,
+        }
     }
 
     /// Direct register access (for tests and diagnostics).
     pub fn regs(&self) -> &AxiDmaRegs {
         &self.regs
+    }
+
+    /// Records one CRC32 trailer mismatch on a received packet.
+    pub fn note_crc_error(&mut self) {
+        self.crc_errors += 1;
+    }
+
+    /// Packets rejected for a CRC32 trailer mismatch since power-on.
+    pub fn crc_errors(&self) -> u64 {
+        self.crc_errors
     }
 
     /// Arms a hardware fault on a channel (fault-injection hook).
@@ -462,6 +480,16 @@ impl DmaDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crc_error_count_survives_recover() {
+        let mut drv = DmaDriver::new();
+        assert_eq!(drv.crc_errors(), 0);
+        drv.note_crc_error();
+        drv.note_crc_error();
+        drv.recover();
+        assert_eq!(drv.crc_errors(), 2);
+    }
 
     #[test]
     fn power_on_is_halted() {

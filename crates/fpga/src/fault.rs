@@ -20,7 +20,8 @@ use std::fmt;
 pub enum InjectedFault {
     /// Drop the stream beat at this index (short packet at the core).
     DropBeat(usize),
-    /// Corrupt the stream beat at this index (NaN payload).
+    /// Silently corrupt the stream beat at this index (bit flips that
+    /// keep the word finite — only the CRC trailer catches it).
     CorruptBeat(usize),
     /// The channel accepts the transfer but never completes it.
     Stall(DmaChannel),
@@ -92,9 +93,19 @@ impl FaultPlan {
     /// A plan where each attempt faults with probability `rate`,
     /// split evenly across the five fault kinds. `rate = 1.0` makes
     /// every attempt fault (nothing ever classifies on hardware).
+    ///
+    /// A non-positive (or non-finite) `rate` normalizes to the
+    /// canonical fault-free plan with the seed preserved, so
+    /// `uniform(s, 0.0)` compares equal to `FaultPlan { seed: s,
+    /// ..FaultPlan::none() }` field-for-field — no `-0.0` shares.
     pub fn uniform(seed: u64, rate: f64) -> FaultPlan {
+        if !rate.is_finite() || rate <= 0.0 {
+            return FaultPlan {
+                seed,
+                ..FaultPlan::none()
+            };
+        }
         let p = (rate / 5.0).clamp(0.0, 0.2);
-        let p = if p.is_finite() { p } else { 0.0 };
         FaultPlan {
             seed,
             drop_beat: p,
@@ -256,9 +267,11 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Attempts an image receives in total.
+    /// Attempts an image receives in total. Saturates so a
+    /// `max_retries` of `u32::MAX` cannot wrap to zero attempts
+    /// (which would abandon every image without ever trying).
     pub fn max_attempts(&self) -> u32 {
-        self.max_retries + 1
+        self.max_retries.saturating_add(1)
     }
 }
 
@@ -277,6 +290,11 @@ pub struct FaultStats {
     pub abandoned: u64,
     /// DMA soft-reset sequences run.
     pub resets: u64,
+    /// Failed attempts whose damage was caught by the AXI4-Stream
+    /// CRC32 trailer check (beat drops and silent corruptions) —
+    /// every one of these would have been a wrong or lost prediction
+    /// without the integrity layer.
+    pub crc_detected: u64,
     /// Extra fabric cycles burned on failed attempts, timeouts and
     /// resets (on top of the useful transfer cycles).
     pub fault_cycles: u64,
@@ -318,6 +336,26 @@ mod tests {
     #[test]
     fn uniform_rate_zero_is_fault_free() {
         assert!(FaultPlan::uniform(7, 0.0).is_fault_free());
+    }
+
+    #[test]
+    fn uniform_rate_zero_normalizes_to_canonical_none() {
+        for rate in [0.0, -0.0, -1.0, f64::NAN, f64::NEG_INFINITY] {
+            let plan = FaultPlan::uniform(7, rate);
+            assert!(plan.is_fault_free(), "rate {rate}");
+            assert_eq!(
+                plan,
+                FaultPlan {
+                    seed: 7,
+                    ..FaultPlan::none()
+                },
+                "rate {rate} must normalize to the exact fault-free plan"
+            );
+            // Bit-exact zeros, not -0.0 shares.
+            assert_eq!(plan.drop_beat.to_bits(), 0.0f64.to_bits(), "rate {rate}");
+            plan.validate().unwrap();
+            assert_eq!(plan.sample(0, 0, 256), None);
+        }
     }
 
     #[test]
@@ -428,6 +466,16 @@ mod tests {
         let p = RetryPolicy::default();
         assert_eq!(p.max_retries, 3);
         assert_eq!(p.max_attempts(), 4);
+    }
+
+    #[test]
+    fn retry_policy_saturates_instead_of_wrapping() {
+        let p = RetryPolicy {
+            max_retries: u32::MAX,
+        };
+        assert_eq!(p.max_attempts(), u32::MAX);
+        let zero = RetryPolicy { max_retries: 0 };
+        assert_eq!(zero.max_attempts(), 1, "zero retries still means one try");
     }
 
     #[test]

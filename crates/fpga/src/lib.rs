@@ -11,6 +11,8 @@
 //!   two AXI interconnects, processor system reset, CNN IP core) as a
 //!   validated component graph with Graphviz export,
 //! * [`axi`] — AXI4-Stream and AXI-DMA transaction/cycle accounting,
+//!   plus the CRC32 trailer framing that gives every stream packet
+//!   end-to-end integrity (silent bit flips become detected retries),
 //! * [`address_map`] — the Address Editor step: non-overlapping,
 //!   size-aligned AXI-Lite segments in the PS GP0 window,
 //! * [`dma_regs`] — the AXI DMA's memory-mapped register file and the
@@ -49,11 +51,11 @@ pub mod hdl;
 pub mod ip_core;
 
 pub use address_map::MapError;
-pub use axi::StreamError;
+pub use axi::{check_packet, crc32, frame_packet, IntegrityError, StreamError, CRC_WORDS};
 pub use bitstream::Bitstream;
 pub use block_design::BlockDesign;
 pub use board::Board;
-pub use device::{BatchResult, DeviceError, ImageOutcome, ZynqDevice, ABANDONED};
+pub use device::{BatchResult, DeviceError, ImageDispatch, ImageOutcome, ZynqDevice, ABANDONED};
 pub use dma_regs::{DmaChannel, DmaError, HwFault};
 pub use fault::{FaultError, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 pub use ip_core::{CnnIpCore, PacketError};

@@ -24,16 +24,22 @@
 //! * [`experiments`] — the four evaluation case studies, faithful to
 //!   Section V's network configurations and test-set sizes,
 //! * [`report`] — Table I / Table II assembly with the paper's
-//!   reference values alongside the measured ones.
+//!   reference values alongside the measured ones,
+//! * [`serving`] — resilient multi-device serving: the generic
+//!   `cnn-serve` pool (circuit breakers, shared retry budget, hedged
+//!   requests) bound to simulated Zynq boards behind per-device fault
+//!   plans, degrading to the bit-exact software path.
 
 pub mod experiments;
 pub mod report;
+pub mod serving;
 pub mod spec;
 pub mod weights;
 pub mod workflow;
 
 pub use experiments::{Experiment, ExperimentConfig, PaperTest};
 pub use report::{Table1Row, Table2Row};
+pub use serving::{PoolClassificationReport, PooledZynq};
 pub use spec::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, SpecError};
 pub use weights::{WeightError, WeightSource};
 pub use workflow::{

@@ -1,0 +1,250 @@
+//! Resilient serving: binding the generic `cnn-serve` pool to the
+//! simulated Zynq devices the workflow produces.
+//!
+//! Where [`WorkflowArtifacts::classify_with_recovery`] drives a
+//! *single* device through a batch, [`WorkflowArtifacts::serve_with_pool`]
+//! models a deployment: N boards programmed with the same bitstream,
+//! each behind its own (possibly hostile) seeded fault plan. The pool
+//! quarantines devices that keep abandoning images behind per-device
+//! circuit breakers, re-dispatches failed images across the pool
+//! under a shared retry budget, hedges latency outliers, and degrades
+//! to the bit-exact software path only when every willing device has
+//! given up — so the final predictions are always indistinguishable
+//! from a fault-free run.
+
+use crate::workflow::{WorkflowArtifacts, WorkflowError, WorkflowStage};
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_fpga::{ImageOutcome, ZynqDevice};
+use cnn_serve::{Device, DevicePool, DispatchOutcome, PoolConfig, ServeReport};
+use cnn_tensor::Tensor;
+
+/// One simulated Zynq board scheduled by the serving pool: the
+/// programmed device plus its own fault plan and on-device retry
+/// policy, borrowing the batch it serves images from.
+pub struct PooledZynq<'a> {
+    device: ZynqDevice,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    images: &'a [Tensor],
+}
+
+impl<'a> PooledZynq<'a> {
+    /// Wraps a programmed device for pool scheduling.
+    pub fn new(
+        device: ZynqDevice,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        images: &'a [Tensor],
+    ) -> PooledZynq<'a> {
+        PooledZynq {
+            device,
+            plan,
+            policy,
+            images,
+        }
+    }
+}
+
+impl Device for PooledZynq<'_> {
+    fn dispatch(&mut self, image_id: usize, attempt_base: u32) -> DispatchOutcome {
+        let d = self.device.dispatch_image(
+            &self.images[image_id],
+            image_id,
+            attempt_base,
+            &self.plan,
+            &self.policy,
+        );
+        let (prediction, attempts) = match d.outcome {
+            ImageOutcome::Clean => (Some(d.prediction), 1),
+            ImageOutcome::Recovered { retries } => (Some(d.prediction), retries.saturating_add(1)),
+            ImageOutcome::Abandoned { attempts } => (None, attempts),
+        };
+        DispatchOutcome {
+            prediction,
+            cycles: d.cycles,
+            attempts,
+            faults_injected: d.faults.injected,
+            crc_detected: d.faults.crc_detected,
+        }
+    }
+}
+
+/// Result of the serving stage: predictions plus the pool's full
+/// scheduling report and a human-readable trace.
+#[derive(Clone, Debug)]
+pub struct PoolClassificationReport {
+    /// Final prediction per image (hardware where the pool served it,
+    /// software fallback otherwise; never a sentinel).
+    pub predictions: Vec<usize>,
+    /// The pool's scheduling report (per-image outcomes, per-device
+    /// health/breaker state, hedge and budget accounting).
+    pub report: ServeReport,
+    /// Human-readable account of the serving run.
+    pub trace: Vec<String>,
+}
+
+impl WorkflowArtifacts {
+    /// Serves `images` over a pool of `plans.len()` devices — each a
+    /// fresh board programmed with this workflow's bitstream, behind
+    /// its own fault plan — under the pool tuning in `cfg`. Images
+    /// abandoned by every willing device (or stranded by an exhausted
+    /// retry budget) fall back to the bit-exact software path, so the
+    /// returned predictions always match a fault-free run.
+    pub fn serve_with_pool(
+        &self,
+        images: &[Tensor],
+        plans: &[FaultPlan],
+        policy: &RetryPolicy,
+        cfg: PoolConfig,
+    ) -> Result<PoolClassificationReport, WorkflowError> {
+        let _span = cnn_trace::span("framework", WorkflowStage::Serve.name());
+        if plans.is_empty() {
+            return Err(WorkflowError {
+                stage: WorkflowStage::Serve,
+                message: "a serving pool needs at least one device (one fault plan)".into(),
+            });
+        }
+        let devices = plans
+            .iter()
+            .map(|plan| {
+                let board = self.device.board();
+                let dev = ZynqDevice::program(board, self.bitstream.clone()).map_err(|e| {
+                    WorkflowError {
+                        stage: WorkflowStage::Serve,
+                        message: e.to_string(),
+                    }
+                })?;
+                Ok(PooledZynq::new(dev, *plan, *policy, images))
+            })
+            .collect::<Result<Vec<_>, WorkflowError>>()?;
+
+        let mut pool = DevicePool::new(devices, cfg);
+        let report = pool.serve(images.len(), |i| self.network.predict(&images[i]));
+
+        let mut trace = vec![format!(
+            "{}: {} images over {} devices — {} served by hardware, {} software fallbacks, \
+             {} re-dispatches, {} hedges ({} won), availability {:.4}",
+            WorkflowStage::Serve.name(),
+            images.len(),
+            plans.len(),
+            report.hw_served,
+            report.fallback_served,
+            report.redispatches,
+            report.hedges,
+            report.hedge_wins,
+            report.availability(),
+        )];
+        for (i, d) in report.devices.iter().enumerate() {
+            trace.push(format!(
+                "device {i}: {} dispatches ({} abandoned), {} faults injected \
+                 ({} caught by CRC), health {}, breaker {:?}, {} trips",
+                d.dispatches,
+                d.failures,
+                d.faults_injected,
+                d.crc_detected,
+                d.health.name(),
+                d.breaker,
+                d.breaker_trips,
+            ));
+        }
+
+        Ok(PoolClassificationReport {
+            predictions: report.predictions.clone(),
+            report,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+    use crate::weights::WeightSource;
+    use crate::workflow::Workflow;
+    use cnn_serve::{HealthState, ServedBy};
+
+    fn test_images(n: usize) -> Vec<Tensor> {
+        let mut rng = cnn_tensor::init::seeded_rng(77);
+        (0..n)
+            .map(|_| {
+                cnn_tensor::init::init_tensor(
+                    &mut rng,
+                    cnn_tensor::Shape::new(1, 16, 16),
+                    cnn_tensor::init::Init::Uniform(1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn artifacts() -> WorkflowArtifacts {
+        Workflow::new(
+            NetworkSpec::paper_usps_small(true),
+            WeightSource::Random { seed: 4 },
+        )
+        .run()
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_free_pool_serves_everything_in_hardware() {
+        let a = artifacts();
+        let images = test_images(12);
+        let sw: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        let r = a
+            .serve_with_pool(
+                &images,
+                &[FaultPlan::none(), FaultPlan::none()],
+                &RetryPolicy::default(),
+                PoolConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(r.predictions, sw);
+        assert_eq!(r.report.fallback_served, 0);
+        assert_eq!(r.report.availability(), 1.0);
+        for d in &r.report.devices {
+            assert_eq!(d.health, HealthState::Healthy);
+            assert_eq!(d.failures, 0);
+        }
+        assert!(r.trace.len() == 3, "summary + one line per device");
+    }
+
+    #[test]
+    fn empty_pool_is_a_serve_stage_error() {
+        let a = artifacts();
+        let err = a
+            .serve_with_pool(
+                &test_images(1),
+                &[],
+                &RetryPolicy::default(),
+                PoolConfig::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err.stage, WorkflowStage::Serve);
+    }
+
+    #[test]
+    fn single_hostile_device_degrades_to_fallback_not_wrong_answers() {
+        let a = artifacts();
+        let images = test_images(8);
+        let sw: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        let r = a
+            .serve_with_pool(
+                &images,
+                &[FaultPlan::uniform(13, 1.0)],
+                &RetryPolicy::default(),
+                PoolConfig {
+                    retry_budget: 2,
+                    ..PoolConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.predictions, sw, "fallback must be bit-exact");
+        assert!(r.report.fallback_served > 0);
+        assert!(r
+            .report
+            .outcomes
+            .iter()
+            .any(|o| o.served_by == ServedBy::Fallback));
+    }
+}

@@ -41,13 +41,17 @@ pub enum WorkflowStage {
     /// Classification under the fault/recovery policy (runs after
     /// `run()`, via [`WorkflowArtifacts::classify_with_recovery`]).
     Classify,
+    /// Resilient serving over a multi-device pool (runs after
+    /// `run()`, via [`WorkflowArtifacts::serve_with_pool`]).
+    Serve,
 }
 
 impl WorkflowStage {
     /// All stages in execution order. The first eight are what
-    /// [`Workflow::run`] executes (the Fig. 3 boxes); `Classify` is
-    /// the deployment stage driven on the resulting artifacts.
-    pub const ALL: [WorkflowStage; 9] = [
+    /// [`Workflow::run`] executes (the Fig. 3 boxes); `Classify` and
+    /// `Serve` are the deployment stages driven on the resulting
+    /// artifacts.
+    pub const ALL: [WorkflowStage; 10] = [
         WorkflowStage::Validate,
         WorkflowStage::RealizeWeights,
         WorkflowStage::GenerateCpp,
@@ -57,6 +61,7 @@ impl WorkflowStage {
         WorkflowStage::Implement,
         WorkflowStage::Program,
         WorkflowStage::Classify,
+        WorkflowStage::Serve,
     ];
 
     /// Human-readable stage name.
@@ -71,6 +76,7 @@ impl WorkflowStage {
             WorkflowStage::Implement => "implement bitstream",
             WorkflowStage::Program => "program device",
             WorkflowStage::Classify => "classify with recovery",
+            WorkflowStage::Serve => "serve with pool",
         }
     }
 }

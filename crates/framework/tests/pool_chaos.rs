@@ -1,0 +1,112 @@
+//! Deterministic chaos test of the serving pool (the PR's acceptance
+//! scenario): a 4-device pool where one device runs a hostile seeded
+//! fault plan that makes it abandon every image. The pool must serve
+//! all 64 images with zero wrong predictions, quarantine the hostile
+//! device behind an open breaker, and replay bit-identically.
+
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_framework::{NetworkSpec, PoolClassificationReport, WeightSource, Workflow};
+use cnn_serve::{BreakerConfig, BreakerState, HealthState, PoolConfig, ServedBy};
+use cnn_tensor::{init, Shape, Tensor};
+
+const N_IMAGES: usize = 64;
+const HOSTILE: usize = 0;
+
+fn images() -> Vec<Tensor> {
+    let mut rng = init::seeded_rng(2016);
+    (0..N_IMAGES)
+        .map(|_| init::init_tensor(&mut rng, Shape::new(1, 16, 16), init::Init::Uniform(1.0)))
+        .collect()
+}
+
+fn chaos_run() -> (PoolClassificationReport, Vec<usize>) {
+    let artifacts = Workflow::new(
+        NetworkSpec::paper_usps_small(true),
+        WeightSource::Random { seed: 42 },
+    )
+    .run()
+    .expect("the paper network fits the Zedboard");
+    let images = images();
+    let reference: Vec<usize> = images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
+    // Device 0 is hostile: every transfer faults, so it abandons
+    // every image it is handed. The other three are clean.
+    let plans = [
+        FaultPlan::uniform(666, 1.0),
+        FaultPlan::none(),
+        FaultPlan::none(),
+        FaultPlan::none(),
+    ];
+    let cfg = PoolConfig {
+        breaker: BreakerConfig {
+            trip_after: 3,
+            cooldown_cycles: 200_000,
+        },
+        ..PoolConfig::default()
+    };
+    let report = artifacts
+        .serve_with_pool(&images, &plans, &RetryPolicy::default(), cfg)
+        .expect("pool construction succeeds");
+    (report, reference)
+}
+
+#[test]
+fn hostile_device_is_quarantined_and_no_prediction_is_wrong() {
+    let (r, reference) = chaos_run();
+
+    // Zero wrong predictions: every image matches the software
+    // reference bit-exactly, whoever served it.
+    assert_eq!(r.predictions, reference);
+    assert_eq!(r.report.predictions.len(), N_IMAGES);
+
+    // The three healthy devices absorb the whole batch in hardware.
+    assert_eq!(r.report.fallback_served, 0);
+    assert_eq!(r.report.availability(), 1.0);
+
+    // The hostile device abandoned everything it was handed and ends
+    // the batch quarantined behind an open breaker.
+    let hostile = &r.report.devices[HOSTILE];
+    assert!(hostile.dispatches > 0, "it must have been tried at all");
+    assert_eq!(hostile.failures, hostile.dispatches);
+    assert_eq!(hostile.health, HealthState::Quarantined);
+    assert!(
+        matches!(hostile.breaker, BreakerState::Open { .. }),
+        "breaker must end open, got {:?}",
+        hostile.breaker
+    );
+    assert!(hostile.breaker_trips >= 1);
+    assert!(hostile.faults_injected > 0);
+
+    // Every image the hostile device abandoned was re-dispatched out
+    // of the shared budget, and nothing was ever served by it.
+    assert_eq!(r.report.redispatches as u64, hostile.failures);
+    for (i, o) in r.report.outcomes.iter().enumerate() {
+        match o.served_by {
+            ServedBy::Device(d) => assert_ne!(d, HOSTILE, "image {i}"),
+            ServedBy::Hedged { winner, .. } => assert_ne!(winner, HOSTILE, "image {i}"),
+            ServedBy::Fallback => panic!("image {i} must not fall back"),
+        }
+    }
+
+    // Healthy devices stay healthy.
+    for (i, d) in r.report.devices.iter().enumerate().skip(1) {
+        assert_eq!(d.failures, 0, "device {i}");
+        assert_eq!(d.health, HealthState::Healthy, "device {i}");
+        assert_eq!(d.breaker, BreakerState::Closed, "device {i}");
+    }
+
+    // The trace names the serve stage and each device.
+    assert!(r.trace[0].starts_with("serve with pool"));
+    assert_eq!(r.trace.len(), 1 + r.report.devices.len());
+}
+
+#[test]
+fn chaos_run_replays_bit_identically() {
+    let (a, _) = chaos_run();
+    let (b, _) = chaos_run();
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.trace, b.trace);
+}

@@ -1,0 +1,203 @@
+//! Per-device circuit breaker.
+//!
+//! The breaker protects the pool from a device that keeps abandoning
+//! images: after `trip_after` *consecutive* failed dispatches it
+//! opens, and every dispatch is refused until a cooldown (measured in
+//! simulated fabric cycles, the pool's clock) elapses. The first
+//! dispatch after the cooldown is a half-open probe — one success
+//! closes the breaker, one failure re-opens it for another cooldown.
+
+/// Breaker state, in the classic three-state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// Tripped: no traffic until the pool clock reaches `until`.
+    Open {
+        /// Pool-clock cycle at which the next probe is allowed.
+        until: u64,
+    },
+    /// Cooldown elapsed: exactly one probe dispatch is in flight.
+    HalfOpen,
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failed dispatches that trip the breaker.
+    pub trip_after: u32,
+    /// Cooldown between trip and the half-open probe, in simulated
+    /// fabric cycles of the pool clock.
+    pub cooldown_cycles: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_cycles: 250_000,
+        }
+    }
+}
+
+/// One device's circuit breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Times the breaker tripped (Closed/HalfOpen → Open).
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning. `trip_after` is
+    /// clamped to at least 1 (a breaker that trips after zero
+    /// failures would never serve anything).
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg: BreakerConfig {
+                trip_after: cfg.trip_after.max(1),
+                ..cfg
+            },
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has tripped so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// True when the breaker is open at pool-clock `now` (the device
+    /// is quarantined and would refuse a dispatch).
+    pub fn is_open(&self, now: u64) -> bool {
+        matches!(self.state, BreakerState::Open { until } if now < until)
+    }
+
+    /// Asks permission to dispatch at pool-clock `now`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open
+    /// and admits exactly this one probe.
+    pub fn allows(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful dispatch: closes a half-open breaker and
+    /// resets the consecutive-failure count.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed (abandoned) dispatch at pool-clock `now`: a
+    /// half-open probe failure re-opens immediately; a closed breaker
+    /// opens once the consecutive-failure count reaches the trip
+    /// threshold.
+    pub fn record_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.cfg.trip_after {
+                    self.trip(now);
+                }
+            }
+            // A failure report while open (e.g. a hedge that was
+            // already in flight) just extends the cooldown.
+            BreakerState::Open { .. } => self.trip(now),
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        self.state = BreakerState::Open {
+            until: now.saturating_add(self.cfg.cooldown_cycles),
+        };
+        self.consecutive_failures = 0;
+        self.trips += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(trip_after: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after,
+            cooldown_cycles: cooldown,
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker(3, 100);
+        b.record_failure(0);
+        b.record_failure(0);
+        b.record_success(); // breaks the streak
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open { until: 100 });
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_refuses_until_cooldown_then_probes() {
+        let mut b = breaker(1, 100);
+        b.record_failure(50);
+        assert!(!b.allows(50));
+        assert!(!b.allows(149));
+        assert!(b.is_open(149));
+        assert!(b.allows(150), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert!(b.allows(100));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        b.record_failure(200);
+        assert!(b.allows(300));
+        b.record_failure(300);
+        assert_eq!(b.state(), BreakerState::Open { until: 400 });
+        assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn zero_trip_threshold_is_clamped_to_one() {
+        let mut b = breaker(0, 10);
+        assert!(b.allows(0), "must be able to serve at least once");
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open { until: 10 });
+    }
+
+    #[test]
+    fn cooldown_saturates_at_clock_edge() {
+        let mut b = breaker(1, u64::MAX);
+        b.record_failure(u64::MAX - 1);
+        assert!(!b.allows(u64::MAX - 1));
+        assert!(b.is_open(u64::MAX - 1));
+    }
+}

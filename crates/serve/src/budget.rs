@@ -1,0 +1,67 @@
+//! Shared retry budget.
+//!
+//! Device-level retries are already bounded per image (the driver's
+//! `RetryPolicy`); the *pool*-level budget bounds re-dispatches
+//! across the whole batch so a burst of failures cannot amplify into
+//! a retry storm — once the budget is spent, further abandoned images
+//! degrade straight to the bit-exact software fallback instead of
+//! being re-queued on other devices.
+
+/// Token bucket of pool-level re-dispatches for one batch.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryBudget {
+    total: u32,
+    spent: u32,
+}
+
+impl RetryBudget {
+    /// A budget of `total` re-dispatches.
+    pub fn new(total: u32) -> RetryBudget {
+        RetryBudget { total, spent: 0 }
+    }
+
+    /// Takes one token; `false` when the budget is exhausted (the
+    /// caller must fall back, not retry).
+    pub fn try_take(&mut self) -> bool {
+        if self.spent < self.total {
+            self.spent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens spent so far.
+    pub fn spent(&self) -> u32 {
+        self.spent
+    }
+
+    /// Tokens remaining.
+    pub fn remaining(&self) -> u32 {
+        self.total - self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_exhausts_and_counts() {
+        let mut b = RetryBudget::new(2);
+        assert_eq!(b.remaining(), 2);
+        assert!(b.try_take());
+        assert!(b.try_take());
+        assert!(!b.try_take(), "third take must be refused");
+        assert!(!b.try_take(), "and stays refused");
+        assert_eq!(b.spent(), 2);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_budget_never_grants() {
+        let mut b = RetryBudget::new(0);
+        assert!(!b.try_take());
+        assert_eq!(b.spent(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Sliding-window failure tracking and the derived device health.
+//!
+//! The window remembers the last `N` dispatch outcomes; its failure
+//! rate drives the Healthy ↔ Degraded distinction, while the circuit
+//! breaker drives Quarantined (open) and Probation (half-open). The
+//! four states exist for operators: the pool's scheduling decisions
+//! themselves only consult the breaker and the window.
+
+use crate::breaker::{BreakerState, CircuitBreaker};
+
+/// Operator-facing health of one pool device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Failure rate below the degrade threshold; breaker closed.
+    Healthy,
+    /// Elevated failure rate, but still serving (breaker closed).
+    Degraded,
+    /// Breaker open: the device is refusing traffic until cooldown.
+    Quarantined,
+    /// Breaker half-open: exactly one probe dispatch is being tried.
+    Probation,
+}
+
+impl HealthState {
+    /// Short lowercase label (metrics / report output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Probation => "probation",
+        }
+    }
+}
+
+/// Health tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthConfig {
+    /// Dispatch outcomes remembered by the sliding window.
+    pub window: usize,
+    /// Window failure rate at or above which a serving device is
+    /// reported Degraded.
+    pub degrade_ratio: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 16,
+            degrade_ratio: 0.25,
+        }
+    }
+}
+
+/// Ring buffer of the last `N` dispatch outcomes (true = failure).
+#[derive(Clone, Debug)]
+pub struct FailureWindow {
+    slots: Vec<bool>,
+    head: usize,
+    filled: usize,
+}
+
+impl FailureWindow {
+    /// An empty window remembering `capacity` outcomes (at least 1).
+    pub fn new(capacity: usize) -> FailureWindow {
+        FailureWindow {
+            slots: vec![false; capacity.max(1)],
+            head: 0,
+            filled: 0,
+        }
+    }
+
+    /// Records one dispatch outcome.
+    pub fn record(&mut self, failed: bool) {
+        let cap = self.slots.len();
+        self.slots[self.head] = failed;
+        self.head = (self.head + 1) % cap;
+        self.filled = (self.filled + 1).min(cap);
+    }
+
+    /// Outcomes currently remembered.
+    pub fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.filled == 0
+    }
+
+    /// Failures among the remembered outcomes. (Until the ring wraps
+    /// the valid entries are a prefix; after it wraps every slot is
+    /// valid — either way the first `filled` slots are the window.)
+    pub fn failures(&self) -> usize {
+        self.slots.iter().take(self.filled).filter(|&&f| f).count()
+    }
+
+    /// Failure rate over the remembered outcomes (0 when empty).
+    pub fn failure_rate(&self) -> f64 {
+        if self.filled == 0 {
+            0.0
+        } else {
+            self.failures() as f64 / self.filled as f64
+        }
+    }
+}
+
+/// Derives the operator-facing health from breaker + window.
+pub fn health_of(
+    breaker: &CircuitBreaker,
+    window: &FailureWindow,
+    cfg: &HealthConfig,
+) -> HealthState {
+    match breaker.state() {
+        BreakerState::Open { .. } => HealthState::Quarantined,
+        BreakerState::HalfOpen => HealthState::Probation,
+        BreakerState::Closed => {
+            if window.failure_rate() >= cfg.degrade_ratio && !window.is_empty() {
+                HealthState::Degraded
+            } else {
+                HealthState::Healthy
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+
+    #[test]
+    fn window_tracks_rate_over_last_n() {
+        let mut w = FailureWindow::new(4);
+        assert_eq!(w.failure_rate(), 0.0);
+        w.record(true);
+        w.record(true);
+        assert_eq!(w.failure_rate(), 1.0);
+        w.record(false);
+        w.record(false);
+        assert_eq!(w.failure_rate(), 0.5);
+        // Two more successes evict the two failures.
+        w.record(false);
+        w.record(false);
+        assert_eq!(w.failure_rate(), 0.0);
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn zero_capacity_window_is_clamped() {
+        let mut w = FailureWindow::new(0);
+        w.record(true);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.failure_rate(), 1.0);
+    }
+
+    #[test]
+    fn health_follows_breaker_then_window() {
+        let cfg = HealthConfig {
+            window: 4,
+            degrade_ratio: 0.5,
+        };
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            trip_after: 2,
+            cooldown_cycles: 100,
+        });
+        let mut w = FailureWindow::new(cfg.window);
+        assert_eq!(health_of(&b, &w, &cfg), HealthState::Healthy);
+
+        w.record(true);
+        w.record(false);
+        b.record_failure(0);
+        assert_eq!(health_of(&b, &w, &cfg), HealthState::Degraded);
+
+        b.record_failure(0); // trips
+        assert_eq!(health_of(&b, &w, &cfg), HealthState::Quarantined);
+
+        assert!(b.allows(100)); // probe
+        assert_eq!(health_of(&b, &w, &cfg), HealthState::Probation);
+
+        b.record_success();
+        w.record(false);
+        w.record(false);
+        w.record(false); // rate 0.25 < 0.5
+        assert_eq!(health_of(&b, &w, &cfg), HealthState::Healthy);
+    }
+}

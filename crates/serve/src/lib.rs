@@ -1,0 +1,41 @@
+//! # cnn-serve — fault-tolerant multi-device serving pool
+//!
+//! Resilient single-image serving over N simulated Zynq devices, any
+//! of which may be failing. The pool composes four mechanisms:
+//!
+//! - **Circuit breakers** ([`CircuitBreaker`]): a device that
+//!   abandons `trip_after` consecutive images stops receiving
+//!   traffic; after a cooldown measured on the pool's simulated
+//!   clock, a single half-open probe decides whether it heals.
+//! - **Health tracking** ([`FailureWindow`], [`health_of`]): a
+//!   sliding window of recent outcomes feeds the operator-facing
+//!   `Healthy / Degraded / Quarantined / Probation` state.
+//! - **Shared retry budget** ([`RetryBudget`]): pool-level
+//!   re-dispatches are bounded per batch; when the budget is dry,
+//!   images degrade gracefully to a bit-exact software fallback
+//!   instead of amplifying the failure into a retry storm.
+//! - **Hedged requests** ([`LatencyHistogram`]): a successful
+//!   dispatch that ran past the device's own p99 latency is
+//!   duplicated on another device and the faster result is kept.
+//!
+//! The pool is generic over [`Device`], so its scheduling logic is
+//! fully unit-testable with scripted mocks; the adapter binding it to
+//! the simulated FPGA (`cnn_fpga::ZynqDevice` + a seeded `FaultPlan`)
+//! lives in `cnn-framework`. Everything here is deterministic: the
+//! pool clock is simulated cycles, never wall time, so a chaos run
+//! replays bit-identically from the same seeds.
+
+mod breaker;
+mod budget;
+mod health;
+mod hist;
+mod pool;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::RetryBudget;
+pub use health::{health_of, FailureWindow, HealthConfig, HealthState};
+pub use hist::{LatencyHistogram, BUCKET_BOUNDS};
+pub use pool::{
+    Device, DevicePool, DeviceReport, DispatchOutcome, HedgeConfig, PoolConfig, ServeOutcome,
+    ServeReport, ServedBy, ATTEMPT_STRIDE,
+};

@@ -1,0 +1,735 @@
+//! The multi-device serving pool.
+//!
+//! A [`DevicePool`] schedules single-image classification requests
+//! over N devices, any of which may be failing. Per device it keeps a
+//! [`CircuitBreaker`], a sliding [`FailureWindow`] and a dispatch
+//! latency histogram; per batch it holds a shared [`RetryBudget`].
+//! The serve loop is deliberately single-threaded and deterministic:
+//! given the same devices (same seeds) and the same configuration it
+//! produces the identical [`ServeReport`], which is what makes chaos
+//! tests reproducible.
+//!
+//! Scheduling per image:
+//!
+//! 1. round-robin over devices whose breaker admits traffic
+//!    (quarantined devices are skipped; an expired cooldown turns the
+//!    dispatch into a half-open probe),
+//! 2. on success, optionally *hedge*: if the dispatch ran past the
+//!    device's own p99 latency, duplicate the request on another
+//!    device and keep the faster result,
+//! 3. on failure (the device abandoned the image), spend one token of
+//!    the shared retry budget to re-dispatch — preferring a device
+//!    that has not seen this image — with a fresh fault-sampling
+//!    offset ([`ATTEMPT_STRIDE`]),
+//! 4. when no device is willing or the budget is dry, degrade to the
+//!    caller's bit-exact software fallback.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::budget::RetryBudget;
+use crate::health::{health_of, FailureWindow, HealthConfig, HealthState};
+use crate::hist::LatencyHistogram;
+
+/// Offset between the fault-sampling attempt windows of successive
+/// dispatches of the same image (re-dispatches and hedges). Far
+/// larger than any sane device-level retry policy, so the windows
+/// never overlap and a re-dispatch can never replay the exact fault
+/// sequence that just failed.
+pub const ATTEMPT_STRIDE: u32 = 1 << 16;
+
+/// What one device dispatch produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// The classification, or `None` when the device abandoned the
+    /// image after exhausting its on-device retry policy.
+    pub prediction: Option<usize>,
+    /// Simulated cycles the dispatch consumed (transfers, fault
+    /// penalties, compute) — drives the pool clock and the hedger.
+    pub cycles: u64,
+    /// On-device transfer attempts spent.
+    pub attempts: u32,
+    /// Transport faults injected during the dispatch.
+    pub faults_injected: u64,
+    /// Faults caught by the stream CRC trailer check.
+    pub crc_detected: u64,
+}
+
+/// One schedulable device. The real adapter (wrapping the simulated
+/// Zynq board, its fault plan and its retry policy) lives in
+/// `cnn-framework`; tests use scripted mocks.
+pub trait Device {
+    /// Classifies image `image_id`. `attempt_base` offsets the
+    /// device's fault sampling so distinct pool-level dispatches of
+    /// the same image draw distinct faults.
+    fn dispatch(&mut self, image_id: usize, attempt_base: u32) -> DispatchOutcome;
+}
+
+/// Hedged-dispatch tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Latency quantile that triggers a hedge (typically 0.99).
+    pub quantile: f64,
+    /// Minimum latency observations on a device before its quantile
+    /// is trusted (hedging on a cold histogram would fire randomly).
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            enabled: true,
+            quantile: 0.99,
+            min_samples: 16,
+        }
+    }
+}
+
+/// Pool tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PoolConfig {
+    /// Per-device circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Per-device health-window tuning.
+    pub health: HealthConfig,
+    /// Pool-level re-dispatches shared by the whole batch.
+    pub retry_budget: u32,
+    /// Hedged-dispatch tuning.
+    pub hedge: HedgeConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            breaker: BreakerConfig::default(),
+            health: HealthConfig::default(),
+            retry_budget: 64,
+            hedge: HedgeConfig::default(),
+        }
+    }
+}
+
+/// Who produced the prediction for one image.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServedBy {
+    /// A single device dispatch.
+    Device(usize),
+    /// A hedged pair; `winner` is whichever result was kept.
+    Hedged {
+        /// Device that ran the original (slow) dispatch.
+        primary: usize,
+        /// Device whose result was kept (may equal `primary`).
+        winner: usize,
+    },
+    /// The bit-exact software fallback.
+    Fallback,
+}
+
+/// Per-image serving record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Who served it.
+    pub served_by: ServedBy,
+    /// Device dispatches spent on it (0 for a straight fallback).
+    pub dispatches: u32,
+    /// Simulated cycles those dispatches consumed.
+    pub cycles: u64,
+}
+
+/// Per-device end-of-batch report.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceReport {
+    /// Dispatches routed to this device (including hedges/probes).
+    pub dispatches: u64,
+    /// Dispatches the device abandoned.
+    pub failures: u64,
+    /// Transport faults injected across its dispatches.
+    pub faults_injected: u64,
+    /// Faults its CRC trailer check caught.
+    pub crc_detected: u64,
+    /// Simulated cycles it consumed.
+    pub cycles: u64,
+    /// Health at end of batch.
+    pub health: HealthState,
+    /// Breaker state at end of batch.
+    pub breaker: BreakerState,
+    /// Times its breaker tripped.
+    pub breaker_trips: u64,
+}
+
+/// The pool's batch-level result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Predicted class per image, in request order — never a
+    /// sentinel: abandoned images were served by the fallback.
+    pub predictions: Vec<usize>,
+    /// Per-image serving record, in request order.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Per-device end-of-batch reports, in pool order.
+    pub devices: Vec<DeviceReport>,
+    /// Simulated cycles consumed by all dispatches.
+    pub total_cycles: u64,
+    /// Images served by hardware (single or hedged dispatch).
+    pub hw_served: u64,
+    /// Images that degraded to the software fallback.
+    pub fallback_served: u64,
+    /// Hedge dispatches issued.
+    pub hedges: u64,
+    /// Hedges whose duplicate beat the primary result.
+    pub hedge_wins: u64,
+    /// Pool-level re-dispatch tokens spent.
+    pub redispatches: u32,
+}
+
+impl ServeReport {
+    /// Fraction of images the hardware pool served without degrading
+    /// to the software fallback (1.0 for an empty batch).
+    pub fn availability(&self) -> f64 {
+        let total = self.hw_served + self.fallback_served;
+        if total == 0 {
+            1.0
+        } else {
+            self.hw_served as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<D> {
+    dev: D,
+    breaker: CircuitBreaker,
+    window: FailureWindow,
+    hist: LatencyHistogram,
+    dispatches: u64,
+    failures: u64,
+    faults_injected: u64,
+    crc_detected: u64,
+    cycles: u64,
+}
+
+/// A resilient serving pool over N devices.
+pub struct DevicePool<D> {
+    slots: Vec<Slot<D>>,
+    cfg: PoolConfig,
+    /// Pool clock in simulated cycles: the sum of all dispatch
+    /// cycles, used for breaker cooldowns. Monotonic by construction
+    /// (it never reads wall time), which keeps runs reproducible.
+    clock: u64,
+    cursor: usize,
+}
+
+impl<D: Device> DevicePool<D> {
+    /// A pool over `devices` (at least one) with `cfg` tuning.
+    pub fn new(devices: Vec<D>, cfg: PoolConfig) -> DevicePool<D> {
+        assert!(!devices.is_empty(), "a pool needs at least one device");
+        let slots = devices
+            .into_iter()
+            .map(|dev| Slot {
+                dev,
+                breaker: CircuitBreaker::new(cfg.breaker),
+                window: FailureWindow::new(cfg.health.window),
+                hist: LatencyHistogram::new(),
+                dispatches: 0,
+                failures: 0,
+                faults_injected: 0,
+                crc_detected: 0,
+                cycles: 0,
+            })
+            .collect();
+        DevicePool {
+            slots,
+            cfg,
+            clock: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Devices in the pool.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Never true — the constructor rejects empty pools.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Current pool clock (simulated cycles).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Current health of device `i`.
+    pub fn health(&self, i: usize) -> HealthState {
+        let s = &self.slots[i];
+        health_of(&s.breaker, &s.window, &self.cfg.health)
+    }
+
+    /// Serves images `0..n_images` through the pool. `fallback` is
+    /// the bit-exact software path, invoked only for images every
+    /// willing device abandoned (or when the retry budget ran dry).
+    pub fn serve<F>(&mut self, n_images: usize, mut fallback: F) -> ServeReport
+    where
+        F: FnMut(usize) -> usize,
+    {
+        let _span = cnn_trace::span("serve", "pool_serve");
+        preregister_pool_metrics();
+        let mut budget = RetryBudget::new(self.cfg.retry_budget);
+        let mut predictions = Vec::with_capacity(n_images);
+        let mut outcomes = Vec::with_capacity(n_images);
+        let (mut hw_served, mut fallback_served) = (0u64, 0u64);
+        let (mut hedges, mut hedge_wins) = (0u64, 0u64);
+
+        for image_id in 0..n_images {
+            let mut seq = 0u32;
+            let mut tried: Vec<usize> = Vec::new();
+            let mut image_cycles = 0u64;
+            let mut served: Option<(ServedBy, usize)> = None;
+
+            while served.is_none() {
+                let Some(di) = self.pick(&tried) else { break };
+                let (out, slow) = self.dispatch_on(di, image_id, seq);
+                seq += 1;
+                tried.push(di);
+                image_cycles += out.cycles;
+
+                let Some(pred) = out.prediction else {
+                    // Abandoned on-device: re-dispatch while the
+                    // shared budget lasts, else degrade to software.
+                    if budget.try_take() {
+                        cnn_trace::counter_add("cnn_pool_redispatches_total", &[], 1);
+                        continue;
+                    }
+                    break;
+                };
+
+                if self.cfg.hedge.enabled && slow {
+                    if let Some(hj) = self.pick(&tried) {
+                        let (hout, _) = self.dispatch_on(hj, image_id, seq);
+                        seq += 1;
+                        tried.push(hj);
+                        image_cycles += hout.cycles;
+                        hedges += 1;
+                        cnn_trace::counter_add("cnn_pool_hedges_total", &[], 1);
+                        let (winner, wpred) = match hout.prediction {
+                            Some(hp) if hout.cycles < out.cycles => {
+                                hedge_wins += 1;
+                                (hj, hp)
+                            }
+                            _ => (di, pred),
+                        };
+                        served = Some((
+                            ServedBy::Hedged {
+                                primary: di,
+                                winner,
+                            },
+                            wpred,
+                        ));
+                        continue;
+                    }
+                }
+                served = Some((ServedBy::Device(di), pred));
+            }
+
+            match served {
+                Some((by, pred)) => {
+                    hw_served += 1;
+                    predictions.push(pred);
+                    outcomes.push(ServeOutcome {
+                        served_by: by,
+                        dispatches: seq,
+                        cycles: image_cycles,
+                    });
+                }
+                None => {
+                    fallback_served += 1;
+                    cnn_trace::counter_add("cnn_pool_fallback_total", &[], 1);
+                    predictions.push(fallback(image_id));
+                    outcomes.push(ServeOutcome {
+                        served_by: ServedBy::Fallback,
+                        dispatches: seq,
+                        cycles: image_cycles,
+                    });
+                }
+            }
+        }
+
+        let devices = self
+            .slots
+            .iter()
+            .map(|s| DeviceReport {
+                dispatches: s.dispatches,
+                failures: s.failures,
+                faults_injected: s.faults_injected,
+                crc_detected: s.crc_detected,
+                cycles: s.cycles,
+                health: health_of(&s.breaker, &s.window, &self.cfg.health),
+                breaker: s.breaker.state(),
+                breaker_trips: s.breaker.trips(),
+            })
+            .collect();
+        ServeReport {
+            predictions,
+            outcomes,
+            devices,
+            total_cycles: self.clock,
+            hw_served,
+            fallback_served,
+            hedges,
+            hedge_wins,
+            redispatches: budget.spent(),
+        }
+    }
+
+    /// Round-robin pick of a device whose breaker admits traffic at
+    /// the current clock, preferring devices not yet tried for this
+    /// image; falls back to any willing device, tried or not.
+    fn pick(&mut self, tried: &[usize]) -> Option<usize> {
+        let n = self.slots.len();
+        for pass in 0..2 {
+            for k in 0..n {
+                let i = (self.cursor + k) % n;
+                if pass == 0 && tried.contains(&i) {
+                    continue;
+                }
+                if self.slots[i].breaker.allows(self.clock) {
+                    self.cursor = (i + 1) % n;
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+
+    /// Routes one dispatch to device `i` and updates its breaker,
+    /// window, histogram and counters. The returned flag is true when
+    /// the dispatch succeeded but ran past the device's own hedge
+    /// quantile — judged against the history *before* this
+    /// observation, so a huge outlier cannot drag the quantile up to
+    /// its own bucket and mask itself.
+    fn dispatch_on(&mut self, i: usize, image_id: usize, seq: u32) -> (DispatchOutcome, bool) {
+        let base = seq.saturating_mul(ATTEMPT_STRIDE);
+        let hedge = self.cfg.hedge;
+        let slot = &mut self.slots[i];
+        let out = slot.dev.dispatch(image_id, base);
+        slot.dispatches += 1;
+        slot.cycles += out.cycles;
+        slot.faults_injected += out.faults_injected;
+        slot.crc_detected += out.crc_detected;
+        self.clock = self.clock.saturating_add(out.cycles);
+        let ok = out.prediction.is_some();
+        let mut slow = false;
+        slot.window.record(!ok);
+        if ok {
+            slot.breaker.record_success();
+            slow = slot.hist.count() >= hedge.min_samples
+                && matches!(slot.hist.quantile(hedge.quantile), Some(p) if out.cycles > p);
+            slot.hist.observe(out.cycles);
+        } else {
+            slot.failures += 1;
+            slot.breaker.record_failure(self.clock);
+        }
+        cnn_trace::counter_add(
+            "cnn_pool_dispatches_total",
+            &[("outcome", if ok { "ok" } else { "abandoned" })],
+            1,
+        );
+        cnn_trace::observe("cnn_pool_dispatch_cycles", out.cycles);
+        (out, slow)
+    }
+}
+
+/// Pre-registers the pool counter series at zero so a clean batch
+/// still exports them (a scrape must see `cnn_pool_fallback_total 0`,
+/// not a missing series).
+fn preregister_pool_metrics() {
+    for outcome in ["ok", "abandoned"] {
+        cnn_trace::counter_add("cnn_pool_dispatches_total", &[("outcome", outcome)], 0);
+    }
+    cnn_trace::counter_add("cnn_pool_redispatches_total", &[], 0);
+    cnn_trace::counter_add("cnn_pool_hedges_total", &[], 0);
+    cnn_trace::counter_add("cnn_pool_fallback_total", &[], 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scripted device: classifies `image_id % 10`, failing according
+    /// to a closure over `(image_id, attempt_base, dispatch_count)`.
+    struct Mock {
+        latency: Box<dyn Fn(usize) -> u64>,
+        fails: Box<dyn Fn(usize, u32, u64) -> bool>,
+        dispatched: u64,
+    }
+
+    impl Mock {
+        fn healthy(latency: u64) -> Mock {
+            Mock {
+                latency: Box::new(move |_| latency),
+                fails: Box::new(|_, _, _| false),
+                dispatched: 0,
+            }
+        }
+
+        fn hostile(latency: u64) -> Mock {
+            Mock {
+                latency: Box::new(move |_| latency),
+                fails: Box::new(|_, _, _| true),
+                dispatched: 0,
+            }
+        }
+    }
+
+    impl Device for Mock {
+        fn dispatch(&mut self, image_id: usize, attempt_base: u32) -> DispatchOutcome {
+            let n = self.dispatched;
+            self.dispatched += 1;
+            let failed = (self.fails)(image_id, attempt_base, n);
+            DispatchOutcome {
+                prediction: if failed { None } else { Some(image_id % 10) },
+                cycles: (self.latency)(image_id),
+                attempts: if failed { 4 } else { 1 },
+                faults_injected: u64::from(failed),
+                crc_detected: 0,
+            }
+        }
+    }
+
+    fn cfg() -> PoolConfig {
+        PoolConfig {
+            breaker: BreakerConfig {
+                trip_after: 3,
+                cooldown_cycles: 10_000,
+            },
+            health: HealthConfig::default(),
+            retry_budget: 64,
+            hedge: HedgeConfig::default(),
+        }
+    }
+
+    #[test]
+    fn healthy_pool_round_robins_everything() {
+        let mut pool = DevicePool::new(
+            vec![Mock::healthy(500), Mock::healthy(500), Mock::healthy(500)],
+            cfg(),
+        );
+        let r = pool.serve(30, |_| unreachable!("no fallback needed"));
+        assert_eq!(r.predictions, (0..30).map(|i| i % 10).collect::<Vec<_>>());
+        assert_eq!(r.hw_served, 30);
+        assert_eq!(r.fallback_served, 0);
+        assert_eq!(r.availability(), 1.0);
+        for d in &r.devices {
+            assert_eq!(d.dispatches, 10, "round-robin must balance the load");
+            assert_eq!(d.health, HealthState::Healthy);
+            assert_eq!(d.breaker, BreakerState::Closed);
+        }
+        assert_eq!(r.total_cycles, 30 * 500);
+    }
+
+    #[test]
+    fn hostile_device_is_quarantined_and_work_rerouted() {
+        let mut pool = DevicePool::new(
+            vec![Mock::hostile(2_000), Mock::healthy(500), Mock::healthy(500)],
+            cfg(),
+        );
+        let r = pool.serve(32, |_| unreachable!("two healthy devices remain"));
+        assert_eq!(r.predictions, (0..32).map(|i| i % 10).collect::<Vec<_>>());
+        assert_eq!(r.fallback_served, 0, "healthy devices absorb the load");
+        let hostile = &r.devices[0];
+        assert!(hostile.failures > 0);
+        assert_eq!(hostile.failures, hostile.dispatches);
+        assert_eq!(hostile.health, HealthState::Quarantined);
+        assert!(matches!(hostile.breaker, BreakerState::Open { .. }));
+        assert!(hostile.breaker_trips >= 1);
+        // Every hostile failure that got re-dispatched spent budget.
+        assert!(r.redispatches > 0);
+        assert_eq!(r.hedges, 0, "healthy latencies stay under their p99");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_fallback() {
+        let mut pool = DevicePool::new(
+            vec![Mock::hostile(100)],
+            PoolConfig {
+                retry_budget: 2,
+                ..cfg()
+            },
+        );
+        let fallback_calls = std::cell::Cell::new(0u32);
+        let r = pool.serve(5, |i| {
+            fallback_calls.set(fallback_calls.get() + 1);
+            i % 10
+        });
+        assert_eq!(r.predictions, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.fallback_served, 5);
+        assert_eq!(r.hw_served, 0);
+        assert_eq!(fallback_calls.get(), 5);
+        assert_eq!(r.redispatches, 2, "budget spent, then straight fallback");
+        assert!(r.availability() < 0.01);
+        // Breaker tripped after 3 consecutive failures, so later
+        // images never even dispatched.
+        assert_eq!(r.devices[0].dispatches, 3);
+        assert!(r.outcomes[4].dispatches == 0);
+    }
+
+    #[test]
+    fn breaker_reprobes_after_cooldown_and_heals() {
+        // Device 0 fails its first 3 dispatches (tripping the
+        // breaker), then recovers; device 1 is steady and its work
+        // advances the pool clock through the cooldown.
+        let flaky = Mock {
+            latency: Box::new(|_| 1_000),
+            fails: Box::new(|_, _, n| n < 3),
+            dispatched: 0,
+        };
+        let mut pool = DevicePool::new(
+            vec![flaky, Mock::healthy(1_000)],
+            PoolConfig {
+                breaker: BreakerConfig {
+                    trip_after: 3,
+                    cooldown_cycles: 5_000,
+                },
+                ..cfg()
+            },
+        );
+        // Enough images that the heal-time failures age out of the
+        // 16-slot health window.
+        let r = pool.serve(64, |_| unreachable!("device 1 covers"));
+        assert_eq!(r.fallback_served, 0);
+        let flaky = &r.devices[0];
+        assert_eq!(flaky.breaker_trips, 1);
+        assert_eq!(flaky.breaker, BreakerState::Closed, "probe healed it");
+        assert_eq!(flaky.health, HealthState::Healthy);
+        assert!(
+            flaky.dispatches > 3,
+            "device must have served again after the probe"
+        );
+    }
+
+    #[test]
+    fn slow_outlier_triggers_hedge_and_faster_duplicate_wins() {
+        // Device 0: steady 500-cycle latencies, then one huge outlier.
+        let outlier_at = 40usize;
+        let spiky = Mock {
+            latency: Box::new(move |id| if id == outlier_at { 2_000_000 } else { 500 }),
+            fails: Box::new(|_, _, _| false),
+            dispatched: 0,
+        };
+        // Breaker/pool with only hedging in play; round-robin means
+        // device 0 sees even image ids.
+        let mut pool = DevicePool::new(
+            vec![spiky, Mock::healthy(500)],
+            PoolConfig {
+                hedge: HedgeConfig {
+                    enabled: true,
+                    quantile: 0.99,
+                    min_samples: 8,
+                },
+                ..cfg()
+            },
+        );
+        let r = pool.serve(64, |_| unreachable!());
+        assert_eq!(r.hedges, 1, "exactly the outlier dispatch hedges");
+        assert_eq!(r.hedge_wins, 1, "the 500-cycle duplicate beats it");
+        let out = r.outcomes[outlier_at];
+        assert_eq!(
+            out.served_by,
+            ServedBy::Hedged {
+                primary: 0,
+                winner: 1
+            }
+        );
+        assert_eq!(r.predictions[outlier_at], outlier_at % 10);
+        assert_eq!(r.fallback_served, 0);
+    }
+
+    #[test]
+    fn hedging_disabled_never_hedges() {
+        let spiky = Mock {
+            latency: Box::new(|id| if id == 30 { 2_000_000 } else { 500 }),
+            fails: Box::new(|_, _, _| false),
+            dispatched: 0,
+        };
+        let mut pool = DevicePool::new(
+            vec![spiky, Mock::healthy(500)],
+            PoolConfig {
+                hedge: HedgeConfig {
+                    enabled: false,
+                    ..HedgeConfig::default()
+                },
+                ..cfg()
+            },
+        );
+        let r = pool.serve(64, |_| unreachable!());
+        assert_eq!(r.hedges, 0);
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| matches!(o.served_by, ServedBy::Device(_))));
+    }
+
+    #[test]
+    fn redispatch_uses_fresh_attempt_base() {
+        // Fails only in the first attempt window: the re-dispatch
+        // (attempt_base >= ATTEMPT_STRIDE) succeeds — proving the
+        // pool moved the fault-sampling window.
+        let flaky = Mock {
+            latency: Box::new(|_| 100),
+            fails: Box::new(|_, base, _| base < ATTEMPT_STRIDE),
+            dispatched: 0,
+        };
+        let mut pool = DevicePool::new(vec![flaky], cfg());
+        let r = pool.serve(1, |_| unreachable!("re-dispatch must succeed"));
+        assert_eq!(r.hw_served, 1);
+        assert_eq!(r.redispatches, 1);
+        assert_eq!(r.outcomes[0].dispatches, 2);
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let build = || {
+            DevicePool::new(
+                vec![
+                    Mock {
+                        latency: Box::new(|id| 300 + (id as u64 % 7) * 100),
+                        fails: Box::new(|id, _, _| id % 5 == 0),
+                        dispatched: 0,
+                    },
+                    Mock::healthy(400),
+                ],
+                cfg(),
+            )
+        };
+        let a = build().serve(48, |i| i % 10);
+        let b = build().serve(48, |i| i % 10);
+        assert_eq!(a, b, "same devices + config must replay identically");
+    }
+
+    #[test]
+    fn single_device_pool_with_no_failures_needs_no_budget() {
+        let mut pool = DevicePool::new(
+            vec![Mock::healthy(250)],
+            PoolConfig {
+                retry_budget: 0,
+                ..cfg()
+            },
+        );
+        let r = pool.serve(10, |_| unreachable!());
+        assert_eq!(r.hw_served, 10);
+        assert_eq!(r.redispatches, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_rejected() {
+        let _ = DevicePool::<Mock>::new(vec![], cfg());
+    }
+
+    #[test]
+    fn empty_batch_reports_full_availability() {
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], cfg());
+        let r = pool.serve(0, |_| unreachable!());
+        assert_eq!(r.availability(), 1.0);
+        assert!(r.predictions.is_empty());
+    }
+}

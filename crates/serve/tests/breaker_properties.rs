@@ -1,0 +1,130 @@
+//! Property tests of the circuit-breaker state machine driven by
+//! arbitrary event sequences. The two load-bearing invariants:
+//!
+//! 1. a quarantined device is never served — while the breaker is
+//!    open and the cooldown has not elapsed, `allows` refuses;
+//! 2. the breaker always re-probes after cooldown — an open breaker
+//!    asked at or past its `until` mark admits exactly one half-open
+//!    probe, so no device is quarantined forever.
+
+use cnn_serve::{BreakerConfig, BreakerState, CircuitBreaker};
+use proptest::prelude::*;
+
+/// One step of pool activity against the breaker: the clock advances
+/// by `advance` cycles, permission is asked, and — if granted — the
+/// dispatch succeeds or fails per `fail`.
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    advance: u64,
+    fail: bool,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0u64..5_000, any::<bool>()).prop_map(|(advance, fail)| Step { advance, fail }),
+        1..64,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = BreakerConfig> {
+    (1u32..6, 1u64..10_000).prop_map(|(trip_after, cooldown_cycles)| BreakerConfig {
+        trip_after,
+        cooldown_cycles,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Invariant 1: no dispatch is ever admitted while the breaker is
+    /// open with an unexpired cooldown, no matter the event history.
+    #[test]
+    fn never_serves_while_quarantined(cfg in arb_config(), steps in arb_steps()) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = 0u64;
+        for step in steps {
+            now = now.saturating_add(step.advance);
+            let open_before = matches!(b.state(), BreakerState::Open { until } if now < until);
+            let admitted = b.allows(now);
+            if open_before {
+                prop_assert!(
+                    !admitted,
+                    "open breaker (now={now}, state={:?}) admitted a dispatch",
+                    b.state()
+                );
+            }
+            if admitted {
+                if step.fail {
+                    b.record_failure(now);
+                } else {
+                    b.record_success();
+                }
+            }
+        }
+    }
+
+    /// Invariant 2: whenever the breaker is open, asking at its
+    /// `until` mark admits a probe and lands in HalfOpen — quarantine
+    /// is always temporary.
+    #[test]
+    fn always_reprobes_after_cooldown(cfg in arb_config(), steps in arb_steps()) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = 0u64;
+        for step in steps {
+            now = now.saturating_add(step.advance);
+            if b.allows(now) {
+                if step.fail {
+                    b.record_failure(now);
+                } else {
+                    b.record_success();
+                }
+            }
+            if let BreakerState::Open { until } = b.state() {
+                let mut probe = b.clone();
+                prop_assert!(
+                    probe.allows(until),
+                    "cooldown elapsed at {until} but probe refused"
+                );
+                prop_assert_eq!(probe.state(), BreakerState::HalfOpen);
+                // And the probe's outcome settles the state machine:
+                // success closes, failure re-opens with a fresh cooldown.
+                let mut healed = probe.clone();
+                healed.record_success();
+                prop_assert_eq!(healed.state(), BreakerState::Closed);
+                probe.record_failure(until);
+                prop_assert!(matches!(probe.state(), BreakerState::Open { .. }));
+            }
+        }
+    }
+
+    /// Closed-state bookkeeping: it takes exactly `trip_after`
+    /// consecutive failures to trip, and any success resets the run.
+    #[test]
+    fn trips_only_on_consecutive_failures(cfg in arb_config(), steps in arb_steps()) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = 0u64;
+        let mut streak = 0u32;
+        for step in steps {
+            now = now.saturating_add(step.advance);
+            if b.state() != BreakerState::Closed {
+                break; // this property only constrains the closed state
+            }
+            if !b.allows(now) {
+                break;
+            }
+            if step.fail {
+                streak += 1;
+                b.record_failure(now);
+                if streak >= cfg.trip_after.max(1) {
+                    prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+                    break;
+                }
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+            } else {
+                streak = 0;
+                b.record_success();
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+            }
+        }
+    }
+}

@@ -57,6 +57,31 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// smallest bucket bound whose cumulative count covers a `q`
+    /// fraction of the observations. Returns `None` for an empty
+    /// histogram, and `u64::MAX` when the quantile falls in the
+    /// implicit `+Inf` bucket — callers comparing a latency against
+    /// `quantile(0.99)` get a conservative (never under-reported)
+    /// threshold.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !q.is_finite() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, under `le`
+        // semantics; q = 0 maps to the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for (i, &cum) in self.buckets.iter().enumerate() {
+            if cum >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
 struct Histogram {
     bounds: Vec<u64>,
     buckets: Vec<AtomicU64>, // bounds.len() + 1 (the +Inf bucket)
@@ -233,6 +258,37 @@ mod tests {
         assert_eq!(h.buckets[1], 2);
         assert_eq!(*h.buckets.last().unwrap(), 3);
         assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let r = Registry::new();
+        for _ in 0..99 {
+            r.observe("lat", 100); // bucket <= 256
+        }
+        r.observe("lat", 5_000); // bucket <= 16_384
+        let h = &r.histograms()[0];
+        assert_eq!(h.quantile(0.5), Some(256));
+        assert_eq!(h.quantile(0.99), Some(256));
+        assert_eq!(h.quantile(1.0), Some(16_384));
+        assert_eq!(h.quantile(0.0), Some(256));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = HistogramSnapshot {
+            name: "e",
+            bounds: DEFAULT_BUCKETS.to_vec(),
+            buckets: vec![0; DEFAULT_BUCKETS.len() + 1],
+            sum: 0,
+            count: 0,
+        };
+        assert_eq!(empty.quantile(0.99), None);
+        let r = Registry::new();
+        r.observe("lat2", u64::MAX); // +Inf bucket only
+        let h = &r.histograms()[0];
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        assert_eq!(h.quantile(f64::NAN), None);
     }
 
     #[test]

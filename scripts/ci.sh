@@ -13,7 +13,7 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
-echo "== cargo clippy --workspace -- -D warnings =="
-cargo clippy --workspace -- -D warnings
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "ci: all green"

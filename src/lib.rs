@@ -23,6 +23,7 @@
 //! | [`platform`] | `cnn-platform` | ARM Cortex-A9 timing model, SoC composition |
 //! | [`power`] | `cnn-power` | power models + energy meter |
 //! | [`framework`] | `cnn-framework` | JSON descriptors, Fig.-3 workflow, experiments |
+//! | [`serve`] | `cnn-serve` | fault-tolerant multi-device pool: breakers, budgets, hedging |
 //! | [`trace`] | `cnn-trace` | spans, counters, histograms + Chrome/Prometheus exporters |
 //! | [`error`] | (this crate) | the unified [`Error`] taxonomy over every layer |
 //!
@@ -49,6 +50,7 @@ pub use cnn_hls as hls;
 pub use cnn_nn as nn;
 pub use cnn_platform as platform;
 pub use cnn_power as power;
+pub use cnn_serve as serve;
 pub use cnn_tensor as tensor;
 pub use cnn_trace as trace;
 pub use error::Error;

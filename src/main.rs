@@ -16,6 +16,10 @@
 //! cnn2fpga trace [descriptor.json] [opts]       traced run: Chrome JSON + Prometheus
 //!     --images/--seed/--fault-rate   as for classify
 //!     --out <dir>                 trace output directory (default ./cnn2fpga-trace-out)
+//! cnn2fpga serve [descriptor.json] [opts]       serve over a fault-tolerant device pool
+//!     --images/--seed/--fault-rate   as for classify (rate applies to every device)
+//!     --devices <n>               pool size (default 4)
+//!     --hostile <i>               make device i abandon everything (chaos mode)
 //! ```
 
 use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
@@ -32,7 +36,9 @@ fn usage() -> ExitCode {
          cnn2fpga report <descriptor.json>\n  \
          cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR]\n  \
          cnn2fpga classify [descriptor.json] [--images N] [--seed N] [--fault-rate R]\n  \
-         cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]"
+         cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]\n  \
+         cnn2fpga serve [descriptor.json] [--images N] [--seed N] [--fault-rate R] \
+[--devices N] [--hostile I]"
     );
     ExitCode::from(2)
 }
@@ -368,6 +374,90 @@ fn cmd_trace(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_serve(rest: &[String]) -> ExitCode {
+    // `serve`-only options first, then the shared run options.
+    let mut devices = 4usize;
+    let mut hostile: Option<usize> = None;
+    let mut shared: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--devices" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => devices = n,
+                _ => return usage(),
+            },
+            "--hostile" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(i) => hostile = Some(i),
+                None => return usage(),
+            },
+            other => shared.push(other.to_string()),
+        }
+    }
+    let opts = match parse_run_opts(&shared, "cnn2fpga-trace-out") {
+        Some(o) => o,
+        None => return usage(),
+    };
+    if hostile.is_some_and(|i| i >= devices) {
+        eprintln!("--hostile index must be below --devices");
+        return ExitCode::FAILURE;
+    }
+
+    let spec = match &opts.descriptor {
+        Some(p) => match load_spec(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid descriptor: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => NetworkSpec::paper_usps_small(true),
+    };
+    let artifacts = match Workflow::new(spec, WeightSource::Random { seed: opts.seed }).run() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let images = cnn2fpga::datasets::UspsLike::default()
+        .generate(opts.images, 8)
+        .images;
+    // One plan per device, each with its own derived seed so device
+    // fault streams are independent; the hostile device (chaos mode)
+    // abandons every image it is handed.
+    let plans: Vec<FaultPlan> = (0..devices)
+        .map(|i| {
+            if hostile == Some(i) {
+                FaultPlan::uniform(opts.seed ^ 0xC0FFEE ^ i as u64, 1.0)
+            } else {
+                FaultPlan::uniform(opts.seed.wrapping_add(i as u64), opts.fault_rate)
+            }
+        })
+        .collect();
+    let report = match artifacts.serve_with_pool(
+        &images,
+        &plans,
+        &RetryPolicy::default(),
+        cnn2fpga::serve::PoolConfig::default(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in &report.trace {
+        println!("[serve] {line}");
+    }
+    println!(
+        "availability {:.4} ({} hardware, {} fallback, all predictions bit-exact)",
+        report.report.availability(),
+        report.report.hw_served,
+        report.report.fallback_served,
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -386,6 +476,7 @@ fn main() -> ExitCode {
         },
         Some("classify") => cmd_classify(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
