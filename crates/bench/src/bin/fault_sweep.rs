@@ -5,12 +5,16 @@
 //! the degradation cost in throughput and wasted energy.
 //!
 //! ```text
-//! cargo run --release -p cnn-bench --bin fault_sweep [-- --quick]
+//! cargo run --release -p cnn-bench --bin fault_sweep [-- --quick] [-- --out FILE]
 //! ```
 //!
 //! Every row re-runs the same seeded plan, so the table is exactly
 //! reproducible; the binary asserts that the final predictions at
-//! every rate are bit-identical to the software reference.
+//! every rate are bit-identical to the software reference. With
+//! `--out FILE`, the per-rate rows are also committed as JSON through
+//! the artifact store's write-temp-then-rename helper, so a crash
+//! mid-sweep can never leave a torn results file for dashboards to
+//! ingest.
 
 use cnn_fpga::fault::{FaultPlan, RetryPolicy};
 use cnn_fpga::Board;
@@ -18,7 +22,13 @@ use cnn_framework::{NetworkSpec, WeightSource, Workflow};
 use cnn_power::EnergyMeter;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let n = if quick { 40 } else { 200 };
     // Record the sweep's outcome accounting in the metrics registry so
     // the run ends with a Prometheus exposition, not print-only stats.
@@ -56,6 +66,7 @@ fn main() {
         "wasted J"
     );
 
+    let mut json_rows = Vec::new();
     for rate in [0.0, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let plan = FaultPlan::uniform(2016, rate);
         let report = artifacts.classify_with_recovery(&images, &plan, &policy);
@@ -91,6 +102,21 @@ fn main() {
             n as f64 / hw.seconds,
             energy.wasted_joules,
         );
+        json_rows.push(format!(
+            "    {{\"rate\": {rate}, \"images\": {n}, \"injected\": {}, \
+             \"retries\": {}, \"resets\": {}, \"clean\": {}, \"recovered\": {}, \
+             \"abandoned\": {}, \"sw_fallbacks\": {}, \"images_per_s\": {:.3}, \
+             \"wasted_joules\": {:.6}}}",
+            hw.faults.injected,
+            hw.faults.retries,
+            hw.faults.resets,
+            hw.faults.clean,
+            hw.faults.recovered,
+            hw.faults.abandoned,
+            report.fallbacks.len(),
+            n as f64 / hw.seconds,
+            energy.wasted_joules,
+        ));
     }
 
     println!(
@@ -110,4 +136,16 @@ fn main() {
         "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
         cnn_trace::export::prometheus::to_prometheus_text(&cnn_trace::snapshot())
     );
+
+    if let Some(path) = out_path {
+        // Committed via write-temp-then-rename: a reader of the results
+        // file sees the previous sweep or this one, never a torn mix.
+        let json = format!(
+            "{{\n  \"benchmark\": \"fault_sweep\",\n  \"images_per_row\": {n},\n  \
+             \"seed\": 2016,\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_rows.join(",\n")
+        );
+        cnn_store::atomic_write(&path, json.as_bytes()).expect("atomic result commit");
+        println!("results committed atomically to {path}");
+    }
 }

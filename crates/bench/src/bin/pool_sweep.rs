@@ -6,8 +6,12 @@
 //! accounting, and how many injected faults the stream CRC caught.
 //!
 //! ```text
-//! cargo run --release -p cnn-bench --bin pool_sweep [-- --quick]
+//! cargo run --release -p cnn-bench --bin pool_sweep [-- --quick] [-- --out FILE]
 //! ```
+//!
+//! With `--out FILE`, the same JSON document is committed through the
+//! artifact store's write-temp-then-rename helper, so a crash mid-run
+//! can never leave a torn results file behind.
 //!
 //! Every configuration is seeded, so the sweep is exactly
 //! reproducible. The binary asserts the PR's serving SLO: at a 5%
@@ -23,7 +27,13 @@ const RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.2, 0.5];
 const POOLS: [usize; 3] = [1, 2, 4];
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let n = if quick { 32 } else { 128 };
     cnn_trace::enable();
 
@@ -118,8 +128,13 @@ fn main() {
         "images_per_cell": n,
         "rows": rows,
     });
-    println!(
-        "\nJSON:\n{}",
-        serde_json::to_string_pretty(&doc).expect("sweep rows serialize")
-    );
+    let rendered = serde_json::to_string_pretty(&doc).expect("sweep rows serialize");
+    println!("\nJSON:\n{rendered}");
+
+    if let Some(path) = out_path {
+        // Committed via write-temp-then-rename: a reader of the results
+        // file sees the previous sweep or this one, never a torn mix.
+        cnn_store::atomic_write(&path, rendered.as_bytes()).expect("atomic result commit");
+        println!("results committed atomically to {path}");
+    }
 }

@@ -79,6 +79,53 @@ impl Bitstream {
             directives: project.directives().label(),
         })
     }
+
+    /// Canonical, line-oriented manifest of everything that makes this
+    /// bitstream what it is: the board and part, the block design's
+    /// components and connections, resource utilization, the CNN
+    /// core's timing contract and the directive label. Stable across
+    /// runs for equal builds, so it can be content-addressed.
+    pub fn content_text(&self) -> String {
+        let mut out = String::from("cnn2fpga-bitstream v1\n");
+        out.push_str(&format!("board {}\n", self.board.name()));
+        out.push_str(&format!("part {}\n", self.board.part().name));
+        out.push_str(&format!("design {}\n", self.design.name));
+        for c in &self.design.components {
+            out.push_str(&format!(
+                "component {} {:?} pins {}\n",
+                c.name,
+                c.kind,
+                c.pins.join(",")
+            ));
+        }
+        for c in &self.design.connections {
+            out.push_str(&format!("connection {} -> {}\n", c.from, c.to));
+        }
+        out.push_str(&format!(
+            "resources ff={} lut={} lutram={} bram36={} dsp={}\n",
+            self.resources.ff,
+            self.resources.lut,
+            self.resources.lutram,
+            self.resources.bram36,
+            self.resources.dsp
+        ));
+        out.push_str(&format!(
+            "core input={} words={} latency={} interval={} dataflow={}\n",
+            self.core.input_shape(),
+            self.core.input_words(),
+            self.core.latency_cycles(),
+            self.core.interval_cycles(),
+            self.core.dataflow()
+        ));
+        out.push_str(&format!("directives {}\n", self.directives));
+        out
+    }
+
+    /// FNV-1a/64 hash of [`Bitstream::content_text`] — the identity
+    /// the resumable workflow journals for the programming stage.
+    pub fn content_hash(&self) -> u64 {
+        cnn_store::hash::fnv64(self.content_text().as_bytes())
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod resume;
 pub mod serving;
 pub mod spec;
 pub mod weights;
@@ -39,6 +40,7 @@ pub mod workflow;
 
 pub use experiments::{Experiment, ExperimentConfig, PaperTest};
 pub use report::{Table1Row, Table2Row};
+pub use resume::{run_resumable, ResumeOutcome};
 pub use serving::{PoolClassificationReport, PooledZynq};
 pub use spec::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, SpecError};
 pub use weights::{WeightError, WeightSource};

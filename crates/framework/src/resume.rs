@@ -1,0 +1,647 @@
+//! Resumable, store-backed execution of the Fig. 3 workflow.
+//!
+//! [`run_resumable`] executes the same stages as [`Workflow::run`] but
+//! journals every stage completion in a [`cnn_store::Store`]: each
+//! stage records the FNV-1a/64 hash of its inputs alongside the
+//! content ids of the artifacts it produced. A re-run (same store,
+//! same descriptor, same weight source) skips every stage whose
+//! recorded input hash is unchanged **and** whose artifacts still
+//! verify on disk; the artifacts are loaded back — checksummed — from
+//! the store instead of being regenerated. If the process crashed
+//! mid-run, the store's journal replay discards any torn tail and the
+//! next run resumes from the last durably committed stage.
+//!
+//! Two paths deserve a note:
+//!
+//! * **Online training** ([`WeightSource::TrainOnline`]) is the
+//!   expensive stage, so it checkpoints after *every epoch*: the
+//!   serialized [`TrainCheckpoint`] is committed to the store under a
+//!   stable name, and a re-run resumes from the last committed epoch.
+//!   To make resume bit-identical to an uninterrupted run, this path
+//!   uses the deterministic initializer
+//!   ([`crate::weights::build_deterministic`]) and the per-epoch
+//!   derived shuffle streams of [`cnn_nn::checkpoint`] — its realized
+//!   weights are stable across any crash/resume schedule, though they
+//!   differ numerically from [`Workflow::run`]'s ambient-RNG trainer.
+//! * **Structural artifacts** (the HLS project, the programmed
+//!   device) are cheap, pure derivations in the simulated toolchain
+//!   and are re-derived on every run; their *textual* outputs (C++
+//!   source, tcl scripts, HDL wrapper, HLS report, bitstream
+//!   manifest) are the durable, verified artifacts.
+
+use crate::spec::NetworkSpec;
+use crate::weights::{build_deterministic, realize, WeightError, WeightSource};
+use crate::workflow::{Workflow, WorkflowArtifacts, WorkflowError, WorkflowStage};
+use cnn_fpga::{Bitstream, ZynqDevice};
+use cnn_hls::HlsProject;
+use cnn_nn::checkpoint::{run_checkpointed, TrainCheckpoint};
+use cnn_nn::Network;
+use cnn_store::hash::{hex64, Fnv64};
+use cnn_store::{ArtifactKind, Store, StoreError};
+
+/// What a resumable run did: the artifacts plus the executed/skipped
+/// split and the run's stage-input fingerprint.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The same artifact set [`Workflow::run`] produces.
+    pub artifacts: WorkflowArtifacts,
+    /// Stages that actually ran this time.
+    pub executed: Vec<WorkflowStage>,
+    /// Stages skipped because their journal record was fresh and their
+    /// artifacts verified.
+    pub skipped: Vec<WorkflowStage>,
+    /// Combined hash of the descriptor and the weight source — the
+    /// run's identity in the store (artifact names embed it).
+    pub inputs: u64,
+    /// Stage-by-stage account, including skip/resume decisions.
+    pub trace: Vec<String>,
+}
+
+impl ResumeOutcome {
+    /// True when nothing had to be re-executed except the always-run
+    /// validation stage.
+    pub fn fully_cached(&self) -> bool {
+        self.executed == [WorkflowStage::Validate]
+    }
+}
+
+fn fail(stage: WorkflowStage, message: impl Into<String>) -> WorkflowError {
+    WorkflowError {
+        stage,
+        message: message.into(),
+    }
+}
+
+fn store_fail(stage: WorkflowStage) -> impl Fn(StoreError) -> WorkflowError {
+    move |e| fail(stage, e.to_string())
+}
+
+/// Runs one stage whose outputs are textual artifacts. When the
+/// journal says the stage already completed with the same `inputs` and
+/// every output verifies, the contents are loaded (checksummed) from
+/// the store; otherwise `generate` runs, the outputs are committed
+/// atomically, and the stage is journaled.
+///
+/// Returns the output contents (in `names` order) and whether the
+/// stage was skipped.
+fn textual_stage(
+    store: &mut Store,
+    stage: WorkflowStage,
+    key: &str,
+    inputs: u64,
+    names: &[(ArtifactKind, String)],
+    generate: impl FnOnce() -> Vec<String>,
+) -> Result<(Vec<String>, bool), WorkflowError> {
+    if store.stage_is_fresh(key, inputs) {
+        let mut contents = Vec::with_capacity(names.len());
+        for (kind, name) in names {
+            let bytes = store.get(*kind, name).map_err(store_fail(stage))?;
+            let text = String::from_utf8(bytes)
+                .map_err(|_| fail(stage, format!("stored artifact '{name}' is not UTF-8")))?;
+            contents.push(text);
+        }
+        cnn_trace::counter_add("cnn_resume_stages_skipped_total", &[], 1);
+        return Ok((contents, true));
+    }
+    let contents = generate();
+    debug_assert_eq!(contents.len(), names.len());
+    let mut outputs = Vec::with_capacity(names.len());
+    for ((kind, name), text) in names.iter().zip(&contents) {
+        let id = store
+            .put(*kind, name, text.as_bytes())
+            .map_err(store_fail(stage))?;
+        outputs.push((*kind, name.clone(), id));
+    }
+    store
+        .record_stage(key, inputs, &outputs)
+        .map_err(store_fail(stage))?;
+    cnn_trace::counter_add("cnn_resume_stages_executed_total", &[], 1);
+    Ok((contents, false))
+}
+
+/// Realizes the weight source with durable checkpoints for the
+/// online-training path (every other source realizes in one step).
+fn realize_durable(
+    spec: &NetworkSpec,
+    source: &WeightSource,
+    store: &mut Store,
+    tag: &str,
+    trace: &mut Vec<String>,
+) -> Result<Network, WorkflowError> {
+    let stage = WorkflowStage::RealizeWeights;
+    let (dataset, config, seed) = match source {
+        WeightSource::TrainOnline {
+            dataset,
+            config,
+            seed,
+        } => (dataset, config, *seed),
+        other => return realize(spec, other).map_err(|e| fail(stage, e.to_string())),
+    };
+
+    // The same admission checks as the one-shot realize path.
+    if dataset.image_shape() != spec.input_shape() {
+        let e = WeightError::DatasetShape {
+            dataset: dataset.image_shape(),
+            descriptor: spec.input_shape(),
+        };
+        return Err(fail(stage, e.to_string()));
+    }
+    if let Some(classes) = spec.classes() {
+        if dataset.classes > classes {
+            let e = WeightError::TooManyClasses {
+                dataset: dataset.classes,
+                network: classes,
+            };
+            return Err(fail(stage, e.to_string()));
+        }
+    }
+
+    let init = build_deterministic(spec, seed).map_err(|e| fail(stage, e.to_string()))?;
+    let ckpt_name = format!("ckpt-{tag}");
+
+    // Adopt a stored checkpoint when it verifies and matches this
+    // run's seed and hyper-parameters; otherwise start fresh. A
+    // corrupt checkpoint is a restart, not a failure — unless the
+    // filesystem itself is reporting a crash, which must propagate.
+    let mut st = TrainCheckpoint::fresh(&init, config, seed);
+    if store.lookup(ArtifactKind::Checkpoint, &ckpt_name).is_some() {
+        match store.get(ArtifactKind::Checkpoint, &ckpt_name) {
+            Ok(bytes) => {
+                let adopted = std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|t| TrainCheckpoint::decode(t).ok())
+                    .filter(|ck| ck.seed == seed && ck.config == *config);
+                match adopted {
+                    Some(ck) => {
+                        trace.push(format!(
+                            "realize weights: resuming training at epoch {}/{}",
+                            ck.next_epoch, config.epochs
+                        ));
+                        st = ck;
+                    }
+                    None => trace.push(
+                        "realize weights: stored checkpoint stale — restarting training".into(),
+                    ),
+                }
+            }
+            Err(e) if e.is_crash() => return Err(fail(stage, e.to_string())),
+            Err(e) => trace.push(format!(
+                "realize weights: stored checkpoint unreadable ({e}) — restarting training"
+            )),
+        }
+    }
+
+    let done = if st.is_complete() {
+        st
+    } else {
+        let start = st.next_epoch;
+        let mut sink = |ck: &TrainCheckpoint| -> Result<(), String> {
+            store
+                .put(ArtifactKind::Checkpoint, &ckpt_name, ck.encode().as_bytes())
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        };
+        let done = run_checkpointed(st, &dataset.images, &dataset.labels, &mut sink)
+            .map_err(|e| fail(stage, e))?;
+        trace.push(format!(
+            "realize weights: trained epochs {start}..{} with per-epoch checkpoints",
+            done.next_epoch
+        ));
+        done
+    };
+    Ok(done.network)
+}
+
+/// Runs the workflow against `store`, journaling each stage and
+/// skipping any whose inputs are unchanged and whose artifacts verify.
+pub fn run_resumable(
+    workflow: &Workflow,
+    store: &mut Store,
+) -> Result<ResumeOutcome, WorkflowError> {
+    let _span = cnn_trace::span("framework", "resumable workflow");
+    let spec = workflow.spec();
+    let mut executed = Vec::new();
+    let mut skipped = Vec::new();
+    let mut trace = Vec::new();
+    let mut mark = |stage: WorkflowStage, was_skipped: bool| {
+        if was_skipped {
+            skipped.push(stage);
+        } else {
+            executed.push(stage);
+        }
+    };
+
+    // 1. validate — always re-run; it is the cheapest stage and the
+    // gate for everything below.
+    let shapes = spec
+        .validate()
+        .map_err(|e| fail(WorkflowStage::Validate, e.to_string()))?;
+    mark(WorkflowStage::Validate, false);
+    trace.push(format!("validate descriptor: ok ({} stages)", shapes.len()));
+
+    let spec_hash = spec.content_hash();
+    let inputs = {
+        let mut h = Fnv64::new();
+        h.update(b"workflow\n")
+            .update_u64(spec_hash)
+            .update_u64(workflow.weights().fingerprint());
+        h.finish()
+    };
+    let tag = hex64(inputs);
+
+    // 2. realize weights — the expensive stage; durable via the
+    // weights artifact (and per-epoch checkpoints when training).
+    let weights_name = format!("weights-{tag}");
+    let realize_key = format!("realize-{tag}");
+    let network = if store.stage_is_fresh(&realize_key, inputs) {
+        let bytes = store
+            .get(ArtifactKind::Weights, &weights_name)
+            .map_err(store_fail(WorkflowStage::RealizeWeights))?;
+        let text = String::from_utf8(bytes).map_err(|_| {
+            fail(
+                WorkflowStage::RealizeWeights,
+                "stored weights artifact is not UTF-8",
+            )
+        })?;
+        let net = cnn_nn::io::read_text(&text).map_err(|e| {
+            fail(
+                WorkflowStage::RealizeWeights,
+                format!("stored weights: {e}"),
+            )
+        })?;
+        mark(WorkflowStage::RealizeWeights, true);
+        trace.push(format!(
+            "realize weights: skipped — artifact '{weights_name}' verified"
+        ));
+        cnn_trace::counter_add("cnn_resume_stages_skipped_total", &[], 1);
+        net
+    } else {
+        let net = realize_durable(spec, workflow.weights(), store, &tag, &mut trace)?;
+        let text = cnn_nn::io::write_text(&net);
+        let id = store
+            .put(ArtifactKind::Weights, &weights_name, text.as_bytes())
+            .map_err(store_fail(WorkflowStage::RealizeWeights))?;
+        store
+            .record_stage(
+                &realize_key,
+                inputs,
+                &[(ArtifactKind::Weights, weights_name.clone(), id)],
+            )
+            .map_err(store_fail(WorkflowStage::RealizeWeights))?;
+        mark(WorkflowStage::RealizeWeights, false);
+        trace.push(format!(
+            "realize weights: ok ({} parameters, artifact '{weights_name}')",
+            net.param_count()
+        ));
+        cnn_trace::counter_add("cnn_resume_stages_executed_total", &[], 1);
+        net
+    };
+
+    // Downstream stages chain from the committed weights artifact, so
+    // a changed realization invalidates everything below it.
+    let weights_id = store
+        .lookup(ArtifactKind::Weights, &weights_name)
+        .map(|id| id.0)
+        .unwrap_or(0);
+    let gen_inputs = {
+        let mut h = Fnv64::new();
+        h.update(b"generate\n")
+            .update_u64(spec_hash)
+            .update_u64(weights_id);
+        h.finish()
+    };
+
+    // The HLS project is a pure in-memory derivation; it carries the
+    // scheduling/binding state the report and bitstream need.
+    let project = HlsProject::new(&network, spec.directives(), spec.board.part())
+        .map_err(|e| fail(WorkflowStage::Synthesize, e.to_string()))?;
+
+    // 3. generate C++
+    let (cpp, cpp_skipped) = textual_stage(
+        store,
+        WorkflowStage::GenerateCpp,
+        &format!("generate-cpp-{tag}"),
+        gen_inputs,
+        &[(ArtifactKind::Cpp, format!("cpp-{tag}"))],
+        || vec![project.cpp_source()],
+    )?;
+    mark(WorkflowStage::GenerateCpp, cpp_skipped);
+    trace.push(format!(
+        "generate C++ source: {} ({} lines)",
+        if cpp_skipped { "skipped" } else { "ok" },
+        cpp[0].lines().count()
+    ));
+
+    // 4. generate tcl (three scripts, one stage)
+    let tcl_names = [
+        (ArtifactKind::Tcl, format!("tcl-hls-{tag}")),
+        (ArtifactKind::Tcl, format!("tcl-directives-{tag}")),
+        (ArtifactKind::Tcl, format!("tcl-vivado-{tag}")),
+    ];
+    let (tcl_texts, tcl_skipped) = textual_stage(
+        store,
+        WorkflowStage::GenerateTcl,
+        &format!("generate-tcl-{tag}"),
+        gen_inputs,
+        &tcl_names,
+        || {
+            let t = project.tcl_scripts();
+            vec![t.vivado_hls, t.directives, t.vivado]
+        },
+    )?;
+    mark(WorkflowStage::GenerateTcl, tcl_skipped);
+    trace.push(format!(
+        "generate tcl scripts: {} (3 scripts)",
+        if tcl_skipped { "skipped" } else { "ok" }
+    ));
+    let tcl = cnn_hls::codegen::tcl::TclScripts {
+        vivado_hls: tcl_texts[0].clone(),
+        directives: tcl_texts[1].clone(),
+        vivado: tcl_texts[2].clone(),
+    };
+
+    // 5. synthesis report
+    let report = project.report();
+    let report_text = format!(
+        "latency_cycles {}\ninterval_cycles {}\nresources {}\n",
+        report.latency_cycles, report.interval_cycles, report.resources
+    );
+    let (_, synth_skipped) = textual_stage(
+        store,
+        WorkflowStage::Synthesize,
+        &format!("synthesize-{tag}"),
+        gen_inputs,
+        &[(ArtifactKind::Report, format!("hls-report-{tag}"))],
+        || vec![report_text.clone()],
+    )?;
+    mark(WorkflowStage::Synthesize, synth_skipped);
+    trace.push(format!(
+        "high-level synthesis: {} (latency {} cycles)",
+        if synth_skipped { "skipped" } else { "ok" },
+        report.latency_cycles
+    ));
+
+    // 6–7. block design + bitstream. The bitstream object is re-derived
+    // (pure), its canonical manifest is the durable artifact.
+    let bitstream = Bitstream::implement(&project, spec.board)
+        .map_err(|e| fail(WorkflowStage::Implement, e.to_string()))?;
+    let hdl_wrapper_text = cnn_fpga::hdl::generate_wrapper(&bitstream.design);
+    let (hdl_out, bd_skipped) = textual_stage(
+        store,
+        WorkflowStage::BlockDesign,
+        &format!("block-design-{tag}"),
+        gen_inputs,
+        &[(ArtifactKind::Hdl, format!("hdl-wrapper-{tag}"))],
+        || vec![hdl_wrapper_text.clone()],
+    )?;
+    mark(WorkflowStage::BlockDesign, bd_skipped);
+    trace.push(format!(
+        "assemble block design: {}",
+        if bd_skipped { "skipped" } else { "ok" }
+    ));
+    let hdl_wrapper = hdl_out.into_iter().next().unwrap_or(hdl_wrapper_text);
+
+    let (_, impl_skipped) = textual_stage(
+        store,
+        WorkflowStage::Implement,
+        &format!("implement-{tag}"),
+        gen_inputs,
+        &[(ArtifactKind::Bitstream, format!("bitstream-{tag}"))],
+        || vec![bitstream.content_text()],
+    )?;
+    mark(WorkflowStage::Implement, impl_skipped);
+    trace.push(format!(
+        "implement bitstream: {} for {} (content {})",
+        if impl_skipped { "skipped" } else { "ok" },
+        spec.board.name(),
+        hex64(bitstream.content_hash())
+    ));
+
+    // 8. program — journaled against the bitstream's content hash so a
+    // different bitstream forces reprogramming.
+    let device = ZynqDevice::program(spec.board, bitstream.clone())
+        .map_err(|e| fail(WorkflowStage::Program, e.to_string()))?;
+    let program_key = format!("program-{tag}");
+    let program_inputs = bitstream.content_hash();
+    let prog_skipped = store.stage_is_fresh(&program_key, program_inputs);
+    if !prog_skipped {
+        let bit_id = store
+            .lookup(ArtifactKind::Bitstream, &format!("bitstream-{tag}"))
+            .ok_or_else(|| fail(WorkflowStage::Program, "bitstream artifact vanished"))?;
+        store
+            .record_stage(
+                &program_key,
+                program_inputs,
+                &[(ArtifactKind::Bitstream, format!("bitstream-{tag}"), bit_id)],
+            )
+            .map_err(store_fail(WorkflowStage::Program))?;
+    }
+    mark(WorkflowStage::Program, prog_skipped);
+    trace.push(format!(
+        "program device: {}",
+        if prog_skipped { "skipped" } else { "ok" }
+    ));
+
+    Ok(ResumeOutcome {
+        artifacts: WorkflowArtifacts {
+            network,
+            cpp_source: cpp.into_iter().next().unwrap_or_default(),
+            tcl,
+            report,
+            hdl_wrapper,
+            bitstream,
+            device,
+            trace: trace.clone(),
+        },
+        executed,
+        skipped,
+        inputs,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::build_deterministic;
+    use cnn_datasets::Dataset;
+    use cnn_nn::TrainConfig;
+    use cnn_store::FsFaultPlan;
+    use cnn_tensor::{Shape, Tensor};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("cnn-resume-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn spec() -> NetworkSpec {
+        NetworkSpec::paper_usps_small(true)
+    }
+
+    /// A "trained" source built without any ambient RNG so these tests
+    /// run even where the RNG stack is stubbed out.
+    fn trained_source(seed: u64) -> WeightSource {
+        WeightSource::Trained(Box::new(build_deterministic(&spec(), seed).unwrap()))
+    }
+
+    fn tiny_dataset(n: usize) -> Dataset {
+        let images = (0..n)
+            .map(|i| {
+                Tensor::from_fn(Shape::new(1, 16, 16), |c, y, x| {
+                    let v = (i as u64)
+                        .wrapping_mul(131)
+                        .wrapping_add((c * 289 + y * 17 + x) as u64);
+                    ((v % 512) as f32) / 256.0 - 1.0
+                })
+            })
+            .collect();
+        let labels = (0..n).map(|i| i % 10).collect();
+        Dataset::new("tiny", images, labels, 10)
+    }
+
+    fn online_source(epochs: usize) -> WeightSource {
+        WeightSource::TrainOnline {
+            dataset: tiny_dataset(12),
+            config: TrainConfig {
+                epochs,
+                batch_size: 4,
+                learning_rate: 0.1,
+                momentum: 0.5,
+                ..Default::default()
+            },
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn first_run_executes_everything_and_commits_artifacts() {
+        let root = scratch("first");
+        let mut store = Store::open(&root).unwrap();
+        let wf = Workflow::new(spec(), trained_source(7));
+        let out = run_resumable(&wf, &mut store).unwrap();
+        assert!(out.skipped.is_empty(), "{:?}", out.skipped);
+        assert_eq!(out.executed.len(), 8);
+        assert!(out.artifacts.cpp_source.contains("int cnn("));
+        assert!(out.artifacts.tcl.vivado.contains("create_bd_design"));
+        assert!(out
+            .artifacts
+            .hdl_wrapper
+            .contains("module design_1_wrapper"));
+        // weights + cpp + 3 tcl + report + hdl + bitstream
+        assert_eq!(store.len(), 8);
+        assert!(store.verify_all().unwrap().all_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_run_skips_every_stage_and_reloads_identical_artifacts() {
+        let root = scratch("cached");
+        let wf = Workflow::new(spec(), trained_source(8));
+        let first = {
+            let mut store = Store::open(&root).unwrap();
+            run_resumable(&wf, &mut store).unwrap()
+        };
+        // Re-open (simulating a fresh process) and run again.
+        let mut store = Store::open(&root).unwrap();
+        let second = run_resumable(&wf, &mut store).unwrap();
+        assert!(second.fully_cached(), "executed: {:?}", second.executed);
+        assert_eq!(second.skipped.len(), 7);
+        assert_eq!(first.inputs, second.inputs);
+        assert_eq!(first.artifacts.cpp_source, second.artifacts.cpp_source);
+        assert_eq!(first.artifacts.hdl_wrapper, second.artifacts.hdl_wrapper);
+        assert_eq!(first.artifacts.tcl.vivado, second.artifacts.tcl.vivado);
+        assert_eq!(first.artifacts.network, second.artifacts.network);
+        assert_eq!(
+            first.artifacts.bitstream.content_hash(),
+            second.artifacts.bitstream.content_hash()
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn changed_inputs_invalidate_the_cache() {
+        let root = scratch("invalidate");
+        let mut store = Store::open(&root).unwrap();
+        let a = run_resumable(&Workflow::new(spec(), trained_source(1)), &mut store).unwrap();
+        let b = run_resumable(&Workflow::new(spec(), trained_source(2)), &mut store).unwrap();
+        assert_ne!(a.inputs, b.inputs);
+        assert!(b.skipped.is_empty(), "{:?}", b.skipped);
+        // Both runs' artifacts coexist in the store under distinct names.
+        assert_eq!(store.names_of_kind(ArtifactKind::Weights).len(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn online_training_checkpoints_and_caches() {
+        let root = scratch("online");
+        let wf = Workflow::new(spec(), online_source(2));
+        let first = {
+            let mut store = Store::open(&root).unwrap();
+            run_resumable(&wf, &mut store).unwrap()
+        };
+        let mut store = Store::open(&root).unwrap();
+        assert_eq!(store.names_of_kind(ArtifactKind::Checkpoint).len(), 1);
+        let second = run_resumable(&wf, &mut store).unwrap();
+        assert!(second.fully_cached(), "executed: {:?}", second.executed);
+        assert_eq!(first.artifacts.network, second.artifacts.network);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_anywhere_then_restart_reaches_the_same_result() {
+        // Reference: an uninterrupted run in a pristine store.
+        let wf = Workflow::new(spec(), online_source(3));
+        let reference = {
+            let root = scratch("crash-ref");
+            let mut store = Store::open(&root).unwrap();
+            let out = run_resumable(&wf, &mut store).unwrap();
+            let _ = std::fs::remove_dir_all(&root);
+            out
+        };
+
+        // Crash at a spread of filesystem-operation indices; after a
+        // restart the run must complete and agree bit-for-bit.
+        let mut crashed = 0;
+        let mut resumed_mid_training = 0;
+        for crash_op in (0..40).step_by(3) {
+            let root = scratch(&format!("crash-{crash_op}"));
+            let plan = FsFaultPlan::crash_at(crash_op, crash_op % 2 == 0);
+            let mut store = Store::open_faulty(&root, plan).unwrap_or_else(|e| {
+                assert!(e.is_crash(), "open failed non-crash: {e}");
+                // Crash during open: restart immediately.
+                Store::open(&root).unwrap()
+            });
+            match run_resumable(&wf, &mut store) {
+                Ok(out) => {
+                    // Crash point beyond the run's op count.
+                    assert_eq!(out.artifacts.network, reference.artifacts.network);
+                }
+                Err(_) => {
+                    crashed += 1;
+                    drop(store);
+                    let mut store = Store::open(&root).unwrap();
+                    assert!(store.verify_all().unwrap().all_ok());
+                    let out = run_resumable(&wf, &mut store).unwrap();
+                    assert_eq!(
+                        out.artifacts.network, reference.artifacts.network,
+                        "crash at op {crash_op} diverged after resume"
+                    );
+                    assert_eq!(out.artifacts.cpp_source, reference.artifacts.cpp_source);
+                    if out.trace.iter().any(|l| l.contains("resuming training")) {
+                        resumed_mid_training += 1;
+                    }
+                }
+            }
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        assert!(crashed > 0, "no crash point hit the run — widen the sweep");
+        assert!(
+            resumed_mid_training > 0,
+            "no crash point landed mid-training — the checkpoint path went untested"
+        );
+    }
+}

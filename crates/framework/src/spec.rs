@@ -195,6 +195,51 @@ impl NetworkSpec {
         Ok(shapes)
     }
 
+    /// Stable, line-oriented canonical rendering of the descriptor.
+    ///
+    /// Unlike [`NetworkSpec::to_json`] this is independent of the JSON
+    /// serializer (field order, whitespace, float formatting), so it is
+    /// safe to hash: two specs produce the same text iff they are
+    /// semantically identical. The resumable workflow hashes this text
+    /// to decide whether a journaled stage's inputs changed.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::from("cnn2fpga-spec v1\n");
+        out.push_str(&format!(
+            "input {} {} {}\n",
+            self.input_channels, self.input_height, self.input_width
+        ));
+        for conv in &self.conv_layers {
+            out.push_str(&format!("conv {} {}", conv.feature_maps_out, conv.kernel));
+            match conv.pooling {
+                Some(pool) => {
+                    let kind = match pool.kind {
+                        PoolKind::Max => "max",
+                        PoolKind::Mean => "mean",
+                    };
+                    let step = pool.step.unwrap_or(pool.kernel);
+                    out.push_str(&format!(" pool {kind} {} {step}\n", pool.kernel));
+                }
+                None => out.push_str(" nopool\n"),
+            }
+        }
+        for lin in &self.linear_layers {
+            let act = if lin.tanh { "tanh" } else { "linear" };
+            out.push_str(&format!("linear {} {act}\n", lin.neurons));
+        }
+        out.push_str(&format!(
+            "board {}\n",
+            self.board.name().to_ascii_lowercase()
+        ));
+        out.push_str(&format!("optimized {}\n", self.optimized));
+        out
+    }
+
+    /// FNV-1a/64 content hash of [`NetworkSpec::canonical_text`] —
+    /// the descriptor half of a workflow's stage-input fingerprint.
+    pub fn content_hash(&self) -> u64 {
+        cnn_store::hash::fnv64(self.canonical_text().as_bytes())
+    }
+
     /// Machine-readable schema of the descriptor — what the web GUI's
     /// form is generated from (the Fig. 4 options panel as data).
     pub fn descriptor_schema() -> serde_json::Value {
@@ -490,6 +535,38 @@ mod tests {
         assert!(SpecError::ZeroDimension("kernel")
             .to_string()
             .contains("kernel"));
+    }
+
+    #[test]
+    fn canonical_text_is_stable_and_discriminating() {
+        let spec = NetworkSpec::paper_usps_small(false);
+        let text = spec.canonical_text();
+        assert!(text.starts_with("cnn2fpga-spec v1\n"), "{text}");
+        assert!(text.contains("input 1 16 16"), "{text}");
+        assert!(text.contains("conv 6 5 pool max 2 2"), "{text}");
+        assert!(text.contains("linear 10 tanh"), "{text}");
+        assert!(text.contains("board zedboard"), "{text}");
+        assert_eq!(spec.content_hash(), spec.clone().content_hash());
+        // Every semantic change moves the hash.
+        assert_ne!(
+            spec.content_hash(),
+            NetworkSpec::paper_usps_small(true).content_hash()
+        );
+        assert_ne!(
+            spec.content_hash(),
+            NetworkSpec::paper_usps_large().content_hash()
+        );
+        let mut zybo = spec.clone();
+        zybo.board = Board::Zybo;
+        assert_ne!(spec.content_hash(), zybo.content_hash());
+        let mut strided = spec;
+        strided.conv_layers[0].pooling = Some(PoolSpec {
+            kind: PoolKind::Max,
+            kernel: 2,
+            step: Some(1),
+        });
+        assert_ne!(strided.content_hash(), zybo.content_hash());
+        assert!(strided.canonical_text().contains("pool max 2 1"));
     }
 
     #[test]

@@ -8,9 +8,13 @@
 
 use crate::spec::{NetworkSpec, SpecError};
 use cnn_datasets::Dataset;
-use cnn_nn::{train, Network, NetworkBuilder, TrainConfig};
+use cnn_nn::{
+    train, Conv2dLayer, Layer, LinearLayer, Network, NetworkBuilder, PoolLayer, TrainConfig,
+};
+use cnn_store::hash::{mix_seed, Fnv64, SplitMix64};
 use cnn_tensor::init::seeded_rng;
 use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::Tensor4;
 
 /// Where the network's weights come from.
 #[derive(Clone, Debug)]
@@ -35,6 +39,54 @@ pub enum WeightSource {
         /// Seed for weight init and shuffling.
         seed: u64,
     },
+}
+
+impl WeightSource {
+    /// FNV-1a/64 fingerprint of everything that determines the realized
+    /// weights: the variant, its seed, the full trained parameter set,
+    /// or the full training set plus hyper-parameters. Two workflows
+    /// whose specs and weight-source fingerprints agree realize the
+    /// same network, so the resumable runner uses this (mixed with
+    /// [`NetworkSpec::content_hash`]) as the stage-input hash it
+    /// records in the store journal.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match self {
+            WeightSource::Random { seed } => {
+                h.update(b"random\n").update_u64(*seed);
+            }
+            WeightSource::Trained(net) => {
+                h.update(b"trained\n")
+                    .update(cnn_nn::io::write_text(net).as_bytes());
+            }
+            WeightSource::TrainOnline {
+                dataset,
+                config,
+                seed,
+            } => {
+                h.update(b"train-online\n");
+                h.update(dataset.name.as_bytes()).update(b"\n");
+                h.update_u64(dataset.classes as u64);
+                h.update_u64(dataset.images.len() as u64);
+                for image in &dataset.images {
+                    for &v in image.as_slice() {
+                        h.update(&v.to_bits().to_le_bytes());
+                    }
+                }
+                for &label in &dataset.labels {
+                    h.update_u64(label as u64);
+                }
+                h.update(&config.learning_rate.to_bits().to_le_bytes());
+                h.update_u64(config.batch_size as u64);
+                h.update_u64(config.epochs as u64);
+                h.update(&config.weight_decay.to_bits().to_le_bytes());
+                h.update(&config.lr_decay.to_bits().to_le_bytes());
+                h.update(&config.momentum.to_bits().to_le_bytes());
+                h.update_u64(*seed);
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Structure-mismatch description.
@@ -140,11 +192,92 @@ pub fn build_random(spec: &NetworkSpec, seed: u64) -> Result<Network, SpecError>
     b.build().map_err(|e| SpecError::DoesNotFit(e.to_string()))
 }
 
+/// Builds the structural network of a spec with weights drawn from a
+/// self-contained SplitMix64 stream — the same Xavier bounds as
+/// [`build_random`] but with no dependency on the ambient RNG stack.
+///
+/// This is the init the *resumable* workflow uses: resuming an
+/// interrupted training run must reconstruct the exact epoch-0 network
+/// from nothing but the seed, so the initializer has to be a pure
+/// function of `(spec, seed)` with a stable, crate-local definition.
+pub fn build_deterministic(spec: &NetworkSpec, seed: u64) -> Result<Network, SpecError> {
+    spec.validate()?;
+    let mut layers = Vec::new();
+    let mut shape = spec.input_shape();
+    let mut stream = 0u64;
+    let draw = |n: usize, bound: f32, stream: &mut u64| -> Vec<f32> {
+        let mut rng = SplitMix64::new(mix_seed(seed, *stream));
+        *stream += 1;
+        (0..n)
+            .map(|_| ((rng.next_f64() * 2.0 - 1.0) as f32) * bound)
+            .collect()
+    };
+    for conv in &spec.conv_layers {
+        let (k, c, side) = (conv.feature_maps_out, shape.c, conv.kernel);
+        let fan_in = c * side * side;
+        let fan_out = k * side * side;
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        layers.push(Layer::Conv2d(Conv2dLayer {
+            kernels: Tensor4::from_vec(
+                k,
+                c,
+                side,
+                side,
+                draw(k * c * side * side, bound, &mut stream),
+            ),
+            bias: vec![0.0; k],
+            activation: None,
+        }));
+        shape = shape.conv_output(k, side, side).ok_or_else(|| {
+            SpecError::DoesNotFit(format!("{side}x{side} kernel does not fit {shape}"))
+        })?;
+        if let Some(pool) = conv.pooling {
+            let step = pool.step.unwrap_or(pool.kernel);
+            layers.push(Layer::Pool(PoolLayer {
+                kind: pool.kind,
+                kh: pool.kernel,
+                kw: pool.kernel,
+                step,
+            }));
+            shape = shape
+                .pool_output(pool.kernel, pool.kernel, step)
+                .ok_or_else(|| {
+                    SpecError::DoesNotFit(format!(
+                        "pooling {0}x{0}/{step} does not fit {shape}",
+                        pool.kernel
+                    ))
+                })?;
+        }
+    }
+    layers.push(Layer::Flatten);
+    let mut inputs = shape.len();
+    for lin in &spec.linear_layers {
+        let bound = (6.0 / (inputs + lin.neurons) as f32).sqrt();
+        layers.push(Layer::Linear(LinearLayer {
+            weights: draw(inputs * lin.neurons, bound, &mut stream),
+            bias: vec![0.0; lin.neurons],
+            inputs,
+            outputs: lin.neurons,
+            activation: if lin.tanh {
+                Some(Activation::Tanh)
+            } else {
+                None
+            },
+        }));
+        inputs = lin.neurons;
+    }
+    layers.push(Layer::LogSoftMax);
+    Network::new(spec.input_shape(), layers).map_err(|e| SpecError::DoesNotFit(e.to_string()))
+}
+
 /// Checks a trained network against a spec's structure: same shapes
 /// through every stage and the LogSoftMax tail.
 pub fn check_structure(spec: &NetworkSpec, net: &Network) -> Result<(), StructureMismatch> {
-    let reference =
-        build_random(spec, 0).map_err(|e| StructureMismatch(format!("invalid descriptor: {e}")))?;
+    // The reference only supplies structure (layer kinds and shapes),
+    // so the RNG-free builder is the right source: it keeps structure
+    // checks working even where the RNG stack is unavailable.
+    let reference = build_deterministic(spec, 0)
+        .map_err(|e| StructureMismatch(format!("invalid descriptor: {e}")))?;
     if reference.input_shape() != net.input_shape() {
         return Err(StructureMismatch(format!(
             "input shape {} vs descriptor {}",
@@ -298,6 +431,72 @@ mod tests {
         let err = realize(&spec, &source).unwrap_err();
         assert!(matches!(err, WeightError::DatasetShape { .. }), "{err}");
         assert!(err.to_string().contains("descriptor expects"), "{err}");
+    }
+
+    fn tiny_dataset(n: usize, salt: u64) -> Dataset {
+        let images = (0..n)
+            .map(|i| {
+                cnn_tensor::Tensor::from_fn(Shape::new(1, 16, 16), |c, y, x| {
+                    let v = (i as u64)
+                        .wrapping_mul(31)
+                        .wrapping_add((c * 289 + y * 17 + x) as u64)
+                        .wrapping_add(salt);
+                    ((v % 512) as f32) / 256.0 - 1.0
+                })
+            })
+            .collect();
+        let labels = (0..n).map(|i| i % 10).collect();
+        Dataset::new("tiny", images, labels, 10)
+    }
+
+    #[test]
+    fn deterministic_build_matches_spec_structure() {
+        let spec = NetworkSpec::paper_cifar();
+        let net = build_deterministic(&spec, 3).unwrap();
+        assert_eq!(net.input_shape(), Shape::new(3, 32, 32));
+        assert_eq!(net.output_shape(), Shape::new(1, 1, 10));
+        // conv, pool, conv, pool, flatten, linear, linear, lsm
+        assert_eq!(net.layers().len(), 8);
+        assert!(net.param_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_build_is_a_pure_function_of_spec_and_seed() {
+        let spec = NetworkSpec::paper_usps_small(true);
+        assert_eq!(
+            build_deterministic(&spec, 11).unwrap(),
+            build_deterministic(&spec, 11).unwrap()
+        );
+        assert_ne!(
+            build_deterministic(&spec, 11).unwrap(),
+            build_deterministic(&spec, 12).unwrap()
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sources() {
+        let r1 = WeightSource::Random { seed: 1 }.fingerprint();
+        let r2 = WeightSource::Random { seed: 2 }.fingerprint();
+        assert_ne!(r1, r2);
+        assert_eq!(r1, WeightSource::Random { seed: 1 }.fingerprint());
+
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = build_deterministic(&spec, 5).unwrap();
+        let trained = WeightSource::Trained(Box::new(net.clone())).fingerprint();
+        assert_ne!(trained, r1);
+        assert_eq!(trained, WeightSource::Trained(Box::new(net)).fingerprint());
+
+        let online = |salt: u64, seed: u64| {
+            WeightSource::TrainOnline {
+                dataset: tiny_dataset(4, salt),
+                config: TrainConfig::default(),
+                seed,
+            }
+            .fingerprint()
+        };
+        assert_eq!(online(0, 1), online(0, 1));
+        assert_ne!(online(0, 1), online(0, 2), "seed must move the hash");
+        assert_ne!(online(0, 1), online(9, 1), "data must move the hash");
     }
 
     #[test]

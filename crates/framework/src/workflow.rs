@@ -209,6 +209,11 @@ impl Workflow {
         &self.spec
     }
 
+    /// The weight source.
+    pub fn weights(&self) -> &WeightSource {
+        &self.weights
+    }
+
     /// Runs all stages, producing every artifact or the first failure.
     pub fn run(&self) -> Result<WorkflowArtifacts, WorkflowError> {
         let mut trace = Vec::with_capacity(WorkflowStage::ALL.len());

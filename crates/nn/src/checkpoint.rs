@@ -1,0 +1,641 @@
+//! Epoch-granular training checkpoints with bit-identical resume.
+//!
+//! The checkpointed trainer differs from [`crate::train`] in one
+//! deliberate way: instead of threading a single stateful RNG through
+//! every epoch (whose internal state cannot be serialized), it derives
+//! an **independent shuffle stream per epoch** from
+//! `(master_seed, epoch)` with the store's SplitMix64. That makes the
+//! full trajectory a pure function of `(seed, initial weights, data,
+//! config)` — so resuming from a snapshot at epoch *k* replays epochs
+//! *k..n* exactly as an uninterrupted run would, down to the last bit.
+//!
+//! A [`TrainCheckpoint`] captures everything epoch *k+1* depends on:
+//! the master seed, the next epoch to run, the decayed learning rate,
+//! the hyper-parameters, the accumulated statistics, the network and
+//! the momentum velocity buffers. Its text encoding ends in a
+//! `checksum` line (FNV-1a/64 over all preceding bytes), so a torn or
+//! rotted checkpoint is refused rather than resumed from.
+
+use crate::grad::LayerGrads;
+use crate::network::Network;
+use crate::train::{apply_gradients, sample_gradients, update_velocity, EpochStats, TrainConfig};
+use crate::{io, Layer};
+use cnn_store::hash::{hex64, mix_seed, parse_hex64, Fnv64, SplitMix64};
+use cnn_tensor::{Tensor, Tensor4};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// Magic first line of the checkpoint text format.
+pub const CHECKPOINT_MAGIC: &str = "cnn2fpga-checkpoint v1";
+
+/// A resumable snapshot of an in-progress training run, taken at an
+/// epoch boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Master seed; epoch `e`'s shuffle derives from `(seed, e)`.
+    pub seed: u64,
+    /// The next epoch to execute (`== config.epochs` when done).
+    pub next_epoch: usize,
+    /// Learning rate entering `next_epoch` (after decay).
+    pub lr: f32,
+    /// The run's hyper-parameters.
+    pub config: TrainConfig,
+    /// Statistics for the epochs already completed.
+    pub stats: Vec<EpochStats>,
+    /// Network weights as of the end of epoch `next_epoch - 1`.
+    pub network: Network,
+    /// Momentum velocity buffers (zeros when `momentum == 0`).
+    pub velocity: Vec<LayerGrads>,
+}
+
+impl TrainCheckpoint {
+    /// A fresh (epoch-0) checkpoint for `net` — the state an
+    /// uninterrupted run starts from.
+    pub fn fresh(net: &Network, cfg: &TrainConfig, seed: u64) -> TrainCheckpoint {
+        TrainCheckpoint {
+            seed,
+            next_epoch: 0,
+            lr: cfg.learning_rate,
+            config: cfg.clone(),
+            stats: Vec::new(),
+            network: net.clone(),
+            velocity: net.layers().iter().map(LayerGrads::zeros_like).collect(),
+        }
+    }
+
+    /// True once every configured epoch has run.
+    pub fn is_complete(&self) -> bool {
+        self.next_epoch >= self.config.epochs
+    }
+
+    /// Serializes the checkpoint (trailing whole-file checksum line).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{CHECKPOINT_MAGIC}");
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "next-epoch {}", self.next_epoch);
+        let _ = writeln!(out, "lr {}", self.lr);
+        let c = &self.config;
+        let _ = writeln!(
+            out,
+            "config {} {} {} {} {} {}",
+            c.learning_rate, c.batch_size, c.epochs, c.weight_decay, c.lr_decay, c.momentum
+        );
+        for s in &self.stats {
+            let _ = writeln!(out, "stat {} {} {}", s.epoch, s.mean_loss, s.train_error);
+        }
+        let _ = writeln!(out, "network-begin");
+        out.push_str(&io::write_text(&self.network));
+        let _ = writeln!(out, "network-end");
+        let _ = writeln!(out, "velocity-begin");
+        for v in &self.velocity {
+            match v {
+                LayerGrads::Conv2d { kernels, bias } => {
+                    let _ = writeln!(
+                        out,
+                        "conv {} {} {} {}",
+                        kernels.kernels(),
+                        kernels.channels(),
+                        kernels.kh(),
+                        kernels.kw()
+                    );
+                    let vals: Vec<String> =
+                        kernels.as_slice().iter().map(|v| format!("{v}")).collect();
+                    let _ = writeln!(out, "{}", vals.join(" "));
+                    let b: Vec<String> = bias.iter().map(|v| format!("{v}")).collect();
+                    let _ = writeln!(out, "bias {}", b.join(" "));
+                }
+                LayerGrads::Linear { weights, bias } => {
+                    let _ = writeln!(out, "linear {} {}", weights.len(), bias.len());
+                    let vals: Vec<String> = weights.iter().map(|v| format!("{v}")).collect();
+                    let _ = writeln!(out, "{}", vals.join(" "));
+                    let b: Vec<String> = bias.iter().map(|v| format!("{v}")).collect();
+                    let _ = writeln!(out, "bias {}", b.join(" "));
+                }
+                LayerGrads::None => {
+                    let _ = writeln!(out, "none");
+                }
+            }
+        }
+        let _ = writeln!(out, "velocity-end");
+        let sum = Fnv64::new().update(out.as_bytes()).finish();
+        let _ = writeln!(out, "checksum {}", hex64(sum));
+        out
+    }
+
+    /// Parses and fully verifies an encoded checkpoint. The checksum
+    /// is checked before anything else, so torn or corrupted
+    /// checkpoints fail fast with a clear message.
+    pub fn decode(text: &str) -> Result<TrainCheckpoint, String> {
+        let lines: Vec<&str> = text.lines().collect();
+        let (check_idx, check_line) = lines
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, l)| !l.trim().is_empty())
+            .ok_or("empty checkpoint")?;
+        let stored = check_line
+            .trim()
+            .strip_prefix("checksum ")
+            .and_then(parse_hex64)
+            .ok_or("checkpoint missing trailing checksum line")?;
+        let mut h = Fnv64::new();
+        for l in &lines[..check_idx] {
+            h.update(l.as_bytes()).update(b"\n");
+        }
+        let computed = h.finish();
+        if stored != computed {
+            return Err(format!(
+                "checkpoint checksum mismatch: stored {}, computed {} (file corrupted?)",
+                hex64(stored),
+                hex64(computed)
+            ));
+        }
+
+        let mut it = lines[..check_idx].iter().map(|l| l.trim_end());
+        if it.next() != Some(CHECKPOINT_MAGIC) {
+            return Err(format!("missing magic line '{CHECKPOINT_MAGIC}'"));
+        }
+        fn field<'a>(line: Option<&'a str>, tag: &str) -> Result<&'a str, String> {
+            line.and_then(|l| l.strip_prefix(tag))
+                .map(str::trim)
+                .ok_or_else(|| format!("expected '{tag}' line"))
+        }
+        let seed: u64 = field(it.next(), "seed ")?
+            .parse()
+            .map_err(|e| format!("bad seed: {e}"))?;
+        let next_epoch: usize = field(it.next(), "next-epoch ")?
+            .parse()
+            .map_err(|e| format!("bad next-epoch: {e}"))?;
+        let lr: f32 = field(it.next(), "lr ")?
+            .parse()
+            .map_err(|e| format!("bad lr: {e}"))?;
+        let cfg_parts: Vec<&str> = field(it.next(), "config ")?.split_whitespace().collect();
+        let [clr, cbs, cep, cwd, cld, cmo] = cfg_parts.as_slice() else {
+            return Err("config line must have 6 fields".into());
+        };
+        let config = TrainConfig {
+            learning_rate: clr.parse().map_err(|e| format!("bad config lr: {e}"))?,
+            batch_size: cbs.parse().map_err(|e| format!("bad batch_size: {e}"))?,
+            epochs: cep.parse().map_err(|e| format!("bad epochs: {e}"))?,
+            weight_decay: cwd.parse().map_err(|e| format!("bad weight_decay: {e}"))?,
+            lr_decay: cld.parse().map_err(|e| format!("bad lr_decay: {e}"))?,
+            momentum: cmo.parse().map_err(|e| format!("bad momentum: {e}"))?,
+        };
+
+        let mut stats = Vec::new();
+        let mut line = it.next();
+        while let Some(l) = line {
+            let Some(rest) = l.strip_prefix("stat ") else {
+                break;
+            };
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            let [e, ml, te] = parts.as_slice() else {
+                return Err(format!("bad stat line '{l}'"));
+            };
+            stats.push(EpochStats {
+                epoch: e.parse().map_err(|e| format!("bad stat epoch: {e}"))?,
+                mean_loss: ml.parse().map_err(|e| format!("bad mean_loss: {e}"))?,
+                train_error: te.parse().map_err(|e| format!("bad train_error: {e}"))?,
+            });
+            line = it.next();
+        }
+
+        if line != Some("network-begin") {
+            return Err("expected 'network-begin'".into());
+        }
+        let mut net_text = String::new();
+        loop {
+            match it.next() {
+                Some("network-end") => break,
+                Some(l) => {
+                    net_text.push_str(l);
+                    net_text.push('\n');
+                }
+                None => return Err("unterminated network block".into()),
+            }
+        }
+        let network = io::read_text(&net_text).map_err(|e| format!("checkpoint network: {e}"))?;
+
+        if it.next() != Some("velocity-begin") {
+            return Err("expected 'velocity-begin'".into());
+        }
+        let mut velocity = Vec::new();
+        loop {
+            let Some(l) = it.next() else {
+                return Err("unterminated velocity block".into());
+            };
+            if l == "velocity-end" {
+                break;
+            }
+            let parts: Vec<&str> = l.split_whitespace().collect();
+            match parts.as_slice() {
+                ["none"] => velocity.push(LayerGrads::None),
+                ["conv", k, ch, kh, kw] => {
+                    let dims: Vec<usize> = [k, ch, kh, kw]
+                        .iter()
+                        .map(|s| s.parse().map_err(|e| format!("bad conv dim: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    let vals = parse_float_line(it.next(), dims.iter().product(), "conv velocity")?;
+                    let bias = parse_float_line(
+                        it.next().and_then(|l| l.strip_prefix("bias")),
+                        dims[0],
+                        "conv velocity bias",
+                    )?;
+                    velocity.push(LayerGrads::Conv2d {
+                        kernels: Tensor4::from_vec(dims[0], dims[1], dims[2], dims[3], vals),
+                        bias,
+                    });
+                }
+                ["linear", nw, nb] => {
+                    let nw: usize = nw.parse().map_err(|e| format!("bad linear dim: {e}"))?;
+                    let nb: usize = nb.parse().map_err(|e| format!("bad linear dim: {e}"))?;
+                    let weights = parse_float_line(it.next(), nw, "linear velocity")?;
+                    let bias = parse_float_line(
+                        it.next().and_then(|l| l.strip_prefix("bias")),
+                        nb,
+                        "linear velocity bias",
+                    )?;
+                    velocity.push(LayerGrads::Linear { weights, bias });
+                }
+                _ => return Err(format!("unrecognized velocity line '{l}'")),
+            }
+        }
+
+        let ckpt = TrainCheckpoint {
+            seed,
+            next_epoch,
+            lr,
+            config,
+            stats,
+            network,
+            velocity,
+        };
+        ckpt.validate()?;
+        Ok(ckpt)
+    }
+
+    /// Structural consistency checks beyond the checksum.
+    fn validate(&self) -> Result<(), String> {
+        if self.velocity.len() != self.network.layers().len() {
+            return Err(format!(
+                "velocity has {} entries for {} layers",
+                self.velocity.len(),
+                self.network.layers().len()
+            ));
+        }
+        for (i, (v, l)) in self.velocity.iter().zip(self.network.layers()).enumerate() {
+            let ok = matches!(
+                (v, l),
+                (LayerGrads::Conv2d { .. }, Layer::Conv2d(_))
+                    | (LayerGrads::Linear { .. }, Layer::Linear(_))
+                    | (
+                        LayerGrads::None,
+                        Layer::Pool(_) | Layer::Flatten | Layer::LogSoftMax
+                    )
+            );
+            if !ok {
+                return Err(format!("velocity entry {i} does not match layer {i}"));
+            }
+        }
+        if self.next_epoch > self.config.epochs {
+            return Err(format!(
+                "next-epoch {} exceeds configured epochs {}",
+                self.next_epoch, self.config.epochs
+            ));
+        }
+        if self.stats.len() != self.next_epoch {
+            return Err(format!(
+                "{} stat lines for {} completed epochs",
+                self.stats.len(),
+                self.next_epoch
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn parse_float_line(line: Option<&str>, expect: usize, what: &str) -> Result<Vec<f32>, String> {
+    let line = line.ok_or_else(|| format!("{what}: missing line"))?;
+    let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|e| format!("{what}: bad float ({e})"))?;
+    if vals.len() != expect {
+        return Err(format!(
+            "{what}: expected {expect} values, got {}",
+            vals.len()
+        ));
+    }
+    Ok(vals)
+}
+
+/// Fisher–Yates driven by the per-epoch stream — no shared RNG state
+/// crosses an epoch boundary, which is what makes resume exact.
+fn epoch_order(n: usize, seed: u64, epoch: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = SplitMix64::new(mix_seed(seed, epoch as u64));
+    for i in (1..n).rev() {
+        let j = rng.next_below(i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Runs exactly one epoch of mini-batch SGD on the checkpoint state.
+fn run_epoch(st: &mut TrainCheckpoint, inputs: &[Tensor], labels: &[usize]) {
+    let epoch = st.next_epoch;
+    let n = inputs.len();
+    let order = epoch_order(n, st.seed, epoch);
+    let mut total_loss = 0.0f64;
+    let mut wrong = 0usize;
+
+    for chunk in order.chunks(st.config.batch_size) {
+        let results: Vec<(Vec<LayerGrads>, f32, bool)> = chunk
+            .par_iter()
+            .map(|&i| sample_gradients(&st.network, &inputs[i], labels[i]))
+            .collect();
+
+        let mut batch: Vec<LayerGrads> = st
+            .network
+            .layers()
+            .iter()
+            .map(LayerGrads::zeros_like)
+            .collect();
+        for (grads, loss, correct) in &results {
+            for (acc, g) in batch.iter_mut().zip(grads) {
+                acc.accumulate(g);
+            }
+            total_loss += *loss as f64;
+            if !correct {
+                wrong += 1;
+            }
+        }
+        let inv = 1.0 / chunk.len() as f32;
+        batch.iter_mut().for_each(|g| g.scale(inv));
+        if st.config.momentum > 0.0 {
+            update_velocity(&mut st.velocity, &batch, st.config.momentum);
+            apply_gradients(&mut st.network, &st.velocity, st.lr, st.config.weight_decay);
+        } else {
+            apply_gradients(&mut st.network, &batch, st.lr, st.config.weight_decay);
+        }
+    }
+
+    st.stats.push(EpochStats {
+        epoch,
+        mean_loss: total_loss / n as f64,
+        train_error: wrong as f64 / n as f64,
+    });
+    st.lr *= st.config.lr_decay;
+    st.next_epoch = epoch + 1;
+}
+
+fn check_dataset(st: &TrainCheckpoint, inputs: &[Tensor], labels: &[usize]) {
+    assert_eq!(inputs.len(), labels.len(), "inputs/labels length mismatch");
+    assert!(!inputs.is_empty(), "empty training set");
+    assert!(st.config.batch_size > 0, "batch_size must be positive");
+    assert!(
+        (0.0..1.0).contains(&st.config.momentum),
+        "momentum must be in [0, 1)"
+    );
+}
+
+/// Runs the remaining epochs of `st`, invoking `sink` with the updated
+/// checkpoint after **every** epoch (that is the durability boundary:
+/// a crash between sink calls loses at most one epoch of work). A
+/// sink error aborts training and is returned; the checkpoint the
+/// sink last accepted remains the resume point.
+pub fn run_checkpointed<S>(
+    mut st: TrainCheckpoint,
+    inputs: &[Tensor],
+    labels: &[usize],
+    sink: &mut S,
+) -> Result<TrainCheckpoint, String>
+where
+    S: FnMut(&TrainCheckpoint) -> Result<(), String>,
+{
+    check_dataset(&st, inputs, labels);
+    while !st.is_complete() {
+        run_epoch(&mut st, inputs, labels);
+        cnn_trace::counter_add("cnn_train_epochs_total", &[], 1);
+        sink(&st)?;
+    }
+    Ok(st)
+}
+
+/// Trains `net` from scratch with per-epoch checkpointing; the
+/// convenience front end over [`run_checkpointed`]. Returns the final
+/// state (trained network, full statistics).
+pub fn train_checkpointed<S>(
+    net: &Network,
+    inputs: &[Tensor],
+    labels: &[usize],
+    cfg: &TrainConfig,
+    seed: u64,
+    sink: &mut S,
+) -> Result<TrainCheckpoint, String>
+where
+    S: FnMut(&TrainCheckpoint) -> Result<(), String>,
+{
+    run_checkpointed(TrainCheckpoint::fresh(net, cfg, seed), inputs, labels, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2dLayer, LinearLayer, PoolLayer};
+    use cnn_tensor::ops::activation::Activation;
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::Shape;
+
+    /// Deterministic toy network: no RNG so the tests run anywhere.
+    fn toy_net() -> Network {
+        let vals = |n: usize, salt: u32| -> Vec<f32> {
+            (0..n)
+                .map(|i| {
+                    let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                    ((x % 1024) as f32 / 512.0 - 1.0) * 0.3
+                })
+                .collect()
+        };
+        Network::new(
+            Shape::new(1, 8, 8),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(4, 1, 3, 3, vals(36, 1)),
+                    bias: vals(4, 2),
+                    activation: None,
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: vals(36 * 2, 3),
+                    bias: vals(2, 4),
+                    inputs: 36,
+                    outputs: 2,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Deterministic two-class toy set (bright top vs bottom half).
+    fn toy_problem(n: usize) -> (Vec<Tensor>, Vec<usize>) {
+        let mut inputs = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let img = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, x| {
+                let base = if (class == 0) == (y < 4) { 1.0 } else { 0.0 };
+                let jitter =
+                    (((i * 64 + y * 8 + x) as u32).wrapping_mul(2654435761) % 100) as f32 / 1000.0;
+                base + jitter
+            });
+            inputs.push(img);
+            labels.push(class);
+        }
+        (inputs, labels)
+    }
+
+    fn cfg(epochs: usize, momentum: f32) -> TrainConfig {
+        TrainConfig {
+            learning_rate: 0.1,
+            batch_size: 8,
+            epochs,
+            weight_decay: 1e-4,
+            lr_decay: 0.9,
+            momentum,
+        }
+    }
+
+    #[test]
+    fn checkpointed_training_learns() {
+        let (inputs, labels) = toy_problem(64);
+        let done = train_checkpointed(&toy_net(), &inputs, &labels, &cfg(6, 0.0), 42, &mut |_| {
+            Ok(())
+        })
+        .unwrap();
+        assert!(done.is_complete());
+        assert_eq!(done.stats.len(), 6);
+        assert!(
+            done.stats.last().unwrap().mean_loss < done.stats[0].mean_loss,
+            "loss did not decrease"
+        );
+        let err = done.network.prediction_error(&inputs, &labels);
+        assert!(err < 0.2, "error too high: {err}");
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_exactly() {
+        let (inputs, labels) = toy_problem(32);
+        // Momentum on, so velocity buffers are non-trivial.
+        let mut snap = None;
+        let _ = train_checkpointed(&toy_net(), &inputs, &labels, &cfg(3, 0.8), 7, &mut |c| {
+            if c.next_epoch == 2 {
+                snap = Some(c.clone());
+            }
+            Ok(())
+        })
+        .unwrap();
+        let snap = snap.expect("snapshot at epoch 2");
+        let back = TrainCheckpoint::decode(&snap.encode()).expect("decodes");
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_uninterrupted() {
+        let (inputs, labels) = toy_problem(48);
+        for momentum in [0.0, 0.9] {
+            let cfg = cfg(5, momentum);
+            // Uninterrupted run, keeping every epoch snapshot.
+            let mut snaps = Vec::new();
+            let full = train_checkpointed(&toy_net(), &inputs, &labels, &cfg, 99, &mut |c| {
+                snaps.push(c.clone());
+                Ok(())
+            })
+            .unwrap();
+
+            // Resume from every intermediate epoch via the *serialized*
+            // checkpoint (what a real restart reads back from disk).
+            for snap in &snaps[..snaps.len() - 1] {
+                let restored = TrainCheckpoint::decode(&snap.encode()).unwrap();
+                let resumed =
+                    run_checkpointed(restored, &inputs, &labels, &mut |_| Ok(())).unwrap();
+                assert_eq!(
+                    resumed.network, full.network,
+                    "resume from epoch {} diverged (momentum {momentum})",
+                    snap.next_epoch
+                );
+                assert_eq!(resumed.stats, full.stats);
+                assert_eq!(resumed.lr.to_bits(), full.lr.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_with_state_preserved() {
+        let (inputs, labels) = toy_problem(16);
+        let mut calls = 0;
+        let err = train_checkpointed(&toy_net(), &inputs, &labels, &cfg(5, 0.0), 1, &mut |_| {
+            calls += 1;
+            if calls == 2 {
+                Err("disk full".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("disk full"));
+        assert_eq!(calls, 2, "training must stop at the failed sink");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_refused() {
+        let (inputs, labels) = toy_problem(16);
+        let done = train_checkpointed(&toy_net(), &inputs, &labels, &cfg(1, 0.5), 3, &mut |_| {
+            Ok(())
+        })
+        .unwrap();
+        let text = done.encode();
+        // Flip one digit somewhere in the middle.
+        let mid = text.len() / 2;
+        let pos = (mid..text.len())
+            .find(|&i| text.as_bytes()[i].is_ascii_digit())
+            .unwrap();
+        let mut corrupt = text.clone().into_bytes();
+        corrupt[pos] = if corrupt[pos] == b'9' { b'8' } else { b'9' };
+        let corrupt = String::from_utf8(corrupt).unwrap();
+        let e = TrainCheckpoint::decode(&corrupt).unwrap_err();
+        assert!(e.contains("checksum"), "{e}");
+        // Truncation is refused too.
+        let e = TrainCheckpoint::decode(&text[..text.len() / 2]).unwrap_err();
+        assert!(e.contains("checksum"), "{e}");
+    }
+
+    #[test]
+    fn epoch_order_is_a_permutation_and_varies_by_epoch() {
+        let a = epoch_order(100, 5, 0);
+        let b = epoch_order(100, 5, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, epoch_order(100, 5, 0), "deterministic");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validate_catches_mismatched_velocity() {
+        let net = toy_net();
+        let mut ckpt = TrainCheckpoint::fresh(&net, &cfg(2, 0.0), 1);
+        ckpt.velocity.pop();
+        assert!(ckpt.validate().is_err());
+        let mut ckpt = TrainCheckpoint::fresh(&net, &cfg(2, 0.0), 1);
+        ckpt.next_epoch = 5;
+        assert!(ckpt.validate().is_err());
+    }
+}

@@ -3,7 +3,7 @@
 //! in any language can emit, complementing the JSON serialization.
 //!
 //! ```text
-//! cnn2fpga-weights v1
+//! cnn2fpga-weights v2
 //! input 1 16 16
 //! conv 6 1 5 5 none
 //! <150 whitespace-separated floats>
@@ -14,17 +14,153 @@
 //! <2160 floats>
 //! bias <10 floats>
 //! logsoftmax
+//! checksum <16 hex digits>
 //! ```
+//!
+//! Version 2 appends a trailing `checksum` line: FNV-1a/64 over every
+//! preceding byte of the file. A corrupted float that still *parses*
+//! (a flipped digit, a lost minus sign) is invisible to the v1
+//! grammar but fails the v2 checksum. Version 1 files (no checksum
+//! line) are still read; [`read_text_versioned`] reports which
+//! version it saw so callers can warn.
 
 use crate::layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
 use crate::network::Network;
+use cnn_store::hash::{hex64, parse_hex64, Fnv64};
 use cnn_tensor::ops::activation::Activation;
 use cnn_tensor::ops::pool::PoolKind;
 use cnn_tensor::{Shape, Tensor4};
+use std::fmt;
 use std::fmt::Write as _;
 
-/// Magic first line of the format.
+/// Magic first line of the original (checksum-less) format.
 pub const MAGIC: &str = "cnn2fpga-weights v1";
+
+/// Magic first line of the current format.
+pub const MAGIC_V2: &str = "cnn2fpga-weights v2";
+
+/// Which revision of the text format a file used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightFormatVersion {
+    /// No trailing checksum; silent corruption of a parseable float
+    /// goes undetected.
+    V1,
+    /// Trailing FNV-1a/64 `checksum` line over the whole body.
+    V2,
+}
+
+impl fmt::Display for WeightFormatVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WeightFormatVersion::V1 => "v1",
+            WeightFormatVersion::V2 => "v2",
+        })
+    }
+}
+
+/// What went wrong while reading a weight file.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightIoErrorKind {
+    /// The first line is not a known magic.
+    MissingMagic,
+    /// A structural line is missing (EOF where one was required).
+    MissingLine(&'static str),
+    /// The `input c h w` line is malformed.
+    BadInputLine(String),
+    /// A dimension failed to parse or was zero.
+    BadDimension(String),
+    /// A float failed to parse.
+    BadFloat {
+        /// Which block the float belongs to.
+        what: &'static str,
+        /// Parser detail.
+        detail: String,
+    },
+    /// A value block had the wrong number of floats.
+    WrongCount {
+        /// Which block.
+        what: &'static str,
+        /// How many the header promised.
+        expected: usize,
+        /// How many the line held.
+        got: usize,
+    },
+    /// An activation name the format does not know.
+    UnknownActivation(String),
+    /// A pool kind the format does not know.
+    UnknownPoolKind(String),
+    /// A `bias` line was expected and not found.
+    ExpectedBias(&'static str),
+    /// A line matching no production of the grammar.
+    UnrecognizedLine(String),
+    /// The v2 `checksum` line is malformed or missing.
+    BadChecksumLine(String),
+    /// The v2 checksum does not match the file body.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        computed: u64,
+    },
+    /// The layers parsed but do not form a valid network.
+    InvalidNetwork(String),
+}
+
+impl fmt::Display for WeightIoErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use WeightIoErrorKind::*;
+        match self {
+            MissingMagic => write!(f, "missing magic line '{MAGIC_V2}' (or '{MAGIC}')"),
+            MissingLine(what) => write!(f, "{what} missing"),
+            BadInputLine(l) => write!(f, "bad input line '{l}'"),
+            BadDimension(d) => write!(f, "bad dimension '{d}'"),
+            BadFloat { what, detail } => write!(f, "{what}: bad float ({detail})"),
+            WrongCount {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected} values, got {got}"),
+            UnknownActivation(a) => write!(f, "unknown activation '{a}'"),
+            UnknownPoolKind(k) => write!(f, "unknown pool kind '{k}'"),
+            ExpectedBias(after) => write!(f, "expected 'bias' line after {after} weights"),
+            UnrecognizedLine(l) => write!(f, "unrecognized line '{l}'"),
+            BadChecksumLine(l) => write!(f, "bad checksum line '{l}'"),
+            ChecksumMismatch { stored, computed } => write!(
+                f,
+                "weight file checksum mismatch: stored {}, computed {} (file corrupted?)",
+                hex64(*stored),
+                hex64(*computed)
+            ),
+            InvalidNetwork(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+/// A weight-file read failure, located at a 1-based source line
+/// (`line` 0 means the failure concerns the file as a whole).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightIoError {
+    /// 1-based line number in the input text; 0 for whole-file errors.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: WeightIoErrorKind,
+}
+
+impl fmt::Display for WeightIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.kind)
+        } else {
+            self.kind.fmt(f)
+        }
+    }
+}
+
+impl std::error::Error for WeightIoError {}
+
+fn err(line: usize, kind: WeightIoErrorKind) -> WeightIoError {
+    WeightIoError { line, kind }
+}
 
 fn act_name(a: Option<Activation>) -> &'static str {
     match a {
@@ -35,20 +171,39 @@ fn act_name(a: Option<Activation>) -> &'static str {
     }
 }
 
-fn parse_act(s: &str) -> Result<Option<Activation>, String> {
+fn parse_act(s: &str, line: usize) -> Result<Option<Activation>, WeightIoError> {
     match s {
         "none" => Ok(None),
         "tanh" => Ok(Some(Activation::Tanh)),
         "relu" => Ok(Some(Activation::Relu)),
         "sigmoid" => Ok(Some(Activation::Sigmoid)),
-        other => Err(format!("unknown activation '{other}'")),
+        other => Err(err(
+            line,
+            WeightIoErrorKind::UnknownActivation(other.into()),
+        )),
     }
 }
 
-/// Serializes a network to the text format.
+/// Serializes a network to the current (v2, checksummed) text format.
 pub fn write_text(net: &Network) -> String {
     let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC_V2}");
+    write_body(&mut out, net);
+    let sum = Fnv64::new().update(out.as_bytes()).finish();
+    let _ = writeln!(out, "checksum {}", hex64(sum));
+    out
+}
+
+/// Serializes a network to the legacy v1 format (no checksum line) —
+/// kept for interchange with older tooling and for tests.
+pub fn write_text_v1(net: &Network) -> String {
+    let mut out = String::new();
     let _ = writeln!(out, "{MAGIC}");
+    write_body(&mut out, net);
+    out
+}
+
+fn write_body(out: &mut String, net: &Network) {
     let s = net.input_shape();
     let _ = writeln!(out, "input {} {} {}", s.c, s.h, s.w);
     for layer in net.layers() {
@@ -101,175 +256,327 @@ pub fn write_text(net: &Network) -> String {
             }
         }
     }
-    out
 }
 
-fn parse_floats(line: &str, expect: usize, what: &str) -> Result<Vec<f32>, String> {
+fn parse_floats(
+    line_no: usize,
+    line: &str,
+    expect: usize,
+    what: &'static str,
+) -> Result<Vec<f32>, WeightIoError> {
     let vals: Result<Vec<f32>, _> = line.split_whitespace().map(str::parse).collect();
-    let vals = vals.map_err(|e| format!("{what}: bad float ({e})"))?;
+    let vals = vals.map_err(|e| {
+        err(
+            line_no,
+            WeightIoErrorKind::BadFloat {
+                what,
+                detail: e.to_string(),
+            },
+        )
+    })?;
     if vals.len() != expect {
-        return Err(format!(
-            "{what}: expected {expect} values, got {}",
-            vals.len()
+        return Err(err(
+            line_no,
+            WeightIoErrorKind::WrongCount {
+                what,
+                expected: expect,
+                got: vals.len(),
+            },
         ));
     }
     Ok(vals)
 }
 
-/// Parses the text format back into a validated network.
-pub fn read_text(text: &str) -> Result<Network, String> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    if lines.next().map(str::trim) != Some(MAGIC) {
-        return Err(format!("missing magic line '{MAGIC}'"));
+fn parse_dim(s: &str, line: usize) -> Result<usize, WeightIoError> {
+    let d: usize = s
+        .parse()
+        .map_err(|_| err(line, WeightIoErrorKind::BadDimension(s.into())))?;
+    if d == 0 {
+        return Err(err(line, WeightIoErrorKind::BadDimension(s.into())));
     }
+    Ok(d)
+}
 
-    let input = lines.next().ok_or("missing input line")?;
+/// Parses the text format back into a validated network, discarding
+/// the version. Use [`read_text_versioned`] to learn (and warn about)
+/// the file's revision.
+pub fn read_text(text: &str) -> Result<Network, WeightIoError> {
+    read_text_versioned(text).map(|(net, _)| net)
+}
+
+/// Parses the text format (v1 or v2) back into a validated network,
+/// reporting which revision the file used. For v2, the trailing
+/// checksum is verified over every byte preceding its line before any
+/// grammar parsing happens.
+pub fn read_text_versioned(text: &str) -> Result<(Network, WeightFormatVersion), WeightIoError> {
+    // 1-based line numbers over the raw text.
+    let all: Vec<(usize, &str)> = text.lines().enumerate().map(|(i, l)| (i + 1, l)).collect();
+    let first_nonempty = all.iter().find(|(_, l)| !l.trim().is_empty());
+    let version = match first_nonempty.map(|(_, l)| l.trim()) {
+        Some(m) if m == MAGIC => WeightFormatVersion::V1,
+        Some(m) if m == MAGIC_V2 => WeightFormatVersion::V2,
+        _ => {
+            let line = first_nonempty.map_or(0, |(n, _)| *n);
+            return Err(err(line, WeightIoErrorKind::MissingMagic));
+        }
+    };
+
+    let body: &[(usize, &str)] = if version == WeightFormatVersion::V2 {
+        // The checksum line must be the last non-empty line; it covers
+        // every line before it (each rehashed with its '\n').
+        let (idx, (line_no, check_line)) = all
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, (_, l))| !l.trim().is_empty())
+            .ok_or_else(|| err(0, WeightIoErrorKind::MissingLine("checksum line")))?;
+        let stored = check_line
+            .trim()
+            .strip_prefix("checksum ")
+            .and_then(parse_hex64)
+            .ok_or_else(|| {
+                err(
+                    *line_no,
+                    WeightIoErrorKind::BadChecksumLine(check_line.trim().into()),
+                )
+            })?;
+        let mut h = Fnv64::new();
+        for (_, l) in &all[..idx] {
+            h.update(l.as_bytes()).update(b"\n");
+        }
+        let computed = h.finish();
+        if stored != computed {
+            return Err(err(
+                *line_no,
+                WeightIoErrorKind::ChecksumMismatch { stored, computed },
+            ));
+        }
+        &all[..idx]
+    } else {
+        &all[..]
+    };
+
+    let mut lines = body
+        .iter()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .skip(1) // the magic line
+        .peekable();
+    let mut last_line = first_nonempty.map_or(0, |(n, _)| *n);
+    let mut next_line = |what: &'static str| -> Result<(usize, &str), WeightIoError> {
+        match lines.next() {
+            Some((n, l)) => {
+                last_line = *n;
+                Ok((*n, *l))
+            }
+            None => Err(err(last_line, WeightIoErrorKind::MissingLine(what))),
+        }
+    };
+
+    let (input_no, input) = next_line("input line")?;
     let parts: Vec<&str> = input.split_whitespace().collect();
     let [tag, c, h, w] = parts.as_slice() else {
-        return Err(format!("bad input line '{input}'"));
+        return Err(err(input_no, WeightIoErrorKind::BadInputLine(input.into())));
     };
     if *tag != "input" {
-        return Err(format!("expected 'input', got '{tag}'"));
+        return Err(err(input_no, WeightIoErrorKind::BadInputLine(input.into())));
     }
-    let parse_dim = |s: &str| -> Result<usize, String> {
-        let d: usize = s.parse().map_err(|e| format!("bad dimension '{s}': {e}"))?;
-        if d == 0 {
-            return Err(format!("zero dimension '{s}'"));
-        }
-        Ok(d)
-    };
-    let input_shape = Shape::new(parse_dim(c)?, parse_dim(h)?, parse_dim(w)?);
+    let input_shape = Shape::new(
+        parse_dim(c, input_no)?,
+        parse_dim(h, input_no)?,
+        parse_dim(w, input_no)?,
+    );
 
     let mut layers = Vec::new();
-    while let Some(line) = lines.next() {
+    // An Err from next_line here is a clean EOF: the layer list ends
+    // where the input does.
+    while let Ok((line_no, line)) = next_line("layer line") {
         let parts: Vec<&str> = line.split_whitespace().collect();
         match parts.as_slice() {
             ["conv", k, ch, kh, kw, act] => {
                 let (k, ch, kh, kw) = (
-                    parse_dim(k)?,
-                    parse_dim(ch)?,
-                    parse_dim(kh)?,
-                    parse_dim(kw)?,
+                    parse_dim(k, line_no)?,
+                    parse_dim(ch, line_no)?,
+                    parse_dim(kh, line_no)?,
+                    parse_dim(kw, line_no)?,
                 );
-                let weights_line = lines.next().ok_or("conv weights missing")?;
-                let weights = parse_floats(weights_line, k * ch * kh * kw, "conv weights")?;
-                let bias_line = lines.next().ok_or("conv bias missing")?;
+                let (wno, weights_line) = next_line("conv weights")?;
+                let weights = parse_floats(wno, weights_line, k * ch * kh * kw, "conv weights")?;
+                let (bno, bias_line) = next_line("conv bias")?;
                 let bias_line = bias_line
+                    .trim()
                     .strip_prefix("bias")
-                    .ok_or("expected 'bias' line after conv weights")?;
-                let bias = parse_floats(bias_line, k, "conv bias")?;
+                    .ok_or_else(|| err(bno, WeightIoErrorKind::ExpectedBias("conv")))?;
+                let bias = parse_floats(bno, bias_line, k, "conv bias")?;
                 layers.push(Layer::Conv2d(Conv2dLayer {
                     kernels: Tensor4::from_vec(k, ch, kh, kw, weights),
                     bias,
-                    activation: parse_act(act)?,
+                    activation: parse_act(act, line_no)?,
                 }));
             }
             ["pool", kind, kh, kw, step] => {
                 let kind = match *kind {
                     "max" => PoolKind::Max,
                     "mean" => PoolKind::Mean,
-                    other => return Err(format!("unknown pool kind '{other}'")),
+                    other => {
+                        return Err(err(
+                            line_no,
+                            WeightIoErrorKind::UnknownPoolKind(other.into()),
+                        ))
+                    }
                 };
                 layers.push(Layer::Pool(PoolLayer {
                     kind,
-                    kh: parse_dim(kh)?,
-                    kw: parse_dim(kw)?,
-                    step: parse_dim(step)?,
+                    kh: parse_dim(kh, line_no)?,
+                    kw: parse_dim(kw, line_no)?,
+                    step: parse_dim(step, line_no)?,
                 }));
             }
             ["flatten"] => layers.push(Layer::Flatten),
             ["linear", ni, no, act] => {
-                let (ni, no) = (parse_dim(ni)?, parse_dim(no)?);
-                let weights_line = lines.next().ok_or("linear weights missing")?;
-                let weights = parse_floats(weights_line, ni * no, "linear weights")?;
-                let bias_line = lines.next().ok_or("linear bias missing")?;
+                let (ni, no) = (parse_dim(ni, line_no)?, parse_dim(no, line_no)?);
+                let (wno, weights_line) = next_line("linear weights")?;
+                let weights = parse_floats(wno, weights_line, ni * no, "linear weights")?;
+                let (bno, bias_line) = next_line("linear bias")?;
                 let bias_line = bias_line
+                    .trim()
                     .strip_prefix("bias")
-                    .ok_or("expected 'bias' line after linear weights")?;
-                let bias = parse_floats(bias_line, no, "linear bias")?;
+                    .ok_or_else(|| err(bno, WeightIoErrorKind::ExpectedBias("linear")))?;
+                let bias = parse_floats(bno, bias_line, no, "linear bias")?;
                 layers.push(Layer::Linear(LinearLayer {
                     weights,
                     bias,
                     inputs: ni,
                     outputs: no,
-                    activation: parse_act(act)?,
+                    activation: parse_act(act, line_no)?,
                 }));
             }
             ["logsoftmax"] => layers.push(Layer::LogSoftMax),
-            other => return Err(format!("unrecognized line '{}'", other.join(" "))),
+            _ => {
+                return Err(err(
+                    line_no,
+                    WeightIoErrorKind::UnrecognizedLine(line.trim().into()),
+                ))
+            }
         }
     }
 
-    Network::new(input_shape, layers).map_err(|e| format!("invalid network: {e}"))
+    let net = Network::new(input_shape, layers)
+        .map_err(|e| err(0, WeightIoErrorKind::InvalidNetwork(e.to_string())))?;
+    Ok((net, version))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cnn_tensor::init::seeded_rng;
     use cnn_tensor::Tensor;
 
+    /// Deterministic pseudo-weights (no RNG: these tests must run
+    /// anywhere, and the values only need to be varied, not random).
+    fn dummy_vals(n: usize, salt: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                (x % 2048) as f32 / 1024.0 - 1.0
+            })
+            .collect()
+    }
+
     fn net() -> Network {
-        let mut rng = seeded_rng(8);
-        Network::builder(Shape::new(1, 16, 16))
-            .conv(6, 5, 5, &mut rng)
-            .pool(PoolKind::Max, 2, 2)
-            .flatten()
-            .linear(10, Some(Activation::Tanh), &mut rng)
-            .log_softmax()
-            .build()
-            .unwrap()
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(6, 1, 5, 5, dummy_vals(150, 1)),
+                    bias: dummy_vals(6, 2),
+                    activation: None,
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: dummy_vals(2160, 3),
+                    bias: dummy_vals(10, 4),
+                    inputs: 216,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
     fn roundtrip_preserves_network_exactly() {
         let n = net();
         let text = write_text(&n);
-        let back = read_text(&text).expect("parses");
+        let (back, version) = read_text_versioned(&text).expect("parses");
         assert_eq!(n, back);
+        assert_eq!(version, WeightFormatVersion::V2);
         // And behaviour, of course.
         let img = Tensor::full(Shape::new(1, 16, 16), 0.3);
         assert_eq!(n.forward(&img), back.forward(&img));
     }
 
     #[test]
+    fn v1_files_still_read() {
+        let n = net();
+        let text = write_text_v1(&n);
+        assert!(text.starts_with(MAGIC));
+        assert!(!text.contains("checksum"));
+        let (back, version) = read_text_versioned(&text).expect("v1 parses");
+        assert_eq!(n, back);
+        assert_eq!(version, WeightFormatVersion::V1);
+    }
+
+    #[test]
     fn format_is_line_oriented_and_tagged() {
         let text = write_text(&net());
         let mut lines = text.lines();
-        assert_eq!(lines.next(), Some(MAGIC));
+        assert_eq!(lines.next(), Some(MAGIC_V2));
         assert_eq!(lines.next(), Some("input 1 16 16"));
         assert!(text.contains("conv 6 1 5 5 none"));
         assert!(text.contains("pool max 2 2 2"));
         assert!(text.contains("flatten"));
         assert!(text.contains("linear 216 10 tanh"));
         assert!(text.contains("logsoftmax"));
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("checksum "), "{last}");
     }
 
     #[test]
     fn missing_magic_rejected() {
-        let err = read_text("input 1 2 2\n").unwrap_err();
-        assert!(err.contains("magic"), "{err}");
+        let e = read_text("input 1 2 2\n").unwrap_err();
+        assert!(e.to_string().contains("magic"), "{e}");
+        assert_eq!(e.line, 1);
     }
 
     #[test]
-    fn wrong_weight_count_rejected() {
+    fn wrong_weight_count_rejected_with_line_number() {
         let text = format!("{MAGIC}\ninput 1 4 4\nconv 1 1 2 2 none\n1 2 3\nbias 0\n");
-        let err = read_text(&text).unwrap_err();
-        assert!(err.contains("expected 4 values"), "{err}");
+        let e = read_text(&text).unwrap_err();
+        assert!(e.to_string().contains("expected 4 values"), "{e}");
+        assert_eq!(e.line, 4, "{e}");
     }
 
     #[test]
     fn bad_activation_rejected() {
         let text = format!("{MAGIC}\ninput 1 4 4\nconv 1 1 2 2 swish\n1 2 3 4\nbias 0\n");
-        let err = read_text(&text).unwrap_err();
-        assert!(err.contains("unknown activation"), "{err}");
+        let e = read_text(&text).unwrap_err();
+        assert!(e.to_string().contains("unknown activation"), "{e}");
+        assert_eq!(e.line, 3);
     }
 
     #[test]
     fn garbage_line_rejected() {
         let text = format!("{MAGIC}\ninput 1 4 4\nwat 1 2\n");
-        let err = read_text(&text).unwrap_err();
-        assert!(err.contains("unrecognized"), "{err}");
+        let e = read_text(&text).unwrap_err();
+        assert!(e.to_string().contains("unrecognized"), "{e}");
+        assert_eq!(e.line, 3);
     }
 
     #[test]
@@ -279,22 +586,45 @@ mod tests {
             "{MAGIC}\ninput 1 2 2\nconv 1 1 3 3 none\n{}\nbias 0\n",
             ["0.5"; 9].join(" ")
         );
-        let err = read_text(&text).unwrap_err();
-        assert!(err.contains("invalid network"), "{err}");
+        let e = read_text(&text).unwrap_err();
+        assert!(e.to_string().contains("invalid network"), "{e}");
     }
 
     #[test]
     fn mean_pool_and_all_activations_roundtrip() {
-        let mut rng = seeded_rng(3);
-        let n = Network::builder(Shape::new(2, 10, 10))
-            .conv_activated(3, 3, 3, Activation::Relu, &mut rng)
-            .pool(PoolKind::Mean, 2, 2)
-            .flatten()
-            .linear(5, Some(Activation::Sigmoid), &mut rng)
-            .linear(2, None, &mut rng)
-            .log_softmax()
-            .build()
-            .unwrap();
+        let n = Network::new(
+            Shape::new(2, 10, 10),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(3, 2, 3, 3, dummy_vals(54, 5)),
+                    bias: dummy_vals(3, 6),
+                    activation: Some(Activation::Relu),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Mean,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: dummy_vals(48 * 5, 7),
+                    bias: dummy_vals(5, 8),
+                    inputs: 48,
+                    outputs: 5,
+                    activation: Some(Activation::Sigmoid),
+                }),
+                Layer::Linear(LinearLayer {
+                    weights: dummy_vals(10, 9),
+                    bias: dummy_vals(2, 10),
+                    inputs: 5,
+                    outputs: 2,
+                    activation: None,
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap();
         let back = read_text(&write_text(&n)).unwrap();
         assert_eq!(n, back);
     }
@@ -312,5 +642,75 @@ mod tests {
         } else {
             panic!("layer 0 should be conv");
         }
+    }
+
+    #[test]
+    fn corrupted_float_is_caught_by_the_v2_checksum() {
+        // Regression: flip one digit of one weight. The float still
+        // parses and the counts still match, so the v1 grammar accepts
+        // the corrupted file silently; v2's checksum must refuse it.
+        let text = write_text(&net());
+        let pos = text
+            .char_indices()
+            .find(|&(i, ch)| {
+                ch.is_ascii_digit() && i > text.find('\n').unwrap() + 1 && {
+                    // Stay inside a float line (not a header count).
+                    let line_start = text[..i].rfind('\n').unwrap() + 1;
+                    !text[line_start..].starts_with("input")
+                        && !text[line_start..].starts_with("conv")
+                        && !text[line_start..].starts_with("checksum")
+                }
+            })
+            .map(|(i, _)| i)
+            .expect("a digit inside a weight line");
+        let mut corrupted = text.clone().into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'9' { b'8' } else { b'9' };
+        let corrupted = String::from_utf8(corrupted).unwrap();
+
+        let e = read_text(&corrupted).unwrap_err();
+        assert!(
+            matches!(e.kind, WeightIoErrorKind::ChecksumMismatch { .. }),
+            "expected checksum mismatch, got: {e}"
+        );
+
+        // The same corruption in a v1 file parses fine — that is the
+        // gap v2 closes.
+        let v1 = write_text_v1(&net());
+        let mut v1_corrupt = v1.into_bytes();
+        v1_corrupt[pos] = if v1_corrupt[pos] == b'9' { b'8' } else { b'9' };
+        let v1_corrupt = String::from_utf8(v1_corrupt).unwrap();
+        if let Ok(bad) = read_text(&v1_corrupt) {
+            assert_ne!(bad, net(), "corruption silently accepted by v1");
+        }
+    }
+
+    #[test]
+    fn truncated_v2_file_is_rejected() {
+        let text = write_text(&net());
+        // Drop the checksum line entirely: the last non-empty line is
+        // then a grammar line, not a checksum.
+        let without = text.rsplit_once("checksum").unwrap().0;
+        let e = read_text(without).unwrap_err();
+        assert!(
+            matches!(
+                e.kind,
+                WeightIoErrorKind::BadChecksumLine(_) | WeightIoErrorKind::ChecksumMismatch { .. }
+            ),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn error_display_carries_line_numbers() {
+        let e = WeightIoError {
+            line: 7,
+            kind: WeightIoErrorKind::UnknownActivation("swish".into()),
+        };
+        assert_eq!(e.to_string(), "line 7: unknown activation 'swish'");
+        let whole = WeightIoError {
+            line: 0,
+            kind: WeightIoErrorKind::InvalidNetwork("empty".into()),
+        };
+        assert_eq!(whole.to_string(), "invalid network: empty");
     }
 }

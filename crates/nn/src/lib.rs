@@ -41,6 +41,7 @@
 //! ```
 
 pub mod builder;
+pub mod checkpoint;
 pub mod grad;
 pub mod io;
 pub mod layer;
@@ -51,6 +52,7 @@ pub mod summary;
 pub mod train;
 
 pub use builder::NetworkBuilder;
+pub use checkpoint::{run_checkpointed, train_checkpointed, TrainCheckpoint};
 pub use layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
 pub use network::{Network, NetworkError};
 pub use train::{train, EpochStats, TrainConfig};

@@ -11,7 +11,7 @@ use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
 /// Training hyper-parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrainConfig {
     /// Learning rate.
     pub learning_rate: f32,
@@ -41,7 +41,7 @@ impl Default for TrainConfig {
 }
 
 /// Per-epoch training statistics.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -63,7 +63,11 @@ pub fn nll_loss(logp: &[f32], target: usize) -> f32 {
 
 /// Computes per-sample gradients for one (input, target) pair.
 /// Returns (per-layer grads, loss, correct?).
-fn sample_gradients(net: &Network, input: &Tensor, target: usize) -> (Vec<LayerGrads>, f32, bool) {
+pub(crate) fn sample_gradients(
+    net: &Network,
+    input: &Tensor,
+    target: usize,
+) -> (Vec<LayerGrads>, f32, bool) {
     let acts = net.forward_trace(input);
     let logp = acts.last().expect("non-empty trace");
     let loss = nll_loss(logp.as_slice(), target);
@@ -86,7 +90,7 @@ fn sample_gradients(net: &Network, input: &Tensor, target: usize) -> (Vec<LayerG
 
 /// Folds the batch gradient into the velocity buffers:
 /// `v <- momentum * v + g`.
-fn update_velocity(velocity: &mut [LayerGrads], grads: &[LayerGrads], momentum: f32) {
+pub(crate) fn update_velocity(velocity: &mut [LayerGrads], grads: &[LayerGrads], momentum: f32) {
     for (v, g) in velocity.iter_mut().zip(grads) {
         v.scale(momentum);
         v.accumulate(g);
@@ -95,7 +99,7 @@ fn update_velocity(velocity: &mut [LayerGrads], grads: &[LayerGrads], momentum: 
 
 /// Applies averaged gradients to the network with learning rate `lr`
 /// and L2 decay `wd`.
-fn apply_gradients(net: &mut Network, grads: &[LayerGrads], lr: f32, wd: f32) {
+pub(crate) fn apply_gradients(net: &mut Network, grads: &[LayerGrads], lr: f32, wd: f32) {
     // Safety: we rebuild the network from its own parts, so shapes are
     // unchanged and re-validation cannot fail.
     let input_shape = net.input_shape();

@@ -1,0 +1,593 @@
+//! The store's filesystem seam: every byte the store reads or writes
+//! goes through [`StoreFs`], so the fault injector can interpose
+//! torn writes, bit flips, partial reads, `ENOSPC` and crashes at any
+//! chosen operation — against a *real* directory tree, exactly the
+//! states a power cut would leave behind.
+
+use crate::hash::{mix_seed, SplitMix64};
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A failure surfaced by the filesystem layer.
+#[derive(Debug)]
+pub enum FsError {
+    /// A real I/O error from the underlying filesystem.
+    Io(std::io::Error),
+    /// Injected out-of-space: the operation failed cleanly, nothing
+    /// was written.
+    NoSpace {
+        /// Path of the failed operation.
+        path: PathBuf,
+    },
+    /// The injected crash point was reached: the process is considered
+    /// dead. Whatever partial state earlier operations left on disk is
+    /// exactly what a restart will find.
+    Crashed {
+        /// Index of the mutating operation at which the crash fired.
+        op: u64,
+    },
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Io(e) => write!(f, "{e}"),
+            FsError::NoSpace { path } => {
+                write!(f, "no space left on device (injected): {}", path.display())
+            }
+            FsError::Crashed { op } => write!(f, "crashed at mutating fs op {op} (injected)"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> FsError {
+        FsError::Io(e)
+    }
+}
+
+impl FsError {
+    /// True for the injected-crash marker (the caller should abandon
+    /// the store instance and reopen, as a restarted process would).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, FsError::Crashed { .. })
+    }
+}
+
+/// The filesystem operations the store needs. Mutating operations
+/// (`write_new`, `rename`, `append`, `remove`) are the crash points;
+/// reads can be corrupted but never advance the crash clock.
+pub trait StoreFs {
+    /// Reads a whole file.
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, FsError>;
+    /// Creates (truncating) `path` with `bytes`.
+    fn write_new(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError>;
+    /// Atomically renames `from` to `to` (same directory tree).
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), FsError>;
+    /// Appends `bytes` to `path`, creating it if absent.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError>;
+    /// Removes a file (missing files are not an error).
+    fn remove(&mut self, path: &Path) -> Result<(), FsError>;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&mut self, path: &Path) -> Result<(), FsError>;
+    /// Lists the files (not directories) directly under `dir`.
+    fn list(&mut self, dir: &Path) -> Result<Vec<PathBuf>, FsError>;
+    /// Whether `path` exists.
+    fn exists(&mut self, path: &Path) -> bool;
+}
+
+/// The pass-through production filesystem.
+#[derive(Debug, Default)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, FsError> {
+        Ok(fs::read(path)?)
+    }
+
+    fn write_new(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError> {
+        let mut f = fs::File::create(path)?;
+        f.write_all(bytes)?;
+        // Best-effort durability; the commit protocol only relies on
+        // rename atomicity, not on fsync ordering.
+        let _ = f.sync_all();
+        Ok(())
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), FsError> {
+        Ok(fs::rename(from, to)?)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)?;
+        let _ = f.sync_all();
+        Ok(())
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<(), FsError> {
+        match fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn create_dir_all(&mut self, path: &Path) -> Result<(), FsError> {
+        Ok(fs::create_dir_all(path)?)
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<PathBuf>, FsError> {
+        let mut out = Vec::new();
+        match fs::read_dir(dir) {
+            Ok(entries) => {
+                for e in entries {
+                    let e = e?;
+                    if e.file_type()?.is_file() {
+                        out.push(e.path());
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// Seeded filesystem fault schedule — the durability mirror of
+/// `cnn-fpga::fault::FaultPlan`. Probabilities are per *operation*
+/// and derive an independent decision stream from `(seed, op_index)`
+/// via SplitMix64, so any run with the same plan injects exactly the
+/// same faults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FsFaultPlan {
+    /// Master seed; everything derives from it deterministically.
+    pub seed: u64,
+    /// P(a write persists only a prefix and the process dies there) —
+    /// the torn-write-then-power-cut case.
+    pub torn_write: f64,
+    /// P(one byte of a read comes back with one bit flipped) — media
+    /// bit rot; only checksums can catch it.
+    pub bit_flip: f64,
+    /// P(a read returns only a prefix) — truncated read.
+    pub partial_read: f64,
+    /// P(a write or append fails cleanly with `ENOSPC`).
+    pub enospc: f64,
+    /// Deterministic crash point: die *before* executing the Nth
+    /// mutating operation (0-based, counted across the plan's life).
+    /// `rename` is one op, so `crash_at_op = k` with the rename at
+    /// index `k` is crash-before-rename and `k + 1` is crash-after.
+    pub crash_at_op: Option<u64>,
+}
+
+impl FsFaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> FsFaultPlan {
+        FsFaultPlan {
+            seed: 0,
+            torn_write: 0.0,
+            bit_flip: 0.0,
+            partial_read: 0.0,
+            enospc: 0.0,
+            crash_at_op: None,
+        }
+    }
+
+    /// Each operation faults with probability `rate`, split evenly
+    /// across the four probabilistic kinds (no deterministic crash).
+    /// Non-positive and non-finite rates normalize to [`none`] with
+    /// the seed preserved, as `FaultPlan::uniform` does.
+    ///
+    /// [`none`]: FsFaultPlan::none
+    pub fn uniform(seed: u64, rate: f64) -> FsFaultPlan {
+        if !rate.is_finite() || rate <= 0.0 {
+            return FsFaultPlan {
+                seed,
+                ..FsFaultPlan::none()
+            };
+        }
+        let p = (rate / 4.0).clamp(0.0, 0.25);
+        FsFaultPlan {
+            seed,
+            torn_write: p,
+            bit_flip: p,
+            partial_read: p,
+            enospc: p,
+            crash_at_op: None,
+        }
+    }
+
+    /// A plan whose only fault is a deterministic crash before (or,
+    /// for write ops with `torn`, midway through) mutating op `op`.
+    pub fn crash_at(op: u64, torn: bool) -> FsFaultPlan {
+        FsFaultPlan {
+            seed: op,
+            torn_write: if torn { 1.0 } else { 0.0 },
+            crash_at_op: Some(op),
+            ..FsFaultPlan::none()
+        }
+    }
+
+    /// Rejects probabilities outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        for (field, value) in [
+            ("torn_write", self.torn_write),
+            ("bit_flip", self.bit_flip),
+            ("partial_read", self.partial_read),
+            ("enospc", self.enospc),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(format!(
+                    "fs fault probability `{field}` = {value} is not in [0, 1]"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_fault_free(&self) -> bool {
+        self.crash_at_op.is_none()
+            && [
+                self.torn_write,
+                self.bit_flip,
+                self.partial_read,
+                self.enospc,
+            ]
+            .iter()
+            .all(|&p| p <= 0.0)
+    }
+}
+
+/// Cumulative injection statistics for one [`FaultyFs`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsFaultStats {
+    /// Mutating operations executed (the crash clock).
+    pub mutations: u64,
+    /// Reads executed.
+    pub reads: u64,
+    /// Torn writes injected (each also crashes).
+    pub torn_writes: u64,
+    /// Bit flips injected into reads.
+    pub bit_flips: u64,
+    /// Partial reads injected.
+    pub partial_reads: u64,
+    /// Clean `ENOSPC` failures injected.
+    pub enospc: u64,
+    /// 1 once the crash point has fired.
+    pub crashes: u64,
+}
+
+/// A [`StoreFs`] that wraps [`RealFs`] and injects the plan's faults.
+///
+/// After a crash fires every subsequent operation fails with
+/// [`FsError::Crashed`] — the "process" is dead; the test then opens
+/// a fresh store (fresh `FaultyFs` or [`RealFs`]) over the same
+/// directory, which is exactly the restart the recovery path serves.
+#[derive(Debug)]
+pub struct FaultyFs {
+    inner: RealFs,
+    plan: FsFaultPlan,
+    stats: FsFaultStats,
+    crashed: bool,
+}
+
+impl FaultyFs {
+    /// Wraps the real filesystem with `plan`.
+    pub fn new(plan: FsFaultPlan) -> FaultyFs {
+        FaultyFs {
+            inner: RealFs,
+            plan,
+            stats: FsFaultStats::default(),
+            crashed: false,
+        }
+    }
+
+    /// Injection statistics so far.
+    pub fn stats(&self) -> FsFaultStats {
+        self.stats
+    }
+
+    /// Whether the crash point has fired.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    fn check_alive(&self) -> Result<(), FsError> {
+        if self.crashed {
+            return Err(FsError::Crashed {
+                op: self.stats.mutations,
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-op decision stream: independent of every other op.
+    fn rng_for(&self, stream: u64, index: u64) -> SplitMix64 {
+        SplitMix64::new(mix_seed(mix_seed(self.plan.seed, stream), index))
+    }
+
+    /// Advances the crash clock; fires the deterministic crash point.
+    fn begin_mutation(&mut self) -> Result<u64, FsError> {
+        self.check_alive()?;
+        let op = self.stats.mutations;
+        if self.plan.crash_at_op == Some(op) {
+            self.crashed = true;
+            self.stats.crashes += 1;
+            return Err(FsError::Crashed { op });
+        }
+        self.stats.mutations += 1;
+        Ok(op)
+    }
+
+    /// Applies write-side faults; returns the prefix length to persist
+    /// (`None` = write everything).
+    fn write_fault(&mut self, op: u64, len: usize, path: &Path) -> Result<Option<usize>, FsError> {
+        let mut rng = self.rng_for(0, op);
+        if rng.next_f64() < self.plan.enospc {
+            self.stats.enospc += 1;
+            return Err(FsError::NoSpace {
+                path: path.to_path_buf(),
+            });
+        }
+        if len > 0 && rng.next_f64() < self.plan.torn_write {
+            self.stats.torn_writes += 1;
+            self.crashed = true;
+            self.stats.crashes += 1;
+            return Ok(Some(rng.next_below(len)));
+        }
+        Ok(None)
+    }
+}
+
+impl StoreFs for FaultyFs {
+    fn read(&mut self, path: &Path) -> Result<Vec<u8>, FsError> {
+        self.check_alive()?;
+        let idx = self.stats.reads;
+        self.stats.reads += 1;
+        let mut bytes = self.inner.read(path)?;
+        let mut rng = self.rng_for(1, idx);
+        if !bytes.is_empty() && rng.next_f64() < self.plan.partial_read {
+            self.stats.partial_reads += 1;
+            bytes.truncate(rng.next_below(bytes.len()));
+        }
+        if !bytes.is_empty() && rng.next_f64() < self.plan.bit_flip {
+            self.stats.bit_flips += 1;
+            let byte = rng.next_below(bytes.len());
+            let bit = rng.next_below(8) as u8;
+            bytes[byte] ^= 1 << bit;
+        }
+        Ok(bytes)
+    }
+
+    fn write_new(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError> {
+        let op = self.begin_mutation()?;
+        match self.write_fault(op, bytes.len(), path)? {
+            Some(prefix) => {
+                // Torn write: the prefix lands, then the power goes.
+                self.inner.write_new(path, &bytes[..prefix])?;
+                Err(FsError::Crashed { op })
+            }
+            None => self.inner.write_new(path, bytes),
+        }
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> Result<(), FsError> {
+        // Rename is atomic: it either happens or it doesn't — the
+        // crash point before/after it is what the plan enumerates.
+        self.begin_mutation()?;
+        self.inner.rename(from, to)
+    }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> Result<(), FsError> {
+        let op = self.begin_mutation()?;
+        match self.write_fault(op, bytes.len(), path)? {
+            Some(prefix) => {
+                self.inner.append(path, &bytes[..prefix])?;
+                Err(FsError::Crashed { op })
+            }
+            None => self.inner.append(path, bytes),
+        }
+    }
+
+    fn remove(&mut self, path: &Path) -> Result<(), FsError> {
+        self.begin_mutation()?;
+        self.inner.remove(path)
+    }
+
+    fn create_dir_all(&mut self, path: &Path) -> Result<(), FsError> {
+        // Directory creation is idempotent and not an interesting
+        // crash point; it does not advance the clock.
+        self.check_alive()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list(&mut self, dir: &Path) -> Result<Vec<PathBuf>, FsError> {
+        self.check_alive()?;
+        self.inner.list(dir)
+    }
+
+    fn exists(&mut self, path: &Path) -> bool {
+        if self.crashed {
+            return false;
+        }
+        self.inner.exists(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch;
+    use std::path::Path;
+
+    #[test]
+    fn real_fs_roundtrip_and_append() {
+        let dir = scratch("real");
+        let mut f = RealFs;
+        let p = dir.join("a.bin");
+        f.write_new(&p, b"hello").unwrap();
+        assert_eq!(f.read(&p).unwrap(), b"hello");
+        f.append(&p, b" world").unwrap();
+        assert_eq!(f.read(&p).unwrap(), b"hello world");
+        let q = dir.join("b.bin");
+        f.rename(&p, &q).unwrap();
+        assert!(!f.exists(&p) && f.exists(&q));
+        assert_eq!(f.list(&dir).unwrap(), vec![q.clone()]);
+        f.remove(&q).unwrap();
+        f.remove(&q).unwrap(); // idempotent
+        assert!(f.list(&dir).unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn listing_missing_dir_is_empty() {
+        let mut f = RealFs;
+        assert!(f
+            .list(Path::new("/definitely/not/here"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn crash_point_kills_the_fs_until_reopen() {
+        let dir = scratch("crash");
+        let mut f = FaultyFs::new(FsFaultPlan::crash_at(1, false));
+        f.write_new(&dir.join("a"), b"one").unwrap(); // op 0: fine
+        let err = f.write_new(&dir.join("b"), b"two").unwrap_err(); // op 1: crash
+        assert!(err.is_crash(), "{err}");
+        assert!(f.has_crashed());
+        // Every later op fails too — the process is dead.
+        assert!(f.read(&dir.join("a")).unwrap_err().is_crash());
+        assert!(f.write_new(&dir.join("c"), b"x").unwrap_err().is_crash());
+        // A restart (fresh fs) sees exactly the pre-crash state.
+        let mut g = RealFs;
+        assert_eq!(g.read(&dir.join("a")).unwrap(), b"one");
+        assert!(!g.exists(&dir.join("b")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let dir = scratch("torn");
+        let mut f = FaultyFs::new(FsFaultPlan::crash_at(0, true));
+        let err = f.write_new(&dir.join("a"), &[7u8; 100]).unwrap_err();
+        assert!(err.is_crash());
+        // crash_at consumed op 0 before the write executed, so nothing
+        // landed; a torn write mid-op needs the probabilistic plan.
+        let dir2 = scratch("torn2");
+        let plan = FsFaultPlan {
+            seed: 3,
+            torn_write: 1.0,
+            ..FsFaultPlan::none()
+        };
+        let mut f2 = FaultyFs::new(plan);
+        let err = f2.write_new(&dir2.join("a"), &[7u8; 100]).unwrap_err();
+        assert!(err.is_crash());
+        assert_eq!(f2.stats().torn_writes, 1);
+        let mut g = RealFs;
+        let left = g.read(&dir2.join("a")).unwrap();
+        assert!(left.len() < 100, "torn write persisted everything");
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn bit_flip_and_partial_read_are_deterministic() {
+        let dir = scratch("flip");
+        let mut real = RealFs;
+        real.write_new(&dir.join("a"), &[0u8; 64]).unwrap();
+        let run = |seed: u64| {
+            let plan = FsFaultPlan {
+                seed,
+                bit_flip: 1.0,
+                ..FsFaultPlan::none()
+            };
+            let mut f = FaultyFs::new(plan);
+            f.read(&dir.join("a")).unwrap()
+        };
+        let a = run(5);
+        assert_eq!(a, run(5), "same seed, same corruption");
+        assert_ne!(a, vec![0u8; 64], "flip must corrupt");
+        assert_eq!(a.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+
+        let plan = FsFaultPlan {
+            seed: 5,
+            partial_read: 1.0,
+            ..FsFaultPlan::none()
+        };
+        let mut f = FaultyFs::new(plan);
+        assert!(f.read(&dir.join("a")).unwrap().len() < 64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_fails_cleanly_without_crashing() {
+        let dir = scratch("enospc");
+        let plan = FsFaultPlan {
+            seed: 1,
+            enospc: 1.0,
+            ..FsFaultPlan::none()
+        };
+        let mut f = FaultyFs::new(plan);
+        let err = f.write_new(&dir.join("a"), b"data").unwrap_err();
+        assert!(matches!(err, FsError::NoSpace { .. }), "{err}");
+        assert!(!f.has_crashed());
+        // Nothing landed, and the fs keeps working (every write keeps
+        // failing under rate 1.0, but reads are fine).
+        let mut g = RealFs;
+        assert!(!g.exists(&dir.join("a")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uniform_normalizes_like_the_dma_plan() {
+        assert_eq!(
+            FsFaultPlan::uniform(9, 0.0),
+            FsFaultPlan {
+                seed: 9,
+                ..FsFaultPlan::none()
+            }
+        );
+        assert_eq!(FsFaultPlan::uniform(9, -1.0), FsFaultPlan::uniform(9, 0.0));
+        let p = FsFaultPlan::uniform(9, 0.4);
+        assert!((p.torn_write - 0.1).abs() < 1e-12);
+        assert!(p.validate().is_ok());
+        assert!(FsFaultPlan::none().is_fault_free());
+        assert!(!FsFaultPlan::crash_at(0, false).is_fault_free());
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let p = FsFaultPlan {
+            bit_flip: 1.5,
+            ..FsFaultPlan::none()
+        };
+        assert!(p.validate().unwrap_err().contains("bit_flip"));
+        let p = FsFaultPlan {
+            enospc: f64::NAN,
+            ..FsFaultPlan::none()
+        };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Content hashing for the store: FNV-1a/64 for artifact identity and
+//! record checksums, CRC-32/IEEE for the short per-line journal
+//! checks. Both are implemented locally so the on-disk format depends
+//! on nothing but this crate.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a/64 hasher.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64::default()
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` in little-endian byte order.
+    pub fn update_u64(&mut self, v: u64) -> &mut Self {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a/64 of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// CRC-32/IEEE (reflected, polynomial 0xEDB88320) of `bytes` — the
+/// same parameters as the AXI stream trailer in `cnn-fpga::axi`, so a
+/// journal line and a stream packet corrupt the same way in tests.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Formats a 64-bit digest as fixed-width lowercase hex.
+pub fn hex64(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Parses the fixed-width hex produced by [`hex64`]. Strictly
+/// lowercase: `from_str_radix` would also accept uppercase, which
+/// would give one value two on-disk spellings — and a bit flip that
+/// flips the case of a checksum's own hex digits must not survive.
+pub fn parse_hex64(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(is_lower_hex) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// Parses fixed-width 8-char lowercase hex (journal line CRCs).
+pub fn parse_hex32(s: &str) -> Option<u32> {
+    if s.len() != 8 || !s.bytes().all(is_lower_hex) {
+        return None;
+    }
+    u32::from_str_radix(s, 16).ok()
+}
+
+fn is_lower_hex(b: u8) -> bool {
+    b.is_ascii_digit() || (b'a'..=b'f').contains(&b)
+}
+
+/// SplitMix64 — the store's only randomness source, used by the fault
+/// injector to derive an independent decision per filesystem
+/// operation from `(seed, op_index)`, exactly as `cnn-fpga::fault`
+/// derives per-`(image, attempt)` streams.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Mixes a seed and a stream index into an independent sub-seed.
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.update_u64(seed).update_u64(stream);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // Standard FNV-1a/64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // CRC-32/IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for v in [0u64, 1, u64::MAX, 0xdeadbeefcafebabe] {
+            assert_eq!(parse_hex64(&hex64(v)), Some(v));
+        }
+        assert_eq!(parse_hex64("xyz"), None);
+        assert_eq!(parse_hex64("123"), None);
+        // Uppercase is rejected: one value, one spelling.
+        assert_eq!(parse_hex64("DEADBEEFCAFEBABE"), None);
+        assert_eq!(parse_hex32("0000000a"), Some(10));
+        assert_eq!(parse_hex32("0000000A"), None);
+        assert_eq!(parse_hex32("0a"), None);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both_digests() {
+        let base = b"the quick brown fox".to_vec();
+        let h0 = fnv64(&base);
+        let c0 = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[byte] ^= 1 << bit;
+                assert_ne!(fnv64(&m), h0, "fnv missed flip at {byte}:{bit}");
+                assert_ne!(crc32(&m), c0, "crc missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = SplitMix64::new(8);
+        assert_ne!(xs[0], c.next_u64());
+        let f = SplitMix64::new(1).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn mixed_seeds_differ_by_stream() {
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+    }
+}

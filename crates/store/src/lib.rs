@@ -1,0 +1,59 @@
+//! `cnn-store` — crash-safe, content-addressed artifact storage for
+//! the cnn2fpga toolchain.
+//!
+//! Everything the toolchain produces that is expensive to recompute —
+//! realized weights, training checkpoints, generated C++/tcl/HDL,
+//! bitstream descriptions, benchmark reports — can be committed here
+//! and later reloaded with end-to-end integrity checking. The design
+//! has four pieces:
+//!
+//! * [`record`] — the on-disk object format: length-prefixed,
+//!   FNV-1a/64-checksummed records, one artifact per file, addressed
+//!   by the hash of their content.
+//! * [`journal`] — an append-only manifest whose lines each carry a
+//!   CRC-32, so a torn final line (the canonical crash artifact of an
+//!   append) is detected and dropped at replay.
+//! * [`fsio`] — the filesystem seam. Production uses [`RealFs`]; the
+//!   crash-consistency suite uses [`FaultyFs`], which injects torn
+//!   writes, bit flips, partial reads, `ENOSPC` and a deterministic
+//!   crash point from a seeded [`FsFaultPlan`], mirroring
+//!   `cnn-fpga::fault`'s seeded DMA fault plans.
+//! * [`store`] — [`Store`] itself, whose `put` commits via
+//!   write-temp → atomic rename → journal append. The invariant the
+//!   property suite enforces: a crash at **any** filesystem operation
+//!   leaves the store at the old state or the new state, never a torn
+//!   one.
+//!
+//! The crate is dependency-free by design (its only internal dep is
+//! `cnn-trace` for counters): the hashes, the RNG and the formats are
+//! all local, so the bytes on disk are fully specified by this source.
+
+pub mod fsio;
+pub mod hash;
+pub mod journal;
+pub mod record;
+pub mod store;
+
+pub use fsio::{FaultyFs, FsError, FsFaultPlan, FsFaultStats, RealFs, StoreFs};
+pub use record::{content_id, ArtifactKind, RecordError};
+pub use store::{
+    atomic_write, ArtifactId, CorruptArtifact, GcReport, Store, StoreError, VerifyReport,
+};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    /// A unique scratch directory (no external tempdir crate).
+    pub fn scratch(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("cnn-store-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+}

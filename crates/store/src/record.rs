@@ -1,0 +1,302 @@
+//! The on-disk object format: one artifact per file, framed as a
+//! length-prefixed, checksummed record so that torn writes, truncated
+//! reads and bit rot are all *detected* rather than trusted.
+//!
+//! ```text
+//! offset  size  field
+//! 0       10    magic  b"cnnstore1\n"
+//! 10      1     artifact kind tag
+//! 11      8     payload length, u64 little-endian
+//! 19      n     payload
+//! 19+n    8     FNV-1a/64 over bytes [0, 19+n), u64 little-endian
+//! ```
+
+use crate::hash::{fnv64, Fnv64};
+use std::fmt;
+
+/// File magic; the trailing newline keeps accidental text edits from
+/// parsing.
+pub const RECORD_MAGIC: &[u8; 10] = b"cnnstore1\n";
+
+/// Fixed overhead of the framing around the payload.
+pub const RECORD_OVERHEAD: usize = RECORD_MAGIC.len() + 1 + 8 + 8;
+
+/// What an artifact *is* — part of its identity: the same bytes
+/// stored as two different kinds are two different artifacts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Realized network weights (the v2 text interchange format).
+    Weights,
+    /// A training checkpoint (epoch-granular snapshot).
+    Checkpoint,
+    /// A network descriptor in canonical text form.
+    Spec,
+    /// Generated single-file C++ source.
+    Cpp,
+    /// A generated tcl script.
+    Tcl,
+    /// The generated HDL wrapper.
+    Hdl,
+    /// A bitstream's canonical content description.
+    Bitstream,
+    /// A rendered HLS report.
+    Report,
+    /// A benchmark/CI results document (JSON).
+    Bench,
+}
+
+impl ArtifactKind {
+    /// Every kind, in tag order.
+    pub const ALL: [ArtifactKind; 9] = [
+        ArtifactKind::Weights,
+        ArtifactKind::Checkpoint,
+        ArtifactKind::Spec,
+        ArtifactKind::Cpp,
+        ArtifactKind::Tcl,
+        ArtifactKind::Hdl,
+        ArtifactKind::Bitstream,
+        ArtifactKind::Report,
+        ArtifactKind::Bench,
+    ];
+
+    /// Stable one-byte tag used in the record header.
+    pub fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Weights => b'w',
+            ArtifactKind::Checkpoint => b'c',
+            ArtifactKind::Spec => b's',
+            ArtifactKind::Cpp => b'p',
+            ArtifactKind::Tcl => b't',
+            ArtifactKind::Hdl => b'h',
+            ArtifactKind::Bitstream => b'b',
+            ArtifactKind::Report => b'r',
+            ArtifactKind::Bench => b'j',
+        }
+    }
+
+    /// Parses a header tag.
+    pub fn from_tag(tag: u8) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+
+    /// Human-readable name (also used in journal lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Weights => "weights",
+            ArtifactKind::Checkpoint => "checkpoint",
+            ArtifactKind::Spec => "spec",
+            ArtifactKind::Cpp => "cpp",
+            ArtifactKind::Tcl => "tcl",
+            ArtifactKind::Hdl => "hdl",
+            ArtifactKind::Bitstream => "bitstream",
+            ArtifactKind::Report => "report",
+            ArtifactKind::Bench => "bench",
+        }
+    }
+
+    /// Parses a journal-line kind name.
+    pub fn from_name(name: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a record failed to decode. Every variant means "do not trust
+/// these bytes" — the store surfaces them as corruption.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordError {
+    /// The file does not start with the record magic.
+    BadMagic,
+    /// The kind tag is not one of [`ArtifactKind`]'s.
+    UnknownKind(u8),
+    /// The file is shorter than its framing claims.
+    Truncated {
+        /// Bytes the framing promised.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The trailing FNV-1a/64 does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the record.
+        stored: u64,
+        /// Checksum recomputed from the bytes.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::BadMagic => write!(f, "bad record magic"),
+            RecordError::UnknownKind(t) => write!(f, "unknown artifact kind tag 0x{t:02x}"),
+            RecordError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "record truncated: expected {expected} bytes, found {found}"
+                )
+            }
+            RecordError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "record checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The content-address of an artifact: FNV-1a/64 over the kind tag
+/// followed by the payload bytes. Two artifacts with the same id have
+/// the same kind and the same bytes.
+pub fn content_id(kind: ArtifactKind, payload: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&[kind.tag()]).update(payload);
+    h.finish()
+}
+
+/// Frames `payload` as a record.
+pub fn encode(kind: ArtifactKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + RECORD_OVERHEAD);
+    out.extend_from_slice(RECORD_MAGIC);
+    out.push(kind.tag());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = fnv64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes and fully verifies a record, returning the kind and
+/// payload. Any framing or checksum violation is an error.
+pub fn decode(bytes: &[u8]) -> Result<(ArtifactKind, Vec<u8>), RecordError> {
+    let header = RECORD_MAGIC.len() + 1 + 8;
+    if bytes.len() < header {
+        return Err(RecordError::Truncated {
+            expected: header,
+            found: bytes.len(),
+        });
+    }
+    if &bytes[..RECORD_MAGIC.len()] != RECORD_MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    let kind = ArtifactKind::from_tag(bytes[RECORD_MAGIC.len()])
+        .ok_or(RecordError::UnknownKind(bytes[RECORD_MAGIC.len()]))?;
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[RECORD_MAGIC.len() + 1..header]);
+    let payload_len = u64::from_le_bytes(len8) as usize;
+    let expected = header
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(RecordError::Truncated {
+            expected: usize::MAX,
+            found: bytes.len(),
+        })?;
+    if bytes.len() != expected {
+        return Err(RecordError::Truncated {
+            expected,
+            found: bytes.len(),
+        });
+    }
+    let mut sum8 = [0u8; 8];
+    sum8.copy_from_slice(&bytes[expected - 8..]);
+    let stored = u64::from_le_bytes(sum8);
+    let computed = fnv64(&bytes[..expected - 8]);
+    if stored != computed {
+        return Err(RecordError::ChecksumMismatch { stored, computed });
+    }
+    Ok((kind, bytes[header..expected - 8].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for kind in ArtifactKind::ALL {
+            let payload = format!("payload for {kind}").into_bytes();
+            let rec = encode(kind, &payload);
+            let (k, p) = decode(&rec).expect("decodes");
+            assert_eq!(k, kind);
+            assert_eq!(p, payload);
+            assert_eq!(rec.len(), payload.len() + RECORD_OVERHEAD);
+        }
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let rec = encode(ArtifactKind::Spec, b"");
+        assert_eq!(decode(&rec).unwrap(), (ArtifactKind::Spec, vec![]));
+    }
+
+    #[test]
+    fn kind_tags_and_names_are_distinct() {
+        let tags: std::collections::HashSet<_> =
+            ArtifactKind::ALL.iter().map(|k| k.tag()).collect();
+        assert_eq!(tags.len(), ArtifactKind::ALL.len());
+        let names: std::collections::HashSet<_> =
+            ArtifactKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), ArtifactKind::ALL.len());
+        for k in ArtifactKind::ALL {
+            assert_eq!(ArtifactKind::from_tag(k.tag()), Some(k));
+            assert_eq!(ArtifactKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ArtifactKind::from_tag(0xFF), None);
+        assert_eq!(ArtifactKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn kind_is_part_of_identity() {
+        assert_ne!(
+            content_id(ArtifactKind::Cpp, b"same bytes"),
+            content_id(ArtifactKind::Tcl, b"same bytes")
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let rec = encode(ArtifactKind::Weights, b"0.25 -1.5 3.0");
+        for byte in 0..rec.len() {
+            for bit in 0..8 {
+                let mut m = rec.clone();
+                m[byte] ^= 1 << bit;
+                assert!(
+                    decode(&m).is_err(),
+                    "undetected flip at byte {byte} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let rec = encode(ArtifactKind::Bitstream, &[9u8; 64]);
+        for cut in 0..rec.len() {
+            assert!(decode(&rec[..cut]).is_err(), "undetected cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut rec = encode(ArtifactKind::Report, b"ok");
+        rec.push(0);
+        assert!(matches!(decode(&rec), Err(RecordError::Truncated { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RecordError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"), "{e}");
+        assert!(RecordError::BadMagic.to_string().contains("magic"));
+        assert!(RecordError::UnknownKind(7).to_string().contains("0x07"));
+    }
+}

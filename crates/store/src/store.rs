@@ -1,0 +1,797 @@
+//! The content-addressed artifact store and its commit protocol.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! <root>/objects/<id-hex>.obj   one framed record per artifact
+//! <root>/tmp/                   staging for in-flight commits
+//! <root>/manifest.log           the append-only journal
+//! ```
+//!
+//! Commit protocol for `put` (the only way bytes become visible):
+//!
+//! 1. frame the payload as a checksummed record,
+//! 2. write it to `tmp/<id>.tmp`,
+//! 3. `rename` it to `objects/<id>.obj` (atomic),
+//! 4. append the `put` line to the journal.
+//!
+//! A crash at any point leaves the store at the **old or the new**
+//! state, never a torn one: a torn temp file is invisible (never
+//! renamed), an object without a journal line is unnamed garbage the
+//! next `gc` removes, and a torn journal line fails its CRC and is
+//! dropped (then compacted away) at the next open.
+
+use crate::fsio::{FaultyFs, FsError, FsFaultPlan, RealFs, StoreFs};
+use crate::hash::hex64;
+use crate::journal::{format_entry, replay, JournalEntry, PutEntry, StageEntry};
+use crate::record::{content_id, decode, encode, ArtifactKind, RecordError};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The content-address of one stored artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArtifactId(pub u64);
+
+impl fmt::Display for ArtifactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&hex64(self.0))
+    }
+}
+
+/// Any failure of the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The filesystem layer failed (real error, injected `ENOSPC`, or
+    /// the injected crash marker).
+    Fs(FsError),
+    /// An object's record failed to decode or verify.
+    Corrupt {
+        /// The artifact's id.
+        id: ArtifactId,
+        /// What the record layer found.
+        reason: RecordError,
+    },
+    /// The object decoded but its content does not hash to its id —
+    /// the name points at the wrong bytes.
+    WrongContent {
+        /// Id the name promised.
+        expected: ArtifactId,
+        /// Id the bytes actually hash to.
+        found: ArtifactId,
+    },
+    /// No artifact under this `(kind, name)`.
+    Missing {
+        /// Requested kind.
+        kind: ArtifactKind,
+        /// Requested name.
+        name: String,
+    },
+    /// Artifact names are restricted to `[A-Za-z0-9._\-/]` so the
+    /// journal line format stays unambiguous.
+    BadName(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Fs(e) => write!(f, "store fs: {e}"),
+            StoreError::Corrupt { id, reason } => {
+                write!(f, "artifact {id} is corrupt: {reason}")
+            }
+            StoreError::WrongContent { expected, found } => {
+                write!(
+                    f,
+                    "artifact content mismatch: expected {expected}, found {found}"
+                )
+            }
+            StoreError::Missing { kind, name } => {
+                write!(f, "no {kind} artifact named '{name}'")
+            }
+            StoreError::BadName(n) => write!(f, "invalid artifact name '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Fs(e) => Some(e),
+            StoreError::Corrupt { reason, .. } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for StoreError {
+    fn from(e: FsError) -> StoreError {
+        StoreError::Fs(e)
+    }
+}
+
+impl StoreError {
+    /// True when the failure is the injected crash marker: the store
+    /// instance must be dropped and reopened, like a restarted
+    /// process.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, StoreError::Fs(e) if e.is_crash())
+    }
+}
+
+/// One corruption found by [`Store::verify_all`].
+#[derive(Debug)]
+pub struct CorruptArtifact {
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// Logical name.
+    pub name: String,
+    /// The id the journal promised.
+    pub id: ArtifactId,
+    /// Why it failed.
+    pub error: StoreError,
+}
+
+/// The result of a full store verification.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Named artifacts whose records verified end to end.
+    pub verified: usize,
+    /// Named artifacts that are missing or corrupt.
+    pub corrupt: Vec<CorruptArtifact>,
+    /// Object files no name references (commit leftovers; `gc` food).
+    pub unreferenced: usize,
+    /// Journal lines dropped at open (torn tail / bit rot).
+    pub dropped_journal_lines: usize,
+}
+
+impl VerifyReport {
+    /// True when every named artifact verified.
+    pub fn all_ok(&self) -> bool {
+        self.corrupt.is_empty()
+    }
+}
+
+/// The result of a garbage collection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Live named artifacts kept.
+    pub live: usize,
+    /// Unreferenced object files removed.
+    pub removed_objects: usize,
+    /// Staging leftovers removed.
+    pub removed_temps: usize,
+}
+
+/// The content-addressed artifact store.
+pub struct Store {
+    root: PathBuf,
+    fs: Box<dyn StoreFs>,
+    names: HashMap<(ArtifactKind, String), PutEntry>,
+    stages: HashMap<String, StageEntry>,
+    dropped_journal_lines: usize,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("root", &self.root)
+            .field("artifacts", &self.names.len())
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Opens (creating if needed) a store at `root` on the real
+    /// filesystem, repairing any torn journal tail left by a crash.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        Store::open_with(root, Box::new(RealFs))
+    }
+
+    /// Opens a store whose every filesystem operation goes through the
+    /// seeded fault injector — the crash-consistency test entry point.
+    pub fn open_faulty(root: impl Into<PathBuf>, plan: FsFaultPlan) -> Result<Store, StoreError> {
+        Store::open_with(root, Box::new(FaultyFs::new(plan)))
+    }
+
+    /// Opens a store over an arbitrary filesystem implementation.
+    pub fn open_with(
+        root: impl Into<PathBuf>,
+        mut fs: Box<dyn StoreFs>,
+    ) -> Result<Store, StoreError> {
+        let root = root.into();
+        fs.create_dir_all(&root.join("objects"))?;
+        fs.create_dir_all(&root.join("tmp"))?;
+        let manifest = root.join("manifest.log");
+        let (rep, needs_repair) = if fs.exists(&manifest) {
+            let bytes = fs.read(&manifest)?;
+            let ends_clean = bytes.is_empty() || bytes.ends_with(b"\n");
+            let rep = replay(&bytes);
+            let needs_repair = rep.dropped > 0 || !ends_clean;
+            (rep, needs_repair)
+        } else {
+            (Default::default(), false)
+        };
+
+        let mut store = Store {
+            root,
+            fs,
+            names: HashMap::new(),
+            stages: HashMap::new(),
+            dropped_journal_lines: rep.dropped,
+        };
+        for entry in rep.entries {
+            store.apply(entry);
+        }
+        if store.dropped_journal_lines > 0 {
+            cnn_trace::counter_add(
+                "cnn_store_journal_dropped_lines_total",
+                &[],
+                store.dropped_journal_lines as u64,
+            );
+        }
+        if needs_repair {
+            // Crash recovery: rewrite the journal from the surviving
+            // entries so a torn tail can never merge with the next
+            // append. Atomic (temp + rename), so a crash *here* still
+            // leaves old-or-new.
+            store.rewrite_journal()?;
+        }
+        Ok(store)
+    }
+
+    fn apply(&mut self, entry: JournalEntry) {
+        match entry {
+            JournalEntry::Put(p) => {
+                self.names.insert((p.kind, p.name.clone()), p);
+            }
+            JournalEntry::Stage(s) => {
+                self.stages.insert(s.stage.clone(), s);
+            }
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Journal lines dropped (torn tail or bit rot) at open.
+    pub fn dropped_journal_lines(&self) -> usize {
+        self.dropped_journal_lines
+    }
+
+    /// Number of named artifacts.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no artifact is named.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All `(kind, name, id)` namings, sorted for stable output.
+    pub fn artifacts(&self) -> Vec<(ArtifactKind, String, ArtifactId)> {
+        let mut v: Vec<_> = self
+            .names
+            .values()
+            .map(|p| (p.kind, p.name.clone(), ArtifactId(p.id)))
+            .collect();
+        v.sort();
+        v
+    }
+
+    fn object_path(&self, id: ArtifactId) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{}.obj", hex64(id.0)))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.log")
+    }
+
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b'/'))
+    }
+
+    fn append_journal(&mut self, entry: JournalEntry) -> Result<(), StoreError> {
+        let line = format_entry(&entry);
+        self.fs.append(&self.manifest_path(), line.as_bytes())?;
+        self.apply(entry);
+        Ok(())
+    }
+
+    /// Rewrites the journal from the in-memory state, atomically.
+    fn rewrite_journal(&mut self) -> Result<(), StoreError> {
+        let mut entries: Vec<JournalEntry> = Vec::new();
+        let mut puts: Vec<&PutEntry> = self.names.values().collect();
+        puts.sort_by(|a, b| (a.kind, &a.name).cmp(&(b.kind, &b.name)));
+        entries.extend(puts.into_iter().cloned().map(JournalEntry::Put));
+        let mut stages: Vec<&StageEntry> = self.stages.values().collect();
+        stages.sort_by(|a, b| a.stage.cmp(&b.stage));
+        entries.extend(stages.into_iter().cloned().map(JournalEntry::Stage));
+        let text: String = entries.iter().map(format_entry).collect();
+        let tmp = self.root.join("tmp").join("manifest.rewrite");
+        self.fs.write_new(&tmp, text.as_bytes())?;
+        self.fs.rename(&tmp, &self.manifest_path())?;
+        Ok(())
+    }
+
+    /// Reads and fully verifies the object for `id`; returns its
+    /// payload.
+    fn read_object(&mut self, kind: ArtifactKind, id: ArtifactId) -> Result<Vec<u8>, StoreError> {
+        let bytes = self.fs.read(&self.object_path(id))?;
+        let (k, payload) = decode(&bytes).map_err(|reason| {
+            cnn_trace::counter_add("cnn_store_verify_failures_total", &[], 1);
+            StoreError::Corrupt { id, reason }
+        })?;
+        let found = ArtifactId(content_id(k, &payload));
+        if k != kind || found != id {
+            cnn_trace::counter_add("cnn_store_verify_failures_total", &[], 1);
+            return Err(StoreError::WrongContent {
+                expected: id,
+                found,
+            });
+        }
+        Ok(payload)
+    }
+
+    /// Stores `payload` as a `kind` artifact named `name`, atomically,
+    /// and returns its content id. Re-putting identical content under
+    /// the same name verifies the existing object and is a no-op.
+    pub fn put(
+        &mut self,
+        kind: ArtifactKind,
+        name: &str,
+        payload: &[u8],
+    ) -> Result<ArtifactId, StoreError> {
+        if !Store::valid_name(name) {
+            return Err(StoreError::BadName(name.to_string()));
+        }
+        let id = ArtifactId(content_id(kind, payload));
+        let key = (kind, name.to_string());
+        if self.names.get(&key).is_some_and(|p| p.id == id.0) && self.read_object(kind, id).is_ok()
+        {
+            cnn_trace::counter_add("cnn_store_put_hits_total", &[], 1);
+            return Ok(id);
+        }
+
+        let record = encode(kind, payload);
+        let obj = self.object_path(id);
+        // Object files are immutable once committed; rewrite only if
+        // absent or failing verification (bit rot repair).
+        if !self.fs.exists(&obj) || self.read_object(kind, id).is_err() {
+            let tmp = self.root.join("tmp").join(format!("{}.tmp", hex64(id.0)));
+            self.fs.write_new(&tmp, &record)?;
+            self.fs.rename(&tmp, &obj)?;
+        }
+        self.append_journal(JournalEntry::Put(PutEntry {
+            kind,
+            name: name.to_string(),
+            id: id.0,
+            len: payload.len() as u64,
+        }))?;
+        cnn_trace::counter_add("cnn_store_puts_total", &[("kind", kind.name())], 1);
+        Ok(id)
+    }
+
+    /// The id currently named by `(kind, name)`, if any.
+    pub fn lookup(&self, kind: ArtifactKind, name: &str) -> Option<ArtifactId> {
+        self.names
+            .get(&(kind, name.to_string()))
+            .map(|p| ArtifactId(p.id))
+    }
+
+    /// Loads and verifies the artifact named `(kind, name)`.
+    pub fn get(&mut self, kind: ArtifactKind, name: &str) -> Result<Vec<u8>, StoreError> {
+        let id = self.lookup(kind, name).ok_or_else(|| StoreError::Missing {
+            kind,
+            name: name.to_string(),
+        })?;
+        cnn_trace::counter_add("cnn_store_gets_total", &[("kind", kind.name())], 1);
+        self.read_object(kind, id)
+    }
+
+    /// Verifies the artifact named `(kind, name)` without returning
+    /// its bytes.
+    pub fn verify(&mut self, kind: ArtifactKind, name: &str) -> Result<ArtifactId, StoreError> {
+        let id = self.lookup(kind, name).ok_or_else(|| StoreError::Missing {
+            kind,
+            name: name.to_string(),
+        })?;
+        self.read_object(kind, id)?;
+        Ok(id)
+    }
+
+    /// Names of every artifact of `kind`, sorted.
+    pub fn names_of_kind(&self, kind: ArtifactKind) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .names
+            .keys()
+            .filter(|(k, _)| *k == kind)
+            .map(|(_, n)| n.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Records that `stage` completed with `inputs` (a combined
+    /// content hash) producing `outputs`.
+    pub fn record_stage(
+        &mut self,
+        stage: &str,
+        inputs: u64,
+        outputs: &[(ArtifactKind, String, ArtifactId)],
+    ) -> Result<(), StoreError> {
+        if !Store::valid_name(stage) {
+            return Err(StoreError::BadName(stage.to_string()));
+        }
+        self.append_journal(JournalEntry::Stage(StageEntry {
+            stage: stage.to_string(),
+            inputs,
+            outputs: outputs
+                .iter()
+                .map(|(k, n, id)| (*k, n.clone(), id.0))
+                .collect(),
+        }))
+    }
+
+    /// The recorded completion of `stage`, if any.
+    pub fn stage_record(&self, stage: &str) -> Option<&StageEntry> {
+        self.stages.get(stage)
+    }
+
+    /// True when `stage` previously completed with the same `inputs`
+    /// hash AND every artifact it produced still verifies — the
+    /// skip-this-stage predicate for resumable workflows.
+    pub fn stage_is_fresh(&mut self, stage: &str, inputs: u64) -> bool {
+        let Some(rec) = self.stages.get(stage).cloned() else {
+            return false;
+        };
+        if rec.inputs != inputs {
+            return false;
+        }
+        rec.outputs.iter().all(|(kind, name, id)| {
+            // The name must still point at the recorded content and
+            // that content must verify on disk.
+            self.lookup(*kind, name) == Some(ArtifactId(*id))
+                && self.read_object(*kind, ArtifactId(*id)).is_ok()
+        })
+    }
+
+    /// Verifies every named artifact and reports unreferenced objects.
+    pub fn verify_all(&mut self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport {
+            dropped_journal_lines: self.dropped_journal_lines,
+            ..Default::default()
+        };
+        let named: Vec<PutEntry> = self.names.values().cloned().collect();
+        for p in named {
+            match self.read_object(p.kind, ArtifactId(p.id)) {
+                Ok(_) => report.verified += 1,
+                Err(e) if e.is_crash() => return Err(e),
+                Err(e) => report.corrupt.push(CorruptArtifact {
+                    kind: p.kind,
+                    name: p.name.clone(),
+                    id: ArtifactId(p.id),
+                    error: e,
+                }),
+            }
+        }
+        let live: std::collections::HashSet<PathBuf> = self
+            .names
+            .values()
+            .map(|p| self.object_path(ArtifactId(p.id)))
+            .collect();
+        for f in self.fs.list(&self.root.join("objects"))? {
+            if !live.contains(&f) {
+                report.unreferenced += 1;
+            }
+        }
+        report
+            .corrupt
+            .sort_by(|a, b| (a.kind, &a.name).cmp(&(b.kind, &b.name)));
+        Ok(report)
+    }
+
+    /// Removes unreferenced objects and staging leftovers, and
+    /// compacts the journal. Safe at any time: live artifacts are
+    /// untouched and the journal rewrite is atomic.
+    pub fn gc(&mut self) -> Result<GcReport, StoreError> {
+        let mut report = GcReport {
+            live: self.names.len(),
+            ..Default::default()
+        };
+        let live: std::collections::HashSet<PathBuf> = self
+            .names
+            .values()
+            .map(|p| self.object_path(ArtifactId(p.id)))
+            .collect();
+        for f in self.fs.list(&self.root.join("objects"))? {
+            if !live.contains(&f) {
+                self.fs.remove(&f)?;
+                report.removed_objects += 1;
+            }
+        }
+        for f in self.fs.list(&self.root.join("tmp"))? {
+            self.fs.remove(&f)?;
+            report.removed_temps += 1;
+        }
+        self.rewrite_journal()?;
+        self.dropped_journal_lines = 0;
+        cnn_trace::counter_add(
+            "cnn_store_gc_removed_total",
+            &[],
+            (report.removed_objects + report.removed_temps) as u64,
+        );
+        Ok(report)
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp file in the same
+/// directory, then rename) — the helper benchmark binaries use so an
+/// interrupted run never leaves a half-written report.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = dir.join(tmp_name);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch;
+
+    fn open(dir: &Path) -> Store {
+        Store::open(dir).expect("open store")
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_persistence() {
+        let dir = scratch("roundtrip");
+        let id = {
+            let mut s = open(&dir);
+            let id = s
+                .put(ArtifactKind::Cpp, "conv.cpp", b"void conv();")
+                .unwrap();
+            assert_eq!(
+                s.get(ArtifactKind::Cpp, "conv.cpp").unwrap(),
+                b"void conv();"
+            );
+            id
+        };
+        // A fresh open replays the journal and finds the artifact.
+        let mut s = open(&dir);
+        assert_eq!(s.lookup(ArtifactKind::Cpp, "conv.cpp"), Some(id));
+        assert_eq!(
+            s.get(ArtifactKind::Cpp, "conv.cpp").unwrap(),
+            b"void conv();"
+        );
+        assert_eq!(s.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reput_same_content_is_a_verified_noop() {
+        let dir = scratch("reput");
+        let mut s = open(&dir);
+        let a = s.put(ArtifactKind::Tcl, "script", b"run").unwrap();
+        let before = std::fs::read(s.root().join("manifest.log")).unwrap();
+        let b = s.put(ArtifactKind::Tcl, "script", b"run").unwrap();
+        assert_eq!(a, b);
+        let after = std::fs::read(s.root().join("manifest.log")).unwrap();
+        assert_eq!(before, after, "idempotent put must not grow the journal");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renaming_content_updates_the_mapping() {
+        let dir = scratch("rename");
+        let mut s = open(&dir);
+        let v1 = s.put(ArtifactKind::Weights, "net", b"weights v1").unwrap();
+        let v2 = s.put(ArtifactKind::Weights, "net", b"weights v2").unwrap();
+        assert_ne!(v1, v2);
+        assert_eq!(s.lookup(ArtifactKind::Weights, "net"), Some(v2));
+        assert_eq!(s.get(ArtifactKind::Weights, "net").unwrap(), b"weights v2");
+        // The old object is now unreferenced; gc removes it.
+        let rep = s.verify_all().unwrap();
+        assert_eq!(rep.unreferenced, 1);
+        let gc = s.gc().unwrap();
+        assert_eq!(gc.removed_objects, 1);
+        assert_eq!(s.verify_all().unwrap().unreferenced, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_name_different_kind_are_distinct() {
+        let dir = scratch("kinds");
+        let mut s = open(&dir);
+        s.put(ArtifactKind::Cpp, "net", b"c++").unwrap();
+        s.put(ArtifactKind::Tcl, "net", b"tcl").unwrap();
+        assert_eq!(s.get(ArtifactKind::Cpp, "net").unwrap(), b"c++");
+        assert_eq!(s.get(ArtifactKind::Tcl, "net").unwrap(), b"tcl");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_bad_names_error() {
+        let dir = scratch("missing");
+        let mut s = open(&dir);
+        assert!(matches!(
+            s.get(ArtifactKind::Hdl, "nope"),
+            Err(StoreError::Missing { .. })
+        ));
+        assert!(matches!(
+            s.put(ArtifactKind::Hdl, "two words", b""),
+            Err(StoreError::BadName(_))
+        ));
+        assert!(matches!(
+            s.put(ArtifactKind::Hdl, "", b""),
+            Err(StoreError::BadName(_))
+        ));
+        assert!(s.put(ArtifactKind::Hdl, "ok-1.2/x_y", b"").is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_all_finds_bit_rot() {
+        let dir = scratch("rot");
+        let mut s = open(&dir);
+        let id = s
+            .put(ArtifactKind::Report, "hls", b"latency 123 cycles")
+            .unwrap();
+        s.put(ArtifactKind::Report, "ok", b"fine").unwrap();
+        // Flip one bit in the stored object, as media rot would.
+        let obj = dir.join("objects").join(format!("{}.obj", hex64(id.0)));
+        let mut bytes = std::fs::read(&obj).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&obj, &bytes).unwrap();
+
+        let rep = s.verify_all().unwrap();
+        assert_eq!(rep.verified, 1);
+        assert_eq!(rep.corrupt.len(), 1);
+        assert_eq!(rep.corrupt[0].name, "hls");
+        assert!(!rep.all_ok());
+        assert!(s.get(ArtifactKind::Report, "hls").is_err());
+        // Re-putting the same content repairs the object.
+        s.put(ArtifactKind::Report, "hls", b"latency 123 cycles")
+            .unwrap();
+        assert!(s.verify_all().unwrap().all_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_clears_staging_leftovers() {
+        let dir = scratch("gc");
+        let mut s = open(&dir);
+        s.put(ArtifactKind::Spec, "net", b"layers").unwrap();
+        std::fs::write(dir.join("tmp").join("dead.tmp"), b"half a record").unwrap();
+        let gc = s.gc().unwrap();
+        assert_eq!(gc.live, 1);
+        assert_eq!(gc.removed_temps, 1);
+        assert_eq!(s.get(ArtifactKind::Spec, "net").unwrap(), b"layers");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_records_survive_reopen_and_gate_on_outputs() {
+        let dir = scratch("stage");
+        let mut s = open(&dir);
+        let id = s.put(ArtifactKind::Weights, "w", b"trained").unwrap();
+        s.record_stage(
+            "realize-weights",
+            0xFEED,
+            &[(ArtifactKind::Weights, "w".into(), id)],
+        )
+        .unwrap();
+        assert!(s.stage_is_fresh("realize-weights", 0xFEED));
+        assert!(
+            !s.stage_is_fresh("realize-weights", 0xBEEF),
+            "inputs changed"
+        );
+        assert!(!s.stage_is_fresh("other", 0xFEED), "unknown stage");
+
+        let mut s = open(&dir);
+        assert!(
+            s.stage_is_fresh("realize-weights", 0xFEED),
+            "survives reopen"
+        );
+        // Renaming the output away invalidates the stage.
+        s.put(ArtifactKind::Weights, "w", b"retrained").unwrap();
+        assert!(!s.stage_is_fresh("realize-weights", 0xFEED));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_dropped_and_repaired_on_open() {
+        let dir = scratch("torn-tail");
+        {
+            let mut s = open(&dir);
+            s.put(ArtifactKind::Cpp, "a", b"A").unwrap();
+            s.put(ArtifactKind::Cpp, "b", b"B").unwrap();
+        }
+        // Simulate a torn append: chop the last line mid-way.
+        let manifest = dir.join("manifest.log");
+        let bytes = std::fs::read(&manifest).unwrap();
+        let cut = bytes.len() - 10;
+        std::fs::write(&manifest, &bytes[..cut]).unwrap();
+
+        let mut s = open(&dir);
+        assert_eq!(s.dropped_journal_lines(), 1);
+        assert_eq!(s.get(ArtifactKind::Cpp, "a").unwrap(), b"A");
+        assert!(
+            s.lookup(ArtifactKind::Cpp, "b").is_none(),
+            "torn put rolled back"
+        );
+        // The repair rewrote the journal: a re-open is clean.
+        let s2 = open(&dir);
+        assert_eq!(s2.dropped_journal_lines(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_during_put_leaves_old_state() {
+        let dir = scratch("crash-put");
+        {
+            let mut s = open(&dir);
+            s.put(ArtifactKind::Weights, "net", b"old weights").unwrap();
+        }
+        // Crash before each of the first few mutating ops of the next
+        // put; every outcome must read back as old or new, never torn.
+        for op in 0..4 {
+            let dir_n = scratch(&format!("crash-put-{op}"));
+            {
+                let mut s = open(&dir_n);
+                s.put(ArtifactKind::Weights, "net", b"old weights").unwrap();
+            }
+            let mut s = Store::open_faulty(&dir_n, FsFaultPlan::crash_at(op, false)).unwrap();
+            match s.put(ArtifactKind::Weights, "net", b"new weights") {
+                Ok(_) => {}
+                Err(e) => assert!(e.is_crash(), "unexpected: {e}"),
+            }
+            drop(s);
+            let mut s = open(&dir_n); // the restart
+            let got = s.get(ArtifactKind::Weights, "net").unwrap();
+            assert!(
+                got == b"old weights" || got == b"new weights",
+                "torn state after crash at op {op}: {got:?}"
+            );
+            assert!(s.verify_all().unwrap().all_ok());
+            let _ = std::fs::remove_dir_all(&dir_n);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_commits_whole_files() {
+        let dir = scratch("atomic");
+        let p = dir.join("report.json");
+        atomic_write(&p, b"{\"ok\":true}").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"{\"ok\":true}");
+        atomic_write(&p, b"{\"ok\":false}").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"{\"ok\":false}");
+        // No temp leftovers.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().path() != p)
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

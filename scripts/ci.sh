@@ -16,4 +16,7 @@ cargo test -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== crash_sweep: every crash point must leave old-or-new state =="
+cargo run --release -p cnn-bench --bin crash_sweep -- --quick
+
 echo "ci: all green"

@@ -26,6 +26,12 @@ pub enum Error {
     Bitstream(cnn_fpga::bitstream::BitstreamError),
     /// HLS synthesis/fit failure (`cnn-hls`).
     Hls(cnn_hls::HlsError),
+    /// Weights-file parse/checksum failure (`cnn-nn::io`), with the
+    /// 1-based line number of the offending line.
+    WeightIo(cnn_nn::io::WeightIoError),
+    /// Artifact-store failure (`cnn-store`): corruption, missing
+    /// artifacts, or an injected filesystem fault.
+    Store(cnn_store::StoreError),
     /// Filesystem failure while reading descriptors or writing
     /// artifacts.
     Io(std::io::Error),
@@ -44,6 +50,8 @@ impl std::fmt::Display for Error {
             Error::Fault(e) => write!(f, "fault plan: {e}"),
             Error::Bitstream(e) => write!(f, "bitstream: {e}"),
             Error::Hls(e) => write!(f, "hls: {e}"),
+            Error::WeightIo(e) => write!(f, "weights file: {e}"),
+            Error::Store(e) => write!(f, "store: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -62,6 +70,8 @@ impl std::error::Error for Error {
             Error::Fault(e) => Some(e),
             Error::Bitstream(e) => Some(e),
             Error::Hls(e) => Some(e),
+            Error::WeightIo(e) => Some(e),
+            Error::Store(e) => Some(e),
             Error::Io(e) => Some(e),
         }
     }
@@ -87,6 +97,8 @@ from_impl!(Dma, cnn_fpga::DmaError);
 from_impl!(Fault, cnn_fpga::FaultError);
 from_impl!(Bitstream, cnn_fpga::bitstream::BitstreamError);
 from_impl!(Hls, cnn_hls::HlsError);
+from_impl!(WeightIo, cnn_nn::io::WeightIoError);
+from_impl!(Store, cnn_store::StoreError);
 from_impl!(Io, std::io::Error);
 
 #[cfg(test)]
@@ -121,6 +133,20 @@ mod tests {
         let e: Error =
             std::io::Error::new(std::io::ErrorKind::NotFound, "missing descriptor").into();
         assert!(e.to_string().contains("missing descriptor"), "{e}");
+
+        let e: Error = cnn_nn::io::read_text("not a weights file")
+            .unwrap_err()
+            .into();
+        assert!(e.to_string().starts_with("weights file:"), "{e}");
+        assert!(e.source().is_some());
+
+        let e: Error = cnn_store::StoreError::Missing {
+            kind: cnn_store::ArtifactKind::Weights,
+            name: "realized".into(),
+        }
+        .into();
+        assert!(e.to_string().starts_with("store:"), "{e}");
+        assert!(e.to_string().contains("realized"), "{e}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`power`] | `cnn-power` | power models + energy meter |
 //! | [`framework`] | `cnn-framework` | JSON descriptors, Fig.-3 workflow, experiments |
 //! | [`serve`] | `cnn-serve` | fault-tolerant multi-device pool: breakers, budgets, hedging |
+//! | [`store`] | `cnn-store` | content-addressed artifact store, journal, fs fault injection |
 //! | [`trace`] | `cnn-trace` | spans, counters, histograms + Chrome/Prometheus exporters |
 //! | [`error`] | (this crate) | the unified [`Error`] taxonomy over every layer |
 //!
@@ -51,6 +52,7 @@ pub use cnn_nn as nn;
 pub use cnn_platform as platform;
 pub use cnn_power as power;
 pub use cnn_serve as serve;
+pub use cnn_store as store;
 pub use cnn_tensor as tensor;
 pub use cnn_trace as trace;
 pub use error::Error;

@@ -9,6 +9,16 @@
 //!     --weights <network.json>    use trained weights (default: random)
 //!     --seed <n>                  random-weight seed (default 2016)
 //!     --out <dir>                 output directory (default ./cnn2fpga-out)
+//!     --resume                    journal stages in the artifact store and
+//!                                 skip any whose inputs are unchanged
+//!     --store <dir>               artifact store root (default ./cnn2fpga-store)
+//! cnn2fpga train [descriptor.json] [opts]       crash-safe training with per-epoch
+//!                                               checkpoints committed to the store
+//!     --samples <n>               synthetic training images (default 64)
+//!     --epochs <n>                epochs (default 3)
+//!     --seed <n>                  init/shuffle seed (default 2016)
+//!     --store <dir>               artifact store root (default ./cnn2fpga-store)
+//! cnn2fpga store <verify|gc|ls> [--store <dir>] inspect or compact the artifact store
 //! cnn2fpga classify [descriptor.json] [opts]    classify on the device, print outcomes
 //!     --images <n>                batch size (default 16)
 //!     --seed <n>                  weight/fault seed (default 2016)
@@ -34,7 +44,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  cnn2fpga boards\n  cnn2fpga validate <descriptor.json>\n  \
          cnn2fpga report <descriptor.json>\n  \
-         cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR]\n  \
+         cnn2fpga generate <descriptor.json> [--weights net.json] [--seed N] [--out DIR] \
+[--resume] [--store DIR]\n  \
+         cnn2fpga train [descriptor.json] [--samples N] [--epochs N] [--seed N] [--store DIR]\n  \
+         cnn2fpga store <verify|gc|ls> [--store DIR]\n  \
          cnn2fpga classify [descriptor.json] [--images N] [--seed N] [--fault-rate R]\n  \
          cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]\n  \
          cnn2fpga serve [descriptor.json] [--images N] [--seed N] [--fault-rate R] \
@@ -116,6 +129,8 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
     let mut weights_path: Option<String> = None;
     let mut seed = 2016u64;
     let mut out_dir = PathBuf::from("cnn2fpga-out");
+    let mut resume = false;
+    let mut store_dir = PathBuf::from("cnn2fpga-store");
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +144,14 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
             },
             "--out" => match it.next() {
                 Some(p) => out_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
+            "--store" => match it.next() {
+                Some(p) => {
+                    store_dir = PathBuf::from(p);
+                    resume = true;
+                }
                 None => return usage(),
             },
             _ => return usage(),
@@ -156,7 +179,18 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
                 Network::from_json(&json).map_err(|e| e.to_string())
             } else {
                 // The line-oriented Torch-style export.
-                cnn2fpga::nn::io::read_text(&json)
+                cnn2fpga::nn::io::read_text_versioned(&json)
+                    .map(|(net, version)| {
+                        if version == cnn2fpga::nn::io::WeightFormatVersion::V1 {
+                            eprintln!(
+                                "warning: {p} is a v1 weights file (no checksum) — silent \
+                                 corruption of a parseable value goes undetected; re-export \
+                                 it to get the v2 trailing checksum"
+                            );
+                        }
+                        net
+                    })
+                    .map_err(|e| e.to_string())
             };
             match parsed {
                 Ok(net) => WeightSource::Trained(Box::new(net)),
@@ -169,11 +203,39 @@ fn cmd_generate(path: &str, rest: &[String]) -> ExitCode {
         None => WeightSource::Random { seed },
     };
 
-    let artifacts = match Workflow::new(spec.clone(), source).run() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+    let workflow = Workflow::new(spec.clone(), source);
+    let artifacts = if resume {
+        let mut store = match cnn2fpga::store::Store::open(&store_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", store_dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match cnn2fpga::framework::run_resumable(&workflow, &mut store) {
+            Ok(out) => {
+                println!(
+                    "[store] run {}: {} stages executed, {} skipped ({} artifacts in {})",
+                    cnn2fpga::store::hash::hex64(out.inputs),
+                    out.executed.len(),
+                    out.skipped.len(),
+                    store.len(),
+                    store_dir.display()
+                );
+                out.artifacts
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match workflow.run() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -458,6 +520,194 @@ fn cmd_serve(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Deterministic synthetic training set shaped for `spec` — class
+/// structure comes from per-class base patterns plus per-sample jitter,
+/// all drawn from a SplitMix64 stream so `train` needs no ambient RNG.
+fn deterministic_dataset(
+    spec: &NetworkSpec,
+    samples: usize,
+    seed: u64,
+) -> cnn2fpga::datasets::Dataset {
+    use cnn2fpga::store::hash::{mix_seed, SplitMix64};
+    let shape = spec.input_shape();
+    let classes = spec.classes().unwrap_or(10);
+    let images = (0..samples)
+        .map(|i| {
+            let class = i % classes;
+            let mut base = SplitMix64::new(mix_seed(seed, class as u64));
+            let mut jitter = SplitMix64::new(mix_seed(seed ^ 0x5A17, i as u64));
+            cnn2fpga::tensor::Tensor::from_fn(shape, |_, _, _| {
+                let b = (base.next_f64() * 2.0 - 1.0) as f32;
+                let j = (jitter.next_f64() * 2.0 - 1.0) as f32;
+                b + 0.25 * j
+            })
+        })
+        .collect();
+    let labels = (0..samples).map(|i| i % classes).collect();
+    cnn2fpga::datasets::Dataset::new("deterministic", images, labels, classes)
+}
+
+fn cmd_train(rest: &[String]) -> ExitCode {
+    let mut descriptor: Option<String> = None;
+    let mut samples = 64usize;
+    let mut epochs = 3usize;
+    let mut seed = 2016u64;
+    let mut store_dir = PathBuf::from("cnn2fpga-store");
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => samples = n,
+                _ => return usage(),
+            },
+            "--epochs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => epochs = n,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--store" => match it.next() {
+                Some(p) => store_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            p if !p.starts_with("--") && descriptor.is_none() => {
+                descriptor = Some(p.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+
+    let spec = match &descriptor {
+        Some(p) => match load_spec(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid descriptor: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => NetworkSpec::paper_usps_small(true),
+    };
+    let dataset = deterministic_dataset(&spec, samples, seed ^ 0xDA7A);
+    let source = WeightSource::TrainOnline {
+        dataset: dataset.clone(),
+        config: cnn2fpga::nn::TrainConfig {
+            epochs,
+            ..Default::default()
+        },
+        seed,
+    };
+    let workflow = Workflow::new(spec, source);
+    let mut store = match cnn2fpga::store::Store::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", store_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match cnn2fpga::framework::run_resumable(&workflow, &mut store) {
+        Ok(out) => {
+            for line in &out.trace {
+                println!("[train] {line}");
+            }
+            let err = out
+                .artifacts
+                .network
+                .prediction_error(&dataset.images, &dataset.labels);
+            println!(
+                "training-set error {err:.3}; {} stages executed, {} skipped; \
+                 store {} holds {} artifacts (re-run to resume/skip)",
+                out.executed.len(),
+                out.skipped.len(),
+                store_dir.display(),
+                store.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_store(rest: &[String]) -> ExitCode {
+    let action = match rest.first().map(String::as_str) {
+        Some(a @ ("verify" | "gc" | "ls")) => a,
+        _ => return usage(),
+    };
+    let mut store_dir = PathBuf::from("cnn2fpga-store");
+    let mut it = rest[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => match it.next() {
+                Some(p) => store_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let mut store = match cnn2fpga::store::Store::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store {}: {e}", store_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "verify" => match store.verify_all() {
+            Ok(report) => {
+                println!(
+                    "{}: {} verified, {} corrupt, {} unreferenced objects, \
+                     {} journal lines dropped",
+                    store_dir.display(),
+                    report.verified,
+                    report.corrupt.len(),
+                    report.unreferenced,
+                    report.dropped_journal_lines
+                );
+                for c in &report.corrupt {
+                    eprintln!("corrupt: {} {} ({})", c.kind.name(), c.name, c.error);
+                }
+                if report.all_ok() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("verify failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "gc" => match store.gc() {
+            Ok(report) => {
+                println!(
+                    "{}: {} live artifacts, removed {} unreferenced objects and {} temp files",
+                    store_dir.display(),
+                    report.live,
+                    report.removed_objects,
+                    report.removed_temps
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gc failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            let mut artifacts = store.artifacts();
+            artifacts.sort();
+            for (kind, name, id) in artifacts {
+                println!("{:<10} {id}  {name}", kind.name());
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -474,6 +724,8 @@ fn main() -> ExitCode {
             Some(p) => cmd_generate(p, &args[2..]),
             None => usage(),
         },
+        Some("train") => cmd_train(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),

@@ -1,0 +1,230 @@
+//! Acceptance test for the crash-safe persistence layer, at the
+//! facade level: a descriptor-to-bitstream run with online training,
+//! interrupted by an injected filesystem crash at a sweep of
+//! operation indices, must — after a restart against the same store —
+//! complete and classify **bit-identically** to an uninterrupted run.
+//!
+//! Everything here is deliberately free of the ambient RNG stack:
+//! datasets are hand-synthesized, initial weights come from the
+//! deterministic builder, and the store's own fault plan provides the
+//! crash schedule. The test therefore runs in any environment the
+//! library itself runs in.
+
+use cnn2fpga::framework::weights::build_deterministic;
+use cnn2fpga::framework::{run_resumable, NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::nn::{run_checkpointed, TrainCheckpoint, TrainConfig};
+use cnn2fpga::store::hash::{mix_seed, SplitMix64};
+use cnn2fpga::store::{ArtifactKind, FsFaultPlan, Store};
+use cnn2fpga::tensor::{Shape, Tensor};
+use cnn_datasets::Dataset;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "cnn-crash-recovery-{tag}-{}-{n}",
+        std::process::id()
+    ))
+}
+
+fn spec() -> NetworkSpec {
+    NetworkSpec::paper_usps_small(true)
+}
+
+/// A deterministic 16×16 grayscale image: per-sample stream from the
+/// store's SplitMix64, no ambient RNG.
+fn image(seed: u64, i: usize) -> Tensor {
+    let mut rng = SplitMix64::new(mix_seed(seed, i as u64));
+    let noise: Vec<f32> = (0..256)
+        .map(|_| rng.next_f64() as f32 * 2.0 - 1.0)
+        .collect();
+    Tensor::from_fn(Shape::new(1, 16, 16), |_, y, x| noise[y * 16 + x])
+}
+
+fn tiny_dataset(n: usize, seed: u64) -> Dataset {
+    let images = (0..n).map(|i| image(seed, i)).collect();
+    let labels = (0..n).map(|i| i % 10).collect();
+    Dataset::new("crash-recovery", images, labels, 10)
+}
+
+fn online_source(epochs: usize) -> WeightSource {
+    WeightSource::TrainOnline {
+        dataset: tiny_dataset(12, 0xACCE55),
+        config: TrainConfig {
+            epochs,
+            batch_size: 4,
+            learning_rate: 0.1,
+            momentum: 0.5,
+            ..Default::default()
+        },
+        seed: 77,
+    }
+}
+
+/// The headline property: crash anywhere in the pipeline, restart,
+/// and the completed run's *classifications* are bit-identical to an
+/// uninterrupted run — not merely "close", the same argmax from the
+/// same floats.
+#[test]
+fn crash_at_any_point_then_restart_classifies_bit_identically() {
+    let wf = Workflow::new(spec(), online_source(3));
+    let probes: Vec<Tensor> = (0..8).map(|i| image(0xBEEF, i)).collect();
+
+    // Uninterrupted reference run.
+    let reference = {
+        let root = scratch("reference");
+        let mut store = Store::open(&root).expect("open");
+        let out = run_resumable(&wf, &mut store).expect("uninterrupted run");
+        let _ = std::fs::remove_dir_all(&root);
+        out
+    };
+    let reference_predictions: Vec<usize> = probes
+        .iter()
+        .map(|p| reference.artifacts.network.predict(p))
+        .collect();
+
+    let mut crashed = 0;
+    for crash_op in (0..48).step_by(4) {
+        let root = scratch(&format!("crash-{crash_op}"));
+        let plan = FsFaultPlan::crash_at(crash_op, crash_op % 3 == 0);
+        let first_attempt = match Store::open_faulty(&root, plan) {
+            Ok(mut store) => run_resumable(&wf, &mut store).map(|out| out.artifacts),
+            Err(e) => {
+                assert!(e.is_crash(), "open failed for a non-crash reason: {e}");
+                Err(cnn2fpga::framework::WorkflowError {
+                    stage: cnn2fpga::framework::WorkflowStage::Validate,
+                    message: format!("crash during store open: {e}"),
+                })
+            }
+        };
+
+        let artifacts = match first_attempt {
+            Ok(artifacts) => artifacts, // crash point beyond this run's op count
+            Err(_) => {
+                crashed += 1;
+                // "Restart the process": a fresh, fault-free store over
+                // the same directory. Whatever the crash left behind
+                // must verify clean — old-or-new, never torn.
+                let mut store = Store::open(&root).expect("restart after crash");
+                let report = store.verify_all().expect("verify runs");
+                assert!(
+                    report.all_ok(),
+                    "crash at op {crash_op} left corruption: {:?}",
+                    report.corrupt
+                );
+                run_resumable(&wf, &mut store)
+                    .expect("restarted run completes")
+                    .artifacts
+            }
+        };
+
+        assert_eq!(
+            artifacts.network, reference.artifacts.network,
+            "crash at op {crash_op}: trained network diverged"
+        );
+        let predictions: Vec<usize> = probes
+            .iter()
+            .map(|p| artifacts.network.predict(p))
+            .collect();
+        assert_eq!(
+            predictions, reference_predictions,
+            "crash at op {crash_op}: classifications diverged after recovery"
+        );
+        assert_eq!(
+            artifacts.cpp_source, reference.artifacts.cpp_source,
+            "crash at op {crash_op}: generated C++ diverged"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    assert!(
+        crashed > 0,
+        "no crash point interrupted the run — widen the sweep"
+    );
+}
+
+/// A second run over a completed store is pure cache: only validation
+/// re-executes, and the reloaded artifacts carry the same bytes.
+#[test]
+fn completed_store_replays_from_cache() {
+    let root = scratch("cache");
+    let wf = Workflow::new(spec(), online_source(2));
+    let mut store = Store::open(&root).expect("open");
+    let first = run_resumable(&wf, &mut store).expect("first run");
+    let second = run_resumable(&wf, &mut store).expect("second run");
+    assert!(second.fully_cached(), "executed: {:?}", second.executed);
+    assert_eq!(first.artifacts.network, second.artifacts.network);
+    assert_eq!(first.artifacts.cpp_source, second.artifacts.cpp_source);
+    assert!(
+        !store.names_of_kind(ArtifactKind::Checkpoint).is_empty(),
+        "online training must leave a checkpoint artifact"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Epoch-granular resume, stated directly against the checkpoint API:
+/// training 3 epochs straight through equals training 1 epoch,
+/// serializing the checkpoint to text, decoding it, and finishing the
+/// remaining 2 — bit-for-bit, including optimizer momentum.
+#[test]
+fn three_epoch_resume_is_bit_identical_to_uninterrupted() {
+    let net = build_deterministic(&spec(), 5).expect("deterministic init");
+    let data = tiny_dataset(12, 0x3E90C);
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 4,
+        learning_rate: 0.1,
+        momentum: 0.5,
+        ..Default::default()
+    };
+    let mut sink = |_: &TrainCheckpoint| Ok(());
+
+    let straight = run_checkpointed(
+        TrainCheckpoint::fresh(&net, &cfg, 9),
+        &data.images,
+        &data.labels,
+        &mut sink,
+    )
+    .expect("straight-through training");
+
+    // Interrupt after the first epoch: capture the checkpoint the sink
+    // saw, round-trip it through its text encoding (the store payload),
+    // and finish from the decoded state.
+    let mut after_first: Option<String> = None;
+    let mut capture = |st: &TrainCheckpoint| {
+        if after_first.is_none() {
+            after_first = Some(st.encode());
+            return Err("injected crash after epoch 1".to_string());
+        }
+        Ok(())
+    };
+    let err = run_checkpointed(
+        TrainCheckpoint::fresh(&net, &cfg, 9),
+        &data.images,
+        &data.labels,
+        &mut capture,
+    )
+    .expect_err("the injected crash aborts the run");
+    assert!(err.contains("injected crash"));
+
+    let resumed_from = TrainCheckpoint::decode(&after_first.expect("epoch-1 checkpoint captured"))
+        .expect("checkpoint text round-trips");
+    assert_eq!(resumed_from.next_epoch, 1, "resume point is after epoch 1");
+    let resumed = run_checkpointed(resumed_from, &data.images, &data.labels, &mut sink)
+        .expect("resumed training completes");
+
+    assert_eq!(
+        straight.network, resumed.network,
+        "resume diverged from uninterrupted training"
+    );
+    assert_eq!(
+        straight.velocity, resumed.velocity,
+        "momentum state diverged"
+    );
+    assert_eq!(
+        straight.stats, resumed.stats,
+        "per-epoch statistics diverged"
+    );
+}
