@@ -1,0 +1,361 @@
+//! Reproducible hot-path benchmark: what does cache blocking + weight
+//! packing + workspace reuse actually buy on this machine?
+//!
+//! For each of the paper's four test networks this measures, with
+//! warmup and median-of-N wall times:
+//!
+//! * every convolution layer — allocating [`conv2d_im2col`] (the
+//!   scalar baseline) vs the blocked, packed, preallocated engine
+//!   ([`conv2d_gemm_packed_into`]), asserting the two are
+//!   **bit-identical**,
+//! * every linear layer — the slice [`linear`] kernel,
+//! * the full forward pass — per-layer `Layer::forward` (allocating)
+//!   vs the zero-alloc `Network::infer` engine, again bit-checked.
+//!
+//! Results are committed atomically to `BENCH_hotpath.json`
+//! (override with `--out <path>`); `--smoke` shrinks the rep counts
+//! for CI. In both modes the binary **asserts** that on the Test-4
+//! CIFAR shape the blocked engine beats the im2col baseline by ≥2×
+//! and that every bit-identity check passed — so a perf or
+//! determinism regression fails the run, not just a number in a file.
+//!
+//! Everything is deterministic: weights come from
+//! [`build_deterministic`] (SplitMix64) and inputs from the same
+//! stream — no ambient RNG, no dataset download.
+
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::PaperTest;
+use cnn_nn::{Layer, Network};
+use cnn_platform::ArmModel;
+use cnn_store::atomic_write;
+use cnn_store::hash::SplitMix64;
+use cnn_tensor::ops::conv::{conv2d_gemm_packed_into, conv2d_im2col};
+use cnn_tensor::ops::linear::linear;
+use cnn_tensor::{PackedKernels, Shape, Tensor, Workspace};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `reps` calls to `f`, in nanoseconds, after
+/// `warmup` untimed calls.
+fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn deterministic_input(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<f32> = (0..shape.len())
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+struct ConvRow {
+    layer: usize,
+    rows: usize,
+    kdim: usize,
+    ncols: usize,
+    im2col_ns: u64,
+    blocked_ns: u64,
+    bit_identical: bool,
+}
+
+struct LinearRow {
+    layer: usize,
+    inputs: usize,
+    outputs: usize,
+    ns: u64,
+}
+
+struct TestReport {
+    name: &'static str,
+    macs_per_image: u64,
+    convs: Vec<ConvRow>,
+    linears: Vec<LinearRow>,
+    layerwise_ns: u64,
+    engine_ns: u64,
+    forward_bit_identical: bool,
+}
+
+fn speedup(base_ns: u64, fast_ns: u64) -> f64 {
+    base_ns as f64 / fast_ns.max(1) as f64
+}
+
+fn bench_test(test: PaperTest, net: &Network, warmup: usize, reps: usize) -> TestReport {
+    let input = deterministic_input(net.input_shape(), 0xB0A7 ^ test.name().len() as u64);
+
+    // Per-layer activations from the direct per-layer path; acts[i] is
+    // the input of layer i.
+    let mut acts: Vec<Tensor> = vec![input.clone()];
+    for layer in net.layers() {
+        let next = layer.forward(acts.last().unwrap());
+        acts.push(next);
+    }
+
+    let mut convs = Vec::new();
+    let mut linears = Vec::new();
+    for (i, layer) in net.layers().iter().enumerate() {
+        match layer {
+            Layer::Conv2d(c) => {
+                let lin = &acts[i];
+                let ishape = lin.shape();
+                let reference = conv2d_im2col(lin, &c.kernels, &c.bias);
+                let im2col_ns = median_ns(warmup, reps, || {
+                    std::hint::black_box(conv2d_im2col(
+                        std::hint::black_box(lin),
+                        &c.kernels,
+                        &c.bias,
+                    ));
+                });
+                let packed = PackedKernels::pack(&c.kernels);
+                let oshape = reference.shape();
+                let cols_len = packed.kdim() * oshape.h * oshape.w;
+                let mut cols = vec![0.0f32; cols_len];
+                let mut out = vec![0.0f32; oshape.len()];
+                let blocked_ns = median_ns(warmup, reps, || {
+                    conv2d_gemm_packed_into(
+                        std::hint::black_box(lin.as_slice()),
+                        ishape,
+                        &packed,
+                        &c.bias,
+                        &mut cols,
+                        &mut out,
+                    );
+                    std::hint::black_box(&out);
+                });
+                convs.push(ConvRow {
+                    layer: i,
+                    rows: packed.rows(),
+                    kdim: packed.kdim(),
+                    ncols: oshape.h * oshape.w,
+                    im2col_ns,
+                    blocked_ns,
+                    bit_identical: bits_equal(&out, reference.as_slice()),
+                });
+            }
+            Layer::Linear(l) => {
+                let lin = &acts[i];
+                let mut out = vec![0.0f32; l.outputs];
+                let ns = median_ns(warmup, reps, || {
+                    linear(
+                        std::hint::black_box(lin.as_slice()),
+                        &l.weights,
+                        &l.bias,
+                        &mut out,
+                    );
+                    std::hint::black_box(&out);
+                });
+                linears.push(LinearRow {
+                    layer: i,
+                    inputs: l.inputs,
+                    outputs: l.outputs,
+                    ns,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Full forward: allocating per-layer chain vs the workspace engine.
+    let layerwise_ns = median_ns(warmup, reps, || {
+        let mut t = input.clone();
+        for layer in net.layers() {
+            t = layer.forward(&t);
+        }
+        std::hint::black_box(&t);
+    });
+    let reference = acts.last().unwrap();
+    let mut ws = Workspace::new();
+    let mut engine_class = 0usize;
+    let engine_ns = median_ns(warmup, reps, || {
+        engine_class = net.infer(std::hint::black_box(&input), &mut ws).argmax();
+    });
+    let engine_out = net.infer(&input, &mut ws);
+    let forward_bit_identical = bits_equal(engine_out.as_slice(), reference.as_slice())
+        && engine_class == reference.argmax();
+
+    TestReport {
+        name: test.name(),
+        macs_per_image: ArmModel::new(cnn_fpga::Board::Zedboard, net).macs_per_image(),
+        convs,
+        linears,
+        layerwise_ns,
+        engine_ns,
+        forward_bit_identical,
+    }
+}
+
+fn render_json(mode: &str, warmup: usize, reps: usize, reports: &[TestReport]) -> String {
+    let mut j = String::from("{\n  \"benchmark\": \"hot_path\",\n");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"warmup\": {warmup},");
+    let _ = writeln!(j, "  \"reps\": {reps},");
+    j.push_str("  \"tests\": [\n");
+    for (t, r) in reports.iter().enumerate() {
+        let _ = writeln!(j, "    {{\"test\": \"{}\",", r.name);
+        let _ = writeln!(j, "     \"macs_per_image\": {},", r.macs_per_image);
+        j.push_str("     \"convs\": [\n");
+        for (i, c) in r.convs.iter().enumerate() {
+            let _ = write!(
+                j,
+                "       {{\"layer\": {}, \"rows\": {}, \"kdim\": {}, \"ncols\": {}, \
+                 \"im2col_ns\": {}, \"blocked_ns\": {}, \"speedup\": {:.3}, \
+                 \"bit_identical\": {}}}",
+                c.layer,
+                c.rows,
+                c.kdim,
+                c.ncols,
+                c.im2col_ns,
+                c.blocked_ns,
+                speedup(c.im2col_ns, c.blocked_ns),
+                c.bit_identical
+            );
+            j.push_str(if i + 1 < r.convs.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("     ],\n     \"linears\": [\n");
+        for (i, l) in r.linears.iter().enumerate() {
+            let _ = write!(
+                j,
+                "       {{\"layer\": {}, \"inputs\": {}, \"outputs\": {}, \"ns\": {}}}",
+                l.layer, l.inputs, l.outputs, l.ns
+            );
+            j.push_str(if i + 1 < r.linears.len() { ",\n" } else { "\n" });
+        }
+        j.push_str("     ],\n");
+        let _ = writeln!(
+            j,
+            "     \"forward\": {{\"layerwise_ns\": {}, \"engine_ns\": {}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}",
+            r.layerwise_ns,
+            r.engine_ns,
+            speedup(r.layerwise_ns, r.engine_ns),
+            r.forward_bit_identical
+        );
+        j.push_str("    }");
+        j.push_str(if t + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let test4_conv = reports
+        .iter()
+        .find(|r| r.name == "Test 4")
+        .and_then(|r| r.convs.iter().max_by_key(|c| c.rows * c.kdim * c.ncols))
+        .map(|c| speedup(c.im2col_ns, c.blocked_ns))
+        .unwrap_or(0.0);
+    let all_bits = reports
+        .iter()
+        .all(|r| r.forward_bit_identical && r.convs.iter().all(|c| c.bit_identical));
+    let _ = writeln!(j, "  \"test4_conv_speedup\": {test4_conv:.3},");
+    let _ = writeln!(j, "  \"all_bit_identical\": {all_bits}");
+    j.push_str("}\n");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let (mode, warmup, reps) = if smoke {
+        ("smoke", 2, 9)
+    } else {
+        ("full", 5, 31)
+    };
+
+    println!("HOT PATH — blocked+packed engine vs scalar kernels ({mode}, median of {reps})\n");
+    let mut reports = Vec::new();
+    for test in PaperTest::ALL {
+        let net = build_deterministic(&test.spec(), 2016).expect("valid paper spec");
+        let r = bench_test(test, &net, warmup, reps);
+        println!("{} ({} MACs/image)", r.name, r.macs_per_image);
+        for c in &r.convs {
+            println!(
+                "  conv L{} {:>3}x{:<4} over {:<4} cols: im2col {:>9} ns  blocked {:>9} ns  \
+                 {:>5.2}x  bits {}",
+                c.layer,
+                c.rows,
+                c.kdim,
+                c.ncols,
+                c.im2col_ns,
+                c.blocked_ns,
+                speedup(c.im2col_ns, c.blocked_ns),
+                if c.bit_identical { "ok" } else { "DIFFER" }
+            );
+        }
+        for l in &r.linears {
+            println!(
+                "  linear L{} {:>4} -> {:<3}: {:>9} ns",
+                l.layer, l.inputs, l.outputs, l.ns
+            );
+        }
+        println!(
+            "  forward: layerwise {:>9} ns  engine {:>9} ns  {:>5.2}x  bits {}\n",
+            r.layerwise_ns,
+            r.engine_ns,
+            speedup(r.layerwise_ns, r.engine_ns),
+            if r.forward_bit_identical {
+                "ok"
+            } else {
+                "DIFFER"
+            }
+        );
+        reports.push(r);
+    }
+
+    let json = render_json(mode, warmup, reps, &reports);
+    atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
+    println!("results committed atomically to {out_path}");
+
+    // Regression gates — these make the benchmark a test.
+    for r in &reports {
+        assert!(
+            r.forward_bit_identical,
+            "{}: engine forward is not bit-identical to the layer chain",
+            r.name
+        );
+        for c in &r.convs {
+            assert!(
+                c.bit_identical,
+                "{} conv L{}: blocked output is not bit-identical to im2col",
+                r.name, c.layer
+            );
+        }
+    }
+    let test4 = reports
+        .iter()
+        .find(|r| r.name == "Test 4")
+        .expect("Test 4 ran");
+    let big = test4
+        .convs
+        .iter()
+        .max_by_key(|c| c.rows * c.kdim * c.ncols)
+        .expect("Test 4 has conv layers");
+    let s = speedup(big.im2col_ns, big.blocked_ns);
+    assert!(
+        s >= 2.0,
+        "blocked conv is only {s:.2}x im2col on the Test-4 CIFAR shape (layer {}, \
+         {}x{} over {} cols) — the engine regressed",
+        big.layer,
+        big.rows,
+        big.kdim,
+        big.ncols
+    );
+    println!("gates: bit-identity ok, Test-4 blocked conv {s:.2}x >= 2x ok");
+}

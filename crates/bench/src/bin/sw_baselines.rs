@@ -3,15 +3,50 @@
 //! the column a critical reviewer asks for — a NEON-vectorized
 //! software baseline — and reports how much of each hardware win
 //! survives it.
+//!
+//! When `BENCH_hotpath.json` exists (produced by the `hot_path`
+//! benchmark), a third software column is added: the analytic NEON
+//! constants are replaced by the blocked-vs-scalar speedup actually
+//! **measured** on this machine's kernels
+//! ([`NeonModel::with_measured_speedup`]).
 
 use cnn_fpga::Board;
-use cnn_framework::weights::build_random;
+use cnn_framework::weights::build_deterministic;
 use cnn_framework::PaperTest;
 use cnn_hls::ir::lower;
 use cnn_hls::schedule::schedule;
 use cnn_hls::timing;
 use cnn_hls::Precision;
 use cnn_platform::{ArmModel, NeonModel};
+
+/// Extracts `"key": <number>` from the hand-rendered hot-path JSON.
+/// (Deliberately not a JSON parser: the file is produced by this
+/// workspace with a fixed schema, and the benchmark must stay runnable
+/// where serde_json is unavailable at runtime.)
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The measured Test-4 conv speedup from `BENCH_hotpath.json`, if the
+/// file exists (next to the CWD or at `--hotpath <path>`).
+fn measured_speedup() -> Option<f64> {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--hotpath")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let json = std::fs::read_to_string(&path).ok()?;
+    let s = json_number(&json, "test4_conv_speedup")?;
+    (s.is_finite() && s > 0.0).then_some(s)
+}
 
 fn main() {
     println!("SOFTWARE BASELINES vs HARDWARE (per-image times, Zedboard)\n");
@@ -22,7 +57,7 @@ fn main() {
     println!("{}", "-".repeat(78));
     for test in PaperTest::ALL {
         let spec = test.spec();
-        let net = build_random(&spec, 2016).expect("valid spec");
+        let net = build_deterministic(&spec, 2016).expect("valid spec");
         let scalar = ArmModel::new(Board::Zedboard, &net).seconds_per_image();
         let neon = NeonModel::new(Board::Zedboard, &net).seconds_per_image();
         let ir = lower(&net);
@@ -39,10 +74,43 @@ fn main() {
         );
     }
 
+    match measured_speedup() {
+        Some(s) => {
+            println!(
+                "\nMEASURED SOFTWARE BASELINE (hot_path blocked-vs-scalar: {s:.2}x on Test-4)"
+            );
+            println!(
+                "{:<8} {:>14} {:>14} | {:>12}",
+                "Test", "measured SW", "HW @100MHz", "HW/measured"
+            );
+            println!("{}", "-".repeat(56));
+            for test in PaperTest::ALL {
+                let spec = test.spec();
+                let net = build_deterministic(&spec, 2016).expect("valid spec");
+                let measured =
+                    NeonModel::with_measured_speedup(Board::Zedboard, &net, s).seconds_per_image();
+                let ir = lower(&net);
+                let hw = schedule(&ir, &spec.directives());
+                let hw_s = hw.interval_cycles as f64 / cnn_hls::calibration::FABRIC_CLOCK_HZ as f64;
+                println!(
+                    "{:<8} {:>12.3}ms {:>12.3}ms | {:>11.2}x",
+                    test.name(),
+                    measured * 1e3,
+                    hw_s * 1e3,
+                    measured / hw_s
+                );
+            }
+        }
+        None => println!(
+            "\n(no BENCH_hotpath.json found — run `cargo run --release -p cnn-bench \
+             --bin hot_path` for the measured-calibration column)"
+        ),
+    }
+
     println!("\nTIMING HEADROOM (the paper fixed 100 MHz):");
     for test in PaperTest::ALL {
         let spec = test.spec();
-        let net = build_random(&spec, 2016).expect("valid spec");
+        let net = build_deterministic(&spec, 2016).expect("valid spec");
         let ir = lower(&net);
         let r = timing::analyze(&ir, &spec.directives(), Precision::Float32);
         println!(

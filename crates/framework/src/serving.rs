@@ -247,4 +247,76 @@ mod tests {
             .iter()
             .any(|o| o.served_by == ServedBy::Fallback));
     }
+
+    /// A device that abandons every image, pushing the pool onto the
+    /// software fallback without sampling a fault plan (the seeded
+    /// fault sampler needs the full `rand` crate at runtime).
+    struct AbandonEverything;
+
+    impl Device for AbandonEverything {
+        fn dispatch(&mut self, _image_id: usize, _attempt_base: u32) -> DispatchOutcome {
+            DispatchOutcome {
+                prediction: None,
+                cycles: 10,
+                attempts: 1,
+                faults_injected: 1,
+                crc_detected: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn software_fallback_rides_the_blocked_gemm_engine() {
+        // Deterministic weights and images (no `rand` at runtime): a
+        // pool whose only device abandons everything degrades to the
+        // same `network.predict` closure `serve_with_pool` installs,
+        // and the engine's trace counters prove that path runs the
+        // packed blocked-GEMM kernels — packing each conv layer once
+        // and hitting the cache on every later image.
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = crate::weights::build_deterministic(&spec, 9).unwrap();
+        let a = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+            .run()
+            .unwrap();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| {
+                Tensor::from_fn(cnn_tensor::Shape::new(1, 16, 16), |_, y, x| {
+                    ((y * 16 + x + i * 13) % 29) as f32 * 0.06 - 0.8
+                })
+            })
+            .collect();
+
+        cnn_trace::reset();
+        cnn_trace::enable();
+        let mut pool = DevicePool::new(vec![AbandonEverything], PoolConfig::default());
+        let report = pool.serve(images.len(), |i| a.network.predict(&images[i]));
+        let snap = cnn_trace::snapshot();
+        cnn_trace::disable();
+        cnn_trace::reset();
+
+        assert_eq!(report.fallback_served, images.len() as u64);
+        let total = |name: &str| {
+            snap.counters
+                .iter()
+                .filter(|c| c.name == name)
+                .map(|c| c.value)
+                .sum::<u64>()
+        };
+        assert!(
+            total("cnn_tensor_gemm_flops_total") > 0,
+            "fallback classification must run the blocked GEMM engine"
+        );
+        assert!(
+            total("cnn_tensor_pack_misses_total") >= 1,
+            "first fallback image packs the conv kernels"
+        );
+        assert!(
+            total("cnn_tensor_pack_hits_total") >= 1,
+            "later fallback images reuse the packed cache"
+        );
+
+        // The counter-instrumented path is still the bit-exact one.
+        let direct: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        assert_eq!(report.predictions, direct);
+    }
 }

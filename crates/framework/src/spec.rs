@@ -24,6 +24,7 @@ pub struct PoolSpec {
     pub step: Option<usize>,
 }
 
+#[allow(dead_code)] // used via #[serde(default = "...")]; the minimal serde stub drops it
 fn default_pool_kind() -> PoolKind {
     PoolKind::Max
 }

@@ -66,6 +66,7 @@ pub struct DirectiveSet {
     pub unroll_factor: u32,
 }
 
+#[allow(dead_code)] // used via #[serde(default = "...")]; the minimal serde stub drops it
 fn default_unroll() -> u32 {
     1
 }

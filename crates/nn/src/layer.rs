@@ -117,8 +117,29 @@ impl Layer {
         }
     }
 
-    /// Evaluates the layer.
+    /// Evaluates the layer from a borrowed input. For `Flatten` this
+    /// must clone the buffer to keep the signature — hot paths should
+    /// use [`Layer::forward_owned`] (or the engine in
+    /// `Network::infer`), where flatten is a zero-copy reshape.
     pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Flatten => input.clone().flatten(),
+            _ => self.forward_borrowed(input),
+        }
+    }
+
+    /// Evaluates the layer, consuming the input. Identical results to
+    /// [`Layer::forward`], but `Flatten` becomes a zero-copy reshape of
+    /// the input's own buffer instead of a clone.
+    pub fn forward_owned(&self, input: Tensor) -> Tensor {
+        match self {
+            Layer::Flatten => input.flatten(),
+            _ => self.forward_borrowed(&input),
+        }
+    }
+
+    /// The non-flatten layer kinds, which never need input ownership.
+    fn forward_borrowed(&self, input: &Tensor) -> Tensor {
         match self {
             Layer::Conv2d(c) => {
                 let mut out = conv2d_valid(input, &c.kernels, &c.bias);
@@ -128,7 +149,7 @@ impl Layer {
                 out
             }
             Layer::Pool(p) => pool(input, p.kh, p.kw, p.step, p.kind),
-            Layer::Flatten => input.clone().flatten(),
+            Layer::Flatten => unreachable!("flatten handled by forward/forward_owned"),
             Layer::Linear(l) => {
                 let mut out = vec![0.0; l.outputs];
                 linear(input.as_slice(), &l.weights, &l.bias, &mut out);
@@ -291,6 +312,30 @@ mod tests {
             Layer::LogSoftMax.forward(&Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 2.0, 3.0]));
         let sum_p: f32 = out.as_slice().iter().map(|v| v.exp()).sum();
         assert!((sum_p - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_owned_matches_forward_and_flatten_reshapes() {
+        let input = Tensor::from_fn(Shape::new(2, 3, 3), |c, y, x| (c * 9 + y * 3 + x) as f32);
+        for l in [
+            conv_layer(2, 2, 2, 2),
+            Layer::Pool(PoolLayer {
+                kind: PoolKind::Max,
+                kh: 3,
+                kw: 3,
+                step: 3,
+            }),
+            Layer::Flatten,
+        ] {
+            let a = l.forward(&input);
+            let b = l.forward_owned(input.clone());
+            assert_eq!(a, b, "{}", l.kind_name());
+        }
+        // Flatten via forward_owned is a pure reshape: same buffer length,
+        // same data, flat shape.
+        let flat = Layer::Flatten.forward_owned(input.clone());
+        assert_eq!(flat.shape(), Shape::new(1, 1, 18));
+        assert_eq!(flat.as_slice(), input.as_slice());
     }
 
     #[test]

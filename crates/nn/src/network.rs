@@ -2,10 +2,15 @@
 //! classification and JSON (de)serialization.
 
 use crate::layer::Layer;
+use cnn_tensor::ops::conv::conv2d_gemm_packed_into;
+use cnn_tensor::ops::linear::linear;
+use cnn_tensor::ops::pool::pool_slice_into;
+use cnn_tensor::ops::softmax::log_softmax_inplace;
 use cnn_tensor::parallel::par_map;
-use cnn_tensor::{Shape, Tensor};
+use cnn_tensor::{with_pooled, PackedKernels, Shape, Tensor, TensorView, Workspace};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Errors produced when assembling or loading a network.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +36,29 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 /// An offline-trained CNN: input shape plus a validated layer stack.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Network {
     input_shape: Shape,
     layers: Vec<Layer>,
     /// Shape after each layer, cached at construction.
     shapes: Vec<Shape>,
+    /// Per-layer packed weight matrices for the GEMM engine, built
+    /// lazily on first inference. Fields are private and the struct is
+    /// only assembled through [`Network::new`], so any weight update
+    /// (see `train::apply_gradients`) rebuilds the network and thereby
+    /// invalidates this cache.
+    #[serde(skip)]
+    packed: OnceLock<Vec<Option<PackedKernels>>>,
+}
+
+// Equality is over the semantic fields only; the lazily-built packed
+// cache is derived state and must not affect comparisons.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.input_shape == other.input_shape
+            && self.layers == other.layers
+            && self.shapes == other.shapes
+    }
 }
 
 impl Network {
@@ -62,6 +84,7 @@ impl Network {
             input_shape,
             layers,
             shapes,
+            packed: OnceLock::new(),
         })
     }
 
@@ -95,8 +118,52 @@ impl Network {
         self.layers.iter().map(Layer::param_count).sum()
     }
 
-    /// Full forward pass.
-    pub fn forward(&self, input: &Tensor) -> Tensor {
+    /// The per-layer packed weight matrices the GEMM engine consumes,
+    /// built on first use. Hits and misses are counted on the
+    /// `cnn_tensor_pack_{hits,misses}_total` trace counters.
+    pub fn packed_kernels(&self) -> &[Option<PackedKernels>] {
+        if let Some(p) = self.packed.get() {
+            cnn_trace::counter_add("cnn_tensor_pack_hits_total", &[], 1);
+            return p;
+        }
+        cnn_trace::counter_add("cnn_tensor_pack_misses_total", &[], 1);
+        self.packed.get_or_init(|| {
+            self.layers
+                .iter()
+                .map(|l| match l {
+                    Layer::Conv2d(c) => Some(PackedKernels::pack(&c.kernels)),
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    /// Grows `ws` to the high-water sizes this network needs, so the
+    /// inference loop below performs no allocation.
+    fn reserve_workspace(&self, ws: &mut Workspace) {
+        let mut max_act = self.input_shape.len();
+        let mut max_cols = 0usize;
+        for (layer, &oshape) in self.layers.iter().zip(&self.shapes) {
+            max_act = max_act.max(oshape.len());
+            if let Layer::Conv2d(c) = layer {
+                let kdim = c.kernels.channels() * c.kernels.kh() * c.kernels.kw();
+                max_cols = max_cols.max(kdim * oshape.h * oshape.w);
+            }
+        }
+        ws.ensure_act(max_act);
+        ws.ensure_cols(max_cols);
+    }
+
+    /// Inference-only forward pass through the blocked-GEMM engine:
+    /// packed weights, im2col scratch and activation ping-pong buffers
+    /// all live in `ws`, no intermediate activation is retained, and
+    /// flatten is a shape relabel (no data moves). After `ws` has grown
+    /// to this network's high-water sizes the pass performs **zero heap
+    /// allocations** (asserted by `tests/zero_alloc.rs`).
+    ///
+    /// Bit-identical to chaining [`Layer::forward`]: every conv output
+    /// element sees the same op sequence (see `cnn_tensor::ops::gemm`).
+    pub fn infer<'a>(&self, input: &Tensor, ws: &'a mut Workspace) -> TensorView<'a> {
         assert_eq!(
             input.shape(),
             self.input_shape,
@@ -104,35 +171,118 @@ impl Network {
             input.shape(),
             self.input_shape
         );
-        let mut cur = {
-            let _span =
-                cnn_trace::span_lazy("nn", || format!("L0 {}", self.layers[0].kind_name()).into());
-            self.layers[0].forward(input)
-        };
-        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+        let packed = self.packed_kernels();
+        self.reserve_workspace(ws);
+        ws.ping[..input.len()].copy_from_slice(input.as_slice());
+        let mut cur = self.input_shape;
+
+        for (i, layer) in self.layers.iter().enumerate() {
             let _span = cnn_trace::span_lazy("nn", || format!("L{i} {}", layer.kind_name()).into());
-            cur = layer.forward(&cur);
+            let oshape = self.shapes[i];
+            match layer {
+                Layer::Conv2d(c) => {
+                    let pk = packed[i].as_ref().expect("conv layer is packed");
+                    let cols_len = pk.kdim() * oshape.h * oshape.w;
+                    let out = &mut ws.pong[..oshape.len()];
+                    conv2d_gemm_packed_into(
+                        &ws.ping[..cur.len()],
+                        cur,
+                        pk,
+                        &c.bias,
+                        &mut ws.cols[..cols_len],
+                        out,
+                    );
+                    if let Some(act) = c.activation {
+                        act.apply_slice(out);
+                    }
+                    std::mem::swap(&mut ws.ping, &mut ws.pong);
+                }
+                Layer::Pool(p) => {
+                    pool_slice_into(
+                        &ws.ping[..cur.len()],
+                        cur,
+                        p.kh,
+                        p.kw,
+                        p.step,
+                        p.kind,
+                        &mut ws.pong[..oshape.len()],
+                    );
+                    std::mem::swap(&mut ws.ping, &mut ws.pong);
+                }
+                Layer::Flatten => {
+                    // Shape relabel only; the data stays where it is.
+                }
+                Layer::Linear(l) => {
+                    let out = &mut ws.pong[..oshape.len()];
+                    linear(&ws.ping[..cur.len()], &l.weights, &l.bias, out);
+                    if let Some(act) = l.activation {
+                        act.apply_slice(out);
+                    }
+                    std::mem::swap(&mut ws.ping, &mut ws.pong);
+                }
+                Layer::LogSoftMax => {
+                    log_softmax_inplace(&mut ws.ping[..cur.len()]);
+                }
+            }
+            cur = oshape;
         }
-        cur
+        TensorView::new(cur, &ws.ping[..cur.len()])
+    }
+
+    /// Full forward pass. Runs on the GEMM engine with a pooled
+    /// workspace; bit-identical to evaluating the layers one by one.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        with_pooled(|ws| self.infer(input, ws).to_tensor())
     }
 
     /// Forward pass retaining every intermediate activation (input
     /// included, as element 0) — the cache backpropagation needs.
+    /// Convolutions run on the GEMM engine with a pooled workspace for
+    /// the im2col scratch; the retained activations are owned tensors.
     pub fn forward_trace(&self, input: &Tensor) -> Vec<Tensor> {
+        with_pooled(|ws| self.forward_trace_ws(input, ws))
+    }
+
+    /// [`Network::forward_trace`] with an explicit workspace.
+    pub fn forward_trace_ws(&self, input: &Tensor, ws: &mut Workspace) -> Vec<Tensor> {
+        let packed = self.packed_kernels();
+        self.reserve_workspace(ws);
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(input.clone());
         for (i, layer) in self.layers.iter().enumerate() {
             let _span = cnn_trace::span_lazy("nn", || format!("L{i} {}", layer.kind_name()).into());
-            let next = layer.forward(acts.last().expect("non-empty"));
+            let prev = acts.last().expect("non-empty");
+            let next = match layer {
+                Layer::Conv2d(c) => {
+                    let pk = packed[i].as_ref().expect("conv layer is packed");
+                    let oshape = self.shapes[i];
+                    let cols_len = pk.kdim() * oshape.h * oshape.w;
+                    let mut out = Tensor::zeros(oshape);
+                    conv2d_gemm_packed_into(
+                        prev.as_slice(),
+                        prev.shape(),
+                        pk,
+                        &c.bias,
+                        &mut ws.cols[..cols_len],
+                        out.as_mut_slice(),
+                    );
+                    if let Some(act) = c.activation {
+                        act.apply_slice(out.as_mut_slice());
+                    }
+                    out
+                }
+                _ => layer.forward(prev),
+            };
             acts.push(next);
         }
         acts
     }
 
     /// Predicted class index — the integer the generated hardware
-    /// function returns.
+    /// function returns. Runs on the GEMM engine without materializing
+    /// the output tensor.
     pub fn predict(&self, input: &Tensor) -> usize {
-        self.forward(input).argmax()
+        with_pooled(|ws| self.infer(input, ws).argmax())
     }
 
     /// Classifies a batch in parallel (rayon), preserving order.
@@ -337,6 +487,141 @@ mod tests {
             .replace("\"inputs\":216", "\"inputs\":215");
         let err = Network::from_json(&json).unwrap_err();
         assert!(matches!(err, NetworkError::ShapeMismatch(3, _)), "{err:?}");
+    }
+
+    /// A Test-4-shaped (CIFAR) network with deterministic weights that
+    /// do not depend on the `rand` crate.
+    fn engine_net() -> Network {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 * 0.4 - 0.2
+        };
+        Network::new(
+            Shape::new(3, 32, 32),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(12, 3, 5, 5, |_, _, _, _| next()),
+                    bias: (0..12).map(|_| next()).collect(),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(36, 12, 5, 5, |_, _, _, _| next()),
+                    bias: (0..36).map(|_| next()).collect(),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: (0..900 * 10).map(|_| next()).collect(),
+                    bias: (0..10).map(|_| next()).collect(),
+                    inputs: 900,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine_input(scale: f32) -> Tensor {
+        Tensor::from_fn(Shape::new(3, 32, 32), |c, y, x| {
+            ((c * 1024 + y * 32 + x) % 17) as f32 * 0.1 * scale - 0.5
+        })
+    }
+
+    #[test]
+    fn infer_bit_identical_to_layer_chain() {
+        let net = engine_net();
+        let x = engine_input(1.0);
+        // Reference: evaluate the layers one by one with the direct
+        // (unblocked, scalar) kernels.
+        let mut want = x.clone();
+        for layer in net.layers() {
+            want = layer.forward(&want);
+        }
+        let mut ws = cnn_tensor::Workspace::new();
+        let got = net.infer(&x, &mut ws);
+        assert_eq!(got.shape(), want.shape());
+        for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "elem {i}: {a} vs {b}");
+        }
+        // forward() and predict() ride the same engine.
+        assert_eq!(net.forward(&x), want);
+        assert_eq!(net.predict(&x), want.argmax());
+    }
+
+    #[test]
+    fn workspace_reuse_across_networks_never_aliases_stale_data() {
+        // Run a big network, then a small one, in the SAME workspace;
+        // the small result must match a run in a fresh workspace bit
+        // for bit even though the buffers still hold the big net's data.
+        let big = engine_net();
+        let small = Network::new(
+            Shape::new(1, 8, 8),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(2, 1, 3, 3, |k, _, m, n| {
+                        (k + m + n) as f32 * 0.1 - 0.2
+                    }),
+                    bias: vec![0.05, -0.05],
+                    activation: None,
+                }),
+                Layer::Flatten,
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap();
+        let small_x = Tensor::from_fn(Shape::new(1, 8, 8), |_, y, x| (y * 8 + x) as f32 * 0.01);
+
+        let mut fresh = cnn_tensor::Workspace::new();
+        let want = small.infer(&small_x, &mut fresh).to_tensor();
+
+        let mut reused = cnn_tensor::Workspace::new();
+        let _ = big.infer(&engine_input(1.0), &mut reused).to_tensor();
+        let got = small.infer(&small_x, &mut reused).to_tensor();
+        for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_trace_rides_the_engine_and_matches_layer_chain() {
+        let net = engine_net();
+        let x = engine_input(0.7);
+        let trace = net.forward_trace(&x);
+        assert_eq!(trace.len(), net.layers().len() + 1);
+        assert_eq!(trace[0], x);
+        let mut want = x.clone();
+        for (layer, traced) in net.layers().iter().zip(&trace[1..]) {
+            want = layer.forward(&want);
+            assert_eq!(&want, traced);
+        }
+    }
+
+    #[test]
+    fn packed_cache_is_built_once_and_not_compared() {
+        let net = engine_net();
+        let a = net.packed_kernels().as_ptr();
+        let b = net.packed_kernels().as_ptr();
+        assert_eq!(a, b, "cache rebuilt between calls");
+        // A clone without a warmed cache still compares equal.
+        let cold = Network::new(net.input_shape(), net.layers().to_vec()).unwrap();
+        assert_eq!(net, cold);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Steady-state inference performs **zero heap allocations**.
+//!
+//! A counting global allocator wraps the system allocator; after one
+//! warmup pass (which builds the packed-weight cache and grows the
+//! [`Workspace`] to its high-water sizes) the allocation counter must
+//! not move across many further [`Network::infer`] calls.
+//!
+//! This file deliberately contains a **single** `#[test]`: the global
+//! allocator counts allocations process-wide, so a second concurrently
+//! running test would pollute the counter.
+//!
+//! The network is sized below the engine's `PAR_MIN_FLOPS` gate so the
+//! row-panel fan-out (whose scoped threads do allocate stacks) never
+//! fires — matching the steady-state serving configuration where
+//! inter-image parallelism is already saturated.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use cnn_nn::{Conv2dLayer, Layer, LinearLayer, Network, PoolLayer};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::PoolKind;
+use cnn_tensor::{Shape, Tensor, Tensor4, Workspace};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static LAST_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Only allocations made while this thread-local flag is set are
+    /// counted, so background threads (test harness, OS runtime) can't
+    /// perturb the measurement. Const-initialized: reading it never
+    /// allocates.
+    static TRACKED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracked() -> bool {
+    TRACKED.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if tracked() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(layout.size(), Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if tracked() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            LAST_SIZE.store(new_size, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The paper's Test-1 network shape with deterministic weights.
+fn test1_like_net() -> Network {
+    let mut state = 0x0123_4567_89AB_CDEF_u64 | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32 * 0.4 - 0.2
+    };
+    Network::new(
+        Shape::new(1, 16, 16),
+        vec![
+            Layer::Conv2d(Conv2dLayer {
+                kernels: Tensor4::from_fn(6, 1, 5, 5, |_, _, _, _| next()),
+                bias: (0..6).map(|_| next()).collect(),
+                activation: Some(Activation::Tanh),
+            }),
+            Layer::Pool(PoolLayer {
+                kind: PoolKind::Max,
+                kh: 2,
+                kw: 2,
+                step: 2,
+            }),
+            Layer::Flatten,
+            Layer::Linear(LinearLayer {
+                weights: (0..216 * 10).map(|_| next()).collect(),
+                bias: (0..10).map(|_| next()).collect(),
+                inputs: 216,
+                outputs: 10,
+                activation: Some(Activation::Tanh),
+            }),
+            Layer::LogSoftMax,
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn steady_state_infer_is_allocation_free() {
+    let net = test1_like_net();
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|i| {
+            Tensor::from_fn(Shape::new(1, 16, 16), |_, y, x| {
+                ((y * 16 + x + i * 31) % 23) as f32 * 0.08 - 0.9
+            })
+        })
+        .collect();
+
+    // Reference results via the per-layer path, computed before the
+    // measurement window so their allocations don't count.
+    let references: Vec<Tensor> = inputs
+        .iter()
+        .map(|input| {
+            let mut t = input.clone();
+            for layer in net.layers() {
+                t = layer.forward(&t);
+            }
+            t
+        })
+        .collect();
+
+    let mut ws = Workspace::new();
+
+    // Warmup: builds the packed-kernel cache and grows the workspace.
+    let _ = net.infer(&inputs[0], &mut ws).argmax();
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut classes = [0usize; 8];
+    TRACKED.set(true);
+    for round in 0..50 {
+        for (i, input) in inputs.iter().enumerate() {
+            classes[i] = net.infer(input, &mut ws).argmax();
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "round {round}: inference allocated {} time(s) after warmup (last size {})",
+            after - before,
+            LAST_SIZE.load(Ordering::Relaxed)
+        );
+    }
+    TRACKED.set(false);
+
+    // The allocation-free path is still the *correct* path.
+    for (i, (input, want)) in inputs.iter().zip(&references).enumerate() {
+        let got = net.infer(input, &mut ws);
+        assert_eq!(got.shape(), want.shape());
+        for (j, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "input {i} elem {j}: {a} vs {b}");
+        }
+        assert_eq!(classes[i], want.argmax());
+    }
+}

@@ -42,7 +42,7 @@ pub fn cpu_cycles_per_op(op: FpOp) -> u64 {
 }
 
 /// Cycles for a whole operator mix.
-fn mix_cycles(mix: &OpMix) -> u64 {
+pub(crate) fn mix_cycles(mix: &OpMix) -> u64 {
     FpOp::ALL
         .iter()
         .map(|&op| mix.count(op) * cpu_cycles_per_op(op))
@@ -92,6 +92,20 @@ impl ArmModel {
             .sum::<u64>()
             // per-image framing overhead: input copy + call glue
             + self.ir.input_elems * 4
+    }
+
+    /// Multiply–accumulate count per image — the quantity the paper's
+    /// software times scale with (its Table I column is ~139 ns/MAC).
+    /// Counted as paired mul+add ops in the lowered design.
+    pub fn macs_per_image(&self) -> u64 {
+        self.ir
+            .blocks
+            .iter()
+            .map(|b| {
+                let ops = b.total_ops();
+                ops.count(FpOp::Mul).min(ops.count(FpOp::Add))
+            })
+            .sum()
     }
 
     /// Modelled seconds to classify one image.
@@ -232,6 +246,47 @@ mod tests {
         let zybo = ArmModel::new(Board::Zybo, &net);
         assert!(zybo.seconds_per_image() > zed.seconds_per_image());
         assert_eq!(zed.cycles_per_image(), zybo.cycles_per_image());
+    }
+
+    /// Test-1 network with zero weights — shape is all the MAC count
+    /// depends on, and this needs no `rand`.
+    fn test1_shape_net() -> Network {
+        use cnn_nn::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+        use cnn_tensor::Tensor4;
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(6, 1, 5, 5, |_, _, _, _| 0.0),
+                    bias: vec![0.0; 6],
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: vec![0.0; 216 * 10],
+                    bias: vec![0.0; 10],
+                    inputs: 216,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn macs_per_image_matches_paper_table() {
+        // Paper Table I: Test-1 is 23 760 MACs/image
+        // (6·12²·25 = 21 600 conv + 216·10 = 2 160 linear).
+        let m = ArmModel::new(Board::Zedboard, &test1_shape_net());
+        assert_eq!(m.macs_per_image(), 23_760);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct NeonModel {
     board: Board,
     network: Network,
     ir: DesignIr,
+    /// When set, replaces the analytic NEON constants with a speedup
+    /// *measured* on real hardware by the hot-path benchmark.
+    measured_speedup: Option<f64>,
 }
 
 impl NeonModel {
@@ -63,26 +66,69 @@ impl NeonModel {
             board,
             network: network.clone(),
             ir: lower(network),
+            measured_speedup: None,
         }
+    }
+
+    /// Builds the model calibrated by a **measured** blocked-vs-scalar
+    /// speedup (from `hot_path`'s `BENCH_hotpath.json`) instead of the
+    /// analytic cycles-per-MAC constants: modelled compute time becomes
+    /// the scalar [`ArmModel`] time divided by `speedup`, still floored
+    /// by the DDR bandwidth bound. This replaces a guessed constant
+    /// with an observation of how much cache blocking + packing
+    /// actually buys the same kernels.
+    pub fn with_measured_speedup(board: Board, network: &Network, speedup: f64) -> NeonModel {
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "measured speedup must be positive and finite, got {speedup}"
+        );
+        NeonModel {
+            board,
+            network: network.clone(),
+            ir: lower(network),
+            measured_speedup: Some(speedup),
+        }
+    }
+
+    /// The measured calibration, if this model carries one.
+    pub fn measured_speedup(&self) -> Option<f64> {
+        self.measured_speedup
     }
 
     /// Modelled CPU seconds per image: the larger of the compute time
     /// and the memory-bandwidth floor.
     pub fn seconds_per_image(&self) -> f64 {
-        let mut cycles = 0.0f64;
-        for b in &self.ir.blocks {
-            let ops = b.total_ops();
-            // Each MAC = one mul + one add; count the pairs once.
-            let macs = ops.count(FpOp::Mul).min(ops.count(FpOp::Add)) as f64;
-            let extra_adds = ops.count(FpOp::Add) as f64 - macs;
-            cycles += macs * NEON_CYCLES_PER_MAC;
-            cycles += extra_adds * NEON_CYCLES_PER_MAC;
-            cycles += ops.count(FpOp::Cmp) as f64 * NEON_CYCLES_PER_CMP;
-            cycles += ops.count(FpOp::Exp) as f64 * SCALAR_EXP_CYCLES;
-            cycles += ops.count(FpOp::Log) as f64 * SCALAR_LOG_CYCLES;
-            cycles += ops.count(FpOp::Div) as f64 * NEON_DIV_CYCLES;
-        }
-        let compute = cycles / self.board.cpu_clock_hz() as f64;
+        let compute = match self.measured_speedup {
+            Some(s) => {
+                // Same cycle count the scalar ArmModel charges
+                // (operator mix + per-image framing), scaled down by
+                // the measured speedup.
+                let scalar_cycles: u64 = self
+                    .ir
+                    .blocks
+                    .iter()
+                    .map(|b| crate::arm::mix_cycles(&b.total_ops()))
+                    .sum::<u64>()
+                    + self.ir.input_elems * 4;
+                scalar_cycles as f64 / s / self.board.cpu_clock_hz() as f64
+            }
+            None => {
+                let mut cycles = 0.0f64;
+                for b in &self.ir.blocks {
+                    let ops = b.total_ops();
+                    // Each MAC = one mul + one add; count the pairs once.
+                    let macs = ops.count(FpOp::Mul).min(ops.count(FpOp::Add)) as f64;
+                    let extra_adds = ops.count(FpOp::Add) as f64 - macs;
+                    cycles += macs * NEON_CYCLES_PER_MAC;
+                    cycles += extra_adds * NEON_CYCLES_PER_MAC;
+                    cycles += ops.count(FpOp::Cmp) as f64 * NEON_CYCLES_PER_CMP;
+                    cycles += ops.count(FpOp::Exp) as f64 * SCALAR_EXP_CYCLES;
+                    cycles += ops.count(FpOp::Log) as f64 * SCALAR_LOG_CYCLES;
+                    cycles += ops.count(FpOp::Div) as f64 * NEON_DIV_CYCLES;
+                }
+                cycles / self.board.cpu_clock_hz() as f64
+            }
+        };
         let memory = bytes_per_image(&self.ir) / SUSTAINED_BW;
         compute.max(memory)
     }
@@ -194,6 +240,70 @@ mod tests {
         let neon = NeonModel::new(Board::Zedboard, &net);
         assert!(neon.seconds_per_image() >= floor);
         assert!(floor > 0.0002, "floor {floor}");
+    }
+
+    /// Rand-free Test-1-shaped network (timing depends only on shape).
+    fn test1_shape_net() -> Network {
+        use cnn_nn::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+        use cnn_tensor::Tensor4;
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(6, 1, 5, 5, |_, _, _, _| 0.0),
+                    bias: vec![0.0; 6],
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: vec![0.0; 216 * 10],
+                    bias: vec![0.0; 10],
+                    inputs: 216,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn measured_calibration_divides_the_scalar_time() {
+        let net = test1_shape_net();
+        let scalar = ArmModel::new(Board::Zedboard, &net);
+        let m2 = NeonModel::with_measured_speedup(Board::Zedboard, &net, 2.0);
+        let m8 = NeonModel::with_measured_speedup(Board::Zedboard, &net, 8.0);
+        assert_eq!(m2.measured_speedup(), Some(2.0));
+        assert!(NeonModel::new(Board::Zedboard, &net)
+            .measured_speedup()
+            .is_none());
+        // Above the memory floor, time is exactly scalar / speedup.
+        let floor = bytes_per_image(&lower(&net)) / SUSTAINED_BW;
+        let want2 = (scalar.seconds_per_image() / 2.0).max(floor);
+        assert!((m2.seconds_per_image() - want2).abs() < 1e-12);
+        assert!(m8.seconds_per_image() <= m2.seconds_per_image());
+    }
+
+    #[test]
+    fn measured_calibration_respects_memory_floor() {
+        let net = test1_shape_net();
+        let absurd = NeonModel::with_measured_speedup(Board::Zedboard, &net, 1e9);
+        let floor = bytes_per_image(&lower(&net)) / SUSTAINED_BW;
+        assert!((absurd.seconds_per_image() - floor).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn measured_calibration_rejects_nonpositive() {
+        let net = test1_shape_net();
+        let _ = NeonModel::with_measured_speedup(Board::Zedboard, &net, 0.0);
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub mod parallel;
 pub mod shape;
 pub mod tensor;
 pub mod tensor4;
+pub mod workspace;
 
+pub use ops::gemm::PackedKernels;
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{Tensor, TensorView};
 pub use tensor4::Tensor4;
+pub use workspace::{with_pooled, Workspace};
 
 /// Crate-wide absolute tolerance used by tests comparing float kernels.
 pub const TEST_EPS: f32 = 1e-4;

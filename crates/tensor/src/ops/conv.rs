@@ -4,15 +4,22 @@
 //! o[k, i, j] = sum_c sum_m sum_n ( w[k, c, m, n] * x[c, i+m, j+n] ) + b[k]
 //! ```
 //!
-//! Two implementations are provided:
+//! Three implementations are provided:
 //!
 //! * [`conv2d_valid`] — the direct loop nest, a literal transcription of
 //!   the C++ the framework generates (and of the loop-nest IR the HLS
 //!   scheduler costs). This is the *reference*.
-//! * [`conv2d_im2col`] — an im2col + matrix-product fast path used by the
-//!   software baseline for larger layers. Tests assert both agree.
+//! * [`conv2d_im2col`] — an im2col + unblocked axpy matrix product.
+//! * [`conv2d_gemm`] — im2col + the blocked, packed GEMM microkernel of
+//!   [`crate::ops::gemm`]; the engine behind `Network::infer`.
+//!
+//! All three share one per-output-element op sequence — `bias` then one
+//! multiply-add per weight in ascending `ki = (c*kh + m)*kw + n` order —
+//! so their outputs are **bit-identical**, not merely close
+//! (`tests/gemm_properties.rs` asserts this on raw bit patterns).
 
-use crate::ops::im2col::im2col_valid;
+use crate::ops::gemm::{gemm_bias_into, PackedKernels};
+use crate::ops::im2col::{im2col_slice_into, im2col_valid};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::tensor4::Tensor4;
@@ -81,9 +88,9 @@ pub fn conv2d_valid(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
     out
 }
 
-/// im2col + GEMM convolution. Mathematically identical to
-/// [`conv2d_valid`] up to float reassociation; used by the software
-/// baseline where the column matrix amortizes well.
+/// im2col + unblocked axpy matrix product. Every output element sees
+/// the exact op sequence of [`conv2d_valid`] (bias, then one
+/// multiply-add per ascending `ki`), so the two are bit-identical.
 #[allow(clippy::needless_range_loop)]
 pub fn conv2d_im2col(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
     let _span = cnn_trace::span("tensor", "conv2d_im2col");
@@ -99,9 +106,6 @@ pub fn conv2d_im2col(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor 
         let orow = out.channel_mut(k);
         orow.iter_mut().for_each(|v| *v = bias[k]);
         for (ki, &wv) in wrow.iter().enumerate() {
-            if wv == 0.0 {
-                continue;
-            }
             let crow = &cols[ki * spatial..(ki + 1) * spatial];
             for (o, &cv) in orow.iter_mut().zip(crow.iter()) {
                 *o += wv * cv;
@@ -109,6 +113,72 @@ pub fn conv2d_im2col(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor 
         }
     }
     out
+}
+
+/// Blocked-GEMM convolution: packs the weights, lowers the input and
+/// multiplies through [`gemm_bias_into`]. Allocating convenience
+/// wrapper — the engine path ([`conv2d_gemm_packed_into`]) reuses a
+/// cached [`PackedKernels`] and workspace buffers instead.
+pub fn conv2d_gemm(input: &Tensor, kernels: &Tensor4, bias: &[f32]) -> Tensor {
+    let oshape = conv_shapes(input, kernels, bias);
+    let packed = PackedKernels::pack(kernels);
+    let kdim = packed.kdim();
+    let spatial = oshape.h * oshape.w;
+    let mut cols = vec![0.0f32; kdim * spatial];
+    let mut out = Tensor::zeros(oshape);
+    conv2d_gemm_packed_into(
+        input.as_slice(),
+        input.shape(),
+        &packed,
+        bias,
+        &mut cols,
+        out.as_mut_slice(),
+    );
+    out
+}
+
+/// Zero-allocation blocked-GEMM convolution over raw buffers: lowers
+/// `input` (CHW, shape `ishape`) into `cols` and writes the result into
+/// `out`, returning the output shape. `cols` must hold exactly
+/// `kdim * oh*ow` floats and `out` exactly the output length — the
+/// caller (typically a `Workspace`) sizes them with the shapes it
+/// already tracks. Bit-identical to [`conv2d_valid`].
+pub fn conv2d_gemm_packed_into(
+    input: &[f32],
+    ishape: Shape,
+    packed: &PackedKernels,
+    bias: &[f32],
+    cols: &mut [f32],
+    out: &mut [f32],
+) -> Shape {
+    let _span = cnn_trace::span("tensor", "conv2d_gemm");
+    assert_eq!(
+        packed.channels(),
+        ishape.c,
+        "kernel channels {} != input channels {}",
+        packed.channels(),
+        ishape.c
+    );
+    assert_eq!(
+        bias.len(),
+        packed.rows(),
+        "bias length {} != kernel count {}",
+        bias.len(),
+        packed.rows()
+    );
+    let oshape = ishape
+        .conv_output(packed.rows(), packed.kh(), packed.kw())
+        .unwrap_or_else(|| {
+            panic!(
+                "kernel {}x{} does not fit input {ishape}",
+                packed.kh(),
+                packed.kw()
+            )
+        });
+    let spatial = oshape.h * oshape.w;
+    im2col_slice_into(input, ishape, packed.kh(), packed.kw(), cols);
+    gemm_bias_into(packed, cols, bias, spatial, out);
+    oshape
 }
 
 /// Number of multiply–accumulate operations a valid convolution
@@ -249,6 +319,43 @@ mod tests {
         let b = conv2d_im2col(&input, &kern, &bias);
         assert_eq!(a.shape(), b.shape());
         assert_slices_close(a.as_slice(), b.as_slice(), 1e-4);
+    }
+
+    /// Deterministic pseudo-random data that does not depend on the
+    /// `rand` crate (which is a typecheck-only stub in some builds).
+    fn hashed_case(
+        seed: u64,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        kh: usize,
+        kw: usize,
+    ) -> (Tensor, Tensor4, Vec<f32>) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 * 2.0 - 1.0
+        };
+        let input = Tensor::from_fn(Shape::new(c, h, w), |_, _, _| next());
+        let kern = Tensor4::from_fn(k, c, kh, kw, |_, _, _, _| next());
+        let bias: Vec<f32> = (0..k).map(|_| next() * 0.5).collect();
+        (input, kern, bias)
+    }
+
+    #[test]
+    fn all_three_paths_bit_identical() {
+        let (input, kern, bias) = hashed_case(11, 3, 10, 11, 5, 3, 5);
+        let a = conv2d_valid(&input, &kern, &bias);
+        let b = conv2d_im2col(&input, &kern, &bias);
+        let c = conv2d_gemm(&input, &kern, &bias);
+        assert_eq!(a.shape(), c.shape());
+        for ((x, y), z) in a.as_slice().iter().zip(b.as_slice()).zip(c.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "valid vs im2col: {x} vs {y}");
+            assert_eq!(x.to_bits(), z.to_bits(), "valid vs gemm: {x} vs {z}");
+        }
     }
 
     proptest! {

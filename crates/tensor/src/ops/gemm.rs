@@ -1,0 +1,514 @@
+//! Cache-blocked GEMM microkernel and packed weight matrices — the
+//! software compute engine behind [`conv2d_gemm`](crate::ops::conv::conv2d_gemm).
+//!
+//! ## Blocking scheme
+//!
+//! The weight matrix `A` (`K` kernels × `kdim = C*kh*kw`) is packed once
+//! per layer into row panels of [`MR`] rows ([`PackedKernels`]): element
+//! `(ki, r)` of panel `p` lives at `p*kdim*MR + ki*MR + r`, so the
+//! microkernel reads `A` strictly sequentially. The column matrix `B`
+//! (the im2col output, `kdim × ncols` row-major) is consumed in place —
+//! its rows are already contiguous in the `j` direction, which is the
+//! direction the microkernel vectorizes. Columns are processed in
+//! [`NC`]-wide blocks so a `B` block stays cache-resident across all row
+//! panels; inside a block the microkernel produces [`MR`]×[`NR`]
+//! register tiles.
+//!
+//! ## Determinism contract
+//!
+//! The `k` dimension is **never split**: every output element is
+//! `bias[k]` followed by `acc += a*b` for `ki = 0, 1, …, kdim-1`, one
+//! rounding per multiply and one per add (Rust/LLVM performs no FMA
+//! contraction or reduction reassociation without fast-math). That is
+//! the exact op sequence of the direct loop nest in `conv2d_valid`
+//! (`ki = (c*kh + m)*kw + n` ascending) and of the axpy loop in
+//! `conv2d_im2col` — so all three paths produce **bit-identical**
+//! outputs, tile edges and row-panel parallelism included (each output
+//! element is computed wholly inside one task). SIMD only ever runs
+//! across the `j` lanes, never across `ki`.
+//!
+//! On x86-64 hosts with AVX2 the microkernel body is additionally
+//! compiled under `#[target_feature(enable = "avx2")]` and selected at
+//! runtime — **without** enabling FMA, so multiplies and adds stay
+//! separate instructions with one rounding each and the vector kernel
+//! stays bit-identical to the scalar one; only the number of `j` lanes
+//! per instruction changes.
+
+use crate::parallel::{par_for_each_chunk_mut, threads};
+use crate::tensor4::Tensor4;
+
+/// Register-tile height: rows of `A` (output channels) per microkernel.
+pub const MR: usize = 4;
+/// Register-tile width: columns of `B` (spatial positions) per
+/// microkernel — the autovectorized lane direction.
+pub const NR: usize = 8;
+/// Column-block width: a `kdim × NC` slab of `B` is reused across every
+/// row panel before the next slab is touched.
+pub const NC: usize = 512;
+
+/// Minimum flop count (2·K·kdim·ncols) before intra-image row-panel
+/// parallelism pays for its fork/join overhead.
+const PAR_MIN_FLOPS: u64 = 2_000_000;
+
+/// A convolution weight bank repacked for the blocked GEMM: row panels
+/// of [`MR`] kernels each, `ki`-major inside a panel, zero-padded to a
+/// whole panel so the microkernel never branches on the row count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedKernels {
+    rows: usize,
+    channels: usize,
+    kh: usize,
+    kw: usize,
+    panels: Vec<f32>,
+}
+
+impl PackedKernels {
+    /// Packs a [`Tensor4`] weight bank. Done once per layer and cached
+    /// (see `cnn-nn::Network`); the pack itself is O(weights).
+    pub fn pack(kernels: &Tensor4) -> PackedKernels {
+        let rows = kernels.kernels();
+        let kdim = kernels.channels() * kernels.kh() * kernels.kw();
+        let npanels = rows.div_ceil(MR);
+        let src = kernels.as_slice();
+        let mut panels = Vec::with_capacity(npanels * kdim * MR);
+        for p in 0..npanels {
+            for ki in 0..kdim {
+                for r in 0..MR {
+                    let row = p * MR + r;
+                    panels.push(if row < rows {
+                        src[row * kdim + ki]
+                    } else {
+                        0.0
+                    });
+                }
+            }
+        }
+        PackedKernels {
+            rows,
+            channels: kernels.channels(),
+            kh: kernels.kh(),
+            kw: kernels.kw(),
+            panels,
+        }
+    }
+
+    /// Number of kernels `K` (output channels / GEMM rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Input channels `C` of the original bank.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+    /// Reduction length `kdim = C*kh*kw`.
+    pub fn kdim(&self) -> usize {
+        self.channels * self.kh * self.kw
+    }
+    /// Packed footprint in bytes (for workspace accounting).
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[f32] {
+        let kdim = self.kdim();
+        &self.panels[p * kdim * MR..(p + 1) * kdim * MR]
+    }
+}
+
+/// `out = A·B + bias`, with `A` packed, `B` the `kdim × ncols` row-major
+/// column matrix, and `bias[k]` seeding row `k`'s accumulators.
+///
+/// Dispatches to a row-panel parallel path (scoped threads, one task
+/// per panel group — see [`crate::parallel::par_for_each_chunk_mut`])
+/// when the problem is large enough *and* the host has more than one
+/// core; both paths produce bit-identical output (see the module docs).
+pub fn gemm_bias_into(
+    packed: &PackedKernels,
+    b: &[f32],
+    bias: &[f32],
+    ncols: usize,
+    out: &mut [f32],
+) {
+    let rows = packed.rows();
+    let kdim = packed.kdim();
+    assert_eq!(b.len(), kdim * ncols, "B is not kdim x ncols");
+    assert_eq!(bias.len(), rows, "bias length != rows");
+    assert_eq!(out.len(), rows * ncols, "out is not rows x ncols");
+    if ncols == 0 {
+        return;
+    }
+
+    let flops = 2 * (rows as u64) * (kdim as u64) * (ncols as u64);
+    cnn_trace::counter_add("cnn_tensor_gemm_flops_total", &[], flops);
+
+    let npanels = rows.div_ceil(MR);
+    let tier = simd_tier();
+    if flops >= PAR_MIN_FLOPS && threads() > 1 {
+        // One task per row panel; every output element still sees the
+        // full, unsplit ki reduction, so parallel == sequential bitwise.
+        par_for_each_chunk_mut(out, MR * ncols, |p, chunk| {
+            let mr = MR.min(rows - p * MR);
+            let pb = panel_bias(bias, p, mr);
+            run_panel(
+                tier,
+                packed.panel(p),
+                kdim,
+                b,
+                ncols,
+                0,
+                ncols,
+                &pb,
+                mr,
+                chunk,
+            );
+        });
+    } else {
+        // Column-blocked sequential path: keep a kdim x NC slab of B hot
+        // while sweeping every row panel over it.
+        let mut jc = 0;
+        while jc < ncols {
+            let jw = NC.min(ncols - jc);
+            for p in 0..npanels {
+                let mr = MR.min(rows - p * MR);
+                let pb = panel_bias(bias, p, mr);
+                let chunk = &mut out[p * MR * ncols..p * MR * ncols + mr * ncols];
+                run_panel(
+                    tier,
+                    packed.panel(p),
+                    kdim,
+                    b,
+                    ncols,
+                    jc,
+                    jw,
+                    &pb,
+                    mr,
+                    chunk,
+                );
+            }
+            jc += jw;
+        }
+    }
+}
+
+/// SIMD tier of the host, detected at runtime. Every tier runs the
+/// same microkernel body — only vector width and tile width change,
+/// neither of which affects any output element's operation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimdTier {
+    /// Target-default code generation (SSE2 on x86-64).
+    Baseline,
+    /// 256-bit vectors, no FMA.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// 512-bit vectors, no FMA.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+}
+
+/// Detects the widest supported microkernel. The feature probes are
+/// cached by the standard library.
+#[inline]
+fn simd_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return SimdTier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+    }
+    SimdTier::Baseline
+}
+
+/// Runs one panel through the widest microkernel the host supports.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_panel(
+    tier: SimdTier,
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    match tier {
+        // SAFETY (both arms): the tier is only selected when
+        // is_x86_feature_detected! confirmed the feature on this CPU.
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => unsafe {
+            gemm_panel_avx512(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel)
+        },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe {
+            gemm_panel_avx2(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel)
+        },
+        SimdTier::Baseline => gemm_panel(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel),
+    }
+}
+
+/// The AVX2 instantiation of the microkernel: same source, same op
+/// order, recompiled with 256-bit vectors and a 16-lane tile (two YMM
+/// accumulators per row — eight independent add chains, enough to hide
+/// `vaddps` latency without splitting `ki`). FMA is deliberately NOT
+/// enabled: contraction would change the rounding and break the
+/// bit-identity contract.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support (e.g. via
+/// `is_x86_feature_detected!("avx2")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_panel_avx2(
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    gemm_panel_body::<16>(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel);
+}
+
+/// The AVX-512 instantiation: 512-bit vectors, 32-lane tile (two ZMM
+/// accumulators per row). Like the AVX2 tier, FMA contraction is never
+/// enabled, so the output stays bit-identical to the scalar kernel.
+///
+/// # Safety
+///
+/// The caller must have verified AVX-512F support (e.g. via
+/// `is_x86_feature_detected!("avx512f")`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_panel_avx512(
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    gemm_panel_body::<32>(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel);
+}
+
+#[inline]
+fn panel_bias(bias: &[f32], p: usize, mr: usize) -> [f32; MR] {
+    let mut pb = [0.0f32; MR];
+    pb[..mr].copy_from_slice(&bias[p * MR..p * MR + mr]);
+    pb
+}
+
+/// Computes columns `[j0, j0+jw)` of one row panel with the baseline
+/// (target-default, SSE2 on x86-64) code generation and the [`NR`]-lane
+/// tile. See [`gemm_panel_body`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel(
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    gemm_panel_body::<NR>(panel, kdim, b, ncols, j0, jw, bias, mr, out_panel);
+}
+
+/// Computes columns `[j0, j0+jw)` of one row panel. `out_panel` holds
+/// `mr` rows of `ncols` each; padded panel rows are computed into the
+/// register tile but never stored.
+///
+/// `NRV` is the register-tile width — a pure unroll/vectorization
+/// factor. Every output element's operation sequence (`bias`, then one
+/// mul + one add per ascending `ki`) is the same for every `NRV`, so
+/// all instantiations are bit-identical; `inline(always)` lets the
+/// `#[target_feature]` wrappers recompile this body with wider vectors.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_panel_body<const NRV: usize>(
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    let mut j = j0;
+    // Full MR x NRV register tiles.
+    while j + NRV <= j0 + jw {
+        full_tile::<NRV>(panel, kdim, b, ncols, j, bias, mr, out_panel);
+        j += NRV;
+    }
+    // Column edge. When the span holds at least one full tile, slide
+    // the last tile back so it ends exactly at the edge: the overlap
+    // columns are recomputed with the identical per-element op
+    // sequence (so the same bits are stored twice), and the edge runs
+    // at full vector width instead of a narrow scalar loop.
+    let rem = j0 + jw - j;
+    if rem > 0 && jw >= NRV {
+        full_tile::<NRV>(panel, kdim, b, ncols, j0 + jw - NRV, bias, mr, out_panel);
+    } else if rem > 0 {
+        let mut acc = [[0.0f32; NRV]; MR];
+        for r in 0..MR {
+            acc[r][..rem].fill(bias[r]);
+        }
+        for ki in 0..kdim {
+            let a = &panel[ki * MR..ki * MR + MR];
+            let brow = &b[ki * ncols + j..ki * ncols + j + rem];
+            for r in 0..MR {
+                let ar = a[r];
+                for l in 0..rem {
+                    acc[r][l] += ar * brow[l];
+                }
+            }
+        }
+        for r in 0..mr {
+            out_panel[r * ncols + j..r * ncols + j + rem].copy_from_slice(&acc[r][..rem]);
+        }
+    }
+}
+
+/// One full `MR`×`NRV` register tile at column `j`.
+///
+/// The argument list is the microkernel's full working set — splitting
+/// it into a context struct would add indirection on the hottest path
+/// in the workspace.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn full_tile<const NRV: usize>(
+    panel: &[f32],
+    kdim: usize,
+    b: &[f32],
+    ncols: usize,
+    j: usize,
+    bias: &[f32; MR],
+    mr: usize,
+    out_panel: &mut [f32],
+) {
+    let mut acc = [[0.0f32; NRV]; MR];
+    for r in 0..MR {
+        acc[r] = [bias[r]; NRV];
+    }
+    for ki in 0..kdim {
+        let a = &panel[ki * MR..ki * MR + MR];
+        let brow = &b[ki * ncols + j..ki * ncols + j + NRV];
+        for r in 0..MR {
+            let ar = a[r];
+            for l in 0..NRV {
+                acc[r][l] += ar * brow[l];
+            }
+        }
+    }
+    for r in 0..mr {
+        out_panel[r * ncols + j..r * ncols + j + NRV].copy_from_slice(&acc[r]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(
+        rows: usize,
+        kdim: usize,
+        ncols: usize,
+        a: &[f32],
+        b: &[f32],
+        bias: &[f32],
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * ncols];
+        for k in 0..rows {
+            for j in 0..ncols {
+                let mut acc = bias[k];
+                for ki in 0..kdim {
+                    acc += a[k * kdim + ki] * b[ki * ncols + j];
+                }
+                out[k * ncols + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn check(rows: usize, c: usize, kh: usize, kw: usize, ncols: usize) {
+        let kdim = c * kh * kw;
+        let t4 = Tensor4::from_fn(rows, c, kh, kw, |k, ci, m, n| {
+            ((k * 31 + ci * 17 + m * 7 + n * 3) % 13) as f32 * 0.173 - 0.8
+        });
+        let b: Vec<f32> = (0..kdim * ncols)
+            .map(|i| ((i * 29) % 23) as f32 * 0.091 - 1.0)
+            .collect();
+        let bias: Vec<f32> = (0..rows).map(|k| k as f32 * 0.11 - 0.3).collect();
+        let packed = PackedKernels::pack(&t4);
+        let mut out = vec![f32::NAN; rows * ncols];
+        gemm_bias_into(&packed, &b, &bias, ncols, &mut out);
+        let want = naive(rows, kdim, ncols, t4.as_slice(), &b, &bias);
+        for (i, (x, y)) in out.iter().zip(want.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_tile_multiples() {
+        check(8, 2, 2, 2, 16);
+    }
+
+    #[test]
+    fn matches_naive_on_ragged_edges() {
+        check(6, 3, 5, 5, 100); // Test-4 conv2-like: rows%MR != 0, ncols%NR != 0
+        check(5, 1, 3, 3, 7);
+        check(1, 1, 1, 1, 1);
+        check(3, 2, 1, 1, 9);
+    }
+
+    #[test]
+    fn matches_naive_beyond_column_block() {
+        check(4, 1, 2, 2, NC + 13);
+    }
+
+    #[test]
+    fn pack_layout_is_panelwise_ki_major() {
+        let t4 = Tensor4::from_fn(5, 1, 1, 2, |k, _, _, n| (k * 10 + n) as f32);
+        let p = PackedKernels::pack(&t4);
+        assert_eq!(p.rows(), 5);
+        assert_eq!(p.kdim(), 2);
+        // Panel 0 rows 0..4, ki-major: [a00,a10,a20,a30, a01,a11,a21,a31]
+        assert_eq!(p.panel(0), &[0.0, 10.0, 20.0, 30.0, 1.0, 11.0, 21.0, 31.0]);
+        // Panel 1 holds row 4 zero-padded.
+        assert_eq!(p.panel(1), &[40.0, 0.0, 0.0, 0.0, 41.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_ncols_is_a_noop() {
+        let t4 = Tensor4::ones(2, 1, 1, 1);
+        let packed = PackedKernels::pack(&t4);
+        let mut out: Vec<f32> = vec![];
+        gemm_bias_into(&packed, &[], &[0.0, 0.0], 0, &mut out);
+    }
+}

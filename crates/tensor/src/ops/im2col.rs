@@ -1,6 +1,7 @@
 //! im2col lowering: unrolls every valid convolution window into a
 //! column so convolution becomes a dense matrix product.
 
+use crate::shape::Shape;
 use crate::tensor::Tensor;
 
 /// Builds the column matrix for a *valid* convolution with a `kh`×`kw`
@@ -8,21 +9,39 @@ use crate::tensor::Tensor;
 /// row `((c*kh)+m)*kw+n`, column `oy*ow+ox` holds `x[c, oy+m, ox+n]`.
 pub fn im2col_valid(input: &Tensor, kh: usize, kw: usize) -> Vec<f32> {
     let s = input.shape();
+    let oh = s.h.checked_sub(kh).map(|d| d + 1).unwrap_or(0);
+    let ow = s.w.checked_sub(kw).map(|d| d + 1).unwrap_or(0);
+    let mut cols = vec![0.0f32; s.c * kh * kw * oh * ow];
+    im2col_slice_into(input.as_slice(), s, kh, kw, &mut cols);
+    cols
+}
+
+/// Zero-allocation [`im2col_valid`]: lowers `input` (raw CHW buffer of
+/// shape `s`) into `dst`, which must hold exactly
+/// `C*kh*kw * (oh*ow)` floats. Every active element of `dst` is
+/// overwritten, so a reused scratch buffer can never leak stale values.
+pub fn im2col_slice_into(input: &[f32], s: Shape, kh: usize, kw: usize, dst: &mut [f32]) {
     assert!(
         kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w,
         "window {kh}x{kw} does not fit {s}"
     );
+    assert_eq!(input.len(), s.len(), "input buffer does not match {s}");
     let oh = s.h - kh + 1;
     let ow = s.w - kw + 1;
     let spatial = oh * ow;
-    let mut cols = vec![0.0f32; s.c * kh * kw * spatial];
+    assert_eq!(
+        dst.len(),
+        s.c * kh * kw * spatial,
+        "im2col destination has wrong size"
+    );
 
+    let hw = s.h * s.w;
     for c in 0..s.c {
-        let chan = input.channel(c);
+        let chan = &input[c * hw..(c + 1) * hw];
         for m in 0..kh {
             for n in 0..kw {
                 let row_idx = (c * kh + m) * kw + n;
-                let dst = &mut cols[row_idx * spatial..(row_idx + 1) * spatial];
+                let dst = &mut dst[row_idx * spatial..(row_idx + 1) * spatial];
                 for oy in 0..oh {
                     let src = &chan[(oy + m) * s.w + n..(oy + m) * s.w + n + ow];
                     dst[oy * ow..(oy + 1) * ow].copy_from_slice(src);
@@ -30,7 +49,6 @@ pub fn im2col_valid(input: &Tensor, kh: usize, kw: usize) -> Vec<f32> {
             }
         }
     }
-    cols
 }
 
 #[cfg(test)]

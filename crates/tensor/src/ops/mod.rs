@@ -3,8 +3,10 @@
 //!
 //! Each submodule implements one layer family:
 //!
-//! * [`conv`] — multi-channel *valid* 2-D convolution (Eq. 1) plus an
-//!   im2col + GEMM fast path used for larger layers,
+//! * [`conv`] — multi-channel *valid* 2-D convolution (Eq. 1) plus
+//!   im2col-based fast paths used for larger layers,
+//! * [`gemm`] — the blocked GEMM microkernel and packed weight matrices
+//!   behind the fastest convolution path,
 //! * [`pool`] — max- and mean-pooling with an explicit stride (Eqs. 4–5),
 //! * [`linear`] — fully-connected weighted sums (Eq. 6),
 //! * [`activation`] — tanh / ReLU / sigmoid element-wise nonlinearities,
@@ -13,6 +15,7 @@
 
 pub mod activation;
 pub mod conv;
+pub mod gemm;
 pub mod im2col;
 pub mod linear;
 pub mod pool;

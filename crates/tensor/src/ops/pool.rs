@@ -36,14 +36,51 @@ pub fn mean_pool(input: &Tensor, kh: usize, kw: usize, step: usize) -> Tensor {
 
 /// Generic pooling entry point.
 pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -> Tensor {
-    let _span = cnn_trace::span("tensor", "pool");
     let oshape = pool_shape(input, kh, kw, step);
-    let ishape = input.shape();
     let mut out = Tensor::zeros(oshape);
+    pool_slice_into(
+        input.as_slice(),
+        input.shape(),
+        kh,
+        kw,
+        step,
+        kind,
+        out.as_mut_slice(),
+    );
+    out
+}
+
+/// Zero-allocation pooling: reads a raw CHW buffer of shape `ishape`,
+/// writes the pooled result into `out` (which must hold exactly the
+/// output length) and returns the output shape. Every active element of
+/// `out` is overwritten, so reused scratch buffers never leak stale
+/// values.
+pub fn pool_slice_into(
+    input: &[f32],
+    ishape: Shape,
+    kh: usize,
+    kw: usize,
+    step: usize,
+    kind: PoolKind,
+    out: &mut [f32],
+) -> Shape {
+    let _span = cnn_trace::span("tensor", "pool");
+    let oshape = ishape.pool_output(kh, kw, step).unwrap_or_else(|| {
+        panic!("pooling window {kh}x{kw} stride {step} invalid for input {ishape}")
+    });
+    assert_eq!(
+        input.len(),
+        ishape.len(),
+        "input buffer does not match {ishape}"
+    );
+    assert_eq!(out.len(), oshape.len(), "pool destination has wrong size");
     let inv_area = 1.0 / (kh * kw) as f32;
+    let hw = ishape.h * ishape.w;
+    let ohw = oshape.h * oshape.w;
 
     for c in 0..oshape.c {
-        let chan = input.channel(c);
+        let chan = &input[c * hw..(c + 1) * hw];
+        let ochan = &mut out[c * ohw..(c + 1) * ohw];
         for oy in 0..oshape.h {
             for ox in 0..oshape.w {
                 let (y0, x0) = (oy * step, ox * step);
@@ -73,11 +110,11 @@ pub fn pool(input: &Tensor, kh: usize, kw: usize, step: usize, kind: PoolKind) -
                         acc * inv_area
                     }
                 };
-                out.set(c, oy, ox, v);
+                ochan[oy * oshape.w + ox] = v;
             }
         }
     }
-    out
+    oshape
 }
 
 /// Pooling also has an op-count used by the cost models: comparisons for
@@ -91,8 +128,13 @@ pub fn pool_ops(input: Shape, kh: usize, kw: usize, step: usize) -> Option<u64> 
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    // Used only inside `proptest!` blocks, which the minimal
+    // typecheck-only proptest stub expands to nothing.
+    #[allow(unused_imports)]
     use rand::rngs::StdRng;
+    #[allow(unused_imports)]
     use rand::Rng as _;
+    #[allow(unused_imports)]
     use rand::SeedableRng as _;
 
     #[test]

@@ -28,6 +28,18 @@ pub fn log_softmax(z: &[f32]) -> Vec<f32> {
     z.iter().map(|&v| v - m - lse).collect()
 }
 
+/// In-place, zero-allocation [`log_softmax`]. Both statistics (`m` and
+/// the log-sum-exp) are computed before any element is overwritten, so
+/// the result is bit-identical to the allocating variant.
+pub fn log_softmax_inplace(z: &mut [f32]) {
+    assert!(!z.is_empty(), "log_softmax of empty vector");
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let lse: f32 = z.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+    for v in z.iter_mut() {
+        *v = *v - m - lse;
+    }
+}
+
 /// Degree-6 Taylor/Horner `exp` approximation with range reduction by
 /// powers of two — the structure a Vivado HLS `expf` core uses. Accurate
 /// to ~1e-5 relative error on |x| ≤ 30.
@@ -109,6 +121,17 @@ mod tests {
         let p = softmax(&z);
         for (a, b) in ls.iter().zip(p.iter()) {
             assert!((a - b.ln()).abs() < 1e-5, "{a} vs {}", b.ln());
+        }
+    }
+
+    #[test]
+    fn log_softmax_inplace_bit_identical() {
+        let z = [0.3f32, -1.2, 2.5, 0.0, 7.7, -0.0];
+        let want = log_softmax(&z);
+        let mut got = z;
+        log_softmax_inplace(&mut got);
+        for (a, b) in got.iter().zip(want.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

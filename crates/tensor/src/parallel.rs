@@ -31,6 +31,49 @@ where
     items.par_iter().map(f).sum()
 }
 
+/// Worker count available for intra-image fan-out.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f(index, chunk)` to every `chunk_len`-sized mutable chunk of
+/// `data`, fanning contiguous groups of chunks out over scoped threads.
+///
+/// This is the dispatch point for the GEMM engine's row-panel
+/// parallelism: chunks are disjoint `&mut` regions, each output element
+/// is computed wholly inside one task, and chunk indices are assigned
+/// before any thread runs — so the result is bit-identical to the
+/// sequential loop regardless of scheduling. On a single-core host (or
+/// when there is only one chunk) it degrades to a plain loop.
+pub fn par_for_each_chunk_mut<F>(data: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let nthreads = threads();
+    let nchunks = data.len().div_ceil(chunk_len);
+    if nthreads <= 1 || nchunks <= 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let per_group = nchunks.div_ceil(nthreads);
+    let group_len = per_group * chunk_len;
+    std::thread::scope(|s| {
+        for (g, group) in data.chunks_mut(group_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, c) in group.chunks_mut(chunk_len).enumerate() {
+                    f(g * per_group + i, c);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +102,24 @@ mod tests {
         let xs: Vec<u32> = vec![];
         let ys: Vec<u32> = par_map(&xs, |&x| x);
         assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn chunk_fanout_matches_sequential() {
+        for len in [0usize, 1, 7, 8, 9, 64, 65] {
+            let mut par: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let mut seq = par.clone();
+            par_for_each_chunk_mut(&mut par, 8, |i, c| {
+                for v in c.iter_mut() {
+                    *v = *v * 2.0 + i as f32;
+                }
+            });
+            for (i, c) in seq.chunks_mut(8).enumerate() {
+                for v in c.iter_mut() {
+                    *v = *v * 2.0 + i as f32;
+                }
+            }
+            assert_eq!(par, seq, "len {len}");
+        }
     }
 }

@@ -197,6 +197,57 @@ impl Tensor {
     }
 }
 
+/// A borrowed, shape-tagged view over a raw CHW buffer — what
+/// `Network::infer` returns so the final activation can be inspected
+/// (argmax, copied out, …) without cloning workspace memory.
+#[derive(Clone, Copy)]
+pub struct TensorView<'a> {
+    shape: Shape,
+    data: &'a [f32],
+}
+
+impl<'a> TensorView<'a> {
+    /// Wraps a buffer; panics if `data.len() != shape.len()`.
+    pub fn new(shape: Shape, data: &'a [f32]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        TensorView { shape, data }
+    }
+
+    /// The view's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// The borrowed buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.data
+    }
+
+    /// Index of the maximum element (first maximum wins) — the
+    /// classification decision.
+    pub fn argmax(&self) -> usize {
+        crate::ops::softmax::argmax(self.data)
+    }
+
+    /// Copies the view into an owned [`Tensor`].
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.shape, self.data.to_vec())
+    }
+}
+
+impl fmt::Debug for TensorView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TensorView({}, {} elems)", self.shape, self.data.len())
+    }
+}
+
 impl Index<(usize, usize, usize)> for Tensor {
     type Output = f32;
     #[inline(always)]
@@ -334,6 +385,22 @@ mod tests {
         assert_eq!(t.max(), 3.0);
         assert_eq!(t.sum(), 2.0);
         assert_eq!(t.norm_sq(), 4.0 + 0.0 + 1.0 + 9.0);
+    }
+
+    #[test]
+    fn view_matches_owned_tensor() {
+        let t = Tensor::from_vec(s(1, 1, 4), vec![1.0, 3.0, 3.0, 2.0]);
+        let v = TensorView::new(t.shape(), t.as_slice());
+        assert_eq!(v.shape(), t.shape());
+        assert_eq!(v.argmax(), t.argmax());
+        assert_eq!(v.to_tensor(), t);
+        assert!(format!("{v:?}").contains("1x1x4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn view_length_checked() {
+        TensorView::new(s(1, 1, 4), &[0.0; 3]);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Reusable scratch memory for the inference engine.
+//!
+//! A [`Workspace`] owns the three buffers a forward pass needs — the
+//! im2col column matrix and two activation ping-pong buffers — so that
+//! steady-state inference performs **zero heap allocations**: every
+//! buffer grows monotonically to the high-water mark of the shapes it
+//! has seen and is then reused verbatim. Growth is the only allocating
+//! operation, and it is counted on the `cnn_tensor_workspace_bytes_total`
+//! trace counter so `cnn2fpga trace` can show the arena footprint.
+//!
+//! ## Aliasing contract
+//!
+//! Buffers are plain `Vec<f32>` that may retain stale values from a
+//! previous (possibly differently-shaped) run beyond the active region.
+//! Every kernel that writes into a workspace buffer writes the *entire*
+//! active region before anyone reads from it, and readers never look
+//! past the active length — so reuse across differing shapes can never
+//! leak stale data into a result. `tests/gemm_properties.rs` asserts
+//! this bit-exactly.
+//!
+//! For callers that don't want to manage a workspace explicitly there
+//! is a process-wide pool ([`with_pooled`]); workspaces are checked out
+//! for the duration of a closure and returned afterwards, so rayon
+//! work-stealing can never observe a workspace in use by another task.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Scratch buffers for one in-flight forward (or backward) pass.
+///
+/// Fields are public so callers can split-borrow them (e.g. read an
+/// activation from `ping` while writing the next one into `pong` and
+/// the column matrix into `cols`); use the `ensure_*` methods — never
+/// `resize` directly — so growth is tracked.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// im2col column matrix, `(C*kh*kw) x (oh*ow)` row-major.
+    pub cols: Vec<f32>,
+    /// Activation buffer A of the ping-pong pair.
+    pub ping: Vec<f32>,
+    /// Activation buffer B of the ping-pong pair.
+    pub pong: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Current arena footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        (self.cols.len() + self.ping.len() + self.pong.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Grows the column buffer to hold at least `len` floats.
+    pub fn ensure_cols(&mut self, len: usize) {
+        grow(&mut self.cols, len);
+    }
+
+    /// Grows *both* activation buffers to hold at least `len` floats.
+    pub fn ensure_act(&mut self, len: usize) {
+        grow(&mut self.ping, len);
+        grow(&mut self.pong, len);
+    }
+}
+
+/// Monotonic growth; counts newly-allocated bytes on the trace counter.
+fn grow(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        let delta = (len - buf.len()) * std::mem::size_of::<f32>();
+        buf.resize(len, 0.0);
+        cnn_trace::counter_add("cnn_tensor_workspace_bytes_total", &[], delta as u64);
+    }
+}
+
+/// Upper bound on pooled idle workspaces; beyond this, returned
+/// workspaces are dropped instead of cached.
+const POOL_CAP: usize = 64;
+
+fn pool() -> &'static Mutex<Vec<Workspace>> {
+    static POOL: OnceLock<Mutex<Vec<Workspace>>> = OnceLock::new();
+    POOL.get_or_init(|| Mutex::new(Vec::with_capacity(POOL_CAP)))
+}
+
+/// Runs `f` with a workspace checked out of the process-wide pool.
+///
+/// The pool is safe under rayon work-stealing: a stolen task that also
+/// needs a workspace checks out its *own* (popping another, or creating
+/// a fresh one), so a workspace is never shared between two in-flight
+/// passes. After warmup the pool holds enough warm workspaces for the
+/// peak concurrency and steady-state calls allocate nothing.
+pub fn with_pooled<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = pool()
+        .lock()
+        .expect("workspace pool poisoned")
+        .pop()
+        .unwrap_or_default();
+    let out = f(&mut ws);
+    let mut idle = pool().lock().expect("workspace pool poisoned");
+    if idle.len() < POOL_CAP {
+        idle.push(ws);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_monotonic_and_tracked() {
+        let mut ws = Workspace::new();
+        ws.ensure_cols(100);
+        ws.ensure_act(50);
+        assert_eq!(ws.cols.len(), 100);
+        assert_eq!(ws.ping.len(), 50);
+        assert_eq!(ws.pong.len(), 50);
+        let bytes = ws.bytes();
+        // Shrinking requests never shrink the buffers.
+        ws.ensure_cols(10);
+        ws.ensure_act(10);
+        assert_eq!(ws.bytes(), bytes);
+        // Larger requests grow them.
+        ws.ensure_cols(200);
+        assert_eq!(ws.cols.len(), 200);
+    }
+
+    #[test]
+    fn pooled_workspace_is_reused() {
+        // Warm the pool, note the capacity, and check a second checkout
+        // sees the grown buffers.
+        with_pooled(|ws| ws.ensure_cols(777));
+        let seen = with_pooled(|ws| ws.cols.len());
+        assert!(seen >= 777, "pooled workspace lost its buffers ({seen})");
+    }
+
+    #[test]
+    fn pool_survives_nested_checkout() {
+        let v = with_pooled(|a| {
+            a.ensure_act(8);
+            with_pooled(|b| {
+                // `b` must be a different workspace than `a`.
+                b.ensure_act(4);
+                b.ping.len()
+            })
+        });
+        assert!(v >= 4);
+    }
+}

@@ -19,4 +19,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== crash_sweep: every crash point must leave old-or-new state =="
 cargo run --release -p cnn-bench --bin crash_sweep -- --quick
 
+echo "== hot_path --smoke: blocked GEMM >=2x scalar on Test-4, bit-identical =="
+# The binary exits nonzero if any blocked result differs from the
+# im2col reference by a single bit or the Test-4 speedup gate fails.
+# --out keeps the smoke numbers away from the committed BENCH file.
+cargo run --release -p cnn-bench --bin hot_path -- --smoke --out target/BENCH_hotpath_smoke.json
+
 echo "ci: all green"
