@@ -81,9 +81,12 @@ fn main() {
         );
         // Per-rate abandonment in the exposition, so the sweep's
         // Prometheus export shows where graceful degradation kicked
-        // in, not just the cumulative totals.
+        // in, not just the cumulative totals. This family is distinct
+        // from the front-end's `cnn_frontend_shed_total`: an abandoned
+        // image exhausted hardware retries mid-flight, a shed request
+        // was refused at admission and never ran.
         cnn_trace::counter_add(
-            "cnn_sweep_images_abandoned",
+            "cnn_fault_sweep_abandoned_images_total",
             &[("rate", &format!("{rate:.2}"))],
             hw.faults.abandoned,
         );
@@ -132,6 +135,12 @@ fn main() {
     assert_eq!(a.hardware.outcomes, b.hardware.outcomes);
     println!("seed reproducibility: two runs of the rate-0.40 plan matched exactly.");
 
+    // Preregister the front-end's shed / deadline-miss families so the
+    // exposition carries them at zero alongside this sweep's
+    // `cnn_fault_sweep_abandoned_images_total` — the two families are
+    // deliberately distinct (admission refusals vs mid-flight
+    // abandonment) and dashboards join on both.
+    cnn_serve::preregister_frontend_metrics();
     println!(
         "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
         cnn_trace::export::prometheus::to_prometheus_text(&cnn_trace::snapshot())

@@ -1,0 +1,364 @@
+//! Open-loop load generator for the batched serving front-end.
+//!
+//! Drives `cnn-serve::Frontend` with Poisson arrivals over a tenant
+//! mix at fractions of the measured service capacity (0.5×, 0.9× and
+//! 2.0× — genuine overload) and reports, per rate: latency quantiles
+//! (p50/p99/p999) in simulated cycles, goodput (served requests that
+//! met their deadline, per million cycles), shed rate, deadline
+//! attainment among served requests, queue depth and the degradation
+//! tier the overload controller ended in.
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin load_gen [-- --smoke] [-- --out FILE]
+//! ```
+//!
+//! Everything is deterministic: weights come from
+//! [`build_deterministic`], images and inter-arrival gaps from
+//! SplitMix64 streams, and devices are fault-free simulations — the
+//! same invocation always produces the same JSON, so the committed
+//! `BENCH_loadgen.json` is exactly reproducible.
+//!
+//! The run **asserts** the PR's overload SLO, so a regression fails
+//! CI rather than just changing a number in a file:
+//!
+//! * at 2.0× the front-end sheds (admission control is alive) while
+//!   the queue stays bounded by its configured cap, and
+//! * at every rate, ≥ 99% of *admitted* requests meet their deadline
+//!   (sheds are refusals, not misses), and
+//! * every served prediction — batched hardware, hedged, or software
+//!   tier — is bit-identical to the single-image reference path.
+
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::{NetworkSpec, WeightSource, Workflow, WorkflowArtifacts};
+use cnn_serve::{Arrival, FrontendConfig, PoolConfig};
+use cnn_store::atomic_write;
+use cnn_store::hash::SplitMix64;
+use cnn_tensor::{Shape, Tensor};
+use std::fmt::Write as _;
+
+/// Tenants in the mix: (WDRR weight, deadline budget as a multiple of
+/// the calibrated per-request service time). Tenant 0 is the premium
+/// lane (heavy weight, tight deadline); tenant 2 is batch traffic
+/// (light weight, loose deadline). Budgets must clear the front-end's
+/// *conservative* admission estimate — power-of-four bucket ceilings
+/// on queue delay and batch service can each overstate by ~3× — so
+/// the tightest budget is 8× the raw service time, not 2×.
+const TENANTS: [(u32, u64); 3] = [(4, 8), (2, 16), (1, 40)];
+
+/// Load factors to sweep; 2.0 is the overload cell the SLO gates on.
+const RATE_FACTORS: [f64; 3] = [0.5, 0.9, 2.0];
+
+const POOL_DEVICES: usize = 2;
+
+fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect()
+}
+
+/// Upper-bound empirical quantile of a sorted sample.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn frontend_cfg() -> FrontendConfig {
+    FrontendConfig {
+        tenant_weights: TENANTS.iter().map(|&(w, _)| w).collect(),
+        ..FrontendConfig::default()
+    }
+}
+
+fn fault_free_plans() -> Vec<FaultPlan> {
+    (0..POOL_DEVICES).map(|_| FaultPlan::none()).collect()
+}
+
+/// Measures per-request hardware service time: one request, alone,
+/// with an effectively-infinite budget. Its latency minus the partial
+/// batch's wait for `batch_deadline` is what one dispatch costs — and
+/// since the simulated pool serializes device time, it is also the
+/// saturation cost per request, so rate factors below 1.0 are genuine
+/// underload and 2.0 is genuine overload of the hardware tier.
+fn calibrate(artifacts: &WorkflowArtifacts, images: &[Tensor], policy: &RetryPolicy) -> u64 {
+    let arrivals = [Arrival {
+        at: 0,
+        tenant: 0,
+        budget: u64::MAX / 2,
+        image_id: 0,
+    }];
+    let cfg = frontend_cfg();
+    let batch_deadline = cfg.batch_deadline;
+    let r = artifacts
+        .serve_with_frontend(
+            &images[..1],
+            &arrivals,
+            &fault_free_plans(),
+            policy,
+            PoolConfig::default(),
+            cfg,
+        )
+        .expect("calibration run serves");
+    assert_eq!(r.report.completed.len(), 1, "solo request must be served");
+    r.report.completed[0]
+        .latency()
+        .saturating_sub(batch_deadline)
+        .max(1)
+}
+
+/// Poisson arrival schedule at `factor` times the calibrated
+/// capacity, tenants drawn round-robin, budgets per [`TENANTS`].
+fn poisson_arrivals(n: usize, factor: f64, svc_per_req: u64, seed: u64) -> Vec<Arrival> {
+    let mean_gap = svc_per_req as f64 / factor;
+    let mut rng = SplitMix64::new(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|i| {
+            // Exponential inter-arrival via inverse CDF; clamp the
+            // uniform away from 0 so ln() stays finite.
+            let u = rng.next_f64().max(1e-12);
+            t += -u.ln() * mean_gap;
+            let tenant = i % TENANTS.len();
+            Arrival {
+                at: t as u64,
+                tenant,
+                budget: TENANTS[tenant].1 * svc_per_req,
+                image_id: i,
+            }
+        })
+        .collect()
+}
+
+struct RateRow {
+    factor: f64,
+    offered: usize,
+    admitted: u64,
+    served: usize,
+    shed_deadline: u64,
+    shed_queue_full: u64,
+    deadline_misses: u64,
+    attainment: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    goodput_per_mcycle: f64,
+    max_queue_depth: usize,
+    batches: u64,
+    software_batches: u64,
+    tier_transitions: u64,
+    final_tier: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_loadgen.json".to_string());
+    let n = if smoke { 192 } else { 768 };
+    cnn_trace::enable();
+    cnn_serve::preregister_frontend_metrics();
+
+    eprintln!("[cnn-bench] building the Test-2 stack (optimized Zedboard build)...");
+    let spec = NetworkSpec::paper_usps_small(true);
+    let net = build_deterministic(&spec, 2016).expect("valid paper spec");
+    let artifacts = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+        .run()
+        .expect("the paper network fits the Zedboard");
+    let images = deterministic_images(artifacts.network.input_shape(), n, 0x10AD);
+    let reference: Vec<usize> = images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
+    let policy = RetryPolicy::default();
+
+    let svc = calibrate(&artifacts, &images, &policy);
+    println!(
+        "LOAD GEN: {n} requests/rate, {POOL_DEVICES} devices, \
+         calibrated capacity {svc} cycles/request at saturation\n"
+    );
+    println!(
+        "{:>6}  {:>8}  {:>8}  {:>6}  {:>8}  {:>6}  {:>10}  {:>10}  {:>10}  {:>9}  {:>5}  {:>9}",
+        "rate",
+        "admitted",
+        "served",
+        "shed",
+        "attain",
+        "miss",
+        "p50 cyc",
+        "p99 cyc",
+        "p999 cyc",
+        "goodput",
+        "depth",
+        "tier"
+    );
+
+    let mut rows = Vec::new();
+    for (ri, &factor) in RATE_FACTORS.iter().enumerate() {
+        let arrivals = poisson_arrivals(n, factor, svc, 0xA221 + ri as u64);
+        let cfg = frontend_cfg();
+        let queue_cap = cfg.queue_cap;
+        let r = artifacts
+            .serve_with_frontend(
+                &images,
+                &arrivals,
+                &fault_free_plans(),
+                &policy,
+                PoolConfig::default(),
+                cfg,
+            )
+            .expect("rate run serves");
+        let rep = &r.report;
+
+        // Bit-exactness: every served prediction matches the
+        // single-image reference path, at every rate.
+        for c in &rep.completed {
+            assert_eq!(
+                c.prediction, reference[c.image_id],
+                "rate {factor}: image {} served a wrong answer",
+                c.image_id
+            );
+            assert_eq!(r.predictions[c.image_id], Some(c.prediction));
+        }
+
+        let mut lats: Vec<u64> = rep.completed.iter().map(|c| c.latency()).collect();
+        lats.sort_unstable();
+        let met = rep.completed.iter().filter(|c| c.deadline_met()).count();
+        let span = rep
+            .completed
+            .iter()
+            .map(|c| c.completion)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let row = RateRow {
+            factor,
+            offered: n,
+            admitted: rep.admitted,
+            served: rep.completed.len(),
+            shed_deadline: rep.shed_deadline,
+            shed_queue_full: rep.shed_queue_full,
+            deadline_misses: rep.deadline_misses,
+            attainment: rep.attainment(),
+            p50: quantile(&lats, 0.50),
+            p99: quantile(&lats, 0.99),
+            p999: quantile(&lats, 0.999),
+            goodput_per_mcycle: met as f64 * 1e6 / span as f64,
+            max_queue_depth: rep.max_queue_depth,
+            batches: rep.batches,
+            software_batches: rep.software_batches,
+            tier_transitions: rep.tier_transitions,
+            final_tier: rep.final_tier.as_str(),
+        };
+        println!(
+            "{:>5.1}x  {:>8}  {:>8}  {:>6}  {:>7.4}  {:>6}  {:>10}  {:>10}  {:>10}  {:>9.3}  {:>5}  {:>9}",
+            row.factor,
+            row.admitted,
+            row.served,
+            rep.shed(),
+            row.attainment,
+            row.deadline_misses,
+            row.p50,
+            row.p99,
+            row.p999,
+            row.goodput_per_mcycle,
+            row.max_queue_depth,
+            row.final_tier,
+        );
+
+        // The SLO gates. Sheds are refusals, not misses: attainment
+        // is judged over admitted-and-served requests.
+        assert!(
+            row.attainment >= 0.99,
+            "rate {factor}: only {:.4} of admitted requests met their deadline (SLO: 0.99)",
+            row.attainment
+        );
+        assert!(
+            row.max_queue_depth <= queue_cap,
+            "rate {factor}: queue depth {} exceeded its cap {queue_cap}",
+            row.max_queue_depth
+        );
+        if factor >= 2.0 {
+            assert!(
+                rep.shed() > 0,
+                "rate {factor}: overload must shed, not queue without bound"
+            );
+        }
+        rows.push(row);
+    }
+
+    println!(
+        "\nSLO held: at 2.0x the queue stayed bounded and load was shed at admission; \
+         >=99% of admitted requests met their deadline at every rate; every served \
+         prediction was bit-identical to the single-image reference."
+    );
+
+    println!(
+        "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
+        cnn_trace::export::prometheus::to_prometheus_text(&cnn_trace::snapshot())
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"load_gen\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"requests_per_rate\": {n},");
+    let _ = writeln!(json, "  \"pool_devices\": {POOL_DEVICES},");
+    let _ = writeln!(json, "  \"capacity_cycles_per_request\": {svc},");
+    let _ = writeln!(
+        json,
+        "  \"tenants\": [{}],",
+        TENANTS
+            .iter()
+            .map(|&(w, b)| format!("{{\"weight\": {w}, \"budget_x_batch_service\": {b}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    json.push_str("  \"rates\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"factor\": {}, \"offered\": {}, \"admitted\": {}, \"served\": {}, \
+             \"shed_deadline\": {}, \"shed_queue_full\": {}, \"deadline_misses\": {}, \
+             \"attainment\": {:.6}, \"p50_cycles\": {}, \"p99_cycles\": {}, \
+             \"p999_cycles\": {}, \"goodput_per_mcycle\": {:.3}, \"max_queue_depth\": {}, \
+             \"batches\": {}, \"software_batches\": {}, \"tier_transitions\": {}, \
+             \"final_tier\": \"{}\"}}",
+            r.factor,
+            r.offered,
+            r.admitted,
+            r.served,
+            r.shed_deadline,
+            r.shed_queue_full,
+            r.deadline_misses,
+            r.attainment,
+            r.p50,
+            r.p99,
+            r.p999,
+            r.goodput_per_mcycle,
+            r.max_queue_depth,
+            r.batches,
+            r.software_batches,
+            r.tier_transitions,
+            r.final_tier,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
+    println!("results committed atomically to {out_path}");
+}

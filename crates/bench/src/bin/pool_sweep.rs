@@ -123,6 +123,17 @@ fn main() {
          the 99.9% availability SLO held at every rate <= 0.05 with pool >= 2."
     );
 
+    // Cumulative exposition for dashboards. The front-end's shed /
+    // deadline-miss families are preregistered so they are present (at
+    // zero) even though this sweep drives the pool directly, without
+    // the batching front-end in the path — a dashboard querying
+    // `cnn_frontend_shed_total` must never get "no such series".
+    cnn_serve::preregister_frontend_metrics();
+    println!(
+        "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
+        cnn_trace::export::prometheus::to_prometheus_text(&cnn_trace::snapshot())
+    );
+
     let doc = serde_json::json!({
         "benchmark": "pool_sweep",
         "images_per_cell": n,

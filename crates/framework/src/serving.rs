@@ -15,7 +15,10 @@
 use crate::workflow::{WorkflowArtifacts, WorkflowError, WorkflowStage};
 use cnn_fpga::fault::{FaultPlan, RetryPolicy};
 use cnn_fpga::{ImageOutcome, ZynqDevice};
-use cnn_serve::{Device, DevicePool, DispatchOutcome, PoolConfig, ServeReport};
+use cnn_serve::{
+    Arrival, Device, DevicePool, DeviceReport, DispatchOutcome, Frontend, FrontendConfig,
+    FrontendReport, PoolConfig, ServeReport,
+};
 use cnn_tensor::Tensor;
 
 /// One simulated Zynq board scheduled by the serving pool: the
@@ -83,7 +86,120 @@ pub struct PoolClassificationReport {
     pub trace: Vec<String>,
 }
 
+/// Result of an open-loop front-end serving run.
+#[derive(Clone, Debug)]
+pub struct FrontendClassificationReport {
+    /// Prediction per image index: `Some` where the request was
+    /// admitted and served (hardware or bit-exact software — the
+    /// value is always correct), `None` where admission control or
+    /// backpressure shed it.
+    pub predictions: Vec<Option<usize>>,
+    /// The front-end's full report (latencies, sheds, deadline
+    /// attainment, degradation tiers).
+    pub report: FrontendReport,
+    /// Per-device pool state at end of run.
+    pub devices: Vec<DeviceReport>,
+    /// Human-readable account of the run.
+    pub trace: Vec<String>,
+}
+
 impl WorkflowArtifacts {
+    /// Serves an open-loop `arrivals` schedule over `images` through
+    /// the batched front-end: requests are admission-controlled
+    /// against their deadline budgets, fair-queued per tenant,
+    /// batched onto a pool of `plans.len()` devices (each a fresh
+    /// board programmed with this workflow's bitstream behind its own
+    /// fault plan), and degraded gracefully under saturation. Served
+    /// predictions — hardware, hedged, or software-tier — are always
+    /// bit-exact; shed requests come back as `None`.
+    pub fn serve_with_frontend(
+        &self,
+        images: &[Tensor],
+        arrivals: &[Arrival],
+        plans: &[FaultPlan],
+        policy: &RetryPolicy,
+        pool_cfg: PoolConfig,
+        frontend_cfg: FrontendConfig,
+    ) -> Result<FrontendClassificationReport, WorkflowError> {
+        let _span = cnn_trace::span("framework", "frontend_serve");
+        if plans.is_empty() {
+            return Err(WorkflowError {
+                stage: WorkflowStage::Serve,
+                message: "a serving pool needs at least one device (one fault plan)".into(),
+            });
+        }
+        if let Some(bad) = arrivals.iter().find(|a| a.image_id >= images.len()) {
+            return Err(WorkflowError {
+                stage: WorkflowStage::Serve,
+                message: format!(
+                    "arrival references image {} but only {} images were supplied",
+                    bad.image_id,
+                    images.len()
+                ),
+            });
+        }
+        let devices = plans
+            .iter()
+            .map(|plan| {
+                let board = self.device.board();
+                let dev = ZynqDevice::program(board, self.bitstream.clone()).map_err(|e| {
+                    WorkflowError {
+                        stage: WorkflowStage::Serve,
+                        message: e.to_string(),
+                    }
+                })?;
+                Ok(PooledZynq::new(dev, *plan, *policy, images))
+            })
+            .collect::<Result<Vec<_>, WorkflowError>>()?;
+
+        let mut pool = DevicePool::new(devices, pool_cfg);
+        let mut frontend = Frontend::new(frontend_cfg);
+        let report = frontend.run(arrivals, &mut pool, |ids| {
+            // Software tier / per-image fallback: the stacked batched
+            // engine, bit-identical to the single-image path.
+            let batch: Vec<Tensor> = ids.iter().map(|&i| images[i].clone()).collect();
+            self.network.predict_batch_stacked(&batch)
+        });
+
+        let mut predictions = vec![None; images.len()];
+        for c in &report.completed {
+            predictions[c.image_id] = Some(c.prediction);
+        }
+
+        let devices = pool.device_reports();
+        let mut trace = vec![format!(
+            "frontend: {} arrivals — {} admitted, {} shed ({} deadline, {} queue-full), \
+             {} batches ({} software), attainment {:.4}, max depth {}, final tier {}",
+            arrivals.len(),
+            report.admitted,
+            report.shed(),
+            report.shed_deadline,
+            report.shed_queue_full,
+            report.batches,
+            report.software_batches,
+            report.attainment(),
+            report.max_queue_depth,
+            report.final_tier.as_str(),
+        )];
+        for (i, d) in devices.iter().enumerate() {
+            trace.push(format!(
+                "device {i}: {} dispatches ({} abandoned), health {}, breaker {:?}, {} trips",
+                d.dispatches,
+                d.failures,
+                d.health.name(),
+                d.breaker,
+                d.breaker_trips,
+            ));
+        }
+
+        Ok(FrontendClassificationReport {
+            predictions,
+            report,
+            devices,
+            trace,
+        })
+    }
+
     /// Serves `images` over a pool of `plans.len()` devices — each a
     /// fresh board programmed with this workflow's bitstream, behind
     /// its own fault plan — under the pool tuning in `cfg`. Images
@@ -263,6 +379,87 @@ mod tests {
                 crc_detected: 1,
             }
         }
+    }
+
+    #[test]
+    fn frontend_serving_is_bit_exact_and_accounts_for_sheds() {
+        // Deterministic weights and images (no `rand` at runtime):
+        // fault-free devices, an arrival schedule mixing generous and
+        // hopeless deadline budgets. Served predictions must match
+        // the per-image engine bit-exactly; shed requests must be
+        // `None` and accounted in the report.
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = crate::weights::build_deterministic(&spec, 11).unwrap();
+        let a = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+            .run()
+            .unwrap();
+        let images: Vec<Tensor> = (0..24)
+            .map(|i| {
+                Tensor::from_fn(cnn_tensor::Shape::new(1, 16, 16), |_, y, x| {
+                    ((y * 16 + x + i * 7) % 23) as f32 * 0.08 - 0.9
+                })
+            })
+            .collect();
+        let arrivals: Vec<Arrival> = (0..images.len())
+            .map(|i| Arrival {
+                at: i as u64 * 40_000,
+                tenant: i % 2,
+                budget: u64::MAX / 2,
+                image_id: i,
+            })
+            .collect();
+        let r = a
+            .serve_with_frontend(
+                &images,
+                &arrivals,
+                &[FaultPlan::none(), FaultPlan::none()],
+                &RetryPolicy::default(),
+                PoolConfig::default(),
+                cnn_serve::FrontendConfig {
+                    max_batch: 4,
+                    tenant_weights: vec![1, 1],
+                    ..cnn_serve::FrontendConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.report.shed(), 0, "generous budgets: nothing shed");
+        let want: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        for (i, p) in r.predictions.iter().enumerate() {
+            assert_eq!(*p, Some(want[i]), "image {i}");
+        }
+        assert!(r.trace.len() == 3, "summary + one line per device");
+        assert_eq!(r.report.attainment(), 1.0);
+    }
+
+    #[test]
+    fn frontend_rejects_out_of_range_arrivals() {
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = crate::weights::build_deterministic(&spec, 12).unwrap();
+        let a = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+            .run()
+            .unwrap();
+        let images = vec![Tensor::zeros(cnn_tensor::Shape::new(1, 16, 16))];
+        let err = a
+            .serve_with_frontend(
+                &images,
+                &[Arrival {
+                    at: 0,
+                    tenant: 0,
+                    budget: 1_000,
+                    image_id: 5,
+                }],
+                &[FaultPlan::none()],
+                &RetryPolicy::default(),
+                PoolConfig::default(),
+                cnn_serve::FrontendConfig::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err.stage, WorkflowStage::Serve);
+        assert!(
+            err.message.contains("references image 5"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use crate::layer::Layer;
 use cnn_tensor::ops::conv::conv2d_gemm_packed_into;
+use cnn_tensor::ops::gemm::gemm_bias_into;
+use cnn_tensor::ops::im2col::im2col_strided_into;
 use cnn_tensor::ops::linear::linear;
 use cnn_tensor::ops::pool::pool_slice_into;
 use cnn_tensor::ops::softmax::log_softmax_inplace;
@@ -227,6 +229,157 @@ impl Network {
             cur = oshape;
         }
         TensorView::new(cur, &ws.ping[..cur.len()])
+    }
+
+    /// Batched forward pass through the blocked-GEMM engine over one
+    /// shared workspace: every convolution lowers all images into a
+    /// single stacked `kdim × (batch·spatial)` column matrix (strided
+    /// im2col, one column window per image) and runs **one** GEMM per
+    /// layer, so the packed-weight panels stream through cache once
+    /// per batch instead of once per image. This is what the serving
+    /// front-end's batcher amortizes.
+    ///
+    /// Bit-identical to [`Network::infer`] per image: GEMM never
+    /// splits the `ki` reduction and column count does not change any
+    /// output element's op sequence, and all other layers run
+    /// per-image on the same kernels (asserted bitwise by
+    /// `batch_infer_bit_identical_to_single` below).
+    pub fn infer_batch(&self, inputs: &[Tensor], ws: &mut Workspace) -> Vec<Tensor> {
+        let _span = cnn_trace::span("nn", "infer_batch");
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        for t in inputs {
+            assert_eq!(
+                t.shape(),
+                self.input_shape,
+                "input shape {} != network input {}",
+                t.shape(),
+                self.input_shape
+            );
+        }
+        let bsz = inputs.len();
+        let packed = self.packed_kernels();
+
+        // Per-image slot stride = the single-image activation
+        // high-water mark; cols must hold the widest stacked panel.
+        let mut stride = self.input_shape.len();
+        let mut max_cols = 0usize;
+        for (layer, &oshape) in self.layers.iter().zip(&self.shapes) {
+            stride = stride.max(oshape.len());
+            if let Layer::Conv2d(c) = layer {
+                let kdim = c.kernels.channels() * c.kernels.kh() * c.kernels.kw();
+                max_cols = max_cols.max(kdim * oshape.h * oshape.w * bsz);
+            }
+        }
+        ws.ensure_act(stride * bsz);
+        ws.ensure_cols(max_cols);
+
+        // Split borrows: `a`/`b` are the slotted ping-pong pair (slot
+        // `i` = image `i`); conv layers use `b` as the wide GEMM
+        // output before de-interleaving back into `a`'s slots.
+        let mut a: &mut Vec<f32> = &mut ws.ping;
+        let mut b: &mut Vec<f32> = &mut ws.pong;
+        for (i, t) in inputs.iter().enumerate() {
+            a[i * stride..i * stride + t.len()].copy_from_slice(t.as_slice());
+        }
+        let mut cur = self.input_shape;
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let _span =
+                cnn_trace::span_lazy("nn", || format!("L{li} {} xB", layer.kind_name()).into());
+            let oshape = self.shapes[li];
+            match layer {
+                Layer::Conv2d(c) => {
+                    let pk = packed[li].as_ref().expect("conv layer is packed");
+                    let spatial = oshape.h * oshape.w;
+                    let bn = bsz * spatial;
+                    let cols = &mut ws.cols[..pk.kdim() * bn];
+                    for i in 0..bsz {
+                        im2col_strided_into(
+                            &a[i * stride..i * stride + cur.len()],
+                            cur,
+                            c.kernels.kh(),
+                            c.kernels.kw(),
+                            cols,
+                            bn,
+                            i * spatial,
+                        );
+                    }
+                    let rows = oshape.c;
+                    let out = &mut b[..rows * bn];
+                    gemm_bias_into(pk, cols, &c.bias, bn, out);
+                    if let Some(act) = c.activation {
+                        act.apply_slice(out);
+                    }
+                    // De-interleave the wide `rows × (batch·spatial)`
+                    // result back into per-image slots (the GEMM has
+                    // consumed `cols`, so overwriting `a` is safe).
+                    for i in 0..bsz {
+                        for k in 0..rows {
+                            let dst = i * stride + k * spatial;
+                            let src = k * bn + i * spatial;
+                            a[dst..dst + spatial].copy_from_slice(&out[src..src + spatial]);
+                        }
+                    }
+                    // No swap: the layer output landed back in `a`.
+                }
+                Layer::Pool(p) => {
+                    for i in 0..bsz {
+                        pool_slice_into(
+                            &a[i * stride..i * stride + cur.len()],
+                            cur,
+                            p.kh,
+                            p.kw,
+                            p.step,
+                            p.kind,
+                            &mut b[i * stride..i * stride + oshape.len()],
+                        );
+                    }
+                    std::mem::swap(&mut a, &mut b);
+                }
+                Layer::Flatten => {
+                    // Shape relabel only; the data stays where it is.
+                }
+                Layer::Linear(l) => {
+                    for i in 0..bsz {
+                        let out = &mut b[i * stride..i * stride + oshape.len()];
+                        linear(
+                            &a[i * stride..i * stride + cur.len()],
+                            &l.weights,
+                            &l.bias,
+                            out,
+                        );
+                        if let Some(act) = l.activation {
+                            act.apply_slice(out);
+                        }
+                    }
+                    std::mem::swap(&mut a, &mut b);
+                }
+                Layer::LogSoftMax => {
+                    for i in 0..bsz {
+                        log_softmax_inplace(&mut a[i * stride..i * stride + cur.len()]);
+                    }
+                }
+            }
+            cur = oshape;
+        }
+
+        (0..bsz)
+            .map(|i| Tensor::from_vec(cur, a[i * stride..i * stride + cur.len()].to_vec()))
+            .collect()
+    }
+
+    /// Batched classification through [`Network::infer_batch`] (one
+    /// stacked GEMM per conv layer, single pooled workspace) —
+    /// bit-identical predictions to [`Network::predict`] per image.
+    pub fn predict_batch_stacked(&self, inputs: &[Tensor]) -> Vec<usize> {
+        with_pooled(|ws| {
+            self.infer_batch(inputs, ws)
+                .iter()
+                .map(Tensor::argmax)
+                .collect()
+        })
     }
 
     /// Full forward pass. Runs on the GEMM engine with a pooled
@@ -563,6 +716,62 @@ mod tests {
         // forward() and predict() ride the same engine.
         assert_eq!(net.forward(&x), want);
         assert_eq!(net.predict(&x), want.argmax());
+    }
+
+    #[test]
+    fn batch_infer_bit_identical_to_single() {
+        // The serving front-end's correctness claim: results served
+        // from a stacked batch are bit-identical to the single-image
+        // path, for every batch size.
+        let net = engine_net();
+        let inputs: Vec<Tensor> = (0..5).map(|i| engine_input(0.3 + i as f32 * 0.4)).collect();
+        let singles: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| {
+                let mut ws = cnn_tensor::Workspace::new();
+                net.infer(x, &mut ws).to_tensor()
+            })
+            .collect();
+        for bsz in 1..=inputs.len() {
+            let mut ws = cnn_tensor::Workspace::new();
+            let batched = net.infer_batch(&inputs[..bsz], &mut ws);
+            assert_eq!(batched.len(), bsz);
+            for (bi, (got, want)) in batched.iter().zip(&singles[..bsz]).enumerate() {
+                assert_eq!(got.shape(), want.shape());
+                for (i, (x, y)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "batch {bsz}, image {bi}, elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_infer_handles_empty_and_reused_workspace() {
+        let net = engine_net();
+        let mut ws = cnn_tensor::Workspace::new();
+        assert!(net.infer_batch(&[], &mut ws).is_empty());
+        // A workspace that served a big batch must still produce
+        // bit-exact results for a smaller one (stale slot data beyond
+        // the active region is never read).
+        let inputs: Vec<Tensor> = (0..4).map(|i| engine_input(1.0 + i as f32)).collect();
+        let big = net.infer_batch(&inputs, &mut ws);
+        let small = net.infer_batch(&inputs[..2], &mut ws);
+        for (a, b) in big[..2].iter().zip(&small) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn predict_batch_stacked_matches_per_image_predict() {
+        let net = engine_net();
+        let inputs: Vec<Tensor> = (0..7).map(|i| engine_input(0.2 * i as f32)).collect();
+        let stacked = net.predict_batch_stacked(&inputs);
+        let singles: Vec<usize> = inputs.iter().map(|t| net.predict(t)).collect();
+        assert_eq!(stacked, singles);
     }
 
     #[test]

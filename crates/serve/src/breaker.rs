@@ -46,6 +46,12 @@ pub struct CircuitBreaker {
     cfg: BreakerConfig,
     state: BreakerState,
     consecutive_failures: u32,
+    /// True while the half-open probe has been admitted but its
+    /// outcome not yet recorded. Guarantees *exactly one* probe per
+    /// cooldown even when several dispatch decisions race between the
+    /// cooldown expiring and the probe's outcome landing (e.g. a
+    /// hedge asking the same device mid-probe).
+    probe_in_flight: bool,
     /// Times the breaker tripped (Closed/HalfOpen → Open).
     trips: u64,
 }
@@ -62,6 +68,7 @@ impl CircuitBreaker {
             },
             state: BreakerState::Closed,
             consecutive_failures: 0,
+            probe_in_flight: false,
             trips: 0,
         }
     }
@@ -84,13 +91,27 @@ impl CircuitBreaker {
 
     /// Asks permission to dispatch at pool-clock `now`. An open
     /// breaker whose cooldown has elapsed transitions to half-open
-    /// and admits exactly this one probe.
+    /// and admits exactly this one probe; while that probe's outcome
+    /// is pending, every further request is refused — a caller that
+    /// was granted the probe **must** report its outcome via
+    /// [`CircuitBreaker::record_success`] or
+    /// [`CircuitBreaker::record_failure`], or the breaker stays stuck
+    /// refusing.
     pub fn allows(&mut self, now: u64) -> bool {
         match self.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
             BreakerState::Open { until } => {
                 if now >= until {
                     self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
                     true
                 } else {
                     false
@@ -104,6 +125,7 @@ impl CircuitBreaker {
     pub fn record_success(&mut self) {
         self.state = BreakerState::Closed;
         self.consecutive_failures = 0;
+        self.probe_in_flight = false;
     }
 
     /// Records a failed (abandoned) dispatch at pool-clock `now`: a
@@ -130,6 +152,7 @@ impl CircuitBreaker {
             until: now.saturating_add(self.cfg.cooldown_cycles),
         };
         self.consecutive_failures = 0;
+        self.probe_in_flight = false;
         self.trips += 1;
     }
 }
@@ -183,6 +206,36 @@ mod tests {
         b.record_failure(300);
         assert_eq!(b.state(), BreakerState::Open { until: 400 });
         assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe_until_outcome_recorded() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert!(b.allows(100), "first asker after cooldown gets the probe");
+        // Concurrent dispatch decisions before the probe's outcome
+        // lands must all be refused — one probe per cooldown.
+        assert!(!b.allows(100));
+        assert!(!b.allows(500));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Once the probe outcome is recorded, traffic resumes.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(500));
+    }
+
+    #[test]
+    fn probe_failure_reopens_and_next_cooldown_admits_one_again() {
+        let mut b = breaker(1, 100);
+        b.record_failure(0);
+        assert!(b.allows(100));
+        assert!(!b.allows(100), "second asker refused during the probe");
+        b.record_failure(150);
+        assert_eq!(b.state(), BreakerState::Open { until: 250 });
+        assert!(!b.allows(200), "re-opened: cooldown restarts");
+        assert!(b.allows(250), "next cooldown admits exactly one probe");
+        assert!(!b.allows(250));
+        assert_eq!(b.trips(), 2);
     }
 
     #[test]

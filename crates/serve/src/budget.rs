@@ -6,6 +6,26 @@
 //! a retry storm — once the budget is spent, further abandoned images
 //! degrade straight to the bit-exact software fallback instead of
 //! being re-queued on other devices.
+//!
+//! With per-request deadlines in play (the serving front-end), a
+//! retry that cannot finish before its request's deadline is *pure
+//! waste*: it burns a token and device cycles on a result nobody can
+//! use. [`RetryBudget::try_take_within`] therefore refuses such a
+//! retry **without** spending a token, preserving the budget for
+//! retries that can still make their deadline.
+
+/// Why a [`RetryBudget::try_take_within`] request was granted or
+/// refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TakeOutcome {
+    /// A token was spent; launch the retry.
+    Granted,
+    /// No tokens left. No token was spent.
+    Exhausted,
+    /// The estimated finish time overruns the deadline; the retry
+    /// would be wasted work. No token was spent.
+    DeadlineGated,
+}
 
 /// Token bucket of pool-level re-dispatches for one batch.
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +48,30 @@ impl RetryBudget {
             true
         } else {
             false
+        }
+    }
+
+    /// Deadline-aware take: a retry estimated to finish at
+    /// `est_finish` (pool-clock cycles) against an optional absolute
+    /// `deadline` is granted a token only when it can still be useful.
+    /// A retry that would overrun the deadline is refused **without**
+    /// spending a token ([`TakeOutcome::DeadlineGated`]) — the caller
+    /// should degrade to the bit-exact software fallback instead.
+    ///
+    /// `deadline = None` (no deadline, e.g. batch-mode serving)
+    /// reduces to [`RetryBudget::try_take`]. An optimistic
+    /// `est_finish` (e.g. 0 when latency histograms are still cold)
+    /// errs on the side of retrying, never on the side of shedding.
+    pub fn try_take_within(&mut self, est_finish: u64, deadline: Option<u64>) -> TakeOutcome {
+        if let Some(d) = deadline {
+            if est_finish > d {
+                return TakeOutcome::DeadlineGated;
+            }
+        }
+        if self.try_take() {
+            TakeOutcome::Granted
+        } else {
+            TakeOutcome::Exhausted
         }
     }
 
@@ -63,5 +107,22 @@ mod tests {
         let mut b = RetryBudget::new(0);
         assert!(!b.try_take());
         assert_eq!(b.spent(), 0);
+    }
+
+    #[test]
+    fn deadline_gate_refuses_without_spending() {
+        let mut b = RetryBudget::new(2);
+        // Overruns the deadline: refused, token preserved.
+        assert_eq!(
+            b.try_take_within(1_000, Some(900)),
+            TakeOutcome::DeadlineGated
+        );
+        assert_eq!(b.spent(), 0);
+        // Fits the deadline (boundary inclusive): granted.
+        assert_eq!(b.try_take_within(900, Some(900)), TakeOutcome::Granted);
+        // No deadline: plain token-bucket behavior.
+        assert_eq!(b.try_take_within(u64::MAX, None), TakeOutcome::Granted);
+        assert_eq!(b.try_take_within(0, None), TakeOutcome::Exhausted);
+        assert_eq!(b.spent(), 2);
     }
 }

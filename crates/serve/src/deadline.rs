@@ -1,0 +1,226 @@
+//! Deadline budgets and queue-delay estimation for the serving
+//! front-end.
+//!
+//! Every request arrives with a *relative* deadline budget (cycles it
+//! is willing to wait end to end). The front-end converts it to an
+//! absolute deadline on its arrival clock ([`deadline_at`]) and uses
+//! the [`QueueDelayEstimator`] at admission time: a request whose
+//! estimated completion already overruns its deadline is shed on the
+//! spot — serving it would waste capacity on a result the client has
+//! stopped waiting for, which is exactly how overload collapses
+//! throughput in an unprotected queue.
+//!
+//! ## Cold start
+//!
+//! The estimator is built on latency histograms, and an empty
+//! histogram has **no** quantile — [`LatencyHistogram::quantile`] and
+//! `cnn_trace::HistogramSnapshot::quantile` both return `None` rather
+//! than a fabricated sentinel. [`QueueDelayEstimator::estimate_finish`]
+//! propagates that `None`, and admission control treats it as
+//! *optimistic*: with no service history the front-end admits, so a
+//! cold system can never shed its very first requests on the basis of
+//! data it does not have. The regression tests below pin this down.
+
+use crate::hist::LatencyHistogram;
+
+/// Absolute deadline for a request arriving at `arrival` with a
+/// relative budget of `budget` cycles, saturating at the clock edge.
+pub fn deadline_at(arrival: u64, budget: u64) -> u64 {
+    arrival.saturating_add(budget)
+}
+
+/// True when work estimated to take `est_cycles` starting at `now`
+/// finishes by `deadline` (inclusive). `None` means no deadline, so
+/// everything is feasible.
+pub fn feasible_before(now: u64, est_cycles: u64, deadline: Option<u64>) -> bool {
+    match deadline {
+        Some(d) => now.saturating_add(est_cycles) <= d,
+        None => true,
+    }
+}
+
+/// Online estimator of how long a freshly-arrived request will take
+/// to complete, fed by the front-end's own observations: per-batch
+/// service times and per-request queue delays.
+#[derive(Clone, Debug, Default)]
+pub struct QueueDelayEstimator {
+    /// Service cycles *per request*, normalized from whole-batch
+    /// observations — batch cost scales with batch size, so a
+    /// per-batch median would track whatever size mix happened
+    /// recently and badly underestimate full batches during ramp-up.
+    request_service: LatencyHistogram,
+    /// Enqueue-to-dispatch delay per admitted request.
+    queue_delay: LatencyHistogram,
+}
+
+impl QueueDelayEstimator {
+    /// A cold estimator: every estimate is `None` until observations
+    /// arrive, which admission control must treat as "admit".
+    pub fn new() -> QueueDelayEstimator {
+        QueueDelayEstimator::default()
+    }
+
+    /// Records the service time of one dispatched batch of
+    /// `requests` requests (stored per-request, so estimates are
+    /// batch-size independent).
+    pub fn observe_batch_service(&mut self, cycles: u64, requests: usize) {
+        self.request_service
+            .observe(cycles / requests.max(1) as u64);
+    }
+
+    /// Records one request's enqueue-to-dispatch delay.
+    pub fn observe_queue_delay(&mut self, cycles: u64) {
+        self.queue_delay.observe(cycles);
+    }
+
+    /// Median per-request service time, `None` while cold.
+    pub fn request_service_p50(&self) -> Option<u64> {
+        self.request_service.quantile(0.5)
+    }
+
+    /// p99 of observed queue delays, `None` while cold.
+    pub fn queue_delay_p99(&self) -> Option<u64> {
+        self.queue_delay.quantile(0.99)
+    }
+
+    /// Batches observed so far.
+    pub fn batches_observed(&self) -> u64 {
+        self.request_service.count()
+    }
+
+    /// Estimated completion time for a request arriving at `now` that
+    /// would join a queue of `depth` requests, with the server busy
+    /// until `busy_until`: the backlog (plus this request) drained at
+    /// the median observed per-request service time.
+    ///
+    /// The depth model is floored by the observed queue-delay tail:
+    /// when requests have lately waited far longer than `depth`
+    /// requests would explain (a standing queue the batcher sustains,
+    /// or tier oscillation), `queue_delay_p99` carries that reality
+    /// into the estimate, so admission sheds instead of promising
+    /// deadlines the queue has already demonstrated it cannot meet.
+    ///
+    /// Returns `None` while the service histogram is cold — the
+    /// caller **must** treat that as "admit" (see the module docs);
+    /// shedding on absent data would black-hole the first requests of
+    /// every run.
+    pub fn estimate_finish(&self, now: u64, busy_until: u64, depth: usize) -> Option<u64> {
+        let per_request = self.request_service_p50()?;
+        let model = now
+            .max(busy_until)
+            .saturating_add(per_request.saturating_mul(depth as u64 + 1));
+        let observed_floor = self
+            .queue_delay_p99()
+            .map(|wait| now.saturating_add(wait).saturating_add(per_request));
+        Some(match observed_floor {
+            Some(floor) => model.max(floor),
+            None => model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_saturates() {
+        assert_eq!(deadline_at(10, 5), 15);
+        assert_eq!(deadline_at(u64::MAX - 1, 100), u64::MAX);
+    }
+
+    #[test]
+    fn feasibility_is_inclusive_and_none_means_no_deadline() {
+        assert!(feasible_before(10, 5, Some(15)));
+        assert!(!feasible_before(10, 6, Some(15)));
+        assert!(feasible_before(u64::MAX, u64::MAX, None));
+        // Saturating arithmetic: an estimate at the clock edge still
+        // compares, it does not wrap around into feasibility.
+        assert!(!feasible_before(u64::MAX - 1, u64::MAX, Some(u64::MAX - 1)));
+    }
+
+    /// Satellite regression: a cold estimator (empty histograms) must
+    /// report `None`, never a fabricated number — the front-end's
+    /// admission control reads `None` as "admit optimistically".
+    #[test]
+    fn cold_estimator_returns_none_everywhere() {
+        let e = QueueDelayEstimator::new();
+        assert_eq!(e.request_service_p50(), None);
+        assert_eq!(e.queue_delay_p99(), None);
+        assert_eq!(e.estimate_finish(1_000, 5_000, 10), None);
+        assert_eq!(e.batches_observed(), 0);
+    }
+
+    #[test]
+    fn warm_estimator_scales_with_backlog() {
+        let mut e = QueueDelayEstimator::new();
+        for _ in 0..16 {
+            // Batches of 8 costing 8_000 cycles: 1_000 per request,
+            // bucketed upper bound 1_024.
+            e.observe_batch_service(8_000, 8);
+        }
+        let per_request = e.request_service_p50().unwrap();
+        assert_eq!(per_request, 1_024);
+        // Empty queue: one request's service from whichever is later
+        // of now and the server's busy-until.
+        assert_eq!(e.estimate_finish(100, 0, 0), Some(100 + per_request));
+        assert_eq!(e.estimate_finish(100, 5_000, 0), Some(5_000 + per_request));
+        // 20 queued ahead: 21 services, batch sizes irrelevant.
+        assert_eq!(
+            e.estimate_finish(100, 5_000, 20),
+            Some(5_000 + 21 * per_request)
+        );
+    }
+
+    #[test]
+    fn normalization_makes_estimates_batch_size_independent() {
+        // The same per-request cost observed via singleton batches and
+        // via full batches must produce the same estimate — a per-batch
+        // median would differ by the batch size.
+        let mut a = QueueDelayEstimator::new();
+        let mut b = QueueDelayEstimator::new();
+        for _ in 0..16 {
+            a.observe_batch_service(1_000, 1);
+            b.observe_batch_service(8_000, 8);
+        }
+        assert_eq!(a.estimate_finish(0, 0, 10), b.estimate_finish(0, 0, 10));
+    }
+
+    #[test]
+    fn observed_queue_delay_floors_the_depth_model() {
+        let mut e = QueueDelayEstimator::new();
+        for _ in 0..16 {
+            e.observe_batch_service(1_000, 1);
+        }
+        let per_request = e.request_service_p50().unwrap();
+        // Requests have actually been waiting ~100k cycles: the depth
+        // model (one service from an empty queue) must not override
+        // what the queue has demonstrated.
+        for _ in 0..100 {
+            e.observe_queue_delay(100_000);
+        }
+        let wait = e.queue_delay_p99().unwrap();
+        assert!(wait >= 100_000);
+        assert_eq!(e.estimate_finish(100, 0, 0), Some(100 + wait + per_request));
+        // The floor never *lowers* a deeper-backlog estimate.
+        let deep = e.estimate_finish(100, 0, 8_000).unwrap();
+        assert!(deep >= 100 + wait + per_request);
+    }
+
+    #[test]
+    fn queue_delay_quantile_warms_up() {
+        let mut e = QueueDelayEstimator::new();
+        for _ in 0..100 {
+            e.observe_queue_delay(200);
+        }
+        assert_eq!(e.queue_delay_p99(), Some(256));
+    }
+
+    #[test]
+    fn zero_request_batches_are_clamped() {
+        let mut e = QueueDelayEstimator::new();
+        // Must not divide by zero on a degenerate empty batch.
+        e.observe_batch_service(100, 0);
+        assert!(e.estimate_finish(0, 0, 5).is_some());
+    }
+}

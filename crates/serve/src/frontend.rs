@@ -1,0 +1,944 @@
+//! Overload-resilient batched serving front-end.
+//!
+//! The front-end sits between an open-loop arrival stream and the
+//! [`DevicePool`], and is built on one premise: **under saturation,
+//! work you will not finish in time must be refused as early and as
+//! cheaply as possible.** Four mechanisms implement that, ordered
+//! from cheapest to most drastic:
+//!
+//! 1. **Admission control** — at enqueue, a [`QueueDelayEstimator`]
+//!    projects the request's completion from the observed batch
+//!    service time and current backlog; a request whose projection
+//!    already overruns its deadline is shed on the spot
+//!    (`cnn_frontend_shed_total{reason="deadline"}`). Cold estimators
+//!    admit optimistically — never shed on absent data.
+//! 2. **Backpressure** — each tenant's queue lane is bounded
+//!    ([`FairQueue`]); a full lane refuses the request
+//!    (`reason="queue_full"`) instead of growing without bound.
+//! 3. **Deadline propagation** — admitted requests carry an absolute
+//!    deadline into the pool ([`RequestOptions`]), where retries and
+//!    hedges that cannot finish in time are never launched.
+//! 4. **Graceful degradation** — a [`DegradeTier`] ladder driven by
+//!    queue depth and recent hardware availability sheds
+//!    latency-optimizing work in order of cost: first the batch
+//!    deadline shrinks (fill batches faster, trade per-request wait
+//!    for throughput), then hedging is disabled (no duplicate
+//!    dispatches under load), and finally whole batches run on the
+//!    bit-exact software path (the hardware pool is past saving;
+//!    results stay correct, only slower).
+//!
+//! Batching exists because the blocked-GEMM engine amortizes weight
+//! packing across images: the batcher dispatches when `max_batch`
+//! requests accumulate or the oldest queued request has waited
+//! `batch_deadline` cycles, whichever is first.
+//!
+//! Like the pool, the front-end runs on simulated cycles — a
+//! deterministic discrete-event loop over a sorted arrival schedule —
+//! so overload experiments replay bit-identically from the same
+//! inputs.
+
+use crate::budget::RetryBudget;
+use crate::deadline::{deadline_at, QueueDelayEstimator};
+use crate::pool::{Device, DevicePool, RequestOptions, ServedBy};
+use crate::queue::{FairQueue, QueuedRequest};
+
+/// Recent-outcome window length for the availability signal.
+const AVAILABILITY_WINDOW: usize = 32;
+/// Minimum outcomes in the window before availability is trusted.
+const AVAILABILITY_MIN_SAMPLES: usize = 8;
+
+/// One request in the open-loop arrival schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Arrival {
+    /// Front-end-clock cycle the request arrives at (schedules must
+    /// be sorted by this field).
+    pub at: u64,
+    /// Tenant lane it arrives on.
+    pub tenant: usize,
+    /// Relative deadline budget in cycles (absolute deadline is
+    /// `at + budget`).
+    pub budget: u64,
+    /// Image index the request asks to classify.
+    pub image_id: usize,
+}
+
+/// Degradation ladder, ordered by severity. Each tier includes every
+/// measure of the tiers below it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeTier {
+    /// Full service: normal batch deadline, hedging on.
+    Normal,
+    /// Batch deadline shrunk — batches fill faster under load.
+    Tight,
+    /// Hedging disabled — no duplicate dispatches while saturated.
+    NoHedge,
+    /// Batches run on the bit-exact software path — the hardware
+    /// pool is unavailable or hopelessly behind.
+    Software,
+}
+
+impl DegradeTier {
+    /// Stable label for metrics and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeTier::Normal => "normal",
+            DegradeTier::Tight => "tight",
+            DegradeTier::NoHedge => "no_hedge",
+            DegradeTier::Software => "software",
+        }
+    }
+}
+
+/// Degradation-ladder tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradeConfig {
+    /// Queue depth that engages [`DegradeTier::Tight`].
+    pub tight_depth: usize,
+    /// Queue depth that engages [`DegradeTier::NoHedge`].
+    pub no_hedge_depth: usize,
+    /// Queue depth that engages [`DegradeTier::Software`].
+    pub software_depth: usize,
+    /// Hardware availability (fraction of recent requests served by
+    /// hardware) below which the ladder escalates to
+    /// [`DegradeTier::NoHedge`] regardless of depth; below half of it,
+    /// to [`DegradeTier::Software`].
+    pub min_availability: f64,
+    /// Divisor applied to the batch deadline at
+    /// [`DegradeTier::Tight`] and above.
+    pub shrink_div: u64,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        DegradeConfig {
+            tight_depth: 16,
+            no_hedge_depth: 32,
+            software_depth: 64,
+            min_availability: 0.5,
+            shrink_div: 4,
+        }
+    }
+}
+
+/// Front-end tuning.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendConfig {
+    /// Requests per dispatched batch (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// Cycles the oldest queued request may wait before a partial
+    /// batch dispatches anyway.
+    pub batch_deadline: u64,
+    /// Per-tenant queue-lane capacity (backpressure bound).
+    pub queue_cap: usize,
+    /// WDRR weight per tenant lane (length = tenant count).
+    pub tenant_weights: Vec<u32>,
+    /// Simulated cycles per image on the software path (used to
+    /// advance the clock for [`DegradeTier::Software`] batches).
+    pub software_image_cycles: u64,
+    /// Degradation-ladder tuning.
+    pub degrade: DegradeConfig,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            max_batch: 8,
+            batch_deadline: 4_096,
+            queue_cap: 64,
+            tenant_weights: vec![1],
+            software_image_cycles: 2_048,
+            degrade: DegradeConfig::default(),
+        }
+    }
+}
+
+/// Depth/availability-driven controller walking the degradation
+/// ladder with hysteresis: a tier engages at its depth threshold but
+/// only releases once even *double* the current depth would not
+/// re-engage it, so the ladder does not flap around a threshold.
+#[derive(Clone, Debug)]
+struct DegradeController {
+    cfg: DegradeConfig,
+    tier: DegradeTier,
+    transitions: u64,
+}
+
+impl DegradeController {
+    fn new(cfg: DegradeConfig) -> DegradeController {
+        DegradeController {
+            cfg,
+            tier: DegradeTier::Normal,
+            transitions: 0,
+        }
+    }
+
+    fn tier_for(&self, depth: usize) -> DegradeTier {
+        if depth >= self.cfg.software_depth {
+            DegradeTier::Software
+        } else if depth >= self.cfg.no_hedge_depth {
+            DegradeTier::NoHedge
+        } else if depth >= self.cfg.tight_depth {
+            DegradeTier::Tight
+        } else {
+            DegradeTier::Normal
+        }
+    }
+
+    /// Updates the tier from the queue depth at a dispatch boundary
+    /// and the recent hardware availability (`None` while the window
+    /// is cold).
+    fn observe(&mut self, depth: usize, availability: Option<f64>) -> DegradeTier {
+        let engage = self.tier_for(depth);
+        let mut next = if engage > self.tier {
+            engage
+        } else {
+            // Release with hysteresis.
+            let release = self.tier_for(depth.saturating_mul(2));
+            if release < self.tier {
+                release
+            } else {
+                self.tier
+            }
+        };
+        if let Some(av) = availability {
+            if av < self.cfg.min_availability / 2.0 {
+                next = next.max(DegradeTier::Software);
+            } else if av < self.cfg.min_availability {
+                next = next.max(DegradeTier::NoHedge);
+            }
+        }
+        if next != self.tier {
+            self.transitions += 1;
+            cnn_trace::counter_add("cnn_frontend_degrade_transitions_total", &[], 1);
+            self.tier = next;
+        }
+        self.tier
+    }
+}
+
+/// One served request in the front-end's report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// Image the request asked for.
+    pub image_id: usize,
+    /// Tenant lane it arrived on.
+    pub tenant: usize,
+    /// Front-end-clock arrival.
+    pub arrival: u64,
+    /// Front-end-clock completion (its whole batch completes
+    /// together).
+    pub completion: u64,
+    /// Absolute deadline it carried.
+    pub deadline: u64,
+    /// The classification.
+    pub prediction: usize,
+    /// Batch sequence number it was served in.
+    pub batch: u64,
+    /// Served by a [`DegradeTier::Software`] batch.
+    pub software: bool,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency (arrival to batch completion).
+    pub fn latency(&self) -> u64 {
+        self.completion - self.arrival
+    }
+
+    /// The request completed within its deadline.
+    pub fn deadline_met(&self) -> bool {
+        self.completion <= self.deadline
+    }
+}
+
+/// End-of-run report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontendReport {
+    /// Every served request, in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests admitted into the queue.
+    pub admitted: u64,
+    /// Requests shed at admission: projected completion past deadline.
+    pub shed_deadline: u64,
+    /// Requests shed at admission: tenant lane full.
+    pub shed_queue_full: u64,
+    /// Served requests that missed their deadline anyway.
+    pub deadline_misses: u64,
+    /// Batches dispatched (hardware + software).
+    pub batches: u64,
+    /// Batches that ran on the software path.
+    pub software_batches: u64,
+    /// Deepest queue observed at any admission.
+    pub max_queue_depth: usize,
+    /// Degradation-tier changes over the run.
+    pub tier_transitions: u64,
+    /// Tier at end of run.
+    pub final_tier: DegradeTier,
+}
+
+impl FrontendReport {
+    /// Total requests shed at admission.
+    pub fn shed(&self) -> u64 {
+        self.shed_deadline + self.shed_queue_full
+    }
+
+    /// Fraction of *served* requests that met their deadline (1.0
+    /// when nothing was served). This is the SLO metric: sheds are
+    /// refusals, not misses — an admitted request is a promise.
+    pub fn attainment(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 1.0;
+        }
+        let met = self.completed.iter().filter(|c| c.deadline_met()).count();
+        met as f64 / self.completed.len() as f64
+    }
+}
+
+/// The batched serving front-end. See the module docs.
+pub struct Frontend {
+    cfg: FrontendConfig,
+    queue: FairQueue,
+    estimator: QueueDelayEstimator,
+    controller: DegradeController,
+    /// Ring of recent per-request hardware outcomes (true = served by
+    /// hardware, false = pool fell back to software for it).
+    recent_hw: std::collections::VecDeque<bool>,
+}
+
+impl Frontend {
+    /// A front-end with `cfg` tuning (batch size and queue capacity
+    /// clamped to ≥ 1).
+    pub fn new(mut cfg: FrontendConfig) -> Frontend {
+        cfg.max_batch = cfg.max_batch.max(1);
+        cfg.queue_cap = cfg.queue_cap.max(1);
+        cfg.degrade.shrink_div = cfg.degrade.shrink_div.max(1);
+        let queue = FairQueue::new(&cfg.tenant_weights, cfg.queue_cap);
+        let controller = DegradeController::new(cfg.degrade);
+        Frontend {
+            cfg,
+            queue,
+            estimator: QueueDelayEstimator::new(),
+            controller,
+            recent_hw: std::collections::VecDeque::with_capacity(AVAILABILITY_WINDOW),
+        }
+    }
+
+    fn availability(&self) -> Option<f64> {
+        if self.recent_hw.len() < AVAILABILITY_MIN_SAMPLES {
+            return None;
+        }
+        let hw = self.recent_hw.iter().filter(|&&b| b).count();
+        Some(hw as f64 / self.recent_hw.len() as f64)
+    }
+
+    fn record_hw_outcome(&mut self, hw: bool) {
+        if self.recent_hw.len() == AVAILABILITY_WINDOW {
+            self.recent_hw.pop_front();
+        }
+        self.recent_hw.push_back(hw);
+    }
+
+    /// Effective batch deadline under the current tier.
+    fn eff_batch_deadline(&self) -> u64 {
+        if self.controller.tier >= DegradeTier::Tight {
+            self.cfg.batch_deadline / self.cfg.degrade.shrink_div
+        } else {
+            self.cfg.batch_deadline
+        }
+    }
+
+    /// Runs the full arrival schedule (sorted by [`Arrival::at`])
+    /// against `pool`, batching admitted requests and degrading under
+    /// saturation. `classify_batch` is the bit-exact software path
+    /// over a slice of image ids — used both for whole
+    /// [`DegradeTier::Software`] batches and (via the pool) for
+    /// single images every device abandoned.
+    ///
+    /// The front-end clock and the pool clock are distinct timelines:
+    /// the pool's advances only while hardware dispatches run. At each
+    /// hardware batch the per-request deadline is translated into
+    /// pool-clock terms from the cycles remaining at that request's
+    /// turn, so retries/hedges are gated against exactly the time the
+    /// request has left.
+    pub fn run<D, F>(
+        &mut self,
+        arrivals: &[Arrival],
+        pool: &mut DevicePool<D>,
+        mut classify_batch: F,
+    ) -> FrontendReport
+    where
+        D: Device,
+        F: FnMut(&[usize]) -> Vec<usize>,
+    {
+        let _span = cnn_trace::span("serve", "frontend_run");
+        preregister_frontend_metrics();
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrival schedule must be sorted by time"
+        );
+
+        let mut now = 0u64;
+        let mut t_free = 0u64;
+        let mut next = 0usize;
+        let mut batch_seq = 0u64;
+        let mut completed: Vec<CompletedRequest> = Vec::new();
+        let (mut admitted, mut shed_deadline, mut shed_queue_full) = (0u64, 0u64, 0u64);
+        let mut deadline_misses = 0u64;
+        let mut software_batches = 0u64;
+        let mut max_queue_depth = 0usize;
+
+        while next < arrivals.len() || !self.queue.is_empty() {
+            // When does the current queue content want to dispatch?
+            let dispatch_at = match self.queue.oldest_arrival() {
+                None => {
+                    // Nothing queued: jump to the next arrival.
+                    let a = arrivals[next];
+                    next += 1;
+                    now = now.max(a.at);
+                    self.admit(
+                        a,
+                        now,
+                        t_free,
+                        &mut admitted,
+                        &mut shed_deadline,
+                        &mut shed_queue_full,
+                        &mut max_queue_depth,
+                    );
+                    continue;
+                }
+                Some(oldest) => {
+                    let trigger = if self.queue.len() >= self.cfg.max_batch {
+                        0 // full batch: dispatch as soon as the server frees
+                    } else {
+                        oldest.saturating_add(self.eff_batch_deadline())
+                    };
+                    t_free.max(now).max(trigger)
+                }
+            };
+
+            // Admit everything that arrives before the dispatch fires
+            // (ties admit first, so a request arriving exactly at the
+            // dispatch instant can still catch the batch).
+            if next < arrivals.len() && arrivals[next].at <= dispatch_at {
+                let a = arrivals[next];
+                next += 1;
+                now = now.max(a.at);
+                self.admit(
+                    a,
+                    now,
+                    t_free,
+                    &mut admitted,
+                    &mut shed_deadline,
+                    &mut shed_queue_full,
+                    &mut max_queue_depth,
+                );
+                continue;
+            }
+
+            // Dispatch one batch.
+            now = dispatch_at;
+            let availability = self.availability();
+            let tier = self.controller.observe(self.queue.len(), availability);
+            let batch = self.queue.drain(self.cfg.max_batch);
+            debug_assert!(!batch.is_empty());
+            for req in &batch {
+                let qd = now - req.arrival;
+                self.estimator.observe_queue_delay(qd);
+                cnn_trace::observe("cnn_frontend_queue_delay_cycles", qd);
+            }
+
+            let software = tier >= DegradeTier::Software;
+            let service = if software {
+                let ids: Vec<usize> = batch.iter().map(|r| r.image_id).collect();
+                let preds = classify_batch(&ids);
+                assert_eq!(
+                    preds.len(),
+                    batch.len(),
+                    "classify_batch must cover the batch"
+                );
+                software_batches += 1;
+                cnn_trace::counter_add("cnn_frontend_batches_total", &[("mode", "software")], 1);
+                let service = self
+                    .cfg
+                    .software_image_cycles
+                    .saturating_mul(batch.len() as u64);
+                let completion = now.saturating_add(service);
+                for (req, pred) in batch.iter().zip(preds) {
+                    push_completed(
+                        &mut completed,
+                        req,
+                        completion,
+                        pred,
+                        batch_seq,
+                        true,
+                        &mut deadline_misses,
+                    );
+                }
+                service
+            } else {
+                cnn_trace::counter_add("cnn_frontend_batches_total", &[("mode", "hw")], 1);
+                let c0 = pool.clock();
+                let mut budget = RetryBudget::new(pool.config().retry_budget);
+                let hedging = tier < DegradeTier::NoHedge && pool.config().hedge.enabled;
+                let mut results = Vec::with_capacity(batch.len());
+                for req in &batch {
+                    // Cycles this request has left, measured on the
+                    // front-end timeline: dispatch instant plus the
+                    // pool cycles the batch has consumed ahead of it.
+                    let elapsed = pool.clock() - c0;
+                    let remaining = req.deadline.saturating_sub(now.saturating_add(elapsed));
+                    let opts = RequestOptions {
+                        hedging,
+                        deadline: Some(pool.clock().saturating_add(remaining)),
+                    };
+                    let served = pool.serve_one(req.image_id, &mut budget, opts, |id| {
+                        classify_batch(&[id])[0]
+                    });
+                    results.push(served);
+                }
+                let service = pool.clock() - c0;
+                let completion = now.saturating_add(service);
+                for (req, served) in batch.iter().zip(&results) {
+                    let hw = !matches!(served.outcome.served_by, ServedBy::Fallback);
+                    self.record_hw_outcome(hw);
+                    push_completed(
+                        &mut completed,
+                        req,
+                        completion,
+                        served.prediction,
+                        batch_seq,
+                        false,
+                        &mut deadline_misses,
+                    );
+                }
+                service
+            };
+
+            self.estimator.observe_batch_service(service, batch.len());
+            t_free = now.saturating_add(service);
+            batch_seq += 1;
+        }
+
+        FrontendReport {
+            completed,
+            admitted,
+            shed_deadline,
+            shed_queue_full,
+            deadline_misses,
+            batches: batch_seq,
+            software_batches,
+            max_queue_depth,
+            tier_transitions: self.controller.transitions,
+            final_tier: self.controller.tier,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &mut self,
+        a: Arrival,
+        now: u64,
+        t_free: u64,
+        admitted: &mut u64,
+        shed_deadline: &mut u64,
+        shed_queue_full: &mut u64,
+        max_queue_depth: &mut usize,
+    ) {
+        let depth = self.queue.len();
+        *max_queue_depth = (*max_queue_depth).max(depth);
+        cnn_trace::observe("cnn_frontend_queue_depth", depth as u64);
+        let deadline = deadline_at(a.at, a.budget);
+        if let Some(finish) = self.estimator.estimate_finish(now, t_free, depth) {
+            if finish > deadline {
+                *shed_deadline += 1;
+                cnn_trace::counter_add("cnn_frontend_shed_total", &[("reason", "deadline")], 1);
+                return;
+            }
+        }
+        let req = QueuedRequest {
+            image_id: a.image_id,
+            tenant: a.tenant,
+            arrival: now,
+            deadline,
+        };
+        match self.queue.try_enqueue(req) {
+            Ok(()) => {
+                *admitted += 1;
+                cnn_trace::counter_add("cnn_frontend_admitted_total", &[], 1);
+            }
+            Err(_) => {
+                *shed_queue_full += 1;
+                cnn_trace::counter_add("cnn_frontend_shed_total", &[("reason", "queue_full")], 1);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_completed(
+    completed: &mut Vec<CompletedRequest>,
+    req: &QueuedRequest,
+    completion: u64,
+    prediction: usize,
+    batch: u64,
+    software: bool,
+    deadline_misses: &mut u64,
+) {
+    let c = CompletedRequest {
+        image_id: req.image_id,
+        tenant: req.tenant,
+        arrival: req.arrival,
+        completion,
+        deadline: req.deadline,
+        prediction,
+        batch,
+        software,
+    };
+    if !c.deadline_met() {
+        *deadline_misses += 1;
+        cnn_trace::counter_add("cnn_frontend_deadline_miss_total", &[], 1);
+    }
+    completed.push(c);
+}
+
+/// Pre-registers the front-end counter series at zero so a scrape of
+/// an idle (or perfectly healthy) front-end still exports them — a
+/// dashboard must see `cnn_frontend_shed_total{reason="deadline"} 0`,
+/// not a missing series. Histograms appear on first observation.
+pub fn preregister_frontend_metrics() {
+    for reason in ["deadline", "queue_full"] {
+        cnn_trace::counter_add("cnn_frontend_shed_total", &[("reason", reason)], 0);
+    }
+    for mode in ["hw", "software"] {
+        cnn_trace::counter_add("cnn_frontend_batches_total", &[("mode", mode)], 0);
+    }
+    cnn_trace::counter_add("cnn_frontend_admitted_total", &[], 0);
+    cnn_trace::counter_add("cnn_frontend_deadline_miss_total", &[], 0);
+    cnn_trace::counter_add("cnn_frontend_degrade_transitions_total", &[], 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::pool::{DispatchOutcome, HedgeConfig, PoolConfig};
+
+    /// Scripted device, mirroring the pool's test mock: classifies
+    /// `image_id % 10` with a fixed latency, failing per closure.
+    struct Mock {
+        latency: u64,
+        fails: Box<dyn Fn(usize, u64) -> bool>,
+        dispatched: u64,
+    }
+
+    impl Mock {
+        fn healthy(latency: u64) -> Mock {
+            Mock {
+                latency,
+                fails: Box::new(|_, _| false),
+                dispatched: 0,
+            }
+        }
+
+        fn hostile(latency: u64) -> Mock {
+            Mock {
+                latency,
+                fails: Box::new(|_, _| true),
+                dispatched: 0,
+            }
+        }
+    }
+
+    impl Device for Mock {
+        fn dispatch(&mut self, image_id: usize, _attempt_base: u32) -> DispatchOutcome {
+            let n = self.dispatched;
+            self.dispatched += 1;
+            let failed = (self.fails)(image_id, n);
+            DispatchOutcome {
+                prediction: if failed { None } else { Some(image_id % 10) },
+                cycles: self.latency,
+                attempts: 1,
+                faults_injected: 0,
+                crc_detected: 0,
+            }
+        }
+    }
+
+    fn pool_cfg() -> PoolConfig {
+        PoolConfig {
+            breaker: BreakerConfig {
+                trip_after: 3,
+                cooldown_cycles: 10_000,
+            },
+            retry_budget: 8,
+            hedge: HedgeConfig::default(),
+            ..PoolConfig::default()
+        }
+    }
+
+    fn software(ids: &[usize]) -> Vec<usize> {
+        ids.iter().map(|&id| id % 10).collect()
+    }
+
+    fn uniform_arrivals(n: usize, spacing: u64, budget: u64) -> Vec<Arrival> {
+        (0..n)
+            .map(|i| Arrival {
+                at: i as u64 * spacing,
+                tenant: 0,
+                budget,
+                image_id: i,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn underload_serves_everything_and_meets_deadlines() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 1_000,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(32, 2_000, 50_000);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert_eq!(r.admitted, 32);
+        assert_eq!(r.shed(), 0);
+        assert_eq!(r.completed.len(), 32);
+        assert_eq!(r.deadline_misses, 0);
+        assert_eq!(r.attainment(), 1.0);
+        assert_eq!(r.final_tier, DegradeTier::Normal);
+        assert_eq!(r.software_batches, 0);
+        for c in &r.completed {
+            assert_eq!(c.prediction, c.image_id % 10, "bit-exact predictions");
+        }
+    }
+
+    #[test]
+    fn partial_batch_waits_for_batch_deadline() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 8,
+            batch_deadline: 1_000,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(3, 0, 50_000); // burst at t=0
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert_eq!(r.batches, 1, "one under-full batch");
+        // Dispatched at the batch deadline, completed 3 dispatches
+        // later.
+        assert!(r.completed.iter().all(|c| c.completion == 1_000 + 300));
+    }
+
+    #[test]
+    fn full_batch_dispatches_immediately() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 1_000_000, // would wait forever
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(4, 0, 50_000);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert_eq!(r.batches, 1);
+        assert!(
+            r.completed.iter().all(|c| c.completion == 400),
+            "a full batch must not wait out the batch deadline"
+        );
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_growing_the_queue() {
+        // Service: 4 images × 5_000 cycles per batch; arrivals every
+        // 100 cycles — 50× oversubscribed. Budgets are generous
+        // enough to admit a queue's worth, but the estimator must
+        // start shedding once projections blow past them.
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 500,
+            queue_cap: 32,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(5_000)], pool_cfg());
+        let arrivals = uniform_arrivals(256, 100, 60_000);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(r.shed() > 0, "50x overload must shed");
+        assert!(
+            r.max_queue_depth <= 32,
+            "queue depth stays bounded (got {})",
+            r.max_queue_depth
+        );
+        // Every admitted request was served: admission is a promise.
+        assert_eq!(r.admitted as usize, r.completed.len());
+        for c in &r.completed {
+            assert_eq!(c.prediction, c.image_id % 10);
+        }
+    }
+
+    #[test]
+    fn deep_queue_walks_the_degradation_ladder() {
+        // Huge burst at t=0 with deep lanes and no shedding pressure
+        // (infinite budgets): depth alone must engage the ladder.
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 8_000,
+            queue_cap: 256,
+            degrade: DegradeConfig {
+                tight_depth: 8,
+                no_hedge_depth: 16,
+                software_depth: 32,
+                ..DegradeConfig::default()
+            },
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(2_000)], pool_cfg());
+        let arrivals = uniform_arrivals(64, 0, u64::MAX / 2);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(
+            r.software_batches > 0,
+            "a 64-deep burst over software_depth=32 must degrade to software"
+        );
+        assert!(r.tier_transitions > 0);
+        // Software-tier batches still classify correctly.
+        for c in &r.completed {
+            assert_eq!(c.prediction, c.image_id % 10);
+        }
+        // The backlog drains by the end, so the ladder releases.
+        assert!(r.final_tier < DegradeTier::Software);
+    }
+
+    #[test]
+    fn hardware_collapse_escalates_via_availability() {
+        // Every dispatch abandons: the pool breaker opens, requests
+        // fall back per-image, and once the availability window fills
+        // with fallbacks the controller must escalate even though the
+        // queue stays shallow.
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 500,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::hostile(100)], pool_cfg());
+        let arrivals = uniform_arrivals(64, 3_000, u64::MAX / 2);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(
+            r.final_tier >= DegradeTier::NoHedge,
+            "zero hardware availability must escalate (got {:?})",
+            r.final_tier
+        );
+        assert!(
+            r.software_batches > 0,
+            "full collapse reaches software tier"
+        );
+        for c in &r.completed {
+            assert_eq!(c.prediction, c.image_id % 10);
+        }
+    }
+
+    #[test]
+    fn queue_full_backpressure_sheds_with_distinct_reason() {
+        // Tiny lane, burst arrival, cold estimator (no history → no
+        // deadline sheds): overflow must be counted as queue_full.
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 2,
+            batch_deadline: 1_000_000,
+            queue_cap: 4,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(16, 0, u64::MAX / 2);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(r.shed_queue_full > 0);
+        assert_eq!(r.shed_deadline, 0, "cold estimator never sheds on deadline");
+    }
+
+    #[test]
+    fn tenants_share_batches_fairly_under_overload() {
+        // Tenant 0 floods; tenant 1 trickles. With equal weights the
+        // trickle must still be served.
+        let mut arrivals: Vec<Arrival> = Vec::new();
+        for i in 0..128 {
+            arrivals.push(Arrival {
+                at: i as u64 * 50,
+                tenant: 0,
+                budget: u64::MAX / 2,
+                image_id: i,
+            });
+            if i % 8 == 0 {
+                arrivals.push(Arrival {
+                    at: i as u64 * 50,
+                    tenant: 1,
+                    budget: u64::MAX / 2,
+                    image_id: 1_000 + i,
+                });
+            }
+        }
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 500,
+            queue_cap: 8,
+            tenant_weights: vec![1, 1],
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(2_000)], pool_cfg());
+        let r = fe.run(&arrivals, &mut pool, software);
+        let t0_sent = 128.0;
+        let t1_sent = arrivals.iter().filter(|a| a.tenant == 1).count() as f64;
+        let t1_served = r.completed.iter().filter(|c| c.tenant == 1).count() as f64;
+        let t0_served = r.completed.len() as f64 - t1_served;
+        assert!(
+            t1_served > 0.0,
+            "the trickling tenant must be served at all"
+        );
+        assert!(
+            t1_served / t1_sent > 2.0 * (t0_served / t0_sent),
+            "equal weights: the light tenant's served fraction ({:.2}) must \
+             far exceed the flooding tenant's ({:.2})",
+            t1_served / t1_sent,
+            t0_served / t0_sent
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let build = || {
+            (
+                Frontend::new(FrontendConfig {
+                    max_batch: 4,
+                    batch_deadline: 500,
+                    queue_cap: 16,
+                    ..FrontendConfig::default()
+                }),
+                DevicePool::new(vec![Mock::healthy(3_000), Mock::hostile(500)], pool_cfg()),
+            )
+        };
+        let arrivals = uniform_arrivals(128, 400, 40_000);
+        let (mut fe_a, mut pool_a) = build();
+        let (mut fe_b, mut pool_b) = build();
+        let a = fe_a.run(&arrivals, &mut pool_a, software);
+        let b = fe_b.run(&arrivals, &mut pool_b, software);
+        assert_eq!(a, b, "same schedule + config must replay identically");
+    }
+
+    #[test]
+    fn unsorted_arrivals_are_rejected() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = vec![
+            Arrival {
+                at: 100,
+                tenant: 0,
+                budget: 1_000,
+                image_id: 0,
+            },
+            Arrival {
+                at: 50,
+                tenant: 0,
+                budget: 1_000,
+                image_id: 1,
+            },
+        ];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fe.run(&arrivals, &mut pool, software)
+        }));
+        assert!(res.is_err(), "unsorted schedules must be rejected loudly");
+    }
+}

@@ -18,6 +18,18 @@
 //!   dispatch that ran past the device's own p99 latency is
 //!   duplicated on another device and the faster result is kept.
 //!
+//! On top of the pool sits the **overload-resilient batched
+//! front-end** ([`Frontend`]): a bounded, tenant-fair request queue
+//! ([`FairQueue`]) feeding a dynamic batcher (dispatch when
+//! `max_batch` requests accumulate or the batch deadline expires),
+//! with admission control ([`QueueDelayEstimator`]) shedding requests
+//! whose estimated completion already overruns their deadline,
+//! deadline budgets that propagate into the pool's retry/hedge
+//! decisions ([`RequestOptions`], [`TakeOutcome`]), and a graceful
+//! degradation ladder ([`DegradeTier`]) that sheds latency-optimizing
+//! work — batch deadline, then hedging, then hardware itself — as
+//! saturation deepens.
+//!
 //! The pool is generic over [`Device`], so its scheduling logic is
 //! fully unit-testable with scripted mocks; the adapter binding it to
 //! the simulated FPGA (`cnn_fpga::ZynqDevice` + a seeded `FaultPlan`)
@@ -27,15 +39,24 @@
 
 mod breaker;
 mod budget;
+mod deadline;
+mod frontend;
 mod health;
 mod hist;
 mod pool;
+mod queue;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use budget::RetryBudget;
+pub use budget::{RetryBudget, TakeOutcome};
+pub use deadline::{deadline_at, feasible_before, QueueDelayEstimator};
+pub use frontend::{
+    preregister_frontend_metrics, Arrival, CompletedRequest, DegradeConfig, DegradeTier, Frontend,
+    FrontendConfig, FrontendReport,
+};
 pub use health::{health_of, FailureWindow, HealthConfig, HealthState};
 pub use hist::{LatencyHistogram, BUCKET_BOUNDS};
 pub use pool::{
-    Device, DevicePool, DeviceReport, DispatchOutcome, HedgeConfig, PoolConfig, ServeOutcome,
-    ServeReport, ServedBy, ATTEMPT_STRIDE,
+    Device, DevicePool, DeviceReport, DispatchOutcome, HedgeConfig, PoolConfig, RequestOptions,
+    ServeOutcome, ServeReport, ServedBy, ServedImage, ATTEMPT_STRIDE,
 };
+pub use queue::{FairQueue, QueueFull, QueuedRequest};

@@ -23,9 +23,17 @@
 //!    offset ([`ATTEMPT_STRIDE`]),
 //! 4. when no device is willing or the budget is dry, degrade to the
 //!    caller's bit-exact software fallback.
+//!
+//! The serving front-end drives single requests through
+//! [`DevicePool::serve_one`] with [`RequestOptions`] carrying the
+//! request's absolute pool-clock deadline: a retry or hedge whose
+//! estimated finish overruns the deadline is never launched (counted
+//! under `cnn_pool_deadline_gated_total` instead) — cycles spent on a
+//! result the client has stopped waiting for are the classic overload
+//! amplifier.
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-use crate::budget::RetryBudget;
+use crate::budget::{RetryBudget, TakeOutcome};
 use crate::health::{health_of, FailureWindow, HealthConfig, HealthState};
 use crate::hist::LatencyHistogram;
 
@@ -109,6 +117,28 @@ impl Default for PoolConfig {
     }
 }
 
+/// Per-request knobs for [`DevicePool::serve_one`]: what the serving
+/// front-end varies per request without rebuilding the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestOptions {
+    /// Allow hedged dispatches (still subject to the pool-level
+    /// [`HedgeConfig::enabled`] master switch).
+    pub hedging: bool,
+    /// Absolute pool-clock deadline. Retries and hedges whose
+    /// estimated finish overruns it are not launched; `None` disables
+    /// deadline gating (batch-mode serving).
+    pub deadline: Option<u64>,
+}
+
+impl Default for RequestOptions {
+    fn default() -> Self {
+        RequestOptions {
+            hedging: true,
+            deadline: None,
+        }
+    }
+}
+
 /// Who produced the prediction for one image.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ServedBy {
@@ -134,6 +164,20 @@ pub struct ServeOutcome {
     pub dispatches: u32,
     /// Simulated cycles those dispatches consumed.
     pub cycles: u64,
+}
+
+/// Result of [`DevicePool::serve_one`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServedImage {
+    /// The classification (from hardware or the fallback — never a
+    /// sentinel).
+    pub prediction: usize,
+    /// How it was served.
+    pub outcome: ServeOutcome,
+    /// A hedge dispatch was issued for it.
+    pub hedged: bool,
+    /// The hedge duplicate beat the primary result.
+    pub hedge_won: bool,
 }
 
 /// Per-device end-of-batch report.
@@ -264,6 +308,12 @@ impl<D: Device> DevicePool<D> {
         health_of(&s.breaker, &s.window, &self.cfg.health)
     }
 
+    /// The pool's configuration (the front-end reads the retry-budget
+    /// size and hedge switch from here).
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
     /// Serves images `0..n_images` through the pool. `fallback` is
     /// the bit-exact software path, invoked only for images every
     /// willing device abandoned (or when the retry budget ran dry).
@@ -273,6 +323,10 @@ impl<D: Device> DevicePool<D> {
     {
         let _span = cnn_trace::span("serve", "pool_serve");
         preregister_pool_metrics();
+        let opts = RequestOptions {
+            hedging: true,
+            deadline: None,
+        };
         let mut budget = RetryBudget::new(self.cfg.retry_budget);
         let mut predictions = Vec::with_capacity(n_images);
         let mut outcomes = Vec::with_capacity(n_images);
@@ -280,81 +334,156 @@ impl<D: Device> DevicePool<D> {
         let (mut hedges, mut hedge_wins) = (0u64, 0u64);
 
         for image_id in 0..n_images {
-            let mut seq = 0u32;
-            let mut tried: Vec<usize> = Vec::new();
-            let mut image_cycles = 0u64;
-            let mut served: Option<(ServedBy, usize)> = None;
+            let served = self.serve_one(image_id, &mut budget, opts, &mut fallback);
+            match served.outcome.served_by {
+                ServedBy::Fallback => fallback_served += 1,
+                _ => hw_served += 1,
+            }
+            hedges += u64::from(served.hedged);
+            hedge_wins += u64::from(served.hedge_won);
+            predictions.push(served.prediction);
+            outcomes.push(served.outcome);
+        }
 
-            while served.is_none() {
-                let Some(di) = self.pick(&tried) else { break };
-                let (out, slow) = self.dispatch_on(di, image_id, seq);
-                seq += 1;
-                tried.push(di);
-                image_cycles += out.cycles;
+        ServeReport {
+            predictions,
+            outcomes,
+            devices: self.device_reports(),
+            total_cycles: self.clock,
+            hw_served,
+            fallback_served,
+            hedges,
+            hedge_wins,
+            redispatches: budget.spent(),
+        }
+    }
 
-                let Some(pred) = out.prediction else {
-                    // Abandoned on-device: re-dispatch while the
-                    // shared budget lasts, else degrade to software.
-                    if budget.try_take() {
+    /// Serves a single image through the pool, spending from the
+    /// caller-owned `budget`. This is the front-end's entry point: the
+    /// caller scopes the retry budget (per batch) and sets per-request
+    /// [`RequestOptions`] — hedging on/off per degradation tier and an
+    /// absolute pool-clock deadline that gates retries and hedges.
+    ///
+    /// Deadline gating is *estimate*-based (the healthiest device's
+    /// median dispatch latency): with cold histograms the estimate is
+    /// optimistic (0), so a cold pool retries rather than sheds.
+    pub fn serve_one<F>(
+        &mut self,
+        image_id: usize,
+        budget: &mut RetryBudget,
+        opts: RequestOptions,
+        fallback: F,
+    ) -> ServedImage
+    where
+        F: FnOnce(usize) -> usize,
+    {
+        let mut seq = 0u32;
+        let mut tried: Vec<usize> = Vec::new();
+        let mut image_cycles = 0u64;
+        let mut served: Option<(ServedBy, usize)> = None;
+        let (mut hedged, mut hedge_won) = (false, false);
+
+        while served.is_none() {
+            let Some(di) = self.pick(&tried) else { break };
+            let (out, slow) = self.dispatch_on(di, image_id, seq);
+            seq += 1;
+            tried.push(di);
+            image_cycles += out.cycles;
+
+            let Some(pred) = out.prediction else {
+                // Abandoned on-device: re-dispatch while the shared
+                // budget lasts AND the retry can still beat the
+                // request's deadline, else degrade to software.
+                let est_finish = self.clock.saturating_add(self.dispatch_estimate());
+                match budget.try_take_within(est_finish, opts.deadline) {
+                    TakeOutcome::Granted => {
                         cnn_trace::counter_add("cnn_pool_redispatches_total", &[], 1);
                         continue;
                     }
-                    break;
-                };
-
-                if self.cfg.hedge.enabled && slow {
-                    if let Some(hj) = self.pick(&tried) {
-                        let (hout, _) = self.dispatch_on(hj, image_id, seq);
-                        seq += 1;
-                        tried.push(hj);
-                        image_cycles += hout.cycles;
-                        hedges += 1;
-                        cnn_trace::counter_add("cnn_pool_hedges_total", &[], 1);
-                        let (winner, wpred) = match hout.prediction {
-                            Some(hp) if hout.cycles < out.cycles => {
-                                hedge_wins += 1;
-                                (hj, hp)
-                            }
-                            _ => (di, pred),
-                        };
-                        served = Some((
-                            ServedBy::Hedged {
-                                primary: di,
-                                winner,
-                            },
-                            wpred,
-                        ));
-                        continue;
+                    TakeOutcome::DeadlineGated => {
+                        cnn_trace::counter_add(
+                            "cnn_pool_deadline_gated_total",
+                            &[("kind", "retry")],
+                            1,
+                        );
+                        break;
                     }
+                    TakeOutcome::Exhausted => break,
                 }
-                served = Some((ServedBy::Device(di), pred));
-            }
+            };
 
-            match served {
-                Some((by, pred)) => {
-                    hw_served += 1;
-                    predictions.push(pred);
-                    outcomes.push(ServeOutcome {
-                        served_by: by,
-                        dispatches: seq,
-                        cycles: image_cycles,
-                    });
+            if self.cfg.hedge.enabled && opts.hedging && slow {
+                // A hedge that cannot finish before the deadline is
+                // pure load amplification: keep the primary result.
+                let feasible = crate::deadline::feasible_before(
+                    self.clock,
+                    self.dispatch_estimate(),
+                    opts.deadline,
+                );
+                if !feasible {
+                    cnn_trace::counter_add(
+                        "cnn_pool_deadline_gated_total",
+                        &[("kind", "hedge")],
+                        1,
+                    );
+                } else if let Some(hj) = self.pick(&tried) {
+                    let (hout, _) = self.dispatch_on(hj, image_id, seq);
+                    seq += 1;
+                    tried.push(hj);
+                    image_cycles += hout.cycles;
+                    hedged = true;
+                    cnn_trace::counter_add("cnn_pool_hedges_total", &[], 1);
+                    let (winner, wpred) = match hout.prediction {
+                        Some(hp) if hout.cycles < out.cycles => {
+                            hedge_won = true;
+                            (hj, hp)
+                        }
+                        _ => (di, pred),
+                    };
+                    served = Some((
+                        ServedBy::Hedged {
+                            primary: di,
+                            winner,
+                        },
+                        wpred,
+                    ));
+                    continue;
                 }
-                None => {
-                    fallback_served += 1;
-                    cnn_trace::counter_add("cnn_pool_fallback_total", &[], 1);
-                    predictions.push(fallback(image_id));
-                    outcomes.push(ServeOutcome {
+            }
+            served = Some((ServedBy::Device(di), pred));
+        }
+
+        match served {
+            Some((by, pred)) => ServedImage {
+                prediction: pred,
+                outcome: ServeOutcome {
+                    served_by: by,
+                    dispatches: seq,
+                    cycles: image_cycles,
+                },
+                hedged,
+                hedge_won,
+            },
+            None => {
+                cnn_trace::counter_add("cnn_pool_fallback_total", &[], 1);
+                ServedImage {
+                    prediction: fallback(image_id),
+                    outcome: ServeOutcome {
                         served_by: ServedBy::Fallback,
                         dispatches: seq,
                         cycles: image_cycles,
-                    });
+                    },
+                    hedged,
+                    hedge_won,
                 }
             }
         }
+    }
 
-        let devices = self
-            .slots
+    /// Per-device reports at the current instant (the pool keeps
+    /// accumulating across `serve`/`serve_one` calls).
+    pub fn device_reports(&self) -> Vec<DeviceReport> {
+        self.slots
             .iter()
             .map(|s| DeviceReport {
                 dispatches: s.dispatches,
@@ -366,18 +495,20 @@ impl<D: Device> DevicePool<D> {
                 breaker: s.breaker.state(),
                 breaker_trips: s.breaker.trips(),
             })
-            .collect();
-        ServeReport {
-            predictions,
-            outcomes,
-            devices,
-            total_cycles: self.clock,
-            hw_served,
-            fallback_served,
-            hedges,
-            hedge_wins,
-            redispatches: budget.spent(),
-        }
+            .collect()
+    }
+
+    /// Optimistic estimate of one more dispatch's cycles: the best
+    /// median latency among devices that are not quarantined right
+    /// now. Cold histograms (or an all-open pool) estimate 0, so
+    /// deadline gating never sheds on absent data.
+    pub fn dispatch_estimate(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|s| !s.breaker.is_open(self.clock))
+            .filter_map(|s| s.hist.quantile(0.5))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Round-robin pick of a device whose breaker admits traffic at
@@ -448,6 +579,9 @@ fn preregister_pool_metrics() {
     cnn_trace::counter_add("cnn_pool_redispatches_total", &[], 0);
     cnn_trace::counter_add("cnn_pool_hedges_total", &[], 0);
     cnn_trace::counter_add("cnn_pool_fallback_total", &[], 0);
+    for kind in ["retry", "hedge"] {
+        cnn_trace::counter_add("cnn_pool_deadline_gated_total", &[("kind", kind)], 0);
+    }
 }
 
 #[cfg(test)]
@@ -731,5 +865,106 @@ mod tests {
         let r = pool.serve(0, |_| unreachable!());
         assert_eq!(r.availability(), 1.0);
         assert!(r.predictions.is_empty());
+    }
+
+    #[test]
+    fn deadline_gated_retry_degrades_without_spending_budget() {
+        let mut pool = DevicePool::new(vec![Mock::hostile(100)], cfg());
+        let mut budget = RetryBudget::new(4);
+        // Clock hits 100 after the first (abandoned) dispatch; a
+        // deadline of 50 is already blown, so the retry must be gated
+        // — straight to fallback with the whole budget intact.
+        let s = pool.serve_one(
+            7,
+            &mut budget,
+            RequestOptions {
+                hedging: true,
+                deadline: Some(50),
+            },
+            |i| i % 10,
+        );
+        assert_eq!(s.outcome.served_by, ServedBy::Fallback);
+        assert_eq!(s.prediction, 7);
+        assert_eq!(s.outcome.dispatches, 1, "no retry was launched");
+        assert_eq!(budget.spent(), 0, "a gated retry must not spend a token");
+    }
+
+    #[test]
+    fn serve_one_request_options_disable_hedging() {
+        let spiky = Mock {
+            latency: Box::new(|id| if id == 40 { 2_000_000 } else { 500 }),
+            fails: Box::new(|_, _, _| false),
+            dispatched: 0,
+        };
+        let mut pool = DevicePool::new(
+            vec![spiky, Mock::healthy(500)],
+            PoolConfig {
+                hedge: HedgeConfig {
+                    enabled: true,
+                    quantile: 0.99,
+                    min_samples: 8,
+                },
+                ..cfg()
+            },
+        );
+        let mut budget = RetryBudget::new(64);
+        let opts = RequestOptions {
+            hedging: false,
+            deadline: None,
+        };
+        for id in 0..64 {
+            let s = pool.serve_one(id, &mut budget, opts, |_| unreachable!());
+            assert!(!s.hedged, "per-request opt-out must suppress the hedge");
+            assert_eq!(s.prediction, id % 10);
+        }
+    }
+
+    #[test]
+    fn infeasible_hedge_is_gated_but_primary_result_kept() {
+        let spiky = Mock {
+            latency: Box::new(|id| if id == 40 { 2_000_000 } else { 500 }),
+            fails: Box::new(|_, _, _| false),
+            dispatched: 0,
+        };
+        let mut pool = DevicePool::new(
+            vec![spiky, Mock::healthy(500)],
+            PoolConfig {
+                hedge: HedgeConfig {
+                    enabled: true,
+                    quantile: 0.99,
+                    min_samples: 8,
+                },
+                ..cfg()
+            },
+        );
+        let mut budget = RetryBudget::new(64);
+        for id in 0..64 {
+            // Image 40 is the slow outlier; its deadline is long
+            // blown by then, so the hedge is gated — but the primary
+            // result it already has must still be returned.
+            let deadline = if id == 40 { Some(0) } else { None };
+            let s = pool.serve_one(
+                id,
+                &mut budget,
+                RequestOptions {
+                    hedging: true,
+                    deadline,
+                },
+                |_| unreachable!(),
+            );
+            assert!(!s.hedged);
+            assert_eq!(s.prediction, id % 10);
+            assert!(matches!(s.outcome.served_by, ServedBy::Device(_)));
+        }
+    }
+
+    #[test]
+    fn dispatch_estimate_tracks_best_live_median() {
+        let mut pool = DevicePool::new(vec![Mock::healthy(500), Mock::healthy(3_000)], cfg());
+        assert_eq!(pool.dispatch_estimate(), 0, "cold pool estimates 0");
+        let _ = pool.serve(32, |_| unreachable!());
+        // Medians land on the bucketed upper bounds: 1_024 and 4_096;
+        // the estimate takes the best device.
+        assert_eq!(pool.dispatch_estimate(), 1_024);
     }
 }

@@ -1,0 +1,277 @@
+//! Bounded, tenant-fair request queue for the serving front-end.
+//!
+//! The queue is the pressure vessel between open-loop arrivals and
+//! the batcher: each tenant gets its own **bounded** FIFO lane
+//! (backpressure — a full lane refuses the enqueue instead of growing
+//! without bound), and batches are drained across lanes with
+//! **weighted deficit round-robin** so one tenant flooding the
+//! front-end cannot starve the others. A tenant with weight 2 gets
+//! roughly twice the batch slots of a tenant with weight 1 when both
+//! have backlog; an idle tenant's unused share flows to the busy ones
+//! (work conservation).
+
+/// One admitted request waiting for a batch slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// Caller-assigned image index (into the batch the front-end is
+    /// serving from).
+    pub image_id: usize,
+    /// Tenant lane this request arrived on.
+    pub tenant: usize,
+    /// Front-end clock at admission.
+    pub arrival: u64,
+    /// Absolute front-end-clock deadline.
+    pub deadline: u64,
+}
+
+/// Refusal: the tenant's lane is at capacity (backpressure).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// Weighted deficit-round-robin queue over bounded per-tenant lanes.
+#[derive(Clone, Debug)]
+pub struct FairQueue {
+    lanes: Vec<std::collections::VecDeque<QueuedRequest>>,
+    /// Per-lane WDRR weight, clamped to at least 1 so every lane with
+    /// backlog always makes progress.
+    weights: Vec<u64>,
+    /// Per-lane deficit counter, in request slots.
+    deficits: Vec<u64>,
+    /// Lane the next drain pass starts from (persists across drains
+    /// so fairness holds over time, not just within one batch).
+    cursor: usize,
+    cap_per_tenant: usize,
+    len: usize,
+}
+
+impl FairQueue {
+    /// A queue with one lane per entry of `weights` (at least one
+    /// lane; weights are clamped to ≥ 1), each lane bounded at
+    /// `cap_per_tenant` requests (clamped to ≥ 1).
+    pub fn new(weights: &[u32], cap_per_tenant: usize) -> FairQueue {
+        let weights: Vec<u64> = if weights.is_empty() {
+            vec![1]
+        } else {
+            weights.iter().map(|&w| u64::from(w.max(1))).collect()
+        };
+        let n = weights.len();
+        FairQueue {
+            lanes: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            weights,
+            deficits: vec![0; n],
+            cursor: 0,
+            cap_per_tenant: cap_per_tenant.max(1),
+            len: 0,
+        }
+    }
+
+    /// Number of tenant lanes.
+    pub fn tenants(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total queued requests across all lanes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queued requests in `tenant`'s lane (0 for unknown tenants).
+    pub fn tenant_depth(&self, tenant: usize) -> usize {
+        self.lanes.get(tenant).map_or(0, |l| l.len())
+    }
+
+    /// Earliest admission time among queued requests, `None` when
+    /// empty. Drives the batcher's deadline timer: a batch dispatches
+    /// `batch_deadline` cycles after its oldest member arrived.
+    pub fn oldest_arrival(&self) -> Option<u64> {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.front().map(|r| r.arrival))
+            .min()
+    }
+
+    /// Admits `req` into its tenant's lane, or refuses with
+    /// [`QueueFull`] when the lane is at capacity. Requests for
+    /// tenants beyond the configured lanes fold into lane 0.
+    pub fn try_enqueue(&mut self, req: QueuedRequest) -> Result<(), QueueFull> {
+        let lane = if req.tenant < self.lanes.len() {
+            req.tenant
+        } else {
+            0
+        };
+        if self.lanes[lane].len() >= self.cap_per_tenant {
+            return Err(QueueFull);
+        }
+        self.lanes[lane].push_back(req);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Drains up to `max` requests using weighted deficit round-robin:
+    /// each non-empty lane visited earns `weight` slots of deficit and
+    /// pops requests while it has both deficit and backlog; a lane
+    /// that empties forfeits its remaining deficit (no banking credit
+    /// while idle). The cursor persists across calls so no lane is
+    /// permanently first.
+    pub fn drain(&mut self, max: usize) -> Vec<QueuedRequest> {
+        let mut out = Vec::new();
+        if max == 0 || self.len == 0 {
+            return out;
+        }
+        let n = self.lanes.len();
+        // Each full rotation over non-empty lanes adds ≥ 1 deficit per
+        // lane, so the loop always either fills `out` or empties the
+        // queue: no livelock.
+        while out.len() < max && self.len > 0 {
+            let lane = self.cursor % n;
+            self.cursor = (self.cursor + 1) % n;
+            if self.lanes[lane].is_empty() {
+                self.deficits[lane] = 0;
+                continue;
+            }
+            self.deficits[lane] += self.weights[lane];
+            while self.deficits[lane] >= 1 && out.len() < max {
+                match self.lanes[lane].pop_front() {
+                    Some(req) => {
+                        self.deficits[lane] -= 1;
+                        self.len -= 1;
+                        out.push(req);
+                    }
+                    None => {
+                        // Emptied mid-turn: forfeit the credit.
+                        self.deficits[lane] = 0;
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(image_id: usize, tenant: usize, arrival: u64) -> QueuedRequest {
+        QueuedRequest {
+            image_id,
+            tenant,
+            arrival,
+            deadline: arrival + 10_000,
+        }
+    }
+
+    #[test]
+    fn bounded_lane_refuses_when_full() {
+        let mut q = FairQueue::new(&[1], 2);
+        assert!(q.try_enqueue(req(0, 0, 0)).is_ok());
+        assert!(q.try_enqueue(req(1, 0, 1)).is_ok());
+        assert_eq!(q.try_enqueue(req(2, 0, 2)), Err(QueueFull));
+        assert_eq!(q.len(), 2);
+        // Draining frees capacity again.
+        assert_eq!(q.drain(1).len(), 1);
+        assert!(q.try_enqueue(req(3, 0, 3)).is_ok());
+    }
+
+    #[test]
+    fn fifo_within_a_lane() {
+        let mut q = FairQueue::new(&[1], 8);
+        for i in 0..4 {
+            q.try_enqueue(req(i, 0, i as u64)).unwrap();
+        }
+        let ids: Vec<usize> = q.drain(4).iter().map(|r| r.image_id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_share_under_contention() {
+        // Tenant 0 weight 2, tenant 1 weight 1, both saturated: over
+        // many drains tenant 0 gets ~2/3 of the slots.
+        let mut q = FairQueue::new(&[2, 1], 64);
+        for i in 0..48 {
+            q.try_enqueue(req(i, 0, 0)).unwrap();
+        }
+        for i in 48..96 {
+            q.try_enqueue(req(i, 1, 0)).unwrap();
+        }
+        let mut t0 = 0usize;
+        let mut t1 = 0usize;
+        for _ in 0..8 {
+            for r in q.drain(6) {
+                if r.tenant == 0 {
+                    t0 += 1;
+                } else {
+                    t1 += 1;
+                }
+            }
+        }
+        assert_eq!(t0 + t1, 48);
+        assert_eq!(t0, 32, "weight-2 lane gets 2/3 of the slots");
+        assert_eq!(t1, 16, "weight-1 lane gets 1/3");
+    }
+
+    #[test]
+    fn idle_tenant_share_flows_to_busy_ones() {
+        let mut q = FairQueue::new(&[1, 1, 1], 16);
+        for i in 0..8 {
+            q.try_enqueue(req(i, 2, 0)).unwrap();
+        }
+        // Lanes 0 and 1 are idle: lane 2 still drains a full batch.
+        let batch = q.drain(8);
+        assert_eq!(batch.len(), 8);
+        assert!(batch.iter().all(|r| r.tenant == 2));
+    }
+
+    #[test]
+    fn empty_lane_forfeits_deficit() {
+        let mut q = FairQueue::new(&[4, 1], 16);
+        q.try_enqueue(req(0, 0, 0)).unwrap();
+        // Lane 0 drains its single request; the unused weight-4
+        // credit must not bank for later.
+        assert_eq!(q.drain(8).len(), 1);
+        for i in 0..4 {
+            q.try_enqueue(req(10 + i, 1, 0)).unwrap();
+        }
+        q.try_enqueue(req(20, 0, 0)).unwrap();
+        // Fresh contention: lane 0 cannot claim more than its weight's
+        // worth beyond what it has queued.
+        let batch = q.drain(5);
+        assert_eq!(batch.len(), 5);
+    }
+
+    #[test]
+    fn unknown_tenants_fold_into_lane_zero() {
+        let mut q = FairQueue::new(&[1, 1], 4);
+        q.try_enqueue(req(0, 7, 0)).unwrap();
+        assert_eq!(q.tenant_depth(0), 1);
+        assert_eq!(q.tenant_depth(7), 0);
+    }
+
+    #[test]
+    fn oldest_arrival_tracks_heads_across_lanes() {
+        let mut q = FairQueue::new(&[1, 1], 4);
+        assert_eq!(q.oldest_arrival(), None);
+        q.try_enqueue(req(0, 1, 50)).unwrap();
+        q.try_enqueue(req(1, 0, 30)).unwrap();
+        q.try_enqueue(req(2, 1, 10)).unwrap(); // behind arrival-50 head
+        assert_eq!(q.oldest_arrival(), Some(30), "heads only, per lane FIFO");
+    }
+
+    #[test]
+    fn zero_weight_and_empty_weight_lists_are_clamped() {
+        let mut q = FairQueue::new(&[0, 0], 4);
+        q.try_enqueue(req(0, 0, 0)).unwrap();
+        q.try_enqueue(req(1, 1, 0)).unwrap();
+        // Clamped weights ≥ 1: both lanes drain, no livelock.
+        assert_eq!(q.drain(2).len(), 2);
+
+        let q2 = FairQueue::new(&[], 4);
+        assert_eq!(q2.tenants(), 1, "empty weight list still gets one lane");
+    }
+}

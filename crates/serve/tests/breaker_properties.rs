@@ -5,7 +5,12 @@
 //!    open and the cooldown has not elapsed, `allows` refuses;
 //! 2. the breaker always re-probes after cooldown — an open breaker
 //!    asked at or past its `until` mark admits exactly one half-open
-//!    probe, so no device is quarantined forever.
+//!    probe, so no device is quarantined forever;
+//! 3. the half-open probe is exclusive — between the cooldown
+//!    expiring and the probe's outcome being recorded, every further
+//!    `allows` call (concurrent dispatch decisions, hedges) is
+//!    refused, and a failed probe re-opens a cooldown that again
+//!    admits exactly one probe.
 
 // The minimal typecheck-only proptest stub expands `proptest!` bodies
 // to nothing, leaving the suite's imports and generators unused there.
@@ -99,6 +104,83 @@ proptest! {
                 prop_assert!(matches!(probe.state(), BreakerState::Open { .. }));
             }
         }
+    }
+
+    /// Invariant 3a: however the breaker got to HalfOpen, the probe
+    /// is exclusive — once one dispatch is admitted, every further
+    /// ask is refused (at any clock) until the probe's outcome is
+    /// recorded. This is what keeps a racing hedge or a concurrent
+    /// dispatch decision from piling a second request onto a device
+    /// that has not yet proven it healed.
+    #[test]
+    fn half_open_probe_is_exclusive(
+        cfg in arb_config(),
+        steps in arb_steps(),
+        extra_asks in proptest::collection::vec(0u64..20_000, 1..8),
+    ) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = 0u64;
+        for step in steps {
+            now = now.saturating_add(step.advance);
+            let admitted = b.allows(now);
+            if admitted && b.state() == BreakerState::HalfOpen {
+                // A probe is in flight: concurrent askers at arbitrary
+                // later clocks must all be refused.
+                for dt in &extra_asks {
+                    let ask_at = now.saturating_add(*dt);
+                    prop_assert!(
+                        !b.allows(ask_at),
+                        "second dispatch admitted at {ask_at} while probe pending"
+                    );
+                    prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+                }
+            }
+            if admitted {
+                if step.fail {
+                    b.record_failure(now);
+                } else {
+                    b.record_success();
+                }
+            }
+        }
+    }
+
+    /// Invariant 3b: a failed probe re-opens the breaker, and the
+    /// *next* cooldown again admits exactly one probe — the
+    /// one-probe-per-cooldown guarantee holds across consecutive
+    /// failed probes, not just the first.
+    #[test]
+    fn failed_probe_reopens_and_next_cooldown_admits_exactly_one(
+        cfg in arb_config(),
+        probe_failures in 1usize..6,
+    ) {
+        let mut b = CircuitBreaker::new(cfg);
+        let mut now = 0u64;
+        // Trip it once.
+        while b.state() == BreakerState::Closed {
+            prop_assert!(b.allows(now));
+            b.record_failure(now);
+        }
+        // Fail `probe_failures` consecutive probes; each cooldown must
+        // admit exactly one.
+        for round in 0..probe_failures {
+            let BreakerState::Open { until } = b.state() else {
+                return Err(TestCaseError::fail("breaker not open between probes"));
+            };
+            prop_assert!(!b.allows(until.saturating_sub(1)), "cooldown not over");
+            prop_assert!(b.allows(until), "round {round}: probe refused");
+            prop_assert!(!b.allows(until), "round {round}: second probe admitted");
+            now = until;
+            b.record_failure(now);
+            prop_assert!(matches!(b.state(), BreakerState::Open { .. }));
+        }
+        // A succeeding probe finally closes it.
+        let BreakerState::Open { until } = b.state() else {
+            return Err(TestCaseError::fail("breaker not open at the end"));
+        };
+        prop_assert!(b.allows(until));
+        b.record_success();
+        prop_assert_eq!(b.state(), BreakerState::Closed);
     }
 
     /// Closed-state bookkeeping: it takes exactly `trip_after`

@@ -46,7 +46,7 @@ pub use ops::gemm::PackedKernels;
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorView};
 pub use tensor4::Tensor4;
-pub use workspace::{with_pooled, Workspace};
+pub use workspace::{with_pooled, Workspace, POOL_RETAIN_BYTES};
 
 /// Crate-wide absolute tolerance used by tests comparing float kernels.
 pub const TEST_EPS: f32 = 1e-4;

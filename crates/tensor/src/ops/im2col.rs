@@ -21,6 +21,34 @@ pub fn im2col_valid(input: &Tensor, kh: usize, kw: usize) -> Vec<f32> {
 /// `C*kh*kw * (oh*ow)` floats. Every active element of `dst` is
 /// overwritten, so a reused scratch buffer can never leak stale values.
 pub fn im2col_slice_into(input: &[f32], s: Shape, kh: usize, kw: usize, dst: &mut [f32]) {
+    let oh = s.h.checked_sub(kh).map(|d| d + 1).unwrap_or(0);
+    let ow = s.w.checked_sub(kw).map(|d| d + 1).unwrap_or(0);
+    let spatial = oh * ow;
+    assert_eq!(
+        dst.len(),
+        s.c * kh * kw * spatial,
+        "im2col destination has wrong size"
+    );
+    im2col_strided_into(input, s, kh, kw, dst, spatial, 0);
+}
+
+/// Strided im2col for batched lowering: writes row `ki` of the column
+/// matrix at `dst[ki * row_stride + col_offset ..]` instead of packing
+/// rows contiguously. With `row_stride = batch * spatial` and
+/// `col_offset = i * spatial`, the columns of image `i` land
+/// interleaved into a single `(C*kh*kw) x (batch*spatial)` matrix that
+/// one GEMM can consume — which is how the batched engine amortizes
+/// weight-packing across a whole batch. `row_stride = spatial`,
+/// `col_offset = 0` reduces to [`im2col_slice_into`].
+pub fn im2col_strided_into(
+    input: &[f32],
+    s: Shape,
+    kh: usize,
+    kw: usize,
+    dst: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
     assert!(
         kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w,
         "window {kh}x{kw} does not fit {s}"
@@ -29,10 +57,17 @@ pub fn im2col_slice_into(input: &[f32], s: Shape, kh: usize, kw: usize, dst: &mu
     let oh = s.h - kh + 1;
     let ow = s.w - kw + 1;
     let spatial = oh * ow;
-    assert_eq!(
-        dst.len(),
-        s.c * kh * kw * spatial,
-        "im2col destination has wrong size"
+    assert!(
+        col_offset + spatial <= row_stride,
+        "column window [{col_offset}, {col_offset}+{spatial}) overruns row stride {row_stride}"
+    );
+    let rows = s.c * kh * kw;
+    if rows == 0 {
+        return;
+    }
+    assert!(
+        dst.len() >= (rows - 1) * row_stride + col_offset + spatial,
+        "im2col destination too small for strided layout"
     );
 
     let hw = s.h * s.w;
@@ -41,7 +76,8 @@ pub fn im2col_slice_into(input: &[f32], s: Shape, kh: usize, kw: usize, dst: &mu
         for m in 0..kh {
             for n in 0..kw {
                 let row_idx = (c * kh + m) * kw + n;
-                let dst = &mut dst[row_idx * spatial..(row_idx + 1) * spatial];
+                let base = row_idx * row_stride + col_offset;
+                let dst = &mut dst[base..base + spatial];
                 for oy in 0..oh {
                     let src = &chan[(oy + m) * s.w + n..(oy + m) * s.w + n + ow];
                     dst[oy * ow..(oy + 1) * ow].copy_from_slice(src);
@@ -84,6 +120,49 @@ mod tests {
     fn oversized_window_panics() {
         let t = Tensor::zeros(Shape::new(1, 2, 2));
         im2col_valid(&t, 3, 1);
+    }
+
+    #[test]
+    fn strided_layout_interleaves_images_bit_exactly() {
+        // Two images lowered side by side into one wide matrix must
+        // hold each image's contiguous im2col verbatim at its column
+        // window — the batched engine's correctness rests on this.
+        let s = Shape::new(2, 3, 4);
+        let a = Tensor::from_fn(s, |c, y, x| (c * 100 + y * 10 + x) as f32);
+        let b = Tensor::from_fn(s, |c, y, x| -((c * 100 + y * 10 + x) as f32) - 1.0);
+        let (kh, kw) = (2, 2);
+        let spatial = (s.h - kh + 1) * (s.w - kw + 1);
+        let rows = s.c * kh * kw;
+        let row_stride = 2 * spatial;
+        let mut wide = vec![f32::NAN; rows * row_stride];
+        im2col_strided_into(a.as_slice(), s, kh, kw, &mut wide, row_stride, 0);
+        im2col_strided_into(b.as_slice(), s, kh, kw, &mut wide, row_stride, spatial);
+        let ca = im2col_valid(&a, kh, kw);
+        let cb = im2col_valid(&b, kh, kw);
+        for r in 0..rows {
+            assert_eq!(
+                &wide[r * row_stride..r * row_stride + spatial],
+                &ca[r * spatial..(r + 1) * spatial],
+                "image 0, row {r}"
+            );
+            assert_eq!(
+                &wide[r * row_stride + spatial..(r + 1) * row_stride],
+                &cb[r * spatial..(r + 1) * spatial],
+                "image 1, row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn strided_with_unit_batch_matches_contiguous() {
+        let s = Shape::new(1, 4, 4);
+        let t = Tensor::from_fn(s, |_, y, x| (y * 4 + x) as f32);
+        let spatial = 3 * 3;
+        let mut contiguous = vec![0.0; 4 * spatial];
+        let mut strided = vec![0.0; 4 * spatial];
+        im2col_slice_into(t.as_slice(), s, 2, 2, &mut contiguous);
+        im2col_strided_into(t.as_slice(), s, 2, 2, &mut strided, spatial, 0);
+        assert_eq!(contiguous, strided);
     }
 
     proptest! {

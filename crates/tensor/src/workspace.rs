@@ -62,6 +62,24 @@ impl Workspace {
         grow(&mut self.ping, len);
         grow(&mut self.pong, len);
     }
+
+    /// Releases the arena if its footprint exceeds `cap` bytes,
+    /// returning whether it shrank. One giant batch must not pin its
+    /// high-water allocation in the process-wide pool forever: the
+    /// pool calls this with [`POOL_RETAIN_BYTES`] before caching a
+    /// returned workspace, so outsized arenas are dropped and rebuilt
+    /// small on the next checkout. Shrinks are counted on
+    /// `cnn_tensor_workspace_shrinks_total`.
+    pub fn shrink_if_above(&mut self, cap: usize) -> bool {
+        if self.bytes() <= cap {
+            return false;
+        }
+        self.cols = Vec::new();
+        self.ping = Vec::new();
+        self.pong = Vec::new();
+        cnn_trace::counter_add("cnn_tensor_workspace_shrinks_total", &[], 1);
+        true
+    }
 }
 
 /// Monotonic growth; counts newly-allocated bytes on the trace counter.
@@ -76,6 +94,13 @@ fn grow(buf: &mut Vec<f32>, len: usize) {
 /// Upper bound on pooled idle workspaces; beyond this, returned
 /// workspaces are dropped instead of cached.
 const POOL_CAP: usize = 64;
+
+/// Per-workspace retained-footprint cap for the process-wide pool
+/// (64 MiB). A workspace grown past this by one outsized batch is
+/// released instead of cached, so the pool's idle memory stays
+/// bounded by `POOL_CAP * POOL_RETAIN_BYTES` regardless of the
+/// largest batch ever served.
+pub const POOL_RETAIN_BYTES: usize = 64 << 20;
 
 fn pool() -> &'static Mutex<Vec<Workspace>> {
     static POOL: OnceLock<Mutex<Vec<Workspace>>> = OnceLock::new();
@@ -96,6 +121,7 @@ pub fn with_pooled<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
         .pop()
         .unwrap_or_default();
     let out = f(&mut ws);
+    ws.shrink_if_above(POOL_RETAIN_BYTES);
     let mut idle = pool().lock().expect("workspace pool poisoned");
     if idle.len() < POOL_CAP {
         idle.push(ws);
@@ -132,6 +158,34 @@ mod tests {
         with_pooled(|ws| ws.ensure_cols(777));
         let seen = with_pooled(|ws| ws.cols.len());
         assert!(seen >= 777, "pooled workspace lost its buffers ({seen})");
+    }
+
+    #[test]
+    fn shrink_releases_only_above_cap() {
+        let mut ws = Workspace::new();
+        ws.ensure_cols(1_000);
+        ws.ensure_act(1_000);
+        let bytes = ws.bytes();
+        assert!(!ws.shrink_if_above(bytes), "at the cap: retained");
+        assert_eq!(ws.bytes(), bytes);
+        assert!(ws.shrink_if_above(bytes - 1), "above the cap: released");
+        assert_eq!(ws.bytes(), 0);
+        // And it regrows cleanly afterwards.
+        ws.ensure_cols(10);
+        assert_eq!(ws.cols.len(), 10);
+    }
+
+    #[test]
+    fn pool_drops_outsized_arenas() {
+        // An arena grown past the retain cap must not come back on the
+        // next checkout.
+        let huge = POOL_RETAIN_BYTES / std::mem::size_of::<f32>() + 1;
+        with_pooled(|ws| ws.ensure_cols(huge));
+        let seen = with_pooled(|ws| ws.cols.len());
+        assert!(
+            seen < huge,
+            "outsized workspace ({seen} floats) was retained in the pool"
+        );
     }
 
     #[test]

@@ -5,6 +5,51 @@
 use crate::snapshot::TraceSnapshot;
 use std::fmt::Write;
 
+/// Static help text for the workspace's well-known metric families.
+///
+/// Prometheus treats two series with the same name but different help
+/// strings as a scrape error, so every binary that exposes one of these
+/// families must describe it identically — which is why the text lives
+/// here, next to the exposition writer, instead of at each call site.
+/// Returns `None` for ad-hoc metrics; those get a `# TYPE` line only.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    Some(match name {
+        // Front-end (admission, batching, degradation).
+        "cnn_frontend_admitted_total" => "Requests accepted into the batching queue.",
+        "cnn_frontend_shed_total" => {
+            "Requests refused at admission, by reason (deadline estimate or queue_full backpressure)."
+        }
+        "cnn_frontend_deadline_miss_total" => {
+            "Admitted requests whose response completed after their deadline."
+        }
+        "cnn_frontend_batches_total" => {
+            "Batches dispatched by the front-end, by mode (hw or software fallback tier)."
+        }
+        "cnn_frontend_degrade_transitions_total" => {
+            "Degradation-tier changes made by the overload controller."
+        }
+        "cnn_frontend_queue_depth" => "Queue depth observed at each admission decision.",
+        "cnn_frontend_queue_delay_cycles" => {
+            "Cycles a request waited in the queue before its batch dispatched."
+        }
+        // Device pool (retries, hedging, deadline gating).
+        "cnn_pool_redispatches_total" => "Retries granted by the pool's retry budget.",
+        "cnn_pool_deadline_gated_total" => {
+            "Retries or hedges suppressed because they could not finish before the request deadline."
+        }
+        // Bench sweeps.
+        "cnn_fault_sweep_abandoned_images_total" => {
+            "Images the fault sweep gave up on after exhausting retries and fallback."
+        }
+        // Workspace arena.
+        "cnn_tensor_workspace_bytes_total" => "Bytes newly allocated into workspace arenas.",
+        "cnn_tensor_workspace_shrinks_total" => {
+            "Workspace arenas released for exceeding the pool retention cap."
+        }
+        _ => return None,
+    })
+}
+
 fn render_labels(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
@@ -22,12 +67,18 @@ pub fn to_prometheus_text(snapshot: &TraceSnapshot) -> String {
     let mut last_name = "";
     for c in &snapshot.counters {
         if c.name != last_name {
+            if let Some(help) = help_for(c.name) {
+                let _ = writeln!(out, "# HELP {} {help}", c.name);
+            }
             let _ = writeln!(out, "# TYPE {} counter", c.name);
             last_name = c.name;
         }
         let _ = writeln!(out, "{}{} {}", c.name, render_labels(&c.labels), c.value);
     }
     for h in &snapshot.histograms {
+        if let Some(help) = help_for(h.name) {
+            let _ = writeln!(out, "# HELP {} {help}", h.name);
+        }
         let _ = writeln!(out, "# TYPE {} histogram", h.name);
         for (i, bound) in h.bounds.iter().enumerate() {
             let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {}", h.name, h.buckets[i]);
@@ -90,6 +141,43 @@ mod tests {
         assert!(text.contains("cnn_image_cycles_sum 2000"));
         assert!(text.contains("cnn_image_cycles_count 4"));
         assert!(text.contains("cnn_trace_journal_dropped_events 2"));
+    }
+
+    #[test]
+    fn known_families_get_a_help_line_before_type() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 0,
+            counters: vec![CounterSnapshot {
+                name: "cnn_frontend_shed_total",
+                labels: vec![("reason".into(), "deadline".into())],
+                value: 3,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "cnn_frontend_queue_delay_cycles",
+                bounds: vec![64],
+                buckets: vec![1, 0],
+                sum: 10,
+                count: 1,
+            }],
+        };
+        let text = to_prometheus_text(&snap);
+        let help = text.find("# HELP cnn_frontend_shed_total ").unwrap();
+        let ty = text.find("# TYPE cnn_frontend_shed_total counter").unwrap();
+        assert!(help < ty, "HELP must precede TYPE");
+        assert!(text.contains("# HELP cnn_frontend_queue_delay_cycles "));
+        // One HELP line per family, not per series.
+        assert_eq!(text.matches("# HELP cnn_frontend_shed_total").count(), 1);
+    }
+
+    #[test]
+    fn abandoned_and_shed_families_are_distinct() {
+        // The fault sweep's abandoned-image counter and the front-end's
+        // shed counter measure different failures; their families must
+        // never collide in one exposition.
+        let a = help_for("cnn_fault_sweep_abandoned_images_total").unwrap();
+        let s = help_for("cnn_frontend_shed_total").unwrap();
+        assert_ne!(a, s);
     }
 
     #[test]

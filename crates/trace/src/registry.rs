@@ -65,6 +65,14 @@ impl HistogramSnapshot {
     /// implicit `+Inf` bucket — callers comparing a latency against
     /// `quantile(0.99)` get a conservative (never under-reported)
     /// threshold.
+    ///
+    /// The `None` cold-start case is load-bearing for admission
+    /// control: `cnn-serve`'s queue-delay estimator treats "no
+    /// observations yet" as *no estimate* and admits optimistically,
+    /// rather than inventing a zero that would never shed or an
+    /// infinity that would shed everything. Don't replace `None`
+    /// with a default here; `cnn-serve::deadline` has a regression
+    /// test pinning this contract.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 || !q.is_finite() {
             return None;

@@ -25,4 +25,11 @@ echo "== hot_path --smoke: blocked GEMM >=2x scalar on Test-4, bit-identical =="
 # --out keeps the smoke numbers away from the committed BENCH file.
 cargo run --release -p cnn-bench --bin hot_path -- --smoke --out target/BENCH_hotpath_smoke.json
 
+echo "== load_gen --smoke: overload SLO (shed>0, bounded queue, >=99% deadline attainment, bit-exact) =="
+# Open-loop Poisson load at 0.5x/0.9x/2x of measured capacity; the
+# binary exits nonzero if the 2x cell fails to shed, the queue
+# exceeds its cap, <99% of admitted requests meet their deadline,
+# or any served prediction differs from the single-image reference.
+cargo run --release -p cnn-bench --bin load_gen -- --smoke --out target/BENCH_loadgen_smoke.json
+
 echo "ci: all green"
