@@ -31,25 +31,43 @@
 use cnn_fpga::fault::{FaultPlan, RetryPolicy};
 use cnn_framework::weights::build_deterministic;
 use cnn_framework::{NetworkSpec, WeightSource, Workflow, WorkflowArtifacts};
-use cnn_serve::{Arrival, FrontendConfig, PoolConfig};
+use cnn_serve::{Arrival, FrontendConfig, HedgeConfig, PoolConfig, SloConfig};
 use cnn_store::atomic_write;
 use cnn_store::hash::SplitMix64;
 use cnn_tensor::{Shape, Tensor};
+use cnn_trace::export::json::Json;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Tenants in the mix: (WDRR weight, deadline budget as a multiple of
 /// the calibrated per-request service time). Tenant 0 is the premium
 /// lane (heavy weight, tight deadline); tenant 2 is batch traffic
-/// (light weight, loose deadline). Budgets must clear the front-end's
-/// *conservative* admission estimate — power-of-four bucket ceilings
-/// on queue delay and batch service can each overstate by ~3× — so
-/// the tightest budget is 8× the raw service time, not 2×.
-const TENANTS: [(u32, u64); 3] = [(4, 8), (2, 16), (1, 40)];
+/// (light weight, effectively unbounded deadline — batch clients wait,
+/// so its refusals come from queue backpressure, not admission
+/// control, and both shed paths show on the flight recorder). Budgets
+/// must clear the front-end's *conservative* admission estimate —
+/// power-of-four bucket ceilings on queue delay and batch service can
+/// each overstate by ~3× — so the tightest budget is 8× the raw
+/// service time, not 2×.
+const TENANTS: [(u32, u64); 3] = [(4, 8), (2, 16), (1, 100_000)];
 
 /// Load factors to sweep; 2.0 is the overload cell the SLO gates on.
 const RATE_FACTORS: [f64; 3] = [0.5, 0.9, 2.0];
 
 const POOL_DEVICES: usize = 2;
+
+/// Device 0's deterministic latency jitter: roughly one in this many
+/// images stalls its first DMA attempt and recovers on the retry —
+/// slower, never wrong. The recovered dispatches are the in-bucket
+/// latency outliers that exercise the hedger (and, via the flight
+/// recorder, give the SLO breach dump a hedged timeline to show).
+const STALL_EVERY: u32 = 16;
+
+/// Hedge when a dispatch runs 5% past the device's mean latency. The
+/// stall penalty (~10.7k cycles on an ~82k-cycle dispatch) stays
+/// inside one power-of-four histogram bucket, so the default p99
+/// trigger cannot see it.
+const HEDGE_MEAN_FACTOR: f64 = 1.05;
 
 fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
     let mut rng = SplitMix64::new(seed);
@@ -75,12 +93,42 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 fn frontend_cfg() -> FrontendConfig {
     FrontendConfig {
         tenant_weights: TENANTS.iter().map(|&(w, _)| w).collect(),
+        // SLO windows sized so the burn-rate monitor warms within one
+        // smoke-mode rate cell (192 offered requests).
+        slo: SloConfig {
+            fast_window: 32,
+            slow_window: 96,
+            ..SloConfig::default()
+        },
+        // Small per-tenant lanes: under 2x overload the loose-budget
+        // lanes fill and shed at the queue (backpressure), not just at
+        // admission — both refusal paths show up on the flight
+        // recorder.
+        queue_cap: 6,
         ..FrontendConfig::default()
+    }
+}
+
+fn pool_cfg() -> PoolConfig {
+    PoolConfig {
+        hedge: HedgeConfig {
+            mean_factor: HEDGE_MEAN_FACTOR,
+            ..HedgeConfig::default()
+        },
+        ..PoolConfig::default()
     }
 }
 
 fn fault_free_plans() -> Vec<FaultPlan> {
     (0..POOL_DEVICES).map(|_| FaultPlan::none()).collect()
+}
+
+/// Rate-run plans: device 0 carries the deterministic stall jitter,
+/// the rest are fault-free.
+fn jitter_plans() -> Vec<FaultPlan> {
+    let mut plans = fault_free_plans();
+    plans[0] = FaultPlan::stall_jitter(0x57A11, STALL_EVERY);
+    plans
 }
 
 /// Measures per-request hardware service time: one request, alone,
@@ -156,6 +204,96 @@ struct RateRow {
     software_batches: u64,
     tier_transitions: u64,
     final_tier: &'static str,
+    slo_breaches: u64,
+}
+
+/// True when `needles` appear in `haystack` in order (not necessarily
+/// adjacent).
+fn is_subsequence(haystack: &[String], needles: &[&str]) -> bool {
+    let mut it = haystack.iter();
+    needles.iter().all(|n| it.any(|h| h == n))
+}
+
+/// Parses the auto-captured flight-recorder dump and proves it can
+/// reconstruct the two timelines the overload run must contain: a
+/// request shed at admission (admit → enqueue → shed) and a hedged
+/// request served end to end (admit → enqueue → batch_form →
+/// dispatch → hedge → complete), with flow arrows binding the hedged
+/// request's slices into one chain.
+fn verify_flight_dump(dump: &str) {
+    let doc = cnn_trace::export::json::parse(dump).expect("flight dump must parse as strict JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("dump has a traceEvents array");
+
+    // Per-trace stage timeline, in ring (causal) order, plus the flow
+    // phases seen per trace.
+    let mut timelines: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut flows: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut breach_events = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+        match ph {
+            "X" => {
+                let name = e.get("name").and_then(Json::as_str).unwrap_or("");
+                let tid = e
+                    .get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Json::as_u64)
+                    .expect("X slice carries args.trace_id");
+                if name == "slo_breach" {
+                    breach_events += 1;
+                }
+                timelines.entry(tid).or_default().push(name.to_string());
+            }
+            "s" | "t" | "f" => {
+                let id = e.get("id").and_then(Json::as_u64).expect("flow carries id");
+                flows.entry(id).or_default().push(ph.to_string());
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        breach_events > 0,
+        "the dump must contain the slo_breach event that triggered it"
+    );
+    let shed = timelines
+        .values()
+        .find(|t| t.as_slice() == ["admit", "enqueue", "shed"]);
+    assert!(
+        shed.is_some(),
+        "no shed timeline (admit -> enqueue -> shed) in the dump"
+    );
+    let hedged = timelines.iter().find(|(_, t)| {
+        is_subsequence(
+            t,
+            &[
+                "admit",
+                "enqueue",
+                "batch_form",
+                "dispatch",
+                "hedge",
+                "complete",
+            ],
+        )
+    });
+    let (hedged_id, _) = hedged.expect(
+        "no hedged timeline (admit -> enqueue -> batch_form -> dispatch -> hedge -> complete)",
+    );
+    let hedged_flow = &flows[hedged_id];
+    assert!(
+        hedged_flow.first().map(String::as_str) == Some("s")
+            && hedged_flow.last().map(String::as_str) == Some("f"),
+        "hedged request's flow arrows must open with `s` and close with `f`"
+    );
+    println!(
+        "flight dump: {} events, {} request timelines, {} slo_breach markers; \
+         shed and hedged timelines reconstructed (hedged trace {hedged_id})",
+        events.len(),
+        timelines.len(),
+        breach_events,
+    );
 }
 
 fn main() {
@@ -206,6 +344,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut overload_dump: Option<String> = None;
     for (ri, &factor) in RATE_FACTORS.iter().enumerate() {
         let arrivals = poisson_arrivals(n, factor, svc, 0xA221 + ri as u64);
         let cfg = frontend_cfg();
@@ -214,9 +353,9 @@ fn main() {
             .serve_with_frontend(
                 &images,
                 &arrivals,
-                &fault_free_plans(),
+                &jitter_plans(),
                 &policy,
-                PoolConfig::default(),
+                pool_cfg(),
                 cfg,
             )
             .expect("rate run serves");
@@ -261,6 +400,7 @@ fn main() {
             software_batches: rep.software_batches,
             tier_transitions: rep.tier_transitions,
             final_tier: rep.final_tier.as_str(),
+            slo_breaches: rep.slo_breaches,
         };
         println!(
             "{:>5.1}x  {:>8}  {:>8}  {:>6}  {:>7.4}  {:>6}  {:>10}  {:>10}  {:>10}  {:>9.3}  {:>5}  {:>9}",
@@ -285,15 +425,27 @@ fn main() {
             "rate {factor}: only {:.4} of admitted requests met their deadline (SLO: 0.99)",
             row.attainment
         );
+        // `queue_cap` bounds each tenant lane; the total backlog is
+        // bounded by cap x lanes.
+        let depth_bound = queue_cap * TENANTS.len();
         assert!(
-            row.max_queue_depth <= queue_cap,
-            "rate {factor}: queue depth {} exceeded its cap {queue_cap}",
+            row.max_queue_depth <= depth_bound,
+            "rate {factor}: queue depth {} exceeded its bound {depth_bound}",
             row.max_queue_depth
         );
         if factor >= 2.0 {
             assert!(
                 rep.shed() > 0,
                 "rate {factor}: overload must shed, not queue without bound"
+            );
+            assert!(
+                rep.slo_breaches > 0,
+                "rate {factor}: sustained overload must breach the goodput SLO"
+            );
+            overload_dump = r.breach_dump.clone();
+            assert!(
+                overload_dump.is_some(),
+                "rate {factor}: the first SLO breach must auto-capture a flight dump"
             );
         }
         rows.push(row);
@@ -304,6 +456,16 @@ fn main() {
          >=99% of admitted requests met their deadline at every rate; every served \
          prediction was bit-identical to the single-image reference."
     );
+
+    // The overload cell breached the goodput burn-rate SLO, which
+    // auto-captured a flight-recorder dump. Prove the dump can
+    // reconstruct a shed and a hedged request end to end, then commit
+    // it next to the benchmark results.
+    let dump = overload_dump.expect("the 2.0x cell always breaches");
+    verify_flight_dump(&dump);
+    let flight_path = format!("{}_flight.json", out_path.trim_end_matches(".json"));
+    atomic_write(&flight_path, dump.as_bytes()).expect("atomic flight dump commit");
+    println!("flight-recorder dump committed to {flight_path}");
 
     println!(
         "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
@@ -337,7 +499,7 @@ fn main() {
              \"attainment\": {:.6}, \"p50_cycles\": {}, \"p99_cycles\": {}, \
              \"p999_cycles\": {}, \"goodput_per_mcycle\": {:.3}, \"max_queue_depth\": {}, \
              \"batches\": {}, \"software_batches\": {}, \"tier_transitions\": {}, \
-             \"final_tier\": \"{}\"}}",
+             \"final_tier\": \"{}\", \"slo_breaches\": {}}}",
             r.factor,
             r.offered,
             r.admitted,
@@ -355,6 +517,7 @@ fn main() {
             r.software_batches,
             r.tier_transitions,
             r.final_tier,
+            r.slo_breaches,
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

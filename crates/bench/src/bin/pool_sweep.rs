@@ -21,10 +21,27 @@
 
 use cnn_fpga::fault::{FaultPlan, RetryPolicy};
 use cnn_framework::{NetworkSpec, WeightSource, Workflow};
-use cnn_serve::PoolConfig;
+use cnn_serve::{PoolConfig, ServedBy};
+use cnn_trace::{Objective, SloMonitor};
 
 const RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.2, 0.5];
 const POOLS: [usize; 3] = [1, 2, 4];
+
+/// Per-cell availability objective for the burn-rate monitor: the
+/// same 99.9% the sweep's SLO asserts, watched as a stream so a
+/// dashboard would page on the first sustained fallback burst rather
+/// than at end-of-batch accounting. Windows are sized to warm even in
+/// `--quick` mode (32 images per cell).
+fn availability_objective() -> Objective {
+    Objective {
+        name: "pool_availability",
+        target: 0.999,
+        fast_window: 8,
+        slow_window: 32,
+        fast_burn: 4.0,
+        slow_burn: 2.0,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -83,15 +100,29 @@ fn main() {
             let injected: u64 = r.devices.iter().map(|d| d.faults_injected).sum();
             let crc_hit: u64 = r.devices.iter().map(|d| d.crc_detected).sum();
             let availability = r.availability();
+            // Replay the cell's per-image outcomes through a burn-rate
+            // monitor: a fallback is a bad event against the 99.9%
+            // availability objective.
+            let mut monitor = SloMonitor::new(availability_objective());
+            for outcome in &r.outcomes {
+                monitor.record(!matches!(outcome.served_by, ServedBy::Fallback));
+            }
+            let burn_edges = monitor.breaches();
             println!(
                 "{rate:>5.2}  {pool:>5}  {availability:>12.4}  {:>9}  {:>7}  {dispatches:>10}  {:>7}  {injected:>9}  {crc_hit:>8}",
                 r.fallback_served, r.redispatches, r.hedges,
             );
-            // The PR's serving SLO.
+            // The PR's serving SLO — and the burn monitor must agree
+            // with the end-of-batch accounting: a cell that held the
+            // SLO never burned past both windows.
             if rate <= 0.05 && pool >= 2 {
                 assert!(
                     availability >= 0.999,
                     "rate {rate} pool {pool}: availability {availability} misses the 99.9% SLO"
+                );
+                assert_eq!(
+                    burn_edges, 0,
+                    "rate {rate} pool {pool}: burn monitor paged in an SLO-holding cell"
                 );
             }
             rows.push(serde_json::json!({
@@ -107,6 +138,7 @@ fn main() {
                 "dispatches": dispatches,
                 "faults_injected": injected,
                 "crc_detected": crc_hit,
+                "slo_burn_edges": burn_edges,
                 "total_cycles": r.total_cycles,
                 "devices": r.devices.iter().map(|d| serde_json::json!({
                     "dispatches": d.dispatches,
@@ -122,6 +154,16 @@ fn main() {
         "\nevery cell produced predictions bit-identical to the software reference; \
          the 99.9% availability SLO held at every rate <= 0.05 with pool >= 2."
     );
+
+    // This sweep drives the pool in batch mode, which carries no
+    // request context — and the flight recorder must therefore hold
+    // nothing: context-free serving never pollutes the ring with
+    // unattributable records.
+    assert!(
+        cnn_trace::flight().snapshot().is_empty(),
+        "context-free batch serving must leave the flight recorder empty"
+    );
+    println!("flight recorder: empty after the sweep (context-free serving stamps no records).");
 
     // Cumulative exposition for dashboards. The front-end's shed /
     // deadline-miss families are preregistered so they are present (at

@@ -1,76 +1,198 @@
-//! Measures the enabled tracer's overhead on the Fig.-3 workflow:
-//! runs the full pipeline (workflow → device batch classification)
-//! with the recorder off, then again with it on, and reports the
-//! wall-clock delta. The acceptance target is <3% — printed, not
-//! asserted, because CI machines have noisy clocks; the binary *does*
-//! assert the traced run is prediction-bit-identical to the untraced
-//! one.
+//! Observability-overhead gate: what does per-request tracing cost on
+//! the inference hot path?
+//!
+//! The serving stack instruments every request with a span, a
+//! request-scoped context, flight-recorder stamps and metric updates —
+//! and the flight recorder is *always on*. That is only acceptable if
+//! the instrumented hot path stays within a few percent of the bare
+//! one, so this benchmark measures the Test-4 (CIFAR shape) zero-alloc
+//! `Network::infer` engine two ways, with warmup and median-of-N wall
+//! times:
+//!
+//! * **untraced** — the bare engine, tracing collectors disabled;
+//! * **traced** — the same engine wrapped in the full per-request
+//!   observability kit the serving front-end and pool apply: an
+//!   enabled collector, a span, a request context installed for the
+//!   dispatch, flight-recorder stamps for admit/dispatch/complete, a
+//!   latency histogram observation and a counter increment.
+//!
+//! The two conditions are interleaved sample by sample (order flipped
+//! each round) so clock-frequency drift hits both equally instead of
+//! masquerading as tracing overhead. The binary **asserts** the traced
+//! median stays under `untraced * 1.05 + 20 us` — the 5% CI gate, with
+//! a small absolute floor so scheduler jitter on a sub-millisecond
+//! inference cannot fail the gate on its own — and that
+//! instrumentation never changes the prediction. It also prints the
+//! amortized cost of a single flight-recorder stamp for reference.
 //!
 //! ```text
-//! cargo run --release -p cnn-bench --bin trace_overhead [-- --quick]
+//! cargo run --release -p cnn-bench --bin trace_overhead [-- --smoke] [-- --out FILE]
 //! ```
+//!
+//! Everything is deterministic except the wall clock itself: weights
+//! and inputs come from SplitMix64 streams, never ambient RNG.
 
-use cnn_fpga::fault::{FaultPlan, RetryPolicy};
-use cnn_framework::{NetworkSpec, WeightSource, Workflow};
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::PaperTest;
+use cnn_nn::Network;
+use cnn_store::atomic_write;
+use cnn_store::hash::SplitMix64;
+use cnn_tensor::{Shape, Tensor, Workspace};
+use cnn_trace::{ctx_scope, flight_record, FlightStage, RequestCtx};
+use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One full build + classify, returning predictions and seconds.
-fn run_once(n: usize) -> (Vec<usize>, f64) {
-    let start = Instant::now();
-    let spec = NetworkSpec::paper_usps_small(true);
-    let artifacts = Workflow::new(spec, WeightSource::Random { seed: 2016 })
-        .run()
-        .expect("the paper network fits the Zedboard");
-    let images = cnn_datasets::UspsLike::default().generate(n, 8).images;
-    let report =
-        artifacts.classify_with_recovery(&images, &FaultPlan::none(), &RetryPolicy::default());
-    (report.predictions, start.elapsed().as_secs_f64())
+/// Traced median must stay within this factor of the untraced median.
+const MAX_OVERHEAD_FACTOR: f64 = 1.05;
+/// Absolute slack added to the bound: the per-request instrumentation
+/// cost is fixed (a handful of atomic stores), so on a machine where
+/// one inference is only tens of microseconds, clock jitter alone
+/// exceeds 5% — the gate is `untraced * 1.05 + FLOOR_NS`.
+const FLOOR_NS: u64 = 20_000;
+
+fn time_ns(mut f: impl FnMut()) -> u64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos() as u64
 }
 
-/// Median of `reps` timed runs (predictions checked identical across
-/// every run).
-fn measure(n: usize, reps: usize) -> (Vec<usize>, f64) {
-    let mut times = Vec::with_capacity(reps);
-    let (reference, t0) = run_once(n);
-    times.push(t0);
-    for _ in 1..reps {
-        let (p, t) = run_once(n);
-        assert_eq!(p, reference, "repeat runs must agree");
-        times.push(t);
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    (reference, times[times.len() / 2])
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn deterministic_input(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<f32> = (0..shape.len())
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// One inference wrapped in the per-request observability kit the
+/// serving stack applies — the "traced" condition under test.
+fn traced_infer(net: &Network, input: &Tensor, ws: &mut Workspace, req: u64) -> usize {
+    let _span = cnn_trace::span("bench", "traced_infer");
+    let ctx = RequestCtx::root((0xBE7C << 32) | req);
+    let _scope = ctx_scope(ctx);
+    flight_record(ctx.trace_id, FlightStage::Admit, req, 0);
+    flight_record(ctx.trace_id, FlightStage::Dispatch, req, 0);
+    let t0 = Instant::now();
+    let class = net.infer(input, ws).argmax();
+    let ns = t0.elapsed().as_nanos() as u64;
+    cnn_trace::observe("cnn_bench_traced_infer_ns", ns);
+    cnn_trace::counter_add("cnn_bench_traced_infers_total", &[], 1);
+    flight_record(ctx.trace_id, FlightStage::Complete, req, 1);
+    class
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let (n, reps) = if quick { (20, 3) } else { (60, 5) };
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let (mode, warmup, reps) = if smoke {
+        ("smoke", 3, 15)
+    } else {
+        ("full", 5, 41)
+    };
 
-    eprintln!("[cnn-bench] warming up ({n} images, {reps} reps per mode)...");
-    let _ = run_once(n); // warm caches/allocator before either timed mode
+    println!("TRACE OVERHEAD — instrumented vs bare Test-4 inference ({mode}, median of {reps})\n");
+    let test = PaperTest::ALL
+        .iter()
+        .copied()
+        .find(|t| t.name() == "Test 4")
+        .expect("the paper defines Test 4");
+    let net = build_deterministic(&test.spec(), 2016).expect("valid paper spec");
+    let input = deterministic_input(net.input_shape(), 0x0007_BACE_5EED);
+    let mut ws = Workspace::new();
 
-    cnn_trace::disable();
+    // The two conditions are *interleaved* sample by sample, with the
+    // order flipped each round: measuring them in separate blocks lets
+    // clock-frequency drift masquerade as tracing overhead (a +30%
+    // phantom on a noisy container), while interleaving exposes both
+    // conditions to the same machine state.
     cnn_trace::reset();
-    let (untraced_preds, untraced_s) = measure(n, reps);
-
-    cnn_trace::enable();
-    let (traced_preds, traced_s) = measure(n, reps);
-    let snapshot = cnn_trace::snapshot();
+    let mut class_untraced = 0usize;
+    let mut class_traced = 0usize;
+    let mut req = 0u64;
+    let mut untraced = Vec::with_capacity(reps);
+    let mut traced = Vec::with_capacity(reps);
+    let bare = |ws: &mut Workspace, class: &mut usize| {
+        cnn_trace::disable();
+        time_ns(|| *class = net.infer(std::hint::black_box(&input), ws).argmax())
+    };
+    let kit = |ws: &mut Workspace, class: &mut usize, req: &mut u64| {
+        cnn_trace::enable();
+        let ns = time_ns(|| *class = traced_infer(&net, std::hint::black_box(&input), ws, *req));
+        *req += 1;
+        ns
+    };
+    for _ in 0..warmup {
+        bare(&mut ws, &mut class_untraced);
+        kit(&mut ws, &mut class_traced, &mut req);
+    }
+    for round in 0..reps {
+        if round % 2 == 0 {
+            untraced.push(bare(&mut ws, &mut class_untraced));
+            traced.push(kit(&mut ws, &mut class_traced, &mut req));
+        } else {
+            traced.push(kit(&mut ws, &mut class_traced, &mut req));
+            untraced.push(bare(&mut ws, &mut class_untraced));
+        }
+    }
     cnn_trace::disable();
-
+    let untraced_ns = median(untraced);
+    let traced_ns = median(traced);
     assert_eq!(
-        traced_preds, untraced_preds,
-        "tracing must not perturb predictions"
+        class_untraced, class_traced,
+        "instrumentation must not change the prediction"
     );
 
-    let overhead = (traced_s - untraced_s) / untraced_s * 100.0;
-    println!("TRACE OVERHEAD on the Fig.-3 workflow ({n} images, median of {reps}):\n");
-    println!("  untraced: {untraced_s:>8.4} s");
+    // Amortized cost of one flight stamp, for the record.
+    let stamp_reps = 4096u64;
+    let t0 = Instant::now();
+    for i in 0..stamp_reps {
+        flight_record(0x57A4_7000 | i, FlightStage::Dispatch, i, i);
+    }
+    let stamp_ns = t0.elapsed().as_nanos() as u64 / stamp_reps;
+
+    let overhead = traced_ns as f64 / untraced_ns.max(1) as f64;
+    println!("  untraced infer: {untraced_ns:>9} ns (median)");
     println!(
-        "  traced:   {traced_s:>8.4} s  ({} events, {} counter series)",
-        snapshot.events.len() + snapshot.dropped as usize,
-        snapshot.counters.len()
+        "  traced infer:   {traced_ns:>9} ns (median, {:+.2}% overhead)",
+        (overhead - 1.0) * 100.0
     );
-    println!("  overhead: {overhead:>+8.2} %   (target < 3%)");
-    println!("\npredictions bit-identical across traced and untraced runs.");
+    println!("  flight stamp:   {stamp_ns:>9} ns (amortized over {stamp_reps} records)");
+
+    if let Some(path) = out_path {
+        let mut j = String::from("{\n  \"benchmark\": \"trace_overhead\",\n");
+        let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+        let _ = writeln!(j, "  \"warmup\": {warmup},");
+        let _ = writeln!(j, "  \"reps\": {reps},");
+        let _ = writeln!(j, "  \"untraced_ns\": {untraced_ns},");
+        let _ = writeln!(j, "  \"traced_ns\": {traced_ns},");
+        let _ = writeln!(j, "  \"flight_stamp_ns\": {stamp_ns},");
+        let _ = writeln!(j, "  \"overhead_factor\": {overhead:.4}");
+        j.push_str("}\n");
+        atomic_write(&path, j.as_bytes()).expect("atomic result commit");
+        println!("results committed atomically to {path}");
+    }
+
+    // The gate.
+    let bound = (untraced_ns as f64 * MAX_OVERHEAD_FACTOR) as u64 + FLOOR_NS;
+    assert!(
+        traced_ns <= bound,
+        "traced inference {traced_ns} ns exceeds {bound} ns \
+         ({MAX_OVERHEAD_FACTOR}x untraced {untraced_ns} ns + {FLOOR_NS} ns floor) — \
+         the observability layer regressed the hot path"
+    );
+    println!(
+        "\ngate: traced within {:.0}% of untraced (+{} us floor) ok",
+        (MAX_OVERHEAD_FACTOR - 1.0) * 100.0,
+        FLOOR_NS / 1000
+    );
 }

@@ -217,6 +217,18 @@ where
     // a beat fault can land on the trailer word too.
     let wire_words = (words + CRC_WORDS) as usize;
     for attempt in 0..policy.max_attempts() {
+        // Request-scoped dispatches (the serving pool installs a
+        // context before calling into the device) stamp every DMA
+        // attempt on the flight recorder; context-free batch runs
+        // stamp nothing — there is no trace id to attribute them to.
+        if let Some(ctx) = cnn_trace::current_ctx() {
+            cnn_trace::flight_record(
+                ctx.trace_id,
+                cnn_trace::FlightStage::DmaAttempt,
+                cnn_trace::cycles(),
+                u64::from(attempt_base.saturating_add(attempt)),
+            );
+        }
         let fault = plan.sample(image, attempt_base.saturating_add(attempt), wire_words);
         if let Some(f) = fault {
             stats.injected += 1;
@@ -931,6 +943,64 @@ mod tests {
         // ...and the device can still serve other work afterwards.
         let clean = dev.dispatch_image(&imgs[0], 0, 0, &FaultPlan::none(), &policy);
         assert_eq!(clean.outcome, ImageOutcome::Clean);
+    }
+
+    #[test]
+    fn ctx_scoped_dispatch_stamps_one_dma_attempt_per_try() {
+        // Drive the shared retry loop directly: a fault-free plan
+        // with an attempt closure that fails twice then succeeds, so
+        // the test needs no device (and no RNG) at all.
+        let ctx = cnn_trace::RequestCtx::root((0xD1A << 32) | 0x11);
+        let policy = RetryPolicy { max_retries: 2 };
+        let mut stats = FaultStats::default();
+        let mut calls = 0u32;
+        let outcome = {
+            let _scope = cnn_trace::ctx_scope(ctx);
+            run_image(&FaultPlan::none(), &policy, 0, 7, 64, &mut stats, |_| {
+                calls += 1;
+                if calls < 3 {
+                    None
+                } else {
+                    Some(3)
+                }
+            })
+        };
+        assert_eq!(outcome, ImageOutcome::Recovered { retries: 2 });
+        let recs = cnn_trace::flight().records_for(ctx.trace_id);
+        let attempts: Vec<u64> = recs
+            .iter()
+            .filter(|r| r.stage == cnn_trace::FlightStage::DmaAttempt)
+            .map(|r| r.arg)
+            .collect();
+        // Three attempts (1 + 2 retries), ordinals offset by the
+        // pool-style attempt base of 7.
+        assert_eq!(attempts, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn context_free_attempts_stamp_no_flight_records() {
+        let policy = RetryPolicy { max_retries: 1 };
+        let mut stats = FaultStats::default();
+        let mut calls = 0u32;
+        let outcome = run_image(&FaultPlan::none(), &policy, 0, 0, 64, &mut stats, |_| {
+            calls += 1;
+            if calls < 2 {
+                None
+            } else {
+                Some(1)
+            }
+        });
+        assert_eq!(outcome, ImageOutcome::Recovered { retries: 1 });
+        // No installed context means no timeline to attribute the
+        // attempts to: a regression that records unconditionally
+        // would land them on trace 0.
+        assert!(
+            cnn_trace::flight()
+                .records_for(0)
+                .iter()
+                .all(|r| r.stage != cnn_trace::FlightStage::DmaAttempt),
+            "context-free attempts must stamp nothing"
+        );
     }
 
     #[test]

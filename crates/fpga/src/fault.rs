@@ -74,6 +74,14 @@ pub struct FaultPlan {
     pub s2mm_stall: f64,
     /// P(a DMA engine halts with a DMASR error cause).
     pub dma_halt: f64,
+    /// Deterministic latency jitter: when non-zero, roughly one in
+    /// `stall_every` images stalls its *first* transfer attempt (the
+    /// retry then succeeds, so the image recovers — slower, never
+    /// wrong). Selection hashes `(seed, image)` directly, with no RNG
+    /// on the sampling path, so benchmarks that must stay free of the
+    /// `rand` dependency at runtime can still produce the latency
+    /// outliers that exercise hedging. `0` disables the jitter.
+    pub stall_every: u32,
 }
 
 impl FaultPlan {
@@ -87,6 +95,19 @@ impl FaultPlan {
             mm2s_stall: 0.0,
             s2mm_stall: 0.0,
             dma_halt: 0.0,
+            stall_every: 0,
+        }
+    }
+
+    /// A fault-free plan plus the deterministic one-in-`every`
+    /// first-attempt stall jitter (see [`FaultPlan::stall_every`]) —
+    /// the canonical way to give a benchmark device recoverable
+    /// latency outliers without the `rand` crate on the hot path.
+    pub fn stall_jitter(seed: u64, every: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            stall_every: every,
+            ..FaultPlan::none()
         }
     }
 
@@ -113,6 +134,7 @@ impl FaultPlan {
             mm2s_stall: p,
             s2mm_stall: p,
             dma_halt: p,
+            stall_every: 0,
         }
     }
 
@@ -143,6 +165,12 @@ impl FaultPlan {
 
     /// True when no fault can ever be injected (after clamping).
     pub fn is_fault_free(&self) -> bool {
+        self.stall_every == 0 && !self.has_random_faults()
+    }
+
+    /// True when any of the *probabilistic* fault fields can fire —
+    /// the only case that needs the seeded RNG at sampling time.
+    fn has_random_faults(&self) -> bool {
         [
             self.drop_beat,
             self.corrupt_beat,
@@ -151,7 +179,7 @@ impl FaultPlan {
             self.dma_halt,
         ]
         .iter()
-        .all(|&p| !(p.is_finite() && p > 0.0))
+        .any(|&p| p.is_finite() && p > 0.0)
     }
 
     /// Decides the fault (if any) for attempt `attempt` of image
@@ -161,7 +189,17 @@ impl FaultPlan {
     /// of batch order, threading, and of every other image — so the
     /// fast path, the threaded co-simulation, and a rerun all agree.
     pub fn sample(&self, image: usize, attempt: u32, packet_words: usize) -> Option<InjectedFault> {
-        if self.is_fault_free() {
+        // The deterministic jitter decides first, from a plain hash —
+        // no RNG is constructed unless a probabilistic field is live.
+        if self.stall_every > 0
+            && attempt == 0
+            && self
+                .stall_hash(image)
+                .is_multiple_of(u64::from(self.stall_every))
+        {
+            return Some(InjectedFault::Stall(DmaChannel::Mm2s));
+        }
+        if !self.has_random_faults() {
             return None;
         }
         let mut rng = StdRng::seed_from_u64(self.attempt_seed(image, attempt));
@@ -216,6 +254,14 @@ impl FaultPlan {
         let mut s = splitmix64(self.seed ^ 0xA5A5_5A5A_0F0F_F0F0);
         s = splitmix64(s ^ image as u64);
         splitmix64(s ^ attempt as u64)
+    }
+
+    /// The per-image hash behind [`FaultPlan::stall_every`] (distinct
+    /// salt from [`FaultPlan::attempt_seed`] so the jitter never
+    /// correlates with the probabilistic draws).
+    fn stall_hash(&self, image: usize) -> u64 {
+        let s = splitmix64(self.seed ^ 0x57A1_157A_1157_A115);
+        splitmix64(s ^ image as u64)
     }
 }
 
@@ -323,6 +369,35 @@ mod tests {
     }
 
     #[test]
+    fn stall_jitter_is_deterministic_first_attempt_only_and_rng_free() {
+        let plan = FaultPlan::stall_jitter(7, 8);
+        assert!(!plan.is_fault_free());
+        plan.validate().unwrap();
+        let mut stalled = 0usize;
+        for img in 0..512 {
+            let f = plan.sample(img, 0, 256);
+            // Same (image, attempt) always replays identically.
+            assert_eq!(f, plan.sample(img, 0, 256));
+            match f {
+                Some(InjectedFault::Stall(DmaChannel::Mm2s)) => stalled += 1,
+                None => {}
+                other => panic!("jitter may only stall MM2S, got {other:?}"),
+            }
+            // The retry attempt is always clean: every stalled image
+            // recovers, none abandons.
+            assert_eq!(plan.sample(img, 1, 256), None);
+        }
+        // Roughly one in eight of 512 images (hash spread, not exact).
+        assert!(
+            (32..=96).contains(&stalled),
+            "expected ~64 stalls, got {stalled}"
+        );
+        // A different seed selects a different image subset.
+        let other = FaultPlan::stall_jitter(8, 8);
+        assert!((0..512).any(|i| plan.sample(i, 0, 256) != other.sample(i, 0, 256)));
+    }
+
+    #[test]
     fn uniform_rate_one_always_faults() {
         let plan = FaultPlan::uniform(2016, 1.0);
         plan.validate().unwrap();
@@ -421,6 +496,7 @@ mod tests {
                 mm2s_stall: bad,
                 s2mm_stall: bad,
                 dma_halt: bad,
+                stall_every: 0,
             };
             // validate() rejects these, but sample() must still be total.
             let _ = plan.sample(0, 0, 16);

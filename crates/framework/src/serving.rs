@@ -101,6 +101,10 @@ pub struct FrontendClassificationReport {
     pub devices: Vec<DeviceReport>,
     /// Human-readable account of the run.
     pub trace: Vec<String>,
+    /// Chrome-trace flight-recorder dump captured automatically at
+    /// the first SLO burn-rate breach, `None` when no objective
+    /// breached during the run.
+    pub breach_dump: Option<String>,
 }
 
 impl WorkflowArtifacts {
@@ -166,10 +170,12 @@ impl WorkflowArtifacts {
             predictions[c.image_id] = Some(c.prediction);
         }
 
+        let breach_dump = frontend.take_breach_dump();
         let devices = pool.device_reports();
         let mut trace = vec![format!(
             "frontend: {} arrivals — {} admitted, {} shed ({} deadline, {} queue-full), \
-             {} batches ({} software), attainment {:.4}, max depth {}, final tier {}",
+             {} batches ({} software), attainment {:.4}, max depth {}, final tier {}, \
+             {} SLO breaches{}",
             arrivals.len(),
             report.admitted,
             report.shed(),
@@ -180,6 +186,12 @@ impl WorkflowArtifacts {
             report.attainment(),
             report.max_queue_depth,
             report.final_tier.as_str(),
+            report.slo_breaches,
+            if breach_dump.is_some() {
+                " (flight recorder dumped)"
+            } else {
+                ""
+            },
         )];
         for (i, d) in devices.iter().enumerate() {
             trace.push(format!(
@@ -197,6 +209,7 @@ impl WorkflowArtifacts {
             report,
             devices,
             trace,
+            breach_dump,
         })
     }
 
@@ -429,6 +442,8 @@ mod tests {
         }
         assert!(r.trace.len() == 3, "summary + one line per device");
         assert_eq!(r.report.attainment(), 1.0);
+        assert_eq!(r.report.slo_breaches, 0, "underload burns no error budget");
+        assert!(r.breach_dump.is_none());
     }
 
     #[test]

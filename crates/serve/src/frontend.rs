@@ -41,6 +41,10 @@ use crate::budget::RetryBudget;
 use crate::deadline::{deadline_at, QueueDelayEstimator};
 use crate::pool::{Device, DevicePool, RequestOptions, ServedBy};
 use crate::queue::{FairQueue, QueuedRequest};
+use cnn_trace::{
+    flight_record, next_trace_epoch, FlightStage, Objective, RequestCtx, SloMonitor, SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+};
 
 /// Recent-outcome window length for the availability signal.
 const AVAILABILITY_WINDOW: usize = 32;
@@ -120,6 +124,50 @@ impl Default for DegradeConfig {
     }
 }
 
+/// SLO burn-rate monitoring tuning. Two objectives are watched (see
+/// [`SloMonitor`] for the multi-window burn-rate mechanics):
+///
+/// * **deadline** — fraction of *served* requests meeting their
+///   deadline (sheds are refusals, not misses; an admitted request is
+///   a promise),
+/// * **goodput** — fraction of *offered* requests admitted at all
+///   (a shed is a bad event; this is the availability objective).
+///
+/// A breach (both windows burning past their thresholds) fires the
+/// automatic flight-recorder dump — once per run, on the first edge —
+/// and feeds the degradation ladder as an extra pressure signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Master switch for burn-rate monitoring.
+    pub enabled: bool,
+    /// Deadline-attainment target over served requests.
+    pub deadline_target: f64,
+    /// Goodput (admission) target over offered requests.
+    pub goodput_target: f64,
+    /// Events in the fast burn window.
+    pub fast_window: usize,
+    /// Events in the slow burn window.
+    pub slow_window: usize,
+    /// Fast-window burn rate required to breach.
+    pub fast_burn: f64,
+    /// Slow-window burn rate required to breach.
+    pub slow_burn: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            enabled: true,
+            deadline_target: 0.99,
+            goodput_target: 0.95,
+            fast_window: 32,
+            slow_window: 256,
+            fast_burn: 4.0,
+            slow_burn: 2.0,
+        }
+    }
+}
+
 /// Front-end tuning.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FrontendConfig {
@@ -137,6 +185,8 @@ pub struct FrontendConfig {
     pub software_image_cycles: u64,
     /// Degradation-ladder tuning.
     pub degrade: DegradeConfig,
+    /// SLO burn-rate monitoring tuning.
+    pub slo: SloConfig,
 }
 
 impl Default for FrontendConfig {
@@ -148,6 +198,7 @@ impl Default for FrontendConfig {
             tenant_weights: vec![1],
             software_image_cycles: 2_048,
             degrade: DegradeConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -184,10 +235,18 @@ impl DegradeController {
         }
     }
 
-    /// Updates the tier from the queue depth at a dispatch boundary
-    /// and the recent hardware availability (`None` while the window
-    /// is cold).
-    fn observe(&mut self, depth: usize, availability: Option<f64>) -> DegradeTier {
+    /// Updates the tier from the queue depth at a dispatch boundary,
+    /// the recent hardware availability (`None` while the window is
+    /// cold), and the SLO burn state: a latched breach holds the
+    /// ladder at [`DegradeTier::Tight`] or above — an objective
+    /// burning its error budget is saturation evidence even while the
+    /// queue-depth signal lags.
+    fn observe(
+        &mut self,
+        depth: usize,
+        availability: Option<f64>,
+        slo_pressure: bool,
+    ) -> DegradeTier {
         let engage = self.tier_for(depth);
         let mut next = if engage > self.tier {
             engage
@@ -206,6 +265,9 @@ impl DegradeController {
             } else if av < self.cfg.min_availability {
                 next = next.max(DegradeTier::NoHedge);
             }
+        }
+        if slo_pressure {
+            next = next.max(DegradeTier::Tight);
         }
         if next != self.tier {
             self.transitions += 1;
@@ -273,6 +335,9 @@ pub struct FrontendReport {
     pub tier_transitions: u64,
     /// Tier at end of run.
     pub final_tier: DegradeTier,
+    /// SLO breach edges over the run (both objectives; each incident
+    /// counts once — see [`SloMonitor`]'s edge-triggered latch).
+    pub slo_breaches: u64,
 }
 
 impl FrontendReport {
@@ -293,6 +358,12 @@ impl FrontendReport {
     }
 }
 
+/// Index of the deadline-attainment objective in flight records and
+/// metrics labels.
+const SLO_DEADLINE_OBJECTIVE: usize = 0;
+/// Index of the goodput (admission availability) objective.
+const SLO_GOODPUT_OBJECTIVE: usize = 1;
+
 /// The batched serving front-end. See the module docs.
 pub struct Frontend {
     cfg: FrontendConfig,
@@ -302,6 +373,27 @@ pub struct Frontend {
     /// Ring of recent per-request hardware outcomes (true = served by
     /// hardware, false = pool fell back to software for it).
     recent_hw: std::collections::VecDeque<bool>,
+    /// High 32 bits of every trace id this front-end mints: unique per
+    /// instance, so concurrent front-ends never collide in the global
+    /// flight ring. Deliberately kept out of [`FrontendReport`] — the
+    /// report must stay bit-identical across replays.
+    trace_epoch: u64,
+    /// Per-instance admission sequence (low 32 bits of the trace id).
+    admit_seq: u64,
+    /// Deadline-attainment burn monitor (over served requests).
+    slo_deadline: SloMonitor,
+    /// Goodput burn monitor (over offered requests; sheds are bad).
+    slo_goodput: SloMonitor,
+    /// Breach edges across both objectives.
+    slo_breaches: u64,
+    /// Set on a breach edge; the flight dump is snapshotted when the
+    /// breaching run completes, so it covers the incident *and* its
+    /// aftermath (the ring is deep enough to hold both).
+    breach_pending: bool,
+    /// Chrome-trace flight dump captured at the end of the first run
+    /// that breached (later breaches don't overwrite it — the first
+    /// collapse is the one to debug).
+    breach_dump: Option<String>,
 }
 
 impl Frontend {
@@ -313,13 +405,86 @@ impl Frontend {
         cfg.degrade.shrink_div = cfg.degrade.shrink_div.max(1);
         let queue = FairQueue::new(&cfg.tenant_weights, cfg.queue_cap);
         let controller = DegradeController::new(cfg.degrade);
+        let slo_deadline = SloMonitor::new(Objective {
+            name: "deadline",
+            target: cfg.slo.deadline_target,
+            fast_window: cfg.slo.fast_window,
+            slow_window: cfg.slo.slow_window,
+            fast_burn: cfg.slo.fast_burn,
+            slow_burn: cfg.slo.slow_burn,
+        });
+        let slo_goodput = SloMonitor::new(Objective {
+            name: "goodput",
+            target: cfg.slo.goodput_target,
+            fast_window: cfg.slo.fast_window,
+            slow_window: cfg.slo.slow_window,
+            fast_burn: cfg.slo.fast_burn,
+            slow_burn: cfg.slo.slow_burn,
+        });
         Frontend {
             cfg,
             queue,
             estimator: QueueDelayEstimator::new(),
             controller,
             recent_hw: std::collections::VecDeque::with_capacity(AVAILABILITY_WINDOW),
+            trace_epoch: next_trace_epoch(),
+            admit_seq: 0,
+            slo_deadline,
+            slo_goodput,
+            slo_breaches: 0,
+            breach_pending: false,
+            breach_dump: None,
         }
+    }
+
+    /// The epoch in the high 32 bits of every trace id this front-end
+    /// mints — callers use it to pick their own requests out of the
+    /// shared flight ring (or a dump of it).
+    pub fn trace_epoch(&self) -> u64 {
+        self.trace_epoch
+    }
+
+    /// The flight-recorder dump triggered by the first SLO breach, if
+    /// one fired: a complete Chrome-trace JSON document whose flow
+    /// events reconstruct recent per-request timelines. The snapshot
+    /// is taken when the breaching run finishes, so it shows the
+    /// incident (`slo_breach` marker) in context — both the history
+    /// that led to it and the degraded behaviour that followed.
+    pub fn breach_dump(&self) -> Option<&str> {
+        self.breach_dump.as_deref()
+    }
+
+    /// Takes ownership of the breach dump (see [`Self::breach_dump`]),
+    /// leaving `None` behind — for callers that persist it to disk.
+    pub fn take_breach_dump(&mut self) -> Option<String> {
+        self.breach_dump.take()
+    }
+
+    /// Records one outcome against an SLO objective; on a breach edge
+    /// it stamps a flight record, bumps the breach counter, and arms
+    /// the end-of-run flight dump.
+    fn observe_slo(&mut self, objective: usize, good: bool, trace_id: u64, clock: u64) {
+        if !self.cfg.slo.enabled {
+            return;
+        }
+        let monitor = if objective == SLO_DEADLINE_OBJECTIVE {
+            &mut self.slo_deadline
+        } else {
+            &mut self.slo_goodput
+        };
+        if monitor.record(good).is_some() {
+            let name = monitor.objective().name;
+            self.slo_breaches += 1;
+            cnn_trace::counter_add("cnn_frontend_slo_breaches_total", &[("objective", name)], 1);
+            flight_record(trace_id, FlightStage::SloBreach, clock, objective as u64);
+            self.breach_pending = true;
+        }
+    }
+
+    /// Whether either objective is currently in latched breach (the
+    /// ladder's extra pressure signal).
+    fn slo_pressure(&self) -> bool {
+        self.cfg.slo.enabled && (self.slo_deadline.is_breached() || self.slo_goodput.is_breached())
     }
 
     fn availability(&self) -> Option<f64> {
@@ -437,13 +602,16 @@ impl Frontend {
             // Dispatch one batch.
             now = dispatch_at;
             let availability = self.availability();
-            let tier = self.controller.observe(self.queue.len(), availability);
+            let tier = self
+                .controller
+                .observe(self.queue.len(), availability, self.slo_pressure());
             let batch = self.queue.drain(self.cfg.max_batch);
             debug_assert!(!batch.is_empty());
             for req in &batch {
                 let qd = now - req.arrival;
                 self.estimator.observe_queue_delay(qd);
                 cnn_trace::observe("cnn_frontend_queue_delay_cycles", qd);
+                flight_record(req.ctx.trace_id, FlightStage::BatchForm, now, batch_seq);
             }
 
             let software = tier >= DegradeTier::Software;
@@ -472,6 +640,14 @@ impl Frontend {
                         true,
                         &mut deadline_misses,
                     );
+                    let met = completion <= req.deadline;
+                    flight_record(
+                        req.ctx.trace_id,
+                        FlightStage::Complete,
+                        completion,
+                        u64::from(met),
+                    );
+                    self.observe_slo(SLO_DEADLINE_OBJECTIVE, met, req.ctx.trace_id, completion);
                 }
                 service
             } else {
@@ -489,6 +665,7 @@ impl Frontend {
                     let opts = RequestOptions {
                         hedging,
                         deadline: Some(pool.clock().saturating_add(remaining)),
+                        ctx: Some(req.ctx),
                     };
                     let served = pool.serve_one(req.image_id, &mut budget, opts, |id| {
                         classify_batch(&[id])[0]
@@ -509,6 +686,14 @@ impl Frontend {
                         false,
                         &mut deadline_misses,
                     );
+                    let met = completion <= req.deadline;
+                    flight_record(
+                        req.ctx.trace_id,
+                        FlightStage::Complete,
+                        completion,
+                        u64::from(met),
+                    );
+                    self.observe_slo(SLO_DEADLINE_OBJECTIVE, met, req.ctx.trace_id, completion);
                 }
                 service
             };
@@ -516,6 +701,17 @@ impl Frontend {
             self.estimator.observe_batch_service(service, batch.len());
             t_free = now.saturating_add(service);
             batch_seq += 1;
+        }
+
+        // A breach during this run arms the dump; snapshotting here —
+        // after the queue has fully drained — captures both the lead-up
+        // to the incident and the shed/degraded aftermath.
+        if self.breach_pending {
+            self.breach_pending = false;
+            if self.breach_dump.is_none() {
+                let records = cnn_trace::flight().snapshot();
+                self.breach_dump = Some(cnn_trace::export::chrome::flight_to_chrome_json(&records));
+            }
         }
 
         FrontendReport {
@@ -529,6 +725,7 @@ impl Frontend {
             max_queue_depth,
             tier_transitions: self.controller.transitions,
             final_tier: self.controller.tier,
+            slo_breaches: self.slo_breaches,
         }
     }
 
@@ -546,11 +743,18 @@ impl Frontend {
         let depth = self.queue.len();
         *max_queue_depth = (*max_queue_depth).max(depth);
         cnn_trace::observe("cnn_frontend_queue_depth", depth as u64);
+        // Mint the request's causal context: this front-end's epoch in
+        // the high bits, its admission ordinal in the low bits.
+        let ctx = RequestCtx::root(self.trace_epoch | (self.admit_seq & 0xffff_ffff));
+        self.admit_seq += 1;
+        flight_record(ctx.trace_id, FlightStage::Admit, now, depth as u64);
         let deadline = deadline_at(a.at, a.budget);
         if let Some(finish) = self.estimator.estimate_finish(now, t_free, depth) {
             if finish > deadline {
                 *shed_deadline += 1;
                 cnn_trace::counter_add("cnn_frontend_shed_total", &[("reason", "deadline")], 1);
+                flight_record(ctx.trace_id, FlightStage::Shed, now, SHED_DEADLINE);
+                self.observe_slo(SLO_GOODPUT_OBJECTIVE, false, ctx.trace_id, now);
                 return;
             }
         }
@@ -559,15 +763,28 @@ impl Frontend {
             tenant: a.tenant,
             arrival: now,
             deadline,
+            ctx,
         };
+        // The Enqueue record lands before the attempt so a
+        // backpressure refusal still shows the request reaching its
+        // lane: admission → queue → shed.
+        flight_record(
+            ctx.trace_id,
+            FlightStage::Enqueue,
+            now,
+            self.queue.tenant_depth(a.tenant) as u64,
+        );
         match self.queue.try_enqueue(req) {
             Ok(()) => {
                 *admitted += 1;
                 cnn_trace::counter_add("cnn_frontend_admitted_total", &[], 1);
+                self.observe_slo(SLO_GOODPUT_OBJECTIVE, true, ctx.trace_id, now);
             }
             Err(_) => {
                 *shed_queue_full += 1;
                 cnn_trace::counter_add("cnn_frontend_shed_total", &[("reason", "queue_full")], 1);
+                flight_record(ctx.trace_id, FlightStage::Shed, now, SHED_QUEUE_FULL);
+                self.observe_slo(SLO_GOODPUT_OBJECTIVE, false, ctx.trace_id, now);
             }
         }
     }
@@ -614,6 +831,13 @@ pub fn preregister_frontend_metrics() {
     cnn_trace::counter_add("cnn_frontend_admitted_total", &[], 0);
     cnn_trace::counter_add("cnn_frontend_deadline_miss_total", &[], 0);
     cnn_trace::counter_add("cnn_frontend_degrade_transitions_total", &[], 0);
+    for objective in ["deadline", "goodput"] {
+        cnn_trace::counter_add(
+            "cnn_frontend_slo_breaches_total",
+            &[("objective", objective)],
+            0,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -916,6 +1140,123 @@ mod tests {
         let a = fe_a.run(&arrivals, &mut pool_a, software);
         let b = fe_b.run(&arrivals, &mut pool_b, software);
         assert_eq!(a, b, "same schedule + config must replay identically");
+    }
+
+    #[test]
+    fn flight_records_reconstruct_a_served_request_timeline() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            batch_deadline: 1_000,
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(8, 2_000, 50_000);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert_eq!(r.shed(), 0);
+        // The first admitted request's trace id is epoch | 0.
+        let recs = cnn_trace::flight().records_for(fe.trace_epoch());
+        let stages: Vec<FlightStage> = recs.iter().map(|r| r.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                FlightStage::Admit,
+                FlightStage::Enqueue,
+                FlightStage::BatchForm,
+                FlightStage::Dispatch,
+                FlightStage::Complete,
+            ],
+            "a clean request's lifecycle, in causal order"
+        );
+        assert_eq!(recs[4].arg, 1, "deadline met");
+    }
+
+    #[test]
+    fn slo_breach_captures_one_dump_and_pressures_the_ladder() {
+        // Burst of 16 into a 4-deep lane with tiny burn windows: the
+        // 12 queue_full sheds burn the goodput budget immediately,
+        // while the queue depth alone (≤ 4) would never leave Normal.
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 2,
+            batch_deadline: 1_000_000,
+            queue_cap: 4,
+            slo: SloConfig {
+                fast_window: 4,
+                slow_window: 8,
+                ..SloConfig::default()
+            },
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(16, 0, u64::MAX / 2);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(r.shed_queue_full > 0);
+        assert_eq!(r.slo_breaches, 1, "one incident, edge-triggered");
+        assert!(
+            r.tier_transitions >= 1 && r.final_tier >= DegradeTier::Tight,
+            "a latched breach must hold the ladder at Tight (got {:?})",
+            r.final_tier
+        );
+
+        // The automatic dump is a complete Chrome-trace document whose
+        // flow events reconstruct a shed request's timeline.
+        let dump = fe.breach_dump().expect("first breach captures a dump");
+        let doc = cnn_trace::export::json::parse(dump).expect("dump must be valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.iter().any(|e| {
+            e.get("name").unwrap().as_str() == Some("slo_breach")
+                && e.get("ph").unwrap().as_str() == Some("X")
+        }));
+        // One of this run's shed requests: admit → enqueue → shed.
+        let shed_trace = events
+            .iter()
+            .find(|e| {
+                e.get("name").unwrap().as_str() == Some("shed")
+                    && e.get("args")
+                        .and_then(|a| a.get("trace_id"))
+                        .and_then(|v| v.as_u64())
+                        .is_some_and(|t| t >> 32 == fe.trace_epoch() >> 32)
+            })
+            .and_then(|e| e.get("args").unwrap().get("trace_id").unwrap().as_u64())
+            .expect("dump contains a shed record from this run");
+        let timeline: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").unwrap().as_str() == Some("X")
+                    && e.get("args")
+                        .and_then(|a| a.get("trace_id"))
+                        .and_then(|v| v.as_u64())
+                        == Some(shed_trace)
+            })
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(timeline, vec!["admit", "enqueue", "shed"]);
+
+        // take_breach_dump moves it out; a later breach in the same
+        // run would not have overwritten the first.
+        assert!(fe.take_breach_dump().is_some());
+        assert!(fe.breach_dump().is_none());
+    }
+
+    #[test]
+    fn slo_disabled_never_breaches_or_dumps() {
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 2,
+            batch_deadline: 1_000_000,
+            queue_cap: 4,
+            slo: SloConfig {
+                enabled: false,
+                fast_window: 4,
+                slow_window: 8,
+                ..SloConfig::default()
+            },
+            ..FrontendConfig::default()
+        });
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], pool_cfg());
+        let arrivals = uniform_arrivals(16, 0, u64::MAX / 2);
+        let r = fe.run(&arrivals, &mut pool, software);
+        assert!(r.shed_queue_full > 0, "sheds still happen");
+        assert_eq!(r.slo_breaches, 0);
+        assert!(fe.breach_dump().is_none());
     }
 
     #[test]

@@ -1,111 +1,11 @@
 //! Per-device dispatch-latency histogram for hedge decisions.
 //!
-//! Same fixed power-of-four bucket layout as `cnn-trace`'s registry
-//! histograms (so dashboards and the hedger agree on boundaries),
-//! but local and lock-free-by-ownership: each pool slot owns one and
-//! queries its p99 on every successful dispatch.
+//! One quantile implementation for the whole workspace: this is
+//! `cnn-trace`'s owned [`LatencyHistogram`], re-exported so the hedger
+//! and the registry snapshots share bucket boundaries, quantile
+//! arithmetic, and the load-bearing cold-start `None` contract (see
+//! `cnn_trace::hist`). The pool keeps one per slot — local and
+//! lock-free-by-ownership — and queries its p99 on every successful
+//! dispatch.
 
-/// Bucket upper bounds, in simulated cycles (matches
-/// `cnn_trace::DEFAULT_BUCKETS`); the `+Inf` bucket is implicit.
-pub const BUCKET_BOUNDS: [u64; 10] = [
-    256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864,
-];
-
-/// Fixed-bucket latency histogram.
-#[derive(Clone, Debug)]
-pub struct LatencyHistogram {
-    buckets: [u64; BUCKET_BOUNDS.len() + 1],
-    count: u64,
-    sum: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: [0; BUCKET_BOUNDS.len() + 1],
-            count: 0,
-            sum: 0,
-        }
-    }
-
-    /// Records one latency observation (simulated cycles).
-    pub fn observe(&mut self, cycles: u64) {
-        let idx = BUCKET_BOUNDS.partition_point(|&b| b < cycles);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(cycles);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sum of observed cycles.
-    pub fn sum(&self) -> u64 {
-        self.sum
-    }
-
-    /// Upper-bound estimate of the `q`-quantile: smallest bucket
-    /// bound covering a `q` fraction of observations (`u64::MAX` for
-    /// the `+Inf` bucket, `None` while empty). Conservative in the
-    /// same way as `cnn_trace::HistogramSnapshot::quantile`, so a
-    /// hedge never fires on a latency the histogram cannot resolve.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 || !q.is_finite() {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut cum = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= rank {
-                return Some(BUCKET_BOUNDS.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn quantile_is_bucket_upper_bound() {
-        let mut h = LatencyHistogram::new();
-        for _ in 0..99 {
-            h.observe(200); // <= 256
-        }
-        h.observe(100_000); // <= 262_144
-        assert_eq!(h.quantile(0.5), Some(256));
-        assert_eq!(h.quantile(0.99), Some(256));
-        assert_eq!(h.quantile(1.0), Some(262_144));
-        assert_eq!(h.count(), 100);
-    }
-
-    #[test]
-    fn empty_histogram_has_no_quantile() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile(0.99), None);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn overflow_bucket_reports_max() {
-        let mut h = LatencyHistogram::new();
-        h.observe(u64::MAX);
-        assert_eq!(h.quantile(0.5), Some(u64::MAX));
-        assert_eq!(h.sum(), u64::MAX);
-        h.observe(u64::MAX); // sum saturates instead of wrapping
-        assert_eq!(h.sum(), u64::MAX);
-    }
-}
+pub use cnn_trace::hist::{LatencyHistogram, BUCKET_BOUNDS};

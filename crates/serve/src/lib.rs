@@ -51,7 +51,7 @@ pub use budget::{RetryBudget, TakeOutcome};
 pub use deadline::{deadline_at, feasible_before, QueueDelayEstimator};
 pub use frontend::{
     preregister_frontend_metrics, Arrival, CompletedRequest, DegradeConfig, DegradeTier, Frontend,
-    FrontendConfig, FrontendReport,
+    FrontendConfig, FrontendReport, SloConfig,
 };
 pub use health::{health_of, FailureWindow, HealthConfig, HealthState};
 pub use hist::{LatencyHistogram, BUCKET_BOUNDS};

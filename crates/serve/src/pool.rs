@@ -36,6 +36,7 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::budget::{RetryBudget, TakeOutcome};
 use crate::health::{health_of, FailureWindow, HealthConfig, HealthState};
 use crate::hist::LatencyHistogram;
+use cnn_trace::{flight_record, FlightStage, RequestCtx};
 
 /// Offset between the fault-sampling attempt windows of successive
 /// dispatches of the same image (re-dispatches and hedges). Far
@@ -81,6 +82,14 @@ pub struct HedgeConfig {
     /// Minimum latency observations on a device before its quantile
     /// is trusted (hedging on a cold histogram would fire randomly).
     pub min_samples: u64,
+    /// Additional mean-based outlier trigger: hedge when a dispatch
+    /// runs longer than `mean_factor` times the device's mean latency
+    /// (exact, from the histogram's sum/count). The bucketed quantile
+    /// cannot see outliers that stay inside the p99 bucket — a
+    /// uniform workload puts every dispatch in one power-of-four
+    /// bucket, so a 15% latency excursion is invisible to it. `0.0`
+    /// (the default) disables this trigger.
+    pub mean_factor: f64,
 }
 
 impl Default for HedgeConfig {
@@ -89,6 +98,7 @@ impl Default for HedgeConfig {
             enabled: true,
             quantile: 0.99,
             min_samples: 16,
+            mean_factor: 0.0,
         }
     }
 }
@@ -128,6 +138,12 @@ pub struct RequestOptions {
     /// estimated finish overruns it are not launched; `None` disables
     /// deadline gating (batch-mode serving).
     pub deadline: Option<u64>,
+    /// Causal request context minted at admission. When present, the
+    /// pool stamps dispatch/retry/hedge/fallback flight records with
+    /// its trace id and installs it as the thread's current context
+    /// around device dispatches (so the DMA layer, below the `Device`
+    /// trait, can attribute transfer attempts to the request).
+    pub ctx: Option<RequestCtx>,
 }
 
 impl Default for RequestOptions {
@@ -135,6 +151,7 @@ impl Default for RequestOptions {
         RequestOptions {
             hedging: true,
             deadline: None,
+            ctx: None,
         }
     }
 }
@@ -323,10 +340,7 @@ impl<D: Device> DevicePool<D> {
     {
         let _span = cnn_trace::span("serve", "pool_serve");
         preregister_pool_metrics();
-        let opts = RequestOptions {
-            hedging: true,
-            deadline: None,
-        };
+        let opts = RequestOptions::default();
         let mut budget = RetryBudget::new(self.cfg.retry_budget);
         let mut predictions = Vec::with_capacity(n_images);
         let mut outcomes = Vec::with_capacity(n_images);
@@ -377,6 +391,10 @@ impl<D: Device> DevicePool<D> {
     where
         F: FnOnce(usize) -> usize,
     {
+        // Install the request context for the duration of this call so
+        // the layers below the `Device` trait (the DMA models) can
+        // attribute their flight records to it.
+        let _ctx_scope = opts.ctx.map(cnn_trace::ctx_scope);
         let mut seq = 0u32;
         let mut tried: Vec<usize> = Vec::new();
         let mut image_cycles = 0u64;
@@ -385,6 +403,7 @@ impl<D: Device> DevicePool<D> {
 
         while served.is_none() {
             let Some(di) = self.pick(&tried) else { break };
+            self.flight(opts.ctx, FlightStage::Dispatch, di as u64);
             let (out, slow) = self.dispatch_on(di, image_id, seq);
             seq += 1;
             tried.push(di);
@@ -398,6 +417,7 @@ impl<D: Device> DevicePool<D> {
                 match budget.try_take_within(est_finish, opts.deadline) {
                     TakeOutcome::Granted => {
                         cnn_trace::counter_add("cnn_pool_redispatches_total", &[], 1);
+                        self.flight(opts.ctx, FlightStage::Retry, u64::from(seq));
                         continue;
                     }
                     TakeOutcome::DeadlineGated => {
@@ -427,6 +447,7 @@ impl<D: Device> DevicePool<D> {
                         1,
                     );
                 } else if let Some(hj) = self.pick(&tried) {
+                    self.flight(opts.ctx, FlightStage::Hedge, hj as u64);
                     let (hout, _) = self.dispatch_on(hj, image_id, seq);
                     seq += 1;
                     tried.push(hj);
@@ -466,6 +487,7 @@ impl<D: Device> DevicePool<D> {
             },
             None => {
                 cnn_trace::counter_add("cnn_pool_fallback_total", &[], 1);
+                self.flight(opts.ctx, FlightStage::Fallback, u64::from(seq));
                 ServedImage {
                     prediction: fallback(image_id),
                     outcome: ServeOutcome {
@@ -511,6 +533,14 @@ impl<D: Device> DevicePool<D> {
             .unwrap_or(0)
     }
 
+    /// Stamps a flight record for `ctx`'s request on the pool clock
+    /// (a no-op for context-free callers like batch-mode `serve`).
+    fn flight(&self, ctx: Option<RequestCtx>, stage: FlightStage, arg: u64) {
+        if let Some(c) = ctx {
+            flight_record(c.trace_id, stage, self.clock, arg);
+        }
+    }
+
     /// Round-robin pick of a device whose breaker admits traffic at
     /// the current clock, preferring devices not yet tried for this
     /// image; falls back to any willing device, tried or not.
@@ -552,8 +582,14 @@ impl<D: Device> DevicePool<D> {
         slot.window.record(!ok);
         if ok {
             slot.breaker.record_success();
-            slow = slot.hist.count() >= hedge.min_samples
-                && matches!(slot.hist.quantile(hedge.quantile), Some(p) if out.cycles > p);
+            let warm = slot.hist.count() >= hedge.min_samples;
+            let past_quantile =
+                matches!(slot.hist.quantile(hedge.quantile), Some(p) if out.cycles > p);
+            let past_mean = hedge.mean_factor > 0.0
+                && slot.hist.count() > 0
+                && (out.cycles as f64)
+                    > slot.hist.sum() as f64 / slot.hist.count() as f64 * hedge.mean_factor;
+            slow = warm && (past_quantile || past_mean);
             slot.hist.observe(out.cycles);
         } else {
             slot.failures += 1;
@@ -758,6 +794,7 @@ mod tests {
                     enabled: true,
                     quantile: 0.99,
                     min_samples: 8,
+                    ..HedgeConfig::default()
                 },
                 ..cfg()
             },
@@ -775,6 +812,49 @@ mod tests {
         );
         assert_eq!(r.predictions[outlier_at], outlier_at % 10);
         assert_eq!(r.fallback_served, 0);
+    }
+
+    #[test]
+    fn mean_factor_catches_in_bucket_outliers_the_quantile_misses() {
+        // A +20% excursion stays inside the same power-of-four bucket
+        // as the 100k-cycle baseline, so the bucketed p99 never sees
+        // it — only the mean trigger can.
+        let outlier_at = 40usize;
+        let spiky = || Mock {
+            latency: Box::new(move |id| if id == outlier_at { 120_000 } else { 100_000 }),
+            fails: Box::new(|_, _, _| false),
+            dispatched: 0,
+        };
+        let quantile_only = PoolConfig {
+            hedge: HedgeConfig {
+                min_samples: 8,
+                ..HedgeConfig::default()
+            },
+            ..cfg()
+        };
+        let mut pool = DevicePool::new(vec![spiky(), Mock::healthy(100_000)], quantile_only);
+        let r = pool.serve(64, |_| unreachable!());
+        assert_eq!(r.hedges, 0, "in-bucket outlier is invisible to p99");
+
+        let with_mean = PoolConfig {
+            hedge: HedgeConfig {
+                min_samples: 8,
+                mean_factor: 1.1,
+                ..HedgeConfig::default()
+            },
+            ..cfg()
+        };
+        let mut pool = DevicePool::new(vec![spiky(), Mock::healthy(100_000)], with_mean);
+        let r = pool.serve(64, |_| unreachable!());
+        assert_eq!(r.hedges, 1, "the mean trigger catches it");
+        assert_eq!(r.hedge_wins, 1, "the steady duplicate beats it");
+        assert_eq!(
+            r.outcomes[outlier_at].served_by,
+            ServedBy::Hedged {
+                primary: 0,
+                winner: 1
+            }
+        );
     }
 
     #[test]
@@ -880,6 +960,7 @@ mod tests {
             RequestOptions {
                 hedging: true,
                 deadline: Some(50),
+                ..RequestOptions::default()
             },
             |i| i % 10,
         );
@@ -903,6 +984,7 @@ mod tests {
                     enabled: true,
                     quantile: 0.99,
                     min_samples: 8,
+                    ..HedgeConfig::default()
                 },
                 ..cfg()
             },
@@ -911,6 +993,7 @@ mod tests {
         let opts = RequestOptions {
             hedging: false,
             deadline: None,
+            ..RequestOptions::default()
         };
         for id in 0..64 {
             let s = pool.serve_one(id, &mut budget, opts, |_| unreachable!());
@@ -933,6 +1016,7 @@ mod tests {
                     enabled: true,
                     quantile: 0.99,
                     min_samples: 8,
+                    ..HedgeConfig::default()
                 },
                 ..cfg()
             },
@@ -949,6 +1033,7 @@ mod tests {
                 RequestOptions {
                     hedging: true,
                     deadline,
+                    ..RequestOptions::default()
                 },
                 |_| unreachable!(),
             );
@@ -956,6 +1041,54 @@ mod tests {
             assert_eq!(s.prediction, id % 10);
             assert!(matches!(s.outcome.served_by, ServedBy::Device(_)));
         }
+    }
+
+    #[test]
+    fn flight_records_cover_retry_and_fallback_paths() {
+        // One hostile device, retry budget 1: the request's flight
+        // timeline must read dispatch → retry → dispatch → fallback.
+        let mut pool = DevicePool::new(vec![Mock::hostile(100)], cfg());
+        let mut budget = RetryBudget::new(1);
+        let ctx = RequestCtx::root((0xF00D << 32) | 7);
+        let s = pool.serve_one(
+            3,
+            &mut budget,
+            RequestOptions {
+                ctx: Some(ctx),
+                ..RequestOptions::default()
+            },
+            |i| i % 10,
+        );
+        assert_eq!(s.outcome.served_by, ServedBy::Fallback);
+        let stages: Vec<FlightStage> = cnn_trace::flight()
+            .records_for(ctx.trace_id)
+            .iter()
+            .map(|r| r.stage)
+            .collect();
+        assert_eq!(
+            stages,
+            vec![
+                FlightStage::Dispatch,
+                FlightStage::Retry,
+                FlightStage::Dispatch,
+                FlightStage::Fallback,
+            ]
+        );
+    }
+
+    #[test]
+    fn context_free_requests_stamp_no_flight_records() {
+        let mut pool = DevicePool::new(vec![Mock::healthy(100)], cfg());
+        let _ = pool.serve(4, |_| unreachable!());
+        // Batch-mode serve carries no ctx; the pool must not pollute
+        // the ring with trace-id-0 records. (Other tests write to the
+        // shared ring concurrently, so assert on content, not count.)
+        let zero_dispatches: Vec<_> = cnn_trace::flight()
+            .records_for(0)
+            .into_iter()
+            .filter(|r| r.stage == FlightStage::Dispatch)
+            .collect();
+        assert!(zero_dispatches.is_empty());
     }
 
     #[test]

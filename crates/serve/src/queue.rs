@@ -10,6 +10,8 @@
 //! have backlog; an idle tenant's unused share flows to the busy ones
 //! (work conservation).
 
+use cnn_trace::RequestCtx;
+
 /// One admitted request waiting for a batch slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QueuedRequest {
@@ -22,6 +24,10 @@ pub struct QueuedRequest {
     pub arrival: u64,
     /// Absolute front-end-clock deadline.
     pub deadline: u64,
+    /// Causal request context minted at admission; rides with the
+    /// request through batching so queue residency shows up on the
+    /// flight recorder's per-request timeline.
+    pub ctx: RequestCtx,
 }
 
 /// Refusal: the tenant's lane is at capacity (backpressure).
@@ -164,6 +170,7 @@ mod tests {
             tenant,
             arrival,
             deadline: arrival + 10_000,
+            ctx: RequestCtx::root(image_id as u64),
         }
     }
 

@@ -1,0 +1,164 @@
+//! Request-scoped causal context.
+//!
+//! A [`RequestCtx`] is minted by the serving front-end when a request
+//! is admitted and rides along with it through queueing, batch
+//! formation, pool dispatch, retries/hedges, DMA transfer and the
+//! software fallback. It is deliberately tiny and `Copy`: threading it
+//! through the serving stack must cost nothing and allocate nothing
+//! (the zero-alloc serving-path guarantee includes this type).
+//!
+//! ## Trace-id layout
+//!
+//! `trace_id` packs a process-global **epoch** (one per front-end run,
+//! allocated by [`next_trace_epoch`]) in the high 32 bits and a
+//! per-run request sequence number in the low 32 bits. Two properties
+//! follow:
+//!
+//! * ids are unique across concurrently running front-ends in one
+//!   process (tests, sweeps), because epochs never repeat, and
+//! * the *reported* behaviour of a run stays deterministic — trace ids
+//!   never enter a [`FrontendReport`]-style result, only the flight
+//!   recorder, so replaying a schedule still compares bit-identically.
+//!
+//! [`FrontendReport`]: ../cnn_serve/struct.FrontendReport.html
+//!
+//! ## Propagation below the `Device` trait
+//!
+//! The pool's `Device::dispatch` signature is context-free (many
+//! implementations exist, most of them scripted mocks). Instead of
+//! widening that trait, the pool installs the current context in a
+//! thread-local scope ([`ctx_scope`]) around each dispatch; the
+//! simulated Zynq device reads it back with [`current_ctx`] to
+//! annotate DMA attempts. The scope is RAII and re-entrant: nesting
+//! restores the previous context on drop.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Causal identity of one in-flight request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RequestCtx {
+    /// Unique id of the request: `(epoch << 32) | per-run sequence`.
+    pub trace_id: u64,
+    /// Id of the stage currently acting on the request (0 = root).
+    pub span_id: u32,
+    /// Id of the stage that handed the request over (0 = none).
+    pub parent_span: u32,
+}
+
+impl RequestCtx {
+    /// The root context minted at admission.
+    pub fn root(trace_id: u64) -> RequestCtx {
+        RequestCtx {
+            trace_id,
+            span_id: 0,
+            parent_span: 0,
+        }
+    }
+
+    /// A child context for a downstream stage: same trace, new span,
+    /// parented on the current span.
+    pub fn child(self, span_id: u32) -> RequestCtx {
+        RequestCtx {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span: self.span_id,
+        }
+    }
+
+    /// The per-run request sequence number (low 32 bits).
+    pub fn sequence(self) -> u32 {
+        self.trace_id as u32
+    }
+
+    /// The run epoch this request belongs to (high 32 bits).
+    pub fn epoch(self) -> u64 {
+        self.trace_id >> 32
+    }
+}
+
+/// Epoch allocator; epoch 0 is reserved so a zeroed trace id is
+/// recognizably "no context".
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh trace-id epoch (the high-32-bit block all of one
+/// run's trace ids share). Monotonic per process, never reused.
+pub fn next_trace_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed) << 32
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<RequestCtx>> = const { Cell::new(None) };
+}
+
+/// The request context installed on this thread, if any. Layers below
+/// the `Device` trait use this to annotate work (DMA attempts) with
+/// the request that caused it.
+pub fn current_ctx() -> Option<RequestCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// RAII guard restoring the previously installed context on drop.
+#[must_use = "dropping the scope immediately uninstalls the context"]
+pub struct CtxScope {
+    prev: Option<RequestCtx>,
+}
+
+/// Installs `ctx` as this thread's current request context until the
+/// returned guard drops. Nesting is supported: the inner scope's drop
+/// restores the outer context.
+pub fn ctx_scope(ctx: RequestCtx) -> CtxScope {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    CtxScope { prev }
+}
+
+impl Drop for CtxScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_links_to_parent() {
+        let root = RequestCtx::root(7);
+        assert_eq!(root.span_id, 0);
+        let c = root.child(3);
+        assert_eq!(c.trace_id, 7);
+        assert_eq!(c.parent_span, 0);
+        let g = c.child(4);
+        assert_eq!(g.parent_span, 3);
+    }
+
+    #[test]
+    fn epochs_are_unique_and_nonzero() {
+        let a = next_trace_epoch();
+        let b = next_trace_epoch();
+        assert_ne!(a, b);
+        assert!(a >= 1 << 32, "epoch 0 is reserved");
+        let ctx = RequestCtx::root(a | 42);
+        assert_eq!(ctx.sequence(), 42);
+        assert_eq!(ctx.epoch(), a >> 32);
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert_eq!(current_ctx(), None);
+        let outer = RequestCtx::root(1);
+        let inner = RequestCtx::root(2);
+        {
+            let _a = ctx_scope(outer);
+            assert_eq!(current_ctx(), Some(outer));
+            {
+                let _b = ctx_scope(inner);
+                assert_eq!(current_ctx(), Some(inner));
+            }
+            assert_eq!(current_ctx(), Some(outer), "nested scope restores");
+        }
+        assert_eq!(current_ctx(), None);
+    }
+}

@@ -10,6 +10,7 @@
 //! escaping.
 
 use crate::event::EventKind;
+use crate::flight::FlightRecord;
 use crate::snapshot::TraceSnapshot;
 use std::fmt::Write;
 
@@ -97,10 +98,71 @@ pub fn to_chrome_json(snapshot: &TraceSnapshot) -> String {
     )
 }
 
+/// Renders flight-recorder records as a Chrome trace document whose
+/// **flow events** stitch each request's lifecycle into one arrowed
+/// chain across the serving stack.
+///
+/// Per record one 1-µs phase-`X` slice is emitted (name = stage,
+/// `tid` = the request's per-run sequence number so each request gets
+/// its own row, `ts` = the record's simulated-cycle clock rendered as
+/// microseconds) plus one flow event bound to it: phase `s` on a
+/// request's first record, `t` on intermediate ones and `f` (binding
+/// point `e`) on its last, all sharing `id` = trace id — which is
+/// exactly how Chrome/Perfetto draw admission → queue → batch →
+/// dispatch → completion arrows for one request.
+///
+/// Front-end stages are stamped on the front-end clock and pool/device
+/// stages on the pool clock; within one request the record *order* is
+/// causal even where the two timelines' values interleave.
+pub fn flight_to_chrome_json(records: &[FlightRecord]) -> String {
+    use std::collections::HashMap;
+    // Per trace: (records seen, index of this record within its trace).
+    let mut totals: HashMap<u64, u64> = HashMap::new();
+    for r in records {
+        *totals.entry(r.trace_id).or_insert(0) += 1;
+    }
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    let mut body = String::new();
+    let mut first = true;
+    for r in records {
+        let nth = seen.entry(r.trace_id).or_insert(0);
+        *nth += 1;
+        let total = totals[&r.trace_id];
+        let tid = r.trace_id as u32;
+        let ts = r.clock;
+        let name = r.stage.as_str();
+        let _ = write!(
+            body,
+            "{}    {{\"name\":\"{name}\",\"cat\":\"flight\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{ts},\"dur\":1,\"args\":{{\"trace_id\":{},\"arg\":{}}}}}",
+            if first { "" } else { ",\n" },
+            r.trace_id,
+            r.arg,
+        );
+        first = false;
+        // The flow arrow binding this slice to the request chain.
+        let (ph, bp) = if *nth == 1 {
+            ("s", "")
+        } else if *nth == total {
+            ("f", ",\"bp\":\"e\"")
+        } else {
+            ("t", "")
+        };
+        if total > 1 {
+            let _ = write!(
+                body,
+                ",\n    {{\"name\":\"request\",\"cat\":\"flight\",\"ph\":\"{ph}\",\"id\":{}{bp},\"pid\":1,\"tid\":{tid},\"ts\":{ts}}}",
+                r.trace_id,
+            );
+        }
+    }
+    format!("{{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n{body}\n  ]\n}}\n")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::flight::FlightStage;
     use crate::registry::CounterSnapshot;
     use std::borrow::Cow;
 
@@ -187,5 +249,147 @@ mod tests {
         assert!(text.starts_with('{'));
         assert!(text.trim_end().ends_with('}'));
         assert!(text.contains("\"traceEvents\": ["));
+    }
+
+    fn ev(kind: EventKind, name: &'static str, wall_ns: u64) -> Event {
+        Event {
+            kind,
+            cat: "serve",
+            name: Cow::Borrowed(name),
+            thread: 1,
+            wall_ns,
+            cycles: wall_ns,
+        }
+    }
+
+    /// The exported document must be valid JSON end to end — parsed
+    /// with a real JSON parser, not substring checks.
+    #[test]
+    fn span_export_parses_as_json_and_nests_b_e_pairs() {
+        let snap = TraceSnapshot {
+            events: vec![
+                ev(EventKind::Enter, "outer", 100),
+                ev(EventKind::Enter, "inner \"quoted\"\n", 200),
+                ev(EventKind::Exit, "inner \"quoted\"\n", 300),
+                ev(EventKind::Instant, "tick", 350),
+                ev(EventKind::Exit, "outer", 400),
+            ],
+            dropped: 0,
+            counters: vec![CounterSnapshot {
+                name: "beats_total",
+                labels: vec![],
+                value: 3,
+            }],
+            histograms: vec![],
+        };
+        let doc = crate::export::json::parse(&to_chrome_json(&snap)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // B/E pairing: walking the array keeps a per-tid stack that
+        // never underflows and ends balanced, with matching names.
+        let mut stack: Vec<&str> = Vec::new();
+        for e in events {
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "B" => stack.push(e.get("name").unwrap().as_str().unwrap()),
+                "E" => {
+                    let open = stack.pop().expect("exit without matching enter");
+                    let name = e.get("name").unwrap().as_str().unwrap();
+                    assert_eq!(open, name, "spans must nest");
+                }
+                _ => {}
+            }
+        }
+        assert!(stack.is_empty(), "every span must close");
+        // Timestamps are numbers, not strings.
+        assert!(events[0].get("ts").unwrap().as_f64().is_some());
+    }
+
+    /// Flow events stitch one request across the serving stack: the
+    /// chain starts at the front-end (admit), steps through the pool
+    /// (dispatch) and ends at the device (completion), all bound by
+    /// one flow id.
+    #[test]
+    fn flight_flow_events_connect_frontend_pool_device() {
+        let trace = (5u64 << 32) | 7;
+        let records = vec![
+            FlightRecord {
+                trace_id: trace,
+                stage: FlightStage::Admit,
+                clock: 10,
+                arg: 0,
+            },
+            FlightRecord {
+                trace_id: trace,
+                stage: FlightStage::Enqueue,
+                clock: 11,
+                arg: 0,
+            },
+            FlightRecord {
+                trace_id: trace,
+                stage: FlightStage::Dispatch,
+                clock: 20,
+                arg: 1,
+            },
+            FlightRecord {
+                trace_id: trace,
+                stage: FlightStage::DmaAttempt,
+                clock: 25,
+                arg: 0,
+            },
+            FlightRecord {
+                trace_id: trace,
+                stage: FlightStage::Complete,
+                clock: 40,
+                arg: 1,
+            },
+            // An unrelated single-record trace must not join the chain.
+            FlightRecord {
+                trace_id: 999,
+                stage: FlightStage::Shed,
+                clock: 12,
+                arg: crate::flight::SHED_DEADLINE,
+            },
+        ];
+        let text = flight_to_chrome_json(&records);
+        let doc = crate::export::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ph = |e: &crate::export::json::Json| e.get("ph").unwrap().as_str().unwrap().to_string();
+
+        let flows: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(ph(e).as_str(), "s" | "t" | "f")
+                    && e.get("id").and_then(|v| v.as_u64()) == Some(trace)
+            })
+            .collect();
+        assert_eq!(flows.len(), 5, "one flow edge per lifecycle record");
+        assert_eq!(ph(flows[0]), "s", "chain starts at admission");
+        assert_eq!(ph(flows[4]), "f", "chain ends at completion");
+        assert_eq!(flows[4].get("bp").unwrap().as_str(), Some("e"));
+        for mid in &flows[1..4] {
+            assert_eq!(ph(mid), "t");
+        }
+        // The slices the flow binds to span frontend → pool → device.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                ph(e) == "X"
+                    && e.get("args")
+                        .and_then(|a| a.get("trace_id"))
+                        .and_then(|v| v.as_u64())
+                        == Some(trace)
+            })
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["admit", "enqueue", "dispatch", "dma_attempt", "complete"]
+        );
+        // Single-record traces emit a slice but no dangling flow.
+        assert!(events
+            .iter()
+            .any(|e| ph(e) == "X" && e.get("name").unwrap().as_str() == Some("shed")));
+        assert!(!events
+            .iter()
+            .any(|e| e.get("id").and_then(|v| v.as_u64()) == Some(999) && ph(e) != "X"));
     }
 }

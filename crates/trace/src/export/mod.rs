@@ -2,5 +2,6 @@
 //! exposition, and the human-readable per-span latency table.
 
 pub mod chrome;
+pub mod json;
 pub mod prometheus;
 pub mod table;

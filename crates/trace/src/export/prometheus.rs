@@ -5,49 +5,198 @@
 use crate::snapshot::TraceSnapshot;
 use std::fmt::Write;
 
-/// Static help text for the workspace's well-known metric families.
+/// Static help text for **every** metric family the workspace
+/// registers, one entry per family.
 ///
 /// Prometheus treats two series with the same name but different help
-/// strings as a scrape error, so every binary that exposes one of these
-/// families must describe it identically — which is why the text lives
-/// here, next to the exposition writer, instead of at each call site.
-/// Returns `None` for ad-hoc metrics; those get a `# TYPE` line only.
+/// strings as a scrape error, so every binary that exposes one of
+/// these families must describe it identically — which is why the
+/// text lives here, next to the exposition writer, instead of at each
+/// call site. The conformance suite (`tests/metrics_conformance.rs`
+/// at the workspace root plus the unit tests below) fails the build
+/// when a metric is registered without an entry here, when a name
+/// drifts off the `cnn_[a-z0-9_]+` grammar, or when a counter loses
+/// its `_total` suffix.
+pub const METRIC_HELP: &[(&str, &str)] = &[
+    // Front-end (admission, batching, degradation, SLO).
+    (
+        "cnn_frontend_admitted_total",
+        "Requests accepted into the batching queue.",
+    ),
+    (
+        "cnn_frontend_shed_total",
+        "Requests refused at admission, by reason (deadline estimate or queue_full backpressure).",
+    ),
+    (
+        "cnn_frontend_deadline_miss_total",
+        "Admitted requests whose response completed after their deadline.",
+    ),
+    (
+        "cnn_frontend_batches_total",
+        "Batches dispatched by the front-end, by mode (hw or software fallback tier).",
+    ),
+    (
+        "cnn_frontend_degrade_transitions_total",
+        "Degradation-tier changes made by the overload controller.",
+    ),
+    (
+        "cnn_frontend_slo_breaches_total",
+        "SLO burn-rate breach edges detected by the front-end, by objective.",
+    ),
+    (
+        "cnn_frontend_queue_depth",
+        "Queue depth observed at each admission decision.",
+    ),
+    (
+        "cnn_frontend_queue_delay_cycles",
+        "Cycles a request waited in the queue before its batch dispatched.",
+    ),
+    // Device pool (dispatching, retries, hedging, deadline gating).
+    (
+        "cnn_pool_dispatches_total",
+        "Device dispatches routed by the pool, by outcome (ok or abandoned).",
+    ),
+    (
+        "cnn_pool_redispatches_total",
+        "Retries granted by the pool's retry budget.",
+    ),
+    (
+        "cnn_pool_hedges_total",
+        "Hedge duplicates issued for dispatches that ran past their device's tail latency.",
+    ),
+    (
+        "cnn_pool_fallback_total",
+        "Requests degraded to the bit-exact software fallback after every device declined.",
+    ),
+    (
+        "cnn_pool_deadline_gated_total",
+        "Retries or hedges suppressed because they could not finish before the request deadline.",
+    ),
+    (
+        "cnn_pool_dispatch_cycles",
+        "Simulated cycles consumed per pool dispatch.",
+    ),
+    // Device / DMA transport.
+    (
+        "cnn_images_total",
+        "Images processed by batch device dispatch, by outcome.",
+    ),
+    (
+        "cnn_image_dma_cycles",
+        "Simulated DMA cycles consumed per dispatched image.",
+    ),
+    (
+        "cnn_dma_beats_total",
+        "AXI-Stream data beats transferred, by channel (mm2s or s2mm).",
+    ),
+    (
+        "cnn_dma_reg_writes_total",
+        "DMA control-register writes issued to the register file.",
+    ),
+    (
+        "cnn_dma_retries_total",
+        "Image transfer attempts retried after a detected transport fault.",
+    ),
+    (
+        "cnn_dma_resets_total",
+        "DMA soft resets issued while recovering from transport faults.",
+    ),
+    (
+        "cnn_faults_injected_total",
+        "Transport faults injected by the configured fault plan.",
+    ),
+    (
+        "cnn_crc_detected_total",
+        "Corrupted streams caught by the CRC trailer check.",
+    ),
+    (
+        "cnn_sw_fallback_images_total",
+        "Images classified by the software fallback path.",
+    ),
+    // Bench sweeps.
+    (
+        "cnn_fault_sweep_abandoned_images_total",
+        "Images the fault sweep gave up on after exhausting retries and fallback.",
+    ),
+    // Tensor engine and workspace arena.
+    (
+        "cnn_tensor_gemm_flops_total",
+        "Floating-point operations executed by the blocked GEMM engine.",
+    ),
+    ("cnn_tensor_pack_hits_total", "GEMM weight-pack cache hits."),
+    (
+        "cnn_tensor_pack_misses_total",
+        "GEMM weight-pack cache misses (pack computed and cached).",
+    ),
+    (
+        "cnn_tensor_workspace_bytes_total",
+        "Bytes newly allocated into workspace arenas.",
+    ),
+    (
+        "cnn_tensor_workspace_shrinks_total",
+        "Workspace arenas released for exceeding the pool retention cap.",
+    ),
+    // Training and resumable workflows.
+    ("cnn_train_epochs_total", "Training epochs completed."),
+    (
+        "cnn_resume_stages_executed_total",
+        "Workflow stages executed (not satisfied from checkpoints).",
+    ),
+    (
+        "cnn_resume_stages_skipped_total",
+        "Workflow stages satisfied from persisted checkpoints.",
+    ),
+    // Artifact store.
+    ("cnn_store_puts_total", "Artifacts written to the store."),
+    (
+        "cnn_store_put_hits_total",
+        "Store writes deduplicated against an existing identical artifact.",
+    ),
+    ("cnn_store_gets_total", "Artifacts read from the store."),
+    (
+        "cnn_store_verify_failures_total",
+        "Store reads that failed checksum verification.",
+    ),
+    // The recorder's own health gauge (synthesized by this exporter).
+    (
+        "cnn_trace_journal_dropped_events",
+        "Journal events evicted because the bounded ring was full.",
+    ),
+];
+
+/// Help text for `name`, looked up in [`METRIC_HELP`]. `None` for
+/// ad-hoc metrics (tests, scratch series); those get a `# TYPE` line
+/// only.
 pub fn help_for(name: &str) -> Option<&'static str> {
-    Some(match name {
-        // Front-end (admission, batching, degradation).
-        "cnn_frontend_admitted_total" => "Requests accepted into the batching queue.",
-        "cnn_frontend_shed_total" => {
-            "Requests refused at admission, by reason (deadline estimate or queue_full backpressure)."
-        }
-        "cnn_frontend_deadline_miss_total" => {
-            "Admitted requests whose response completed after their deadline."
-        }
-        "cnn_frontend_batches_total" => {
-            "Batches dispatched by the front-end, by mode (hw or software fallback tier)."
-        }
-        "cnn_frontend_degrade_transitions_total" => {
-            "Degradation-tier changes made by the overload controller."
-        }
-        "cnn_frontend_queue_depth" => "Queue depth observed at each admission decision.",
-        "cnn_frontend_queue_delay_cycles" => {
-            "Cycles a request waited in the queue before its batch dispatched."
-        }
-        // Device pool (retries, hedging, deadline gating).
-        "cnn_pool_redispatches_total" => "Retries granted by the pool's retry budget.",
-        "cnn_pool_deadline_gated_total" => {
-            "Retries or hedges suppressed because they could not finish before the request deadline."
-        }
-        // Bench sweeps.
-        "cnn_fault_sweep_abandoned_images_total" => {
-            "Images the fault sweep gave up on after exhausting retries and fallback."
-        }
-        // Workspace arena.
-        "cnn_tensor_workspace_bytes_total" => "Bytes newly allocated into workspace arenas.",
-        "cnn_tensor_workspace_shrinks_total" => {
-            "Workspace arenas released for exceeding the pool retention cap."
-        }
-        _ => return None,
+    METRIC_HELP
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, help)| help)
+}
+
+/// Whether `name` follows the workspace metric-name grammar:
+/// `cnn_` followed by at least one of `[a-z0-9_]`.
+pub fn metric_name_conforms(name: &str) -> bool {
+    name.strip_prefix("cnn_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
     })
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and line feed.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes `# HELP` text per the exposition format: backslash and
+/// line feed (quotes are legal in help text).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn render_labels(labels: &[(String, String)]) -> String {
@@ -56,7 +205,7 @@ fn render_labels(labels: &[(String, String)]) -> String {
     }
     let inner: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     format!("{{{}}}", inner.join(","))
 }
@@ -68,7 +217,7 @@ pub fn to_prometheus_text(snapshot: &TraceSnapshot) -> String {
     for c in &snapshot.counters {
         if c.name != last_name {
             if let Some(help) = help_for(c.name) {
-                let _ = writeln!(out, "# HELP {} {help}", c.name);
+                let _ = writeln!(out, "# HELP {} {}", c.name, escape_help(help));
             }
             let _ = writeln!(out, "# TYPE {} counter", c.name);
             last_name = c.name;
@@ -77,7 +226,7 @@ pub fn to_prometheus_text(snapshot: &TraceSnapshot) -> String {
     }
     for h in &snapshot.histograms {
         if let Some(help) = help_for(h.name) {
-            let _ = writeln!(out, "# HELP {} {help}", h.name);
+            let _ = writeln!(out, "# HELP {} {}", h.name, escape_help(help));
         }
         let _ = writeln!(out, "# TYPE {} histogram", h.name);
         for (i, bound) in h.bounds.iter().enumerate() {
@@ -193,5 +342,76 @@ mod tests {
             histograms: vec![],
         };
         assert!(to_prometheus_text(&snap).contains(r#"odd_total{msg="a\"b\\c"} 1"#));
+    }
+
+    /// Exposition-format grammar: a linefeed in a label value must be
+    /// escaped to `\n` — a raw newline splits the sample line and
+    /// corrupts the whole scrape.
+    #[test]
+    fn newlines_in_label_values_are_escaped() {
+        let snap = TraceSnapshot {
+            events: vec![],
+            dropped: 0,
+            counters: vec![CounterSnapshot {
+                name: "odd_total",
+                labels: vec![("msg".into(), "line1\nline2".into())],
+                value: 1,
+            }],
+            histograms: vec![],
+        };
+        let text = to_prometheus_text(&snap);
+        assert!(text.contains(r#"odd_total{msg="line1\nline2"} 1"#));
+        // Every line of the exposition must be a comment, a sample, or
+        // blank — i.e. no line may *start* mid-value.
+        for line in text.lines() {
+            assert!(
+                line.is_empty()
+                    || line.starts_with('#')
+                    || line
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_'),
+                "malformed exposition line: {line:?}"
+            );
+        }
+    }
+
+    /// `# HELP` text is escaped per the grammar: `\\` for backslash,
+    /// `\n` for line feed — and the escaping round-trips.
+    #[test]
+    fn help_text_is_escaped() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("a\\\"b\nc"), "a\\\\\\\"b\\nc");
+        // Escape backslashes first: the output of one escape must not
+        // be re-escaped by the next.
+        assert_eq!(escape_help("\\n"), "\\\\n");
+    }
+
+    /// Every entry of the help table itself obeys the naming and
+    /// formatting rules — the table is the conformance baseline, so
+    /// it must not drift either.
+    #[test]
+    fn help_table_is_self_conformant() {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(name, help) in METRIC_HELP {
+            assert!(metric_name_conforms(name), "{name} violates cnn_[a-z0-9_]+");
+            assert!(seen.insert(name), "duplicate help entry for {name}");
+            assert!(!help.is_empty(), "{name} has empty help");
+            assert!(
+                !help.contains('\n') && !help.contains('\\'),
+                "{name} help needs no escaping by construction"
+            );
+        }
+    }
+
+    #[test]
+    fn name_grammar_rejects_drift() {
+        assert!(metric_name_conforms("cnn_pool_hedges_total"));
+        assert!(metric_name_conforms("cnn_image_dma_cycles"));
+        assert!(!metric_name_conforms("cnn_"), "empty suffix");
+        assert!(!metric_name_conforms("pool_hedges_total"), "no prefix");
+        assert!(!metric_name_conforms("cnn_Pool_hedges_total"), "uppercase");
+        assert!(!metric_name_conforms("cnn_pool-hedges"), "dash");
+        assert!(!metric_name_conforms("cnn_pool hedges"), "space");
     }
 }

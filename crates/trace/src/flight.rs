@@ -1,0 +1,346 @@
+//! The always-on flight recorder: a bounded, lock-free,
+//! overwrite-oldest ring of fixed-size request-lifecycle records.
+//!
+//! Unlike the span journal (which is off unless [`crate::enable`] has
+//! been called, and records free-form names), the flight recorder is
+//! **always on**: every serving-stack stage transition is written into
+//! a pre-allocated ring of atomic slots, so when an SLO burns there is
+//! a causal record of the recent past to dump — the same reason an
+//! aircraft records continuously rather than from the first sign of
+//! trouble. The costs are fixed by construction:
+//!
+//! * records are fixed-size (four data words; no strings, no heap),
+//! * the ring is pre-allocated once; recording never allocates, which
+//!   keeps the zero-alloc serving-path guarantee intact,
+//! * writers are lock-free: a ticket from one `fetch_add` picks the
+//!   slot, and a per-slot version word (odd = write in progress) lets
+//!   readers detect and skip torn records instead of blocking.
+//!
+//! Overwrite-oldest means a dump reconstructs the *recent* history —
+//! [`FLIGHT_CAPACITY`] records deep — which is exactly the window an
+//! SLO-breach post-mortem needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Records the global ring retains before overwriting the oldest.
+pub const FLIGHT_CAPACITY: usize = 1 << 14;
+
+/// Lifecycle stage a flight record marks. The `arg` word of the
+/// record is stage-specific (documented per variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FlightStage {
+    /// Request reached admission (`arg` = queue depth observed).
+    Admit = 0,
+    /// Request reached its queue lane (`arg` = lane depth before it).
+    Enqueue = 1,
+    /// Request was refused (`arg` = [`SHED_DEADLINE`] or
+    /// [`SHED_QUEUE_FULL`]).
+    Shed = 2,
+    /// Request was drained into a batch (`arg` = batch sequence).
+    BatchForm = 3,
+    /// Pool routed a dispatch for it (`arg` = device index).
+    Dispatch = 4,
+    /// Pool granted a budgeted re-dispatch (`arg` = dispatches already
+    /// spent on the request; the retry's own [`FlightStage::Dispatch`]
+    /// record carries the device it landed on).
+    Retry = 5,
+    /// Pool issued a hedge duplicate (`arg` = hedge device index).
+    Hedge = 6,
+    /// Request degraded to the software fallback (`arg` = dispatches
+    /// spent before degrading).
+    Fallback = 7,
+    /// One on-device DMA transfer attempt ran under this request
+    /// (`arg` = attempt ordinal within the dispatch).
+    DmaAttempt = 8,
+    /// Request completed (`arg` = 1 if its deadline was met).
+    Complete = 9,
+    /// An SLO objective entered breach while this request was being
+    /// accounted (`arg` = objective index).
+    SloBreach = 10,
+}
+
+/// `arg` value of a [`FlightStage::Shed`] record: the completion
+/// estimate overran the deadline.
+pub const SHED_DEADLINE: u64 = 0;
+/// `arg` value of a [`FlightStage::Shed`] record: the tenant lane was
+/// full (backpressure).
+pub const SHED_QUEUE_FULL: u64 = 1;
+
+impl FlightStage {
+    /// Stable label (used as the Chrome event name).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightStage::Admit => "admit",
+            FlightStage::Enqueue => "enqueue",
+            FlightStage::Shed => "shed",
+            FlightStage::BatchForm => "batch_form",
+            FlightStage::Dispatch => "dispatch",
+            FlightStage::Retry => "retry",
+            FlightStage::Hedge => "hedge",
+            FlightStage::Fallback => "fallback",
+            FlightStage::DmaAttempt => "dma_attempt",
+            FlightStage::Complete => "complete",
+            FlightStage::SloBreach => "slo_breach",
+        }
+    }
+
+    fn from_u64(v: u64) -> Option<FlightStage> {
+        Some(match v {
+            0 => FlightStage::Admit,
+            1 => FlightStage::Enqueue,
+            2 => FlightStage::Shed,
+            3 => FlightStage::BatchForm,
+            4 => FlightStage::Dispatch,
+            5 => FlightStage::Retry,
+            6 => FlightStage::Hedge,
+            7 => FlightStage::Fallback,
+            8 => FlightStage::DmaAttempt,
+            9 => FlightStage::Complete,
+            10 => FlightStage::SloBreach,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded flight record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// The request's trace id (see [`crate::RequestCtx`]); 0 marks
+    /// records written outside any request context.
+    pub trace_id: u64,
+    /// Lifecycle stage.
+    pub stage: FlightStage,
+    /// Clock at recording time, in simulated cycles. Front-end stages
+    /// stamp the front-end clock, pool/device stages the pool clock —
+    /// two timelines, ordered within themselves.
+    pub clock: u64,
+    /// Stage-specific argument (see [`FlightStage`]).
+    pub arg: u64,
+}
+
+/// One pre-allocated ring slot: a seqlock version word plus the four
+/// record words. Odd version = a writer is mid-flight; readers skip.
+struct Slot {
+    version: AtomicU64,
+    trace_id: AtomicU64,
+    stage: AtomicU64,
+    clock: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            version: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            stage: AtomicU64::new(u64::MAX), // decodes to None: never dumped
+            clock: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A bounded, lock-free, overwrite-oldest flight-record ring.
+///
+/// The process-wide instance lives behind [`flight`]; tests that need
+/// isolation build their own with [`FlightRecorder::with_capacity`].
+pub struct FlightRecorder {
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl FlightRecorder {
+    /// A ring holding the newest `capacity` records (clamped ≥ 1).
+    /// Allocation happens here, once; recording never allocates.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            head: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| Slot::new()).collect(),
+        }
+    }
+
+    /// Records one stage transition. Lock-free and allocation-free:
+    /// one `fetch_add` claims the slot, the version word brackets the
+    /// field stores so readers can detect a torn record.
+    pub fn record(&self, trace_id: u64, stage: FlightStage, clock: u64, arg: u64) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        slot.version.fetch_add(1, Ordering::AcqRel); // odd: in progress
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.stage.store(stage as u64, Ordering::Relaxed);
+        slot.clock.store(clock, Ordering::Relaxed);
+        slot.arg.store(arg, Ordering::Relaxed);
+        slot.version.fetch_add(1, Ordering::AcqRel); // even: complete
+    }
+
+    /// Total records ever written (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Decodes the ring's current contents, oldest first. Records a
+    /// concurrent writer is mid-way through (or that were claimed but
+    /// not yet written) are skipped rather than returned torn.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let n = head.min(cap);
+        let mut out = Vec::with_capacity(n as usize);
+        for ticket in (head - n)..head {
+            let slot = &self.slots[(ticket % cap) as usize];
+            let v0 = slot.version.load(Ordering::Acquire);
+            if v0 % 2 == 1 {
+                continue; // write in progress
+            }
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            let stage = slot.stage.load(Ordering::Relaxed);
+            let clock = slot.clock.load(Ordering::Relaxed);
+            let arg = slot.arg.load(Ordering::Relaxed);
+            if slot.version.load(Ordering::Acquire) != v0 {
+                continue; // torn by a concurrent overwrite
+            }
+            let Some(stage) = FlightStage::from_u64(stage) else {
+                continue; // slot claimed but never written
+            };
+            out.push(FlightRecord {
+                trace_id,
+                stage,
+                clock,
+                arg,
+            });
+        }
+        out
+    }
+
+    /// Records in the ring belonging to `trace_id`, oldest first.
+    pub fn records_for(&self, trace_id: u64) -> Vec<FlightRecord> {
+        self.snapshot()
+            .into_iter()
+            .filter(|r| r.trace_id == trace_id)
+            .collect()
+    }
+}
+
+/// The process-wide flight recorder ([`FLIGHT_CAPACITY`] records).
+/// Always on — independent of [`crate::enable`]/[`crate::disable`].
+pub fn flight() -> &'static FlightRecorder {
+    static FLIGHT: OnceLock<FlightRecorder> = OnceLock::new();
+    FLIGHT.get_or_init(|| FlightRecorder::with_capacity(FLIGHT_CAPACITY))
+}
+
+/// Records into the process-wide ring. With the `noop` feature the
+/// call compiles out like the rest of the instrumentation surface.
+#[inline]
+pub fn flight_record(trace_id: u64, stage: FlightStage, clock: u64, arg: u64) {
+    if cfg!(feature = "noop") {
+        return;
+    }
+    flight().record(trace_id, stage, clock, arg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let r = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            r.record(i, FlightStage::Admit, i * 10, 0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(snap.len(), 4);
+        assert_eq!(
+            snap.iter().map(|r| r.trace_id).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest first, newest retained"
+        );
+    }
+
+    #[test]
+    fn records_round_trip_every_stage() {
+        let r = FlightRecorder::with_capacity(32);
+        let stages = [
+            FlightStage::Admit,
+            FlightStage::Enqueue,
+            FlightStage::Shed,
+            FlightStage::BatchForm,
+            FlightStage::Dispatch,
+            FlightStage::Retry,
+            FlightStage::Hedge,
+            FlightStage::Fallback,
+            FlightStage::DmaAttempt,
+            FlightStage::Complete,
+            FlightStage::SloBreach,
+        ];
+        for (i, &s) in stages.iter().enumerate() {
+            r.record(99, s, i as u64, i as u64 * 2);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), stages.len());
+        for (i, rec) in snap.iter().enumerate() {
+            assert_eq!(rec.stage, stages[i]);
+            assert_eq!(rec.clock, i as u64);
+            assert_eq!(rec.arg, i as u64 * 2);
+        }
+        assert_eq!(r.records_for(99).len(), stages.len());
+        assert!(r.records_for(98).is_empty());
+    }
+
+    #[test]
+    fn unwritten_slots_never_dump() {
+        let r = FlightRecorder::with_capacity(8);
+        assert!(r.snapshot().is_empty());
+        r.record(1, FlightStage::Admit, 0, 0);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_records() {
+        let r = std::sync::Arc::new(FlightRecorder::with_capacity(64));
+        let writers: Vec<_> = (0..4u64)
+            .map(|t| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        // Each writer stamps its own tag in every
+                        // word so a torn read is detectable.
+                        let tag = t * 1_000_000 + i;
+                        r.record(tag, FlightStage::Dispatch, tag, tag);
+                    }
+                })
+            })
+            .collect();
+        // Read concurrently with the writers.
+        for _ in 0..50 {
+            for rec in r.snapshot() {
+                assert_eq!(rec.trace_id, rec.clock);
+                assert_eq!(rec.trace_id, rec.arg);
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 8_000);
+        for rec in r.snapshot() {
+            assert_eq!(rec.trace_id, rec.clock);
+            assert_eq!(rec.trace_id, rec.arg);
+        }
+    }
+
+    #[test]
+    fn global_ring_is_always_on() {
+        crate::disable(); // flight recording must not care
+        let before = flight().recorded();
+        flight_record(12_345, FlightStage::Admit, 1, 2);
+        assert!(flight().recorded() > before);
+    }
+}

@@ -1,0 +1,162 @@
+//! The workspace's one owned latency histogram.
+//!
+//! Same fixed power-of-four bucket layout as the registry histograms
+//! (so dashboards, the hedger and the admission estimator all agree
+//! on boundaries), but locally owned and lock-free-by-ownership: the
+//! serving pool gives each device slot one, and the front-end's
+//! queue-delay estimator keeps two.
+//!
+//! There is exactly **one** quantile implementation in the workspace
+//! — [`bucket_quantile`] — shared by this type and by
+//! [`crate::HistogramSnapshot`], and exactly one cold-start contract:
+//! an empty histogram has **no** quantile (`None`), never a
+//! fabricated sentinel. Admission control is built on that `None`
+//! (cold systems admit optimistically); see
+//! `cnn-serve::deadline` for the regression tests pinning it.
+
+use crate::registry::DEFAULT_BUCKETS;
+
+/// Bucket upper bounds shared with the registry histograms (the
+/// `+Inf` bucket is implicit).
+pub use crate::registry::DEFAULT_BUCKETS as BUCKET_BOUNDS;
+
+/// Upper-bound estimate of the `q`-quantile over fixed buckets: the
+/// smallest bound whose cumulative count covers a `q` fraction of the
+/// `count` observations. `cumulative` yields the running totals per
+/// bound (the final `+Inf` entry may be included or implied);
+/// quantiles falling past the last bound report `u64::MAX`. Returns
+/// `None` for an empty histogram or a non-finite `q` — the
+/// load-bearing cold-start contract.
+pub fn bucket_quantile<I>(bounds: &[u64], cumulative: I, count: u64, q: f64) -> Option<u64>
+where
+    I: IntoIterator<Item = u64>,
+{
+    if count == 0 || !q.is_finite() {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Rank of the target observation, 1-based, under `le` semantics;
+    // q = 0 maps to the first observation.
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    for (i, cum) in cumulative.into_iter().enumerate() {
+        if cum >= rank {
+            return Some(bounds.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+    Some(u64::MAX)
+}
+
+/// Fixed-bucket owned latency histogram.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one latency observation (simulated cycles).
+    pub fn observe(&mut self, cycles: u64) {
+        let idx = DEFAULT_BUCKETS.partition_point(|&b| b < cycles);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(cycles);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed cycles (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Upper-bound estimate of the `q`-quantile: smallest bucket
+    /// bound covering a `q` fraction of observations (`u64::MAX` for
+    /// the `+Inf` bucket, `None` while empty). Conservative, so a
+    /// hedge never fires on a latency the histogram cannot resolve.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let mut cum = 0u64;
+        bucket_quantile(
+            &BUCKET_BOUNDS,
+            self.buckets.iter().map(move |&c| {
+                cum += c;
+                cum
+            }),
+            self.count,
+            q,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_is_bucket_upper_bound() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.observe(200); // <= 256
+        }
+        h.observe(100_000); // <= 262_144
+        assert_eq!(h.quantile(0.5), Some(256));
+        assert_eq!(h.quantile(0.99), Some(256));
+        assert_eq!(h.quantile(1.0), Some(262_144));
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        let mut h = LatencyHistogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(0.5), Some(u64::MAX));
+        assert_eq!(h.sum(), u64::MAX);
+        h.observe(u64::MAX); // sum saturates instead of wrapping
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    /// The owned histogram and the registry snapshot must agree on
+    /// every quantile — they share [`bucket_quantile`] by
+    /// construction, and this pins the shared bucket layout too.
+    #[test]
+    fn owned_and_snapshot_quantiles_agree() {
+        let mut h = LatencyHistogram::new();
+        let r = crate::Registry::new();
+        let values = [0, 1, 200, 256, 257, 5_000, 70_000, 1 << 30, u64::MAX];
+        for &v in &values {
+            h.observe(v);
+            r.observe("lat", v);
+        }
+        let snap = &r.histograms()[0];
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), snap.quantile(q), "q={q}");
+        }
+        assert_eq!(h.quantile(f64::NAN), None);
+        assert_eq!(snap.quantile(f64::NAN), None);
+    }
+}

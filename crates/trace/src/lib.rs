@@ -22,7 +22,17 @@
 //!   and instant events (old events are evicted, never reallocated),
 //! * [`export`] — Chrome trace-event JSON (loadable in Perfetto /
 //!   `chrome://tracing`), Prometheus text exposition, and a
-//!   human-readable per-span latency table.
+//!   human-readable per-span latency table,
+//! * [`ctx`] — the `Copy` per-request causal context the serving
+//!   stack threads from admission to DMA attempt,
+//! * [`flight`] — the **always-on** bounded lock-free flight-recorder
+//!   ring of fixed-size request-lifecycle records (dumpable as
+//!   Chrome-trace flow events),
+//! * [`slo`] — multi-window fast/slow burn-rate monitoring over
+//!   service-level objectives,
+//! * [`hist`] — the workspace's one owned latency histogram, sharing
+//!   its quantile implementation (and cold-start `None` contract)
+//!   with the registry snapshots.
 //!
 //! ## On/off
 //!
@@ -48,14 +58,25 @@
 //! ```
 
 pub mod clock;
+pub mod ctx;
 pub mod event;
 pub mod export;
+pub mod flight;
+pub mod hist;
 pub mod registry;
+pub mod slo;
 pub mod snapshot;
 pub mod span;
 
+pub use ctx::{ctx_scope, current_ctx, next_trace_epoch, CtxScope, RequestCtx};
 pub use event::{Event, EventKind};
+pub use flight::{
+    flight, flight_record, FlightRecord, FlightRecorder, FlightStage, FLIGHT_CAPACITY,
+    SHED_DEADLINE, SHED_QUEUE_FULL,
+};
+pub use hist::{LatencyHistogram, BUCKET_BOUNDS};
 pub use registry::{CounterSnapshot, HistogramSnapshot, Registry};
+pub use slo::{BurnRate, Objective, SloMonitor};
 pub use snapshot::{SpanSummary, TraceSnapshot};
 pub use span::SpanGuard;
 

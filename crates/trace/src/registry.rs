@@ -74,19 +74,7 @@ impl HistogramSnapshot {
     /// with a default here; `cnn-serve::deadline` has a regression
     /// test pinning this contract.
     pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 || !q.is_finite() {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the target observation, 1-based, under `le`
-        // semantics; q = 0 maps to the first observation.
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        for (i, &cum) in self.buckets.iter().enumerate() {
-            if cum >= rank {
-                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
-            }
-        }
-        Some(u64::MAX)
+        crate::hist::bucket_quantile(&self.bounds, self.buckets.iter().copied(), self.count, q)
     }
 }
 

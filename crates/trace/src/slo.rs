@@ -1,0 +1,287 @@
+//! Multi-window SLO burn-rate monitoring.
+//!
+//! An objective is a target fraction of *good* events (deadline
+//! attainment, goodput). The monitor tracks how fast the error budget
+//! `1 - target` is being consumed, expressed as a **burn rate**:
+//! `error_rate / (1 - target)` — burn 1.0 spends the budget exactly,
+//! burn 10 spends it ten times too fast.
+//!
+//! One window cannot both catch a fast outage and ignore a blip, so
+//! the monitor evaluates two (the classic fast/slow multi-window
+//! alert): a breach requires the **fast** window (recent events,
+//! catches sudden collapse with low latency) *and* the **slow**
+//! window (longer history, suppresses one-off spikes) to burn above
+//! their thresholds simultaneously. Windows here are event-counted,
+//! not wall-timed, because the serving stack runs on simulated clocks
+//! — an event window is deterministic under replay where a wall-time
+//! window is not.
+//!
+//! Breaches are edge-triggered: [`SloMonitor::record`] returns
+//! `Some(burn)` only on the transition into breach, which is what
+//! arms the flight-recorder dump exactly once per incident. The
+//! breached state latches until the fast window recovers below burn
+//! 1.0 (spending less than budget), so a flapping signal does not
+//! fire a dump storm.
+
+use std::collections::VecDeque;
+
+/// One service-level objective with its alerting windows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objective {
+    /// Objective name (metrics label; keep it `[a-z0-9_]`).
+    pub name: &'static str,
+    /// Target good fraction, e.g. `0.99` (clamped below 1.0 so the
+    /// error budget never divides by zero).
+    pub target: f64,
+    /// Events in the fast window (clamped ≥ 1).
+    pub fast_window: usize,
+    /// Events in the slow window (clamped ≥ `fast_window`).
+    pub slow_window: usize,
+    /// Fast-window burn rate required to breach.
+    pub fast_burn: f64,
+    /// Slow-window burn rate required to breach.
+    pub slow_burn: f64,
+}
+
+impl Objective {
+    /// Error budget: the tolerated bad fraction, floored to keep burn
+    /// rates finite for a 100% target.
+    pub fn budget(&self) -> f64 {
+        (1.0 - self.target).max(1e-9)
+    }
+}
+
+/// Burn rates over both windows at some instant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnRate {
+    /// Burn over the fast window (`None` until it has filled).
+    pub fast: Option<f64>,
+    /// Burn over the slow window (`None` until it has filled).
+    pub slow: Option<f64>,
+}
+
+/// Tracks one objective's outcomes and burn state.
+#[derive(Clone, Debug)]
+pub struct SloMonitor {
+    objective: Objective,
+    /// Outcome ring, newest at the back (`true` = bad event); bounded
+    /// at `slow_window`.
+    outcomes: VecDeque<bool>,
+    /// Bad events currently in the ring.
+    bad_in_slow: usize,
+    breached: bool,
+    breaches: u64,
+}
+
+impl SloMonitor {
+    /// A monitor for `objective` with empty windows (no burn until
+    /// both fill — cold systems never alert on absent data, the same
+    /// contract as the cold-start `None` of the latency histograms).
+    pub fn new(mut objective: Objective) -> SloMonitor {
+        objective.target = objective.target.clamp(0.0, 1.0 - 1e-9);
+        objective.fast_window = objective.fast_window.max(1);
+        objective.slow_window = objective.slow_window.max(objective.fast_window);
+        SloMonitor {
+            outcomes: VecDeque::with_capacity(objective.slow_window),
+            bad_in_slow: 0,
+            objective,
+            breached: false,
+            breaches: 0,
+        }
+    }
+
+    /// The monitored objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Records one event outcome and re-evaluates the breach state.
+    /// Returns `Some(burn)` exactly when this event *entered* breach.
+    pub fn record(&mut self, good: bool) -> Option<BurnRate> {
+        if self.outcomes.len() == self.objective.slow_window
+            && self.outcomes.pop_front() == Some(true)
+        {
+            self.bad_in_slow -= 1;
+        }
+        self.outcomes.push_back(!good);
+        if !good {
+            self.bad_in_slow += 1;
+        }
+
+        let burn = self.burn();
+        let over = matches!(
+            (burn.fast, burn.slow),
+            (Some(f), Some(s)) if f >= self.objective.fast_burn && s >= self.objective.slow_burn
+        );
+        if over && !self.breached {
+            self.breached = true;
+            self.breaches += 1;
+            return Some(burn);
+        }
+        // Release the latch only once the fast window burns below
+        // budget — hysteresis against dump storms under flapping.
+        if self.breached && matches!(burn.fast, Some(f) if f < 1.0) {
+            self.breached = false;
+        }
+        None
+    }
+
+    /// Current burn rates (each `None` until its window has filled).
+    pub fn burn(&self) -> BurnRate {
+        let slow_n = self.outcomes.len();
+        let fast_n = self.objective.fast_window;
+        let fast = if slow_n >= fast_n {
+            let bad = self
+                .outcomes
+                .iter()
+                .rev()
+                .take(fast_n)
+                .filter(|&&b| b)
+                .count();
+            Some(bad as f64 / fast_n as f64 / self.objective.budget())
+        } else {
+            None
+        };
+        let slow = if slow_n >= self.objective.slow_window {
+            Some(self.bad_in_slow as f64 / slow_n as f64 / self.objective.budget())
+        } else {
+            None
+        };
+        BurnRate { fast, slow }
+    }
+
+    /// Whether the objective is currently in (latched) breach.
+    pub fn is_breached(&self) -> bool {
+        self.breached
+    }
+
+    /// Breach edges seen so far.
+    pub fn breaches(&self) -> u64 {
+        self.breaches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Burn values come out of float division (`1.0 - target` is not
+    /// exact for 0.9 or 0.99), so compare with a tolerance.
+    fn assert_burn(actual: Option<f64>, expected: f64) {
+        let actual = actual.expect("window should be warm");
+        assert!(
+            (actual - expected).abs() < 1e-9,
+            "burn {actual} != {expected}"
+        );
+    }
+
+    fn obj() -> Objective {
+        Objective {
+            name: "test",
+            target: 0.9, // budget 0.1
+            fast_window: 4,
+            slow_window: 8,
+            fast_burn: 5.0,
+            slow_burn: 2.5,
+        }
+    }
+
+    #[test]
+    fn cold_monitor_never_breaches() {
+        let mut m = SloMonitor::new(obj());
+        // All-bad events, but windows not full: no burn, no breach.
+        for _ in 0..7 {
+            assert_eq!(m.record(false), None);
+        }
+        assert_eq!(m.burn().slow, None, "slow window still cold");
+        assert!(!m.is_breached());
+    }
+
+    #[test]
+    fn sustained_errors_breach_once_both_windows_burn() {
+        let mut m = SloMonitor::new(obj());
+        let mut edge_at = None;
+        for i in 0..16 {
+            if m.record(false).is_some() {
+                edge_at.get_or_insert(i);
+            }
+        }
+        // 100% bad over budget 0.1 = burn 10 on both windows; edge
+        // fires exactly when the slow window first fills.
+        assert_eq!(edge_at, Some(7));
+        assert!(m.is_breached());
+        assert_eq!(m.breaches(), 1, "edge-triggered: one incident");
+        assert_burn(m.burn().fast, 10.0);
+        assert_burn(m.burn().slow, 10.0);
+    }
+
+    #[test]
+    fn fast_spike_alone_does_not_breach() {
+        let mut m = SloMonitor::new(obj());
+        for _ in 0..8 {
+            m.record(true);
+        }
+        // One bad event after a clean history: fast burn 1/4/0.1 =
+        // 2.5, under the 5.0 threshold.
+        m.record(false);
+        assert!(!m.is_breached(), "one blip must not page");
+        assert_eq!(m.breaches(), 0);
+    }
+
+    #[test]
+    fn recovery_unlatches_and_rebreach_counts_again() {
+        let mut m = SloMonitor::new(obj());
+        for _ in 0..8 {
+            m.record(false);
+        }
+        assert!(m.is_breached());
+        // Good events wash the fast window below burn 1.0.
+        for _ in 0..4 {
+            m.record(true);
+        }
+        assert!(!m.is_breached(), "fast recovery releases the latch");
+        for _ in 0..8 {
+            m.record(false);
+        }
+        assert!(m.is_breached());
+        assert_eq!(m.breaches(), 2, "a second incident is a second edge");
+    }
+
+    #[test]
+    fn burn_is_error_rate_over_budget() {
+        let mut m = SloMonitor::new(Objective {
+            target: 0.99, // budget 0.01
+            ..obj()
+        });
+        for i in 0..8 {
+            m.record(i % 2 == 0); // 50% bad
+        }
+        let b = m.burn();
+        assert_burn(b.fast, 50.0);
+        assert_burn(b.slow, 50.0);
+    }
+
+    #[test]
+    fn perfect_target_is_clamped_not_divided_by_zero() {
+        let mut m = SloMonitor::new(Objective {
+            target: 1.0,
+            ..obj()
+        });
+        for _ in 0..8 {
+            m.record(true);
+        }
+        assert_eq!(m.burn().fast, Some(0.0));
+        assert!(!m.is_breached());
+    }
+
+    #[test]
+    fn degenerate_windows_are_clamped() {
+        let m = SloMonitor::new(Objective {
+            fast_window: 0,
+            slow_window: 0,
+            ..obj()
+        });
+        assert_eq!(m.objective().fast_window, 1);
+        assert_eq!(m.objective().slow_window, 1);
+    }
+}

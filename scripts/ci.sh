@@ -30,6 +30,16 @@ echo "== load_gen --smoke: overload SLO (shed>0, bounded queue, >=99% deadline a
 # binary exits nonzero if the 2x cell fails to shed, the queue
 # exceeds its cap, <99% of admitted requests meet their deadline,
 # or any served prediction differs from the single-image reference.
+# The 2x cell must also breach the SLO burn monitor, auto-capture a
+# flight-recorder dump, and that dump must reconstruct a shed and a
+# hedged request timeline — verified in-process before it is written.
 cargo run --release -p cnn-bench --bin load_gen -- --smoke --out target/BENCH_loadgen_smoke.json
+
+echo "== trace_overhead --smoke: instrumented Test-4 inference within 5% of bare =="
+# Interleaved traced/untraced medians on the zero-alloc infer engine;
+# the binary exits nonzero if the per-request observability kit
+# (span + request ctx + flight stamps + metrics) costs more than
+# 5% (+20us jitter floor) or perturbs the prediction.
+cargo run --release -p cnn-bench --bin trace_overhead -- --smoke --out target/BENCH_traceoverhead_smoke.json
 
 echo "ci: all green"

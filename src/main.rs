@@ -26,6 +26,12 @@
 //! cnn2fpga trace [descriptor.json] [opts]       traced run: Chrome JSON + Prometheus
 //!     --images/--seed/--fault-rate   as for classify
 //!     --out <dir>                 trace output directory (default ./cnn2fpga-trace-out)
+//! cnn2fpga trace dump [opts]                    drive the batched front-end under load,
+//!                                               dump the flight recorder (Chrome JSON)
+//!     --images <n>                requests to offer (default 96)
+//!     --seed <n>                  weight/arrival seed (default 2016)
+//!     --rate-factor <f>           offered load as a multiple of capacity (default 2.0)
+//!     --out <dir>                 output directory (default ./cnn2fpga-trace-out)
 //! cnn2fpga serve [descriptor.json] [opts]       serve over a fault-tolerant device pool
 //!     --images/--seed/--fault-rate   as for classify (rate applies to every device)
 //!     --devices <n>               pool size (default 4)
@@ -50,6 +56,7 @@ fn usage() -> ExitCode {
          cnn2fpga store <verify|gc|ls> [--store DIR]\n  \
          cnn2fpga classify [descriptor.json] [--images N] [--seed N] [--fault-rate R]\n  \
          cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]\n  \
+         cnn2fpga trace dump [--images N] [--seed N] [--rate-factor F] [--out DIR]\n  \
          cnn2fpga serve [descriptor.json] [--images N] [--seed N] [--fault-rate R] \
 [--devices N] [--hostile I]"
     );
@@ -436,6 +443,200 @@ fn cmd_trace(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `trace dump` — drives the batched serving front-end under a
+/// deterministic overload (trained-equivalent weights, seeded Poisson
+/// arrivals, one jittery device) so the always-on flight recorder has
+/// per-request history, then dumps the ring as Chrome-trace JSON. The
+/// dump is self-checked against the crate's own strict JSON parser
+/// before it is committed, so a file that lands on disk always loads
+/// in Perfetto / `chrome://tracing`.
+fn cmd_trace_dump(rest: &[String]) -> ExitCode {
+    use cnn2fpga::serve::{Arrival, FrontendConfig, HedgeConfig, PoolConfig, SloConfig};
+    use cnn2fpga::store::hash::SplitMix64;
+    use cnn2fpga::tensor::Tensor;
+
+    let mut images_n = 96usize;
+    let mut seed = 2016u64;
+    let mut factor = 2.0f64;
+    let mut out_dir = PathBuf::from("cnn2fpga-trace-out");
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--images" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => images_n = n,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--rate-factor" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(f) if f > 0.0 => factor = f,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_dir = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // Deterministic stack: no ambient RNG anywhere in this subcommand,
+    // so the same invocation always produces the same dump.
+    let spec = NetworkSpec::paper_usps_small(true);
+    let net = match cnn2fpga::framework::weights::build_deterministic(&spec, seed) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifacts = match Workflow::new(spec, WeightSource::Trained(Box::new(net))).run() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shape = artifacts.network.input_shape();
+    let mut img_rng = SplitMix64::new(seed ^ 0xF119_47D0);
+    let images: Vec<Tensor> = (0..images_n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (img_rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect();
+
+    let policy = RetryPolicy::default();
+    let frontend_cfg = FrontendConfig {
+        tenant_weights: vec![2, 1],
+        // Burn windows sized to warm within the default request count.
+        slo: SloConfig {
+            fast_window: 16,
+            slow_window: 48,
+            ..SloConfig::default()
+        },
+        ..FrontendConfig::default()
+    };
+    let pool_cfg = PoolConfig {
+        hedge: HedgeConfig {
+            mean_factor: 1.05,
+            ..HedgeConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+
+    // Calibrate per-request service time with a solo request, then
+    // offer Poisson arrivals at `factor` times that capacity.
+    let calib = [Arrival {
+        at: 0,
+        tenant: 0,
+        budget: u64::MAX / 2,
+        image_id: 0,
+    }];
+    let plans = vec![FaultPlan::none(), FaultPlan::none()];
+    let svc = match artifacts.serve_with_frontend(
+        &images[..1],
+        &calib,
+        &plans,
+        &policy,
+        PoolConfig::default(),
+        frontend_cfg.clone(),
+    ) {
+        Ok(r) => r.report.completed[0]
+            .latency()
+            .saturating_sub(frontend_cfg.batch_deadline)
+            .max(1),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mean_gap = svc as f64 / factor;
+    let mut gap_rng = SplitMix64::new(seed ^ 0xA881_0A4D);
+    let mut t = 0.0f64;
+    let arrivals: Vec<Arrival> = (0..images_n)
+        .map(|i| {
+            let u = gap_rng.next_f64().max(1e-12);
+            t += -u.ln() * mean_gap;
+            let tenant = i % 2;
+            Arrival {
+                at: t as u64,
+                tenant,
+                budget: if tenant == 0 { 8 * svc } else { 32 * svc },
+                image_id: i,
+            }
+        })
+        .collect();
+
+    // Device 0 carries deterministic stall jitter so recovered DMA
+    // attempts and hedges appear on the timelines.
+    let plans = vec![FaultPlan::stall_jitter(seed, 16), FaultPlan::none()];
+    let r = match artifacts.serve_with_frontend(
+        &images,
+        &arrivals,
+        &plans,
+        &policy,
+        pool_cfg,
+        frontend_cfg,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Dump the ring as it stands — admission, queueing, batching,
+    // dispatch, DMA attempts, hedges, sheds and any SLO breach marker.
+    let records = cnn2fpga::trace::flight().snapshot();
+    let dump = cnn2fpga::trace::export::chrome::flight_to_chrome_json(&records);
+    let parsed = match cnn2fpga::trace::export::json::parse(&dump) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("internal error: flight dump failed its own JSON self-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = parsed
+        .get("traceEvents")
+        .and_then(cnn2fpga::trace::export::json::Json::as_array)
+        .map_or(0, <[_]>::len);
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = out_dir.join("flight.json");
+    if let Err(e) = cnn2fpga::store::atomic_write(&path, dump.as_bytes()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let rep = &r.report;
+    println!(
+        "{} offered at {factor:.1}x capacity ({svc} cycles/request): {} admitted, {} shed \
+         ({} deadline, {} queue-full), {} slo breach edge(s), final tier {}",
+        images_n,
+        rep.admitted,
+        rep.shed_deadline + rep.shed_queue_full,
+        rep.shed_deadline,
+        rep.shed_queue_full,
+        rep.slo_breaches,
+        rep.final_tier.as_str(),
+    );
+    println!(
+        "flight recorder: {} records -> {} Chrome-trace events (self-checked), written to {}",
+        records.len(),
+        events,
+        path.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(rest: &[String]) -> ExitCode {
     // `serve`-only options first, then the shared run options.
     let mut devices = 4usize;
@@ -727,6 +928,9 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("trace") if args.get(1).map(String::as_str) == Some("dump") => {
+            cmd_trace_dump(&args[2..])
+        }
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),

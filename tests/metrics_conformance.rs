@@ -1,0 +1,168 @@
+//! Workspace-wide metric-naming conformance.
+//!
+//! Drives the full serving stack — workflow build, batched front-end,
+//! device pool with retries and hedges, DMA with deterministic stall
+//! jitter — so every runtime metric family actually registers, then
+//! asserts the workspace grammar over the live registry:
+//!
+//! * every metric name matches `cnn_` followed by `[a-z0-9_]+`,
+//! * every counter ends in `_total` (and no histogram does — a
+//!   `*_total_bucket` exposition would be nonsense),
+//! * every label key is lowercase `[a-z0-9_]+`,
+//! * every registered family has a `METRIC_HELP` entry, so the
+//!   Prometheus exposition always carries a `# HELP` line.
+//!
+//! The run is fully deterministic: weights come from
+//! [`build_deterministic`], images and arrival gaps from SplitMix64
+//! streams, faults from the hash-selected stall jitter — no ambient
+//! RNG anywhere, so this test never flakes.
+
+use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
+use cnn2fpga::framework::weights::build_deterministic;
+use cnn2fpga::framework::{NetworkSpec, WeightSource, Workflow};
+use cnn2fpga::serve::{Arrival, FrontendConfig, HedgeConfig, PoolConfig, SloConfig};
+use cnn2fpga::store::hash::SplitMix64;
+use cnn2fpga::tensor::{Shape, Tensor};
+use cnn2fpga::trace::export::prometheus::{help_for, metric_name_conforms, to_prometheus_text};
+
+fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect()
+}
+
+fn label_key_conforms(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// One test drives the workload and checks everything: the registry is
+/// process-global, so splitting into multiple `#[test]`s would race on
+/// what has registered when.
+#[test]
+fn every_runtime_metric_conforms_to_the_workspace_grammar() {
+    cnn2fpga::trace::enable();
+    cnn2fpga::serve::preregister_frontend_metrics();
+
+    // A small overload burst through the whole stack: admission sheds,
+    // queueing, batching, pool dispatch, DMA stall + retry, hedging.
+    let spec = NetworkSpec::paper_usps_small(true);
+    let net = build_deterministic(&spec, 2016).expect("valid paper spec");
+    let artifacts = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+        .run()
+        .expect("the paper network fits the Zedboard");
+    let n = 24usize;
+    let images = deterministic_images(artifacts.network.input_shape(), n, 0xC04F);
+    let arrivals: Vec<Arrival> = (0..n)
+        .map(|i| Arrival {
+            at: i as u64 * 40_000,
+            tenant: i % 2,
+            budget: if i % 2 == 0 { 700_000 } else { 4_000_000 },
+            image_id: i,
+        })
+        .collect();
+    let plans = vec![FaultPlan::stall_jitter(0xC04F, 8), FaultPlan::none()];
+    let cfg = FrontendConfig {
+        tenant_weights: vec![2, 1],
+        slo: SloConfig {
+            fast_window: 8,
+            slow_window: 16,
+            ..SloConfig::default()
+        },
+        ..FrontendConfig::default()
+    };
+    let pool_cfg = PoolConfig {
+        hedge: HedgeConfig {
+            mean_factor: 1.05,
+            ..HedgeConfig::default()
+        },
+        ..PoolConfig::default()
+    };
+    artifacts
+        .serve_with_frontend(
+            &images,
+            &arrivals,
+            &plans,
+            &RetryPolicy::default(),
+            pool_cfg,
+            cfg,
+        )
+        .expect("the serving burst succeeds");
+
+    let snap = cnn2fpga::trace::snapshot();
+    assert!(
+        !snap.counters.is_empty(),
+        "the burst must register counter families"
+    );
+    assert!(
+        !snap.histograms.is_empty(),
+        "the burst must register histogram families"
+    );
+
+    for c in &snap.counters {
+        assert!(
+            metric_name_conforms(c.name),
+            "counter `{}` violates the cnn_[a-z0-9_]+ grammar",
+            c.name
+        );
+        assert!(
+            c.name.ends_with("_total"),
+            "counter `{}` must end in `_total`",
+            c.name
+        );
+        assert!(
+            help_for(c.name).is_some(),
+            "counter `{}` has no METRIC_HELP entry — its exposition would ship without # HELP",
+            c.name
+        );
+        for (key, _) in &c.labels {
+            assert!(
+                label_key_conforms(key),
+                "counter `{}` label key `{key}` violates the [a-z0-9_]+ grammar",
+                c.name
+            );
+        }
+    }
+    for h in &snap.histograms {
+        assert!(
+            metric_name_conforms(h.name),
+            "histogram `{}` violates the cnn_[a-z0-9_]+ grammar",
+            h.name
+        );
+        assert!(
+            !h.name.ends_with("_total"),
+            "histogram `{}` must not end in `_total` (its buckets would render as *_total_bucket)",
+            h.name
+        );
+        assert!(
+            help_for(h.name).is_some(),
+            "histogram `{}` has no METRIC_HELP entry — its exposition would ship without # HELP",
+            h.name
+        );
+    }
+
+    // And the exposition built from this live registry must carry a
+    // # HELP line for every family it exports.
+    let text = to_prometheus_text(&snap);
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if name == "cnn_trace_journal_dropped_events" {
+                // The exporter's own liveness gauge, documented inline.
+                continue;
+            }
+            assert!(
+                text.contains(&format!("# HELP {name} ")),
+                "family `{name}` is exported without a # HELP line"
+            );
+        }
+    }
+}
