@@ -1,0 +1,509 @@
+//! Silent-data-corruption sweep: seeded SEU injection across
+//! upset-rate × detector-configuration cells.
+//!
+//! Each cell serves the same deterministic image batch over a
+//! two-device pool whose first device suffers seeded single-event
+//! upsets in its on-chip weight memory ([`FaultPlan::seu`]) — bit
+//! flips that happen *behind* the DMA CRC trailers, so every transfer
+//! checks out clean while classifications silently skew. The sweep
+//! then turns the defense ladder on one layer at a time:
+//!
+//! | config     | scrub | canary | attest | what it proves            |
+//! |------------|-------|--------|--------|---------------------------|
+//! | `off`      |   —   |   —    |   —    | the corruption is *silent*|
+//! | `scrub`    |   ✓   |   —    |   —    | checksums catch the upset |
+//! | `canary`   |   —   |   ✓    |   —    | probes catch the skew     |
+//! | `sampled`  |   ✓   |   ✓    |  1/4   | full ladder, sampled      |
+//! | `attested` |   ✓   |   ✓    |  1/1   | zero escapes              |
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin corruption_sweep [-- --smoke] [-- --out FILE]
+//! ```
+//!
+//! The run **asserts** the PR's correctness SLO, so a regression fails
+//! CI rather than just changing a number in a file:
+//!
+//! * every cell is transport-silent: zero faults injected, zero CRC
+//!   detections — the upsets are invisible to the existing defenses;
+//! * with detectors `off`, wrong answers escape to clients with zero
+//!   quarantines (the silence proof that motivates the ladder);
+//! * with any detector on, corruption is detected and quarantined,
+//!   and every completed incident heals within
+//!   [`RECOVERY_CYCLES_MAX`] pool cycles of detection;
+//! * the `attested` config serves **zero** wrong answers, and every
+//!   other detector-on cell keeps escapes under its fractional gate
+//!   ([`ESCAPES_SINGLE_NUM`], [`ESCAPES_SAMPLED_DEN`]);
+//! * at least one incident timeline is reconstructed end to end from
+//!   the flight recorder: detect → quarantine → weight reload →
+//!   probation canaries → rejoin, all under one incident trace id.
+//!
+//! Everything is deterministic — weights from [`build_deterministic`],
+//! images from a SplitMix64 stream, upsets from the seeded SEU stream
+//! — so the committed `BENCH_corruption.json` is exactly reproducible.
+
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::{NetworkSpec, WeightSource, Workflow};
+use cnn_serve::{PoolConfig, SdcConfig};
+use cnn_store::atomic_write;
+use cnn_store::hash::SplitMix64;
+use cnn_tensor::{Shape, Tensor};
+use cnn_trace::{FlightRecord, FlightStage};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// SEU seed for device 0's upset stream.
+const SEU_SEED: u64 = 0x0B17_F11B;
+
+/// Upset rates swept: an SEU lands on roughly one in `every`
+/// dispatches of device 0.
+const RATES: [u32; 2] = [4, 1];
+
+/// CI gate: wrong answers allowed to escape a single-detector cell
+/// (`scrub`, `canary`), as a fraction of the images served. Periodic
+/// detectors bound corruption *dwell time*, not individual escapes —
+/// answers served between an upset and the next probe still escape —
+/// so the gate only has to prove detection keeps the device from
+/// serving corrupt answers indefinitely.
+const ESCAPES_SINGLE_NUM: usize = 2; // <= 2/3 of images
+
+/// CI gate for the full `sampled` ladder: scrubbing + canaries +
+/// 1-in-4 attestation must hold escapes to a third of the images even
+/// at one SEU per dispatch. The `attested` config is gated at zero.
+const ESCAPES_SAMPLED_DEN: usize = 3;
+
+/// CI gate: pool cycles between a detector firing (`SdcDetect`) and
+/// the device rejoining service (`Rejoin`), for every completed
+/// incident. Covers the weight reload and the probation canaries the
+/// device must pass while the pool keeps serving on the healthy
+/// device.
+const RECOVERY_CYCLES_MAX: u64 = 2_000_000;
+
+/// Detector configurations swept, one ladder rung at a time.
+fn configs() -> Vec<(&'static str, SdcConfig)> {
+    vec![
+        ("off", SdcConfig::off()),
+        (
+            "scrub",
+            SdcConfig {
+                scrub_every: 8,
+                canary_every: 0,
+                attest_every: 0,
+                probation: 2,
+            },
+        ),
+        (
+            "canary",
+            SdcConfig {
+                scrub_every: 0,
+                canary_every: 4,
+                attest_every: 0,
+                probation: 2,
+            },
+        ),
+        ("sampled", SdcConfig::defended()),
+        (
+            "attested",
+            SdcConfig {
+                attest_every: 1,
+                ..SdcConfig::defended()
+            },
+        ),
+    ]
+}
+
+fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect()
+}
+
+/// One incident reconstructed from the flight recorder.
+struct Incident {
+    trace_id: u64,
+    stages: Vec<FlightStage>,
+    detector: u64,
+    detect_clock: u64,
+    rejoin_clock: Option<u64>,
+}
+
+impl Incident {
+    fn healed(&self) -> bool {
+        self.rejoin_clock.is_some()
+    }
+
+    fn recovery_cycles(&self) -> Option<u64> {
+        self.rejoin_clock.map(|r| r - self.detect_clock)
+    }
+}
+
+/// Groups this cell's quarantine incidents out of the flight ring.
+/// Incident ids are minted under a fresh pool epoch per cell, so
+/// `seen` (ids from earlier cells) separates cells even though the
+/// ring is never cleared.
+fn reconstruct_incidents(records: &[FlightRecord], seen: &mut HashSet<u64>) -> Vec<Incident> {
+    let mut by_id: HashMap<u64, Vec<&FlightRecord>> = HashMap::new();
+    let mut order = Vec::new();
+    for r in records {
+        if matches!(
+            r.stage,
+            FlightStage::SdcDetect
+                | FlightStage::Quarantine
+                | FlightStage::WeightReload
+                | FlightStage::CanaryProbe
+                | FlightStage::Rejoin
+        ) {
+            let v = by_id.entry(r.trace_id).or_default();
+            v.push(r);
+            if v.len() == 1 {
+                order.push(r.trace_id);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .filter(|id| seen.insert(*id))
+        .map(|id| {
+            let recs = &by_id[&id];
+            let detect = recs
+                .iter()
+                .find(|r| r.stage == FlightStage::SdcDetect)
+                .expect("an incident opens with SdcDetect");
+            Incident {
+                trace_id: id,
+                stages: recs.iter().map(|r| r.stage).collect(),
+                detector: detect.arg,
+                detect_clock: detect.clock,
+                rejoin_clock: recs
+                    .iter()
+                    .find(|r| r.stage == FlightStage::Rejoin)
+                    .map(|r| r.clock),
+            }
+        })
+        .collect()
+}
+
+struct Cell {
+    rate_every: u32,
+    config: &'static str,
+    images: usize,
+    escapes: usize,
+    seu_injected: u64,
+    quarantines: u64,
+    quarantines_by: [u64; 3],
+    scrub_runs: u64,
+    scrub_dirty_banks: u64,
+    canary_pass: u64,
+    canary_fail: u64,
+    attest_checks: u64,
+    attest_mismatches: u64,
+    correctness_breaches: u64,
+    incidents: usize,
+    healed: usize,
+    max_recovery_cycles: u64,
+}
+
+fn counter_total(snap: &cnn_trace::TraceSnapshot, name: &str, label: Option<(&str, &str)>) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|c| c.name == name)
+        .filter(|c| label.is_none_or(|(k, v)| c.labels.iter().any(|(lk, lv)| lk == k && lv == v)))
+        .map(|c| c.value)
+        .sum()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_corruption.json".to_string());
+    let n = if smoke { 48 } else { 160 };
+
+    eprintln!("[cnn-bench] building the Test-2 stack (optimized Zedboard build)...");
+    let spec = NetworkSpec::paper_usps_small(true);
+    let net = build_deterministic(&spec, 2016).expect("valid paper spec");
+    let artifacts = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+        .run()
+        .expect("the paper network fits the Zedboard");
+    let images = deterministic_images(artifacts.network.input_shape(), n, 0x5DC5);
+    let reference: Vec<usize> = images
+        .iter()
+        .map(|i| artifacts.network.predict(i))
+        .collect();
+    let policy = RetryPolicy::default();
+
+    println!("CORRUPTION SWEEP: {n} images/cell, 2 devices (device 0 carries the SEUs)\n");
+    println!(
+        "{:>6}  {:>9}  {:>5}  {:>7}  {:>6}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}  {:>9}",
+        "rate",
+        "config",
+        "seus",
+        "escapes",
+        "quar",
+        "scrubs",
+        "dirty",
+        "canary",
+        "attest",
+        "healed",
+        "recovery"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut seen_incidents: HashSet<u64> = HashSet::new();
+    let mut showcase: Option<Incident> = None;
+    for &every in &RATES {
+        for (config_name, sdc) in configs() {
+            cnn_trace::reset();
+            cnn_trace::enable();
+            let r = artifacts
+                .serve_with_pool(
+                    &images,
+                    &[FaultPlan::seu(SEU_SEED, every), FaultPlan::none()],
+                    &policy,
+                    PoolConfig {
+                        sdc,
+                        ..PoolConfig::default()
+                    },
+                )
+                .expect("sweep cell serves");
+            let snap = cnn_trace::snapshot();
+            let flight = cnn_trace::flight().snapshot();
+            cnn_trace::disable();
+
+            let escapes = r
+                .predictions
+                .iter()
+                .zip(&reference)
+                .filter(|(got, want)| got != want)
+                .count();
+            let incidents = reconstruct_incidents(&flight, &mut seen_incidents);
+            let max_recovery = incidents
+                .iter()
+                .filter_map(Incident::recovery_cycles)
+                .max()
+                .unwrap_or(0);
+            if showcase.is_none() {
+                showcase = incidents
+                    .iter()
+                    .position(Incident::healed)
+                    .map(|i| Incident {
+                        trace_id: incidents[i].trace_id,
+                        stages: incidents[i].stages.clone(),
+                        detector: incidents[i].detector,
+                        detect_clock: incidents[i].detect_clock,
+                        rejoin_clock: incidents[i].rejoin_clock,
+                    });
+            }
+
+            let cell = Cell {
+                rate_every: every,
+                config: config_name,
+                images: n,
+                escapes,
+                seu_injected: counter_total(&snap, "cnn_sdc_seu_injected_total", None),
+                quarantines: counter_total(&snap, "cnn_sdc_quarantines_total", None),
+                quarantines_by: [
+                    counter_total(
+                        &snap,
+                        "cnn_sdc_quarantines_total",
+                        Some(("detector", "scrub")),
+                    ),
+                    counter_total(
+                        &snap,
+                        "cnn_sdc_quarantines_total",
+                        Some(("detector", "canary")),
+                    ),
+                    counter_total(
+                        &snap,
+                        "cnn_sdc_quarantines_total",
+                        Some(("detector", "attest")),
+                    ),
+                ],
+                scrub_runs: counter_total(&snap, "cnn_scrub_runs_total", None),
+                scrub_dirty_banks: counter_total(&snap, "cnn_scrub_dirty_banks_total", None),
+                canary_pass: counter_total(
+                    &snap,
+                    "cnn_canary_probes_total",
+                    Some(("result", "pass")),
+                ),
+                canary_fail: counter_total(
+                    &snap,
+                    "cnn_canary_probes_total",
+                    Some(("result", "fail")),
+                ),
+                attest_checks: counter_total(&snap, "cnn_sdc_attest_checks_total", None),
+                attest_mismatches: counter_total(&snap, "cnn_sdc_attest_mismatches_total", None),
+                correctness_breaches: counter_total(
+                    &snap,
+                    "cnn_sdc_correctness_breaches_total",
+                    None,
+                ),
+                incidents: incidents.len(),
+                healed: incidents.iter().filter(|i| i.healed()).count(),
+                max_recovery_cycles: max_recovery,
+            };
+            println!(
+                "{:>6}  {:>9}  {:>5}  {:>7}  {:>6}  {:>6}  {:>7}  {:>7}  {:>7}  {:>7}  {:>9}",
+                format!("1/{every}"),
+                cell.config,
+                cell.seu_injected,
+                cell.escapes,
+                cell.quarantines,
+                cell.scrub_runs,
+                cell.scrub_dirty_banks,
+                cell.canary_pass + cell.canary_fail,
+                cell.attest_checks,
+                format!("{}/{}", cell.healed, cell.incidents),
+                cell.max_recovery_cycles,
+            );
+
+            // --- CI gates ---------------------------------------------------
+            // The upsets are transport-silent in every cell: the CRC
+            // machinery that catches DMA corruption never fires.
+            for (d, dev) in r.report.devices.iter().enumerate() {
+                assert_eq!(
+                    dev.faults_injected, 0,
+                    "{config_name}/{every}: device {d} saw transport faults"
+                );
+                assert_eq!(
+                    dev.crc_detected, 0,
+                    "{config_name}/{every}: device {d} CRC fired on an SEU"
+                );
+            }
+            match config_name {
+                "off" => {
+                    // The silence proof: corruption escapes to clients
+                    // and *nothing* notices.
+                    assert_eq!(cell.quarantines, 0, "off: no detector may fire");
+                    assert_eq!(cell.scrub_runs + cell.canary_pass + cell.canary_fail, 0);
+                    assert_eq!(cell.attest_checks, 0);
+                    if every == 1 {
+                        assert!(
+                            cell.escapes > 0,
+                            "off/1: SEUs must skew served classifications \
+                             (otherwise the sweep proves nothing)"
+                        );
+                    }
+                }
+                name => {
+                    assert!(
+                        cell.seu_injected > 0,
+                        "{name}/{every}: the fault plan must inject"
+                    );
+                    assert!(
+                        cell.quarantines >= 1,
+                        "{name}/{every}: corruption must be detected"
+                    );
+                    let escapes_max = match name {
+                        "attested" => 0,
+                        "sampled" => n / ESCAPES_SAMPLED_DEN,
+                        _ => n * ESCAPES_SINGLE_NUM / 3,
+                    };
+                    assert!(
+                        cell.escapes <= escapes_max,
+                        "{name}/{every}: {} escapes exceed the gate {escapes_max}",
+                        cell.escapes
+                    );
+                    assert!(
+                        max_recovery <= RECOVERY_CYCLES_MAX,
+                        "{name}/{every}: detect->rejoin took {max_recovery} cycles \
+                         (gate: {RECOVERY_CYCLES_MAX})"
+                    );
+                }
+            }
+            cells.push(cell);
+        }
+    }
+
+    // At least one incident across the sweep healed end to end, and
+    // its flight-recorder timeline reconstructs the whole lifecycle
+    // under a single incident trace id.
+    let case = showcase.expect("the sweep must produce at least one healed incident");
+    let names: Vec<&str> = case.stages.iter().map(|s| s.as_str()).collect();
+    assert_eq!(
+        &names[..3],
+        ["sdc_detect", "quarantine", "weight_reload"],
+        "incident must open detect -> quarantine -> reload"
+    );
+    assert_eq!(*names.last().unwrap(), "rejoin");
+    assert!(
+        names[3..names.len() - 1]
+            .iter()
+            .all(|s| *s == "canary_probe"),
+        "between reload and rejoin only probation canaries run"
+    );
+    println!(
+        "\nincident {:#x} (detector ordinal {}): {} — healed in {} pool cycles",
+        case.trace_id,
+        case.detector,
+        names.join(" -> "),
+        case.recovery_cycles().unwrap(),
+    );
+    println!(
+        "\nSLO held: SEUs were invisible to the transport layer in every cell; with \
+         detectors off they skewed served answers silently; every detector-on cell \
+         quarantined, reloaded, and rejoined within {RECOVERY_CYCLES_MAX} cycles, and \
+         full attestation served zero wrong answers."
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"corruption_sweep\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"images_per_cell\": {n},");
+    let _ = writeln!(
+        json,
+        "  \"escapes_max\": {{\"single\": {}, \"sampled\": {}, \"attested\": 0}},",
+        n * ESCAPES_SINGLE_NUM / 3,
+        n / ESCAPES_SAMPLED_DEN
+    );
+    let _ = writeln!(json, "  \"recovery_cycles_max\": {RECOVERY_CYCLES_MAX},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"seu_every\": {}, \"config\": \"{}\", \"images\": {}, \
+             \"seu_injected\": {}, \"escapes\": {}, \"quarantines\": {}, \
+             \"quarantines_scrub\": {}, \"quarantines_canary\": {}, \
+             \"quarantines_attest\": {}, \"scrub_runs\": {}, \"scrub_dirty_banks\": {}, \
+             \"canary_pass\": {}, \"canary_fail\": {}, \"attest_checks\": {}, \
+             \"attest_mismatches\": {}, \"correctness_breaches\": {}, \
+             \"incidents\": {}, \"healed\": {}, \"max_recovery_cycles\": {}}}",
+            c.rate_every,
+            c.config,
+            c.images,
+            c.seu_injected,
+            c.escapes,
+            c.quarantines,
+            c.quarantines_by[0],
+            c.quarantines_by[1],
+            c.quarantines_by[2],
+            c.scrub_runs,
+            c.scrub_dirty_banks,
+            c.canary_pass,
+            c.canary_fail,
+            c.attest_checks,
+            c.attest_mismatches,
+            c.correctness_breaches,
+            c.incidents,
+            c.healed,
+            c.max_recovery_cycles,
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
+    println!("results committed atomically to {out_path}");
+}

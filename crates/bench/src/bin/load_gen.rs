@@ -214,13 +214,23 @@ fn is_subsequence(haystack: &[String], needles: &[&str]) -> bool {
     needles.iter().all(|n| it.any(|h| h == n))
 }
 
+/// What [`verify_flight_dump`] measured, summarized into
+/// `BENCH_loadgen.json` — the 20k-line dump itself goes under
+/// `results/` (gitignored), so the committed benchmark file carries a
+/// digest that still pins the dump's exact content.
+struct FlightDigest {
+    events: usize,
+    timelines: usize,
+    breach_markers: usize,
+}
+
 /// Parses the auto-captured flight-recorder dump and proves it can
 /// reconstruct the two timelines the overload run must contain: a
 /// request shed at admission (admit → enqueue → shed) and a hedged
 /// request served end to end (admit → enqueue → batch_form →
 /// dispatch → hedge → complete), with flow arrows binding the hedged
 /// request's slices into one chain.
-fn verify_flight_dump(dump: &str) {
+fn verify_flight_dump(dump: &str) -> FlightDigest {
     let doc = cnn_trace::export::json::parse(dump).expect("flight dump must parse as strict JSON");
     let events = doc
         .get("traceEvents")
@@ -294,6 +304,11 @@ fn verify_flight_dump(dump: &str) {
         timelines.len(),
         breach_events,
     );
+    FlightDigest {
+        events: events.len(),
+        timelines: timelines.len(),
+        breach_markers: breach_events,
+    }
 }
 
 fn main() {
@@ -459,13 +474,19 @@ fn main() {
 
     // The overload cell breached the goodput burn-rate SLO, which
     // auto-captured a flight-recorder dump. Prove the dump can
-    // reconstruct a shed and a hedged request end to end, then commit
-    // it next to the benchmark results.
+    // reconstruct a shed and a hedged request end to end, then write
+    // it under `results/` (gitignored — it is ~20k lines of derived
+    // data); the committed benchmark JSON carries its digest instead.
     let dump = overload_dump.expect("the 2.0x cell always breaches");
-    verify_flight_dump(&dump);
-    let flight_path = format!("{}_flight.json", out_path.trim_end_matches(".json"));
+    let digest = verify_flight_dump(&dump);
+    let stem = std::path::Path::new(&out_path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH_loadgen");
+    let flight_path = format!("results/{stem}_flight.json");
     atomic_write(&flight_path, dump.as_bytes()).expect("atomic flight dump commit");
-    println!("flight-recorder dump committed to {flight_path}");
+    let dump_fnv = cnn_store::hash::hex64(cnn_store::hash::fnv64(dump.as_bytes()));
+    println!("flight-recorder dump written to {flight_path} (fnv64 {dump_fnv})");
 
     println!(
         "\nPROMETHEUS EXPORT (cumulative across the sweep):\n\n{}",
@@ -521,7 +542,17 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"flight_dump\": {{\"path\": \"{flight_path}\", \"bytes\": {}, \"events\": {}, \
+         \"request_timelines\": {}, \"slo_breach_markers\": {}, \"fnv64\": \"{dump_fnv}\"}}",
+        dump.len(),
+        digest.events,
+        digest.timelines,
+        digest.breach_markers,
+    );
+    json.push_str("}\n");
     atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
     println!("results committed atomically to {out_path}");
 }

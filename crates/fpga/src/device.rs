@@ -36,7 +36,9 @@ use crate::board::Board;
 use crate::dma_regs::{DmaDriver, HwFault};
 use crate::fault::{FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 use crate::ip_core::CnnIpCore;
+use crate::weight_mem::WeightMemory;
 use cnn_hls::calibration::{DMA_RESET_CYCLES, DMA_SETUP_CYCLES, DMA_TIMEOUT_CYCLES};
+use cnn_store::GoldenManifest;
 use cnn_tensor::parallel::par_map;
 use cnn_tensor::Tensor;
 use crossbeam::channel::{Receiver, Sender};
@@ -128,10 +130,29 @@ pub struct ImageDispatch {
 }
 
 /// A Zynq board programmed with a CNN bitstream.
+///
+/// Beyond the transport loop the device models the fabric's long-lived
+/// state: the banked on-chip **weight memory** captured at programming
+/// time ([`WeightMemory`]). A [`FaultPlan`] with `seu_every > 0` upsets
+/// that memory at deterministic dispatch points — corruption the CRC
+/// stream trailers can never see, because it happens *behind* the DMA.
+/// While upset, the device computes with the corrupted parameters
+/// (`corrupted` holds the rebuilt core) and keeps returning well-formed
+/// predictions; [`Self::scrub`], [`Self::canary`] and
+/// [`Self::reload_weights`] are the detection/repair surface a serving
+/// pool drives.
 #[derive(Clone, Debug)]
 pub struct ZynqDevice {
     board: Board,
     bitstream: Bitstream,
+    memory: WeightMemory,
+    /// The core rebuilt with the upset weight image; `None` while the
+    /// memory is clean, so the fault-free path computes on the pristine
+    /// `bitstream.core` byte-for-byte.
+    corrupted: Option<CnnIpCore>,
+    /// Monotonic dispatch sequence number — the SEU plan's cycle axis.
+    dispatch_seq: u64,
+    seu_injected: u64,
 }
 
 /// Errors when programming the device.
@@ -347,7 +368,15 @@ impl ZynqDevice {
                 device: board,
             });
         }
-        Ok(ZynqDevice { board, bitstream })
+        let memory = WeightMemory::load(bitstream.core.network());
+        Ok(ZynqDevice {
+            board,
+            bitstream,
+            memory,
+            corrupted: None,
+            dispatch_seq: 0,
+            seu_injected: 0,
+        })
     }
 
     /// The board this device is.
@@ -358,6 +387,68 @@ impl ZynqDevice {
     /// The loaded bitstream.
     pub fn bitstream(&self) -> &Bitstream {
         &self.bitstream
+    }
+
+    /// The core actually computing right now: the pristine bitstream
+    /// core while the weight memory is clean, the rebuilt corrupted
+    /// core while it is upset. Timing is identical either way — an SEU
+    /// changes arithmetic, never the HLS schedule.
+    fn active_core(&self) -> &CnnIpCore {
+        self.corrupted.as_ref().unwrap_or(&self.bitstream.core)
+    }
+
+    /// The on-device weight memory image (live contents + golden
+    /// digests).
+    pub fn memory(&self) -> &WeightMemory {
+        &self.memory
+    }
+
+    /// SEUs injected into this device's weight memory so far.
+    pub fn seu_injected(&self) -> u64 {
+        self.seu_injected
+    }
+
+    /// The golden manifest for this device's weight image, keyed by
+    /// the bitstream content hash — what `cnn-store` persists and what
+    /// an external auditor scrubs against.
+    pub fn golden_manifest(&self) -> GoldenManifest {
+        self.memory.manifest(self.bitstream.content_hash())
+    }
+
+    /// One scrubber pass: recomputes every weight-bank checksum
+    /// against the golden digests captured at programming time and
+    /// returns the dirty banks. Read-only — repair is
+    /// [`Self::reload_weights`], so the caller decides policy.
+    pub fn scrub(&self) -> Vec<usize> {
+        cnn_trace::counter_add("cnn_scrub_runs_total", &[], 1);
+        let dirty = self.memory.dirty_banks();
+        if !dirty.is_empty() {
+            cnn_trace::counter_add("cnn_scrub_dirty_banks_total", &[], dirty.len() as u64);
+        }
+        dirty
+    }
+
+    /// One golden canary probe: runs `image` through the **active**
+    /// core and compares the class bit-exactly against `expected`
+    /// (the software reference's answer, computed offline). A failing
+    /// canary is the behavioural detector for corruption the checksum
+    /// scrubber has not reached yet.
+    pub fn canary(&self, image: &Tensor, expected: usize) -> bool {
+        let pass = self.active_core().process(image) == expected;
+        cnn_trace::counter_add(
+            "cnn_canary_probes_total",
+            &[("result", if pass { "pass" } else { "fail" })],
+            1,
+        );
+        pass
+    }
+
+    /// Reloads every dirty weight bank from the bitstream's pristine
+    /// network and drops the corrupted core. Returns banks rewritten.
+    pub fn reload_weights(&mut self) -> usize {
+        let rewritten = self.memory.reload_all(self.bitstream.core.network());
+        self.corrupted = None;
+        rewritten
     }
 
     /// `n_ok` is the number of images the core actually computed
@@ -397,7 +488,7 @@ impl ZynqDevice {
     ) -> BatchResult {
         let _span = cnn_trace::span("fpga", "classify_batch");
         preregister_batch_metrics();
-        let core = &self.bitstream.core;
+        let core = self.active_core();
         let mut dma = AxiDma::new();
         let mut driver = DmaDriver::new();
         let words = core.input_words();
@@ -453,15 +544,44 @@ impl ZynqDevice {
     /// same `image_id` (after this device abandoned it, or as a
     /// hedge on another device) draws fresh faults instead of
     /// replaying the ones that just failed.
+    ///
+    /// Takes `&mut self` because the device's long-lived state can
+    /// change under the plan: when [`FaultPlan::seu_due`] fires at
+    /// this dispatch point, one bit of the weight memory is upset
+    /// *before* the transfer, and every later dispatch computes with
+    /// the corrupted parameters. The upset touches no counter the
+    /// transport layer owns — [`FaultStats`] stays clean and no CRC
+    /// detection fires, which is precisely what makes it silent.
     pub fn dispatch_image(
-        &self,
+        &mut self,
         image: &Tensor,
         image_id: usize,
         attempt_base: u32,
         plan: &FaultPlan,
         policy: &RetryPolicy,
     ) -> ImageDispatch {
-        let core = &self.bitstream.core;
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        if plan.seu_due(seq) {
+            if let Some(up) = self.memory.upset(&mut plan.seu_stream(seq)) {
+                self.seu_injected += 1;
+                self.corrupted = Some(
+                    self.bitstream
+                        .core
+                        .with_network(self.memory.restore_network(self.bitstream.core.network())),
+                );
+                cnn_trace::counter_add("cnn_sdc_seu_injected_total", &[], 1);
+                if let Some(ctx) = cnn_trace::current_ctx() {
+                    cnn_trace::flight_record(
+                        ctx.trace_id,
+                        cnn_trace::FlightStage::SeuInject,
+                        cnn_trace::cycles(),
+                        up.bank as u64,
+                    );
+                }
+            }
+        }
+        let core = self.active_core();
         let words = core.input_words();
         let mut dma = AxiDma::new();
         let mut driver = DmaDriver::new();
@@ -522,7 +642,7 @@ impl ZynqDevice {
     ) -> BatchResult {
         let _span = cnn_trace::span("fpga", "classify_batch_threaded");
         preregister_batch_metrics();
-        let core = self.bitstream.core.clone();
+        let core = self.active_core().clone();
         let words = core.input_words();
 
         let in_stream = AxiStream::with_depth((words as usize + CRC_WORDS as usize).max(16));
@@ -910,7 +1030,7 @@ mod tests {
 
     #[test]
     fn dispatch_image_matches_batch_of_one() {
-        let (dev, net) = device(DirectiveSet::optimized());
+        let (mut dev, net) = device(DirectiveSet::optimized());
         let imgs = images(1, 47);
         let plan = FaultPlan::uniform(5, 0.4);
         let policy = RetryPolicy::default();
@@ -930,7 +1050,7 @@ mod tests {
         // With rate 1.0 and a small base the image keeps failing, but
         // distinct attempt bases must explore distinct fault draws —
         // this is what lets a pool-level retry make progress.
-        let (dev, _) = device(DirectiveSet::optimized());
+        let (mut dev, _) = device(DirectiveSet::optimized());
         let imgs = images(1, 53);
         let plan = FaultPlan::uniform(2016, 1.0);
         let policy = RetryPolicy { max_retries: 0 };
@@ -1001,6 +1121,177 @@ mod tests {
                 .all(|r| r.stage != cnn_trace::FlightStage::DmaAttempt),
             "context-free attempts must stamp nothing"
         );
+    }
+
+    /// A deterministic device built without `rand`: layer parameters
+    /// come straight from a [`SplitMix64`] stream, so the SDC tests
+    /// below replay bit-exactly in any environment.
+    fn sdc_device() -> (ZynqDevice, Network) {
+        use cnn_nn::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+        use cnn_store::hash::SplitMix64;
+        use cnn_tensor::Tensor4;
+        let mut mix = SplitMix64::new(0x5DC0);
+        let mut val =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| (mix.next_f64() - 0.5) as f32).collect() };
+        let net = Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(4, 1, 3, 3, val(36)),
+                    bias: val(4),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: val(10 * 196),
+                    bias: val(10),
+                    inputs: 196,
+                    outputs: 10,
+                    activation: None,
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap();
+        let p = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
+        let bs = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        (ZynqDevice::program(Board::Zedboard, bs).unwrap(), net)
+    }
+
+    fn sdc_images(n: usize, seed: u64) -> Vec<Tensor> {
+        use cnn_store::hash::SplitMix64;
+        let mut mix = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                Tensor::from_vec(
+                    Shape::new(1, 16, 16),
+                    (0..256)
+                        .map(|_| (mix.next_f64() * 2.0 - 1.0) as f32)
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn seu_dispatches_are_transport_silent_but_skew_predictions() {
+        let (mut dev, net) = sdc_device();
+        let imgs = sdc_images(24, 0xA11CE);
+        let plan = FaultPlan::seu(0xDEAD_BEEF, 1); // upset before every dispatch
+        let policy = RetryPolicy::default();
+        let mut wrong = 0usize;
+        for (i, img) in imgs.iter().enumerate() {
+            let d = dev.dispatch_image(img, i, 0, &plan, &policy);
+            // The tentpole's "silent" clause: the transport layer sees
+            // a perfectly healthy device — zero injected transport
+            // faults, zero CRC detections, every outcome Clean.
+            assert_eq!(d.outcome, ImageOutcome::Clean);
+            assert_eq!(
+                d.faults.injected, 0,
+                "SEU must not count as a transport fault"
+            );
+            assert_eq!(
+                d.faults.crc_detected, 0,
+                "CRC cannot see a weight-memory upset"
+            );
+            if d.prediction != net.predict(img) {
+                wrong += 1;
+            }
+        }
+        assert_eq!(dev.seu_injected(), 24);
+        assert!(!dev.memory().is_clean(), "upsets must dirty the image");
+        assert!(
+            wrong > 0,
+            "24 accumulated exponent flips must skew at least one class"
+        );
+    }
+
+    #[test]
+    fn scrub_detects_reload_heals_and_canary_confirms() {
+        let (mut dev, net) = sdc_device();
+        let imgs = sdc_images(16, 0xCAFE);
+        let plan = FaultPlan::seu(77, 1);
+        let policy = RetryPolicy::default();
+        assert!(dev.scrub().is_empty(), "freshly programmed memory is clean");
+        for (i, img) in imgs.iter().enumerate() {
+            dev.dispatch_image(img, i, 0, &plan, &policy);
+        }
+        // Layer 1 of the ladder: the scrubber's checksum audit flags
+        // the dirty banks the transport path never saw.
+        let dirty = dev.scrub();
+        assert!(!dirty.is_empty(), "scrub must flag the upset banks");
+        // Layer 2: a behavioural canary disagrees with the software
+        // reference on at least one probe while the core is upset.
+        let canaries = sdc_images(16, 0xBEE);
+        let failed = canaries
+            .iter()
+            .filter(|c| !dev.canary(c, net.predict(c)))
+            .count();
+        assert!(
+            failed > 0,
+            "16 upsets must fail at least one of 16 canaries"
+        );
+        // Repair: reload from the bitstream's pristine network.
+        let rewritten = dev.reload_weights();
+        assert_eq!(rewritten, dirty.len());
+        assert!(dev.scrub().is_empty());
+        assert!(canaries.iter().all(|c| dev.canary(c, net.predict(c))));
+        // And post-reload dispatches are bit-identical to software.
+        let clean = dev.dispatch_image(&imgs[0], 0, 0, &FaultPlan::none(), &policy);
+        assert_eq!(clean.prediction, net.predict(&imgs[0]));
+    }
+
+    #[test]
+    fn seu_free_plans_never_touch_the_weight_memory() {
+        let (mut dev, net) = sdc_device();
+        let imgs = sdc_images(8, 0xF00);
+        let policy = RetryPolicy::default();
+        for (i, img) in imgs.iter().enumerate() {
+            let d = dev.dispatch_image(img, i, 0, &FaultPlan::none(), &policy);
+            assert_eq!(d.prediction, net.predict(img));
+        }
+        assert_eq!(dev.seu_injected(), 0);
+        assert!(dev.memory().is_clean());
+        assert!(dev.scrub().is_empty());
+    }
+
+    #[test]
+    fn seu_rate_follows_the_plan_and_replays_deterministically() {
+        let policy = RetryPolicy::default();
+        let imgs = sdc_images(64, 0x7E57);
+        let run = |every: u32| -> (u64, Vec<usize>) {
+            let (mut dev, _) = sdc_device();
+            let plan = FaultPlan::seu(0x5EED, every);
+            let preds = imgs
+                .iter()
+                .enumerate()
+                .map(|(i, img)| dev.dispatch_image(img, i, 0, &plan, &policy).prediction)
+                .collect();
+            (dev.seu_injected(), preds)
+        };
+        let (hits_8, preds_a) = run(8);
+        let (hits_8b, preds_b) = run(8);
+        assert_eq!(hits_8, hits_8b, "same plan, same upset count");
+        assert_eq!(preds_a, preds_b, "same plan, same trajectory");
+        assert!((1..64).contains(&hits_8), "every=8 is sparse but nonzero");
+        let (hits_1, _) = run(1);
+        assert_eq!(hits_1, 64, "every=1 upsets at each dispatch point");
+    }
+
+    #[test]
+    fn golden_manifest_round_trips_and_tracks_the_bitstream() {
+        let (dev, _) = sdc_device();
+        let manifest = dev.golden_manifest();
+        assert_eq!(manifest.model, dev.bitstream().content_hash());
+        assert_eq!(manifest.banks.len(), dev.memory().bank_count());
+        let text = manifest.to_text();
+        assert_eq!(GoldenManifest::parse(&text).unwrap(), manifest);
     }
 
     #[test]

@@ -11,9 +11,14 @@
 
 use crate::axi::BeatFault;
 use crate::dma_regs::{DmaChannel, HwFault};
+use cnn_store::hash::{mix64, SplitMix64};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use serde::Serialize;
 use std::fmt;
+
+/// Salt separating the SEU site-selection stream from the transport
+/// fault streams (which use their own salts below).
+const SEU_SALT: u64 = 0x5EED_BEEF_CAFE_F00D;
 
 /// A fault chosen for one transfer attempt.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -82,6 +87,16 @@ pub struct FaultPlan {
     /// `rand` dependency at runtime can still produce the latency
     /// outliers that exercise hedging. `0` disables the jitter.
     pub stall_every: u32,
+    /// Seeded SEU injection: when non-zero, roughly one in `seu_every`
+    /// device dispatches flips one bit in the device's on-chip weight
+    /// memory *before* the transfer runs. Unlike every other field,
+    /// this corruption is **silent**: the DMA packet is untouched, so
+    /// the CRC trailer passes, no fault is counted, and the device
+    /// returns a well-formed (possibly wrong) prediction. Selection
+    /// hashes `(seed, dispatch sequence)` — deterministic, RNG-free —
+    /// and the upset site comes from [`FaultPlan::seu_stream`]. `0`
+    /// disables injection.
+    pub seu_every: u32,
 }
 
 impl FaultPlan {
@@ -96,6 +111,18 @@ impl FaultPlan {
             s2mm_stall: 0.0,
             dma_halt: 0.0,
             stall_every: 0,
+            seu_every: 0,
+        }
+    }
+
+    /// A transport-clean plan whose only hazard is the silent weight
+    /// memory SEU (see [`FaultPlan::seu_every`]): roughly one in
+    /// `every` dispatches upsets one bit of on-device weight memory.
+    pub fn seu(seed: u64, every: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            seu_every: every,
+            ..FaultPlan::none()
         }
     }
 
@@ -135,6 +162,7 @@ impl FaultPlan {
             s2mm_stall: p,
             dma_halt: p,
             stall_every: 0,
+            seu_every: 0,
         }
     }
 
@@ -163,9 +191,33 @@ impl FaultPlan {
         Ok(())
     }
 
-    /// True when no fault can ever be injected (after clamping).
+    /// True when no *transport* fault can ever be injected (after
+    /// clamping). Deliberately ignores [`FaultPlan::seu_every`]: an
+    /// SEU plan keeps the bus byte-identical to a clean run — that is
+    /// what makes the corruption silent — so the transport paths treat
+    /// it as fault-free and the weight-memory injector handles it.
     pub fn is_fault_free(&self) -> bool {
         self.stall_every == 0 && !self.has_random_faults()
+    }
+
+    /// Whether a weight-memory SEU is due at device dispatch `seq`
+    /// (the device's lifetime dispatch ordinal). Hash-selected like
+    /// the stall jitter: deterministic, RNG-free, roughly one in
+    /// [`FaultPlan::seu_every`].
+    pub fn seu_due(&self, seq: u64) -> bool {
+        self.seu_every > 0 && self.seu_hash(seq).is_multiple_of(u64::from(self.seu_every))
+    }
+
+    /// The seeded stream that picks the upset site (bank, word, bit)
+    /// for the SEU due at dispatch `seq`. Independent per dispatch and
+    /// decorrelated from [`FaultPlan::seu_due`]'s selection hash.
+    pub fn seu_stream(&self, seq: u64) -> SplitMix64 {
+        SplitMix64::new(mix64(self.seu_hash(seq) ^ SEU_SALT))
+    }
+
+    fn seu_hash(&self, seq: u64) -> u64 {
+        let s = mix64(self.seed ^ SEU_SALT);
+        mix64(s ^ seq)
     }
 
     /// True when any of the *probabilistic* fault fields can fire —
@@ -251,17 +303,17 @@ impl FaultPlan {
 
     /// The RNG seed for one `(image, attempt)` pair.
     fn attempt_seed(&self, image: usize, attempt: u32) -> u64 {
-        let mut s = splitmix64(self.seed ^ 0xA5A5_5A5A_0F0F_F0F0);
-        s = splitmix64(s ^ image as u64);
-        splitmix64(s ^ attempt as u64)
+        let mut s = mix64(self.seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        s = mix64(s ^ image as u64);
+        mix64(s ^ attempt as u64)
     }
 
     /// The per-image hash behind [`FaultPlan::stall_every`] (distinct
     /// salt from [`FaultPlan::attempt_seed`] so the jitter never
     /// correlates with the probabilistic draws).
     fn stall_hash(&self, image: usize) -> u64 {
-        let s = splitmix64(self.seed ^ 0x57A1_157A_1157_A115);
-        splitmix64(s ^ image as u64)
+        let s = mix64(self.seed ^ 0x57A1_157A_1157_A115);
+        mix64(s ^ image as u64)
     }
 }
 
@@ -286,15 +338,6 @@ impl InjectedFault {
             _ => None,
         }
     }
-}
-
-/// splitmix64 mixing step (Steele et al.) — a cheap, well-distributed
-/// u64 → u64 hash used to derive independent per-attempt seeds.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Bounded retry-with-reset policy for the PS-side driver.
@@ -497,6 +540,7 @@ mod tests {
                 s2mm_stall: bad,
                 dma_halt: bad,
                 stall_every: 0,
+                seu_every: 0,
             };
             // validate() rejects these, but sample() must still be total.
             let _ = plan.sample(0, 0, 16);
@@ -535,6 +579,44 @@ mod tests {
             }
         }
         assert_eq!(saw, [true; 4]);
+    }
+
+    #[test]
+    fn seu_plan_is_transport_clean_and_deterministic() {
+        let plan = FaultPlan::seu(11, 8);
+        // Transport: byte-identical to a clean run by construction.
+        assert!(plan.is_fault_free());
+        plan.validate().unwrap();
+        for img in 0..64 {
+            assert_eq!(plan.sample(img, 0, 256), None);
+        }
+        // Selection replays identically and hits roughly one in eight.
+        let due: Vec<u64> = (0..512).filter(|&s| plan.seu_due(s)).collect();
+        assert_eq!(
+            due,
+            (0..512).filter(|&s| plan.seu_due(s)).collect::<Vec<_>>()
+        );
+        assert!(
+            (32..=96).contains(&due.len()),
+            "expected ~64 upsets in 512 dispatches, got {}",
+            due.len()
+        );
+        // Site streams replay and decorrelate across dispatches.
+        let a: Vec<u64> = (0..4).map(|_| plan.seu_stream(due[0]).next_u64()).collect();
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(
+            plan.seu_stream(due[0]).next_u64(),
+            plan.seu_stream(due[1]).next_u64()
+        );
+        // A different seed selects a different dispatch subset.
+        let other = FaultPlan::seu(12, 8);
+        assert!((0..512).any(|s| plan.seu_due(s) != other.seu_due(s)));
+    }
+
+    #[test]
+    fn seu_disabled_never_fires() {
+        let plan = FaultPlan::none();
+        assert!((0..1_000).all(|s| !plan.seu_due(s)));
     }
 
     #[test]

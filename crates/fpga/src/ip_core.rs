@@ -71,6 +71,23 @@ impl CnnIpCore {
         }
     }
 
+    /// The network the core evaluates (the weights "baked into" the
+    /// fabric) — the source the on-device weight image is built from.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The same schedule with `network`'s weights swapped in — how the
+    /// device models an upset weight memory: identical timing (the HLS
+    /// schedule depends only on the architecture, which an SEU cannot
+    /// change), different arithmetic.
+    pub fn with_network(&self, network: Network) -> CnnIpCore {
+        CnnIpCore {
+            network,
+            ..self.clone()
+        }
+    }
+
     /// Expected input shape.
     pub fn input_shape(&self) -> Shape {
         self.input_shape

@@ -49,6 +49,7 @@ pub mod dma_regs;
 pub mod fault;
 pub mod hdl;
 pub mod ip_core;
+pub mod weight_mem;
 
 pub use address_map::MapError;
 pub use axi::{check_packet, crc32, frame_packet, IntegrityError, StreamError, CRC_WORDS};
@@ -59,3 +60,4 @@ pub use device::{BatchResult, DeviceError, ImageDispatch, ImageOutcome, ZynqDevi
 pub use dma_regs::{DmaChannel, DmaError, HwFault};
 pub use fault::{FaultError, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 pub use ip_core::{CnnIpCore, PacketError};
+pub use weight_mem::{SeuUpset, WeightMemory};

@@ -1,0 +1,388 @@
+//! The on-device weight/configuration memory image.
+//!
+//! When a bitstream is programmed, the loader captures the network's
+//! parameters into banked on-chip memory — one bank per parameterized
+//! layer, each word one f32 bit pattern — and records a golden
+//! FNV-1a/64 digest per bank. This is the long-lived state a deployed
+//! accelerator trusts between reloads, and therefore the target of
+//! SEU-style configuration upsets: a bit flip here never crosses the
+//! DMA, so the CRC stream trailers cannot see it, and the core keeps
+//! producing well-formed (possibly wrong) predictions.
+//!
+//! The memory supports the three defense layers built on top of it:
+//! scrubbing ([`WeightMemory::dirty_banks`] against the golden
+//! digests), reload ([`WeightMemory::reload_all`] from the bitstream's
+//! pristine network), and reconstruction of the corrupted compute
+//! ([`WeightMemory::restore_network`]) so the device model actually
+//! misclassifies while upset instead of merely flagging a counter.
+
+use cnn_nn::{Layer, Network};
+use cnn_store::golden::{GoldenBank, GoldenManifest};
+use cnn_store::hash::{Fnv64, SplitMix64};
+
+/// One weight bank: the parameters of one layer, as raw f32 bits.
+#[derive(Clone, Debug)]
+struct Bank {
+    label: String,
+    words: Vec<u32>,
+}
+
+/// One applied upset, for accounting and flight stamps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeuUpset {
+    /// Bank hit.
+    pub bank: usize,
+    /// Word within the bank.
+    pub word: usize,
+    /// Bit flipped within the word.
+    pub bit: u32,
+}
+
+/// A banked, checksummed image of the device's weight memory.
+#[derive(Clone, Debug)]
+pub struct WeightMemory {
+    banks: Vec<Bank>,
+    /// Per-bank digests captured at load time — the golden reference
+    /// the scrubber compares against.
+    golden: Vec<u64>,
+}
+
+/// Flattens one layer's parameters into bank words, if it has any.
+fn bank_of(index: usize, layer: &Layer) -> Option<Bank> {
+    let (label, words) = match layer {
+        Layer::Conv2d(c) => {
+            let mut words: Vec<u32> = c.kernels.as_slice().iter().map(|w| w.to_bits()).collect();
+            words.extend(c.bias.iter().map(|b| b.to_bits()));
+            (format!("conv{index}"), words)
+        }
+        Layer::Linear(l) => {
+            let mut words: Vec<u32> = l.weights.iter().map(|w| w.to_bits()).collect();
+            words.extend(l.bias.iter().map(|b| b.to_bits()));
+            (format!("linear{index}"), words)
+        }
+        Layer::Pool(_) | Layer::Flatten | Layer::LogSoftMax => return None,
+    };
+    Some(Bank { label, words })
+}
+
+fn digest(words: &[u32]) -> u64 {
+    let mut h = Fnv64::new();
+    for &w in words {
+        h.update(&w.to_le_bytes());
+    }
+    h.finish()
+}
+
+impl WeightMemory {
+    /// Loads the image from a pristine network and captures the golden
+    /// digests.
+    pub fn load(net: &Network) -> WeightMemory {
+        let banks: Vec<Bank> = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| bank_of(i, l))
+            .collect();
+        let golden = banks.iter().map(|b| digest(&b.words)).collect();
+        WeightMemory { banks, golden }
+    }
+
+    /// Banks in the image.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total parameter words across all banks.
+    pub fn total_words(&self) -> usize {
+        self.banks.iter().map(|b| b.words.len()).sum()
+    }
+
+    /// Label of bank `i`.
+    pub fn bank_label(&self, i: usize) -> &str {
+        &self.banks[i].label
+    }
+
+    /// Digest over bank `i`'s **current** contents (what the scrubber
+    /// recomputes).
+    pub fn live_digest(&self, i: usize) -> u64 {
+        digest(&self.banks[i].words)
+    }
+
+    /// The golden digest captured when bank `i` was loaded.
+    pub fn golden_digest(&self, i: usize) -> u64 {
+        self.golden[i]
+    }
+
+    /// Banks whose live digest has diverged from golden.
+    pub fn dirty_banks(&self) -> Vec<usize> {
+        (0..self.banks.len())
+            .filter(|&i| self.live_digest(i) != self.golden[i])
+            .collect()
+    }
+
+    /// Whether every bank still matches its golden digest.
+    pub fn is_clean(&self) -> bool {
+        self.dirty_banks().is_empty()
+    }
+
+    /// Flips one bit at a site drawn from `stream`. The bit is chosen
+    /// finite-preserving (exponent flip when it stays finite, else the
+    /// sign bit), because the point of an SEU model is *silent* skew:
+    /// a NaN weight would advertise itself, a sign/exponent flip just
+    /// changes the answer. Returns `None` only for a parameterless
+    /// image.
+    pub fn upset(&mut self, stream: &mut SplitMix64) -> Option<SeuUpset> {
+        if self.banks.is_empty() {
+            return None;
+        }
+        let bank = stream.next_below(self.banks.len());
+        let words = &mut self.banks[bank].words;
+        if words.is_empty() {
+            return None;
+        }
+        let word = stream.next_below(words.len());
+        // Prefer the high exponent bit (orders-of-magnitude skew);
+        // fall back to the sign bit when that would leave the f32
+        // non-finite. Both keep the value well-formed.
+        let mut bit = 30;
+        if !f32::from_bits(words[word] ^ (1 << bit)).is_finite() {
+            bit = 31;
+        }
+        words[word] ^= 1 << bit;
+        Some(SeuUpset { bank, word, bit })
+    }
+
+    /// Rewrites every dirty bank from the pristine `source` network
+    /// (the bitstream the device was programmed with). Returns how
+    /// many banks were rewritten.
+    pub fn reload_all(&mut self, source: &Network) -> usize {
+        let pristine = WeightMemory::load(source);
+        assert_eq!(
+            pristine.banks.len(),
+            self.banks.len(),
+            "reload source must have the image's architecture"
+        );
+        let mut rewritten = 0;
+        for (i, bank) in pristine.banks.into_iter().enumerate() {
+            if self.banks[i].words != bank.words {
+                self.banks[i].words = bank.words;
+                rewritten += 1;
+            }
+        }
+        rewritten
+    }
+
+    /// Reconstructs the network the core is *actually* computing with:
+    /// `template`'s architecture carrying this memory's (possibly
+    /// upset) parameter words. Bit-exact round trip when clean.
+    pub fn restore_network(&self, template: &Network) -> Network {
+        let mut cursor = 0usize;
+        let layers: Vec<Layer> = template
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| match layer {
+                Layer::Conv2d(c) => {
+                    let bank = &self.banks[cursor].words;
+                    cursor += 1;
+                    let mut c = c.clone();
+                    let n_kernel = c.kernels.len();
+                    debug_assert_eq!(bank.len(), n_kernel + c.bias.len(), "conv{i} bank size");
+                    for (dst, &bits) in c.kernels.as_mut_slice().iter_mut().zip(bank.iter()) {
+                        *dst = f32::from_bits(bits);
+                    }
+                    for (dst, &bits) in c.bias.iter_mut().zip(bank[n_kernel..].iter()) {
+                        *dst = f32::from_bits(bits);
+                    }
+                    Layer::Conv2d(c)
+                }
+                Layer::Linear(l) => {
+                    let bank = &self.banks[cursor].words;
+                    cursor += 1;
+                    let mut l = l.clone();
+                    let n_w = l.weights.len();
+                    debug_assert_eq!(bank.len(), n_w + l.bias.len(), "linear{i} bank size");
+                    for (dst, &bits) in l.weights.iter_mut().zip(bank.iter()) {
+                        *dst = f32::from_bits(bits);
+                    }
+                    for (dst, &bits) in l.bias.iter_mut().zip(bank[n_w..].iter()) {
+                        *dst = f32::from_bits(bits);
+                    }
+                    Layer::Linear(l)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        assert_eq!(cursor, self.banks.len(), "template/bank layer mismatch");
+        Network::new(template.input_shape(), layers)
+            .expect("restoring into the same architecture cannot fail validation")
+    }
+
+    /// The golden manifest for this image, tied to `model` (the
+    /// bitstream content hash) — what `cnn-store` persists and the
+    /// scrubber audits against.
+    pub fn manifest(&self, model: u64) -> GoldenManifest {
+        GoldenManifest::new(
+            model,
+            self.banks
+                .iter()
+                .zip(&self.golden)
+                .map(|(b, &digest)| GoldenBank {
+                    label: b.label.clone(),
+                    words: b.words.len(),
+                    digest,
+                })
+                .collect(),
+        )
+        .expect("bank labels are generated and always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnn_nn::{Conv2dLayer, LinearLayer, PoolLayer};
+    use cnn_tensor::ops::pool::PoolKind;
+    use cnn_tensor::{Shape, Tensor, Tensor4};
+
+    /// A small deterministic two-param-layer network (no `rand`).
+    fn net() -> Network {
+        let mut mix = SplitMix64::new(99);
+        let mut val = |n: usize| -> Vec<f32> {
+            (0..n)
+                .map(|_| (mix.next_f64() * 0.5 - 0.25) as f32)
+                .collect()
+        };
+        let conv = Conv2dLayer {
+            kernels: Tensor4::from_vec(4, 1, 3, 3, val(36)),
+            bias: val(4),
+            activation: None,
+        };
+        let linear = LinearLayer {
+            weights: val(10 * 196),
+            bias: val(10),
+            inputs: 196,
+            outputs: 10,
+            activation: None,
+        };
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(conv),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(linear),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn image() -> Tensor {
+        let mut mix = SplitMix64::new(5);
+        Tensor::from_vec(
+            Shape::new(1, 16, 16),
+            (0..256)
+                .map(|_| (mix.next_f64() * 2.0 - 1.0) as f32)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn load_is_clean_and_banks_follow_layers() {
+        let mem = WeightMemory::load(&net());
+        assert_eq!(mem.bank_count(), 2);
+        assert_eq!(mem.bank_label(0), "conv0");
+        assert_eq!(mem.bank_label(1), "linear3");
+        assert_eq!(mem.total_words(), 36 + 4 + 10 * 196 + 10);
+        assert!(mem.is_clean());
+        for i in 0..2 {
+            assert_eq!(mem.live_digest(i), mem.golden_digest(i));
+        }
+    }
+
+    #[test]
+    fn restore_round_trips_bit_exactly_when_clean() {
+        let n = net();
+        let mem = WeightMemory::load(&n);
+        let restored = mem.restore_network(&n);
+        assert_eq!(restored, n);
+        let img = image();
+        assert_eq!(restored.predict(&img), n.predict(&img));
+    }
+
+    #[test]
+    fn upset_dirties_exactly_one_bank_and_scrub_sees_it() {
+        let n = net();
+        let mut mem = WeightMemory::load(&n);
+        let up = mem.upset(&mut SplitMix64::new(7)).unwrap();
+        assert_eq!(mem.dirty_banks(), vec![up.bank]);
+        assert!(!mem.is_clean());
+        // The restored network differs from the pristine one and every
+        // weight is still finite — the upset is silent, not loud.
+        let corrupted = mem.restore_network(&n);
+        assert_ne!(corrupted, n);
+        for layer in corrupted.layers() {
+            match layer {
+                Layer::Conv2d(c) => {
+                    assert!(c.kernels.as_slice().iter().all(|w| w.is_finite()));
+                    assert!(c.bias.iter().all(|w| w.is_finite()));
+                }
+                Layer::Linear(l) => {
+                    assert!(l.weights.iter().all(|w| w.is_finite()));
+                    assert!(l.bias.iter().all(|w| w.is_finite()));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn upsets_replay_identically_from_the_stream_seed() {
+        let n = net();
+        let mut a = WeightMemory::load(&n);
+        let mut b = WeightMemory::load(&n);
+        assert_eq!(
+            a.upset(&mut SplitMix64::new(42)),
+            b.upset(&mut SplitMix64::new(42))
+        );
+        assert_eq!(a.live_digest(0), b.live_digest(0));
+        assert_eq!(a.live_digest(1), b.live_digest(1));
+    }
+
+    #[test]
+    fn reload_restores_golden_state() {
+        let n = net();
+        let mut mem = WeightMemory::load(&n);
+        for s in 0..3 {
+            mem.upset(&mut SplitMix64::new(s));
+        }
+        assert!(!mem.is_clean());
+        let rewritten = mem.reload_all(&n);
+        assert!(rewritten >= 1);
+        assert!(mem.is_clean());
+        assert_eq!(mem.restore_network(&n), n);
+        // A clean reload is a no-op.
+        assert_eq!(mem.reload_all(&n), 0);
+    }
+
+    #[test]
+    fn manifest_reflects_the_golden_image() {
+        let n = net();
+        let mut mem = WeightMemory::load(&n);
+        let manifest = mem.manifest(0xB175);
+        assert_eq!(manifest.model, 0xB175);
+        assert_eq!(manifest.banks.len(), 2);
+        assert_eq!(manifest.bank_digest(0), Some(mem.golden_digest(0)));
+        // Corruption does not silently rewrite the golden reference.
+        mem.upset(&mut SplitMix64::new(1));
+        assert_eq!(mem.manifest(0xB175), manifest);
+        let text = manifest.to_text();
+        assert_eq!(GoldenManifest::parse(&text).unwrap(), manifest);
+    }
+}

@@ -29,6 +29,10 @@ pub struct PooledZynq<'a> {
     plan: FaultPlan,
     policy: RetryPolicy,
     images: &'a [Tensor],
+    /// Golden canary set: known inputs with their bit-exact software
+    /// classifications, probed round-robin by the pool's SDC ladder.
+    canaries: Vec<(Tensor, usize)>,
+    canary_cursor: usize,
 }
 
 impl<'a> PooledZynq<'a> {
@@ -44,7 +48,17 @@ impl<'a> PooledZynq<'a> {
             plan,
             policy,
             images,
+            canaries: Vec::new(),
+            canary_cursor: 0,
         }
+    }
+
+    /// Installs the golden canary set `(input, expected class)` the
+    /// pool's canary detector probes. Without one, canary probes
+    /// vacuously pass — scrubbing and attestation still work.
+    pub fn with_canaries(mut self, canaries: Vec<(Tensor, usize)>) -> PooledZynq<'a> {
+        self.canaries = canaries;
+        self
     }
 }
 
@@ -69,6 +83,23 @@ impl Device for PooledZynq<'_> {
             faults_injected: d.faults.injected,
             crc_detected: d.faults.crc_detected,
         }
+    }
+
+    fn scrub(&mut self) -> usize {
+        self.device.scrub().len()
+    }
+
+    fn canary(&mut self) -> bool {
+        if self.canaries.is_empty() {
+            return true;
+        }
+        let (image, expected) = &self.canaries[self.canary_cursor % self.canaries.len()];
+        self.canary_cursor = self.canary_cursor.wrapping_add(1);
+        self.device.canary(image, *expected)
+    }
+
+    fn reload(&mut self) -> usize {
+        self.device.reload_weights()
     }
 }
 
@@ -107,7 +138,26 @@ pub struct FrontendClassificationReport {
     pub breach_dump: Option<String>,
 }
 
+/// Golden canary inputs provisioned per defended pool: enough that a
+/// corruption skewing only some classes is still caught, few enough
+/// that probing stays cheap next to real traffic.
+const GOLDEN_CANARIES: usize = 4;
+
 impl WorkflowArtifacts {
+    /// Builds the golden canary set a defended pool probes: the first
+    /// few served images paired with their bit-exact software
+    /// classifications. Empty (and free) when SDC detection is off.
+    fn golden_canaries(&self, images: &[Tensor], cfg: &PoolConfig) -> Vec<(Tensor, usize)> {
+        if !cfg.sdc.enabled() {
+            return Vec::new();
+        }
+        images
+            .iter()
+            .take(GOLDEN_CANARIES)
+            .map(|img| (img.clone(), self.network.predict(img)))
+            .collect()
+    }
+
     /// Serves an open-loop `arrivals` schedule over `images` through
     /// the batched front-end: requests are admission-controlled
     /// against their deadline budgets, fair-queued per tenant,
@@ -142,6 +192,7 @@ impl WorkflowArtifacts {
                 ),
             });
         }
+        let canaries = self.golden_canaries(images, &pool_cfg);
         let devices = plans
             .iter()
             .map(|plan| {
@@ -152,7 +203,7 @@ impl WorkflowArtifacts {
                         message: e.to_string(),
                     }
                 })?;
-                Ok(PooledZynq::new(dev, *plan, *policy, images))
+                Ok(PooledZynq::new(dev, *plan, *policy, images).with_canaries(canaries.clone()))
             })
             .collect::<Result<Vec<_>, WorkflowError>>()?;
 
@@ -195,12 +246,14 @@ impl WorkflowArtifacts {
         )];
         for (i, d) in devices.iter().enumerate() {
             trace.push(format!(
-                "device {i}: {} dispatches ({} abandoned), health {}, breaker {:?}, {} trips",
+                "device {i}: {} dispatches ({} abandoned), health {}, breaker {:?}, \
+                 {} trips, {} quarantines",
                 d.dispatches,
                 d.failures,
                 d.health.name(),
                 d.breaker,
                 d.breaker_trips,
+                d.quarantines,
             ));
         }
 
@@ -233,6 +286,7 @@ impl WorkflowArtifacts {
                 message: "a serving pool needs at least one device (one fault plan)".into(),
             });
         }
+        let canaries = self.golden_canaries(images, &cfg);
         let devices = plans
             .iter()
             .map(|plan| {
@@ -243,7 +297,7 @@ impl WorkflowArtifacts {
                         message: e.to_string(),
                     }
                 })?;
-                Ok(PooledZynq::new(dev, *plan, *policy, images))
+                Ok(PooledZynq::new(dev, *plan, *policy, images).with_canaries(canaries.clone()))
             })
             .collect::<Result<Vec<_>, WorkflowError>>()?;
 
@@ -266,7 +320,7 @@ impl WorkflowArtifacts {
         for (i, d) in report.devices.iter().enumerate() {
             trace.push(format!(
                 "device {i}: {} dispatches ({} abandoned), {} faults injected \
-                 ({} caught by CRC), health {}, breaker {:?}, {} trips",
+                 ({} caught by CRC), health {}, breaker {:?}, {} trips, {} quarantines",
                 d.dispatches,
                 d.failures,
                 d.faults_injected,
@@ -274,6 +328,7 @@ impl WorkflowArtifacts {
                 d.health.name(),
                 d.breaker,
                 d.breaker_trips,
+                d.quarantines,
             ));
         }
 
@@ -444,6 +499,56 @@ mod tests {
         assert_eq!(r.report.attainment(), 1.0);
         assert_eq!(r.report.slo_breaches, 0, "underload burns no error budget");
         assert!(r.breach_dump.is_none());
+    }
+
+    #[test]
+    fn sdc_defended_pool_detects_heals_and_stays_bit_exact() {
+        // Deterministic weights and images (no `rand` at runtime).
+        // One device suffers seeded SEUs in its weight memory —
+        // transport-silent corruption the CRC layer never sees —
+        // while the defense ladder runs at tight cadences with
+        // attestation on every served request: nothing wrong escapes,
+        // and the corrupt device is quarantined, reloaded from the
+        // golden store, and re-admitted after probation.
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = crate::weights::build_deterministic(&spec, 21).unwrap();
+        let a = Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+            .run()
+            .unwrap();
+        let images: Vec<Tensor> = (0..16)
+            .map(|i| {
+                Tensor::from_fn(cnn_tensor::Shape::new(1, 16, 16), |_, y, x| {
+                    ((y * 16 + x + i * 11) % 31) as f32 * 0.055 - 0.85
+                })
+            })
+            .collect();
+        let sw: Vec<usize> = images.iter().map(|i| a.network.predict(i)).collect();
+        let r = a
+            .serve_with_pool(
+                &images,
+                &[FaultPlan::seu(0x5EED, 2), FaultPlan::none()],
+                &RetryPolicy::default(),
+                PoolConfig {
+                    sdc: cnn_serve::SdcConfig {
+                        scrub_every: 2,
+                        canary_every: 2,
+                        attest_every: 1,
+                        probation: 2,
+                    },
+                    ..PoolConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(r.predictions, sw, "attestation corrects every escape");
+        let d = &r.report.devices[0];
+        assert!(d.quarantines >= 1, "corruption must be detected: {d:?}");
+        assert_eq!(d.faults_injected, 0, "SEUs are transport-silent");
+        assert_eq!(d.crc_detected, 0, "the CRC layer never fires");
+        assert_eq!(r.report.devices[1].quarantines, 0, "clean device untouched");
+        assert!(
+            r.trace.iter().skip(1).all(|l| l.contains("quarantines")),
+            "device trace lines report quarantines"
+        );
     }
 
     #[test]

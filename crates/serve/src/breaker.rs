@@ -147,6 +147,17 @@ impl CircuitBreaker {
         }
     }
 
+    /// Force-opens the breaker at pool-clock `now`, regardless of the
+    /// consecutive-failure count. This is the SDC detectors' entry
+    /// point: a failed scrub, canary, or attestation is *proof* of
+    /// corruption — not a statistical signal worth `trip_after`
+    /// confirmations — so the device quarantines immediately. Counts
+    /// as a trip; re-admission goes through the usual probe path (or
+    /// [`CircuitBreaker::record_success`] once probation clears).
+    pub fn quarantine(&mut self, now: u64) {
+        self.trip(now);
+    }
+
     fn trip(&mut self, now: u64) {
         self.state = BreakerState::Open {
             until: now.saturating_add(self.cfg.cooldown_cycles),
@@ -244,6 +255,24 @@ mod tests {
         assert!(b.allows(0), "must be able to serve at least once");
         b.record_failure(0);
         assert_eq!(b.state(), BreakerState::Open { until: 10 });
+    }
+
+    #[test]
+    fn quarantine_force_opens_from_any_state() {
+        let mut b = breaker(3, 100);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.quarantine(50);
+        assert_eq!(b.state(), BreakerState::Open { until: 150 });
+        assert_eq!(b.trips(), 1, "a quarantine is a trip");
+        assert!(!b.allows(50));
+        // Probation clearing closes it directly, without a probe.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Quarantining a half-open breaker re-opens it too.
+        b.quarantine(200);
+        assert!(b.allows(300), "cooldown elapsed: half-open probe");
+        b.quarantine(300);
+        assert_eq!(b.state(), BreakerState::Open { until: 400 });
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! - **Hedged requests** ([`LatencyHistogram`]): a successful
 //!   dispatch that ran past the device's own p99 latency is
 //!   duplicated on another device and the faster result is kept.
+//! - **SDC defense ladder** ([`SdcConfig`]): periodic weight-memory
+//!   scrubbing, golden canary probes, and sampled shadow attestation
+//!   catch *silent* corruption the CRC transport layer cannot see;
+//!   any detector firing quarantines the device, reloads its weights
+//!   from the golden store, and re-admits it only after consecutive
+//!   clean canaries.
 //!
 //! On top of the pool sits the **overload-resilient batched
 //! front-end** ([`Frontend`]): a bounded, tenant-fair request queue
@@ -45,6 +51,7 @@ mod health;
 mod hist;
 mod pool;
 mod queue;
+mod sdc;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use budget::{RetryBudget, TakeOutcome};
@@ -60,3 +67,6 @@ pub use pool::{
     ServeOutcome, ServeReport, ServedBy, ServedImage, ATTEMPT_STRIDE,
 };
 pub use queue::{FairQueue, QueueFull, QueuedRequest};
+pub use sdc::{
+    incident_trace_id, SdcConfig, SdcDetector, CORRECTNESS_OBJECTIVE, SLO_CORRECTNESS_OBJECTIVE,
+};

@@ -24,6 +24,18 @@
 //! 4. when no device is willing or the budget is dry, degrade to the
 //!    caller's bit-exact software fallback.
 //!
+//! With an [`SdcConfig`] enabled, three more steps guard against
+//! *silent* data corruption (wrong answers with clean transport):
+//! before picking, quarantined devices advance probation by one golden
+//! canary; after a dispatch, the serviced device periodically runs a
+//! weight-memory scrub and a canary probe; and a deterministic sample
+//! of served predictions is re-executed on the software fallback
+//! (shadow attestation), with a mismatch corrected before the answer
+//! leaves the pool. Any detector firing opens a quarantine incident —
+//! breaker forced open, weights reloaded from the golden store,
+//! re-admission only after consecutive clean canaries — stamped on the
+//! flight recorder under [`incident_trace_id`].
+//!
 //! The serving front-end drives single requests through
 //! [`DevicePool::serve_one`] with [`RequestOptions`] carrying the
 //! request's absolute pool-clock deadline: a retry or hedge whose
@@ -36,7 +48,10 @@ use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::budget::{RetryBudget, TakeOutcome};
 use crate::health::{health_of, FailureWindow, HealthConfig, HealthState};
 use crate::hist::LatencyHistogram;
-use cnn_trace::{flight_record, FlightStage, RequestCtx};
+use crate::sdc::{
+    incident_trace_id, SdcConfig, SdcDetector, CORRECTNESS_OBJECTIVE, SLO_CORRECTNESS_OBJECTIVE,
+};
+use cnn_trace::{flight_record, FlightStage, RequestCtx, SloMonitor};
 
 /// Offset between the fault-sampling attempt windows of successive
 /// dispatches of the same image (re-dispatches and hedges). Far
@@ -70,6 +85,27 @@ pub trait Device {
     /// device's fault sampling so distinct pool-level dispatches of
     /// the same image draw distinct faults.
     fn dispatch(&mut self, image_id: usize, attempt_base: u32) -> DispatchOutcome;
+
+    /// One scrubber pass over the device's persistent state: returns
+    /// how many weight banks have diverged from their golden
+    /// checksums. The default models a device without checksummed
+    /// memory — always clean — so existing adapters and mocks are
+    /// untouched by the SDC subsystem.
+    fn scrub(&mut self) -> usize {
+        0
+    }
+
+    /// One golden canary probe: classify a known input and compare
+    /// bit-exactly against the software reference. `true` = match.
+    fn canary(&mut self) -> bool {
+        true
+    }
+
+    /// Reloads the device's weight memory from the golden store;
+    /// returns how many banks were rewritten.
+    fn reload(&mut self) -> usize {
+        0
+    }
 }
 
 /// Hedged-dispatch tuning.
@@ -114,6 +150,8 @@ pub struct PoolConfig {
     pub retry_budget: u32,
     /// Hedged-dispatch tuning.
     pub hedge: HedgeConfig,
+    /// Silent-data-corruption defense tuning (default: all off).
+    pub sdc: SdcConfig,
 }
 
 impl Default for PoolConfig {
@@ -123,6 +161,7 @@ impl Default for PoolConfig {
             health: HealthConfig::default(),
             retry_budget: 64,
             hedge: HedgeConfig::default(),
+            sdc: SdcConfig::off(),
         }
     }
 }
@@ -216,6 +255,9 @@ pub struct DeviceReport {
     pub breaker: BreakerState,
     /// Times its breaker tripped.
     pub breaker_trips: u64,
+    /// SDC quarantine incidents on this device (each one: detect →
+    /// quarantine → reload → probation).
+    pub quarantines: u64,
 }
 
 /// The pool's batch-level result.
@@ -265,6 +307,18 @@ struct Slot<D> {
     faults_injected: u64,
     crc_detected: u64,
     cycles: u64,
+    /// Dispatches since the last scrubber pass on this device.
+    since_scrub: u32,
+    /// Dispatches since the last golden canary probe on this device.
+    since_canary: u32,
+    /// Consecutive clean canaries still required before this
+    /// quarantined device rejoins; 0 = in service.
+    probation_left: u32,
+    /// Trace id of the current (or last) quarantine incident — every
+    /// flight record of the incident carries it.
+    incident: u64,
+    /// Quarantine incidents so far.
+    quarantines: u64,
 }
 
 /// A resilient serving pool over N devices.
@@ -276,6 +330,15 @@ pub struct DevicePool<D> {
     /// (it never reads wall time), which keeps runs reproducible.
     clock: u64,
     cursor: usize,
+    /// Correctness SLO: canary probes and attestation checks are its
+    /// good/bad events. Fed only while SDC detection is enabled.
+    correctness: SloMonitor,
+    /// Hardware-served requests seen by the attestation sampler.
+    attest_seq: u64,
+    /// Trace epoch under which this pool mints incident ids, so
+    /// incidents are unique across pools (and front-end requests) in
+    /// one process. See [`incident_trace_id`].
+    incident_epoch: u64,
 }
 
 impl<D: Device> DevicePool<D> {
@@ -294,6 +357,11 @@ impl<D: Device> DevicePool<D> {
                 faults_injected: 0,
                 crc_detected: 0,
                 cycles: 0,
+                since_scrub: 0,
+                since_canary: 0,
+                probation_left: 0,
+                incident: 0,
+                quarantines: 0,
             })
             .collect();
         DevicePool {
@@ -301,7 +369,17 @@ impl<D: Device> DevicePool<D> {
             cfg,
             clock: 0,
             cursor: 0,
+            correctness: SloMonitor::new(CORRECTNESS_OBJECTIVE),
+            attest_seq: 0,
+            incident_epoch: cnn_trace::next_trace_epoch(),
         }
+    }
+
+    /// The trace epoch this pool's quarantine incidents are minted
+    /// under; pass it to [`incident_trace_id`] to reconstruct an
+    /// incident's flight-recorder timeline.
+    pub fn incident_epoch(&self) -> u64 {
+        self.incident_epoch
     }
 
     /// Devices in the pool.
@@ -386,15 +464,19 @@ impl<D: Device> DevicePool<D> {
         image_id: usize,
         budget: &mut RetryBudget,
         opts: RequestOptions,
-        fallback: F,
+        mut fallback: F,
     ) -> ServedImage
     where
-        F: FnOnce(usize) -> usize,
+        F: FnMut(usize) -> usize,
     {
         // Install the request context for the duration of this call so
         // the layers below the `Device` trait (the DMA models) can
         // attribute their flight records to it.
         let _ctx_scope = opts.ctx.map(cnn_trace::ctx_scope);
+        // Quarantined devices earn their way back between requests:
+        // one probation canary each per served request, so recovery
+        // time is bounded by traffic, not by a wall-clock timer.
+        self.sdc_probation();
         let mut seq = 0u32;
         let mut tried: Vec<usize> = Vec::new();
         let mut image_cycles = 0u64;
@@ -475,16 +557,25 @@ impl<D: Device> DevicePool<D> {
         }
 
         match served {
-            Some((by, pred)) => ServedImage {
-                prediction: pred,
-                outcome: ServeOutcome {
-                    served_by: by,
-                    dispatches: seq,
-                    cycles: image_cycles,
-                },
-                hedged,
-                hedge_won,
-            },
+            Some((by, pred)) => {
+                // Sampled shadow attestation: every Nth hardware-served
+                // request is re-executed on the bit-exact software path
+                // and the predictions cross-checked. A mismatch is a
+                // wrong answer caught at the door: the serving device is
+                // quarantined and the *verified* software prediction is
+                // returned instead of the corrupt one.
+                let pred = self.attest(image_id, by, pred, opts.ctx, &mut fallback);
+                ServedImage {
+                    prediction: pred,
+                    outcome: ServeOutcome {
+                        served_by: by,
+                        dispatches: seq,
+                        cycles: image_cycles,
+                    },
+                    hedged,
+                    hedge_won,
+                }
+            }
             None => {
                 cnn_trace::counter_add("cnn_pool_fallback_total", &[], 1);
                 self.flight(opts.ctx, FlightStage::Fallback, u64::from(seq));
@@ -516,6 +607,7 @@ impl<D: Device> DevicePool<D> {
                 health: health_of(&s.breaker, &s.window, &self.cfg.health),
                 breaker: s.breaker.state(),
                 breaker_trips: s.breaker.trips(),
+                quarantines: s.quarantines,
             })
             .collect()
     }
@@ -544,12 +636,19 @@ impl<D: Device> DevicePool<D> {
     /// Round-robin pick of a device whose breaker admits traffic at
     /// the current clock, preferring devices not yet tried for this
     /// image; falls back to any willing device, tried or not.
+    /// Devices still in SDC probation are never picked — rejoin is
+    /// earned through clean canaries, not a breaker cooldown — and the
+    /// check runs *before* `allows` so it cannot consume the breaker's
+    /// single half-open probe grant.
     fn pick(&mut self, tried: &[usize]) -> Option<usize> {
         let n = self.slots.len();
         for pass in 0..2 {
             for k in 0..n {
                 let i = (self.cursor + k) % n;
                 if pass == 0 && tried.contains(&i) {
+                    continue;
+                }
+                if self.slots[i].probation_left > 0 {
                     continue;
                 }
                 if self.slots[i].breaker.allows(self.clock) {
@@ -601,7 +700,177 @@ impl<D: Device> DevicePool<D> {
             1,
         );
         cnn_trace::observe("cnn_pool_dispatch_cycles", out.cycles);
+        self.sdc_maintain(i);
         (out, slow)
+    }
+
+    /// Runs the periodic SDC detectors against device `i` after a
+    /// dispatch to it: a scrubber pass every `scrub_every` dispatches
+    /// and a golden canary every `canary_every`. Either detector
+    /// firing opens a quarantine incident.
+    fn sdc_maintain(&mut self, i: usize) {
+        let sdc = self.cfg.sdc;
+        if !sdc.enabled() || self.slots[i].probation_left > 0 {
+            return;
+        }
+        let slot = &mut self.slots[i];
+        slot.since_scrub += 1;
+        slot.since_canary += 1;
+        if sdc.scrub_every > 0 && slot.since_scrub >= sdc.scrub_every {
+            slot.since_scrub = 0;
+            if slot.dev.scrub() > 0 {
+                self.sdc_incident(i, SdcDetector::Scrub);
+                return;
+            }
+        }
+        let slot = &mut self.slots[i];
+        if sdc.canary_every > 0 && slot.since_canary >= sdc.canary_every {
+            slot.since_canary = 0;
+            let pass = slot.dev.canary();
+            self.observe_correctness(pass, 0);
+            if !pass {
+                self.sdc_incident(i, SdcDetector::Canary);
+            }
+        }
+    }
+
+    /// Opens a quarantine incident on device `i`: mints the incident
+    /// trace id, force-opens the breaker, reloads the weight memory
+    /// from the golden store, and puts the device on canary probation.
+    /// Every step lands on the flight recorder under the incident id.
+    fn sdc_incident(&mut self, i: usize, detector: SdcDetector) {
+        let nth = self.slots[i].quarantines + 1;
+        let incident = incident_trace_id(self.incident_epoch, i, nth);
+        flight_record(
+            incident,
+            FlightStage::SdcDetect,
+            self.clock,
+            detector.ordinal(),
+        );
+        cnn_trace::counter_add(
+            "cnn_sdc_quarantines_total",
+            &[("detector", detector.name())],
+            1,
+        );
+        let probation = self.cfg.sdc.probation.max(1);
+        let slot = &mut self.slots[i];
+        slot.quarantines = nth;
+        slot.incident = incident;
+        slot.breaker.quarantine(self.clock);
+        slot.probation_left = probation;
+        flight_record(incident, FlightStage::Quarantine, self.clock, i as u64);
+        let rewritten = slot.dev.reload();
+        cnn_trace::counter_add("cnn_sdc_reloads_total", &[], 1);
+        flight_record(
+            incident,
+            FlightStage::WeightReload,
+            self.clock,
+            rewritten as u64,
+        );
+        cnn_trace::instant(
+            "serve",
+            format!("sdc_quarantine dev{i} ({})", detector.name()),
+        );
+    }
+
+    /// Advances probation: each quarantined device runs one golden
+    /// canary per served request. `probation` consecutive passes
+    /// re-admit it (closing the breaker directly — corruption proof
+    /// beats the cooldown timer both ways); a failure re-opens a
+    /// fresh incident, which reloads again.
+    fn sdc_probation(&mut self) {
+        if !self.cfg.sdc.enabled() {
+            return;
+        }
+        for i in 0..self.slots.len() {
+            if self.slots[i].probation_left == 0 {
+                continue;
+            }
+            let pass = self.slots[i].dev.canary();
+            let incident = self.slots[i].incident;
+            flight_record(
+                incident,
+                FlightStage::CanaryProbe,
+                self.clock,
+                u64::from(pass),
+            );
+            self.observe_correctness(pass, incident);
+            if pass {
+                let slot = &mut self.slots[i];
+                slot.probation_left -= 1;
+                if slot.probation_left == 0 {
+                    slot.breaker.record_success();
+                    slot.since_scrub = 0;
+                    slot.since_canary = 0;
+                    flight_record(incident, FlightStage::Rejoin, self.clock, i as u64);
+                    cnn_trace::instant("serve", format!("sdc_rejoin dev{i}"));
+                }
+            } else {
+                self.sdc_incident(i, SdcDetector::Canary);
+            }
+        }
+    }
+
+    /// The attestation sampler: re-executes every
+    /// `attest_every`-th hardware-served request on the software path.
+    /// Returns the prediction to serve (the verified one on mismatch).
+    fn attest<F>(
+        &mut self,
+        image_id: usize,
+        by: ServedBy,
+        pred: usize,
+        ctx: Option<RequestCtx>,
+        fallback: &mut F,
+    ) -> usize
+    where
+        F: FnMut(usize) -> usize,
+    {
+        let every = self.cfg.sdc.attest_every;
+        if every == 0 {
+            return pred;
+        }
+        self.attest_seq += 1;
+        if !self.attest_seq.is_multiple_of(u64::from(every)) {
+            return pred;
+        }
+        cnn_trace::counter_add("cnn_sdc_attest_checks_total", &[], 1);
+        let expected = fallback(image_id);
+        let ok = expected == pred;
+        self.observe_correctness(ok, ctx.map_or(0, |c| c.trace_id));
+        if ok {
+            return pred;
+        }
+        cnn_trace::counter_add("cnn_sdc_attest_mismatches_total", &[], 1);
+        let device = match by {
+            ServedBy::Device(d) => d,
+            ServedBy::Hedged { winner, .. } => winner,
+            // Fallback-served answers *are* the software path; they
+            // cannot mismatch themselves.
+            ServedBy::Fallback => return expected,
+        };
+        self.sdc_incident(device, SdcDetector::Attest);
+        expected
+    }
+
+    /// Feeds one detector outcome into the correctness SLO; a breach
+    /// edge is counted and stamped on the flight recorder against
+    /// `trace_id` (an incident id, a request id, or 0 for periodic
+    /// probes with no causal context).
+    fn observe_correctness(&mut self, good: bool, trace_id: u64) {
+        if self.correctness.record(good).is_some() {
+            cnn_trace::counter_add("cnn_sdc_correctness_breaches_total", &[], 1);
+            flight_record(
+                trace_id,
+                FlightStage::SloBreach,
+                self.clock,
+                SLO_CORRECTNESS_OBJECTIVE,
+            );
+        }
+    }
+
+    /// Correctness-SLO breach edges so far (canary/attestation-fed).
+    pub fn correctness_breaches(&self) -> u64 {
+        self.correctness.breaches()
     }
 }
 
@@ -618,6 +887,22 @@ fn preregister_pool_metrics() {
     for kind in ["retry", "hedge"] {
         cnn_trace::counter_add("cnn_pool_deadline_gated_total", &[("kind", kind)], 0);
     }
+    // SDC defense families: preregistered unconditionally so a run
+    // with detectors off still exports them at zero (the dashboard
+    // distinguishes "no corruption" from "not monitored").
+    cnn_trace::counter_add("cnn_scrub_runs_total", &[], 0);
+    cnn_trace::counter_add("cnn_scrub_dirty_banks_total", &[], 0);
+    for result in ["pass", "fail"] {
+        cnn_trace::counter_add("cnn_canary_probes_total", &[("result", result)], 0);
+    }
+    cnn_trace::counter_add("cnn_sdc_seu_injected_total", &[], 0);
+    cnn_trace::counter_add("cnn_sdc_attest_checks_total", &[], 0);
+    cnn_trace::counter_add("cnn_sdc_attest_mismatches_total", &[], 0);
+    for detector in ["scrub", "canary", "attest"] {
+        cnn_trace::counter_add("cnn_sdc_quarantines_total", &[("detector", detector)], 0);
+    }
+    cnn_trace::counter_add("cnn_sdc_reloads_total", &[], 0);
+    cnn_trace::counter_add("cnn_sdc_correctness_breaches_total", &[], 0);
 }
 
 #[cfg(test)]
@@ -674,6 +959,7 @@ mod tests {
             health: HealthConfig::default(),
             retry_budget: 64,
             hedge: HedgeConfig::default(),
+            sdc: SdcConfig::off(),
         }
     }
 
@@ -1089,6 +1375,275 @@ mod tests {
             .filter(|r| r.stage == FlightStage::Dispatch)
             .collect();
         assert!(zero_dispatches.is_empty());
+    }
+
+    /// A device with modelled weight memory: after `corrupt_at`
+    /// dispatches it silently starts answering `(id + 1) % 10` —
+    /// well-formed, wrong, and invisible to the transport counters.
+    struct SdcMock {
+        dispatched: u64,
+        corrupt_at: u64,
+        corrupt: bool,
+        reloads: u64,
+    }
+
+    impl SdcMock {
+        fn corrupting_at(corrupt_at: u64) -> SdcMock {
+            SdcMock {
+                dispatched: 0,
+                corrupt_at,
+                corrupt: false,
+                reloads: 0,
+            }
+        }
+
+        fn healthy() -> SdcMock {
+            SdcMock::corrupting_at(u64::MAX)
+        }
+    }
+
+    impl Device for SdcMock {
+        fn dispatch(&mut self, image_id: usize, _attempt_base: u32) -> DispatchOutcome {
+            self.dispatched += 1;
+            if self.dispatched == self.corrupt_at {
+                self.corrupt = true;
+            }
+            let shift = usize::from(self.corrupt);
+            DispatchOutcome {
+                prediction: Some((image_id + shift) % 10),
+                cycles: 500,
+                attempts: 1,
+                faults_injected: 0,
+                crc_detected: 0,
+            }
+        }
+
+        fn scrub(&mut self) -> usize {
+            usize::from(self.corrupt)
+        }
+
+        fn canary(&mut self) -> bool {
+            !self.corrupt
+        }
+
+        fn reload(&mut self) -> usize {
+            self.reloads += 1;
+            std::mem::take(&mut self.corrupt).into()
+        }
+    }
+
+    fn sdc_cfg(sdc: SdcConfig) -> PoolConfig {
+        PoolConfig { sdc, ..cfg() }
+    }
+
+    #[test]
+    fn detectors_off_serve_corrupt_answers_without_any_event() {
+        // The silence proof at pool level: with the SDC config off, a
+        // corrupt device keeps serving wrong answers — zero transport
+        // faults, zero quarantines, full availability.
+        let mut pool = DevicePool::new(vec![SdcMock::corrupting_at(4)], cfg());
+        let r = pool.serve(16, |_| unreachable!("nothing is detected"));
+        let wrong = r
+            .predictions
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| p != i % 10)
+            .count();
+        assert!(wrong > 0, "corruption must actually skew answers");
+        assert_eq!(r.availability(), 1.0, "the pool sees a healthy device");
+        let d = &r.devices[0];
+        assert_eq!(d.quarantines, 0);
+        assert_eq!(d.faults_injected, 0);
+        assert_eq!(d.crc_detected, 0);
+        assert_eq!(d.breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn scrubber_quarantines_reloads_and_probation_rejoins() {
+        let sdc = SdcConfig {
+            scrub_every: 4,
+            canary_every: 0,
+            attest_every: 0,
+            probation: 3,
+        };
+        let mut pool = DevicePool::new(
+            vec![SdcMock::corrupting_at(3), SdcMock::healthy()],
+            sdc_cfg(sdc),
+        );
+        let r = pool.serve(32, |_| unreachable!("the healthy device covers"));
+        let d = &r.devices[0];
+        assert_eq!(d.quarantines, 1, "one incident, detected by scrub");
+        assert_eq!(
+            d.breaker,
+            BreakerState::Closed,
+            "probation cleared: the device rejoined"
+        );
+        assert!(d.dispatches > 8, "the device serves again after rejoin");
+        // The incident timeline is fully reconstructable from its
+        // trace id: detect → quarantine → reload → 3 probation
+        // canaries → rejoin, in order, on one id.
+        let incident = incident_trace_id(pool.incident_epoch(), 0, 1);
+        let recs = cnn_trace::flight().records_for(incident);
+        let stages: Vec<FlightStage> = recs.iter().map(|rec| rec.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                FlightStage::SdcDetect,
+                FlightStage::Quarantine,
+                FlightStage::WeightReload,
+                FlightStage::CanaryProbe,
+                FlightStage::CanaryProbe,
+                FlightStage::CanaryProbe,
+                FlightStage::Rejoin,
+            ]
+        );
+        assert_eq!(recs[0].arg, SdcDetector::Scrub.ordinal());
+        assert!(
+            recs[3..6].iter().all(|rec| rec.arg == 1),
+            "post-reload canaries pass"
+        );
+    }
+
+    #[test]
+    fn canary_detector_catches_corruption_between_scrubs() {
+        let sdc = SdcConfig {
+            scrub_every: 0,
+            canary_every: 2,
+            attest_every: 0,
+            probation: 2,
+        };
+        let mut pool = DevicePool::new(
+            vec![SdcMock::corrupting_at(2), SdcMock::healthy()],
+            sdc_cfg(sdc),
+        );
+        let r = pool.serve(24, |_| unreachable!());
+        let d = &r.devices[0];
+        assert_eq!(d.quarantines, 1);
+        assert_eq!(d.breaker, BreakerState::Closed);
+        let recs = cnn_trace::flight().records_for(incident_trace_id(pool.incident_epoch(), 0, 1));
+        assert_eq!(recs[0].arg, SdcDetector::Canary.ordinal());
+    }
+
+    #[test]
+    fn attestation_returns_the_verified_answer_and_quarantines() {
+        // Single corrupt device, attestation as the only detector at
+        // the tightest sampling: every hw-served answer is checked, so
+        // nothing wrong ever escapes and the device quarantines on the
+        // first corrupt answer.
+        let sdc = SdcConfig {
+            scrub_every: 0,
+            canary_every: 0,
+            attest_every: 1,
+            probation: 1,
+        };
+        let mut pool = DevicePool::new(vec![SdcMock::corrupting_at(3)], sdc_cfg(sdc));
+        let mut budget = RetryBudget::new(8);
+        let mut attest_calls = 0u32;
+        for id in 0..8 {
+            let s = pool.serve_one(id, &mut budget, RequestOptions::default(), |i| {
+                attest_calls += 1;
+                i % 10
+            });
+            assert_eq!(
+                s.prediction,
+                id % 10,
+                "attestation must replace the corrupt answer"
+            );
+        }
+        assert!(attest_calls >= 8, "every served request was shadow-checked");
+        let d = &pool.device_reports()[0];
+        assert_eq!(d.quarantines, 1, "the corrupt answer opened an incident");
+        let recs = cnn_trace::flight().records_for(incident_trace_id(pool.incident_epoch(), 0, 1));
+        assert_eq!(recs[0].arg, SdcDetector::Attest.ordinal());
+    }
+
+    #[test]
+    fn probation_blocks_dispatch_until_canaries_clear() {
+        // One device, scrub_every 1, probation 2: after the incident
+        // the device is unpickable until two probation canaries pass.
+        // Probation advances at the head of each serve_one call, so
+        // the request whose canary clears the count is already served
+        // back on hardware.
+        let sdc = SdcConfig {
+            scrub_every: 1,
+            canary_every: 0,
+            attest_every: 0,
+            probation: 2,
+        };
+        let mut pool = DevicePool::new(vec![SdcMock::corrupting_at(1)], sdc_cfg(sdc));
+        let mut budget = RetryBudget::new(0);
+        let served: Vec<ServedBy> = (0..4)
+            .map(|id| {
+                pool.serve_one(id, &mut budget, RequestOptions::default(), |i| i % 10)
+                    .outcome
+                    .served_by
+            })
+            .collect();
+        assert_eq!(
+            served,
+            vec![
+                ServedBy::Device(0), // corrupts during this dispatch, scrub fires
+                ServedBy::Fallback,  // probation canary 1 of 2
+                ServedBy::Device(0), // canary 2 of 2 passes → rejoin, served on hw
+                ServedBy::Device(0), // back in service
+            ]
+        );
+        assert_eq!(pool.device_reports()[0].quarantines, 1);
+    }
+
+    #[test]
+    fn sdc_pool_replays_deterministically() {
+        let sdc = SdcConfig {
+            scrub_every: 3,
+            canary_every: 5,
+            attest_every: 4,
+            probation: 2,
+        };
+        let build = || {
+            DevicePool::new(
+                vec![SdcMock::corrupting_at(6), SdcMock::healthy()],
+                sdc_cfg(sdc),
+            )
+        };
+        let a = build().serve(48, |i| i % 10);
+        let b = build().serve(48, |i| i % 10);
+        assert_eq!(a, b, "SDC maintenance must not break replay");
+        assert!(a.devices[0].quarantines >= 1);
+    }
+
+    #[test]
+    fn correctness_slo_breaches_on_a_stuck_corrupt_device() {
+        // reload() that cannot heal: canaries keep failing, probation
+        // never clears, and the correctness SLO must eventually page.
+        struct Unhealable;
+        impl Device for Unhealable {
+            fn dispatch(&mut self, image_id: usize, _b: u32) -> DispatchOutcome {
+                DispatchOutcome {
+                    prediction: Some((image_id + 1) % 10),
+                    cycles: 100,
+                    attempts: 1,
+                    faults_injected: 0,
+                    crc_detected: 0,
+                }
+            }
+            fn canary(&mut self) -> bool {
+                false
+            }
+        }
+        let sdc = SdcConfig {
+            scrub_every: 0,
+            canary_every: 1,
+            attest_every: 0,
+            probation: 1,
+        };
+        let mut pool = DevicePool::new(vec![Unhealable], sdc_cfg(sdc));
+        let r = pool.serve(40, |i| i % 10);
+        assert!(
+            pool.correctness_breaches() >= 1,
+            "sustained canary failures must breach the correctness SLO"
+        );
+        assert!(r.fallback_served > 0, "the stuck device stays benched");
+        assert!(pool.device_reports()[0].quarantines > 1, "re-quarantined");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Silent-data-corruption (SDC) defense configuration.
+//!
+//! Transport corruption is already covered end to end: every DMA
+//! packet carries a CRC trailer, so a damaged beat becomes a detected
+//! retry. What the trailer *cannot* see is corruption of the device's
+//! long-lived state — an SEU in the on-chip weight memory happens
+//! behind the bus, every subsequent transfer checks out clean, and the
+//! core keeps emitting well-formed, silently wrong classifications.
+//!
+//! The pool therefore runs a ladder of three detectors, cheapest
+//! first, each configured here:
+//!
+//! 1. **Scrubbing** ([`SdcConfig::scrub_every`]) — periodically
+//!    re-checksum the device's weight banks against the golden digests
+//!    captured at programming time. Catches any persistent memory
+//!    upset, but only on its cadence.
+//! 2. **Golden canaries** ([`SdcConfig::canary_every`]) — dispatch a
+//!    known input and compare the class bit-exactly against the
+//!    software reference. Catches *behavioural* corruption whatever
+//!    its cause, including state a checksum does not cover.
+//! 3. **Shadow attestation** ([`SdcConfig::attest_every`]) — re-run a
+//!    deterministic sample of real served requests on the bit-exact
+//!    software path and cross-check the prediction. The only layer
+//!    that bounds what *escapes to clients* between scrubs/canaries.
+//!
+//! Any detector firing quarantines the device through its circuit
+//! breaker, reloads the weight memory from the golden store, and
+//! re-admits only after [`SdcConfig::probation`] consecutive clean
+//! canaries.
+
+use cnn_trace::Objective;
+
+/// Which detection layer caught a corruption event. The ordinal is
+/// stamped as the [`cnn_trace::FlightStage::SdcDetect`] record's arg
+/// and labels the quarantine counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SdcDetector {
+    /// The periodic weight-bank checksum scrubber.
+    Scrub,
+    /// A golden canary probe disagreed with the software reference.
+    Canary,
+    /// Sampled shadow attestation caught a served wrong answer.
+    Attest,
+}
+
+impl SdcDetector {
+    /// Metrics label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            SdcDetector::Scrub => "scrub",
+            SdcDetector::Canary => "canary",
+            SdcDetector::Attest => "attest",
+        }
+    }
+
+    /// Stable ordinal for flight-record args.
+    pub fn ordinal(self) -> u64 {
+        match self {
+            SdcDetector::Scrub => 0,
+            SdcDetector::Canary => 1,
+            SdcDetector::Attest => 2,
+        }
+    }
+}
+
+/// SDC defense tuning. The default is **everything off** — zero
+/// detector overhead and bit-identical behaviour to a pool that
+/// predates the subsystem — so the defenses are strictly opt-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SdcConfig {
+    /// Dispatches to a device between scrubber passes over its weight
+    /// banks (0 = scrubbing off).
+    pub scrub_every: u32,
+    /// Dispatches to a device between golden canary probes on it
+    /// (0 = canaries off).
+    pub canary_every: u32,
+    /// Shadow-attestation sampling divisor: every `attest_every`-th
+    /// hardware-served request is re-executed on the software path and
+    /// cross-checked (0 = attestation off).
+    pub attest_every: u32,
+    /// Consecutive clean canaries a quarantined device must produce
+    /// before it is re-admitted (clamped ≥ 1 when any detector is on).
+    pub probation: u32,
+}
+
+impl SdcConfig {
+    /// All detectors off (the default).
+    pub fn off() -> SdcConfig {
+        SdcConfig {
+            scrub_every: 0,
+            canary_every: 0,
+            attest_every: 0,
+            probation: 0,
+        }
+    }
+
+    /// The full defense ladder at the cadences the corruption sweep
+    /// gates: scrub every 8 dispatches, canary every 4, attest every
+    /// 4th served request, 3 clean canaries to rejoin.
+    pub fn defended() -> SdcConfig {
+        SdcConfig {
+            scrub_every: 8,
+            canary_every: 4,
+            attest_every: 4,
+            probation: 3,
+        }
+    }
+
+    /// Whether any detection layer is active.
+    pub fn enabled(&self) -> bool {
+        self.scrub_every > 0 || self.canary_every > 0 || self.attest_every > 0
+    }
+}
+
+impl Default for SdcConfig {
+    fn default() -> Self {
+        SdcConfig::off()
+    }
+}
+
+/// The correctness SLO the detector outcomes feed: canary probes and
+/// attestation checks are its good/bad events. A short fast window
+/// pages quickly on a corrupt device; the slow window keeps one
+/// isolated flaky probe from counting as an incident.
+pub const CORRECTNESS_OBJECTIVE: Objective = Objective {
+    name: "correctness",
+    target: 0.99,
+    fast_window: 4,
+    slow_window: 16,
+    fast_burn: 25.0,
+    slow_burn: 6.0,
+};
+
+/// Index of the correctness objective in `SloBreach` flight-record
+/// args (the front-end owns 0 = deadline and 1 = goodput).
+pub const SLO_CORRECTNESS_OBJECTIVE: u64 = 2;
+
+/// The trace id minted for the `nth` quarantine incident on `device`
+/// (1-based) inside a pool's incident `epoch` (from
+/// [`cnn_trace::next_trace_epoch`], exposed as
+/// `DevicePool::incident_epoch`). Every flight record of one incident
+/// — detect, quarantine, reload, probation canaries, rejoin — is
+/// stamped with this id, so `records_for(incident_trace_id(e, d, n))`
+/// reconstructs the full detect→quarantine→scrub→probation→rejoin
+/// timeline. The epoch keeps incident ids disjoint from front-end
+/// request ids and unique across pools in one process.
+pub fn incident_trace_id(epoch: u64, device: usize, nth: u64) -> u64 {
+    epoch | ((device as u64 & 0xFFFF) << 16) | (nth & 0xFFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_and_defended_is_on() {
+        assert_eq!(SdcConfig::default(), SdcConfig::off());
+        assert!(!SdcConfig::default().enabled());
+        assert!(SdcConfig::defended().enabled());
+    }
+
+    #[test]
+    fn detector_names_and_ordinals_are_stable() {
+        for (d, name, ord) in [
+            (SdcDetector::Scrub, "scrub", 0),
+            (SdcDetector::Canary, "canary", 1),
+            (SdcDetector::Attest, "attest", 2),
+        ] {
+            assert_eq!(d.name(), name);
+            assert_eq!(d.ordinal(), ord);
+        }
+    }
+
+    #[test]
+    fn single_detector_enables_the_subsystem() {
+        for cfg in [
+            SdcConfig {
+                scrub_every: 1,
+                ..SdcConfig::off()
+            },
+            SdcConfig {
+                canary_every: 1,
+                ..SdcConfig::off()
+            },
+            SdcConfig {
+                attest_every: 1,
+                ..SdcConfig::off()
+            },
+        ] {
+            assert!(cfg.enabled());
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Golden weight-image manifests: the reference digests a deployed
+//! accelerator's weight memory is scrubbed against.
+//!
+//! When a bitstream is programmed onto a device, the loader captures
+//! one FNV-1a/64 digest per weight bank plus a digest of the whole
+//! image. The scrubber later re-checksums the live banks and compares
+//! them to this manifest — any divergence is silent data corruption by
+//! definition, because the DMA CRC trailers already guarantee the bits
+//! arrived intact. The manifest itself uses the same defensive text
+//! format as the rest of the store: line-oriented, human-diffable,
+//! with a trailing FNV-1a/64 checksum line so a corrupted manifest is
+//! rejected instead of silently mis-clearing a dirty bank.
+
+use crate::hash::{hex64, parse_hex64, Fnv64};
+use std::fmt;
+
+/// Format tag of the first manifest line.
+const MAGIC: &str = "cnn2fpga-golden v1";
+
+/// One weight bank's golden reference.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoldenBank {
+    /// Bank label (layer-derived, e.g. `conv0`; `[A-Za-z0-9_-]`, no
+    /// whitespace, so the text format stays line-parseable).
+    pub label: String,
+    /// Words (f32 parameters) in the bank.
+    pub words: usize,
+    /// FNV-1a/64 digest over the bank's raw f32 bit patterns.
+    pub digest: u64,
+}
+
+/// The golden reference for one programmed weight image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GoldenManifest {
+    /// Digest of the bitstream the image was loaded from (ties the
+    /// manifest to a specific compiled design).
+    pub model: u64,
+    /// Per-bank golden digests, in bank order.
+    pub banks: Vec<GoldenBank>,
+}
+
+/// Why a manifest failed to parse or validate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GoldenError {
+    /// First line is not the expected magic/version tag.
+    BadMagic,
+    /// A line does not follow the `key value...` grammar (1-based line
+    /// number, message).
+    Malformed(usize, String),
+    /// The trailing checksum line disagrees with the content.
+    ChecksumMismatch,
+    /// The checksum line is missing entirely (torn tail).
+    MissingChecksum,
+    /// A bank label contains whitespace or is empty.
+    BadLabel(String),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::BadMagic => write!(f, "not a {MAGIC} manifest"),
+            GoldenError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+            GoldenError::ChecksumMismatch => write!(f, "manifest checksum mismatch"),
+            GoldenError::MissingChecksum => write!(f, "manifest checksum line missing"),
+            GoldenError::BadLabel(l) => write!(f, "invalid bank label {l:?}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+fn label_ok(label: &str) -> bool {
+    !label.is_empty()
+        && label
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl GoldenManifest {
+    /// Assembles a manifest, validating bank labels.
+    pub fn new(model: u64, banks: Vec<GoldenBank>) -> Result<GoldenManifest, GoldenError> {
+        if let Some(bad) = banks.iter().find(|b| !label_ok(&b.label)) {
+            return Err(GoldenError::BadLabel(bad.label.clone()));
+        }
+        Ok(GoldenManifest { model, banks })
+    }
+
+    /// Golden digest of bank `i`, if it exists.
+    pub fn bank_digest(&self, i: usize) -> Option<u64> {
+        self.banks.get(i).map(|b| b.digest)
+    }
+
+    /// One digest over the whole image: model digest chained with
+    /// every bank digest. Two manifests agree here iff every bank and
+    /// the design agree.
+    pub fn overall_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.update_u64(self.model);
+        for b in &self.banks {
+            h.update(b.label.as_bytes());
+            h.update_u64(b.words as u64);
+            h.update_u64(b.digest);
+        }
+        h.finish()
+    }
+
+    /// Serializes to the checksummed text format.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MAGIC);
+        body.push('\n');
+        body.push_str(&format!("model {}\n", hex64(self.model)));
+        body.push_str(&format!("banks {}\n", self.banks.len()));
+        for (i, b) in self.banks.iter().enumerate() {
+            body.push_str(&format!(
+                "bank {i} {} {} {}\n",
+                b.label,
+                b.words,
+                hex64(b.digest)
+            ));
+        }
+        let sum = crate::hash::fnv64(body.as_bytes());
+        body.push_str(&format!("checksum {}\n", hex64(sum)));
+        body
+    }
+
+    /// Parses and verifies the checksummed text format.
+    pub fn parse(text: &str) -> Result<GoldenManifest, GoldenError> {
+        let Some((body, tail)) = text.rsplit_once("checksum ") else {
+            return Err(GoldenError::MissingChecksum);
+        };
+        let declared = parse_hex64(tail.trim_end_matches('\n'))
+            .ok_or_else(|| GoldenError::Malformed(0, "unreadable checksum".into()))?;
+        if crate::hash::fnv64(body.as_bytes()) != declared {
+            return Err(GoldenError::ChecksumMismatch);
+        }
+
+        let mut lines = body.lines().enumerate();
+        let (_, first) = lines.next().ok_or(GoldenError::BadMagic)?;
+        if first != MAGIC {
+            return Err(GoldenError::BadMagic);
+        }
+        let mut model = None;
+        let mut declared_banks = None;
+        let mut banks: Vec<GoldenBank> = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("model") => {
+                    let hex = parts
+                        .next()
+                        .and_then(parse_hex64)
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "bad model digest".into()))?;
+                    model = Some(hex);
+                }
+                Some("banks") => {
+                    let n = parts
+                        .next()
+                        .and_then(|s| s.parse::<usize>().ok())
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "bad bank count".into()))?;
+                    declared_banks = Some(n);
+                }
+                Some("bank") => {
+                    let index: usize = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "bad bank index".into()))?;
+                    if index != banks.len() {
+                        return Err(GoldenError::Malformed(
+                            lineno,
+                            format!("bank {index} out of order (expected {})", banks.len()),
+                        ));
+                    }
+                    let label = parts
+                        .next()
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "missing label".into()))?
+                        .to_string();
+                    if !label_ok(&label) {
+                        return Err(GoldenError::BadLabel(label));
+                    }
+                    let words = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "bad word count".into()))?;
+                    let digest = parts
+                        .next()
+                        .and_then(parse_hex64)
+                        .ok_or_else(|| GoldenError::Malformed(lineno, "bad bank digest".into()))?;
+                    banks.push(GoldenBank {
+                        label,
+                        words,
+                        digest,
+                    });
+                }
+                Some(other) => {
+                    return Err(GoldenError::Malformed(
+                        lineno,
+                        format!("unknown key {other:?}"),
+                    ));
+                }
+                None => continue,
+            }
+        }
+        let model = model.ok_or_else(|| GoldenError::Malformed(0, "missing model line".into()))?;
+        if declared_banks != Some(banks.len()) {
+            return Err(GoldenError::Malformed(
+                0,
+                format!(
+                    "bank count {:?} disagrees with {} bank lines",
+                    declared_banks,
+                    banks.len()
+                ),
+            ));
+        }
+        Ok(GoldenManifest { model, banks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GoldenManifest {
+        GoldenManifest::new(
+            0xDEAD_BEEF_0123_4567,
+            vec![
+                GoldenBank {
+                    label: "conv0".into(),
+                    words: 156,
+                    digest: 0x1111_2222_3333_4444,
+                },
+                GoldenBank {
+                    label: "linear3".into(),
+                    words: 1930,
+                    digest: 0x5555_6666_7777_8888,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn text_round_trips_bit_exactly() {
+        let m = sample();
+        let text = m.to_text();
+        let back = GoldenManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.overall_digest(), m.overall_digest());
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let text = sample().to_text();
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.to_vec();
+            corrupt[i] ^= 0x01;
+            let Ok(s) = String::from_utf8(corrupt) else {
+                continue;
+            };
+            assert!(
+                GoldenManifest::parse(&s).is_err(),
+                "flip at byte {i} parsed cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_rejected() {
+        let text = sample().to_text();
+        let torn = &text[..text.len() - 20];
+        assert!(matches!(
+            GoldenManifest::parse(torn),
+            Err(GoldenError::ChecksumMismatch) | Err(GoldenError::MissingChecksum)
+        ));
+    }
+
+    #[test]
+    fn whitespace_labels_are_refused_at_construction() {
+        let err = GoldenManifest::new(
+            1,
+            vec![GoldenBank {
+                label: "two words".into(),
+                words: 4,
+                digest: 9,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, GoldenError::BadLabel("two words".into()));
+    }
+
+    #[test]
+    fn overall_digest_distinguishes_any_bank_change() {
+        let m = sample();
+        let mut other = m.clone();
+        other.banks[1].digest ^= 1;
+        assert_ne!(m.overall_digest(), other.overall_digest());
+        let mut renamed = m.clone();
+        renamed.banks[0].label = "conv1".into();
+        assert_ne!(m.overall_digest(), renamed.overall_digest());
+    }
+}

@@ -135,6 +135,15 @@ pub fn mix_seed(seed: u64, stream: u64) -> u64 {
     h.finish()
 }
 
+/// One application of the splitmix64 mixing step (Steele et al.): a
+/// cheap, well-distributed `u64 → u64` hash. This is exactly the first
+/// output of [`SplitMix64::new`]`(z)`, exposed as the workspace's
+/// canonical one-shot mix so seed-derivation chains (per-attempt fault
+/// seeds, SEU site selection, stall jitter) share one implementation.
+pub fn mix64(z: u64) -> u64 {
+    SplitMix64::new(z).next_u64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

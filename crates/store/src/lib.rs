@@ -29,12 +29,14 @@
 //! all local, so the bytes on disk are fully specified by this source.
 
 pub mod fsio;
+pub mod golden;
 pub mod hash;
 pub mod journal;
 pub mod record;
 pub mod store;
 
 pub use fsio::{FaultyFs, FsError, FsFaultPlan, FsFaultStats, RealFs, StoreFs};
+pub use golden::{GoldenBank, GoldenError, GoldenManifest};
 pub use record::{content_id, ArtifactKind, RecordError};
 pub use store::{
     atomic_write, ArtifactId, CorruptArtifact, GcReport, Store, StoreError, VerifyReport,

@@ -113,6 +113,43 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
         "cnn_sw_fallback_images_total",
         "Images classified by the software fallback path.",
     ),
+    // Silent-data-corruption defense (scrubber, canaries, attestation).
+    (
+        "cnn_scrub_runs_total",
+        "Weight-memory scrub passes executed against the golden digests.",
+    ),
+    (
+        "cnn_scrub_dirty_banks_total",
+        "Weight banks whose checksum diverged from the golden digest during a scrub.",
+    ),
+    (
+        "cnn_canary_probes_total",
+        "Golden canary probes dispatched to devices, by result (pass or fail).",
+    ),
+    (
+        "cnn_sdc_seu_injected_total",
+        "Seeded SEU bit flips applied to on-device weight memory by the fault plan.",
+    ),
+    (
+        "cnn_sdc_attest_checks_total",
+        "Served predictions re-executed on the bit-exact software path for attestation.",
+    ),
+    (
+        "cnn_sdc_attest_mismatches_total",
+        "Attestation re-executions whose software prediction disagreed with the device.",
+    ),
+    (
+        "cnn_sdc_quarantines_total",
+        "Devices quarantined for silent data corruption, by detector (scrub, canary or attest).",
+    ),
+    (
+        "cnn_sdc_reloads_total",
+        "Weight-memory reloads from the golden image triggered by an SDC detector.",
+    ),
+    (
+        "cnn_sdc_correctness_breaches_total",
+        "Correctness SLO burn-rate breach edges driven by canary and attestation outcomes.",
+    ),
     // Bench sweeps.
     (
         "cnn_fault_sweep_abandoned_images_total",

@@ -59,6 +59,24 @@ pub enum FlightStage {
     /// An SLO objective entered breach while this request was being
     /// accounted (`arg` = objective index).
     SloBreach = 10,
+    /// A seeded SEU bit flip landed in a device's weight memory
+    /// (`arg` = bank index hit). Stamped by the fault injector, not a
+    /// detector — its presence in a dump proves the corruption window.
+    SeuInject = 11,
+    /// An SDC detector fired on a device (`arg` = detector ordinal:
+    /// 0 scrub, 1 canary, 2 attestation).
+    SdcDetect = 12,
+    /// A device was quarantined for silent data corruption
+    /// (`arg` = device index).
+    Quarantine = 13,
+    /// A device's weight memory was reloaded from the golden image
+    /// (`arg` = banks rewritten).
+    WeightReload = 14,
+    /// A golden canary probe ran on a device (`arg` = 1 pass, 0 fail).
+    CanaryProbe = 15,
+    /// A quarantined device completed probation and rejoined the pool
+    /// (`arg` = device index).
+    Rejoin = 16,
 }
 
 /// `arg` value of a [`FlightStage::Shed`] record: the completion
@@ -83,6 +101,12 @@ impl FlightStage {
             FlightStage::DmaAttempt => "dma_attempt",
             FlightStage::Complete => "complete",
             FlightStage::SloBreach => "slo_breach",
+            FlightStage::SeuInject => "seu_inject",
+            FlightStage::SdcDetect => "sdc_detect",
+            FlightStage::Quarantine => "quarantine",
+            FlightStage::WeightReload => "weight_reload",
+            FlightStage::CanaryProbe => "canary_probe",
+            FlightStage::Rejoin => "rejoin",
         }
     }
 
@@ -99,6 +123,12 @@ impl FlightStage {
             8 => FlightStage::DmaAttempt,
             9 => FlightStage::Complete,
             10 => FlightStage::SloBreach,
+            11 => FlightStage::SeuInject,
+            12 => FlightStage::SdcDetect,
+            13 => FlightStage::Quarantine,
+            14 => FlightStage::WeightReload,
+            15 => FlightStage::CanaryProbe,
+            16 => FlightStage::Rejoin,
             _ => return None,
         })
     }
@@ -280,6 +310,12 @@ mod tests {
             FlightStage::DmaAttempt,
             FlightStage::Complete,
             FlightStage::SloBreach,
+            FlightStage::SeuInject,
+            FlightStage::SdcDetect,
+            FlightStage::Quarantine,
+            FlightStage::WeightReload,
+            FlightStage::CanaryProbe,
+            FlightStage::Rejoin,
         ];
         for (i, &s) in stages.iter().enumerate() {
             r.record(99, s, i as u64, i as u64 * 2);

@@ -35,6 +35,16 @@ echo "== load_gen --smoke: overload SLO (shed>0, bounded queue, >=99% deadline a
 # hedged request timeline — verified in-process before it is written.
 cargo run --release -p cnn-bench --bin load_gen -- --smoke --out target/BENCH_loadgen_smoke.json
 
+echo "== corruption_sweep --smoke: SDC defense ladder (silence proof, bounded escapes, recovery latency) =="
+# Seeded SEU injection across rate x detector-config cells; the
+# binary exits nonzero if the upsets are not transport-silent, if a
+# detectors-off cell fires anything (or fails to skew answers), if a
+# detector-on cell misses the corruption or exceeds its escape gate
+# (zero escapes under full attestation), if any detect->rejoin
+# recovery overruns its cycle budget, or if the flight recorder
+# cannot reconstruct a full incident timeline under one trace id.
+cargo run --release -p cnn-bench --bin corruption_sweep -- --smoke --out target/BENCH_corruption_smoke.json
+
 echo "== trace_overhead --smoke: instrumented Test-4 inference within 5% of bare =="
 # Interleaved traced/untraced medians on the zero-alloc infer engine;
 # the binary exits nonzero if the per-request observability kit

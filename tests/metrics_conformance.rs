@@ -2,8 +2,9 @@
 //!
 //! Drives the full serving stack — workflow build, batched front-end,
 //! device pool with retries and hedges, DMA with deterministic stall
-//! jitter — so every runtime metric family actually registers, then
-//! asserts the workspace grammar over the live registry:
+//! jitter, plus a seeded-SEU corruption run with the SDC defense
+//! ladder on — so every runtime metric family actually registers,
+//! then asserts the workspace grammar over the live registry:
 //!
 //! * every metric name matches `cnn_` followed by `[a-z0-9_]+`,
 //! * every counter ends in `_total` (and no histogram does — a
@@ -97,7 +98,44 @@ fn every_runtime_metric_conforms_to_the_workspace_grammar() {
         )
         .expect("the serving burst succeeds");
 
+    // A corruption run on top of the same registry: seeded SEUs in
+    // device 0's weight memory with the full defense ladder on, so
+    // the `cnn_scrub_*` / `cnn_canary_*` / `cnn_sdc_*` families all
+    // register live values (not just preregistered zeros) and pass
+    // the same grammar gates below.
+    artifacts
+        .serve_with_pool(
+            &images,
+            &[FaultPlan::seu(0x5DC0, 2), FaultPlan::none()],
+            &RetryPolicy::default(),
+            PoolConfig {
+                sdc: cnn2fpga::serve::SdcConfig {
+                    scrub_every: 2,
+                    canary_every: 2,
+                    attest_every: 2,
+                    probation: 2,
+                },
+                ..PoolConfig::default()
+            },
+        )
+        .expect("the corruption burst succeeds");
+
     let snap = cnn2fpga::trace::snapshot();
+    for family in [
+        "cnn_sdc_seu_injected_total",
+        "cnn_scrub_runs_total",
+        "cnn_canary_probes_total",
+        "cnn_sdc_quarantines_total",
+        "cnn_sdc_reloads_total",
+        "cnn_sdc_attest_checks_total",
+    ] {
+        assert!(
+            snap.counters
+                .iter()
+                .any(|c| c.name == family && c.value > 0),
+            "the corruption burst must register live `{family}` samples"
+        );
+    }
     assert!(
         !snap.counters.is_empty(),
         "the burst must register counter families"
