@@ -1,0 +1,475 @@
+//! Zero-downtime rollout sweep: fault-plan × crash-point ×
+//! canary-regression grid over the blue-green rollout controller.
+//!
+//! Each cell stages a v1 → v2 rollout of the Test-2 stack over a
+//! three-device fleet and drives it interleaved with version-pinned
+//! traffic, under one of four release pathologies:
+//!
+//! | scenario     | what ships in v2                  | expected end    |
+//! |--------------|-----------------------------------|-----------------|
+//! | `clean`      | a healthy release                 | promoted        |
+//! | `swap_upset` | SEUs upset every reprogramming    | promoted (healed)|
+//! | `regression` | poisoned canary expectations      | rolled back     |
+//! | `hostile`    | abandons every real dispatch      | rolled back (SLO)|
+//!
+//! and — the crash axis — repeats every scenario with the artifact
+//! store killed at assorted filesystem operations, then restarts from
+//! the on-disk journal and resumes to a terminal phase.
+//!
+//! ```text
+//! cargo run --release -p cnn-bench --bin rollout_sweep [-- --smoke] [-- --out FILE]
+//! ```
+//!
+//! The run **asserts** the PR's rollout SLO, so a regression fails CI
+//! rather than just changing a number in a file:
+//!
+//! * **zero dropped requests** in every cell: each request is served
+//!   by its pinned version's hardware or that version's bit-exact
+//!   software path — and zero *wrong* answers anywhere, mixed-version
+//!   fleets included;
+//! * the `clean` rollout keeps mid-rollout availability ≥ 99.9% (the
+//!   zero-downtime claim) and actually mixes versions on the wire;
+//! * `swap_upset` proves the post-swap canary gate: the upset image
+//!   fails probes, reloads from the new release's golden store, and
+//!   the rollout still promotes;
+//! * `regression` rolls back with the poisoned release having served
+//!   **zero** requests, and post-rollback service is bit-exact v1;
+//! * `hostile` passes every canary but dies on real traffic — only
+//!   the observed-traffic SLO window catches it and trips the
+//!   whole-fleet rollback;
+//! * at every crash point the reloaded journal parses, resume
+//!   normalization leaves the fleet **old-or-new** (never torn), and
+//!   the resumed rollout still reaches its scenario's terminal phase.
+//!
+//! Everything is deterministic — weights from [`build_deterministic`],
+//! images from a SplitMix64 stream, upsets from seeded SEU streams,
+//! crash points from a fixed op grid — so the committed
+//! `BENCH_rollout.json` is exactly reproducible.
+
+use cnn_fpga::fault::FaultPlan;
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::{
+    NetworkSpec, RolloutOptions, RolloutStageError, WeightSource, Workflow, WorkflowArtifacts,
+};
+use cnn_serve::{RollbackReason, RolloutConfig, SdcConfig};
+use cnn_store::hash::SplitMix64;
+use cnn_store::{atomic_write, ArtifactKind, FsFaultPlan, RolloutJournal, RolloutPhase, Store};
+use cnn_tensor::{Shape, Tensor};
+use std::fmt::Write as _;
+
+/// SEU seed for the swap-upset scenario's new-release plan.
+const SEU_SEED: u64 = 0x0B17_F11B;
+
+/// CI gate: minimum hardware-served fraction while the clean rollout
+/// is in flight (the zero-downtime claim).
+const MID_AVAILABILITY_MIN: f64 = 0.999;
+
+/// One release pathology swept.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Clean,
+    SwapUpset,
+    Regression,
+    Hostile,
+}
+
+impl Scenario {
+    const ALL: [Scenario; 4] = [
+        Scenario::Clean,
+        Scenario::SwapUpset,
+        Scenario::Regression,
+        Scenario::Hostile,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Clean => "clean",
+            Scenario::SwapUpset => "swap_upset",
+            Scenario::Regression => "regression",
+            Scenario::Hostile => "hostile",
+        }
+    }
+
+    /// The drill options this scenario stages.
+    fn options(self) -> RolloutOptions {
+        let mut o = RolloutOptions::clean("usps");
+        match self {
+            Scenario::Clean => {}
+            Scenario::SwapUpset => {
+                // Every reprogramming (and every later dispatch) of
+                // the new release upsets a weight bit. The post-swap
+                // canary gate plus per-request attestation must turn
+                // that into reloads, never wrong answers.
+                o.new_plan = FaultPlan::seu(SEU_SEED, 1);
+                o.pool.sdc = SdcConfig {
+                    scrub_every: 0,
+                    canary_every: 0,
+                    attest_every: 1,
+                    probation: 2,
+                };
+            }
+            Scenario::Regression => o.canary_regression = true,
+            Scenario::Hostile => {
+                // Canaries bypass the DMA transport, so this release
+                // probes clean and abandons every real dispatch — a
+                // longer settle window gives the observed-traffic SLO
+                // room to catch it before the next device drains.
+                o.hostile_new = true;
+                o.rollout = RolloutConfig {
+                    settle_requests: 24,
+                    ..RolloutConfig::default()
+                };
+            }
+        }
+        o
+    }
+
+    /// Terminal phase every cell of this scenario must reach.
+    fn expected_phase(self) -> RolloutPhase {
+        match self {
+            Scenario::Clean | Scenario::SwapUpset => RolloutPhase::Promoted,
+            Scenario::Regression | Scenario::Hostile => RolloutPhase::RolledBack,
+        }
+    }
+}
+
+fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect()
+}
+
+fn scratch(tag: &str, seq: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cnn-bench-rollout-{}-{tag}-{seq}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+struct Cell {
+    scenario: &'static str,
+    crash_op: Option<u64>,
+    crashed: bool,
+    resumed: bool,
+    total: usize,
+    wrong: usize,
+    mid_availability: f64,
+    new_routed: usize,
+    final_phase: &'static str,
+    rollback_reason: Option<&'static str>,
+}
+
+fn counter_total(snap: &cnn_trace::TraceSnapshot, name: &str, label: Option<(&str, &str)>) -> u64 {
+    snap.counters
+        .iter()
+        .filter(|c| c.name == name)
+        .filter(|c| label.is_none_or(|(k, v)| c.labels.iter().any(|(lk, lv)| lk == k && lv == v)))
+        .map(|c| c.value)
+        .sum()
+}
+
+fn phase_name(p: RolloutPhase) -> &'static str {
+    match p {
+        RolloutPhase::Running => "running",
+        RolloutPhase::RollingBack => "rolling_back",
+        RolloutPhase::Promoted => "promoted",
+        RolloutPhase::RolledBack => "rolled_back",
+    }
+}
+
+/// Runs one cell: stage + drive, optionally under an injected crash,
+/// then (on crash) restart from the journal and resume to terminal.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    old: &WorkflowArtifacts,
+    new: &WorkflowArtifacts,
+    images: &[Tensor],
+    scenario: Scenario,
+    crash_op: Option<u64>,
+    requests: usize,
+    seq: usize,
+) -> Cell {
+    let dir = scratch(scenario.name(), seq);
+    cnn_trace::reset();
+    cnn_trace::enable();
+
+    // ---- first life: runs to completion unless the store dies ----
+    let first = (|| -> Result<cnn_framework::RolloutDrillReport, cnn_store::StoreError> {
+        let mut store = match crash_op {
+            Some(op) => Store::open_faulty(&dir, FsFaultPlan::crash_at(op, false))?,
+            None => Store::open(&dir).expect("real store opens"),
+        };
+        let mut h = match old.stage_rollout(new, images, &scenario.options(), &mut store, None) {
+            Ok(h) => h,
+            Err(RolloutStageError::Store(e)) => return Err(e),
+            Err(RolloutStageError::Workflow(e)) => panic!("staging failed: {e}"),
+        };
+        h.drive(requests, &mut store)
+    })();
+
+    let (report, crashed, resumed) = match first {
+        Ok(r) => (r, false, false),
+        Err(e) => {
+            assert!(
+                e.is_crash(),
+                "{}: only the injected crash may fail: {e}",
+                scenario.name()
+            );
+            // ---- second life: restart purely from disk ----
+            let mut store = Store::open(&dir).expect("store reopens after crash");
+            let journal = match store.get(ArtifactKind::Rollout, "rollout/usps") {
+                Ok(txt) => RolloutJournal::parse(std::str::from_utf8(&txt).expect("utf8"))
+                    .expect("a committed journal always parses"),
+                Err(_) => {
+                    // Died before the first journal commit: the fleet
+                    // never left v1; nothing to resume or verify.
+                    return Cell {
+                        scenario: scenario.name(),
+                        crash_op,
+                        crashed: true,
+                        resumed: false,
+                        total: 0,
+                        wrong: 0,
+                        mid_availability: 1.0,
+                        new_routed: 0,
+                        final_phase: "never_started",
+                        rollback_reason: None,
+                    };
+                }
+            };
+            if !journal.in_flight() {
+                // The crash landed after the terminal record: nothing
+                // to resume, but the journal must be whole.
+                assert!(journal.fleet_is_old_or_new());
+            }
+            let mut h = old
+                .stage_rollout(new, images, &scenario.options(), &mut store, Some(journal))
+                .expect("resume staging on a healthy store");
+            assert!(
+                h.rollout.journal().fleet_is_old_or_new(),
+                "{}: resume normalization left a torn device",
+                scenario.name()
+            );
+            let r = h.drive(requests, &mut store).expect("resumed drive");
+            (r, true, true)
+        }
+    };
+    let snap = cnn_trace::snapshot();
+    cnn_trace::disable();
+
+    // ---- gates every cell must pass --------------------------------
+    let name = scenario.name();
+    assert_eq!(
+        report.final_phase,
+        scenario.expected_phase(),
+        "{name} (crash {crash_op:?}): wrong terminal phase"
+    );
+    assert_eq!(
+        report.wrong, 0,
+        "{name} (crash {crash_op:?}): a wrong answer escaped"
+    );
+    assert_eq!(
+        report.total, requests,
+        "{name} (crash {crash_op:?}): a request was dropped"
+    );
+    assert!(
+        report.served_versions.iter().all(|v| *v == 1 || *v == 2),
+        "{name}: requests must pin exactly v1 or v2"
+    );
+    if resumed {
+        assert!(
+            counter_total(&snap, "cnn_rollout_resumes_total", None) >= 1,
+            "{name} (crash {crash_op:?}): resume must be accounted"
+        );
+    }
+    // The terminal journal on disk is whole and old-or-new, and its
+    // pins are released back to gc.
+    let mut store = Store::open(&dir).expect("store reopens for audit");
+    let txt = store
+        .get(ArtifactKind::Rollout, "rollout/usps")
+        .expect("terminal journal on disk");
+    let j = RolloutJournal::parse(std::str::from_utf8(&txt).expect("utf8")).expect("parses");
+    assert!(!j.in_flight(), "{name}: journal must be terminal");
+    assert!(j.fleet_is_old_or_new(), "{name}: torn device at rest");
+    assert!(
+        store.rollout_pins().expect("pins read").is_empty(),
+        "{name}: terminal rollout must release its gc pins"
+    );
+    match scenario {
+        Scenario::Clean => {
+            assert!(
+                report.mid_availability() >= MID_AVAILABILITY_MIN,
+                "clean (crash {crash_op:?}): mid-rollout availability {:.4} under {}",
+                report.mid_availability(),
+                MID_AVAILABILITY_MIN
+            );
+            assert!(
+                resumed || report.new_routed > 0,
+                "clean: canary traffic must reach v2"
+            );
+            assert_eq!(j.on_new(), 3, "clean: whole fleet on v2");
+        }
+        Scenario::SwapUpset => {
+            assert!(
+                resumed
+                    || counter_total(
+                        &snap,
+                        "cnn_rollout_canary_probes_total",
+                        Some(("result", "fail"))
+                    ) >= 1,
+                "swap_upset: the upset image must fail at least one probe"
+            );
+            assert_eq!(j.on_new(), 3, "swap_upset: whole fleet on v2");
+        }
+        Scenario::Regression => {
+            assert_eq!(
+                report.new_routed, 0,
+                "regression: the poisoned release must never take traffic"
+            );
+            assert_eq!(j.on_new(), 0, "regression: whole fleet back on v1");
+            if !resumed {
+                assert_eq!(report.rollback_reason, Some(RollbackReason::Canary));
+            }
+        }
+        Scenario::Hostile => {
+            assert_eq!(j.on_new(), 0, "hostile: whole fleet back on v1");
+            if !resumed {
+                assert_eq!(report.rollback_reason, Some(RollbackReason::Slo));
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Cell {
+        scenario: name,
+        crash_op,
+        crashed,
+        resumed,
+        total: report.total,
+        wrong: report.wrong,
+        mid_availability: report.mid_availability(),
+        new_routed: report.new_routed,
+        final_phase: phase_name(report.final_phase),
+        rollback_reason: report.rollback_reason.map(RollbackReason::name),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_rollout.json".to_string());
+    let requests = if smoke { 80 } else { 160 };
+    let crash_ops: &[u64] = if smoke {
+        &[7, 19, 41]
+    } else {
+        &[3, 7, 12, 19, 27, 36, 48, 62, 80, 110]
+    };
+
+    eprintln!("[cnn-bench] building both releases of the Test-2 stack...");
+    let build = |seed: u64| {
+        let spec = NetworkSpec::paper_usps_small(true);
+        let net = build_deterministic(&spec, seed).expect("valid paper spec");
+        Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+            .run()
+            .expect("the paper network fits the Zedboard")
+    };
+    let old = build(2016);
+    let new = build(2017);
+    let images = deterministic_images(old.network.input_shape(), 12, 0x5DC5);
+
+    println!(
+        "ROLLOUT SWEEP: {requests} requests/cell, 3 devices, v1 -> v2, \
+         {} crash points per scenario\n",
+        crash_ops.len()
+    );
+    println!(
+        "{:>11}  {:>6}  {:>8}  {:>6}  {:>5}  {:>8}  {:>6}  {:>12}  {:>8}",
+        "scenario", "crash", "resumed", "served", "wrong", "mid-avail", "v2-rtd", "phase", "reason"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut seq = 0usize;
+    for scenario in Scenario::ALL {
+        for crash_op in std::iter::once(None).chain(crash_ops.iter().map(|op| Some(*op))) {
+            seq += 1;
+            let cell = run_cell(&old, &new, &images, scenario, crash_op, requests, seq);
+            println!(
+                "{:>11}  {:>6}  {:>8}  {:>6}  {:>5}  {:>8.4}  {:>6}  {:>12}  {:>8}",
+                cell.scenario,
+                cell.crash_op.map_or("-".into(), |op| op.to_string()),
+                if cell.resumed { "yes" } else { "no" },
+                cell.total,
+                cell.wrong,
+                cell.mid_availability,
+                cell.new_routed,
+                cell.final_phase,
+                cell.rollback_reason.unwrap_or("-"),
+            );
+            cells.push(cell);
+        }
+    }
+
+    let resumed = cells.iter().filter(|c| c.resumed).count();
+    assert!(
+        resumed >= Scenario::ALL.len(),
+        "the op grid must actually kill at least one run per scenario \
+         (got {resumed} resumes) — crash points are all past the end"
+    );
+    println!(
+        "\nSLO held: {} cells, 0 dropped requests, 0 wrong answers; every crash point \
+         restarted old-or-new from the journal and reached its scenario's terminal \
+         phase ({} resumed runs); clean rollouts stayed >= {:.1}% available mid-flight.",
+        cells.len(),
+        resumed,
+        MID_AVAILABILITY_MIN * 100.0
+    );
+
+    let mut json = String::from("{\n  \"benchmark\": \"rollout_sweep\",\n");
+    let _ = writeln!(
+        json,
+        "  \"mode\": \"{}\",",
+        if smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"requests_per_cell\": {requests},");
+    let _ = writeln!(json, "  \"devices\": 3,");
+    let _ = writeln!(json, "  \"mid_availability_min\": {MID_AVAILABILITY_MIN},");
+    let _ = writeln!(json, "  \"resumed_cells\": {resumed},");
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"{}\", \"crash_op\": {}, \"crashed\": {}, \
+             \"resumed\": {}, \"served\": {}, \"wrong\": {}, \"mid_availability\": {:.4}, \
+             \"new_routed\": {}, \"final_phase\": \"{}\", \"rollback_reason\": {}}}",
+            c.scenario,
+            c.crash_op.map_or("null".into(), |op| op.to_string()),
+            c.crashed,
+            c.resumed,
+            c.total,
+            c.wrong,
+            c.mid_availability,
+            c.new_routed,
+            c.final_phase,
+            c.rollback_reason
+                .map_or("null".into(), |r| format!("\"{r}\"")),
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
+    println!("results committed atomically to {out_path}");
+}

@@ -1,5 +1,5 @@
 //! Roofline analysis of the four paper designs (extension): the model
-//! the paper's related work (Zhang et al. [9]) uses, applied to our
+//! the paper's related work (Zhang et al. \[9\]) uses, applied to our
 //! builds — showing all four designs are compute-bound (weights are
 //! on-chip) and how much of the attainable roof each schedule reaches.
 

@@ -8,6 +8,51 @@ use crate::board::Board;
 use crate::ip_core::CnnIpCore;
 use cnn_hls::{HlsProject, ResourceUsage};
 
+/// Semantic identity of the model a bitstream serves: a human-chosen
+/// model name plus a monotonically increasing version number. Carried
+/// *alongside* [`Bitstream::content_hash`] — the hash says "these
+/// exact bits", the version says "this release of this model" — so a
+/// pool can refuse a version-skewed weight/bitstream pair at attach
+/// time instead of discovering the skew as wrong answers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelVersion {
+    /// Model family name (e.g. `usps-small`). No whitespace, so the
+    /// version stays line-parseable in manifests.
+    pub model: String,
+    /// Release number within the family; later is newer.
+    pub version: u32,
+}
+
+impl ModelVersion {
+    /// Builds a version tag, replacing any whitespace in the model
+    /// name with `-` to keep manifest lines parseable.
+    pub fn new(model: impl Into<String>, version: u32) -> ModelVersion {
+        let model: String = model.into();
+        ModelVersion {
+            model: model.split_whitespace().collect::<Vec<_>>().join("-"),
+            version,
+        }
+    }
+
+    /// The placeholder identity of builds that never opted into
+    /// versioning.
+    pub fn unversioned() -> ModelVersion {
+        ModelVersion::new("unversioned", 0)
+    }
+
+    /// True when `other` is the same model family (a legal upgrade
+    /// source/target); differing families are a skewed pair.
+    pub fn same_model(&self, other: &ModelVersion) -> bool {
+        self.model == other.model
+    }
+}
+
+impl std::fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@v{}", self.model, self.version)
+    }
+}
+
 /// A generated "bitstream": the programmed configuration of one build.
 #[derive(Clone, Debug)]
 pub struct Bitstream {
@@ -21,6 +66,8 @@ pub struct Bitstream {
     pub core: CnnIpCore,
     /// Directive label the build used.
     pub directives: String,
+    /// Semantic model/version identity (see [`ModelVersion`]).
+    pub version: ModelVersion,
 }
 
 /// Errors when producing a bitstream.
@@ -77,7 +124,17 @@ impl Bitstream {
             resources,
             core: CnnIpCore::from_project(project),
             directives: project.directives().label(),
+            version: ModelVersion::unversioned(),
         })
+    }
+
+    /// Tags the bitstream with a semantic model/version identity.
+    /// The tag participates in [`Bitstream::content_text`], so two
+    /// otherwise identical builds released under different versions
+    /// have different content hashes.
+    pub fn with_version(mut self, version: ModelVersion) -> Bitstream {
+        self.version = version;
+        self
     }
 
     /// Canonical, line-oriented manifest of everything that makes this
@@ -118,6 +175,10 @@ impl Bitstream {
             self.core.dataflow()
         ));
         out.push_str(&format!("directives {}\n", self.directives));
+        out.push_str(&format!(
+            "version {} {}\n",
+            self.version.model, self.version.version
+        ));
         out
     }
 
@@ -199,6 +260,53 @@ mod tests {
             BitstreamError::DoesNotFit(rs) => assert!(rs.contains(&"BRAM")),
             other => panic!("unexpected {other}"),
         }
+    }
+
+    /// A rand-free deterministic build (the `seeded_rng` path is not
+    /// available in every test environment).
+    fn mix_net() -> Network {
+        use cnn_nn::{Layer, LinearLayer};
+        use cnn_store::hash::SplitMix64;
+        let mut mix = SplitMix64::new(0xB17);
+        let mut val =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| (mix.next_f64() - 0.5) as f32).collect() };
+        Network::new(
+            Shape::new(1, 8, 8),
+            vec![
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: val(10 * 64),
+                    bias: val(10),
+                    inputs: 64,
+                    outputs: 10,
+                    activation: None,
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn version_tag_changes_content_hash_but_not_build() {
+        let p =
+            HlsProject::new(&mix_net(), DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
+        let base = Bitstream::implement(&p, Board::Zedboard).unwrap();
+        assert_eq!(base.version, ModelVersion::unversioned());
+        let v1 = base.clone().with_version(ModelVersion::new("usps", 1));
+        let v2 = base.clone().with_version(ModelVersion::new("usps", 2));
+        assert_ne!(base.content_hash(), v1.content_hash());
+        assert_ne!(v1.content_hash(), v2.content_hash());
+        assert!(v1.version.same_model(&v2.version));
+        assert!(!v1.version.same_model(&ModelVersion::new("other", 1)));
+        assert_eq!(v2.version.to_string(), "usps@v2");
+        assert!(v1.content_text().contains("version usps 1"));
+    }
+
+    #[test]
+    fn model_names_with_whitespace_are_sanitized() {
+        let v = ModelVersion::new("two words here", 3);
+        assert_eq!(v.model, "two-words-here");
     }
 
     #[test]

@@ -165,6 +165,16 @@ pub enum DeviceError {
         /// Actual device board.
         device: Board,
     },
+    /// The offered bitstream belongs to a different model family than
+    /// the one the device is serving — a version-skewed pair that a
+    /// rolling upgrade must refuse at attach time rather than discover
+    /// as wrong answers.
+    ModelSkew {
+        /// Version the device currently serves.
+        current: crate::bitstream::ModelVersion,
+        /// Version the caller tried to attach.
+        offered: crate::bitstream::ModelVersion,
+    },
 }
 
 impl std::fmt::Display for DeviceError {
@@ -176,11 +186,27 @@ impl std::fmt::Display for DeviceError {
                 bitstream.name(),
                 device.name()
             ),
+            DeviceError::ModelSkew { current, offered } => write!(
+                f,
+                "version-skewed pair: device serves {current}, offered {offered}"
+            ),
         }
     }
 }
 
 impl std::error::Error for DeviceError {}
+
+/// What one [`ZynqDevice::reconfigure`] swap did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// Weight banks loaded from the new model image.
+    pub banks_loaded: usize,
+    /// Bank an injected fault upset *during* the swap, if the plan
+    /// fired at this reconfiguration point. The device comes up
+    /// serving corrupted parameters — exactly what the post-swap
+    /// canary probes exist to catch.
+    pub swap_upset: Option<usize>,
+}
 
 /// Extra cycles one failed attempt burns, by fault kind: beat faults
 /// waste the full CRC-framed transfer both ways (detected only at
@@ -449,6 +475,78 @@ impl ZynqDevice {
         let rewritten = self.memory.reload_all(self.bitstream.core.network());
         self.corrupted = None;
         rewritten
+    }
+
+    /// Swaps the device to a new versioned model image: replaces the
+    /// bitstream, loads a fresh weight memory from the new network
+    /// (architectures may differ across versions, so this is a full
+    /// reload, not a bank repair), and drops any corrupted core. The
+    /// caller is responsible for having drained in-flight work first —
+    /// this is the device half of a rolling reconfiguration, not a
+    /// scheduler.
+    ///
+    /// Refuses a bitstream built for another board, and a
+    /// version-skewed pair (different model family) unless the device
+    /// is still on the unversioned placeholder. `plan` makes the swap
+    /// itself a fault-injection point: when [`FaultPlan::seu_due`]
+    /// fires at this device's dispatch-sequence position, one bit of
+    /// the *freshly loaded* image is upset mid-swap, so the device
+    /// comes up corrupted and only the post-swap canary probes stand
+    /// between it and traffic.
+    pub fn reconfigure(
+        &mut self,
+        bitstream: Bitstream,
+        plan: &FaultPlan,
+    ) -> Result<ReconfigReport, DeviceError> {
+        if bitstream.board != self.board {
+            return Err(DeviceError::WrongBoard {
+                bitstream: bitstream.board,
+                device: self.board,
+            });
+        }
+        let current = &self.bitstream.version;
+        if current != &crate::bitstream::ModelVersion::unversioned()
+            && !current.same_model(&bitstream.version)
+        {
+            return Err(DeviceError::ModelSkew {
+                current: current.clone(),
+                offered: bitstream.version.clone(),
+            });
+        }
+        // The swap consumes one dispatch-sequence point, which is the
+        // fault plan's cycle axis — a reconfiguration is vulnerable to
+        // upsets exactly like a dispatch is.
+        let seq = self.dispatch_seq;
+        self.dispatch_seq += 1;
+        let mut memory = WeightMemory::load(bitstream.core.network());
+        let banks_loaded = memory.bank_count();
+        let mut swap_upset = None;
+        if plan.seu_due(seq) {
+            if let Some(up) = memory.upset(&mut plan.seu_stream(seq)) {
+                self.seu_injected += 1;
+                swap_upset = Some(up.bank);
+                cnn_trace::counter_add("cnn_sdc_seu_injected_total", &[], 1);
+                if let Some(ctx) = cnn_trace::current_ctx() {
+                    cnn_trace::flight_record(
+                        ctx.trace_id,
+                        cnn_trace::FlightStage::SeuInject,
+                        cnn_trace::cycles(),
+                        up.bank as u64,
+                    );
+                }
+            }
+        }
+        self.corrupted = swap_upset.map(|_| {
+            bitstream
+                .core
+                .with_network(memory.restore_network(bitstream.core.network()))
+        });
+        self.memory = memory;
+        self.bitstream = bitstream;
+        Ok(ReconfigReport {
+            banks_loaded,
+            swap_upset,
+        })
     }
 
     /// `n_ok` is the number of images the core actually computed
@@ -1282,6 +1380,142 @@ mod tests {
         assert!((1..64).contains(&hits_8), "every=8 is sparse but nonzero");
         let (hits_1, _) = run(1);
         assert_eq!(hits_1, 64, "every=1 upsets at each dispatch point");
+    }
+
+    /// A deterministic bitstream for the `sdc_device` architecture
+    /// whose weights derive from `seed` — two seeds model two
+    /// releases of the same model family.
+    fn versioned_bitstream(seed: u64, model: &str, version: u32) -> Bitstream {
+        use crate::bitstream::ModelVersion;
+        use cnn_nn::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+        use cnn_store::hash::SplitMix64;
+        use cnn_tensor::Tensor4;
+        let mut mix = SplitMix64::new(seed);
+        let mut val =
+            |n: usize| -> Vec<f32> { (0..n).map(|_| (mix.next_f64() - 0.5) as f32).collect() };
+        let net = Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_vec(4, 1, 3, 3, val(36)),
+                    bias: val(4),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: val(10 * 196),
+                    bias: val(10),
+                    inputs: 196,
+                    outputs: 10,
+                    activation: None,
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap();
+        let p = HlsProject::new(&net, DirectiveSet::optimized(), FpgaPart::zynq7020()).unwrap();
+        Bitstream::implement(&p, Board::Zedboard)
+            .unwrap()
+            .with_version(ModelVersion::new(model, version))
+    }
+
+    #[test]
+    fn reconfigure_swaps_version_and_serves_the_new_model() {
+        let v1 = versioned_bitstream(0x5DC0, "usps", 1);
+        let v2 = versioned_bitstream(0x5DC1, "usps", 2);
+        let new_net = v2.core.network().clone();
+        let mut dev = ZynqDevice::program(Board::Zedboard, v1).unwrap();
+        let old_hash = dev.bitstream().content_hash();
+        let rep = dev.reconfigure(v2, &FaultPlan::none()).unwrap();
+        assert!(rep.swap_upset.is_none());
+        assert_eq!(rep.banks_loaded, dev.memory().bank_count());
+        assert_eq!(dev.bitstream().version.version, 2);
+        assert_ne!(dev.bitstream().content_hash(), old_hash);
+        assert!(dev.memory().is_clean(), "fresh image starts clean");
+        // The device now answers bit-exactly as the *new* software
+        // reference.
+        let imgs = sdc_images(8, 0xB1E);
+        let policy = RetryPolicy::default();
+        for (i, img) in imgs.iter().enumerate() {
+            let d = dev.dispatch_image(img, i, 0, &FaultPlan::none(), &policy);
+            assert_eq!(d.prediction, new_net.predict(img));
+        }
+    }
+
+    #[test]
+    fn reconfigure_refuses_skewed_or_misboarded_pairs() {
+        let v1 = versioned_bitstream(0x5DC0, "usps", 1);
+        let mut dev = ZynqDevice::program(Board::Zedboard, v1).unwrap();
+        let other = versioned_bitstream(0x5DC2, "mnist", 1);
+        let err = dev.reconfigure(other, &FaultPlan::none()).unwrap_err();
+        assert!(matches!(err, DeviceError::ModelSkew { .. }));
+        assert!(err.to_string().contains("usps@v1"));
+        // Still serving v1 after the refusal.
+        assert_eq!(dev.bitstream().version.version, 1);
+        let mut zybo = versioned_bitstream(0x5DC3, "usps", 2);
+        zybo.board = Board::Zybo;
+        assert!(matches!(
+            dev.reconfigure(zybo, &FaultPlan::none()),
+            Err(DeviceError::WrongBoard { .. })
+        ));
+    }
+
+    #[test]
+    fn unversioned_device_accepts_any_family() {
+        let (mut dev, _) = sdc_device();
+        assert_eq!(
+            dev.bitstream().version,
+            crate::bitstream::ModelVersion::unversioned()
+        );
+        let v1 = versioned_bitstream(0x5DC4, "usps", 1);
+        dev.reconfigure(v1, &FaultPlan::none()).unwrap();
+        assert_eq!(dev.bitstream().version.to_string(), "usps@v1");
+    }
+
+    #[test]
+    fn faults_during_the_swap_corrupt_the_fresh_image() {
+        let v1 = versioned_bitstream(0x5DC0, "usps", 1);
+        let v2 = versioned_bitstream(0x5DC1, "usps", 2);
+        let new_net = v2.core.network().clone();
+        let mut dev = ZynqDevice::program(Board::Zedboard, v1).unwrap();
+        // `every = 1` fires at every sequence point, including the
+        // swap's.
+        let plan = FaultPlan::seu(0xBAD, 1);
+        let rep = dev.reconfigure(v2, &plan).unwrap();
+        let bank = rep.swap_upset.expect("swap must be hit");
+        assert_eq!(dev.scrub(), vec![bank], "scrub flags the swap upset");
+        assert_eq!(dev.seu_injected(), 1);
+        // A canary sweep against the new reference catches the
+        // corruption before the device would rejoin a pool...
+        let canaries = sdc_images(16, 0xCA4);
+        let failed = canaries
+            .iter()
+            .filter(|c| !dev.canary(c, new_net.predict(c)))
+            .count();
+        assert!(failed > 0, "an upset exponent must fail some canary");
+        // ...and the repair path reloads from the *new* bitstream.
+        assert_eq!(dev.reload_weights(), 1);
+        assert!(dev.memory().is_clean());
+        assert!(canaries.iter().all(|c| dev.canary(c, new_net.predict(c))));
+    }
+
+    #[test]
+    fn reconfigure_replays_deterministically() {
+        let run = || {
+            let v1 = versioned_bitstream(0x5DC0, "usps", 1);
+            let v2 = versioned_bitstream(0x5DC1, "usps", 2);
+            let mut dev = ZynqDevice::program(Board::Zedboard, v1).unwrap();
+            let plan = FaultPlan::seu(0x77, 1);
+            let rep = dev.reconfigure(v2, &plan).unwrap();
+            (rep, dev.memory().live_digest(rep.swap_upset.unwrap()))
+        };
+        assert_eq!(run(), run(), "same plan, same swap trajectory");
     }
 
     #[test]

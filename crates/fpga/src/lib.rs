@@ -53,10 +53,12 @@ pub mod weight_mem;
 
 pub use address_map::MapError;
 pub use axi::{check_packet, crc32, frame_packet, IntegrityError, StreamError, CRC_WORDS};
-pub use bitstream::Bitstream;
+pub use bitstream::{Bitstream, ModelVersion};
 pub use block_design::BlockDesign;
 pub use board::Board;
-pub use device::{BatchResult, DeviceError, ImageDispatch, ImageOutcome, ZynqDevice, ABANDONED};
+pub use device::{
+    BatchResult, DeviceError, ImageDispatch, ImageOutcome, ReconfigReport, ZynqDevice, ABANDONED,
+};
 pub use dma_regs::{DmaChannel, DmaError, HwFault};
 pub use fault::{FaultError, FaultPlan, FaultStats, InjectedFault, RetryPolicy};
 pub use ip_core::{CnnIpCore, PacketError};

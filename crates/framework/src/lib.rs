@@ -28,11 +28,17 @@
 //! * [`serving`] — resilient multi-device serving: the generic
 //!   `cnn-serve` pool (circuit breakers, shared retry budget, hedged
 //!   requests) bound to simulated Zynq boards behind per-device fault
-//!   plans, degrading to the bit-exact software path.
+//!   plans, degrading to the bit-exact software path,
+//! * [`rollout`] — zero-downtime blue-green model rollout: two
+//!   workflow runs become two versioned, store-pinned releases; a
+//!   crash-safe journaled controller drains, swaps, canary-gates and
+//!   re-admits one device at a time with version-pinned routing, and
+//!   rolls the whole fleet back on a canary or SLO regression.
 
 pub mod experiments;
 pub mod report;
 pub mod resume;
+pub mod rollout;
 pub mod serving;
 pub mod spec;
 pub mod weights;
@@ -41,6 +47,9 @@ pub mod workflow;
 pub use experiments::{Experiment, ExperimentConfig, PaperTest};
 pub use report::{Table1Row, Table2Row};
 pub use resume::{run_resumable, ResumeOutcome};
+pub use rollout::{
+    RolloutDrillReport, RolloutHarness, RolloutOptions, RolloutStageError, RolloutZynq,
+};
 pub use serving::{PoolClassificationReport, PooledZynq};
 pub use spec::{ConvLayerSpec, LinearLayerSpec, NetworkSpec, SpecError};
 pub use weights::{WeightError, WeightSource};

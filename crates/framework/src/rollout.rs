@@ -1,0 +1,722 @@
+//! Blue-green model rollout over simulated Zynq fleets: binds the
+//! generic `cnn-serve` rollout controller to real workflow artifacts.
+//!
+//! Two [`WorkflowArtifacts`] — the release currently serving and its
+//! successor — become two *versioned* bitstreams (the version tag
+//! participates in the content hash, so the releases can never be
+//! confused), persisted in a `cnn-store` together with their
+//! [`ModelManifest`]s and pinned against garbage collection for the
+//! duration of the rollout. Each fleet device is a [`RolloutZynq`]:
+//! a programmed board plus *both* releases' artifacts, able to
+//! [`BlueGreen::swap`] forward and [`BlueGreen::revert`] back via
+//! [`ZynqDevice::reconfigure`] — with the swap itself a
+//! fault-injection point, and with canaries, scrubbing, and reloads
+//! always relative to whichever release is currently programmed.
+//!
+//! [`WorkflowArtifacts::stage_rollout`] assembles the
+//! [`RolloutHarness`] (fresh, or resumed from a crash-recovered
+//! [`RolloutJournal`]); [`RolloutHarness::drive`] interleaves the
+//! controller's journaled steps with version-pinned traffic and
+//! reports per-request correctness against the *routed* release's
+//! software reference — the bit-exactness evidence the crash sweep
+//! gates on.
+
+use crate::workflow::{WorkflowArtifacts, WorkflowError, WorkflowStage};
+use cnn_fpga::fault::{FaultPlan, RetryPolicy};
+use cnn_fpga::{Bitstream, ImageOutcome, ModelVersion, ZynqDevice};
+use cnn_serve::{
+    BlueGreen, Device, DevicePool, DispatchOutcome, PoolConfig, RequestOptions, RetryBudget,
+    RollbackReason, Rollout, RolloutConfig, RolloutStatus, ServedBy,
+};
+use cnn_store::{
+    ArtifactKind, DevicePhase, ModelManifest, RolloutJournal, RolloutPhase, Store, StoreError,
+};
+use cnn_tensor::Tensor;
+
+/// Staging failure: storage (possibly an injected crash — check
+/// [`StoreError::is_crash`]) or device programming.
+#[derive(Debug)]
+pub enum RolloutStageError {
+    /// The artifact store failed while persisting or pinning a
+    /// release or the journal.
+    Store(StoreError),
+    /// Building or programming a device failed.
+    Workflow(WorkflowError),
+}
+
+impl std::fmt::Display for RolloutStageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RolloutStageError::Store(e) => write!(f, "rollout staging: {e}"),
+            RolloutStageError::Workflow(e) => write!(f, "rollout staging: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RolloutStageError {}
+
+impl From<StoreError> for RolloutStageError {
+    fn from(e: StoreError) -> Self {
+        RolloutStageError::Store(e)
+    }
+}
+
+impl From<WorkflowError> for RolloutStageError {
+    fn from(e: WorkflowError) -> Self {
+        RolloutStageError::Workflow(e)
+    }
+}
+
+/// One release as a fleet device holds it: the versioned bitstream,
+/// the fault environment its dispatches run under, and the golden
+/// canary set probed while this release is programmed.
+#[derive(Clone)]
+struct Release {
+    bitstream: Bitstream,
+    plan: FaultPlan,
+    canaries: Vec<(Tensor, usize)>,
+    /// The release's dispatch path is broken: every real dispatch is
+    /// abandoned while canaries (which bypass the transport) pass.
+    abandon_traffic: bool,
+}
+
+/// A pool-schedulable Zynq board that can hot-swap between two model
+/// releases. Dispatches, canaries, scrubs, and reloads all act on
+/// whichever release is currently programmed, so the `cnn-serve`
+/// rollout controller's canary gate automatically re-proves the *old*
+/// image during a rollback, not just the new one.
+pub struct RolloutZynq<'a> {
+    device: ZynqDevice,
+    policy: RetryPolicy,
+    images: &'a [Tensor],
+    old: Release,
+    new: Release,
+    on_new: bool,
+    canary_cursor: usize,
+}
+
+impl<'a> RolloutZynq<'a> {
+    fn release(&self) -> &Release {
+        if self.on_new {
+            &self.new
+        } else {
+            &self.old
+        }
+    }
+}
+
+impl Device for RolloutZynq<'_> {
+    fn dispatch(&mut self, image_id: usize, attempt_base: u32) -> DispatchOutcome {
+        if self.release().abandon_traffic {
+            return DispatchOutcome {
+                prediction: None,
+                cycles: 100,
+                attempts: 4,
+                faults_injected: 1,
+                crc_detected: 0,
+            };
+        }
+        let plan = self.release().plan;
+        let d = self.device.dispatch_image(
+            &self.images[image_id],
+            image_id,
+            attempt_base,
+            &plan,
+            &self.policy,
+        );
+        let (prediction, attempts) = match d.outcome {
+            ImageOutcome::Clean => (Some(d.prediction), 1),
+            ImageOutcome::Recovered { retries } => (Some(d.prediction), retries.saturating_add(1)),
+            ImageOutcome::Abandoned { attempts } => (None, attempts),
+        };
+        DispatchOutcome {
+            prediction,
+            cycles: d.cycles,
+            attempts,
+            faults_injected: d.faults.injected,
+            crc_detected: d.faults.crc_detected,
+        }
+    }
+
+    fn scrub(&mut self) -> usize {
+        self.device.scrub().len()
+    }
+
+    fn canary(&mut self) -> bool {
+        if self.release().canaries.is_empty() {
+            return true;
+        }
+        let cursor = self.canary_cursor;
+        self.canary_cursor = cursor.wrapping_add(1);
+        let canaries = &self.release().canaries;
+        let (image, expected) = canaries[cursor % canaries.len()].clone();
+        self.device.canary(&image, expected)
+    }
+
+    fn reload(&mut self) -> usize {
+        self.device.reload_weights()
+    }
+}
+
+impl BlueGreen for RolloutZynq<'_> {
+    fn swap(&mut self) -> Result<usize, String> {
+        // The incoming release's fault plan governs the swap: a
+        // reconfiguration is vulnerable to upsets in its own
+        // environment, and the upset lands in the freshly loaded
+        // image — exactly what the post-swap canary gate exists for.
+        let r = self
+            .device
+            .reconfigure(self.new.bitstream.clone(), &self.new.plan)
+            .map_err(|e| e.to_string())?;
+        self.on_new = true;
+        self.canary_cursor = 0;
+        Ok(r.banks_loaded)
+    }
+
+    fn revert(&mut self) -> Result<usize, String> {
+        let r = self
+            .device
+            .reconfigure(self.old.bitstream.clone(), &self.old.plan)
+            .map_err(|e| e.to_string())?;
+        self.on_new = false;
+        self.canary_cursor = 0;
+        Ok(r.banks_loaded)
+    }
+}
+
+/// Tuning for one staged rollout drill.
+pub struct RolloutOptions {
+    /// Fleet size.
+    pub devices: usize,
+    /// Fault environment of the old release's dispatches.
+    pub old_plan: FaultPlan,
+    /// Fault environment of the new release — also the plan the swap
+    /// itself samples (a mid-swap SEU corrupts the fresh image).
+    pub new_plan: FaultPlan,
+    /// On-device transfer retry policy (shared by both releases).
+    pub policy: RetryPolicy,
+    /// Pool tuning (breakers, retry budget, hedging, SDC ladder).
+    pub pool: PoolConfig,
+    /// Rollout controller tuning (canary gate, probe budget, settle).
+    pub rollout: RolloutConfig,
+    /// Model family name; both releases must share it or the device
+    /// itself refuses the swap as version skew.
+    pub model: String,
+    /// Version number of the release currently serving; the successor
+    /// becomes `from_version + 1`.
+    pub from_version: u32,
+    /// Poison the new release's canary expectations, modeling a
+    /// regression shipped inside the artifact: every probe of the new
+    /// image fails, and the rollout must roll back without the bad
+    /// release ever taking traffic.
+    pub canary_regression: bool,
+    /// Break the new release's real dispatch path while its canaries
+    /// stay clean (probes bypass the transport) — the pathology only
+    /// the observed-traffic SLO window can catch. Modeled in the
+    /// adapter because runtime fault *sampling* is unavailable here;
+    /// the abandon outcome matches what a saturated transport plan
+    /// produces.
+    pub hostile_new: bool,
+}
+
+impl RolloutOptions {
+    /// Fault-free three-device drill for `model`, v1 → v2.
+    pub fn clean(model: impl Into<String>) -> RolloutOptions {
+        RolloutOptions {
+            devices: 3,
+            old_plan: FaultPlan::none(),
+            new_plan: FaultPlan::none(),
+            policy: RetryPolicy::default(),
+            pool: PoolConfig::default(),
+            rollout: RolloutConfig::default(),
+            model: model.into(),
+            from_version: 1,
+            canary_regression: false,
+            hostile_new: false,
+        }
+    }
+}
+
+/// Golden canary inputs provisioned per release (mirrors the serving
+/// pool's SDC ladder sizing).
+const ROLLOUT_CANARIES: usize = 4;
+
+/// A staged rollout ready to drive: the mixed-version device pool,
+/// the journaled controller, and both releases' software references.
+pub struct RolloutHarness<'a> {
+    /// The fleet, generic pool scheduling over [`RolloutZynq`] devices.
+    pub pool: DevicePool<RolloutZynq<'a>>,
+    /// The crash-safe rollout controller.
+    pub rollout: Rollout,
+    /// Bit-exact software reference per image under the old release.
+    pub old_reference: Vec<usize>,
+    /// Bit-exact software reference per image under the new release.
+    pub new_reference: Vec<usize>,
+    old_version: u32,
+    new_version: u32,
+}
+
+/// What one [`RolloutHarness::drive`] run did, request by request.
+#[derive(Clone, Debug)]
+pub struct RolloutDrillReport {
+    /// Requests served (every request is served — hardware or the
+    /// routed release's bit-exact software path; none are dropped).
+    pub total: usize,
+    /// Requests whose answer disagreed with the routed release's
+    /// software reference (the bit-exactness gate: must be 0).
+    pub wrong: usize,
+    /// Requests served by device hardware (rest degraded to software).
+    pub hw: usize,
+    /// Requests served while the rollout was still in flight.
+    pub mid_total: usize,
+    /// Of those, served by hardware — the mid-rollout availability
+    /// numerator.
+    pub mid_hw: usize,
+    /// Requests routed (version-pinned) to the new release.
+    pub new_routed: usize,
+    /// Model version each request was pinned to, in order.
+    pub served_versions: Vec<u32>,
+    /// Terminal (or current) rollout phase after the run.
+    pub final_phase: RolloutPhase,
+    /// Why the rollout rolled back, when it did.
+    pub rollback_reason: Option<RollbackReason>,
+}
+
+impl RolloutDrillReport {
+    /// Hardware-served fraction over the whole run.
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.hw as f64 / self.total as f64
+    }
+
+    /// Hardware-served fraction while the rollout was in flight — the
+    /// zero-downtime claim is about *this* window.
+    pub fn mid_availability(&self) -> f64 {
+        if self.mid_total == 0 {
+            return 1.0;
+        }
+        self.mid_hw as f64 / self.mid_total as f64
+    }
+}
+
+impl WorkflowArtifacts {
+    /// Stages a blue-green rollout from this release to `next` over a
+    /// fresh fleet: versions both bitstreams, persists and pins their
+    /// artifacts and manifests in `store`, programs
+    /// [`RolloutOptions::devices`] boards (honoring `resume_from`'s
+    /// per-device phases after a crash: `New` devices come up on the
+    /// new image, everything else on the old), and begins — or
+    /// resumes — the journaled controller.
+    pub fn stage_rollout<'a>(
+        &self,
+        next: &WorkflowArtifacts,
+        images: &'a [Tensor],
+        opts: &RolloutOptions,
+        store: &mut Store,
+        resume_from: Option<RolloutJournal>,
+    ) -> Result<RolloutHarness<'a>, RolloutStageError> {
+        let _span = cnn_trace::span("framework", "stage_rollout");
+        if opts.devices == 0 {
+            return Err(WorkflowError {
+                stage: WorkflowStage::Serve,
+                message: "a rollout needs at least one device".into(),
+            }
+            .into());
+        }
+        let (from_v, to_v) = (opts.from_version, opts.from_version + 1);
+        let old_bs = self
+            .bitstream
+            .clone()
+            .with_version(ModelVersion::new(&opts.model, from_v));
+        let new_bs = next
+            .bitstream
+            .clone()
+            .with_version(ModelVersion::new(&opts.model, to_v));
+
+        // Persist both releases (content + manifest) and collect the
+        // ids the journal pins against gc: a rollback must find the
+        // old bits intact, a crashed forward resume the new ones.
+        let program = |bs: &Bitstream| {
+            ZynqDevice::program(self.device.board(), bs.clone()).map_err(|e| WorkflowError {
+                stage: WorkflowStage::Serve,
+                message: e.to_string(),
+            })
+        };
+        let mut pins = Vec::new();
+        for (arts, bs, v) in [(self, &old_bs, from_v), (next, &new_bs, to_v)] {
+            let name = format!("{}/v{v}", opts.model);
+            let id = store.put(ArtifactKind::Bitstream, &name, bs.content_text().as_bytes())?;
+            pins.push((ArtifactKind::Bitstream, id.0));
+            let golden = {
+                let dev = program(bs)?;
+                dev.golden_manifest().overall_digest()
+            };
+            let manifest = ModelManifest {
+                model: opts.model.clone(),
+                version: v,
+                bitstream: bs.content_hash(),
+                golden,
+            };
+            let id = store.put(
+                ArtifactKind::Rollout,
+                &ModelManifest::store_name(&opts.model, v),
+                manifest.to_text().as_bytes(),
+            )?;
+            pins.push((ArtifactKind::Rollout, id.0));
+            let _ = arts; // releases differ only through `bs` here
+        }
+
+        // Golden canary sets: each release's expectations come from
+        // its *own* software reference (a canary is a bit-exactness
+        // probe, not an accuracy one). The regression knob poisons
+        // the new release's expectations — the artifact ships wrong
+        // answers, and only the canary gate stands before traffic.
+        let canaries = |arts: &WorkflowArtifacts, poison: bool| -> Vec<(Tensor, usize)> {
+            images
+                .iter()
+                .take(ROLLOUT_CANARIES)
+                .map(|img| {
+                    let want = arts.network.predict(img);
+                    (img.clone(), if poison { (want + 1) % 10 } else { want })
+                })
+                .collect()
+        };
+        let old_release = Release {
+            bitstream: old_bs,
+            plan: opts.old_plan,
+            canaries: canaries(self, false),
+            abandon_traffic: false,
+        };
+        let new_release = Release {
+            bitstream: new_bs,
+            plan: opts.new_plan,
+            canaries: canaries(next, opts.canary_regression),
+            abandon_traffic: opts.hostile_new,
+        };
+
+        // Program the fleet. After a crash the journal dictates each
+        // device's image: `New` means the upgrade committed, anything
+        // else (old or torn mid-swap) comes back on the old release.
+        let phases: Vec<DevicePhase> = match &resume_from {
+            Some(j) => j.devices.clone(),
+            None => vec![DevicePhase::Old; opts.devices],
+        };
+        let mut devices = Vec::with_capacity(phases.len());
+        for phase in &phases {
+            let on_new = *phase == DevicePhase::New;
+            let release = if on_new { &new_release } else { &old_release };
+            devices.push(RolloutZynq {
+                device: program(&release.bitstream)?,
+                policy: opts.policy,
+                images,
+                old: old_release.clone(),
+                new: new_release.clone(),
+                on_new,
+                canary_cursor: 0,
+            });
+        }
+        let mut pool = DevicePool::new(devices, opts.pool);
+
+        let rollout = match resume_from {
+            Some(journal) => Rollout::resume(journal, opts.rollout, &mut pool, store)?,
+            None => {
+                pool.set_fleet_version(from_v);
+                Rollout::begin(
+                    format!("rollout/{}", opts.model),
+                    (opts.model.clone(), from_v),
+                    (opts.model.clone(), to_v),
+                    pins,
+                    opts.devices,
+                    opts.rollout,
+                    store,
+                )?
+            }
+        };
+
+        let reference = |arts: &WorkflowArtifacts| -> Vec<usize> {
+            images.iter().map(|img| arts.network.predict(img)).collect()
+        };
+        Ok(RolloutHarness {
+            pool,
+            rollout,
+            old_reference: reference(self),
+            new_reference: reference(next),
+            old_version: from_v,
+            new_version: to_v,
+        })
+    }
+}
+
+impl RolloutHarness<'_> {
+    /// Serves `requests` version-pinned requests (cycling the staged
+    /// image set) interleaved with the controller's journaled steps,
+    /// then drains the rollout to a terminal phase. Every request is
+    /// answered — by hardware of its pinned release, or by that
+    /// release's bit-exact software path — and every hardware answer
+    /// is checked against the routed release's reference, which is
+    /// what feeds the rollout SLO. Store errors propagate so a
+    /// crash-injecting sweep can kill the run at any filesystem
+    /// operation and resume from the journal.
+    pub fn drive(
+        &mut self,
+        requests: usize,
+        store: &mut Store,
+    ) -> Result<RolloutDrillReport, StoreError> {
+        let n_images = self.old_reference.len().max(1);
+        let mut report = RolloutDrillReport {
+            total: 0,
+            wrong: 0,
+            hw: 0,
+            mid_total: 0,
+            mid_hw: 0,
+            new_routed: 0,
+            served_versions: Vec::with_capacity(requests),
+            final_phase: self.rollout.phase(),
+            rollback_reason: self.rollout.rollback_reason(),
+        };
+        for id in 0..requests {
+            if !self.rollout.finished()
+                && self.rollout.step(&mut self.pool, store)? == RolloutStatus::Settling
+                && id + 1 == requests
+            {
+                // Out of traffic: the settle window can no longer
+                // fill, so the drain-down loop below finishes it.
+                self.rollout.skip_settle();
+            }
+            let in_flight = !self.rollout.finished();
+            let v = self.rollout.route_version();
+            let reference = if v == self.new_version {
+                &self.new_reference
+            } else {
+                &self.old_reference
+            };
+            let img = id % n_images;
+            let mut budget = RetryBudget::new(8);
+            let served = self.pool.serve_one(
+                img,
+                &mut budget,
+                RequestOptions {
+                    version: Some(v),
+                    ..RequestOptions::default()
+                },
+                |i| reference[i],
+            );
+            let hw = !matches!(served.outcome.served_by, ServedBy::Fallback);
+            let correct = served.prediction == reference[img];
+            self.rollout.observe(hw && correct);
+            report.total += 1;
+            report.wrong += usize::from(!correct);
+            report.hw += usize::from(hw);
+            report.new_routed += usize::from(v == self.new_version);
+            report.served_versions.push(v);
+            if in_flight {
+                report.mid_total += 1;
+                report.mid_hw += usize::from(hw);
+            }
+        }
+        while !self.rollout.finished() {
+            if self.rollout.step(&mut self.pool, store)? == RolloutStatus::Settling {
+                self.rollout.skip_settle();
+            }
+        }
+        report.final_phase = self.rollout.phase();
+        report.rollback_reason = self.rollout.rollback_reason();
+        Ok(report)
+    }
+
+    /// The version requests are currently routed to.
+    pub fn route_version(&self) -> u32 {
+        self.rollout.route_version()
+    }
+
+    /// The old (currently serving) release's version number.
+    pub fn old_version(&self) -> u32 {
+        self.old_version
+    }
+
+    /// The new (incoming) release's version number.
+    pub fn new_version(&self) -> u32 {
+        self.new_version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NetworkSpec;
+    use crate::weights::WeightSource;
+    use crate::workflow::Workflow;
+    use cnn_store::FsFaultPlan;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cnn-framework-rollout-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// Deterministic release pair: same architecture, different
+    /// deterministic weights — so the two versions really do answer
+    /// differently and bit-exactness per version is a meaningful gate.
+    fn releases() -> (WorkflowArtifacts, WorkflowArtifacts) {
+        let build = |seed: u64| {
+            let spec = NetworkSpec::paper_usps_small(true);
+            let net = crate::weights::build_deterministic(&spec, seed).unwrap();
+            Workflow::new(spec, WeightSource::Trained(Box::new(net)))
+                .run()
+                .unwrap()
+        };
+        (build(11), build(12))
+    }
+
+    fn test_images(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                Tensor::from_fn(cnn_tensor::Shape::new(1, 16, 16), |_, y, x| {
+                    ((y * 16 + x + i * 7) % 23) as f32 * 0.08 - 0.9
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blue_green_rollout_promotes_with_full_availability() {
+        let (old, new) = releases();
+        let images = test_images(10);
+        let dir = scratch("clean");
+        let mut store = Store::open(&dir).unwrap();
+        let mut h = old
+            .stage_rollout(
+                &new,
+                &images,
+                &RolloutOptions::clean("usps"),
+                &mut store,
+                None,
+            )
+            .unwrap();
+        let r = h.drive(120, &mut store).unwrap();
+        assert_eq!(r.final_phase, RolloutPhase::Promoted);
+        assert_eq!(r.wrong, 0, "every request bit-exact for its version");
+        assert_eq!(r.mid_availability(), 1.0, "zero downtime mid-rollout");
+        assert!(r.new_routed > 0, "canary traffic reached the new release");
+        assert!(
+            r.served_versions.contains(&1) && r.served_versions.contains(&2),
+            "the run must actually mix versions"
+        );
+        for i in 0..3 {
+            assert_eq!(h.pool.version(i), 2);
+            assert!(!h.pool.is_drained(i));
+        }
+        // Terminal journal on disk, nothing torn, pins released to gc.
+        let txt = store.get(ArtifactKind::Rollout, "rollout/usps").unwrap();
+        let j = RolloutJournal::parse(std::str::from_utf8(&txt).unwrap()).unwrap();
+        assert_eq!(j.phase, RolloutPhase::Promoted);
+        assert!(j.fleet_is_old_or_new());
+        assert!(store.rollout_pins().unwrap().is_empty());
+    }
+
+    #[test]
+    fn shipped_canary_regression_never_reaches_traffic() {
+        let (old, new) = releases();
+        let images = test_images(10);
+        let dir = scratch("regression");
+        let mut store = Store::open(&dir).unwrap();
+        let mut h = old
+            .stage_rollout(
+                &new,
+                &images,
+                &RolloutOptions {
+                    canary_regression: true,
+                    ..RolloutOptions::clean("usps")
+                },
+                &mut store,
+                None,
+            )
+            .unwrap();
+        let r = h.drive(120, &mut store).unwrap();
+        assert_eq!(r.final_phase, RolloutPhase::RolledBack);
+        assert_eq!(r.rollback_reason, Some(RollbackReason::Canary));
+        assert_eq!(r.wrong, 0);
+        assert_eq!(r.new_routed, 0, "the bad release never took traffic");
+        assert_eq!(r.mid_availability(), 1.0);
+        for i in 0..3 {
+            assert_eq!(h.pool.version(i), 1, "fleet restored to the old release");
+            assert!(!h.pool.is_drained(i));
+        }
+        // Post-rollback service is bit-exact old — re-serve directly.
+        let mut budget = RetryBudget::new(8);
+        for (i, want) in h.old_reference.clone().iter().enumerate() {
+            let s = h.pool.serve_one(
+                i,
+                &mut budget,
+                RequestOptions {
+                    version: Some(1),
+                    ..RequestOptions::default()
+                },
+                |x| h.old_reference[x],
+            );
+            assert_eq!(s.prediction, *want);
+            assert_ne!(s.outcome.served_by, ServedBy::Fallback);
+        }
+    }
+
+    #[test]
+    fn crash_mid_rollout_resumes_from_the_journal_old_or_new() {
+        let (old, new) = releases();
+        let images = test_images(6);
+        for op in [6u64, 14, 25, 40] {
+            let dir = scratch(&format!("crash{op}"));
+            let crashed: Result<(), StoreError> = (|| {
+                let mut store = Store::open_faulty(&dir, FsFaultPlan::crash_at(op, false))?;
+                let mut h = match old.stage_rollout(
+                    &new,
+                    &images,
+                    &RolloutOptions::clean("usps"),
+                    &mut store,
+                    None,
+                ) {
+                    Ok(h) => h,
+                    Err(RolloutStageError::Store(e)) => return Err(e),
+                    Err(RolloutStageError::Workflow(e)) => panic!("unexpected: {e}"),
+                };
+                h.drive(200, &mut store).map(|_| ())
+            })();
+            let Err(e) = crashed else {
+                continue; // crash point beyond the whole rollout
+            };
+            assert!(e.is_crash(), "only the injected crash may fail: {e}");
+
+            // ---- restart from disk ----
+            let mut store = Store::open(&dir).unwrap();
+            let journal = match store.get(ArtifactKind::Rollout, "rollout/usps") {
+                Ok(txt) => RolloutJournal::parse(std::str::from_utf8(&txt).unwrap())
+                    .expect("a committed journal always parses"),
+                Err(_) => continue, // died before the first commit
+            };
+            let mut h = old
+                .stage_rollout(
+                    &new,
+                    &images,
+                    &RolloutOptions::clean("usps"),
+                    &mut store,
+                    Some(journal),
+                )
+                .unwrap();
+            assert!(h.rollout.journal().fleet_is_old_or_new());
+            let r = h.drive(200, &mut store).unwrap();
+            assert_eq!(r.final_phase, RolloutPhase::Promoted);
+            assert_eq!(r.wrong, 0);
+            for i in 0..3 {
+                assert_eq!(h.pool.version(i), 2);
+            }
+        }
+    }
+}

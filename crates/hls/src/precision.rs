@@ -3,7 +3,7 @@
 //! implementations employ 32-bit floating point weights. From the FPGA
 //! prospective, this reasonably implies a higher usage of resources".
 //! This module quantifies the alternative the paper declined:
-//! fixed-point arithmetic à la Sankaradas et al. [8] ("low data
+//! fixed-point arithmetic à la Sankaradas et al. \[8\] ("low data
 //! precision is used").
 
 use crate::operators::{FpOp, OpCost};

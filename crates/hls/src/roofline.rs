@@ -1,5 +1,5 @@
 //! Roofline analysis — the model the paper's related work (Zhang et
-//! al. [9], via Williams et al. [20]) uses to bound FPGA CNN
+//! al. \[9\], via Williams et al. \[20\]) uses to bound FPGA CNN
 //! accelerators: attainable performance is the minimum of the
 //! *computational roof* (how many FLOPS the DSP fabric can sustain)
 //! and the *bandwidth roof* (arithmetic intensity × stream bandwidth).

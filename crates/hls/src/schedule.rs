@@ -9,7 +9,8 @@
 //! * **`HLS PIPELINE`** on the reduction: the loops at and below the
 //!   reduction boundary flatten into a pipeline that initiates a new
 //!   iteration every II cycles, where II is the larger of the
-//!   accumulation-recurrence floor ([`calibration::II_REDUCTION`]) and
+//!   accumulation-recurrence floor
+//!   ([`calibration::II_REDUCTION`](crate::calibration::II_REDUCTION)) and
 //!   the memory-port constraint (`ceil(reads / ports)`). Each visit of
 //!   the pipelined region pays the fill depth once. The epilogue of a
 //!   pipelined block is itself pipelined at II = 1.
@@ -19,7 +20,8 @@
 //!   `interval` cycles) is the maximum stage, which is what governs
 //!   the paper's 1000/10000-image batch runtimes.
 //! * **I/O**: each image pays a DMA setup plus one cycle per streamed
-//!   word ([`calibration::DMA_SETUP_CYCLES`], one word/cycle).
+//!   word ([`calibration::DMA_SETUP_CYCLES`](crate::calibration::DMA_SETUP_CYCLES),
+//!   one word/cycle).
 
 use crate::calibration as cal;
 use crate::directives::DirectiveSet;

@@ -1,6 +1,6 @@
 //! Epoch-granular training checkpoints with bit-identical resume.
 //!
-//! The checkpointed trainer differs from [`crate::train`] in one
+//! The checkpointed trainer differs from [`crate::train`](fn@crate::train) in one
 //! deliberate way: instead of threading a single stateful RNG through
 //! every epoch (whose internal state cannot be serialized), it derives
 //! an **independent shuffle stream per epoch** from

@@ -13,7 +13,7 @@
 //! 1. the **software reference path** — [`Network::forward`] /
 //!    [`Network::predict`] — against which the simulated hardware is
 //!    compared for both accuracy (identical predictions) and speed,
-//! 2. an **SGD/backprop trainer** ([`train`]) replacing the paper's use
+//! 2. an **SGD/backprop trainer** ([`train`](fn@train)) replacing the paper's use
 //!    of Torch, so the prediction-error columns of Table I come from
 //!    really-trained weights,
 //! 3. **weight serialization** ([`Network::to_json`]/[`Network::from_json`]) —

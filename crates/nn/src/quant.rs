@@ -1,6 +1,6 @@
 //! Weight quantization — the accuracy side of the fixed-point
 //! ablation. The paper chose 32-bit floats because lower precision
-//! "reduces the prediction error [gap]"; this module quantizes a
+//! "reduces the prediction error \[gap\]"; this module quantizes a
 //! trained network's parameters onto a signed `Qm.n` grid so the
 //! error cost of that choice can be measured instead of assumed.
 

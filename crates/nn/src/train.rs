@@ -1,6 +1,6 @@
 //! Mini-batch SGD training with negative-log-likelihood loss — the
 //! Torch-replacement used to produce the trained weights the automation
-//! framework ingests (paper Section IV: "the input network [must] be
+//! framework ingests (paper Section IV: "the input network \[must\] be
 //! already designed and trained").
 
 use crate::grad::{backward, LayerGrads};

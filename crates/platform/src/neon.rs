@@ -73,7 +73,8 @@ impl NeonModel {
     /// Builds the model calibrated by a **measured** blocked-vs-scalar
     /// speedup (from `hot_path`'s `BENCH_hotpath.json`) instead of the
     /// analytic cycles-per-MAC constants: modelled compute time becomes
-    /// the scalar [`ArmModel`] time divided by `speedup`, still floored
+    /// the scalar [`ArmModel`](crate::arm::ArmModel) time divided by
+    /// `speedup`, still floored
     /// by the DDR bandwidth bound. This replaces a guessed constant
     /// with an observation of how much cache blocking + packing
     /// actually buys the same kernels.

@@ -666,6 +666,10 @@ impl Frontend {
                         hedging,
                         deadline: Some(pool.clock().saturating_add(remaining)),
                         ctx: Some(req.ctx),
+                        // The front-end is version-oblivious: rollout
+                        // canary traffic pins versions via the pool
+                        // API, not the admission path.
+                        version: None,
                     };
                     let served = pool.serve_one(req.image_id, &mut budget, opts, |id| {
                         classify_batch(&[id])[0]

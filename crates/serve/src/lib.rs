@@ -36,6 +36,15 @@
 //! work — batch deadline, then hedging, then hardware itself — as
 //! saturation deepens.
 //!
+//! Orthogonal to overload handling, the **zero-downtime rollout
+//! controller** ([`Rollout`]) upgrades a live pool to a new model
+//! version one device at a time: drain, blue-green swap
+//! ([`BlueGreen`]), canary-gated re-admission, version-pinned routing
+//! ([`RequestOptions::version`]), an observed-traffic SLO gate
+//! ([`ROLLOUT_OBJECTIVE`]), automatic whole-fleet rollback, and a
+//! crash-safe journal in `cnn-store` that keeps every device exactly
+//! old-or-new across a kill at any filesystem operation.
+//!
 //! The pool is generic over [`Device`], so its scheduling logic is
 //! fully unit-testable with scripted mocks; the adapter binding it to
 //! the simulated FPGA (`cnn_fpga::ZynqDevice` + a seeded `FaultPlan`)
@@ -51,6 +60,7 @@ mod health;
 mod hist;
 mod pool;
 mod queue;
+mod rollout;
 mod sdc;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -64,9 +74,13 @@ pub use health::{health_of, FailureWindow, HealthConfig, HealthState};
 pub use hist::{LatencyHistogram, BUCKET_BOUNDS};
 pub use pool::{
     Device, DevicePool, DeviceReport, DispatchOutcome, HedgeConfig, PoolConfig, RequestOptions,
-    ServeOutcome, ServeReport, ServedBy, ServedImage, ATTEMPT_STRIDE,
+    ServeOutcome, ServeReport, ServedBy, ServedImage, StatusReason, ATTEMPT_STRIDE,
 };
 pub use queue::{FairQueue, QueueFull, QueuedRequest};
+pub use rollout::{
+    preregister_rollout_metrics, BlueGreen, RollbackReason, Rollout, RolloutConfig, RolloutStatus,
+    ROLLOUT_OBJECTIVE, SLO_ROLLOUT_OBJECTIVE,
+};
 pub use sdc::{
     incident_trace_id, SdcConfig, SdcDetector, CORRECTNESS_OBJECTIVE, SLO_CORRECTNESS_OBJECTIVE,
 };

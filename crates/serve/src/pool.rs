@@ -183,6 +183,11 @@ pub struct RequestOptions {
     /// around device dispatches (so the DMA layer, below the `Device`
     /// trait, can attribute transfer attempts to the request).
     pub ctx: Option<RequestCtx>,
+    /// Pin the request to devices programmed with this model version.
+    /// During a rolling reconfiguration the pool is mixed-version;
+    /// pinning keeps each request bit-exact against exactly one
+    /// release. `None` routes to any live device (version-oblivious).
+    pub version: Option<u32>,
 }
 
 impl Default for RequestOptions {
@@ -191,6 +196,7 @@ impl Default for RequestOptions {
             hedging: true,
             deadline: None,
             ctx: None,
+            version: None,
         }
     }
 }
@@ -236,6 +242,34 @@ pub struct ServedImage {
     pub hedge_won: bool,
 }
 
+/// Why a device was last pulled from (or held out of) service.
+/// Surfaced in [`DeviceReport`] so an operator can tell a planned
+/// rollout drain from a fault response at a glance — the three look
+/// identical from the outside (the device stops taking traffic) but
+/// demand opposite reactions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatusReason {
+    /// A silent-data-corruption detector fired (which layer is inside).
+    Sdc(SdcDetector),
+    /// The transport circuit breaker tripped on abandoned dispatches.
+    BreakerTrip,
+    /// A rolling reconfiguration drained it for a model upgrade.
+    RolloutDrain,
+}
+
+impl StatusReason {
+    /// Stable label for reports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            StatusReason::Sdc(SdcDetector::Scrub) => "sdc_scrub",
+            StatusReason::Sdc(SdcDetector::Canary) => "sdc_canary",
+            StatusReason::Sdc(SdcDetector::Attest) => "sdc_attest",
+            StatusReason::BreakerTrip => "breaker_trip",
+            StatusReason::RolloutDrain => "rollout_drain",
+        }
+    }
+}
+
 /// Per-device end-of-batch report.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DeviceReport {
@@ -258,6 +292,15 @@ pub struct DeviceReport {
     /// SDC quarantine incidents on this device (each one: detect →
     /// quarantine → reload → probation).
     pub quarantines: u64,
+    /// Model version currently programmed (0 until the pool is
+    /// versioned via [`DevicePool::set_version`]).
+    pub version: u32,
+    /// Currently drained for a rolling reconfiguration.
+    pub drained: bool,
+    /// Why this device was *last* held out of service — an incident
+    /// label, not current state: it persists after the device rejoins
+    /// so post-mortems can read it off the end-of-batch report.
+    pub last_reason: Option<StatusReason>,
 }
 
 /// The pool's batch-level result.
@@ -319,6 +362,14 @@ struct Slot<D> {
     incident: u64,
     /// Quarantine incidents so far.
     quarantines: u64,
+    /// Model version this device is programmed with (0 = unversioned).
+    version: u32,
+    /// Held out of rotation by a rolling reconfiguration. Orthogonal
+    /// to the breaker: a drain is an operator action, not a fault.
+    drained: bool,
+    /// Why the device was last pulled from service (see
+    /// [`DeviceReport::last_reason`]).
+    last_reason: Option<StatusReason>,
 }
 
 /// A resilient serving pool over N devices.
@@ -362,6 +413,9 @@ impl<D: Device> DevicePool<D> {
                 probation_left: 0,
                 incident: 0,
                 quarantines: 0,
+                version: 0,
+                drained: false,
+                last_reason: None,
             })
             .collect();
         DevicePool {
@@ -484,7 +538,9 @@ impl<D: Device> DevicePool<D> {
         let (mut hedged, mut hedge_won) = (false, false);
 
         while served.is_none() {
-            let Some(di) = self.pick(&tried) else { break };
+            let Some(di) = self.pick(&tried, opts.version) else {
+                break;
+            };
             self.flight(opts.ctx, FlightStage::Dispatch, di as u64);
             let (out, slow) = self.dispatch_on(di, image_id, seq);
             seq += 1;
@@ -528,7 +584,7 @@ impl<D: Device> DevicePool<D> {
                         &[("kind", "hedge")],
                         1,
                     );
-                } else if let Some(hj) = self.pick(&tried) {
+                } else if let Some(hj) = self.pick(&tried, opts.version) {
                     self.flight(opts.ctx, FlightStage::Hedge, hj as u64);
                     let (hout, _) = self.dispatch_on(hj, image_id, seq);
                     seq += 1;
@@ -608,6 +664,9 @@ impl<D: Device> DevicePool<D> {
                 breaker: s.breaker.state(),
                 breaker_trips: s.breaker.trips(),
                 quarantines: s.quarantines,
+                version: s.version,
+                drained: s.drained,
+                last_reason: s.last_reason,
             })
             .collect()
     }
@@ -639,8 +698,10 @@ impl<D: Device> DevicePool<D> {
     /// Devices still in SDC probation are never picked — rejoin is
     /// earned through clean canaries, not a breaker cooldown — and the
     /// check runs *before* `allows` so it cannot consume the breaker's
-    /// single half-open probe grant.
-    fn pick(&mut self, tried: &[usize]) -> Option<usize> {
+    /// single half-open probe grant. Drained devices and (for a
+    /// version-pinned request) devices on another model version are
+    /// likewise skipped before `allows`.
+    fn pick(&mut self, tried: &[usize], want: Option<u32>) -> Option<usize> {
         let n = self.slots.len();
         for pass in 0..2 {
             for k in 0..n {
@@ -648,7 +709,10 @@ impl<D: Device> DevicePool<D> {
                 if pass == 0 && tried.contains(&i) {
                     continue;
                 }
-                if self.slots[i].probation_left > 0 {
+                if self.slots[i].probation_left > 0 || self.slots[i].drained {
+                    continue;
+                }
+                if matches!(want, Some(v) if self.slots[i].version != v) {
                     continue;
                 }
                 if self.slots[i].breaker.allows(self.clock) {
@@ -692,7 +756,11 @@ impl<D: Device> DevicePool<D> {
             slot.hist.observe(out.cycles);
         } else {
             slot.failures += 1;
+            let was_open = matches!(slot.breaker.state(), BreakerState::Open { .. });
             slot.breaker.record_failure(self.clock);
+            if !was_open && matches!(slot.breaker.state(), BreakerState::Open { .. }) {
+                slot.last_reason = Some(StatusReason::BreakerTrip);
+            }
         }
         cnn_trace::counter_add(
             "cnn_pool_dispatches_total",
@@ -756,6 +824,7 @@ impl<D: Device> DevicePool<D> {
         let slot = &mut self.slots[i];
         slot.quarantines = nth;
         slot.incident = incident;
+        slot.last_reason = Some(StatusReason::Sdc(detector));
         slot.breaker.quarantine(self.clock);
         slot.probation_left = probation;
         flight_record(incident, FlightStage::Quarantine, self.clock, i as u64);
@@ -871,6 +940,83 @@ impl<D: Device> DevicePool<D> {
     /// Correctness-SLO breach edges so far (canary/attestation-fed).
     pub fn correctness_breaches(&self) -> u64 {
         self.correctness.breaches()
+    }
+
+    // ---- rolling-reconfiguration support --------------------------
+    //
+    // The rollout controller (`crate::rollout`) upgrades the pool one
+    // device at a time. The pool's side of the contract is small:
+    // per-device version tags (routing), a drain flag (planned
+    // removal from rotation, *not* a fault), and a canary hook the
+    // controller probes re-admission through.
+
+    /// The model version device `i` is programmed with.
+    pub fn version(&self, i: usize) -> u32 {
+        self.slots[i].version
+    }
+
+    /// Tags device `i` as serving model version `v` — called at pool
+    /// bring-up and by the rollout controller after a swap. Routing
+    /// only; reprogramming the device is the caller's job.
+    pub fn set_version(&mut self, i: usize, v: u32) {
+        self.slots[i].version = v;
+    }
+
+    /// Tags every device with version `v` (uniform pool bring-up).
+    pub fn set_fleet_version(&mut self, v: u32) {
+        for s in &mut self.slots {
+            s.version = v;
+        }
+    }
+
+    /// Drains device `i` for a rolling reconfiguration: it stops
+    /// being pickable, so new requests route around it, but its
+    /// breaker, health window and histograms are untouched — a drain
+    /// is an operator action and must never read as a trip.
+    pub fn drain(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.drained = true;
+        slot.last_reason = Some(StatusReason::RolloutDrain);
+        cnn_trace::counter_add("cnn_rollout_drains_total", &[], 1);
+    }
+
+    /// Returns a drained device to rotation.
+    pub fn undrain(&mut self, i: usize) {
+        self.slots[i].drained = false;
+    }
+
+    /// True while device `i` is drained.
+    pub fn is_drained(&self, i: usize) -> bool {
+        self.slots[i].drained
+    }
+
+    /// Direct mutable access to device `i` — the rollout controller's
+    /// swap/revert hook. Bypasses all scheduling bookkeeping, so only
+    /// touch a device that is currently drained.
+    pub fn device_mut(&mut self, i: usize) -> &mut D {
+        &mut self.slots[i].dev
+    }
+
+    /// One golden canary probe against device `i` on behalf of the
+    /// rollout controller: stamps a [`FlightStage::CanaryProbe`]
+    /// record under `trace_id` (the rollout's trace), feeds the
+    /// correctness SLO, and counts the probe. Returns `true` on a
+    /// bit-exact match with the reference.
+    pub fn probe_canary(&mut self, i: usize, trace_id: u64) -> bool {
+        let pass = self.slots[i].dev.canary();
+        flight_record(
+            trace_id,
+            FlightStage::CanaryProbe,
+            self.clock,
+            u64::from(pass),
+        );
+        cnn_trace::counter_add(
+            "cnn_rollout_canary_probes_total",
+            &[("result", if pass { "pass" } else { "fail" })],
+            1,
+        );
+        self.observe_correctness(pass, trace_id);
+        pass
     }
 }
 
@@ -1654,5 +1800,197 @@ mod tests {
         // Medians land on the bucketed upper bounds: 1_024 and 4_096;
         // the estimate takes the best device.
         assert_eq!(pool.dispatch_estimate(), 1_024);
+    }
+
+    #[test]
+    fn version_pinned_requests_route_only_to_matching_devices() {
+        let mut pool = DevicePool::new(vec![Mock::healthy(100), Mock::healthy(100)], cfg());
+        pool.set_version(0, 1);
+        pool.set_version(1, 2);
+        let mut budget = RetryBudget::new(0);
+        for id in 0..6 {
+            let pin = |v| RequestOptions {
+                version: Some(v),
+                ..RequestOptions::default()
+            };
+            let s1 = pool.serve_one(id, &mut budget, pin(1), |_| unreachable!());
+            assert_eq!(s1.outcome.served_by, ServedBy::Device(0));
+            let s2 = pool.serve_one(id, &mut budget, pin(2), |_| unreachable!());
+            assert_eq!(s2.outcome.served_by, ServedBy::Device(1));
+        }
+        // A version nobody serves degrades to the software fallback
+        // (of that version) — never a silent cross-version answer.
+        let s = pool.serve_one(
+            0,
+            &mut budget,
+            RequestOptions {
+                version: Some(3),
+                ..RequestOptions::default()
+            },
+            |_| 9,
+        );
+        assert_eq!(s.outcome.served_by, ServedBy::Fallback);
+        assert_eq!(s.prediction, 9);
+        // Unpinned requests round-robin across the mixed-version pool.
+        let s = pool.serve_one(
+            0,
+            &mut budget,
+            RequestOptions::default(),
+            |_| unreachable!(),
+        );
+        assert!(matches!(s.outcome.served_by, ServedBy::Device(_)));
+    }
+
+    #[test]
+    fn drain_routes_around_without_touching_the_breaker() {
+        let mut pool = DevicePool::new(vec![Mock::healthy(100), Mock::healthy(100)], cfg());
+        pool.drain(0);
+        assert!(pool.is_drained(0));
+        let r = pool.serve(8, |_| unreachable!("device 1 covers"));
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| o.served_by == ServedBy::Device(1)));
+        let d0 = &r.devices[0];
+        assert!(d0.drained);
+        assert_eq!(d0.last_reason, Some(StatusReason::RolloutDrain));
+        assert_eq!(d0.breaker_trips, 0, "a drain is not a fault");
+        assert_eq!(d0.breaker, BreakerState::Closed);
+        pool.undrain(0);
+        let r = pool.serve(8, |_| unreachable!());
+        assert!(r.devices[0].dispatches > 0, "undrained device serves again");
+        assert!(!r.devices[0].drained);
+        // `last_reason` is an incident label, not live state: it
+        // persists after the device rejoins.
+        assert_eq!(r.devices[0].last_reason, Some(StatusReason::RolloutDrain));
+    }
+
+    #[test]
+    fn breaker_trip_is_surfaced_as_the_last_reason() {
+        let mut pool = DevicePool::new(vec![Mock::hostile(100), Mock::healthy(100)], cfg());
+        let r = pool.serve(16, |_| unreachable!());
+        assert!(r.devices[0].breaker_trips >= 1);
+        assert_eq!(r.devices[0].last_reason, Some(StatusReason::BreakerTrip));
+        assert_eq!(r.devices[1].last_reason, None, "healthy device: no label");
+    }
+
+    /// Device whose canary verdicts follow a script (front to back);
+    /// an exhausted script always passes.
+    struct ScriptedCanary {
+        canaries: std::collections::VecDeque<bool>,
+        reloads: u64,
+    }
+
+    impl ScriptedCanary {
+        fn with_script(script: &[bool]) -> ScriptedCanary {
+            ScriptedCanary {
+                canaries: script.iter().copied().collect(),
+                reloads: 0,
+            }
+        }
+    }
+
+    impl Device for ScriptedCanary {
+        fn dispatch(&mut self, image_id: usize, _attempt_base: u32) -> DispatchOutcome {
+            DispatchOutcome {
+                prediction: Some(image_id % 10),
+                cycles: 100,
+                attempts: 1,
+                faults_injected: 0,
+                crc_detected: 0,
+            }
+        }
+
+        fn canary(&mut self) -> bool {
+            self.canaries.pop_front().unwrap_or(true)
+        }
+
+        fn reload(&mut self) -> usize {
+            self.reloads += 1;
+            1
+        }
+    }
+
+    #[test]
+    fn requarantine_during_probation_resets_the_clean_count() {
+        // Probation demands *consecutive* clean canaries: a failure
+        // mid-probation opens a fresh incident and the count restarts
+        // from the full probation length, not from where it left off.
+        let sdc = SdcConfig {
+            scrub_every: 0,
+            canary_every: 1,
+            attest_every: 0,
+            probation: 3,
+        };
+        // Script: detection canary fails (incident #1), two probation
+        // passes, then a probation failure (incident #2) — after which
+        // three *more* consecutive passes are required to rejoin.
+        let dev0 = ScriptedCanary::with_script(&[false, true, true, false]);
+        let dev1 = ScriptedCanary::with_script(&[]);
+        let mut pool = DevicePool::new(vec![dev0, dev1], sdc_cfg(sdc));
+        let mut budget = RetryBudget::new(0);
+        let served: Vec<ServedBy> = (0..8)
+            .map(|id| {
+                pool.serve_one(id, &mut budget, RequestOptions::default(), |i| i % 10)
+                    .outcome
+                    .served_by
+            })
+            .collect();
+        // req0: dev0 serves, its post-dispatch canary fails → incident
+        // #1 (probation 3). reqs 1-2: probation passes 2 of 3. req3:
+        // probation canary fails → incident #2, count reset to 3.
+        // reqs 4-6: three clean probes; the rejoin lands at req6's
+        // head, so req6 itself is already served on dev0. If the count
+        // had *not* reset, the single pass at req4 would have rejoined
+        // dev0 and req4 would land on it — which reqs 4-5 rule out.
+        assert_eq!(served[0], ServedBy::Device(0));
+        assert!(
+            served[1..=5].iter().all(|s| *s == ServedBy::Device(1)),
+            "dev0 must stay benched through the reset probation: {served:?}"
+        );
+        assert_eq!(served[6], ServedBy::Device(0), "rejoined after 3 cleans");
+        let d0 = &pool.device_reports()[0];
+        assert_eq!(d0.quarantines, 2, "the mid-probation failure re-opened");
+        assert_eq!(d0.last_reason, Some(StatusReason::Sdc(SdcDetector::Canary)));
+        assert_eq!(d0.breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn concurrent_drain_and_quarantine_never_double_count_trips() {
+        // A rollout draining a device that is *already* quarantined
+        // (or vice versa) must not add breaker trips: the quarantine
+        // counts exactly one, the drain counts zero.
+        let sdc = SdcConfig {
+            scrub_every: 0,
+            canary_every: 1,
+            attest_every: 0,
+            probation: 2,
+        };
+        let dev0 = ScriptedCanary::with_script(&[false]);
+        let dev1 = ScriptedCanary::with_script(&[]);
+        let mut pool = DevicePool::new(vec![dev0, dev1], sdc_cfg(sdc));
+        let mut budget = RetryBudget::new(0);
+        // req0 lands on dev0 and its canary fails → quarantine, one
+        // breaker trip (the forced-open).
+        let _ = pool.serve_one(0, &mut budget, RequestOptions::default(), |i| i % 10);
+        assert_eq!(pool.device_reports()[0].breaker_trips, 1);
+        // The rollout drains the same device mid-probation.
+        pool.drain(0);
+        for id in 1..6 {
+            let s = pool.serve_one(id, &mut budget, RequestOptions::default(), |i| i % 10);
+            assert_eq!(s.outcome.served_by, ServedBy::Device(1));
+        }
+        let d0 = &pool.device_reports()[0];
+        assert_eq!(d0.breaker_trips, 1, "the drain must not re-trip");
+        assert_eq!(d0.quarantines, 1);
+        // Probation completed under the drain (canaries pass once the
+        // script is exhausted) but the drain still holds it out.
+        assert_eq!(d0.breaker, BreakerState::Closed);
+        assert!(d0.drained);
+        assert_eq!(d0.last_reason, Some(StatusReason::RolloutDrain));
+        pool.undrain(0);
+        let s = pool.serve_one(6, &mut budget, RequestOptions::default(), |i| i % 10);
+        assert_eq!(s.outcome.served_by, ServedBy::Device(0));
+        assert_eq!(pool.device_reports()[0].breaker_trips, 1);
     }
 }

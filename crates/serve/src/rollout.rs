@@ -1,0 +1,1107 @@
+//! Zero-downtime model rollout: drain-based blue-green
+//! reconfiguration with canary gating and crash-safe rollback.
+//!
+//! A [`Rollout`] upgrades a live [`DevicePool`] from one model
+//! version to the next, one device at a time, without dropping a
+//! request:
+//!
+//! 1. **Drain** — the next device still on the old version is pulled
+//!    from routing ([`DevicePool::drain`]); traffic flows around it.
+//! 2. **Swap** — the drained device reprograms to the new versioned
+//!    artifact ([`BlueGreen::swap`]); the swap itself is a fault
+//!    injection point, so the fresh image may come up corrupted.
+//! 3. **Probe** — the swapped device must produce
+//!    [`RolloutConfig::clean_canaries`] *consecutive* bit-exact golden
+//!    canaries before re-admission; a failed probe reloads from the
+//!    new version's golden store and restarts the count. Failures in
+//!    excess of [`RolloutConfig::probe_budget`] trip the rollout.
+//! 4. **Settle** — after each re-admission the rollout holds for
+//!    [`RolloutConfig::settle_requests`] observed requests so the
+//!    canary SLO window sees real traffic on the new version before
+//!    the next device is touched.
+//!
+//! Requests are routed by model version
+//! ([`RequestOptions::version`](crate::pool::RequestOptions::version)
+//! pinning), so the mixed-version pool stays bit-exact per version
+//! throughout. A canary budget exhaustion, a swap failure, or a
+//! breach edge of the rollout SLO ([`ROLLOUT_OBJECTIVE`], fed by
+//! [`Rollout::observe`]) flips the whole fleet into an automatic
+//! rollback that walks every upgraded device back to the old version
+//! — re-proved by the same canary gate.
+//!
+//! **Crash safety.** Every phase transition rewrites a
+//! [`RolloutJournal`] document through [`Store::put`]'s atomic
+//! commit protocol *after* mutating the live pool, so the on-disk
+//! journal always describes a state the fleet has already reached or
+//! can trivially re-reach. A process killed at any filesystem
+//! operation restarts, parses the journal, re-programs each device to
+//! exactly the old or the new artifact (torn phases normalize to
+//! old), and [`Rollout::resume`]s in the journaled direction. The
+//! journal also pins both versions' artifacts against
+//! [`Store::gc`] while in flight — a rollback must find the old bits
+//! intact.
+//!
+//! The controller is deliberately storage-driven and device-agnostic:
+//! the [`BlueGreen`] trait is the only thing an adapter implements on
+//! top of [`Device`], and `cnn-framework` provides the simulated-Zynq
+//! implementation (`reconfigure` under a fault plan).
+
+use crate::pool::{Device, DevicePool};
+use cnn_store::{ArtifactKind, DevicePhase, RolloutJournal, RolloutPhase, Store, StoreError};
+use cnn_trace::{flight_record, FlightStage, Objective, SloMonitor};
+
+/// A device that can hot-swap between two model releases. `swap`
+/// moves it from the old artifact to the staged new one, `revert`
+/// moves it back; both return the number of weight banks loaded, or a
+/// human-readable reason the reprogramming was refused. [`Device`]'s
+/// own `canary`/`reload` hooks are version-relative: they check and
+/// heal against whichever release is currently programmed.
+pub trait BlueGreen: Device {
+    /// Reprograms the device with the staged new-version artifact.
+    fn swap(&mut self) -> Result<usize, String>;
+
+    /// Reprograms the device back to the old-version artifact.
+    fn revert(&mut self) -> Result<usize, String>;
+}
+
+/// Rollout tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RolloutConfig {
+    /// Consecutive clean golden canaries a swapped device must
+    /// produce before re-admission (clamped ≥ 1).
+    pub clean_canaries: u32,
+    /// Failed probes tolerated per device (each one reloads from the
+    /// golden store and restarts the clean count); failures *beyond*
+    /// this budget trip the rollout into rollback.
+    pub probe_budget: u32,
+    /// Requests observed (via [`Rollout::observe`]) after each
+    /// re-admission before the next device is drained — the canary
+    /// SLO window in which real traffic qualifies the new version.
+    pub settle_requests: u32,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            clean_canaries: 3,
+            probe_budget: 4,
+            settle_requests: 8,
+        }
+    }
+}
+
+/// Why a rollout was (or is being) rolled back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RollbackReason {
+    /// A device exhausted its canary probe budget.
+    Canary,
+    /// The rollout SLO breached on observed traffic.
+    Slo,
+    /// A device refused the swap outright.
+    Swap,
+    /// Resumed from a journal already rolling back; the original
+    /// reason died with the crashed process.
+    Resumed,
+}
+
+impl RollbackReason {
+    /// Metrics label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            RollbackReason::Canary => "canary",
+            RollbackReason::Slo => "slo",
+            RollbackReason::Swap => "swap",
+            RollbackReason::Resumed => "resume",
+        }
+    }
+}
+
+/// What one [`Rollout::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RolloutStatus {
+    /// Drained a device out of routing.
+    Draining(usize),
+    /// Swapped a device to the new artifact.
+    Swapped(usize),
+    /// Ran one canary probe; the count is consecutive cleans so far.
+    Probing(usize, u32),
+    /// Re-admitted a device on the new version.
+    Admitted(usize),
+    /// Waiting for the settle window to fill with observed traffic.
+    Settling,
+    /// Tripped into rollback this step.
+    Tripped(RollbackReason),
+    /// Walked a device back toward the old version.
+    Reverting(usize),
+    /// Terminal: the fleet serves the new version.
+    Promoted,
+    /// Terminal: the fleet serves the old version again.
+    RolledBack(RollbackReason),
+}
+
+/// The SLO that gates promotion: an observed request is *good* when
+/// it was served by hardware (no degraded fallback) with the correct
+/// answer for its version. Both windows must fill before a breach can
+/// fire (cold rollouts never alert on absent data); the fast burn
+/// requires the last [`Objective::fast_window`] observations to be
+/// essentially all bad, so one flaky request cannot kill a rollout.
+pub const ROLLOUT_OBJECTIVE: Objective = Objective {
+    name: "rollout",
+    target: 0.9,
+    fast_window: 4,
+    slow_window: 16,
+    fast_burn: 10.0,
+    slow_burn: 2.5,
+};
+
+/// Index of the rollout objective in `SloBreach` flight-record args
+/// (0 = deadline, 1 = goodput, 2 = correctness).
+pub const SLO_ROLLOUT_OBJECTIVE: u64 = 3;
+
+/// The blue-green rollout state machine. One journaled transition per
+/// [`Rollout::step`] call — the crash-point granularity the sweep
+/// exercises — driven interleaved with serving traffic.
+pub struct Rollout {
+    cfg: RolloutConfig,
+    journal: RolloutJournal,
+    /// Trace id every rollout flight record is stamped under.
+    trace_id: u64,
+    /// Consecutive clean canaries for the device currently probing.
+    clean: u32,
+    /// Failed probes spent on the device currently probing.
+    probe_failures: u32,
+    /// Requests observed since the last re-admission.
+    settled: u32,
+    slo: SloMonitor,
+    /// A breach edge fired; the next `step` performs the trip (the
+    /// trip must journal, and `observe` deliberately has no store
+    /// access — it sits on the per-request hot path).
+    slo_breached: bool,
+    reason: Option<RollbackReason>,
+}
+
+impl Rollout {
+    /// Starts a rollout of `to` over a pool of `devices` currently
+    /// serving `from`, persisting the initial journal under `name`.
+    /// `pins` are the artifact ids (both versions' content) the store
+    /// must keep until the rollout reaches a terminal phase.
+    pub fn begin(
+        name: impl Into<String>,
+        from: (String, u32),
+        to: (String, u32),
+        pins: Vec<(ArtifactKind, u64)>,
+        devices: usize,
+        cfg: RolloutConfig,
+        store: &mut Store,
+    ) -> Result<Rollout, StoreError> {
+        preregister_rollout_metrics();
+        let mut journal = RolloutJournal::begin(name, from, to, devices);
+        journal.pins = pins;
+        let mut rollout = Rollout::from_journal(cfg, journal, None);
+        rollout.persist(store, "begin")?;
+        cnn_trace::counter_add("cnn_rollout_started_total", &[], 1);
+        flight_record(
+            rollout.trace_id,
+            FlightStage::RolloutStart,
+            0,
+            u64::from(rollout.journal.to.1),
+        );
+        Ok(rollout)
+    }
+
+    /// Resumes a journaled rollout after a crash. The caller must
+    /// already have re-programmed every device to match the journal —
+    /// phase `New` devices carry the new artifact, everything else
+    /// carries the old one — because a crashed swap leaves no trusted
+    /// on-device state. Torn phases (draining/swapped/probing) are
+    /// normalized to `Old` accordingly: a forward resume re-upgrades
+    /// them, a rollback resume is already done with them. The
+    /// normalized journal is persisted before the first step.
+    pub fn resume<D: BlueGreen>(
+        journal: RolloutJournal,
+        cfg: RolloutConfig,
+        pool: &mut DevicePool<D>,
+        store: &mut Store,
+    ) -> Result<Rollout, StoreError> {
+        preregister_rollout_metrics();
+        assert_eq!(
+            journal.devices.len(),
+            pool.len(),
+            "journal and pool disagree on fleet size"
+        );
+        let direction = match journal.phase {
+            RolloutPhase::RollingBack => "rollback",
+            _ => "forward",
+        };
+        cnn_trace::counter_add("cnn_rollout_resumes_total", &[("direction", direction)], 1);
+        let mut journal = journal;
+        let (old_v, new_v) = (journal.from.1, journal.to.1);
+        for (i, phase) in journal.devices.iter_mut().enumerate() {
+            match *phase {
+                DevicePhase::New => pool.set_version(i, new_v),
+                DevicePhase::Old => pool.set_version(i, old_v),
+                _ => {
+                    *phase = DevicePhase::Old;
+                    pool.set_version(i, old_v);
+                }
+            }
+            pool.undrain(i);
+        }
+        let reason = match journal.phase {
+            RolloutPhase::RollingBack => Some(RollbackReason::Resumed),
+            _ => None,
+        };
+        let mut rollout = Rollout::from_journal(cfg, journal, reason);
+        rollout.persist(store, "resume")?;
+        cnn_trace::instant("serve", format!("rollout_resume {direction}"));
+        Ok(rollout)
+    }
+
+    fn from_journal(
+        cfg: RolloutConfig,
+        journal: RolloutJournal,
+        reason: Option<RollbackReason>,
+    ) -> Rollout {
+        Rollout {
+            cfg,
+            journal,
+            trace_id: cnn_trace::next_trace_epoch(),
+            clean: 0,
+            probe_failures: 0,
+            settled: 0,
+            slo: SloMonitor::new(ROLLOUT_OBJECTIVE),
+            slo_breached: false,
+            reason,
+        }
+    }
+
+    /// The journal as the controller currently holds it (the on-disk
+    /// copy matches as of the last persisted transition).
+    pub fn journal(&self) -> &RolloutJournal {
+        &self.journal
+    }
+
+    /// Overall phase.
+    pub fn phase(&self) -> RolloutPhase {
+        self.journal.phase
+    }
+
+    /// True once the rollout reached a terminal phase.
+    pub fn finished(&self) -> bool {
+        !self.journal.in_flight()
+    }
+
+    /// Why the rollout rolled (or is rolling) back, if it tripped.
+    pub fn rollback_reason(&self) -> Option<RollbackReason> {
+        self.reason
+    }
+
+    /// Trace id the rollout's flight records are stamped under.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Routing advice for the serving loop: the version new requests
+    /// should pin. Canary traffic moves to the new version as soon as
+    /// one device serves it (that is what the settle window measures);
+    /// otherwise — and during any rollback — requests stay on the old
+    /// version.
+    pub fn route_version(&self) -> u32 {
+        match self.journal.phase {
+            RolloutPhase::Promoted => self.journal.to.1,
+            RolloutPhase::Running if self.journal.on_new() > 0 => self.journal.to.1,
+            _ => self.journal.from.1,
+        }
+    }
+
+    /// Feeds one observed request into the rollout SLO: `good` means
+    /// served by hardware with the correct answer for its version. A
+    /// breach edge arms the trip; the next [`Rollout::step`] journals
+    /// it and starts the rollback. No-op once the rollout is out of
+    /// its forward phase. Also advances the settle window.
+    pub fn observe(&mut self, good: bool) {
+        if self.journal.phase != RolloutPhase::Running {
+            return;
+        }
+        self.settled = self.settled.saturating_add(1);
+        if self.slo.record(good).is_some() {
+            flight_record(
+                self.trace_id,
+                FlightStage::SloBreach,
+                self.journal.step,
+                SLO_ROLLOUT_OBJECTIVE,
+            );
+            self.slo_breached = true;
+        }
+    }
+
+    /// Declares the current settle window satisfied. For drain-down
+    /// when the request stream has ended: without traffic, `observe`
+    /// never fires and the rollout would wait forever on a window
+    /// that cannot fill.
+    pub fn skip_settle(&mut self) {
+        self.settled = self.cfg.settle_requests;
+    }
+
+    /// Advances the rollout by at most one journaled transition and
+    /// returns what happened. Call interleaved with serving traffic;
+    /// each call is one crash point (the journal is rewritten
+    /// atomically per transition). Errors are store errors — under a
+    /// fault-injecting store a crash error means the process died at
+    /// that operation; restart via [`Rollout::resume`].
+    pub fn step<D: BlueGreen>(
+        &mut self,
+        pool: &mut DevicePool<D>,
+        store: &mut Store,
+    ) -> Result<RolloutStatus, StoreError> {
+        assert_eq!(
+            self.journal.devices.len(),
+            pool.len(),
+            "journal and pool disagree on fleet size"
+        );
+        match self.journal.phase {
+            RolloutPhase::Promoted => Ok(RolloutStatus::Promoted),
+            RolloutPhase::RolledBack => Ok(RolloutStatus::RolledBack(
+                self.reason.unwrap_or(RollbackReason::Resumed),
+            )),
+            RolloutPhase::Running if self.slo_breached => {
+                self.slo_breached = false;
+                self.trip(RollbackReason::Slo, store)
+            }
+            RolloutPhase::Running => self.step_forward(pool, store),
+            RolloutPhase::RollingBack => self.step_rollback(pool, store),
+        }
+    }
+
+    /// One forward transition: swap > probe > drain > promote, so the
+    /// single in-flight device finishes before the next one starts.
+    fn step_forward<D: BlueGreen>(
+        &mut self,
+        pool: &mut DevicePool<D>,
+        store: &mut Store,
+    ) -> Result<RolloutStatus, StoreError> {
+        let to_v = self.journal.to.1;
+        if let Some(i) = self.position(DevicePhase::Draining) {
+            return match pool.device_mut(i).swap() {
+                Ok(_banks) => {
+                    cnn_trace::counter_add("cnn_rollout_swaps_total", &[("outcome", "ok")], 1);
+                    flight_record(self.trace_id, FlightStage::Swap, pool.clock(), i as u64);
+                    pool.set_version(i, to_v);
+                    self.journal.devices[i] = DevicePhase::Swapped;
+                    self.persist(store, "swap")?;
+                    Ok(RolloutStatus::Swapped(i))
+                }
+                Err(msg) => {
+                    cnn_trace::counter_add("cnn_rollout_swaps_total", &[("outcome", "failed")], 1);
+                    cnn_trace::instant("serve", format!("rollout_swap_failed dev{i}: {msg}"));
+                    self.trip(RollbackReason::Swap, store)
+                }
+            };
+        }
+        if let Some(i) = self.position(DevicePhase::Swapped) {
+            self.clean = 0;
+            self.probe_failures = 0;
+            self.journal.devices[i] = DevicePhase::Probing;
+            self.persist(store, "probe")?;
+            return Ok(RolloutStatus::Probing(i, 0));
+        }
+        if let Some(i) = self.position(DevicePhase::Probing) {
+            if pool.probe_canary(i, self.trace_id) {
+                self.clean += 1;
+                if self.clean >= self.cfg.clean_canaries.max(1) {
+                    self.journal.devices[i] = DevicePhase::New;
+                    pool.undrain(i);
+                    self.settled = 0;
+                    self.persist(store, "admit")?;
+                    return Ok(RolloutStatus::Admitted(i));
+                }
+                return Ok(RolloutStatus::Probing(i, self.clean));
+            }
+            self.clean = 0;
+            self.probe_failures += 1;
+            let banks = pool.device_mut(i).reload();
+            cnn_trace::instant(
+                "serve",
+                format!("rollout_probe_failed dev{i} (reloaded {banks} banks)"),
+            );
+            if self.probe_failures > self.cfg.probe_budget {
+                return self.trip(RollbackReason::Canary, store);
+            }
+            return Ok(RolloutStatus::Probing(i, 0));
+        }
+        if let Some(i) = self.position(DevicePhase::Old) {
+            if self.journal.on_new() > 0 && self.settled < self.cfg.settle_requests {
+                return Ok(RolloutStatus::Settling);
+            }
+            pool.drain(i);
+            flight_record(self.trace_id, FlightStage::Drain, pool.clock(), i as u64);
+            self.journal.devices[i] = DevicePhase::Draining;
+            self.persist(store, "drain")?;
+            return Ok(RolloutStatus::Draining(i));
+        }
+        self.journal.phase = RolloutPhase::Promoted;
+        self.persist(store, "promote")?;
+        cnn_trace::counter_add("cnn_rollout_promotions_total", &[], 1);
+        flight_record(
+            self.trace_id,
+            FlightStage::Promote,
+            pool.clock(),
+            u64::from(to_v),
+        );
+        cnn_trace::instant("serve", format!("rollout_promoted v{to_v}"));
+        Ok(RolloutStatus::Promoted)
+    }
+
+    /// One rollback transition: walk the first device that is not
+    /// cleanly `Old` back to the old version (drain if live, revert
+    /// if on new bits, re-prove with canaries), then conclude.
+    fn step_rollback<D: BlueGreen>(
+        &mut self,
+        pool: &mut DevicePool<D>,
+        store: &mut Store,
+    ) -> Result<RolloutStatus, StoreError> {
+        let (from_v, to_v) = (self.journal.from.1, self.journal.to.1);
+        let torn = self
+            .journal
+            .devices
+            .iter()
+            .position(|d| *d != DevicePhase::Old);
+        let Some(i) = torn else {
+            self.journal.phase = RolloutPhase::RolledBack;
+            self.persist(store, "rollback")?;
+            let reason = self.reason.unwrap_or(RollbackReason::Resumed);
+            cnn_trace::counter_add(
+                "cnn_rollout_rollbacks_total",
+                &[("reason", reason.name())],
+                1,
+            );
+            flight_record(
+                self.trace_id,
+                FlightStage::Rollback,
+                pool.clock(),
+                u64::from(from_v),
+            );
+            cnn_trace::instant("serve", format!("rollout_rolled_back ({})", reason.name()));
+            return Ok(RolloutStatus::RolledBack(reason));
+        };
+        match self.journal.devices[i] {
+            DevicePhase::New => {
+                pool.drain(i);
+                flight_record(self.trace_id, FlightStage::Drain, pool.clock(), i as u64);
+                self.journal.devices[i] = DevicePhase::Draining;
+                self.persist(store, "drain")?;
+                Ok(RolloutStatus::Draining(i))
+            }
+            DevicePhase::Draining | DevicePhase::Swapped if pool.version(i) == from_v => {
+                // Drained forward but never swapped: just readmit.
+                pool.undrain(i);
+                self.journal.devices[i] = DevicePhase::Old;
+                self.persist(store, "restore")?;
+                Ok(RolloutStatus::Reverting(i))
+            }
+            DevicePhase::Probing if pool.version(i) == to_v => self.revert(i, pool, store),
+            DevicePhase::Draining | DevicePhase::Swapped => self.revert(i, pool, store),
+            DevicePhase::Probing => {
+                // Probing back toward the old version: same canary
+                // gate as promotion — a rollback must restore
+                // bit-exact old service, not just flip a label.
+                if pool.probe_canary(i, self.trace_id) {
+                    self.clean += 1;
+                    if self.clean >= self.cfg.clean_canaries.max(1) {
+                        pool.undrain(i);
+                        self.journal.devices[i] = DevicePhase::Old;
+                        self.persist(store, "restore")?;
+                        return Ok(RolloutStatus::Reverting(i));
+                    }
+                    return Ok(RolloutStatus::Probing(i, self.clean));
+                }
+                self.clean = 0;
+                self.probe_failures += 1;
+                let banks = pool.device_mut(i).reload();
+                cnn_trace::instant(
+                    "serve",
+                    format!("rollout_rollback_probe_failed dev{i} (reloaded {banks} banks)"),
+                );
+                if self.probe_failures > self.cfg.probe_budget {
+                    // The old image cannot re-prove itself either:
+                    // bench the device (journal it Old so the fleet
+                    // converges, keep it drained so it takes no
+                    // traffic) and let the rollback finish.
+                    self.journal.devices[i] = DevicePhase::Old;
+                    self.persist(store, "bench")?;
+                    cnn_trace::instant("serve", format!("rollout_bench dev{i}"));
+                    return Ok(RolloutStatus::Reverting(i));
+                }
+                Ok(RolloutStatus::Probing(i, 0))
+            }
+            DevicePhase::Old => unreachable!("position() only returns non-Old devices"),
+        }
+    }
+
+    /// Reverts device `i` (currently on new bits, drained) back to
+    /// the old artifact and puts it on the rollback canary gate.
+    fn revert<D: BlueGreen>(
+        &mut self,
+        i: usize,
+        pool: &mut DevicePool<D>,
+        store: &mut Store,
+    ) -> Result<RolloutStatus, StoreError> {
+        let from_v = self.journal.from.1;
+        match pool.device_mut(i).revert() {
+            Ok(_banks) => {
+                cnn_trace::counter_add("cnn_rollout_swaps_total", &[("outcome", "ok")], 1);
+                flight_record(self.trace_id, FlightStage::Swap, pool.clock(), i as u64);
+                pool.set_version(i, from_v);
+                self.clean = 0;
+                self.probe_failures = 0;
+                self.journal.devices[i] = DevicePhase::Probing;
+                self.persist(store, "revert")?;
+                Ok(RolloutStatus::Reverting(i))
+            }
+            Err(msg) => {
+                // A device that refuses even the old image is benched:
+                // journal it Old (the fleet converges) but keep it
+                // drained so it never serves.
+                cnn_trace::counter_add("cnn_rollout_swaps_total", &[("outcome", "failed")], 1);
+                cnn_trace::instant("serve", format!("rollout_revert_failed dev{i}: {msg}"));
+                self.journal.devices[i] = DevicePhase::Old;
+                self.persist(store, "bench")?;
+                Ok(RolloutStatus::Reverting(i))
+            }
+        }
+    }
+
+    /// Flips the rollout into rollback for `reason` and journals the
+    /// direction change.
+    fn trip(
+        &mut self,
+        reason: RollbackReason,
+        store: &mut Store,
+    ) -> Result<RolloutStatus, StoreError> {
+        self.reason = Some(reason);
+        self.journal.phase = RolloutPhase::RollingBack;
+        self.clean = 0;
+        self.probe_failures = 0;
+        self.persist(store, "trip")?;
+        cnn_trace::instant("serve", format!("rollout_trip {}", reason.name()));
+        Ok(RolloutStatus::Tripped(reason))
+    }
+
+    fn position(&self, phase: DevicePhase) -> Option<usize> {
+        self.journal.devices.iter().position(|d| *d == phase)
+    }
+
+    /// Rewrites the whole journal document through the store's atomic
+    /// put protocol — the on-disk snapshot is always complete and
+    /// checksummed, which is what makes any crash point old-or-new.
+    fn persist(&mut self, store: &mut Store, step: &'static str) -> Result<(), StoreError> {
+        self.journal.step += 1;
+        let name = self.journal.name.clone();
+        let text = self.journal.to_text();
+        store.put(ArtifactKind::Rollout, &name, text.as_bytes())?;
+        cnn_trace::counter_add("cnn_rollout_journal_records_total", &[("step", step)], 1);
+        Ok(())
+    }
+}
+
+/// Pre-registers every rollout counter family at zero so a process
+/// that never rolls anything out still exports them (a scrape must
+/// see `cnn_rollout_rollbacks_total 0`, not a missing series).
+pub fn preregister_rollout_metrics() {
+    cnn_trace::counter_add("cnn_rollout_started_total", &[], 0);
+    cnn_trace::counter_add("cnn_rollout_drains_total", &[], 0);
+    for outcome in ["ok", "failed"] {
+        cnn_trace::counter_add("cnn_rollout_swaps_total", &[("outcome", outcome)], 0);
+    }
+    for result in ["pass", "fail"] {
+        cnn_trace::counter_add("cnn_rollout_canary_probes_total", &[("result", result)], 0);
+    }
+    cnn_trace::counter_add("cnn_rollout_promotions_total", &[], 0);
+    for reason in ["canary", "slo", "swap", "resume"] {
+        cnn_trace::counter_add("cnn_rollout_rollbacks_total", &[("reason", reason)], 0);
+    }
+    for step in [
+        "begin", "drain", "swap", "probe", "admit", "promote", "trip", "revert", "restore",
+        "bench", "rollback", "resume",
+    ] {
+        cnn_trace::counter_add("cnn_rollout_journal_records_total", &[("step", step)], 0);
+    }
+    for direction in ["forward", "rollback"] {
+        cnn_trace::counter_add("cnn_rollout_resumes_total", &[("direction", direction)], 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+    use crate::budget::RetryBudget;
+    use crate::pool::{DispatchOutcome, HedgeConfig, PoolConfig, RequestOptions, ServedBy};
+    use crate::sdc::SdcConfig;
+    use cnn_store::FsFaultPlan;
+
+    /// A unique scratch directory (no external tempdir crate).
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "cnn-serve-rollout-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    /// Scripted blue-green device: old release answers `id % 10`, new
+    /// release answers `(id + 1) % 10` (both "correct" for their own
+    /// version), with injectable swap/canary/traffic pathologies.
+    #[derive(Clone)]
+    struct BgMock {
+        old: u32,
+        new: u32,
+        version: u32,
+        /// Current image is corrupt: canaries fail until reloaded.
+        corrupt: bool,
+        /// The swap upsets the freshly loaded image.
+        swap_upsets: bool,
+        /// `reload` heals corruption (golden store intact).
+        heals: bool,
+        /// The swap is refused outright.
+        swap_fails: bool,
+        /// The new release never passes its canary (a regression
+        /// shipped in the artifact itself).
+        new_canary_fails: bool,
+        /// The new release abandons every real dispatch (passes
+        /// canaries, fails traffic — the SLO's job to catch).
+        hostile_on_new: bool,
+        reloads: u32,
+    }
+
+    fn bg(old: u32, new: u32) -> BgMock {
+        BgMock {
+            old,
+            new,
+            version: old,
+            corrupt: false,
+            swap_upsets: false,
+            heals: true,
+            swap_fails: false,
+            new_canary_fails: false,
+            hostile_on_new: false,
+            reloads: 0,
+        }
+    }
+
+    impl Device for BgMock {
+        fn dispatch(&mut self, image_id: usize, _attempt_base: u32) -> DispatchOutcome {
+            if self.hostile_on_new && self.version == self.new {
+                return DispatchOutcome {
+                    prediction: None,
+                    cycles: 100,
+                    attempts: 4,
+                    faults_injected: 1,
+                    crc_detected: 0,
+                };
+            }
+            let shift = usize::from(self.version == self.new);
+            DispatchOutcome {
+                prediction: Some((image_id + shift) % 10),
+                cycles: 100,
+                attempts: 1,
+                faults_injected: 0,
+                crc_detected: 0,
+            }
+        }
+
+        fn canary(&mut self) -> bool {
+            !(self.corrupt || (self.new_canary_fails && self.version == self.new))
+        }
+
+        fn reload(&mut self) -> usize {
+            self.reloads += 1;
+            if self.heals {
+                self.corrupt = false;
+                1
+            } else {
+                0
+            }
+        }
+    }
+
+    impl BlueGreen for BgMock {
+        fn swap(&mut self) -> Result<usize, String> {
+            if self.swap_fails {
+                return Err("new image refused".into());
+            }
+            self.version = self.new;
+            self.corrupt = self.swap_upsets;
+            Ok(1)
+        }
+
+        fn revert(&mut self) -> Result<usize, String> {
+            self.version = self.old;
+            self.corrupt = false;
+            Ok(1)
+        }
+    }
+
+    fn cfg() -> PoolConfig {
+        PoolConfig {
+            breaker: BreakerConfig {
+                trip_after: 3,
+                cooldown_cycles: 10_000,
+            },
+            retry_budget: 64,
+            hedge: HedgeConfig::default(),
+            sdc: SdcConfig::off(),
+            ..PoolConfig::default()
+        }
+    }
+
+    fn versions(from: u32, to: u32) -> ((String, u32), (String, u32)) {
+        (("usps".to_string(), from), ("usps".to_string(), to))
+    }
+
+    /// Drives the rollout to a terminal phase interleaved with pinned
+    /// traffic; returns (predictions, pinned versions) per request.
+    fn drive(
+        rollout: &mut Rollout,
+        pool: &mut DevicePool<BgMock>,
+        store: &mut Store,
+        max_requests: usize,
+    ) -> (Vec<usize>, Vec<u32>) {
+        let mut budget = RetryBudget::new(1_000);
+        let mut preds = Vec::new();
+        let mut vers = Vec::new();
+        for id in 0..max_requests {
+            if rollout.finished() {
+                break;
+            }
+            rollout.step(pool, store).expect("no fs faults here");
+            let v = rollout.route_version();
+            let shift = usize::from(v == rollout.journal().to.1);
+            let s = pool.serve_one(
+                id,
+                &mut budget,
+                RequestOptions {
+                    version: Some(v),
+                    ..RequestOptions::default()
+                },
+                |i| (i + shift) % 10,
+            );
+            let hw = !matches!(s.outcome.served_by, ServedBy::Fallback);
+            rollout.observe(hw && s.prediction == (id + shift) % 10);
+            preds.push(s.prediction);
+            vers.push(v);
+        }
+        // Drain-down: no more traffic, finish on skipped settles.
+        while !rollout.finished() {
+            if rollout.step(pool, store).expect("no fs faults") == RolloutStatus::Settling {
+                rollout.skip_settle();
+            }
+        }
+        (preds, vers)
+    }
+
+    #[test]
+    fn clean_rollout_promotes_and_stays_bit_exact_per_version() {
+        let dir = scratch("clean");
+        let mut store = Store::open(&dir).unwrap();
+        let mut pool = DevicePool::new(vec![bg(1, 2); 3], cfg());
+        pool.set_fleet_version(1);
+        let (from, to) = versions(1, 2);
+        let mut rollout = Rollout::begin(
+            "rollout/usps",
+            from,
+            to,
+            vec![],
+            3,
+            RolloutConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+        let (preds, vers) = drive(&mut rollout, &mut pool, &mut store, 200);
+        assert_eq!(rollout.phase(), RolloutPhase::Promoted);
+        for i in 0..3 {
+            assert_eq!(pool.version(i), 2);
+            assert!(!pool.is_drained(i));
+        }
+        // Every request got the bit-exact answer of its pinned version.
+        for (id, (&p, &v)) in preds.iter().zip(&vers).enumerate() {
+            assert_eq!(p, (id + usize::from(v == 2)) % 10);
+        }
+        assert!(vers.contains(&1) && vers.contains(&2), "mixed-version run");
+        // The on-disk journal is terminal, complete, and old-or-new.
+        let txt = store.get(ArtifactKind::Rollout, "rollout/usps").unwrap();
+        let j = RolloutJournal::parse(std::str::from_utf8(&txt).unwrap()).unwrap();
+        assert_eq!(j.phase, RolloutPhase::Promoted);
+        assert!(j.fleet_is_old_or_new());
+        assert_eq!(j.on_new(), 3);
+        // Flight timeline: start, 3 drains, 3 swaps, promote — in
+        // causal order under the rollout's trace id.
+        let stages: Vec<FlightStage> = cnn_trace::flight()
+            .records_for(rollout.trace_id())
+            .iter()
+            .map(|r| r.stage)
+            .collect();
+        assert_eq!(stages.first(), Some(&FlightStage::RolloutStart));
+        assert_eq!(stages.last(), Some(&FlightStage::Promote));
+        assert_eq!(
+            stages.iter().filter(|s| **s == FlightStage::Drain).count(),
+            3
+        );
+        assert_eq!(
+            stages.iter().filter(|s| **s == FlightStage::Swap).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn canary_regression_rolls_back_to_bit_exact_old_service() {
+        let dir = scratch("regression");
+        let mut store = Store::open(&dir).unwrap();
+        let mut dev = bg(1, 2);
+        dev.new_canary_fails = true;
+        let mut pool = DevicePool::new(vec![dev; 3], cfg());
+        pool.set_fleet_version(1);
+        let (from, to) = versions(1, 2);
+        let mut rollout = Rollout::begin(
+            "rollout/usps",
+            from,
+            to,
+            vec![],
+            3,
+            RolloutConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+        let (preds, vers) = drive(&mut rollout, &mut pool, &mut store, 300);
+        assert_eq!(rollout.phase(), RolloutPhase::RolledBack);
+        assert_eq!(rollout.rollback_reason(), Some(RollbackReason::Canary));
+        // The regression never reached traffic: the poisoned release
+        // failed its probes while drained, so every request was served
+        // old and bit-exact.
+        assert!(vers.iter().all(|&v| v == 1));
+        for (id, &p) in preds.iter().enumerate() {
+            assert_eq!(p, id % 10);
+        }
+        for i in 0..3 {
+            assert_eq!(pool.version(i), 1);
+            assert!(!pool.is_drained(i));
+        }
+        let txt = store.get(ArtifactKind::Rollout, "rollout/usps").unwrap();
+        let j = RolloutJournal::parse(std::str::from_utf8(&txt).unwrap()).unwrap();
+        assert_eq!(j.phase, RolloutPhase::RolledBack);
+        assert!(j.fleet_is_old_or_new());
+        assert_eq!(j.on_new(), 0);
+    }
+
+    #[test]
+    fn slo_breach_on_canary_traffic_trips_fleet_rollback() {
+        let dir = scratch("slo");
+        let mut store = Store::open(&dir).unwrap();
+        let mut dev = bg(1, 2);
+        // Passes every canary, abandons every real dispatch: only the
+        // observed-traffic SLO can catch this release.
+        dev.hostile_on_new = true;
+        let mut pool = DevicePool::new(vec![dev; 3], cfg());
+        pool.set_fleet_version(1);
+        let (from, to) = versions(1, 2);
+        let mut rollout = Rollout::begin(
+            "rollout/usps",
+            from,
+            to,
+            vec![],
+            3,
+            RolloutConfig {
+                settle_requests: 16,
+                ..RolloutConfig::default()
+            },
+            &mut store,
+        )
+        .unwrap();
+        let (preds, vers) = drive(&mut rollout, &mut pool, &mut store, 400);
+        assert_eq!(rollout.phase(), RolloutPhase::RolledBack);
+        assert_eq!(rollout.rollback_reason(), Some(RollbackReason::Slo));
+        assert!(
+            vers.contains(&2),
+            "canary traffic must actually have hit the new version"
+        );
+        for i in 0..3 {
+            assert_eq!(pool.version(i), 1, "fleet restored to old");
+            assert!(!pool.is_drained(i));
+        }
+        // Even the requests routed at the hostile version got correct
+        // answers — degraded through the software fallback of that
+        // version, never a wrong bit.
+        for (id, (&p, &v)) in preds.iter().zip(&vers).enumerate() {
+            assert_eq!(p, (id + usize::from(v == 2)) % 10);
+        }
+    }
+
+    #[test]
+    fn swap_refusal_trips_rollback_without_touching_the_fleet() {
+        let dir = scratch("swapfail");
+        let mut store = Store::open(&dir).unwrap();
+        let mut dev = bg(1, 2);
+        dev.swap_fails = true;
+        let mut pool = DevicePool::new(vec![dev, bg(1, 2), bg(1, 2)], cfg());
+        pool.set_fleet_version(1);
+        let (from, to) = versions(1, 2);
+        let mut rollout = Rollout::begin(
+            "rollout/usps",
+            from,
+            to,
+            vec![],
+            3,
+            RolloutConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+        let mut saw_trip = false;
+        while !rollout.finished() {
+            let st = rollout.step(&mut pool, &mut store).unwrap();
+            if st == RolloutStatus::Tripped(RollbackReason::Swap) {
+                saw_trip = true;
+            }
+            if st == RolloutStatus::Settling {
+                rollout.skip_settle();
+            }
+        }
+        assert!(saw_trip);
+        assert_eq!(rollout.phase(), RolloutPhase::RolledBack);
+        assert_eq!(rollout.rollback_reason(), Some(RollbackReason::Swap));
+        for i in 0..3 {
+            assert_eq!(pool.version(i), 1);
+            assert!(!pool.is_drained(i));
+        }
+    }
+
+    #[test]
+    fn swap_upset_heals_from_the_new_golden_and_still_promotes() {
+        let dir = scratch("upset");
+        let mut store = Store::open(&dir).unwrap();
+        let mut dev = bg(1, 2);
+        dev.swap_upsets = true;
+        let mut pool = DevicePool::new(vec![dev; 2], cfg());
+        pool.set_fleet_version(1);
+        let (from, to) = versions(1, 2);
+        let mut rollout = Rollout::begin(
+            "rollout/usps",
+            from,
+            to,
+            vec![],
+            2,
+            RolloutConfig::default(),
+            &mut store,
+        )
+        .unwrap();
+        let (_preds, _vers) = drive(&mut rollout, &mut pool, &mut store, 200);
+        assert_eq!(rollout.phase(), RolloutPhase::Promoted);
+        for i in 0..2 {
+            assert_eq!(pool.version(i), 2);
+            assert!(
+                pool.device_mut(i).reloads >= 1,
+                "the upset image must have been reloaded from golden"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_at_any_store_op_resumes_with_the_fleet_old_or_new() {
+        // The crash matrix in miniature (the bench sweeps it wider):
+        // kill the process at assorted filesystem operations, restart
+        // from the journal, and require (a) the journal parses, (b)
+        // normalization leaves every device cleanly old or new, (c)
+        // the resumed rollout still reaches a terminal phase with a
+        // consistent fleet.
+        for op in [0u64, 2, 5, 9, 14, 21, 33, 48, 70, 95] {
+            let dir = scratch(&format!("crash{op}"));
+            let crashed = (|| -> Result<(), StoreError> {
+                let mut store = Store::open_faulty(&dir, FsFaultPlan::crash_at(op, false))?;
+                let mut pool = DevicePool::new(vec![bg(1, 2); 3], cfg());
+                pool.set_fleet_version(1);
+                let (from, to) = versions(1, 2);
+                let mut rollout = Rollout::begin(
+                    "rollout/usps",
+                    from,
+                    to,
+                    vec![],
+                    3,
+                    RolloutConfig::default(),
+                    &mut store,
+                )?;
+                let mut budget = RetryBudget::new(1_000);
+                for id in 0..300 {
+                    if rollout.finished() {
+                        break;
+                    }
+                    if rollout.step(&mut pool, &mut store)? == RolloutStatus::Settling {
+                        rollout.skip_settle();
+                    }
+                    let v = rollout.route_version();
+                    let _ = pool.serve_one(
+                        id,
+                        &mut budget,
+                        RequestOptions {
+                            version: Some(v),
+                            ..RequestOptions::default()
+                        },
+                        |i| i % 10,
+                    );
+                    rollout.observe(true);
+                }
+                Ok(())
+            })();
+            let Err(e) = crashed else {
+                // The op index outlived the whole rollout: nothing to
+                // resume, the terminal journal must simply verify.
+                let mut store = Store::open(&dir).unwrap();
+                let txt = store.get(ArtifactKind::Rollout, "rollout/usps").unwrap();
+                let j = RolloutJournal::parse(std::str::from_utf8(&txt).unwrap()).unwrap();
+                assert!(!j.in_flight());
+                continue;
+            };
+            assert!(e.is_crash(), "only the injected crash may fail: {e}");
+
+            // ---- restart ----
+            let mut store = Store::open(&dir).unwrap();
+            let txt = match store.get(ArtifactKind::Rollout, "rollout/usps") {
+                Ok(t) => t,
+                // Crashed before the first journal commit: no rollout
+                // ever existed; the fleet never left the old version.
+                Err(_) => continue,
+            };
+            let journal = RolloutJournal::parse(std::str::from_utf8(&txt).unwrap())
+                .expect("a committed journal always parses");
+            // Reprogram devices to match the journal: New gets the
+            // new image, everything else (incl. torn) the old one.
+            let devices: Vec<BgMock> = journal
+                .devices
+                .iter()
+                .map(|p| {
+                    let mut d = bg(1, 2);
+                    if *p == DevicePhase::New {
+                        d.version = 2;
+                    }
+                    d
+                })
+                .collect();
+            let mut pool = DevicePool::new(devices, cfg());
+            let mut rollout =
+                Rollout::resume(journal, RolloutConfig::default(), &mut pool, &mut store).unwrap();
+            assert!(
+                rollout.journal().fleet_is_old_or_new(),
+                "normalization must leave no torn device"
+            );
+            let (_preds, _vers) = drive(&mut rollout, &mut pool, &mut store, 300);
+            assert!(rollout.finished());
+            assert_eq!(rollout.phase(), RolloutPhase::Promoted);
+            for i in 0..3 {
+                assert_eq!(pool.version(i), 2);
+            }
+        }
+    }
+}

@@ -33,11 +33,13 @@ pub mod golden;
 pub mod hash;
 pub mod journal;
 pub mod record;
+pub mod rollout;
 pub mod store;
 
 pub use fsio::{FaultyFs, FsError, FsFaultPlan, FsFaultStats, RealFs, StoreFs};
 pub use golden::{GoldenBank, GoldenError, GoldenManifest};
 pub use record::{content_id, ArtifactKind, RecordError};
+pub use rollout::{DevicePhase, ModelManifest, RolloutError, RolloutJournal, RolloutPhase};
 pub use store::{
     atomic_write, ArtifactId, CorruptArtifact, GcReport, Store, StoreError, VerifyReport,
 };

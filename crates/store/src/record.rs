@@ -43,11 +43,14 @@ pub enum ArtifactKind {
     Report,
     /// A benchmark/CI results document (JSON).
     Bench,
+    /// A rolling-rollout control document: a model-version manifest or
+    /// the crash-safe rollout journal.
+    Rollout,
 }
 
 impl ArtifactKind {
     /// Every kind, in tag order.
-    pub const ALL: [ArtifactKind; 9] = [
+    pub const ALL: [ArtifactKind; 10] = [
         ArtifactKind::Weights,
         ArtifactKind::Checkpoint,
         ArtifactKind::Spec,
@@ -57,6 +60,7 @@ impl ArtifactKind {
         ArtifactKind::Bitstream,
         ArtifactKind::Report,
         ArtifactKind::Bench,
+        ArtifactKind::Rollout,
     ];
 
     /// Stable one-byte tag used in the record header.
@@ -71,6 +75,7 @@ impl ArtifactKind {
             ArtifactKind::Bitstream => b'b',
             ArtifactKind::Report => b'r',
             ArtifactKind::Bench => b'j',
+            ArtifactKind::Rollout => b'o',
         }
     }
 
@@ -91,6 +96,7 @@ impl ArtifactKind {
             ArtifactKind::Bitstream => "bitstream",
             ArtifactKind::Report => "report",
             ArtifactKind::Bench => "bench",
+            ArtifactKind::Rollout => "rollout",
         }
     }
 

@@ -1,0 +1,590 @@
+//! Rolling-reconfiguration control documents: the **model-version
+//! manifest** (what one release of a model is made of) and the
+//! **crash-safe rollout journal** (how far a rolling upgrade has
+//! gotten, device by device).
+//!
+//! Both use the store's defensive text idiom — line-oriented,
+//! human-diffable, trailing FNV-1a/64 checksum — and both are
+//! persisted through [`crate::Store::put`]'s commit protocol under
+//! [`crate::ArtifactKind::Rollout`], so every update lands atomically:
+//! a process killed mid-rollout reopens the store and reads either the
+//! previous journal or the new one, never a torn mix. The journal also
+//! *pins* the artifact ids it references: [`crate::Store::gc`] refuses
+//! to collect anything an in-flight rollout might still roll back to.
+
+use crate::hash::{hex64, parse_hex64};
+use crate::record::ArtifactKind;
+use std::fmt;
+
+/// Format tag of a model-version manifest's first line.
+const MODEL_MAGIC: &str = "cnn2fpga-model v1";
+/// Format tag of a rollout journal's first line.
+const JOURNAL_MAGIC: &str = "cnn2fpga-rollout v1";
+
+/// Why a rollout document failed to parse or validate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RolloutError {
+    /// First line is not the expected magic/version tag.
+    BadMagic,
+    /// A line does not follow the `key value...` grammar (1-based line
+    /// number, message).
+    Malformed(usize, String),
+    /// The trailing checksum line disagrees with the content.
+    ChecksumMismatch,
+    /// The checksum line is missing entirely (torn tail).
+    MissingChecksum,
+}
+
+impl fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RolloutError::BadMagic => write!(f, "not a rollout document"),
+            RolloutError::Malformed(line, msg) => write!(f, "line {line}: {msg}"),
+            RolloutError::ChecksumMismatch => write!(f, "rollout document checksum mismatch"),
+            RolloutError::MissingChecksum => write!(f, "rollout document checksum line missing"),
+        }
+    }
+}
+
+impl std::error::Error for RolloutError {}
+
+/// Splits a checksummed document into its verified body, or errors.
+fn verified_body(text: &str) -> Result<&str, RolloutError> {
+    let Some((body, tail)) = text.rsplit_once("checksum ") else {
+        return Err(RolloutError::MissingChecksum);
+    };
+    let declared = parse_hex64(tail.trim_end_matches('\n'))
+        .ok_or_else(|| RolloutError::Malformed(0, "unreadable checksum".into()))?;
+    if crate::hash::fnv64(body.as_bytes()) != declared {
+        return Err(RolloutError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Appends the checksum line to a document body.
+fn seal(mut body: String) -> String {
+    let sum = crate::hash::fnv64(body.as_bytes());
+    body.push_str(&format!("checksum {}\n", hex64(sum)));
+    body
+}
+
+/// One release of a model: the semantic identity plus the content
+/// identities a pool needs to attach (the bitstream's content hash)
+/// and to scrub (the golden weight image's overall digest).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelManifest {
+    /// Model family name (whitespace-free).
+    pub model: String,
+    /// Release number within the family.
+    pub version: u32,
+    /// The bitstream's content hash ([`cnn-fpga`'s
+    /// `Bitstream::content_hash`]), which the version tag participates
+    /// in — so two releases can never share it.
+    pub bitstream: u64,
+    /// Overall digest of the golden weight-image manifest
+    /// ([`crate::GoldenManifest::overall_digest`]).
+    pub golden: u64,
+}
+
+impl ModelManifest {
+    /// The canonical store name for this release's manifest.
+    pub fn store_name(model: &str, version: u32) -> String {
+        format!("model/{model}/v{version}")
+    }
+
+    /// Serializes to the checksummed text format.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(MODEL_MAGIC);
+        body.push('\n');
+        body.push_str(&format!("model {} {}\n", self.model, self.version));
+        body.push_str(&format!("bitstream {}\n", hex64(self.bitstream)));
+        body.push_str(&format!("golden {}\n", hex64(self.golden)));
+        seal(body)
+    }
+
+    /// Parses and verifies the checksummed text format.
+    pub fn parse(text: &str) -> Result<ModelManifest, RolloutError> {
+        let body = verified_body(text)?;
+        let mut lines = body.lines().enumerate();
+        let (_, first) = lines.next().ok_or(RolloutError::BadMagic)?;
+        if first != MODEL_MAGIC {
+            return Err(RolloutError::BadMagic);
+        }
+        let (mut model, mut bitstream, mut golden) = (None, None, None);
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("model") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| RolloutError::Malformed(lineno, "missing model".into()))?;
+                    let version = parts
+                        .next()
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .ok_or_else(|| RolloutError::Malformed(lineno, "bad version".into()))?;
+                    model = Some((name.to_string(), version));
+                }
+                Some("bitstream") => {
+                    bitstream = Some(parts.next().and_then(parse_hex64).ok_or_else(|| {
+                        RolloutError::Malformed(lineno, "bad bitstream hash".into())
+                    })?);
+                }
+                Some("golden") => {
+                    golden = Some(parts.next().and_then(parse_hex64).ok_or_else(|| {
+                        RolloutError::Malformed(lineno, "bad golden digest".into())
+                    })?);
+                }
+                Some(other) => {
+                    return Err(RolloutError::Malformed(
+                        lineno,
+                        format!("unknown key {other:?}"),
+                    ));
+                }
+                None => continue,
+            }
+        }
+        let (model, version) =
+            model.ok_or_else(|| RolloutError::Malformed(0, "missing model line".into()))?;
+        Ok(ModelManifest {
+            model,
+            version,
+            bitstream: bitstream
+                .ok_or_else(|| RolloutError::Malformed(0, "missing bitstream line".into()))?,
+            golden: golden
+                .ok_or_else(|| RolloutError::Malformed(0, "missing golden line".into()))?,
+        })
+    }
+}
+
+/// Where one device stands in a rolling upgrade.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DevicePhase {
+    /// Still serving the old version; untouched so far.
+    Old,
+    /// Removed from routing; waiting for in-flight work to finish.
+    Draining,
+    /// Bitstream + weight banks swapped to the new version; not yet
+    /// readmitted to traffic.
+    Swapped,
+    /// Swapped and running its clean-canary probation.
+    Probing,
+    /// Serving the new version.
+    New,
+}
+
+impl DevicePhase {
+    /// Stable journal-line token.
+    pub fn name(self) -> &'static str {
+        match self {
+            DevicePhase::Old => "old",
+            DevicePhase::Draining => "draining",
+            DevicePhase::Swapped => "swapped",
+            DevicePhase::Probing => "probing",
+            DevicePhase::New => "new",
+        }
+    }
+
+    /// Parses a journal-line token.
+    pub fn from_name(name: &str) -> Option<DevicePhase> {
+        Some(match name {
+            "old" => DevicePhase::Old,
+            "draining" => DevicePhase::Draining,
+            "swapped" => DevicePhase::Swapped,
+            "probing" => DevicePhase::Probing,
+            "new" => DevicePhase::New,
+            _ => return None,
+        })
+    }
+
+    /// True in the torn middle of an upgrade: the device is neither
+    /// cleanly on the old version nor cleanly on the new one.
+    pub fn is_torn(self) -> bool {
+        matches!(
+            self,
+            DevicePhase::Draining | DevicePhase::Swapped | DevicePhase::Probing
+        )
+    }
+}
+
+/// Where the rollout as a whole stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// Upgrading devices one at a time toward the new version.
+    Running,
+    /// A canary/SLO breach fired: devices are being returned to the
+    /// old version one at a time.
+    RollingBack,
+    /// Terminal: every device serves the new version.
+    Promoted,
+    /// Terminal: every device serves the old version again.
+    RolledBack,
+}
+
+impl RolloutPhase {
+    /// Stable journal-line token.
+    pub fn name(self) -> &'static str {
+        match self {
+            RolloutPhase::Running => "running",
+            RolloutPhase::RollingBack => "rollingback",
+            RolloutPhase::Promoted => "promoted",
+            RolloutPhase::RolledBack => "rolledback",
+        }
+    }
+
+    /// Parses a journal-line token.
+    pub fn from_name(name: &str) -> Option<RolloutPhase> {
+        Some(match name {
+            "running" => RolloutPhase::Running,
+            "rollingback" => RolloutPhase::RollingBack,
+            "promoted" => RolloutPhase::Promoted,
+            "rolledback" => RolloutPhase::RolledBack,
+            _ => return None,
+        })
+    }
+}
+
+/// The crash-safe record of one rolling upgrade. Every mutation of the
+/// rollout state machine rewrites this whole document through the
+/// store's put protocol, so the on-disk journal is always a complete,
+/// checksummed snapshot — a restarted process parses it and knows
+/// exactly which devices are on which version and which direction
+/// (forward or rollback) to finish in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RolloutJournal {
+    /// Rollout name (also its store artifact name; `[A-Za-z0-9._/-]`).
+    pub name: String,
+    /// Version being replaced: `(model, version)`.
+    pub from: (String, u32),
+    /// Version being rolled out: `(model, version)`.
+    pub to: (String, u32),
+    /// Artifact ids this rollout still needs — both versions' content,
+    /// because a rollback must find the old bits intact. [`crate::Store::gc`]
+    /// refuses to collect these while the journal is in flight.
+    pub pins: Vec<(ArtifactKind, u64)>,
+    /// Per-device upgrade phase, indexed by pool position.
+    pub devices: Vec<DevicePhase>,
+    /// Overall direction/terminality.
+    pub phase: RolloutPhase,
+    /// Monotonic update counter (each persisted step increments it),
+    /// so two snapshots of the same rollout are ordered.
+    pub step: u64,
+}
+
+impl RolloutJournal {
+    /// A fresh journal: every device on the old version, running
+    /// forward.
+    pub fn begin(
+        name: impl Into<String>,
+        from: (String, u32),
+        to: (String, u32),
+        devices: usize,
+    ) -> RolloutJournal {
+        RolloutJournal {
+            name: name.into(),
+            from,
+            to,
+            pins: Vec::new(),
+            devices: vec![DevicePhase::Old; devices],
+            phase: RolloutPhase::Running,
+            step: 0,
+        }
+    }
+
+    /// True while the rollout still owns its pinned artifacts: not yet
+    /// promoted or rolled back.
+    pub fn in_flight(&self) -> bool {
+        matches!(
+            self.phase,
+            RolloutPhase::Running | RolloutPhase::RollingBack
+        )
+    }
+
+    /// True when every device is cleanly on the old version or cleanly
+    /// on the new one — the invariant every crash point must preserve.
+    /// At most one device may be mid-upgrade at a time by
+    /// construction, and that device is *not* clean.
+    pub fn fleet_is_old_or_new(&self) -> bool {
+        self.devices.iter().all(|d| !d.is_torn())
+    }
+
+    /// Devices currently on the new version.
+    pub fn on_new(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| **d == DevicePhase::New)
+            .count()
+    }
+
+    /// Serializes to the checksummed text format.
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        body.push_str(JOURNAL_MAGIC);
+        body.push('\n');
+        body.push_str(&format!("name {}\n", self.name));
+        body.push_str(&format!("from {} {}\n", self.from.0, self.from.1));
+        body.push_str(&format!("to {} {}\n", self.to.0, self.to.1));
+        for (kind, id) in &self.pins {
+            body.push_str(&format!("pin {} {}\n", kind.name(), hex64(*id)));
+        }
+        body.push_str(&format!("devices {}\n", self.devices.len()));
+        for (i, d) in self.devices.iter().enumerate() {
+            body.push_str(&format!("device {i} {}\n", d.name()));
+        }
+        body.push_str(&format!("phase {}\n", self.phase.name()));
+        body.push_str(&format!("step {}\n", self.step));
+        seal(body)
+    }
+
+    /// Parses and verifies the checksummed text format.
+    pub fn parse(text: &str) -> Result<RolloutJournal, RolloutError> {
+        let body = verified_body(text)?;
+        let mut lines = body.lines().enumerate();
+        let (_, first) = lines.next().ok_or(RolloutError::BadMagic)?;
+        if first != JOURNAL_MAGIC {
+            return Err(RolloutError::BadMagic);
+        }
+        let mut name = None;
+        let mut from = None;
+        let mut to = None;
+        let mut pins = Vec::new();
+        let mut declared_devices = None;
+        let mut devices = Vec::new();
+        let mut phase = None;
+        let mut step = None;
+        let version_pair = |parts: &mut std::str::SplitWhitespace<'_>,
+                            lineno: usize|
+         -> Result<(String, u32), RolloutError> {
+            let model = parts
+                .next()
+                .ok_or_else(|| RolloutError::Malformed(lineno, "missing model".into()))?;
+            let version = parts
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| RolloutError::Malformed(lineno, "bad version".into()))?;
+            Ok((model.to_string(), version))
+        };
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("name") => {
+                    name = Some(
+                        parts
+                            .next()
+                            .ok_or_else(|| RolloutError::Malformed(lineno, "missing name".into()))?
+                            .to_string(),
+                    );
+                }
+                Some("from") => from = Some(version_pair(&mut parts, lineno)?),
+                Some("to") => to = Some(version_pair(&mut parts, lineno)?),
+                Some("pin") => {
+                    let kind = parts
+                        .next()
+                        .and_then(ArtifactKind::from_name)
+                        .ok_or_else(|| RolloutError::Malformed(lineno, "bad pin kind".into()))?;
+                    let id = parts
+                        .next()
+                        .and_then(parse_hex64)
+                        .ok_or_else(|| RolloutError::Malformed(lineno, "bad pin id".into()))?;
+                    pins.push((kind, id));
+                }
+                Some("devices") => {
+                    declared_devices = Some(
+                        parts
+                            .next()
+                            .and_then(|s| s.parse::<usize>().ok())
+                            .ok_or_else(|| {
+                                RolloutError::Malformed(lineno, "bad device count".into())
+                            })?,
+                    );
+                }
+                Some("device") => {
+                    let index: usize =
+                        parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                            RolloutError::Malformed(lineno, "bad device index".into())
+                        })?;
+                    if index != devices.len() {
+                        return Err(RolloutError::Malformed(
+                            lineno,
+                            format!("device {index} out of order (expected {})", devices.len()),
+                        ));
+                    }
+                    devices.push(parts.next().and_then(DevicePhase::from_name).ok_or_else(
+                        || RolloutError::Malformed(lineno, "bad device phase".into()),
+                    )?);
+                }
+                Some("phase") => {
+                    phase = Some(
+                        parts
+                            .next()
+                            .and_then(RolloutPhase::from_name)
+                            .ok_or_else(|| RolloutError::Malformed(lineno, "bad phase".into()))?,
+                    );
+                }
+                Some("step") => {
+                    step = Some(
+                        parts
+                            .next()
+                            .and_then(|s| s.parse::<u64>().ok())
+                            .ok_or_else(|| RolloutError::Malformed(lineno, "bad step".into()))?,
+                    );
+                }
+                Some(other) => {
+                    return Err(RolloutError::Malformed(
+                        lineno,
+                        format!("unknown key {other:?}"),
+                    ));
+                }
+                None => continue,
+            }
+        }
+        if declared_devices != Some(devices.len()) {
+            return Err(RolloutError::Malformed(
+                0,
+                format!(
+                    "device count {declared_devices:?} disagrees with {} device lines",
+                    devices.len()
+                ),
+            ));
+        }
+        Ok(RolloutJournal {
+            name: name.ok_or_else(|| RolloutError::Malformed(0, "missing name line".into()))?,
+            from: from.ok_or_else(|| RolloutError::Malformed(0, "missing from line".into()))?,
+            to: to.ok_or_else(|| RolloutError::Malformed(0, "missing to line".into()))?,
+            pins,
+            devices,
+            phase: phase.ok_or_else(|| RolloutError::Malformed(0, "missing phase line".into()))?,
+            step: step.ok_or_else(|| RolloutError::Malformed(0, "missing step line".into()))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> RolloutJournal {
+        let mut j =
+            RolloutJournal::begin("upgrade-usps-v2", ("usps".into(), 1), ("usps".into(), 2), 3);
+        j.pins = vec![
+            (ArtifactKind::Bitstream, 0x1111),
+            (ArtifactKind::Bitstream, 0x2222),
+            (ArtifactKind::Weights, 0x3333),
+        ];
+        j.devices[0] = DevicePhase::New;
+        j.devices[1] = DevicePhase::Probing;
+        j.step = 7;
+        j
+    }
+
+    #[test]
+    fn journal_round_trips_bit_exactly() {
+        let j = sample_journal();
+        let text = j.to_text();
+        let back = RolloutJournal::parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn model_manifest_round_trips_bit_exactly() {
+        let m = ModelManifest {
+            model: "usps".into(),
+            version: 2,
+            bitstream: 0xDEAD_BEEF,
+            golden: 0xFEED_F00D,
+        };
+        let text = m.to_text();
+        assert_eq!(ModelManifest::parse(&text).unwrap(), m);
+        assert_eq!(ModelManifest::store_name("usps", 2), "model/usps/v2");
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        for text in [sample_journal().to_text()] {
+            let bytes = text.as_bytes();
+            for i in 0..bytes.len() {
+                let mut corrupt = bytes.to_vec();
+                corrupt[i] ^= 0x01;
+                let Ok(s) = String::from_utf8(corrupt) else {
+                    continue;
+                };
+                assert!(
+                    RolloutJournal::parse(&s).is_err(),
+                    "flip at byte {i} parsed cleanly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_rejected() {
+        let text = sample_journal().to_text();
+        // Every possible torn tail must fail to parse — an append
+        // interrupted at any byte is rejected, never trusted. (A cut
+        // of only the final newline leaves a checksum-complete
+        // document, so the range stops one byte short.)
+        for cut in 0..text.len() - 1 {
+            assert!(
+                RolloutJournal::parse(&text[..cut]).is_err(),
+                "undetected tear at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn documents_do_not_cross_parse() {
+        let j = sample_journal().to_text();
+        assert_eq!(ModelManifest::parse(&j), Err(RolloutError::BadMagic));
+        let m = ModelManifest {
+            model: "m".into(),
+            version: 1,
+            bitstream: 1,
+            golden: 2,
+        }
+        .to_text();
+        assert_eq!(RolloutJournal::parse(&m), Err(RolloutError::BadMagic));
+    }
+
+    #[test]
+    fn fleet_state_predicates() {
+        let mut j = RolloutJournal::begin("r", ("m".into(), 1), ("m".into(), 2), 2);
+        assert!(j.in_flight());
+        assert!(j.fleet_is_old_or_new(), "all-old is clean");
+        assert_eq!(j.on_new(), 0);
+        j.devices[0] = DevicePhase::Draining;
+        assert!(!j.fleet_is_old_or_new(), "a draining device is torn");
+        j.devices[0] = DevicePhase::Swapped;
+        assert!(!j.fleet_is_old_or_new(), "a swapped device is torn");
+        j.devices[0] = DevicePhase::New;
+        assert!(j.fleet_is_old_or_new(), "mixed old/new is still clean");
+        assert_eq!(j.on_new(), 1);
+        j.phase = RolloutPhase::Promoted;
+        assert!(!j.in_flight());
+    }
+
+    #[test]
+    fn phase_tokens_round_trip() {
+        for p in [
+            RolloutPhase::Running,
+            RolloutPhase::RollingBack,
+            RolloutPhase::Promoted,
+            RolloutPhase::RolledBack,
+        ] {
+            assert_eq!(RolloutPhase::from_name(p.name()), Some(p));
+        }
+        for d in [
+            DevicePhase::Old,
+            DevicePhase::Draining,
+            DevicePhase::Swapped,
+            DevicePhase::Probing,
+            DevicePhase::New,
+        ] {
+            assert_eq!(DevicePhase::from_name(d.name()), Some(d));
+        }
+        assert_eq!(RolloutPhase::from_name("nope"), None);
+        assert_eq!(DevicePhase::from_name("nope"), None);
+    }
+}

@@ -140,6 +140,10 @@ pub struct VerifyReport {
     pub corrupt: Vec<CorruptArtifact>,
     /// Object files no name references (commit leftovers; `gc` food).
     pub unreferenced: usize,
+    /// Unnamed object files kept alive only by an in-flight rollout
+    /// journal's pin set — counted separately from `unreferenced`
+    /// because `gc` must not touch them.
+    pub pinned: usize,
     /// Journal lines dropped at open (torn tail / bit rot).
     pub dropped_journal_lines: usize,
 }
@@ -464,6 +468,38 @@ impl Store {
         })
     }
 
+    /// Artifact ids pinned by in-flight rollout journals: every `pin`
+    /// line of every [`crate::RolloutJournal`] stored under
+    /// [`ArtifactKind::Rollout`] whose phase is still running or
+    /// rolling back. These ids must survive [`Store::gc`] even when no
+    /// name references them any more — a crashed rollout's recovery
+    /// path needs the *old* version's bits, which a naive collection
+    /// would have reaped the moment the new version took their names.
+    pub fn rollout_pins(&mut self) -> Result<std::collections::HashSet<u64>, StoreError> {
+        let mut pins = std::collections::HashSet::new();
+        for name in self.names_of_kind(ArtifactKind::Rollout) {
+            let bytes = match self.get(ArtifactKind::Rollout, &name) {
+                Ok(b) => b,
+                Err(e) if e.is_crash() => return Err(e),
+                // A corrupt journal document pins nothing (its own
+                // corruption is reported by verify_all).
+                Err(_) => continue,
+            };
+            let Ok(text) = String::from_utf8(bytes) else {
+                continue;
+            };
+            // Model manifests share the kind but not the magic; they
+            // simply fail to parse as journals and pin nothing.
+            let Ok(journal) = crate::rollout::RolloutJournal::parse(&text) else {
+                continue;
+            };
+            if journal.in_flight() {
+                pins.extend(journal.pins.iter().map(|(_, id)| *id));
+            }
+        }
+        Ok(pins)
+    }
+
     /// Verifies every named artifact and reports unreferenced objects.
     pub fn verify_all(&mut self) -> Result<VerifyReport, StoreError> {
         let mut report = VerifyReport {
@@ -483,13 +519,23 @@ impl Store {
                 }),
             }
         }
+        let pinned: std::collections::HashSet<PathBuf> = self
+            .rollout_pins()?
+            .into_iter()
+            .map(|id| self.object_path(ArtifactId(id)))
+            .collect();
         let live: std::collections::HashSet<PathBuf> = self
             .names
             .values()
             .map(|p| self.object_path(ArtifactId(p.id)))
             .collect();
         for f in self.fs.list(&self.root.join("objects"))? {
-            if !live.contains(&f) {
+            if live.contains(&f) {
+                continue;
+            }
+            if pinned.contains(&f) {
+                report.pinned += 1;
+            } else {
                 report.unreferenced += 1;
             }
         }
@@ -501,17 +547,22 @@ impl Store {
 
     /// Removes unreferenced objects and staging leftovers, and
     /// compacts the journal. Safe at any time: live artifacts are
-    /// untouched and the journal rewrite is atomic.
+    /// untouched, artifacts pinned by an in-flight rollout journal
+    /// (see [`Store::rollout_pins`]) are kept even when unnamed, and
+    /// the journal rewrite is atomic.
     pub fn gc(&mut self) -> Result<GcReport, StoreError> {
         let mut report = GcReport {
             live: self.names.len(),
             ..Default::default()
         };
-        let live: std::collections::HashSet<PathBuf> = self
+        let mut live: std::collections::HashSet<PathBuf> = self
             .names
             .values()
             .map(|p| self.object_path(ArtifactId(p.id)))
             .collect();
+        for id in self.rollout_pins()? {
+            live.insert(self.object_path(ArtifactId(id)));
+        }
         for f in self.fs.list(&self.root.join("objects"))? {
             if !live.contains(&f) {
                 self.fs.remove(&f)?;
@@ -775,6 +826,67 @@ mod tests {
             assert!(s.verify_all().unwrap().all_ok());
             let _ = std::fs::remove_dir_all(&dir_n);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_never_collects_artifacts_pinned_by_an_inflight_rollout() {
+        use crate::rollout::{RolloutJournal, RolloutPhase};
+        let dir = scratch("gc-pins");
+        let mut s = open(&dir);
+        // v1 is live, then v2 takes its name: v1 becomes unnamed.
+        let v1 = s
+            .put(ArtifactKind::Bitstream, "bitstream/current", b"bits v1")
+            .unwrap();
+        let mut journal =
+            RolloutJournal::begin("rollout/current", ("usps".into(), 1), ("usps".into(), 2), 2);
+        journal.pins = vec![(ArtifactKind::Bitstream, v1.0)];
+        s.put(
+            ArtifactKind::Rollout,
+            "rollout/current",
+            journal.to_text().as_bytes(),
+        )
+        .unwrap();
+        s.put(ArtifactKind::Bitstream, "bitstream/current", b"bits v2")
+            .unwrap();
+
+        // The regression this guards: gc used to reap every unnamed
+        // object, including the old version a crashed rollout would
+        // need to roll back to.
+        let rep = s.verify_all().unwrap();
+        assert_eq!(rep.pinned, 1, "old bitstream is pinned, not garbage");
+        assert_eq!(rep.unreferenced, 0);
+        let gc = s.gc().unwrap();
+        assert_eq!(gc.removed_objects, 0, "pinned object must survive gc");
+        // The pinned bytes are still intact and re-nameable (exactly
+        // what a rollback does).
+        let back = s
+            .put(ArtifactKind::Bitstream, "bitstream/current", b"bits v1")
+            .unwrap();
+        assert_eq!(back, v1);
+        assert_eq!(
+            s.get(ArtifactKind::Bitstream, "bitstream/current").unwrap(),
+            b"bits v1"
+        );
+
+        // Once the rollout terminates, the pin lapses: re-point the
+        // name at v2 and mark the journal promoted.
+        s.put(ArtifactKind::Bitstream, "bitstream/current", b"bits v2")
+            .unwrap();
+        journal.phase = RolloutPhase::Promoted;
+        s.put(
+            ArtifactKind::Rollout,
+            "rollout/current",
+            journal.to_text().as_bytes(),
+        )
+        .unwrap();
+        assert!(s.rollout_pins().unwrap().is_empty());
+        let gc = s.gc().unwrap();
+        assert!(
+            gc.removed_objects >= 1,
+            "terminal rollout releases its pins"
+        );
+        assert_eq!(s.verify_all().unwrap().pinned, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

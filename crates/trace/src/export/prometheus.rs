@@ -150,6 +150,39 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
         "cnn_sdc_correctness_breaches_total",
         "Correctness SLO burn-rate breach edges driven by canary and attestation outcomes.",
     ),
+    // Rolling reconfiguration (blue-green model rollout).
+    (
+        "cnn_rollout_started_total",
+        "Rolling reconfigurations begun against a device pool.",
+    ),
+    (
+        "cnn_rollout_drains_total",
+        "Devices drained of in-flight work ahead of a version swap.",
+    ),
+    (
+        "cnn_rollout_swaps_total",
+        "Device bitstream + weight-bank swaps performed, by outcome (ok or failed).",
+    ),
+    (
+        "cnn_rollout_canary_probes_total",
+        "Golden canary probes run against freshly swapped devices, by result (pass or fail).",
+    ),
+    (
+        "cnn_rollout_promotions_total",
+        "Rollouts promoted fleet-wide after a clean canary SLO window.",
+    ),
+    (
+        "cnn_rollout_rollbacks_total",
+        "Rollouts rolled back to the prior version, by reason (canary, slo or resume).",
+    ),
+    (
+        "cnn_rollout_journal_records_total",
+        "Rollout journal records appended to the crash-safe store, by step.",
+    ),
+    (
+        "cnn_rollout_resumes_total",
+        "Rollouts resumed from a persisted journal after a restart, by direction (forward or rollback).",
+    ),
     // Bench sweeps.
     (
         "cnn_fault_sweep_abandoned_images_total",

@@ -77,6 +77,20 @@ pub enum FlightStage {
     /// A quarantined device completed probation and rejoined the pool
     /// (`arg` = device index).
     Rejoin = 16,
+    /// A rolling reconfiguration began (`arg` = target model version).
+    RolloutStart = 17,
+    /// A device began draining for reconfiguration (`arg` = device
+    /// index).
+    Drain = 18,
+    /// A drained device's bitstream + weight banks were swapped to a
+    /// new model version (`arg` = device index).
+    Swap = 19,
+    /// The rollout promoted the new version fleet-wide (`arg` = model
+    /// version promoted).
+    Promote = 20,
+    /// The rollout rolled the fleet back to the prior version
+    /// (`arg` = model version restored).
+    Rollback = 21,
 }
 
 /// `arg` value of a [`FlightStage::Shed`] record: the completion
@@ -107,6 +121,11 @@ impl FlightStage {
             FlightStage::WeightReload => "weight_reload",
             FlightStage::CanaryProbe => "canary_probe",
             FlightStage::Rejoin => "rejoin",
+            FlightStage::RolloutStart => "rollout_start",
+            FlightStage::Drain => "drain",
+            FlightStage::Swap => "swap",
+            FlightStage::Promote => "promote",
+            FlightStage::Rollback => "rollback",
         }
     }
 
@@ -129,6 +148,11 @@ impl FlightStage {
             14 => FlightStage::WeightReload,
             15 => FlightStage::CanaryProbe,
             16 => FlightStage::Rejoin,
+            17 => FlightStage::RolloutStart,
+            18 => FlightStage::Drain,
+            19 => FlightStage::Swap,
+            20 => FlightStage::Promote,
+            21 => FlightStage::Rollback,
             _ => return None,
         })
     }
@@ -316,6 +340,11 @@ mod tests {
             FlightStage::WeightReload,
             FlightStage::CanaryProbe,
             FlightStage::Rejoin,
+            FlightStage::RolloutStart,
+            FlightStage::Drain,
+            FlightStage::Swap,
+            FlightStage::Promote,
+            FlightStage::Rollback,
         ];
         for (i, &s) in stages.iter().enumerate() {
             r.record(99, s, i as u64, i as u64 * 2);

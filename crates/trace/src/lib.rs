@@ -11,7 +11,7 @@
 //! that signal machine-readable *inside* a run instead of only at its
 //! end:
 //!
-//! * [`span`] — hierarchical RAII spans, timestamped on **two
+//! * [`span`](mod@span) — hierarchical RAII spans, timestamped on **two
 //!   clocks**: wall-clock nanoseconds (what the host actually spent)
 //!   and the per-thread **simulated fabric cycle counter** (what the
 //!   modelled Zynq spent; advanced by the DMA/fault/compute models via
@@ -25,7 +25,7 @@
 //!   human-readable per-span latency table,
 //! * [`ctx`] — the `Copy` per-request causal context the serving
 //!   stack threads from admission to DMA attempt,
-//! * [`flight`] — the **always-on** bounded lock-free flight-recorder
+//! * [`flight`](mod@flight) — the **always-on** bounded lock-free flight-recorder
 //!   ring of fixed-size request-lifecycle records (dumpable as
 //!   Chrome-trace flow events),
 //! * [`slo`] — multi-window fast/slow burn-rate monitoring over
@@ -154,7 +154,7 @@ pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> SpanGuard 
     SpanGuard::enter(cat, name.into())
 }
 
-/// [`span`] with a lazily built name: the closure (and its allocation)
+/// [`span`](fn@span) with a lazily built name: the closure (and its allocation)
 /// runs only when the recorder is on — use for `format!`ed names on
 /// hot paths.
 #[inline]

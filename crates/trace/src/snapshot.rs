@@ -4,7 +4,7 @@ use crate::event::{Event, EventKind};
 use crate::registry::{CounterSnapshot, HistogramSnapshot};
 use std::collections::{BTreeMap, HashMap};
 
-/// Everything recorded up to [`crate::snapshot`] time.
+/// Everything recorded up to [`crate::snapshot`](fn@crate::snapshot) time.
 #[derive(Clone, Debug)]
 pub struct TraceSnapshot {
     /// Journal events, oldest first.

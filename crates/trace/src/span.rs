@@ -4,7 +4,8 @@ use crate::event::{Event, EventKind};
 use std::borrow::Cow;
 
 /// An open span: records its exit (with fresh wall/cycle timestamps)
-/// when dropped. Obtained from [`crate::span`] / [`crate::span_lazy`];
+/// when dropped. Obtained from [`crate::span`](fn@crate::span) /
+/// [`crate::span_lazy`];
 /// inert when the recorder is off, so guards cost one branch on the
 /// disabled path.
 #[must_use = "a span guard records its exit on drop; binding it to _ closes it immediately"]

@@ -52,4 +52,17 @@ echo "== trace_overhead --smoke: instrumented Test-4 inference within 5% of bare
 # 5% (+20us jitter floor) or perturbs the prediction.
 cargo run --release -p cnn-bench --bin trace_overhead -- --smoke --out target/BENCH_traceoverhead_smoke.json
 
+echo "== cargo doc: public API docs must build warning-free =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== rollout_sweep --smoke: zero-downtime rollout (zero dropped, old-or-new at every crash point, rollback bit-exact) =="
+# Four scenarios (clean / SEU-during-swap / shipped regression /
+# hostile release) x crash-point cells; the binary exits nonzero if
+# any request is dropped or answered wrongly, a clean rollout dips
+# below 99.9% mid-flight availability, a crash cell resumes with a
+# torn fleet or misses its terminal phase, the regression scenario
+# routes a poisoned answer to traffic, or the hostile release
+# promotes instead of tripping the SLO rollback.
+cargo run --release -p cnn-bench --bin rollout_sweep -- --smoke --out target/BENCH_rollout_smoke.json
+
 echo "ci: all green"
