@@ -1,0 +1,440 @@
+//! Reproducible int8-engine benchmark: what does calibrated int8
+//! quantization actually buy — and cost — on this machine?
+//!
+//! Three families of measurements, each with a hard gate so a
+//! regression fails the run rather than just shifting a number:
+//!
+//! * **Kernel speed** — the pair-interleaved int8 GEMM
+//!   ([`qgemm_bias_into`]) vs the f32 blocked GEMM
+//!   ([`gemm_bias_into`]) on the Test-4 convolution shapes
+//!   (12×75 over 784 columns, 36×300 over 100 columns), median of N
+//!   with warmup. Gate: **int8 ≥ 2× f32** on every shape.
+//! * **Accuracy** — each paper network is built deterministically,
+//!   calibrated on a prefix of a deterministic image stream, and both
+//!   engines classify the same labeled set. Gate: **top-1 error moves
+//!   at most 1 percentage point** from f32 to int8.
+//! * **Determinism** — every SIMD tier the host supports (scalar,
+//!   AVX2, AVX-512, VNNI) must produce bit-identical accumulators on
+//!   every shape; reruns must be bit-identical; batched quantized
+//!   inference must match single-image inference bit for bit. Gate:
+//!   **zero mismatches**.
+//!
+//! Results are committed atomically to `BENCH_quant.json` (override
+//! with `--out <path>`); `--smoke` shrinks rep and image counts for
+//! CI. Everything is deterministic: weights from
+//! [`build_deterministic`] (SplitMix64), images and codes from the
+//! same stream — no ambient RNG, no dataset download, so reruns of
+//! the committed configuration reproduce the file byte-for-byte
+//! (timings aside).
+
+use cnn_framework::weights::build_deterministic;
+use cnn_framework::PaperTest;
+use cnn_nn::QuantNetwork;
+use cnn_store::atomic_write;
+use cnn_store::hash::SplitMix64;
+use cnn_tensor::ops::gemm::gemm_bias_into;
+use cnn_tensor::ops::qgemm::{
+    available_qsimd_tiers, qgemm_bias_into, qgemm_bias_into_tier, qsimd_tier,
+};
+use cnn_tensor::{PackedKernels, PackedKernelsI8, Shape, Tensor, Tensor4, Workspace};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median wall time of `reps` calls to `f`, in nanoseconds, after
+/// `warmup` untimed calls.
+fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut()) -> u64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn deterministic_images(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect()
+}
+
+/// Deterministic i8 codes in the symmetric range `[-127, 127]`.
+fn deterministic_codes(n: usize, seed: u64) -> Vec<i8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| ((rng.next_f64() * 2.0 - 1.0) * 127.0).round() as i8)
+        .collect()
+}
+
+/// The Test-4 convolution shapes as GEMM problems
+/// `(label, rows, in-channels, kh, kw, ncols)`.
+const SHAPES: [(&str, usize, usize, usize, usize, usize); 2] = [
+    ("test4-conv1", 12, 3, 5, 5, 784),
+    ("test4-conv2", 36, 12, 5, 5, 100),
+];
+
+struct ShapeRow {
+    label: &'static str,
+    rows: usize,
+    kdim: usize,
+    ncols: usize,
+    f32_ns: u64,
+    int8_ns: u64,
+    tiers_bit_identical: bool,
+    rerun_bit_identical: bool,
+}
+
+fn speedup(base_ns: u64, fast_ns: u64) -> f64 {
+    base_ns as f64 / fast_ns.max(1) as f64
+}
+
+fn bench_shape(
+    shape: (&'static str, usize, usize, usize, usize, usize),
+    warmup: usize,
+    reps: usize,
+) -> ShapeRow {
+    let (label, rows, c, kh, kw, ncols) = shape;
+    let kdim = c * kh * kw;
+    let seed = 0x0117 ^ (rows * 31 + ncols) as u64;
+
+    // f32 side: packed weights, dense B, blocked GEMM.
+    let mut rng = SplitMix64::new(seed);
+    let kernels = Tensor4::from_fn(rows, c, kh, kw, |_, _, _, _| {
+        (rng.next_f64() * 2.0 - 1.0) as f32
+    });
+    let fbias: Vec<f32> = (0..rows).map(|_| (rng.next_f64() - 0.5) as f32).collect();
+    let fb: Vec<f32> = (0..kdim * ncols)
+        .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+        .collect();
+    let fpacked = PackedKernels::pack(&kernels);
+    let mut fout = vec![0.0f32; rows * ncols];
+    let f32_ns = median_ns(warmup, reps, || {
+        gemm_bias_into(
+            &fpacked,
+            std::hint::black_box(&fb),
+            &fbias,
+            ncols,
+            &mut fout,
+        );
+        std::hint::black_box(&fout);
+    });
+
+    // int8 side: the same problem size on the quantized engine —
+    // pair-interleaved B, widening multiplies, i32 accumulate.
+    let qweights = deterministic_codes(rows * kdim, seed ^ 0xAB);
+    let qpacked = PackedKernelsI8::pack(&qweights, rows, kdim);
+    let qbias: Vec<i32> = (0..rows as i32).map(|r| r * 17 - 100).collect();
+    let kpairs = qpacked.kpairs();
+    let bcodes = deterministic_codes(kdim * ncols, seed ^ 0xCD);
+    // Pair-interleave column-major: b[(kp*ncols + j)*2 + d] = codes
+    // for kdim rows 2kp and 2kp+1 of column j (zero when kdim is odd).
+    let mut qb = vec![0i16; kpairs * ncols * 2];
+    for j in 0..ncols {
+        for ki in 0..kdim {
+            qb[((ki / 2) * ncols + j) * 2 + (ki & 1)] = bcodes[ki * ncols + j] as i16;
+        }
+    }
+    let mut qout = vec![0i32; rows * ncols];
+    let int8_ns = median_ns(warmup, reps, || {
+        qgemm_bias_into(
+            &qpacked,
+            std::hint::black_box(&qb),
+            &qbias,
+            ncols,
+            &mut qout,
+        );
+        std::hint::black_box(&qout);
+    });
+
+    // Cross-tier and rerun bit-identity on this exact problem.
+    let tiers = available_qsimd_tiers();
+    let reference = qout.clone();
+    let mut tiers_bit_identical = true;
+    for tier in &tiers {
+        let mut out = vec![0i32; rows * ncols];
+        qgemm_bias_into_tier(*tier, &qpacked, &qb, &qbias, ncols, &mut out);
+        tiers_bit_identical &= out == reference;
+    }
+    let mut rerun = vec![0i32; rows * ncols];
+    qgemm_bias_into(&qpacked, &qb, &qbias, ncols, &mut rerun);
+    let rerun_bit_identical = rerun == reference;
+
+    ShapeRow {
+        label,
+        rows,
+        kdim,
+        ncols,
+        f32_ns,
+        int8_ns,
+        tiers_bit_identical,
+        rerun_bit_identical,
+    }
+}
+
+struct AccuracyRow {
+    name: &'static str,
+    images: usize,
+    f32_error: f64,
+    int8_error: f64,
+    agreement: f64,
+    batch_bit_identical: bool,
+}
+
+fn bench_accuracy(test: PaperTest, n_images: usize, n_cal: usize) -> AccuracyRow {
+    let net = build_deterministic(&test.spec(), 2016).expect("valid paper spec");
+    let images = deterministic_images(
+        net.input_shape(),
+        n_images,
+        0x0117_ACC0 ^ test.name().len() as u64,
+    );
+    let labels: Vec<usize> = (0..n_images).map(|i| i % net.classes()).collect();
+    let quant = QuantNetwork::quantize(&net, &images[..n_cal.min(n_images)]);
+
+    let f32_preds: Vec<usize> = images.iter().map(|t| net.predict(t)).collect();
+    let q_preds = quant.predict_batch(&images);
+    let wrong = |preds: &[usize]| preds.iter().zip(&labels).filter(|(p, l)| p != l).count();
+    let agree = f32_preds
+        .iter()
+        .zip(&q_preds)
+        .filter(|(a, b)| a == b)
+        .count();
+
+    // Batched quantized inference must match single-image inference
+    // bit for bit — integer arithmetic leaves no order freedom.
+    let mut ws = Workspace::new();
+    let batched = quant.infer_batch_quant(&images[..8.min(n_images)], &mut ws);
+    let batch_bit_identical = batched.iter().zip(&images).all(|(b, img)| {
+        let lone = quant.infer_quant(img, &mut ws);
+        lone.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    });
+
+    AccuracyRow {
+        name: test.name(),
+        images: n_images,
+        f32_error: wrong(&f32_preds) as f64 / n_images as f64,
+        int8_error: wrong(&q_preds) as f64 / n_images as f64,
+        agreement: agree as f64 / n_images as f64,
+        batch_bit_identical,
+    }
+}
+
+fn render_json(
+    mode: &str,
+    warmup: usize,
+    reps: usize,
+    tier: &str,
+    tiers: &[String],
+    shapes: &[ShapeRow],
+    accuracy: &[AccuracyRow],
+) -> String {
+    let mut j = String::from("{\n  \"benchmark\": \"quant\",\n");
+    let _ = writeln!(j, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(j, "  \"warmup\": {warmup},");
+    let _ = writeln!(j, "  \"reps\": {reps},");
+    let _ = writeln!(j, "  \"dispatch_tier\": \"{tier}\",");
+    let _ = writeln!(
+        j,
+        "  \"available_tiers\": [{}],",
+        tiers
+            .iter()
+            .map(|t| format!("\"{t}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    j.push_str("  \"shapes\": [\n");
+    for (i, s) in shapes.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"label\": \"{}\", \"rows\": {}, \"kdim\": {}, \"ncols\": {}, \
+             \"f32_ns\": {}, \"int8_ns\": {}, \"speedup\": {:.3}, \
+             \"tiers_bit_identical\": {}, \"rerun_bit_identical\": {}}}",
+            s.label,
+            s.rows,
+            s.kdim,
+            s.ncols,
+            s.f32_ns,
+            s.int8_ns,
+            speedup(s.f32_ns, s.int8_ns),
+            s.tiers_bit_identical,
+            s.rerun_bit_identical
+        );
+        j.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"accuracy\": [\n");
+    for (i, a) in accuracy.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"test\": \"{}\", \"images\": {}, \"f32_error\": {:.4}, \
+             \"int8_error\": {:.4}, \"error_delta_pp\": {:.2}, \"top1_agreement\": {:.4}, \
+             \"batch_bit_identical\": {}}}",
+            a.name,
+            a.images,
+            a.f32_error,
+            a.int8_error,
+            (a.int8_error - a.f32_error).abs() * 100.0,
+            a.agreement,
+            a.batch_bit_identical
+        );
+        j.push_str(if i + 1 < accuracy.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let min_speedup = shapes
+        .iter()
+        .map(|s| speedup(s.f32_ns, s.int8_ns))
+        .fold(f64::INFINITY, f64::min);
+    let max_delta = accuracy
+        .iter()
+        .map(|a| (a.int8_error - a.f32_error).abs())
+        .fold(0.0f64, f64::max);
+    let all_bits = shapes
+        .iter()
+        .all(|s| s.tiers_bit_identical && s.rerun_bit_identical)
+        && accuracy.iter().all(|a| a.batch_bit_identical);
+    let _ = writeln!(j, "  \"min_shape_speedup\": {min_speedup:.3},");
+    let _ = writeln!(j, "  \"max_error_delta_pp\": {:.2},", max_delta * 100.0);
+    let _ = writeln!(j, "  \"all_bit_identical\": {all_bits}");
+    j.push_str("}\n");
+    j
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+    let (mode, warmup, reps, n_images) = if smoke {
+        ("smoke", 2, 9, 120)
+    } else {
+        ("full", 5, 31, 400)
+    };
+    let n_cal = 32;
+
+    let tier = qsimd_tier().label();
+    let tiers: Vec<String> = available_qsimd_tiers()
+        .iter()
+        .map(|t| t.label().to_string())
+        .collect();
+    println!(
+        "QUANT — int8 engine vs f32 blocked GEMM ({mode}, median of {reps}, \
+         dispatch {tier}, tiers [{}])\n",
+        tiers.join(", ")
+    );
+
+    let shapes: Vec<ShapeRow> = SHAPES
+        .iter()
+        .map(|&shape| {
+            let (label, rows, _, _, _, ncols) = shape;
+            let r = bench_shape(shape, warmup, reps);
+            println!(
+                "  {label} {rows}x{} over {ncols} cols: f32 {:>9} ns  int8 {:>9} ns  \
+                 {:>5.2}x  tiers {}  rerun {}",
+                r.kdim,
+                r.f32_ns,
+                r.int8_ns,
+                speedup(r.f32_ns, r.int8_ns),
+                if r.tiers_bit_identical {
+                    "ok"
+                } else {
+                    "DIFFER"
+                },
+                if r.rerun_bit_identical {
+                    "ok"
+                } else {
+                    "DIFFER"
+                },
+            );
+            r
+        })
+        .collect();
+
+    println!();
+    let accuracy: Vec<AccuracyRow> = PaperTest::ALL
+        .iter()
+        .map(|&test| {
+            let a = bench_accuracy(test, n_images, n_cal);
+            println!(
+                "  {} over {} images: f32 err {:>5.1}%  int8 err {:>5.1}%  \
+                 delta {:>4.2}pp  top-1 agree {:>5.1}%  batch bits {}",
+                a.name,
+                a.images,
+                a.f32_error * 100.0,
+                a.int8_error * 100.0,
+                (a.int8_error - a.f32_error).abs() * 100.0,
+                a.agreement * 100.0,
+                if a.batch_bit_identical {
+                    "ok"
+                } else {
+                    "DIFFER"
+                },
+            );
+            a
+        })
+        .collect();
+
+    let json = render_json(mode, warmup, reps, tier, &tiers, &shapes, &accuracy);
+    atomic_write(&out_path, json.as_bytes()).expect("atomic result commit");
+    println!("\nresults committed atomically to {out_path}");
+
+    // Hard gates — these make the benchmark a test.
+    for s in &shapes {
+        assert!(
+            s.tiers_bit_identical,
+            "{}: SIMD tiers disagree bit-for-bit on the int8 GEMM",
+            s.label
+        );
+        assert!(
+            s.rerun_bit_identical,
+            "{}: int8 GEMM rerun is not bit-identical",
+            s.label
+        );
+        let x = speedup(s.f32_ns, s.int8_ns);
+        assert!(
+            x >= 2.0,
+            "{}: int8 GEMM is only {x:.2}x f32 on {}x{} over {} cols — the engine regressed",
+            s.label,
+            s.rows,
+            s.kdim,
+            s.ncols
+        );
+    }
+    for a in &accuracy {
+        assert!(
+            a.batch_bit_identical,
+            "{}: batched quantized inference diverged from single-image",
+            a.name
+        );
+        let delta = (a.int8_error - a.f32_error).abs();
+        assert!(
+            delta <= 0.01,
+            "{}: int8 top-1 error moved {:.2}pp from f32 (gate: 1pp)",
+            a.name,
+            delta * 100.0
+        );
+    }
+    let min_x = shapes
+        .iter()
+        .map(|s| speedup(s.f32_ns, s.int8_ns))
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "gates: int8 >= 2x f32 on every shape (min {min_x:.2}x), error delta <= 1pp, \
+         tier/rerun/batch bit-identity ok"
+    );
+}

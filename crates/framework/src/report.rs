@@ -3,9 +3,12 @@
 //! paper's tables with reference values alongside the measured ones.
 
 use crate::experiments::{Experiment, PaperTest};
-use cnn_hls::{HlsProject, ResourceUsage};
+use cnn_fpga::Board;
+use cnn_hls::{DirectiveSet, HlsProject, Precision, ResourceUsage};
+use cnn_nn::{Network, QuantNetwork};
 use cnn_platform::ZynqSoc;
 use cnn_power::EnergyMeter;
+use cnn_tensor::Tensor;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -190,6 +193,107 @@ pub fn render_table2(rows: &[(PaperTest, Table2Row)]) -> String {
     out
 }
 
+/// One row of the f32-vs-int8 comparison: a paper network at one
+/// datapath precision on one board — accuracy next to the resources
+/// the binding needs, so the precision trade the paper declined
+/// ("32-bit floating point […] implies a higher usage of resources")
+/// is measured rather than assumed.
+#[derive(Clone, Debug, Serialize)]
+pub struct QuantTableRow {
+    /// Test name.
+    pub test: String,
+    /// Datapath precision label (`f32` / `int8`).
+    pub precision: String,
+    /// Board name (`Zedboard` / `Zybo`).
+    pub board: String,
+    /// Prediction error on the test set (fraction). The int8 rows run
+    /// the true quantized engine, not a simulation.
+    pub error: f64,
+    /// Resource binding for this precision on this board.
+    pub usage: ResourceUsage,
+    /// Whether the binding fits the board.
+    pub fits: bool,
+}
+
+/// Builds the accuracy-vs-resources grid for one network: both
+/// precisions crossed with both boards. The int8 error comes from the
+/// calibrated [`QuantNetwork`] running the real integer engine;
+/// resources come from re-binding the same design at each precision
+/// (int8 packs two multiplies per DSP48 and halves BRAM word width).
+pub fn quant_comparison_rows(
+    test_name: &str,
+    network: &Network,
+    directives: &DirectiveSet,
+    calibration: &[Tensor],
+    images: &[Tensor],
+    labels: &[usize],
+) -> Vec<QuantTableRow> {
+    let quant = QuantNetwork::quantize(network, calibration);
+    let f32_error = network.prediction_error(images, labels);
+    let int8_error = quant.prediction_error(images, labels);
+    let ir = cnn_hls::ir::lower(network);
+    let mut rows = Vec::with_capacity(4);
+    for board in Board::ALL {
+        for (precision, error) in [
+            (Precision::float32(), f32_error),
+            (Precision::int8(), int8_error),
+        ] {
+            let usage = cnn_hls::bind::bind_with(&ir, directives, board.part(), precision);
+            rows.push(QuantTableRow {
+                test: test_name.to_string(),
+                precision: precision.label(),
+                board: board.name().to_string(),
+                error,
+                fits: usage.fits(),
+                usage,
+            });
+        }
+    }
+    rows
+}
+
+/// [`quant_comparison_rows`] for a built experiment, calibrating on a
+/// prefix of its test images.
+pub fn run_quant_rows(e: &Experiment) -> Vec<QuantTableRow> {
+    let cal = &e.test_images[..e.test_images.len().min(32)];
+    quant_comparison_rows(
+        e.test.name(),
+        &e.network,
+        &e.spec.directives(),
+        cal,
+        &e.test_images,
+        &e.test_labels,
+    )
+}
+
+/// Renders the f32-vs-int8 grid (ASCII).
+pub fn render_quant_table(rows: &[QuantTableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:<5} {:<9} | {:>7} | {:>8} {:>8} {:>8} {:>8} | {:>4}",
+        "Test", "Prec", "Board", "Err", "FF", "LUT", "BRAM", "DSP", "Fits"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in rows {
+        let u = &r.usage;
+        let _ = writeln!(
+            out,
+            "{:<7} {:<5} {:<9} | {:>6.1}% | {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}% | {:>4}",
+            r.test,
+            r.precision,
+            r.board,
+            r.error * 100.0,
+            u.ff_pct(),
+            u.lut_pct(),
+            u.bram_pct(),
+            u.dsp_pct(),
+            if r.fits { "yes" } else { "NO" }
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +368,100 @@ mod tests {
         assert!(text.contains("Test 1"));
         assert!(text.contains("(paper)"));
         assert!(text.contains("Speedup"));
+    }
+
+    #[test]
+    fn quant_rows_cover_both_precisions_and_boards() {
+        use cnn_nn::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
+        use cnn_tensor::ops::activation::Activation;
+        use cnn_tensor::ops::pool::PoolKind;
+        use cnn_tensor::{Shape, Tensor4};
+
+        // Deterministic weights — no RNG, so the test runs everywhere.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 * 0.4 - 0.2
+        };
+        let network = Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(6, 1, 5, 5, |_, _, _, _| next()),
+                    bias: (0..6).map(|_| next()).collect(),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: (0..216 * 10).map(|_| next()).collect(),
+                    bias: (0..10).map(|_| next()).collect(),
+                    inputs: 216,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap();
+        let images: Vec<Tensor> = (0..8)
+            .map(|i| {
+                Tensor::from_fn(Shape::new(1, 16, 16), |_, y, x| {
+                    ((y * 16 + x + i * 31) % 23) as f32 * 0.08 - 0.9
+                })
+            })
+            .collect();
+        let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+
+        let rows = quant_comparison_rows(
+            "Test 1",
+            &network,
+            &cnn_hls::DirectiveSet::optimized(),
+            &images,
+            &images,
+            &labels,
+        );
+        assert_eq!(rows.len(), 4, "2 precisions x 2 boards");
+        for board in ["Zedboard", "Zybo"] {
+            let f32_row = rows
+                .iter()
+                .find(|r| r.board == board && r.precision == "f32")
+                .unwrap();
+            let int8_row = rows
+                .iter()
+                .find(|r| r.board == board && r.precision == "int8")
+                .unwrap();
+            // Two MACs per DSP48 and 8-bit BRAM words: int8 must be
+            // strictly cheaper on the axes the tentpole targets.
+            assert!(
+                int8_row.usage.dsp < f32_row.usage.dsp,
+                "{board}: int8 dsp {} !< f32 dsp {}",
+                int8_row.usage.dsp,
+                f32_row.usage.dsp
+            );
+            assert!(
+                int8_row.usage.bram36 <= f32_row.usage.bram36,
+                "{board}: int8 bram {} > f32 bram {}",
+                int8_row.usage.bram36,
+                f32_row.usage.bram36
+            );
+            // Calibrated int8 stays close to f32 accuracy.
+            assert!(
+                (int8_row.error - f32_row.error).abs() <= 0.25,
+                "{board}: int8 err {} vs f32 err {}",
+                int8_row.error,
+                f32_row.error
+            );
+        }
+        let text = render_quant_table(&rows);
+        assert!(text.contains("int8") && text.contains("Zybo") && text.contains("Fits"));
     }
 
     #[test]

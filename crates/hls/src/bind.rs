@@ -69,7 +69,14 @@ fn block_operator_usage(
     for op in FpOp::ALL {
         let instances = block.body.count(op) * lanes + block.post.count(op);
         let c = precision.op_cost(op);
-        dsp += instances * c.dsp as u64;
+        // Multiplies can share a DSP48 when the precision packs more
+        // than one product per slice (int8: two 8×8 per 25×18).
+        let dsp_instances = if op == FpOp::Mul {
+            instances.div_ceil(precision.muls_per_dsp())
+        } else {
+            instances
+        };
+        dsp += dsp_instances * c.dsp as u64;
         lut += instances * c.lut as u64;
         ff += instances * c.ff as u64;
     }

@@ -22,6 +22,11 @@ pub enum Precision {
         /// Fractional bits.
         frac_bits: u32,
     },
+    /// True int8: calibrated symmetric scales, i8 weights/activations,
+    /// i32 accumulators (the `cnn-nn` quantized inference engine).
+    /// Unlike `Fixed`, scales are per-tensor rather than a global
+    /// `Qm.n` grid, and two 8×8 multiplies pack into one DSP48.
+    Int8,
 }
 
 impl Precision {
@@ -46,11 +51,17 @@ impl Precision {
         }
     }
 
+    /// Calibrated int8.
+    pub const fn int8() -> Precision {
+        Precision::Int8
+    }
+
     /// Storage bits per weight/activation element.
     pub fn bits_per_element(self) -> u32 {
         match self {
             Precision::Float32 => 32,
             Precision::Fixed { total_bits, .. } => total_bits,
+            Precision::Int8 => 8,
         }
     }
 
@@ -64,6 +75,19 @@ impl Precision {
             } => {
                 format!("q{}.{}", total_bits - frac_bits, frac_bits)
             }
+            Precision::Int8 => "int8".to_string(),
+        }
+    }
+
+    /// How many multiplies one DSP48 slice serves per cycle: the
+    /// 25×18 multiplier fits two independent 8×8 products (weight
+    /// pair packed into the 25-bit port), so int8 doubles MAC
+    /// density — the same trick the software engine's `vpmaddwd`
+    /// kernels exploit lane-wise.
+    pub fn muls_per_dsp(self) -> u64 {
+        match self {
+            Precision::Int8 => 2,
+            _ => 1,
         }
     }
 
@@ -116,6 +140,47 @@ impl Precision {
                     },
                 }
             }
+            // Int8 has its own rows — it must NOT fall through to a
+            // 16-bit fixed config: the multiplier is a narrow 8×8
+            // product (single-cycle, DSP-packable via
+            // [`Self::muls_per_dsp`]), the adder is the 32-bit
+            // accumulator carry chain, and the transcendentals
+            // collapse into a 255-entry i8→i8 table lookup with no
+            // DSP at all.
+            Precision::Int8 => match op {
+                FpOp::Mul => OpCost {
+                    latency: 1,
+                    dsp: 1,
+                    lut: 8,
+                    ff: 16,
+                },
+                // i32 widening accumulate: one 32-bit carry chain.
+                FpOp::Add => OpCost {
+                    latency: 1,
+                    dsp: 0,
+                    lut: 32,
+                    ff: 32,
+                },
+                FpOp::Cmp => OpCost {
+                    latency: 1,
+                    dsp: 0,
+                    lut: 4,
+                    ff: 8,
+                },
+                // 255-entry code→code LUT (tanh/relu/sigmoid alike).
+                FpOp::Exp | FpOp::Log => OpCost {
+                    latency: 1,
+                    dsp: 0,
+                    lut: 64,
+                    ff: 8,
+                },
+                FpOp::Div => OpCost {
+                    latency: 4,
+                    dsp: 0,
+                    lut: 72,
+                    ff: 48,
+                },
+            },
         }
     }
 
@@ -126,7 +191,7 @@ impl Precision {
     pub fn reduction_ii(self) -> u64 {
         match self {
             Precision::Float32 => crate::calibration::II_REDUCTION,
-            Precision::Fixed { .. } => 1,
+            Precision::Fixed { .. } | Precision::Int8 => 1,
         }
     }
 }
@@ -140,6 +205,7 @@ mod tests {
         assert_eq!(Precision::float32().bits_per_element(), 32);
         assert_eq!(Precision::q8_8().bits_per_element(), 16);
         assert_eq!(Precision::q4_4().bits_per_element(), 8);
+        assert_eq!(Precision::int8().bits_per_element(), 8);
     }
 
     #[test]
@@ -147,6 +213,61 @@ mod tests {
         assert_eq!(Precision::float32().label(), "f32");
         assert_eq!(Precision::q8_8().label(), "q8.8");
         assert_eq!(Precision::q4_4().label(), "q4.4");
+        assert_eq!(Precision::int8().label(), "int8");
+    }
+
+    // One test per precision pinning its own characteristic rows, so
+    // no variant can silently fall through to another's cost table.
+    #[test]
+    fn float32_rows_are_the_operator_library() {
+        let p = Precision::float32();
+        assert_eq!(p.bits_per_element(), 32);
+        assert_eq!(p.reduction_ii(), 2);
+        assert_eq!(p.muls_per_dsp(), 1);
+        assert_eq!(p.op_cost(FpOp::Mul), FpOp::Mul.cost());
+    }
+
+    #[test]
+    fn q8_8_rows_are_the_16_bit_fixed_row() {
+        let p = Precision::q8_8();
+        assert_eq!(p.bits_per_element(), 16);
+        assert_eq!(p.reduction_ii(), 1);
+        assert_eq!(p.muls_per_dsp(), 1);
+        let mul = p.op_cost(FpOp::Mul);
+        assert_eq!((mul.latency, mul.dsp), (2, 1));
+        assert_eq!(p.op_cost(FpOp::Add).lut, 16);
+    }
+
+    #[test]
+    fn int8_rows_are_int8_specific() {
+        let p = Precision::int8();
+        assert_eq!(p.bits_per_element(), 8);
+        assert_eq!(p.reduction_ii(), 1);
+        assert_eq!(p.muls_per_dsp(), 2);
+        // Not the 16-bit fixed fall-through: single-cycle multiply,
+        // LUT-only transcendentals.
+        let mul = p.op_cost(FpOp::Mul);
+        assert_eq!((mul.latency, mul.dsp), (1, 1));
+        assert!(mul.lut < Precision::q8_8().op_cost(FpOp::Mul).lut);
+        assert_eq!(p.op_cost(FpOp::Exp).dsp, 0);
+        assert_eq!(p.op_cost(FpOp::Log).dsp, 0);
+        assert_eq!(p.op_cost(FpOp::Exp).latency, 1);
+        // The i32 accumulator carry chain is wider than the q4.4 adder.
+        assert!(p.op_cost(FpOp::Add).lut > Precision::q4_4().op_cost(FpOp::Add).lut);
+    }
+
+    #[test]
+    fn q4_4_and_int8_share_width_but_not_costs() {
+        // Same storage footprint, different engines: q4.4 is a fixed
+        // grid on a 2-cycle DSP multiply; int8 is calibrated scales on
+        // a single-cycle packed multiply.
+        let q = Precision::q4_4();
+        let i = Precision::int8();
+        assert_eq!(q.bits_per_element(), i.bits_per_element());
+        assert_ne!(q.label(), i.label());
+        assert_ne!(q.op_cost(FpOp::Mul), i.op_cost(FpOp::Mul));
+        assert_eq!(q.muls_per_dsp(), 1);
+        assert_eq!(i.muls_per_dsp(), 2);
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub fn core_fmax_mhz(op: FpOp, precision: Precision) -> f64 {
                 FpOp::Div => 320.0,
             }) * wide_penalty
         }
+        // Int8 is the narrowest datapath of all: single-cycle 8×8
+        // multiplies and table-driven transcendentals close at the
+        // DSP48/BRAM native ceiling.
+        Precision::Int8 => match op {
+            FpOp::Mul => 464.0,
+            FpOp::Add => 520.0,
+            FpOp::Cmp => 540.0,
+            FpOp::Exp => 450.0,
+            FpOp::Log => 450.0,
+            FpOp::Div => 340.0,
+        },
     }
 }
 

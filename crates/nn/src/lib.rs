@@ -47,6 +47,7 @@ pub mod io;
 pub mod layer;
 pub mod metrics;
 pub mod network;
+pub mod qnetwork;
 pub mod quant;
 pub mod summary;
 pub mod train;
@@ -55,4 +56,5 @@ pub use builder::NetworkBuilder;
 pub use checkpoint::{run_checkpointed, train_checkpointed, TrainCheckpoint};
 pub use layer::{Conv2dLayer, Layer, LinearLayer, PoolLayer};
 pub use network::{Network, NetworkError};
+pub use qnetwork::{calibrate, CalibrationStats, QLayer, QuantError, QuantNetwork};
 pub use train::{train, EpochStats, TrainConfig};

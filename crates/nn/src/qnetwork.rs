@@ -1,0 +1,1282 @@
+//! True int8 inference: post-training calibration, the quantized
+//! network artifact, and the integer forward pass over the
+//! `cnn-tensor` int8 engine.
+//!
+//! ## Scale derivation
+//!
+//! All grids are symmetric with zero-point 0 (see
+//! `cnn_tensor::ops::quantize`). Calibration runs the f32 network over
+//! a calibration set and records, per layer, the largest absolute
+//! **pre-activation** and **post-activation** value; a tensor with
+//! measured maximum `m` gets scale `m / 127`. Weights use
+//! **per-output-channel** scales for convolutions (each kernel's own
+//! max) and one per-layer scale for linear layers. Biases are stored
+//! as i32 at the accumulator's scale `s_in · s_w[k]`, and each output
+//! row carries a precomputed requantize multiplier
+//! `m[k] = s_in · s_w[k] / s_target`.
+//!
+//! Because every per-layer statistic is a running `max` — commutative
+//! and associative — calibration is **order-invariant**: a shuffled
+//! calibration set yields bit-identical scales
+//! (`tests/quant_properties.rs` asserts this).
+//!
+//! ## Activations
+//!
+//! Nonlinear layers requantize the accumulator to the calibrated
+//! pre-activation grid and then map codes through a 255-entry i8→i8
+//! lookup table (`lut[c+127] = quantize(f(c · s_pre), s_out)`) — the
+//! same table-driven form the HLS datapath uses for transcendentals.
+//! Layers without an activation requantize straight to the output
+//! grid. Max pooling operates directly on codes (the grid is
+//! monotone); mean pooling sums in i32. The final `LogSoftMax`
+//! dequantizes its input and runs in f32, so the quantized network
+//! returns ordinary log-probabilities.
+//!
+//! ## Determinism
+//!
+//! The integer path is exact: GEMM accumulation, pooling, LUTs and the
+//! f64 requantize rounding admit no order dependence, so scalar and
+//! SIMD kernels, reruns, and batched vs single-image inference are all
+//! bit-identical (gated by `quant_bench`).
+
+use crate::layer::{Layer, PoolLayer};
+use crate::network::Network;
+use cnn_store::hash::{hex64, parse_hex64, Fnv64};
+use cnn_tensor::ops::activation::Activation;
+use cnn_tensor::ops::pool::{pool_i8_slice_into, PoolKind};
+use cnn_tensor::ops::qgemm::{
+    im2col_i8_paired_into, qgemm_bias_into, requantize_rows, PackedKernelsI8,
+};
+use cnn_tensor::ops::quantize::{quantize_i8, quantize_slice_i8, scale_for_max_abs, QMAX_I8};
+use cnn_tensor::ops::softmax::log_softmax_inplace;
+use cnn_tensor::{Shape, Tensor, Workspace};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// Per-layer activation range measured by [`calibrate`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerCalibration {
+    /// Largest |value| entering the layer's activation function (for
+    /// conv/linear: the affine output). Equals `post_max` for layers
+    /// without an activation of their own.
+    pub pre_max: f32,
+    /// Largest |value| leaving the layer.
+    pub post_max: f32,
+}
+
+/// Activation ranges for a network over a calibration set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CalibrationStats {
+    /// Largest |value| over the calibration inputs themselves.
+    pub input_max: f32,
+    /// One entry per network layer.
+    pub layers: Vec<LayerCalibration>,
+}
+
+/// Runs the f32 network over `samples` and records per-layer max-abs
+/// ranges. Every statistic is a running max, so the result does not
+/// depend on sample order.
+pub fn calibrate(net: &Network, samples: &[Tensor]) -> CalibrationStats {
+    let _span = cnn_trace::span("nn", "calibrate");
+    assert!(!samples.is_empty(), "calibration set is empty");
+    // Activation-stripped twins of the affine layers, built once, so
+    // the pre-activation range is observable.
+    let stripped: Vec<Layer> = net
+        .layers()
+        .iter()
+        .map(|l| match l {
+            Layer::Conv2d(c) => {
+                let mut c = c.clone();
+                c.activation = None;
+                Layer::Conv2d(c)
+            }
+            Layer::Linear(l) => {
+                let mut l = l.clone();
+                l.activation = None;
+                Layer::Linear(l)
+            }
+            other => other.clone(),
+        })
+        .collect();
+
+    let mut input_max = 0.0f32;
+    let mut layers = vec![
+        LayerCalibration {
+            pre_max: 0.0,
+            post_max: 0.0,
+        };
+        net.layers().len()
+    ];
+    for sample in samples {
+        input_max = input_max.max(max_abs(sample.as_slice()));
+        let mut x = sample.clone();
+        for (i, (layer, plain)) in stripped.iter().zip(net.layers()).enumerate() {
+            let mut pre = layer.forward(&x);
+            layers[i].pre_max = layers[i].pre_max.max(max_abs(pre.as_slice()));
+            let act = match plain {
+                Layer::Conv2d(c) => c.activation,
+                Layer::Linear(l) => l.activation,
+                _ => None,
+            };
+            if let Some(act) = act {
+                act.apply_slice(pre.as_mut_slice());
+            }
+            layers[i].post_max = layers[i].post_max.max(max_abs(pre.as_slice()));
+            x = pre;
+        }
+    }
+    CalibrationStats { input_max, layers }
+}
+
+fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// A convolution quantized to the int8 engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QConv2dLayer {
+    /// Row-major `k × (c·kh·kw)` i8 weight codes.
+    pub weights: Vec<i8>,
+    /// Output channels.
+    pub k: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Bias at the accumulator scale `s_in · s_w[k]`, one per kernel.
+    pub bias: Vec<i32>,
+    /// Per-output-channel weight scales.
+    pub weight_scales: Vec<f32>,
+    /// Input activation scale.
+    pub in_scale: f32,
+    /// Pre-activation scale (equals `out_scale` without activation).
+    pub pre_scale: f32,
+    /// Output activation scale.
+    pub out_scale: f32,
+    /// Requantize multiplier per output channel.
+    pub mults: Vec<f32>,
+    /// The nonlinearity, applied as an i8→i8 LUT.
+    pub activation: Option<Activation>,
+}
+
+/// A linear layer quantized to the int8 engine (per-layer weight scale).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QLinearLayer {
+    /// Row-major `outputs × inputs` i8 weight codes.
+    pub weights: Vec<i8>,
+    /// Input features.
+    pub inputs: usize,
+    /// Output neurons.
+    pub outputs: usize,
+    /// Bias at the accumulator scale `s_in · s_w`.
+    pub bias: Vec<i32>,
+    /// Per-layer weight scale.
+    pub weight_scale: f32,
+    /// Input activation scale.
+    pub in_scale: f32,
+    /// Pre-activation scale.
+    pub pre_scale: f32,
+    /// Output activation scale.
+    pub out_scale: f32,
+    /// Requantize multiplier (same for every row).
+    pub mult: f32,
+    /// The nonlinearity, applied as an i8→i8 LUT.
+    pub activation: Option<Activation>,
+}
+
+/// One layer of a [`QuantNetwork`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum QLayer {
+    /// Quantized convolution.
+    Conv2d(QConv2dLayer),
+    /// Pooling on codes (scale pass-through).
+    Pool(PoolLayer),
+    /// Shape relabel.
+    Flatten,
+    /// Quantized perceptron.
+    Linear(QLinearLayer),
+    /// Dequantize + f32 LogSoftMax; the network's f32 exit.
+    LogSoftMax {
+        /// Scale of the incoming codes.
+        in_scale: f32,
+    },
+}
+
+impl QLayer {
+    /// Layer name for summaries and the text format.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            QLayer::Conv2d(_) => "qconv2d",
+            QLayer::Pool(_) => "pool",
+            QLayer::Flatten => "flatten",
+            QLayer::Linear(_) => "qlinear",
+            QLayer::LogSoftMax { .. } => "log_softmax",
+        }
+    }
+}
+
+/// Errors constructing or parsing a quantized network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A layer's shape does not compose with its input (layer index,
+    /// message).
+    ShapeMismatch(usize, String),
+    /// The text artifact is malformed (line number, message).
+    Parse(usize, String),
+    /// The trailing checksum does not match the body.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::ShapeMismatch(i, msg) => write!(f, "layer {i}: {msg}"),
+            QuantError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+            QuantError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "quant artifact checksum mismatch: stored {}, computed {} (file corrupted?)",
+                hex64(*stored),
+                hex64(*computed)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Magic first line of the checksummed quantized-network text format.
+pub const QUANT_MAGIC: &str = "cnn2fpga-quant v1";
+
+/// A post-training-quantized network: i8 weights and activations, i32
+/// accumulators, f32 log-probability outputs. Built by
+/// [`QuantNetwork::quantize`] from a trained f32 [`Network`] plus a
+/// calibration set; serialized with a trailing FNV-1a/64 checksum via
+/// [`QuantNetwork::to_text`].
+#[derive(Debug)]
+pub struct QuantNetwork {
+    input_shape: Shape,
+    input_scale: f32,
+    layers: Vec<QLayer>,
+    shapes: Vec<Shape>,
+    /// Packed weight panels, built on first use — excluded from
+    /// equality and serialization exactly like `Network::packed`.
+    packed: OnceLock<Vec<Option<PackedKernelsI8>>>,
+}
+
+impl Clone for QuantNetwork {
+    fn clone(&self) -> Self {
+        QuantNetwork {
+            input_shape: self.input_shape,
+            input_scale: self.input_scale,
+            layers: self.layers.clone(),
+            shapes: self.shapes.clone(),
+            packed: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for QuantNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.input_shape == other.input_shape
+            && self.input_scale == other.input_scale
+            && self.layers == other.layers
+    }
+}
+
+impl QuantNetwork {
+    /// Calibrates over `samples` and quantizes `net`.
+    pub fn quantize(net: &Network, samples: &[Tensor]) -> QuantNetwork {
+        let stats = calibrate(net, samples);
+        QuantNetwork::quantize_with(net, &stats)
+    }
+
+    /// Quantizes `net` with precomputed calibration statistics.
+    pub fn quantize_with(net: &Network, stats: &CalibrationStats) -> QuantNetwork {
+        assert_eq!(
+            stats.layers.len(),
+            net.layers().len(),
+            "calibration does not match the network"
+        );
+        let input_scale = scale_for_max_abs(stats.input_max);
+        let mut cur_scale = input_scale;
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for (layer, cal) in net.layers().iter().zip(&stats.layers) {
+            match layer {
+                Layer::Conv2d(cv) => {
+                    let k = cv.kernels.kernels();
+                    let kdim = cv.kernels.channels() * cv.kernels.kh() * cv.kernels.kw();
+                    let src = cv.kernels.as_slice();
+                    let pre_scale = scale_for_max_abs(cal.pre_max);
+                    let out_scale = scale_for_max_abs(cal.post_max);
+                    let target = if cv.activation.is_some() {
+                        pre_scale
+                    } else {
+                        out_scale
+                    };
+                    let mut weights = vec![0i8; k * kdim];
+                    let mut weight_scales = Vec::with_capacity(k);
+                    let mut bias = Vec::with_capacity(k);
+                    let mut mults = Vec::with_capacity(k);
+                    for ki in 0..k {
+                        let row = &src[ki * kdim..(ki + 1) * kdim];
+                        let ws = scale_for_max_abs(max_abs(row));
+                        quantize_slice_i8(row, ws, &mut weights[ki * kdim..(ki + 1) * kdim]);
+                        bias.push(quantize_bias(cv.bias[ki], cur_scale * ws));
+                        mults.push(cur_scale * ws / target);
+                        weight_scales.push(ws);
+                    }
+                    layers.push(QLayer::Conv2d(QConv2dLayer {
+                        weights,
+                        k,
+                        c: cv.kernels.channels(),
+                        kh: cv.kernels.kh(),
+                        kw: cv.kernels.kw(),
+                        bias,
+                        weight_scales,
+                        in_scale: cur_scale,
+                        pre_scale,
+                        out_scale,
+                        mults,
+                        activation: cv.activation,
+                    }));
+                    cur_scale = out_scale;
+                }
+                Layer::Linear(l) => {
+                    let pre_scale = scale_for_max_abs(cal.pre_max);
+                    let out_scale = scale_for_max_abs(cal.post_max);
+                    let target = if l.activation.is_some() {
+                        pre_scale
+                    } else {
+                        out_scale
+                    };
+                    let ws = scale_for_max_abs(max_abs(&l.weights));
+                    let mut weights = vec![0i8; l.weights.len()];
+                    quantize_slice_i8(&l.weights, ws, &mut weights);
+                    let bias = l
+                        .bias
+                        .iter()
+                        .map(|&b| quantize_bias(b, cur_scale * ws))
+                        .collect();
+                    layers.push(QLayer::Linear(QLinearLayer {
+                        weights,
+                        inputs: l.inputs,
+                        outputs: l.outputs,
+                        bias,
+                        weight_scale: ws,
+                        in_scale: cur_scale,
+                        pre_scale,
+                        out_scale,
+                        mult: cur_scale * ws / target,
+                        activation: l.activation,
+                    }));
+                    cur_scale = out_scale;
+                }
+                Layer::Pool(p) => layers.push(QLayer::Pool(p.clone())),
+                Layer::Flatten => layers.push(QLayer::Flatten),
+                Layer::LogSoftMax => layers.push(QLayer::LogSoftMax {
+                    in_scale: cur_scale,
+                }),
+            }
+        }
+        QuantNetwork::new(net.input_shape(), input_scale, layers)
+            .expect("quantization preserves shapes")
+    }
+
+    /// Assembles a quantized network, validating shape composition.
+    pub fn new(
+        input_shape: Shape,
+        input_scale: f32,
+        layers: Vec<QLayer>,
+    ) -> Result<QuantNetwork, QuantError> {
+        let shapes = compute_shapes(input_shape, &layers)?;
+        Ok(QuantNetwork {
+            input_shape,
+            input_scale,
+            layers,
+            shapes,
+            packed: OnceLock::new(),
+        })
+    }
+
+    /// Input shape the network accepts.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// Scale of the quantized input grid.
+    pub fn input_scale(&self) -> f32 {
+        self.input_scale
+    }
+
+    /// The quantized layers.
+    pub fn layers(&self) -> &[QLayer] {
+        &self.layers
+    }
+
+    /// Output shape (the f32 log-probability vector).
+    pub fn output_shape(&self) -> Shape {
+        self.shapes.last().copied().unwrap_or(self.input_shape)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.output_shape().len()
+    }
+
+    /// The per-layer packed int8 weight panels, built on first use.
+    /// Hits and misses are counted on the
+    /// `cnn_quant_pack_{hits,misses}_total` trace counters.
+    pub fn packed_kernels(&self) -> &[Option<PackedKernelsI8>] {
+        if let Some(p) = self.packed.get() {
+            cnn_trace::counter_add("cnn_quant_pack_hits_total", &[], 1);
+            return p;
+        }
+        cnn_trace::counter_add("cnn_quant_pack_misses_total", &[], 1);
+        self.packed.get_or_init(|| {
+            self.layers
+                .iter()
+                .map(|l| match l {
+                    QLayer::Conv2d(c) => {
+                        Some(PackedKernelsI8::pack(&c.weights, c.k, c.c * c.kh * c.kw))
+                    }
+                    QLayer::Linear(l) => {
+                        Some(PackedKernelsI8::pack(&l.weights, l.outputs, l.inputs))
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+    }
+
+    /// Grows `ws` to this network's quantized high-water sizes for a
+    /// batch of `bsz` images; `stride` is the per-image slot size.
+    fn reserve_workspace(&self, ws: &mut Workspace, bsz: usize) -> usize {
+        let mut stride = self.input_shape.len();
+        let mut max_cols = 0usize;
+        let mut max_acc = 0usize;
+        for (layer, &oshape) in self.layers.iter().zip(&self.shapes) {
+            stride = stride.max(oshape.len());
+            match layer {
+                QLayer::Conv2d(c) => {
+                    let kpairs = (c.c * c.kh * c.kw).div_ceil(2);
+                    let spatial = oshape.h * oshape.w;
+                    max_cols = max_cols.max(kpairs * spatial * bsz * 2);
+                    max_acc = max_acc.max(c.k * spatial * bsz);
+                }
+                QLayer::Linear(l) => {
+                    max_cols = max_cols.max(l.inputs.div_ceil(2) * 2);
+                    max_acc = max_acc.max(l.outputs);
+                }
+                _ => {}
+            }
+        }
+        ws.ensure_qact(stride * bsz);
+        ws.ensure_qcols(max_cols);
+        ws.ensure_qacc(max_acc);
+        // The f32 exit buffer (dequantized log-softmax input).
+        ws.ensure_act(stride * bsz);
+        stride
+    }
+
+    /// Integer forward pass for one image: quantize, run every layer
+    /// on i8 codes / i32 accumulators, dequantize at the `LogSoftMax`
+    /// exit. Zero heap allocations once `ws` has grown to this
+    /// network's high-water sizes. Returns f32 log-probabilities.
+    pub fn infer_quant(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let outs = self.infer_batch_quant(std::slice::from_ref(input), ws);
+        outs.into_iter().next().expect("one output per input")
+    }
+
+    /// Batched integer forward pass over one shared workspace: every
+    /// convolution lowers all images into a single pair-interleaved
+    /// column matrix and runs one int8 GEMM (the quantized twin of
+    /// `Network::infer_batch`). Bit-identical to [`Self::infer_quant`]
+    /// per image — integer arithmetic leaves no order freedom.
+    pub fn infer_batch_quant(&self, inputs: &[Tensor], ws: &mut Workspace) -> Vec<Tensor> {
+        let _span = cnn_trace::span("nn", "infer_batch_quant");
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        for t in inputs {
+            assert_eq!(
+                t.shape(),
+                self.input_shape,
+                "input shape {} != network input {}",
+                t.shape(),
+                self.input_shape
+            );
+        }
+        let bsz = inputs.len();
+        cnn_trace::counter_add("cnn_quant_infer_total", &[], bsz as u64);
+        let packed = self.packed_kernels();
+        let stride = self.reserve_workspace(ws, bsz);
+
+        for (i, t) in inputs.iter().enumerate() {
+            quantize_slice_i8(
+                t.as_slice(),
+                self.input_scale,
+                &mut ws.qping[i * stride..i * stride + t.len()],
+            );
+        }
+        let mut cur = self.input_shape;
+        let mut saturated = 0u64;
+        // Codes live in the slotted qping/qpong pair; the f32 exit
+        // writes into `ping` slots.
+        for (li, layer) in self.layers.iter().enumerate() {
+            let _span =
+                cnn_trace::span_lazy("nn", || format!("L{li} {} q", layer.kind_name()).into());
+            let oshape = self.shapes[li];
+            match layer {
+                QLayer::Conv2d(c) => {
+                    let pk = packed[li].as_ref().expect("conv layer is packed");
+                    let spatial = oshape.h * oshape.w;
+                    let bn = bsz * spatial;
+                    let kpairs = pk.kpairs();
+                    let cols = &mut ws.qcols[..kpairs * bn * 2];
+                    for i in 0..bsz {
+                        im2col_i8_paired_into(
+                            &ws.qping[i * stride..i * stride + cur.len()],
+                            cur,
+                            c.kh,
+                            c.kw,
+                            cols,
+                            bn,
+                            i * spatial,
+                        );
+                    }
+                    let acc = &mut ws.qacc[..c.k * bn];
+                    qgemm_bias_into(pk, cols, &c.bias, bn, acc);
+                    let wide = &mut ws.qpong[..c.k * bn];
+                    saturated += requantize_rows(acc, bn, &c.mults, wide);
+                    if let Some(act) = c.activation {
+                        apply_lut(&build_lut(act, c.pre_scale, c.out_scale), wide);
+                    }
+                    // De-interleave the wide `k × (batch·spatial)` code
+                    // matrix back into per-image slots.
+                    for i in 0..bsz {
+                        for k in 0..c.k {
+                            let dst = i * stride + k * spatial;
+                            let src = k * bn + i * spatial;
+                            ws.qping[dst..dst + spatial]
+                                .copy_from_slice(&ws.qpong[src..src + spatial]);
+                        }
+                    }
+                }
+                QLayer::Pool(p) => {
+                    for i in 0..bsz {
+                        pool_i8_slice_into(
+                            &ws.qping[i * stride..i * stride + cur.len()],
+                            cur,
+                            p.kh,
+                            p.kw,
+                            p.step,
+                            p.kind,
+                            &mut ws.qpong[i * stride..i * stride + oshape.len()],
+                        );
+                    }
+                    std::mem::swap(&mut ws.qping, &mut ws.qpong);
+                }
+                QLayer::Flatten => {}
+                QLayer::Linear(l) => {
+                    let pk = packed[li].as_ref().expect("linear layer is packed");
+                    let kpairs = pk.kpairs();
+                    let lut = l.activation.map(|a| build_lut(a, l.pre_scale, l.out_scale));
+                    let mults = vec![l.mult; l.outputs];
+                    for i in 0..bsz {
+                        let x = &ws.qping[i * stride..i * stride + cur.len()];
+                        let cols = &mut ws.qcols[..kpairs * 2];
+                        pair_vector_into(x, cols);
+                        let acc = &mut ws.qacc[..l.outputs];
+                        qgemm_bias_into(pk, cols, &l.bias, 1, acc);
+                        let out = &mut ws.qpong[i * stride..i * stride + l.outputs];
+                        saturated += requantize_rows(acc, 1, &mults, out);
+                        if let Some(lut) = &lut {
+                            apply_lut(lut, out);
+                        }
+                    }
+                    std::mem::swap(&mut ws.qping, &mut ws.qpong);
+                }
+                QLayer::LogSoftMax { in_scale } => {
+                    for i in 0..bsz {
+                        let codes = &ws.qping[i * stride..i * stride + cur.len()];
+                        let vals = &mut ws.ping[i * stride..i * stride + cur.len()];
+                        for (v, &c) in vals.iter_mut().zip(codes) {
+                            *v = c as f32 * in_scale;
+                        }
+                        log_softmax_inplace(vals);
+                    }
+                }
+            }
+            cur = oshape;
+        }
+        if saturated > 0 {
+            cnn_trace::counter_add("cnn_quant_requant_saturations_total", &[], saturated);
+        }
+
+        (0..bsz)
+            .map(|i| Tensor::from_vec(cur, ws.ping[i * stride..i * stride + cur.len()].to_vec()))
+            .collect()
+    }
+
+    /// Classifies one image (argmax of the quantized log-probabilities).
+    pub fn predict(&self, input: &Tensor) -> usize {
+        cnn_tensor::with_pooled(|ws| self.infer_quant(input, ws).argmax())
+    }
+
+    /// Batched classification over a pooled workspace.
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Vec<usize> {
+        cnn_tensor::with_pooled(|ws| {
+            self.infer_batch_quant(inputs, ws)
+                .iter()
+                .map(Tensor::argmax)
+                .collect()
+        })
+    }
+
+    /// Fraction of `inputs` classified differently from `labels`.
+    pub fn prediction_error(&self, inputs: &[Tensor], labels: &[usize]) -> f64 {
+        assert_eq!(inputs.len(), labels.len());
+        let wrong = self
+            .predict_batch(inputs)
+            .iter()
+            .zip(labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        wrong as f64 / inputs.len() as f64
+    }
+
+    /// Serializes to the checksummed text format ([`QUANT_MAGIC`]).
+    /// Scales are stored as f32 bit patterns, so parsing is bit-exact.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{QUANT_MAGIC}");
+        let _ = writeln!(
+            out,
+            "input {} {} {} scale {}",
+            self.input_shape.c,
+            self.input_shape.h,
+            self.input_shape.w,
+            hex32(self.input_scale)
+        );
+        let _ = writeln!(out, "layers {}", self.layers.len());
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv2d(c) => {
+                    let _ = writeln!(
+                        out,
+                        "qconv2d {} {} {} {} act {} scales {} {} {}",
+                        c.k,
+                        c.c,
+                        c.kh,
+                        c.kw,
+                        act_name(c.activation),
+                        hex32(c.in_scale),
+                        hex32(c.pre_scale),
+                        hex32(c.out_scale)
+                    );
+                    let _ = writeln!(out, "wscales {}", join_hex32(&c.weight_scales));
+                    let _ = writeln!(out, "mults {}", join_hex32(&c.mults));
+                    let _ = writeln!(out, "bias {}", join_ints(&c.bias));
+                    let kdim = c.c * c.kh * c.kw;
+                    for ki in 0..c.k {
+                        let _ = writeln!(
+                            out,
+                            "w {}",
+                            join_ints(&c.weights[ki * kdim..(ki + 1) * kdim])
+                        );
+                    }
+                }
+                QLayer::Pool(p) => {
+                    let kind = match p.kind {
+                        PoolKind::Max => "max",
+                        PoolKind::Mean => "mean",
+                    };
+                    let _ = writeln!(out, "pool {kind} {} {} {}", p.kh, p.kw, p.step);
+                }
+                QLayer::Flatten => {
+                    let _ = writeln!(out, "flatten");
+                }
+                QLayer::Linear(l) => {
+                    let _ = writeln!(
+                        out,
+                        "qlinear {} {} act {} scales {} {} {} wscale {} mult {}",
+                        l.outputs,
+                        l.inputs,
+                        act_name(l.activation),
+                        hex32(l.in_scale),
+                        hex32(l.pre_scale),
+                        hex32(l.out_scale),
+                        hex32(l.weight_scale),
+                        hex32(l.mult)
+                    );
+                    let _ = writeln!(out, "bias {}", join_ints(&l.bias));
+                    for r in 0..l.outputs {
+                        let _ = writeln!(
+                            out,
+                            "w {}",
+                            join_ints(&l.weights[r * l.inputs..(r + 1) * l.inputs])
+                        );
+                    }
+                }
+                QLayer::LogSoftMax { in_scale } => {
+                    let _ = writeln!(out, "log_softmax scale {}", hex32(*in_scale));
+                }
+            }
+        }
+        let sum = Fnv64::new().update(out.as_bytes()).finish();
+        let _ = writeln!(out, "checksum {}", hex64(sum));
+        out
+    }
+
+    /// Parses the text format, verifying the trailing checksum over
+    /// every byte that precedes its line before touching any payload.
+    pub fn from_text(text: &str) -> Result<QuantNetwork, QuantError> {
+        let perr = |line: usize, msg: String| QuantError::Parse(line, msg);
+        // Verify the checksum first.
+        let check_pos = text
+            .rfind("checksum ")
+            .ok_or_else(|| perr(0, "missing checksum line".into()))?;
+        let stored = text[check_pos..]
+            .trim_end()
+            .strip_prefix("checksum ")
+            .and_then(parse_hex64)
+            .ok_or_else(|| perr(0, "bad checksum line".into()))?;
+        let computed = Fnv64::new().update(&text.as_bytes()[..check_pos]).finish();
+        if stored != computed {
+            return Err(QuantError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut lines = text[..check_pos].lines().enumerate();
+        let mut next = |what: &'static str| {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l))
+                .ok_or(QuantError::Parse(0, format!("missing {what}")))
+        };
+        let (ln, magic) = next("magic line")?;
+        if magic != QUANT_MAGIC {
+            return Err(perr(ln, format!("bad magic '{magic}'")));
+        }
+        let (ln, input) = next("input line")?;
+        let toks: Vec<&str> = input.split_whitespace().collect();
+        if toks.len() != 6 || toks[0] != "input" || toks[4] != "scale" {
+            return Err(perr(ln, format!("bad input line '{input}'")));
+        }
+        let dim = |t: &str| t.parse::<usize>().map_err(|e| perr(ln, e.to_string()));
+        let input_shape = Shape::new(dim(toks[1])?, dim(toks[2])?, dim(toks[3])?);
+        let input_scale =
+            parse_hex32_f32(toks[5]).ok_or_else(|| perr(ln, "bad input scale".into()))?;
+        let (ln, nline) = next("layers line")?;
+        let n: usize = nline
+            .strip_prefix("layers ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| perr(ln, format!("bad layers line '{nline}'")))?;
+
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (ln, head) = next("layer header")?;
+            let toks: Vec<&str> = head.split_whitespace().collect();
+            match toks.first().copied() {
+                Some("qconv2d") => {
+                    if toks.len() != 11 || toks[5] != "act" || toks[7] != "scales" {
+                        return Err(perr(ln, format!("bad qconv2d header '{head}'")));
+                    }
+                    let num = |t: &str| t.parse::<usize>().map_err(|e| perr(ln, e.to_string()));
+                    let (k, c, kh, kw) =
+                        (num(toks[1])?, num(toks[2])?, num(toks[3])?, num(toks[4])?);
+                    let activation = parse_act(toks[6]).map_err(|m| perr(ln, m))?;
+                    let scale = |t: &str| {
+                        parse_hex32_f32(t).ok_or_else(|| perr(ln, format!("bad scale '{t}'")))
+                    };
+                    let (in_scale, pre_scale, out_scale) =
+                        (scale(toks[8])?, scale(toks[9])?, scale(toks[10])?);
+                    let (ln2, ws_line) = next("wscales")?;
+                    let weight_scales =
+                        parse_hex32_list(ws_line, "wscales", k).map_err(|m| perr(ln2, m))?;
+                    let (ln2, m_line) = next("mults")?;
+                    let mults = parse_hex32_list(m_line, "mults", k).map_err(|m| perr(ln2, m))?;
+                    let (ln2, b_line) = next("bias")?;
+                    let bias: Vec<i32> =
+                        parse_int_list(b_line, "bias", k).map_err(|m| perr(ln2, m))?;
+                    let kdim = c * kh * kw;
+                    let mut weights = Vec::with_capacity(k * kdim);
+                    for _ in 0..k {
+                        let (ln2, w_line) = next("weight row")?;
+                        weights.extend(
+                            parse_int_list::<i8>(w_line, "w", kdim).map_err(|m| perr(ln2, m))?,
+                        );
+                    }
+                    layers.push(QLayer::Conv2d(QConv2dLayer {
+                        weights,
+                        k,
+                        c,
+                        kh,
+                        kw,
+                        bias,
+                        weight_scales,
+                        in_scale,
+                        pre_scale,
+                        out_scale,
+                        mults,
+                        activation,
+                    }));
+                }
+                Some("pool") => {
+                    if toks.len() != 5 {
+                        return Err(perr(ln, format!("bad pool header '{head}'")));
+                    }
+                    let kind = match toks[1] {
+                        "max" => PoolKind::Max,
+                        "mean" => PoolKind::Mean,
+                        other => return Err(perr(ln, format!("unknown pool kind '{other}'"))),
+                    };
+                    let num = |t: &str| t.parse::<usize>().map_err(|e| perr(ln, e.to_string()));
+                    layers.push(QLayer::Pool(PoolLayer {
+                        kind,
+                        kh: num(toks[2])?,
+                        kw: num(toks[3])?,
+                        step: num(toks[4])?,
+                    }));
+                }
+                Some("flatten") => layers.push(QLayer::Flatten),
+                Some("qlinear") => {
+                    if toks.len() != 13 || toks[3] != "act" || toks[5] != "scales" {
+                        return Err(perr(ln, format!("bad qlinear header '{head}'")));
+                    }
+                    let num = |t: &str| t.parse::<usize>().map_err(|e| perr(ln, e.to_string()));
+                    let (outputs, inputs) = (num(toks[1])?, num(toks[2])?);
+                    let activation = parse_act(toks[4]).map_err(|m| perr(ln, m))?;
+                    let scale = |t: &str| {
+                        parse_hex32_f32(t).ok_or_else(|| perr(ln, format!("bad scale '{t}'")))
+                    };
+                    if toks[9] != "wscale" || toks[11] != "mult" {
+                        return Err(perr(ln, format!("bad qlinear header '{head}'")));
+                    }
+                    let (in_scale, pre_scale, out_scale) =
+                        (scale(toks[6])?, scale(toks[7])?, scale(toks[8])?);
+                    let weight_scale = scale(toks[10])?;
+                    let mult = scale(toks[12])?;
+                    let (ln2, b_line) = next("bias")?;
+                    let bias: Vec<i32> =
+                        parse_int_list(b_line, "bias", outputs).map_err(|m| perr(ln2, m))?;
+                    let mut weights = Vec::with_capacity(outputs * inputs);
+                    for _ in 0..outputs {
+                        let (ln2, w_line) = next("weight row")?;
+                        weights.extend(
+                            parse_int_list::<i8>(w_line, "w", inputs).map_err(|m| perr(ln2, m))?,
+                        );
+                    }
+                    layers.push(QLayer::Linear(QLinearLayer {
+                        weights,
+                        inputs,
+                        outputs,
+                        bias,
+                        weight_scale,
+                        in_scale,
+                        pre_scale,
+                        out_scale,
+                        mult,
+                        activation,
+                    }));
+                }
+                Some("log_softmax") => {
+                    if toks.len() != 3 || toks[1] != "scale" {
+                        return Err(perr(ln, format!("bad log_softmax header '{head}'")));
+                    }
+                    let in_scale = parse_hex32_f32(toks[2])
+                        .ok_or_else(|| perr(ln, "bad log_softmax scale".into()))?;
+                    layers.push(QLayer::LogSoftMax { in_scale });
+                }
+                other => return Err(perr(ln, format!("unknown layer '{}'", other.unwrap_or("")))),
+            }
+        }
+        QuantNetwork::new(input_shape, input_scale, layers)
+    }
+}
+
+/// Quantizes an f32 bias onto the i32 accumulator grid `s_in · s_w`.
+fn quantize_bias(b: f32, acc_scale: f32) -> i32 {
+    (b as f64 / acc_scale as f64)
+        .round()
+        .clamp(i32::MIN as f64, i32::MAX as f64) as i32
+}
+
+/// Builds the 255-entry i8→i8 activation table: codes on the
+/// pre-activation grid map to codes on the output grid. Entry `i`
+/// corresponds to code `i − 127`.
+pub fn build_lut(act: Activation, pre_scale: f32, out_scale: f32) -> Vec<i8> {
+    (0..255i32)
+        .map(|i| {
+            let code = i - QMAX_I8;
+            quantize_i8(act.apply(code as f32 * pre_scale), out_scale)
+        })
+        .collect()
+}
+
+/// Maps codes through a [`build_lut`] table in place.
+fn apply_lut(lut: &[i8], codes: &mut [i8]) {
+    debug_assert_eq!(lut.len(), 255);
+    for c in codes {
+        *c = lut[(*c as i32 + QMAX_I8) as usize];
+    }
+}
+
+/// Pair-interleaves a code vector as the `ncols = 1` column matrix the
+/// int8 GEMM consumes (linear layers).
+fn pair_vector_into(x: &[i8], dst: &mut [i16]) {
+    let kpairs = x.len().div_ceil(2);
+    assert_eq!(dst.len(), kpairs * 2, "paired vector has wrong size");
+    for kp in 0..kpairs {
+        dst[kp * 2] = x[2 * kp] as i16;
+        dst[kp * 2 + 1] = if 2 * kp + 1 < x.len() {
+            x[2 * kp + 1] as i16
+        } else {
+            0
+        };
+    }
+}
+
+/// Propagates shapes through quantized layers (same rules as
+/// `Layer::output_shape`).
+fn compute_shapes(input_shape: Shape, layers: &[QLayer]) -> Result<Vec<Shape>, QuantError> {
+    let mut shapes = Vec::with_capacity(layers.len());
+    let mut cur = input_shape;
+    for (i, layer) in layers.iter().enumerate() {
+        let err = |msg: String| QuantError::ShapeMismatch(i, msg);
+        cur = match layer {
+            QLayer::Conv2d(c) => {
+                if c.c != cur.c {
+                    return Err(err(format!("conv expects {} channels, got {}", c.c, cur.c)));
+                }
+                if c.weights.len() != c.k * c.c * c.kh * c.kw {
+                    return Err(err("conv weight count mismatch".into()));
+                }
+                if c.bias.len() != c.k || c.weight_scales.len() != c.k || c.mults.len() != c.k {
+                    return Err(err("conv per-channel vector length mismatch".into()));
+                }
+                cur.conv_output(c.k, c.kh, c.kw)
+                    .ok_or_else(|| err(format!("conv {}x{} does not fit {cur}", c.kh, c.kw)))?
+            }
+            QLayer::Pool(p) => cur
+                .pool_output(p.kh, p.kw, p.step)
+                .ok_or_else(|| err(format!("pool does not fit {cur}")))?,
+            QLayer::Flatten => Shape::new(1, 1, cur.len()),
+            QLayer::Linear(l) => {
+                if cur.c != 1 || cur.h != 1 || cur.w != l.inputs {
+                    return Err(err(format!("linear expects 1x1x{}, got {cur}", l.inputs)));
+                }
+                if l.weights.len() != l.outputs * l.inputs || l.bias.len() != l.outputs {
+                    return Err(err("linear weight count mismatch".into()));
+                }
+                Shape::new(1, 1, l.outputs)
+            }
+            QLayer::LogSoftMax { .. } => {
+                if cur.c != 1 || cur.h != 1 {
+                    return Err(err(format!("log_softmax expects a flat input, got {cur}")));
+                }
+                cur
+            }
+        };
+        shapes.push(cur);
+    }
+    Ok(shapes)
+}
+
+fn act_name(a: Option<Activation>) -> &'static str {
+    match a {
+        None => "none",
+        Some(a) => a.name(),
+    }
+}
+
+fn parse_act(s: &str) -> Result<Option<Activation>, String> {
+    match s {
+        "none" => Ok(None),
+        "tanh" => Ok(Some(Activation::Tanh)),
+        "relu" => Ok(Some(Activation::Relu)),
+        "sigmoid" => Ok(Some(Activation::Sigmoid)),
+        other => Err(format!("unknown activation '{other}'")),
+    }
+}
+
+fn hex32(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+fn parse_hex32_f32(s: &str) -> Option<f32> {
+    if s.len() != 8 {
+        return None;
+    }
+    u32::from_str_radix(s, 16).ok().map(f32::from_bits)
+}
+
+fn join_hex32(vs: &[f32]) -> String {
+    vs.iter().map(|&v| hex32(v)).collect::<Vec<_>>().join(" ")
+}
+
+fn join_ints<T: std::fmt::Display>(vs: &[T]) -> String {
+    vs.iter().map(T::to_string).collect::<Vec<_>>().join(" ")
+}
+
+fn parse_hex32_list(line: &str, key: &str, want: usize) -> Result<Vec<f32>, String> {
+    let body = line
+        .strip_prefix(key)
+        .ok_or_else(|| format!("expected '{key}' line, got '{line}'"))?;
+    let vs: Option<Vec<f32>> = body.split_whitespace().map(parse_hex32_f32).collect();
+    let vs = vs.ok_or_else(|| format!("bad hex scale in '{line}'"))?;
+    if vs.len() != want {
+        return Err(format!("{key}: expected {want} values, got {}", vs.len()));
+    }
+    Ok(vs)
+}
+
+fn parse_int_list<T: std::str::FromStr>(
+    line: &str,
+    key: &str,
+    want: usize,
+) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let body = line
+        .strip_prefix(key)
+        .ok_or_else(|| format!("expected '{key}' line, got '{line}'"))?;
+    let mut vs = Vec::with_capacity(want);
+    for tok in body.split_whitespace() {
+        vs.push(tok.parse::<T>().map_err(|e| format!("{e} in '{tok}'"))?);
+    }
+    if vs.len() != want {
+        return Err(format!("{key}: expected {want} values, got {}", vs.len()));
+    }
+    Ok(vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2dLayer, LinearLayer};
+    use cnn_tensor::Tensor4;
+
+    /// A small Test-1-shaped network with deterministic weights.
+    fn net() -> Network {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32 * 0.8 - 0.4
+        };
+        Network::new(
+            Shape::new(1, 16, 16),
+            vec![
+                Layer::Conv2d(Conv2dLayer {
+                    kernels: Tensor4::from_fn(4, 1, 5, 5, |_, _, _, _| next()),
+                    bias: (0..4).map(|_| next()).collect(),
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::Pool(PoolLayer {
+                    kind: PoolKind::Max,
+                    kh: 2,
+                    kw: 2,
+                    step: 2,
+                }),
+                Layer::Flatten,
+                Layer::Linear(LinearLayer {
+                    weights: (0..144 * 10).map(|_| next()).collect(),
+                    bias: (0..10).map(|_| next()).collect(),
+                    inputs: 144,
+                    outputs: 10,
+                    activation: Some(Activation::Tanh),
+                }),
+                Layer::LogSoftMax,
+            ],
+        )
+        .unwrap()
+    }
+
+    fn samples(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| {
+                Tensor::from_fn(Shape::new(1, 16, 16), |_, y, x| {
+                    (((y * 16 + x + i * 37) % 19) as f32 * 0.1 - 0.9) * (1.0 + i as f32 * 0.05)
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibration_is_order_invariant() {
+        let n = net();
+        let mut s = samples(8);
+        let a = calibrate(&n, &s);
+        s.reverse();
+        s.swap(1, 5);
+        let b = calibrate(&n, &s);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_outputs_track_f32() {
+        let n = net();
+        let s = samples(10);
+        let q = QuantNetwork::quantize(&n, &s);
+        let mut ws = Workspace::new();
+        for t in &s {
+            let fo = n.forward(t);
+            let qo = q.infer_quant(t, &mut ws);
+            assert_eq!(fo.shape(), qo.shape());
+            // Log-probs live on a tanh-bounded last layer; int8 noise
+            // must stay small in absolute terms.
+            for (a, b) in fo.as_slice().iter().zip(qo.as_slice()) {
+                assert!((a - b).abs() < 0.25, "f32 {a} vs int8 {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_predictions_mostly_agree() {
+        let n = net();
+        let s = samples(20);
+        let q = QuantNetwork::quantize(&n, &s);
+        // The untrained test net has near-tied logits, so a few flips
+        // are expected; trained networks are gated much tighter (≤1pp
+        // accuracy drift) by `quant_bench`.
+        let agree = s.iter().filter(|t| n.predict(t) == q.predict(t)).count();
+        assert!(agree >= 15, "only {agree}/20 predictions agree");
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_single() {
+        let n = net();
+        let s = samples(6);
+        let q = QuantNetwork::quantize(&n, &s);
+        let mut ws = Workspace::new();
+        let batched = q.infer_batch_quant(&s, &mut ws);
+        for (t, b) in s.iter().zip(&batched) {
+            let lone = q.infer_quant(t, &mut ws);
+            assert_eq!(lone.as_slice().len(), b.as_slice().len());
+            for (x, y) in lone.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "batch diverged from single");
+            }
+        }
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let n = net();
+        let s = samples(4);
+        let q = QuantNetwork::quantize(&n, &s);
+        let mut ws = Workspace::new();
+        let a = q.infer_quant(&s[0], &mut ws);
+        let b = q.infer_quant(&s[0], &mut ws);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let n = net();
+        let q = QuantNetwork::quantize(&n, &samples(5));
+        let text = q.to_text();
+        assert!(text.starts_with(QUANT_MAGIC));
+        let back = QuantNetwork::from_text(&text).unwrap();
+        assert_eq!(q, back);
+        // And re-serialization is byte-stable.
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn corrupted_text_is_rejected() {
+        let q = QuantNetwork::quantize(&net(), &samples(3));
+        let text = q.to_text();
+        // Flip one weight digit.
+        let pos = text.find("\nw ").unwrap() + 3;
+        let mut bad = text.clone();
+        let orig = bad.as_bytes()[pos];
+        let repl = if orig == b'1' { '2' } else { '1' };
+        bad.replace_range(pos..pos + 1, &repl.to_string());
+        match QuantNetwork::from_text(&bad) {
+            Err(QuantError::ChecksumMismatch { .. }) => {}
+            other => panic!("corruption not caught: {other:?}"),
+        }
+        // Truncation loses the checksum line entirely.
+        let cut = &text[..text.len() / 2];
+        assert!(QuantNetwork::from_text(cut).is_err());
+    }
+
+    #[test]
+    fn conv_scales_are_per_output_channel() {
+        let n = net();
+        let q = QuantNetwork::quantize(&n, &samples(3));
+        let QLayer::Conv2d(c) = &q.layers()[0] else {
+            panic!("layer 0 should be a conv");
+        };
+        assert_eq!(c.weight_scales.len(), c.k);
+        // Channels with different max weights get different scales.
+        let distinct: std::collections::BTreeSet<u32> =
+            c.weight_scales.iter().map(|s| s.to_bits()).collect();
+        assert!(distinct.len() > 1, "per-channel scales collapsed");
+    }
+
+    #[test]
+    fn lut_is_monotone_for_monotone_activations() {
+        let lut = build_lut(Activation::Tanh, 0.05, 0.01);
+        for w in lut.windows(2) {
+            assert!(w[1] >= w[0], "tanh LUT must be monotone");
+        }
+    }
+
+    fn counter_sum(name: &str) -> u64 {
+        cnn_trace::snapshot()
+            .counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    #[test]
+    fn saturation_counter_fires_when_requantize_clamps() {
+        // A hand-built net whose conv accumulator (25 · 127 = 3175)
+        // lands far outside the i8 grid at mult 1.0: requantize must
+        // clamp to 127 — never wrap — and count the event.
+        let q = QuantNetwork::new(
+            Shape::new(1, 5, 5),
+            1.0 / 127.0,
+            vec![
+                QLayer::Conv2d(QConv2dLayer {
+                    weights: vec![1i8; 25],
+                    k: 1,
+                    c: 1,
+                    kh: 5,
+                    kw: 5,
+                    bias: vec![0],
+                    weight_scales: vec![1.0],
+                    in_scale: 1.0 / 127.0,
+                    pre_scale: 1.0,
+                    out_scale: 1.0,
+                    mults: vec![1.0],
+                    activation: None,
+                }),
+                QLayer::Flatten,
+                QLayer::LogSoftMax { in_scale: 1.0 },
+            ],
+        )
+        .unwrap();
+        cnn_trace::enable();
+        let before = counter_sum("cnn_quant_requant_saturations_total");
+        let mut ws = Workspace::new();
+        let out = q.infer_quant(&Tensor::full(Shape::new(1, 5, 5), 1.0), &mut ws);
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        let after = counter_sum("cnn_quant_requant_saturations_total");
+        assert!(after > before, "saturations not counted");
+    }
+}

@@ -6,19 +6,27 @@
 
 use crate::layer::Layer;
 use crate::network::Network;
+use cnn_tensor::ops::quantize::{dequantize_code, quantize_to_code};
 
 /// Quantizes a value onto the signed fixed-point grid with
 /// `frac_bits` fractional bits and `total_bits` total width
-/// (round-to-nearest, saturating).
+/// (round-to-nearest, saturating). A thin wrapper over the shared
+/// [`quantize_to_code`]/[`dequantize_code`] primitives that also back
+/// the true-int8 path, so both quantizers saturate and round
+/// identically by construction: codes clamp to
+/// `[-2^(total-1), 2^(total-1)-1]`, i.e. values to
+/// `±2^(total-frac-1)` (asymmetric by one grid step on the positive
+/// side, exactly like two's-complement hardware).
 pub fn quantize_value(v: f32, total_bits: u32, frac_bits: u32) -> f32 {
     assert!(total_bits > frac_bits, "no integer bits left");
     assert!(total_bits <= 32, "width beyond 32 bits");
-    let scale = (1u64 << frac_bits) as f32;
+    let inv_scale = (1u64 << frac_bits) as f32;
     let max_code = (1i64 << (total_bits - 1)) - 1;
     let min_code = -(1i64 << (total_bits - 1));
-    let code = (v * scale).round() as i64;
-    let code = code.clamp(min_code, max_code);
-    code as f32 / scale
+    dequantize_code(
+        quantize_to_code(v, inv_scale, min_code, max_code),
+        inv_scale,
+    )
 }
 
 /// Returns a copy of the network with every trainable parameter
@@ -123,6 +131,39 @@ mod tests {
     #[should_panic(expected = "no integer bits")]
     fn zero_integer_bits_rejected() {
         quantize_value(1.0, 8, 8);
+    }
+
+    #[test]
+    fn saturation_boundary_is_exact() {
+        // The representable range of a Qm.n grid is pinned at the
+        // two's-complement boundary ±2^(total−frac−1): the negative
+        // bound is hit exactly, the positive bound stops one grid
+        // step short.
+        for &(total, frac) in &[(8u32, 4u32), (16, 8), (12, 10), (16, 15)] {
+            let bound = (1u64 << (total - frac - 1)) as f32; // 2^(m)
+            let step = 1.0 / (1u64 << frac) as f32;
+            let hi = bound - step;
+            // Exactly on the boundary: positive saturates to hi,
+            // negative is representable.
+            assert_eq!(quantize_value(bound, total, frac), hi, "Q{total}.{frac}");
+            assert_eq!(quantize_value(-bound, total, frac), -bound);
+            // Just inside: round-trips exactly.
+            assert_eq!(quantize_value(hi, total, frac), hi);
+            assert_eq!(quantize_value(-bound + step, total, frac), -bound + step);
+            // Far beyond: still clamps to the same codes.
+            assert_eq!(quantize_value(bound * 64.0, total, frac), hi);
+            assert_eq!(quantize_value(-bound * 64.0, total, frac), -bound);
+        }
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero_on_the_grid() {
+        // Midpoints round away from zero, matching the int8 engine's
+        // requantize epilogue (both use f32::round / f64::round).
+        let step = 1.0 / 16.0; // Q4.4
+        assert_eq!(quantize_value(1.5 * step, 8, 4), 2.0 * step);
+        assert_eq!(quantize_value(-1.5 * step, 8, 4), -2.0 * step);
+        assert_eq!(quantize_value(2.5 * step, 8, 4), 3.0 * step);
     }
 
     #[test]

@@ -46,11 +46,14 @@ pub enum ArtifactKind {
     /// A rolling-rollout control document: a model-version manifest or
     /// the crash-safe rollout journal.
     Rollout,
+    /// A calibrated int8 network (the checksummed quantized-weights
+    /// text format).
+    Quant,
 }
 
 impl ArtifactKind {
     /// Every kind, in tag order.
-    pub const ALL: [ArtifactKind; 10] = [
+    pub const ALL: [ArtifactKind; 11] = [
         ArtifactKind::Weights,
         ArtifactKind::Checkpoint,
         ArtifactKind::Spec,
@@ -61,6 +64,7 @@ impl ArtifactKind {
         ArtifactKind::Report,
         ArtifactKind::Bench,
         ArtifactKind::Rollout,
+        ArtifactKind::Quant,
     ];
 
     /// Stable one-byte tag used in the record header.
@@ -76,6 +80,7 @@ impl ArtifactKind {
             ArtifactKind::Report => b'r',
             ArtifactKind::Bench => b'j',
             ArtifactKind::Rollout => b'o',
+            ArtifactKind::Quant => b'q',
         }
     }
 
@@ -97,6 +102,7 @@ impl ArtifactKind {
             ArtifactKind::Report => "report",
             ArtifactKind::Bench => "bench",
             ArtifactKind::Rollout => "rollout",
+            ArtifactKind::Quant => "quant",
         }
     }
 

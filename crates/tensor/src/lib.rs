@@ -43,6 +43,7 @@ pub mod tensor4;
 pub mod workspace;
 
 pub use ops::gemm::PackedKernels;
+pub use ops::qgemm::{PackedKernelsI8, QSimdTier};
 pub use shape::Shape;
 pub use tensor::{Tensor, TensorView};
 pub use tensor4::Tensor4;

@@ -7,6 +7,10 @@
 //!   im2col-based fast paths used for larger layers,
 //! * [`gemm`] — the blocked GEMM microkernel and packed weight matrices
 //!   behind the fastest convolution path,
+//! * [`qgemm`] — the int8 twin: pair-interleaved packed weights, i16
+//!   widening multiplies with i32 accumulation, requantize epilogue,
+//! * [`quantize`] — the symmetric-grid quantize/dequantize primitives
+//!   shared by the simulated fixed-point and true int8 paths,
 //! * [`pool`] — max- and mean-pooling with an explicit stride (Eqs. 4–5),
 //! * [`linear`] — fully-connected weighted sums (Eq. 6),
 //! * [`activation`] — tanh / ReLU / sigmoid element-wise nonlinearities,
@@ -19,4 +23,6 @@ pub mod gemm;
 pub mod im2col;
 pub mod linear;
 pub mod pool;
+pub mod qgemm;
+pub mod quantize;
 pub mod softmax;

@@ -117,6 +117,76 @@ pub fn pool_slice_into(
     oshape
 }
 
+/// [`pool_slice_into`] over int8 activation codes — the quantized
+/// engine's sub-sampling. Max-pooling is order-free on codes (the i8
+/// grid is monotone, so pooling codes equals pooling values); mean
+/// pooling sums the window in i32 and divides with the same
+/// round-half-away-from-zero the requantize epilogue uses. Both keep
+/// the input's scale, so no re-scaling is needed and the result is
+/// exact — reruns and batch/single paths are bit-identical.
+pub fn pool_i8_slice_into(
+    input: &[i8],
+    ishape: Shape,
+    kh: usize,
+    kw: usize,
+    step: usize,
+    kind: PoolKind,
+    out: &mut [i8],
+) -> Shape {
+    let oshape = ishape.pool_output(kh, kw, step).unwrap_or_else(|| {
+        panic!("pooling window {kh}x{kw} stride {step} invalid for input {ishape}")
+    });
+    assert_eq!(
+        input.len(),
+        ishape.len(),
+        "input buffer does not match {ishape}"
+    );
+    assert_eq!(out.len(), oshape.len(), "pool destination has wrong size");
+    let area = (kh * kw) as f64;
+    let hw = ishape.h * ishape.w;
+    let ohw = oshape.h * oshape.w;
+
+    for c in 0..oshape.c {
+        let chan = &input[c * hw..(c + 1) * hw];
+        let ochan = &mut out[c * ohw..(c + 1) * ohw];
+        for oy in 0..oshape.h {
+            for ox in 0..oshape.w {
+                let (y0, x0) = (oy * step, ox * step);
+                let v = match kind {
+                    PoolKind::Max => {
+                        let mut best = i8::MIN;
+                        for m in 0..kh {
+                            let row =
+                                &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            for &rv in row {
+                                if rv > best {
+                                    best = rv;
+                                }
+                            }
+                        }
+                        best
+                    }
+                    PoolKind::Mean => {
+                        let mut acc = 0i32;
+                        for m in 0..kh {
+                            let row =
+                                &chan[(y0 + m) * ishape.w + x0..(y0 + m) * ishape.w + x0 + kw];
+                            for &rv in row {
+                                acc += rv as i32;
+                            }
+                        }
+                        // Mean of codes in [-127, 127] stays in range;
+                        // the f64 divide is exact on the 32-bit sum.
+                        (acc as f64 / area).round() as i8
+                    }
+                };
+                ochan[oy * oshape.w + ox] = v;
+            }
+        }
+    }
+    oshape
+}
+
 /// Pooling also has an op-count used by the cost models: comparisons for
 /// max, additions for mean — one per window element per output point.
 pub fn pool_ops(input: Shape, kh: usize, kw: usize, step: usize) -> Option<u64> {
@@ -128,6 +198,42 @@ pub fn pool_ops(input: Shape, kh: usize, kw: usize, step: usize) -> Option<u64> 
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn i8_pooling_matches_f32_on_code_values() {
+        // Codes are exactly representable in f32, so pooling the codes
+        // must agree with pooling their f32 images (mean: up to the
+        // shared rounding mode, checked via round-trip).
+        let s = Shape::new(2, 4, 6);
+        let codes: Vec<i8> = (0..s.len())
+            .map(|i| (i as i32 * 7 % 255 - 127) as i8)
+            .collect();
+        let floats: Vec<f32> = codes.iter().map(|&c| c as f32).collect();
+        for kind in [PoolKind::Max, PoolKind::Mean] {
+            let o = s.pool_output(2, 2, 2).unwrap();
+            let mut qi = vec![0i8; o.len()];
+            let mut fi = vec![0.0f32; o.len()];
+            pool_i8_slice_into(&codes, s, 2, 2, 2, kind, &mut qi);
+            pool_slice_into(&floats, s, 2, 2, 2, kind, &mut fi);
+            for (idx, (&q, &f)) in qi.iter().zip(&fi).enumerate() {
+                let expect = match kind {
+                    PoolKind::Max => f,
+                    PoolKind::Mean => f.round(),
+                };
+                assert_eq!(q as f32, expect, "{kind:?} elem {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn i8_mean_rounds_half_away_from_zero() {
+        let s = Shape::new(1, 1, 2);
+        let mut out = [0i8; 1];
+        pool_i8_slice_into(&[1, 2], s, 1, 2, 2, PoolKind::Mean, &mut out);
+        assert_eq!(out[0], 2); // 1.5 -> 2
+        pool_i8_slice_into(&[-1, -2], s, 1, 2, 2, PoolKind::Mean, &mut out);
+        assert_eq!(out[0], -2); // -1.5 -> -2
+    }
     // Used only inside `proptest!` blocks, which the minimal
     // typecheck-only proptest stub expands to nothing.
     #[allow(unused_imports)]

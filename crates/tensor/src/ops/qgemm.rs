@@ -1,0 +1,769 @@
+//! Int8 blocked GEMM — the integer twin of [`super::gemm`], computing
+//! `out_i32 = A_i8 · B_i8 + bias_i32` with i16 widening multiplies and
+//! i32 accumulation, plus the requantize-to-i8 epilogue and the paired
+//! im2col that feeds it.
+//!
+//! ## Pair-interleaved layout
+//!
+//! Both operands are stored as **adjacent-`ki` pairs** widened to i16:
+//! the packed weight panel holds `(kp, r) → [a(2kp, r), a(2kp+1, r)]`
+//! and the column matrix holds `(kp, j) → [b(2kp, j), b(2kp+1, j)]`,
+//! with a zero in the second slot of the last pair when `kdim` is odd.
+//! One aligned vector load of a `B` pair-row then presents each output
+//! column as an i16 pair inside an i32 lane, which is exactly the shape
+//! the x86 `vpmaddwd`/`vpdpwssd` instructions consume: 16 (AVX2) or 32
+//! (AVX-512) multiply-accumulates per instruction against a broadcast
+//! weight pair.
+//!
+//! ## Why explicit intrinsics
+//!
+//! The f32 engine relies on LLVM autovectorizing one generic body per
+//! SIMD tier. That does not carry over here: LLVM does not synthesize
+//! `vpmaddwd` from a widening mul-add loop, and the autovectorized
+//! int8 body measures *slower* than the f32 kernel. The SIMD tiers are
+//! therefore instantiated from one generic macro body whose inner dot
+//! step is an explicit `madd`/`dpwssd` intrinsic; the scalar body
+//! below stays the executable reference.
+//!
+//! ## Determinism contract
+//!
+//! Stronger than the f32 one: every operation is exact integer
+//! arithmetic (products bounded by `127·127·kdim + |bias|` ≪ 2³¹, so
+//! the i32 accumulator never wraps for the layer shapes this engine
+//! accepts), hence **any** evaluation order yields bit-identical
+//! results. Scalar, AVX2, AVX-512 and VNNI kernels agree exactly, and
+//! reruns are reproducible to the bit — `quant_bench` gates on both.
+
+use crate::ops::gemm::{MR, NC};
+use crate::ops::quantize::requantize_i32_checked;
+use crate::shape::Shape;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// A conv/linear weight matrix quantized to i8 and repacked for the
+/// int8 microkernel: row panels of [`MR`] rows, pair-interleaved i16
+/// (see the module docs), zero-padded to whole panels and whole pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedKernelsI8 {
+    rows: usize,
+    kdim: usize,
+    panels: Vec<i16>,
+}
+
+impl PackedKernelsI8 {
+    /// Packs a row-major `rows × kdim` i8 weight matrix. Done once per
+    /// layer and cached (see `cnn-nn::QuantNetwork`).
+    pub fn pack(weights: &[i8], rows: usize, kdim: usize) -> PackedKernelsI8 {
+        assert_eq!(weights.len(), rows * kdim, "weights are not rows x kdim");
+        let npanels = rows.div_ceil(MR);
+        let kpairs = kdim.div_ceil(2);
+        let mut panels = vec![0i16; npanels * kpairs * MR * 2];
+        for p in 0..npanels {
+            for kp in 0..kpairs {
+                for r in 0..MR {
+                    let row = p * MR + r;
+                    if row >= rows {
+                        continue;
+                    }
+                    for d in 0..2 {
+                        let ki = 2 * kp + d;
+                        if ki < kdim {
+                            panels[((p * kpairs + kp) * MR + r) * 2 + d] =
+                                weights[row * kdim + ki] as i16;
+                        }
+                    }
+                }
+            }
+        }
+        PackedKernelsI8 { rows, kdim, panels }
+    }
+
+    /// Number of output rows `K`.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    /// Reduction length `kdim` (before pairing).
+    pub fn kdim(&self) -> usize {
+        self.kdim
+    }
+    /// Number of i16 `ki` pairs per row.
+    pub fn kpairs(&self) -> usize {
+        self.kdim.div_ceil(2)
+    }
+    /// Packed footprint in bytes (for workspace accounting).
+    pub fn bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<i16>()
+    }
+
+    #[inline]
+    fn panel(&self, p: usize) -> &[i16] {
+        let plen = self.kpairs() * MR * 2;
+        &self.panels[p * plen..(p + 1) * plen]
+    }
+}
+
+/// SIMD tier of the int8 microkernel, detected at runtime. All tiers
+/// compute exact integer arithmetic, so — unlike the f32 engine, where
+/// bit-identity needs a carefully pinned op order — every tier is
+/// bit-identical by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QSimdTier {
+    /// Pure Rust scalar reference (target-default codegen).
+    Baseline,
+    /// AVX2 `vpmaddwd`: 16 MACs per instruction.
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+    /// AVX-512BW `vpmaddwd`: 32 MACs per instruction.
+    #[cfg(target_arch = "x86_64")]
+    Avx512,
+    /// AVX-512 VNNI `vpdpwssd`: fused multiply-pair-accumulate.
+    #[cfg(target_arch = "x86_64")]
+    Avx512Vnni,
+}
+
+impl QSimdTier {
+    /// Short label for bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QSimdTier::Baseline => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            QSimdTier::Avx2 => "avx2",
+            #[cfg(target_arch = "x86_64")]
+            QSimdTier::Avx512 => "avx512",
+            #[cfg(target_arch = "x86_64")]
+            QSimdTier::Avx512Vnni => "avx512vnni",
+        }
+    }
+}
+
+/// Widest int8 microkernel tier the host supports. The feature probes
+/// are cached by the standard library.
+#[inline]
+pub fn qsimd_tier() -> QSimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vnni")
+        {
+            return QSimdTier::Avx512Vnni;
+        }
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            return QSimdTier::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return QSimdTier::Avx2;
+        }
+    }
+    QSimdTier::Baseline
+}
+
+/// Every tier the host can run, narrowest first — the determinism
+/// gate in `quant_bench` cross-checks all of them bitwise.
+pub fn available_qsimd_tiers() -> Vec<QSimdTier> {
+    let mut tiers = vec![QSimdTier::Baseline];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(QSimdTier::Avx2);
+        }
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            tiers.push(QSimdTier::Avx512);
+        }
+        if std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vnni")
+        {
+            tiers.push(QSimdTier::Avx512Vnni);
+        }
+    }
+    tiers
+}
+
+/// `out = A·B + bias` over the int8 engine: `A` packed pair-interleaved
+/// i8→i16 weights, `B` the pair-interleaved `kpairs × ncols` column
+/// matrix (`b[(kp·ncols + j)·2 + d] = B(2kp+d, j)` widened to i16),
+/// `bias[k]` seeding row `k`, i32 accumulation throughout. Uses the
+/// widest kernel the host supports; see [`qgemm_bias_into_tier`] to
+/// pin a tier.
+pub fn qgemm_bias_into(
+    packed: &PackedKernelsI8,
+    b: &[i16],
+    bias: &[i32],
+    ncols: usize,
+    out: &mut [i32],
+) {
+    qgemm_bias_into_tier(qsimd_tier(), packed, b, bias, ncols, out);
+}
+
+/// [`qgemm_bias_into`] with an explicitly pinned SIMD tier — the
+/// determinism gate runs every available tier over the same inputs and
+/// asserts bitwise equality. Panics if the host lacks the tier.
+pub fn qgemm_bias_into_tier(
+    tier: QSimdTier,
+    packed: &PackedKernelsI8,
+    b: &[i16],
+    bias: &[i32],
+    ncols: usize,
+    out: &mut [i32],
+) {
+    let rows = packed.rows();
+    let kpairs = packed.kpairs();
+    assert_eq!(b.len(), kpairs * ncols * 2, "B is not kpairs x ncols pairs");
+    assert_eq!(bias.len(), rows, "bias length != rows");
+    assert_eq!(out.len(), rows * ncols, "out is not rows x ncols");
+    assert!(
+        available_qsimd_tiers().contains(&tier),
+        "tier {tier:?} not supported on this host"
+    );
+    if ncols == 0 {
+        return;
+    }
+
+    let macs = (rows as u64) * (packed.kdim() as u64) * (ncols as u64);
+    cnn_trace::counter_add("cnn_tensor_gemm_int8_macs_total", &[], macs);
+    cnn_trace::counter_add("cnn_tensor_gemm_int8_calls_total", &[], 1);
+
+    let npanels = rows.div_ceil(MR);
+    // Column-blocked sequential sweep: keep a kpairs x NC slab of B hot
+    // while sweeping every row panel over it (same scheme as the f32
+    // engine; the f32 row-panel parallel path is not mirrored here —
+    // the int8 engine targets single-image latency and its panel
+    // helper is f32-typed — so int8 throughput scaling comes from the
+    // serving layer's batching).
+    let mut jc = 0;
+    while jc < ncols {
+        let jw = NC.min(ncols - jc);
+        for p in 0..npanels {
+            let mr = MR.min(rows - p * MR);
+            let pb = qpanel_bias(bias, p, mr);
+            let chunk = &mut out[p * MR * ncols..p * MR * ncols + mr * ncols];
+            run_qpanel(
+                tier,
+                packed.panel(p),
+                kpairs,
+                b,
+                ncols,
+                jc,
+                jw,
+                &pb,
+                mr,
+                chunk,
+            );
+        }
+        jc += jw;
+    }
+}
+
+#[inline]
+fn qpanel_bias(bias: &[i32], p: usize, mr: usize) -> [i32; MR] {
+    let mut pb = [0i32; MR];
+    pb[..mr].copy_from_slice(&bias[p * MR..p * MR + mr]);
+    pb
+}
+
+/// Runs one row panel through the selected kernel.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_qpanel(
+    tier: QSimdTier,
+    panel: &[i16],
+    kpairs: usize,
+    b: &[i16],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[i32; MR],
+    mr: usize,
+    out_panel: &mut [i32],
+) {
+    match tier {
+        // SAFETY (all arms): the tier was validated against
+        // available_qsimd_tiers() by the dispatcher, and slice bounds
+        // were asserted there.
+        #[cfg(target_arch = "x86_64")]
+        QSimdTier::Avx512Vnni => unsafe {
+            qgemm_panel_vnni(panel, kpairs, b, ncols, j0, jw, bias, mr, out_panel)
+        },
+        #[cfg(target_arch = "x86_64")]
+        QSimdTier::Avx512 => unsafe {
+            qgemm_panel_avx512(panel, kpairs, b, ncols, j0, jw, bias, mr, out_panel)
+        },
+        #[cfg(target_arch = "x86_64")]
+        QSimdTier::Avx2 => unsafe {
+            qgemm_panel_avx2(panel, kpairs, b, ncols, j0, jw, bias, mr, out_panel)
+        },
+        QSimdTier::Baseline => {
+            qgemm_panel_scalar(panel, kpairs, b, ncols, j0, jw, bias, mr, out_panel)
+        }
+    }
+}
+
+/// Scalar reference body: columns `[j0, j0+jw)` of one row panel,
+/// `bias` seed then ascending-`kp` pair dot products. Every SIMD tier
+/// computes exactly these integer sums.
+#[allow(clippy::too_many_arguments)]
+fn qgemm_panel_scalar(
+    panel: &[i16],
+    kpairs: usize,
+    b: &[i16],
+    ncols: usize,
+    j0: usize,
+    jw: usize,
+    bias: &[i32; MR],
+    mr: usize,
+    out_panel: &mut [i32],
+) {
+    for r in 0..mr {
+        out_panel[r * ncols + j0..r * ncols + j0 + jw].fill(bias[r]);
+    }
+    for kp in 0..kpairs {
+        let a = &panel[kp * MR * 2..(kp + 1) * MR * 2];
+        let brow = &b[(kp * ncols + j0) * 2..(kp * ncols + j0 + jw) * 2];
+        for r in 0..mr {
+            let a0 = a[r * 2] as i32;
+            let a1 = a[r * 2 + 1] as i32;
+            let orow = &mut out_panel[r * ncols + j0..r * ncols + j0 + jw];
+            for (o, pair) in orow.iter_mut().zip(brow.chunks_exact(2)) {
+                *o += a0 * pair[0] as i32 + a1 * pair[1] as i32;
+            }
+        }
+    }
+}
+
+/// The per-ISA dot step: i16-pair multiply-accumulate into i32 lanes.
+/// `madd` tiers need an explicit add; VNNI fuses it.
+#[cfg(target_arch = "x86_64")]
+macro_rules! qdot_avx2 {
+    ($acc:expr, $b:expr, $pair:expr) => {
+        _mm256_add_epi32($acc, _mm256_madd_epi16($b, $pair))
+    };
+}
+#[cfg(target_arch = "x86_64")]
+macro_rules! qdot_avx512 {
+    ($acc:expr, $b:expr, $pair:expr) => {
+        _mm512_add_epi32($acc, _mm512_madd_epi16($b, $pair))
+    };
+}
+#[cfg(target_arch = "x86_64")]
+macro_rules! qdot_vnni {
+    ($acc:expr, $b:expr, $pair:expr) => {
+        _mm512_dpwssd_epi32($acc, $b, $pair)
+    };
+}
+
+/// One generic kernel body instantiated per ISA: full `MR × 2·LANES`
+/// register tiles with an overlapped last tile on the column edge
+/// (exact integer math makes the recomputed overlap bit-identical),
+/// falling back to the scalar body when the span is narrower than one
+/// tile.
+#[cfg(target_arch = "x86_64")]
+macro_rules! qgemm_simd_panel {
+    ($name:ident, [$($feat:literal),+], $vec:ty, $lanes:expr,
+     $loadu:ident, $set1:ident, $setzero:ident, $storeu:ident, $dot:ident) => {
+        /// # Safety
+        ///
+        /// The caller must have verified the target features at
+        /// runtime and asserted the slice extents (see
+        /// [`qgemm_bias_into_tier`]).
+        #[target_feature($(enable = $feat),+)]
+        #[allow(clippy::too_many_arguments)]
+        unsafe fn $name(
+            panel: &[i16],
+            kpairs: usize,
+            b: &[i16],
+            ncols: usize,
+            j0: usize,
+            jw: usize,
+            bias: &[i32; MR],
+            mr: usize,
+            out_panel: &mut [i32],
+        ) {
+            const LANES: usize = $lanes; // i32 lanes per vector
+            const TILE: usize = 2 * LANES; // columns per register tile
+            #[inline(always)]
+            #[allow(clippy::too_many_arguments)]
+            unsafe fn tile(
+                panel: &[i16],
+                kpairs: usize,
+                b: &[i16],
+                ncols: usize,
+                j: usize,
+                bias: &[i32; MR],
+                mr: usize,
+                out_panel: &mut [i32],
+            ) {
+                let mut acc: [[$vec; 2]; MR] = [[$setzero(); 2]; MR];
+                for r in 0..MR {
+                    acc[r] = [$set1(bias[r]); 2];
+                }
+                let pa = panel.as_ptr();
+                let pb = b.as_ptr();
+                for kp in 0..kpairs {
+                    let a = pa.add(kp * MR * 2);
+                    let brow = pb.add((kp * ncols + j) * 2);
+                    let b0 = $loadu(brow as *const _);
+                    let b1 = $loadu(brow.add(2 * LANES) as *const _);
+                    for r in 0..MR {
+                        let pair = $set1((a.add(r * 2) as *const i32).read_unaligned());
+                        acc[r][0] = $dot!(acc[r][0], b0, pair);
+                        acc[r][1] = $dot!(acc[r][1], b1, pair);
+                    }
+                }
+                for r in 0..mr {
+                    let o = out_panel.as_mut_ptr().add(r * ncols + j);
+                    $storeu(o as *mut _, acc[r][0]);
+                    $storeu(o.add(LANES) as *mut _, acc[r][1]);
+                }
+            }
+            let mut j = j0;
+            while j + TILE <= j0 + jw {
+                tile(panel, kpairs, b, ncols, j, bias, mr, out_panel);
+                j += TILE;
+            }
+            let rem = j0 + jw - j;
+            if rem > 0 && jw >= TILE {
+                tile(panel, kpairs, b, ncols, j0 + jw - TILE, bias, mr, out_panel);
+            } else if rem > 0 {
+                qgemm_panel_scalar(panel, kpairs, b, ncols, j, rem, bias, mr, out_panel);
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+qgemm_simd_panel!(
+    qgemm_panel_avx2,
+    ["avx2"],
+    __m256i,
+    8,
+    _mm256_loadu_si256,
+    _mm256_set1_epi32,
+    _mm256_setzero_si256,
+    _mm256_storeu_si256,
+    qdot_avx2
+);
+#[cfg(target_arch = "x86_64")]
+qgemm_simd_panel!(
+    qgemm_panel_avx512,
+    ["avx512f", "avx512bw"],
+    __m512i,
+    16,
+    _mm512_loadu_si512,
+    _mm512_set1_epi32,
+    _mm512_setzero_si512,
+    _mm512_storeu_si512,
+    qdot_avx512
+);
+#[cfg(target_arch = "x86_64")]
+qgemm_simd_panel!(
+    qgemm_panel_vnni,
+    ["avx512f", "avx512bw", "avx512vnni"],
+    __m512i,
+    16,
+    _mm512_loadu_si512,
+    _mm512_set1_epi32,
+    _mm512_setzero_si512,
+    _mm512_storeu_si512,
+    qdot_vnni
+);
+
+/// Requantizes a `rows × ncols` i32 accumulator matrix to i8 with one
+/// multiplier per row (per-output-channel scales), returning how many
+/// elements saturated at ±127. Rounding is the f64
+/// round-half-away-from-zero of
+/// [`requantize_i32`](crate::ops::quantize::requantize_i32).
+pub fn requantize_rows(acc: &[i32], ncols: usize, mults: &[f32], out: &mut [i8]) -> u64 {
+    let rows = mults.len();
+    assert_eq!(acc.len(), rows * ncols, "acc is not rows x ncols");
+    assert_eq!(out.len(), rows * ncols, "out is not rows x ncols");
+    let mut saturated = 0u64;
+    for r in 0..rows {
+        let m = mults[r];
+        for (o, &a) in out[r * ncols..(r + 1) * ncols]
+            .iter_mut()
+            .zip(&acc[r * ncols..(r + 1) * ncols])
+        {
+            let (code, sat) = requantize_i32_checked(a, m);
+            *o = code;
+            saturated += sat as u64;
+        }
+    }
+    saturated
+}
+
+/// Pair-interleaved im2col over i8 activation codes: lowers `input`
+/// (raw CHW code buffer of shape `s`) for a *valid* `kh`×`kw` window
+/// into `dst` in the layout [`qgemm_bias_into`] consumes — pair-row
+/// `kp`, column `j` at `dst[(kp·row_stride + j)·2 + d] = x(2kp+d, j)`
+/// widened to i16, with the second slot of the last pair zeroed when
+/// `C·kh·kw` is odd. `row_stride`/`col_offset` follow
+/// [`im2col_strided_into`](crate::ops::im2col::im2col_strided_into):
+/// `row_stride = batch · spatial`, `col_offset = i · spatial` stacks
+/// image `i` of a batch into one wide matrix.
+pub fn im2col_i8_paired_into(
+    input: &[i8],
+    s: Shape,
+    kh: usize,
+    kw: usize,
+    dst: &mut [i16],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    assert!(
+        kh >= 1 && kw >= 1 && kh <= s.h && kw <= s.w,
+        "window {kh}x{kw} does not fit {s}"
+    );
+    assert_eq!(input.len(), s.len(), "input buffer does not match {s}");
+    let oh = s.h - kh + 1;
+    let ow = s.w - kw + 1;
+    let spatial = oh * ow;
+    assert!(
+        col_offset + spatial <= row_stride,
+        "column window [{col_offset}, {col_offset}+{spatial}) overruns row stride {row_stride}"
+    );
+    let rows = s.c * kh * kw;
+    if rows == 0 {
+        return;
+    }
+    let kpairs = rows.div_ceil(2);
+    assert!(
+        dst.len() >= ((kpairs - 1) * row_stride + col_offset + spatial) * 2,
+        "im2col destination too small for paired layout"
+    );
+
+    let hw = s.h * s.w;
+    for c in 0..s.c {
+        let chan = &input[c * hw..(c + 1) * hw];
+        for m in 0..kh {
+            for n in 0..kw {
+                let ki = (c * kh + m) * kw + n;
+                let base = ((ki / 2) * row_stride + col_offset) * 2 + (ki & 1);
+                for oy in 0..oh {
+                    let src = &chan[(oy + m) * s.w + n..(oy + m) * s.w + n + ow];
+                    // The last interleaved element sits at
+                    // base + (oy·ow + ow − 1)·2, so the slice ends one
+                    // short of the full 2·ow span.
+                    let drow = &mut dst[base + oy * ow * 2..base + (oy * ow + ow) * 2 - 1];
+                    for (o, &v) in drow.iter_mut().step_by(2).zip(src) {
+                        *o = v as i16;
+                    }
+                }
+            }
+        }
+    }
+    if rows % 2 == 1 {
+        // Zero the phantom second half of the last pair so a reused
+        // scratch buffer can never leak stale codes into the GEMM.
+        let base = ((kpairs - 1) * row_stride + col_offset) * 2 + 1;
+        for j in 0..spatial {
+            dst[base + j * 2] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(rows: usize, kdim: usize, ncols: usize, a: &[i8], b: &[i8], bias: &[i32]) -> Vec<i32> {
+        let mut out = vec![0i32; rows * ncols];
+        for k in 0..rows {
+            for j in 0..ncols {
+                let mut acc = bias[k];
+                for ki in 0..kdim {
+                    acc += a[k * kdim + ki] as i32 * b[ki * ncols + j] as i32;
+                }
+                out[k * ncols + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Pair-interleaves a row-major `kdim × ncols` i8 matrix the way
+    /// [`im2col_i8_paired_into`] lays out its output.
+    fn pair_b(b: &[i8], kdim: usize, ncols: usize) -> Vec<i16> {
+        let kpairs = kdim.div_ceil(2);
+        let mut out = vec![0i16; kpairs * ncols * 2];
+        for ki in 0..kdim {
+            for j in 0..ncols {
+                out[((ki / 2) * ncols + j) * 2 + (ki & 1)] = b[ki * ncols + j] as i16;
+            }
+        }
+        out
+    }
+
+    fn check(rows: usize, kdim: usize, ncols: usize) {
+        let a: Vec<i8> = (0..rows * kdim)
+            .map(|i| (((i * 31) % 255) as i32 - 127) as i8)
+            .collect();
+        let b: Vec<i8> = (0..kdim * ncols)
+            .map(|i| (((i * 29) % 255) as i32 - 127) as i8)
+            .collect();
+        let bias: Vec<i32> = (0..rows).map(|k| k as i32 * 11 - 300).collect();
+        let packed = PackedKernelsI8::pack(&a, rows, kdim);
+        let bp = pair_b(&b, kdim, ncols);
+        let want = naive(rows, kdim, ncols, &a, &b, &bias);
+        for tier in available_qsimd_tiers() {
+            let mut out = vec![i32::MIN; rows * ncols];
+            qgemm_bias_into_tier(tier, &packed, &bp, &bias, ncols, &mut out);
+            assert_eq!(out, want, "tier {tier:?} at {rows}x{kdim}x{ncols}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_tile_multiples() {
+        check(8, 64, 64);
+    }
+
+    #[test]
+    fn matches_naive_on_ragged_edges() {
+        check(12, 75, 784); // Test-4 conv1 (odd kdim exercises the zero pad)
+        check(36, 300, 100); // Test-4 conv2
+        check(6, 75, 100);
+        check(5, 9, 7);
+        check(1, 1, 1);
+        check(3, 2, 9);
+        check(10, 49, 1); // linear-shaped: single column
+    }
+
+    #[test]
+    fn matches_naive_beyond_column_block() {
+        check(4, 4, NC + 13);
+    }
+
+    #[test]
+    fn all_tiers_bit_identical_on_random_codes() {
+        // Dense ±127 codes at an adversarial shape; the naive check
+        // already covers values, this pins tier-vs-tier equality.
+        let (rows, kdim, ncols) = (7, 33, 50);
+        let a: Vec<i8> = (0..rows * kdim)
+            .map(|i| (((i * 97 + 13) % 255) as i32 - 127) as i8)
+            .collect();
+        let b: Vec<i8> = (0..kdim * ncols)
+            .map(|i| (((i * 61 + 7) % 255) as i32 - 127) as i8)
+            .collect();
+        let bias: Vec<i32> = (0..rows).map(|k| 5000 - k as i32 * 999).collect();
+        let packed = PackedKernelsI8::pack(&a, rows, kdim);
+        let bp = pair_b(&b, kdim, ncols);
+        let mut reference = vec![0i32; rows * ncols];
+        qgemm_bias_into_tier(
+            QSimdTier::Baseline,
+            &packed,
+            &bp,
+            &bias,
+            ncols,
+            &mut reference,
+        );
+        for tier in available_qsimd_tiers() {
+            let mut out = vec![0i32; rows * ncols];
+            qgemm_bias_into_tier(tier, &packed, &bp, &bias, ncols, &mut out);
+            assert_eq!(out, reference, "tier {tier:?} diverged from scalar");
+        }
+    }
+
+    #[test]
+    fn pack_layout_is_pairwise_panelwise() {
+        // 5 rows, kdim 3 (odd): panel 0 rows 0..4, panel 1 row 4.
+        let w: Vec<i8> = (0..15).map(|i| i as i8).collect(); // w[r*3+k] = 3r+k
+        let p = PackedKernelsI8::pack(&w, 5, 3);
+        assert_eq!(p.rows(), 5);
+        assert_eq!(p.kdim(), 3);
+        assert_eq!(p.kpairs(), 2);
+        // Panel 0, pair 0: rows 0..4 x [k0, k1].
+        assert_eq!(&p.panel(0)[..8], &[0, 1, 3, 4, 6, 7, 9, 10]);
+        // Panel 0, pair 1: [k2, 0] per row.
+        assert_eq!(&p.panel(0)[8..16], &[2, 0, 5, 0, 8, 0, 11, 0]);
+        // Panel 1 holds row 4 zero-padded.
+        assert_eq!(
+            p.panel(1),
+            &[12, 13, 0, 0, 0, 0, 0, 0, 14, 0, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn zero_ncols_is_a_noop() {
+        let packed = PackedKernelsI8::pack(&[1, 2], 2, 1);
+        let mut out: Vec<i32> = vec![];
+        qgemm_bias_into(&packed, &[], &[0, 0], 0, &mut out);
+    }
+
+    #[test]
+    fn paired_im2col_matches_plain_im2col() {
+        use crate::ops::im2col::im2col_valid;
+        use crate::tensor::Tensor;
+        let s = Shape::new(3, 5, 6);
+        let codes: Vec<i8> = (0..s.len()).map(|i| (i as i32 % 251 - 125) as i8).collect();
+        let as_f32 = Tensor::from_vec(s, codes.iter().map(|&c| c as f32).collect());
+        for (kh, kw) in [(2, 2), (3, 3), (1, 1), (2, 3)] {
+            let oh = s.h - kh + 1;
+            let ow = s.w - kw + 1;
+            let spatial = oh * ow;
+            let kdim = s.c * kh * kw;
+            let kpairs = kdim.div_ceil(2);
+            let mut paired = vec![i16::MIN; kpairs * spatial * 2];
+            im2col_i8_paired_into(&codes, s, kh, kw, &mut paired, spatial, 0);
+            let plain = im2col_valid(&as_f32, kh, kw);
+            for ki in 0..kdim {
+                for j in 0..spatial {
+                    assert_eq!(
+                        paired[((ki / 2) * spatial + j) * 2 + (ki & 1)] as f32,
+                        plain[ki * spatial + j],
+                        "({ki}, {j}) for window {kh}x{kw}"
+                    );
+                }
+            }
+            if kdim % 2 == 1 {
+                for j in 0..spatial {
+                    assert_eq!(
+                        paired[((kpairs - 1) * spatial + j) * 2 + 1],
+                        0,
+                        "pad at {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_im2col_stacks_batches() {
+        let s = Shape::new(1, 4, 4);
+        let a: Vec<i8> = (0..16).map(|i| i as i8).collect();
+        let b: Vec<i8> = (0..16).map(|i| -(i as i8) - 1).collect();
+        let (kh, kw) = (3, 3); // kdim 9, odd
+        let spatial = 4;
+        let kpairs = 5usize;
+        let row_stride = 2 * spatial;
+        let mut wide = vec![i16::MIN; kpairs * row_stride * 2];
+        im2col_i8_paired_into(&a, s, kh, kw, &mut wide, row_stride, 0);
+        im2col_i8_paired_into(&b, s, kh, kw, &mut wide, row_stride, spatial);
+        let mut lone_a = vec![i16::MIN; kpairs * spatial * 2];
+        let mut lone_b = vec![i16::MIN; kpairs * spatial * 2];
+        im2col_i8_paired_into(&a, s, kh, kw, &mut lone_a, spatial, 0);
+        im2col_i8_paired_into(&b, s, kh, kw, &mut lone_b, spatial, 0);
+        for kp in 0..kpairs {
+            for j in 0..spatial {
+                for d in 0..2 {
+                    assert_eq!(
+                        wide[(kp * row_stride + j) * 2 + d],
+                        lone_a[(kp * spatial + j) * 2 + d],
+                        "image 0 ({kp}, {j}, {d})"
+                    );
+                    assert_eq!(
+                        wide[(kp * row_stride + spatial + j) * 2 + d],
+                        lone_b[(kp * spatial + j) * 2 + d],
+                        "image 1 ({kp}, {j}, {d})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn requantize_rows_counts_saturations() {
+        let acc = [100, -100, 300, -300, 0, 254];
+        let mults = [0.5f32, 1.0];
+        let mut out = [0i8; 6];
+        let sats = requantize_rows(&acc, 3, &mults, &mut out);
+        assert_eq!(out, [50, -50, 127, -127, 0, 127]);
+        assert_eq!(sats, 3); // 300*0.5, -300*0.5 and 254*1.0 clamp
+    }
+}

@@ -1,0 +1,184 @@
+//! Quantization primitives shared by every fixed-point consumer in the
+//! workspace: the f32-simulated `Qm.n` grid (`cnn-nn::quant`), the true
+//! int8 inference path (`cnn-nn::qnetwork` over [`super::qgemm`]) and
+//! the calibration pipeline that derives the scales.
+//!
+//! ## Conventions
+//!
+//! All grids are **symmetric** around zero with a zero-point of 0: a
+//! real value `v` maps to the integer code `round(v · inv_scale)`
+//! saturated to `[min_code, max_code]`, and back to `code / inv_scale`.
+//! Rounding is round-half-away-from-zero (`f32::round`), the same mode
+//! the requantize epilogue uses, so the simulated grid and the integer
+//! path cannot drift apart.
+//!
+//! The int8 path restricts codes to `[-QMAX_I8, QMAX_I8]` = `[-127,
+//! 127]` (the code −128 is never produced) so that negation stays
+//! closed and the AVX2 `madd` kernels can widen without overflow
+//! corner cases.
+
+/// Largest int8 code magnitude the symmetric i8 grid uses.
+pub const QMAX_I8: i32 = 127;
+
+/// Quantizes `v` to an integer code on the symmetric grid with the
+/// given inverse scale: `round(v · inv_scale)` saturated to
+/// `[min_code, max_code]`. Non-finite inputs follow Rust's saturating
+/// float→int cast (NaN → 0, ±∞ → the respective bound).
+#[inline]
+pub fn quantize_to_code(v: f32, inv_scale: f32, min_code: i64, max_code: i64) -> i64 {
+    let code = (v * inv_scale).round() as i64;
+    code.clamp(min_code, max_code)
+}
+
+/// Inverse of [`quantize_to_code`]: the real value of `code` on the
+/// grid with the given inverse scale.
+#[inline]
+pub fn dequantize_code(code: i64, inv_scale: f32) -> f32 {
+    code as f32 / inv_scale
+}
+
+/// Symmetric per-tensor scale for a measured absolute maximum: the
+/// grid spans `[-max_abs, max_abs]` over codes `[-127, 127]`. A
+/// degenerate (zero, negative or non-finite) maximum yields scale 1.0
+/// so an all-zero tensor round-trips exactly.
+#[inline]
+pub fn scale_for_max_abs(max_abs: f32) -> f32 {
+    if max_abs.is_finite() && max_abs > 0.0 {
+        max_abs / QMAX_I8 as f32
+    } else {
+        1.0
+    }
+}
+
+/// Quantizes `v` onto the symmetric i8 grid with step `scale`.
+#[inline]
+pub fn quantize_i8(v: f32, scale: f32) -> i8 {
+    quantize_to_code(v, 1.0 / scale, -(QMAX_I8 as i64), QMAX_I8 as i64) as i8
+}
+
+/// Real value of the i8 code `c` on the grid with step `scale`.
+#[inline]
+pub fn dequantize_i8(c: i8, scale: f32) -> f32 {
+    c as f32 * scale
+}
+
+/// Quantizes a slice onto the symmetric i8 grid (element-wise
+/// [`quantize_i8`]); `dst` must match `src` in length.
+pub fn quantize_slice_i8(src: &[f32], scale: f32, dst: &mut [i8]) {
+    assert_eq!(src.len(), dst.len(), "quantize_slice_i8 length mismatch");
+    let inv = 1.0 / scale;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = quantize_to_code(v, inv, -(QMAX_I8 as i64), QMAX_I8 as i64) as i8;
+    }
+}
+
+/// Dequantizes a slice of i8 codes; `dst` must match `src` in length.
+pub fn dequantize_slice_i8(src: &[i8], scale: f32, dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "dequantize_slice_i8 length mismatch");
+    for (d, &c) in dst.iter_mut().zip(src) {
+        *d = c as f32 * scale;
+    }
+}
+
+/// Requantizes an i32 accumulator to the i8 grid: `round(acc · m)`
+/// saturated to `[-127, 127]`, where `m = s_in · s_w / s_out` is the
+/// precomputed requantize multiplier. The product is taken in f64 so
+/// the 25-bit accumulator is represented exactly and the rounding is
+/// a single, deterministic f64 round-half-away-from-zero.
+#[inline]
+pub fn requantize_i32(acc: i32, m: f32) -> i8 {
+    requantize_i32_checked(acc, m).0
+}
+
+/// [`requantize_i32`] that also reports whether the value saturated at
+/// ±127 — the epilogue aggregates this onto the
+/// `cnn_quant_requant_saturations_total` trace counter, a cheap canary
+/// for a calibration set that under-covered the live distribution.
+#[inline]
+pub fn requantize_i32_checked(acc: i32, m: f32) -> (i8, bool) {
+    let v = (acc as f64 * m as f64).round();
+    let sat = v > QMAX_I8 as f64 || v < -(QMAX_I8 as f64);
+    (v.clamp(-(QMAX_I8 as f64), QMAX_I8 as f64) as i8, sat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trip_error_is_half_step() {
+        // Q8.8-style grid: inv_scale 256.
+        for v in [-0.73f32, -0.003, 0.0, 0.41, 0.997] {
+            let code = quantize_to_code(v, 256.0, -32768, 32767);
+            let back = dequantize_code(code, 256.0);
+            assert!((v - back).abs() <= 0.5 / 256.0 + 1e-6, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn code_saturates_at_bounds() {
+        assert_eq!(quantize_to_code(1000.0, 256.0, -32768, 32767), 32767);
+        assert_eq!(quantize_to_code(-1000.0, 256.0, -32768, 32767), -32768);
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero() {
+        assert_eq!(quantize_to_code(0.5, 1.0, -127, 127), 1);
+        assert_eq!(quantize_to_code(-0.5, 1.0, -127, 127), -1);
+        assert_eq!(quantize_to_code(1.5, 1.0, -127, 127), 2);
+    }
+
+    #[test]
+    fn scale_covers_the_measured_range() {
+        let s = scale_for_max_abs(2.54);
+        assert_eq!(quantize_i8(2.54, s), 127);
+        assert_eq!(quantize_i8(-2.54, s), -127);
+        assert_eq!(quantize_i8(0.0, s), 0);
+        // Overshoot past the calibrated range saturates, never wraps.
+        assert_eq!(quantize_i8(100.0, s), 127);
+        assert_eq!(quantize_i8(-100.0, s), -127);
+    }
+
+    #[test]
+    fn degenerate_range_falls_back_to_unit_scale() {
+        assert_eq!(scale_for_max_abs(0.0), 1.0);
+        assert_eq!(scale_for_max_abs(-3.0), 1.0);
+        assert_eq!(scale_for_max_abs(f32::NAN), 1.0);
+        assert_eq!(quantize_i8(0.0, scale_for_max_abs(0.0)), 0);
+    }
+
+    #[test]
+    fn i8_never_produces_minus_128() {
+        let s = scale_for_max_abs(1.0);
+        for i in -200..=200 {
+            let c = quantize_i8(i as f32 * 0.01, s);
+            assert!(c >= -127, "code {c} below -127");
+        }
+    }
+
+    #[test]
+    fn slice_helpers_match_scalar() {
+        let src = [-2.0f32, -0.26, 0.0, 0.26, 2.0];
+        let s = scale_for_max_abs(2.0);
+        let mut codes = [0i8; 5];
+        quantize_slice_i8(&src, s, &mut codes);
+        for (c, &v) in codes.iter().zip(&src) {
+            assert_eq!(*c, quantize_i8(v, s));
+        }
+        let mut back = [0f32; 5];
+        dequantize_slice_i8(&codes, s, &mut back);
+        for (b, &c) in back.iter().zip(&codes) {
+            assert_eq!(*b, dequantize_i8(c, s));
+        }
+    }
+
+    #[test]
+    fn requantize_rounds_and_saturates() {
+        assert_eq!(requantize_i32(0, 0.5), 0);
+        assert_eq!(requantize_i32(10, 0.5), 5);
+        assert_eq!(requantize_i32(3, 0.5), 2); // 1.5 rounds away from zero
+        assert_eq!(requantize_i32(-3, 0.5), -2);
+        assert_eq!(requantize_i32(1_000_000, 0.001), 127);
+        assert_eq!(requantize_i32(-1_000_000, 0.001), -127);
+    }
+}

@@ -39,6 +39,15 @@ pub struct Workspace {
     pub ping: Vec<f32>,
     /// Activation buffer B of the ping-pong pair.
     pub pong: Vec<f32>,
+    /// Pair-interleaved i16 column matrix for the int8 engine
+    /// (`kpairs x ncols` i16 pairs — see `ops::qgemm`).
+    pub qcols: Vec<i16>,
+    /// Int8 activation-code buffer A of the quantized ping-pong pair.
+    pub qping: Vec<i8>,
+    /// Int8 activation-code buffer B of the quantized ping-pong pair.
+    pub qpong: Vec<i8>,
+    /// i32 accumulator matrix the int8 GEMM writes before requantize.
+    pub qacc: Vec<i32>,
 }
 
 impl Workspace {
@@ -50,6 +59,9 @@ impl Workspace {
     /// Current arena footprint in bytes.
     pub fn bytes(&self) -> usize {
         (self.cols.len() + self.ping.len() + self.pong.len()) * std::mem::size_of::<f32>()
+            + self.qcols.len() * std::mem::size_of::<i16>()
+            + (self.qping.len() + self.qpong.len()) * std::mem::size_of::<i8>()
+            + self.qacc.len() * std::mem::size_of::<i32>()
     }
 
     /// Grows the column buffer to hold at least `len` floats.
@@ -61,6 +73,22 @@ impl Workspace {
     pub fn ensure_act(&mut self, len: usize) {
         grow(&mut self.ping, len);
         grow(&mut self.pong, len);
+    }
+
+    /// Grows the paired int8 column buffer to at least `len` i16s.
+    pub fn ensure_qcols(&mut self, len: usize) {
+        grow(&mut self.qcols, len);
+    }
+
+    /// Grows *both* int8 code buffers to hold at least `len` codes.
+    pub fn ensure_qact(&mut self, len: usize) {
+        grow(&mut self.qping, len);
+        grow(&mut self.qpong, len);
+    }
+
+    /// Grows the i32 accumulator buffer to hold at least `len` values.
+    pub fn ensure_qacc(&mut self, len: usize) {
+        grow(&mut self.qacc, len);
     }
 
     /// Releases the arena if its footprint exceeds `cap` bytes,
@@ -77,16 +105,20 @@ impl Workspace {
         self.cols = Vec::new();
         self.ping = Vec::new();
         self.pong = Vec::new();
+        self.qcols = Vec::new();
+        self.qping = Vec::new();
+        self.qpong = Vec::new();
+        self.qacc = Vec::new();
         cnn_trace::counter_add("cnn_tensor_workspace_shrinks_total", &[], 1);
         true
     }
 }
 
 /// Monotonic growth; counts newly-allocated bytes on the trace counter.
-fn grow(buf: &mut Vec<f32>, len: usize) {
+fn grow<T: Copy + Default>(buf: &mut Vec<T>, len: usize) {
     if buf.len() < len {
-        let delta = (len - buf.len()) * std::mem::size_of::<f32>();
-        buf.resize(len, 0.0);
+        let delta = (len - buf.len()) * std::mem::size_of::<T>();
+        buf.resize(len, T::default());
         cnn_trace::counter_add("cnn_tensor_workspace_bytes_total", &[], delta as u64);
     }
 }
@@ -149,6 +181,23 @@ mod tests {
         // Larger requests grow them.
         ws.ensure_cols(200);
         assert_eq!(ws.cols.len(), 200);
+    }
+
+    #[test]
+    fn quantized_buffers_grow_and_release() {
+        let mut ws = Workspace::new();
+        ws.ensure_qcols(64);
+        ws.ensure_qact(32);
+        ws.ensure_qacc(16);
+        assert_eq!(ws.qcols.len(), 64);
+        assert_eq!(ws.qping.len(), 32);
+        assert_eq!(ws.qpong.len(), 32);
+        assert_eq!(ws.qacc.len(), 16);
+        // i16 cols + 2 x i8 codes + i32 acc all count toward the arena.
+        assert_eq!(ws.bytes(), 64 * 2 + 32 + 32 + 16 * 4);
+        assert!(ws.shrink_if_above(0));
+        assert_eq!(ws.bytes(), 0);
+        assert!(ws.qcols.is_empty() && ws.qacc.is_empty());
     }
 
     #[test]

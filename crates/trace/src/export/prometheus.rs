@@ -199,6 +199,31 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
         "GEMM weight-pack cache misses (pack computed and cached).",
     ),
     (
+        "cnn_tensor_gemm_int8_macs_total",
+        "Widening multiply-accumulates executed by the int8 GEMM engine.",
+    ),
+    (
+        "cnn_tensor_gemm_int8_calls_total",
+        "Int8 GEMM invocations.",
+    ),
+    // Quantized inference.
+    (
+        "cnn_quant_infer_total",
+        "Images inferred through the int8 quantized engine.",
+    ),
+    (
+        "cnn_quant_pack_hits_total",
+        "Quantized weight-pack cache hits.",
+    ),
+    (
+        "cnn_quant_pack_misses_total",
+        "Quantized weight-pack cache misses (pack computed and cached).",
+    ),
+    (
+        "cnn_quant_requant_saturations_total",
+        "Requantize epilogue outputs clamped to the i8 boundary.",
+    ),
+    (
         "cnn_tensor_workspace_bytes_total",
         "Bytes newly allocated into workspace arenas.",
     ),

@@ -25,6 +25,14 @@ echo "== hot_path --smoke: blocked GEMM >=2x scalar on Test-4, bit-identical =="
 # --out keeps the smoke numbers away from the committed BENCH file.
 cargo run --release -p cnn-bench --bin hot_path -- --smoke --out target/BENCH_hotpath_smoke.json
 
+echo "== quant_bench --smoke: int8 GEMM >=2x f32 on Test-4, error delta <=1pp, bit-identical across tiers =="
+# Calibrated int8 engine vs the f32 blocked GEMM; the binary exits
+# nonzero if the int8 kernel drops below 2x on either Test-4 shape,
+# if any paper network's top-1 error moves more than 1 percentage
+# point under quantization, or if any SIMD tier, rerun, or batched
+# inference differs from the scalar reference by a single bit.
+cargo run --release -p cnn-bench --bin quant_bench -- --smoke --out target/BENCH_quant_smoke.json
+
 echo "== load_gen --smoke: overload SLO (shed>0, bounded queue, >=99% deadline attainment, bit-exact) =="
 # Open-loop Poisson load at 0.5x/0.9x/2x of measured capacity; the
 # binary exits nonzero if the 2x cell fails to shed, the queue

@@ -36,6 +36,14 @@
 //!     --images/--seed/--fault-rate   as for classify (rate applies to every device)
 //!     --devices <n>               pool size (default 4)
 //!     --hostile <i>               make device i abandon everything (chaos mode)
+//! cnn2fpga quant [descriptor.json] [opts]       calibrate int8 scales, run the true
+//!                                               quantized engine, print the f32-vs-int8
+//!                                               accuracy/resource grid per board
+//!     --images <n>                evaluation images (default 64)
+//!     --cal <n>                   calibration prefix size (default 32)
+//!     --seed <n>                  weight/image seed (default 2016)
+//!     --store <dir>               also commit the checksummed quantized-weights
+//!                                 artifact to the store (round-trip verified)
 //! ```
 
 use cnn2fpga::fpga::fault::{FaultPlan, RetryPolicy};
@@ -58,7 +66,8 @@ fn usage() -> ExitCode {
          cnn2fpga trace [descriptor.json] [--images N] [--seed N] [--fault-rate R] [--out DIR]\n  \
          cnn2fpga trace dump [--images N] [--seed N] [--rate-factor F] [--out DIR]\n  \
          cnn2fpga serve [descriptor.json] [--images N] [--seed N] [--fault-rate R] \
-[--devices N] [--hostile I]"
+[--devices N] [--hostile I]\n  \
+         cnn2fpga quant [descriptor.json] [--images N] [--cal N] [--seed N] [--store DIR]"
     );
     ExitCode::from(2)
 }
@@ -909,6 +918,145 @@ fn cmd_store(rest: &[String]) -> ExitCode {
     }
 }
 
+/// `quant` — deterministic weights, deterministic images, calibrated
+/// int8 scales, and then the real thing: the f32 network and the true
+/// int8 engine classify the same set, and both precisions are bound to
+/// both boards so the accuracy delta sits next to the resource delta.
+fn cmd_quant(rest: &[String]) -> ExitCode {
+    use cnn2fpga::framework::report::{quant_comparison_rows, render_quant_table};
+    use cnn2fpga::nn::QuantNetwork;
+    use cnn2fpga::store::hash::SplitMix64;
+    use cnn2fpga::tensor::Tensor;
+
+    let mut descriptor: Option<String> = None;
+    let mut images_n = 64usize;
+    let mut cal_n = 32usize;
+    let mut seed = 2016u64;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--images" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => images_n = n,
+                _ => return usage(),
+            },
+            "--cal" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => cal_n = n,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--store" => match it.next() {
+                Some(p) => store_dir = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            p if !p.starts_with("--") && descriptor.is_none() => {
+                descriptor = Some(p.to_string());
+            }
+            _ => return usage(),
+        }
+    }
+
+    let spec = match &descriptor {
+        Some(p) => match load_spec(p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid descriptor: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => NetworkSpec::paper_usps_small(true),
+    };
+    let net = match cnn2fpga::framework::weights::build_deterministic(&spec, seed) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shape = net.input_shape();
+    let classes = net.classes();
+    let mut rng = SplitMix64::new(seed ^ 0x0117_C1A5);
+    let images: Vec<Tensor> = (0..images_n)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.len())
+                .map(|_| (rng.next_f64() * 2.0 - 1.0) as f32)
+                .collect();
+            Tensor::from_vec(shape, data)
+        })
+        .collect();
+    let labels: Vec<usize> = (0..images_n).map(|i| i % classes).collect();
+    let name = descriptor
+        .as_deref()
+        .map_or("default", |p| p.rsplit('/').next().unwrap_or(p));
+
+    let rows = quant_comparison_rows(
+        name,
+        &net,
+        &spec.directives(),
+        &images[..cal_n.min(images_n)],
+        &images,
+        &labels,
+    );
+    print!("{}", render_quant_table(&rows));
+
+    let quant = QuantNetwork::quantize(&net, &images[..cal_n.min(images_n)]);
+    let f32_preds: Vec<usize> = images.iter().map(|t| net.predict(t)).collect();
+    let q_preds = quant.predict_batch(&images);
+    let agree = f32_preds
+        .iter()
+        .zip(&q_preds)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "\ntop-1 agreement over {images_n} images: {agree}/{images_n} \
+         (calibrated on the first {})",
+        cal_n.min(images_n)
+    );
+
+    if let Some(dir) = store_dir {
+        let mut store = match cnn2fpga::store::Store::open(&dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let text = quant.to_text();
+        // The format carries its own checksum; prove the committed
+        // bytes parse back to the identical network before reporting.
+        match QuantNetwork::from_text(&text) {
+            Ok(back) if back == quant => {}
+            Ok(_) => {
+                eprintln!("internal error: quantized round-trip produced a different network");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("internal error: quantized round-trip failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match store.put(
+            cnn2fpga::store::ArtifactKind::Quant,
+            "quantized",
+            text.as_bytes(),
+        ) {
+            Ok(id) => println!(
+                "quantized network committed to {} as quant/quantized ({id}, \
+                 checksummed, round-trip verified)",
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("cannot store quantized network: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -933,6 +1081,7 @@ fn main() -> ExitCode {
         }
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("quant") => cmd_quant(&args[1..]),
         _ => usage(),
     }
 }

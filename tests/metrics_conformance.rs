@@ -120,8 +120,18 @@ fn every_runtime_metric_conforms_to_the_workspace_grammar() {
         )
         .expect("the corruption burst succeeds");
 
+    // A quantized pass on the same registry: calibrate and run the
+    // true-int8 engine so the `cnn_quant_*` and
+    // `cnn_tensor_gemm_int8_*` families register live samples.
+    let qnet = cnn2fpga::nn::QuantNetwork::quantize(&artifacts.network, &images[..8]);
+    let _ = qnet.predict_batch(&images[..8]);
+
     let snap = cnn2fpga::trace::snapshot();
     for family in [
+        "cnn_quant_infer_total",
+        "cnn_quant_pack_misses_total",
+        "cnn_tensor_gemm_int8_macs_total",
+        "cnn_tensor_gemm_int8_calls_total",
         "cnn_sdc_seu_injected_total",
         "cnn_scrub_runs_total",
         "cnn_canary_probes_total",
